@@ -1,0 +1,78 @@
+//! Criterion benches for the simplex substrate: random dense LPs of
+//! growing size, the real §V dispatch LP, and the pivot-rule ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use palb_cluster::presets;
+use palb_core::{solve_fixed_levels, Dims, LevelAssignment};
+use palb_lp::{PivotRule, Problem, Rel, SolveOptions};
+
+/// Deterministic pseudo-random bounded-feasible LP of the given size.
+fn random_lp(n: usize, m: usize, seed: u64) -> Problem {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    let mut p = Problem::maximize();
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var(&format!("x{j}"), 0.0, 10.0, next() * 5.0))
+        .collect();
+    for i in 0..m {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, next() * 3.0)).collect();
+        p.add_con(&format!("r{i}"), &terms, Rel::Le, 5.0 + next().abs() * 10.0);
+    }
+    p
+}
+
+fn bench_random_lps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex/random");
+    for (n, m) in [(10, 20), (30, 60), (60, 120), (120, 180)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                let p = random_lp(n, m, 0xFEED);
+                b.iter(|| black_box(p.solve().unwrap().objective()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dispatch_lp(c: &mut Criterion) {
+    let sys = presets::section_v();
+    let dims = Dims::of(&sys);
+    let assignment = LevelAssignment::uniform(&dims, 1);
+    let mut group = c.benchmark_group("simplex/dispatch");
+    for (label, rates) in [
+        ("sv_low", presets::section_v_low_arrivals()),
+        ("sv_high", presets::section_v_high_arrivals()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let sol = solve_fixed_levels(&sys, &rates, 0, &assignment).unwrap();
+                black_box(sol.objective)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pivot_rules(c: &mut Criterion) {
+    let p = random_lp(60, 120, 0xBEEF);
+    let mut group = c.benchmark_group("simplex/pivot_rule");
+    for (name, rule) in [("dantzig", PivotRule::Dantzig), ("bland", PivotRule::Bland)] {
+        group.bench_function(name, |b| {
+            let opts = SolveOptions { rule, ..SolveOptions::default() };
+            b.iter(|| black_box(p.solve_with(&opts).unwrap().objective()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_lps, bench_dispatch_lp, bench_pivot_rules);
+criterion_main!(benches);

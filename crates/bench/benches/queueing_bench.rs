@@ -1,0 +1,63 @@
+//! Criterion benches for the queueing substrate: event-driven simulation
+//! throughput, the Lindley fast path, and statistics accumulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use palb_queueing::des::{simulate_network, QueueSpec};
+use palb_queueing::{simulate_mm1_lindley, Welford};
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queueing/des");
+    // ~8 events per time unit at these rates; horizon 5_000 ≈ 40k events.
+    group.throughput(Throughput::Elements(40_000));
+    group.bench_function("mm1_horizon_5000", |b| {
+        b.iter(|| {
+            let r = palb_queueing::simulate_mm1(4.0, 6.0, 5_000.0, 100.0, 42);
+            black_box(r.sojourn.mean())
+        });
+    });
+    group.bench_function("network_16_queues", |b| {
+        let specs: Vec<QueueSpec> = (0..16)
+            .map(|i| QueueSpec {
+                arrival_rate: 1.0 + 0.2 * i as f64,
+                service_rate: 6.0,
+            })
+            .collect();
+        b.iter(|| {
+            let r = simulate_network(&specs, 500.0, 50.0, 7);
+            black_box(r.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_lindley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queueing/lindley");
+    group.throughput(Throughput::Elements(200_000));
+    group.bench_function("mm1_200k_customers", |b| {
+        b.iter(|| {
+            let r = simulate_mm1_lindley(4.0, 6.0, 200_000, 1_000, 11);
+            black_box(r.sojourn.mean())
+        });
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queueing/stats");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.bench_function("welford_1m_pushes", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for i in 0..1_000_000u32 {
+                w.push(f64::from(i & 1023));
+            }
+            black_box(w.variance())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_lindley, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the multilevel solvers — the quantitative version
+//! of the paper's Fig. 11 and of DESIGN.md ablations 1 and 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use palb_bench::configs::section_vii_trace;
+use palb_cluster::presets;
+use palb_core::{
+    balanced_dispatch, solve_bb, solve_bigm, solve_uniform_levels, BbOptions, BigMOptions,
+};
+
+fn section_vii_slot() -> (palb_cluster::System, Vec<Vec<f64>>, usize) {
+    let sys = presets::section_vii();
+    let trace = section_vii_trace();
+    let rates = trace.slot(2).clone();
+    (sys, rates, presets::SECTION_VII_START_HOUR + 2)
+}
+
+fn bench_multilevel_solvers(c: &mut Criterion) {
+    let (sys, rates, slot) = section_vii_slot();
+    let mut group = c.benchmark_group("solver/section_vii_slot");
+    group.sample_size(10);
+
+    group.bench_function("bb_symmetry", |b| {
+        b.iter(|| {
+            black_box(
+                solve_bb(&sys, &rates, slot, &BbOptions::default())
+                    .unwrap()
+                    .solve
+                    .objective,
+            )
+        });
+    });
+    group.bench_function("uniform_levels", |b| {
+        b.iter(|| {
+            black_box(
+                solve_uniform_levels(&sys, &rates, slot)
+                    .unwrap()
+                    .solve
+                    .objective,
+            )
+        });
+    });
+    group.bench_function("bigm_penalty", |b| {
+        let mut opts = BigMOptions::default();
+        opts.penalty.inner.max_iters = 150;
+        opts.penalty.max_outer = 4;
+        b.iter(|| black_box(solve_bigm(&sys, &rates, slot, &opts).unwrap().polished.objective));
+    });
+    group.bench_function("balanced_baseline", |b| {
+        b.iter(|| black_box(balanced_dispatch(&sys, &rates, slot).total_dispatched()));
+    });
+    group.finish();
+}
+
+/// Fig. 11 as a Criterion sweep: plain per-server branch-and-bound time
+/// versus servers per data center.
+fn bench_fig11_scaling(c: &mut Criterion) {
+    let trace = section_vii_trace();
+    let base_rates = trace.slot(2).clone();
+    let mut group = c.benchmark_group("solver/fig11_bb_plain");
+    group.sample_size(10);
+    for m in 1..=4usize {
+        let mut sys = presets::section_vii();
+        for dc in &mut sys.data_centers {
+            dc.servers = m;
+        }
+        let scale = m as f64 / 6.0;
+        let rates: Vec<Vec<f64>> = base_rates
+            .iter()
+            .map(|row| row.iter().map(|r| r * scale).collect())
+            .collect();
+        let slot = presets::SECTION_VII_START_HOUR + 2;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let opts = BbOptions { symmetry_breaking: false, ..BbOptions::default() };
+            b.iter(|| black_box(solve_bb(&sys, &rates, slot, &opts).unwrap().nodes));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multilevel_solvers, bench_fig11_scaling);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p palb-bench --bin repro -- <target>
+//!
+//! targets:
+//!   fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+//!   tables       all setup tables (II-XI)
+//!   validate     Eq.1 vs discrete-event replay
+//!   quantile     mean-delay vs per-request quantile SLA extension
+//!   forecast     oracle vs forecast-driven control (Kalman et al.)
+//!   robustness   service-time distribution sensitivity (M/G/1 replay)
+//!   three-level  three-level TUFs (the paper's Eq. 18-22 case)
+//!   ablations    the five DESIGN.md ablations
+//!   all          everything above, in order
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use palb_bench::experiments::{
+    ablations, forecasting, foundations, quantile, robustness, section_v, section_vi,
+    section_vii, three_level, validate,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <target>\n\
+         targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
+         tables validate quantile forecast robustness three-level ablations all"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(target) = args.first().map(String::as_str) else {
+        return usage();
+    };
+
+    // Targets sharing an expensive run reuse one state object.
+    match target {
+        "fig1" => print!("{}", foundations::fig1()),
+        "fig3" => print!("{}", foundations::fig3()),
+        "tables" => print!("{}", foundations::tables()),
+        "fig4" => print!("{}", section_v::fig4_report()),
+        "fig5" => print!("{}", section_vi::fig5()),
+        "fig6" => {
+            let state = section_vi::run_section_vi();
+            print!("{}", section_vi::fig6(&state));
+        }
+        "fig7" => {
+            let state = section_vi::run_section_vi();
+            print!("{}", section_vi::fig7(&state));
+        }
+        "fig8" => {
+            let state = section_vii::run_section_vii();
+            print!("{}", section_vii::fig8(&state));
+        }
+        "fig9" => {
+            let state = section_vii::run_section_vii();
+            print!("{}", section_vii::fig9(&state));
+        }
+        "fig10" => print!("{}", section_vii::fig10()),
+        "fig11" => print!("{}", section_vii::fig11_report(5)),
+        "validate" => print!("{}", validate::report()),
+        "quantile" => print!("{}", quantile::report()),
+        "forecast" => print!("{}", forecasting::report()),
+        "robustness" => print!("{}", robustness::report()),
+        "three-level" => print!("{}", three_level::report()),
+        "ablations" => print!("{}", ablations::all()),
+        "all" => {
+            print!("{}", foundations::fig1());
+            println!();
+            print!("{}", foundations::fig3());
+            println!();
+            print!("{}", foundations::tables());
+            println!();
+            print!("{}", section_v::fig4_report());
+            println!();
+            print!("{}", section_vi::fig5());
+            println!();
+            let vi = section_vi::run_section_vi();
+            print!("{}", section_vi::fig6(&vi));
+            println!();
+            print!("{}", section_vi::fig7(&vi));
+            println!();
+            let vii = section_vii::run_section_vii();
+            print!("{}", section_vii::fig8(&vii));
+            println!();
+            print!("{}", section_vii::fig9(&vii));
+            println!();
+            print!("{}", section_vii::fig10());
+            println!();
+            print!("{}", section_vii::fig11_report(5));
+            println!();
+            print!("{}", validate::report());
+            println!();
+            print!("{}", quantile::report());
+            println!();
+            print!("{}", forecasting::report());
+            println!();
+            print!("{}", robustness::report());
+            println!();
+            print!("{}", three_level::report());
+            println!();
+            print!("{}", ablations::all());
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,80 @@
+//! Canonical experiment configurations: the exact workload parameters used
+//! to regenerate every figure, shared by the `repro` binary, the Criterion
+//! benches and the integration tests so numbers always agree.
+
+use palb_workload::burst::{self, BurstConfig};
+use palb_workload::diurnal::{self, DiurnalConfig};
+use palb_workload::Trace;
+
+/// §VI workload: one day of World-Cup-like diurnal traffic, four front-end
+/// day profiles, three classes shifted by 2 h, peak 80 000 req/h per
+/// front-end per class. Saturates Houston + Atlanta at the evening peak so
+/// Mountain View picks up paid overflow.
+pub fn section_vi_trace() -> Trace {
+    diurnal::generate(&DiurnalConfig {
+        peak_rate: 80_000.0,
+        ..DiurnalConfig::default()
+    })
+}
+
+/// §VII workload: the 7-hour Google-like bursty trace, volatile enough
+/// that the Balanced policy's fixed 1/K shares strand capacity during
+/// class-imbalanced bursts (that is where its request2 drops come from).
+pub fn section_vii_trace() -> Trace {
+    burst::generate(&BurstConfig {
+        mean_rate: 62_000.0,
+        slots: palb_cluster::presets::SECTION_VII_SLOTS,
+        reversion: 0.25,
+        burst_prob: 0.5,
+        ..BurstConfig::default()
+    })
+}
+
+/// Fig. 10(a): the §VII system with doubled per-server service rates —
+/// the paper "increased data center capacities in order to simulate a
+/// relatively low workload situation (all requests can be completed)".
+pub fn section_vii_low_workload_system() -> palb_cluster::System {
+    let mut sys = palb_cluster::presets::section_vii();
+    for dc in &mut sys.data_centers {
+        for r in &mut dc.service_rate {
+            *r *= 2.0;
+        }
+    }
+    sys
+}
+
+/// Fig. 10(b): the §VII trace scaled up so that *no* approach can complete
+/// all requests.
+pub fn section_vii_high_workload_trace() -> Trace {
+    section_vii_trace().scaled(1.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_have_experiment_shapes() {
+        let vi = section_vi_trace();
+        assert_eq!((vi.slots(), vi.front_ends(), vi.classes()), (24, 4, 3));
+        let vii = section_vii_trace();
+        assert_eq!((vii.slots(), vii.front_ends(), vii.classes()), (7, 1, 2));
+    }
+
+    #[test]
+    fn low_workload_system_has_double_rates() {
+        let base = palb_cluster::presets::section_vii();
+        let low = section_vii_low_workload_system();
+        assert_eq!(
+            low.data_centers[0].service_rate[0],
+            2.0 * base.data_centers[0].service_rate[0]
+        );
+    }
+
+    #[test]
+    fn high_workload_trace_is_scaled() {
+        let base = section_vii_trace();
+        let high = section_vii_high_workload_trace();
+        assert!((high.total_offered() - 1.8 * base.total_offered()).abs() < 1e-6);
+    }
+}

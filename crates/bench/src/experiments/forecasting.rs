@@ -1,0 +1,149 @@
+//! Extension study: what imperfect demand foresight costs.
+//!
+//! The paper's controller reads the slot's true average arrival rates and
+//! leaves prediction to "existing methods (e.g. the Kalman Filter)". Here
+//! we close that loop: the optimizer decides on *forecast* rates, the
+//! realized dispatch is clamped to what actually arrives, and the shared
+//! evaluator scores it against the true workload — for each forecaster in
+//! `palb_workload::forecast`, over two diurnal days.
+
+use palb_cluster::{presets, ClassId, FrontEndId, System};
+use palb_core::{evaluate, Dispatch, OptimizedPolicy, Policy};
+use palb_workload::diurnal::{generate, DiurnalConfig};
+use palb_workload::forecast::{
+    forecast_trace, mape, Ewma, Forecaster, Naive, ScalarKalman, SeasonalNaive,
+};
+use palb_workload::Trace;
+
+/// Scales each (class, front-end) flow down so nothing exceeds what truly
+/// arrived: you cannot dispatch requests that do not exist.
+pub fn clamp_to_offered(dispatch: &mut Dispatch, actual: &[Vec<f64>]) {
+    let dims = dispatch.dims().clone();
+    for k in 0..dims.classes {
+        for s in 0..dims.front_ends {
+            let planned = dispatch.front_end_class_rate(ClassId(k), FrontEndId(s));
+            let offered = actual[s][k];
+            if planned > offered && planned > 0.0 {
+                let factor = offered / planned;
+                for sv in 0..dims.total_servers {
+                    let l = dims.dc_of_server(sv);
+                    let i = sv - dims.server_offset[l.0];
+                    let v = dispatch.lambda(ClassId(k), FrontEndId(s), l, i);
+                    if v > 0.0 {
+                        dispatch.set_lambda(ClassId(k), FrontEndId(s), l, i, v * factor);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drives the optimizer with `predicted` rates and evaluates against
+/// `actual`. Returns total realized net profit.
+pub fn run_with_forecast(system: &System, actual: &Trace, predicted: &Trace) -> f64 {
+    assert_eq!(actual.slots(), predicted.slots());
+    let mut policy = OptimizedPolicy::exact();
+    let mut total = 0.0;
+    for t in 0..actual.slots() {
+        let mut dispatch = policy
+            .decide(system, predicted.slot(t), t)
+            .expect("optimizer");
+        clamp_to_offered(&mut dispatch, actual.slot(t));
+        total += evaluate(system, actual.slot(t), t, &dispatch).net_profit;
+    }
+    total
+}
+
+/// Two noisy diurnal days for §VI (seasonal forecasters need day 1 as
+/// history for day 2).
+pub fn two_day_trace() -> Trace {
+    generate(&DiurnalConfig {
+        peak_rate: 80_000.0,
+        slots: 48,
+        ..DiurnalConfig::default()
+    })
+}
+
+/// The comparison report.
+pub fn report() -> String {
+    let system = presets::section_vi();
+    let actual = two_day_trace();
+    let initial = actual.rate(0, 0, 0);
+
+    let oracle = run_with_forecast(&system, &actual, &actual);
+    let mut out = String::from(
+        "# Extension: forecasting the arrival rates (SVI, two diurnal days)\n\
+         forecaster,mape_pct,net_profit,vs_oracle_pct\n",
+    );
+    out.push_str(&format!("oracle,0.00,{oracle:.0},100.00\n"));
+
+    let forecasters: Vec<(&str, Box<dyn Forecaster>)> = vec![
+        ("naive", Box::new(Naive::new(initial))),
+        ("ewma_0.5", Box::new(Ewma::new(0.5, initial))),
+        ("kalman", Box::new(ScalarKalman::new(2.0e7, 4.0e7, initial))),
+        ("seasonal_24h", Box::new(SeasonalNaive::new(24, initial))),
+    ];
+    for (name, proto) in forecasters {
+        let predicted = forecast_trace(&actual, proto.as_ref());
+        let err = mape(&actual, &predicted);
+        let profit = run_with_forecast(&system, &actual, &predicted);
+        out.push_str(&format!(
+            "{name},{:.2},{profit:.0},{:.2}\n",
+            100.0 * err,
+            100.0 * profit / oracle
+        ));
+    }
+    out.push_str(
+        "\nreading: on smooth diurnal workloads even one-step-behind \
+         forecasts keep most of the oracle profit — the controller's hourly \
+         granularity is forgiving — while the seasonal forecaster closes \
+         most of the remaining gap on day two.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_never_exceeds_offered() {
+        let system = presets::section_vi();
+        let actual = two_day_trace();
+        // Predict double the real demand, then clamp.
+        let predicted = actual.scaled(2.0);
+        let mut policy = OptimizedPolicy::exact();
+        let mut d = policy.decide(&system, predicted.slot(12), 12).unwrap();
+        clamp_to_offered(&mut d, actual.slot(12));
+        for k in 0..system.num_classes() {
+            for s in 0..system.num_front_ends() {
+                let sent = d.front_end_class_rate(ClassId(k), FrontEndId(s));
+                let offered = actual.rate(12, s, k);
+                assert!(
+                    sent <= offered * (1.0 + 1e-9),
+                    "class {k} fe {s}: {sent} > {offered}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_bounds_all_forecasters() {
+        let system = presets::section_vi();
+        // A short window keeps the test quick.
+        let actual = {
+            let full = two_day_trace();
+            let rates: Vec<_> = (8..16).map(|t| full.slot(t).clone()).collect();
+            Trace::new(rates)
+        };
+        let oracle = run_with_forecast(&system, &actual, &actual);
+        let naive = forecast_trace(&actual, &Naive::new(actual.rate(0, 0, 0)));
+        let naive_profit = run_with_forecast(&system, &actual, &naive);
+        assert!(
+            naive_profit <= oracle * (1.0 + 1e-9),
+            "naive {naive_profit} beat oracle {oracle}"
+        );
+        // And forecasting is not catastrophic on a smooth ramp.
+        assert!(naive_profit > 0.5 * oracle);
+    }
+}

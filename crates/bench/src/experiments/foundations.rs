@@ -1,0 +1,171 @@
+//! Fig. 1 (electricity price curves), Fig. 3 (TUF shapes) and the setup
+//! tables — the paper's input data, printed as CSV/tables so they can be
+//! compared against the published plots.
+
+use palb_cluster::{presets, price};
+use palb_core::report::text_table;
+use palb_tuf::{StepTuf, Tuf};
+
+/// Fig. 1: hourly electricity prices at the three locations.
+pub fn fig1() -> String {
+    let h = price::houston();
+    let mv = price::mountain_view();
+    let a = price::atlanta();
+    let mut out = String::from(
+        "# Fig 1: electricity prices over a day ($/kWh, synthetic reconstruction)\n\
+         hour,houston,mountain_view,atlanta\n",
+    );
+    for hour in 0..24 {
+        out.push_str(&format!(
+            "{hour},{:.3},{:.3},{:.3}\n",
+            h.price_at(hour),
+            mv.price_at(hour),
+            a.price_at(hour)
+        ));
+    }
+    out
+}
+
+/// Fig. 3: the three TUF shapes, sampled on a delay grid.
+pub fn fig3() -> String {
+    let constant = Tuf::Constant { utility: 10.0, deadline: 1.0 };
+    let decay = Tuf::LinearDecay { u0: 10.0, u_end: 2.0, deadline: 1.0 };
+    let step = Tuf::Step(
+        StepTuf::new(vec![
+            palb_tuf::Level { deadline: 0.4, utility: 10.0 },
+            palb_tuf::Level { deadline: 0.7, utility: 6.0 },
+            palb_tuf::Level { deadline: 1.0, utility: 3.0 },
+        ])
+        .unwrap(),
+    );
+    let mut out = String::from(
+        "# Fig 3: typical TUF shapes (utility vs delay)\n\
+         delay,constant,non_increasing,step_downward\n",
+    );
+    for i in 0..=24 {
+        let r = i as f64 * 0.05;
+        out.push_str(&format!(
+            "{r:.2},{:.2},{:.2},{:.2}\n",
+            constant.eval(r),
+            decay.eval(r),
+            step.eval(r)
+        ));
+    }
+    out
+}
+
+/// All setup tables (Tables II–XI), reconstructed values flagged.
+pub fn tables() -> String {
+    let mut out = String::new();
+
+    // Table II: §V arrival sets.
+    out.push_str("# Table II: SV arrival sets (req/s) [reconstructed]\n");
+    for (label, set) in [
+        ("II(a) low", presets::section_v_low_arrivals()),
+        ("II(b) high", presets::section_v_high_arrivals()),
+    ] {
+        out.push_str(&format!("-- {label} --\n"));
+        let header: Vec<String> = ["front-end", "request1", "request2", "request3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = set
+            .iter()
+            .enumerate()
+            .map(|(s, row)| {
+                let mut r = vec![format!("server{}", s + 1)];
+                r.extend(row.iter().map(|v| format!("{v}")));
+                r
+            })
+            .collect();
+        out.push_str(&text_table(&header, &rows));
+    }
+
+    // Tables III / IV+VI / VIII+XI: per-system data-center parameters.
+    for (label, sys) in [
+        ("Table III: SV data centers (mu req/s, energy kWh/req, price $/kWh)", presets::section_v()),
+        ("Tables IV-VII: SVI data centers (mu req/h)", presets::section_vi()),
+        ("Tables VIII-XI: SVII data centers (mu req/h)", presets::section_vii()),
+    ] {
+        out.push_str(&format!("\n# {label}\n"));
+        let mut header = vec!["parameter".to_string()];
+        for dc in &sys.data_centers {
+            header.push(dc.name.clone());
+        }
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for k in 0..sys.num_classes() {
+            let mut mu = vec![format!("mu {}", sys.classes[k].name)];
+            let mut en = vec![format!("energy {}", sys.classes[k].name)];
+            for dc in &sys.data_centers {
+                mu.push(format!("{}", dc.service_rate[k]));
+                en.push(format!("{}", dc.energy_per_request[k]));
+            }
+            rows.push(mu);
+            rows.push(en);
+        }
+        let mut price_row = vec!["price @ slot 0".to_string()];
+        let mut servers_row = vec!["servers".to_string()];
+        for dc in &sys.data_centers {
+            price_row.push(format!("{:.3}", dc.prices.price_at(0)));
+            servers_row.push(format!("{}", dc.servers));
+        }
+        rows.push(price_row);
+        rows.push(servers_row);
+        out.push_str(&text_table(&header, &rows));
+
+        // TUFs of this system (Tables VII / IX / X).
+        out.push_str("TUF levels (utility $ @ deadline):\n");
+        for class in &sys.classes {
+            let levels: Vec<String> = class
+                .tuf
+                .levels()
+                .iter()
+                .map(|l| format!("${} @ {:.6}", l.utility, l.deadline))
+                .collect();
+            out.push_str(&format!(
+                "  {}: {} | transfer ${}/mile\n",
+                class.name,
+                levels.join(", "),
+                class.transfer_cost_per_mile
+            ));
+        }
+
+        // Distances (Tables V / §VII prose).
+        out.push_str("distances (miles):\n");
+        for (s, row) in sys.distance.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|d| format!("{d}")).collect();
+            out.push_str(&format!("  front-end {}: {}\n", s + 1, cells.join(", ")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_24_hours_and_divergence() {
+        let csv = fig1();
+        assert_eq!(csv.lines().count(), 26);
+        assert!(csv.contains("houston"));
+    }
+
+    #[test]
+    fn fig3_shapes_are_ordered() {
+        let csv = fig3();
+        // At delay 0.5 the constant pays 10, decay pays 6, step pays 6.
+        let line = csv.lines().find(|l| l.starts_with("0.50")).unwrap();
+        assert_eq!(line, "0.50,10.00,6.00,6.00");
+    }
+
+    #[test]
+    fn tables_mention_every_section() {
+        let t = tables();
+        assert!(t.contains("Table II"));
+        assert!(t.contains("Table III"));
+        assert!(t.contains("SVI data centers"));
+        assert!(t.contains("SVII data centers"));
+        assert!(t.contains("transfer $"));
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper section, each regenerating its tables and figures.
+
+pub mod ablations;
+pub mod quantile;
+pub mod robustness;
+pub mod three_level;
+pub mod forecasting;
+pub mod foundations;
+pub mod section_v;
+pub mod section_vi;
+pub mod section_vii;
+pub mod validate;

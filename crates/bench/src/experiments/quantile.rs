@@ -1,0 +1,137 @@
+//! Extension study: mean-delay SLA (the paper's Eq. 6) versus the
+//! per-request quantile SLA from `palb_core::quantile`.
+//!
+//! For each policy the §V decision is replayed in the discrete-event
+//! simulator and each request is paid by its *own* sojourn time. The
+//! mean-delay optimizer books more analytic profit but loses a large
+//! slice of it to late requests; the quantile policy buys real headroom.
+
+use palb_cluster::presets;
+use palb_core::{run, OptimizedPolicy, Policy, QuantileSlaPolicy};
+use palb_queueing::des::{simulate_network, QueueSpec};
+use palb_workload::synthetic::constant_trace;
+
+/// Replay outcome of one policy on the §V low-arrival slot.
+pub struct QuantileOutcome {
+    /// Policy display name.
+    pub policy: String,
+    /// Analytic (mean-delay-accounted) slot revenue.
+    pub analytic_revenue: f64,
+    /// Revenue when each request is paid by its own sojourn.
+    pub replay_revenue: f64,
+    /// Fraction of replayed requests inside their class's final deadline.
+    pub on_time: f64,
+}
+
+/// Replays one policy's §V decision in the DES.
+pub fn replay(policy: &mut dyn Policy, horizon: f64, seed: u64) -> QuantileOutcome {
+    let system = presets::section_v();
+    let trace = constant_trace(presets::section_v_low_arrivals(), 1);
+    let result = run(policy, &system, &trace, 0).expect("policy");
+    let dispatch = &result.decisions[0];
+    let dims = dispatch.dims().clone();
+
+    let mut specs = Vec::new();
+    let mut meta = Vec::new();
+    for (k, sv) in dims.class_server_pairs() {
+        let lam = dispatch.server_class_rate(k, sv);
+        if lam <= 1e-9 {
+            continue;
+        }
+        let l = dims.dc_of_server(sv);
+        let service = dispatch.phi_by_server(k, sv) * system.data_centers[l.0].full_rate(k);
+        specs.push(QueueSpec { arrival_rate: lam, service_rate: service });
+        meta.push((k, lam, service));
+    }
+    let warmup = horizon * 0.1;
+    let sims = simulate_network(&specs, horizon, warmup, seed);
+
+    let t = system.slot_length;
+    let measured = horizon - warmup;
+    let mut analytic = 0.0;
+    let mut replayed = 0.0;
+    let mut on_time = 0.0_f64;
+    let mut total = 0.0_f64;
+    for ((k, lam, service), q) in meta.into_iter().zip(&sims) {
+        let tuf = &system.classes[k.0].tuf;
+        let mean_delay = 1.0 / (service - lam);
+        analytic += tuf.eval(mean_delay) * lam * t;
+        let deadline = tuf.final_deadline();
+        for &r in q.sojourn.samples() {
+            replayed += tuf.eval(r) / measured * t;
+            total += 1.0;
+            if r <= deadline {
+                on_time += 1.0;
+            }
+        }
+    }
+    QuantileOutcome {
+        policy: result.policy,
+        analytic_revenue: analytic,
+        replay_revenue: replayed,
+        on_time: if total > 0.0 { on_time / total } else { 1.0 },
+    }
+}
+
+/// The comparison report.
+pub fn report() -> String {
+    let mut out = String::from(
+        "# Extension: mean-delay SLA (paper) vs per-request quantile SLA\n\
+         policy,analytic_revenue,replay_revenue,on_time_pct\n",
+    );
+    let mut mean_policy = OptimizedPolicy::exact();
+    let mut q90 = QuantileSlaPolicy::exact(0.90);
+    let mut q99 = QuantileSlaPolicy::exact(0.99);
+    let rows: Vec<(&str, QuantileOutcome)> = vec![
+        ("mean_delay (paper)", replay(&mut mean_policy, 4_000.0, 2024)),
+        ("quantile p=0.90", replay(&mut q90, 4_000.0, 2024)),
+        ("quantile p=0.99", replay(&mut q99, 4_000.0, 2024)),
+    ];
+    for (label, r) in &rows {
+        out.push_str(&format!(
+            "{label},{:.0},{:.0},{:.2}\n",
+            r.analytic_revenue,
+            r.replay_revenue,
+            100.0 * r.on_time
+        ));
+    }
+    out.push_str(
+        "\nreading: the paper's mean-delay SLA (a 63.2nd-percentile SLA in \
+         disguise for exponential sojourns) books the highest analytic \
+         revenue but loses the most to late requests when paid per-request; \
+         tightening deadlines by ln(1/(1-p)) converts the same solver stack \
+         into a true percentile SLA.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_policy_raises_on_time_fraction() {
+        let mean = replay(&mut OptimizedPolicy::exact(), 2_500.0, 7);
+        let q90 = replay(&mut QuantileSlaPolicy::exact(0.90), 2_500.0, 7);
+        assert!(
+            q90.on_time > mean.on_time + 0.05,
+            "q90 on-time {} vs mean {}",
+            q90.on_time,
+            mean.on_time
+        );
+        // And it actually delivers ≥ ~90% on-time per request.
+        assert!(q90.on_time > 0.88, "q90 on-time {}", q90.on_time);
+        // Analytic revenue ordering: mean-SLA books at least as much.
+        assert!(mean.analytic_revenue >= q90.analytic_revenue - 1e-6);
+    }
+
+    #[test]
+    fn replay_revenue_never_exceeds_analytic_here() {
+        // With one-level TUFs and light load, per-request payment can only
+        // lose relative to mean accounting.
+        for p in [0.7, 0.9] {
+            let r = replay(&mut QuantileSlaPolicy::exact(p), 1_500.0, 3);
+            assert!(r.replay_revenue <= r.analytic_revenue * 1.02);
+        }
+    }
+}

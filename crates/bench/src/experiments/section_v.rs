@@ -1,0 +1,98 @@
+//! §V — basic characteristics on synthetic workloads (Fig. 4).
+
+use palb_cluster::presets;
+use palb_core::report::summary_table;
+use palb_core::{run, BalancedPolicy, OptimizedPolicy, RunResult};
+use palb_workload::synthetic::constant_trace;
+
+/// Outcome of one §V regime (low or high arrivals).
+pub struct Fig4Regime {
+    /// Which regime ("low" / "high").
+    pub label: &'static str,
+    /// The Optimized run.
+    pub optimized: RunResult,
+    /// The Balanced run.
+    pub balanced: RunResult,
+}
+
+impl Fig4Regime {
+    /// Net-profit ratio Optimized / Balanced.
+    pub fn profit_ratio(&self) -> f64 {
+        self.optimized.total_net_profit() / self.balanced.total_net_profit()
+    }
+
+    /// Completed-request ratio Optimized / Balanced (the paper's "~16%
+    /// more requests" claim under heavy load).
+    pub fn completion_gain(&self) -> f64 {
+        self.optimized.total_completed() / self.balanced.total_completed()
+    }
+}
+
+/// Runs one regime of Fig. 4.
+pub fn fig4_regime(label: &'static str, rates: Vec<Vec<f64>>) -> Fig4Regime {
+    let system = presets::section_v();
+    let trace = constant_trace(rates, 1);
+    let optimized =
+        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer solves SV");
+    let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
+    Fig4Regime { label, optimized, balanced }
+}
+
+/// Both regimes of Fig. 4.
+pub fn fig4() -> (Fig4Regime, Fig4Regime) {
+    (
+        fig4_regime("low", presets::section_v_low_arrivals()),
+        fig4_regime("high", presets::section_v_high_arrivals()),
+    )
+}
+
+/// Renders Fig. 4 as the harness prints it.
+pub fn fig4_report() -> String {
+    let (low, high) = fig4();
+    let mut out = String::from("# Fig 4: SV net profit, Optimized vs Balanced\n");
+    for regime in [&low, &high] {
+        out.push_str(&format!("\n-- Fig 4({}) {} arrival rates --\n",
+            if regime.label == "low" { 'a' } else { 'b' },
+            regime.label));
+        out.push_str(&summary_table(&regime.optimized, &regime.balanced));
+        out.push_str(&format!(
+            "net-profit ratio {:.3}; completed-request ratio {:.3}\n",
+            regime.profit_ratio(),
+            regime.completion_gain()
+        ));
+    }
+    out.push_str(
+        "\npaper shape: Optimized wins both regimes; under heavy load it also \
+         processes ~16% more requests while covering the extra energy cost.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_preserves_paper_shape() {
+        let (low, high) = fig4();
+        // Optimized strictly dominates in both regimes.
+        assert!(low.profit_ratio() > 1.0, "low ratio {}", low.profit_ratio());
+        assert!(high.profit_ratio() > 1.0, "high ratio {}", high.profit_ratio());
+        // Heavy load: Optimized completes noticeably more requests
+        // (paper: ~16%).
+        assert!(
+            high.completion_gain() > 1.05,
+            "completion gain {}",
+            high.completion_gain()
+        );
+        // Under light load both complete everything.
+        assert!((low.completion_gain() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = fig4_report();
+        assert!(r.contains("Fig 4(a)"));
+        assert!(r.contains("Fig 4(b)"));
+    }
+}

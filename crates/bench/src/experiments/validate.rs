@@ -1,0 +1,138 @@
+//! Model validation: replay optimizer decisions through the discrete-event
+//! simulator and measure how faithful the paper's M/M/1 mean-delay
+//! abstraction (Eq. 1) is — both in delay and in realized profit.
+//!
+//! This is the workspace's answer to the paper being simulation-only: the
+//! optimizer's *analytic* profit is checked against a per-request queueing
+//! replay with Poisson arrivals and exponential service.
+
+use palb_cluster::presets;
+use palb_core::{run, OptimizedPolicy};
+use palb_queueing::des::{simulate_network, QueueSpec};
+use palb_queueing::expected_delay;
+use palb_workload::synthetic::constant_trace;
+
+/// Result of replaying one slot's decision in the DES.
+pub struct ReplayResult {
+    /// Per-VM rows: (class, dc, predicted delay, simulated mean delay).
+    pub vms: Vec<(usize, usize, f64, f64)>,
+    /// Analytic slot revenue implied by mean delays.
+    pub analytic_revenue: f64,
+    /// Revenue when every request is paid by its *own* sojourn time in the
+    /// DES replay.
+    pub replay_revenue: f64,
+}
+
+/// Replays the §V low-arrival optimized decision.
+pub fn replay_section_v(horizon: f64, seed: u64) -> ReplayResult {
+    let system = presets::section_v();
+    let trace = constant_trace(presets::section_v_low_arrivals(), 1);
+    let result =
+        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let dispatch = &result.decisions[0];
+    let dims = dispatch.dims().clone();
+
+    // Build one DES queue per active (class, server) VM.
+    let mut specs = Vec::new();
+    let mut meta = Vec::new(); // (k, dc, lambda, service, utility fn idx)
+    for (k, sv) in dims.class_server_pairs() {
+        let lam = dispatch.server_class_rate(k, sv);
+        if lam <= 1e-9 {
+            continue;
+        }
+        let l = dims.dc_of_server(sv);
+        let service = dispatch.phi_by_server(k, sv)
+            * system.data_centers[l.0].full_rate(k);
+        specs.push(QueueSpec { arrival_rate: lam, service_rate: service });
+        meta.push((k, l, lam, service));
+    }
+    let warmup = horizon * 0.1;
+    let results = simulate_network(&specs, horizon, warmup, seed);
+
+    let mut vms = Vec::new();
+    let mut analytic_revenue = 0.0;
+    let mut replay_revenue = 0.0;
+    let t = system.slot_length;
+    for ((k, l, lam, service), q) in meta.into_iter().zip(&results) {
+        let predicted = expected_delay(1.0, 1.0, service, lam);
+        let simulated = q.sojourn.mean();
+        vms.push((k.0, l.0, predicted, simulated));
+        let tuf = &system.classes[k.0].tuf;
+        analytic_revenue += tuf.eval(predicted) * lam * t;
+        // Per-request payment: each completed request is paid by its own
+        // sojourn, scaled back to a full slot.
+        let measured = horizon - warmup;
+        let per_req: f64 = q.sojourn.samples().iter().map(|&r| tuf.eval(r)).sum();
+        replay_revenue += per_req / measured * t;
+    }
+    ReplayResult { vms, analytic_revenue, replay_revenue }
+}
+
+/// Renders the validation report.
+pub fn report() -> String {
+    let r = replay_section_v(4_000.0, 42);
+    let mut out = String::from(
+        "# Validation: Eq. 1 mean delays vs discrete-event replay (SV, low load)\n\
+         class,dc,predicted_delay_s,simulated_delay_s,rel_err\n",
+    );
+    let mut worst = 0.0_f64;
+    for (k, l, pred, sim) in &r.vms {
+        let rel = (sim - pred).abs() / pred;
+        worst = worst.max(rel);
+        out.push_str(&format!("{k},{l},{pred:.5},{sim:.5},{rel:.3}\n"));
+    }
+    out.push_str(&format!(
+        "\nanalytic slot revenue ${:.0}, per-request replay revenue ${:.0} \
+         ({:+.2}% gap), worst per-VM delay error {:.1}%\n",
+        r.analytic_revenue,
+        r.replay_revenue,
+        100.0 * (r.replay_revenue / r.analytic_revenue - 1.0),
+        100.0 * worst
+    ));
+    out.push_str(
+        "\nreading: Eq. 1 predicts the replayed mean delays closely — the \
+         queueing abstraction is faithful. The revenue gap is a *model* \
+         finding, not an error: the paper pays by MEAN delay (\"guaranteeing \
+         the average delay satisfaction\"), but sojourn times in an M/M/1 \
+         are exponential, so when the optimizer parks a VM exactly at its \
+         deadline, ~1/e of individual requests still finish late. A \
+         per-request SLA would need the optimizer to target delay \
+         quantiles instead of means.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_abstraction_is_faithful() {
+        let r = replay_section_v(3_000.0, 7);
+        assert!(!r.vms.is_empty());
+        for (k, l, pred, sim) in &r.vms {
+            let rel = (sim - pred).abs() / pred;
+            assert!(
+                rel < 0.25,
+                "class {k} dc {l}: predicted {pred} vs simulated {sim}"
+            );
+        }
+        // Mean-based accounting can only OVERSTATE per-request revenue
+        // (the TUF is non-increasing and sojourns are exponential around
+        // the mean), and the overstatement is bounded by the exponential
+        // tail mass ~1/e at deadline-binding VMs.
+        let ratio = r.replay_revenue / r.analytic_revenue;
+        assert!(
+            ratio <= 1.0 + 0.02,
+            "replay revenue above analytic: ratio {ratio}"
+        );
+        assert!(ratio > 0.5, "replay collapsed: ratio {ratio}");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = replay_section_v(500.0, 3);
+        let b = replay_section_v(500.0, 3);
+        assert_eq!(a.replay_revenue, b.replay_revenue);
+    }
+}

@@ -1,0 +1,20 @@
+//! # palb-bench — benchmark harness and paper-figure regeneration
+//!
+//! Everything needed to regenerate the evaluation of *Profit Aware Load
+//! Balancing for Distributed Cloud Data Centers* (IPPS 2013):
+//!
+//! * [`configs`] — the canonical workload parameters per experiment,
+//! * [`parallel`] — a rayon-parallel slot runner (slots are independent),
+//! * [`experiments`] — one module per paper section; each figure/table has
+//!   a function returning the printable report,
+//! * the `repro` binary — `cargo run --release -p palb-bench --bin repro
+//!   -- all` regenerates every figure and table,
+//! * Criterion benches under `benches/` for the solver microbenchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod configs;
+pub mod json;
+pub mod experiments;
+pub mod parallel;

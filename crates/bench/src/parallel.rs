@@ -1,0 +1,84 @@
+//! Rayon-parallel slot evaluation.
+//!
+//! The paper's controller is causal but *memoryless across slots* — each
+//! slot's decision depends only on that slot's rates and prices — so a
+//! whole-trace run is embarrassingly parallel. The figure harness uses
+//! this to regenerate 24-hour studies at full core count while the
+//! sequential `palb_core::run` remains the reference implementation (a
+//! test asserts they agree bit-for-bit on the outcomes).
+
+use palb_cluster::System;
+use palb_core::{evaluate, CoreError, Policy, RunResult};
+use palb_workload::Trace;
+use rayon::prelude::*;
+
+/// Runs a policy over a trace with one rayon task per slot. The
+/// `make_policy` factory is called per worker so policies need not be
+/// `Sync`.
+pub fn run_parallel<P, F>(
+    make_policy: F,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> Result<RunResult, CoreError>
+where
+    P: Policy,
+    F: Fn() -> P + Sync,
+{
+    let results: Result<Vec<_>, CoreError> = (0..trace.slots())
+        .into_par_iter()
+        .map(|t| {
+            let mut policy = make_policy();
+            let slot = start_slot + t;
+            let rates = trace.slot(t);
+            let dispatch = policy.decide(system, rates, slot)?;
+            let outcome = evaluate(system, rates, slot, &dispatch);
+            Ok((outcome, dispatch))
+        })
+        .collect();
+    let mut name = String::new();
+    {
+        let p = make_policy();
+        name.push_str(p.name());
+    }
+    let pairs = results?;
+    let (slots, decisions) = pairs.into_iter().unzip();
+    Ok(RunResult {
+        policy: name,
+        slots,
+        decisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palb_cluster::presets;
+    use palb_core::{run, BalancedPolicy, OptimizedPolicy};
+    use palb_workload::synthetic::constant_trace;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 4);
+        let seq = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
+        let par = run_parallel(OptimizedPolicy::exact, &sys, &trace, 0).unwrap();
+        assert_eq!(seq.slots.len(), par.slots.len());
+        for (a, b) in seq.slots.iter().zip(&par.slots) {
+            assert_eq!(a.net_profit, b.net_profit, "deterministic solver must agree");
+            assert_eq!(a.slot, b.slot);
+        }
+        assert_eq!(seq.policy, par.policy);
+    }
+
+    #[test]
+    fn parallel_balanced_matches_too() {
+        let sys = presets::section_vi();
+        let trace = crate::configs::section_vi_trace();
+        let seq = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let par = run_parallel(|| BalancedPolicy, &sys, &trace, 0).unwrap();
+        for (a, b) in seq.slots.iter().zip(&par.slots) {
+            assert_eq!(a.net_profit, b.net_profit);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Thin binary wrapper over [`palb_cli`]: parse, execute, print.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match palb_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match palb_cli::execute(&cli) {
+        Ok(out) => {
+            // Tolerate a closed pipe (e.g. `palb ... | head`).
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{out}");
+            let _ = stdout.flush();
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! # palb-cli — command-line interface to the profit-aware load balancer
+//!
+//! Lets an operator run the paper's controller on *their own* system and
+//! workload descriptions (JSON) without writing Rust:
+//!
+//! ```text
+//! palb preset section_vi > system.json
+//! palb trace diurnal --peak 80000 --slots 24 --front-ends 4 --classes 3 > trace.json
+//! palb run --system system.json --trace trace.json --policy optimized
+//! palb run --system system.json --trace trace.json --policy quantile=0.9 --json
+//! palb lp --system system.json --trace trace.json --slot 12 > slot12.lp
+//! ```
+//!
+//! All command logic lives in this library (returning strings/errors) so
+//! it is unit-testable without spawning processes; `src/bin/palb.rs` is a
+//! thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fs;
+
+use palb_cluster::{presets, System};
+use palb_core::report::summary_table;
+use palb_core::{
+    lp_text, run, BalancedPolicy, Dims, LevelAssignment, OptimizedPolicy, Policy,
+    QuantileSlaPolicy, RunResult,
+};
+use palb_workload::burst::{self, BurstConfig};
+use palb_workload::diurnal::{self, DiurnalConfig};
+use palb_workload::Trace;
+
+/// A parsed command line: subcommand, positional args, `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// The subcommand name.
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options (`--flag` alone stores an empty string).
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses raw arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let mut positional = Vec::new();
+    let mut options = BTreeMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                String::new()
+            };
+            options.insert(key.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(Cli { command: command.clone(), positional, options })
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "usage: palb <command>\n\
+     commands:\n\
+     \x20 preset <section_v|section_vi|section_vii>   print a preset system as JSON\n\
+     \x20 trace <diurnal|burst> [--peak R] [--mean R] [--slots N]\n\
+     \x20       [--front-ends N] [--classes N] [--seed S]       print a trace as JSON\n\
+     \x20 run --system FILE --trace FILE [--policy optimized|balanced|quantile=P]\n\
+     \x20     [--start N] [--json]                               run and summarize\n\
+     \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n"
+        .to_string()
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(cli: &Cli) -> Result<String, String> {
+    match cli.command.as_str() {
+        "preset" => cmd_preset(cli),
+        "trace" => cmd_trace(cli),
+        "run" => cmd_run(cli),
+        "lp" => cmd_lp(cli),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn cmd_preset(cli: &Cli) -> Result<String, String> {
+    let name = cli
+        .positional
+        .first()
+        .ok_or("preset requires a name (section_v | section_vi | section_vii)")?;
+    let system = match name.as_str() {
+        "section_v" => presets::section_v(),
+        "section_vi" => presets::section_vi(),
+        "section_vii" => presets::section_vii(),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    serde_json::to_string_pretty(&system).map_err(|e| e.to_string())
+}
+
+fn opt_f64(cli: &Cli, key: &str, default: f64) -> Result<f64, String> {
+    match cli.options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number `{v}`")),
+    }
+}
+
+fn opt_usize(cli: &Cli, key: &str, default: usize) -> Result<usize, String> {
+    match cli.options.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer `{v}`")),
+    }
+}
+
+fn cmd_trace(cli: &Cli) -> Result<String, String> {
+    let kind = cli
+        .positional
+        .first()
+        .ok_or("trace requires a kind (diurnal | burst)")?;
+    let trace = match kind.as_str() {
+        "diurnal" => diurnal::generate(&DiurnalConfig {
+            front_ends: opt_usize(cli, "front-ends", 4)?,
+            classes: opt_usize(cli, "classes", 3)?,
+            slots: opt_usize(cli, "slots", 24)?,
+            peak_rate: opt_f64(cli, "peak", 60_000.0)?,
+            seed: opt_usize(cli, "seed", 1998)? as u64,
+            ..DiurnalConfig::default()
+        }),
+        "burst" => burst::generate(&BurstConfig {
+            front_ends: opt_usize(cli, "front-ends", 1)?,
+            classes: opt_usize(cli, "classes", 2)?,
+            slots: opt_usize(cli, "slots", 7)?,
+            mean_rate: opt_f64(cli, "mean", 60_000.0)?,
+            seed: opt_usize(cli, "seed", 2010)? as u64,
+            ..BurstConfig::default()
+        }),
+        other => return Err(format!("unknown trace kind `{other}`")),
+    };
+    serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())
+}
+
+/// Loads and validates a system description from a JSON file.
+pub fn load_system(path: &str) -> Result<System, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let system: System =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    system.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(system)
+}
+
+/// Loads a trace from a JSON file.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Builds the policy named on the command line.
+pub fn make_policy(spec: &str) -> Result<Box<dyn Policy>, String> {
+    if spec == "optimized" {
+        return Ok(Box::new(OptimizedPolicy::exact()));
+    }
+    if spec == "balanced" {
+        return Ok(Box::new(BalancedPolicy));
+    }
+    if let Some(p) = spec.strip_prefix("quantile=") {
+        let p: f64 = p.parse().map_err(|_| format!("bad quantile `{p}`"))?;
+        if !(0.0 < p && p < 1.0) {
+            return Err(format!("quantile must be in (0,1), got {p}"));
+        }
+        return Ok(Box::new(QuantileSlaPolicy::exact(p)));
+    }
+    Err(format!(
+        "unknown policy `{spec}` (optimized | balanced | quantile=P)"
+    ))
+}
+
+fn compatible(system: &System, trace: &Trace) -> Result<(), String> {
+    if trace.front_ends() != system.num_front_ends()
+        || trace.classes() != system.num_classes()
+    {
+        return Err(format!(
+            "trace is {}x{} (front-ends x classes) but the system is {}x{}",
+            trace.front_ends(),
+            trace.classes(),
+            system.num_front_ends(),
+            system.num_classes()
+        ));
+    }
+    Ok(())
+}
+
+fn run_result_json(system: &System, result: &RunResult) -> String {
+    // Minimal inline JSON (the bench crate has the full exporter; the CLI
+    // avoids depending on it).
+    let slots: Vec<String> = result
+        .slots
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"slot\":{},\"net_profit\":{:.4},\"revenue\":{:.4},\"cost\":{:.4},\"completed\":{:.2},\"offered\":{:.2}}}",
+                s.slot, s.net_profit, s.revenue, s.total_cost(), s.completed, s.offered
+            )
+        })
+        .collect();
+    let _ = system;
+    format!(
+        "{{\"policy\":\"{}\",\"total_net_profit\":{:.4},\"completion\":{:.6},\"slots\":[{}]}}",
+        result.policy,
+        result.total_net_profit(),
+        result.completion_ratio(),
+        slots.join(",")
+    )
+}
+
+fn cmd_run(cli: &Cli) -> Result<String, String> {
+    let system = load_system(cli.options.get("system").ok_or("run needs --system FILE")?)?;
+    let trace = load_trace(cli.options.get("trace").ok_or("run needs --trace FILE")?)?;
+    compatible(&system, &trace)?;
+    let start = opt_usize(cli, "start", 0)?;
+    let default_policy = "optimized".to_string();
+    let policy_spec = cli.options.get("policy").unwrap_or(&default_policy);
+    let mut policy = make_policy(policy_spec)?;
+    let result =
+        run(policy.as_mut(), &system, &trace, start).map_err(|e| e.to_string())?;
+    if cli.options.contains_key("json") {
+        Ok(run_result_json(&system, &result))
+    } else {
+        // Compare against the baseline for context unless it *is* the run.
+        if policy_spec == "balanced" {
+            let mut out = summary_table(&result, &result);
+            out.push_str(&format!("total net profit: ${:.2}\n", result.total_net_profit()));
+            Ok(out)
+        } else {
+            let baseline = run(&mut BalancedPolicy, &system, &trace, start)
+                .map_err(|e| e.to_string())?;
+            Ok(summary_table(&result, &baseline))
+        }
+    }
+}
+
+fn cmd_lp(cli: &Cli) -> Result<String, String> {
+    let system = load_system(cli.options.get("system").ok_or("lp needs --system FILE")?)?;
+    let trace = load_trace(cli.options.get("trace").ok_or("lp needs --trace FILE")?)?;
+    compatible(&system, &trace)?;
+    let slot = opt_usize(cli, "slot", 0)?;
+    if slot >= trace.slots() {
+        return Err(format!("--slot {slot} out of range (trace has {})", trace.slots()));
+    }
+    let dims = Dims::of(&system);
+    // One-level TUFs use level 1; multi-level models export the loosest
+    // assignment (the root of the branch-and-bound tree).
+    let one_level = system.classes.iter().all(|c| c.tuf.num_levels() == 1);
+    let assignment = if one_level {
+        LevelAssignment::uniform(&dims, 1)
+    } else {
+        LevelAssignment::loosest(&system, &dims)
+    };
+    lp_text(&system, trace.slot(slot), slot, &assignment).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(parts: &[&str]) -> Cli {
+        let args: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        parse_args(&args).unwrap()
+    }
+
+    #[test]
+    fn parse_extracts_options_and_positionals() {
+        let c = cli(&["run", "--system", "s.json", "--json", "--start", "3"]);
+        assert_eq!(c.command, "run");
+        assert_eq!(c.options.get("system").unwrap(), "s.json");
+        assert_eq!(c.options.get("start").unwrap(), "3");
+        assert_eq!(c.options.get("json").unwrap(), "");
+        let t = cli(&["preset", "section_v"]);
+        assert_eq!(t.positional, vec!["section_v"]);
+    }
+
+    #[test]
+    fn parse_rejects_empty() {
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn preset_round_trips_through_json() {
+        let out = execute(&cli(&["preset", "section_vii"])).unwrap();
+        let system: System = serde_json::from_str(&out).unwrap();
+        system.validate().unwrap();
+        assert_eq!(system.num_dcs(), 2);
+        assert_eq!(system.classes[0].tuf.num_levels(), 2);
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        assert!(execute(&cli(&["preset", "section_ix"])).is_err());
+    }
+
+    #[test]
+    fn trace_command_generates_json() {
+        let out = execute(&cli(&[
+            "trace", "diurnal", "--slots", "6", "--front-ends", "2", "--classes", "2",
+            "--peak", "1000",
+        ]))
+        .unwrap();
+        let trace: Trace = serde_json::from_str(&out).unwrap();
+        assert_eq!((trace.slots(), trace.front_ends(), trace.classes()), (6, 2, 2));
+    }
+
+    #[test]
+    fn policies_parse() {
+        assert_eq!(make_policy("optimized").unwrap().name(), "Optimized");
+        assert_eq!(make_policy("balanced").unwrap().name(), "Balanced");
+        assert_eq!(
+            make_policy("quantile=0.9").unwrap().name(),
+            "OptimizedQuantile"
+        );
+        assert!(make_policy("quantile=1.5").is_err());
+        assert!(make_policy("greedy").is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_from_temp_files() {
+        let dir = std::env::temp_dir().join("palb_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let sys_path = dir.join("sys.json");
+        let trace_path = dir.join("trace.json");
+
+        let system_json = execute(&cli(&["preset", "section_v"])).unwrap();
+        fs::write(&sys_path, &system_json).unwrap();
+        let trace = Trace::single_slot(presets::section_v_low_arrivals());
+        fs::write(&trace_path, serde_json::to_string(&trace).unwrap()).unwrap();
+
+        let out = execute(&cli(&[
+            "run",
+            "--system", sys_path.to_str().unwrap(),
+            "--trace", trace_path.to_str().unwrap(),
+            "--policy", "optimized",
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["policy"], "Optimized");
+        assert!(v["total_net_profit"].as_f64().unwrap() > 0.0);
+
+        // And the LP export is parseable LP format.
+        let lp = execute(&cli(&[
+            "lp",
+            "--system", sys_path.to_str().unwrap(),
+            "--trace", trace_path.to_str().unwrap(),
+            "--slot", "0",
+        ]))
+        .unwrap();
+        assert!(lp.starts_with("Maximize"));
+        assert!(lp.contains("Subject To"));
+        assert!(lp.ends_with("End\n"));
+    }
+
+    #[test]
+    fn incompatible_trace_is_rejected() {
+        let dir = std::env::temp_dir().join("palb_cli_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let sys_path = dir.join("sys.json");
+        let trace_path = dir.join("trace.json");
+        fs::write(&sys_path, execute(&cli(&["preset", "section_v"])).unwrap()).unwrap();
+        let trace = Trace::single_slot(vec![vec![1.0]]); // wrong shape
+        fs::write(&trace_path, serde_json::to_string(&trace).unwrap()).unwrap();
+        let err = execute(&cli(&[
+            "run",
+            "--system", sys_path.to_str().unwrap(),
+            "--trace", trace_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("front-ends x classes"), "{err}");
+    }
+}

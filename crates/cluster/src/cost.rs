@@ -1,0 +1,66 @@
+//! Dollar-cost accounting: the paper's Eq. 2 (processing energy) and
+//! Eq. 3 (request transfer).
+
+/// Eq. 2: dollar cost of processing `lambda` requests per time unit for a
+/// whole slot: `PCost = P_k · λ · T · p`, with `P_k` in kWh/request, `p` in
+/// $/kWh and `T` the slot length.
+pub fn processing_cost(energy_per_request: f64, lambda: f64, slot_length: f64, price: f64) -> f64 {
+    debug_assert!(energy_per_request >= 0.0 && lambda >= 0.0 && slot_length > 0.0 && price >= 0.0);
+    energy_per_request * lambda * slot_length * price
+}
+
+/// Eq. 3: dollar cost of transferring `lambda` requests per time unit from
+/// a front-end to a data center `distance` miles away for a whole slot:
+/// `TCost = TranCost_k · Distance · λ · T`.
+pub fn transfer_cost(
+    transfer_cost_per_mile: f64,
+    distance: f64,
+    lambda: f64,
+    slot_length: f64,
+) -> f64 {
+    debug_assert!(
+        transfer_cost_per_mile >= 0.0 && distance >= 0.0 && lambda >= 0.0 && slot_length > 0.0
+    );
+    transfer_cost_per_mile * distance * lambda * slot_length
+}
+
+/// Revenue of a whole slot: per-request utility × rate × slot length (the
+/// `U_k(R)·λ·T` term of Eq. 4).
+pub fn slot_revenue(unit_utility: f64, lambda: f64, slot_length: f64) -> f64 {
+    unit_utility * lambda * slot_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq2_processing_cost() {
+        // 0.5 kWh/request, 100 req/h, 1 h slot, $0.10/kWh -> $5.
+        assert!((processing_cost(0.5, 100.0, 1.0, 0.10) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_transfer_cost() {
+        // $0.003 per request-mile, 1000 miles, 10 req/h, 1 h -> $30.
+        assert!((transfer_cost(0.003, 1000.0, 10.0, 1.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_rate_and_time() {
+        let base = processing_cost(0.2, 50.0, 1.0, 0.08);
+        assert!((processing_cost(0.2, 100.0, 1.0, 0.08) - 2.0 * base).abs() < 1e-12);
+        assert!((processing_cost(0.2, 50.0, 2.0, 0.08) - 2.0 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_costs_nothing() {
+        assert_eq!(processing_cost(0.5, 0.0, 1.0, 0.1), 0.0);
+        assert_eq!(transfer_cost(0.003, 500.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn revenue_is_linear() {
+        assert!((slot_revenue(10.0, 3.0, 2.0) - 60.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! # palb-cluster — the distributed-cloud system model
+//!
+//! Types describing the paper's system architecture (Fig. 2): `K` request
+//! classes arriving at `S` front-end servers, dispatched to `L`
+//! heterogeneous data centers of homogeneous servers, each data center in
+//! its own electricity market. Includes:
+//!
+//! * [`System`] / [`DataCenter`] / [`RequestClass`] — validated model types,
+//! * [`price`] — per-slot electricity price schedules with synthetic
+//!   Houston / Mountain View / Atlanta day curves (Fig. 1 substitute),
+//! * [`cost`] — the paper's Eq. 2 (processing energy $) and Eq. 3
+//!   (transfer $),
+//! * [`power`] — powered-on server accounting,
+//! * [`presets`] — the §V, §VI and §VII experiment setups.
+//!
+//! ```
+//! use palb_cluster::presets;
+//!
+//! let system = presets::section_vi();
+//! assert_eq!(system.num_dcs(), 3);
+//! system.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod power;
+pub mod presets;
+pub mod price;
+mod types;
+
+pub use price::PriceSchedule;
+pub use types::{
+    ClassId, DataCenter, DcId, FrontEnd, FrontEndId, ModelError, RequestClass, System,
+};

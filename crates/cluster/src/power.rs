@@ -1,0 +1,56 @@
+//! Powered-on server accounting.
+//!
+//! The paper powers a server off whenever no workload is assigned to it
+//! (§IV: "when there is no workload on a server, the server should be
+//! powered off"), treating switching costs and durations as negligible
+//! within an hour-long slot. Because the energy model is per-request
+//! (Eq. 2), the powered-on count is a derived *operational* metric — it
+//! does not change the dollar objective but is what an operator would act
+//! on, so the reports surface it.
+
+/// Load threshold (requests per time unit) below which a server is
+/// considered idle and powered off.
+pub const IDLE_EPSILON: f64 = 1e-9;
+
+/// Counts servers whose total assigned rate exceeds [`IDLE_EPSILON`].
+pub fn powered_on(server_loads: &[f64]) -> usize {
+    server_loads.iter().filter(|&&l| l > IDLE_EPSILON).count()
+}
+
+/// Splits a per-server load slice into (powered-on, powered-off) counts.
+pub fn power_split(server_loads: &[f64]) -> (usize, usize) {
+    let on = powered_on(server_loads);
+    (on, server_loads.len() - on)
+}
+
+/// Fraction of servers powered on (0 for an empty slice).
+pub fn power_on_ratio(server_loads: &[f64]) -> f64 {
+    if server_loads.is_empty() {
+        0.0
+    } else {
+        powered_on(server_loads) as f64 / server_loads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_loaded_servers() {
+        let loads = [0.0, 5.0, 1e-12, 3.0, 0.0];
+        assert_eq!(powered_on(&loads), 2);
+        assert_eq!(power_split(&loads), (2, 3));
+    }
+
+    #[test]
+    fn ratio_handles_empty() {
+        assert_eq!(power_on_ratio(&[]), 0.0);
+        assert_eq!(power_on_ratio(&[1.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn all_idle_means_all_off() {
+        assert_eq!(powered_on(&[0.0; 8]), 0);
+    }
+}

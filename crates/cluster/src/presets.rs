@@ -1,0 +1,336 @@
+//! The paper's three experiment setups, reconstructed.
+//!
+//! Several setup tables are partially illegible in the available text of
+//! the paper (arrival sets, prices, distances, sub-deadlines). Every
+//! reconstructed value below was chosen to satisfy the *verbal* constraints
+//! the paper states — the orderings and regimes its analysis depends on —
+//! and the reconstruction is documented in `EXPERIMENTS.md` at the
+//! workspace root. Legible values (service rates, per-request kWh in §V,
+//! TUF maxima in §VI, transfer-cost ladder) are used verbatim.
+
+use palb_tuf::StepTuf;
+
+use crate::price::{self, PriceSchedule};
+use crate::types::{DataCenter, FrontEnd, RequestClass, System};
+
+/// §V "study of basic characteristics": 3 request classes, 4 front-ends,
+/// 3 heterogeneous data centers × 6 servers, constant (one-level) TUFs,
+/// constant electricity prices, **no transfer cost** ("Transferring cost is
+/// not considered in this basic study"). Time unit: **seconds**; the slot
+/// is one hour = 3600 s.
+pub fn section_v() -> System {
+    // §V TUF values are illegible in the source; chosen so that profit per
+    // CPU-second favours the *fast-to-serve* class 1, which is what lets
+    // the profit-maximizing dispatcher also complete more requests than
+    // Balanced under overload (the paper reports ~16% more).
+    let classes = vec![
+        RequestClass {
+            name: "request1".into(),
+            tuf: StepTuf::constant(2.5, 0.10).unwrap(),
+            transfer_cost_per_mile: 0.0,
+        },
+        RequestClass {
+            name: "request2".into(),
+            tuf: StepTuf::constant(2.0, 0.12).unwrap(),
+            transfer_cost_per_mile: 0.0,
+        },
+        RequestClass {
+            name: "request3".into(),
+            tuf: StepTuf::constant(3.0, 0.15).unwrap(),
+            transfer_cost_per_mile: 0.0,
+        },
+    ];
+    let front_ends = (1..=4)
+        .map(|i| FrontEnd { name: format!("frontend{i}") })
+        .collect();
+    // Table III (verbatim where legible): µ per class per server (req/s),
+    // per-request energy (kWh); prices reconstructed (constant in §V).
+    let data_centers = vec![
+        DataCenter {
+            name: "datacenter1".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![150.0, 130.0, 140.0],
+            energy_per_request: vec![2.0, 4.0, 6.0],
+            pue: 1.0,
+            // §V prices are illegible in the source; chosen so the
+            // lowest-*price* data center (this one) is not the lowest
+            // *cost* choice for every class — the misalignment the
+            // profit-oblivious Balanced policy cannot see.
+            prices: PriceSchedule::flat(0.20, 24),
+        },
+        DataCenter {
+            name: "datacenter2".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![140.0, 120.0, 130.0],
+            energy_per_request: vec![1.0, 3.0, 5.0],
+            pue: 1.0,
+            prices: PriceSchedule::flat(0.24, 24),
+        },
+        DataCenter {
+            name: "datacenter3".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![160.0, 130.0, 160.0],
+            energy_per_request: vec![1.0, 3.0, 6.0],
+            pue: 1.0,
+            prices: PriceSchedule::flat(0.22, 24),
+        },
+    ];
+    System {
+        classes,
+        front_ends,
+        data_centers,
+        distance: vec![vec![0.0; 3]; 4], // transfer cost disabled in §V
+        slot_length: 3600.0,
+    }
+}
+
+/// §V Table II(a): the light arrival set, `rates[s][k]` in requests/second.
+pub fn section_v_low_arrivals() -> Vec<Vec<f64>> {
+    vec![
+        vec![30.0, 20.0, 25.0],
+        vec![25.0, 15.0, 20.0],
+        vec![20.0, 25.0, 15.0],
+        vec![15.0, 20.0, 30.0],
+    ]
+}
+
+/// §V Table II(b): the heavy arrival set (total offered load exceeds what
+/// either approach can complete), `rates[s][k]` in requests/second.
+pub fn section_v_high_arrivals() -> Vec<Vec<f64>> {
+    // Class-asymmetric overload: request1 (fast to serve, high margin per
+    // CPU) arrives at roughly twice the rate of the others. Balanced's
+    // fixed 1/3 shares cap it at ~720 req/s systemwide while the optimizer
+    // re-provisions CPU toward it — the source of the paper's "~16% more
+    // requests processed" under heavy load.
+    vec![
+        vec![500.0, 120.0, 180.0],
+        vec![450.0, 130.0, 170.0],
+        vec![400.0, 120.0, 180.0],
+        vec![450.0, 130.0, 170.0],
+    ]
+}
+
+/// §VI study with World-Cup-like traces and one-level TUFs: 3 classes,
+/// 4 front-ends, 3 data centers × 6 servers in the Houston / Mountain View
+/// / Atlanta electricity markets. Time unit: **hours**; slot = 1 h.
+///
+/// Verbal constraints encoded: for request1, DC1 and DC2 share the same
+/// processing capacity and DC3 has the highest; DC2 is by far the farthest
+/// from every front-end (which is why Optimized starves it of request1 in
+/// Fig. 7); TUF maxima are $10/$20/$30 and transfer costs
+/// $0.003/$0.005/$0.007 per mile (verbatim).
+pub fn section_vi() -> System {
+    let classes = vec![
+        RequestClass {
+            name: "request1".into(),
+            tuf: StepTuf::constant(10.0, 0.020).unwrap(),
+            transfer_cost_per_mile: 0.003,
+        },
+        RequestClass {
+            name: "request2".into(),
+            tuf: StepTuf::constant(20.0, 0.015).unwrap(),
+            transfer_cost_per_mile: 0.005,
+        },
+        RequestClass {
+            name: "request3".into(),
+            tuf: StepTuf::constant(30.0, 0.010).unwrap(),
+            transfer_cost_per_mile: 0.007,
+        },
+    ];
+    let front_ends = (1..=4)
+        .map(|i| FrontEnd { name: format!("frontend{i}") })
+        .collect();
+    let data_centers = vec![
+        DataCenter {
+            name: "houston".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![50_000.0, 40_000.0, 45_000.0],
+            energy_per_request: vec![0.00030, 0.00050, 0.00070],
+            pue: 1.0,
+            prices: price::houston(),
+        },
+        DataCenter {
+            name: "mountain_view".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![50_000.0, 42_000.0, 40_000.0],
+            energy_per_request: vec![0.00028, 0.00048, 0.00068],
+            pue: 1.0,
+            prices: price::mountain_view(),
+        },
+        DataCenter {
+            name: "atlanta".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![60_000.0, 45_000.0, 50_000.0],
+            energy_per_request: vec![0.00032, 0.00052, 0.00072],
+            pue: 1.0,
+            prices: price::atlanta(),
+        },
+    ];
+    // Table V reconstructed: DC2 (mountain_view) farthest from all four
+    // front-ends — a coast away, so transfer eats most of request1's $10
+    // utility and the optimizer only sends overflow there (Fig. 7).
+    let distance = vec![
+        vec![200.0, 2500.0, 500.0],
+        vec![300.0, 2600.0, 450.0],
+        vec![250.0, 2400.0, 600.0],
+        vec![400.0, 2700.0, 350.0],
+    ];
+    System {
+        classes,
+        front_ends,
+        data_centers,
+        distance,
+        slot_length: 1.0,
+    }
+}
+
+/// §VII study with a Google-2010-like trace and two-level TUFs: 2 classes
+/// from a single front-end into 2 data centers × 6 servers priced like
+/// Houston and Mountain View. The experiment window is 14:00–19:00, where
+/// Fig. 1's price divergence is largest. Time unit: **hours**; slot = 1 h.
+pub fn section_vii() -> System {
+    let classes = vec![
+        // Sub-deadlines sit on the 1/µ scale so the level choice is a real
+        // capacity trade-off: meeting level 1 of request1 reserves an M/M/1
+        // margin of 1/D₁ = 10 000 req/h on a server whose full rate is only
+        // 30 000–35 000 req/h, while level 2 reserves just 2 000 req/h.
+        RequestClass {
+            name: "request1".into(),
+            tuf: StepTuf::two_level(20.0, 1.0 / 10_000.0, 15.0, 1.0 / 2_000.0).unwrap(),
+            transfer_cost_per_mile: 0.0002,
+        },
+        RequestClass {
+            name: "request2".into(),
+            tuf: StepTuf::two_level(30.0, 1.0 / 12_000.0, 22.0, 1.0 / 2_500.0).unwrap(),
+            transfer_cost_per_mile: 0.0003,
+        },
+    ];
+    let front_ends = vec![FrontEnd { name: "frontend1".into() }];
+    let data_centers = vec![
+        DataCenter {
+            name: "houston".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![30_000.0, 20_000.0],
+            // §VII makes electricity the decisive cost: per-request energy
+            // on the §V scale (kWh per request), so the Houston price spike
+            // between 14:00 and 19:00 actually moves the optimum.
+            energy_per_request: vec![20.0, 30.0],
+            pue: 1.0,
+            prices: price::houston(),
+        },
+        DataCenter {
+            name: "mountain_view".into(),
+            servers: 6,
+            capacity: 1.0,
+            service_rate: vec![35_000.0, 26_000.0],
+            energy_per_request: vec![25.0, 35.0],
+            pue: 1.0,
+            prices: price::mountain_view(),
+        },
+    ];
+    System {
+        classes,
+        front_ends,
+        data_centers,
+        distance: vec![vec![1000.0, 2000.0]],
+        slot_length: 1.0,
+    }
+}
+
+/// First slot (hour of day) of the §VII experiment window.
+pub const SECTION_VII_START_HOUR: usize = 13;
+/// Number of slots in the §VII experiment (the 7-hour Google trace).
+pub const SECTION_VII_SLOTS: usize = 7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClassId, DcId, FrontEndId};
+
+    #[test]
+    fn all_presets_validate() {
+        for s in [section_v(), section_vi(), section_vii()] {
+            assert_eq!(s.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn section_v_matches_paper_shape() {
+        let s = section_v();
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.num_front_ends(), 4);
+        assert_eq!(s.num_dcs(), 3);
+        assert!(s.data_centers.iter().all(|d| d.servers == 6));
+        // No transfer costs in the basic study.
+        for k in 0..3 {
+            let c = s.unit_cost(ClassId(k), FrontEndId(0), DcId(0), 0);
+            let energy = s.data_centers[0].energy_per_request[k] * 0.20;
+            assert!((c - energy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn section_v_arrival_sets_have_right_shape() {
+        for set in [section_v_low_arrivals(), section_v_high_arrivals()] {
+            assert_eq!(set.len(), 4);
+            assert!(set.iter().all(|row| row.len() == 3));
+        }
+        // The heavy set offers far more load than the light one.
+        let total = |set: Vec<Vec<f64>>| -> f64 { set.iter().flatten().sum() };
+        assert!(
+            total(section_v_high_arrivals()) > 5.0 * total(section_v_low_arrivals())
+        );
+    }
+
+    #[test]
+    fn section_vi_encodes_verbal_constraints() {
+        let s = section_vi();
+        // DC1 and DC2 share request1 capacity; DC3 is highest.
+        let r1 = |l: usize| s.data_centers[l].service_rate[0];
+        assert_eq!(r1(0), r1(1));
+        assert!(r1(2) > r1(0));
+        // DC2 is the farthest from every front-end.
+        for row in &s.distance {
+            assert!(row[1] > row[0] && row[1] > row[2]);
+        }
+        // Transfer-cost ladder is the paper's 3/5/7 mils per mile.
+        assert_eq!(s.classes[0].transfer_cost_per_mile, 0.003);
+        assert_eq!(s.classes[1].transfer_cost_per_mile, 0.005);
+        assert_eq!(s.classes[2].transfer_cost_per_mile, 0.007);
+        // TUF maxima 10/20/30.
+        assert_eq!(s.classes[0].tuf.max_utility(), 10.0);
+        assert_eq!(s.classes[2].tuf.max_utility(), 30.0);
+    }
+
+    #[test]
+    fn section_vii_uses_two_level_tufs() {
+        let s = section_vii();
+        assert_eq!(s.num_classes(), 2);
+        assert_eq!(s.num_front_ends(), 1);
+        assert_eq!(s.num_dcs(), 2);
+        for c in &s.classes {
+            assert_eq!(c.tuf.num_levels(), 2);
+        }
+        // The second data center is twice as far as the first.
+        assert_eq!(s.distance[0], vec![1000.0, 2000.0]);
+    }
+
+    #[test]
+    fn section_vii_window_has_price_divergence() {
+        let s = section_vii();
+        let mut max_gap = 0.0_f64;
+        for h in SECTION_VII_START_HOUR..SECTION_VII_START_HOUR + SECTION_VII_SLOTS {
+            let a = s.data_centers[0].prices.price_at(h);
+            let b = s.data_centers[1].prices.price_at(h);
+            max_gap = max_gap.max((a - b).abs());
+        }
+        assert!(max_gap > 0.03, "price gap {max_gap} too small for §VII");
+    }
+}

@@ -1,0 +1,203 @@
+//! Electricity price schedules (paper Fig. 1).
+//!
+//! The paper drives its experiments with real day-ahead price history from
+//! three deregulated markets — Houston TX, Mountain View CA and Atlanta GA.
+//! We do not have that proprietary history, so this module ships synthetic
+//! 24-hour curves with the qualitative features visible in Fig. 1: a night
+//! trough, a morning ramp, an afternoon peak of location-specific height
+//! and phase, and Houston showing the largest swing (the §VII experiments
+//! exploit the big Houston/Mountain-View divergence between 14:00 and
+//! 19:00). Prices are constant within a slot, as the paper assumes.
+
+/// A cyclic per-slot electricity price schedule in $/kWh.
+///
+/// Serializes as its price array; deserialization re-validates.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(try_from = "Vec<f64>", into = "Vec<f64>")]
+pub struct PriceSchedule {
+    hourly: Vec<f64>,
+}
+
+impl TryFrom<Vec<f64>> for PriceSchedule {
+    type Error = String;
+    fn try_from(hourly: Vec<f64>) -> Result<Self, String> {
+        if hourly.is_empty() {
+            return Err("price schedule cannot be empty".into());
+        }
+        for (i, &p) in hourly.iter().enumerate() {
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(format!("bad price at slot {i}: {p}"));
+            }
+        }
+        Ok(PriceSchedule { hourly })
+    }
+}
+
+impl From<PriceSchedule> for Vec<f64> {
+    fn from(p: PriceSchedule) -> Vec<f64> {
+        p.hourly
+    }
+}
+
+impl PriceSchedule {
+    /// Builds a schedule from explicit per-slot prices.
+    ///
+    /// # Panics
+    /// Panics if `hourly` is empty or contains non-finite/negative prices.
+    pub fn new(hourly: Vec<f64>) -> Self {
+        assert!(!hourly.is_empty(), "price schedule cannot be empty");
+        for (i, &p) in hourly.iter().enumerate() {
+            assert!(p.is_finite() && p >= 0.0, "bad price at slot {i}: {p}");
+        }
+        PriceSchedule { hourly }
+    }
+
+    /// A flat schedule of `slots` identical prices.
+    pub fn flat(price: f64, slots: usize) -> Self {
+        Self::new(vec![price; slots])
+    }
+
+    /// Price during `slot` (cyclic beyond the schedule length).
+    pub fn price_at(&self, slot: usize) -> f64 {
+        self.hourly[slot % self.hourly.len()]
+    }
+
+    /// Number of distinct slots in the cycle.
+    pub fn len(&self) -> usize {
+        self.hourly.len()
+    }
+
+    /// Whether the schedule has no entries (never true for constructed
+    /// schedules; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.hourly.is_empty()
+    }
+
+    /// All prices in the cycle.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.hourly
+    }
+
+    /// Mean price over the cycle.
+    pub fn mean(&self) -> f64 {
+        self.hourly.iter().sum::<f64>() / self.hourly.len() as f64
+    }
+
+    /// Peak-to-trough spread over the cycle.
+    pub fn spread(&self) -> f64 {
+        let max = self.hourly.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let min = self.hourly.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        max - min
+    }
+
+    /// Uniformly scales every price (used by what-if experiments).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0);
+        Self::new(self.hourly.iter().map(|p| p * factor).collect())
+    }
+}
+
+/// Synthetic Houston, TX day-ahead curve: cheap nights, a steep ramp into a
+/// tall 15:00–18:00 peak — the most volatile of the three markets.
+pub fn houston() -> PriceSchedule {
+    PriceSchedule::new(vec![
+        0.042, 0.040, 0.038, 0.037, 0.038, 0.041, // 00-05
+        0.048, 0.058, 0.066, 0.072, 0.078, 0.085, // 06-11
+        0.094, 0.105, 0.118, 0.135, 0.142, 0.138, // 12-17
+        0.120, 0.095, 0.078, 0.063, 0.052, 0.045, // 18-23
+    ])
+}
+
+/// Synthetic Mountain View, CA curve: flatter, mild evening peak.
+pub fn mountain_view() -> PriceSchedule {
+    PriceSchedule::new(vec![
+        0.062, 0.060, 0.059, 0.058, 0.059, 0.061, // 00-05
+        0.064, 0.068, 0.072, 0.075, 0.077, 0.079, // 06-11
+        0.081, 0.083, 0.085, 0.087, 0.089, 0.092, // 12-17
+        0.095, 0.090, 0.082, 0.074, 0.068, 0.064, // 18-23
+    ])
+}
+
+/// Synthetic Atlanta, GA curve: intermediate level, early-afternoon peak.
+pub fn atlanta() -> PriceSchedule {
+    PriceSchedule::new(vec![
+        0.050, 0.048, 0.046, 0.045, 0.046, 0.049, // 00-05
+        0.055, 0.062, 0.070, 0.078, 0.086, 0.094, // 06-11
+        0.101, 0.106, 0.104, 0.098, 0.092, 0.086, // 12-17
+        0.080, 0.073, 0.066, 0.060, 0.055, 0.052, // 18-23
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_indexing_wraps() {
+        let p = PriceSchedule::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.price_at(0), 1.0);
+        assert_eq!(p.price_at(4), 2.0);
+        assert_eq!(p.price_at(300), 1.0);
+    }
+
+    #[test]
+    fn flat_schedule_is_flat() {
+        let p = PriceSchedule::flat(0.07, 24);
+        assert_eq!(p.len(), 24);
+        assert_eq!(p.spread(), 0.0);
+        assert!((p.mean() - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_schedule_rejected() {
+        PriceSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad price")]
+    fn negative_price_rejected() {
+        PriceSchedule::new(vec![0.1, -0.2]);
+    }
+
+    #[test]
+    fn location_curves_are_24h() {
+        for p in [houston(), mountain_view(), atlanta()] {
+            assert_eq!(p.len(), 24);
+        }
+    }
+
+    #[test]
+    fn houston_is_most_volatile() {
+        // The Fig. 1 feature §VII exploits.
+        assert!(houston().spread() > mountain_view().spread());
+        assert!(houston().spread() > atlanta().spread());
+    }
+
+    #[test]
+    fn afternoon_divergence_between_houston_and_mountain_view() {
+        // Between 14:00 and 19:00 the two markets must diverge strongly in
+        // *both* directions across the window (Houston peaks above, then
+        // falls back), which is what makes geo-shifting profitable.
+        let h = houston();
+        let mv = mountain_view();
+        let mut max_gap = 0.0_f64;
+        for hr in 14..=19 {
+            max_gap = max_gap.max((h.price_at(hr) - mv.price_at(hr)).abs());
+        }
+        assert!(max_gap > 0.04, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn scaled_multiplies_every_slot() {
+        let p = houston().scaled(2.0);
+        assert!((p.price_at(15) - 2.0 * houston().price_at(15)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn night_cheaper_than_peak_everywhere() {
+        for p in [houston(), mountain_view(), atlanta()] {
+            assert!(p.price_at(3) < p.price_at(15));
+        }
+    }
+}

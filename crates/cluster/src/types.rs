@@ -1,0 +1,366 @@
+//! Core system-model types: request classes, front-end servers, data
+//! centers, and the assembled [`System`] (paper Fig. 2).
+//!
+//! Unit conventions (used consistently across the workspace):
+//!
+//! * **time** — one abstract time unit per experiment (seconds in §V,
+//!   hours in §VI/§VII); `System::slot_length` is the slot duration `T`
+//!   in those units,
+//! * **rates** — requests per time unit,
+//! * **energy** — kWh per request (paper Eq. 2's `P_k`),
+//! * **money** — dollars; electricity prices are $/kWh, transfer costs
+//!   $/(request·mile).
+
+use palb_tuf::StepTuf;
+
+use crate::price::PriceSchedule;
+
+/// Identifier of a request class (`k` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+/// Identifier of a front-end server (`s`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrontEndId(pub usize);
+
+/// Identifier of a data center (`l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DcId(pub usize);
+
+/// One type of service request with its SLA profit profile.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RequestClass {
+    /// Human-readable name ("request1", …).
+    pub name: String,
+    /// Time-utility function mapping mean delay to per-request revenue.
+    pub tuf: StepTuf,
+    /// Transfer cost in $ per request per mile (`TranCost_k`, Eq. 3).
+    pub transfer_cost_per_mile: f64,
+}
+
+/// A front-end server collecting requests from nearby clients.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FrontEnd {
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A data center: `servers` homogeneous machines in one electricity market.
+///
+/// Heterogeneity across data centers (different capacities, service rates,
+/// energy profiles, prices) is fully supported; servers *within* a data
+/// center are homogeneous, exactly as the paper assumes.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DataCenter {
+    /// Human-readable name (often the market location).
+    pub name: String,
+    /// Number of homogeneous servers `M_l`.
+    pub servers: usize,
+    /// Server capacity `C_{i,l}` (the paper normalizes to 1).
+    pub capacity: f64,
+    /// Full-capacity service rate `µ_{k,l}` per class (requests per time
+    /// unit when a class owns the whole server).
+    pub service_rate: Vec<f64>,
+    /// Energy per request `P_{k,l}` in kWh, per class (Eq. 2; the Google
+    /// energy-per-search model).
+    pub energy_per_request: Vec<f64>,
+    /// Power-usage-effectiveness multiplier on processing energy (≥ 1).
+    /// The paper's suggested extension for cooling/peripheral overheads;
+    /// 1.0 reproduces the paper's model exactly.
+    #[serde(default = "default_pue")]
+    pub pue: f64,
+    /// Local electricity price schedule ($/kWh per slot).
+    pub prices: PriceSchedule,
+}
+
+fn default_pue() -> f64 {
+    1.0
+}
+
+impl DataCenter {
+    /// Effective per-request energy for class `k` including PUE.
+    pub fn effective_energy(&self, k: ClassId) -> f64 {
+        self.energy_per_request[k.0] * self.pue
+    }
+
+    /// Full-capacity service rate of class `k` on one server
+    /// (`C_{i,l}·µ_{k,l}`).
+    pub fn full_rate(&self, k: ClassId) -> f64 {
+        self.capacity * self.service_rate[k.0]
+    }
+}
+
+/// Errors from [`System::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A collection that must be non-empty was empty.
+    Empty(&'static str),
+    /// A per-class vector had the wrong length.
+    ClassMismatch {
+        /// Where the mismatch was found.
+        what: String,
+    },
+    /// The distance matrix shape does not match (front-ends × data centers).
+    DistanceShape,
+    /// A numeric field was non-finite or out of range.
+    BadValue {
+        /// Description of the offending field.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Empty(w) => write!(f, "system has no {w}"),
+            ModelError::ClassMismatch { what } => {
+                write!(f, "per-class vector length mismatch in {what}")
+            }
+            ModelError::DistanceShape => write!(f, "distance matrix shape mismatch"),
+            ModelError::BadValue { what } => write!(f, "bad value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The assembled distributed-cloud system of paper Fig. 2.
+///
+/// Serializable: systems round-trip through JSON for the CLI. Always call
+/// [`System::validate`] after deserializing — field-level invariants are
+/// checked by the nested types, but cross-field consistency (per-class
+/// vector lengths, distance-matrix shape) is not.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct System {
+    /// Request classes (`K` of them).
+    pub classes: Vec<RequestClass>,
+    /// Front-end servers (`S`).
+    pub front_ends: Vec<FrontEnd>,
+    /// Data centers (`L`).
+    pub data_centers: Vec<DataCenter>,
+    /// `distance[s][l]` in miles between front-end `s` and data center `l`
+    /// (`d_{s,l}`, Eq. 3).
+    pub distance: Vec<Vec<f64>>,
+    /// Slot length `T` in the experiment's time unit.
+    pub slot_length: f64,
+}
+
+impl System {
+    /// Number of request classes `K`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of front-ends `S`.
+    pub fn num_front_ends(&self) -> usize {
+        self.front_ends.len()
+    }
+
+    /// Number of data centers `L`.
+    pub fn num_dcs(&self) -> usize {
+        self.data_centers.len()
+    }
+
+    /// Total servers across all data centers.
+    pub fn total_servers(&self) -> usize {
+        self.data_centers.iter().map(|d| d.servers).sum()
+    }
+
+    /// Distance in miles between a front-end and a data center.
+    pub fn distance(&self, s: FrontEndId, l: DcId) -> f64 {
+        self.distance[s.0][l.0]
+    }
+
+    /// Per-request, non-utility cost of serving class `k` from front-end
+    /// `s` at data center `l` during `slot`: energy (`P_{k,l}·p_l`) plus
+    /// transfer (`TranCost_k·d_{s,l}`) — the cost terms of Eq. 5.
+    pub fn unit_cost(&self, k: ClassId, s: FrontEndId, l: DcId, slot: usize) -> f64 {
+        let dc = &self.data_centers[l.0];
+        let energy = dc.effective_energy(k) * dc.prices.price_at(slot);
+        let transfer = self.classes[k.0].transfer_cost_per_mile * self.distance(s, l);
+        energy + transfer
+    }
+
+    /// Validates internal consistency; call once after construction.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.classes.is_empty() {
+            return Err(ModelError::Empty("request classes"));
+        }
+        if self.front_ends.is_empty() {
+            return Err(ModelError::Empty("front-end servers"));
+        }
+        if self.data_centers.is_empty() {
+            return Err(ModelError::Empty("data centers"));
+        }
+        if !(self.slot_length.is_finite() && self.slot_length > 0.0) {
+            return Err(ModelError::BadValue {
+                what: format!("slot_length {}", self.slot_length),
+            });
+        }
+        let k = self.num_classes();
+        for dc in &self.data_centers {
+            if dc.service_rate.len() != k {
+                return Err(ModelError::ClassMismatch {
+                    what: format!("{}.service_rate", dc.name),
+                });
+            }
+            if dc.energy_per_request.len() != k {
+                return Err(ModelError::ClassMismatch {
+                    what: format!("{}.energy_per_request", dc.name),
+                });
+            }
+            if dc.servers == 0 {
+                return Err(ModelError::BadValue {
+                    what: format!("{}.servers = 0", dc.name),
+                });
+            }
+            if !(dc.capacity.is_finite() && dc.capacity > 0.0) {
+                return Err(ModelError::BadValue {
+                    what: format!("{}.capacity", dc.name),
+                });
+            }
+            if dc.pue < 1.0 || !dc.pue.is_finite() {
+                return Err(ModelError::BadValue {
+                    what: format!("{}.pue = {}", dc.name, dc.pue),
+                });
+            }
+            if dc.prices.is_empty() {
+                return Err(ModelError::Empty("price schedule entries"));
+            }
+            for (i, &r) in dc.service_rate.iter().enumerate() {
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(ModelError::BadValue {
+                        what: format!("{}.service_rate[{i}] = {r}", dc.name),
+                    });
+                }
+            }
+            for (i, &e) in dc.energy_per_request.iter().enumerate() {
+                if !(e.is_finite() && e >= 0.0) {
+                    return Err(ModelError::BadValue {
+                        what: format!("{}.energy_per_request[{i}] = {e}", dc.name),
+                    });
+                }
+            }
+        }
+        if self.distance.len() != self.num_front_ends()
+            || self.distance.iter().any(|row| row.len() != self.num_dcs())
+        {
+            return Err(ModelError::DistanceShape);
+        }
+        for row in &self.distance {
+            for &d in row {
+                if !(d.is_finite() && d >= 0.0) {
+                    return Err(ModelError::BadValue {
+                        what: format!("distance {d}"),
+                    });
+                }
+            }
+        }
+        for class in &self.classes {
+            let t = class.transfer_cost_per_mile;
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(ModelError::BadValue {
+                    what: format!("{}.transfer_cost_per_mile = {t}", class.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price::PriceSchedule;
+    use palb_tuf::StepTuf;
+
+    fn tiny_system() -> System {
+        System {
+            classes: vec![RequestClass {
+                name: "r1".into(),
+                tuf: StepTuf::constant(10.0, 0.5).unwrap(),
+                transfer_cost_per_mile: 0.001,
+            }],
+            front_ends: vec![FrontEnd { name: "fe1".into() }],
+            data_centers: vec![DataCenter {
+                name: "dc1".into(),
+                servers: 2,
+                capacity: 1.0,
+                service_rate: vec![100.0],
+                energy_per_request: vec![0.5],
+                pue: 1.0,
+                prices: PriceSchedule::flat(0.1, 24),
+            }],
+            distance: vec![vec![100.0]],
+            slot_length: 1.0,
+        }
+    }
+
+    #[test]
+    fn valid_system_passes() {
+        assert_eq!(tiny_system().validate(), Ok(()));
+    }
+
+    #[test]
+    fn unit_cost_combines_energy_and_transfer() {
+        let s = tiny_system();
+        // energy = 0.5 kWh * $0.1 = 0.05; transfer = 0.001 * 100 = 0.1
+        let c = s.unit_cost(ClassId(0), FrontEndId(0), DcId(0), 0);
+        assert!((c - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pue_scales_energy_only() {
+        let mut s = tiny_system();
+        s.data_centers[0].pue = 2.0;
+        let c = s.unit_cost(ClassId(0), FrontEndId(0), DcId(0), 0);
+        assert!((c - 0.2).abs() < 1e-12); // 2*0.05 + 0.1
+    }
+
+    #[test]
+    fn full_rate_uses_capacity() {
+        let mut s = tiny_system();
+        s.data_centers[0].capacity = 0.5;
+        assert_eq!(s.data_centers[0].full_rate(ClassId(0)), 50.0);
+    }
+
+    #[test]
+    fn validation_catches_mismatched_class_vectors() {
+        let mut s = tiny_system();
+        s.data_centers[0].service_rate = vec![100.0, 50.0];
+        assert!(matches!(
+            s.validate(),
+            Err(ModelError::ClassMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_distance_shape() {
+        let mut s = tiny_system();
+        s.distance = vec![vec![1.0, 2.0]];
+        assert_eq!(s.validate(), Err(ModelError::DistanceShape));
+    }
+
+    #[test]
+    fn validation_catches_bad_pue() {
+        let mut s = tiny_system();
+        s.data_centers[0].pue = 0.5;
+        assert!(matches!(s.validate(), Err(ModelError::BadValue { .. })));
+    }
+
+    #[test]
+    fn validation_catches_zero_servers() {
+        let mut s = tiny_system();
+        s.data_centers[0].servers = 0;
+        assert!(matches!(s.validate(), Err(ModelError::BadValue { .. })));
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = tiny_system();
+        assert_eq!(s.num_classes(), 1);
+        assert_eq!(s.num_front_ends(), 1);
+        assert_eq!(s.num_dcs(), 1);
+        assert_eq!(s.total_servers(), 2);
+    }
+}

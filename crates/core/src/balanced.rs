@@ -1,0 +1,240 @@
+//! The **Balanced** baseline (paper §V-A): a static, profit-oblivious
+//! policy that
+//!
+//! 1. allocates server resources evenly — every class gets a `1/K` CPU
+//!    share on every server,
+//! 2. dispatches each front-end's workload to the data center with the
+//!    *lowest current electricity price* first, filling it to utilization
+//!    (the final-deadline capacity of its servers), then overflowing to
+//!    the next-cheapest data center, and so on,
+//! 3. spreads the load assigned to a data center evenly across its
+//!    servers, and drops whatever exceeds total capacity.
+//!
+//! It ignores profit structure, transfer costs and per-class service-rate
+//! differences when *choosing* data centers — but it is charged for all of
+//! them by the shared evaluator, exactly like the optimizer.
+
+use palb_cluster::{ClassId, DcId, FrontEndId, System};
+use palb_queueing::max_rate_for_deadline;
+
+use crate::model::{Dims, Dispatch};
+
+/// Safety margin keeping Balanced's "fill to capacity" strictly inside the
+/// deadline so float round-off cannot tip a full VM past its deadline.
+const FILL_GUARD: f64 = 1.0 - 1e-9;
+
+/// Computes the Balanced decision for one slot.
+pub fn balanced_dispatch(system: &System, rates: &[Vec<f64>], slot: usize) -> Dispatch {
+    let dims = Dims::of(system);
+    let kk = dims.classes;
+    let mut dispatch = Dispatch::zero(dims.clone());
+
+    // Even resource allocation: φ = 1/K everywhere.
+    let phi = 1.0 / kk as f64;
+    for (k, sv) in dims.class_server_pairs() {
+        let l = dims.dc_of_server(sv);
+        let i = sv - dims.server_offset[l.0];
+        dispatch.set_phi(k, l, i, phi);
+    }
+
+    // Remaining per-(class, server) capacity under the final deadline.
+    let mut cap = vec![0.0; dims.phi_len()];
+    for (k, sv) in dims.class_server_pairs() {
+        let l = dims.dc_of_server(sv);
+        let dc = &system.data_centers[l.0];
+        let deadline = system.classes[k.0].tuf.final_deadline();
+        cap[dims.phi_idx(k, sv)] = FILL_GUARD
+            * max_rate_for_deadline(phi, dc.capacity, dc.service_rate[k.0], deadline);
+    }
+
+    // Data centers ordered by current electricity price (cheapest first).
+    let mut dc_order: Vec<usize> = (0..dims.dcs).collect();
+    dc_order.sort_by(|&a, &b| {
+        system.data_centers[a]
+            .prices
+            .price_at(slot)
+            .total_cmp(&system.data_centers[b].prices.price_at(slot))
+    });
+
+    for s in 0..dims.front_ends {
+        for k in 0..kk {
+            let mut remaining = rates[s][k];
+            if remaining <= 0.0 {
+                continue;
+            }
+            for &l in &dc_order {
+                if remaining <= 0.0 {
+                    break;
+                }
+                // Available capacity of class k at this data center.
+                let servers = dims.servers_per_dc[l];
+                let avail: f64 = (0..servers)
+                    .map(|i| cap[dims.phi_idx(ClassId(k), dims.server(DcId(l), i))])
+                    .sum();
+                if avail <= 0.0 {
+                    continue;
+                }
+                let take = remaining.min(avail);
+                // Spread evenly: proportional to each server's remaining
+                // capacity so servers fill at the same relative pace.
+                for i in 0..servers {
+                    let idx = dims.phi_idx(ClassId(k), dims.server(DcId(l), i));
+                    if cap[idx] <= 0.0 {
+                        continue;
+                    }
+                    let share = take * cap[idx] / avail;
+                    let prev =
+                        dispatch.lambda(ClassId(k), FrontEndId(s), DcId(l), i);
+                    dispatch.set_lambda(
+                        ClassId(k),
+                        FrontEndId(s),
+                        DcId(l),
+                        i,
+                        prev + share,
+                    );
+                    cap[idx] -= share;
+                }
+                remaining -= take;
+            }
+            // Anything still remaining is dropped (offered > capacity).
+        }
+    }
+    dispatch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use crate::model::check_feasible;
+    use palb_cluster::presets;
+
+    #[test]
+    fn light_load_goes_to_cheapest_dc() {
+        let sys = presets::section_v();
+        // §V prices: dc1 (index 0) is cheapest at $0.20/kWh.
+        let rates = vec![
+            vec![5.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
+        let d = balanced_dispatch(&sys, &rates, 0);
+        assert!((d.dc_class_rate(ClassId(0), DcId(0)) - 5.0).abs() < 1e-9);
+        assert_eq!(d.dc_class_rate(ClassId(0), DcId(1)), 0.0);
+        assert_eq!(d.dc_class_rate(ClassId(0), DcId(2)), 0.0);
+    }
+
+    #[test]
+    fn decisions_are_feasible_light_and_heavy() {
+        let sys = presets::section_v();
+        for rates in [
+            presets::section_v_low_arrivals(),
+            presets::section_v_high_arrivals(),
+        ] {
+            let d = balanced_dispatch(&sys, &rates, 0);
+            check_feasible(&sys, &rates, &d, true, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn overflow_cascades_to_next_cheapest() {
+        let sys = presets::section_v();
+        // Class 0 capacity per DC at phi=1/3 and final deadline 0.1 s:
+        // dc1: 6*(50-10)=240; dc2: 6*(46.66-10)=220; dc3: 6*(53.33-10)=260.
+        // Price order: dc1 ($0.20) < dc3 ($0.22) < dc2 ($0.24).
+        let rates = vec![
+            vec![300.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
+        let d = balanced_dispatch(&sys, &rates, 0);
+        let to_dc1 = d.dc_class_rate(ClassId(0), DcId(0));
+        // Cheapest (dc1) saturates near its 240 capacity...
+        assert!(to_dc1 > 220.0, "dc1 got {to_dc1}");
+        // ... and the overflow lands at the next cheapest (dc3 at $0.22).
+        let to_dc3 = d.dc_class_rate(ClassId(0), DcId(2));
+        assert!(to_dc3 > 40.0, "dc3 got {to_dc3}");
+        assert_eq!(d.dc_class_rate(ClassId(0), DcId(1)), 0.0);
+        // Everything dispatched (total capacity suffices).
+        assert!((d.total_dispatched() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn excess_load_is_dropped() {
+        let sys = presets::section_v();
+        let rates = vec![
+            vec![5_000.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
+        let d = balanced_dispatch(&sys, &rates, 0);
+        let dispatched = d.total_dispatched();
+        assert!(dispatched < 5_000.0);
+        // Class-0 system capacity at phi=1/3: 240+220+260 = 720.
+        assert!((dispatched - 720.0).abs() < 5.0, "dispatched {dispatched}");
+        check_feasible(&sys, &rates, &d, true, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn dispatched_flows_complete_in_time() {
+        let sys = presets::section_v();
+        let rates = presets::section_v_high_arrivals();
+        let d = balanced_dispatch(&sys, &rates, 0);
+        let out = evaluate(&sys, &rates, 0, &d);
+        // The guard keeps every filled VM within its deadline, so all
+        // dispatched requests complete.
+        assert!(
+            (out.completed - out.dispatched).abs() < 1e-6 * out.dispatched,
+            "completed {} of dispatched {}",
+            out.completed,
+            out.dispatched
+        );
+    }
+
+    #[test]
+    fn load_spreads_across_servers_of_a_dc() {
+        let sys = presets::section_v();
+        let rates = vec![
+            vec![60.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
+        let d = balanced_dispatch(&sys, &rates, 0);
+        // All 6 servers of the cheapest DC carry equal load (10 each).
+        for i in 0..6 {
+            let lam = d.lambda(ClassId(0), FrontEndId(0), DcId(0), i);
+            assert!((lam - 10.0).abs() < 1e-9, "server {i}: {lam}");
+        }
+    }
+
+    #[test]
+    fn price_order_changes_with_slot() {
+        let sys = presets::section_vi();
+        // Find two hours where the cheapest data center differs.
+        let cheapest = |slot: usize| {
+            (0..3)
+                .min_by(|&a, &b| {
+                    sys.data_centers[a]
+                        .prices
+                        .price_at(slot)
+                        .total_cmp(&sys.data_centers[b].prices.price_at(slot))
+                })
+                .unwrap()
+        };
+        let night = cheapest(3);
+        let peak = cheapest(15);
+        let mut rates = vec![vec![0.0; 3]; 4];
+        rates[0][0] = 100.0;
+        let d_night = balanced_dispatch(&sys, &rates, 3);
+        let d_peak = balanced_dispatch(&sys, &rates, 15);
+        assert!(d_night.dc_class_rate(ClassId(0), DcId(night)) > 99.0);
+        assert!(d_peak.dc_class_rate(ClassId(0), DcId(peak)) > 99.0);
+        // The synthetic curves make Houston cheapest at night but not at
+        // the afternoon peak.
+        assert_ne!(night, peak);
+    }
+}

@@ -1,0 +1,291 @@
+//! The time-slotted control loop (paper §III): at the beginning of each
+//! slot the policy observes the average arrival rates and the current
+//! electricity prices, produces a dispatch/allocation decision, and the
+//! shared evaluator scores the slot. A [`RunResult`] collects the
+//! per-slot outcomes and the aggregates the paper's figures plot.
+
+use palb_cluster::System;
+use palb_workload::Trace;
+
+use crate::balanced::balanced_dispatch;
+use crate::error::CoreError;
+use crate::evaluate::{evaluate, SlotOutcome};
+use crate::formulate::{solve_fixed_levels, LevelAssignment};
+use crate::model::{Dims, Dispatch};
+use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions};
+
+/// A per-slot decision policy.
+pub trait Policy {
+    /// Display name used in reports.
+    fn name(&self) -> &str;
+
+    /// Produces the slot decision. `rates[s][k]` are offered arrival rates.
+    fn decide(
+        &mut self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+    ) -> Result<Dispatch, CoreError>;
+}
+
+/// The paper's **Balanced** baseline (§V-A).
+#[derive(Debug, Default, Clone)]
+pub struct BalancedPolicy;
+
+impl Policy for BalancedPolicy {
+    fn name(&self) -> &str {
+        "Balanced"
+    }
+
+    fn decide(
+        &mut self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+    ) -> Result<Dispatch, CoreError> {
+        Ok(balanced_dispatch(system, rates, slot))
+    }
+}
+
+/// Which optimizer backs [`OptimizedPolicy`] for multi-level TUFs.
+#[derive(Debug, Clone)]
+pub enum Solver {
+    /// Exact branch-and-bound over per-(class, server) levels.
+    Exact(BbOptions),
+    /// The uniform-level heuristic (`nᴷᴸ` LPs, polynomial in servers).
+    UniformLevels,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::Exact(BbOptions::default())
+    }
+}
+
+/// The paper's **Optimized** approach: the constrained-optimization
+/// dispatcher of §IV. One-level TUF systems collapse to a single LP
+/// (§IV-1); multi-level systems use the configured [`Solver`].
+#[derive(Debug, Default, Clone)]
+pub struct OptimizedPolicy {
+    /// Multi-level solver choice.
+    pub solver: Solver,
+}
+
+impl OptimizedPolicy {
+    /// Exact solver with default options.
+    pub fn exact() -> Self {
+        OptimizedPolicy { solver: Solver::Exact(BbOptions::default()) }
+    }
+
+    /// Uniform-level heuristic.
+    pub fn uniform() -> Self {
+        OptimizedPolicy { solver: Solver::UniformLevels }
+    }
+}
+
+impl Policy for OptimizedPolicy {
+    fn name(&self) -> &str {
+        "Optimized"
+    }
+
+    fn decide(
+        &mut self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+    ) -> Result<Dispatch, CoreError> {
+        let one_level = system.classes.iter().all(|c| c.tuf.num_levels() == 1);
+        if one_level {
+            let dims = Dims::of(system);
+            let sol =
+                solve_fixed_levels(system, rates, slot, &LevelAssignment::uniform(&dims, 1))?;
+            return Ok(sol.dispatch);
+        }
+        match &self.solver {
+            Solver::Exact(opts) => Ok(solve_bb(system, rates, slot, opts)?.solve.dispatch),
+            Solver::UniformLevels => {
+                Ok(solve_uniform_levels(system, rates, slot)?.solve.dispatch)
+            }
+        }
+    }
+}
+
+/// Result of driving a policy across a trace.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-slot outcomes, in trace order.
+    pub slots: Vec<SlotOutcome>,
+    /// The decisions that produced them (for dispatch-series figures).
+    pub decisions: Vec<Dispatch>,
+}
+
+impl RunResult {
+    /// Total net profit over the run, $.
+    pub fn total_net_profit(&self) -> f64 {
+        self.slots.iter().map(|s| s.net_profit).sum()
+    }
+
+    /// Total revenue, $.
+    pub fn total_revenue(&self) -> f64 {
+        self.slots.iter().map(|s| s.revenue).sum()
+    }
+
+    /// Total cost (energy + transfer), $.
+    pub fn total_cost(&self) -> f64 {
+        self.slots.iter().map(|s| s.total_cost()).sum()
+    }
+
+    /// Total requests offered.
+    pub fn total_offered(&self) -> f64 {
+        self.slots.iter().map(|s| s.offered).sum()
+    }
+
+    /// Total requests completed in time.
+    pub fn total_completed(&self) -> f64 {
+        self.slots.iter().map(|s| s.completed).sum()
+    }
+
+    /// Overall completion ratio.
+    pub fn completion_ratio(&self) -> f64 {
+        let offered = self.total_offered();
+        if offered <= 0.0 {
+            1.0
+        } else {
+            self.total_completed() / offered
+        }
+    }
+
+    /// Cumulative net profit after each slot (the running curves of the
+    /// paper's Figs. 4/6/8).
+    pub fn cumulative_net_profit(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.slots
+            .iter()
+            .map(|s| {
+                acc += s.net_profit;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Drives `policy` over `trace`, evaluating slot `t` of the trace at
+/// schedule slot `start_slot + t` (so §VII can start at 14:00).
+pub fn run(
+    policy: &mut dyn Policy,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> Result<RunResult, CoreError> {
+    if trace.front_ends() != system.num_front_ends() {
+        return Err(CoreError::Model(format!(
+            "trace has {} front-ends, system {}",
+            trace.front_ends(),
+            system.num_front_ends()
+        )));
+    }
+    if trace.classes() != system.num_classes() {
+        return Err(CoreError::Model(format!(
+            "trace has {} classes, system {}",
+            trace.classes(),
+            system.num_classes()
+        )));
+    }
+    let mut slots = Vec::with_capacity(trace.slots());
+    let mut decisions = Vec::with_capacity(trace.slots());
+    for t in 0..trace.slots() {
+        let slot = start_slot + t;
+        let rates = trace.slot(t);
+        let dispatch = policy.decide(system, rates, slot)?;
+        slots.push(evaluate(system, rates, slot, &dispatch));
+        decisions.push(dispatch);
+    }
+    Ok(RunResult {
+        policy: policy.name().to_owned(),
+        slots,
+        decisions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palb_cluster::presets;
+    use palb_workload::synthetic::constant_trace;
+
+    #[test]
+    fn optimized_beats_balanced_on_section_v_light() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 1);
+        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
+        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        assert!(
+            opt.total_net_profit() > bal.total_net_profit(),
+            "optimized {} vs balanced {}",
+            opt.total_net_profit(),
+            bal.total_net_profit()
+        );
+    }
+
+    #[test]
+    fn optimized_beats_balanced_on_section_v_heavy() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_high_arrivals(), 1);
+        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
+        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        assert!(opt.total_net_profit() > bal.total_net_profit());
+        // The paper reports ~16% more requests processed under heavy load.
+        assert!(
+            opt.total_completed() > bal.total_completed(),
+            "optimized completed {} vs balanced {}",
+            opt.total_completed(),
+            bal.total_completed()
+        );
+    }
+
+    #[test]
+    fn run_length_and_cumulative_profit() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 3);
+        let r = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        assert_eq!(r.slots.len(), 3);
+        assert_eq!(r.decisions.len(), 3);
+        let cum = r.cumulative_net_profit();
+        assert_eq!(cum.len(), 3);
+        assert!((cum[2] - r.total_net_profit()).abs() < 1e-9);
+        assert!(cum[1] > cum[0]); // profitable every slot
+    }
+
+    #[test]
+    fn mismatched_trace_is_rejected() {
+        let sys = presets::section_v();
+        let trace = constant_trace(vec![vec![1.0, 1.0]], 1); // 1 fe, 2 classes
+        let err = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap_err();
+        assert!(matches!(err, CoreError::Model(_)));
+    }
+
+    #[test]
+    fn start_slot_shifts_prices() {
+        // Same trace, different start slots: Balanced picks different DCs,
+        // so the decisions (and usually profits) differ.
+        let sys = presets::section_vi();
+        let mut rates = vec![vec![0.0; 3]; 4];
+        rates[0][0] = 1_000.0;
+        let trace = constant_trace(rates, 1);
+        let night = run(&mut BalancedPolicy, &sys, &trace, 3).unwrap();
+        let peak = run(&mut BalancedPolicy, &sys, &trace, 15).unwrap();
+        assert_ne!(night.decisions[0], peak.decisions[0]);
+    }
+
+    #[test]
+    fn optimized_policy_is_feasible_on_section_vii() {
+        use crate::model::check_feasible;
+        let sys = presets::section_vii();
+        let trace = constant_trace(vec![vec![30_000.0, 25_000.0]], 1);
+        let r = run(&mut OptimizedPolicy::exact(), &sys, &trace, 13).unwrap();
+        check_feasible(&sys, trace.slot(0), &r.decisions[0], false, 1e-6).unwrap();
+        assert!(r.total_net_profit() > 0.0);
+    }
+}

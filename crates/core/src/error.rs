@@ -1,0 +1,63 @@
+//! Error type for the optimizer crate.
+
+use palb_lp::LpError;
+
+/// Errors from the dispatch solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The constraint system admits no feasible decision (e.g. mandatory
+    /// CPU-share reservations exceed a server, or conflicting levels).
+    Infeasible,
+    /// The underlying LP solver failed for a non-infeasibility reason.
+    Lp(LpError),
+    /// The inputs are structurally inconsistent.
+    Model(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Infeasible => write!(f, "dispatch problem is infeasible"),
+            CoreError::Lp(e) => write!(f, "LP solver failure: {e}"),
+            CoreError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => CoreError::Infeasible,
+            other => CoreError::Lp(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infeasible_lp_maps_to_core_infeasible() {
+        assert_eq!(CoreError::from(LpError::Infeasible), CoreError::Infeasible);
+        assert!(matches!(
+            CoreError::from(LpError::Unbounded),
+            CoreError::Lp(LpError::Unbounded)
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::Infeasible.to_string().contains("infeasible"));
+        assert!(CoreError::Model("x".into()).to_string().contains('x'));
+    }
+}

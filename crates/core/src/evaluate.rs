@@ -1,0 +1,296 @@
+//! The shared slot evaluator: given a system, offered rates, the slot index
+//! and a decision, computes the realized economics of the slot — revenue
+//! from TUFs evaluated at the M/M/1 mean delays (Eq. 1), processing energy
+//! cost (Eq. 2), transfer cost (Eq. 3) and the resulting net profit
+//! (Eq. 4) — plus the operational metrics the paper plots (dispatch per
+//! data center, completion counts, powered-on servers).
+//!
+//! Both policies (Optimized and Balanced) are scored by this same function,
+//! so comparisons can never be skewed by policy-specific accounting.
+
+use palb_cluster::{cost, power, ClassId, DcId, FrontEndId, System};
+
+use crate::model::Dispatch;
+
+/// Realized economics and operational metrics of one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotOutcome {
+    /// Slot index the outcome belongs to.
+    pub slot: usize,
+    /// Revenue from time-utility functions, $.
+    pub revenue: f64,
+    /// Processing energy cost (Eq. 2), $.
+    pub energy_cost: f64,
+    /// Transfer cost (Eq. 3), $.
+    pub transfer_cost: f64,
+    /// `revenue − energy_cost − transfer_cost`, $.
+    pub net_profit: f64,
+    /// Requests offered during the slot (count).
+    pub offered: f64,
+    /// Requests dispatched to some server (count).
+    pub dispatched: f64,
+    /// Requests completed within their final deadline (count).
+    pub completed: f64,
+    /// Powered-on servers per data center.
+    pub powered_on: Vec<usize>,
+    /// `rate[k][l]`: dispatched rate of class `k` at data center `l`
+    /// (the series of the paper's Figs. 7 and 9).
+    pub class_dc_rate: Vec<Vec<f64>>,
+    /// `delay[k][l]`: dispatch-weighted mean delay of class `k` at data
+    /// center `l` (`NaN` when nothing is dispatched there).
+    pub class_dc_delay: Vec<Vec<f64>>,
+}
+
+impl SlotOutcome {
+    /// Fraction of offered requests that completed in time.
+    pub fn completion_ratio(&self) -> f64 {
+        if self.offered <= 0.0 {
+            1.0
+        } else {
+            self.completed / self.offered
+        }
+    }
+
+    /// Total dollar cost (energy + transfer).
+    pub fn total_cost(&self) -> f64 {
+        self.energy_cost + self.transfer_cost
+    }
+}
+
+/// Evaluates a decision for one slot. `rates[s][k]` are the offered
+/// arrival rates at each front-end.
+pub fn evaluate(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dispatch: &Dispatch,
+) -> SlotOutcome {
+    let dims = dispatch.dims();
+    let t = system.slot_length;
+    let kk = dims.classes;
+    let ll = dims.dcs;
+
+    let mut revenue = 0.0;
+    let mut energy_cost = 0.0;
+    let mut transfer_cost = 0.0;
+    let mut completed_rate = 0.0;
+    let mut class_dc_rate = vec![vec![0.0; ll]; kk];
+    let mut class_dc_delay_num = vec![vec![0.0; ll]; kk];
+
+    for l in 0..ll {
+        let dc = &system.data_centers[l];
+        let price = dc.prices.price_at(slot);
+        for i in 0..dims.servers_per_dc[l] {
+            let sv = dims.server(DcId(l), i);
+            for k in 0..kk {
+                let lam = dispatch.server_class_rate(ClassId(k), sv);
+                if lam <= power::IDLE_EPSILON {
+                    continue;
+                }
+                let class = &system.classes[k];
+                let service = dispatch.phi_by_server(ClassId(k), sv) * dc.full_rate(ClassId(k));
+                // Eq. 1: mean delay of this class VM; +inf if unstable.
+                let delay = if service > lam {
+                    1.0 / (service - lam)
+                } else {
+                    f64::INFINITY
+                };
+                // Revenue: the TUF of the mean delay (0 beyond the final
+                // deadline — dispatched but worthless).
+                let unit_utility = if delay.is_finite() {
+                    class.tuf.eval(delay)
+                } else {
+                    0.0
+                };
+                revenue += cost::slot_revenue(unit_utility, lam, t);
+                if delay <= class.tuf.final_deadline() {
+                    completed_rate += lam;
+                }
+                // Eq. 2: energy is paid for every processed request whether
+                // or not it earned utility.
+                energy_cost +=
+                    cost::processing_cost(dc.effective_energy(ClassId(k)), lam, t, price);
+                class_dc_rate[k][l] += lam;
+                if delay.is_finite() {
+                    class_dc_delay_num[k][l] += lam * delay;
+                }
+            }
+        }
+    }
+
+    // Eq. 3: transfer cost depends on the origin front-end.
+    for k in 0..kk {
+        let per_mile = system.classes[k].transfer_cost_per_mile;
+        if per_mile == 0.0 {
+            continue;
+        }
+        for s in 0..dims.front_ends {
+            for l in 0..ll {
+                let mut lam_sl = 0.0;
+                for i in 0..dims.servers_per_dc[l] {
+                    lam_sl += dispatch.lambda(ClassId(k), FrontEndId(s), DcId(l), i);
+                }
+                if lam_sl > 0.0 {
+                    transfer_cost += cost::transfer_cost(
+                        per_mile,
+                        system.distance(FrontEndId(s), DcId(l)),
+                        lam_sl,
+                        t,
+                    );
+                }
+            }
+        }
+    }
+
+    let offered_rate: f64 = rates.iter().flatten().sum();
+    let dispatched_rate = dispatch.total_dispatched();
+    let powered_on: Vec<usize> = (0..ll)
+        .map(|l| {
+            let loads: Vec<f64> = (0..dims.servers_per_dc[l])
+                .map(|i| dispatch.server_load(dims.server(DcId(l), i)))
+                .collect();
+            power::powered_on(&loads)
+        })
+        .collect();
+    let class_dc_delay = class_dc_rate
+        .iter()
+        .zip(&class_dc_delay_num)
+        .map(|(rates_l, nums_l)| {
+            rates_l
+                .iter()
+                .zip(nums_l)
+                .map(|(&r, &n)| if r > 0.0 { n / r } else { f64::NAN })
+                .collect()
+        })
+        .collect();
+
+    SlotOutcome {
+        slot,
+        revenue,
+        energy_cost,
+        transfer_cost,
+        net_profit: revenue - energy_cost - transfer_cost,
+        offered: offered_rate * t,
+        dispatched: dispatched_rate * t,
+        completed: completed_rate * t,
+        powered_on,
+        class_dc_rate,
+        class_dc_delay,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dims;
+    use palb_cluster::presets;
+
+    fn one_flow_dispatch(sys: &System) -> (Dispatch, Vec<Vec<f64>>) {
+        // §V system, 10 req/s of class 0 from fe0 to dc0 server0, phi 0.5.
+        let mut d = Dispatch::zero(Dims::of(sys));
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 10.0);
+        d.set_phi(ClassId(0), DcId(0), 0, 0.5);
+        let rates = vec![vec![10.0, 0.0, 0.0], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]];
+        (d, rates)
+    }
+
+    #[test]
+    fn single_flow_accounting() {
+        let sys = presets::section_v();
+        let (d, rates) = one_flow_dispatch(&sys);
+        let out = evaluate(&sys, &rates, 0, &d);
+        let t = 3600.0;
+        // delay = 1/(0.5*150 - 10) = 1/65 = 0.0154 < 0.1 -> utility $2.5.
+        assert!((out.revenue - 2.5 * 10.0 * t).abs() < 1e-6);
+        // energy: 2 kWh * 10/s * 3600 s * $0.20 = $14_400.
+        assert!((out.energy_cost - 14_400.0).abs() < 1e-6);
+        // §V has no transfer costs.
+        assert_eq!(out.transfer_cost, 0.0);
+        assert!((out.net_profit - (90_000.0 - 14_400.0)).abs() < 1e-6);
+        assert!((out.completed - 36_000.0).abs() < 1e-6);
+        assert!((out.offered - 36_000.0).abs() < 1e-6);
+        assert_eq!(out.powered_on, vec![1, 0, 0]);
+        assert!((out.class_dc_rate[0][0] - 10.0).abs() < 1e-12);
+        assert!((out.class_dc_delay[0][0] - 1.0 / 65.0).abs() < 1e-9);
+        assert!(out.class_dc_delay[0][1].is_nan());
+        assert!((out.completion_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_vm_earns_nothing_but_pays_energy() {
+        let sys = presets::section_v();
+        let mut d = Dispatch::zero(Dims::of(&sys));
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 100.0);
+        d.set_phi(ClassId(0), DcId(0), 0, 0.5); // capacity 75 < 100
+        let rates = vec![vec![100.0, 0.0, 0.0], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]];
+        let out = evaluate(&sys, &rates, 0, &d);
+        assert_eq!(out.revenue, 0.0);
+        assert!(out.energy_cost > 0.0);
+        assert!(out.net_profit < 0.0);
+        assert_eq!(out.completed, 0.0);
+    }
+
+    #[test]
+    fn late_but_stable_flow_earns_zero_and_misses_completion() {
+        let sys = presets::section_v();
+        let mut d = Dispatch::zero(Dims::of(&sys));
+        // capacity 75, lambda 70 -> delay 0.2 > deadline 0.1.
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 70.0);
+        d.set_phi(ClassId(0), DcId(0), 0, 0.5);
+        let rates = vec![vec![70.0, 0.0, 0.0], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]];
+        let out = evaluate(&sys, &rates, 0, &d);
+        assert_eq!(out.revenue, 0.0);
+        assert_eq!(out.completed, 0.0);
+        assert!(out.dispatched > 0.0);
+    }
+
+    #[test]
+    fn transfer_cost_counts_distance() {
+        let sys = presets::section_vi();
+        let mut d = Dispatch::zero(Dims::of(&sys));
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(1), 0, 100.0);
+        d.set_phi(ClassId(0), DcId(1), 0, 0.5);
+        let mut rates = vec![vec![0.0; 3]; 4];
+        rates[0][0] = 100.0;
+        let out = evaluate(&sys, &rates, 0, &d);
+        // fe0 -> mountain_view = 2500 miles at $0.003/mile = $7.5/request.
+        assert!((out.transfer_cost - 0.003 * 2500.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dispatch_zero_everything() {
+        let sys = presets::section_vii();
+        let d = Dispatch::zero(Dims::of(&sys));
+        let rates = vec![vec![50.0, 60.0]];
+        let out = evaluate(&sys, &rates, 0, &d);
+        assert_eq!(out.revenue, 0.0);
+        assert_eq!(out.net_profit, 0.0);
+        assert_eq!(out.dispatched, 0.0);
+        assert!((out.offered - 110.0).abs() < 1e-9);
+        assert_eq!(out.powered_on, vec![0, 0]);
+        assert_eq!(out.completion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn two_level_tuf_pays_by_achieved_level() {
+        let sys = presets::section_vii();
+        let mut d = Dispatch::zero(Dims::of(&sys));
+        // Class 0 on houston server 0 with phi = 0.5: service = 15_000.
+        // lambda = 1_000 -> delay = 1/14_000 < D1=1e-4 -> level 1 ($20).
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 1_000.0);
+        d.set_phi(ClassId(0), DcId(0), 0, 0.5);
+        // Class 0 on houston server 1 with phi = 0.5, lambda = 11_000:
+        // delay = 1/4_000 = 2.5e-4 in (D1, D2] -> level 2 ($15).
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 1, 11_000.0);
+        d.set_phi(ClassId(0), DcId(0), 1, 0.5);
+        let rates = vec![vec![12_000.0, 0.0]];
+        let out = evaluate(&sys, &rates, 13, &d);
+        let expect_revenue = 20.0 * 1_000.0 + 15.0 * 11_000.0;
+        assert!(
+            (out.revenue - expect_revenue).abs() < 1e-6,
+            "revenue {} vs {expect_revenue}",
+            out.revenue
+        );
+        assert!((out.completed - 12_000.0).abs() < 1e-9);
+    }
+}

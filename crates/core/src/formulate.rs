@@ -1,0 +1,432 @@
+//! LP formulation of the dispatch problem for a *fixed* utility-level
+//! assignment.
+//!
+//! The paper's objective (Eq. 5) is nonlinear only because the utility
+//! `U_k(R)` jumps across TUF levels. Once every (class, server) VM is
+//! pinned to a level `q` — earning `U_{k,q}` under the delay bound
+//! `R ≤ D_{k,q}` — the problem collapses to the LP the paper solves for
+//! one-level TUFs (§IV-1):
+//!
+//! ```text
+//!   max  Σ (U_{k,q} − P_{k,l}·p_l − TranCost_k·d_{s,l}) · λ_{k,s,i,l} · T
+//!   s.t. φ_{k,i,l}·C_{i,l}·µ_{k,l} − Σ_s λ_{k,s,i,l} ≥ 1/D_{k,q}   (Eq. 6 linearized)
+//!        Σ_{i,l} λ_{k,s,i,l} ≤ λ_{k,s}                              (Eq. 7)
+//!        Σ_k φ_{k,i,l} ≤ 1                                          (Eq. 8)
+//! ```
+//!
+//! This module is the work-horse of every solver in the crate: the
+//! one-level path calls it once, the branch-and-bound calls it per node,
+//! and the big-M path calls it to polish snapped levels.
+
+use palb_cluster::{ClassId, FrontEndId, System};
+use palb_lp::{LpError, Problem, Rel, VarId};
+
+use crate::error::CoreError;
+use crate::model::{Dims, Dispatch};
+
+/// A utility-level assignment: for every `(class, global server)` either
+/// `Some(q)` (the VM exists and must meet level `q`'s sub-deadline,
+/// 1-based) or `None` (the class is disabled on that server — the
+/// load-conditional *extension*; the paper's own formulation always
+/// assigns a level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelAssignment {
+    levels: Vec<Option<usize>>,
+    dims: Dims,
+}
+
+impl LevelAssignment {
+    /// Every class active on every server at level `q` (the paper's
+    /// unconditional Eq. 6 with a one-level TUF uses `q = 1`).
+    pub fn uniform(dims: &Dims, q: usize) -> Self {
+        LevelAssignment {
+            levels: vec![Some(q); dims.phi_len()],
+            dims: dims.clone(),
+        }
+    }
+
+    /// The paper's default for multi-level TUFs: every VM pinned to the
+    /// *last* (loosest) level of its class's TUF.
+    pub fn loosest(system: &System, dims: &Dims) -> Self {
+        let mut a = Self::uniform(dims, 1);
+        for (k, sv) in dims.class_server_pairs() {
+            a.set(k, sv, Some(system.classes[k.0].tuf.num_levels()));
+        }
+        a
+    }
+
+    /// Level of `(class, global server)`.
+    pub fn get(&self, k: ClassId, sv: usize) -> Option<usize> {
+        self.levels[self.dims.phi_idx(k, sv)]
+    }
+
+    /// Sets the level of `(class, global server)`.
+    pub fn set(&mut self, k: ClassId, sv: usize, q: Option<usize>) {
+        let idx = self.dims.phi_idx(k, sv);
+        self.levels[idx] = q;
+    }
+
+    /// The dimension helper this assignment was built for.
+    pub fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    /// Validates levels against the system's TUFs.
+    pub fn validate(&self, system: &System) -> Result<(), CoreError> {
+        for (k, sv) in self.dims.class_server_pairs() {
+            if let Some(q) = self.get(k, sv) {
+                let n = system.classes[k.0].tuf.num_levels();
+                if q == 0 || q > n {
+                    return Err(CoreError::Model(format!(
+                        "level {q} out of 1..={n} for class {k:?} server {sv}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of a fixed-level LP solve.
+#[derive(Debug, Clone)]
+pub struct LevelSolve {
+    /// The optimal decision under the level assignment.
+    pub dispatch: Dispatch,
+    /// LP objective: slot net profit assuming each VM earns exactly its
+    /// assigned level's utility (a lower bound on the realized profit,
+    /// since lighter-than-deadline loading can bump a VM to a better
+    /// level at evaluation time).
+    pub objective: f64,
+    /// Simplex pivots spent.
+    pub pivots: usize,
+}
+
+/// Builds and solves the fixed-level LP. `rates[s][k]` are offered rates.
+///
+/// Returns [`CoreError::Infeasible`] when the assignment is impossible
+/// (e.g. the per-class share reservations `1/(D_q·C·µ)` of a server sum
+/// past 1).
+pub fn solve_fixed_levels(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    assignment: &LevelAssignment,
+) -> Result<LevelSolve, CoreError> {
+    assignment.validate(system)?;
+    let dims = assignment.dims().clone();
+    let spec: Vec<Option<(f64, f64)>> = (0..dims.phi_len())
+        .map(|idx| {
+            let k = idx / dims.total_servers;
+            let sv = idx % dims.total_servers;
+            assignment.get(ClassId(k), sv).map(|q| {
+                let tuf = &system.classes[k].tuf;
+                (tuf.utility_of_level(q), tuf.deadline_of_level(q))
+            })
+        })
+        .collect();
+    solve_spec(system, rates, slot, &dims, &spec)
+}
+
+/// The assembled LP plus the variable handles needed to read a decision
+/// back out of a solution.
+pub(crate) struct SpecProblem {
+    pub problem: Problem,
+    pub lam_vars: Vec<Option<VarId>>,
+    pub phi_vars: Vec<Option<VarId>>,
+}
+
+/// Builds the fixed-terms LP without solving it (shared by the solver and
+/// the CLI's LP-format exporter).
+pub(crate) fn build_spec_problem(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dims: &Dims,
+    spec: &[Option<(f64, f64)>],
+) -> SpecProblem {
+    debug_assert_eq!(spec.len(), dims.phi_len());
+    let t = system.slot_length;
+    let mut p = Problem::maximize();
+
+    // φ variables and the utility/deadline of each active (class, server).
+    let mut phi_vars: Vec<Option<VarId>> = vec![None; dims.phi_len()];
+    let mut level_util = vec![0.0; dims.phi_len()];
+    let mut level_deadline = vec![0.0; dims.phi_len()];
+    for (k, sv) in dims.class_server_pairs() {
+        let idx = dims.phi_idx(k, sv);
+        if let Some((util, deadline)) = spec[idx] {
+            level_util[idx] = util;
+            level_deadline[idx] = deadline;
+            phi_vars[idx] = Some(p.add_var(&format!("phi_k{}_sv{sv}", k.0), 0.0, 1.0, 0.0));
+        }
+    }
+
+    // λ variables with per-request net margin as objective coefficient.
+    let mut lam_vars: Vec<Option<VarId>> = vec![None; dims.lambda_len()];
+    for (k, sv) in dims.class_server_pairs() {
+        let pidx = dims.phi_idx(k, sv);
+        if phi_vars[pidx].is_none() {
+            continue;
+        }
+        let l = dims.dc_of_server(sv);
+        for s in 0..dims.front_ends {
+            let margin =
+                (level_util[pidx] - system.unit_cost(k, FrontEndId(s), l, slot)) * t;
+            let idx = dims.lambda_idx(k, FrontEndId(s), sv);
+            lam_vars[idx] = Some(p.add_var(
+                &format!("lam_k{}_s{s}_sv{sv}", k.0),
+                0.0,
+                f64::INFINITY,
+                margin,
+            ));
+        }
+    }
+
+    // Eq. 6 linearized: φ·C·µ − Σ_s λ ≥ 1/D_q for every active VM.
+    for (k, sv) in dims.class_server_pairs() {
+        let pidx = dims.phi_idx(k, sv);
+        let Some(phi) = phi_vars[pidx] else { continue };
+        let l = dims.dc_of_server(sv);
+        let full_rate = system.data_centers[l.0].full_rate(k);
+        let mut terms = vec![(phi, full_rate)];
+        for s in 0..dims.front_ends {
+            if let Some(lv) = lam_vars[dims.lambda_idx(k, FrontEndId(s), sv)] {
+                terms.push((lv, -1.0));
+            }
+        }
+        // The guard keeps the optimum strictly inside the deadline so float
+        // round-off in a binding constraint cannot tip the realized delay
+        // past D (which would zero the VM's revenue at evaluation time).
+        p.add_con(
+            &format!("delay_k{}_sv{sv}", k.0),
+            &terms,
+            Rel::Ge,
+            (1.0 / level_deadline[pidx]) * (1.0 + 1e-6),
+        );
+    }
+
+    // Eq. 7: dispatched ≤ offered per (class, front-end).
+    for k in 0..dims.classes {
+        for s in 0..dims.front_ends {
+            let mut terms = Vec::new();
+            for sv in 0..dims.total_servers {
+                if let Some(lv) = lam_vars[dims.lambda_idx(ClassId(k), FrontEndId(s), sv)] {
+                    terms.push((lv, 1.0));
+                }
+            }
+            if !terms.is_empty() {
+                p.add_con(&format!("supply_k{k}_s{s}"), &terms, Rel::Le, rates[s][k]);
+            }
+        }
+    }
+
+    // Eq. 8: Σ_k φ ≤ 1 per server.
+    for sv in 0..dims.total_servers {
+        let mut terms = Vec::new();
+        for k in 0..dims.classes {
+            if let Some(phi) = phi_vars[dims.phi_idx(ClassId(k), sv)] {
+                terms.push((phi, 1.0));
+            }
+        }
+        if !terms.is_empty() {
+            p.add_con(&format!("share_sv{sv}"), &terms, Rel::Le, 1.0);
+        }
+    }
+
+    SpecProblem { problem: p, lam_vars, phi_vars }
+}
+
+/// Generalized fixed-terms LP: for every `(class, global server)` VM,
+/// `spec[phi_idx]` gives `Some((unit_utility, deadline))` or `None` when
+/// the class is disabled on that server. The branch-and-bound relaxation
+/// uses mixed specs (top-level utility with last-level deadline) that no
+/// [`LevelAssignment`] can express.
+pub(crate) fn solve_spec(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dims: &Dims,
+    spec: &[Option<(f64, f64)>],
+) -> Result<LevelSolve, CoreError> {
+    let SpecProblem { problem: p, lam_vars, phi_vars } =
+        build_spec_problem(system, rates, slot, dims, spec);
+    let sol = match p.solve() {
+        Ok(s) => s,
+        Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
+        Err(e) => return Err(CoreError::Lp(e)),
+    };
+
+    // Read the decision back.
+    let mut dispatch = Dispatch::zero(dims.clone());
+    {
+        let (lambda, phi) = dispatch.raw_mut();
+        for (idx, var) in lam_vars.iter().enumerate() {
+            if let Some(v) = *var {
+                lambda[idx] = sol.value(v).max(0.0);
+            }
+        }
+        for (idx, var) in phi_vars.iter().enumerate() {
+            if let Some(v) = *var {
+                phi[idx] = sol.value(v).clamp(0.0, 1.0);
+            }
+        }
+    }
+    Ok(LevelSolve {
+        dispatch,
+        objective: sol.objective(),
+        pivots: sol.iterations(),
+    })
+}
+
+/// Renders the fixed-level dispatch LP for one slot in CPLEX LP format —
+/// the model the paper would have handed to GLPK/CPLEX, exported for
+/// inspection or for cross-checking with an external solver.
+pub fn lp_text(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    assignment: &LevelAssignment,
+) -> Result<String, CoreError> {
+    assignment.validate(system)?;
+    let dims = assignment.dims().clone();
+    let spec: Vec<Option<(f64, f64)>> = (0..dims.phi_len())
+        .map(|idx| {
+            let k = idx / dims.total_servers;
+            let sv = idx % dims.total_servers;
+            assignment.get(ClassId(k), sv).map(|q| {
+                let tuf = &system.classes[k].tuf;
+                (tuf.utility_of_level(q), tuf.deadline_of_level(q))
+            })
+        })
+        .collect();
+    let built = build_spec_problem(system, rates, slot, &dims, &spec);
+    Ok(built.problem.to_lp_format())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use crate::model::check_feasible;
+    use palb_cluster::{presets, DcId};
+
+    #[test]
+    fn light_load_dispatches_everything() {
+        let sys = presets::section_v();
+        let dims = Dims::of(&sys);
+        let rates = presets::section_v_low_arrivals();
+        let sol =
+            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        check_feasible(&sys, &rates, &sol.dispatch, true, 1e-6).unwrap();
+        let offered: f64 = rates.iter().flatten().sum();
+        let dispatched = sol.dispatch.total_dispatched();
+        assert!(
+            (dispatched - offered).abs() < 1e-4 * offered,
+            "dispatched {dispatched} of {offered}"
+        );
+        assert!(sol.objective > 0.0);
+    }
+
+    #[test]
+    fn heavy_load_saturates_but_stays_feasible() {
+        let sys = presets::section_v();
+        let dims = Dims::of(&sys);
+        let rates = presets::section_v_high_arrivals();
+        let sol =
+            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        check_feasible(&sys, &rates, &sol.dispatch, true, 1e-5).unwrap();
+        let offered: f64 = rates.iter().flatten().sum();
+        let dispatched = sol.dispatch.total_dispatched();
+        assert!(dispatched < offered, "heavy load cannot all be served");
+        assert!(dispatched > 0.3 * offered, "dispatched only {dispatched}");
+    }
+
+    #[test]
+    fn lp_objective_matches_evaluator_under_binding_levels() {
+        // For a one-level TUF the evaluator pays the same utility the LP
+        // assumed whenever delays meet the deadline, so objective ==
+        // realized net profit.
+        let sys = presets::section_v();
+        let dims = Dims::of(&sys);
+        let rates = presets::section_v_low_arrivals();
+        let sol =
+            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        let out = evaluate(&sys, &rates, 0, &sol.dispatch);
+        assert!(
+            (out.net_profit - sol.objective).abs() < 1e-6 * (1.0 + sol.objective.abs()),
+            "evaluator {} vs LP {}",
+            out.net_profit,
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn disabled_servers_get_no_traffic() {
+        let sys = presets::section_v();
+        let dims = Dims::of(&sys);
+        let mut a = LevelAssignment::uniform(&dims, 1);
+        // Disable everything at DC 0.
+        for k in 0..dims.classes {
+            for i in 0..dims.servers_per_dc[0] {
+                a.set(ClassId(k), dims.server(DcId(0), i), None);
+            }
+        }
+        let rates = presets::section_v_low_arrivals();
+        let sol = solve_fixed_levels(&sys, &rates, 0, &a).unwrap();
+        for k in 0..dims.classes {
+            assert_eq!(sol.dispatch.dc_class_rate(ClassId(k), DcId(0)), 0.0);
+        }
+        assert!(sol.dispatch.total_dispatched() > 0.0);
+    }
+
+    #[test]
+    fn impossible_reservations_are_infeasible() {
+        // Force every class to level 1 on a §VII server: reservations
+        // 10_000/30_000 + 12_000/25_000 = 0.813 < 1, feasible; then shrink
+        // deadlines via a doctored system to push the sum past 1.
+        let mut sys = presets::section_vii();
+        sys.classes[0].tuf =
+            palb_tuf::StepTuf::two_level(20.0, 1.0 / 25_000.0, 12.0, 1.0 / 2_000.0).unwrap();
+        sys.classes[1].tuf =
+            palb_tuf::StepTuf::two_level(30.0, 1.0 / 22_000.0, 18.0, 1.0 / 2_500.0).unwrap();
+        // Reservations now 25_000/30_000 + 22_000/25_000 = 1.71 > 1.
+        let dims = Dims::of(&sys);
+        let rates = vec![vec![100.0, 100.0]];
+        let err =
+            solve_fixed_levels(&sys, &rates, 13, &LevelAssignment::uniform(&dims, 1)).unwrap_err();
+        assert_eq!(err, CoreError::Infeasible);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_levels() {
+        let sys = presets::section_v(); // one-level TUFs
+        let dims = Dims::of(&sys);
+        let a = LevelAssignment::uniform(&dims, 2);
+        assert!(matches!(a.validate(&sys), Err(CoreError::Model(_))));
+    }
+
+    #[test]
+    fn loosest_assignment_uses_final_levels() {
+        let sys = presets::section_vii(); // two-level TUFs
+        let dims = Dims::of(&sys);
+        let a = LevelAssignment::loosest(&sys, &dims);
+        assert_eq!(a.get(ClassId(0), 0), Some(2));
+        a.validate(&sys).unwrap();
+    }
+
+    #[test]
+    fn negative_margin_routes_are_unused() {
+        // Make class 0 unprofitable everywhere: utility below any cost.
+        let mut sys = presets::section_v();
+        sys.classes[0].tuf = palb_tuf::StepTuf::constant(0.01, 0.10).unwrap();
+        let dims = Dims::of(&sys);
+        let rates = presets::section_v_low_arrivals();
+        let sol =
+            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        for l in 0..3 {
+            assert_eq!(sol.dispatch.dc_class_rate(ClassId(0), DcId(l)), 0.0);
+        }
+        // Other classes still flow.
+        assert!(sol.dispatch.total_dispatched() > 0.0);
+    }
+}

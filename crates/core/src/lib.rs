@@ -1,0 +1,65 @@
+//! # palb-core — profit-aware request dispatching and resource allocation
+//!
+//! The primary contribution of *Profit Aware Load Balancing for Distributed
+//! Cloud Data Centers* (Liu, Ren, Quan, Zhao, Ren — IPPS 2013): a
+//! time-slotted controller that maximizes a cloud provider's **net profit**
+//! (SLA revenue minus electricity and transfer dollars) by jointly deciding
+//!
+//! * where to dispatch each front-end's per-class request rates
+//!   (`λ_{k,s,i,l}`),
+//! * how much CPU each class's VM gets on every server (`φ_{k,i,l}`), and
+//! * (derived) how many servers stay powered on.
+//!
+//! The modules map onto the paper's §IV:
+//!
+//! * [`formulate`] — the fixed-level LP (the one-level-TUF case, Eq. 5–8
+//!   linearized) used by every solver,
+//! * [`multilevel`] — exact branch-and-bound over TUF level choices (the
+//!   discrete problem the paper ships to CPLEX), plus uniform-level and
+//!   exhaustive variants,
+//! * [`bigm`] — the paper-literal continuous big-M path solved with our
+//!   augmented-Lagrangian substrate and polished back to exact levels,
+//! * [`balanced`] — the paper's static price-greedy baseline (§V-A),
+//! * [`driver`] — the slot loop running any [`Policy`] over a workload
+//!   trace,
+//! * [`mod@evaluate`] — the shared economics evaluator scoring every
+//!   policy identically,
+//! * [`report`] — CSV/table formatting for the figure-regeneration harness.
+//!
+//! ```
+//! use palb_cluster::presets;
+//! use palb_core::{run, BalancedPolicy, OptimizedPolicy};
+//! use palb_workload::synthetic::constant_trace;
+//!
+//! let system = presets::section_v();
+//! let trace = constant_trace(presets::section_v_low_arrivals(), 1);
+//! let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
+//! let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+//! assert!(opt.total_net_profit() > bal.total_net_profit());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod balanced;
+pub mod bigm;
+pub mod driver;
+pub mod error;
+pub mod evaluate;
+pub mod formulate;
+pub mod model;
+pub mod multilevel;
+pub mod quantile;
+pub mod report;
+
+pub use balanced::balanced_dispatch;
+pub use bigm::{solve_bigm, BigMOptions, BigMResult};
+pub use driver::{run, BalancedPolicy, OptimizedPolicy, Policy, RunResult, Solver};
+pub use error::CoreError;
+pub use evaluate::{evaluate, SlotOutcome};
+pub use formulate::{lp_text, solve_fixed_levels, LevelAssignment, LevelSolve};
+pub use model::{check_feasible, Dims, Dispatch};
+pub use multilevel::{
+    solve_bb, solve_exhaustive, solve_uniform_levels, BbOptions, MultilevelResult,
+};
+pub use quantile::{quantile_margin_factor, quantile_system, QuantileSlaPolicy};

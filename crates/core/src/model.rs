@@ -1,0 +1,387 @@
+//! Decision representation: problem dimensions, the dispatch/allocation
+//! decision `(λ_{k,s,i,l}, φ_{k,i,l})`, and feasibility checking against
+//! the paper's constraints (Eqs. 6–8).
+
+use palb_cluster::{ClassId, DcId, FrontEndId, System};
+
+/// Flattened index arithmetic for the four-dimensional decision space.
+///
+/// Servers are numbered globally: data center `l`'s servers occupy the
+/// contiguous range `server_offset[l] .. server_offset[l] + m[l]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dims {
+    /// Number of request classes `K`.
+    pub classes: usize,
+    /// Number of front-ends `S`.
+    pub front_ends: usize,
+    /// Number of data centers `L`.
+    pub dcs: usize,
+    /// Servers per data center `M_l`.
+    pub servers_per_dc: Vec<usize>,
+    /// Global index of each data center's first server.
+    pub server_offset: Vec<usize>,
+    /// Total servers `N = Σ M_l`.
+    pub total_servers: usize,
+}
+
+impl Dims {
+    /// Extracts dimensions from a [`System`].
+    pub fn of(system: &System) -> Self {
+        let servers_per_dc: Vec<usize> =
+            system.data_centers.iter().map(|d| d.servers).collect();
+        let mut server_offset = Vec::with_capacity(servers_per_dc.len());
+        let mut acc = 0;
+        for &m in &servers_per_dc {
+            server_offset.push(acc);
+            acc += m;
+        }
+        Dims {
+            classes: system.num_classes(),
+            front_ends: system.num_front_ends(),
+            dcs: system.num_dcs(),
+            servers_per_dc,
+            server_offset,
+            total_servers: acc,
+        }
+    }
+
+    /// Global server index of server `i` in data center `l`.
+    #[inline]
+    pub fn server(&self, l: DcId, i: usize) -> usize {
+        debug_assert!(i < self.servers_per_dc[l.0]);
+        self.server_offset[l.0] + i
+    }
+
+    /// Data center owning global server `sv`.
+    pub fn dc_of_server(&self, sv: usize) -> DcId {
+        debug_assert!(sv < self.total_servers);
+        let l = self
+            .server_offset
+            .partition_point(|&off| off <= sv)
+            .saturating_sub(1);
+        DcId(l)
+    }
+
+    /// Index into the λ vector for `(class, front-end, global server)`.
+    #[inline]
+    pub fn lambda_idx(&self, k: ClassId, s: FrontEndId, sv: usize) -> usize {
+        debug_assert!(k.0 < self.classes && s.0 < self.front_ends && sv < self.total_servers);
+        (k.0 * self.front_ends + s.0) * self.total_servers + sv
+    }
+
+    /// Index into the φ vector for `(class, global server)`.
+    #[inline]
+    pub fn phi_idx(&self, k: ClassId, sv: usize) -> usize {
+        debug_assert!(k.0 < self.classes && sv < self.total_servers);
+        k.0 * self.total_servers + sv
+    }
+
+    /// Length of the λ vector.
+    pub fn lambda_len(&self) -> usize {
+        self.classes * self.front_ends * self.total_servers
+    }
+
+    /// Length of the φ vector.
+    pub fn phi_len(&self) -> usize {
+        self.classes * self.total_servers
+    }
+
+    /// Iterates all (class, global-server) pairs.
+    pub fn class_server_pairs(&self) -> impl Iterator<Item = (ClassId, usize)> + '_ {
+        (0..self.classes)
+            .flat_map(move |k| (0..self.total_servers).map(move |sv| (ClassId(k), sv)))
+    }
+}
+
+/// A complete slot decision: the dispatch rates `λ_{k,s,i,l}` and CPU
+/// shares `φ_{k,i,l}` of the paper's formulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    dims: Dims,
+    /// `λ` values indexed by [`Dims::lambda_idx`] (requests per time unit).
+    lambda: Vec<f64>,
+    /// `φ` values indexed by [`Dims::phi_idx`] (fraction of a server).
+    phi: Vec<f64>,
+}
+
+impl Dispatch {
+    /// All-zero decision (every server off).
+    pub fn zero(dims: Dims) -> Self {
+        let lambda = vec![0.0; dims.lambda_len()];
+        let phi = vec![0.0; dims.phi_len()];
+        Dispatch { dims, lambda, phi }
+    }
+
+    /// The dimension helper.
+    pub fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    /// Dispatched rate for `(class, front-end, dc, server-in-dc)`.
+    pub fn lambda(&self, k: ClassId, s: FrontEndId, l: DcId, i: usize) -> f64 {
+        self.lambda[self.dims.lambda_idx(k, s, self.dims.server(l, i))]
+    }
+
+    /// Sets a dispatch rate.
+    pub fn set_lambda(&mut self, k: ClassId, s: FrontEndId, l: DcId, i: usize, v: f64) {
+        let idx = self.dims.lambda_idx(k, s, self.dims.server(l, i));
+        self.lambda[idx] = v;
+    }
+
+    /// CPU share of `(class, dc, server-in-dc)`.
+    pub fn phi(&self, k: ClassId, l: DcId, i: usize) -> f64 {
+        self.phi[self.dims.phi_idx(k, self.dims.server(l, i))]
+    }
+
+    /// Sets a CPU share.
+    pub fn set_phi(&mut self, k: ClassId, l: DcId, i: usize, v: f64) {
+        let idx = self.dims.phi_idx(k, self.dims.server(l, i));
+        self.phi[idx] = v;
+    }
+
+    /// Raw λ access by global server index.
+    pub fn lambda_by_server(&self, k: ClassId, s: FrontEndId, sv: usize) -> f64 {
+        self.lambda[self.dims.lambda_idx(k, s, sv)]
+    }
+
+    /// Raw φ access by global server index.
+    pub fn phi_by_server(&self, k: ClassId, sv: usize) -> f64 {
+        self.phi[self.dims.phi_idx(k, sv)]
+    }
+
+    /// Mutable raw stores (used by the formulation layer).
+    pub(crate) fn raw_mut(&mut self) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        (&mut self.lambda, &mut self.phi)
+    }
+
+    /// Aggregate rate of `class` on global server `sv` (summed over
+    /// front-ends) — the `λ_k` that enters Eq. 1.
+    pub fn server_class_rate(&self, k: ClassId, sv: usize) -> f64 {
+        (0..self.dims.front_ends)
+            .map(|s| self.lambda[self.dims.lambda_idx(k, FrontEndId(s), sv)])
+            .sum()
+    }
+
+    /// Total rate on global server `sv` across classes.
+    pub fn server_load(&self, sv: usize) -> f64 {
+        (0..self.dims.classes)
+            .map(|k| self.server_class_rate(ClassId(k), sv))
+            .sum()
+    }
+
+    /// Total CPU share allocated on global server `sv`.
+    pub fn server_share(&self, sv: usize) -> f64 {
+        (0..self.dims.classes)
+            .map(|k| self.phi[self.dims.phi_idx(ClassId(k), sv)])
+            .sum()
+    }
+
+    /// Rate of `class` dispatched to data center `l` (all servers, all
+    /// front-ends) — the series plotted in the paper's Figs. 7 and 9.
+    pub fn dc_class_rate(&self, k: ClassId, l: DcId) -> f64 {
+        (0..self.dims.servers_per_dc[l.0])
+            .map(|i| self.server_class_rate(k, self.dims.server(l, i)))
+            .sum()
+    }
+
+    /// Total rate dispatched (everything, everywhere).
+    pub fn total_dispatched(&self) -> f64 {
+        self.lambda.iter().sum()
+    }
+
+    /// Total rate of one class dispatched from one front-end.
+    pub fn front_end_class_rate(&self, k: ClassId, s: FrontEndId) -> f64 {
+        (0..self.dims.total_servers)
+            .map(|sv| self.lambda[self.dims.lambda_idx(k, s, sv)])
+            .sum()
+    }
+
+    /// Per-server total loads, global order (input to power accounting).
+    pub fn server_loads(&self) -> Vec<f64> {
+        (0..self.dims.total_servers)
+            .map(|sv| self.server_load(sv))
+            .collect()
+    }
+}
+
+/// Checks a decision against the paper's constraints:
+/// Eq. 7 (dispatched ≤ offered per class and front-end), Eq. 8 (CPU shares
+/// sum ≤ 1 per server), non-negativity, and — when `check_delay` is set —
+/// Eq. 6 (mean delay within the final deadline wherever traffic flows).
+///
+/// Returns the first violation found, or `Ok(())`.
+pub fn check_feasible(
+    system: &System,
+    rates: &[Vec<f64>],
+    dispatch: &Dispatch,
+    check_delay: bool,
+    tol: f64,
+) -> Result<(), String> {
+    let dims = dispatch.dims();
+    // Non-negativity.
+    for (k, sv) in dims.class_server_pairs() {
+        let phi = dispatch.phi_by_server(k, sv);
+        if !(0.0 - tol..=1.0 + tol).contains(&phi) {
+            return Err(format!("phi out of range at class {k:?} server {sv}: {phi}"));
+        }
+        for s in 0..dims.front_ends {
+            let lam = dispatch.lambda_by_server(k, FrontEndId(s), sv);
+            if lam < -tol || !lam.is_finite() {
+                return Err(format!(
+                    "negative/bad lambda at class {k:?} fe {s} server {sv}: {lam}"
+                ));
+            }
+        }
+    }
+    // Eq. 8: Σ_k φ ≤ 1 per server.
+    for sv in 0..dims.total_servers {
+        let share = dispatch.server_share(sv);
+        if share > 1.0 + tol {
+            return Err(format!("server {sv}: CPU shares sum to {share} > 1"));
+        }
+    }
+    // Eq. 7: Σ_{l,i} λ_{k,s,·} ≤ λ_{k,s}.
+    for k in 0..dims.classes {
+        for s in 0..dims.front_ends {
+            let sent = dispatch.front_end_class_rate(ClassId(k), FrontEndId(s));
+            let offered = rates[s][k];
+            if sent > offered + tol * (1.0 + offered) {
+                return Err(format!(
+                    "class {k} fe {s}: dispatched {sent} exceeds offered {offered}"
+                ));
+            }
+        }
+    }
+    // Eq. 6: wherever traffic flows, the M/M/1 queue must be stable and the
+    // mean delay within the class's final deadline.
+    if check_delay {
+        for (k, sv) in dims.class_server_pairs() {
+            let lam = dispatch.server_class_rate(k, sv);
+            if lam <= tol {
+                continue;
+            }
+            let l = dims.dc_of_server(sv);
+            let dc = &system.data_centers[l.0];
+            let rate = dispatch.phi_by_server(k, sv) * dc.full_rate(k);
+            let deadline = system.classes[k.0].tuf.final_deadline();
+            if rate <= lam {
+                return Err(format!(
+                    "class {k:?} server {sv}: unstable queue (rate {rate} <= lambda {lam})"
+                ));
+            }
+            let delay = 1.0 / (rate - lam);
+            if delay > deadline * (1.0 + 1e-6) + tol {
+                return Err(format!(
+                    "class {k:?} server {sv}: delay {delay} exceeds deadline {deadline}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palb_cluster::presets;
+
+    #[test]
+    fn dims_of_section_v() {
+        let sys = presets::section_v();
+        let d = Dims::of(&sys);
+        assert_eq!(d.classes, 3);
+        assert_eq!(d.front_ends, 4);
+        assert_eq!(d.dcs, 3);
+        assert_eq!(d.total_servers, 18);
+        assert_eq!(d.server(DcId(1), 0), 6);
+        assert_eq!(d.server(DcId(2), 5), 17);
+        assert_eq!(d.dc_of_server(0), DcId(0));
+        assert_eq!(d.dc_of_server(5), DcId(0));
+        assert_eq!(d.dc_of_server(6), DcId(1));
+        assert_eq!(d.dc_of_server(17), DcId(2));
+        assert_eq!(d.lambda_len(), 3 * 4 * 18);
+        assert_eq!(d.phi_len(), 3 * 18);
+    }
+
+    #[test]
+    fn lambda_round_trip_and_aggregates() {
+        let sys = presets::section_v();
+        let mut disp = Dispatch::zero(Dims::of(&sys));
+        disp.set_lambda(ClassId(0), FrontEndId(1), DcId(1), 2, 5.0);
+        disp.set_lambda(ClassId(0), FrontEndId(3), DcId(1), 2, 7.0);
+        disp.set_phi(ClassId(0), DcId(1), 2, 0.4);
+        assert_eq!(disp.lambda(ClassId(0), FrontEndId(1), DcId(1), 2), 5.0);
+        let sv = disp.dims().server(DcId(1), 2);
+        assert_eq!(disp.server_class_rate(ClassId(0), sv), 12.0);
+        assert_eq!(disp.server_load(sv), 12.0);
+        assert_eq!(disp.server_share(sv), 0.4);
+        assert_eq!(disp.dc_class_rate(ClassId(0), DcId(1)), 12.0);
+        assert_eq!(disp.dc_class_rate(ClassId(0), DcId(0)), 0.0);
+        assert_eq!(disp.front_end_class_rate(ClassId(0), FrontEndId(3)), 7.0);
+        assert_eq!(disp.total_dispatched(), 12.0);
+    }
+
+    #[test]
+    fn feasibility_accepts_legal_decisions() {
+        let sys = presets::section_v();
+        let rates = vec![vec![10.0, 10.0, 10.0]; 4];
+        let mut disp = Dispatch::zero(Dims::of(&sys));
+        disp.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 8.0);
+        disp.set_phi(ClassId(0), DcId(0), 0, 0.5); // rate 75 >> 8 + 1/0.1
+        assert_eq!(check_feasible(&sys, &rates, &disp, true, 1e-9), Ok(()));
+    }
+
+    #[test]
+    fn feasibility_rejects_oversubscribed_cpu() {
+        let sys = presets::section_v();
+        let rates = vec![vec![10.0, 10.0, 10.0]; 4];
+        let mut disp = Dispatch::zero(Dims::of(&sys));
+        disp.set_phi(ClassId(0), DcId(0), 0, 0.7);
+        disp.set_phi(ClassId(1), DcId(0), 0, 0.7);
+        let err = check_feasible(&sys, &rates, &disp, false, 1e-9).unwrap_err();
+        assert!(err.contains("CPU shares"));
+    }
+
+    #[test]
+    fn feasibility_rejects_overdispatch() {
+        let sys = presets::section_v();
+        let rates = vec![vec![10.0, 10.0, 10.0]; 4];
+        let mut disp = Dispatch::zero(Dims::of(&sys));
+        disp.set_lambda(ClassId(2), FrontEndId(0), DcId(0), 0, 11.0);
+        disp.set_phi(ClassId(2), DcId(0), 0, 1.0);
+        let err = check_feasible(&sys, &rates, &disp, false, 1e-9).unwrap_err();
+        assert!(err.contains("exceeds offered"), "{err}");
+    }
+
+    #[test]
+    fn feasibility_rejects_unstable_queue() {
+        let sys = presets::section_v();
+        let rates = vec![vec![100.0, 10.0, 10.0]; 4];
+        let mut disp = Dispatch::zero(Dims::of(&sys));
+        disp.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 80.0);
+        disp.set_phi(ClassId(0), DcId(0), 0, 0.5); // rate 75 < 80
+        let err = check_feasible(&sys, &rates, &disp, true, 1e-9).unwrap_err();
+        assert!(err.contains("unstable"), "{err}");
+    }
+
+    #[test]
+    fn feasibility_rejects_missed_deadline() {
+        let sys = presets::section_v();
+        let rates = vec![vec![100.0, 10.0, 10.0]; 4];
+        let mut disp = Dispatch::zero(Dims::of(&sys));
+        // rate 75, lambda 70: delay = 0.2 > deadline 0.1.
+        disp.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 70.0);
+        disp.set_phi(ClassId(0), DcId(0), 0, 0.5);
+        let err = check_feasible(&sys, &rates, &disp, true, 1e-9).unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+    }
+
+    #[test]
+    fn zero_dispatch_is_feasible() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![0.0, 0.0]];
+        let disp = Dispatch::zero(Dims::of(&sys));
+        assert_eq!(check_feasible(&sys, &rates, &disp, true, 1e-9), Ok(()));
+        assert_eq!(disp.server_loads(), vec![0.0; 12]);
+    }
+}

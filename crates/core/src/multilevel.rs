@@ -1,0 +1,504 @@
+//! Solvers for multi-level step-downward TUFs.
+//!
+//! With `n ≥ 2` utility levels the paper's objective is a **MINLP**: each
+//! (class, server) VM earns the utility of whichever level its mean delay
+//! achieves. The paper reformulates the discontinuity with big-M
+//! constraints and ships the result to CPLEX/AIMMS; this module solves the
+//! *same* discrete problem exactly by branch-and-bound over the per-VM
+//! level choices, using the fixed-level LP of [`crate::formulate`] for
+//! node bounds — and provides two cheaper alternatives:
+//!
+//! * [`solve_uniform_levels`] — restricts every server of a data center to
+//!   one level per class (`nᴷᴸ` LPs; polynomial in the server count), and
+//! * [`solve_exhaustive`] — brute force over all per-VM choices, usable
+//!   only as a test oracle on tiny systems.
+//!
+//! The per-server tree is what reproduces the paper's Fig. 11: its solve
+//! time grows exponentially with the number of servers per data center,
+//! while the symmetry-reduced / uniform solvers stay polynomial (our
+//! ablation).
+
+use palb_cluster::{ClassId, System};
+
+use crate::error::CoreError;
+use crate::formulate::{solve_spec, LevelAssignment, LevelSolve};
+use crate::model::Dims;
+
+/// Options for [`solve_bb`].
+#[derive(Debug, Clone)]
+pub struct BbOptions {
+    /// Hard cap on explored nodes (safety valve; the result is still the
+    /// best incumbent, flagged not proven optimal).
+    pub max_nodes: usize,
+    /// Exploit server homogeneity: only explore level assignments whose
+    /// per-server level tuples are lexicographically non-decreasing within
+    /// each data center. Lossless and usually exponentially cheaper.
+    pub symmetry_breaking: bool,
+    /// Relative optimality gap below which a node is pruned.
+    pub gap_tol: f64,
+}
+
+impl Default for BbOptions {
+    fn default() -> Self {
+        BbOptions {
+            max_nodes: 200_000,
+            symmetry_breaking: true,
+            gap_tol: 1e-7,
+        }
+    }
+}
+
+/// Result of a multilevel solve.
+#[derive(Debug, Clone)]
+pub struct MultilevelResult {
+    /// Best decision found.
+    pub solve: LevelSolve,
+    /// The level assignment achieving it.
+    pub assignment: LevelAssignment,
+    /// Branch-and-bound nodes (or LPs, for the enumerative solvers).
+    pub nodes: usize,
+    /// Whether optimality was proven (node budget not exhausted).
+    pub proven_optimal: bool,
+}
+
+/// Builds the relaxation/assignment spec for a partial assignment:
+/// assigned VMs use their level's (utility, deadline); unassigned VMs use
+/// the optimistic mix (top utility, loosest deadline) that upper-bounds
+/// every completion.
+fn spec_for(
+    system: &System,
+    dims: &Dims,
+    partial: &[Option<usize>],
+) -> Vec<Option<(f64, f64)>> {
+    (0..dims.phi_len())
+        .map(|idx| {
+            let k = idx / dims.total_servers;
+            let tuf = &system.classes[k].tuf;
+            match partial[idx] {
+                Some(q) => Some((tuf.utility_of_level(q), tuf.deadline_of_level(q))),
+                None => Some((tuf.max_utility(), tuf.final_deadline())),
+            }
+        })
+        .collect()
+}
+
+fn assignment_from(dims: &Dims, partial: &[Option<usize>]) -> LevelAssignment {
+    let mut a = LevelAssignment::uniform(dims, 1);
+    for (k, sv) in dims.class_server_pairs() {
+        let idx = dims.phi_idx(k, sv);
+        a.set(k, sv, Some(partial[idx].expect("complete assignment")));
+    }
+    a
+}
+
+/// Branch-and-bound order: server-major, class-minor, so symmetry breaking
+/// can compare whole per-server tuples.
+fn position(dims: &Dims, step: usize) -> (ClassId, usize) {
+    let sv = step / dims.classes;
+    let k = step % dims.classes;
+    (ClassId(k), sv)
+}
+
+/// Exact solver: branch-and-bound over per-(class, server) level choices.
+pub fn solve_bb(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    opts: &BbOptions,
+) -> Result<MultilevelResult, CoreError> {
+    let dims = Dims::of(system);
+    let total_steps = dims.classes * dims.total_servers;
+
+    // Incumbent: the always-feasible loosest assignment, improved by the
+    // uniform-level heuristic when it succeeds.
+    let loosest = LevelAssignment::loosest(system, &dims);
+    let mut best_solve =
+        crate::formulate::solve_fixed_levels(system, rates, slot, &loosest)?;
+    let mut best_assignment = loosest;
+    if let Ok(u) = solve_uniform_levels(system, rates, slot) {
+        if u.solve.objective > best_solve.objective {
+            best_solve = u.solve;
+            best_assignment = u.assignment;
+        }
+    }
+
+    let mut nodes = 0usize;
+    let mut truncated = false;
+
+    // Depth-first stack of partial assignments (levels by phi index).
+    struct Node {
+        partial: Vec<Option<usize>>,
+        depth: usize,
+    }
+    let mut stack = vec![Node { partial: vec![None; dims.phi_len()], depth: 0 }];
+
+    while let Some(node) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            truncated = true;
+            break;
+        }
+        nodes += 1;
+
+        // Bound: LP over the optimistic spec.
+        let spec = spec_for(system, &dims, &node.partial);
+        let bound = match solve_spec(system, rates, slot, &dims, &spec) {
+            Ok(s) => s,
+            Err(CoreError::Infeasible) => continue, // prune
+            Err(e) => return Err(e),
+        };
+        let cutoff =
+            best_solve.objective + opts.gap_tol * (1.0 + best_solve.objective.abs());
+        if bound.objective <= cutoff {
+            continue; // prune: cannot beat the incumbent
+        }
+
+        if node.depth == total_steps {
+            // Leaf: the spec *is* the assignment, so the bound is exact.
+            if bound.objective > best_solve.objective {
+                best_solve = bound;
+                best_assignment = assignment_from(&dims, &node.partial);
+            }
+            continue;
+        }
+
+        // Branch on the next position.
+        let (k, sv) = position(&dims, node.depth);
+        let n_levels = system.classes[k.0].tuf.num_levels();
+        let min_q = if opts.symmetry_breaking {
+            symmetry_floor(&dims, &node.partial, k, sv)
+        } else {
+            1
+        };
+        // Push worst level first so the most promising child (q = 1, or
+        // the symmetry floor) is explored first (LIFO stack).
+        for q in (min_q..=n_levels).rev() {
+            let mut partial = node.partial.clone();
+            partial[dims.phi_idx(k, sv)] = Some(q);
+            stack.push(Node { partial, depth: node.depth + 1 });
+        }
+    }
+
+    Ok(MultilevelResult {
+        solve: best_solve,
+        assignment: best_assignment,
+        nodes,
+        proven_optimal: !truncated,
+    })
+}
+
+/// Smallest level index `q` allowed for `(k, sv)` under the lexicographic
+/// symmetry-breaking rule: within a data center, each server's level tuple
+/// must be ≥ the previous server's tuple. If the tuples are strictly
+/// ordered already on an earlier class, any level is allowed.
+fn symmetry_floor(dims: &Dims, partial: &[Option<usize>], k: ClassId, sv: usize) -> usize {
+    let l = dims.dc_of_server(sv);
+    let first_in_dc = dims.server_offset[l.0];
+    if sv == first_in_dc {
+        return 1;
+    }
+    let prev = sv - 1;
+    // Compare tuple prefixes (classes 0..k) of prev vs current server.
+    for kc in 0..k.0 {
+        let cur = partial[dims.phi_idx(ClassId(kc), sv)];
+        let pre = partial[dims.phi_idx(ClassId(kc), prev)];
+        match (pre, cur) {
+            (Some(a), Some(b)) if b > a => return 1, // already strictly greater
+            (Some(a), Some(b)) if b == a => continue, // equal so far
+            _ => return 1, // incomparable (shouldn't happen in our order)
+        }
+    }
+    partial[dims.phi_idx(k, prev)].unwrap_or(1)
+}
+
+/// Heuristic solver: one level per (class, data center), identical across
+/// that data center's servers. Enumerates all `Π_k n_k^L` combinations —
+/// polynomial in the server count, exponential only in `K·L` (tiny).
+pub fn solve_uniform_levels(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+) -> Result<MultilevelResult, CoreError> {
+    let dims = Dims::of(system);
+    let kk = dims.classes;
+    let ll = dims.dcs;
+    let positions = kk * ll;
+    let radix: Vec<usize> = (0..positions)
+        .map(|p| system.classes[p / ll].tuf.num_levels())
+        .collect();
+
+    let mut best: Option<(LevelSolve, LevelAssignment)> = None;
+    let mut counter = vec![1usize; positions]; // levels are 1-based
+    let mut lps = 0usize;
+    loop {
+        // Build the assignment for this combination.
+        let mut a = LevelAssignment::uniform(&dims, 1);
+        for p in 0..positions {
+            let k = ClassId(p / ll);
+            let l = p % ll;
+            for i in 0..dims.servers_per_dc[l] {
+                a.set(k, dims.server(palb_cluster::DcId(l), i), Some(counter[p]));
+            }
+        }
+        lps += 1;
+        match crate::formulate::solve_fixed_levels(system, rates, slot, &a) {
+            Ok(s) => {
+                if best.as_ref().map_or(true, |(b, _)| s.objective > b.objective) {
+                    best = Some((s, a));
+                }
+            }
+            Err(CoreError::Infeasible) => {}
+            Err(e) => return Err(e),
+        }
+
+        // Odometer increment.
+        let mut p = 0;
+        loop {
+            if p == positions {
+                let (solve, assignment) = best.ok_or(CoreError::Infeasible)?;
+                return Ok(MultilevelResult {
+                    solve,
+                    assignment,
+                    nodes: lps,
+                    proven_optimal: false, // optimal only within the family
+                });
+            }
+            counter[p] += 1;
+            if counter[p] <= radix[p] {
+                break;
+            }
+            counter[p] = 1;
+            p += 1;
+        }
+    }
+}
+
+/// Brute-force oracle: enumerates *every* per-(class, server) level
+/// combination. Exponential; guarded to tiny systems.
+pub fn solve_exhaustive(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+) -> Result<MultilevelResult, CoreError> {
+    let dims = Dims::of(system);
+    let positions = dims.phi_len();
+    let radix: Vec<usize> = (0..positions)
+        .map(|idx| system.classes[idx / dims.total_servers].tuf.num_levels())
+        .collect();
+    let combos: f64 = radix.iter().map(|&r| r as f64).product();
+    if combos > 1e6 {
+        return Err(CoreError::Model(format!(
+            "exhaustive enumeration over {combos} combinations refused"
+        )));
+    }
+
+    let mut best: Option<(LevelSolve, LevelAssignment)> = None;
+    let mut counter = vec![1usize; positions];
+    let mut lps = 0usize;
+    loop {
+        let mut a = LevelAssignment::uniform(&dims, 1);
+        for (idx, &q) in counter.iter().enumerate() {
+            let k = ClassId(idx / dims.total_servers);
+            let sv = idx % dims.total_servers;
+            a.set(k, sv, Some(q));
+        }
+        lps += 1;
+        match crate::formulate::solve_fixed_levels(system, rates, slot, &a) {
+            Ok(s) => {
+                if best.as_ref().map_or(true, |(b, _)| s.objective > b.objective) {
+                    best = Some((s, a));
+                }
+            }
+            Err(CoreError::Infeasible) => {}
+            Err(e) => return Err(e),
+        }
+        let mut p = 0;
+        loop {
+            if p == positions {
+                let (solve, assignment) = best.ok_or(CoreError::Infeasible)?;
+                return Ok(MultilevelResult {
+                    solve,
+                    assignment,
+                    nodes: lps,
+                    proven_optimal: true,
+                });
+            }
+            counter[p] += 1;
+            if counter[p] <= radix[p] {
+                break;
+            }
+            counter[p] = 1;
+            p += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palb_cluster::{presets, DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
+    use palb_tuf::StepTuf;
+
+    /// A miniature two-level system small enough for the exhaustive oracle:
+    /// 1 front-end, 1 class, 1 data center with 2 servers.
+    fn tiny(two_servers: bool) -> System {
+        System {
+            classes: vec![RequestClass {
+                name: "r".into(),
+                // Level 1: $4.50 within 1/40 (M/M/1 margin 40 req); level
+                // 2: $4.00 within 1/5 (margin 5). Full server rate 100.
+                // The narrow utility gap vs the wide capacity gap makes the
+                // optimal level assignment load-dependent: level 1 pays
+                // per-request but caps a server at 60, level 2 caps at 95.
+                tuf: StepTuf::two_level(4.5, 1.0 / 40.0, 4.0, 1.0 / 5.0).unwrap(),
+                transfer_cost_per_mile: 0.0,
+            }],
+            front_ends: vec![FrontEnd { name: "fe".into() }],
+            data_centers: vec![DataCenter {
+                name: "dc".into(),
+                servers: if two_servers { 2 } else { 1 },
+                capacity: 1.0,
+                service_rate: vec![100.0],
+                energy_per_request: vec![1.0],
+                pue: 1.0,
+                prices: PriceSchedule::flat(0.1, 24),
+            }],
+            distance: vec![vec![0.0]],
+            slot_length: 1.0,
+        }
+    }
+
+    #[test]
+    fn bb_matches_exhaustive_on_tiny_system() {
+        let sys = tiny(true);
+        for offered in [30.0, 90.0, 150.0, 250.0] {
+            let rates = vec![vec![offered]];
+            let ex = solve_exhaustive(&sys, &rates, 0).unwrap();
+            let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            assert!(bb.proven_optimal);
+            assert!(
+                (bb.solve.objective - ex.solve.objective).abs()
+                    < 1e-5 * (1.0 + ex.solve.objective.abs()),
+                "offered {offered}: bb {} vs exhaustive {}",
+                bb.solve.objective,
+                ex.solve.objective
+            );
+        }
+    }
+
+    #[test]
+    fn level_mixing_beats_uniform_when_capacity_is_tight() {
+        // At 150 offered: uniform level-1 serves 120 × $4.4 = $528, uniform
+        // level-2 serves 150 × $3.9 = $585, but one server at each level
+        // serves 60 × $4.4 + 90 × $3.9 = $615 — mixing strictly wins.
+        let sys = tiny(true);
+        let rates = vec![vec![150.0]];
+        let ex = solve_exhaustive(&sys, &rates, 0).unwrap();
+        let uni = solve_uniform_levels(&sys, &rates, 0).unwrap();
+        // The exhaustive optimum mixes levels across the two servers.
+        let q0 = ex.assignment.get(ClassId(0), 0).unwrap();
+        let q1 = ex.assignment.get(ClassId(0), 1).unwrap();
+        assert_ne!(q0, q1, "expected a mixed-level optimum");
+        assert!(
+            ex.solve.objective > uni.solve.objective + 1e-6,
+            "mixed {} should beat uniform {}",
+            ex.solve.objective,
+            uni.solve.objective
+        );
+    }
+
+    #[test]
+    fn light_load_prefers_top_level_everywhere() {
+        let sys = tiny(true);
+        let rates = vec![vec![30.0]];
+        let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+        assert_eq!(bb.assignment.get(ClassId(0), 0), Some(1));
+        assert_eq!(bb.assignment.get(ClassId(0), 1), Some(1));
+        // All 30 requests at $4.5 minus energy 30 × $0.1 = $132.
+        assert!((bb.solve.objective - (135.0 - 3.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_optimality() {
+        let sys = tiny(true);
+        for offered in [90.0, 150.0] {
+            let rates = vec![vec![offered]];
+            let with = solve_bb(
+                &sys,
+                &rates,
+                0,
+                &BbOptions { symmetry_breaking: true, ..BbOptions::default() },
+            )
+            .unwrap();
+            let without = solve_bb(
+                &sys,
+                &rates,
+                0,
+                &BbOptions { symmetry_breaking: false, ..BbOptions::default() },
+            )
+            .unwrap();
+            assert!(
+                (with.solve.objective - without.solve.objective).abs()
+                    < 1e-5 * (1.0 + with.solve.objective.abs())
+            );
+            assert!(with.nodes <= without.nodes, "{} > {}", with.nodes, without.nodes);
+        }
+    }
+
+    #[test]
+    fn bb_solves_section_vii_slot() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let bb = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        assert!(bb.proven_optimal, "explored {} nodes", bb.nodes);
+        assert!(bb.solve.objective > 0.0);
+        // Uniform heuristic can't beat the exact optimum.
+        let uni = solve_uniform_levels(&sys, &rates, 13).unwrap();
+        assert!(uni.solve.objective <= bb.solve.objective + 1e-6 * bb.solve.objective);
+    }
+
+    #[test]
+    fn node_budget_truncates_gracefully() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let bb = solve_bb(
+            &sys,
+            &rates,
+            13,
+            &BbOptions { max_nodes: 3, ..BbOptions::default() },
+        )
+        .unwrap();
+        assert!(!bb.proven_optimal);
+        // Still returns a valid incumbent.
+        assert!(bb.solve.objective.is_finite());
+    }
+
+    #[test]
+    fn exhaustive_refuses_large_systems() {
+        let sys = presets::section_vii(); // 2^24 combos
+        let rates = vec![vec![1.0, 1.0]];
+        assert!(matches!(
+            solve_exhaustive(&sys, &rates, 0),
+            Err(CoreError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn one_level_tufs_reduce_to_single_leaf() {
+        let sys = presets::section_v();
+        let rates = presets::section_v_low_arrivals();
+        let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+        assert!(bb.proven_optimal);
+        // With n = 1 the tree has exactly one complete assignment; the
+        // node count stays tiny (root chain, no real branching).
+        let lp = crate::formulate::solve_fixed_levels(
+            &sys,
+            &rates,
+            0,
+            &LevelAssignment::uniform(&Dims::of(&sys), 1),
+        )
+        .unwrap();
+        assert!(
+            (bb.solve.objective - lp.objective).abs() < 1e-6 * (1.0 + lp.objective.abs())
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Report formatting: turning [`RunResult`]s into the CSV series and
+//! aligned text tables that the `repro` harness prints for each of the
+//! paper's figures.
+
+use palb_cluster::{ClassId, DcId, System};
+
+use crate::driver::RunResult;
+
+/// Per-slot net-profit comparison of two runs (the series behind the
+/// paper's Figs. 4, 6, 8 and 10).
+pub fn net_profit_csv(a: &RunResult, b: &RunResult) -> String {
+    assert_eq!(a.slots.len(), b.slots.len(), "runs must cover the same slots");
+    let mut out = format!("slot,{}_net_profit,{}_net_profit\n", a.policy, b.policy);
+    for (sa, sb) in a.slots.iter().zip(&b.slots) {
+        out.push_str(&format!("{},{:.4},{:.4}\n", sa.slot, sa.net_profit, sb.net_profit));
+    }
+    out
+}
+
+/// Per-slot dispatch of one class to every data center (the paper's
+/// Figs. 7 and 9 series) for a single run.
+pub fn dispatch_csv(system: &System, run: &RunResult, k: ClassId) -> String {
+    let mut out = String::from("slot");
+    for dc in &system.data_centers {
+        out.push_str(&format!(",{}", dc.name));
+    }
+    out.push('\n');
+    for s in &run.slots {
+        out.push_str(&format!("{}", s.slot));
+        for l in 0..system.num_dcs() {
+            out.push_str(&format!(",{:.4}", s.class_dc_rate[k.0][l]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// An aligned plain-text table (monospace) from a header and rows.
+pub fn text_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (c, h) in header.iter().enumerate() {
+        width[c] = h.len();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (c, cell) in row.iter().enumerate() {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], width: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>w$}", cell, w = width[c]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header, &width));
+    let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &width));
+    }
+    out
+}
+
+/// Summary comparison of two runs: totals, completion, cost — the numbers
+/// quoted in the paper's §VII-B prose (completion percentages, the
+/// "spent 7.74% more on the cost" remark).
+pub fn summary_table(a: &RunResult, b: &RunResult) -> String {
+    let header = vec![
+        "metric".to_string(),
+        a.policy.clone(),
+        b.policy.clone(),
+    ];
+    let f = |v: f64| format!("{v:.2}");
+    let pct = |v: f64| format!("{:.2}%", v * 100.0);
+    let rows = vec![
+        vec!["net profit ($)".into(), f(a.total_net_profit()), f(b.total_net_profit())],
+        vec!["revenue ($)".into(), f(a.total_revenue()), f(b.total_revenue())],
+        vec!["cost ($)".into(), f(a.total_cost()), f(b.total_cost())],
+        vec!["offered (req)".into(), f(a.total_offered()), f(b.total_offered())],
+        vec!["completed (req)".into(), f(a.total_completed()), f(b.total_completed())],
+        vec!["completion".into(), pct(a.completion_ratio()), pct(b.completion_ratio())],
+    ];
+    text_table(&header, &rows)
+}
+
+/// Per-data-center powered-on server series for a run.
+pub fn powered_on_csv(system: &System, run: &RunResult) -> String {
+    let mut out = String::from("slot");
+    for dc in &system.data_centers {
+        out.push_str(&format!(",{}", dc.name));
+    }
+    out.push('\n');
+    for s in &run.slots {
+        out.push_str(&format!("{}", s.slot));
+        for &n in &s.powered_on {
+            out.push_str(&format!(",{n}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Share of one class's total dispatch that lands at each data center over
+/// a whole run (a compact Fig. 7 summary).
+pub fn dispatch_share(system: &System, run: &RunResult, k: ClassId) -> Vec<(String, f64)> {
+    let mut per_dc = vec![0.0; system.num_dcs()];
+    for s in &run.slots {
+        for l in 0..system.num_dcs() {
+            per_dc[l] += s.class_dc_rate[k.0][l];
+        }
+    }
+    let total: f64 = per_dc.iter().sum();
+    system
+        .data_centers
+        .iter()
+        .zip(per_dc)
+        .map(|(dc, v)| {
+            (
+                dc.name.clone(),
+                if total > 0.0 { v / total } else { 0.0 },
+            )
+        })
+        .collect()
+}
+
+/// Dispatch share of one data center for one class (convenience).
+pub fn dc_share(system: &System, run: &RunResult, k: ClassId, l: DcId) -> f64 {
+    dispatch_share(system, run, k)[l.0].1
+}
+
+/// Total powered-on servers per slot (summed over data centers).
+pub fn powered_on_series(run: &RunResult) -> Vec<usize> {
+    run.slots
+        .iter()
+        .map(|s| s.powered_on.iter().sum())
+        .collect()
+}
+
+/// Power churn: total number of server on/off transitions across the run,
+/// summed per data center (`Σ_t Σ_l |on_{l,t} − on_{l,t−1}|`).
+///
+/// The paper assumes switching costs and durations are negligible within
+/// an hour-long slot; this metric quantifies how much switching that
+/// assumption must absorb.
+pub fn power_churn(run: &RunResult) -> usize {
+    let mut churn = 0usize;
+    for w in run.slots.windows(2) {
+        for (a, b) in w[0].powered_on.iter().zip(&w[1].powered_on) {
+            churn += a.abs_diff(*b);
+        }
+    }
+    churn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, BalancedPolicy};
+    use palb_cluster::presets;
+    use palb_workload::synthetic::constant_trace;
+
+    fn small_run() -> (palb_cluster::System, RunResult) {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 2);
+        let r = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        (sys, r)
+    }
+
+    #[test]
+    fn net_profit_csv_has_slot_rows() {
+        let (_, r) = small_run();
+        let csv = net_profit_csv(&r, &r);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("slot,Balanced"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn dispatch_csv_names_data_centers() {
+        let (sys, r) = small_run();
+        let csv = dispatch_csv(&sys, &r, ClassId(0));
+        assert!(csv.starts_with("slot,datacenter1,datacenter2,datacenter3\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let t = text_table(
+            &["a".into(), "long_header".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn summary_table_contains_all_metrics() {
+        let (_, r) = small_run();
+        let t = summary_table(&r, &r);
+        for needle in ["net profit", "revenue", "cost", "completed", "completion"] {
+            assert!(t.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn dispatch_share_sums_to_one() {
+        let (sys, r) = small_run();
+        let shares = dispatch_share(&sys, &r, ClassId(0));
+        let total: f64 = shares.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(shares.len(), 3);
+        assert!((dc_share(&sys, &r, ClassId(0), DcId(0)) - shares[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powered_on_csv_shape() {
+        let (sys, r) = small_run();
+        let csv = powered_on_csv(&sys, &r);
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn power_series_and_churn() {
+        let (_, r) = small_run();
+        let series = powered_on_series(&r);
+        assert_eq!(series.len(), 2);
+        // Identical slots (constant trace, same prices) -> zero churn.
+        assert_eq!(power_churn(&r), 0);
+        // A doctored run with changing power counts shows churn.
+        let mut doctored = r.clone();
+        doctored.slots[1].powered_on = vec![6, 0, 2];
+        let expected: usize = doctored.slots[0]
+            .powered_on
+            .iter()
+            .zip(&doctored.slots[1].powered_on)
+            .map(|(a, b)| a.abs_diff(*b))
+            .sum();
+        assert!(expected > 0);
+        assert_eq!(power_churn(&doctored), expected);
+    }
+}

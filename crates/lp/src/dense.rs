@@ -1,0 +1,256 @@
+//! Dense row-major matrix used by the simplex tableau and the basis solver.
+//!
+//! The solver operates on problems with at most a few thousand rows and
+//! columns, where a contiguous dense layout beats any sparse structure both
+//! in simplicity and in cache behaviour (see the Rust Performance Book's
+//! guidance on flat `Vec` storage versus nested allocations).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major slice of rows.
+    ///
+    /// # Panics
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows passed to DenseMatrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow row `i` mutably.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrow two distinct rows, one of them mutably: `(row a, row b mut)`.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn row_pair_mut(&mut self, a: usize, b: usize) -> (&[f64], &mut [f64]) {
+        assert_ne!(a, b, "row_pair_mut requires distinct rows");
+        let c = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * c);
+            (&lo[a * c..(a + 1) * c], &mut hi[..c])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * c);
+            (&hi[..c], &mut lo[b * c..(b + 1) * c])
+        }
+    }
+
+    /// Extract column `j` into a fresh vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Scales row `i` by `s`.
+    pub fn scale_row(&mut self, i: usize, s: f64) {
+        for v in self.row_mut(i) {
+            *v *= s;
+        }
+    }
+
+    /// Performs `row[dst] += s * row[src]` (a GEMV-free axpy across rows).
+    pub fn axpy_rows(&mut self, dst: usize, src: usize, s: f64) {
+        if s == 0.0 {
+            return;
+        }
+        let (src_row, dst_row) = self.row_pair_mut(src, dst);
+        for (d, &v) in dst_row.iter_mut().zip(src_row) {
+            *d += s * v;
+        }
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| dot(row, x))
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * y`.
+    pub fn mul_vec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch in mul_vec_transposed");
+        let mut out = vec![0.0; self.cols];
+        for (row, &yi) in self.data.chunks_exact(self.cols).zip(y) {
+            if yi == 0.0 {
+                continue;
+            }
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += yi * v;
+            }
+        }
+        out
+    }
+
+    /// Returns the largest absolute entry (or 0.0 when empty).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_shape() {
+        let m = DenseMatrix::zeros(3, 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert!(m.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let m = DenseMatrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn scale_and_axpy_rows() {
+        let mut m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        m.scale_row(0, 2.0);
+        assert_eq!(m.row(0), &[2.0, 4.0]);
+        m.axpy_rows(1, 0, -1.0);
+        assert_eq!(m.row(1), &[8.0, 16.0]);
+    }
+
+    #[test]
+    fn row_pair_mut_both_orders() {
+        let mut m = DenseMatrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        {
+            let (a, b) = m.row_pair_mut(0, 2);
+            assert_eq!(a[0], 1.0);
+            b[0] = 30.0;
+        }
+        {
+            let (a, b) = m.row_pair_mut(2, 0);
+            assert_eq!(a[0], 30.0);
+            b[0] = 10.0;
+        }
+        assert_eq!(m.row(0), &[10.0]);
+        assert_eq!(m.row(2), &[30.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand_computation() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.mul_vec_transposed(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn max_abs_scans_all_entries() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, -7.0], vec![4.0, 5.0]]);
+        assert_eq!(m.max_abs(), 7.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type shared by the LP solver entry points.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Problem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The pivot loop exceeded its iteration budget (numerical trouble).
+    IterationLimit {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The model is structurally unusable (e.g. no variables).
+    BadModel(String),
+    /// Numerical failure outside the pivot loop (singular basis, NaN).
+    Numeric(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            }
+            LpError::BadModel(msg) => write!(f, "malformed model: {msg}"),
+            LpError::Numeric(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LpError::Infeasible.to_string().contains("infeasible"));
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::IterationLimit { iterations: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(LpError::BadModel("x".into()).to_string().contains('x'));
+    }
+}

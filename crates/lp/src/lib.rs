@@ -1,0 +1,55 @@
+//! # palb-lp — dense two-phase simplex linear-programming solver
+//!
+//! Self-contained LP solver used throughout the `palb` workspace in place of
+//! the commercial/external solvers (CPLEX, AIMMS, GLPK) that the paper
+//! *Profit Aware Load Balancing for Distributed Cloud Data Centers* (Liu et
+//! al., IPPS 2013) relied on.
+//!
+//! The solver targets the moderate, dense dispatch LPs that the profit-aware
+//! formulation produces (hundreds of variables and rows):
+//!
+//! * builder-style model API with variable bounds and `≤ / = / ≥` rows,
+//! * standard-form conversion with bound shifting, free-variable splitting
+//!   and row equilibration,
+//! * two-phase primal simplex with Dantzig pricing and an automatic,
+//!   permanent fallback to Bland's rule (termination guarantee),
+//! * duals recovered from the final basis by an independent dense solve.
+//!
+//! ## Example
+//!
+//! ```
+//! use palb_lp::{Problem, Rel};
+//!
+//! // max 3x + 5y  s.t.  x ≤ 4,  2y ≤ 12,  3x + 2y ≤ 18,  x,y ≥ 0
+//! let mut p = Problem::maximize();
+//! let x = p.add_nonneg("x", 3.0);
+//! let y = p.add_nonneg("y", 5.0);
+//! p.add_con("cap_x", &[(x, 1.0)], Rel::Le, 4.0);
+//! p.add_con("cap_y", &[(y, 2.0)], Rel::Le, 12.0);
+//! p.add_con("joint", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+//!
+//! let sol = p.solve().unwrap();
+//! assert!((sol.objective() - 36.0).abs() < 1e-6);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-6);
+//! assert!((sol.value(y) - 6.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dense;
+mod error;
+mod linalg;
+mod presolve;
+mod problem;
+mod simplex;
+mod solution;
+mod standard;
+mod writer;
+
+pub use error::LpError;
+pub use problem::{ConId, Problem, Rel, Sense, VarId};
+pub use simplex::{PivotRule, SolveOptions};
+pub use solution::Solution;
+
+pub use linalg::{solve as solve_linear_system, SingularMatrix};

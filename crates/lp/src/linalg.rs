@@ -1,0 +1,170 @@
+//! Small dense Gaussian-elimination routines used to recover dual values
+//! and to cross-check simplex optimality from the final basis.
+
+use crate::dense::DenseMatrix;
+
+/// Error raised when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial
+/// pivoting. `A` and `b` are consumed as copies; the inputs are untouched.
+pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve requires a square matrix");
+    assert_eq!(b.len(), n, "rhs length must match matrix order");
+
+    // Augmented system [A | b] worked in place.
+    let mut m = DenseMatrix::zeros(n, n + 1);
+    for i in 0..n {
+        m.row_mut(i)[..n].copy_from_slice(a.row(i));
+        m[(i, n)] = b[i];
+    }
+
+    for k in 0..n {
+        // Partial pivot: largest |entry| in column k at/below row k.
+        let (piv_row, piv_val) = (k..n)
+            .map(|i| (i, m[(i, k)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty pivot candidates");
+        if piv_val < 1e-12 {
+            return Err(SingularMatrix);
+        }
+        if piv_row != k {
+            swap_rows(&mut m, piv_row, k);
+        }
+        let pivot = m[(k, k)];
+        for i in (k + 1)..n {
+            let factor = m[(i, k)] / pivot;
+            if factor != 0.0 {
+                m.axpy_rows(i, k, -factor);
+                m[(i, k)] = 0.0; // clamp round-off
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut acc = m[(k, n)];
+        for j in (k + 1)..n {
+            acc -= m[(k, j)] * x[j];
+        }
+        x[k] = acc / m[(k, k)];
+    }
+    Ok(x)
+}
+
+/// Solves `yᵀ A = cᵀ` (equivalently `Aᵀ y = c`), the form needed for
+/// simplex dual recovery `y = c_B B⁻¹`.
+pub fn solve_transposed(a: &DenseMatrix, c: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_transposed requires a square matrix");
+    let mut at = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            at[(i, j)] = a[(j, i)];
+        }
+    }
+    solve(&at, c)
+}
+
+/// Like [`solve_transposed`] but returns `None` on singular bases — the
+/// caller (dual recovery) degrades gracefully instead of failing the solve.
+pub(crate) fn solve_transposed_basis(a: &DenseMatrix, c: &[f64]) -> Option<Vec<f64>> {
+    solve_transposed(a, c).ok()
+}
+
+fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize) {
+    if a == b {
+        return;
+    }
+    let cols = m.cols();
+    for j in 0..cols {
+        let t = m[(a, j)];
+        m[(a, j)] = m[(b, j)];
+        m[(b, j)] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = DenseMatrix::identity(3);
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    fn needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 7.0]).unwrap();
+        assert_close(&x, &[7.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn transposed_solve_matches_direct() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![2.0, 5.0]]);
+        let y = solve_transposed(&a, &[4.0, 6.0]).unwrap();
+        // yT A = cT  =>  3 y0 + 2 y1 = 4, 1 y0 + 5 y1 = 6
+        assert!((3.0 * y[0] + 2.0 * y[1] - 4.0).abs() < 1e-10);
+        assert!((y[0] + 5.0 * y[1] - 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        // Deterministic pseudo-random fill; verify A * solve(A, b) == b.
+        let n = 8;
+        let mut seed = 0x9e3779b97f4a7c15_u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 4.0 - 2.0
+        };
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonal dominance keeps it well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        let back = a.mul_vec(&x);
+        assert_close(&back, &b, 1e-8);
+    }
+}

@@ -1,0 +1,337 @@
+//! Presolve: problem reductions applied before the simplex runs.
+//!
+//! The dispatch LPs built by `palb-core` routinely contain fixed variables
+//! (disabled VMs), singleton rows (per-VM delay bounds with a single free
+//! term) and empty rows. Presolve removes them, shrinking the tableau and
+//! catching trivial infeasibility before any pivoting:
+//!
+//! * **fixed variables** (`lo == hi`) are substituted into rows and
+//!   objective,
+//! * **empty rows** are checked for consistency and dropped,
+//! * **singleton rows** (`a·x REL b`) become bound updates and are
+//!   dropped; equality singletons fix the variable,
+//! * the loop runs to a fixpoint, since fixing a variable can create new
+//!   singletons.
+//!
+//! The reduction remembers enough to expand a reduced solution back to the
+//! original variable/constraint spaces (dropped rows get dual 0 — their
+//! effect moved into bounds).
+
+use crate::error::LpError;
+use crate::problem::{Problem, Rel};
+
+/// Which dropped singleton rows created a variable's final bounds —
+/// needed by postsolve to place duals on rows that were folded away.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BoundSource {
+    /// `(row, coefficient)` of the dropped row that set the lower bound.
+    pub lower: Option<(usize, f64)>,
+    /// `(row, coefficient)` of the dropped row that set the upper bound.
+    pub upper: Option<(usize, f64)>,
+}
+
+/// Outcome of presolving a [`Problem`].
+#[derive(Debug, Clone)]
+pub(crate) struct Reduction {
+    /// The reduced problem (may have zero variables if everything fixed).
+    pub problem: Problem,
+    /// For each reduced variable, its index in the original problem.
+    pub kept_vars: Vec<usize>,
+    /// `(original index, value)` of variables eliminated by fixing.
+    pub fixed: Vec<(usize, f64)>,
+    /// For each reduced constraint, its index in the original problem.
+    pub kept_cons: Vec<usize>,
+    /// Number of original variables.
+    pub orig_vars: usize,
+    /// Number of original constraints.
+    pub orig_cons: usize,
+    /// Per original variable: which dropped rows own its final bounds.
+    pub bound_sources: Vec<BoundSource>,
+    /// Final (post-tightening) lower bounds of every original variable.
+    pub final_lo: Vec<f64>,
+    /// Final (post-tightening) upper bounds of every original variable.
+    pub final_hi: Vec<f64>,
+}
+
+impl Reduction {
+    /// Expands a reduced primal vector to original variable order.
+    pub fn expand_x(&self, x_reduced: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.orig_vars];
+        for (&orig, &v) in self.kept_vars.iter().zip(x_reduced) {
+            x[orig] = v;
+        }
+        for &(orig, v) in &self.fixed {
+            x[orig] = v;
+        }
+        x
+    }
+
+    /// Expands reduced duals to original constraint order (dropped rows
+    /// get 0).
+    pub fn expand_duals(&self, duals_reduced: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.orig_cons];
+        for (&orig, &v) in self.kept_cons.iter().zip(duals_reduced) {
+            y[orig] = v;
+        }
+        y
+    }
+}
+
+const FIX_TOL: f64 = 1e-12;
+
+/// Runs the reduction loop. Returns `Err(LpError::Infeasible)` when a
+/// trivial inconsistency is proven.
+pub(crate) fn presolve(p: &Problem) -> Result<Reduction, LpError> {
+    let n = p.num_vars();
+    let m = p.num_cons();
+    let mut lo: Vec<f64> = p.vars.iter().map(|v| v.lower).collect();
+    let mut hi: Vec<f64> = p.vars.iter().map(|v| v.upper).collect();
+    let mut fixed_value: Vec<Option<f64>> = vec![None; n];
+    let mut bound_sources: Vec<BoundSource> = vec![BoundSource::default(); n];
+    let mut row_alive = vec![true; m];
+    // Working copy of rows: (terms, rel, rhs).
+    let mut terms: Vec<Vec<(usize, f64)>> = p.cons.iter().map(|c| c.terms.clone()).collect();
+    let mut rhs: Vec<f64> = p.cons.iter().map(|c| c.rhs).collect();
+
+    // Anything already degenerate?
+    for j in 0..n {
+        if (hi[j] - lo[j]).abs() <= FIX_TOL * (1.0 + lo[j].abs()) && lo[j].is_finite() {
+            fixed_value[j] = Some(lo[j]);
+        }
+    }
+
+    let mut changed = true;
+    let mut guard = 0;
+    while changed {
+        changed = false;
+        guard += 1;
+        if guard > n + m + 8 {
+            break; // fixpoint guard; reductions are monotone so this is ample
+        }
+
+        // Substitute fixed variables out of rows.
+        for r in 0..m {
+            if !row_alive[r] {
+                continue;
+            }
+            let mut k = 0;
+            while k < terms[r].len() {
+                let (j, c) = terms[r][k];
+                if let Some(v) = fixed_value[j] {
+                    rhs[r] -= c * v;
+                    terms[r].swap_remove(k);
+                    changed = true;
+                } else {
+                    k += 1;
+                }
+            }
+        }
+
+        for r in 0..m {
+            if !row_alive[r] {
+                continue;
+            }
+            match terms[r].len() {
+                0 => {
+                    // Empty row: consistency check, then drop.
+                    let ok = match p.cons[r].rel {
+                        Rel::Le => rhs[r] >= -1e-9,
+                        Rel::Ge => rhs[r] <= 1e-9,
+                        Rel::Eq => rhs[r].abs() <= 1e-9,
+                    };
+                    if !ok {
+                        return Err(LpError::Infeasible);
+                    }
+                    row_alive[r] = false;
+                    changed = true;
+                }
+                1 => {
+                    // Singleton row: fold into bounds.
+                    let (j, a) = terms[r][0];
+                    debug_assert!(a != 0.0);
+                    let bound = rhs[r] / a;
+                    let rel = p.cons[r].rel;
+                    // a < 0 flips the inequality direction.
+                    let effective = match (rel, a > 0.0) {
+                        (Rel::Eq, _) => Rel::Eq,
+                        (Rel::Le, true) | (Rel::Ge, false) => Rel::Le,
+                        (Rel::Ge, true) | (Rel::Le, false) => Rel::Ge,
+                    };
+                    match effective {
+                        Rel::Le => {
+                            if bound < hi[j] {
+                                hi[j] = bound;
+                                bound_sources[j].upper = Some((r, a));
+                            }
+                        }
+                        Rel::Ge => {
+                            if bound > lo[j] {
+                                lo[j] = bound;
+                                bound_sources[j].lower = Some((r, a));
+                            }
+                        }
+                        Rel::Eq => {
+                            lo[j] = bound;
+                            hi[j] = bound;
+                            bound_sources[j].lower = Some((r, a));
+                            bound_sources[j].upper = Some((r, a));
+                        }
+                    }
+                    if lo[j] > hi[j] + 1e-9 * (1.0 + lo[j].abs()) {
+                        return Err(LpError::Infeasible);
+                    }
+                    if fixed_value[j].is_none()
+                        && (hi[j] - lo[j]).abs() <= FIX_TOL * (1.0 + lo[j].abs())
+                        && lo[j].is_finite()
+                    {
+                        fixed_value[j] = Some(lo[j]);
+                    }
+                    row_alive[r] = false;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Build the reduced problem.
+    let mut reduced = Problem::new(p.sense);
+    let mut new_index = vec![usize::MAX; n];
+    let mut kept_vars = Vec::new();
+    for j in 0..n {
+        if fixed_value[j].is_none() {
+            new_index[j] = kept_vars.len();
+            kept_vars.push(j);
+            reduced.add_var(&p.vars[j].name, lo[j], hi[j], p.vars[j].objective);
+        }
+    }
+    let mut kept_cons = Vec::new();
+    for r in 0..m {
+        if !row_alive[r] {
+            continue;
+        }
+        let reduced_terms: Vec<(crate::problem::VarId, f64)> = terms[r]
+            .iter()
+            .map(|&(j, c)| (crate::problem::VarId(new_index[j]), c))
+            .collect();
+        reduced.add_con(&p.cons[r].name, &reduced_terms, p.cons[r].rel, rhs[r]);
+        kept_cons.push(r);
+    }
+
+    let fixed: Vec<(usize, f64)> = fixed_value
+        .iter()
+        .enumerate()
+        .filter_map(|(j, v)| v.map(|value| (j, value)))
+        .collect();
+
+    Ok(Reduction {
+        problem: reduced,
+        kept_vars,
+        fixed,
+        kept_cons,
+        orig_vars: n,
+        orig_cons: m,
+        bound_sources,
+        final_lo: lo,
+        final_hi: hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 3.0, 3.0, 1.0); // fixed at 3
+        let y = p.add_nonneg("y", 2.0);
+        p.add_con("c", &[(x, 2.0), (y, 1.0)], Rel::Le, 10.0);
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.problem.num_vars(), 1);
+        assert_eq!(r.fixed, vec![(0, 3.0)]);
+        // Row became y <= 4... which is itself a singleton and got folded.
+        assert_eq!(r.problem.num_cons(), 0);
+        let x_full = r.expand_x(&[4.0]);
+        assert_eq!(x_full, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn singleton_le_tightens_upper_bound() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        let y = p.add_nonneg("y", 1.0);
+        p.add_con("s", &[(x, 2.0)], Rel::Le, 8.0); // x <= 4
+        p.add_con("joint", &[(x, 1.0), (y, 1.0)], Rel::Le, 10.0);
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.problem.num_cons(), 1);
+        assert_eq!(r.problem.num_vars(), 2);
+        assert_eq!(r.problem.vars[0].upper, 4.0);
+    }
+
+    #[test]
+    fn singleton_with_negative_coefficient_flips() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_con("s", &[(x, -2.0)], Rel::Le, -6.0); // -2x <= -6 -> x >= 3
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.problem.vars[0].lower, 3.0);
+    }
+
+    #[test]
+    fn equality_singleton_fixes_and_cascades() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        let y = p.add_nonneg("y", 1.0);
+        p.add_con("fix", &[(x, 2.0)], Rel::Eq, 6.0); // x = 3
+        p.add_con("link", &[(x, 1.0), (y, 1.0)], Rel::Eq, 5.0); // then y = 2
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.problem.num_vars(), 0);
+        assert_eq!(r.problem.num_cons(), 0);
+        let x_full = r.expand_x(&[]);
+        assert_eq!(x_full, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_conflicting_singletons() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        p.add_con("a", &[(x, 1.0)], Rel::Ge, 5.0);
+        p.add_con("b", &[(x, 1.0)], Rel::Le, 3.0);
+        assert_eq!(presolve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_inconsistent_empty_row() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 2.0, 2.0, 1.0);
+        p.add_con("bad", &[(x, 1.0)], Rel::Ge, 5.0); // 2 >= 5 after fixing
+        assert_eq!(presolve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn expand_duals_zeroes_dropped_rows() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        let y = p.add_nonneg("y", 1.0);
+        p.add_con("single", &[(x, 1.0)], Rel::Le, 4.0); // dropped
+        p.add_con("joint", &[(x, 1.0), (y, 1.0)], Rel::Le, 6.0); // kept
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.kept_cons, vec![1]);
+        assert_eq!(r.expand_duals(&[0.7]), vec![0.0, 0.7]);
+    }
+
+    #[test]
+    fn untouched_problem_round_trips() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_nonneg("y", 5.0);
+        p.add_con("c1", &[(x, 1.0), (y, 2.0)], Rel::Le, 12.0);
+        p.add_con("c2", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.problem.num_vars(), 2);
+        assert_eq!(r.problem.num_cons(), 2);
+        assert!(r.fixed.is_empty());
+    }
+}

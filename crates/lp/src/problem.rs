@@ -1,0 +1,294 @@
+//! Linear-program builder API.
+//!
+//! A [`Problem`] collects variables (with bounds and objective coefficients)
+//! and linear constraints, then hands the model to the two-phase simplex
+//! engine via [`Problem::solve`].
+
+use crate::error::LpError;
+use crate::simplex::{self, SolveOptions};
+use crate::solution::Solution;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+}
+
+/// Opaque handle to a variable in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Positional index of the variable (also its index in solution vectors).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a constraint in a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConId(pub(crate) usize);
+
+impl ConId {
+    /// Positional index of the constraint.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub(crate) name: String,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) objective: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub(crate) name: String,
+    /// Sorted, deduplicated `(column, coefficient)` pairs.
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) rel: Rel,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program under construction.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) cons: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            vars: Vec::new(),
+            cons: Vec::new(),
+        }
+    }
+
+    /// Shorthand for `Problem::new(Sense::Maximize)`.
+    pub fn maximize() -> Self {
+        Self::new(Sense::Maximize)
+    }
+
+    /// Shorthand for `Problem::new(Sense::Minimize)`.
+    pub fn minimize() -> Self {
+        Self::new(Sense::Minimize)
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of variables added so far.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_cons(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and the given objective
+    /// coefficient. Use `f64::INFINITY` for an unbounded-above variable and
+    /// `f64::NEG_INFINITY` for a free (unbounded-below) variable.
+    ///
+    /// # Panics
+    /// Panics if `lower > upper`, or if either bound is NaN.
+    pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN variable bound");
+        assert!(!objective.is_nan(), "NaN objective coefficient");
+        assert!(
+            lower <= upper,
+            "variable {name}: lower bound {lower} exceeds upper bound {upper}"
+        );
+        assert!(
+            lower < f64::INFINITY && upper > f64::NEG_INFINITY,
+            "variable {name}: bounds leave an empty domain"
+        );
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            name: name.to_owned(),
+            lower,
+            upper,
+            objective,
+        });
+        id
+    }
+
+    /// Adds a non-negative variable (`[0, +inf)`).
+    pub fn add_nonneg(&mut self, name: &str, objective: f64) -> VarId {
+        self.add_var(name, 0.0, f64::INFINITY, objective)
+    }
+
+    /// Adds the constraint `Σ coeff·var REL rhs`.
+    ///
+    /// Terms referencing the same variable are summed. Zero coefficients are
+    /// dropped.
+    ///
+    /// # Panics
+    /// Panics if any referenced variable does not belong to this problem or
+    /// if any value is NaN.
+    pub fn add_con(&mut self, name: &str, terms: &[(VarId, f64)], rel: Rel, rhs: f64) -> ConId {
+        assert!(!rhs.is_nan(), "NaN constraint rhs");
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint {name}: variable id out of range"
+            );
+            assert!(!c.is_nan(), "NaN coefficient in constraint {name}");
+            merged.push((v.0, c));
+        }
+        merged.sort_unstable_by_key(|&(j, _)| j);
+        let mut compact: Vec<(usize, f64)> = Vec::with_capacity(merged.len());
+        for (j, c) in merged {
+            match compact.last_mut() {
+                Some((lj, lc)) if *lj == j => *lc += c,
+                _ => compact.push((j, c)),
+            }
+        }
+        compact.retain(|&(_, c)| c != 0.0);
+        let id = ConId(self.cons.len());
+        self.cons.push(Constraint {
+            name: name.to_owned(),
+            terms: compact,
+            rel,
+            rhs,
+        });
+        id
+    }
+
+    /// Returns the name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Returns the name of a constraint.
+    pub fn con_name(&self, c: ConId) -> &str {
+        &self.cons[c.0].name
+    }
+
+    /// Evaluates the objective at a point (ignoring feasibility).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.vars.len());
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, &xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Checks primal feasibility of a point within tolerance `tol` and
+    /// returns the first violated item's description, or `None` if feasible.
+    pub fn feasibility_violation(&self, x: &[f64], tol: f64) -> Option<String> {
+        assert_eq!(x.len(), self.vars.len());
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return Some(format!(
+                    "variable {} = {xi} outside [{}, {}]",
+                    v.name, v.lower, v.upper
+                ));
+            }
+        }
+        for con in &self.cons {
+            let lhs: f64 = con.terms.iter().map(|&(j, c)| c * x[j]).sum();
+            let ok = match con.rel {
+                Rel::Le => lhs <= con.rhs + tol,
+                Rel::Ge => lhs >= con.rhs - tol,
+                Rel::Eq => (lhs - con.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Some(format!(
+                    "constraint {}: lhs {lhs} violates {:?} {}",
+                    con.name, con.rel, con.rhs
+                ));
+            }
+        }
+        None
+    }
+
+    /// Solves the problem with default options.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SolveOptions::default())
+    }
+
+    /// Solves the problem with explicit solver options.
+    pub fn solve_with(&self, opts: &SolveOptions) -> Result<Solution, LpError> {
+        simplex::solve(self, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_assigns_sequential_ids() {
+        let mut p = Problem::maximize();
+        let a = p.add_nonneg("a", 1.0);
+        let b = p.add_nonneg("b", 2.0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.var_name(b), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn rejects_inverted_bounds() {
+        let mut p = Problem::maximize();
+        p.add_var("x", 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn add_con_merges_duplicate_terms() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        let y = p.add_nonneg("y", 1.0);
+        let c = p.add_con("c", &[(x, 1.0), (y, 2.0), (x, 3.0), (y, -2.0)], Rel::Le, 5.0);
+        assert_eq!(p.cons[c.index()].terms, vec![(0, 4.0)]);
+    }
+
+    #[test]
+    fn objective_value_is_linear() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 3.0);
+        let _ = x;
+        p.add_nonneg("y", -1.0);
+        assert_eq!(p.objective_value(&[2.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_rows() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 2.0, 1.0);
+        p.add_con("cap", &[(x, 1.0)], Rel::Le, 1.5, );
+        assert!(p.feasibility_violation(&[1.0], 1e-9).is_none());
+        assert!(p.feasibility_violation(&[1.8], 1e-9).is_some()); // row violated
+        assert!(p.feasibility_violation(&[-0.1], 1e-9).is_some()); // bound violated
+    }
+}

@@ -1,0 +1,650 @@
+//! Two-phase dense primal simplex.
+//!
+//! Phase 1 minimizes the sum of artificial variables to find a basic
+//! feasible point; phase 2 optimizes the real objective. Dantzig pricing is
+//! used by default with an automatic, permanent switch to Bland's rule once
+//! the pivot count suggests stalling, which guarantees termination.
+
+use crate::dense::DenseMatrix;
+use crate::error::LpError;
+use crate::problem::Problem;
+use crate::solution::Solution;
+use crate::standard::{self, ColKind, RowOrigin, StandardForm};
+
+/// Entering-variable selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PivotRule {
+    /// Most-negative reduced cost (fast in practice; can cycle).
+    Dantzig,
+    /// Smallest-index rule (slow but provably cycle-free).
+    Bland,
+}
+
+/// Tunable solver options.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Initial pivot rule. The engine force-switches to Bland after
+    /// `bland_after` pivots regardless of this setting.
+    pub rule: PivotRule,
+    /// Feasibility / pricing tolerance.
+    pub tol: f64,
+    /// Hard cap on pivots per phase; `None` picks `200·(m + n) + 1000`.
+    pub max_iters: Option<usize>,
+    /// Pivot count after which Bland's rule is enforced; `None` picks
+    /// `20·(m + n) + 200`.
+    pub bland_after: Option<usize>,
+    /// Run the presolve reductions (fixed variables, empty/singleton rows)
+    /// before the simplex. On by default.
+    pub presolve: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            rule: PivotRule::Dantzig,
+            tol: 1e-9,
+            max_iters: None,
+            bland_after: None,
+            presolve: true,
+        }
+    }
+}
+
+/// Solves `p`, producing an optimal [`Solution`] or a classification error.
+pub(crate) fn solve(p: &Problem, opts: &SolveOptions) -> Result<Solution, LpError> {
+    if !opts.presolve {
+        return solve_direct(p, opts);
+    }
+    let red = crate::presolve::presolve(p)?;
+    if red.problem.num_vars() == 0 {
+        // Everything fixed; presolve already verified every row.
+        let x = red.expand_x(&[]);
+        let objective = p.objective_value(&x);
+        return Ok(Solution::new(objective, x, vec![0.0; p.num_cons()], 0));
+    }
+    let inner = solve_direct(&red.problem, opts)?;
+    let x = red.expand_x(inner.values());
+    let mut duals = red.expand_duals(inner.duals());
+    postsolve_duals(p, &red, &x, &mut duals, opts.tol);
+    let objective = p.objective_value(&x);
+    Ok(Solution::new(objective, x, duals, inner.iterations()))
+}
+
+/// Postsolve dual recovery: a singleton row folded into a variable bound
+/// can still be the binding constraint of the *original* problem, in which
+/// case its dual must carry the variable's leftover reduced cost.
+///
+/// For each original variable `j`, the reduced cost under the expanded
+/// duals is `r_j = c_j − Σᵢ yᵢ·a_{ij}`. If `x_j` sits on a
+/// presolve-created bound whose source row had coefficient `a`, setting
+/// that row's dual to `r_j / a` restores dual feasibility: the chain rule
+/// through `x_j = b/a` gives `∂obj/∂b = r_j / a`, matching our
+/// shadow-price convention in either optimization sense.
+fn postsolve_duals(
+    p: &Problem,
+    red: &crate::presolve::Reduction,
+    x: &[f64],
+    duals: &mut [f64],
+    tol: f64,
+) {
+    // Reduced costs under the kept-row duals.
+    let mut reduced: Vec<f64> = p.vars.iter().map(|v| v.objective).collect();
+    for (i, con) in p.cons.iter().enumerate() {
+        let y = duals[i];
+        if y != 0.0 {
+            for &(j, a) in &con.terms {
+                reduced[j] -= y * a;
+            }
+        }
+    }
+    for (j, &r_j) in reduced.iter().enumerate() {
+        if r_j.abs() <= tol * 1e3 {
+            continue;
+        }
+        let src = red.bound_sources[j];
+        let at_upper = red.final_hi[j].is_finite()
+            && (x[j] - red.final_hi[j]).abs() <= 1e-7 * (1.0 + red.final_hi[j].abs());
+        let at_lower = red.final_lo[j].is_finite()
+            && (x[j] - red.final_lo[j]).abs() <= 1e-7 * (1.0 + red.final_lo[j].abs());
+        // Prefer the bound that the optimization direction pushes against.
+        let maximizing = p.sense == crate::problem::Sense::Maximize;
+        let wants_upper = (maximizing && r_j > 0.0) || (!maximizing && r_j < 0.0);
+        let chosen = if wants_upper && at_upper {
+            src.upper
+        } else if !wants_upper && at_lower {
+            src.lower
+        } else if at_upper {
+            src.upper.or(src.lower)
+        } else if at_lower {
+            src.lower.or(src.upper)
+        } else {
+            None
+        };
+        if let Some((row, a)) = chosen {
+            duals[row] += r_j / a;
+        }
+    }
+}
+
+/// The raw two-phase solve without presolve.
+fn solve_direct(p: &Problem, opts: &SolveOptions) -> Result<Solution, LpError> {
+    let sf = standard::build(p)?;
+    let mut tab = Tableau::new(&sf, opts);
+    tab.run_phase1()?;
+    tab.run_phase2()?;
+    extract(p, &sf, &tab)
+}
+
+struct Tableau<'a> {
+    sf: &'a StandardForm,
+    /// `m x (n+1)` working rows; the last column is the RHS.
+    rows: DenseMatrix,
+    /// Phase-2 reduced-cost row; last entry is `-z`.
+    cost2: Vec<f64>,
+    /// Phase-1 reduced-cost row; last entry is `-z₁`.
+    cost1: Vec<f64>,
+    basis: Vec<usize>,
+    /// Columns that may never (re-)enter the basis.
+    banned: Vec<bool>,
+    tol: f64,
+    rule: PivotRule,
+    bland_after: usize,
+    max_iters: usize,
+    pivots: usize,
+}
+
+impl<'a> Tableau<'a> {
+    fn new(sf: &'a StandardForm, opts: &SolveOptions) -> Self {
+        let m = sf.m();
+        let n = sf.n();
+        let mut rows = DenseMatrix::zeros(m, n + 1);
+        for r in 0..m {
+            rows.row_mut(r)[..n].copy_from_slice(sf.a.row(r));
+            rows[(r, n)] = sf.b[r];
+        }
+
+        // Initial basis: the identity column of each row (slack for ≤,
+        // artificial otherwise). Columns were laid out to guarantee this.
+        let mut basis = vec![usize::MAX; m];
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            match *kind {
+                ColKind::Slack(r) | ColKind::Artificial(r) => {
+                    if basis[r] == usize::MAX {
+                        basis[r] = j;
+                    } else if matches!(kind, ColKind::Artificial(_)) {
+                        // A ≥-row has both surplus (-1) and artificial (+1);
+                        // the artificial is the identity column.
+                        basis[r] = j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // For ≥ rows the slack arm never exists, so re-scan to make sure
+        // each basis entry is the +1 identity column.
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            if let ColKind::Artificial(r) = *kind {
+                basis[r] = j;
+            }
+        }
+        debug_assert!(basis.iter().all(|&j| j != usize::MAX || m == 0));
+
+        // Phase-1 costs: 1 on artificials. Reduce against the basis.
+        let mut cost1 = vec![0.0; n + 1];
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                cost1[j] = 1.0;
+            }
+        }
+        for r in 0..m {
+            let jb = basis[r];
+            if cost1[jb] != 0.0 {
+                let coef = cost1[jb];
+                for (cv, rv) in cost1.iter_mut().zip(rows.row(r)) {
+                    *cv -= coef * rv;
+                }
+            }
+        }
+
+        // Phase-2 costs: the real (internal minimize) costs. Slack and
+        // artificial columns cost zero, so no initial reduction is needed.
+        let mut cost2 = vec![0.0; n + 1];
+        cost2[..n].copy_from_slice(&sf.c);
+
+        let size = m + n;
+        Tableau {
+            sf,
+            rows,
+            cost2,
+            cost1,
+            basis,
+            banned: vec![false; n],
+            tol: opts.tol,
+            rule: opts.rule,
+            bland_after: opts.bland_after.unwrap_or(20 * size + 200),
+            max_iters: opts.max_iters.unwrap_or(200 * size + 1000),
+            pivots: 0,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.sf.n()
+    }
+
+    fn m(&self) -> usize {
+        self.sf.m()
+    }
+
+    fn effective_rule(&self) -> PivotRule {
+        if self.pivots >= self.bland_after {
+            PivotRule::Bland
+        } else {
+            self.rule
+        }
+    }
+
+    /// Selects an entering column against the given cost row.
+    fn price(&self, cost: &[f64]) -> Option<usize> {
+        let n = self.n();
+        match self.effective_rule() {
+            PivotRule::Bland => (0..n).find(|&j| !self.banned[j] && cost[j] < -self.tol),
+            PivotRule::Dantzig => {
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..n {
+                    if self.banned[j] {
+                        continue;
+                    }
+                    let r = cost[j];
+                    if r < -self.tol && best.map_or(true, |(_, b)| r < b) {
+                        best = Some((j, r));
+                    }
+                }
+                best.map(|(j, _)| j)
+            }
+        }
+    }
+
+    /// Ratio test: picks the leaving row for entering column `j`.
+    /// Returns `None` when the column is unbounded below.
+    fn ratio_test(&self, j: usize) -> Option<usize> {
+        let n = self.n();
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.m() {
+            let a = self.rows[(r, j)];
+            if a > self.tol {
+                let ratio = self.rows[(r, n)] / a;
+                let better = match best {
+                    None => true,
+                    Some((br, bratio)) => {
+                        if (ratio - bratio).abs() <= self.tol * (1.0 + bratio.abs()) {
+                            // Tie: prefer kicking out artificials, then the
+                            // smaller basis index (Bland-compatible).
+                            let cand_art =
+                                matches!(self.sf.col_kinds[self.basis[r]], ColKind::Artificial(_));
+                            let best_art =
+                                matches!(self.sf.col_kinds[self.basis[br]], ColKind::Artificial(_));
+                            match (cand_art, best_art) {
+                                (true, false) => true,
+                                (false, true) => false,
+                                _ => self.basis[r] < self.basis[br],
+                            }
+                        } else {
+                            ratio < bratio
+                        }
+                    }
+                };
+                if better {
+                    best = Some((r, ratio));
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Pivots on `(row, col)`, updating both cost rows and the basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let n = self.n();
+        let pivot = self.rows[(row, col)];
+        debug_assert!(pivot.abs() > self.tol, "pivot too small: {pivot}");
+        self.rows.scale_row(row, 1.0 / pivot);
+        self.rows[(row, col)] = 1.0; // clamp round-off
+
+        for r in 0..self.m() {
+            if r != row {
+                let f = self.rows[(r, col)];
+                if f != 0.0 {
+                    self.rows.axpy_rows(r, row, -f);
+                    self.rows[(r, col)] = 0.0;
+                    // Clamp tiny negative RHS caused by cancellation.
+                    if self.rows[(r, n)] < 0.0 && self.rows[(r, n)] > -self.tol {
+                        self.rows[(r, n)] = 0.0;
+                    }
+                }
+            }
+        }
+        let prow = row;
+        for cost in [&mut self.cost1, &mut self.cost2] {
+            let f = cost[col];
+            if f != 0.0 {
+                let src = self.rows.row(prow);
+                for (cv, rv) in cost.iter_mut().zip(src) {
+                    *cv -= f * rv;
+                }
+                cost[col] = 0.0;
+            }
+        }
+
+        // If an artificial leaves the basis, it must never come back.
+        let leaving = self.basis[row];
+        if matches!(self.sf.col_kinds[leaving], ColKind::Artificial(_)) {
+            self.banned[leaving] = true;
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
+        loop {
+            if self.pivots >= self.max_iters {
+                return Err(LpError::IterationLimit {
+                    iterations: self.pivots,
+                });
+            }
+            let cost = if phase1 { &self.cost1 } else { &self.cost2 };
+            let Some(j) = self.price(cost) else {
+                return Ok(()); // optimal for this phase
+            };
+            let Some(r) = self.ratio_test(j) else {
+                return if phase1 {
+                    // Phase 1 is bounded below by 0; this is numerical noise.
+                    Err(LpError::Numeric(
+                        "unbounded phase-1 column (inconsistent tableau)".into(),
+                    ))
+                } else {
+                    Err(LpError::Unbounded)
+                };
+            };
+            self.pivot(r, j);
+        }
+    }
+
+    fn run_phase1(&mut self) -> Result<(), LpError> {
+        let n = self.n();
+        let has_artificials = self
+            .sf
+            .col_kinds
+            .iter()
+            .any(|k| matches!(k, ColKind::Artificial(_)));
+        if !has_artificials {
+            return Ok(());
+        }
+        self.optimize(true)?;
+        let z1 = -self.cost1[n];
+        // Scale the infeasibility test with the problem magnitude.
+        let scale = 1.0 + self.sf.b.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if z1 > self.tol * scale * 10.0 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining basic artificials out (degenerate pivots), then
+        // ban every artificial from entering in phase 2.
+        for r in 0..self.m() {
+            let jb = self.basis[r];
+            if matches!(self.sf.col_kinds[jb], ColKind::Artificial(_)) {
+                let replacement = (0..n).find(|&j| {
+                    !matches!(self.sf.col_kinds[j], ColKind::Artificial(_))
+                        && self.rows[(r, j)].abs() > self.tol * 100.0
+                });
+                if let Some(j) = replacement {
+                    self.pivot(r, j);
+                }
+                // If no replacement exists the row is redundant; the
+                // artificial stays basic at value zero and — because every
+                // enterable column has a zero coefficient in this row —
+                // can never grow.
+            }
+        }
+        for (j, kind) in self.sf.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                self.banned[j] = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn run_phase2(&mut self) -> Result<(), LpError> {
+        self.optimize(false)
+    }
+
+    /// Standard-form primal values at the current basis.
+    fn x_std(&self) -> Vec<f64> {
+        let n = self.n();
+        let mut x = vec![0.0; n];
+        for r in 0..self.m() {
+            let v = self.rows[(r, n)];
+            x[self.basis[r]] = if v.abs() < self.tol { 0.0 } else { v };
+        }
+        x
+    }
+}
+
+fn extract(p: &Problem, sf: &StandardForm, tab: &Tableau<'_>) -> Result<Solution, LpError> {
+    let x_std = tab.x_std();
+    let x_user = sf.recover(&x_std);
+    // Recompute the objective from first principles rather than trusting the
+    // accumulated cost row — cheap and immune to drift.
+    let objective = p.objective_value(&x_user);
+
+    let duals = recover_duals(sf, tab);
+
+    if x_user.iter().any(|v| !v.is_finite()) {
+        return Err(LpError::Numeric("non-finite solution component".into()));
+    }
+    Ok(Solution::new(objective, x_user, duals, tab.pivots))
+}
+
+/// Recovers user-constraint shadow prices `∂(user objective)/∂rhs` from the
+/// final basis by solving `Bᵀ y = c_B` against the *original* standard-form
+/// columns (no tableau drift).
+fn recover_duals(sf: &StandardForm, tab: &Tableau<'_>) -> Vec<f64> {
+    let m = sf.m();
+    let n_user_cons = sf
+        .row_origins
+        .iter()
+        .filter(|o| matches!(o, RowOrigin::Constraint(_)))
+        .count();
+    if m == 0 {
+        return vec![0.0; n_user_cons];
+    }
+    let mut basis_mat = DenseMatrix::zeros(m, m);
+    let mut c_b = vec![0.0; m];
+    for (k, &j) in tab.basis.iter().enumerate() {
+        for r in 0..m {
+            basis_mat[(r, k)] = sf.a[(r, j)];
+        }
+        c_b[k] = sf.c[j];
+    }
+    let y = match crate::linalg::solve_transposed_basis(&basis_mat, &c_b) {
+        Some(y) => y,
+        None => return vec![0.0; n_user_cons],
+    };
+    let sign = if sf.maximize { -1.0 } else { 1.0 };
+    let mut duals = vec![0.0; n_user_cons];
+    for (r, origin) in sf.row_origins.iter().enumerate() {
+        if let RowOrigin::Constraint(ci) = *origin {
+            duals[ci] = sign * y[r] * sf.row_scale[r];
+        }
+    }
+    duals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Rel};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6 * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn textbook_max_le() {
+        // max 3x + 5y ; x <= 4 ; 2y <= 12 ; 3x + 2y <= 18  => z = 36 at (2,6)
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_nonneg("y", 5.0);
+        p.add_con("c1", &[(x, 1.0)], Rel::Le, 4.0);
+        p.add_con("c2", &[(y, 2.0)], Rel::Le, 12.0);
+        p.add_con("c3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 36.0), "obj = {}", s.objective());
+        assert!(close(s.value(x), 2.0));
+        assert!(close(s.value(y), 6.0));
+    }
+
+    #[test]
+    fn minimize_with_ge_rows_needs_phase1() {
+        // min 2x + 3y ; x + y >= 4 ; x >= 1  => z = 8.. at (4,0): 8; (1,3): 11.
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 2.0);
+        let y = p.add_nonneg("y", 3.0);
+        p.add_con("c1", &[(x, 1.0), (y, 1.0)], Rel::Ge, 4.0);
+        p.add_con("c2", &[(x, 1.0)], Rel::Ge, 1.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 8.0));
+        assert!(close(s.value(x), 4.0));
+        assert!(close(s.value(y), 0.0));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + 2y ; x + y = 3 ; x - y = 1  => x=2, y=1, z=4
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        let y = p.add_nonneg("y", 2.0);
+        p.add_con("e1", &[(x, 1.0), (y, 1.0)], Rel::Eq, 3.0);
+        p.add_con("e2", &[(x, 1.0), (y, -1.0)], Rel::Eq, 1.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 4.0));
+        assert!(close(s.value(x), 2.0));
+        assert!(close(s.value(y), 1.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        p.add_con("lo", &[(x, 1.0)], Rel::Ge, 5.0);
+        p.add_con("hi", &[(x, 1.0)], Rel::Le, 3.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        p.add_con("c", &[(x, -1.0)], Rel::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn handles_upper_bounds() {
+        // max x + y with x in [0,2], y in [0,3], x + y <= 4  => z = 4
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 2.0, 1.0);
+        let y = p.add_var("y", 0.0, 3.0, 1.0);
+        p.add_con("c", &[(x, 1.0), (y, 1.0)], Rel::Le, 4.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 4.0));
+        assert!(s.value(x) <= 2.0 + 1e-9 && s.value(y) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min |structure|: min y s.t. y >= x - 2, y >= -x, x free in [-10,10]
+        // -> optimum where x - 2 = -x => x = 1, y = -1... but y >= -x = -1,
+        // y >= x-2 = -1 => y = -1.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", -10.0, 10.0, 0.0);
+        let y = p.add_var("y", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_con("a", &[(y, 1.0), (x, -1.0)], Rel::Ge, -2.0);
+        p.add_con("b", &[(y, 1.0), (x, 1.0)], Rel::Ge, 0.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), -1.0), "obj={}", s.objective());
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple redundant constraints through origin.
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 0.75);
+        let y = p.add_nonneg("y", -150.0);
+        let z = p.add_nonneg("z", 0.02);
+        let w = p.add_nonneg("w", -6.0);
+        // Beale's cycling example (classic anti-cycling stress test).
+        p.add_con("r1", &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Rel::Le, 0.0);
+        p.add_con("r2", &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Rel::Le, 0.0);
+        p.add_con("r3", &[(z, 1.0)], Rel::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 0.05), "obj = {}", s.objective());
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_le_problem() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_nonneg("y", 5.0);
+        let c1 = p.add_con("c1", &[(x, 1.0)], Rel::Le, 4.0);
+        let c2 = p.add_con("c2", &[(y, 2.0)], Rel::Le, 12.0);
+        let c3 = p.add_con("c3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        let s = p.solve().unwrap();
+        // Known duals: y1 = 0, y2 = 3/2, y3 = 1; bᵀy = 36 = primal.
+        assert!(close(s.dual(c1), 0.0));
+        assert!(close(s.dual(c2), 1.5));
+        assert!(close(s.dual(c3), 1.0));
+        let dual_obj = 4.0 * s.dual(c1) + 12.0 * s.dual(c2) + 18.0 * s.dual(c3);
+        assert!(close(dual_obj, s.objective()));
+    }
+
+    #[test]
+    fn bland_rule_solves_same_problem() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_nonneg("y", 5.0);
+        p.add_con("c1", &[(x, 1.0)], Rel::Le, 4.0);
+        p.add_con("c2", &[(y, 2.0)], Rel::Le, 12.0);
+        p.add_con("c3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        let s = p
+            .solve_with(&SolveOptions {
+                rule: PivotRule::Bland,
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        assert!(close(s.objective(), 36.0));
+    }
+
+    #[test]
+    fn no_constraints_bounded_by_var_bounds() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 7.0, 2.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 14.0));
+        assert!(close(s.value(x), 7.0));
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut p = Problem::maximize();
+        p.add_nonneg("x", 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_returns_feasible_point() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 0.0);
+        p.add_con("c", &[(x, 1.0)], Rel::Ge, 2.0);
+        let s = p.solve().unwrap();
+        assert!(s.value(x) >= 2.0 - 1e-9);
+        assert!(close(s.objective(), 0.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! Optimal solution container returned by the simplex engine.
+
+use crate::problem::{ConId, VarId};
+
+/// An optimal solution to a linear program.
+///
+/// Returned only on success; infeasible/unbounded models surface as
+/// [`crate::LpError`] variants instead.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    objective: f64,
+    x: Vec<f64>,
+    duals: Vec<f64>,
+    iterations: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(objective: f64, x: Vec<f64>, duals: Vec<f64>, iterations: usize) -> Self {
+        Solution {
+            objective,
+            x,
+            duals,
+            iterations,
+        }
+    }
+
+    /// Optimal objective value in the user's optimization sense.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a single variable at the optimum.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.index()]
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Shadow price of a constraint: the rate of change of the optimal
+    /// user-sense objective per unit increase of the constraint's
+    /// right-hand side (zero for non-binding rows).
+    pub fn dual(&self, c: ConId) -> f64 {
+        self.duals[c.index()]
+    }
+
+    /// All constraint duals, indexed by [`ConId::index`].
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
+    }
+
+    /// Total simplex pivots performed across both phases.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = Solution::new(42.0, vec![1.0, 2.0], vec![0.5], 7);
+        assert_eq!(s.objective(), 42.0);
+        assert_eq!(s.value(VarId(1)), 2.0);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+        assert_eq!(s.dual(ConId(0)), 0.5);
+        assert_eq!(s.iterations(), 7);
+    }
+}

@@ -1,0 +1,372 @@
+//! Conversion of a user-facing [`Problem`] to simplex standard form:
+//!
+//! ```text
+//!   minimize  cᵀx
+//!   subject to A x {≤,=,≥} b,   b ≥ 0,   x ≥ 0
+//! ```
+//!
+//! Handles variable shifts for finite lower bounds, plus/minus splits for
+//! free variables, explicit rows for finite upper bounds, right-hand-side
+//! sign normalization, and per-row equilibration scaling.
+
+use crate::dense::DenseMatrix;
+use crate::error::LpError;
+use crate::problem::{Problem, Rel, Sense};
+
+/// How a user variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum VarMapping {
+    /// `x = lower + column`
+    Shifted { col: usize, lower: f64 },
+    /// `x = pos − neg` (free variable split)
+    Split { pos: usize, neg: usize },
+}
+
+/// Role of a standard-form column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ColKind {
+    /// Transformed user variable.
+    Structural,
+    /// Slack of row `r` (`≤` rows).
+    Slack(usize),
+    /// Surplus of row `r` (`≥` rows).
+    Surplus(usize),
+    /// Artificial of row `r` (`≥` and `=` rows).
+    Artificial(usize),
+}
+
+/// Origin of a standard-form row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RowOrigin {
+    /// User constraint with the given index.
+    Constraint(usize),
+    /// Upper-bound row synthesized for the given user variable.
+    UpperBound(usize),
+}
+
+/// The standard-form model handed to the simplex engine.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardForm {
+    /// Constraint matrix, `m x n_cols` (structural + slack/surplus/artificial).
+    pub a: DenseMatrix,
+    /// Right-hand side, all entries `≥ 0`.
+    pub b: Vec<f64>,
+    /// Phase-2 cost vector (internal minimize sense), length `n_cols`.
+    pub c: Vec<f64>,
+    /// Role of every column.
+    pub col_kinds: Vec<ColKind>,
+    /// Relation of every row after rhs normalization.
+    #[allow(dead_code)] // retained for debugging / future presolve passes
+    pub row_rels: Vec<Rel>,
+    /// Where each row came from.
+    pub row_origins: Vec<RowOrigin>,
+    /// Per-row multiplier applied during scaling/normalization; the original
+    /// user row satisfies `user_row = stored_row / row_scale` (sign included).
+    pub row_scale: Vec<f64>,
+    /// Recovery recipe for each user variable.
+    pub var_map: Vec<VarMapping>,
+    /// Constant added to the user objective by variable shifts (consumed
+    /// by `user_objective`, which production code replaces with a direct
+    /// re-evaluation of `cᵀx` — kept for the conversion tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub obj_offset: f64,
+    /// Whether the user problem was a maximization (internal sense is
+    /// always minimize).
+    pub maximize: bool,
+}
+
+impl StandardForm {
+    /// Number of rows.
+    pub fn m(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Number of columns.
+    pub fn n(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Recovers the user-space variable vector from standard-form values.
+    pub fn recover(&self, x_std: &[f64]) -> Vec<f64> {
+        self.var_map
+            .iter()
+            .map(|m| match *m {
+                VarMapping::Shifted { col, lower } => lower + x_std[col],
+                VarMapping::Split { pos, neg } => x_std[pos] - x_std[neg],
+            })
+            .collect()
+    }
+
+    /// Converts an internal (minimize) objective value on the transformed
+    /// variables back to the user objective value.
+    #[cfg(test)]
+    pub fn user_objective(&self, z_internal: f64) -> f64 {
+        let structural = if self.maximize { -z_internal } else { z_internal };
+        structural + self.obj_offset
+    }
+}
+
+/// Builds the standard form for `p`.
+pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
+    if p.num_vars() == 0 {
+        return Err(LpError::BadModel("problem has no variables".into()));
+    }
+
+    // --- 1. Variable transformation -------------------------------------
+    let mut var_map = Vec::with_capacity(p.num_vars());
+    let mut n_structural = 0usize;
+    let mut obj_offset = 0.0;
+    // Upper-bound rows to synthesize: (structural terms, rhs).
+    let mut ub_rows: Vec<(Vec<(usize, f64)>, f64, usize)> = Vec::new();
+
+    for (vi, v) in p.vars.iter().enumerate() {
+        if v.lower.is_finite() {
+            let col = n_structural;
+            n_structural += 1;
+            var_map.push(VarMapping::Shifted { col, lower: v.lower });
+            obj_offset += v.objective * v.lower;
+            if v.upper.is_finite() {
+                ub_rows.push((vec![(col, 1.0)], v.upper - v.lower, vi));
+            }
+        } else {
+            let pos = n_structural;
+            let neg = n_structural + 1;
+            n_structural += 2;
+            var_map.push(VarMapping::Split { pos, neg });
+            if v.upper.is_finite() {
+                ub_rows.push((vec![(pos, 1.0), (neg, -1.0)], v.upper, vi));
+            }
+        }
+    }
+
+    // --- 2. Assemble raw rows (structural part only) ---------------------
+    struct RawRow {
+        terms: Vec<(usize, f64)>,
+        rel: Rel,
+        rhs: f64,
+        origin: RowOrigin,
+    }
+    let mut raw: Vec<RawRow> = Vec::with_capacity(p.num_cons() + ub_rows.len());
+
+    for (ci, con) in p.cons.iter().enumerate() {
+        let mut terms: Vec<(usize, f64)> = Vec::with_capacity(con.terms.len() + 1);
+        let mut rhs = con.rhs;
+        for &(uv, coef) in &con.terms {
+            match var_map[uv] {
+                VarMapping::Shifted { col, lower } => {
+                    terms.push((col, coef));
+                    rhs -= coef * lower;
+                }
+                VarMapping::Split { pos, neg } => {
+                    terms.push((pos, coef));
+                    terms.push((neg, -coef));
+                }
+            }
+        }
+        raw.push(RawRow {
+            terms,
+            rel: con.rel,
+            rhs,
+            origin: RowOrigin::Constraint(ci),
+        });
+    }
+    for (terms, rhs, vi) in ub_rows {
+        raw.push(RawRow {
+            terms,
+            rel: Rel::Le,
+            rhs,
+            origin: RowOrigin::UpperBound(vi),
+        });
+    }
+
+    // --- 3. Normalize: rhs ≥ 0, then equilibrate rows --------------------
+    let m = raw.len();
+    let mut row_scale = vec![1.0; m];
+    for (r, row) in raw.iter_mut().enumerate() {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for t in &mut row.terms {
+                t.1 = -t.1;
+            }
+            row.rel = match row.rel {
+                Rel::Le => Rel::Ge,
+                Rel::Ge => Rel::Le,
+                Rel::Eq => Rel::Eq,
+            };
+            row_scale[r] = -1.0;
+        }
+        // Equilibration: divide by the max |coefficient| so pivot magnitudes
+        // stay near 1 even when the model mixes per-second service rates
+        // with sub-hour deadlines.
+        let max_c = row
+            .terms
+            .iter()
+            .map(|&(_, c)| c.abs())
+            .fold(0.0_f64, f64::max);
+        if max_c > 0.0 && (max_c > 1e3 || max_c < 1e-3) {
+            let s = 1.0 / max_c;
+            for t in &mut row.terms {
+                t.1 *= s;
+            }
+            row.rhs *= s;
+            row_scale[r] *= s;
+        }
+    }
+
+    // --- 4. Count auxiliary columns and build the matrix -----------------
+    let n_slack = raw.iter().filter(|r| r.rel == Rel::Le).count();
+    let n_surplus = raw.iter().filter(|r| r.rel == Rel::Ge).count();
+    let n_artificial = raw.iter().filter(|r| r.rel != Rel::Le).count();
+    let n_cols = n_structural + n_slack + n_surplus + n_artificial;
+
+    let mut a = DenseMatrix::zeros(m, n_cols);
+    let mut b = vec![0.0; m];
+    let mut col_kinds = vec![ColKind::Structural; n_structural];
+    col_kinds.reserve(n_cols - n_structural);
+    let mut row_rels = Vec::with_capacity(m);
+    let mut row_origins = Vec::with_capacity(m);
+
+    let mut next_col = n_structural;
+    for (r, row) in raw.iter().enumerate() {
+        for &(j, coef) in &row.terms {
+            a[(r, j)] += coef;
+        }
+        b[r] = row.rhs;
+        row_rels.push(row.rel);
+        row_origins.push(row.origin);
+        match row.rel {
+            Rel::Le => {
+                a[(r, next_col)] = 1.0;
+                col_kinds.push(ColKind::Slack(r));
+                next_col += 1;
+            }
+            Rel::Ge => {
+                a[(r, next_col)] = -1.0;
+                col_kinds.push(ColKind::Surplus(r));
+                next_col += 1;
+            }
+            Rel::Eq => {}
+        }
+    }
+    // Artificial columns go last so the engine can ban them cheaply.
+    for (r, row) in raw.iter().enumerate() {
+        if row.rel != Rel::Le {
+            a[(r, next_col)] = 1.0;
+            col_kinds.push(ColKind::Artificial(r));
+            next_col += 1;
+        }
+    }
+    debug_assert_eq!(next_col, n_cols);
+    debug_assert_eq!(col_kinds.len(), n_cols);
+
+    // --- 5. Cost vector (internal minimize) ------------------------------
+    let maximize = p.sense == Sense::Maximize;
+    let mut c = vec![0.0; n_cols];
+    for (vi, v) in p.vars.iter().enumerate() {
+        let coef = if maximize { -v.objective } else { v.objective };
+        match var_map[vi] {
+            VarMapping::Shifted { col, .. } => c[col] += coef,
+            VarMapping::Split { pos, neg } => {
+                c[pos] += coef;
+                c[neg] -= coef;
+            }
+        }
+    }
+
+    Ok(StandardForm {
+        a,
+        b,
+        c,
+        col_kinds,
+        row_rels,
+        row_origins,
+        row_scale,
+        var_map,
+        obj_offset,
+        maximize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Rel};
+
+    #[test]
+    fn nonneg_vars_map_identity() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        p.add_con("c", &[(x, 2.0)], Rel::Le, 4.0);
+        let sf = build(&p).unwrap();
+        assert_eq!(sf.var_map[0], VarMapping::Shifted { col: 0, lower: 0.0 });
+        assert_eq!(sf.m(), 1);
+        assert_eq!(sf.b, vec![4.0]);
+        // maximize 3x -> internal minimize -3x
+        assert_eq!(sf.c[0], -3.0);
+        assert_eq!(sf.user_objective(-6.0), 6.0);
+    }
+
+    #[test]
+    fn lower_bound_shifts_rhs_and_offset() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 2.0, f64::INFINITY, 5.0);
+        p.add_con("c", &[(x, 1.0)], Rel::Le, 10.0);
+        let sf = build(&p).unwrap();
+        // x = 2 + x'; row becomes x' <= 8; objective offset 10.
+        assert_eq!(sf.b, vec![8.0]);
+        assert!((sf.obj_offset - 10.0).abs() < 1e-12);
+        assert_eq!(sf.recover(&[3.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn free_var_splits() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_con("c", &[(x, 1.0)], Rel::Eq, -3.0);
+        let sf = build(&p).unwrap();
+        assert_eq!(sf.var_map[0], VarMapping::Split { pos: 0, neg: 1 });
+        // rhs was negative: row flipped, scale -1 recorded.
+        assert_eq!(sf.b, vec![3.0]);
+        assert_eq!(sf.row_scale, vec![-1.0]);
+        assert_eq!(sf.recover(&[0.0, 3.0]), vec![-3.0]);
+    }
+
+    #[test]
+    fn upper_bounds_become_rows() {
+        let mut p = Problem::maximize();
+        p.add_var("x", 1.0, 4.0, 1.0);
+        let sf = build(&p).unwrap();
+        assert_eq!(sf.m(), 1);
+        assert_eq!(sf.row_origins[0], RowOrigin::UpperBound(0));
+        assert_eq!(sf.b, vec![3.0]); // 4 - 1
+        assert_eq!(sf.row_rels[0], Rel::Le);
+    }
+
+    #[test]
+    fn ge_rows_get_surplus_and_artificial() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 1.0);
+        p.add_con("c", &[(x, 1.0)], Rel::Ge, 2.0);
+        let sf = build(&p).unwrap();
+        let kinds = &sf.col_kinds;
+        assert!(kinds.contains(&ColKind::Surplus(0)));
+        assert!(kinds.contains(&ColKind::Artificial(0)));
+    }
+
+    #[test]
+    fn huge_coefficients_are_equilibrated() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 1.0);
+        p.add_con("big", &[(x, 5.0e6)], Rel::Le, 1.0e7);
+        let sf = build(&p).unwrap();
+        assert!((sf.a[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((sf.b[0] - 2.0).abs() < 1e-12);
+        assert!((sf.row_scale[0] - 1.0 / 5.0e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_problem_is_rejected() {
+        let p = Problem::maximize();
+        assert!(matches!(build(&p), Err(LpError::BadModel(_))));
+    }
+}

@@ -1,0 +1,162 @@
+//! CPLEX-LP-format export for debugging and interoperability.
+//!
+//! `Problem::to_lp_format` renders the model in the textual LP format that
+//! CPLEX, Gurobi, GLPK and most other solvers read — handy both for
+//! eyeballing a mis-built dispatch model and for cross-checking this
+//! crate's optima against an external solver when one is available.
+
+use std::fmt::Write as _;
+
+use crate::problem::{Problem, Rel, Sense};
+
+/// Sanitizes a name for LP format (alphanumerics and `_` only, must not
+/// start with a digit or `e`/`E` which the format reserves for exponents).
+fn sanitize(name: &str, fallback: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.is_empty() {
+        out = fallback.to_string();
+    }
+    let first = out.chars().next().unwrap();
+    if first.is_ascii_digit() || first == 'e' || first == 'E' {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn write_expr(buf: &mut String, terms: &[(usize, f64)], names: &[String]) {
+    if terms.is_empty() {
+        buf.push('0');
+        return;
+    }
+    for (i, &(j, c)) in terms.iter().enumerate() {
+        if i == 0 {
+            if c < 0.0 {
+                buf.push_str("- ");
+            }
+        } else if c < 0.0 {
+            buf.push_str(" - ");
+        } else {
+            buf.push_str(" + ");
+        }
+        let a = c.abs();
+        if (a - 1.0).abs() < 1e-15 {
+            buf.push_str(&names[j]);
+        } else {
+            let _ = write!(buf, "{a} {}", names[j]);
+        }
+    }
+}
+
+impl Problem {
+    /// Renders the model in CPLEX LP format.
+    pub fn to_lp_format(&self) -> String {
+        let names: Vec<String> = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(j, v)| sanitize(&v.name, &format!("x{j}")))
+            .collect();
+
+        let mut out = String::new();
+        out.push_str(match self.sense {
+            Sense::Maximize => "Maximize\n obj: ",
+            Sense::Minimize => "Minimize\n obj: ",
+        });
+        let obj_terms: Vec<(usize, f64)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.objective != 0.0)
+            .map(|(j, v)| (j, v.objective))
+            .collect();
+        write_expr(&mut out, &obj_terms, &names);
+        out.push_str("\nSubject To\n");
+        for (i, con) in self.cons.iter().enumerate() {
+            let cname = sanitize(&con.name, &format!("c{i}"));
+            let _ = write!(out, " {cname}: ");
+            write_expr(&mut out, &con.terms, &names);
+            let rel = match con.rel {
+                Rel::Le => "<=",
+                Rel::Ge => ">=",
+                Rel::Eq => "=",
+            };
+            let _ = writeln!(out, " {rel} {}", con.rhs);
+        }
+        out.push_str("Bounds\n");
+        for (j, v) in self.vars.iter().enumerate() {
+            let name = &names[j];
+            match (v.lower.is_finite(), v.upper.is_finite()) {
+                (true, true) => {
+                    let _ = writeln!(out, " {} <= {name} <= {}", v.lower, v.upper);
+                }
+                (true, false) => {
+                    if v.lower != 0.0 {
+                        let _ = writeln!(out, " {name} >= {}", v.lower);
+                    }
+                    // default 0 <= x < +inf needs no line
+                }
+                (false, true) => {
+                    let _ = writeln!(out, " -inf <= {name} <= {}", v.upper);
+                }
+                (false, false) => {
+                    let _ = writeln!(out, " {name} free");
+                }
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_textbook_problem() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_var("y", 0.0, 6.0, 5.0);
+        p.add_con("cap", &[(x, 1.0), (y, 2.0)], Rel::Le, 12.0);
+        p.add_con("floor", &[(x, 1.0), (y, -1.0)], Rel::Ge, -2.0);
+        let text = p.to_lp_format();
+        assert!(text.starts_with("Maximize\n obj: 3 x + 5 y\n"));
+        assert!(text.contains(" cap: x + 2 y <= 12\n"));
+        assert!(text.contains(" floor: x - y >= -2\n"));
+        assert!(text.contains(" 0 <= y <= 6\n"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        let mut p = Problem::minimize();
+        let v = p.add_nonneg("λ[k=1,s=2]", 1.0);
+        p.add_con("99 bottles", &[(v, 1.0)], Rel::Eq, 1.0);
+        let text = p.to_lp_format();
+        assert!(!text.contains('['));
+        assert!(!text.contains("99 bottles"));
+        assert!(text.contains("_99_bottles"));
+    }
+
+    #[test]
+    fn free_and_unbounded_variables() {
+        let mut p = Problem::minimize();
+        p.add_var("f", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_var("u", f64::NEG_INFINITY, 4.0, 1.0);
+        let text = p.to_lp_format();
+        assert!(text.contains(" f free\n"));
+        assert!(text.contains(" -inf <= u <= 4\n"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 0.0);
+        p.add_con("c", &[(x, 1.0)], Rel::Ge, 1.0);
+        let text = p.to_lp_format();
+        assert!(text.contains("obj: 0\n"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random LPs whose structure guarantees a known property
+//! (feasibility, boundedness, or a planted optimum) and check that the
+//! solver's answer satisfies the mathematical certificates — primal
+//! feasibility, weak duality, and complementary slackness — rather than
+//! comparing against a second solver we do not have.
+
+use palb_lp::{PivotRule, Problem, Rel, SolveOptions};
+use proptest::prelude::*;
+
+/// Random bounded-feasible maximization problem:
+/// `max cᵀx  s.t.  A x ≤ b,  0 ≤ x ≤ u` with `b ≥ 0` so that `x = 0` is
+/// always feasible, and finite upper bounds so the LP is always bounded.
+fn bounded_lp() -> impl Strategy<Value = (usize, usize, Vec<f64>, Vec<Vec<f64>>, Vec<f64>, Vec<f64>)>
+{
+    (2usize..6, 1usize..6).prop_flat_map(|(n, m)| {
+        let c = proptest::collection::vec(-5.0..5.0f64, n);
+        let a = proptest::collection::vec(proptest::collection::vec(-3.0..3.0f64, n), m);
+        let b = proptest::collection::vec(0.0..10.0f64, m);
+        let u = proptest::collection::vec(0.1..20.0f64, n);
+        (Just(n), Just(m), c, a, b, u)
+    })
+}
+
+fn build(
+    n: usize,
+    c: &[f64],
+    a: &[Vec<f64>],
+    b: &[f64],
+    u: &[f64],
+) -> (Problem, Vec<palb_lp::VarId>, Vec<palb_lp::ConId>) {
+    let mut p = Problem::maximize();
+    let xs: Vec<_> = (0..n)
+        .map(|j| p.add_var(&format!("x{j}"), 0.0, u[j], c[j]))
+        .collect();
+    let cs: Vec<_> = a
+        .iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (row, &bi))| {
+            let terms: Vec<_> = xs.iter().copied().zip(row.iter().copied()).collect();
+            p.add_con(&format!("r{i}"), &terms, Rel::Le, bi)
+        })
+        .collect();
+    (p, xs, cs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every generated LP is feasible (x = 0) and bounded (box), so the
+    /// solver must return an optimum, and the optimum must be primal
+    /// feasible with objective at least 0 (the value at the origin).
+    #[test]
+    fn solver_returns_feasible_optimum((n, _m, c, a, b, u) in bounded_lp()) {
+        let (p, _, _) = build(n, &c, &a, &b, &u);
+        let sol = p.solve().expect("feasible bounded LP must solve");
+        prop_assert!(p.feasibility_violation(sol.values(), 1e-6).is_none(),
+            "solution infeasible: {:?}", p.feasibility_violation(sol.values(), 1e-6));
+        prop_assert!(sol.objective() >= -1e-7,
+            "origin is feasible with objective 0 but solver returned {}", sol.objective());
+        // Objective must equal c·x recomputed independently.
+        let recomputed = p.objective_value(sol.values());
+        prop_assert!((recomputed - sol.objective()).abs() < 1e-6);
+    }
+
+    /// Dantzig and Bland pricing must agree on the optimal objective value
+    /// (the optimal vertex may differ under degeneracy).
+    #[test]
+    fn pivot_rules_agree((n, _m, c, a, b, u) in bounded_lp()) {
+        let (p, _, _) = build(n, &c, &a, &b, &u);
+        let dantzig = p.solve().unwrap();
+        let bland = p
+            .solve_with(&SolveOptions { rule: PivotRule::Bland, ..SolveOptions::default() })
+            .unwrap();
+        prop_assert!((dantzig.objective() - bland.objective()).abs()
+            < 1e-6 * (1.0 + dantzig.objective().abs()),
+            "dantzig {} vs bland {}", dantzig.objective(), bland.objective());
+    }
+
+    /// Weak duality: for `max cᵀx, Ax ≤ b` the recovered duals must satisfy
+    /// `y ≥ 0` and `bᵀy ≥ cᵀx*` (within tolerance). With upper bounds the
+    /// residual `Σ u_j · max(0, c_j − (Aᵀy)_j)` closes the gap.
+    #[test]
+    fn weak_duality_holds((n, _m, c, a, b, u) in bounded_lp()) {
+        let (p, _xs, cons) = build(n, &c, &a, &b, &u);
+        let sol = p.solve().unwrap();
+        let y: Vec<f64> = cons.iter().map(|&ci| sol.dual(ci)).collect();
+        for (i, &yi) in y.iter().enumerate() {
+            prop_assert!(yi >= -1e-6, "dual {i} negative: {yi}");
+        }
+        // Reduced profit of each variable that remains after paying duals.
+        let mut dual_bound: f64 = b.iter().zip(&y).map(|(&bi, &yi)| bi * yi).sum();
+        for j in 0..n {
+            let aty: f64 = a.iter().zip(&y).map(|(row, &yi)| row[j] * yi).sum();
+            let reduced = c[j] - aty;
+            if reduced > 0.0 {
+                dual_bound += u[j] * reduced; // bound constraint absorbs it
+            }
+        }
+        prop_assert!(dual_bound >= sol.objective() - 1e-5 * (1.0 + sol.objective().abs()),
+            "weak duality violated: bound {dual_bound} < primal {}", sol.objective());
+    }
+
+    /// Scaling invariance: multiplying the objective by a positive constant
+    /// scales the optimum by the same constant.
+    #[test]
+    fn objective_scaling_invariance((n, _m, c, a, b, u) in bounded_lp(), k in 0.5..4.0f64) {
+        let (p1, _, _) = build(n, &c, &a, &b, &u);
+        let scaled: Vec<f64> = c.iter().map(|&v| v * k).collect();
+        let (p2, _, _) = build(n, &scaled, &a, &b, &u);
+        let s1 = p1.solve().unwrap();
+        let s2 = p2.solve().unwrap();
+        prop_assert!((s2.objective() - k * s1.objective()).abs()
+            < 1e-5 * (1.0 + s2.objective().abs()),
+            "scaling broke: {} vs {}", s2.objective(), k * s1.objective());
+    }
+
+    /// Adding a redundant constraint (a copy of an existing row with larger
+    /// rhs) never changes the optimum.
+    #[test]
+    fn redundant_rows_are_harmless((n, m, c, a, b, u) in bounded_lp()) {
+        let (p1, _, _) = build(n, &c, &a, &b, &u);
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a2.push(a[m - 1].clone());
+        b2.push(b[m - 1] + 1.0);
+        let (p2, _, _) = build(n, &c, &a2, &b2, &u);
+        let s1 = p1.solve().unwrap();
+        let s2 = p2.solve().unwrap();
+        prop_assert!((s1.objective() - s2.objective()).abs()
+            < 1e-6 * (1.0 + s1.objective().abs()));
+    }
+
+    /// Planted-optimum equality systems: choose x*, build A x = A x*, then
+    /// minimize 1ᵀx. The solver must find objective ≤ 1ᵀx* (and feasible).
+    #[test]
+    fn planted_equality_feasible(
+        n in 2usize..5,
+        seed_rows in proptest::collection::vec(proptest::collection::vec(-2.0..2.0f64, 4), 1..3),
+        xstar in proptest::collection::vec(0.0..5.0f64, 4),
+    ) {
+        let mut p = Problem::minimize();
+        let xs: Vec<_> = (0..n).map(|j| p.add_nonneg(&format!("x{j}"), 1.0)).collect();
+        for (i, row) in seed_rows.iter().enumerate() {
+            let rhs: f64 = row.iter().take(n).zip(&xstar).map(|(a, x)| a * x).sum();
+            let terms: Vec<_> = xs.iter().copied().zip(row.iter().copied()).collect();
+            p.add_con(&format!("e{i}"), &terms, Rel::Eq, rhs);
+        }
+        let sol = p.solve().expect("planted system must be feasible");
+        prop_assert!(p.feasibility_violation(sol.values(), 1e-5).is_none());
+        let planted_obj: f64 = xstar.iter().take(n).sum();
+        prop_assert!(sol.objective() <= planted_obj + 1e-5 * (1.0 + planted_obj));
+    }
+}
+
+/// Raw data for LPs with a mix of singleton and general ≤ rows —
+/// exercising the presolve reductions specifically.
+#[allow(clippy::type_complexity)]
+fn singleton_heavy_data() -> impl Strategy<
+    Value = (usize, Vec<f64>, Vec<(usize, f64, f64)>, Vec<(Vec<f64>, f64)>),
+> {
+    (2usize..6, 1usize..4, 1usize..5).prop_flat_map(|(n, m_single, m_general)| {
+        let c = proptest::collection::vec(-4.0..4.0f64, n);
+        let singles =
+            proptest::collection::vec((0usize..n, 0.5..3.0f64, 0.5..8.0f64), m_single);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(-2.0..2.0f64, n), 1.0..10.0f64),
+            m_general,
+        );
+        (Just(n), c, singles, rows)
+    })
+}
+
+fn build_singleton_heavy(
+    n: usize,
+    c: &[f64],
+    singles: &[(usize, f64, f64)],
+    rows: &[(Vec<f64>, f64)],
+) -> (Problem, Vec<palb_lp::VarId>, Vec<palb_lp::ConId>) {
+    let mut p = Problem::maximize();
+    let vars: Vec<_> = (0..n)
+        .map(|j| p.add_var(&format!("x{j}"), 0.0, 12.0, c[j]))
+        .collect();
+    let mut cons = Vec::new();
+    for (i, &(j, a, b)) in singles.iter().enumerate() {
+        cons.push(p.add_con(&format!("s{i}"), &[(vars[j], a)], Rel::Le, b));
+    }
+    for (i, (coefs, b)) in rows.iter().enumerate() {
+        let terms: Vec<_> = vars.iter().copied().zip(coefs.iter().copied()).collect();
+        cons.push(p.add_con(&format!("g{i}"), &terms, Rel::Le, *b));
+    }
+    (p, vars, cons)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Presolve must never change the optimal objective, the expanded
+    /// solution must be feasible for the ORIGINAL problem, and the
+    /// postsolved duals must still certify the optimum by weak duality —
+    /// including duals on rows that presolve folded into bounds.
+    #[test]
+    fn presolve_preserves_objective_and_duals(
+        (n, c, singles, rows) in singleton_heavy_data()
+    ) {
+        let (p, _vars, cons) = build_singleton_heavy(n, &c, &singles, &rows);
+        let with = p
+            .solve_with(&SolveOptions { presolve: true, ..SolveOptions::default() })
+            .expect("bounded feasible");
+        let without = p
+            .solve_with(&SolveOptions { presolve: false, ..SolveOptions::default() })
+            .expect("bounded feasible");
+        prop_assert!(
+            (with.objective() - without.objective()).abs()
+                < 1e-6 * (1.0 + without.objective().abs()),
+            "presolved {} vs direct {}", with.objective(), without.objective());
+        prop_assert!(p.feasibility_violation(with.values(), 1e-6).is_none());
+
+        // Weak duality with the postsolved duals. All rows are ≤ with the
+        // rhs values we generated; the u = 12 box absorbs leftovers.
+        let y: Vec<f64> = cons.iter().map(|&ci| with.dual(ci)).collect();
+        for (i, &yi) in y.iter().enumerate() {
+            prop_assert!(yi >= -1e-6, "dual {i} negative: {yi}");
+        }
+        let mut bound = 0.0;
+        for (i, &(_, _, b)) in singles.iter().enumerate() {
+            bound += y[i] * b;
+        }
+        for (i, (_, b)) in rows.iter().enumerate() {
+            bound += y[singles.len() + i] * b;
+        }
+        for j in 0..n {
+            let mut reduced = c[j];
+            for (i, &(sj, a, _)) in singles.iter().enumerate() {
+                if sj == j {
+                    reduced -= y[i] * a;
+                }
+            }
+            for (i, (coefs, _)) in rows.iter().enumerate() {
+                reduced -= y[singles.len() + i] * coefs[j];
+            }
+            if reduced > 0.0 {
+                bound += 12.0 * reduced;
+            }
+        }
+        prop_assert!(
+            bound >= with.objective() - 1e-5 * (1.0 + with.objective().abs()),
+            "weak duality with postsolved duals failed: {} < {}",
+            bound, with.objective());
+    }
+}

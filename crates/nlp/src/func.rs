@@ -1,0 +1,129 @@
+//! Function-evaluation utilities: boxed callables, numeric differentiation,
+//! and box bounds shared by every solver in this crate.
+
+/// A scalar function of a point, used for objectives and constraint
+/// residuals alike.
+pub type ScalarFn<'a> = Box<dyn Fn(&[f64]) -> f64 + Sync + 'a>;
+
+/// Componentwise box bounds `lo ≤ x ≤ hi`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxBounds {
+    /// Lower bounds (may be `-inf`).
+    pub lo: Vec<f64>,
+    /// Upper bounds (may be `+inf`).
+    pub hi: Vec<f64>,
+}
+
+impl BoxBounds {
+    /// Builds bounds, validating shape and ordering.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any `lo[i] > hi[i]`.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "bound vectors must match in length");
+        for (i, (&l, &h)) in lo.iter().zip(&hi).enumerate() {
+            assert!(l <= h, "bound {i}: lo {l} > hi {h}");
+        }
+        BoxBounds { lo, hi }
+    }
+
+    /// Unbounded box of dimension `n`.
+    pub fn free(n: usize) -> Self {
+        BoxBounds {
+            lo: vec![f64::NEG_INFINITY; n],
+            hi: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// Non-negative orthant of dimension `n`.
+    pub fn nonneg(n: usize) -> Self {
+        BoxBounds {
+            lo: vec![0.0; n],
+            hi: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Projects `x` onto the box in place.
+    pub fn project(&self, x: &mut [f64]) {
+        for ((xi, &l), &h) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *xi = xi.clamp(l, h);
+        }
+    }
+
+    /// Whether `x` lies inside the box within `tol`.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        x.iter()
+            .zip(&self.lo)
+            .zip(&self.hi)
+            .all(|((&xi, &l), &h)| xi >= l - tol && xi <= h + tol)
+    }
+}
+
+/// Central-difference numeric gradient of `f` at `x`.
+///
+/// Step size scales with the coordinate magnitude to stay accurate across
+/// wildly different variable scales (CPU shares in `[0,1]` vs request rates
+/// in the thousands).
+pub fn numeric_gradient(f: &dyn Fn(&[f64]) -> f64, x: &[f64]) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for i in 0..x.len() {
+        let h = 1e-6 * (1.0 + x[i].abs());
+        let orig = xp[i];
+        xp[i] = orig + h;
+        let fp = f(&xp);
+        xp[i] = orig - h;
+        let fm = f(&xp);
+        xp[i] = orig;
+        g[i] = (fp - fm) / (2.0 * h);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_clamps_each_coordinate() {
+        let b = BoxBounds::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+        let mut x = vec![2.0, -3.0];
+        b.project(&mut x);
+        assert_eq!(x, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn contains_respects_tolerance() {
+        let b = BoxBounds::nonneg(1);
+        assert!(b.contains(&[0.0], 0.0));
+        assert!(b.contains(&[-1e-12], 1e-9));
+        assert!(!b.contains(&[-1.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn rejects_inverted_bounds() {
+        BoxBounds::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn numeric_gradient_of_quadratic() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+        let g = numeric_gradient(&f, &[2.0, 5.0]);
+        assert!((g[0] - 4.0).abs() < 1e-5);
+        assert!((g[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn numeric_gradient_scales_with_magnitude() {
+        // Large coordinates should not destroy accuracy.
+        let f = |x: &[f64]| 0.5 * x[0] * x[0];
+        let g = numeric_gradient(&f, &[1.0e6]);
+        assert!((g[0] - 1.0e6).abs() < 1.0, "g = {}", g[0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Projected gradient descent with Armijo backtracking over box constraints.
+//!
+//! This is the inner solver of the penalty / augmented-Lagrangian loops. It
+//! is deliberately simple — dense numeric gradients and monotone descent —
+//! because the big-M dispatch problems it targets have at most a few hundred
+//! variables and smooth-between-kinks merit functions.
+
+use crate::func::{numeric_gradient, BoxBounds};
+
+/// Options for [`minimize_box`].
+#[derive(Debug, Clone)]
+pub struct GradientOptions {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Initial step size tried at each iteration.
+    pub initial_step: f64,
+    /// Armijo sufficient-decrease coefficient.
+    pub armijo_c: f64,
+    /// Backtracking shrink factor.
+    pub backtrack: f64,
+    /// Stop when the projected-gradient step moves less than this (relative).
+    pub x_tol: f64,
+    /// Stop when the objective improves less than this (relative).
+    pub f_tol: f64,
+}
+
+impl Default for GradientOptions {
+    fn default() -> Self {
+        GradientOptions {
+            max_iters: 2_000,
+            initial_step: 1.0,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            x_tol: 1e-10,
+            f_tol: 1e-12,
+        }
+    }
+}
+
+/// Result of a box-constrained minimization.
+#[derive(Debug, Clone)]
+pub struct GradientResult {
+    /// Best point found (inside the box).
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub f: f64,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Whether a stopping tolerance (rather than the iteration cap) fired.
+    pub converged: bool,
+}
+
+/// Minimizes `f` over the box by projected gradient descent starting at
+/// `x0` (projected into the box first).
+pub fn minimize_box(
+    f: &dyn Fn(&[f64]) -> f64,
+    bounds: &BoxBounds,
+    x0: &[f64],
+    opts: &GradientOptions,
+) -> GradientResult {
+    assert_eq!(x0.len(), bounds.dim(), "x0 dimension mismatch");
+    let mut x = x0.to_vec();
+    bounds.project(&mut x);
+    let mut fx = f(&x);
+    let mut step_seed = opts.initial_step;
+
+    for it in 0..opts.max_iters {
+        let g = numeric_gradient(f, &x);
+        let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if gnorm < 1e-14 {
+            return GradientResult { x, f: fx, iterations: it, converged: true };
+        }
+
+        // Backtracking line search along the projected path.
+        let mut alpha = step_seed;
+        let mut accepted = false;
+        for _ in 0..60 {
+            let mut cand: Vec<f64> = x.iter().zip(&g).map(|(&xi, &gi)| xi - alpha * gi).collect();
+            bounds.project(&mut cand);
+            let fc = f(&cand);
+            // Projected Armijo: compare against the actual movement.
+            let movement: f64 = cand
+                .iter()
+                .zip(&x)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            if movement == 0.0 {
+                break; // pinned at a box corner along -g
+            }
+            if fc <= fx - opts.armijo_c * movement * gnorm {
+                let df = fx - fc;
+                let dx = movement;
+                x = cand;
+                fx = fc;
+                accepted = true;
+                // Mild step-size adaptation for the next iteration.
+                step_seed = (alpha * 2.0).min(opts.initial_step * 16.0);
+                if dx < opts.x_tol * (1.0 + x.iter().map(|v| v.abs()).fold(0.0, f64::max))
+                    || df < opts.f_tol * (1.0 + fx.abs())
+                {
+                    return GradientResult { x, f: fx, iterations: it + 1, converged: true };
+                }
+                break;
+            }
+            alpha *= opts.backtrack;
+        }
+        if !accepted {
+            // No descent direction within the line-search budget: either at
+            // a stationary point of the projection or the gradient is noise.
+            return GradientResult { x, f: fx, iterations: it, converged: true };
+        }
+    }
+    GradientResult {
+        x,
+        f: fx,
+        iterations: opts.max_iters,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_quadratic() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let b = BoxBounds::free(2);
+        let r = minimize_box(&f, &b, &[0.0, 0.0], &GradientOptions::default());
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-4);
+        assert!(r.f < 1e-7);
+    }
+
+    #[test]
+    fn active_box_constraint() {
+        // min (x-3)^2 over [0, 2] -> x = 2.
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2);
+        let b = BoxBounds::new(vec![0.0], vec![2.0]);
+        let r = minimize_box(&f, &b, &[0.5], &GradientOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-6, "{:?}", r.x);
+    }
+
+    #[test]
+    fn rosenbrock_in_a_box() {
+        let f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let b = BoxBounds::new(vec![-2.0, -2.0], vec![2.0, 2.0]);
+        let opts = GradientOptions { max_iters: 60_000, ..GradientOptions::default() };
+        let r = minimize_box(&f, &b, &[-1.2, 1.0], &opts);
+        // Plain PGD converges slowly on Rosenbrock; accept a loose ball.
+        assert!(r.f < 1e-3, "f = {}, x = {:?}", r.f, r.x);
+    }
+
+    #[test]
+    fn starts_outside_box_get_projected() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let b = BoxBounds::new(vec![1.0], vec![5.0]);
+        let r = minimize_box(&f, &b, &[100.0], &GradientOptions::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_gradient_converges_immediately() {
+        let f = |_: &[f64]| 7.0;
+        let b = BoxBounds::free(3);
+        let r = minimize_box(&f, &b, &[1.0, 2.0, 3.0], &GradientOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.f, 7.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # palb-nlp — nonlinear programming substrate
+//!
+//! The paper solves its multi-level-TUF formulation with commercial
+//! nonlinear / constraint-logic solvers (ILOG CPLEX, AIMMS). This crate is
+//! the from-scratch replacement used by `palb-core`'s paper-literal big-M
+//! path: projected gradient descent over box constraints, wrapped by an
+//! exterior penalty method and an augmented Lagrangian for general
+//! inequality/equality constraints.
+//!
+//! The exact branch-and-bound solver in `palb-core` remains the primary
+//! optimizer; this crate exists to reproduce (and cross-check) the
+//! continuous reformulation the paper actually shipped to its solvers.
+//!
+//! ```
+//! use palb_nlp::{BoxBounds, ConstrainedNlp, PenaltyOptions, solve_augmented_lagrangian};
+//!
+//! // min x² + y²  subject to  x + y ≥ 1.
+//! let nlp = ConstrainedNlp {
+//!     objective: Box::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1]),
+//!     inequalities: vec![Box::new(|x: &[f64]| 1.0 - x[0] - x[1])],
+//!     equalities: vec![],
+//!     bounds: BoxBounds::free(2),
+//! };
+//! let r = solve_augmented_lagrangian(&nlp, &[0.0, 0.0], &PenaltyOptions::default());
+//! assert!(r.feasible);
+//! assert!((r.x[0] - 0.5).abs() < 1e-2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod func;
+mod gradient;
+mod penalty;
+
+pub use func::{numeric_gradient, BoxBounds, ScalarFn};
+pub use gradient::{minimize_box, GradientOptions, GradientResult};
+pub use penalty::{
+    solve_augmented_lagrangian, solve_penalty, ConstrainedNlp, ConstrainedResult, PenaltyOptions,
+};

@@ -1,0 +1,269 @@
+//! Exterior penalty and augmented-Lagrangian wrappers that reduce a
+//! constrained NLP to a sequence of box-constrained minimizations.
+
+use crate::func::{BoxBounds, ScalarFn};
+use crate::gradient::{minimize_box, GradientOptions, GradientResult};
+
+/// A constrained nonlinear program:
+/// minimize `objective` subject to `inequalities[i](x) ≤ 0`,
+/// `equalities[j](x) = 0`, and `bounds`.
+pub struct ConstrainedNlp<'a> {
+    /// Objective to minimize.
+    pub objective: ScalarFn<'a>,
+    /// Inequality residuals, feasible when ≤ 0.
+    pub inequalities: Vec<ScalarFn<'a>>,
+    /// Equality residuals, feasible when = 0.
+    pub equalities: Vec<ScalarFn<'a>>,
+    /// Box bounds on the variables.
+    pub bounds: BoxBounds,
+}
+
+/// Options for the outer penalty / augmented-Lagrangian loop.
+#[derive(Debug, Clone)]
+pub struct PenaltyOptions {
+    /// Initial penalty weight μ.
+    pub mu0: f64,
+    /// Multiplicative growth of μ per outer iteration.
+    pub mu_growth: f64,
+    /// Maximum outer iterations.
+    pub max_outer: usize,
+    /// Constraint-violation tolerance declaring feasibility.
+    pub feas_tol: f64,
+    /// Inner solver options.
+    pub inner: GradientOptions,
+}
+
+impl Default for PenaltyOptions {
+    fn default() -> Self {
+        PenaltyOptions {
+            mu0: 10.0,
+            mu_growth: 10.0,
+            max_outer: 12,
+            feas_tol: 1e-6,
+            inner: GradientOptions::default(),
+        }
+    }
+}
+
+/// Result of a constrained solve.
+#[derive(Debug, Clone)]
+pub struct ConstrainedResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective at `x` (the true objective, not the merit function).
+    pub objective: f64,
+    /// Worst constraint violation at `x` (0 when feasible).
+    pub max_violation: f64,
+    /// Total inner iterations across all outer rounds.
+    pub inner_iterations: usize,
+    /// Whether `max_violation ≤ feas_tol` was reached.
+    pub feasible: bool,
+}
+
+fn max_violation(nlp: &ConstrainedNlp<'_>, x: &[f64]) -> f64 {
+    let gi = nlp
+        .inequalities
+        .iter()
+        .map(|g| g(x).max(0.0))
+        .fold(0.0_f64, f64::max);
+    let hi = nlp
+        .equalities
+        .iter()
+        .map(|h| h(x).abs())
+        .fold(0.0_f64, f64::max);
+    gi.max(hi)
+}
+
+/// Classic exterior quadratic penalty: minimize
+/// `f(x) + μ·(Σ max(0, g)² + Σ h²)` for growing μ.
+pub fn solve_penalty(
+    nlp: &ConstrainedNlp<'_>,
+    x0: &[f64],
+    opts: &PenaltyOptions,
+) -> ConstrainedResult {
+    let mut x = x0.to_vec();
+    nlp.bounds.project(&mut x);
+    let mut mu = opts.mu0;
+    let mut inner_total = 0;
+
+    for _ in 0..opts.max_outer {
+        let merit = |p: &[f64]| {
+            let mut v = (nlp.objective)(p);
+            for g in &nlp.inequalities {
+                let gv = g(p).max(0.0);
+                v += mu * gv * gv;
+            }
+            for h in &nlp.equalities {
+                let hv = h(p);
+                v += mu * hv * hv;
+            }
+            v
+        };
+        let GradientResult { x: xi, iterations, .. } =
+            minimize_box(&merit, &nlp.bounds, &x, &opts.inner);
+        x = xi;
+        inner_total += iterations;
+        if max_violation(nlp, &x) <= opts.feas_tol {
+            break;
+        }
+        mu *= opts.mu_growth;
+    }
+
+    let violation = max_violation(nlp, &x);
+    ConstrainedResult {
+        objective: (nlp.objective)(&x),
+        max_violation: violation,
+        inner_iterations: inner_total,
+        feasible: violation <= opts.feas_tol,
+        x,
+    }
+}
+
+/// Augmented Lagrangian (method of multipliers) with the standard
+/// `max(0, λ + μ g)` treatment of inequalities. Usually reaches feasibility
+/// at much smaller μ than the pure penalty, improving conditioning.
+pub fn solve_augmented_lagrangian(
+    nlp: &ConstrainedNlp<'_>,
+    x0: &[f64],
+    opts: &PenaltyOptions,
+) -> ConstrainedResult {
+    let mut x = x0.to_vec();
+    nlp.bounds.project(&mut x);
+    let mut mu = opts.mu0;
+    let mut lam_g = vec![0.0_f64; nlp.inequalities.len()];
+    let mut lam_h = vec![0.0_f64; nlp.equalities.len()];
+    let mut inner_total = 0;
+
+    for _ in 0..opts.max_outer {
+        let merit = |p: &[f64]| {
+            let mut v = (nlp.objective)(p);
+            for (g, &l) in nlp.inequalities.iter().zip(&lam_g) {
+                let t = (l + mu * g(p)).max(0.0);
+                v += (t * t - l * l) / (2.0 * mu);
+            }
+            for (h, &l) in nlp.equalities.iter().zip(&lam_h) {
+                let hv = h(p);
+                v += l * hv + 0.5 * mu * hv * hv;
+            }
+            v
+        };
+        let GradientResult { x: xi, iterations, .. } =
+            minimize_box(&merit, &nlp.bounds, &x, &opts.inner);
+        x = xi;
+        inner_total += iterations;
+
+        // Multiplier updates.
+        for (g, l) in nlp.inequalities.iter().zip(&mut lam_g) {
+            *l = (*l + mu * g(&x)).max(0.0);
+        }
+        for (h, l) in nlp.equalities.iter().zip(&mut lam_h) {
+            *l += mu * h(&x);
+        }
+        if max_violation(nlp, &x) <= opts.feas_tol {
+            break;
+        }
+        mu *= opts.mu_growth.sqrt().max(2.0);
+    }
+
+    let violation = max_violation(nlp, &x);
+    ConstrainedResult {
+        objective: (nlp.objective)(&x),
+        max_violation: violation,
+        inner_iterations: inner_total,
+        feasible: violation <= opts.feas_tol,
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_nlp<'a>() -> ConstrainedNlp<'a> {
+        // min x² + y²  s.t.  x + y ≥ 1  → (0.5, 0.5), f = 0.5
+        ConstrainedNlp {
+            objective: Box::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1]),
+            inequalities: vec![Box::new(|x: &[f64]| 1.0 - x[0] - x[1])],
+            equalities: vec![],
+            bounds: BoxBounds::free(2),
+        }
+    }
+
+    #[test]
+    fn penalty_finds_projection_onto_halfspace() {
+        let r = solve_penalty(&simple_nlp(), &[0.0, 0.0], &PenaltyOptions::default());
+        assert!(r.feasible, "violation {}", r.max_violation);
+        assert!((r.x[0] - 0.5).abs() < 1e-2, "{:?}", r.x);
+        assert!((r.x[1] - 0.5).abs() < 1e-2);
+        assert!((r.objective - 0.5).abs() < 2e-2);
+    }
+
+    #[test]
+    fn augmented_lagrangian_matches_penalty() {
+        let rp = solve_penalty(&simple_nlp(), &[0.0, 0.0], &PenaltyOptions::default());
+        let ra =
+            solve_augmented_lagrangian(&simple_nlp(), &[0.0, 0.0], &PenaltyOptions::default());
+        assert!(ra.feasible);
+        assert!((ra.objective - rp.objective).abs() < 2e-2);
+        // AL should be at least as accurate on the active constraint.
+        assert!(ra.max_violation <= 1e-5);
+    }
+
+    #[test]
+    fn equality_constraint_circle() {
+        // min x + y  s.t.  x² + y² = 1  → (-√½, -√½), f = -√2
+        let nlp = ConstrainedNlp {
+            objective: Box::new(|x: &[f64]| x[0] + x[1]),
+            inequalities: vec![],
+            equalities: vec![Box::new(|x: &[f64]| x[0] * x[0] + x[1] * x[1] - 1.0)],
+            bounds: BoxBounds::new(vec![-2.0, -2.0], vec![2.0, 2.0]),
+        };
+        let r = solve_augmented_lagrangian(&nlp, &[-0.5, -0.6], &PenaltyOptions::default());
+        assert!(r.feasible, "violation {}", r.max_violation);
+        assert!((r.objective + std::f64::consts::SQRT_2).abs() < 1e-2, "f = {}", r.objective);
+    }
+
+    #[test]
+    fn inactive_constraints_do_not_perturb() {
+        // min (x-1)² with a constraint x ≤ 100 that never binds.
+        let nlp = ConstrainedNlp {
+            objective: Box::new(|x: &[f64]| (x[0] - 1.0).powi(2)),
+            inequalities: vec![Box::new(|x: &[f64]| x[0] - 100.0)],
+            equalities: vec![],
+            bounds: BoxBounds::free(1),
+        };
+        let r = solve_penalty(&nlp, &[0.0], &PenaltyOptions::default());
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_box_even_when_constraints_pull_outside() {
+        // min (x-5)² s.t. x ≤ 10, box [0, 2]: box wins, x = 2.
+        let nlp = ConstrainedNlp {
+            objective: Box::new(|x: &[f64]| (x[0] - 5.0).powi(2)),
+            inequalities: vec![Box::new(|x: &[f64]| x[0] - 10.0)],
+            equalities: vec![],
+            bounds: BoxBounds::new(vec![0.0], vec![2.0]),
+        };
+        let r = solve_penalty(&nlp, &[1.0], &PenaltyOptions::default());
+        assert!((r.x[0] - 2.0).abs() < 1e-6);
+        assert!(r.feasible);
+    }
+
+    #[test]
+    fn reports_infeasible_when_constraints_conflict() {
+        // x ≤ -1 and x ≥ 1 cannot both hold.
+        let nlp = ConstrainedNlp {
+            objective: Box::new(|x: &[f64]| x[0] * x[0]),
+            inequalities: vec![
+                Box::new(|x: &[f64]| x[0] + 1.0),  // x <= -1
+                Box::new(|x: &[f64]| 1.0 - x[0]),  // x >= 1
+            ],
+            equalities: vec![],
+            bounds: BoxBounds::free(1),
+        };
+        let r = solve_penalty(&nlp, &[0.0], &PenaltyOptions::default());
+        assert!(!r.feasible);
+        assert!(r.max_violation > 0.5);
+    }
+}

@@ -1,0 +1,350 @@
+//! Discrete-event simulation of FCFS queueing networks.
+//!
+//! Used to *validate* the analytic M/M/1 abstraction the optimizer relies on
+//! (paper Eq. 1) and to replay optimizer decisions at per-request
+//! granularity: each (class, server) VM in the paper's system is an
+//! independent M/M/1 queue whose service rate is the VM's CPU share times
+//! the server's full-capacity rate.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Exp};
+
+use crate::stats::SampleStats;
+
+/// A time-stamped event in the priority queue. Ties break by insertion
+/// sequence so the simulation is fully deterministic for a given seed.
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Minimal deterministic future-event list.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    pub fn push(&mut self, time: f64, event: E) {
+        debug_assert!(time.is_finite(), "scheduling at non-finite time");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configuration of one FCFS single-server queue in the network.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSpec {
+    /// Poisson arrival rate λ (may be 0 for an idle VM).
+    pub arrival_rate: f64,
+    /// Exponential service rate µ (> 0).
+    pub service_rate: f64,
+}
+
+/// Per-queue simulation output.
+#[derive(Debug, Clone, Default)]
+pub struct QueueResult {
+    /// Sojourn (response) times of requests completed after warm-up.
+    pub sojourn: SampleStats,
+    /// Requests completed after warm-up.
+    pub completed: u64,
+    /// Fraction of post-warm-up time the server was busy.
+    pub utilization: f64,
+}
+
+struct QueueState {
+    spec: QueueSpec,
+    fifo: VecDeque<f64>,
+    busy: bool,
+    busy_since: f64,
+    busy_time: f64,
+    result: QueueResult,
+}
+
+enum Ev {
+    Arrival(usize),
+    Departure(usize),
+}
+
+/// Simulates a network of independent FCFS queues for `horizon` time units,
+/// discarding all requests that *complete* before `warmup`.
+///
+/// Deterministic for a fixed `seed`.
+pub fn simulate_network(
+    specs: &[QueueSpec],
+    horizon: f64,
+    warmup: f64,
+    seed: u64,
+) -> Vec<QueueResult> {
+    assert!(horizon > warmup && warmup >= 0.0, "bad horizon/warmup");
+    for (i, s) in specs.iter().enumerate() {
+        assert!(
+            s.arrival_rate >= 0.0 && s.service_rate > 0.0,
+            "queue {i}: bad rates"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = EventQueue::new();
+    let mut queues: Vec<QueueState> = specs
+        .iter()
+        .map(|&spec| QueueState {
+            spec,
+            fifo: VecDeque::new(),
+            busy: false,
+            busy_since: 0.0,
+            busy_time: 0.0,
+            result: QueueResult::default(),
+        })
+        .collect();
+
+    // Prime first arrivals.
+    for (i, q) in queues.iter().enumerate() {
+        if q.spec.arrival_rate > 0.0 {
+            let exp = Exp::new(q.spec.arrival_rate).unwrap();
+            events.push(exp.sample(&mut rng), Ev::Arrival(i));
+        }
+    }
+
+    while let Some((t, ev)) = events.pop() {
+        if t > horizon {
+            break;
+        }
+        match ev {
+            Ev::Arrival(i) => {
+                let q = &mut queues[i];
+                // Next arrival of this queue's Poisson stream.
+                let exp_a = Exp::new(q.spec.arrival_rate).unwrap();
+                events.push(t + exp_a.sample(&mut rng), Ev::Arrival(i));
+
+                q.fifo.push_back(t);
+                if !q.busy {
+                    q.busy = true;
+                    q.busy_since = t;
+                    let exp_s = Exp::new(q.spec.service_rate).unwrap();
+                    events.push(t + exp_s.sample(&mut rng), Ev::Departure(i));
+                }
+            }
+            Ev::Departure(i) => {
+                let q = &mut queues[i];
+                let arrived = q
+                    .fifo
+                    .pop_front()
+                    .expect("departure from an empty queue");
+                if t >= warmup {
+                    q.result.sojourn.push(t - arrived);
+                    q.result.completed += 1;
+                }
+                if let Some(_next) = q.fifo.front() {
+                    let exp_s = Exp::new(q.spec.service_rate).unwrap();
+                    events.push(t + exp_s.sample(&mut rng), Ev::Departure(i));
+                } else {
+                    q.busy = false;
+                    // Accumulate the busy stretch that overlaps post-warmup.
+                    let start = q.busy_since.max(warmup);
+                    if t > start {
+                        q.busy_time += t - start;
+                    }
+                }
+            }
+        }
+    }
+
+    let measured = horizon - warmup;
+    queues
+        .into_iter()
+        .map(|mut q| {
+            // Close out a busy period still open at the horizon.
+            if q.busy {
+                let start = q.busy_since.max(warmup);
+                if horizon > start {
+                    q.busy_time += horizon - start;
+                }
+            }
+            q.result.utilization = if measured > 0.0 {
+                (q.busy_time / measured).min(1.0)
+            } else {
+                0.0
+            };
+            q.result
+        })
+        .collect()
+}
+
+/// Convenience: simulate a single M/M/1 queue.
+pub fn simulate_mm1(
+    lambda: f64,
+    mu: f64,
+    horizon: f64,
+    warmup: f64,
+    seed: u64,
+) -> QueueResult {
+    simulate_network(
+        &[QueueSpec {
+            arrival_rate: lambda,
+            service_rate: mu,
+        }],
+        horizon,
+        warmup,
+        seed,
+    )
+    .pop()
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn event_queue_orders_by_time_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "b");
+        q.push(1.0, "a");
+        q.push(2.0, "c"); // same time as "b", inserted later
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_analytic() {
+        let lambda = 7.0;
+        let mu = 10.0;
+        let r = simulate_mm1(lambda, mu, 20_000.0, 1_000.0, 42);
+        let analytic = Mm1::new(lambda, mu).mean_sojourn();
+        let ci = 4.0 * r.sojourn.ci95_half_width();
+        assert!(
+            (r.sojourn.mean() - analytic).abs() < ci.max(0.02 * analytic),
+            "sim {} vs analytic {analytic} (ci {ci})",
+            r.sojourn.mean()
+        );
+    }
+
+    #[test]
+    fn mm1_utilization_matches_rho() {
+        let r = simulate_mm1(3.0, 10.0, 50_000.0, 1_000.0, 7);
+        assert!(
+            (r.utilization - 0.3).abs() < 0.02,
+            "utilization {}",
+            r.utilization
+        );
+    }
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let a = simulate_mm1(5.0, 8.0, 500.0, 50.0, 123);
+        let b = simulate_mm1(5.0, 8.0, 500.0, 50.0, 123);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.sojourn.mean(), b.sojourn.mean());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = simulate_mm1(5.0, 8.0, 500.0, 50.0, 1);
+        let b = simulate_mm1(5.0, 8.0, 500.0, 50.0, 2);
+        assert_ne!(a.sojourn.mean(), b.sojourn.mean());
+    }
+
+    #[test]
+    fn network_queues_are_independent() {
+        let specs = [
+            QueueSpec { arrival_rate: 2.0, service_rate: 10.0 },
+            QueueSpec { arrival_rate: 8.0, service_rate: 10.0 },
+        ];
+        let rs = simulate_network(&specs, 20_000.0, 1_000.0, 99);
+        let a0 = Mm1::new(2.0, 10.0).mean_sojourn();
+        let a1 = Mm1::new(8.0, 10.0).mean_sojourn();
+        assert!((rs[0].sojourn.mean() - a0).abs() < 0.05 * a0.max(0.1));
+        assert!((rs[1].sojourn.mean() - a1).abs() < 0.08 * a1);
+        // Heavier queue has longer sojourns.
+        assert!(rs[1].sojourn.mean() > rs[0].sojourn.mean());
+    }
+
+    #[test]
+    fn idle_queue_produces_nothing() {
+        let rs = simulate_network(
+            &[QueueSpec { arrival_rate: 0.0, service_rate: 5.0 }],
+            100.0,
+            0.0,
+            5,
+        );
+        assert_eq!(rs[0].completed, 0);
+        assert_eq!(rs[0].utilization, 0.0);
+    }
+
+    #[test]
+    fn completed_count_tracks_throughput() {
+        // Stable queue: post-warmup completions ≈ λ · (horizon − warmup).
+        let lambda = 4.0;
+        let r = simulate_mm1(lambda, 10.0, 10_000.0, 500.0, 11);
+        let expect = lambda * 9_500.0;
+        let tol = 0.05 * expect;
+        assert!(
+            (r.completed as f64 - expect).abs() < tol,
+            "completed {} vs {expect}",
+            r.completed
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # palb-queueing — queueing analytics and discrete-event simulation
+//!
+//! The paper's optimizer treats every (request class, server) VM as an
+//! **M/M/1 queue** whose service rate is the VM's CPU share times the
+//! server's full-capacity rate for that class (paper Eq. 1). This crate
+//! provides:
+//!
+//! * [`Mm1`] / [`expected_delay`] — the analytic model and its inversions
+//!   (minimum CPU share for a deadline, maximum rate under a share),
+//! * [`Mmc`] — an Erlang-C extension used by the pooling ablation,
+//! * [`des`] — a deterministic event-driven simulator of FCFS queue
+//!   networks, used to validate Eq. 1 and to replay optimizer decisions at
+//!   per-request granularity,
+//! * [`lindley`] — a fast Lindley-recursion M/M/1 sampler cross-checking
+//!   the DES,
+//! * [`stats`] — Welford moments and percentile queries.
+//!
+//! ```
+//! use palb_queueing::{expected_delay, Mm1};
+//!
+//! // A VM with 50% of a capacity-1 server whose full rate is 10 req/h,
+//! // fed 3 req/h, responds in 1/(0.5·10 − 3) = 0.5 h on average.
+//! assert_eq!(expected_delay(0.5, 1.0, 10.0, 3.0), 0.5);
+//! assert!(Mm1::new(3.0, 5.0).is_stable());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod des;
+pub mod lindley;
+mod mg1;
+mod mm1;
+mod mmc;
+pub mod stats;
+
+pub use des::{simulate_mm1, simulate_network, EventQueue, QueueResult, QueueSpec};
+pub use lindley::{simulate_mm1_lindley, LindleyResult};
+pub use mg1::{simulate_mg1_lindley, Mg1, ServiceDist};
+pub use mm1::{expected_delay, max_rate_for_deadline, required_share, Mm1};
+pub use mmc::Mmc;
+pub use stats::{SampleStats, Welford};

@@ -1,0 +1,118 @@
+//! Fast customer-driven M/M/1 simulation via the Lindley recursion:
+//!
+//! ```text
+//!   W₀ = 0,    W_{n+1} = max(0, W_n + S_n − A_{n+1})
+//! ```
+//!
+//! where `S` are service times and `A` interarrival times. Tens of millions
+//! of customers per second with no event queue — used as an independent
+//! cross-check of the event-driven simulator in [`crate::des`] and as the
+//! fast path for large per-request TUF replays.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Exp};
+
+use crate::stats::SampleStats;
+
+/// Output of a Lindley-recursion run.
+#[derive(Debug, Clone)]
+pub struct LindleyResult {
+    /// Sojourn times (waiting + service) of measured customers.
+    pub sojourn: SampleStats,
+}
+
+/// Simulates `customers` arrivals through an M/M/1 queue, discarding the
+/// first `warmup_customers` from the statistics. Deterministic per seed.
+pub fn simulate_mm1_lindley(
+    lambda: f64,
+    mu: f64,
+    customers: usize,
+    warmup_customers: usize,
+    seed: u64,
+) -> LindleyResult {
+    assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
+    assert!(warmup_customers < customers, "warm-up swallows the run");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let interarrival = Exp::new(lambda).unwrap();
+    let service = Exp::new(mu).unwrap();
+
+    let mut sojourn = SampleStats::new();
+    let mut w = 0.0_f64; // waiting time of the current customer
+    for n in 0..customers {
+        let s = service.sample(&mut rng);
+        if n >= warmup_customers {
+            sojourn.push(w + s);
+        }
+        let a = interarrival.sample(&mut rng);
+        w = (w + s - a).max(0.0);
+    }
+    LindleyResult { sojourn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate_mm1;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn matches_analytic_mean() {
+        let lambda = 6.0;
+        let mu = 10.0;
+        let r = simulate_mm1_lindley(lambda, mu, 400_000, 10_000, 2024);
+        let analytic = Mm1::new(lambda, mu).mean_sojourn();
+        assert!(
+            (r.sojourn.mean() - analytic).abs() < 0.02 * analytic,
+            "lindley {} vs analytic {analytic}",
+            r.sojourn.mean()
+        );
+    }
+
+    #[test]
+    fn matches_event_driven_simulator() {
+        let lambda = 4.0;
+        let mu = 6.0;
+        let lr = simulate_mm1_lindley(lambda, mu, 300_000, 10_000, 9);
+        let dr = simulate_mm1(lambda, mu, 80_000.0, 2_000.0, 9);
+        let rel =
+            (lr.sojourn.mean() - dr.sojourn.mean()).abs() / dr.sojourn.mean();
+        assert!(
+            rel < 0.05,
+            "lindley {} vs des {}",
+            lr.sojourn.mean(),
+            dr.sojourn.mean()
+        );
+    }
+
+    #[test]
+    fn sojourn_tail_is_exponential() {
+        // P(T > t) = e^{-(mu-lambda) t}: check the empirical tail at one point.
+        let lambda = 5.0;
+        let mu = 10.0;
+        let mut r = simulate_mm1_lindley(lambda, mu, 300_000, 10_000, 77);
+        let t = Mm1::new(lambda, mu);
+        // Median of Exp(rate 5) is ln(2)/5.
+        let median = r.sojourn.percentile(0.5).unwrap();
+        let expect = (2.0_f64).ln() / (mu - lambda);
+        assert!(
+            (median - expect).abs() < 0.05 * expect,
+            "median {median} vs {expect}"
+        );
+        let _ = t;
+    }
+
+    #[test]
+    fn light_load_sojourn_close_to_service_time() {
+        let r = simulate_mm1_lindley(0.1, 10.0, 200_000, 5_000, 3);
+        // Almost no queueing: mean sojourn ≈ 1/µ.
+        assert!((r.sojourn.mean() - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_mm1_lindley(3.0, 5.0, 10_000, 100, 5);
+        let b = simulate_mm1_lindley(3.0, 5.0, 10_000, 100, 5);
+        assert_eq!(a.sojourn.mean(), b.sojourn.mean());
+    }
+}

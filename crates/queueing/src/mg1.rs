@@ -1,0 +1,239 @@
+//! M/G/1 analytics (Pollaczek–Khinchine) and general-service simulation.
+//!
+//! The paper's Eq. 1 assumes exponential service. Real request service
+//! times rarely are, so this module provides the Pollaczek–Khinchine
+//! mean-wait formula for arbitrary service-time variability and a
+//! distribution-agnostic Lindley-recursion simulator, letting the bench
+//! harness quantify how sensitive the optimizer's promises are to the
+//! M/M/1 assumption.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::SampleStats;
+
+/// Service-time distributions with mean `1/µ`, parameterized by their
+/// squared coefficient of variation `C² = Var[S]/E[S]²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceDist {
+    /// Deterministic service (`C² = 0`).
+    Deterministic,
+    /// Erlang-`k` (`C² = 1/k`), `k ≥ 1`.
+    Erlang(u32),
+    /// Exponential (`C² = 1`) — the paper's assumption.
+    Exponential,
+    /// Balanced two-phase hyperexponential with the given `C² > 1`.
+    Hyperexponential {
+        /// Squared coefficient of variation (must exceed 1).
+        scv: f64,
+    },
+}
+
+impl ServiceDist {
+    /// The squared coefficient of variation of the distribution.
+    pub fn scv(&self) -> f64 {
+        match *self {
+            ServiceDist::Deterministic => 0.0,
+            ServiceDist::Erlang(k) => {
+                assert!(k >= 1, "Erlang shape must be >= 1");
+                1.0 / f64::from(k)
+            }
+            ServiceDist::Exponential => 1.0,
+            ServiceDist::Hyperexponential { scv } => {
+                assert!(scv > 1.0, "hyperexponential needs C^2 > 1, got {scv}");
+                scv
+            }
+        }
+    }
+
+    /// Samples one service time with mean `mean`.
+    pub fn sample(&self, mean: f64, rng: &mut StdRng) -> f64 {
+        debug_assert!(mean > 0.0);
+        match *self {
+            ServiceDist::Deterministic => mean,
+            ServiceDist::Exponential => sample_exp(mean, rng),
+            ServiceDist::Erlang(k) => {
+                let phase_mean = mean / f64::from(k);
+                (0..k).map(|_| sample_exp(phase_mean, rng)).sum()
+            }
+            ServiceDist::Hyperexponential { scv } => {
+                // Balanced-means H2: two exponential branches chosen with
+                // probability p / (1-p), tuned so E[S] = mean and the
+                // squared coefficient of variation equals `scv`.
+                let p = 0.5 * (1.0 + ((scv - 1.0) / (scv + 1.0)).sqrt());
+                let (prob, mean_branch) = if rng.gen_bool(p) {
+                    (p, mean / (2.0 * p))
+                } else {
+                    (1.0 - p, mean / (2.0 * (1.0 - p)))
+                };
+                let _ = prob;
+                sample_exp(mean_branch, rng)
+            }
+        }
+    }
+}
+
+fn sample_exp(mean: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(0.0_f64..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// An M/G/1 queue: Poisson arrivals at `lambda`, general service with rate
+/// `mu` (mean `1/µ`) and the given distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mg1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate µ.
+    pub mu: f64,
+    /// Service-time distribution.
+    pub dist: ServiceDist,
+}
+
+impl Mg1 {
+    /// Creates the queue; panics on degenerate rates.
+    pub fn new(lambda: f64, mu: f64, dist: ServiceDist) -> Self {
+        assert!(lambda >= 0.0 && mu > 0.0, "bad rates");
+        Mg1 { lambda, mu, dist }
+    }
+
+    /// Utilization `ρ = λ/µ`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Stability (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Pollaczek–Khinchine mean waiting time:
+    /// `W_q = ρ·(1 + C²) / (2·µ·(1 − ρ))`.
+    pub fn mean_wait(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let rho = self.rho();
+        rho * (1.0 + self.dist.scv()) / (2.0 * self.mu * (1.0 - rho))
+    }
+
+    /// Mean sojourn time `R = W_q + 1/µ`.
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_wait() + 1.0 / self.mu
+    }
+}
+
+/// Simulates an M/G/1 queue by the Lindley recursion with the given
+/// service distribution. Deterministic per seed.
+pub fn simulate_mg1_lindley(
+    lambda: f64,
+    mu: f64,
+    dist: ServiceDist,
+    customers: usize,
+    warmup: usize,
+    seed: u64,
+) -> SampleStats {
+    assert!(lambda > 0.0 && mu > 0.0 && warmup < customers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mean_service = 1.0 / mu;
+    let mean_interarrival = 1.0 / lambda;
+    let mut sojourn = SampleStats::new();
+    let mut w = 0.0_f64;
+    for i in 0..customers {
+        let s = dist.sample(mean_service, &mut rng);
+        if i >= warmup {
+            sojourn.push(w + s);
+        }
+        let a = sample_exp(mean_interarrival, &mut rng);
+        w = (w + s - a).max(0.0);
+    }
+    sojourn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn exponential_reduces_to_mm1() {
+        let g = Mg1::new(6.0, 10.0, ServiceDist::Exponential);
+        let m = Mm1::new(6.0, 10.0);
+        assert!((g.mean_sojourn() - m.mean_sojourn()).abs() < 1e-12);
+        assert_eq!(g.dist.scv(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_halves_the_wait() {
+        let exp = Mg1::new(6.0, 10.0, ServiceDist::Exponential);
+        let det = Mg1::new(6.0, 10.0, ServiceDist::Deterministic);
+        assert!((det.mean_wait() - 0.5 * exp.mean_wait()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_ordering() {
+        let mk = |d| Mg1::new(7.0, 10.0, d).mean_sojourn();
+        let det = mk(ServiceDist::Deterministic);
+        let er2 = mk(ServiceDist::Erlang(2));
+        let exp = mk(ServiceDist::Exponential);
+        let hyp = mk(ServiceDist::Hyperexponential { scv: 4.0 });
+        assert!(det < er2 && er2 < exp && exp < hyp);
+    }
+
+    #[test]
+    fn unstable_diverges() {
+        let g = Mg1::new(11.0, 10.0, ServiceDist::Exponential);
+        assert_eq!(g.mean_wait(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sampled_means_match_request() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for dist in [
+            ServiceDist::Deterministic,
+            ServiceDist::Erlang(3),
+            ServiceDist::Exponential,
+            ServiceDist::Hyperexponential { scv: 3.0 },
+        ] {
+            let n = 120_000;
+            let mean: f64 =
+                (0..n).map(|_| dist.sample(0.25, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - 0.25).abs() < 0.01,
+                "{dist:?}: sampled mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn hyperexponential_scv_is_realized() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let dist = ServiceDist::Hyperexponential { scv: 4.0 };
+        let n = 400_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(1.0, &mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let scv = var / (mean * mean);
+        assert!((scv - 4.0).abs() < 0.3, "realized C^2 = {scv}");
+    }
+
+    #[test]
+    fn lindley_matches_pollaczek_khinchine() {
+        for dist in [
+            ServiceDist::Deterministic,
+            ServiceDist::Erlang(2),
+            ServiceDist::Exponential,
+            ServiceDist::Hyperexponential { scv: 3.0 },
+        ] {
+            let analytic = Mg1::new(7.0, 10.0, dist).mean_sojourn();
+            let sim = simulate_mg1_lindley(7.0, 10.0, dist, 600_000, 20_000, 5);
+            let rel = (sim.mean() - analytic).abs() / analytic;
+            assert!(
+                rel < 0.05,
+                "{dist:?}: sim {} vs P-K {analytic}",
+                sim.mean()
+            );
+        }
+    }
+}

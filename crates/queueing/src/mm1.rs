@@ -1,0 +1,172 @@
+//! Analytic M/M/1 queue formulas, including the paper's Eq. 1 delay model
+//! for a class-`k` VM that owns a CPU share `φ` of a server with capacity
+//! `C` and full-capacity service rate `µ_k`:
+//!
+//! ```text
+//!   R_k = 1 / (φ_k · C · µ_k − λ_k)
+//! ```
+
+/// An M/M/1 queue with Poisson arrivals at rate `lambda` and exponential
+/// service at rate `mu` (same time unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate µ.
+    pub mu: f64,
+}
+
+impl Mm1 {
+    /// Creates the queue, panicking on non-finite or negative rates.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "bad lambda {lambda}");
+        assert!(mu.is_finite() && mu > 0.0, "bad mu {mu}");
+        Mm1 { lambda, mu }
+    }
+
+    /// Utilization `ρ = λ/µ`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Whether the queue is stable (`λ < µ`).
+    pub fn is_stable(&self) -> bool {
+        self.lambda < self.mu
+    }
+
+    /// Mean sojourn (response) time `R = 1/(µ − λ)`; `+inf` when unstable.
+    pub fn mean_sojourn(&self) -> f64 {
+        if self.is_stable() {
+            1.0 / (self.mu - self.lambda)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean waiting time in queue `W = ρ/(µ − λ)`.
+    pub fn mean_wait(&self) -> f64 {
+        if self.is_stable() {
+            self.rho() / (self.mu - self.lambda)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean number in system `L = ρ/(1 − ρ)` (Little's law check:
+    /// `L = λ·R`).
+    pub fn mean_number(&self) -> f64 {
+        if self.is_stable() {
+            self.rho() / (1.0 - self.rho())
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// P(sojourn > t) = `e^{−(µ−λ)t}` — the sojourn time of a stable M/M/1
+    /// is exponential with rate `µ − λ`.
+    pub fn prob_sojourn_exceeds(&self, t: f64) -> f64 {
+        if !self.is_stable() {
+            return 1.0;
+        }
+        (-(self.mu - self.lambda) * t).exp()
+    }
+}
+
+/// The paper's Eq. 1: expected delay of class-`k` requests on a server of
+/// capacity `c` when the class VM holds CPU share `phi` and the class's
+/// full-capacity service rate is `mu_k`. Returns `+inf` when the implied
+/// queue is unstable.
+pub fn expected_delay(phi: f64, c: f64, mu_k: f64, lambda: f64) -> f64 {
+    let rate = phi * c * mu_k;
+    if rate > lambda {
+        1.0 / (rate - lambda)
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Inverse of Eq. 1 in `φ`: the minimum CPU share that keeps the mean delay
+/// of `lambda` at or below `deadline`. Returns `None` for non-positive
+/// deadlines.
+pub fn required_share(lambda: f64, deadline: f64, c: f64, mu_k: f64) -> Option<f64> {
+    if deadline <= 0.0 || c <= 0.0 || mu_k <= 0.0 {
+        return None;
+    }
+    Some((lambda + 1.0 / deadline) / (c * mu_k))
+}
+
+/// Inverse of Eq. 1 in `λ`: the largest arrival rate a VM with share `phi`
+/// can carry while keeping mean delay ≤ `deadline`. Clamped at 0.
+pub fn max_rate_for_deadline(phi: f64, c: f64, mu_k: f64, deadline: f64) -> f64 {
+    if deadline <= 0.0 {
+        return 0.0;
+    }
+    (phi * c * mu_k - 1.0 / deadline).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_threshold() {
+        assert!(Mm1::new(0.9, 1.0).is_stable());
+        assert!(!Mm1::new(1.0, 1.0).is_stable());
+        assert!(!Mm1::new(1.5, 1.0).is_stable());
+    }
+
+    #[test]
+    fn sojourn_matches_closed_form() {
+        let q = Mm1::new(3.0, 5.0);
+        assert!((q.mean_sojourn() - 0.5).abs() < 1e-12);
+        assert!((q.mean_wait() - 0.3).abs() < 1e-12);
+        assert!((q.mean_number() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        let q = Mm1::new(7.0, 11.0);
+        assert!((q.mean_number() - q.lambda * q.mean_sojourn()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_queue_diverges() {
+        let q = Mm1::new(2.0, 1.0);
+        assert_eq!(q.mean_sojourn(), f64::INFINITY);
+        assert_eq!(q.prob_sojourn_exceeds(1.0), 1.0);
+    }
+
+    #[test]
+    fn sojourn_tail_is_exponential() {
+        let q = Mm1::new(1.0, 3.0);
+        // rate = 2; P(T > 0.5) = e^{-1}
+        assert!((q.prob_sojourn_exceeds(0.5) - (-1.0_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_expected_delay() {
+        // phi=0.5, C=1, mu=10, lambda=3 -> rate 5, delay 1/2.
+        assert!((expected_delay(0.5, 1.0, 10.0, 3.0) - 0.5).abs() < 1e-12);
+        assert_eq!(expected_delay(0.2, 1.0, 10.0, 3.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn required_share_inverts_eq1() {
+        let lambda = 4.0;
+        let d = 0.25;
+        let phi = required_share(lambda, d, 1.0, 10.0).unwrap();
+        let delay = expected_delay(phi, 1.0, 10.0, lambda);
+        assert!((delay - d).abs() < 1e-9);
+        assert_eq!(required_share(lambda, 0.0, 1.0, 10.0), None);
+    }
+
+    #[test]
+    fn max_rate_inverts_eq1() {
+        let phi = 0.6;
+        let d = 0.5;
+        let lam = max_rate_for_deadline(phi, 1.0, 10.0, d);
+        assert!((expected_delay(phi, 1.0, 10.0, lam) - d).abs() < 1e-9);
+        // Tiny share: clamped at zero.
+        assert_eq!(max_rate_for_deadline(0.01, 1.0, 10.0, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Analytic M/M/c (Erlang-C) queue — an extension beyond the paper's M/M/1
+//! model, used by the ablation benches to quantify how much the paper's
+//! "one VM per class per server" partitioning loses versus pooling the
+//! same aggregate capacity in a single multi-server queue.
+
+/// An M/M/c queue: Poisson arrivals at rate `lambda`, `c` parallel servers,
+/// each serving at rate `mu`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mmc {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Per-server service rate µ.
+    pub mu: f64,
+    /// Number of servers.
+    pub servers: usize,
+}
+
+impl Mmc {
+    /// Creates the queue; panics on degenerate parameters.
+    pub fn new(lambda: f64, mu: f64, servers: usize) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "bad lambda {lambda}");
+        assert!(mu.is_finite() && mu > 0.0, "bad mu {mu}");
+        assert!(servers >= 1, "need at least one server");
+        Mmc { lambda, mu, servers }
+    }
+
+    /// Offered load `a = λ/µ` (in Erlangs).
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Utilization per server `ρ = λ/(cµ)`.
+    pub fn rho(&self) -> f64 {
+        self.lambda / (self.servers as f64 * self.mu)
+    }
+
+    /// Whether the queue is stable (`ρ < 1`).
+    pub fn is_stable(&self) -> bool {
+        self.rho() < 1.0
+    }
+
+    /// Erlang-C: the probability an arriving request must wait.
+    ///
+    /// Computed with the numerically stable recurrence on the Erlang-B
+    /// blocking probability: `B(0) = 1`, `B(k) = a·B(k−1) / (k + a·B(k−1))`,
+    /// then `C = B / (1 − ρ(1 − B))`.
+    pub fn prob_wait(&self) -> f64 {
+        if !self.is_stable() {
+            return 1.0;
+        }
+        let a = self.offered_load();
+        if a == 0.0 {
+            return 0.0;
+        }
+        let mut b = 1.0;
+        for k in 1..=self.servers {
+            b = a * b / (k as f64 + a * b);
+        }
+        let rho = self.rho();
+        b / (1.0 - rho * (1.0 - b))
+    }
+
+    /// Mean waiting time in queue `W_q = C(c, a) / (cµ − λ)`.
+    pub fn mean_wait(&self) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        self.prob_wait() / (self.servers as f64 * self.mu - self.lambda)
+    }
+
+    /// Mean sojourn time `R = W_q + 1/µ`.
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_wait() + 1.0 / self.mu
+    }
+
+    /// Mean number in system via Little's law.
+    pub fn mean_number(&self) -> f64 {
+        self.lambda * self.mean_sojourn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::Mm1;
+
+    #[test]
+    fn single_server_reduces_to_mm1() {
+        let lambda = 0.7;
+        let mu = 1.0;
+        let mmc = Mmc::new(lambda, mu, 1);
+        let mm1 = Mm1::new(lambda, mu);
+        assert!((mmc.mean_sojourn() - mm1.mean_sojourn()).abs() < 1e-10);
+        // Erlang-C with one server equals the utilization ρ.
+        assert!((mmc.prob_wait() - 0.7).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_erlang_c_value() {
+        // Textbook case: c = 2, a = 1 (ρ = 0.5) -> C = 1/3.
+        let q = Mmc::new(1.0, 1.0, 2);
+        assert!((q.prob_wait() - 1.0 / 3.0).abs() < 1e-10, "{}", q.prob_wait());
+    }
+
+    #[test]
+    fn instability_detected() {
+        let q = Mmc::new(3.0, 1.0, 2);
+        assert!(!q.is_stable());
+        assert_eq!(q.mean_wait(), f64::INFINITY);
+        assert_eq!(q.prob_wait(), 1.0);
+    }
+
+    #[test]
+    fn pooling_beats_partitioning() {
+        // The economy-of-scale fact the ablation bench measures: one M/M/2
+        // with rate µ each beats two separate M/M/1s fed λ/2 each.
+        let lambda = 1.6;
+        let mu = 1.0;
+        let pooled = Mmc::new(lambda, mu, 2).mean_sojourn();
+        let split = Mm1::new(lambda / 2.0, mu).mean_sojourn();
+        assert!(
+            pooled < split,
+            "pooled {pooled} should beat split {split}"
+        );
+    }
+
+    #[test]
+    fn zero_arrivals_never_wait() {
+        let q = Mmc::new(0.0, 1.0, 3);
+        assert_eq!(q.prob_wait(), 0.0);
+        assert!((q.mean_sojourn() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_servers_shorten_waits() {
+        let base = Mmc::new(2.5, 1.0, 3);
+        let bigger = Mmc::new(2.5, 1.0, 6);
+        assert!(bigger.mean_wait() < base.mean_wait());
+    }
+}

@@ -1,0 +1,257 @@
+//! Streaming and sample statistics for simulation output: Welford online
+//! moments plus percentile queries over retained samples.
+
+/// Online mean/variance accumulator (Welford's algorithm), numerically
+/// stable for long simulation runs.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Approximate 95% confidence half-width for the mean (normal z=1.96).
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_err()
+    }
+
+    /// Smallest observation seen (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A sample container with percentile queries; wraps [`Welford`] and keeps
+/// the raw observations for quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStats {
+    welford: Welford,
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleStats {
+    /// Fresh container.
+    pub fn new() -> Self {
+        SampleStats {
+            welford: Welford::new(),
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.welford.push(x);
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.welford.std_dev()
+    }
+
+    /// 95% confidence half-width for the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        self.welford.ci95_half_width()
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1) by nearest-rank on the sorted sample;
+    /// `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        assert!((0.0..=1.0).contains(&p), "quantile {p} out of range");
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+        let idx = ((self.samples.len() as f64 * p).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// Borrow the raw samples (insertion order not guaranteed after a
+    /// percentile query).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive_moments() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_benign() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for i in 0..50 {
+            let x = (i as f64).sin() * 3.0 + i as f64 * 0.1;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = SampleStats::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.push(x);
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(0.5), Some(3.0));
+        assert_eq!(s.percentile(1.0), Some(5.0));
+        assert_eq!(s.percentile(0.9), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        let mut s = SampleStats::new();
+        assert_eq!(s.percentile(0.5), None);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut small = Welford::new();
+        let mut large = Welford::new();
+        for i in 0..10 {
+            small.push((i % 3) as f64);
+        }
+        for i in 0..1000 {
+            large.push((i % 3) as f64);
+        }
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+}

@@ -1,0 +1,219 @@
+//! The paper's big-M transformation of step-downward TUFs (Eqs. 11–13 for
+//! two levels, Eq. 17 for `n` levels).
+//!
+//! A step TUF makes the objective discontinuous in the mean delay `R`. The
+//! paper's trick is to introduce the earned utility `U` as a decision
+//! variable constrained to the level set `{U_1, …, U_n}` and to add a
+//! constraint series that *forces* `U` to equal the level matching `R`:
+//!
+//! ```text
+//!   (R − D_1)       + M·(U − U_1)                   ≤ 0
+//!   (D_1 + δ − R)   + M·(U_2 − U)(U − U_3)          ≤ 0
+//!   (R − D_2)       + M·(U_2 − U)(U − U_1)          ≤ 0
+//!   …
+//!   (D_{n−1} + δ − R) + M·(U_n − U)                 ≤ 0
+//! ```
+//!
+//! With `M` large, each constraint is slack except the ones that pin `U` to
+//! the correct level for the current `R`. This module materializes the
+//! series as data so the nonlinear solver (`palb-nlp`) can evaluate the
+//! residuals, and so tests can verify the paper's case analysis numerically.
+
+use crate::step::StepTuf;
+
+/// One constraint of the big-M series, of the form
+/// `time_sign·(R − d) + M·Π(aᵢ·U + bᵢ) ≤ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BigMConstraint {
+    /// `+1.0` for `(R − d)` terms, `−1.0` for `(d − R)` terms.
+    pub time_sign: f64,
+    /// The deadline offset `d` (with `δ` already folded in for `(d − R)`
+    /// style rows).
+    pub d: f64,
+    /// Linear factors in `U`: the product `Π (a·U + b)` multiplies `M`.
+    pub u_factors: Vec<(f64, f64)>,
+}
+
+impl BigMConstraint {
+    /// Residual value; the constraint is satisfied when this is `≤ 0`.
+    pub fn residual(&self, r: f64, u: f64, big_m: f64) -> f64 {
+        let prod: f64 = self.u_factors.iter().map(|&(a, b)| a * u + b).product();
+        self.time_sign * (r - self.d) + big_m * prod
+    }
+
+    /// Whether the constraint holds at `(r, u)` within `tol`.
+    pub fn satisfied(&self, r: f64, u: f64, big_m: f64, tol: f64) -> bool {
+        self.residual(r, u, big_m) <= tol
+    }
+}
+
+/// The complete big-M series for a step TUF (paper Eq. 17; Eqs. 12–13 are
+/// the two-level specialization). `delta` is the paper's `δ`, "a constant
+/// time value which is small enough".
+pub fn constraint_series(tuf: &StepTuf, delta: f64) -> Vec<BigMConstraint> {
+    let n = tuf.num_levels();
+    let mut out = Vec::with_capacity(2 * n.saturating_sub(1));
+    if n == 1 {
+        // One-level TUFs need no series: the delay bound R ≤ D_1 in the
+        // base formulation already pins the utility.
+        return out;
+    }
+    let u = |q: usize| tuf.utility_of_level(q);
+    let d = |q: usize| tuf.deadline_of_level(q);
+
+    for q in 1..n {
+        // "(R − D_q) + M·(U_q − U)(U − U_{q−1}) ≤ 0": for q = 1 the second
+        // factor degenerates (no U_0), leaving (U − U_1).
+        if q == 1 {
+            out.push(BigMConstraint {
+                time_sign: 1.0,
+                d: d(1),
+                u_factors: vec![(1.0, -u(1))],
+            });
+        } else {
+            out.push(BigMConstraint {
+                time_sign: 1.0,
+                d: d(q),
+                u_factors: vec![(-1.0, u(q)), (1.0, -u(q - 1))],
+            });
+        }
+        // "(D_q + δ − R) + M·(U_{q+1} − U)(U − U_{q+2}) ≤ 0": for the last
+        // row (q = n−1) the second factor degenerates (no U_{n+1}).
+        if q == n - 1 {
+            out.push(BigMConstraint {
+                time_sign: -1.0,
+                d: d(q) + delta,
+                u_factors: vec![(-1.0, u(n))],
+            });
+        } else {
+            out.push(BigMConstraint {
+                time_sign: -1.0,
+                d: d(q) + delta,
+                u_factors: vec![(-1.0, u(q + 1)), (1.0, -u(q + 2))],
+            });
+        }
+    }
+    out
+}
+
+/// Checks whether `(r, u)` satisfies the whole series.
+pub fn series_satisfied(
+    series: &[BigMConstraint],
+    r: f64,
+    u: f64,
+    big_m: f64,
+    tol: f64,
+) -> bool {
+    series.iter().all(|c| c.satisfied(r, u, big_m, tol))
+}
+
+/// Picks a big-M value that provably dominates every time term for delays up
+/// to `r_max`: the residual's time part is at most `r_max + D_n + δ`, while
+/// the smallest nonzero `|Π factors|` is the least pairwise utility gap (or
+/// its square for product rows). `M = slack_bound / min_gap · margin`.
+pub fn recommended_big_m(tuf: &StepTuf, r_max: f64, delta: f64) -> f64 {
+    let time_bound = r_max + tuf.final_deadline() + delta;
+    let levels = tuf.levels();
+    let mut min_gap = f64::INFINITY;
+    for w in levels.windows(2) {
+        min_gap = min_gap.min(w[0].utility - w[1].utility);
+    }
+    if !min_gap.is_finite() {
+        return 1.0; // single level: unused
+    }
+    let min_prod = min_gap * min_gap.min(1.0);
+    (time_bound / min_prod) * 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::StepTuf;
+
+    fn three() -> StepTuf {
+        StepTuf::new(vec![
+            crate::step::Level { deadline: 0.2, utility: 30.0 },
+            crate::step::Level { deadline: 0.5, utility: 18.0 },
+            crate::step::Level { deadline: 1.0, utility: 6.0 },
+        ])
+        .unwrap()
+    }
+
+    const DELTA: f64 = 1e-4;
+
+    /// Numerically replays the paper's case analysis: for every interval of
+    /// R, exactly the matching level utility satisfies the series.
+    fn assert_only_correct_level(tuf: &StepTuf, r: f64, expected_q: usize) {
+        let series = constraint_series(tuf, DELTA);
+        let m = recommended_big_m(tuf, 2.0, DELTA);
+        for q in 1..=tuf.num_levels() {
+            let u = tuf.utility_of_level(q);
+            let ok = series_satisfied(&series, r, u, m, 1e-9);
+            if q == expected_q {
+                assert!(ok, "level {q} should satisfy the series at R = {r}");
+            } else {
+                assert!(!ok, "level {q} should violate the series at R = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_series_pins_levels_eq11_to_13() {
+        let tuf = StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap();
+        assert_only_correct_level(&tuf, 0.3, 1); // R <= D1 -> U1 (Eq 13 forces)
+        assert_only_correct_level(&tuf, 0.8, 2); // R > D1 -> U2 (Eq 12 forces)
+    }
+
+    #[test]
+    fn three_level_series_pins_levels_eq17() {
+        let tuf = three();
+        assert_only_correct_level(&tuf, 0.1, 1);
+        assert_only_correct_level(&tuf, 0.35, 2); // D1 < R <= D2 -> U2
+        assert_only_correct_level(&tuf, 0.9, 3); // D2 < R <= D3 -> U3
+    }
+
+    #[test]
+    fn series_size_matches_eq17_row_count() {
+        // n levels -> 2(n−1) constraints.
+        let tuf = three();
+        assert_eq!(constraint_series(&tuf, DELTA).len(), 4);
+        let two = StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap();
+        assert_eq!(constraint_series(&two, DELTA).len(), 2);
+    }
+
+    #[test]
+    fn one_level_needs_no_series() {
+        let tuf = StepTuf::constant(10.0, 1.0).unwrap();
+        assert!(constraint_series(&tuf, DELTA).is_empty());
+    }
+
+    #[test]
+    fn boundary_belongs_to_the_higher_level() {
+        // At exactly R = D1 the TUF still pays U1 (Eq. 10's "0 < R <= D1").
+        let tuf = StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap();
+        assert_only_correct_level(&tuf, 0.5, 1);
+        // Just past D1 + δ, only U2 works.
+        assert_only_correct_level(&tuf, 0.5 + 2.0 * DELTA, 2);
+    }
+
+    #[test]
+    fn small_big_m_fails_to_pin() {
+        // With M too small the series rejects even the correct level — the
+        // reason the paper stresses "as long as M is large enough".
+        let tuf = StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap();
+        let series = constraint_series(&tuf, DELTA);
+        let ok = series_satisfied(&series, 0.3, 10.0, 1e-6, 1e-9);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn residual_formula_matches_hand_expansion() {
+        // Eq 12 for the two-level TUF: (R − D1) + M(U − U1).
+        let tuf = StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap();
+        let series = constraint_series(&tuf, DELTA);
+        let c = &series[0];
+        let m = 1000.0;
+        let hand = (0.7 - 0.5) + m * (4.0 - 10.0);
+        assert!((c.residual(0.7, 4.0, m) - hand).abs() < 1e-9);
+    }
+}

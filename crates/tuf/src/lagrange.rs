@@ -1,0 +1,152 @@
+//! The paper's closed-form level selector (Eqs. 25–26).
+//!
+//! To express "U equals the utility of integer level x ∈ {1..n}" in a form a
+//! continuous solver accepts, the paper interpolates the level utilities
+//! with the degree-(n−1) Lagrange polynomial through the nodes
+//! `(q, U_q), q = 1..n`:
+//!
+//! ```text
+//!   U(x) = Σᵢ U_i · Lᵢ(x),   Lᵢ(x) = Π_{j≠i} (x − j) / (i − j)
+//! ```
+//!
+//! At integer `x = q` this evaluates exactly to `U_q`. The paper writes the
+//! denominator in factorial form, `Π_{j≠i}(i − j) = (−1)^{n−i}·(i−1)!·(n−i)!`,
+//! which this module also implements and cross-checks.
+
+use crate::step::StepTuf;
+
+/// Evaluates the Lagrange basis polynomial `Lᵢ(x)` over nodes `1..=n`
+/// (1-based `i`).
+pub fn lagrange_basis(n: usize, i: usize, x: f64) -> f64 {
+    assert!(n >= 1 && (1..=n).contains(&i), "basis index out of range");
+    let mut num = 1.0;
+    for j in 1..=n {
+        if j != i {
+            num *= x - j as f64;
+        }
+    }
+    num / denominator_direct(n, i)
+}
+
+/// `Π_{j≠i} (i − j)` computed directly.
+fn denominator_direct(n: usize, i: usize) -> f64 {
+    let mut den = 1.0;
+    for j in 1..=n {
+        if j != i {
+            den *= (i as f64) - (j as f64);
+        }
+    }
+    den
+}
+
+/// `Π_{j≠i} (i − j)` in the paper's factorial form:
+/// `(−1)^{n−i} · (i−1)! · (n−i)!`.
+pub fn denominator_factorial(n: usize, i: usize) -> f64 {
+    let sign = if (n - i) % 2 == 0 { 1.0 } else { -1.0 };
+    sign * factorial(i - 1) * factorial(n - i)
+}
+
+fn factorial(k: usize) -> f64 {
+    (1..=k).map(|v| v as f64).product()
+}
+
+/// The paper's Eq. 26: utility as a polynomial in the integer level
+/// variable `x ∈ [1, n]` (Eq. 25). Exact at integer levels, smooth between.
+pub fn utility_polynomial(tuf: &StepTuf, x: f64) -> f64 {
+    let n = tuf.num_levels();
+    (1..=n)
+        .map(|i| tuf.utility_of_level(i) * lagrange_basis(n, i, x))
+        .sum()
+}
+
+/// Rounds a relaxed level variable back to the nearest valid integer level
+/// and returns `(level, utility)`.
+pub fn snap_level(tuf: &StepTuf, x: f64) -> (usize, f64) {
+    let n = tuf.num_levels();
+    let q = x.round().clamp(1.0, n as f64) as usize;
+    (q, tuf.utility_of_level(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{Level, StepTuf};
+
+    fn tuf(n: usize) -> StepTuf {
+        let levels = (1..=n)
+            .map(|q| Level {
+                deadline: q as f64 * 0.25,
+                utility: (n + 1 - q) as f64 * 7.0 + (q as f64).sin().abs(),
+            })
+            .collect();
+        StepTuf::new(levels).unwrap()
+    }
+
+    #[test]
+    fn basis_is_kronecker_delta_at_nodes() {
+        for n in 1..=6 {
+            for i in 1..=n {
+                for q in 1..=n {
+                    let v = lagrange_basis(n, i, q as f64);
+                    let expect = if i == q { 1.0 } else { 0.0 };
+                    assert!(
+                        (v - expect).abs() < 1e-9,
+                        "L_{i}({q}) over n={n} was {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorial_denominator_matches_direct_product() {
+        for n in 1..=8 {
+            for i in 1..=n {
+                let d = denominator_direct(n, i);
+                let f = denominator_factorial(n, i);
+                assert!(
+                    (d - f).abs() < 1e-9 * (1.0 + d.abs()),
+                    "n={n} i={i}: direct {d} vs factorial {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_reproduces_level_utilities() {
+        for n in 1..=5 {
+            let t = tuf(n);
+            for q in 1..=n {
+                let u = utility_polynomial(&t, q as f64);
+                assert!(
+                    (u - t.utility_of_level(q)).abs() < 1e-8,
+                    "U({q}) = {u} != {}",
+                    t.utility_of_level(q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basis_partition_of_unity() {
+        // Σᵢ Lᵢ(x) = 1 for any x (interpolating the constant 1 exactly).
+        for n in 1..=6 {
+            for step in 0..20 {
+                let x = 1.0 + (n as f64 - 1.0) * step as f64 / 19.0;
+                let s: f64 = (1..=n).map(|i| lagrange_basis(n, i, x)).sum();
+                assert!((s - 1.0).abs() < 1e-8, "n={n} x={x}: sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn snap_level_clamps_and_rounds() {
+        let t = tuf(3);
+        assert_eq!(snap_level(&t, 0.2).0, 1);
+        assert_eq!(snap_level(&t, 1.4).0, 1);
+        assert_eq!(snap_level(&t, 1.6).0, 2);
+        assert_eq!(snap_level(&t, 9.0).0, 3);
+        let (q, u) = snap_level(&t, 2.0);
+        assert_eq!(u, t.utility_of_level(q));
+    }
+}

@@ -1,0 +1,38 @@
+//! # palb-tuf — time-utility functions for SLA-based profit
+//!
+//! Implements the profit model of *Profit Aware Load Balancing for
+//! Distributed Cloud Data Centers* (Liu et al., IPPS 2013), §III-B1:
+//! requests earn revenue according to a **time-utility function (TUF)** of
+//! their (mean) delay. The paper focuses on multi-level step-downward TUFs
+//! because constant and smoothly decaying TUFs are special / limiting cases.
+//!
+//! Three pieces:
+//!
+//! * [`StepTuf`] — validated multi-level step-downward functions (Eq. 9, 10,
+//!   16) with level queries used by the optimizer's branch-and-bound.
+//! * [`bigm`] — the paper's transformation of a step TUF into a big-M
+//!   constraint series (Eqs. 11–13, 17) consumable by a continuous solver.
+//! * [`lagrange`] — the closed-form level-selection polynomial (Eqs. 25–26).
+//!
+//! ```
+//! use palb_tuf::StepTuf;
+//!
+//! // Two-level TUF: $10 if mean delay ≤ 0.5 h, $4 if ≤ 1 h, else nothing.
+//! let tuf = StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap();
+//! assert_eq!(tuf.eval(0.3), 10.0);
+//! assert_eq!(tuf.eval(0.8), 4.0);
+//! assert_eq!(tuf.eval(1.2), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bigm;
+pub mod lagrange;
+mod shape;
+mod step;
+
+pub use bigm::{constraint_series, recommended_big_m, series_satisfied, BigMConstraint};
+pub use lagrange::{snap_level, utility_polynomial};
+pub use shape::Tuf;
+pub use step::{Level, StepTuf, TufError};

@@ -1,0 +1,128 @@
+//! The TUF shape families of the paper's Fig. 3: (a) constant-until-deadline,
+//! (b) monotone non-increasing, (c) multi-level step-downward — plus
+//! conversions showing the paper's claim that (a) and (b) are special or
+//! limiting cases of (c).
+
+use crate::step::{StepTuf, TufError};
+
+/// A time-utility function of any of the paper's Fig. 3 shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tuf {
+    /// Fig. 3(a): constant value before the deadline.
+    Constant {
+        /// Utility before the deadline.
+        utility: f64,
+        /// Hard deadline.
+        deadline: f64,
+    },
+    /// Fig. 3(b): linear decay from `u0` at t=0 to `u_end` at the deadline.
+    LinearDecay {
+        /// Utility at zero delay.
+        u0: f64,
+        /// Utility just before the deadline (`0 ≤ u_end < u0`).
+        u_end: f64,
+        /// Hard deadline.
+        deadline: f64,
+    },
+    /// Fig. 3(c): multi-level step-downward.
+    Step(StepTuf),
+}
+
+impl Tuf {
+    /// Evaluates the utility of completing with (mean) delay `r`.
+    pub fn eval(&self, r: f64) -> f64 {
+        match self {
+            Tuf::Constant { utility, deadline } => {
+                if r <= *deadline {
+                    *utility
+                } else {
+                    0.0
+                }
+            }
+            Tuf::LinearDecay { u0, u_end, deadline } => {
+                if r <= 0.0 {
+                    *u0
+                } else if r <= *deadline {
+                    u0 + (u_end - u0) * r / deadline
+                } else {
+                    0.0
+                }
+            }
+            Tuf::Step(s) => s.eval(r),
+        }
+    }
+
+    /// Hard deadline beyond which utility is 0.
+    pub fn deadline(&self) -> f64 {
+        match self {
+            Tuf::Constant { deadline, .. } | Tuf::LinearDecay { deadline, .. } => *deadline,
+            Tuf::Step(s) => s.final_deadline(),
+        }
+    }
+
+    /// Converts any shape into an equivalent/approximating step TUF — the
+    /// paper's argument that step-downward TUFs "represent a wide range of
+    /// scenarios". `resolution` is the number of steps used for smooth
+    /// shapes (ignored for shapes that are already steps).
+    pub fn to_step(&self, resolution: usize) -> Result<StepTuf, TufError> {
+        match self {
+            Tuf::Constant { utility, deadline } => StepTuf::constant(*utility, *deadline),
+            Tuf::LinearDecay { u0, u_end, deadline } => StepTuf::from_monotone(
+                |r| u0 + (u_end - u0) * r / deadline,
+                *deadline,
+                resolution,
+            ),
+            Tuf::Step(s) => Ok(s.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_shape_eval() {
+        let t = Tuf::Constant { utility: 5.0, deadline: 1.0 };
+        assert_eq!(t.eval(0.5), 5.0);
+        assert_eq!(t.eval(1.5), 0.0);
+        assert_eq!(t.deadline(), 1.0);
+    }
+
+    #[test]
+    fn linear_decay_interpolates() {
+        let t = Tuf::LinearDecay { u0: 10.0, u_end: 2.0, deadline: 2.0 };
+        assert_eq!(t.eval(0.0), 10.0);
+        assert!((t.eval(1.0) - 6.0).abs() < 1e-12);
+        assert!((t.eval(2.0) - 2.0).abs() < 1e-12);
+        assert_eq!(t.eval(2.1), 0.0);
+    }
+
+    #[test]
+    fn constant_to_step_is_one_level() {
+        let t = Tuf::Constant { utility: 5.0, deadline: 1.0 };
+        let s = t.to_step(8).unwrap();
+        assert_eq!(s.num_levels(), 1);
+        assert_eq!(s.eval(0.7), 5.0);
+    }
+
+    #[test]
+    fn decay_to_step_underestimates_smoothly() {
+        let t = Tuf::LinearDecay { u0: 10.0, u_end: 1.0, deadline: 1.0 };
+        let s = t.to_step(20).unwrap();
+        // Step approximation is conservative and converges from below.
+        for i in 1..100 {
+            let r = i as f64 / 100.0;
+            assert!(s.eval(r) <= t.eval(r) + 1e-9);
+            assert!(t.eval(r) - s.eval(r) <= 10.0 / 20.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn step_round_trips() {
+        let s = StepTuf::two_level(8.0, 0.4, 3.0, 1.0).unwrap();
+        let t = Tuf::Step(s.clone());
+        assert_eq!(t.to_step(99).unwrap(), s);
+        assert_eq!(t.eval(0.9), 3.0);
+    }
+}

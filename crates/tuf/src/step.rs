@@ -1,0 +1,310 @@
+//! Multi-level step-downward time-utility functions (paper §III-B1).
+//!
+//! A step TUF is a non-increasing piecewise-constant map from response time
+//! to revenue: finishing within sub-deadline `D_1` earns `U_1`, within
+//! `(D_1, D_2]` earns `U_2 < U_1`, …, and beyond the final deadline earns 0.
+//! The paper treats this family as universal: a constant TUF is a one-level
+//! step, and any monotone non-increasing TUF is the limit of many steps.
+
+/// One utility level: completing with mean delay `R ≤ deadline` (and above
+/// the previous level's deadline) yields `utility`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Level {
+    /// Relative (sub-)deadline for this level, in the same time unit as
+    /// delays (hours throughout the workspace).
+    pub deadline: f64,
+    /// Dollar utility earned per request when this level is met.
+    pub utility: f64,
+}
+
+/// Errors from [`StepTuf::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TufError {
+    /// No levels supplied.
+    Empty,
+    /// Deadlines must be strictly increasing and positive.
+    BadDeadlines,
+    /// Utilities must be strictly decreasing and positive.
+    BadUtilities,
+    /// A value was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for TufError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TufError::Empty => write!(f, "a step TUF needs at least one level"),
+            TufError::BadDeadlines => {
+                write!(f, "sub-deadlines must be positive and strictly increasing")
+            }
+            TufError::BadUtilities => {
+                write!(f, "utilities must be positive and strictly decreasing")
+            }
+            TufError::NonFinite => write!(f, "TUF values must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for TufError {}
+
+/// A validated multi-level step-downward TUF.
+///
+/// Serializes as its level array; deserialization re-validates, so a
+/// hand-edited JSON system file cannot smuggle in a malformed TUF.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(try_from = "Vec<Level>", into = "Vec<Level>")]
+pub struct StepTuf {
+    levels: Vec<Level>,
+}
+
+impl TryFrom<Vec<Level>> for StepTuf {
+    type Error = TufError;
+    fn try_from(levels: Vec<Level>) -> Result<Self, TufError> {
+        StepTuf::new(levels)
+    }
+}
+
+impl From<StepTuf> for Vec<Level> {
+    fn from(t: StepTuf) -> Vec<Level> {
+        t.levels
+    }
+}
+
+impl StepTuf {
+    /// Builds a step TUF from levels ordered best-first.
+    ///
+    /// Validation enforces the paper's assumptions: positive strictly
+    /// increasing deadlines `D_1 < D_2 < … < D_n` and positive strictly
+    /// decreasing utilities `U_1 > U_2 > … > U_n`.
+    pub fn new(levels: Vec<Level>) -> Result<Self, TufError> {
+        if levels.is_empty() {
+            return Err(TufError::Empty);
+        }
+        for l in &levels {
+            if !l.deadline.is_finite() || !l.utility.is_finite() {
+                return Err(TufError::NonFinite);
+            }
+        }
+        if levels[0].deadline <= 0.0 {
+            return Err(TufError::BadDeadlines);
+        }
+        if levels[0].utility <= 0.0 {
+            return Err(TufError::BadUtilities);
+        }
+        for w in levels.windows(2) {
+            if w[1].deadline <= w[0].deadline {
+                return Err(TufError::BadDeadlines);
+            }
+            if w[1].utility >= w[0].utility || w[1].utility <= 0.0 {
+                return Err(TufError::BadUtilities);
+            }
+        }
+        Ok(StepTuf { levels })
+    }
+
+    /// One-level (constant-value) TUF: `utility` until `deadline`, then 0.
+    /// This is the paper's Eq. 9.
+    pub fn constant(utility: f64, deadline: f64) -> Result<Self, TufError> {
+        Self::new(vec![Level { deadline, utility }])
+    }
+
+    /// Two-level TUF (the paper's Eq. 10).
+    pub fn two_level(u1: f64, d1: f64, u2: f64, d2: f64) -> Result<Self, TufError> {
+        Self::new(vec![
+            Level { deadline: d1, utility: u1 },
+            Level { deadline: d2, utility: u2 },
+        ])
+    }
+
+    /// Number of levels `n`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Levels, best-first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// The final (hard) deadline `D_k`; beyond this, utility is 0 and
+    /// executing the request is "meaningless" per the paper.
+    pub fn final_deadline(&self) -> f64 {
+        self.levels.last().unwrap().deadline
+    }
+
+    /// The top utility `U_1`.
+    pub fn max_utility(&self) -> f64 {
+        self.levels[0].utility
+    }
+
+    /// Evaluates the TUF at mean delay `r` (Eq. 9/10/16): the utility of the
+    /// first level whose deadline is ≥ `r`, or 0 past the final deadline.
+    /// Non-positive delays earn the top level (instantaneous completion).
+    pub fn eval(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return self.levels[0].utility;
+        }
+        for l in &self.levels {
+            if r <= l.deadline {
+                return l.utility;
+            }
+        }
+        0.0
+    }
+
+    /// The utility of level `q` (1-based, matching the paper's `U_{k,q}`).
+    ///
+    /// # Panics
+    /// Panics if `q == 0` or `q > n`.
+    pub fn utility_of_level(&self, q: usize) -> f64 {
+        self.levels[q - 1].utility
+    }
+
+    /// The sub-deadline of level `q` (1-based, `D_{k,q}`).
+    ///
+    /// # Panics
+    /// Panics if `q == 0` or `q > n`.
+    pub fn deadline_of_level(&self, q: usize) -> f64 {
+        self.levels[q - 1].deadline
+    }
+
+    /// Index (1-based) of the level earned at delay `r`, or `None` past the
+    /// final deadline.
+    pub fn level_at(&self, r: f64) -> Option<usize> {
+        if r <= 0.0 {
+            return Some(1);
+        }
+        self.levels
+            .iter()
+            .position(|l| r <= l.deadline)
+            .map(|i| i + 1)
+    }
+
+    /// Discretizes a monotone non-increasing function `f` on `(0, deadline]`
+    /// into an `n`-level step TUF (the paper's observation that smooth
+    /// non-increasing TUFs are limits of step TUFs). Sampling is conservative:
+    /// each step uses the function value at its own deadline, so the step TUF
+    /// never over-promises utility.
+    pub fn from_monotone(
+        f: impl Fn(f64) -> f64,
+        deadline: f64,
+        n: usize,
+    ) -> Result<Self, TufError> {
+        if n == 0 || !(deadline > 0.0) {
+            return Err(TufError::Empty);
+        }
+        let mut levels = Vec::with_capacity(n);
+        for q in 1..=n {
+            let d = deadline * q as f64 / n as f64;
+            levels.push(Level {
+                deadline: d,
+                utility: f(d),
+            });
+        }
+        // Collapse equal-utility neighbours to keep levels strictly
+        // decreasing (keeps the *latest* deadline of a run, preserving value).
+        let mut compact: Vec<Level> = Vec::with_capacity(levels.len());
+        for l in levels {
+            match compact.last_mut() {
+                Some(last) if (last.utility - l.utility).abs() < 1e-12 => {
+                    last.deadline = l.deadline;
+                }
+                _ => compact.push(l),
+            }
+        }
+        Self::new(compact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two() -> StepTuf {
+        StepTuf::two_level(10.0, 0.5, 4.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn constant_tuf_is_single_step() {
+        let t = StepTuf::constant(10.0, 2.0).unwrap();
+        assert_eq!(t.num_levels(), 1);
+        assert_eq!(t.eval(1.9), 10.0);
+        assert_eq!(t.eval(2.0), 10.0);
+        assert_eq!(t.eval(2.1), 0.0);
+    }
+
+    #[test]
+    fn two_level_eval_matches_eq10() {
+        let t = two();
+        assert_eq!(t.eval(0.2), 10.0); // 0 < R <= D1
+        assert_eq!(t.eval(0.5), 10.0); // boundary inclusive
+        assert_eq!(t.eval(0.7), 4.0); // D1 < R <= D
+        assert_eq!(t.eval(1.0), 4.0);
+        assert_eq!(t.eval(1.5), 0.0); // R > D
+    }
+
+    #[test]
+    fn zero_or_negative_delay_earns_top_level() {
+        let t = two();
+        assert_eq!(t.eval(0.0), 10.0);
+        assert_eq!(t.eval(-1.0), 10.0);
+    }
+
+    #[test]
+    fn level_indexing_is_one_based() {
+        let t = two();
+        assert_eq!(t.utility_of_level(1), 10.0);
+        assert_eq!(t.utility_of_level(2), 4.0);
+        assert_eq!(t.deadline_of_level(1), 0.5);
+        assert_eq!(t.level_at(0.3), Some(1));
+        assert_eq!(t.level_at(0.8), Some(2));
+        assert_eq!(t.level_at(3.0), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert_eq!(StepTuf::new(vec![]), Err(TufError::Empty));
+        assert_eq!(
+            StepTuf::two_level(10.0, 1.0, 4.0, 0.5),
+            Err(TufError::BadDeadlines)
+        );
+        assert_eq!(
+            StepTuf::two_level(4.0, 0.5, 10.0, 1.0),
+            Err(TufError::BadUtilities)
+        );
+        assert_eq!(
+            StepTuf::constant(-1.0, 1.0),
+            Err(TufError::BadUtilities)
+        );
+        assert_eq!(
+            StepTuf::constant(1.0, f64::NAN),
+            Err(TufError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn final_deadline_and_max_utility() {
+        let t = two();
+        assert_eq!(t.final_deadline(), 1.0);
+        assert_eq!(t.max_utility(), 10.0);
+    }
+
+    #[test]
+    fn from_monotone_discretizes_decay() {
+        // f(r) = 10 * (1 - r) on (0, 1]: strictly decreasing.
+        let t = StepTuf::from_monotone(|r| 10.0 * (1.0 - r) + 1.0, 0.9, 5).unwrap();
+        assert_eq!(t.num_levels(), 5);
+        // Conservative: the step value never exceeds the smooth value.
+        for i in 0..100 {
+            let r = 0.009 * i as f64 + 0.001;
+            assert!(t.eval(r) <= 10.0 * (1.0 - r) + 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_monotone_collapses_flat_runs() {
+        let t = StepTuf::from_monotone(|_| 5.0, 1.0, 4).unwrap();
+        assert_eq!(t.num_levels(), 1);
+        assert_eq!(t.final_deadline(), 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Bursty (Google-2010-cluster-like) trace generation — the §VII workload
+//! substitute.
+//!
+//! The paper replays a 7-hour Google cluster task trace from a single
+//! front-end, duplicated and time-shifted into two request classes. Cluster
+//! task arrivals are piecewise-stationary with abrupt level shifts and
+//! occasional submission bursts, so the generator draws a mean-reverting
+//! level process with heavy-tailed burst multipliers. As with the diurnal
+//! generator, only per-slot aggregate rates reach the optimizer, so this
+//! preserves the exercised code path exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Pareto};
+
+use crate::trace::Trace;
+
+/// Parameters of the bursty generator.
+#[derive(Debug, Clone)]
+pub struct BurstConfig {
+    /// Number of front-ends (the paper uses 1 in §VII).
+    pub front_ends: usize,
+    /// Number of classes (time-shifted duplicates, per the paper).
+    pub classes: usize,
+    /// Number of hourly slots (the Google trace spans 7 hours).
+    pub slots: usize,
+    /// Long-run mean aggregate rate per front-end per class (req/hour).
+    pub mean_rate: f64,
+    /// Mean-reversion strength of the level process (0..1, higher = calmer).
+    pub reversion: f64,
+    /// Probability of a burst in any slot.
+    pub burst_prob: f64,
+    /// Pareto tail exponent of burst multipliers (> 1).
+    pub burst_alpha: f64,
+    /// Hours by which consecutive classes are shifted.
+    pub class_shift_hours: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            front_ends: 1,
+            classes: 2,
+            slots: 7,
+            mean_rate: 60_000.0,
+            reversion: 0.45,
+            burst_prob: 0.35,
+            burst_alpha: 2.5,
+            class_shift_hours: 1,
+            seed: 2010, // the Google trace year
+        }
+    }
+}
+
+/// Generates the base level sequence for one (front-end) stream: an AR(1)
+/// mean-reverting walk in log-space with Pareto burst multipliers.
+fn base_levels(cfg: &BurstConfig, rng: &mut StdRng) -> Vec<f64> {
+    let pareto = Pareto::new(1.0, cfg.burst_alpha).expect("valid alpha");
+    // Generate enough extra slots so shifted classes stay in-range.
+    let horizon = cfg.slots + cfg.class_shift_hours * cfg.classes.saturating_sub(1);
+    let mut levels = Vec::with_capacity(horizon);
+    let mut log_dev = 0.0_f64; // log deviation from the mean rate
+    for _ in 0..horizon {
+        // AR(1): pull toward 0 with Gaussian-ish innovation (sum of uniforms).
+        let innovation: f64 =
+            (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * 0.35;
+        log_dev = (1.0 - cfg.reversion) * log_dev + innovation;
+        let mut rate = cfg.mean_rate * log_dev.exp();
+        if rng.gen_bool(cfg.burst_prob) {
+            // Burst: heavy-tailed multiplier, capped to keep the trace sane.
+            let m: f64 = pareto.sample(rng);
+            rate *= m.min(3.0);
+        }
+        levels.push(rate);
+    }
+    levels
+}
+
+/// Generates the §VII-style trace.
+pub fn generate(cfg: &BurstConfig) -> Trace {
+    assert!(cfg.front_ends > 0 && cfg.classes > 0 && cfg.slots > 0);
+    assert!(cfg.mean_rate > 0.0 && (0.0..=1.0).contains(&cfg.burst_prob));
+    assert!(cfg.burst_alpha > 1.0 && (0.0..1.0).contains(&cfg.reversion));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // One level sequence per front-end; classes are shifted views of it —
+    // exactly the paper's "duplicated the trace and moved along time scale".
+    let streams: Vec<Vec<f64>> = (0..cfg.front_ends)
+        .map(|_| base_levels(cfg, &mut rng))
+        .collect();
+
+    let mut rates = Vec::with_capacity(cfg.slots);
+    for t in 0..cfg.slots {
+        let mut slot = Vec::with_capacity(cfg.front_ends);
+        for stream in &streams {
+            let row: Vec<f64> = (0..cfg.classes)
+                .map(|k| stream[t + k * cfg.class_shift_hours])
+                .collect();
+            slot.push(row);
+        }
+        rates.push(slot);
+    }
+    Trace::new(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_matches_section_vii() {
+        let tr = generate(&BurstConfig::default());
+        assert_eq!(tr.slots(), 7);
+        assert_eq!(tr.front_ends(), 1);
+        assert_eq!(tr.classes(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(&BurstConfig::default()), generate(&BurstConfig::default()));
+        let other = generate(&BurstConfig { seed: 99, ..BurstConfig::default() });
+        assert_ne!(generate(&BurstConfig::default()), other);
+    }
+
+    #[test]
+    fn classes_are_shifted_duplicates() {
+        let cfg = BurstConfig::default();
+        let tr = generate(&cfg);
+        // class 1 at slot t equals class 0 at slot t+shift.
+        for t in 0..cfg.slots - cfg.class_shift_hours {
+            assert_eq!(tr.rate(t, 0, 1), tr.rate(t + cfg.class_shift_hours, 0, 0));
+        }
+    }
+
+    #[test]
+    fn mean_rate_is_respected_in_aggregate() {
+        // Across many slots the level process hovers near the mean.
+        let cfg = BurstConfig {
+            slots: 500,
+            burst_prob: 0.0,
+            seed: 3,
+            ..BurstConfig::default()
+        };
+        let tr = generate(&cfg);
+        let avg: f64 =
+            (0..tr.slots()).map(|t| tr.rate(t, 0, 0)).sum::<f64>() / tr.slots() as f64;
+        assert!(
+            (avg / cfg.mean_rate - 1.0).abs() < 0.25,
+            "avg {avg} vs mean {}",
+            cfg.mean_rate
+        );
+    }
+
+    #[test]
+    fn bursts_create_spikes() {
+        let calm = BurstConfig { burst_prob: 0.0, slots: 200, seed: 5, ..BurstConfig::default() };
+        let bursty = BurstConfig { burst_prob: 0.5, slots: 200, seed: 5, ..BurstConfig::default() };
+        let max_ratio = |cfg: &BurstConfig| {
+            let tr = generate(cfg);
+            let rates: Vec<f64> = (0..tr.slots()).map(|t| tr.rate(t, 0, 0)).collect();
+            let mean: f64 = rates.iter().sum::<f64>() / rates.len() as f64;
+            rates.iter().fold(0.0_f64, |m, &r| m.max(r)) / mean
+        };
+        assert!(max_ratio(&bursty) > max_ratio(&calm) * 0.9);
+        // And bursty traces have a strictly larger peak.
+        assert!(max_ratio(&bursty) > 1.5);
+    }
+
+    #[test]
+    fn all_rates_positive() {
+        let tr = generate(&BurstConfig { slots: 100, seed: 11, ..BurstConfig::default() });
+        for t in 0..tr.slots() {
+            assert!(tr.rate(t, 0, 0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Diurnal (World-Cup-'98-like) trace generation — the §VI workload
+//! substitute.
+//!
+//! The paper replays the 1998 World Cup web-access logs: four different
+//! days of the trace stand in for the four front-end servers, and each
+//! front-end's trace is time-shifted to synthesize the three request
+//! classes ("we simply shifted the request traces at a front-end server by
+//! some time units to simulate the requests of three different service
+//! types"). We do not have the logs, but the optimizer consumes only
+//! per-hour aggregate rates, so a generator with realistic diurnal shape —
+//! a low night floor, a daytime ramp, an evening peak (match time), and
+//! log-normal noise — exercises the identical code path. The same
+//! per-class time-shift trick is applied.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, LogNormal};
+
+use crate::trace::Trace;
+
+/// Parameters of the diurnal generator.
+#[derive(Debug, Clone)]
+pub struct DiurnalConfig {
+    /// Number of front-ends (each gets its own day profile).
+    pub front_ends: usize,
+    /// Number of request classes (each a time-shifted copy, per the paper).
+    pub classes: usize,
+    /// Number of hourly slots to generate (24 = one day).
+    pub slots: usize,
+    /// Peak aggregate rate per front-end per class (requests per hour).
+    pub peak_rate: f64,
+    /// Night-floor fraction of the peak (0..1).
+    pub floor_fraction: f64,
+    /// Hours by which consecutive classes are shifted.
+    pub class_shift_hours: usize,
+    /// Log-normal noise sigma (0 disables noise).
+    pub noise_sigma: f64,
+    /// RNG seed (traces are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> Self {
+        DiurnalConfig {
+            front_ends: 4,
+            classes: 3,
+            slots: 24,
+            peak_rate: 60_000.0,
+            floor_fraction: 0.08,
+            class_shift_hours: 2,
+            noise_sigma: 0.08,
+            seed: 1998, // the World Cup year
+        }
+    }
+}
+
+/// Normalized (0..=1) diurnal shape at hour-of-day `h` for day profile
+/// `profile`: a daytime hump plus an evening "match-time" spike whose
+/// position and relative height vary by profile — mimicking how different
+/// World Cup days peak at different match hours.
+pub fn diurnal_shape(h: f64, profile: usize) -> f64 {
+    // Daytime hump centered around midday.
+    let day_center = 12.0 + (profile % 3) as f64;
+    let day = gaussian(h, day_center, 3.5);
+    // Evening spike (match kick-off) between 17:00 and 19:00 by profile.
+    let match_center = 17.0 + (profile % 3) as f64;
+    let match_height = 1.0 + 0.25 * ((profile * 7 + 3) % 5) as f64 / 4.0;
+    let evening = match_height * gaussian(h, match_center, 1.4);
+    let raw = 0.75 * day + evening;
+    // Normalize roughly to 1.0 at the highest point of this family.
+    (raw / 1.45).min(1.0)
+}
+
+fn gaussian(x: f64, mu: f64, sigma: f64) -> f64 {
+    let z = (x - mu) / sigma;
+    (-0.5 * z * z).exp()
+}
+
+/// Generates the §VI-style trace.
+pub fn generate(cfg: &DiurnalConfig) -> Trace {
+    assert!(cfg.front_ends > 0 && cfg.classes > 0 && cfg.slots > 0);
+    assert!(cfg.peak_rate > 0.0 && (0.0..1.0).contains(&cfg.floor_fraction));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let noise = if cfg.noise_sigma > 0.0 {
+        Some(LogNormal::new(0.0, cfg.noise_sigma).expect("valid sigma"))
+    } else {
+        None
+    };
+
+    let mut rates = Vec::with_capacity(cfg.slots);
+    for t in 0..cfg.slots {
+        let mut slot = Vec::with_capacity(cfg.front_ends);
+        for s in 0..cfg.front_ends {
+            let mut row = Vec::with_capacity(cfg.classes);
+            for k in 0..cfg.classes {
+                // Per-class shift: class k sees the curve k·shift hours ago.
+                let h = ((t + 24 - (k * cfg.class_shift_hours) % 24) % 24) as f64;
+                let shape = diurnal_shape(h, s);
+                let base = cfg.peak_rate
+                    * (cfg.floor_fraction + (1.0 - cfg.floor_fraction) * shape);
+                let jitter = noise.as_ref().map_or(1.0, |n| n.sample(&mut rng));
+                row.push(base * jitter);
+            }
+            slot.push(row);
+        }
+        rates.push(slot);
+    }
+    Trace::new(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_trace_shape() {
+        let tr = generate(&DiurnalConfig::default());
+        assert_eq!(tr.slots(), 24);
+        assert_eq!(tr.front_ends(), 4);
+        assert_eq!(tr.classes(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&DiurnalConfig::default());
+        let b = generate(&DiurnalConfig::default());
+        assert_eq!(a, b);
+        let c = generate(&DiurnalConfig { seed: 7, ..DiurnalConfig::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn night_is_quieter_than_evening() {
+        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let tr = generate(&cfg);
+        for s in 0..4 {
+            let night = tr.rate(3, s, 0);
+            let evening = tr.rate(19, s, 0);
+            assert!(
+                evening > 3.0 * night,
+                "fe {s}: evening {evening} vs night {night}"
+            );
+        }
+    }
+
+    #[test]
+    fn rates_bounded_by_peak_and_floor() {
+        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let tr = generate(&cfg);
+        let floor = cfg.peak_rate * cfg.floor_fraction;
+        for t in 0..tr.slots() {
+            for s in 0..tr.front_ends() {
+                for k in 0..tr.classes() {
+                    let r = tr.rate(t, s, k);
+                    assert!(r >= floor * 0.999 && r <= cfg.peak_rate * 1.001);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_shifted_copies_without_noise() {
+        let cfg = DiurnalConfig {
+            noise_sigma: 0.0,
+            class_shift_hours: 2,
+            ..DiurnalConfig::default()
+        };
+        let tr = generate(&cfg);
+        // class 1 at hour t equals class 0 at hour t-2 (mod 24).
+        for t in 0..24 {
+            let shifted = tr.rate(t, 0, 1);
+            let original = tr.rate((t + 24 - 2) % 24, 0, 0);
+            assert!(
+                (shifted - original).abs() < 1e-9,
+                "t={t}: {shifted} vs {original}"
+            );
+        }
+    }
+
+    #[test]
+    fn front_ends_have_distinct_profiles() {
+        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let tr = generate(&cfg);
+        // Day profiles differ: at least one hour where fe0 and fe1 diverge.
+        let diverges = (0..24).any(|t| (tr.rate(t, 0, 0) - tr.rate(t, 1, 0)).abs() > 1.0);
+        assert!(diverges);
+    }
+
+    #[test]
+    fn trace_end_collapses() {
+        // The last hours of the day fall well below the daily peak — the
+        // feature that makes Optimized and Balanced converge at the end of
+        // Fig. 6.
+        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let tr = generate(&cfg);
+        let peak: f64 = (0..24)
+            .map(|t| tr.offered_in_slot(t))
+            .fold(0.0, f64::max);
+        assert!(tr.offered_in_slot(23) < 0.5 * peak);
+    }
+}

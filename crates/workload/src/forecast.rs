@@ -1,0 +1,322 @@
+//! Arrival-rate forecasting.
+//!
+//! The paper runs its controller on the *observed* average arrival rates
+//! and notes that "existing prediction methods (e.g. the Kalman Filter)
+//! … can be employed if necessary" (§III). This module supplies those
+//! methods so the bench harness can quantify what imperfect foresight
+//! costs: naive and seasonal-naive baselines, exponentially weighted
+//! moving averages, and a scalar local-level Kalman filter — one
+//! independent filter per (front-end, class) stream.
+
+use crate::trace::Trace;
+
+/// A one-step-ahead forecaster for a single rate stream.
+pub trait Forecaster {
+    /// Predicts the next value from the history so far; called before
+    /// [`Forecaster::observe`] of that value.
+    fn predict(&self) -> f64;
+    /// Feeds the realized value.
+    fn observe(&mut self, value: f64);
+    /// Fresh copy with the same parameters and no history.
+    fn reset(&self) -> Box<dyn Forecaster>;
+}
+
+/// Predicts the last observed value (random-walk forecast).
+#[derive(Debug, Clone)]
+pub struct Naive {
+    last: f64,
+}
+
+impl Naive {
+    /// Starts from an initial guess.
+    pub fn new(initial: f64) -> Self {
+        Naive { last: initial }
+    }
+}
+
+impl Forecaster for Naive {
+    fn predict(&self) -> f64 {
+        self.last
+    }
+    fn observe(&mut self, value: f64) {
+        self.last = value;
+    }
+    fn reset(&self) -> Box<dyn Forecaster> {
+        Box::new(Naive { last: self.last })
+    }
+}
+
+/// Predicts the value observed `period` steps ago (diurnal repetition).
+/// Falls back to the last value until a full period is seen.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    history: Vec<f64>,
+    initial: f64,
+}
+
+impl SeasonalNaive {
+    /// `period` in slots (24 for daily seasonality on hourly slots).
+    pub fn new(period: usize, initial: f64) -> Self {
+        assert!(period > 0, "period must be positive");
+        SeasonalNaive { period, history: Vec::new(), initial }
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn predict(&self) -> f64 {
+        let n = self.history.len();
+        if n >= self.period {
+            self.history[n - self.period]
+        } else if let Some(&last) = self.history.last() {
+            last
+        } else {
+            self.initial
+        }
+    }
+    fn observe(&mut self, value: f64) {
+        self.history.push(value);
+    }
+    fn reset(&self) -> Box<dyn Forecaster> {
+        Box::new(SeasonalNaive::new(self.period, self.initial))
+    }
+}
+
+/// Exponentially weighted moving average: `level ← α·x + (1−α)·level`.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    level: f64,
+    seeded: bool,
+}
+
+impl Ewma {
+    /// `alpha ∈ (0, 1]`; larger reacts faster.
+    pub fn new(alpha: f64, initial: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0,1]: {alpha}");
+        Ewma { alpha, level: initial, seeded: false }
+    }
+}
+
+impl Forecaster for Ewma {
+    fn predict(&self) -> f64 {
+        self.level
+    }
+    fn observe(&mut self, value: f64) {
+        if self.seeded {
+            self.level += self.alpha * (value - self.level);
+        } else {
+            self.level = value;
+            self.seeded = true;
+        }
+    }
+    fn reset(&self) -> Box<dyn Forecaster> {
+        Box::new(Ewma::new(self.alpha, self.level))
+    }
+}
+
+/// Scalar local-level Kalman filter: hidden level `x_t = x_{t−1} + w`,
+/// observation `y_t = x_t + v`, with `w ~ N(0, q)` and `v ~ N(0, r)`.
+/// The filter the paper cites (Welch & Bishop) in its simplest useful form.
+#[derive(Debug, Clone)]
+pub struct ScalarKalman {
+    /// Process noise variance `q`.
+    q: f64,
+    /// Observation noise variance `r`.
+    r: f64,
+    /// Level estimate.
+    x: f64,
+    /// Estimate variance.
+    p: f64,
+    seeded: bool,
+}
+
+impl ScalarKalman {
+    /// Builds the filter; `q` and `r` must be positive.
+    pub fn new(q: f64, r: f64, initial: f64) -> Self {
+        assert!(q > 0.0 && r > 0.0, "noise variances must be positive");
+        ScalarKalman { q, r, x: initial, p: r, seeded: false }
+    }
+
+    /// Current Kalman gain (diagnostic).
+    pub fn gain(&self) -> f64 {
+        (self.p + self.q) / (self.p + self.q + self.r)
+    }
+}
+
+impl Forecaster for ScalarKalman {
+    fn predict(&self) -> f64 {
+        self.x
+    }
+    fn observe(&mut self, value: f64) {
+        if !self.seeded {
+            self.x = value;
+            self.seeded = true;
+            return;
+        }
+        // Time update: level persists, variance grows by q.
+        let p_pred = self.p + self.q;
+        // Measurement update.
+        let k = p_pred / (p_pred + self.r);
+        self.x += k * (value - self.x);
+        self.p = (1.0 - k) * p_pred;
+    }
+    fn reset(&self) -> Box<dyn Forecaster> {
+        Box::new(ScalarKalman::new(self.q, self.r, self.x))
+    }
+}
+
+/// Runs one forecaster prototype per (front-end, class) stream across a
+/// trace, returning the *predicted* trace (slot 0 uses the prototype's
+/// initial state). The prototype is `reset()` per stream.
+pub fn forecast_trace(trace: &Trace, prototype: &dyn Forecaster) -> Trace {
+    let mut filters: Vec<Vec<Box<dyn Forecaster>>> = (0..trace.front_ends())
+        .map(|_| (0..trace.classes()).map(|_| prototype.reset()).collect())
+        .collect();
+    let mut rates = Vec::with_capacity(trace.slots());
+    for t in 0..trace.slots() {
+        let mut slot = Vec::with_capacity(trace.front_ends());
+        for s in 0..trace.front_ends() {
+            let mut row = Vec::with_capacity(trace.classes());
+            for k in 0..trace.classes() {
+                let f = &mut filters[s][k];
+                row.push(f.predict().max(0.0));
+                f.observe(trace.rate(t, s, k));
+            }
+            slot.push(row);
+        }
+        rates.push(slot);
+    }
+    Trace::new(rates)
+}
+
+/// Mean absolute percentage error of `predicted` against `actual`,
+/// skipping zero-actual entries.
+pub fn mape(actual: &Trace, predicted: &Trace) -> f64 {
+    assert_eq!(actual.slots(), predicted.slots());
+    let mut total = 0.0;
+    let mut n = 0u64;
+    for t in 0..actual.slots() {
+        for s in 0..actual.front_ends() {
+            for k in 0..actual.classes() {
+                let a = actual.rate(t, s, k);
+                if a > 0.0 {
+                    total += (predicted.rate(t, s, k) - a).abs() / a;
+                    n += 1;
+                }
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::{generate, DiurnalConfig};
+
+    #[test]
+    fn naive_tracks_last_value() {
+        let mut f = Naive::new(5.0);
+        assert_eq!(f.predict(), 5.0);
+        f.observe(7.0);
+        assert_eq!(f.predict(), 7.0);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_the_period() {
+        let mut f = SeasonalNaive::new(3, 0.0);
+        for v in [1.0, 2.0, 3.0] {
+            f.observe(v);
+        }
+        assert_eq!(f.predict(), 1.0); // 3 steps ago
+        f.observe(4.0);
+        assert_eq!(f.predict(), 2.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut f = Ewma::new(0.3, 0.0);
+        for _ in 0..60 {
+            f.observe(10.0);
+        }
+        assert!((f.predict() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kalman_locks_onto_level_and_rejects_noise() {
+        let mut f = ScalarKalman::new(0.01, 4.0, 0.0);
+        // Noisy constant level 100: deterministic +/- dither.
+        for i in 0..200 {
+            let noise = if i % 2 == 0 { 2.0 } else { -2.0 };
+            f.observe(100.0 + noise);
+        }
+        assert!((f.predict() - 100.0).abs() < 0.5, "estimate {}", f.predict());
+        // Gain settles strictly inside (0, 1).
+        let g = f.gain();
+        assert!(g > 0.0 && g < 0.5, "gain {g}");
+    }
+
+    #[test]
+    fn kalman_tracks_level_shift() {
+        let mut f = ScalarKalman::new(1.0, 1.0, 0.0);
+        for _ in 0..20 {
+            f.observe(50.0);
+        }
+        for _ in 0..20 {
+            f.observe(80.0);
+        }
+        assert!((f.predict() - 80.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn forecast_trace_shapes_match() {
+        let trace = generate(&DiurnalConfig::default());
+        let pred = forecast_trace(&trace, &Naive::new(trace.rate(0, 0, 0)));
+        assert_eq!(pred.slots(), trace.slots());
+        assert_eq!(pred.front_ends(), trace.front_ends());
+        // Naive prediction at slot t equals the actual at t-1.
+        for t in 1..trace.slots() {
+            assert_eq!(pred.rate(t, 2, 1), trace.rate(t - 1, 2, 1));
+        }
+    }
+
+    #[test]
+    fn seasonal_beats_naive_on_two_identical_days() {
+        // 48 hours of a noiseless diurnal pattern: day 2 is predictable.
+        let day = generate(&DiurnalConfig { noise_sigma: 0.0, slots: 24, ..DiurnalConfig::default() });
+        let mut two_days = Vec::new();
+        for rep in 0..2 {
+            for t in 0..24 {
+                let _ = rep;
+                two_days.push(day.slot(t).clone());
+            }
+        }
+        let trace = Trace::new(two_days);
+        let naive = forecast_trace(&trace, &Naive::new(0.0));
+        let seasonal = forecast_trace(&trace, &SeasonalNaive::new(24, 0.0));
+        // Compare only on day 2, where the seasonal filter has history.
+        let day2 = |tr: &Trace| {
+            let rates: Vec<Vec<Vec<f64>>> =
+                (24..48).map(|t| tr.slot(t).clone()).collect();
+            Trace::new(rates)
+        };
+        let e_naive = mape(&day2(&trace), &day2(&naive));
+        let e_seasonal = mape(&day2(&trace), &day2(&seasonal));
+        assert!(
+            e_seasonal < 0.2 * e_naive,
+            "seasonal {e_seasonal} vs naive {e_naive}"
+        );
+        assert!(e_seasonal < 1e-9); // exactly repeating pattern
+    }
+
+    #[test]
+    fn mape_zero_for_perfect_prediction() {
+        let trace = generate(&DiurnalConfig::default());
+        assert_eq!(mape(&trace, &trace), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # palb-workload — workload substrates
+//!
+//! Trace generators standing in for the datasets the paper evaluates on:
+//!
+//! * [`synthetic`] — the §V constant arrival sets (Table II),
+//! * [`diurnal`] — World-Cup-'98-like day curves for §VI (four day
+//!   profiles for the four front-ends, per-class time shifts, log-normal
+//!   noise),
+//! * [`burst`] — Google-2010-cluster-like 7-hour bursty traces for §VII,
+//! * [`poisson`] — Poisson sampling/thinning bridging rate-level traces to
+//!   request-level simulation,
+//! * [`Trace`] — the `slots × front-ends × classes` rate container all
+//!   generators produce and the optimizer consumes.
+//!
+//! The substitution is behaviour-preserving because the paper's controller
+//! only ever reads *average per-slot arrival rates* (§III); no component
+//! touches individual log records.
+//!
+//! ```
+//! use palb_workload::diurnal::{generate, DiurnalConfig};
+//!
+//! let trace = generate(&DiurnalConfig::default());
+//! assert_eq!(trace.slots(), 24);
+//! assert_eq!(trace.front_ends(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod burst;
+pub mod diurnal;
+pub mod forecast;
+pub mod poisson;
+pub mod synthetic;
+mod trace;
+
+pub use trace::Trace;

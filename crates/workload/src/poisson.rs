@@ -1,0 +1,104 @@
+//! Poisson utilities bridging rate-level traces and request-level
+//! simulation: sampling per-slot request counts and splitting (thinning)
+//! a stream according to dispatch fractions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Poisson};
+
+/// Samples the number of arrivals in a slot of length `slot_length` from a
+/// Poisson process with rate `rate` (per time unit). Deterministic per seed.
+pub fn sample_count(rate: f64, slot_length: f64, seed: u64) -> u64 {
+    assert!(rate >= 0.0 && slot_length > 0.0);
+    let mean = rate * slot_length;
+    if mean == 0.0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Poisson::new(mean).expect("positive mean").sample(&mut rng) as u64
+}
+
+/// Splits a Poisson stream of rate `rate` into sub-streams proportional to
+/// `weights` (Poisson thinning): the results are independent Poisson rates
+/// summing to `rate` (after weight normalization).
+///
+/// Zero-total weights return all-zero rates.
+pub fn thin_rates(rate: f64, weights: &[f64]) -> Vec<f64> {
+    assert!(rate >= 0.0);
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; weights.len()];
+    }
+    weights.iter().map(|w| rate * w / total).collect()
+}
+
+/// Samples interarrival times of a Poisson process until `horizon`,
+/// returning absolute arrival times. Deterministic per seed.
+pub fn arrival_times(rate: f64, horizon: f64, seed: u64) -> Vec<f64> {
+    assert!(rate >= 0.0 && horizon > 0.0);
+    if rate == 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut out = Vec::with_capacity((rate * horizon * 1.2) as usize + 4);
+    loop {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen_range(0.0_f64..1.0);
+        t += -(1.0 - u).ln() / rate;
+        if t > horizon {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_mean_tracks_rate() {
+        // Average over seeds ≈ rate · T.
+        let mean: f64 = (0..200)
+            .map(|s| sample_count(50.0, 2.0, s) as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_rate_zero_count() {
+        assert_eq!(sample_count(0.0, 5.0, 1), 0);
+        assert!(arrival_times(0.0, 10.0, 1).is_empty());
+    }
+
+    #[test]
+    fn thinning_preserves_total() {
+        let parts = thin_rates(30.0, &[1.0, 2.0, 3.0]);
+        assert!((parts.iter().sum::<f64>() - 30.0).abs() < 1e-12);
+        assert!((parts[2] - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thinning_zero_weights() {
+        assert_eq!(thin_rates(10.0, &[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let at = arrival_times(20.0, 10.0, 42);
+        assert!(!at.is_empty());
+        assert!(at.windows(2).all(|w| w[0] < w[1]));
+        assert!(*at.last().unwrap() <= 10.0);
+        // Count close to rate · horizon.
+        assert!((at.len() as f64 - 200.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn arrivals_deterministic_per_seed() {
+        assert_eq!(arrival_times(5.0, 20.0, 7), arrival_times(5.0, 20.0, 7));
+        assert_ne!(arrival_times(5.0, 20.0, 7), arrival_times(5.0, 20.0, 8));
+    }
+}

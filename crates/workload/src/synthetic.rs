@@ -1,0 +1,44 @@
+//! Constant-rate synthetic workloads — the §V "basic characteristics"
+//! study's Table II arrival sets, repeated for any number of slots.
+
+use crate::trace::Trace;
+
+/// Builds a trace that repeats one `rates[front_end][class]` matrix for
+/// `slots` slots (the §V studies evaluate a single representative slot;
+/// multiple slots let the driver average over price periods).
+pub fn constant_trace(rates: Vec<Vec<f64>>, slots: usize) -> Trace {
+    assert!(slots > 0, "need at least one slot");
+    Trace::new(vec![rates; slots])
+}
+
+/// A uniform matrix: every front-end offers `rate` of every class.
+pub fn uniform_rates(front_ends: usize, classes: usize, rate: f64) -> Vec<Vec<f64>> {
+    vec![vec![rate; classes]; front_ends]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_repeats_matrix() {
+        let tr = constant_trace(vec![vec![1.0, 2.0]], 3);
+        assert_eq!(tr.slots(), 3);
+        for t in 0..3 {
+            assert_eq!(tr.rate(t, 0, 1), 2.0);
+        }
+    }
+
+    #[test]
+    fn uniform_rates_shape() {
+        let m = uniform_rates(2, 3, 5.0);
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|row| row == &vec![5.0, 5.0, 5.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        constant_trace(vec![vec![1.0]], 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The [`Trace`] container: per-slot, per-front-end, per-class average
+//! arrival rates.
+//!
+//! The paper's controller runs once per slot on the *average arrival rates
+//! during the slot* (§III: "job interarrival times are much shorter
+//! compared to a slot"), so a workload trace is exactly this three-way
+//! array. Arrival-pattern forecasting is explicitly out of the paper's
+//! scope, and of ours.
+
+/// A workload trace: `rates[slot][front_end][class]`, in requests per time
+/// unit (the same unit as the target [`System`]'s rates).
+///
+/// [`System`]: https://docs.rs/palb-cluster
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(try_from = "Vec<Vec<Vec<f64>>>", into = "Vec<Vec<Vec<f64>>>")]
+pub struct Trace {
+    rates: Vec<Vec<Vec<f64>>>,
+    front_ends: usize,
+    classes: usize,
+}
+
+impl TryFrom<Vec<Vec<Vec<f64>>>> for Trace {
+    type Error = String;
+    fn try_from(rates: Vec<Vec<Vec<f64>>>) -> Result<Self, String> {
+        if rates.is_empty() {
+            return Err("trace needs at least one slot".into());
+        }
+        let front_ends = rates[0].len();
+        if front_ends == 0 {
+            return Err("trace needs at least one front-end".into());
+        }
+        let classes = rates[0][0].len();
+        if classes == 0 {
+            return Err("trace needs at least one class".into());
+        }
+        for (t, slot) in rates.iter().enumerate() {
+            if slot.len() != front_ends {
+                return Err(format!("slot {t}: front-end count differs"));
+            }
+            for (s, row) in slot.iter().enumerate() {
+                if row.len() != classes {
+                    return Err(format!("slot {t} fe {s}: class count differs"));
+                }
+                for (k, &r) in row.iter().enumerate() {
+                    if !(r.is_finite() && r >= 0.0) {
+                        return Err(format!("slot {t} fe {s} class {k}: bad rate {r}"));
+                    }
+                }
+            }
+        }
+        Ok(Trace { rates, front_ends, classes })
+    }
+}
+
+impl From<Trace> for Vec<Vec<Vec<f64>>> {
+    fn from(t: Trace) -> Vec<Vec<Vec<f64>>> {
+        t.rates
+    }
+}
+
+impl Trace {
+    /// Builds a trace from explicit rates, validating the shape.
+    ///
+    /// # Panics
+    /// Panics on ragged arrays, empty dimensions, or negative rates.
+    pub fn new(rates: Vec<Vec<Vec<f64>>>) -> Self {
+        assert!(!rates.is_empty(), "trace needs at least one slot");
+        let front_ends = rates[0].len();
+        assert!(front_ends > 0, "trace needs at least one front-end");
+        let classes = rates[0][0].len();
+        assert!(classes > 0, "trace needs at least one class");
+        for (t, slot) in rates.iter().enumerate() {
+            assert_eq!(slot.len(), front_ends, "slot {t}: front-end count differs");
+            for (s, row) in slot.iter().enumerate() {
+                assert_eq!(row.len(), classes, "slot {t} fe {s}: class count differs");
+                for (k, &r) in row.iter().enumerate() {
+                    assert!(
+                        r.is_finite() && r >= 0.0,
+                        "slot {t} fe {s} class {k}: bad rate {r}"
+                    );
+                }
+            }
+        }
+        Trace { rates, front_ends, classes }
+    }
+
+    /// A single-slot trace from a `rates[front_end][class]` matrix.
+    pub fn single_slot(matrix: Vec<Vec<f64>>) -> Self {
+        Self::new(vec![matrix])
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of front-ends.
+    pub fn front_ends(&self) -> usize {
+        self.front_ends
+    }
+
+    /// Number of request classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The `rates[front_end][class]` matrix for one slot.
+    pub fn slot(&self, t: usize) -> &Vec<Vec<f64>> {
+        &self.rates[t]
+    }
+
+    /// Rate for (slot, front-end, class).
+    pub fn rate(&self, t: usize, s: usize, k: usize) -> f64 {
+        self.rates[t][s][k]
+    }
+
+    /// Total offered rate in a slot (all front-ends and classes).
+    pub fn offered_in_slot(&self, t: usize) -> f64 {
+        self.rates[t].iter().flatten().sum()
+    }
+
+    /// Total offered rate of one class in a slot, summed over front-ends.
+    pub fn offered_class_in_slot(&self, t: usize, k: usize) -> f64 {
+        self.rates[t].iter().map(|row| row[k]).sum()
+    }
+
+    /// Grand total offered requests across the trace (rate × 1 slot each).
+    pub fn total_offered(&self) -> f64 {
+        (0..self.slots()).map(|t| self.offered_in_slot(t)).sum()
+    }
+
+    /// Returns a copy with every rate multiplied by `factor` (workload
+    /// scaling for the §VII low/high studies, Fig. 10).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "bad scale {factor}");
+        let rates = self
+            .rates
+            .iter()
+            .map(|slot| {
+                slot.iter()
+                    .map(|row| row.iter().map(|r| r * factor).collect())
+                    .collect()
+            })
+            .collect();
+        Trace::new(rates)
+    }
+
+    /// Serializes to CSV: `slot,front_end,class,rate` with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("slot,front_end,class,rate\n");
+        for (t, slot) in self.rates.iter().enumerate() {
+            for (s, row) in slot.iter().enumerate() {
+                for (k, &r) in row.iter().enumerate() {
+                    out.push_str(&format!("{t},{s},{k},{r}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Trace {
+        Trace::new(vec![
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![vec![5.0, 6.0], vec![7.0, 8.0]],
+        ])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let tr = t();
+        assert_eq!(tr.slots(), 2);
+        assert_eq!(tr.front_ends(), 2);
+        assert_eq!(tr.classes(), 2);
+        assert_eq!(tr.rate(1, 0, 1), 6.0);
+    }
+
+    #[test]
+    fn offered_totals() {
+        let tr = t();
+        assert_eq!(tr.offered_in_slot(0), 10.0);
+        assert_eq!(tr.offered_class_in_slot(0, 1), 6.0);
+        assert_eq!(tr.total_offered(), 36.0);
+    }
+
+    #[test]
+    fn scaling_is_uniform() {
+        let tr = t().scaled(2.0);
+        assert_eq!(tr.rate(0, 0, 0), 2.0);
+        assert_eq!(tr.total_offered(), 72.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class count differs")]
+    fn ragged_rejected() {
+        Trace::new(vec![vec![vec![1.0, 2.0], vec![3.0]]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn negative_rate_rejected() {
+        Trace::new(vec![vec![vec![-1.0]]]);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = t().to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "slot,front_end,class,rate");
+        assert_eq!(lines.len(), 1 + 2 * 2 * 2);
+        assert!(lines.contains(&"1,1,1,8"));
+    }
+
+    #[test]
+    fn single_slot_constructor() {
+        let tr = Trace::single_slot(vec![vec![9.0]]);
+        assert_eq!(tr.slots(), 1);
+        assert_eq!(tr.rate(0, 0, 0), 9.0);
+    }
+}

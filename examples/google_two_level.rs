@@ -1,0 +1,79 @@
+//! The §VII experiment in miniature: a bursty Google-cluster-like 7-hour
+//! trace, two request classes with **two-level** step TUFs, and two data
+//! centers (Houston / Mountain View) during the 14:00–19:00 price
+//! divergence window. The optimizer here is the exact branch-and-bound
+//! over TUF levels — the discrete problem the paper handed to CPLEX.
+//!
+//! ```text
+//! cargo run --release --example google_two_level
+//! ```
+
+use palb::cluster::presets::{self, SECTION_VII_SLOTS, SECTION_VII_START_HOUR};
+use palb::cluster::ClassId;
+use palb::core::report::{dispatch_csv, summary_table};
+use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::workload::burst::{generate, BurstConfig};
+
+fn main() {
+    let system = presets::section_vii();
+    let trace = generate(&BurstConfig {
+        mean_rate: 62_000.0,
+        slots: SECTION_VII_SLOTS,
+        reversion: 0.25,
+        burst_prob: 0.5,
+        ..BurstConfig::default()
+    });
+
+    let optimized = run(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        SECTION_VII_START_HOUR,
+    )
+    .expect("optimizer");
+    let balanced = run(&mut BalancedPolicy, &system, &trace, SECTION_VII_START_HOUR)
+        .expect("baseline");
+
+    println!("{}", summary_table(&optimized, &balanced));
+
+    for k in 0..system.num_classes() {
+        println!(
+            "completion of {}: optimized {:.2}%, balanced {:.2}%",
+            system.classes[k].name,
+            100.0 * class_completion(&optimized, &trace, k),
+            100.0 * class_completion(&balanced, &trace, k),
+        );
+    }
+
+    let extra_cost = optimized.total_cost() / balanced.total_cost() - 1.0;
+    println!(
+        "\noptimized spends {:.2}% more on cost yet nets {:.2}% more profit",
+        100.0 * extra_cost,
+        100.0 * (optimized.total_net_profit() / balanced.total_net_profit() - 1.0)
+    );
+
+    println!("\nper-hour dispatch of request1 (requests/hour) under Optimized:");
+    print!("{}", dispatch_csv(&system, &optimized, ClassId(0)));
+    println!("\n... and under Balanced:");
+    print!("{}", dispatch_csv(&system, &balanced, ClassId(0)));
+}
+
+/// Fraction of a class's offered requests that were dispatched and
+/// completed (per-class view of the run).
+fn class_completion(
+    run: &palb::core::RunResult,
+    trace: &palb::workload::Trace,
+    k: usize,
+) -> f64 {
+    let mut offered = 0.0;
+    let mut served = 0.0;
+    for (t, slot) in run.slots.iter().enumerate() {
+        offered += trace.offered_class_in_slot(t, k);
+        served += slot.class_dc_rate[k].iter().sum::<f64>();
+    }
+    if offered > 0.0 {
+        served / offered
+    } else {
+        1.0
+    }
+}

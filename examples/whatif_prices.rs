@@ -1,0 +1,50 @@
+//! What-if study: how the profit-aware dispatcher reacts as one region's
+//! electricity market inflates. Uses the §VII system — the setting where
+//! the paper shows electricity price differences driving the dispatch —
+//! sweeps a price multiplier on the Houston data center, and reports where
+//! request2 (the energy-hungriest class) lands under the optimizer.
+//!
+//! ```text
+//! cargo run --release --example whatif_prices
+//! ```
+
+use palb::cluster::{presets, ClassId};
+use palb::core::report::dispatch_share;
+use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::workload::burst::{generate, BurstConfig};
+
+fn main() {
+    let trace = generate(&BurstConfig {
+        mean_rate: 62_000.0,
+        slots: presets::SECTION_VII_SLOTS,
+        reversion: 0.25,
+        burst_prob: 0.5,
+        ..BurstConfig::default()
+    });
+    let start = presets::SECTION_VII_START_HOUR;
+
+    println!("houston price x | opt profit $M | bal profit $M | req2 share at houston (opt)");
+    println!("----------------+---------------+---------------+-----------------------------");
+    for mult10 in [5u32, 10, 15, 20, 30] {
+        let mult = f64::from(mult10) / 10.0;
+        let mut system = presets::section_vii();
+        system.data_centers[0].prices = system.data_centers[0].prices.scaled(mult);
+
+        let opt =
+            run(&mut OptimizedPolicy::exact(), &system, &trace, start).expect("optimizer");
+        let bal = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
+        let share = dispatch_share(&system, &opt, ClassId(1))[0].1;
+        println!(
+            "{mult:>15.1} | {:>13.2} | {:>13.2} | {:>27.1}%",
+            opt.total_net_profit() / 1e6,
+            bal.total_net_profit() / 1e6,
+            100.0 * share
+        );
+    }
+    println!(
+        "\nreading: as Houston's market inflates, the optimizer drains the \
+         energy-hungry request2 from it (paying Mountain View's transfer \
+         premium instead), while the price-greedy baseline only reacts to \
+         the hourly price *ordering*, not its magnitude."
+    );
+}

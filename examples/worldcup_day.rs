@@ -1,0 +1,50 @@
+//! The §VI experiment in miniature: drive a World-Cup-like diurnal day
+//! trace through the Houston / Mountain View / Atlanta system and watch
+//! the hourly profit gap open and close.
+//!
+//! ```text
+//! cargo run --release --example worldcup_day
+//! ```
+
+use palb::cluster::{presets, ClassId};
+use palb::core::report::{dispatch_share, net_profit_csv};
+use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::workload::diurnal::{generate, DiurnalConfig};
+
+fn main() {
+    let system = presets::section_vi();
+    let trace = generate(&DiurnalConfig {
+        peak_rate: 80_000.0,
+        ..DiurnalConfig::default()
+    });
+
+    let optimized =
+        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
+
+    println!("hourly net profit ($):");
+    print!("{}", net_profit_csv(&optimized, &balanced));
+
+    println!("\ntotals: optimized ${:.0} vs balanced ${:.0} ({:.1}% more)",
+        optimized.total_net_profit(),
+        balanced.total_net_profit(),
+        100.0 * (optimized.total_net_profit() / balanced.total_net_profit() - 1.0));
+    println!(
+        "completion: optimized {:.2}% vs balanced {:.2}%",
+        100.0 * optimized.completion_ratio(),
+        100.0 * balanced.completion_ratio()
+    );
+
+    // The Fig. 7 story: Mountain View is 3-6x farther from every front-end,
+    // so the optimizer starves it of request1 while Balanced chases its
+    // afternoon price advantage across the country.
+    println!("\nshare of request1 dispatched to each data center over the day:");
+    for (policy, run_result) in [("optimized", &optimized), ("balanced", &balanced)] {
+        let shares = dispatch_share(&system, run_result, ClassId(0));
+        let line: Vec<String> = shares
+            .iter()
+            .map(|(name, v)| format!("{name} {:.1}%", v * 100.0))
+            .collect();
+        println!("  {policy}: {}", line.join(", "));
+    }
+}

@@ -1,0 +1,46 @@
+//! # palb — Profit-Aware Load Balancing for distributed cloud data centers
+//!
+//! A from-scratch Rust reproduction of *Profit Aware Load Balancing for
+//! Distributed Cloud Data Centers* (Liu, Ren, Quan, Zhao, Ren — IPPS 2013):
+//! an energy-, price- and SLA-aware request dispatcher for a cloud provider
+//! operating geographically distributed data centers in multiple
+//! electricity markets.
+//!
+//! This crate is a facade re-exporting the workspace's subsystems:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `palb-core` | the profit-aware optimizer, baseline, slot driver |
+//! | [`cluster`] | `palb-cluster` | system model, electricity prices, costs, presets |
+//! | [`workload`] | `palb-workload` | trace generators (synthetic / diurnal / bursty) |
+//! | [`tuf`] | `palb-tuf` | time-utility functions and the big-M transform |
+//! | [`queueing`] | `palb-queueing` | M/M/1 analytics + discrete-event simulator |
+//! | [`lp`] | `palb-lp` | dense two-phase simplex solver |
+//! | [`nlp`] | `palb-nlp` | projected-gradient / augmented-Lagrangian solvers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use palb::cluster::presets;
+//! use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+//! use palb::workload::synthetic::constant_trace;
+//!
+//! // The paper's §V setup: 3 request classes, 4 front-ends, 3 data centers.
+//! let system = presets::section_v();
+//! let trace = constant_trace(presets::section_v_low_arrivals(), 1);
+//!
+//! let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
+//! let balanced = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+//! assert!(optimized.total_net_profit() > balanced.total_net_profit());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use palb_cluster as cluster;
+pub use palb_core as core;
+pub use palb_lp as lp;
+pub use palb_nlp as nlp;
+pub use palb_queueing as queueing;
+pub use palb_tuf as tuf;
+pub use palb_workload as workload;

@@ -1,0 +1,123 @@
+//! Cross-solver integration tests on randomized systems: the exact
+//! branch-and-bound, the exhaustive oracle, the uniform heuristic and the
+//! paper-literal big-M path must relate correctly on arbitrary instances,
+//! not just the paper presets.
+
+use proptest::prelude::*;
+
+use palb::cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
+use palb::core::{
+    check_feasible, solve_bb, solve_bigm, solve_exhaustive, solve_uniform_levels, BbOptions,
+    BigMOptions,
+};
+use palb::tuf::StepTuf;
+
+/// A small random two-level system: 1 class, 1 DC, `servers` machines.
+fn small_system(servers: usize, mu: f64, u1: f64, u2_frac: f64, d1_margin: f64) -> System {
+    let u2 = (u1 * u2_frac).max(0.01);
+    let tuf = StepTuf::two_level(u1, 1.0 / d1_margin, u2, 1.0 / (d1_margin * 0.1)).unwrap();
+    System {
+        classes: vec![RequestClass {
+            name: "r".into(),
+            tuf,
+            transfer_cost_per_mile: 0.0,
+        }],
+        front_ends: vec![FrontEnd { name: "fe".into() }],
+        data_centers: vec![DataCenter {
+            name: "dc".into(),
+            servers,
+            capacity: 1.0,
+            service_rate: vec![mu],
+            energy_per_request: vec![0.5],
+            pue: 1.0,
+            prices: PriceSchedule::flat(0.1, 24),
+        }],
+        distance: vec![vec![0.0]],
+        slot_length: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On any tiny instance, branch-and-bound matches the exhaustive
+    /// oracle and the uniform heuristic never beats either.
+    #[test]
+    fn bb_equals_oracle_and_bounds_uniform(
+        servers in 1usize..3,
+        mu in 60.0..150.0f64,
+        u1 in 2.0..12.0f64,
+        u2_frac in 0.3..0.95f64,
+        margin_frac in 0.2..0.6f64,
+        load_frac in 0.2..2.0f64,
+    ) {
+        let d1_margin = mu * margin_frac;
+        let sys = small_system(servers, mu, u1, u2_frac, d1_margin);
+        let offered = mu * servers as f64 * load_frac;
+        let rates = vec![vec![offered]];
+
+        let oracle = solve_exhaustive(&sys, &rates, 0).unwrap();
+        let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+        let uni = solve_uniform_levels(&sys, &rates, 0).unwrap();
+
+        prop_assert!(bb.proven_optimal);
+        let tol = 1e-5 * (1.0 + oracle.solve.objective.abs());
+        prop_assert!((bb.solve.objective - oracle.solve.objective).abs() < tol,
+            "bb {} vs oracle {}", bb.solve.objective, oracle.solve.objective);
+        prop_assert!(uni.solve.objective <= oracle.solve.objective + tol);
+
+        // Every solver's decision satisfies the paper's constraints.
+        for d in [&oracle.solve.dispatch, &bb.solve.dispatch, &uni.solve.dispatch] {
+            prop_assert!(check_feasible(&sys, &rates, d, false, 1e-5).is_ok());
+        }
+    }
+
+    /// The big-M continuous path, after polish, lands within 12% of the
+    /// true optimum and is always feasible.
+    #[test]
+    fn bigm_path_is_near_optimal(
+        mu in 60.0..150.0f64,
+        u1 in 2.0..12.0f64,
+        u2_frac in 0.3..0.95f64,
+        load_frac in 0.2..1.6f64,
+    ) {
+        let d1_margin = mu * 0.4;
+        let sys = small_system(2, mu, u1, u2_frac, d1_margin);
+        let offered = mu * 2.0 * load_frac;
+        let rates = vec![vec![offered]];
+
+        let oracle = solve_exhaustive(&sys, &rates, 0).unwrap();
+        let mut opts = BigMOptions::default();
+        opts.penalty.inner.max_iters = 250;
+        let bigm = solve_bigm(&sys, &rates, 0, &opts).unwrap();
+
+        prop_assert!(check_feasible(&sys, &rates, &bigm.polished.dispatch, false, 1e-5).is_ok());
+        prop_assert!(
+            bigm.polished.objective >= 0.88 * oracle.solve.objective - 1e-6,
+            "bigm {} vs oracle {}", bigm.polished.objective, oracle.solve.objective
+        );
+    }
+}
+
+#[test]
+fn symmetry_breaking_equals_plain_on_random_batch() {
+    // Deterministic mini-batch (fast): symmetry breaking must never change
+    // the optimum, only the node count.
+    for (i, load) in [0.3, 0.8, 1.3, 1.9].iter().enumerate() {
+        let sys = small_system(2, 100.0, 6.0, 0.7, 40.0);
+        let rates = vec![vec![200.0 * load]];
+        let plain = solve_bb(
+            &sys,
+            &rates,
+            i,
+            &BbOptions { symmetry_breaking: false, ..BbOptions::default() },
+        )
+        .unwrap();
+        let sym = solve_bb(&sys, &rates, i, &BbOptions::default()).unwrap();
+        assert!(
+            (plain.solve.objective - sym.solve.objective).abs()
+                < 1e-6 * (1.0 + plain.solve.objective.abs())
+        );
+        assert!(sym.nodes <= plain.nodes);
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration tests: the headline qualitative claims of the
+//! paper, exercised through the public `palb` facade exactly as a
+//! downstream user would.
+
+use palb::cluster::presets;
+use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::workload::burst::{generate as burst, BurstConfig};
+use palb::workload::diurnal::{generate as diurnal, DiurnalConfig};
+use palb::workload::synthetic::constant_trace;
+
+#[test]
+fn section_v_optimized_dominates_both_regimes() {
+    let system = presets::section_v();
+    for rates in [
+        presets::section_v_low_arrivals(),
+        presets::section_v_high_arrivals(),
+    ] {
+        let trace = constant_trace(rates, 1);
+        let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
+        let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+        assert!(opt.total_net_profit() > bal.total_net_profit());
+    }
+}
+
+#[test]
+fn section_v_heavy_load_processes_more_requests() {
+    // The paper's ~16% claim: the profit-aware dispatcher also completes
+    // substantially more requests under overload.
+    let system = presets::section_v();
+    let trace = constant_trace(presets::section_v_high_arrivals(), 1);
+    let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
+    let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+    let gain = opt.total_completed() / bal.total_completed();
+    assert!(
+        (1.05..1.45).contains(&gain),
+        "completion gain {gain} out of the paper's ballpark"
+    );
+}
+
+#[test]
+fn section_vi_gap_opens_midday_and_closes_at_night() {
+    let system = presets::section_vi();
+    let trace = diurnal(&DiurnalConfig { peak_rate: 80_000.0, ..DiurnalConfig::default() });
+    let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
+    let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+
+    let rel_gap = |i: usize| {
+        (opt.slots[i].net_profit - bal.slots[i].net_profit) / bal.slots[i].net_profit
+    };
+    // Largest mid-day gap dwarfs the end-of-trace gap (Fig. 6 convergence).
+    let midday: f64 = (10..21).map(rel_gap).fold(0.0, f64::max);
+    assert!(midday > 0.10, "midday gap {midday}");
+    assert!(rel_gap(23) < 0.5 * midday, "no convergence: {} vs {midday}", rel_gap(23));
+}
+
+#[test]
+fn section_vii_optimizer_wins_with_two_level_tufs() {
+    let system = presets::section_vii();
+    let trace = burst(&BurstConfig {
+        mean_rate: 62_000.0,
+        slots: presets::SECTION_VII_SLOTS,
+        reversion: 0.25,
+        burst_prob: 0.5,
+        ..BurstConfig::default()
+    });
+    let start = presets::SECTION_VII_START_HOUR;
+    let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, start).unwrap();
+    let bal = run(&mut BalancedPolicy, &system, &trace, start).unwrap();
+    assert!(opt.total_net_profit() > bal.total_net_profit());
+    // Optimized completes more *and* spends more doing so (§VII-B2).
+    assert!(opt.total_completed() > bal.total_completed());
+    assert!(opt.total_cost() > bal.total_cost());
+}
+
+#[test]
+fn uniform_solver_is_a_lower_bound_for_exact() {
+    use palb::core::{solve_bb, solve_uniform_levels, BbOptions};
+    let system = presets::section_vii();
+    let trace = burst(&BurstConfig {
+        mean_rate: 62_000.0,
+        slots: 3,
+        reversion: 0.25,
+        burst_prob: 0.5,
+        ..BurstConfig::default()
+    });
+    for t in 0..trace.slots() {
+        let slot = presets::SECTION_VII_START_HOUR + t;
+        let exact = solve_bb(&system, trace.slot(t), slot, &BbOptions::default()).unwrap();
+        let uni = solve_uniform_levels(&system, trace.slot(t), slot).unwrap();
+        assert!(
+            uni.solve.objective <= exact.solve.objective * (1.0 + 1e-9) + 1e-9,
+            "slot {slot}: uniform {} beat exact {}",
+            uni.solve.objective,
+            exact.solve.objective
+        );
+        assert!(exact.proven_optimal);
+    }
+}
+
+#[test]
+fn every_decision_is_feasible_across_a_whole_day() {
+    use palb::core::check_feasible;
+    let system = presets::section_vi();
+    let trace = diurnal(&DiurnalConfig { peak_rate: 80_000.0, ..DiurnalConfig::default() });
+    for policy_is_opt in [true, false] {
+        let result = if policy_is_opt {
+            run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap()
+        } else {
+            run(&mut BalancedPolicy, &system, &trace, 0).unwrap()
+        };
+        for (t, d) in result.decisions.iter().enumerate() {
+            check_feasible(&system, trace.slot(t), d, true, 1e-5)
+                .unwrap_or_else(|e| panic!("{} slot {t}: {e}", result.policy));
+        }
+    }
+}

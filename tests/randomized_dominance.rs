@@ -1,0 +1,143 @@
+//! Property-based integration tests: on *randomized* systems and
+//! workloads (not just the paper's presets), the profit-aware optimizer
+//! must never lose to the Balanced baseline, and the shared evaluator
+//! must account consistently.
+
+use proptest::prelude::*;
+
+use palb::cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
+use palb::core::{evaluate, run, BalancedPolicy, OptimizedPolicy};
+use palb::tuf::StepTuf;
+use palb::workload::synthetic::constant_trace;
+
+/// A random one-level system with `dcs` data centers and 2 classes.
+#[allow(clippy::too_many_arguments)]
+fn random_system(
+    dcs: usize,
+    servers: usize,
+    mu_base: f64,
+    mu_spread: f64,
+    utility: (f64, f64),
+    price_base: f64,
+    energy: (f64, f64),
+    transfer: f64,
+) -> System {
+    let classes = vec![
+        RequestClass {
+            name: "a".into(),
+            tuf: StepTuf::constant(utility.0, 0.10).unwrap(),
+            transfer_cost_per_mile: transfer,
+        },
+        RequestClass {
+            name: "b".into(),
+            tuf: StepTuf::constant(utility.1, 0.15).unwrap(),
+            transfer_cost_per_mile: transfer * 1.5,
+        },
+    ];
+    let data_centers = (0..dcs)
+        .map(|l| DataCenter {
+            name: format!("dc{l}"),
+            servers,
+            capacity: 1.0,
+            service_rate: vec![
+                mu_base + mu_spread * l as f64,
+                mu_base * 0.8 + mu_spread * (dcs - l) as f64,
+            ],
+            energy_per_request: vec![
+                energy.0 * (1.0 + 0.3 * l as f64),
+                energy.1 * (1.0 + 0.2 * (dcs - l) as f64),
+            ],
+            pue: 1.0,
+            prices: PriceSchedule::flat(price_base * (1.0 + 0.15 * l as f64), 24),
+        })
+        .collect();
+    System {
+        classes,
+        front_ends: vec![FrontEnd { name: "fe".into() }],
+        distance: vec![(0..dcs).map(|l| 100.0 * (l + 1) as f64).collect()],
+        data_centers,
+        slot_length: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The optimizer never nets less than the baseline on any random
+    /// instance (when its LP is feasible), and both produce feasible,
+    /// consistently-accounted decisions.
+    #[test]
+    fn optimizer_never_loses_to_balanced(
+        dcs in 1usize..4,
+        servers in 1usize..4,
+        mu_base in 80.0..200.0f64,
+        mu_spread in 0.0..40.0f64,
+        u_a in 1.0..8.0f64,
+        u_b in 1.0..8.0f64,
+        price in 0.05..0.4f64,
+        e_a in 0.1..2.0f64,
+        e_b in 0.1..2.0f64,
+        transfer in 0.0..0.002f64,
+        load in 0.1..2.5f64,
+    ) {
+        let sys = random_system(
+            dcs, servers, mu_base, mu_spread, (u_a, u_b), price, (e_a, e_b), transfer,
+        );
+        prop_assume!(sys.validate().is_ok());
+        let per_class = mu_base * servers as f64 * dcs as f64 * load / 3.0;
+        let trace = constant_trace(vec![vec![per_class, per_class * 0.8]], 1);
+
+        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0);
+        let Ok(opt) = opt else {
+            // Infeasible level reservations can legally occur; skip.
+            return Ok(());
+        };
+        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        prop_assert!(
+            opt.total_net_profit() >= bal.total_net_profit() - 1e-6 * bal.total_net_profit().abs() - 1e-6,
+            "optimizer {} lost to balanced {}",
+            opt.total_net_profit(),
+            bal.total_net_profit()
+        );
+
+        // Evaluator consistency: re-evaluating the stored decision gives
+        // the stored outcome.
+        let re = evaluate(&sys, trace.slot(0), 0, &opt.decisions[0]);
+        prop_assert!((re.net_profit - opt.slots[0].net_profit).abs() < 1e-9);
+        // No policy invents requests.
+        prop_assert!(opt.slots[0].dispatched <= opt.slots[0].offered + 1e-6);
+        prop_assert!(bal.slots[0].dispatched <= bal.slots[0].offered + 1e-6);
+        // Completed never exceeds dispatched.
+        prop_assert!(opt.slots[0].completed <= opt.slots[0].dispatched + 1e-6);
+    }
+
+    /// Scaling all prices and utilities by the same factor scales profit
+    /// by that factor (the model is positively homogeneous in dollars).
+    #[test]
+    fn dollar_homogeneity(scale in 0.5..3.0f64) {
+        let base = random_system(2, 2, 120.0, 20.0, (4.0, 6.0), 0.2, (0.8, 1.2), 0.0005);
+        let mut scaled = base.clone();
+        for class in &mut scaled.classes {
+            let levels: Vec<palb::tuf::Level> = class
+                .tuf
+                .levels()
+                .iter()
+                .map(|l| palb::tuf::Level { deadline: l.deadline, utility: l.utility * scale })
+                .collect();
+            class.tuf = StepTuf::new(levels).unwrap();
+            class.transfer_cost_per_mile *= scale;
+        }
+        for dc in &mut scaled.data_centers {
+            dc.prices = dc.prices.scaled(scale);
+        }
+        let trace = constant_trace(vec![vec![120.0, 90.0]], 1);
+        let a = run(&mut OptimizedPolicy::exact(), &base, &trace, 0).unwrap();
+        let b = run(&mut OptimizedPolicy::exact(), &scaled, &trace, 0).unwrap();
+        prop_assert!(
+            (b.total_net_profit() - scale * a.total_net_profit()).abs()
+                < 1e-5 * (1.0 + b.total_net_profit().abs()),
+            "scaled {} vs {} x base {}",
+            b.total_net_profit(), scale, a.total_net_profit()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Serialization integration tests: every preset system and every
+//! generator's trace must round-trip through JSON unchanged, and malformed
+//! documents must be *rejected at deserialization time* — the validating
+//! `try_from` wrappers are what lets the CLI accept untrusted files.
+
+use palb::cluster::{presets, System};
+use palb::tuf::StepTuf;
+use palb::workload::burst::{generate as burst, BurstConfig};
+use palb::workload::diurnal::{generate as diurnal, DiurnalConfig};
+use palb::workload::Trace;
+
+#[test]
+fn preset_systems_round_trip() {
+    for system in [
+        presets::section_v(),
+        presets::section_vi(),
+        presets::section_vii(),
+    ] {
+        let json = serde_json::to_string(&system).unwrap();
+        let back: System = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.num_classes(), system.num_classes());
+        assert_eq!(back.num_dcs(), system.num_dcs());
+        assert_eq!(back.slot_length, system.slot_length);
+        // TUFs survive exactly.
+        for (a, b) in system.classes.iter().zip(&back.classes) {
+            assert_eq!(a.tuf, b.tuf);
+        }
+        // Prices survive exactly.
+        for (a, b) in system.data_centers.iter().zip(&back.data_centers) {
+            assert_eq!(a.prices, b.prices);
+        }
+    }
+}
+
+#[test]
+fn traces_round_trip() {
+    for trace in [
+        diurnal(&DiurnalConfig::default()),
+        burst(&BurstConfig::default()),
+    ] {
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}
+
+#[test]
+fn malformed_tuf_rejected_at_parse_time() {
+    // Utilities must be strictly decreasing: 4 then 10 is invalid.
+    let bad = r#"[
+        {"deadline": 0.5, "utility": 4.0},
+        {"deadline": 1.0, "utility": 10.0}
+    ]"#;
+    let err = serde_json::from_str::<StepTuf>(bad).unwrap_err();
+    assert!(err.to_string().contains("decreasing"), "{err}");
+    // And the valid ordering parses.
+    let good = r#"[
+        {"deadline": 0.5, "utility": 10.0},
+        {"deadline": 1.0, "utility": 4.0}
+    ]"#;
+    let tuf: StepTuf = serde_json::from_str(good).unwrap();
+    assert_eq!(tuf.num_levels(), 2);
+}
+
+#[test]
+fn negative_price_rejected_at_parse_time() {
+    let mut system = presets::section_v();
+    let mut json = serde_json::to_value(&system).unwrap();
+    json["data_centers"][0]["prices"][0] = serde_json::json!(-0.5);
+    let err = serde_json::from_value::<System>(json).unwrap_err();
+    assert!(err.to_string().contains("bad price"), "{err}");
+    // Untouched value still parses.
+    system.data_centers[0].pue = 1.5;
+    let json = serde_json::to_string(&system).unwrap();
+    assert!(serde_json::from_str::<System>(&json).is_ok());
+}
+
+#[test]
+fn ragged_trace_rejected_at_parse_time() {
+    let bad = r#"[ [[1.0, 2.0]], [[1.0]] ]"#;
+    let err = serde_json::from_str::<Trace>(bad).unwrap_err();
+    assert!(err.to_string().contains("class count"), "{err}");
+}
+
+#[test]
+fn pue_defaults_to_one_when_missing() {
+    // Older/hand-written system files may omit the PUE extension field.
+    let system = presets::section_v();
+    let mut json = serde_json::to_value(&system).unwrap();
+    json["data_centers"][0]
+        .as_object_mut()
+        .unwrap()
+        .remove("pue");
+    let back: System = serde_json::from_value(json).unwrap();
+    assert_eq!(back.data_centers[0].pue, 1.0);
+}
