@@ -12,6 +12,7 @@
 //!   robustness   service-time distribution sensitivity (M/G/1 replay)
 //!   three-level  three-level TUFs (the paper's Eq. 18-22 case)
 //!   ablations    the five DESIGN.md ablations
+//!   fault-tolerance  degraded-mode ladder vs bare optimizer under faults
 //!   all          everything above, in order
 //! ```
 
@@ -19,15 +20,16 @@ use std::env;
 use std::process::ExitCode;
 
 use palb_bench::experiments::{
-    ablations, forecasting, foundations, quantile, robustness, section_v, section_vi,
-    section_vii, three_level, validate,
+    ablations, fault_tolerance, forecasting, foundations, quantile, robustness, section_v,
+    section_vi, section_vii, three_level, validate,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <target>\n\
          targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
-         tables validate quantile forecast robustness three-level ablations all"
+         tables validate quantile forecast robustness three-level ablations \
+         fault-tolerance all"
     );
     ExitCode::FAILURE
 }
@@ -69,6 +71,7 @@ fn main() -> ExitCode {
         "robustness" => print!("{}", robustness::report()),
         "three-level" => print!("{}", three_level::report()),
         "ablations" => print!("{}", ablations::all()),
+        "fault-tolerance" => print!("{}", fault_tolerance::report(0.1, 42)),
         "all" => {
             print!("{}", foundations::fig1());
             println!();
@@ -105,6 +108,8 @@ fn main() -> ExitCode {
             print!("{}", three_level::report());
             println!();
             print!("{}", ablations::all());
+            println!();
+            print!("{}", fault_tolerance::report(0.1, 42));
         }
         _ => return usage(),
     }

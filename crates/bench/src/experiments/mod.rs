@@ -1,6 +1,7 @@
 //! One module per paper section, each regenerating its tables and figures.
 
 pub mod ablations;
+pub mod fault_tolerance;
 pub mod quantile;
 pub mod robustness;
 pub mod three_level;

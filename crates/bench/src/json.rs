@@ -4,8 +4,25 @@
 
 use palb_cluster::System;
 use palb_core::report::{power_churn, powered_on_series};
-use palb_core::RunResult;
+use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
+
+use crate::experiments::fault_tolerance::FaultToleranceResult;
+
+/// Serializes a slot's health record (`null` for nominal slots without
+/// one).
+fn health_to_json(health: &Option<SlotHealth>) -> Value {
+    match health {
+        Some(h) => json!({
+            "tier": h.tier_used.map(|t| t.to_string()),
+            "retries": h.retries,
+            "sanitization_events": h.sanitization_events,
+            "solve_iterations": h.solve_iterations,
+            "degraded": h.degraded,
+        }),
+        None => Value::Null,
+    }
+}
 
 /// Serializes a run (per-slot series + aggregates) to a JSON value.
 pub fn run_to_json(system: &System, run: &RunResult) -> Value {
@@ -24,6 +41,7 @@ pub fn run_to_json(system: &System, run: &RunResult) -> Value {
                 "completed": s.completed,
                 "powered_on": s.powered_on,
                 "class_dc_rate": s.class_dc_rate,
+                "health": health_to_json(&s.health),
             })
         })
         .collect();
@@ -60,6 +78,29 @@ pub fn comparison_to_json(system: &System, a: &RunResult, b: &RunResult) -> Valu
     })
 }
 
+/// Serializes a fault-tolerance study result.
+pub fn fault_tolerance_to_json(r: &FaultToleranceResult) -> Value {
+    let tiers: Vec<Value> = r
+        .tier_counts
+        .iter()
+        .map(|(t, n)| json!({ "tier": t.to_string(), "slots": n }))
+        .collect();
+    json!({
+        "fault_rate": r.fault_rate,
+        "seed": r.seed,
+        "clean_profit": r.clean_profit,
+        "resilient_profit": r.resilient_profit,
+        "retention": r.retention,
+        "tier_histogram": tiers,
+        "sanitization_events": r.sanitization_events,
+        "price_incidents": r.price_incidents,
+        "retries": r.retries,
+        "degraded_slots": r.degraded_slots,
+        "completed_slots": r.completed_slots,
+        "bare_abort": r.bare_abort,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +125,11 @@ mod tests {
             back["system"]["data_centers"].as_array().unwrap().len(),
             3
         );
+    }
+
+    #[test]
+    fn nominal_slots_serialize_null_health() {
+        assert_eq!(health_to_json(&None), Value::Null);
     }
 
     #[test]

@@ -6,15 +6,89 @@
 //! this to regenerate 24-hour studies at full core count while the
 //! sequential `palb_core::run` remains the reference implementation (a
 //! test asserts they agree bit-for-bit on the outcomes).
+//!
+//! Like the sequential driver, the parallel runners sanitize the trace
+//! once up front (`palb_core::sanitize_rates`) and attach repair counts to
+//! the affected slots' health records, so the two paths see identical
+//! inputs and produce identical outcomes.
 
 use palb_cluster::System;
-use palb_core::{evaluate, CoreError, Policy, RunResult};
+use palb_core::{
+    evaluate, sanitize_rates, CoreError, PartialRun, Policy, RunResult, SlotFailure,
+    SlotHealth,
+};
 use palb_workload::Trace;
 use rayon::prelude::*;
 
-/// Runs a policy over a trace with one rayon task per slot. The
-/// `make_policy` factory is called per worker so policies need not be
-/// `Sync`.
+fn merge_repairs(health: Option<SlotHealth>, repairs: usize) -> Option<SlotHealth> {
+    let mut health = health;
+    if repairs > 0 {
+        let h = health.get_or_insert_with(SlotHealth::default);
+        h.sanitization_events = repairs;
+        h.degraded = true;
+    }
+    health
+}
+
+/// Runs a policy over a trace with one rayon task per slot, keeping every
+/// slot's result. The `make_policy` factory is called per slot so policies
+/// need not be `Sync`. Failed slots are collected as [`SlotFailure`]s
+/// rather than discarding the finished work of their siblings.
+pub fn run_parallel_partial<P, F>(
+    make_policy: F,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> PartialRun
+where
+    P: Policy,
+    F: Fn() -> P + Sync,
+{
+    let (clean, events) = sanitize_rates(trace);
+    let repairs = palb_core::events_per_slot(&events, clean.slots());
+    let per_slot: Vec<_> = (0..clean.slots())
+        .into_par_iter()
+        .map(|t| {
+            let mut policy = make_policy();
+            let slot = start_slot + t;
+            let rates = clean.slot(t);
+            match policy.decide(system, rates, slot) {
+                Ok(dispatch) => {
+                    let mut outcome = evaluate(system, rates, slot, &dispatch);
+                    outcome.health = merge_repairs(policy.take_health(), repairs[t]);
+                    Ok((outcome, dispatch))
+                }
+                Err(error) => Err(SlotFailure { index: t, slot, error }),
+            }
+        })
+        .collect();
+    let name = make_policy().name().to_owned();
+    let mut slots = Vec::new();
+    let mut decisions = Vec::new();
+    let mut failures = Vec::new();
+    for r in per_slot {
+        match r {
+            Ok((outcome, dispatch)) => {
+                slots.push(outcome);
+                decisions.push(dispatch);
+            }
+            Err(f) => failures.push(f),
+        }
+    }
+    PartialRun {
+        result: RunResult {
+            policy: name,
+            slots,
+            decisions,
+        },
+        failures,
+    }
+}
+
+/// Strict parallel run, mirroring `palb_core::run`'s all-or-nothing
+/// contract: if any slot fails, the error of the *lowest-index* failed
+/// slot is returned (the same one the sequential driver would have hit
+/// first), so the two paths agree on errors as well as on results.
 pub fn run_parallel<P, F>(
     make_policy: F,
     system: &System,
@@ -25,36 +99,19 @@ where
     P: Policy,
     F: Fn() -> P + Sync,
 {
-    let results: Result<Vec<_>, CoreError> = (0..trace.slots())
-        .into_par_iter()
-        .map(|t| {
-            let mut policy = make_policy();
-            let slot = start_slot + t;
-            let rates = trace.slot(t);
-            let dispatch = policy.decide(system, rates, slot)?;
-            let outcome = evaluate(system, rates, slot, &dispatch);
-            Ok((outcome, dispatch))
-        })
-        .collect();
-    let mut name = String::new();
-    {
-        let p = make_policy();
-        name.push_str(p.name());
+    let partial = run_parallel_partial(make_policy, system, trace, start_slot);
+    match partial.failures.into_iter().next() {
+        Some(first) => Err(first.error),
+        None => Ok(partial.result),
     }
-    let pairs = results?;
-    let (slots, decisions) = pairs.into_iter().unzip();
-    Ok(RunResult {
-        policy: name,
-        slots,
-        decisions,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use palb_cluster::presets;
-    use palb_core::{run, BalancedPolicy, OptimizedPolicy};
+    use palb_core::{run, run_partial, BalancedPolicy, ChaosPolicy, OptimizedPolicy};
+    use palb_workload::fault::SolverFaultSchedule;
     use palb_workload::synthetic::constant_trace;
 
     #[test]
@@ -80,5 +137,52 @@ mod tests {
         for (a, b) in seq.slots.iter().zip(&par.slots) {
             assert_eq!(a.net_profit, b.net_profit);
         }
+    }
+
+    /// Bit-for-bit outcome comparison that tolerates the NaN entries of
+    /// `class_dc_delay` (NaN != NaN defeats a plain `assert_eq!`; the
+    /// Debug rendering is exact for every float, NaN included).
+    fn assert_outcomes_identical(a: &RunResult, b: &RunResult) {
+        assert_eq!(format!("{:?}", a.slots), format!("{:?}", b.slots));
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn parallel_sanitization_matches_sequential() {
+        let sys = presets::section_v();
+        let clean = constant_trace(presets::section_v_low_arrivals(), 3);
+        let mut raw: Vec<_> = (0..3).map(|t| clean.slot(t).to_vec()).collect();
+        raw[1][0][0] = f64::NAN;
+        raw[2][2][1] = -5.0;
+        let corrupted = Trace::new_unchecked(raw);
+        let seq = run(&mut BalancedPolicy, &sys, &corrupted, 0).unwrap();
+        let par = run_parallel(|| BalancedPolicy, &sys, &corrupted, 0).unwrap();
+        assert_outcomes_identical(&seq, &par);
+        let h = par.slots[1].health.as_ref().unwrap();
+        assert_eq!(h.sanitization_events, 1);
+    }
+
+    #[test]
+    fn partial_parallel_keeps_good_slots_and_orders_failures() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 8);
+        let schedule = SolverFaultSchedule::new(0.5, 21);
+        let make = || ChaosPolicy::new(BalancedPolicy, schedule.clone());
+        let par = run_parallel_partial(make, &sys, &trace, 0);
+        let mut seq_chaos = ChaosPolicy::new(BalancedPolicy, schedule.clone());
+        let seq = run_partial(&mut seq_chaos, &sys, &trace, 0).unwrap();
+        assert_eq!(par.failures.len(), seq.failures.len());
+        assert!(!par.is_complete());
+        let par_failed: Vec<usize> = par.failures.iter().map(|f| f.index).collect();
+        let seq_failed: Vec<usize> = seq.failures.iter().map(|f| f.index).collect();
+        assert_eq!(par_failed, seq_failed, "same slots fail in either path");
+        assert_outcomes_identical(&par.result, &seq.result);
+        // The strict wrapper surfaces the lowest-index failure.
+        let err = run_parallel(make, &sys, &trace, 0).unwrap_err();
+        let first = par_failed[0];
+        assert!(
+            matches!(err, CoreError::Solver { slot, .. } if slot == first),
+            "{err:?} should be slot {first}"
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! palb run --system system.json --trace trace.json --policy optimized
 //! palb run --system system.json --trace trace.json --policy quantile=0.9 --json
 //! palb lp --system system.json --trace trace.json --slot 12 > slot12.lp
+//! palb fault-tolerance --fault-rate 0.1 --seed 42
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so
@@ -21,6 +22,8 @@
 use std::collections::BTreeMap;
 use std::fs;
 
+use palb_bench::experiments::fault_tolerance;
+use palb_bench::json::fault_tolerance_to_json;
 use palb_cluster::{presets, System};
 use palb_core::report::summary_table;
 use palb_core::{
@@ -77,7 +80,8 @@ pub fn usage() -> String {
      \x20       [--front-ends N] [--classes N] [--seed S]       print a trace as JSON\n\
      \x20 run --system FILE --trace FILE [--policy optimized|balanced|quantile=P]\n\
      \x20     [--start N] [--json]                               run and summarize\n\
-     \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n"
+     \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n\
+     \x20 fault-tolerance [--fault-rate R] [--seed S] [--json]   degraded-mode study\n"
         .to_string()
 }
 
@@ -88,6 +92,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         "trace" => cmd_trace(cli),
         "run" => cmd_run(cli),
         "lp" => cmd_lp(cli),
+        "fault-tolerance" => cmd_fault_tolerance(cli),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -267,6 +272,23 @@ fn cmd_lp(cli: &Cli) -> Result<String, String> {
     lp_text(&system, trace.slot(slot), slot, &assignment).map_err(|e| e.to_string())
 }
 
+fn cmd_fault_tolerance(cli: &Cli) -> Result<String, String> {
+    let fault_rate = opt_f64(cli, "fault-rate", 0.1)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!(
+            "--fault-rate must be a probability in [0,1], got {fault_rate}"
+        ));
+    }
+    let seed = opt_usize(cli, "seed", 42)? as u64;
+    if cli.options.contains_key("json") {
+        let result = fault_tolerance::study(fault_rate, seed);
+        serde_json::to_string_pretty(&fault_tolerance_to_json(&result))
+            .map_err(|e| e.to_string())
+    } else {
+        Ok(fault_tolerance::report(fault_rate, seed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +386,25 @@ mod tests {
         assert!(lp.starts_with("Maximize"));
         assert!(lp.contains("Subject To"));
         assert!(lp.ends_with("End\n"));
+    }
+
+    #[test]
+    fn fault_tolerance_command_prints_tier_histogram() {
+        let out = execute(&cli(&[
+            "fault-tolerance", "--fault-rate", "0.1", "--seed", "42",
+        ]))
+        .unwrap();
+        assert!(out.contains("profit retention"), "{out}");
+        assert!(out.contains("tier histogram"), "{out}");
+        assert!(out.contains("exact"), "{out}");
+        assert!(out.contains("24"), "{out}");
+    }
+
+    #[test]
+    fn fault_tolerance_rejects_bad_rate() {
+        let err = execute(&cli(&["fault-tolerance", "--fault-rate", "1.5"])).unwrap_err();
+        assert!(err.contains("probability"), "{err}");
+        assert!(execute(&cli(&["fault-tolerance", "--fault-rate", "nope"])).is_err());
     }
 
     #[test]

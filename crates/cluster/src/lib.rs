@@ -30,7 +30,7 @@ pub mod presets;
 pub mod price;
 mod types;
 
-pub use price::PriceSchedule;
+pub use price::{PriceIncident, PriceSchedule};
 pub use types::{
     ClassId, DataCenter, DcId, FrontEnd, FrontEndId, ModelError, RequestClass, System,
 };

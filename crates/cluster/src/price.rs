@@ -39,6 +39,18 @@ impl From<PriceSchedule> for Vec<f64> {
     }
 }
 
+/// One corrupted price slot found (and repaired) by
+/// [`PriceSchedule::sanitized`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceIncident {
+    /// Slot-of-day whose price was unusable.
+    pub slot: usize,
+    /// The corrupted value as observed (may be NaN/∞/non-positive).
+    pub observed: f64,
+    /// The value substituted for it.
+    pub replacement: f64,
+}
+
 impl PriceSchedule {
     /// Builds a schedule from explicit per-slot prices.
     ///
@@ -50,6 +62,69 @@ impl PriceSchedule {
             assert!(p.is_finite() && p >= 0.0, "bad price at slot {i}: {p}");
         }
         PriceSchedule { hourly }
+    }
+
+    /// Builds a schedule without validating the price values — the entry
+    /// point for fault injection and for replaying corrupted price feeds.
+    /// Downstream consumers must run [`Self::validate`] or
+    /// [`Self::sanitized`] before optimizing against such a schedule.
+    ///
+    /// # Panics
+    /// Panics only if `hourly` is empty (a zero-length cycle cannot be
+    /// indexed at all).
+    pub fn new_unchecked(hourly: Vec<f64>) -> Self {
+        assert!(!hourly.is_empty(), "price schedule cannot be empty");
+        PriceSchedule { hourly }
+    }
+
+    /// Checks every slot price, returning the indices of unusable entries
+    /// (non-finite or non-positive). An empty result means the schedule is
+    /// safe to optimize against.
+    pub fn validate(&self) -> Vec<usize> {
+        self.hourly
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| !(p.is_finite() && p > 0.0))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns a copy with every unusable price (non-finite or
+    /// non-positive) replaced by the mean of the usable slot-of-day prices,
+    /// plus one [`PriceIncident`] per repair. If *no* slot is usable the
+    /// replacement falls back to a nominal 0.05 $/kWh so the controller can
+    /// still run in a fully degraded state.
+    pub fn sanitized(&self) -> (Self, Vec<PriceIncident>) {
+        let good: Vec<f64> = self
+            .hourly
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite() && *p > 0.0)
+            .collect();
+        let replacement = if good.is_empty() {
+            0.05
+        } else {
+            good.iter().sum::<f64>() / good.len() as f64
+        };
+        let mut incidents = Vec::new();
+        let hourly = self
+            .hourly
+            .iter()
+            .enumerate()
+            .map(|(slot, &p)| {
+                if p.is_finite() && p > 0.0 {
+                    p
+                } else {
+                    incidents.push(PriceIncident {
+                        slot,
+                        observed: p,
+                        replacement,
+                    });
+                    replacement
+                }
+            })
+            .collect();
+        (PriceSchedule { hourly }, incidents)
     }
 
     /// A flat schedule of `slots` identical prices.
@@ -199,5 +274,38 @@ mod tests {
         for p in [houston(), mountain_view(), atlanta()] {
             assert!(p.price_at(3) < p.price_at(15));
         }
+    }
+
+    #[test]
+    fn unchecked_admits_corruption_and_validate_finds_it() {
+        let p = PriceSchedule::new_unchecked(vec![0.05, f64::NAN, -0.1, 0.07]);
+        assert_eq!(p.validate(), vec![1, 2]);
+        assert!(PriceSchedule::new(vec![0.05, 0.07]).validate().is_empty());
+    }
+
+    #[test]
+    fn sanitized_imputes_mean_of_usable_slots() {
+        let p = PriceSchedule::new_unchecked(vec![0.04, f64::INFINITY, 0.08, 0.0]);
+        let (clean, incidents) = p.sanitized();
+        assert!(clean.validate().is_empty());
+        // Mean of the two usable prices.
+        assert!((clean.price_at(1) - 0.06).abs() < 1e-12);
+        assert!((clean.price_at(3) - 0.06).abs() < 1e-12);
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].slot, 1);
+        assert_eq!(incidents[1].slot, 3);
+        assert_eq!(incidents[1].observed, 0.0);
+        // Untouched slots survive bit-for-bit.
+        assert_eq!(clean.price_at(0), 0.04);
+        assert_eq!(clean.price_at(2), 0.08);
+    }
+
+    #[test]
+    fn sanitized_with_nothing_usable_uses_nominal_price() {
+        let p = PriceSchedule::new_unchecked(vec![f64::NAN, -1.0]);
+        let (clean, incidents) = p.sanitized();
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(clean.price_at(0), 0.05);
+        assert!(clean.validate().is_empty());
     }
 }

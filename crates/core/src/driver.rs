@@ -13,6 +13,8 @@ use crate::evaluate::{evaluate, SlotOutcome};
 use crate::formulate::{solve_fixed_levels, LevelAssignment};
 use crate::model::{Dims, Dispatch};
 use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions};
+use crate::resilient::SlotHealth;
+use crate::sanitize::{events_per_slot, sanitize_rates};
 
 /// A per-slot decision policy.
 pub trait Policy {
@@ -26,6 +28,14 @@ pub trait Policy {
         rates: &[Vec<f64>],
         slot: usize,
     ) -> Result<Dispatch, CoreError>;
+
+    /// Health telemetry of the most recent [`Policy::decide`], if the
+    /// policy tracks any. Called (and consumed) by the driver once per
+    /// slot, right after the decision. The default — for plain policies
+    /// that are not degradation ladders — reports nothing.
+    fn take_health(&mut self) -> Option<SlotHealth> {
+        None
+    }
 }
 
 /// The paper's **Balanced** baseline (§V-A).
@@ -171,14 +181,35 @@ impl RunResult {
     }
 }
 
-/// Drives `policy` over `trace`, evaluating slot `t` of the trace at
-/// schedule slot `start_slot + t` (so §VII can start at 14:00).
-pub fn run(
-    policy: &mut dyn Policy,
-    system: &System,
-    trace: &Trace,
-    start_slot: usize,
-) -> Result<RunResult, CoreError> {
+/// One slot that could not be decided during a [`run_partial`].
+#[derive(Debug, Clone)]
+pub struct SlotFailure {
+    /// Trace-local slot index.
+    pub index: usize,
+    /// Schedule slot (`start_slot + index`).
+    pub slot: usize,
+    /// The decision error.
+    pub error: CoreError,
+}
+
+/// Result of a best-effort run: everything that succeeded, plus the slots
+/// that did not.
+#[derive(Debug, Clone)]
+pub struct PartialRun {
+    /// Outcomes and decisions of the slots that succeeded, in trace order.
+    pub result: RunResult,
+    /// Slots whose decision failed, in trace order.
+    pub failures: Vec<SlotFailure>,
+}
+
+impl PartialRun {
+    /// Whether every slot succeeded.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn check_shapes(system: &System, trace: &Trace) -> Result<(), CoreError> {
     if trace.front_ends() != system.num_front_ends() {
         return Err(CoreError::Model(format!(
             "trace has {} front-ends, system {}",
@@ -193,19 +224,95 @@ pub fn run(
             system.num_classes()
         )));
     }
-    let mut slots = Vec::with_capacity(trace.slots());
-    let mut decisions = Vec::with_capacity(trace.slots());
-    for t in 0..trace.slots() {
+    Ok(())
+}
+
+/// Merges the driver-side sanitization count into a slot's health record.
+/// A repair with no policy-side health still yields a record, so degraded
+/// inputs are never silent.
+fn merge_health(policy_health: Option<SlotHealth>, repairs: usize) -> Option<SlotHealth> {
+    let mut health = policy_health;
+    if repairs > 0 {
+        let h = health.get_or_insert_with(SlotHealth::default);
+        h.sanitization_events = repairs;
+        h.degraded = true;
+    }
+    health
+}
+
+/// Drives `policy` over `trace`, evaluating slot `t` of the trace at
+/// schedule slot `start_slot + t` (so §VII can start at 14:00).
+///
+/// The trace passes through [`sanitize_rates`] first, so policies always
+/// see finite, non-negative rates; repairs are reported on the affected
+/// slots' [`SlotOutcome::health`]. A decision failure aborts the run
+/// (see [`run_partial`] for the best-effort variant).
+pub fn run(
+    policy: &mut dyn Policy,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> Result<RunResult, CoreError> {
+    check_shapes(system, trace)?;
+    let (clean, events) = sanitize_rates(trace);
+    let repairs = events_per_slot(&events, clean.slots());
+    let mut slots = Vec::with_capacity(clean.slots());
+    let mut decisions = Vec::with_capacity(clean.slots());
+    for t in 0..clean.slots() {
         let slot = start_slot + t;
-        let rates = trace.slot(t);
+        let rates = clean.slot(t);
         let dispatch = policy.decide(system, rates, slot)?;
-        slots.push(evaluate(system, rates, slot, &dispatch));
+        let mut outcome = evaluate(system, rates, slot, &dispatch);
+        outcome.health = merge_health(policy.take_health(), repairs[t]);
+        slots.push(outcome);
         decisions.push(dispatch);
     }
     Ok(RunResult {
         policy: policy.name().to_owned(),
         slots,
         decisions,
+    })
+}
+
+/// Best-effort variant of [`run`]: a failed slot is recorded (not
+/// evaluated) and the loop moves on, so one bad slot cannot void a whole
+/// day's results. Structural mismatches still fail fast — they would fail
+/// every slot identically.
+pub fn run_partial(
+    policy: &mut dyn Policy,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> Result<PartialRun, CoreError> {
+    check_shapes(system, trace)?;
+    let (clean, events) = sanitize_rates(trace);
+    let repairs = events_per_slot(&events, clean.slots());
+    let mut slots = Vec::new();
+    let mut decisions = Vec::new();
+    let mut failures = Vec::new();
+    for t in 0..clean.slots() {
+        let slot = start_slot + t;
+        let rates = clean.slot(t);
+        match policy.decide(system, rates, slot) {
+            Ok(dispatch) => {
+                let mut outcome = evaluate(system, rates, slot, &dispatch);
+                outcome.health = merge_health(policy.take_health(), repairs[t]);
+                slots.push(outcome);
+                decisions.push(dispatch);
+            }
+            Err(error) => {
+                let _ = policy.take_health();
+                failures.push(SlotFailure { index: t, slot, error });
+            }
+        }
+    }
+    Ok(PartialRun {
+        result: RunResult {
+            policy: policy.name().to_owned(),
+            slots,
+            decisions,
+        },
+        failures,
     })
 }
 
@@ -277,6 +384,51 @@ mod tests {
         let night = run(&mut BalancedPolicy, &sys, &trace, 3).unwrap();
         let peak = run(&mut BalancedPolicy, &sys, &trace, 15).unwrap();
         assert_ne!(night.decisions[0], peak.decisions[0]);
+    }
+
+    #[test]
+    fn corrupted_rates_are_sanitized_and_reported() {
+        use palb_workload::Trace;
+        let sys = presets::section_v();
+        let clean = constant_trace(presets::section_v_low_arrivals(), 2);
+        let mut raw = clean.slot(0).to_vec();
+        let corrupted = Trace::new_unchecked(vec![raw.clone(), {
+            raw[0][0] = f64::NAN; // slot 1, fe 0, class 0 corrupted
+            raw
+        }]);
+        let ok = run(&mut BalancedPolicy, &sys, &clean, 0).unwrap();
+        let repaired = run(&mut BalancedPolicy, &sys, &corrupted, 0).unwrap();
+        // Slot 1's NaN imputes the slot-0 value, so the runs coincide.
+        assert_eq!(ok.decisions, repaired.decisions);
+        assert!(ok.slots[1].health.is_none());
+        let h = repaired.slots[1].health.as_ref().unwrap();
+        assert_eq!(h.sanitization_events, 1);
+        assert!(h.degraded);
+        assert_eq!(h.tier_used, None); // BalancedPolicy is not a ladder
+        assert!(repaired.slots[0].health.is_none());
+    }
+
+    #[test]
+    fn partial_run_collects_failures_and_keeps_good_slots() {
+        use crate::resilient::ChaosPolicy;
+        use palb_workload::fault::SolverFaultSchedule;
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 8);
+        let schedule = SolverFaultSchedule::new(0.5, 21);
+        let mut chaos = ChaosPolicy::new(BalancedPolicy, schedule.clone());
+        let p = run_partial(&mut chaos, &sys, &trace, 0).unwrap();
+        let failed: usize = (0..8).filter(|&t| schedule.fails(t, 0)).count();
+        assert!(failed > 0, "seed should fail at least one of 8 slots");
+        assert_eq!(p.failures.len(), failed);
+        assert_eq!(p.result.slots.len(), 8 - failed);
+        assert!(!p.is_complete());
+        for f in &p.failures {
+            assert_eq!(f.slot, f.index); // start_slot = 0
+            assert!(matches!(f.error, CoreError::Solver { .. }));
+        }
+        // The strict driver aborts on the first such failure.
+        let mut chaos2 = ChaosPolicy::new(BalancedPolicy, schedule);
+        assert!(run(&mut chaos2, &sys, &trace, 0).is_err());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use palb_lp::LpError;
 
+use crate::resilient::Tier;
+
 /// Errors from the dispatch solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -12,6 +14,17 @@ pub enum CoreError {
     Lp(LpError),
     /// The inputs are structurally inconsistent.
     Model(String),
+    /// A solver failure with its control-loop context attached: which slot
+    /// was being decided and which degradation-ladder tier was attempting
+    /// the solve when the underlying LP gave up.
+    Solver {
+        /// Schedule slot being decided when the failure occurred.
+        slot: usize,
+        /// Degradation-ladder tier that was attempting the solve.
+        tier: Tier,
+        /// The underlying LP failure.
+        source: LpError,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -20,6 +33,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Infeasible => write!(f, "dispatch problem is infeasible"),
             CoreError::Lp(e) => write!(f, "LP solver failure: {e}"),
             CoreError::Model(m) => write!(f, "model error: {m}"),
+            CoreError::Solver { slot, tier, source } => {
+                write!(f, "solver failure at slot {slot} (tier {tier}): {source}")
+            }
         }
     }
 }
@@ -28,6 +44,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Lp(e) => Some(e),
+            CoreError::Solver { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -59,5 +76,20 @@ mod tests {
     fn display_is_informative() {
         assert!(CoreError::Infeasible.to_string().contains("infeasible"));
         assert!(CoreError::Model("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn solver_variant_carries_context_and_source() {
+        let e = CoreError::Solver {
+            slot: 13,
+            tier: Tier::Exact,
+            source: LpError::Numeric("bad pivot".into()),
+        };
+        let text = e.to_string();
+        assert!(text.contains("slot 13"), "{text}");
+        assert!(text.contains("exact"), "{text}");
+        assert!(text.contains("bad pivot"), "{text}");
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

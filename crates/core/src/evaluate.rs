@@ -11,6 +11,7 @@
 use palb_cluster::{cost, power, ClassId, DcId, FrontEndId, System};
 
 use crate::model::Dispatch;
+use crate::resilient::SlotHealth;
 
 /// Realized economics and operational metrics of one slot.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +40,11 @@ pub struct SlotOutcome {
     /// `delay[k][l]`: dispatch-weighted mean delay of class `k` at data
     /// center `l` (`NaN` when nothing is dispatched there).
     pub class_dc_delay: Vec<Vec<f64>>,
+    /// Control-loop health telemetry for the slot. `None` when neither the
+    /// policy nor the driver observed anything health-worthy (plain
+    /// policies on clean inputs); populated by [`crate::run`] from
+    /// [`crate::Policy::take_health`] and the input-sanitization pass.
+    pub health: Option<SlotHealth>,
 }
 
 impl SlotOutcome {
@@ -176,6 +182,7 @@ pub fn evaluate(
         powered_on,
         class_dc_rate,
         class_dc_delay,
+        health: None,
     }
 }
 

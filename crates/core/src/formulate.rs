@@ -19,7 +19,7 @@
 //! and the big-M path calls it to polish snapped levels.
 
 use palb_cluster::{ClassId, FrontEndId, System};
-use palb_lp::{LpError, Problem, Rel, VarId};
+use palb_lp::{LpError, Problem, Rel, SolveOptions, VarId};
 
 use crate::error::CoreError;
 use crate::model::{Dims, Dispatch};
@@ -112,6 +112,19 @@ pub fn solve_fixed_levels(
     slot: usize,
     assignment: &LevelAssignment,
 ) -> Result<LevelSolve, CoreError> {
+    solve_fixed_levels_with(system, rates, slot, assignment, &SolveOptions::default())
+}
+
+/// [`solve_fixed_levels`] with explicit LP solver options — the entry point
+/// the degradation ladder uses to impose iteration budgets and pivot-rule
+/// overrides on individual solve attempts.
+pub fn solve_fixed_levels_with(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    assignment: &LevelAssignment,
+    lp_opts: &SolveOptions,
+) -> Result<LevelSolve, CoreError> {
     assignment.validate(system)?;
     let dims = assignment.dims().clone();
     let spec: Vec<Option<(f64, f64)>> = (0..dims.phi_len())
@@ -124,7 +137,7 @@ pub fn solve_fixed_levels(
             })
         })
         .collect();
-    solve_spec(system, rates, slot, &dims, &spec)
+    solve_spec_with(system, rates, slot, &dims, &spec, lp_opts)
 }
 
 /// The assembled LP plus the variable handles needed to read a decision
@@ -248,9 +261,21 @@ pub(crate) fn solve_spec(
     dims: &Dims,
     spec: &[Option<(f64, f64)>],
 ) -> Result<LevelSolve, CoreError> {
+    solve_spec_with(system, rates, slot, dims, spec, &SolveOptions::default())
+}
+
+/// [`solve_spec`] with explicit LP solver options.
+pub(crate) fn solve_spec_with(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dims: &Dims,
+    spec: &[Option<(f64, f64)>],
+    lp_opts: &SolveOptions,
+) -> Result<LevelSolve, CoreError> {
     let SpecProblem { problem: p, lam_vars, phi_vars } =
         build_spec_problem(system, rates, slot, dims, spec);
-    let sol = match p.solve() {
+    let sol = match p.solve_with(lp_opts) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
         Err(e) => return Err(CoreError::Lp(e)),

@@ -24,6 +24,10 @@
 //!   trace,
 //! * [`mod@evaluate`] — the shared economics evaluator scoring every
 //!   policy identically,
+//! * [`sanitize`] — input repair at the control-loop boundary (NaN/∞/
+//!   negative observed rates),
+//! * [`resilient`] — the degraded-mode fallback ladder
+//!   ([`ResilientPolicy`]) and the fault-injecting [`ChaosPolicy`],
 //! * [`report`] — CSV/table formatting for the figure-regeneration harness.
 //!
 //! ```
@@ -51,15 +55,27 @@ pub mod model;
 pub mod multilevel;
 pub mod quantile;
 pub mod report;
+pub mod resilient;
+pub mod sanitize;
 
 pub use balanced::balanced_dispatch;
 pub use bigm::{solve_bigm, BigMOptions, BigMResult};
-pub use driver::{run, BalancedPolicy, OptimizedPolicy, Policy, RunResult, Solver};
+pub use driver::{
+    run, run_partial, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunResult,
+    SlotFailure, Solver,
+};
 pub use error::CoreError;
 pub use evaluate::{evaluate, SlotOutcome};
-pub use formulate::{lp_text, solve_fixed_levels, LevelAssignment, LevelSolve};
+pub use formulate::{
+    lp_text, solve_fixed_levels, solve_fixed_levels_with, LevelAssignment, LevelSolve,
+};
 pub use model::{check_feasible, Dims, Dispatch};
 pub use multilevel::{
-    solve_bb, solve_exhaustive, solve_uniform_levels, BbOptions, MultilevelResult,
+    solve_bb, solve_exhaustive, solve_uniform_levels, solve_uniform_levels_with, BbOptions,
+    MultilevelResult,
 };
 pub use quantile::{quantile_margin_factor, quantile_system, QuantileSlaPolicy};
+pub use resilient::{
+    ChaosPolicy, ResilientOptions, ResilientPolicy, SlotHealth, Tier,
+};
+pub use sanitize::{events_per_slot, sanitize_rates, RateFaultKind, SanitizationEvent};

@@ -19,9 +19,10 @@
 //! ablation).
 
 use palb_cluster::{ClassId, System};
+use palb_lp::SolveOptions;
 
 use crate::error::CoreError;
-use crate::formulate::{solve_spec, LevelAssignment, LevelSolve};
+use crate::formulate::{solve_spec_with, LevelAssignment, LevelSolve};
 use crate::model::Dims;
 
 /// Options for [`solve_bb`].
@@ -36,6 +37,9 @@ pub struct BbOptions {
     pub symmetry_breaking: bool,
     /// Relative optimality gap below which a node is pruned.
     pub gap_tol: f64,
+    /// LP solver options used for every node bound (and for the incumbent
+    /// seeds), so callers can impose per-solve iteration budgets.
+    pub lp: SolveOptions,
 }
 
 impl Default for BbOptions {
@@ -44,6 +48,7 @@ impl Default for BbOptions {
             max_nodes: 200_000,
             symmetry_breaking: true,
             gap_tol: 1e-7,
+            lp: SolveOptions::default(),
         }
     }
 }
@@ -113,9 +118,9 @@ pub fn solve_bb(
     // uniform-level heuristic when it succeeds.
     let loosest = LevelAssignment::loosest(system, &dims);
     let mut best_solve =
-        crate::formulate::solve_fixed_levels(system, rates, slot, &loosest)?;
+        crate::formulate::solve_fixed_levels_with(system, rates, slot, &loosest, &opts.lp)?;
     let mut best_assignment = loosest;
-    if let Ok(u) = solve_uniform_levels(system, rates, slot) {
+    if let Ok(u) = solve_uniform_levels_with(system, rates, slot, &opts.lp) {
         if u.solve.objective > best_solve.objective {
             best_solve = u.solve;
             best_assignment = u.assignment;
@@ -141,7 +146,7 @@ pub fn solve_bb(
 
         // Bound: LP over the optimistic spec.
         let spec = spec_for(system, &dims, &node.partial);
-        let bound = match solve_spec(system, rates, slot, &dims, &spec) {
+        let bound = match solve_spec_with(system, rates, slot, &dims, &spec, &opts.lp) {
             Ok(s) => s,
             Err(CoreError::Infeasible) => continue, // prune
             Err(e) => return Err(e),
@@ -218,6 +223,16 @@ pub fn solve_uniform_levels(
     rates: &[Vec<f64>],
     slot: usize,
 ) -> Result<MultilevelResult, CoreError> {
+    solve_uniform_levels_with(system, rates, slot, &SolveOptions::default())
+}
+
+/// [`solve_uniform_levels`] with explicit LP solver options.
+pub fn solve_uniform_levels_with(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    lp_opts: &SolveOptions,
+) -> Result<MultilevelResult, CoreError> {
     let dims = Dims::of(system);
     let kk = dims.classes;
     let ll = dims.dcs;
@@ -240,7 +255,7 @@ pub fn solve_uniform_levels(
             }
         }
         lps += 1;
-        match crate::formulate::solve_fixed_levels(system, rates, slot, &a) {
+        match crate::formulate::solve_fixed_levels_with(system, rates, slot, &a, lp_opts) {
             Ok(s) => {
                 if best.as_ref().map_or(true, |(b, _)| s.objective > b.objective) {
                     best = Some((s, a));

@@ -5,6 +5,7 @@
 use palb_cluster::{ClassId, DcId, System};
 
 use crate::driver::RunResult;
+use crate::resilient::Tier;
 
 /// Per-slot net-profit comparison of two runs (the series behind the
 /// paper's Figs. 4, 6, 8 and 10).
@@ -161,6 +162,74 @@ pub fn power_churn(run: &RunResult) -> usize {
     churn
 }
 
+/// How many slots each degradation-ladder tier decided, in ladder order.
+/// Slots with no health record (plain policies) are not counted.
+pub fn tier_histogram(run: &RunResult) -> Vec<(Tier, usize)> {
+    Tier::ALL
+        .iter()
+        .map(|&tier| {
+            let n = run
+                .slots
+                .iter()
+                .filter(|s| {
+                    s.health
+                        .as_ref()
+                        .is_some_and(|h| h.tier_used == Some(tier))
+                })
+                .count();
+            (tier, n)
+        })
+        .collect()
+}
+
+/// Aligned text table of per-slot health telemetry: which tier decided
+/// each slot, retries, input repairs and solver effort. Slots without a
+/// health record render as nominal (`-` tier, zero counters).
+pub fn health_table(run: &RunResult) -> String {
+    let header: Vec<String> = ["slot", "tier", "retries", "repairs", "pivots", "degraded"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = run
+        .slots
+        .iter()
+        .map(|s| match &s.health {
+            Some(h) => vec![
+                s.slot.to_string(),
+                h.tier_used.map_or_else(|| "-".into(), |t| t.to_string()),
+                h.retries.to_string(),
+                h.sanitization_events.to_string(),
+                h.solve_iterations.to_string(),
+                if h.degraded { "yes".into() } else { "no".into() },
+            ],
+            None => vec![
+                s.slot.to_string(),
+                "-".into(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                "no".into(),
+            ],
+        })
+        .collect();
+    text_table(&header, &rows)
+}
+
+/// One-line tier summary, e.g. `exact:21 uniform-levels:2 replay:1`
+/// (tiers that decided zero slots are omitted).
+pub fn tier_summary(run: &RunResult) -> String {
+    let parts: Vec<String> = tier_histogram(run)
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(t, n)| format!("{t}:{n}"))
+        .collect();
+    if parts.is_empty() {
+        "no health telemetry".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +299,27 @@ mod tests {
         let (sys, r) = small_run();
         let csv = powered_on_csv(&sys, &r);
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn health_reporting_covers_ladder_and_plain_runs() {
+        use crate::resilient::ResilientPolicy;
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 3);
+        let r = run(&mut ResilientPolicy::default(), &sys, &trace, 0).unwrap();
+        let hist = tier_histogram(&r);
+        assert_eq!(hist.len(), Tier::ALL.len());
+        assert_eq!(hist[0], (Tier::Exact, 3));
+        assert_eq!(tier_summary(&r), "exact:3");
+        let table = health_table(&r);
+        assert!(table.contains("tier"));
+        assert!(table.lines().count() == 2 + 3);
+        assert!(table.contains("exact"));
+        // A plain policy has no telemetry: histogram is all zeros.
+        let (_, plain) = small_run();
+        assert!(tier_histogram(&plain).iter().all(|&(_, n)| n == 0));
+        assert_eq!(tier_summary(&plain), "no health telemetry");
+        assert!(health_table(&plain).contains('-'));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Input sanitization at the control-loop boundary (§III's "observe the
+//! average arrival rates" step, hardened).
+//!
+//! The paper assumes the controller observes clean per-slot arrival rates.
+//! Real telemetry is not clean: monitoring gaps yield NaN, mis-scaled
+//! counters yield absurd spikes, and race conditions yield negative
+//! deltas. Rather than let one bad float poison an LP (every objective
+//! coefficient and RHS it touches becomes NaN), [`sanitize_rates`] repairs
+//! the trace *before* any solver sees it:
+//!
+//! * **NaN / ±∞** — treated as a missing observation and imputed from the
+//!   previous slot's (already sanitized) rate for the same
+//!   `(front_end, class)`; slot 0 falls back to 0 (serve nothing rather
+//!   than hallucinate load).
+//! * **Negative** — clamped to 0 (a rate below zero carries no usable
+//!   magnitude information).
+//!
+//! Every repair is recorded as a [`SanitizationEvent`] so the per-slot
+//! health telemetry can report how trustworthy each decision's inputs
+//! were.
+
+use palb_workload::Trace;
+
+/// What kind of corruption a repaired observation had.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateFaultKind {
+    /// NaN or ±∞: a missing/overflowed observation, imputed.
+    NonFinite,
+    /// A negative rate, clamped to zero.
+    Negative,
+}
+
+/// One repaired rate observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SanitizationEvent {
+    /// Trace-local slot index of the repaired observation.
+    pub slot: usize,
+    /// Front-end index.
+    pub front_end: usize,
+    /// Request-class index.
+    pub class: usize,
+    /// The corrupted value as observed.
+    pub observed: f64,
+    /// The value substituted for it.
+    pub replacement: f64,
+    /// Corruption category.
+    pub kind: RateFaultKind,
+}
+
+/// Repairs every unusable rate in `trace`, returning the clean trace and
+/// the list of repairs. The result always satisfies the [`Trace`]
+/// invariants (finite, non-negative), so downstream solvers can assume
+/// clean inputs.
+pub fn sanitize_rates(trace: &Trace) -> (Trace, Vec<SanitizationEvent>) {
+    let mut events = Vec::new();
+    let mut clean: Vec<Vec<Vec<f64>>> = Vec::with_capacity(trace.slots());
+    for t in 0..trace.slots() {
+        let mut slot_rates = Vec::with_capacity(trace.front_ends());
+        for s in 0..trace.front_ends() {
+            let mut row = Vec::with_capacity(trace.classes());
+            for k in 0..trace.classes() {
+                let r = trace.rate(t, s, k);
+                let v = if !r.is_finite() {
+                    // Impute from the previous *sanitized* slot so a long
+                    // NaN burst decays to the last trusted observation
+                    // instead of compounding.
+                    let imputed = if t > 0 { clean[t - 1][s][k] } else { 0.0 };
+                    events.push(SanitizationEvent {
+                        slot: t,
+                        front_end: s,
+                        class: k,
+                        observed: r,
+                        replacement: imputed,
+                        kind: RateFaultKind::NonFinite,
+                    });
+                    imputed
+                } else if r < 0.0 {
+                    events.push(SanitizationEvent {
+                        slot: t,
+                        front_end: s,
+                        class: k,
+                        observed: r,
+                        replacement: 0.0,
+                        kind: RateFaultKind::Negative,
+                    });
+                    0.0
+                } else {
+                    r
+                };
+                row.push(v);
+            }
+            slot_rates.push(row);
+        }
+        clean.push(slot_rates);
+    }
+    (Trace::new(clean), events)
+}
+
+/// Number of repairs per trace slot (dense, length `slots`), for merging
+/// into per-slot health telemetry.
+pub fn events_per_slot(events: &[SanitizationEvent], slots: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; slots];
+    for e in events {
+        counts[e.slot] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trace_passes_through_bit_identical() {
+        let trace = Trace::new(vec![
+            vec![vec![1.0, 2.0]],
+            vec![vec![3.0, 4.0]],
+        ]);
+        let (clean, events) = sanitize_rates(&trace);
+        assert_eq!(clean, trace);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn nan_imputes_from_previous_slot() {
+        let trace = Trace::new_unchecked(vec![
+            vec![vec![5.0]],
+            vec![vec![f64::NAN]],
+            vec![vec![7.0]],
+        ]);
+        let (clean, events) = sanitize_rates(&trace);
+        assert_eq!(clean.rate(1, 0, 0), 5.0);
+        assert_eq!(clean.rate(2, 0, 0), 7.0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, RateFaultKind::NonFinite);
+        assert_eq!(events[0].slot, 1);
+        assert_eq!(events[0].replacement, 5.0);
+    }
+
+    #[test]
+    fn nan_burst_decays_to_last_trusted_value() {
+        let trace = Trace::new_unchecked(vec![
+            vec![vec![9.0]],
+            vec![vec![f64::NAN]],
+            vec![vec![f64::NAN]],
+        ]);
+        let (clean, events) = sanitize_rates(&trace);
+        // Both missing slots replay the last trusted observation.
+        assert_eq!(clean.rate(1, 0, 0), 9.0);
+        assert_eq!(clean.rate(2, 0, 0), 9.0);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn leading_nan_and_negatives_fall_to_zero() {
+        let trace = Trace::new_unchecked(vec![
+            vec![vec![f64::NAN, -3.0]],
+            vec![vec![f64::INFINITY, 2.0]],
+        ]);
+        let (clean, events) = sanitize_rates(&trace);
+        assert_eq!(clean.rate(0, 0, 0), 0.0); // no history: serve nothing
+        assert_eq!(clean.rate(0, 0, 1), 0.0); // negative clamped
+        assert_eq!(clean.rate(1, 0, 0), 0.0); // imputed from repaired 0
+        assert_eq!(clean.rate(1, 0, 1), 2.0);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[1].kind, RateFaultKind::Negative);
+    }
+
+    #[test]
+    fn per_slot_counts_are_dense() {
+        let trace = Trace::new_unchecked(vec![
+            vec![vec![f64::NAN, -1.0]],
+            vec![vec![1.0, 1.0]],
+            vec![vec![f64::NAN, 1.0]],
+        ]);
+        let (_, events) = sanitize_rates(&trace);
+        assert_eq!(events_per_slot(&events, 3), vec![2, 0, 1]);
+    }
+}

@@ -2,6 +2,25 @@
 
 use std::fmt;
 
+/// Which simplex phase a failure occurred in, for diagnosing whether the
+/// trouble was finding feasibility (phase 1) or optimizing (phase 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimplexPhase {
+    /// Feasibility phase (minimizing artificial variables).
+    Phase1,
+    /// Optimization phase (the real objective).
+    Phase2,
+}
+
+impl fmt::Display for SimplexPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimplexPhase::Phase1 => write!(f, "phase 1"),
+            SimplexPhase::Phase2 => write!(f, "phase 2"),
+        }
+    }
+}
+
 /// Errors returned by [`crate::Problem::solve`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum LpError {
@@ -13,6 +32,8 @@ pub enum LpError {
     IterationLimit {
         /// Iterations performed before giving up.
         iterations: usize,
+        /// The phase whose pivot loop gave up.
+        phase: SimplexPhase,
     },
     /// The model is structurally unusable (e.g. no variables).
     BadModel(String),
@@ -20,13 +41,29 @@ pub enum LpError {
     Numeric(String),
 }
 
+impl LpError {
+    /// Whether a retry with a different pivot rule or a perturbed model
+    /// could plausibly succeed (the degradation ladder's retry predicate):
+    /// iteration-budget exhaustion and numerical failures are transient,
+    /// infeasibility/unboundedness/bad models are structural.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            LpError::IterationLimit { .. } | LpError::Numeric(_)
+        )
+    }
+}
+
 impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
-            LpError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} pivots")
+            LpError::IterationLimit { iterations, phase } => {
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} pivots in {phase}"
+                )
             }
             LpError::BadModel(msg) => write!(f, "malformed model: {msg}"),
             LpError::Numeric(msg) => write!(f, "numerical failure: {msg}"),
@@ -44,9 +81,25 @@ mod tests {
     fn display_is_informative() {
         assert!(LpError::Infeasible.to_string().contains("infeasible"));
         assert!(LpError::Unbounded.to_string().contains("unbounded"));
-        assert!(LpError::IterationLimit { iterations: 7 }
-            .to_string()
-            .contains('7'));
+        let limit = LpError::IterationLimit {
+            iterations: 7,
+            phase: SimplexPhase::Phase2,
+        };
+        assert!(limit.to_string().contains('7'));
+        assert!(limit.to_string().contains("phase 2"));
         assert!(LpError::BadModel("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn transience_partitions_the_variants() {
+        assert!(LpError::IterationLimit {
+            iterations: 1,
+            phase: SimplexPhase::Phase1,
+        }
+        .is_transient());
+        assert!(LpError::Numeric("nan".into()).is_transient());
+        assert!(!LpError::Infeasible.is_transient());
+        assert!(!LpError::Unbounded.is_transient());
+        assert!(!LpError::BadModel("empty".into()).is_transient());
     }
 }

@@ -47,7 +47,7 @@ mod solution;
 mod standard;
 mod writer;
 
-pub use error::LpError;
+pub use error::{LpError, SimplexPhase};
 pub use problem::{ConId, Problem, Rel, Sense, VarId};
 pub use simplex::{PivotRule, SolveOptions};
 pub use solution::Solution;

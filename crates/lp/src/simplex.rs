@@ -6,7 +6,7 @@
 //! the pivot count suggests stalling, which guarantees termination.
 
 use crate::dense::DenseMatrix;
-use crate::error::LpError;
+use crate::error::{LpError, SimplexPhase};
 use crate::problem::Problem;
 use crate::solution::Solution;
 use crate::standard::{self, ColKind, RowOrigin, StandardForm};
@@ -348,6 +348,11 @@ impl<'a> Tableau<'a> {
             if self.pivots >= self.max_iters {
                 return Err(LpError::IterationLimit {
                     iterations: self.pivots,
+                    phase: if phase1 {
+                        SimplexPhase::Phase1
+                    } else {
+                        SimplexPhase::Phase2
+                    },
                 });
             }
             let cost = if phase1 { &self.cost1 } else { &self.cost2 };

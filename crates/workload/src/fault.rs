@@ -1,0 +1,240 @@
+//! Fault injection for robustness experiments.
+//!
+//! The degraded-mode controller (`palb_core::resilient`) is exercised by
+//! corrupting the inputs the paper's controller observes at each slot
+//! boundary: arrival-rate telemetry (NaN bursts, spikes, dropouts) and the
+//! day-ahead electricity price feed. Everything here is driven by counter-
+//! based hashing (splitmix64) rather than a stateful RNG, so a fault
+//! pattern is a pure function of `(seed, coordinates)` — reproducible
+//! across runs, platforms, and iteration orders.
+
+use crate::Trace;
+
+/// splitmix64 finalizer: avalanche one 64-bit word.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a seed plus up to three coordinates into a uniform f64 in [0, 1).
+fn u01(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+    let h = mix(seed ^ mix(a ^ mix(b ^ mix(c))));
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Configuration for [`inject_rate_faults`]: independent per-coordinate
+/// corruption probabilities for the arrival-rate telemetry.
+#[derive(Debug, Clone)]
+pub struct RateFaultConfig {
+    /// Seed for the deterministic fault pattern.
+    pub seed: u64,
+    /// Probability that a `(slot, front_end)` pair loses its whole rate
+    /// vector to NaN (a front-end monitoring burst failure).
+    pub nan_burst_prob: f64,
+    /// Probability that a single `(slot, front_end, class)` rate is
+    /// replaced by a negative glitch value.
+    pub negative_prob: f64,
+    /// Probability that a single rate is multiplied by [`Self::spike_factor`]
+    /// (a mis-scaled counter, e.g. per-second reported as per-slot).
+    pub spike_prob: f64,
+    /// Multiplier applied by spike faults.
+    pub spike_factor: f64,
+}
+
+impl Default for RateFaultConfig {
+    fn default() -> Self {
+        RateFaultConfig {
+            seed: 0,
+            nan_burst_prob: 0.05,
+            negative_prob: 0.01,
+            spike_prob: 0.01,
+            spike_factor: 1e6,
+        }
+    }
+}
+
+/// Returns a copy of `trace` with rate-telemetry faults injected per `cfg`.
+///
+/// The result is built with [`Trace::new_unchecked`] and will generally
+/// contain NaN and negative entries — it must be sanitized before being fed
+/// to an optimizer that assumes clean rates.
+pub fn inject_rate_faults(trace: &Trace, cfg: &RateFaultConfig) -> Trace {
+    let mut rates: Vec<Vec<Vec<f64>>> = Vec::with_capacity(trace.slots());
+    for t in 0..trace.slots() {
+        let mut slot = Vec::with_capacity(trace.front_ends());
+        for s in 0..trace.front_ends() {
+            let burst = u01(cfg.seed, 1, t as u64, s as u64) < cfg.nan_burst_prob;
+            let mut row = Vec::with_capacity(trace.classes());
+            for k in 0..trace.classes() {
+                let r = trace.rate(t, s, k);
+                let coord = ((t as u64) << 32) | ((s as u64) << 16) | k as u64;
+                let v = if burst {
+                    f64::NAN
+                } else if u01(cfg.seed, 2, coord, 0) < cfg.negative_prob {
+                    -r - 1.0
+                } else if u01(cfg.seed, 3, coord, 0) < cfg.spike_prob {
+                    r * cfg.spike_factor
+                } else {
+                    r
+                };
+                row.push(v);
+            }
+            slot.push(row);
+        }
+        rates.push(slot);
+    }
+    Trace::new_unchecked(rates)
+}
+
+/// Corrupts a raw price feed in place: each entry independently becomes NaN
+/// (feed dropout) with probability `dropout_prob`. Returns the number of
+/// corrupted entries. Operates on a plain slice so callers can wrap the
+/// result in whatever validated schedule type they use.
+pub fn corrupt_price_feed(prices: &mut [f64], dropout_prob: f64, seed: u64) -> usize {
+    let mut corrupted = 0;
+    for (i, p) in prices.iter_mut().enumerate() {
+        if u01(seed, 4, i as u64, 0) < dropout_prob {
+            *p = f64::NAN;
+            corrupted += 1;
+        }
+    }
+    corrupted
+}
+
+/// A deterministic schedule of injected solver failures: `fails(slot,
+/// attempt)` answers whether the chaos layer should make the solver fail on
+/// `attempt` (0-based retry counter) within `slot`. Pure function of the
+/// seed, so experiments are exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct SolverFaultSchedule {
+    /// Seed for the deterministic failure pattern.
+    pub seed: u64,
+    /// Per-attempt failure probability in [0, 1].
+    pub prob: f64,
+}
+
+impl SolverFaultSchedule {
+    /// Builds a schedule failing each solve attempt with probability `prob`.
+    pub fn new(prob: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "bad probability {prob}");
+        SolverFaultSchedule { seed, prob }
+    }
+
+    /// Whether the solver should be made to fail on `(slot, attempt)`.
+    pub fn fails(&self, slot: usize, attempt: usize) -> bool {
+        u01(self.seed, 5, slot as u64, attempt as u64) < self.prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::constant_trace;
+
+    fn base() -> Trace {
+        constant_trace(vec![vec![10.0, 20.0], vec![30.0, 40.0]], 50)
+    }
+
+    #[test]
+    fn zero_probabilities_leave_trace_bit_identical() {
+        let cfg = RateFaultConfig {
+            nan_burst_prob: 0.0,
+            negative_prob: 0.0,
+            spike_prob: 0.0,
+            ..RateFaultConfig::default()
+        };
+        assert_eq!(inject_rate_faults(&base(), &cfg), base());
+    }
+
+    #[test]
+    fn same_seed_is_reproducible_and_seeds_differ() {
+        let cfg = RateFaultConfig::default();
+        let a = inject_rate_faults(&base(), &cfg);
+        let b = inject_rate_faults(&base(), &cfg);
+        // NaN != NaN, so compare via bit patterns.
+        let bits = |tr: &Trace| -> Vec<u64> {
+            (0..tr.slots())
+                .flat_map(|t| {
+                    (0..tr.front_ends()).flat_map(move |s| {
+                        (0..tr.classes()).map(move |k| (t, s, k))
+                    })
+                })
+                .map(|(t, s, k)| tr.rate(t, s, k).to_bits())
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        let other = RateFaultConfig { seed: 99, ..cfg };
+        assert_ne!(bits(&a), bits(&inject_rate_faults(&base(), &other)));
+    }
+
+    #[test]
+    fn nan_burst_rate_is_roughly_the_configured_probability() {
+        let cfg = RateFaultConfig {
+            nan_burst_prob: 0.2,
+            negative_prob: 0.0,
+            spike_prob: 0.0,
+            ..RateFaultConfig::default()
+        };
+        let faulted = inject_rate_faults(&base(), &cfg);
+        let mut bursts = 0;
+        for t in 0..faulted.slots() {
+            for s in 0..faulted.front_ends() {
+                if faulted.rate(t, s, 0).is_nan() {
+                    bursts += 1;
+                }
+            }
+        }
+        let frac = bursts as f64 / (faulted.slots() * faulted.front_ends()) as f64;
+        assert!((0.08..=0.35).contains(&frac), "burst fraction {frac}");
+    }
+
+    #[test]
+    fn bursts_take_out_whole_front_end_rows() {
+        let cfg = RateFaultConfig {
+            nan_burst_prob: 0.3,
+            negative_prob: 0.0,
+            spike_prob: 0.0,
+            ..RateFaultConfig::default()
+        };
+        let faulted = inject_rate_faults(&base(), &cfg);
+        for t in 0..faulted.slots() {
+            for s in 0..faulted.front_ends() {
+                let nans: Vec<bool> = (0..faulted.classes())
+                    .map(|k| faulted.rate(t, s, k).is_nan())
+                    .collect();
+                assert!(
+                    nans.iter().all(|&x| x) || !nans.iter().any(|&x| x),
+                    "partial burst at slot {t} fe {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn price_corruption_counts_and_is_deterministic() {
+        let mut a = vec![0.05; 200];
+        let mut b = vec![0.05; 200];
+        let na = corrupt_price_feed(&mut a, 0.25, 7);
+        let nb = corrupt_price_feed(&mut b, 0.25, 7);
+        assert_eq!(na, nb);
+        assert!(na > 20 && na < 90, "corrupted {na} of 200");
+        assert_eq!(a.iter().filter(|p| p.is_nan()).count(), na);
+        let mut c = vec![0.05; 200];
+        assert_eq!(corrupt_price_feed(&mut c, 0.0, 7), 0);
+        assert!(c.iter().all(|&p| p == 0.05));
+    }
+
+    #[test]
+    fn solver_schedule_hits_roughly_prob_and_varies_by_attempt() {
+        let sched = SolverFaultSchedule::new(0.1, 42);
+        let hits = (0..2000).filter(|&t| sched.fails(t, 0)).count();
+        assert!((120..=280).contains(&hits), "hits {hits}");
+        // Retry attempts draw fresh coins: some slot must differ between
+        // attempt 0 and attempt 1.
+        assert!((0..2000).any(|t| sched.fails(t, 0) != sched.fails(t, 1)));
+        // And the schedule is a pure function: same query, same answer.
+        assert_eq!(sched.fails(17, 0), sched.fails(17, 0));
+    }
+}

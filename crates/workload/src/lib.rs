@@ -9,6 +9,8 @@
 //! * [`burst`] — Google-2010-cluster-like 7-hour bursty traces for §VII,
 //! * [`poisson`] — Poisson sampling/thinning bridging rate-level traces to
 //!   request-level simulation,
+//! * [`fault`] — deterministic fault injectors (NaN bursts, spikes, price
+//!   dropouts, forced solver failures) for the degraded-mode experiments,
 //! * [`Trace`] — the `slots × front-ends × classes` rate container all
 //!   generators produce and the optimizer consumes.
 //!
@@ -29,6 +31,7 @@
 
 pub mod burst;
 pub mod diurnal;
+pub mod fault;
 pub mod forecast;
 pub mod poisson;
 pub mod synthetic;

@@ -89,6 +89,29 @@ impl Trace {
         Self::new(vec![matrix])
     }
 
+    /// Builds a trace checking only the array *shape*, admitting NaN,
+    /// infinite, and negative rates. This is the entry point for fault
+    /// injection ([`crate::fault`]) and for replaying raw sensor feeds;
+    /// consumers are expected to sanitize the values before optimizing.
+    ///
+    /// # Panics
+    /// Panics on ragged arrays or empty dimensions (a shape-broken trace
+    /// cannot even be indexed, so no sanitizer could repair it).
+    pub fn new_unchecked(rates: Vec<Vec<Vec<f64>>>) -> Self {
+        assert!(!rates.is_empty(), "trace needs at least one slot");
+        let front_ends = rates[0].len();
+        assert!(front_ends > 0, "trace needs at least one front-end");
+        let classes = rates[0][0].len();
+        assert!(classes > 0, "trace needs at least one class");
+        for (t, slot) in rates.iter().enumerate() {
+            assert_eq!(slot.len(), front_ends, "slot {t}: front-end count differs");
+            for (s, row) in slot.iter().enumerate() {
+                assert_eq!(row.len(), classes, "slot {t} fe {s}: class count differs");
+            }
+        }
+        Trace { rates, front_ends, classes }
+    }
+
     /// Number of slots.
     pub fn slots(&self) -> usize {
         self.rates.len()
