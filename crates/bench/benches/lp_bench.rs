@@ -67,12 +67,20 @@ fn bench_pivot_rules(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex/pivot_rule");
     for (name, rule) in [("dantzig", PivotRule::Dantzig), ("bland", PivotRule::Bland)] {
         group.bench_function(name, |b| {
-            let opts = SolveOptions { rule, ..SolveOptions::default() };
+            let opts = SolveOptions {
+                rule,
+                ..SolveOptions::default()
+            };
             b.iter(|| black_box(p.solve_with(&opts).unwrap().objective()));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_random_lps, bench_dispatch_lp, bench_pivot_rules);
+criterion_group!(
+    benches,
+    bench_random_lps,
+    bench_dispatch_lp,
+    bench_pivot_rules
+);
 criterion_main!(benches);

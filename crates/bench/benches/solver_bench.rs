@@ -46,7 +46,14 @@ fn bench_multilevel_solvers(c: &mut Criterion) {
         let mut opts = BigMOptions::default();
         opts.penalty.inner.max_iters = 150;
         opts.penalty.max_outer = 4;
-        b.iter(|| black_box(solve_bigm(&sys, &rates, slot, &opts).unwrap().polished.objective));
+        b.iter(|| {
+            black_box(
+                solve_bigm(&sys, &rates, slot, &opts)
+                    .unwrap()
+                    .polished
+                    .objective,
+            )
+        });
     });
     group.bench_function("balanced_baseline", |b| {
         b.iter(|| black_box(balanced_dispatch(&sys, &rates, slot).total_dispatched()));
@@ -73,7 +80,10 @@ fn bench_fig11_scaling(c: &mut Criterion) {
             .collect();
         let slot = presets::SECTION_VII_START_HOUR + 2;
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            let opts = BbOptions { symmetry_breaking: false, ..BbOptions::default() };
+            let opts = BbOptions {
+                symmetry_breaking: false,
+                ..BbOptions::default()
+            };
             b.iter(|| black_box(solve_bb(&sys, &rates, slot, &opts).unwrap().nodes));
         });
     }

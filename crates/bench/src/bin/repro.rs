@@ -13,6 +13,8 @@
 //!   three-level  three-level TUFs (the paper's Eq. 18-22 case)
 //!   ablations    the five DESIGN.md ablations
 //!   fault-tolerance  degraded-mode ladder vs bare optimizer under faults
+//!   solver-perf  warm-started incremental B&B vs cold rebuild (fails if
+//!                incremental is slower or the incumbent drifts)
 //!   all          everything above, in order
 //! ```
 
@@ -21,7 +23,7 @@ use std::process::ExitCode;
 
 use palb_bench::experiments::{
     ablations, fault_tolerance, forecasting, foundations, quantile, robustness, section_v,
-    section_vi, section_vii, three_level, validate,
+    section_vi, section_vii, solver_perf, three_level, validate,
 };
 
 fn usage() -> ExitCode {
@@ -29,7 +31,7 @@ fn usage() -> ExitCode {
         "usage: repro <target>\n\
          targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
          tables validate quantile forecast robustness three-level ablations \
-         fault-tolerance all"
+         fault-tolerance solver-perf all"
     );
     ExitCode::FAILURE
 }
@@ -72,6 +74,23 @@ fn main() -> ExitCode {
         "three-level" => print!("{}", three_level::report()),
         "ablations" => print!("{}", ablations::all()),
         "fault-tolerance" => print!("{}", fault_tolerance::report(0.1, 42)),
+        "solver-perf" => {
+            // CI smoke: a slower-than-cold incremental path or any
+            // incumbent drift fails the run, not just the printout.
+            let s = solver_perf::study(5, 3);
+            print!("{}", solver_perf::render(&s));
+            if !s.all_bitwise_equal() {
+                eprintln!("solver-perf: incumbent drifted between modes");
+                return ExitCode::FAILURE;
+            }
+            if s.overall_speedup() < 1.0 {
+                eprintln!(
+                    "solver-perf: incremental slower than cold rebuild ({:.2}x)",
+                    s.overall_speedup()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             print!("{}", foundations::fig1());
             println!();
@@ -110,6 +129,8 @@ fn main() -> ExitCode {
             print!("{}", ablations::all());
             println!();
             print!("{}", fault_tolerance::report(0.1, 42));
+            println!();
+            print!("{}", solver_perf::report(5));
         }
         _ => return usage(),
     }

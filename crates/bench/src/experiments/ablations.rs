@@ -46,7 +46,10 @@ pub fn solver_comparison() -> String {
         &sys,
         rates,
         slot,
-        &BbOptions { symmetry_breaking: false, ..BbOptions::default() },
+        &BbOptions {
+            symmetry_breaking: false,
+            ..BbOptions::default()
+        },
     )
     .expect("bb plain");
     let plain_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -159,12 +162,17 @@ pub fn pivot_rules() -> String {
         }
         p
     };
-    let mut out = String::from("# Ablation: LP pivot rules on a dispatch-shaped LP\nrule,objective,pivots,time_us\n");
+    let mut out = String::from(
+        "# Ablation: LP pivot rules on a dispatch-shaped LP\nrule,objective,pivots,time_us\n",
+    );
     for (name, rule) in [("dantzig", PivotRule::Dantzig), ("bland", PivotRule::Bland)] {
         let p = build();
         let t = Instant::now();
         let sol = p
-            .solve_with(&SolveOptions { rule, ..SolveOptions::default() })
+            .solve_with(&SolveOptions {
+                rule,
+                ..SolveOptions::default()
+            })
             .expect("solvable");
         out.push_str(&format!(
             "{name},{:.3},{},{:.0}\n",
@@ -189,10 +197,7 @@ pub fn pooling() -> String {
         let lambda_total = 100.0 * rho;
         let part = Mm1::new(lambda_total / 2.0, 50.0).mean_sojourn();
         let pool = Mmc::new(lambda_total, 50.0, 2).mean_sojourn();
-        out.push_str(&format!(
-            "{rho},{part:.4},{pool:.4},{:.2}\n",
-            part / pool
-        ));
+        out.push_str(&format!("{rho},{part:.4},{pool:.4},{:.2}\n", part / pool));
     }
     out.push_str(
         "\nreading: the paper's per-class VM partitioning pays up to ~2x in \
@@ -229,7 +234,9 @@ mod tests {
     fn conditional_eq6_never_loses() {
         let report = conditional_eq6().unwrap();
         for line in report.lines().skip(2) {
-            let Some(gain) = line.split(',').nth(3) else { continue };
+            let Some(gain) = line.split(',').nth(3) else {
+                continue;
+            };
             if let Ok(g) = gain.parse::<f64>() {
                 assert!(g >= -1e-6, "conditional variant lost profit: {line}");
             }

@@ -21,9 +21,7 @@
 
 use palb_cluster::{presets, System};
 use palb_core::report::tier_histogram;
-use palb_core::{
-    run, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunResult, Tier,
-};
+use palb_core::{run, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunResult, Tier};
 use palb_workload::fault::{
     corrupt_price_feed, inject_rate_faults, RateFaultConfig, SolverFaultSchedule,
 };
@@ -66,8 +64,7 @@ fn corrupted_inputs(fault_rate: f64, seed: u64) -> (System, Trace, usize) {
     for (l, dc) in system.data_centers.iter_mut().enumerate() {
         let mut feed = dc.prices.as_slice().to_vec();
         corrupt_price_feed(&mut feed, fault_rate, seed ^ ((l as u64) << 8));
-        let (clean, incidents) =
-            palb_cluster::PriceSchedule::new_unchecked(feed).sanitized();
+        let (clean, incidents) = palb_cluster::PriceSchedule::new_unchecked(feed).sanitized();
         dc.prices = clean;
         price_incidents += incidents.len();
     }
@@ -88,8 +85,13 @@ fn corrupted_inputs(fault_rate: f64, seed: u64) -> (System, Trace, usize) {
 pub fn study(fault_rate: f64, seed: u64) -> FaultToleranceResult {
     let clean_system = presets::section_vi();
     let clean_trace = configs::section_vi_trace();
-    let clean = run(&mut OptimizedPolicy::exact(), &clean_system, &clean_trace, 0)
-        .expect("fault-free baseline");
+    let clean = run(
+        &mut OptimizedPolicy::exact(),
+        &clean_system,
+        &clean_trace,
+        0,
+    )
+    .expect("fault-free baseline");
 
     let (system, trace, price_incidents) = corrupted_inputs(fault_rate, seed);
     let schedule = SolverFaultSchedule::new(fault_rate, seed);

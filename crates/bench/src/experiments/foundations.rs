@@ -28,13 +28,29 @@ pub fn fig1() -> String {
 
 /// Fig. 3: the three TUF shapes, sampled on a delay grid.
 pub fn fig3() -> String {
-    let constant = Tuf::Constant { utility: 10.0, deadline: 1.0 };
-    let decay = Tuf::LinearDecay { u0: 10.0, u_end: 2.0, deadline: 1.0 };
+    let constant = Tuf::Constant {
+        utility: 10.0,
+        deadline: 1.0,
+    };
+    let decay = Tuf::LinearDecay {
+        u0: 10.0,
+        u_end: 2.0,
+        deadline: 1.0,
+    };
     let step = Tuf::Step(
         StepTuf::new(vec![
-            palb_tuf::Level { deadline: 0.4, utility: 10.0 },
-            palb_tuf::Level { deadline: 0.7, utility: 6.0 },
-            palb_tuf::Level { deadline: 1.0, utility: 3.0 },
+            palb_tuf::Level {
+                deadline: 0.4,
+                utility: 10.0,
+            },
+            palb_tuf::Level {
+                deadline: 0.7,
+                utility: 6.0,
+            },
+            palb_tuf::Level {
+                deadline: 1.0,
+                utility: 3.0,
+            },
         ])
         .unwrap(),
     );
@@ -83,9 +99,18 @@ pub fn tables() -> String {
 
     // Tables III / IV+VI / VIII+XI: per-system data-center parameters.
     for (label, sys) in [
-        ("Table III: SV data centers (mu req/s, energy kWh/req, price $/kWh)", presets::section_v()),
-        ("Tables IV-VII: SVI data centers (mu req/h)", presets::section_vi()),
-        ("Tables VIII-XI: SVII data centers (mu req/h)", presets::section_vii()),
+        (
+            "Table III: SV data centers (mu req/s, energy kWh/req, price $/kWh)",
+            presets::section_v(),
+        ),
+        (
+            "Tables IV-VII: SVI data centers (mu req/h)",
+            presets::section_vi(),
+        ),
+        (
+            "Tables VIII-XI: SVII data centers (mu req/h)",
+            presets::section_vii(),
+        ),
     ] {
         out.push_str(&format!("\n# {label}\n"));
         let mut header = vec!["parameter".to_string()];

@@ -2,12 +2,13 @@
 
 pub mod ablations;
 pub mod fault_tolerance;
-pub mod quantile;
-pub mod robustness;
-pub mod three_level;
 pub mod forecasting;
 pub mod foundations;
+pub mod quantile;
+pub mod robustness;
 pub mod section_v;
 pub mod section_vi;
 pub mod section_vii;
+pub mod solver_perf;
+pub mod three_level;
 pub mod validate;

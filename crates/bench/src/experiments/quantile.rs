@@ -40,7 +40,10 @@ pub fn replay(policy: &mut dyn Policy, horizon: f64, seed: u64) -> QuantileOutco
         }
         let l = dims.dc_of_server(sv);
         let service = dispatch.phi_by_server(k, sv) * system.data_centers[l.0].full_rate(k);
-        specs.push(QueueSpec { arrival_rate: lam, service_rate: service });
+        specs.push(QueueSpec {
+            arrival_rate: lam,
+            service_rate: service,
+        });
         meta.push((k, lam, service));
     }
     let warmup = horizon * 0.1;
@@ -83,7 +86,10 @@ pub fn report() -> String {
     let mut q90 = QuantileSlaPolicy::exact(0.90);
     let mut q99 = QuantileSlaPolicy::exact(0.99);
     let rows: Vec<(&str, QuantileOutcome)> = vec![
-        ("mean_delay (paper)", replay(&mut mean_policy, 4_000.0, 2024)),
+        (
+            "mean_delay (paper)",
+            replay(&mut mean_policy, 4_000.0, 2024),
+        ),
         ("quantile p=0.90", replay(&mut q90, 4_000.0, 2024)),
         ("quantile p=0.99", replay(&mut q99, 4_000.0, 2024)),
     ];

@@ -35,7 +35,11 @@ pub fn fig4_regime(label: &'static str, rates: Vec<Vec<f64>>) -> Fig4Regime {
     let optimized =
         run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer solves SV");
     let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
-    Fig4Regime { label, optimized, balanced }
+    Fig4Regime {
+        label,
+        optimized,
+        balanced,
+    }
 }
 
 /// Both regimes of Fig. 4.
@@ -51,9 +55,11 @@ pub fn fig4_report() -> String {
     let (low, high) = fig4();
     let mut out = String::from("# Fig 4: SV net profit, Optimized vs Balanced\n");
     for regime in [&low, &high] {
-        out.push_str(&format!("\n-- Fig 4({}) {} arrival rates --\n",
+        out.push_str(&format!(
+            "\n-- Fig 4({}) {} arrival rates --\n",
             if regime.label == "low" { 'a' } else { 'b' },
-            regime.label));
+            regime.label
+        ));
         out.push_str(&summary_table(&regime.optimized, &regime.balanced));
         out.push_str(&format!(
             "net-profit ratio {:.3}; completed-request ratio {:.3}\n",
@@ -77,7 +83,11 @@ mod tests {
         let (low, high) = fig4();
         // Optimized strictly dominates in both regimes.
         assert!(low.profit_ratio() > 1.0, "low ratio {}", low.profit_ratio());
-        assert!(high.profit_ratio() > 1.0, "high ratio {}", high.profit_ratio());
+        assert!(
+            high.profit_ratio() > 1.0,
+            "high ratio {}",
+            high.profit_ratio()
+        );
         // Heavy load: Optimized completes noticeably more requests
         // (paper: ~16%).
         assert!(

@@ -26,9 +26,13 @@ pub fn run_section_vi() -> SectionVi {
     let trace = section_vi_trace();
     let optimized =
         run_parallel(OptimizedPolicy::exact, &system, &trace, 0).expect("optimizer solves SVI");
-    let balanced =
-        run_parallel(|| BalancedPolicy, &system, &trace, 0).expect("baseline");
-    SectionVi { system, trace, optimized, balanced }
+    let balanced = run_parallel(|| BalancedPolicy, &system, &trace, 0).expect("baseline");
+    SectionVi {
+        system,
+        trace,
+        optimized,
+        balanced,
+    }
 }
 
 /// Fig. 5: the request traces at the four front-ends.
@@ -53,7 +57,10 @@ pub fn fig5() -> String {
 pub fn fig6(state: &SectionVi) -> String {
     let mut out = String::from("# Fig 6: SVI hourly net profit ($)\n");
     out.push_str(&net_profit_csv(&state.optimized, &state.balanced));
-    out.push_str(&format!("\n{}", summary_table(&state.optimized, &state.balanced)));
+    out.push_str(&format!(
+        "\n{}",
+        summary_table(&state.optimized, &state.balanced)
+    ));
     out.push_str(
         "\npaper shape: Optimized leads through the day; the curves converge \
          at the end of the trace when the workload collapses.\n",
@@ -69,7 +76,10 @@ pub fn fig7(state: &SectionVi) -> String {
     out.push_str(&dispatch_csv(&state.system, &state.optimized, ClassId(0)));
     out.push_str("-- Balanced --\n");
     out.push_str(&dispatch_csv(&state.system, &state.balanced, ClassId(0)));
-    for (name, run) in [("Optimized", &state.optimized), ("Balanced", &state.balanced)] {
+    for (name, run) in [
+        ("Optimized", &state.optimized),
+        ("Balanced", &state.balanced),
+    ] {
         let shares = dispatch_share(&state.system, run, ClassId(0));
         let pretty: Vec<String> = shares
             .iter()
@@ -118,13 +128,21 @@ mod tests {
             (a - b) / b.abs().max(1.0)
         };
         let max_gap = (0..24).map(gap).fold(0.0_f64, f64::max);
-        assert!(gap(23) < 0.4 * max_gap, "end gap {} vs max {}", gap(23), max_gap);
+        assert!(
+            gap(23) < 0.4 * max_gap,
+            "end gap {} vs max {}",
+            gap(23),
+            max_gap
+        );
 
         // Fig 7: Optimized starves the distant mountain_view of request1.
         let mv_opt = dc_share(&state.system, &state.optimized, ClassId(0), DcId(1));
         let mv_bal = dc_share(&state.system, &state.balanced, ClassId(0), DcId(1));
         assert!(mv_opt < 0.25, "optimized sends {mv_opt} of request1 to MV");
-        assert!(mv_opt < 0.7 * mv_bal, "optimized {mv_opt} vs balanced {mv_bal}");
+        assert!(
+            mv_opt < 0.7 * mv_bal,
+            "optimized {mv_opt} vs balanced {mv_bal}"
+        );
     }
 
     #[test]

@@ -43,11 +43,15 @@ pub fn class_completion(run: &RunResult, trace: &Trace, k: usize) -> f64 {
 /// Runs the §VII comparison on an arbitrary (system, trace) pair.
 pub fn run_section_vii_with(system: System, trace: Trace) -> SectionVii {
     let start = presets::SECTION_VII_START_HOUR;
-    let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, start)
-        .expect("optimizer solves SVII");
-    let balanced =
-        run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
-    SectionVii { system, trace, optimized, balanced }
+    let optimized =
+        run(&mut OptimizedPolicy::exact(), &system, &trace, start).expect("optimizer solves SVII");
+    let balanced = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
+    SectionVii {
+        system,
+        trace,
+        optimized,
+        balanced,
+    }
 }
 
 /// The canonical §VII run.
@@ -59,7 +63,10 @@ pub fn run_section_vii() -> SectionVii {
 pub fn fig8(state: &SectionVii) -> String {
     let mut out = String::from("# Fig 8: SVII hourly net profit ($), two-level TUFs\n");
     out.push_str(&net_profit_csv(&state.optimized, &state.balanced));
-    out.push_str(&format!("\n{}", summary_table(&state.optimized, &state.balanced)));
+    out.push_str(&format!(
+        "\n{}",
+        summary_table(&state.optimized, &state.balanced)
+    ));
     for k in 0..state.system.num_classes() {
         out.push_str(&format!(
             "completion of {}: optimized {:.2}%, balanced {:.2}%\n",
@@ -162,7 +169,10 @@ pub fn fig11(max_servers: usize) -> Vec<Fig11Point> {
             &sys,
             &scaled,
             slot,
-            &BbOptions { symmetry_breaking: false, ..BbOptions::default() },
+            &BbOptions {
+                symmetry_breaking: false,
+                ..BbOptions::default()
+            },
         )
         .expect("plain bb");
         let bb_plain_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -216,9 +226,7 @@ mod tests {
     fn section_vii_preserves_paper_shapes() {
         let s = run_section_vii();
         // Optimized nets more profit.
-        assert!(
-            s.optimized.total_net_profit() > 1.05 * s.balanced.total_net_profit()
-        );
+        assert!(s.optimized.total_net_profit() > 1.05 * s.balanced.total_net_profit());
         // Optimized completes at least as much of every class, and strictly
         // more of request2 (the class Balanced drops).
         let o2 = class_completion(&s.optimized, &s.trace, 1);
@@ -238,10 +246,7 @@ mod tests {
 
     #[test]
     fn fig10_low_workload_completes_everything() {
-        let low = run_section_vii_with(
-            section_vii_low_workload_system(),
-            section_vii_trace(),
-        );
+        let low = run_section_vii_with(section_vii_low_workload_system(), section_vii_trace());
         assert!(low.optimized.completion_ratio() > 0.999);
         assert!(low.balanced.completion_ratio() > 0.999);
         assert!(low.optimized.total_net_profit() > low.balanced.total_net_profit());
@@ -249,10 +254,7 @@ mod tests {
 
     #[test]
     fn fig10_high_workload_nobody_completes() {
-        let high = run_section_vii_with(
-            presets::section_vii(),
-            section_vii_high_workload_trace(),
-        );
+        let high = run_section_vii_with(presets::section_vii(), section_vii_high_workload_trace());
         assert!(high.optimized.completion_ratio() < 0.999);
         assert!(high.balanced.completion_ratio() < 0.999);
         assert!(high.optimized.total_net_profit() > high.balanced.total_net_profit());

@@ -21,9 +21,18 @@ use palb_workload::burst::{generate, BurstConfig};
 pub fn three_level_system() -> System {
     let mk = |u: [f64; 3], margins: [f64; 3]| {
         StepTuf::new(vec![
-            Level { deadline: 1.0 / margins[0], utility: u[0] },
-            Level { deadline: 1.0 / margins[1], utility: u[1] },
-            Level { deadline: 1.0 / margins[2], utility: u[2] },
+            Level {
+                deadline: 1.0 / margins[0],
+                utility: u[0],
+            },
+            Level {
+                deadline: 1.0 / margins[1],
+                utility: u[1],
+            },
+            Level {
+                deadline: 1.0 / margins[2],
+                utility: u[2],
+            },
         ])
         .unwrap()
     };
@@ -41,11 +50,16 @@ pub fn three_level_system() -> System {
                 transfer_cost_per_mile: 0.0003,
             },
         ],
-        front_ends: vec![FrontEnd { name: "frontend1".into() }],
+        front_ends: vec![FrontEnd {
+            name: "frontend1".into(),
+        }],
         data_centers: base
             .data_centers
             .iter()
-            .map(|d| DataCenter { servers: 4, ..d.clone() })
+            .map(|d| DataCenter {
+                servers: 4,
+                ..d.clone()
+            })
             .collect(),
         distance: base.distance.clone(),
         slot_length: 1.0,
@@ -73,7 +87,8 @@ pub fn report() -> String {
         .expect("exact solver handles 3 levels");
     let balanced = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
 
-    let mut out = String::from("# Three-level TUFs (the paper's Eq. 18-22 case, beyond its evaluation)\n");
+    let mut out =
+        String::from("# Three-level TUFs (the paper's Eq. 18-22 case, beyond its evaluation)\n");
     out.push_str(&palb_core::report::summary_table(&optimized, &balanced));
 
     // Per-slot solver agreement on one busy slot.
@@ -138,10 +153,7 @@ mod tests {
         // Two slots keep the exact solver affordable in debug test runs;
         // the full 7-slot comparison lives in `repro three-level`.
         let full = three_level_trace();
-        let trace = palb_workload::Trace::new(vec![
-            full.slot(0).clone(),
-            full.slot(3).clone(),
-        ]);
+        let trace = palb_workload::Trace::new(vec![full.slot(0).clone(), full.slot(3).clone()]);
         let start = presets::SECTION_VII_START_HOUR;
         let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, start).unwrap();
         let bal = run(&mut BalancedPolicy, &system, &trace, start).unwrap();

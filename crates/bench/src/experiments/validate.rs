@@ -27,8 +27,7 @@ pub struct ReplayResult {
 pub fn replay_section_v(horizon: f64, seed: u64) -> ReplayResult {
     let system = presets::section_v();
     let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-    let result =
-        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let result = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
     let dispatch = &result.decisions[0];
     let dims = dispatch.dims().clone();
 
@@ -41,9 +40,11 @@ pub fn replay_section_v(horizon: f64, seed: u64) -> ReplayResult {
             continue;
         }
         let l = dims.dc_of_server(sv);
-        let service = dispatch.phi_by_server(k, sv)
-            * system.data_centers[l.0].full_rate(k);
-        specs.push(QueueSpec { arrival_rate: lam, service_rate: service });
+        let service = dispatch.phi_by_server(k, sv) * system.data_centers[l.0].full_rate(k);
+        specs.push(QueueSpec {
+            arrival_rate: lam,
+            service_rate: service,
+        });
         meta.push((k, l, lam, service));
     }
     let warmup = horizon * 0.1;
@@ -65,7 +66,11 @@ pub fn replay_section_v(horizon: f64, seed: u64) -> ReplayResult {
         let per_req: f64 = q.sojourn.samples().iter().map(|&r| tuf.eval(r)).sum();
         replay_revenue += per_req / measured * t;
     }
-    ReplayResult { vms, analytic_revenue, replay_revenue }
+    ReplayResult {
+        vms,
+        analytic_revenue,
+        replay_revenue,
+    }
 }
 
 /// Renders the validation report.

@@ -8,6 +8,7 @@ use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
 
 use crate::experiments::fault_tolerance::FaultToleranceResult;
+use crate::experiments::solver_perf::SolverPerf;
 
 /// Serializes a slot's health record (`null` for nominal slots without
 /// one).
@@ -19,9 +20,50 @@ fn health_to_json(health: &Option<SlotHealth>) -> Value {
             "sanitization_events": h.sanitization_events,
             "solve_iterations": h.solve_iterations,
             "degraded": h.degraded,
+            "solver": solver_stats_to_json(&h.solver),
         }),
         None => Value::Null,
     }
+}
+
+/// Serializes per-slot solver telemetry (nodes, warm-start hit rate,
+/// pivots the warm path saved over a hypothetical all-cold tree).
+fn solver_stats_to_json(s: &palb_core::SolverStats) -> Value {
+    json!({
+        "nodes_explored": s.nodes_explored,
+        "warm_attempts": s.warm_attempts,
+        "warm_hits": s.warm_hits,
+        "warm_hit_rate": s.warm_hit_rate(),
+        "warm_pivots": s.warm_pivots,
+        "cold_solves": s.cold_solves,
+        "cold_pivots": s.cold_pivots,
+        "pivots_saved": s.pivots_saved(),
+    })
+}
+
+/// Serializes a solver-perf study (cold rebuild vs incremental workspace).
+pub fn solver_perf_to_json(s: &SolverPerf) -> Value {
+    let points: Vec<Value> = s
+        .points
+        .iter()
+        .map(|p| {
+            json!({
+                "servers": p.servers,
+                "cold_ms": p.cold_ms,
+                "incremental_ms": p.incremental_ms,
+                "speedup": p.speedup,
+                "nodes": p.nodes,
+                "bitwise_equal": p.bitwise_equal,
+                "solver": solver_stats_to_json(&p.stats),
+            })
+        })
+        .collect();
+    json!({
+        "reps": s.reps,
+        "overall_speedup": s.overall_speedup(),
+        "all_bitwise_equal": s.all_bitwise_equal(),
+        "points": points,
+    })
 }
 
 /// Serializes a run (per-slot series + aggregates) to a JSON value.
@@ -121,15 +163,37 @@ mod tests {
         assert_eq!(back["slots"].as_array().unwrap().len(), 2);
         let total = back["totals"]["net_profit"].as_f64().unwrap();
         assert!((total - r.total_net_profit()).abs() < 1e-6);
-        assert_eq!(
-            back["system"]["data_centers"].as_array().unwrap().len(),
-            3
-        );
+        assert_eq!(back["system"]["data_centers"].as_array().unwrap().len(), 3);
     }
 
     #[test]
     fn nominal_slots_serialize_null_health() {
         assert_eq!(health_to_json(&None), Value::Null);
+    }
+
+    #[test]
+    fn resilient_slots_carry_solver_telemetry() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 1);
+        let r = run(&mut palb_core::ResilientPolicy::default(), &sys, &trace, 0).unwrap();
+        let h = r.slots[0]
+            .health
+            .as_ref()
+            .expect("resilient slots carry health");
+        assert!(h.solver.nodes_explored >= 1);
+        assert!(h.solver.warm_hit_rate() >= 0.0);
+        // The telemetry block must serialize without panicking.
+        let _ = run_to_json(&sys, &r);
+    }
+
+    #[test]
+    fn solver_perf_json_reports_speedup_and_telemetry() {
+        let s = crate::experiments::solver_perf::study(2, 1);
+        assert!(s.overall_speedup() > 0.0);
+        assert!(s.all_bitwise_equal());
+        assert_eq!(s.points.len(), 1);
+        assert!(s.points[0].stats.warm_attempts > 0);
+        let _ = solver_perf_to_json(&s);
     }
 
     #[test]

@@ -15,6 +15,6 @@
 #![forbid(unsafe_code)]
 
 pub mod configs;
-pub mod json;
 pub mod experiments;
+pub mod json;
 pub mod parallel;

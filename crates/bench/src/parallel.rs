@@ -14,8 +14,7 @@
 
 use palb_cluster::System;
 use palb_core::{
-    evaluate, sanitize_rates, CoreError, PartialRun, Policy, RunResult, SlotFailure,
-    SlotHealth,
+    evaluate, sanitize_rates, CoreError, PartialRun, Policy, RunResult, SlotFailure, SlotHealth,
 };
 use palb_workload::Trace;
 use rayon::prelude::*;
@@ -58,7 +57,11 @@ where
                     outcome.health = merge_repairs(policy.take_health(), repairs[t]);
                     Ok((outcome, dispatch))
                 }
-                Err(error) => Err(SlotFailure { index: t, slot, error }),
+                Err(error) => Err(SlotFailure {
+                    index: t,
+                    slot,
+                    error,
+                }),
             }
         })
         .collect();
@@ -122,7 +125,10 @@ mod tests {
         let par = run_parallel(OptimizedPolicy::exact, &sys, &trace, 0).unwrap();
         assert_eq!(seq.slots.len(), par.slots.len());
         for (a, b) in seq.slots.iter().zip(&par.slots) {
-            assert_eq!(a.net_profit, b.net_profit, "deterministic solver must agree");
+            assert_eq!(
+                a.net_profit, b.net_profit,
+                "deterministic solver must agree"
+            );
             assert_eq!(a.slot, b.slot);
         }
         assert_eq!(seq.policy, par.policy);

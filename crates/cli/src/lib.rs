@@ -22,8 +22,8 @@
 use std::collections::BTreeMap;
 use std::fs;
 
-use palb_bench::experiments::fault_tolerance;
-use palb_bench::json::fault_tolerance_to_json;
+use palb_bench::experiments::{fault_tolerance, solver_perf};
+use palb_bench::json::{fault_tolerance_to_json, solver_perf_to_json};
 use palb_cluster::{presets, System};
 use palb_core::report::summary_table;
 use palb_core::{
@@ -68,7 +68,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         }
         i += 1;
     }
-    Ok(Cli { command: command.clone(), positional, options })
+    Ok(Cli {
+        command: command.clone(),
+        positional,
+        options,
+    })
 }
 
 /// The usage text.
@@ -81,7 +85,8 @@ pub fn usage() -> String {
      \x20 run --system FILE --trace FILE [--policy optimized|balanced|quantile=P]\n\
      \x20     [--start N] [--json]                               run and summarize\n\
      \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n\
-     \x20 fault-tolerance [--fault-rate R] [--seed S] [--json]   degraded-mode study\n"
+     \x20 fault-tolerance [--fault-rate R] [--seed S] [--json]   degraded-mode study\n\
+     \x20 solver-perf [--servers N] [--json]       warm-start vs cold-rebuild study\n"
         .to_string()
 }
 
@@ -93,6 +98,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         "run" => cmd_run(cli),
         "lp" => cmd_lp(cli),
         "fault-tolerance" => cmd_fault_tolerance(cli),
+        "solver-perf" => cmd_solver_perf(cli),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -156,8 +162,7 @@ fn cmd_trace(cli: &Cli) -> Result<String, String> {
 /// Loads and validates a system description from a JSON file.
 pub fn load_system(path: &str) -> Result<System, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let system: System =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let system: System = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
     system.validate().map_err(|e| format!("{path}: {e}"))?;
     Ok(system)
 }
@@ -189,9 +194,7 @@ pub fn make_policy(spec: &str) -> Result<Box<dyn Policy>, String> {
 }
 
 fn compatible(system: &System, trace: &Trace) -> Result<(), String> {
-    if trace.front_ends() != system.num_front_ends()
-        || trace.classes() != system.num_classes()
-    {
+    if trace.front_ends() != system.num_front_ends() || trace.classes() != system.num_classes() {
         return Err(format!(
             "trace is {}x{} (front-ends x classes) but the system is {}x{}",
             trace.front_ends(),
@@ -234,19 +237,21 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
     let default_policy = "optimized".to_string();
     let policy_spec = cli.options.get("policy").unwrap_or(&default_policy);
     let mut policy = make_policy(policy_spec)?;
-    let result =
-        run(policy.as_mut(), &system, &trace, start).map_err(|e| e.to_string())?;
+    let result = run(policy.as_mut(), &system, &trace, start).map_err(|e| e.to_string())?;
     if cli.options.contains_key("json") {
         Ok(run_result_json(&system, &result))
     } else {
         // Compare against the baseline for context unless it *is* the run.
         if policy_spec == "balanced" {
             let mut out = summary_table(&result, &result);
-            out.push_str(&format!("total net profit: ${:.2}\n", result.total_net_profit()));
+            out.push_str(&format!(
+                "total net profit: ${:.2}\n",
+                result.total_net_profit()
+            ));
             Ok(out)
         } else {
-            let baseline = run(&mut BalancedPolicy, &system, &trace, start)
-                .map_err(|e| e.to_string())?;
+            let baseline =
+                run(&mut BalancedPolicy, &system, &trace, start).map_err(|e| e.to_string())?;
             Ok(summary_table(&result, &baseline))
         }
     }
@@ -258,7 +263,10 @@ fn cmd_lp(cli: &Cli) -> Result<String, String> {
     compatible(&system, &trace)?;
     let slot = opt_usize(cli, "slot", 0)?;
     if slot >= trace.slots() {
-        return Err(format!("--slot {slot} out of range (trace has {})", trace.slots()));
+        return Err(format!(
+            "--slot {slot} out of range (trace has {})",
+            trace.slots()
+        ));
     }
     let dims = Dims::of(&system);
     // One-level TUFs use level 1; multi-level models export the loosest
@@ -282,10 +290,24 @@ fn cmd_fault_tolerance(cli: &Cli) -> Result<String, String> {
     let seed = opt_usize(cli, "seed", 42)? as u64;
     if cli.options.contains_key("json") {
         let result = fault_tolerance::study(fault_rate, seed);
-        serde_json::to_string_pretty(&fault_tolerance_to_json(&result))
-            .map_err(|e| e.to_string())
+        serde_json::to_string_pretty(&fault_tolerance_to_json(&result)).map_err(|e| e.to_string())
     } else {
         Ok(fault_tolerance::report(fault_rate, seed))
+    }
+}
+
+fn cmd_solver_perf(cli: &Cli) -> Result<String, String> {
+    let servers = opt_usize(cli, "servers", 5)?;
+    if !(2..=8).contains(&servers) {
+        return Err(format!(
+            "--servers must be in [2,8] (the study sweeps 2..=N), got {servers}"
+        ));
+    }
+    if cli.options.contains_key("json") {
+        let study = solver_perf::study(servers, 3);
+        serde_json::to_string_pretty(&solver_perf_to_json(&study)).map_err(|e| e.to_string())
+    } else {
+        Ok(solver_perf::report(servers))
     }
 }
 
@@ -331,12 +353,23 @@ mod tests {
     #[test]
     fn trace_command_generates_json() {
         let out = execute(&cli(&[
-            "trace", "diurnal", "--slots", "6", "--front-ends", "2", "--classes", "2",
-            "--peak", "1000",
+            "trace",
+            "diurnal",
+            "--slots",
+            "6",
+            "--front-ends",
+            "2",
+            "--classes",
+            "2",
+            "--peak",
+            "1000",
         ]))
         .unwrap();
         let trace: Trace = serde_json::from_str(&out).unwrap();
-        assert_eq!((trace.slots(), trace.front_ends(), trace.classes()), (6, 2, 2));
+        assert_eq!(
+            (trace.slots(), trace.front_ends(), trace.classes()),
+            (6, 2, 2)
+        );
     }
 
     #[test]
@@ -365,9 +398,12 @@ mod tests {
 
         let out = execute(&cli(&[
             "run",
-            "--system", sys_path.to_str().unwrap(),
-            "--trace", trace_path.to_str().unwrap(),
-            "--policy", "optimized",
+            "--system",
+            sys_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--policy",
+            "optimized",
             "--json",
         ]))
         .unwrap();
@@ -378,9 +414,12 @@ mod tests {
         // And the LP export is parseable LP format.
         let lp = execute(&cli(&[
             "lp",
-            "--system", sys_path.to_str().unwrap(),
-            "--trace", trace_path.to_str().unwrap(),
-            "--slot", "0",
+            "--system",
+            sys_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--slot",
+            "0",
         ]))
         .unwrap();
         assert!(lp.starts_with("Maximize"));
@@ -391,7 +430,11 @@ mod tests {
     #[test]
     fn fault_tolerance_command_prints_tier_histogram() {
         let out = execute(&cli(&[
-            "fault-tolerance", "--fault-rate", "0.1", "--seed", "42",
+            "fault-tolerance",
+            "--fault-rate",
+            "0.1",
+            "--seed",
+            "42",
         ]))
         .unwrap();
         assert!(out.contains("profit retention"), "{out}");
@@ -408,6 +451,23 @@ mod tests {
     }
 
     #[test]
+    fn solver_perf_command_reports_speedup() {
+        let out = execute(&cli(&["solver-perf", "--servers", "2"])).unwrap();
+        assert!(out.contains("overall speedup"), "{out}");
+        assert!(
+            out.contains("bitwise-identical across modes: true"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn solver_perf_rejects_bad_servers() {
+        let err = execute(&cli(&["solver-perf", "--servers", "1"])).unwrap_err();
+        assert!(err.contains("[2,8]"), "{err}");
+        assert!(execute(&cli(&["solver-perf", "--servers", "nope"])).is_err());
+    }
+
+    #[test]
     fn incompatible_trace_is_rejected() {
         let dir = std::env::temp_dir().join("palb_cli_test2");
         fs::create_dir_all(&dir).unwrap();
@@ -418,8 +478,10 @@ mod tests {
         fs::write(&trace_path, serde_json::to_string(&trace).unwrap()).unwrap();
         let err = execute(&cli(&[
             "run",
-            "--system", sys_path.to_str().unwrap(),
-            "--trace", trace_path.to_str().unwrap(),
+            "--system",
+            sys_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
         ]))
         .unwrap_err();
         assert!(err.contains("front-ends x classes"), "{err}");

@@ -41,7 +41,9 @@ pub fn section_v() -> System {
         },
     ];
     let front_ends = (1..=4)
-        .map(|i| FrontEnd { name: format!("frontend{i}") })
+        .map(|i| FrontEnd {
+            name: format!("frontend{i}"),
+        })
         .collect();
     // Table III (verbatim where legible): µ per class per server (req/s),
     // per-request energy (kWh); prices reconstructed (constant in §V).
@@ -141,7 +143,9 @@ pub fn section_vi() -> System {
         },
     ];
     let front_ends = (1..=4)
-        .map(|i| FrontEnd { name: format!("frontend{i}") })
+        .map(|i| FrontEnd {
+            name: format!("frontend{i}"),
+        })
         .collect();
     let data_centers = vec![
         DataCenter {
@@ -211,7 +215,9 @@ pub fn section_vii() -> System {
             transfer_cost_per_mile: 0.0003,
         },
     ];
-    let front_ends = vec![FrontEnd { name: "frontend1".into() }];
+    let front_ends = vec![FrontEnd {
+        name: "frontend1".into(),
+    }];
     let data_centers = vec![
         DataCenter {
             name: "houston".into(),
@@ -284,9 +290,7 @@ mod tests {
         }
         // The heavy set offers far more load than the light one.
         let total = |set: Vec<Vec<f64>>| -> f64 { set.iter().flatten().sum() };
-        assert!(
-            total(section_v_high_arrivals()) > 5.0 * total(section_v_low_arrivals())
-        );
+        assert!(total(section_v_high_arrivals()) > 5.0 * total(section_v_low_arrivals()));
     }
 
     #[test]

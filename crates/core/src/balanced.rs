@@ -43,8 +43,8 @@ pub fn balanced_dispatch(system: &System, rates: &[Vec<f64>], slot: usize) -> Di
         let l = dims.dc_of_server(sv);
         let dc = &system.data_centers[l.0];
         let deadline = system.classes[k.0].tuf.final_deadline();
-        cap[dims.phi_idx(k, sv)] = FILL_GUARD
-            * max_rate_for_deadline(phi, dc.capacity, dc.service_rate[k.0], deadline);
+        cap[dims.phi_idx(k, sv)] =
+            FILL_GUARD * max_rate_for_deadline(phi, dc.capacity, dc.service_rate[k.0], deadline);
     }
 
     // Data centers ordered by current electricity price (cheapest first).
@@ -83,15 +83,8 @@ pub fn balanced_dispatch(system: &System, rates: &[Vec<f64>], slot: usize) -> Di
                         continue;
                     }
                     let share = take * cap[idx] / avail;
-                    let prev =
-                        dispatch.lambda(ClassId(k), FrontEndId(s), DcId(l), i);
-                    dispatch.set_lambda(
-                        ClassId(k),
-                        FrontEndId(s),
-                        DcId(l),
-                        i,
-                        prev + share,
-                    );
+                    let prev = dispatch.lambda(ClassId(k), FrontEndId(s), DcId(l), i);
+                    dispatch.set_lambda(ClassId(k), FrontEndId(s), DcId(l), i, prev + share);
                     cap[idx] -= share;
                 }
                 remaining -= take;

@@ -41,7 +41,10 @@ impl Default for BigMOptions {
         let mut penalty = PenaltyOptions::default();
         penalty.inner.max_iters = 600;
         penalty.max_outer = 8;
-        BigMOptions { delta: 1e-6, penalty }
+        BigMOptions {
+            delta: 1e-6,
+            penalty,
+        }
     }
 }
 
@@ -357,12 +360,8 @@ mod tests {
         let rates = vec![vec![50.0]];
         let bigm = solve_bigm(&sys, &rates, 0, &BigMOptions::default()).unwrap();
         let dims = Dims::of(&sys);
-        let lp = solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1))
-            .unwrap();
-        assert!(
-            (bigm.polished.objective - lp.objective).abs()
-                < 1e-6 * (1.0 + lp.objective.abs())
-        );
+        let lp = solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        assert!((bigm.polished.objective - lp.objective).abs() < 1e-6 * (1.0 + lp.objective.abs()));
     }
 
     #[test]

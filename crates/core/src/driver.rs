@@ -84,12 +84,16 @@ pub struct OptimizedPolicy {
 impl OptimizedPolicy {
     /// Exact solver with default options.
     pub fn exact() -> Self {
-        OptimizedPolicy { solver: Solver::Exact(BbOptions::default()) }
+        OptimizedPolicy {
+            solver: Solver::Exact(BbOptions::default()),
+        }
     }
 
     /// Uniform-level heuristic.
     pub fn uniform() -> Self {
-        OptimizedPolicy { solver: Solver::UniformLevels }
+        OptimizedPolicy {
+            solver: Solver::UniformLevels,
+        }
     }
 }
 
@@ -107,15 +111,12 @@ impl Policy for OptimizedPolicy {
         let one_level = system.classes.iter().all(|c| c.tuf.num_levels() == 1);
         if one_level {
             let dims = Dims::of(system);
-            let sol =
-                solve_fixed_levels(system, rates, slot, &LevelAssignment::uniform(&dims, 1))?;
+            let sol = solve_fixed_levels(system, rates, slot, &LevelAssignment::uniform(&dims, 1))?;
             return Ok(sol.dispatch);
         }
         match &self.solver {
             Solver::Exact(opts) => Ok(solve_bb(system, rates, slot, opts)?.solve.dispatch),
-            Solver::UniformLevels => {
-                Ok(solve_uniform_levels(system, rates, slot)?.solve.dispatch)
-            }
+            Solver::UniformLevels => Ok(solve_uniform_levels(system, rates, slot)?.solve.dispatch),
         }
     }
 }
@@ -302,7 +303,11 @@ pub fn run_partial(
             }
             Err(error) => {
                 let _ = policy.take_health();
-                failures.push(SlotFailure { index: t, slot, error });
+                failures.push(SlotFailure {
+                    index: t,
+                    slot,
+                    error,
+                });
             }
         }
     }

@@ -197,7 +197,12 @@ mod tests {
         let mut d = Dispatch::zero(Dims::of(sys));
         d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 10.0);
         d.set_phi(ClassId(0), DcId(0), 0, 0.5);
-        let rates = vec![vec![10.0, 0.0, 0.0], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]];
+        let rates = vec![
+            vec![10.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
         (d, rates)
     }
 
@@ -229,7 +234,12 @@ mod tests {
         let mut d = Dispatch::zero(Dims::of(&sys));
         d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 100.0);
         d.set_phi(ClassId(0), DcId(0), 0, 0.5); // capacity 75 < 100
-        let rates = vec![vec![100.0, 0.0, 0.0], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]];
+        let rates = vec![
+            vec![100.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
         let out = evaluate(&sys, &rates, 0, &d);
         assert_eq!(out.revenue, 0.0);
         assert!(out.energy_cost > 0.0);
@@ -244,7 +254,12 @@ mod tests {
         // capacity 75, lambda 70 -> delay 0.2 > deadline 0.1.
         d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 70.0);
         d.set_phi(ClassId(0), DcId(0), 0, 0.5);
-        let rates = vec![vec![70.0, 0.0, 0.0], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]];
+        let rates = vec![
+            vec![70.0, 0.0, 0.0],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        ];
         let out = evaluate(&sys, &rates, 0, &d);
         assert_eq!(out.revenue, 0.0);
         assert_eq!(out.completed, 0.0);

@@ -19,7 +19,7 @@
 //! and the big-M path calls it to polish snapped levels.
 
 use palb_cluster::{ClassId, FrontEndId, System};
-use palb_lp::{LpError, Problem, Rel, SolveOptions, VarId};
+use palb_lp::{ConId, LpError, Problem, Rel, SolveOptions, VarId, Workspace, WorkspaceStats};
 
 use crate::error::CoreError;
 use crate::model::{Dims, Dispatch};
@@ -140,22 +140,29 @@ pub fn solve_fixed_levels_with(
     solve_spec_with(system, rates, slot, &dims, &spec, lp_opts)
 }
 
-/// The assembled LP plus the variable handles needed to read a decision
-/// back out of a solution.
+/// The assembled LP plus the variable/constraint handles needed to read a
+/// decision back out of a solution (and to patch the model in place).
 pub(crate) struct SpecProblem {
     pub problem: Problem,
     pub lam_vars: Vec<Option<VarId>>,
     pub phi_vars: Vec<Option<VarId>>,
+    pub delay_cons: Vec<Option<ConId>>,
+    pub supply_cons: Vec<Option<ConId>>,
 }
 
 /// Builds the fixed-terms LP without solving it (shared by the solver and
 /// the CLI's LP-format exporter).
+///
+/// `names` controls whether variables and constraints carry human-readable
+/// names: the exporter wants them, the solver hot path does not (name
+/// formatting dominated model-build profiles before it was made lazy).
 pub(crate) fn build_spec_problem(
     system: &System,
     rates: &[Vec<f64>],
     slot: usize,
     dims: &Dims,
     spec: &[Option<(f64, f64)>],
+    names: bool,
 ) -> SpecProblem {
     debug_assert_eq!(spec.len(), dims.phi_len());
     let t = system.slot_length;
@@ -170,7 +177,11 @@ pub(crate) fn build_spec_problem(
         if let Some((util, deadline)) = spec[idx] {
             level_util[idx] = util;
             level_deadline[idx] = deadline;
-            phi_vars[idx] = Some(p.add_var(&format!("phi_k{}_sv{sv}", k.0), 0.0, 1.0, 0.0));
+            phi_vars[idx] = Some(if names {
+                p.add_var(&format!("phi_k{}_sv{sv}", k.0), 0.0, 1.0, 0.0)
+            } else {
+                p.add_var_unnamed(0.0, 1.0, 0.0)
+            });
         }
     }
 
@@ -183,25 +194,35 @@ pub(crate) fn build_spec_problem(
         }
         let l = dims.dc_of_server(sv);
         for s in 0..dims.front_ends {
-            let margin =
-                (level_util[pidx] - system.unit_cost(k, FrontEndId(s), l, slot)) * t;
+            let margin = (level_util[pidx] - system.unit_cost(k, FrontEndId(s), l, slot)) * t;
             let idx = dims.lambda_idx(k, FrontEndId(s), sv);
-            lam_vars[idx] = Some(p.add_var(
-                &format!("lam_k{}_s{s}_sv{sv}", k.0),
-                0.0,
-                f64::INFINITY,
-                margin,
-            ));
+            lam_vars[idx] = Some(if names {
+                p.add_var(
+                    &format!("lam_k{}_s{s}_sv{sv}", k.0),
+                    0.0,
+                    f64::INFINITY,
+                    margin,
+                )
+            } else {
+                p.add_var_unnamed(0.0, f64::INFINITY, margin)
+            });
         }
     }
 
+    // One scratch buffer serves every row below (the per-row `vec!` churn
+    // used to dominate node-bound build time in branch-and-bound).
+    let mut terms: Vec<(VarId, f64)> =
+        Vec::with_capacity(1 + dims.front_ends.max(dims.classes).max(dims.total_servers));
+
     // Eq. 6 linearized: φ·C·µ − Σ_s λ ≥ 1/D_q for every active VM.
+    let mut delay_cons: Vec<Option<ConId>> = vec![None; dims.phi_len()];
     for (k, sv) in dims.class_server_pairs() {
         let pidx = dims.phi_idx(k, sv);
         let Some(phi) = phi_vars[pidx] else { continue };
         let l = dims.dc_of_server(sv);
         let full_rate = system.data_centers[l.0].full_rate(k);
-        let mut terms = vec![(phi, full_rate)];
+        terms.clear();
+        terms.push((phi, full_rate));
         for s in 0..dims.front_ends {
             if let Some(lv) = lam_vars[dims.lambda_idx(k, FrontEndId(s), sv)] {
                 terms.push((lv, -1.0));
@@ -210,43 +231,58 @@ pub(crate) fn build_spec_problem(
         // The guard keeps the optimum strictly inside the deadline so float
         // round-off in a binding constraint cannot tip the realized delay
         // past D (which would zero the VM's revenue at evaluation time).
-        p.add_con(
-            &format!("delay_k{}_sv{sv}", k.0),
-            &terms,
-            Rel::Ge,
-            (1.0 / level_deadline[pidx]) * (1.0 + 1e-6),
-        );
+        let rhs = (1.0 / level_deadline[pidx]) * (1.0 + 1e-6);
+        delay_cons[pidx] = Some(if names {
+            p.add_con(&format!("delay_k{}_sv{sv}", k.0), &terms, Rel::Ge, rhs)
+        } else {
+            p.add_con_unnamed(&terms, Rel::Ge, rhs)
+        });
     }
 
     // Eq. 7: dispatched ≤ offered per (class, front-end).
+    let mut supply_cons: Vec<Option<ConId>> = vec![None; dims.classes * dims.front_ends];
     for k in 0..dims.classes {
         for s in 0..dims.front_ends {
-            let mut terms = Vec::new();
+            terms.clear();
             for sv in 0..dims.total_servers {
                 if let Some(lv) = lam_vars[dims.lambda_idx(ClassId(k), FrontEndId(s), sv)] {
                     terms.push((lv, 1.0));
                 }
             }
             if !terms.is_empty() {
-                p.add_con(&format!("supply_k{k}_s{s}"), &terms, Rel::Le, rates[s][k]);
+                supply_cons[k * dims.front_ends + s] = Some(if names {
+                    p.add_con(&format!("supply_k{k}_s{s}"), &terms, Rel::Le, rates[s][k])
+                } else {
+                    p.add_con_unnamed(&terms, Rel::Le, rates[s][k])
+                });
             }
         }
     }
 
     // Eq. 8: Σ_k φ ≤ 1 per server.
     for sv in 0..dims.total_servers {
-        let mut terms = Vec::new();
+        terms.clear();
         for k in 0..dims.classes {
             if let Some(phi) = phi_vars[dims.phi_idx(ClassId(k), sv)] {
                 terms.push((phi, 1.0));
             }
         }
         if !terms.is_empty() {
-            p.add_con(&format!("share_sv{sv}"), &terms, Rel::Le, 1.0);
+            if names {
+                p.add_con(&format!("share_sv{sv}"), &terms, Rel::Le, 1.0);
+            } else {
+                p.add_con_unnamed(&terms, Rel::Le, 1.0);
+            }
         }
     }
 
-    SpecProblem { problem: p, lam_vars, phi_vars }
+    SpecProblem {
+        problem: p,
+        lam_vars,
+        phi_vars,
+        delay_cons,
+        supply_cons,
+    }
 }
 
 /// Generalized fixed-terms LP: for every `(class, global server)` VM,
@@ -273,15 +309,22 @@ pub(crate) fn solve_spec_with(
     spec: &[Option<(f64, f64)>],
     lp_opts: &SolveOptions,
 ) -> Result<LevelSolve, CoreError> {
-    let SpecProblem { problem: p, lam_vars, phi_vars } =
-        build_spec_problem(system, rates, slot, dims, spec);
-    let sol = match p.solve_with(lp_opts) {
+    let built = build_spec_problem(system, rates, slot, dims, spec, false);
+    let sol = match built.problem.solve_with(lp_opts) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
         Err(e) => return Err(CoreError::Lp(e)),
     };
+    Ok(read_solve(dims, &built.lam_vars, &built.phi_vars, &sol))
+}
 
-    // Read the decision back.
+/// Reads a dispatch decision back out of an LP solution.
+fn read_solve(
+    dims: &Dims,
+    lam_vars: &[Option<VarId>],
+    phi_vars: &[Option<VarId>],
+    sol: &palb_lp::Solution,
+) -> LevelSolve {
     let mut dispatch = Dispatch::zero(dims.clone());
     {
         let (lambda, phi) = dispatch.raw_mut();
@@ -296,11 +339,11 @@ pub(crate) fn solve_spec_with(
             }
         }
     }
-    Ok(LevelSolve {
+    LevelSolve {
         dispatch,
         objective: sol.objective(),
         pivots: sol.iterations(),
-    })
+    }
 }
 
 /// Renders the fixed-level dispatch LP for one slot in CPLEX LP format —
@@ -324,8 +367,229 @@ pub fn lp_text(
             })
         })
         .collect();
-    let built = build_spec_problem(system, rates, slot, &dims, &spec);
+    let built = build_spec_problem(system, rates, slot, &dims, &spec, true);
     Ok(built.problem.to_lp_format())
+}
+
+/// A slot-scoped incremental solve engine over the dispatch LP.
+///
+/// The LP's *structure* — which variables and rows exist, and every matrix
+/// coefficient — is fixed by [`Dims`] and the data centers' full rates; a
+/// level assignment only moves objective coefficients (λ margins) and
+/// right-hand sides (delay reservations), and a new slot only moves margins
+/// (electricity prices) and supply rows (offered rates). `SpecWorkspace`
+/// exploits that: it builds the all-active model **once**, then patches
+/// coefficients in place through a persistent [`palb_lp::Workspace`].
+///
+/// Two solve paths with different contracts:
+///
+/// * [`SpecWorkspace::solve_cold`] runs the *legacy* full solver
+///   (presolve + two-phase simplex) on the patched [`Problem`]. Because the
+///   patched problem is value-identical to a freshly built one, the result
+///   is **bit-for-bit identical** to [`solve_spec_with`] — this is the path
+///   whose answers callers publish (incumbents, leaves, final dispatches).
+/// * [`SpecWorkspace::solve_warm`] warm-starts the simplex from the
+///   previous basis (dual repair + primal re-entry), skipping presolve and
+///   most pivots. Used only where the answer steers search (branch-and-
+///   bound interior bounds), never where it is published.
+///
+/// Only all-active specs are expressible (a `None` VM changes the sparsity
+/// pattern); callers with disabled classes fall back to the per-call
+/// builder.
+pub(crate) struct SpecWorkspace {
+    ws: Workspace,
+    dims: Dims,
+    t: f64,
+    lam_vars: Vec<Option<VarId>>,
+    phi_vars: Vec<Option<VarId>>,
+    delay_cons: Vec<ConId>,
+    supply_cons: Vec<ConId>,
+    /// Current `(utility, deadline)` per φ index — the diff baseline.
+    cur_spec: Vec<(f64, f64)>,
+    /// `unit_cost(k, s, dc_of(sv), slot)` flattened as `pidx·S + s`.
+    unit_costs: Vec<f64>,
+    /// Cold solves routed through the legacy full path (and their pivots);
+    /// the warm-side counters live in [`Workspace::stats`].
+    legacy_cold_solves: usize,
+    legacy_cold_pivots: usize,
+}
+
+impl SpecWorkspace {
+    /// Builds the all-active model for `spec` (dense `(utility, deadline)`
+    /// per φ index) and wraps it in an incremental workspace.
+    pub(crate) fn new(
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+        dims: &Dims,
+        spec: &[(f64, f64)],
+        lp_opts: &SolveOptions,
+    ) -> Result<Self, CoreError> {
+        debug_assert_eq!(spec.len(), dims.phi_len());
+        let full: Vec<Option<(f64, f64)>> = spec.iter().copied().map(Some).collect();
+        let built = build_spec_problem(system, rates, slot, dims, &full, false);
+        let delay_cons: Vec<ConId> = built
+            .delay_cons
+            .iter()
+            .map(|c| c.expect("all-active spec has every delay row"))
+            .collect();
+        let supply_cons: Vec<ConId> = built
+            .supply_cons
+            .iter()
+            .map(|c| c.expect("all-active spec has every supply row"))
+            .collect();
+        let ws = Workspace::new(&built.problem, lp_opts).map_err(CoreError::Lp)?;
+        let mut unit_costs = vec![0.0; dims.phi_len() * dims.front_ends];
+        for (k, sv) in dims.class_server_pairs() {
+            let pidx = dims.phi_idx(k, sv);
+            let l = dims.dc_of_server(sv);
+            for s in 0..dims.front_ends {
+                unit_costs[pidx * dims.front_ends + s] =
+                    system.unit_cost(k, FrontEndId(s), l, slot);
+            }
+        }
+        Ok(SpecWorkspace {
+            ws,
+            dims: dims.clone(),
+            t: system.slot_length,
+            lam_vars: built.lam_vars,
+            phi_vars: built.phi_vars,
+            delay_cons,
+            supply_cons,
+            cur_spec: spec.to_vec(),
+            unit_costs,
+            legacy_cold_solves: 0,
+            legacy_cold_pivots: 0,
+        })
+    }
+
+    /// The dimension helper the workspace was built for.
+    pub(crate) fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    /// Patches the model to a new dense spec: λ margins for every changed
+    /// utility, delay reservations for every changed deadline. The margin
+    /// arithmetic replicates [`build_spec_problem`] exactly, so the patched
+    /// problem stays value-identical to a fresh build.
+    pub(crate) fn apply_spec(&mut self, spec: &[(f64, f64)]) {
+        debug_assert_eq!(spec.len(), self.dims.phi_len());
+        let fe = self.dims.front_ends;
+        for pidx in 0..spec.len() {
+            let (util, deadline) = spec[pidx];
+            let (cur_util, cur_deadline) = self.cur_spec[pidx];
+            if deadline != cur_deadline {
+                self.ws
+                    .set_rhs(self.delay_cons[pidx], (1.0 / deadline) * (1.0 + 1e-6));
+            }
+            if util != cur_util {
+                let k = ClassId(pidx / self.dims.total_servers);
+                let sv = pidx % self.dims.total_servers;
+                for s in 0..fe {
+                    let margin = (util - self.unit_costs[pidx * fe + s]) * self.t;
+                    let lv = self.lam_vars[self.dims.lambda_idx(k, FrontEndId(s), sv)]
+                        .expect("all-active workspace");
+                    self.ws.set_objective(lv, margin);
+                }
+            }
+            self.cur_spec[pidx] = spec[pidx];
+        }
+    }
+
+    /// Patches the supply rows to new offered rates.
+    pub(crate) fn set_rates(&mut self, rates: &[Vec<f64>]) {
+        for k in 0..self.dims.classes {
+            for s in 0..self.dims.front_ends {
+                self.ws
+                    .set_rhs(self.supply_cons[k * self.dims.front_ends + s], rates[s][k]);
+            }
+        }
+    }
+
+    /// Re-aims the workspace at another slot of the same system: refreshes
+    /// the cached unit costs (electricity prices are slot-dependent),
+    /// re-derives every λ margin under the current spec, and installs the
+    /// slot's offered rates. The constraint matrix is slot-invariant, so
+    /// the basis survives and the next solve warm-starts across slots.
+    pub(crate) fn retarget(&mut self, system: &System, rates: &[Vec<f64>], slot: usize) {
+        debug_assert_eq!(Dims::of(system), self.dims);
+        self.t = system.slot_length;
+        let fe = self.dims.front_ends;
+        for (k, sv) in self.dims.class_server_pairs() {
+            let pidx = self.dims.phi_idx(k, sv);
+            let l = self.dims.dc_of_server(sv);
+            let util = self.cur_spec[pidx].0;
+            for s in 0..fe {
+                let cost = system.unit_cost(k, FrontEndId(s), l, slot);
+                self.unit_costs[pidx * fe + s] = cost;
+                let margin = (util - cost) * self.t;
+                let lv = self.lam_vars[self.dims.lambda_idx(k, FrontEndId(s), sv)]
+                    .expect("all-active workspace");
+                self.ws.set_objective(lv, margin);
+            }
+        }
+        self.set_rates(rates);
+    }
+
+    /// Solves the patched model through the legacy full path — bit-for-bit
+    /// identical to a fresh [`solve_spec_with`] of the same model.
+    pub(crate) fn solve_cold(&mut self, lp_opts: &SolveOptions) -> Result<LevelSolve, CoreError> {
+        let sol = match self.ws.problem().solve_with(lp_opts) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
+            Err(e) => return Err(CoreError::Lp(e)),
+        };
+        self.legacy_cold_solves += 1;
+        self.legacy_cold_pivots += sol.iterations();
+        Ok(read_solve(&self.dims, &self.lam_vars, &self.phi_vars, &sol))
+    }
+
+    /// Solves the patched model warm-starting from the previous basis
+    /// (with the workspace's internal cold fallback). Objective and
+    /// decision agree with [`SpecWorkspace::solve_cold`] to solver
+    /// tolerance but not necessarily bit-for-bit — use only for bounds.
+    pub(crate) fn solve_warm(&mut self, lp_opts: &SolveOptions) -> Result<LevelSolve, CoreError> {
+        let sol = match self.ws.solve_with(lp_opts) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
+            Err(e) => return Err(CoreError::Lp(e)),
+        };
+        Ok(read_solve(&self.dims, &self.lam_vars, &self.phi_vars, &sol))
+    }
+
+    /// Warm-side counters of the underlying LP workspace.
+    pub(crate) fn lp_stats(&self) -> WorkspaceStats {
+        *self.ws.stats()
+    }
+
+    /// `(solves, pivots)` routed through the legacy cold path.
+    pub(crate) fn legacy_cold(&self) -> (usize, usize) {
+        (self.legacy_cold_solves, self.legacy_cold_pivots)
+    }
+}
+
+/// Reuses `cache` when its workspace matches `dims` (retargeting it to the
+/// given slot/rates/spec), otherwise builds a fresh one into it.
+pub(crate) fn ensure_spec_workspace<'a>(
+    cache: &'a mut Option<SpecWorkspace>,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dims: &Dims,
+    spec: &[(f64, f64)],
+    lp_opts: &SolveOptions,
+) -> Result<&'a mut SpecWorkspace, CoreError> {
+    let reusable = cache.as_ref().is_some_and(|w| w.dims() == dims);
+    if !reusable {
+        *cache = Some(SpecWorkspace::new(
+            system, rates, slot, dims, spec, lp_opts,
+        )?);
+    } else {
+        let w = cache.as_mut().expect("just checked");
+        w.retarget(system, rates, slot);
+        w.apply_spec(spec);
+    }
+    Ok(cache.as_mut().expect("just installed"))
 }
 
 #[cfg(test)]
@@ -340,8 +604,7 @@ mod tests {
         let sys = presets::section_v();
         let dims = Dims::of(&sys);
         let rates = presets::section_v_low_arrivals();
-        let sol =
-            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        let sol = solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
         check_feasible(&sys, &rates, &sol.dispatch, true, 1e-6).unwrap();
         let offered: f64 = rates.iter().flatten().sum();
         let dispatched = sol.dispatch.total_dispatched();
@@ -357,8 +620,7 @@ mod tests {
         let sys = presets::section_v();
         let dims = Dims::of(&sys);
         let rates = presets::section_v_high_arrivals();
-        let sol =
-            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        let sol = solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
         check_feasible(&sys, &rates, &sol.dispatch, true, 1e-5).unwrap();
         let offered: f64 = rates.iter().flatten().sum();
         let dispatched = sol.dispatch.total_dispatched();
@@ -374,8 +636,7 @@ mod tests {
         let sys = presets::section_v();
         let dims = Dims::of(&sys);
         let rates = presets::section_v_low_arrivals();
-        let sol =
-            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        let sol = solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
         let out = evaluate(&sys, &rates, 0, &sol.dispatch);
         assert!(
             (out.net_profit - sol.objective).abs() < 1e-6 * (1.0 + sol.objective.abs()),
@@ -446,8 +707,7 @@ mod tests {
         sys.classes[0].tuf = palb_tuf::StepTuf::constant(0.01, 0.10).unwrap();
         let dims = Dims::of(&sys);
         let rates = presets::section_v_low_arrivals();
-        let sol =
-            solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
+        let sol = solve_fixed_levels(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1)).unwrap();
         for l in 0..3 {
             assert_eq!(sol.dispatch.dc_class_rate(ClassId(0), DcId(l)), 0.0);
         }

@@ -61,8 +61,8 @@ pub mod sanitize;
 pub use balanced::balanced_dispatch;
 pub use bigm::{solve_bigm, BigMOptions, BigMResult};
 pub use driver::{
-    run, run_partial, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunResult,
-    SlotFailure, Solver,
+    run, run_partial, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunResult, SlotFailure,
+    Solver,
 };
 pub use error::CoreError;
 pub use evaluate::{evaluate, SlotOutcome};
@@ -72,10 +72,8 @@ pub use formulate::{
 pub use model::{check_feasible, Dims, Dispatch};
 pub use multilevel::{
     solve_bb, solve_exhaustive, solve_uniform_levels, solve_uniform_levels_with, BbOptions,
-    MultilevelResult,
+    MultilevelResult, SolverStats,
 };
 pub use quantile::{quantile_margin_factor, quantile_system, QuantileSlaPolicy};
-pub use resilient::{
-    ChaosPolicy, ResilientOptions, ResilientPolicy, SlotHealth, Tier,
-};
+pub use resilient::{ChaosPolicy, ResilientOptions, ResilientPolicy, SlotHealth, Tier};
 pub use sanitize::{events_per_slot, sanitize_rates, RateFaultKind, SanitizationEvent};

@@ -27,8 +27,7 @@ pub struct Dims {
 impl Dims {
     /// Extracts dimensions from a [`System`].
     pub fn of(system: &System) -> Self {
-        let servers_per_dc: Vec<usize> =
-            system.data_centers.iter().map(|d| d.servers).collect();
+        let servers_per_dc: Vec<usize> = system.data_centers.iter().map(|d| d.servers).collect();
         let mut server_offset = Vec::with_capacity(servers_per_dc.len());
         let mut acc = 0;
         for &m in &servers_per_dc {
@@ -88,8 +87,7 @@ impl Dims {
 
     /// Iterates all (class, global-server) pairs.
     pub fn class_server_pairs(&self) -> impl Iterator<Item = (ClassId, usize)> + '_ {
-        (0..self.classes)
-            .flat_map(move |k| (0..self.total_servers).map(move |sv| (ClassId(k), sv)))
+        (0..self.classes).flat_map(move |k| (0..self.total_servers).map(move |sv| (ClassId(k), sv)))
     }
 }
 
@@ -222,7 +220,9 @@ pub fn check_feasible(
     for (k, sv) in dims.class_server_pairs() {
         let phi = dispatch.phi_by_server(k, sv);
         if !(0.0 - tol..=1.0 + tol).contains(&phi) {
-            return Err(format!("phi out of range at class {k:?} server {sv}: {phi}"));
+            return Err(format!(
+                "phi out of range at class {k:?} server {sv}: {phi}"
+            ));
         }
         for s in 0..dims.front_ends {
             let lam = dispatch.lambda_by_server(k, FrontEndId(s), sv);

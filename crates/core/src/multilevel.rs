@@ -18,11 +18,13 @@
 //! while the symmetry-reduced / uniform solvers stay polynomial (our
 //! ablation).
 
-use palb_cluster::{ClassId, System};
+use palb_cluster::{ClassId, DcId, System};
 use palb_lp::SolveOptions;
 
 use crate::error::CoreError;
-use crate::formulate::{solve_spec_with, LevelAssignment, LevelSolve};
+use crate::formulate::{
+    ensure_spec_workspace, solve_spec_with, LevelAssignment, LevelSolve, SpecWorkspace,
+};
 use crate::model::Dims;
 
 /// Options for [`solve_bb`].
@@ -40,6 +42,13 @@ pub struct BbOptions {
     /// LP solver options used for every node bound (and for the incumbent
     /// seeds), so callers can impose per-solve iteration budgets.
     pub lp: SolveOptions,
+    /// Solve interior node bounds by patching a persistent LP workspace and
+    /// warm-starting the simplex from the parent's basis (depth-first order
+    /// makes consecutive solves differ by one VM's level). Leaves and
+    /// incumbent seeds always go through the cold full-solver path, so the
+    /// returned incumbent is bit-for-bit independent of this flag; only
+    /// wall-clock changes.
+    pub incremental: bool,
 }
 
 impl Default for BbOptions {
@@ -49,7 +58,48 @@ impl Default for BbOptions {
             symmetry_breaking: true,
             gap_tol: 1e-7,
             lp: SolveOptions::default(),
+            incremental: true,
         }
+    }
+}
+
+/// LP-solver telemetry for one multilevel solve: how many node bounds were
+/// answered warm versus cold, and the pivots each side spent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Nodes (or enumerated LPs) explored.
+    pub nodes_explored: usize,
+    /// Interior bounds that entered the warm-start path.
+    pub warm_attempts: usize,
+    /// Warm attempts that succeeded without a cold fallback.
+    pub warm_hits: usize,
+    /// Simplex pivots spent inside successful warm solves.
+    pub warm_pivots: usize,
+    /// Solves answered by a cold (from-scratch) path, including fallbacks.
+    pub cold_solves: usize,
+    /// Simplex pivots spent inside cold solves.
+    pub cold_pivots: usize,
+}
+
+impl SolverStats {
+    /// Fraction of warm attempts that stuck, in `[0, 1]` (0 when none).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.warm_attempts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.warm_attempts as f64
+        }
+    }
+
+    /// Estimated pivots the warm path saved versus re-solving its hits
+    /// cold, using the observed mean cold pivot count as the baseline.
+    /// Negative when warm starting did not pay off.
+    pub fn pivots_saved(&self) -> f64 {
+        if self.cold_solves == 0 {
+            return 0.0;
+        }
+        let cold_avg = self.cold_pivots as f64 / self.cold_solves as f64;
+        self.warm_hits as f64 * cold_avg - self.warm_pivots as f64
     }
 }
 
@@ -64,17 +114,15 @@ pub struct MultilevelResult {
     pub nodes: usize,
     /// Whether optimality was proven (node budget not exhausted).
     pub proven_optimal: bool,
+    /// LP-solver telemetry for this solve.
+    pub stats: SolverStats,
 }
 
 /// Builds the relaxation/assignment spec for a partial assignment:
 /// assigned VMs use their level's (utility, deadline); unassigned VMs use
 /// the optimistic mix (top utility, loosest deadline) that upper-bounds
 /// every completion.
-fn spec_for(
-    system: &System,
-    dims: &Dims,
-    partial: &[Option<usize>],
-) -> Vec<Option<(f64, f64)>> {
+fn spec_for(system: &System, dims: &Dims, partial: &[Option<usize>]) -> Vec<Option<(f64, f64)>> {
     (0..dims.phi_len())
         .map(|idx| {
             let k = idx / dims.total_servers;
@@ -85,6 +133,25 @@ fn spec_for(
             }
         })
         .collect()
+}
+
+/// [`spec_for`] into a reused dense buffer (every entry is active, so the
+/// incremental workspace can express it without `Option` wrapping).
+fn spec_for_into(
+    system: &System,
+    dims: &Dims,
+    partial: &[Option<usize>],
+    out: &mut Vec<(f64, f64)>,
+) {
+    out.clear();
+    out.extend((0..dims.phi_len()).map(|idx| {
+        let k = idx / dims.total_servers;
+        let tuf = &system.classes[k].tuf;
+        match partial[idx] {
+            Some(q) => (tuf.utility_of_level(q), tuf.deadline_of_level(q)),
+            None => (tuf.max_utility(), tuf.final_deadline()),
+        }
+    }));
 }
 
 fn assignment_from(dims: &Dims, partial: &[Option<usize>]) -> LevelAssignment {
@@ -111,16 +178,36 @@ pub fn solve_bb(
     slot: usize,
     opts: &BbOptions,
 ) -> Result<MultilevelResult, CoreError> {
+    let mut cache = None;
+    solve_bb_in(&mut cache, system, rates, slot, opts)
+}
+
+/// [`solve_bb`] against a caller-owned workspace cache, so repeated solves
+/// (per slot, per ladder tier) reuse the assembled LP and its basis.
+pub(crate) fn solve_bb_in(
+    cache: &mut Option<SpecWorkspace>,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    opts: &BbOptions,
+) -> Result<MultilevelResult, CoreError> {
     let dims = Dims::of(system);
     let total_steps = dims.classes * dims.total_servers;
+    let mut stats = SolverStats::default();
 
     // Incumbent: the always-feasible loosest assignment, improved by the
-    // uniform-level heuristic when it succeeds.
+    // uniform-level heuristic when it succeeds. The assignment is validated
+    // here, once, at the root; every node below derives its spec from the
+    // same TUFs and is covered by debug asserts only.
     let loosest = LevelAssignment::loosest(system, &dims);
     let mut best_solve =
         crate::formulate::solve_fixed_levels_with(system, rates, slot, &loosest, &opts.lp)?;
+    stats.cold_solves += 1;
+    stats.cold_pivots += best_solve.pivots;
     let mut best_assignment = loosest;
-    if let Ok(u) = solve_uniform_levels_with(system, rates, slot, &opts.lp) {
+    if let Ok(u) = solve_uniform_levels_in(cache, system, rates, slot, &opts.lp) {
+        stats.cold_solves += u.stats.cold_solves;
+        stats.cold_pivots += u.stats.cold_pivots;
         if u.solve.objective > best_solve.objective {
             best_solve = u.solve;
             best_assignment = u.assignment;
@@ -135,8 +222,24 @@ pub fn solve_bb(
         partial: Vec<Option<usize>>,
         depth: usize,
     }
-    let mut stack = vec![Node { partial: vec![None; dims.phi_len()], depth: 0 }];
+    let root = Node {
+        partial: vec![None; dims.phi_len()],
+        depth: 0,
+    };
 
+    // Dense spec buffer reused across nodes, and the persistent workspace
+    // for the incremental mode.
+    let mut spec_buf: Vec<(f64, f64)> = Vec::with_capacity(dims.phi_len());
+    let mut wsp: Option<&mut SpecWorkspace> = if opts.incremental {
+        spec_for_into(system, &dims, &root.partial, &mut spec_buf);
+        Some(ensure_spec_workspace(
+            cache, system, rates, slot, &dims, &spec_buf, &opts.lp,
+        )?)
+    } else {
+        None
+    };
+
+    let mut stack = vec![root];
     while let Some(node) = stack.pop() {
         if nodes >= opts.max_nodes {
             truncated = true;
@@ -144,15 +247,45 @@ pub fn solve_bb(
         }
         nodes += 1;
 
-        // Bound: LP over the optimistic spec.
-        let spec = spec_for(system, &dims, &node.partial);
-        let bound = match solve_spec_with(system, rates, slot, &dims, &spec, &opts.lp) {
-            Ok(s) => s,
+        // Bound: LP over the optimistic spec. Interior nodes may answer
+        // warm (the bound only steers pruning); leaves answer through the
+        // cold full path so the incumbent is identical to a cold run's.
+        let bound_res = match &mut wsp {
+            Some(w) => {
+                spec_for_into(system, &dims, &node.partial, &mut spec_buf);
+                w.apply_spec(&spec_buf);
+                if node.depth == total_steps {
+                    w.solve_cold(&opts.lp)
+                } else {
+                    let before = w.lp_stats();
+                    let r = w.solve_warm(&opts.lp);
+                    let after = w.lp_stats();
+                    stats.warm_attempts += (after.warm_solves + after.fallbacks)
+                        - (before.warm_solves + before.fallbacks);
+                    stats.warm_hits += after.warm_solves - before.warm_solves;
+                    stats.warm_pivots += after.warm_pivots - before.warm_pivots;
+                    stats.cold_solves += after.cold_solves - before.cold_solves;
+                    stats.cold_pivots += after.cold_pivots - before.cold_pivots;
+                    r
+                }
+            }
+            None => {
+                let spec = spec_for(system, &dims, &node.partial);
+                solve_spec_with(system, rates, slot, &dims, &spec, &opts.lp)
+            }
+        };
+        let bound = match bound_res {
+            Ok(s) => {
+                if wsp.is_none() || node.depth == total_steps {
+                    stats.cold_solves += 1;
+                    stats.cold_pivots += s.pivots;
+                }
+                s
+            }
             Err(CoreError::Infeasible) => continue, // prune
             Err(e) => return Err(e),
         };
-        let cutoff =
-            best_solve.objective + opts.gap_tol * (1.0 + best_solve.objective.abs());
+        let cutoff = best_solve.objective + opts.gap_tol * (1.0 + best_solve.objective.abs());
         if bound.objective <= cutoff {
             continue; // prune: cannot beat the incumbent
         }
@@ -160,6 +293,9 @@ pub fn solve_bb(
         if node.depth == total_steps {
             // Leaf: the spec *is* the assignment, so the bound is exact.
             if bound.objective > best_solve.objective {
+                debug_assert!(assignment_from(&dims, &node.partial)
+                    .validate(system)
+                    .is_ok());
                 best_solve = bound;
                 best_assignment = assignment_from(&dims, &node.partial);
             }
@@ -179,15 +315,20 @@ pub fn solve_bb(
         for q in (min_q..=n_levels).rev() {
             let mut partial = node.partial.clone();
             partial[dims.phi_idx(k, sv)] = Some(q);
-            stack.push(Node { partial, depth: node.depth + 1 });
+            stack.push(Node {
+                partial,
+                depth: node.depth + 1,
+            });
         }
     }
 
+    stats.nodes_explored = nodes;
     Ok(MultilevelResult {
         solve: best_solve,
         assignment: best_assignment,
         nodes,
         proven_optimal: !truncated,
+        stats,
     })
 }
 
@@ -209,7 +350,7 @@ fn symmetry_floor(dims: &Dims, partial: &[Option<usize>], k: ClassId, sv: usize)
         match (pre, cur) {
             (Some(a), Some(b)) if b > a => return 1, // already strictly greater
             (Some(a), Some(b)) if b == a => continue, // equal so far
-            _ => return 1, // incomparable (shouldn't happen in our order)
+            _ => return 1,                           // incomparable (shouldn't happen in our order)
         }
     }
     partial[dims.phi_idx(k, prev)].unwrap_or(1)
@@ -233,6 +374,35 @@ pub fn solve_uniform_levels_with(
     slot: usize,
     lp_opts: &SolveOptions,
 ) -> Result<MultilevelResult, CoreError> {
+    let mut cache = None;
+    solve_uniform_levels_in(&mut cache, system, rates, slot, lp_opts)
+}
+
+/// The uniform-level assignment a level-per-(class, dc) counter describes.
+fn uniform_assignment(dims: &Dims, counter: &[usize]) -> LevelAssignment {
+    let ll = dims.dcs;
+    let mut a = LevelAssignment::uniform(dims, 1);
+    for (p, &q) in counter.iter().enumerate() {
+        let k = ClassId(p / ll);
+        let l = p % ll;
+        for i in 0..dims.servers_per_dc[l] {
+            a.set(k, dims.server(DcId(l), i), Some(q));
+        }
+    }
+    a
+}
+
+/// [`solve_uniform_levels_with`] against a caller-owned workspace cache:
+/// every combination is a coefficient patch of one assembled LP rather
+/// than a from-scratch model build. Solves stay on the cold full path, so
+/// results are identical to the per-call builder's.
+pub(crate) fn solve_uniform_levels_in(
+    cache: &mut Option<SpecWorkspace>,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    lp_opts: &SolveOptions,
+) -> Result<MultilevelResult, CoreError> {
     let dims = Dims::of(system);
     let kk = dims.classes;
     let ll = dims.dcs;
@@ -241,24 +411,45 @@ pub fn solve_uniform_levels_with(
         .map(|p| system.classes[p / ll].tuf.num_levels())
         .collect();
 
-    let mut best: Option<(LevelSolve, LevelAssignment)> = None;
+    let mut stats = SolverStats::default();
+    let mut best: Option<(LevelSolve, Vec<usize>)> = None;
     let mut counter = vec![1usize; positions]; // levels are 1-based
-    let mut lps = 0usize;
-    loop {
-        // Build the assignment for this combination.
-        let mut a = LevelAssignment::uniform(&dims, 1);
-        for p in 0..positions {
-            let k = ClassId(p / ll);
+    let mut spec_buf = vec![(0.0, 0.0); dims.phi_len()];
+    let fill = |counter: &[usize], spec: &mut [(f64, f64)]| {
+        for (p, &q) in counter.iter().enumerate() {
+            let k = p / ll;
             let l = p % ll;
+            let tuf = &system.classes[k].tuf;
+            let val = (tuf.utility_of_level(q), tuf.deadline_of_level(q));
             for i in 0..dims.servers_per_dc[l] {
-                a.set(k, dims.server(palb_cluster::DcId(l), i), Some(counter[p]));
+                spec[dims.phi_idx(ClassId(k), dims.server(DcId(l), i))] = val;
             }
         }
+    };
+
+    fill(&counter, &mut spec_buf);
+    ensure_spec_workspace(cache, system, rates, slot, &dims, &spec_buf, lp_opts)?;
+
+    let mut lps = 0usize;
+    loop {
+        // Patch the workspace to this combination. Levels come straight
+        // from the odometer, so they are valid by construction (checked in
+        // debug builds only — the per-combo validation this loop used to
+        // pay is hoisted out of the hot path).
+        fill(&counter, &mut spec_buf);
+        debug_assert!(uniform_assignment(&dims, &counter).validate(system).is_ok());
+        let w = cache.as_mut().expect("workspace installed above");
+        w.apply_spec(&spec_buf);
         lps += 1;
-        match crate::formulate::solve_fixed_levels_with(system, rates, slot, &a, lp_opts) {
+        match w.solve_cold(lp_opts) {
             Ok(s) => {
-                if best.as_ref().map_or(true, |(b, _)| s.objective > b.objective) {
-                    best = Some((s, a));
+                stats.cold_solves += 1;
+                stats.cold_pivots += s.pivots;
+                if best
+                    .as_ref()
+                    .map_or(true, |(b, _)| s.objective > b.objective)
+                {
+                    best = Some((s, counter.clone()));
                 }
             }
             Err(CoreError::Infeasible) => {}
@@ -269,12 +460,14 @@ pub fn solve_uniform_levels_with(
         let mut p = 0;
         loop {
             if p == positions {
-                let (solve, assignment) = best.ok_or(CoreError::Infeasible)?;
+                let (solve, best_counter) = best.ok_or(CoreError::Infeasible)?;
+                stats.nodes_explored = lps;
                 return Ok(MultilevelResult {
                     solve,
-                    assignment,
+                    assignment: uniform_assignment(&dims, &best_counter),
                     nodes: lps,
                     proven_optimal: false, // optimal only within the family
+                    stats,
                 });
             }
             counter[p] += 1;
@@ -306,6 +499,7 @@ pub fn solve_exhaustive(
         )));
     }
 
+    let mut stats = SolverStats::default();
     let mut best: Option<(LevelSolve, LevelAssignment)> = None;
     let mut counter = vec![1usize; positions];
     let mut lps = 0usize;
@@ -319,7 +513,12 @@ pub fn solve_exhaustive(
         lps += 1;
         match crate::formulate::solve_fixed_levels(system, rates, slot, &a) {
             Ok(s) => {
-                if best.as_ref().map_or(true, |(b, _)| s.objective > b.objective) {
+                stats.cold_solves += 1;
+                stats.cold_pivots += s.pivots;
+                if best
+                    .as_ref()
+                    .map_or(true, |(b, _)| s.objective > b.objective)
+                {
                     best = Some((s, a));
                 }
             }
@@ -330,11 +529,13 @@ pub fn solve_exhaustive(
         loop {
             if p == positions {
                 let (solve, assignment) = best.ok_or(CoreError::Infeasible)?;
+                stats.nodes_explored = lps;
                 return Ok(MultilevelResult {
                     solve,
                     assignment,
                     nodes: lps,
                     proven_optimal: true,
+                    stats,
                 });
             }
             counter[p] += 1;
@@ -441,21 +642,32 @@ mod tests {
                 &sys,
                 &rates,
                 0,
-                &BbOptions { symmetry_breaking: true, ..BbOptions::default() },
+                &BbOptions {
+                    symmetry_breaking: true,
+                    ..BbOptions::default()
+                },
             )
             .unwrap();
             let without = solve_bb(
                 &sys,
                 &rates,
                 0,
-                &BbOptions { symmetry_breaking: false, ..BbOptions::default() },
+                &BbOptions {
+                    symmetry_breaking: false,
+                    ..BbOptions::default()
+                },
             )
             .unwrap();
             assert!(
                 (with.solve.objective - without.solve.objective).abs()
                     < 1e-5 * (1.0 + with.solve.objective.abs())
             );
-            assert!(with.nodes <= without.nodes, "{} > {}", with.nodes, without.nodes);
+            assert!(
+                with.nodes <= without.nodes,
+                "{} > {}",
+                with.nodes,
+                without.nodes
+            );
         }
     }
 
@@ -479,12 +691,92 @@ mod tests {
             &sys,
             &rates,
             13,
-            &BbOptions { max_nodes: 3, ..BbOptions::default() },
+            &BbOptions {
+                max_nodes: 3,
+                ..BbOptions::default()
+            },
         )
         .unwrap();
         assert!(!bb.proven_optimal);
         // Still returns a valid incumbent.
         assert!(bb.solve.objective.is_finite());
+    }
+
+    /// Bitwise comparison of two multilevel results: objective, full
+    /// dispatch vector, and assignment.
+    fn assert_bitwise_equal(a: &MultilevelResult, b: &MultilevelResult, label: &str) {
+        assert_eq!(
+            a.solve.objective.to_bits(),
+            b.solve.objective.to_bits(),
+            "{label}: objective {} vs {}",
+            a.solve.objective,
+            b.solve.objective
+        );
+        assert_eq!(
+            a.solve.dispatch, b.solve.dispatch,
+            "{label}: dispatch differs"
+        );
+        assert_eq!(a.assignment, b.assignment, "{label}: assignment differs");
+    }
+
+    #[test]
+    fn incremental_bb_matches_cold_bitwise_on_tiny_grid() {
+        // The incremental mode only warm-starts interior bounds; leaves and
+        // incumbent seeds take the cold full path, so the incumbent must be
+        // bit-for-bit identical, not merely close.
+        let sys = tiny(true);
+        let cold_opts = BbOptions {
+            incremental: false,
+            ..BbOptions::default()
+        };
+        for offered in [30.0, 90.0, 150.0, 250.0] {
+            let rates = vec![vec![offered]];
+            let inc = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            let cold = solve_bb(&sys, &rates, 0, &cold_opts).unwrap();
+            assert_bitwise_equal(&inc, &cold, &format!("offered {offered}"));
+            assert_eq!(inc.nodes, cold.nodes, "pruning sequence diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_bb_matches_cold_bitwise_on_section_vii() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let inc = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        let cold = solve_bb(
+            &sys,
+            &rates,
+            13,
+            &BbOptions {
+                incremental: false,
+                ..BbOptions::default()
+            },
+        )
+        .unwrap();
+        assert_bitwise_equal(&inc, &cold, "section vii slot 13");
+        // The incremental run actually warm-starts (and mostly sticks).
+        assert!(inc.stats.warm_attempts > 0, "no warm attempts recorded");
+        assert!(inc.stats.warm_hits > 0, "no warm hits recorded");
+        assert_eq!(cold.stats.warm_attempts, 0);
+        // Every node answered some LP: nodes explored shows up in stats.
+        assert_eq!(inc.stats.nodes_explored, inc.nodes);
+    }
+
+    #[test]
+    fn warm_bounds_mostly_stick_and_save_pivots() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let inc = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        assert!(
+            inc.stats.warm_hit_rate() > 0.5,
+            "warm hit rate {:.2} too low",
+            inc.stats.warm_hit_rate()
+        );
+        assert!(
+            inc.stats.pivots_saved() > 0.0,
+            "warm starting saved no pivots: {:?}",
+            inc.stats
+        );
     }
 
     #[test]
@@ -512,8 +804,6 @@ mod tests {
             &LevelAssignment::uniform(&Dims::of(&sys), 1),
         )
         .unwrap();
-        assert!(
-            (bb.solve.objective - lp.objective).abs() < 1e-6 * (1.0 + lp.objective.abs())
-        );
+        assert!((bb.solve.objective - lp.objective).abs() < 1e-6 * (1.0 + lp.objective.abs()));
     }
 }

@@ -73,7 +73,10 @@ impl QuantileSlaPolicy {
     /// Exact solver targeting on-time probability `p`.
     pub fn exact(p: f64) -> Self {
         let _ = quantile_margin_factor(p); // validate early
-        QuantileSlaPolicy { inner: OptimizedPolicy::exact(), p }
+        QuantileSlaPolicy {
+            inner: OptimizedPolicy::exact(),
+            p,
+        }
     }
 }
 

@@ -10,10 +10,17 @@ use crate::resilient::Tier;
 /// Per-slot net-profit comparison of two runs (the series behind the
 /// paper's Figs. 4, 6, 8 and 10).
 pub fn net_profit_csv(a: &RunResult, b: &RunResult) -> String {
-    assert_eq!(a.slots.len(), b.slots.len(), "runs must cover the same slots");
+    assert_eq!(
+        a.slots.len(),
+        b.slots.len(),
+        "runs must cover the same slots"
+    );
     let mut out = format!("slot,{}_net_profit,{}_net_profit\n", a.policy, b.policy);
     for (sa, sb) in a.slots.iter().zip(&b.slots) {
-        out.push_str(&format!("{},{:.4},{:.4}\n", sa.slot, sa.net_profit, sb.net_profit));
+        out.push_str(&format!(
+            "{},{:.4},{:.4}\n",
+            sa.slot, sa.net_profit, sb.net_profit
+        ));
     }
     out
 }
@@ -75,20 +82,36 @@ pub fn text_table(header: &[String], rows: &[Vec<String>]) -> String {
 /// quoted in the paper's §VII-B prose (completion percentages, the
 /// "spent 7.74% more on the cost" remark).
 pub fn summary_table(a: &RunResult, b: &RunResult) -> String {
-    let header = vec![
-        "metric".to_string(),
-        a.policy.clone(),
-        b.policy.clone(),
-    ];
+    let header = vec!["metric".to_string(), a.policy.clone(), b.policy.clone()];
     let f = |v: f64| format!("{v:.2}");
     let pct = |v: f64| format!("{:.2}%", v * 100.0);
     let rows = vec![
-        vec!["net profit ($)".into(), f(a.total_net_profit()), f(b.total_net_profit())],
-        vec!["revenue ($)".into(), f(a.total_revenue()), f(b.total_revenue())],
+        vec![
+            "net profit ($)".into(),
+            f(a.total_net_profit()),
+            f(b.total_net_profit()),
+        ],
+        vec![
+            "revenue ($)".into(),
+            f(a.total_revenue()),
+            f(b.total_revenue()),
+        ],
         vec!["cost ($)".into(), f(a.total_cost()), f(b.total_cost())],
-        vec!["offered (req)".into(), f(a.total_offered()), f(b.total_offered())],
-        vec!["completed (req)".into(), f(a.total_completed()), f(b.total_completed())],
-        vec!["completion".into(), pct(a.completion_ratio()), pct(b.completion_ratio())],
+        vec![
+            "offered (req)".into(),
+            f(a.total_offered()),
+            f(b.total_offered()),
+        ],
+        vec![
+            "completed (req)".into(),
+            f(a.total_completed()),
+            f(b.total_completed()),
+        ],
+        vec![
+            "completion".into(),
+            pct(a.completion_ratio()),
+            pct(b.completion_ratio()),
+        ],
     ];
     text_table(&header, &rows)
 }
@@ -124,12 +147,7 @@ pub fn dispatch_share(system: &System, run: &RunResult, k: ClassId) -> Vec<(Stri
         .data_centers
         .iter()
         .zip(per_dc)
-        .map(|(dc, v)| {
-            (
-                dc.name.clone(),
-                if total > 0.0 { v / total } else { 0.0 },
-            )
-        })
+        .map(|(dc, v)| (dc.name.clone(), if total > 0.0 { v / total } else { 0.0 }))
         .collect()
 }
 
@@ -171,11 +189,7 @@ pub fn tier_histogram(run: &RunResult) -> Vec<(Tier, usize)> {
             let n = run
                 .slots
                 .iter()
-                .filter(|s| {
-                    s.health
-                        .as_ref()
-                        .is_some_and(|h| h.tier_used == Some(tier))
-                })
+                .filter(|s| s.health.as_ref().is_some_and(|h| h.tier_used == Some(tier)))
                 .count();
             (tier, n)
         })
@@ -200,7 +214,11 @@ pub fn health_table(run: &RunResult) -> String {
                 h.retries.to_string(),
                 h.sanitization_events.to_string(),
                 h.solve_iterations.to_string(),
-                if h.degraded { "yes".into() } else { "no".into() },
+                if h.degraded {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ],
             None => vec![
                 s.slot.to_string(),

@@ -41,9 +41,9 @@ use palb_workload::fault::SolverFaultSchedule;
 use crate::balanced::balanced_dispatch;
 use crate::driver::Policy;
 use crate::error::CoreError;
-use crate::formulate::{solve_fixed_levels_with, LevelAssignment};
+use crate::formulate::{ensure_spec_workspace, LevelAssignment, SpecWorkspace};
 use crate::model::{Dims, Dispatch};
-use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions};
+use crate::multilevel::{solve_bb_in, solve_uniform_levels, BbOptions, SolverStats};
 
 /// A rung of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,6 +99,9 @@ pub struct SlotHealth {
     /// Whether anything non-nominal happened: a fallback tier decided the
     /// slot, or the inputs needed repair.
     pub degraded: bool,
+    /// LP-solver telemetry of the successful tier (all-zero for the
+    /// solver-free tiers).
+    pub solver: SolverStats,
 }
 
 /// Tuning knobs for [`ResilientPolicy`].
@@ -132,19 +135,51 @@ impl Default for ResilientOptions {
 }
 
 /// The degraded-mode wrapper policy (see the module docs for the ladder).
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct ResilientPolicy {
     /// Ladder configuration.
     pub opts: ResilientOptions,
     chaos: Option<SolverFaultSchedule>,
     last_good: Option<Dispatch>,
     health: Option<SlotHealth>,
+    /// Persistent LP workspace reused across slots and ladder tiers (the
+    /// dispatch LP's structure is slot-invariant, so each slot is a
+    /// coefficient patch). Pure solver cache: rebuilt on demand, never
+    /// cloned, and invisible to results.
+    wsp: Option<SpecWorkspace>,
+}
+
+impl Clone for ResilientPolicy {
+    fn clone(&self) -> Self {
+        ResilientPolicy {
+            opts: self.opts.clone(),
+            chaos: self.chaos.clone(),
+            last_good: self.last_good.clone(),
+            health: self.health.clone(),
+            wsp: None, // cache: the clone rebuilds its own on first use
+        }
+    }
+}
+
+impl std::fmt::Debug for ResilientPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientPolicy")
+            .field("opts", &self.opts)
+            .field("chaos", &self.chaos)
+            .field("last_good", &self.last_good)
+            .field("health", &self.health)
+            .field("workspace_ready", &self.wsp.is_some())
+            .finish()
+    }
 }
 
 impl ResilientPolicy {
     /// A ladder with explicit options.
     pub fn new(opts: ResilientOptions) -> Self {
-        ResilientPolicy { opts, ..ResilientPolicy::default() }
+        ResilientPolicy {
+            opts,
+            ..ResilientPolicy::default()
+        }
     }
 
     /// Attaches a deterministic solver-fault schedule: before each solver
@@ -173,29 +208,43 @@ impl ResilientPolicy {
     }
 
     /// The exact tier: same structure as [`crate::OptimizedPolicy`], but
-    /// under `opts.bb` budgets.
+    /// under `opts.bb` budgets and against the policy's persistent LP
+    /// workspace. Decisions always come off the cold full-solver path, so
+    /// reuse changes wall-clock, never results.
     fn solve_exact(
-        &self,
+        &mut self,
         system: &System,
         rates: &[Vec<f64>],
         slot: usize,
         lp: &SolveOptions,
-    ) -> Result<(Dispatch, usize), CoreError> {
+    ) -> Result<(Dispatch, usize, SolverStats), CoreError> {
         let one_level = system.classes.iter().all(|c| c.tuf.num_levels() == 1);
         if one_level {
             let dims = Dims::of(system);
-            let s = solve_fixed_levels_with(
-                system,
-                rates,
-                slot,
-                &LevelAssignment::uniform(&dims, 1),
-                lp,
-            )?;
-            return Ok((s.dispatch, s.pivots));
+            let assignment = LevelAssignment::uniform(&dims, 1);
+            assignment.validate(system)?;
+            let spec: Vec<(f64, f64)> = (0..dims.phi_len())
+                .map(|idx| {
+                    let tuf = &system.classes[idx / dims.total_servers].tuf;
+                    (tuf.utility_of_level(1), tuf.deadline_of_level(1))
+                })
+                .collect();
+            let wsp = ensure_spec_workspace(&mut self.wsp, system, rates, slot, &dims, &spec, lp)?;
+            let s = wsp.solve_cold(lp)?;
+            let stats = SolverStats {
+                nodes_explored: 1,
+                cold_solves: 1,
+                cold_pivots: s.pivots,
+                ..SolverStats::default()
+            };
+            return Ok((s.dispatch, s.pivots, stats));
         }
-        let bb = BbOptions { lp: lp.clone(), ..self.opts.bb.clone() };
-        let r = solve_bb(system, rates, slot, &bb)?;
-        Ok((r.solve.dispatch, r.solve.pivots))
+        let bb = BbOptions {
+            lp: lp.clone(),
+            ..self.opts.bb.clone()
+        };
+        let r = solve_bb_in(&mut self.wsp, system, rates, slot, &bb)?;
+        Ok((r.solve.dispatch, r.solve.pivots, r.stats))
     }
 
     /// Deterministically shrinks every rate by up to `perturbation`
@@ -216,8 +265,7 @@ impl ResilientPolicy {
                             .wrapping_add(((s as u64) << 32) | k as u64);
                         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                        let u = ((z ^ (z >> 31)) >> 11) as f64
-                            * (1.0 / (1u64 << 53) as f64);
+                        let u = ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
                         r * (1.0 - eps * u)
                     })
                     .collect()
@@ -261,6 +309,7 @@ impl ResilientPolicy {
         tier: Tier,
         retries: usize,
         solve_iterations: usize,
+        solver: SolverStats,
         dispatch: Dispatch,
     ) -> Result<Dispatch, CoreError> {
         if tier != Tier::Replay {
@@ -272,6 +321,7 @@ impl ResilientPolicy {
             sanitization_events: 0, // merged in by the driver
             solve_iterations,
             degraded: tier != Tier::Exact,
+            solver,
         });
         Ok(dispatch)
     }
@@ -299,12 +349,13 @@ impl Policy for ResilientPolicy {
         slot: usize,
     ) -> Result<Dispatch, CoreError> {
         // Tier 1: exact under budget.
+        let lp = self.opts.bb.lp.clone();
         let exact = match self.injected(slot, 0, Tier::Exact) {
             Some(e) => Err(e),
-            None => self.solve_exact(system, rates, slot, &self.opts.bb.lp),
+            None => self.solve_exact(system, rates, slot, &lp),
         };
         let first_err = match exact {
-            Ok((d, pivots)) => return self.finish(Tier::Exact, 0, pivots, d),
+            Ok((d, pivots, stats)) => return self.finish(Tier::Exact, 0, pivots, stats, d),
             Err(e) => e,
         };
         let mut retries = 1;
@@ -314,12 +365,15 @@ impl Policy for ResilientPolicy {
             let retry = match self.injected(slot, 1, Tier::BlandRetry) {
                 Some(e) => Err(e),
                 None => {
+                    let retry_lp = self.opts.retry_lp.clone();
                     let shrunk = self.perturbed(rates, slot);
-                    self.solve_exact(system, &shrunk, slot, &self.opts.retry_lp)
+                    self.solve_exact(system, &shrunk, slot, &retry_lp)
                 }
             };
             match retry {
-                Ok((d, pivots)) => return self.finish(Tier::BlandRetry, retries, pivots, d),
+                Ok((d, pivots, stats)) => {
+                    return self.finish(Tier::BlandRetry, retries, pivots, stats, d)
+                }
                 Err(_) => retries += 1,
             }
         }
@@ -335,6 +389,7 @@ impl Policy for ResilientPolicy {
                     Tier::UniformLevels,
                     retries,
                     r.solve.pivots,
+                    r.stats,
                     r.solve.dispatch,
                 )
             }
@@ -346,13 +401,13 @@ impl Policy for ResilientPolicy {
             Some(_) => retries += 1,
             None => {
                 let d = balanced_dispatch(system, rates, slot);
-                return self.finish(Tier::Balanced, retries, 0, d);
+                return self.finish(Tier::Balanced, retries, 0, SolverStats::default(), d);
             }
         }
 
         // Tier 5: replay — infallible by construction.
         let d = self.replay(system, rates);
-        self.finish(Tier::Replay, retries, 0, d)
+        self.finish(Tier::Replay, retries, 0, SolverStats::default(), d)
     }
 
     fn take_health(&mut self) -> Option<SlotHealth> {
@@ -375,7 +430,11 @@ impl<P: Policy> ChaosPolicy<P> {
     /// Wraps `inner`, failing its decisions per `schedule`.
     pub fn new(inner: P, schedule: SolverFaultSchedule) -> Self {
         let name = format!("Chaos({})", inner.name());
-        ChaosPolicy { inner, schedule, name }
+        ChaosPolicy {
+            inner,
+            schedule,
+            name,
+        }
     }
 }
 
@@ -410,6 +469,7 @@ mod tests {
     use super::*;
     use crate::driver::{run, OptimizedPolicy};
     use crate::evaluate::evaluate;
+    use crate::formulate::solve_fixed_levels_with;
     use crate::model::check_feasible;
     use palb_cluster::presets;
     use palb_workload::synthetic::constant_trace;
@@ -437,9 +497,15 @@ mod tests {
     fn iteration_limit_falls_through_to_uniform_levels() {
         // Cripple both the exact budget and the retry budget: 1 pivot is
         // never enough for the §V LP, so tier 3 (default budgets) decides.
-        let tiny_budget = SolveOptions { max_iters: Some(1), ..SolveOptions::default() };
+        let tiny_budget = SolveOptions {
+            max_iters: Some(1),
+            ..SolveOptions::default()
+        };
         let opts = ResilientOptions {
-            bb: BbOptions { lp: tiny_budget.clone(), ..BbOptions::default() },
+            bb: BbOptions {
+                lp: tiny_budget.clone(),
+                ..BbOptions::default()
+            },
             retry_lp: SolveOptions {
                 rule: PivotRule::Bland,
                 bland_after: Some(0),
@@ -466,15 +532,13 @@ mod tests {
         let sys = presets::section_v();
         let dims = Dims::of(&sys);
         let rates = presets::section_v_low_arrivals();
-        let tiny = SolveOptions { max_iters: Some(1), ..SolveOptions::default() };
-        let err = solve_fixed_levels_with(
-            &sys,
-            &rates,
-            0,
-            &LevelAssignment::uniform(&dims, 1),
-            &tiny,
-        )
-        .unwrap_err();
+        let tiny = SolveOptions {
+            max_iters: Some(1),
+            ..SolveOptions::default()
+        };
+        let err =
+            solve_fixed_levels_with(&sys, &rates, 0, &LevelAssignment::uniform(&dims, 1), &tiny)
+                .unwrap_err();
         assert!(
             matches!(&err, CoreError::Lp(LpError::IterationLimit { .. })),
             "got {err:?}"
@@ -488,8 +552,7 @@ mod tests {
         let trace = constant_trace(presets::section_v_low_arrivals(), 1);
         // Probability 1: every solver attempt fails; balanced also draws a
         // coin... with p = 1.0 even balanced is vetoed, so replay decides.
-        let mut policy = ResilientPolicy::default()
-            .with_chaos(SolverFaultSchedule::new(1.0, 7));
+        let mut policy = ResilientPolicy::default().with_chaos(SolverFaultSchedule::new(1.0, 7));
         let r = run(&mut policy, &sys, &trace, 0).unwrap();
         let h = r.slots[0].health.as_ref().unwrap();
         assert_eq!(h.tier_used, Some(Tier::Replay));
@@ -540,6 +603,79 @@ mod tests {
         let mut guarded = ResilientPolicy::default().with_chaos(schedule);
         let r = run(&mut guarded, &sys, &trace, 0).unwrap();
         assert_eq!(r.slots.len(), 10);
+    }
+
+    #[test]
+    fn persistent_workspace_is_bitwise_invisible_across_slots() {
+        // One policy reuses its workspace across three slots with moving
+        // rates and prices; each slot is compared against a fresh policy in
+        // non-incremental mode. Decisions must match bit-for-bit: the
+        // workspace only re-routes where the arithmetic happens, never what
+        // it computes.
+        let sys = presets::section_vii();
+        let cold_opts = ResilientOptions {
+            bb: BbOptions {
+                incremental: false,
+                ..BbOptions::default()
+            },
+            ..ResilientOptions::default()
+        };
+        let mut inc = ResilientPolicy::default();
+        for (i, slot) in [13usize, 14, 15].into_iter().enumerate() {
+            let scale = 1.0 - 0.2 * i as f64;
+            let rates = vec![vec![30_000.0 * scale, 25_000.0 * scale]];
+            let d_inc = inc.decide(&sys, &rates, slot).unwrap();
+            let h = inc.take_health().unwrap();
+            let mut cold = ResilientPolicy::new(cold_opts.clone());
+            let d_cold = cold.decide(&sys, &rates, slot).unwrap();
+            assert_eq!(d_inc, d_cold, "slot {slot}: dispatch diverged");
+            assert_eq!(h.tier_used, Some(Tier::Exact));
+            assert!(
+                h.solver.warm_attempts > 0,
+                "slot {slot}: never warm-started"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_and_cold_ladders_agree_under_chaos() {
+        // The same injected-fault stream must walk both ladders through the
+        // same tiers with bit-identical per-slot outcomes, so the warm
+        // machinery cannot leak into results even while tiers are failing.
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 8);
+        let schedule = SolverFaultSchedule::new(0.5, 11);
+        let mut inc = ResilientPolicy::default().with_chaos(schedule.clone());
+        let mut cold = ResilientPolicy::new(ResilientOptions {
+            bb: BbOptions {
+                incremental: false,
+                ..BbOptions::default()
+            },
+            ..ResilientOptions::default()
+        })
+        .with_chaos(schedule);
+        let a = run(&mut inc, &sys, &trace, 0).unwrap();
+        let b = run(&mut cold, &sys, &trace, 0).unwrap();
+        assert_eq!(a.slots.len(), b.slots.len());
+        let mut saw_fallback = false;
+        for (x, y) in a.slots.iter().zip(&b.slots) {
+            assert_eq!(
+                x.net_profit.to_bits(),
+                y.net_profit.to_bits(),
+                "slot {}: profit {} vs {}",
+                x.slot,
+                x.net_profit,
+                y.net_profit
+            );
+            assert_eq!(x.dispatched.to_bits(), y.dispatched.to_bits());
+            let (hx, hy) = (x.health.as_ref().unwrap(), y.health.as_ref().unwrap());
+            assert_eq!(hx.tier_used, hy.tier_used, "slot {}: tier diverged", x.slot);
+            saw_fallback |= hx.tier_used != Some(Tier::Exact);
+        }
+        assert!(
+            saw_fallback,
+            "chaos at p = 0.5 should trip at least one fallback"
+        );
     }
 
     #[test]

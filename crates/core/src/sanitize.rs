@@ -112,10 +112,7 @@ mod tests {
 
     #[test]
     fn clean_trace_passes_through_bit_identical() {
-        let trace = Trace::new(vec![
-            vec![vec![1.0, 2.0]],
-            vec![vec![3.0, 4.0]],
-        ]);
+        let trace = Trace::new(vec![vec![vec![1.0, 2.0]], vec![vec![3.0, 4.0]]]);
         let (clean, events) = sanitize_rates(&trace);
         assert_eq!(clean, trace);
         assert!(events.is_empty());
@@ -123,11 +120,8 @@ mod tests {
 
     #[test]
     fn nan_imputes_from_previous_slot() {
-        let trace = Trace::new_unchecked(vec![
-            vec![vec![5.0]],
-            vec![vec![f64::NAN]],
-            vec![vec![7.0]],
-        ]);
+        let trace =
+            Trace::new_unchecked(vec![vec![vec![5.0]], vec![vec![f64::NAN]], vec![vec![7.0]]]);
         let (clean, events) = sanitize_rates(&trace);
         assert_eq!(clean.rate(1, 0, 0), 5.0);
         assert_eq!(clean.rate(2, 0, 0), 7.0);

@@ -38,7 +38,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "ragged rows passed to DenseMatrix::from_rows");
             data.extend_from_slice(row);
         }
-        DenseMatrix { rows: r, cols: c, data }
+        DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The identity matrix of order `n`.
@@ -126,7 +130,11 @@ impl DenseMatrix {
 
     /// Transposed matrix-vector product `selfᵀ * y`.
     pub fn mul_vec_transposed(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.rows, "dimension mismatch in mul_vec_transposed");
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "dimension mismatch in mul_vec_transposed"
+        );
         let mut out = vec![0.0; self.cols];
         for (row, &yi) in self.data.chunks_exact(self.cols).zip(y) {
             if yi == 0.0 {

@@ -47,10 +47,7 @@ impl LpError {
     /// iteration-budget exhaustion and numerical failures are transient,
     /// infeasibility/unboundedness/bad models are structural.
     pub fn is_transient(&self) -> bool {
-        matches!(
-            self,
-            LpError::IterationLimit { .. } | LpError::Numeric(_)
-        )
+        matches!(self, LpError::IterationLimit { .. } | LpError::Numeric(_))
     }
 }
 

@@ -45,11 +45,13 @@ mod problem;
 mod simplex;
 mod solution;
 mod standard;
+mod workspace;
 mod writer;
 
 pub use error::{LpError, SimplexPhase};
 pub use problem::{ConId, Problem, Rel, Sense, VarId};
 pub use simplex::{PivotRule, SolveOptions};
 pub use solution::Solution;
+pub use workspace::{Basis, Workspace, WorkspaceStats};
 
 pub use linalg::{solve as solve_linear_system, SingularMatrix};

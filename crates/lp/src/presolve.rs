@@ -202,7 +202,7 @@ pub(crate) fn presolve(p: &Problem) -> Result<Reduction, LpError> {
         if fixed_value[j].is_none() {
             new_index[j] = kept_vars.len();
             kept_vars.push(j);
-            reduced.add_var(&p.vars[j].name, lo[j], hi[j], p.vars[j].objective);
+            reduced.push_var(p.vars[j].name.clone(), lo[j], hi[j], p.vars[j].objective);
         }
     }
     let mut kept_cons = Vec::new();
@@ -214,7 +214,12 @@ pub(crate) fn presolve(p: &Problem) -> Result<Reduction, LpError> {
             .iter()
             .map(|&(j, c)| (crate::problem::VarId(new_index[j]), c))
             .collect();
-        reduced.add_con(&p.cons[r].name, &reduced_terms, p.cons[r].rel, rhs[r]);
+        reduced.push_con(
+            p.cons[r].name.clone(),
+            &reduced_terms,
+            p.cons[r].rel,
+            rhs[r],
+        );
         kept_cons.push(r);
     }
 

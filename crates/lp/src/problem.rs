@@ -54,7 +54,9 @@ impl ConId {
 
 #[derive(Debug, Clone)]
 pub(crate) struct Variable {
-    pub(crate) name: String,
+    /// `None` for hot-path variables that never needed a name; display
+    /// helpers fall back to `x{index}`.
+    pub(crate) name: Option<String>,
     pub(crate) lower: f64,
     pub(crate) upper: f64,
     pub(crate) objective: f64,
@@ -62,7 +64,9 @@ pub(crate) struct Variable {
 
 #[derive(Debug, Clone)]
 pub(crate) struct Constraint {
-    pub(crate) name: String,
+    /// `None` for hot-path constraints; display helpers fall back to
+    /// `c{index}`.
+    pub(crate) name: Option<String>,
     /// Sorted, deduplicated `(column, coefficient)` pairs.
     pub(crate) terms: Vec<(usize, f64)>,
     pub(crate) rel: Rel,
@@ -119,19 +123,37 @@ impl Problem {
     /// # Panics
     /// Panics if `lower > upper`, or if either bound is NaN.
     pub fn add_var(&mut self, name: &str, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.push_var(Some(name.to_owned()), lower, upper, objective)
+    }
+
+    /// Adds an *unnamed* variable — the hot-path variant that skips name
+    /// allocation entirely. Display helpers render it as `x{index}`.
+    pub fn add_var_unnamed(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        self.push_var(None, lower, upper, objective)
+    }
+
+    pub(crate) fn push_var(
+        &mut self,
+        name: Option<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         assert!(!lower.is_nan() && !upper.is_nan(), "NaN variable bound");
         assert!(!objective.is_nan(), "NaN objective coefficient");
+        let id = VarId(self.vars.len());
         assert!(
             lower <= upper,
-            "variable {name}: lower bound {lower} exceeds upper bound {upper}"
+            "variable {}: lower bound {lower} exceeds upper bound {upper}",
+            name.as_deref().unwrap_or("(unnamed)")
         );
         assert!(
             lower < f64::INFINITY && upper > f64::NEG_INFINITY,
-            "variable {name}: bounds leave an empty domain"
+            "variable {}: bounds leave an empty domain",
+            name.as_deref().unwrap_or("(unnamed)")
         );
-        let id = VarId(self.vars.len());
         self.vars.push(Variable {
-            name: name.to_owned(),
+            name,
             lower,
             upper,
             objective,
@@ -144,6 +166,11 @@ impl Problem {
         self.add_var(name, 0.0, f64::INFINITY, objective)
     }
 
+    /// Adds an unnamed non-negative variable (`[0, +inf)`).
+    pub fn add_nonneg_unnamed(&mut self, objective: f64) -> VarId {
+        self.add_var_unnamed(0.0, f64::INFINITY, objective)
+    }
+
     /// Adds the constraint `Σ coeff·var REL rhs`.
     ///
     /// Terms referencing the same variable are summed. Zero coefficients are
@@ -153,14 +180,35 @@ impl Problem {
     /// Panics if any referenced variable does not belong to this problem or
     /// if any value is NaN.
     pub fn add_con(&mut self, name: &str, terms: &[(VarId, f64)], rel: Rel, rhs: f64) -> ConId {
+        self.push_con(Some(name.to_owned()), terms, rel, rhs)
+    }
+
+    /// Adds an *unnamed* constraint — the hot-path variant that skips name
+    /// allocation. Display helpers render it as `c{index}`.
+    pub fn add_con_unnamed(&mut self, terms: &[(VarId, f64)], rel: Rel, rhs: f64) -> ConId {
+        self.push_con(None, terms, rel, rhs)
+    }
+
+    pub(crate) fn push_con(
+        &mut self,
+        name: Option<String>,
+        terms: &[(VarId, f64)],
+        rel: Rel,
+        rhs: f64,
+    ) -> ConId {
         assert!(!rhs.is_nan(), "NaN constraint rhs");
         let mut merged: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
         for &(v, c) in terms {
             assert!(
                 v.0 < self.vars.len(),
-                "constraint {name}: variable id out of range"
+                "constraint {}: variable id out of range",
+                name.as_deref().unwrap_or("(unnamed)")
             );
-            assert!(!c.is_nan(), "NaN coefficient in constraint {name}");
+            assert!(
+                !c.is_nan(),
+                "NaN coefficient in constraint {}",
+                name.as_deref().unwrap_or("(unnamed)")
+            );
             merged.push((v.0, c));
         }
         merged.sort_unstable_by_key(|&(j, _)| j);
@@ -174,7 +222,7 @@ impl Problem {
         compact.retain(|&(_, c)| c != 0.0);
         let id = ConId(self.cons.len());
         self.cons.push(Constraint {
-            name: name.to_owned(),
+            name,
             terms: compact,
             rel,
             rhs,
@@ -182,14 +230,51 @@ impl Problem {
         id
     }
 
-    /// Returns the name of a variable.
-    pub fn var_name(&self, v: VarId) -> &str {
-        &self.vars[v.0].name
+    /// Replaces a variable's objective coefficient in place. The model's
+    /// structure (bounds, constraint matrix) is untouched, which is what
+    /// makes the incremental [`crate::Workspace`] patch path possible.
+    ///
+    /// # Panics
+    /// Panics if the coefficient is NaN.
+    pub fn set_objective(&mut self, v: VarId, objective: f64) {
+        assert!(!objective.is_nan(), "NaN objective coefficient");
+        self.vars[v.0].objective = objective;
     }
 
-    /// Returns the name of a constraint.
-    pub fn con_name(&self, c: ConId) -> &str {
-        &self.cons[c.0].name
+    /// Returns a variable's current objective coefficient.
+    pub fn objective_coef(&self, v: VarId) -> f64 {
+        self.vars[v.0].objective
+    }
+
+    /// Replaces a constraint's right-hand side in place.
+    ///
+    /// # Panics
+    /// Panics if the rhs is NaN.
+    pub fn set_rhs(&mut self, c: ConId, rhs: f64) {
+        assert!(!rhs.is_nan(), "NaN constraint rhs");
+        self.cons[c.0].rhs = rhs;
+    }
+
+    /// Returns a constraint's current right-hand side.
+    pub fn rhs(&self, c: ConId) -> f64 {
+        self.cons[c.0].rhs
+    }
+
+    /// Returns the name of a variable (`x{index}` if it was added unnamed).
+    pub fn var_name(&self, v: VarId) -> String {
+        match &self.vars[v.0].name {
+            Some(n) => n.clone(),
+            None => format!("x{}", v.0),
+        }
+    }
+
+    /// Returns the name of a constraint (`c{index}` if it was added
+    /// unnamed).
+    pub fn con_name(&self, c: ConId) -> String {
+        match &self.cons[c.0].name {
+            Some(n) => n.clone(),
+            None => format!("c{}", c.0),
+        }
     }
 
     /// Evaluates the objective at a point (ignoring feasibility).
@@ -206,15 +291,17 @@ impl Problem {
     /// returns the first violated item's description, or `None` if feasible.
     pub fn feasibility_violation(&self, x: &[f64], tol: f64) -> Option<String> {
         assert_eq!(x.len(), self.vars.len());
-        for (v, &xi) in self.vars.iter().zip(x) {
+        for (j, (v, &xi)) in self.vars.iter().zip(x).enumerate() {
             if xi < v.lower - tol || xi > v.upper + tol {
                 return Some(format!(
                     "variable {} = {xi} outside [{}, {}]",
-                    v.name, v.lower, v.upper
+                    self.var_name(VarId(j)),
+                    v.lower,
+                    v.upper
                 ));
             }
         }
-        for con in &self.cons {
+        for (i, con) in self.cons.iter().enumerate() {
             let lhs: f64 = con.terms.iter().map(|&(j, c)| c * x[j]).sum();
             let ok = match con.rel {
                 Rel::Le => lhs <= con.rhs + tol,
@@ -224,7 +311,9 @@ impl Problem {
             if !ok {
                 return Some(format!(
                     "constraint {}: lhs {lhs} violates {:?} {}",
-                    con.name, con.rel, con.rhs
+                    self.con_name(ConId(i)),
+                    con.rel,
+                    con.rhs
                 ));
             }
         }
@@ -269,7 +358,12 @@ mod tests {
         let mut p = Problem::maximize();
         let x = p.add_nonneg("x", 1.0);
         let y = p.add_nonneg("y", 1.0);
-        let c = p.add_con("c", &[(x, 1.0), (y, 2.0), (x, 3.0), (y, -2.0)], Rel::Le, 5.0);
+        let c = p.add_con(
+            "c",
+            &[(x, 1.0), (y, 2.0), (x, 3.0), (y, -2.0)],
+            Rel::Le,
+            5.0,
+        );
         assert_eq!(p.cons[c.index()].terms, vec![(0, 4.0)]);
     }
 
@@ -286,7 +380,7 @@ mod tests {
     fn feasibility_checks_bounds_and_rows() {
         let mut p = Problem::maximize();
         let x = p.add_var("x", 0.0, 2.0, 1.0);
-        p.add_con("cap", &[(x, 1.0)], Rel::Le, 1.5, );
+        p.add_con("cap", &[(x, 1.0)], Rel::Le, 1.5);
         assert!(p.feasibility_violation(&[1.0], 1e-9).is_none());
         assert!(p.feasibility_violation(&[1.8], 1e-9).is_some()); // row violated
         assert!(p.feasibility_violation(&[-0.1], 1e-9).is_some()); // bound violated

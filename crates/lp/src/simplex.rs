@@ -135,26 +135,32 @@ fn solve_direct(p: &Problem, opts: &SolveOptions) -> Result<Solution, LpError> {
     extract(p, &sf, &tab)
 }
 
-struct Tableau<'a> {
-    sf: &'a StandardForm,
+/// The evolving simplex tableau. Owns copies of the small metadata it
+/// needs (`col_kinds`, norms) so it carries no lifetime — this is what lets
+/// [`crate::Workspace`] keep one alive across many patched solves.
+pub(crate) struct Tableau {
+    /// Copy of the standard form's column roles.
+    pub(crate) col_kinds: Vec<ColKind>,
+    /// `1 + max|b|` at build time; scales the phase-1 infeasibility test.
+    pub(crate) b_norm: f64,
     /// `m x (n+1)` working rows; the last column is the RHS.
-    rows: DenseMatrix,
+    pub(crate) rows: DenseMatrix,
     /// Phase-2 reduced-cost row; last entry is `-z`.
-    cost2: Vec<f64>,
+    pub(crate) cost2: Vec<f64>,
     /// Phase-1 reduced-cost row; last entry is `-z₁`.
-    cost1: Vec<f64>,
-    basis: Vec<usize>,
+    pub(crate) cost1: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
     /// Columns that may never (re-)enter the basis.
-    banned: Vec<bool>,
-    tol: f64,
-    rule: PivotRule,
-    bland_after: usize,
-    max_iters: usize,
-    pivots: usize,
+    pub(crate) banned: Vec<bool>,
+    pub(crate) tol: f64,
+    pub(crate) rule: PivotRule,
+    pub(crate) bland_after: usize,
+    pub(crate) max_iters: usize,
+    pub(crate) pivots: usize,
 }
 
-impl<'a> Tableau<'a> {
-    fn new(sf: &'a StandardForm, opts: &SolveOptions) -> Self {
+impl Tableau {
+    pub(crate) fn new(sf: &StandardForm, opts: &SolveOptions) -> Self {
         let m = sf.m();
         let n = sf.n();
         let mut rows = DenseMatrix::zeros(m, n + 1);
@@ -213,7 +219,8 @@ impl<'a> Tableau<'a> {
 
         let size = m + n;
         Tableau {
-            sf,
+            col_kinds: sf.col_kinds.clone(),
+            b_norm: 1.0 + sf.b.iter().fold(0.0_f64, |acc, v| acc.max(v.abs())),
             rows,
             cost2,
             cost1,
@@ -227,12 +234,12 @@ impl<'a> Tableau<'a> {
         }
     }
 
-    fn n(&self) -> usize {
-        self.sf.n()
+    pub(crate) fn n(&self) -> usize {
+        self.banned.len()
     }
 
-    fn m(&self) -> usize {
-        self.sf.m()
+    pub(crate) fn m(&self) -> usize {
+        self.basis.len()
     }
 
     fn effective_rule(&self) -> PivotRule {
@@ -244,7 +251,7 @@ impl<'a> Tableau<'a> {
     }
 
     /// Selects an entering column against the given cost row.
-    fn price(&self, cost: &[f64]) -> Option<usize> {
+    pub(crate) fn price(&self, cost: &[f64]) -> Option<usize> {
         let n = self.n();
         match self.effective_rule() {
             PivotRule::Bland => (0..n).find(|&j| !self.banned[j] && cost[j] < -self.tol),
@@ -266,7 +273,7 @@ impl<'a> Tableau<'a> {
 
     /// Ratio test: picks the leaving row for entering column `j`.
     /// Returns `None` when the column is unbounded below.
-    fn ratio_test(&self, j: usize) -> Option<usize> {
+    pub(crate) fn ratio_test(&self, j: usize) -> Option<usize> {
         let n = self.n();
         let mut best: Option<(usize, f64)> = None;
         for r in 0..self.m() {
@@ -280,9 +287,9 @@ impl<'a> Tableau<'a> {
                             // Tie: prefer kicking out artificials, then the
                             // smaller basis index (Bland-compatible).
                             let cand_art =
-                                matches!(self.sf.col_kinds[self.basis[r]], ColKind::Artificial(_));
+                                matches!(self.col_kinds[self.basis[r]], ColKind::Artificial(_));
                             let best_art =
-                                matches!(self.sf.col_kinds[self.basis[br]], ColKind::Artificial(_));
+                                matches!(self.col_kinds[self.basis[br]], ColKind::Artificial(_));
                             match (cand_art, best_art) {
                                 (true, false) => true,
                                 (false, true) => false,
@@ -302,7 +309,7 @@ impl<'a> Tableau<'a> {
     }
 
     /// Pivots on `(row, col)`, updating both cost rows and the basis.
-    fn pivot(&mut self, row: usize, col: usize) {
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
         let n = self.n();
         let pivot = self.rows[(row, col)];
         debug_assert!(pivot.abs() > self.tol, "pivot too small: {pivot}");
@@ -336,14 +343,14 @@ impl<'a> Tableau<'a> {
 
         // If an artificial leaves the basis, it must never come back.
         let leaving = self.basis[row];
-        if matches!(self.sf.col_kinds[leaving], ColKind::Artificial(_)) {
+        if matches!(self.col_kinds[leaving], ColKind::Artificial(_)) {
             self.banned[leaving] = true;
         }
         self.basis[row] = col;
         self.pivots += 1;
     }
 
-    fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
+    pub(crate) fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
         loop {
             if self.pivots >= self.max_iters {
                 return Err(LpError::IterationLimit {
@@ -373,10 +380,9 @@ impl<'a> Tableau<'a> {
         }
     }
 
-    fn run_phase1(&mut self) -> Result<(), LpError> {
+    pub(crate) fn run_phase1(&mut self) -> Result<(), LpError> {
         let n = self.n();
         let has_artificials = self
-            .sf
             .col_kinds
             .iter()
             .any(|k| matches!(k, ColKind::Artificial(_)));
@@ -386,7 +392,7 @@ impl<'a> Tableau<'a> {
         self.optimize(true)?;
         let z1 = -self.cost1[n];
         // Scale the infeasibility test with the problem magnitude.
-        let scale = 1.0 + self.sf.b.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        let scale = self.b_norm;
         if z1 > self.tol * scale * 10.0 {
             return Err(LpError::Infeasible);
         }
@@ -394,9 +400,9 @@ impl<'a> Tableau<'a> {
         // ban every artificial from entering in phase 2.
         for r in 0..self.m() {
             let jb = self.basis[r];
-            if matches!(self.sf.col_kinds[jb], ColKind::Artificial(_)) {
+            if matches!(self.col_kinds[jb], ColKind::Artificial(_)) {
                 let replacement = (0..n).find(|&j| {
-                    !matches!(self.sf.col_kinds[j], ColKind::Artificial(_))
+                    !matches!(self.col_kinds[j], ColKind::Artificial(_))
                         && self.rows[(r, j)].abs() > self.tol * 100.0
                 });
                 if let Some(j) = replacement {
@@ -408,7 +414,7 @@ impl<'a> Tableau<'a> {
                 // can never grow.
             }
         }
-        for (j, kind) in self.sf.col_kinds.iter().enumerate() {
+        for (j, kind) in self.col_kinds.iter().enumerate() {
             if matches!(kind, ColKind::Artificial(_)) {
                 self.banned[j] = true;
             }
@@ -416,12 +422,83 @@ impl<'a> Tableau<'a> {
         Ok(())
     }
 
-    fn run_phase2(&mut self) -> Result<(), LpError> {
+    pub(crate) fn run_phase2(&mut self) -> Result<(), LpError> {
         self.optimize(false)
     }
 
+    /// Dual simplex on the phase-2 costs: restores primal feasibility
+    /// (`rhs ≥ 0`) while preserving dual feasibility. The precondition is a
+    /// dual-feasible cost row — e.g. any previously optimal basis whose RHS
+    /// was just patched. Returns `Infeasible` when a negative row has no
+    /// eligible entering column (primal infeasible), and counts its pivots
+    /// against `max_iters` like the primal loop.
+    pub(crate) fn dual_simplex(&mut self) -> Result<(), LpError> {
+        let n = self.n();
+        let feas_tol = self.tol * self.b_norm * 10.0;
+        loop {
+            if self.pivots >= self.max_iters {
+                return Err(LpError::IterationLimit {
+                    iterations: self.pivots,
+                    phase: SimplexPhase::Phase2,
+                });
+            }
+            // Leaving row: most negative RHS.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m() {
+                let v = self.rows[(r, n)];
+                if v < -feas_tol && leave.map_or(true, |(_, b)| v < b) {
+                    leave = Some((r, v));
+                }
+            }
+            let Some((r, _)) = leave else {
+                // Primal feasible again; clamp residual negative dust.
+                for r in 0..self.m() {
+                    if self.rows[(r, n)] < 0.0 {
+                        self.rows[(r, n)] = 0.0;
+                    }
+                }
+                return Ok(());
+            };
+            // Entering column: among negative coefficients of the leaving
+            // row, the one that keeps the cost row non-negative — the
+            // classical min |c̃_j / a_rj| ratio. Ties break toward the
+            // smaller column index (Bland-compatible).
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..n {
+                if self.banned[j] {
+                    continue;
+                }
+                // Basic columns are exact identity columns (pivot clamps
+                // them), so they can never price in here.
+                let a = self.rows[(r, j)];
+                if a < -self.tol {
+                    let ratio = self.cost2[j] / -a;
+                    let better = match enter {
+                        None => true,
+                        Some((bj, bratio)) => {
+                            if (ratio - bratio).abs() <= self.tol * (1.0 + bratio.abs()) {
+                                j < bj
+                            } else {
+                                ratio < bratio
+                            }
+                        }
+                    };
+                    if better {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((j, _)) = enter else {
+                // Row r reads Σ a_rj x_j = rhs < 0 with every admissible
+                // coefficient ≥ 0: no non-negative x satisfies it.
+                return Err(LpError::Infeasible);
+            };
+            self.pivot(r, j);
+        }
+    }
+
     /// Standard-form primal values at the current basis.
-    fn x_std(&self) -> Vec<f64> {
+    pub(crate) fn x_std(&self) -> Vec<f64> {
         let n = self.n();
         let mut x = vec![0.0; n];
         for r in 0..self.m() {
@@ -432,7 +509,7 @@ impl<'a> Tableau<'a> {
     }
 }
 
-fn extract(p: &Problem, sf: &StandardForm, tab: &Tableau<'_>) -> Result<Solution, LpError> {
+pub(crate) fn extract(p: &Problem, sf: &StandardForm, tab: &Tableau) -> Result<Solution, LpError> {
     let x_std = tab.x_std();
     let x_user = sf.recover(&x_std);
     // Recompute the objective from first principles rather than trusting the
@@ -450,7 +527,7 @@ fn extract(p: &Problem, sf: &StandardForm, tab: &Tableau<'_>) -> Result<Solution
 /// Recovers user-constraint shadow prices `∂(user objective)/∂rhs` from the
 /// final basis by solving `Bᵀ y = c_B` against the *original* standard-form
 /// columns (no tableau drift).
-fn recover_duals(sf: &StandardForm, tab: &Tableau<'_>) -> Vec<f64> {
+fn recover_duals(sf: &StandardForm, tab: &Tableau) -> Vec<f64> {
     let m = sf.m();
     let n_user_cons = sf
         .row_origins
@@ -586,8 +663,18 @@ mod tests {
         let z = p.add_nonneg("z", 0.02);
         let w = p.add_nonneg("w", -6.0);
         // Beale's cycling example (classic anti-cycling stress test).
-        p.add_con("r1", &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)], Rel::Le, 0.0);
-        p.add_con("r2", &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)], Rel::Le, 0.0);
+        p.add_con(
+            "r1",
+            &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Rel::Le,
+            0.0,
+        );
+        p.add_con(
+            "r2",
+            &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Rel::Le,
+            0.0,
+        );
         p.add_con("r3", &[(z, 1.0)], Rel::Le, 1.0);
         let s = p.solve().unwrap();
         assert!(close(s.objective(), 0.05), "obj = {}", s.objective());

@@ -63,6 +63,11 @@ pub(crate) struct StandardForm {
     /// Per-row multiplier applied during scaling/normalization; the original
     /// user row satisfies `user_row = stored_row / row_scale` (sign included).
     pub row_scale: Vec<f64>,
+    /// Per-row constant subtracted from the user rhs by lower-bound shifts
+    /// *before* normalization: `stored_b = (user_rhs - row_shift) * row_scale`.
+    /// Lets an incremental workspace re-map a patched user rhs without
+    /// rebuilding the whole standard form.
+    pub row_shift: Vec<f64>,
     /// Recovery recipe for each user variable.
     pub var_map: Vec<VarMapping>,
     /// Constant added to the user objective by variable shifts (consumed
@@ -101,7 +106,11 @@ impl StandardForm {
     /// variables back to the user objective value.
     #[cfg(test)]
     pub fn user_objective(&self, z_internal: f64) -> f64 {
-        let structural = if self.maximize { -z_internal } else { z_internal };
+        let structural = if self.maximize {
+            -z_internal
+        } else {
+            z_internal
+        };
         structural + self.obj_offset
     }
 }
@@ -116,17 +125,20 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
     let mut var_map = Vec::with_capacity(p.num_vars());
     let mut n_structural = 0usize;
     let mut obj_offset = 0.0;
-    // Upper-bound rows to synthesize: (structural terms, rhs).
-    let mut ub_rows: Vec<(Vec<(usize, f64)>, f64, usize)> = Vec::new();
+    // Upper-bound rows to synthesize: (structural terms, rhs, user var, shift).
+    let mut ub_rows: Vec<(Vec<(usize, f64)>, f64, usize, f64)> = Vec::new();
 
     for (vi, v) in p.vars.iter().enumerate() {
         if v.lower.is_finite() {
             let col = n_structural;
             n_structural += 1;
-            var_map.push(VarMapping::Shifted { col, lower: v.lower });
+            var_map.push(VarMapping::Shifted {
+                col,
+                lower: v.lower,
+            });
             obj_offset += v.objective * v.lower;
             if v.upper.is_finite() {
-                ub_rows.push((vec![(col, 1.0)], v.upper - v.lower, vi));
+                ub_rows.push((vec![(col, 1.0)], v.upper - v.lower, vi, v.lower));
             }
         } else {
             let pos = n_structural;
@@ -134,7 +146,7 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
             n_structural += 2;
             var_map.push(VarMapping::Split { pos, neg });
             if v.upper.is_finite() {
-                ub_rows.push((vec![(pos, 1.0), (neg, -1.0)], v.upper, vi));
+                ub_rows.push((vec![(pos, 1.0), (neg, -1.0)], v.upper, vi, 0.0));
             }
         }
     }
@@ -145,17 +157,20 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
         rel: Rel,
         rhs: f64,
         origin: RowOrigin,
+        shift: f64,
     }
     let mut raw: Vec<RawRow> = Vec::with_capacity(p.num_cons() + ub_rows.len());
 
     for (ci, con) in p.cons.iter().enumerate() {
         let mut terms: Vec<(usize, f64)> = Vec::with_capacity(con.terms.len() + 1);
         let mut rhs = con.rhs;
+        let mut shift = 0.0;
         for &(uv, coef) in &con.terms {
             match var_map[uv] {
                 VarMapping::Shifted { col, lower } => {
                     terms.push((col, coef));
                     rhs -= coef * lower;
+                    shift += coef * lower;
                 }
                 VarMapping::Split { pos, neg } => {
                     terms.push((pos, coef));
@@ -168,14 +183,16 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
             rel: con.rel,
             rhs,
             origin: RowOrigin::Constraint(ci),
+            shift,
         });
     }
-    for (terms, rhs, vi) in ub_rows {
+    for (terms, rhs, vi, shift) in ub_rows {
         raw.push(RawRow {
             terms,
             rel: Rel::Le,
             rhs,
             origin: RowOrigin::UpperBound(vi),
+            shift,
         });
     }
 
@@ -273,6 +290,7 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
         }
     }
 
+    let row_shift = raw.iter().map(|r| r.shift).collect();
     Ok(StandardForm {
         a,
         b,
@@ -281,6 +299,7 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
         row_rels,
         row_origins,
         row_scale,
+        row_shift,
         var_map,
         obj_offset,
         maximize,

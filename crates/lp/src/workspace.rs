@@ -1,0 +1,711 @@
+//! Persistent, incremental solve engine.
+//!
+//! A [`Workspace`] owns a [`Problem`] together with its standard form and
+//! the evolving simplex tableau, so a *sequence* of closely related solves
+//! can share one set of allocations and warm-start each other:
+//!
+//! * [`Workspace::set_objective`] / [`Workspace::set_rhs`] patch the model
+//!   in place (the constraint matrix is immutable — only costs and
+//!   right-hand sides may move).
+//! * [`Workspace::solve`] re-optimizes from the previous optimal basis:
+//!   patched right-hand sides are repaired by the dual simplex (the old
+//!   basis stays dual-feasible when only `b` moved), then patched
+//!   objectives are absorbed into the reduced-cost row and the primal
+//!   phase-2 loop runs to optimality. Cold re-initialization is the
+//!   universal fallback whenever the warm path is not applicable or runs
+//!   into numerical trouble, so a warm solve always returns the same
+//!   optimum a cold solve would (see DESIGN.md, "Solver architecture").
+//! * [`Workspace::basis`] / [`Workspace::restore_basis`] snapshot and
+//!   re-install a basis (with refactorization), for callers that want to
+//!   return to an earlier point of a search tree.
+//!
+//! Workspace solves skip presolve and dual recovery: they return primal
+//! values and the objective only (`duals()` are zeros). Callers that need
+//! shadow prices should use [`Problem::solve`].
+
+use crate::dense::DenseMatrix;
+use crate::error::LpError;
+use crate::problem::{ConId, Problem, VarId};
+use crate::simplex::{SolveOptions, Tableau};
+use crate::solution::Solution;
+use crate::standard::{self, ColKind, StandardForm, VarMapping};
+
+/// Counters describing how a [`Workspace`] has been solving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Solves answered by the warm path (dual repair + primal re-entry).
+    pub warm_solves: usize,
+    /// Solves answered by a cold tableau rebuild (first solve, structural
+    /// invalidation, or fallback).
+    pub cold_solves: usize,
+    /// Simplex pivots spent inside warm solves.
+    pub warm_pivots: usize,
+    /// Simplex pivots spent inside cold solves.
+    pub cold_pivots: usize,
+    /// Warm attempts that had to fall back to a cold solve.
+    pub fallbacks: usize,
+}
+
+/// An opaque snapshot of a simplex basis, produced by
+/// [`Workspace::basis`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    cols: Vec<usize>,
+}
+
+/// A persistent solver workspace; see the module docs.
+pub struct Workspace {
+    problem: Problem,
+    opts: SolveOptions,
+    sf: StandardForm,
+    tab: Tableau,
+    /// The tableau holds an optimal basis for the *patched-in* `sf`.
+    solved: bool,
+    /// Identity column of each row (slack for `≤` rows, artificial
+    /// otherwise): reading that tableau column yields the corresponding
+    /// column of `B⁻¹`, which is what lets an RHS patch update the
+    /// transformed right-hand side in `O(m)`.
+    ident_cols: Vec<usize>,
+    obj_dirty: Vec<bool>,
+    dirty_objs: Vec<usize>,
+    rhs_dirty: Vec<bool>,
+    dirty_rhs: Vec<usize>,
+    /// Largest |user rhs| seen; scales the post-warm feasibility guard.
+    rhs_norm: f64,
+    stats: WorkspaceStats,
+}
+
+impl Workspace {
+    /// Builds a workspace around a snapshot of `p`. The standard form is
+    /// converted once here; later solves only patch it.
+    pub fn new(p: &Problem, opts: &SolveOptions) -> Result<Self, LpError> {
+        let problem = p.clone();
+        let sf = standard::build(&problem)?;
+        let tab = Tableau::new(&sf, opts);
+        let ident_cols = identity_columns(&sf);
+        let rhs_norm = problem
+            .cons
+            .iter()
+            .fold(0.0_f64, |acc, c| acc.max(c.rhs.abs()));
+        Ok(Workspace {
+            obj_dirty: vec![false; problem.num_vars()],
+            dirty_objs: Vec::new(),
+            rhs_dirty: vec![false; problem.num_cons()],
+            dirty_rhs: Vec::new(),
+            rhs_norm,
+            problem,
+            opts: opts.clone(),
+            sf,
+            tab,
+            solved: false,
+            ident_cols,
+            stats: WorkspaceStats::default(),
+        })
+    }
+
+    /// The workspace's current (patched) model.
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// Solve statistics accumulated since creation (or the last
+    /// [`Workspace::reset_stats`]).
+    pub fn stats(&self) -> &WorkspaceStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = WorkspaceStats::default();
+    }
+
+    /// Patches a variable's objective coefficient. No-op if unchanged.
+    pub fn set_objective(&mut self, v: VarId, objective: f64) {
+        if self.problem.objective_coef(v) == objective {
+            return;
+        }
+        self.problem.set_objective(v, objective);
+        let vi = v.index();
+        if !self.obj_dirty[vi] {
+            self.obj_dirty[vi] = true;
+            self.dirty_objs.push(vi);
+        }
+    }
+
+    /// Patches a constraint's right-hand side. No-op if unchanged.
+    pub fn set_rhs(&mut self, c: ConId, rhs: f64) {
+        if self.problem.rhs(c) == rhs {
+            return;
+        }
+        self.problem.set_rhs(c, rhs);
+        self.rhs_norm = self.rhs_norm.max(rhs.abs());
+        let ci = c.index();
+        if !self.rhs_dirty[ci] {
+            self.rhs_dirty[ci] = true;
+            self.dirty_rhs.push(ci);
+        }
+    }
+
+    /// Solves with the options given at construction.
+    pub fn solve(&mut self) -> Result<Solution, LpError> {
+        let opts = self.opts.clone();
+        self.solve_with(&opts)
+    }
+
+    /// Solves the current (patched) model, warm-starting from the previous
+    /// basis when one is available.
+    pub fn solve_with(&mut self, opts: &SolveOptions) -> Result<Solution, LpError> {
+        self.apply_call_options(opts);
+        if self.solved {
+            match self.try_warm() {
+                Ok(sol) => {
+                    self.stats.warm_solves += 1;
+                    self.stats.warm_pivots += self.tab.pivots;
+                    return Ok(sol);
+                }
+                Err(WarmOutcome::Infeasible) | Err(WarmOutcome::Trouble) => {
+                    // Re-answer cold: a definitive verdict either way, and
+                    // the verdict callers compare against.
+                    self.stats.fallbacks += 1;
+                }
+            }
+        }
+        let result = self.solve_cold(opts);
+        self.stats.cold_solves += 1;
+        self.stats.cold_pivots += self.tab.pivots;
+        result
+    }
+
+    /// Snapshots the current basis. Only meaningful after a successful
+    /// solve.
+    pub fn basis(&self) -> Basis {
+        Basis {
+            cols: self.tab.basis.clone(),
+        }
+    }
+
+    /// Re-installs a snapshotted basis by refactorizing the tableau
+    /// (`O(m²·n)`). The next [`Workspace::solve`] re-optimizes from it —
+    /// after patches, the engine picks dual repair, primal re-entry, or a
+    /// cold restart depending on which feasibility the basis retained.
+    pub fn restore_basis(&mut self, basis: &Basis) -> Result<(), LpError> {
+        self.apply_pending_patches_to_sf()?;
+        // Validate *after* patches: a sign-flip rebuild can change the
+        // column layout, invalidating older snapshots.
+        let m = self.sf.m();
+        let n = self.sf.n();
+        if basis.cols.len() != m || basis.cols.iter().any(|&j| j >= n) {
+            return Err(LpError::BadModel(
+                "basis snapshot does not match this workspace".into(),
+            ));
+        }
+        // Reset rows to the original [A | b].
+        for r in 0..m {
+            self.tab.rows.row_mut(r)[..n].copy_from_slice(self.sf.a.row(r));
+            self.tab.rows[(r, n)] = self.sf.b[r];
+        }
+        // Jordan elimination into the requested basis, with row swaps for
+        // pivot quality.
+        for (k, &j) in basis.cols.iter().enumerate() {
+            let mut best = k;
+            for r in k..m {
+                if self.tab.rows[(r, j)].abs() > self.tab.rows[(best, j)].abs() {
+                    best = r;
+                }
+            }
+            if self.tab.rows[(best, j)].abs() <= self.tab.tol * 100.0 {
+                self.solved = false;
+                return Err(LpError::Numeric("singular basis snapshot".into()));
+            }
+            if best != k {
+                for col in 0..=n {
+                    let tmp = self.tab.rows[(k, col)];
+                    self.tab.rows[(k, col)] = self.tab.rows[(best, col)];
+                    self.tab.rows[(best, col)] = tmp;
+                }
+            }
+            let pivot = self.tab.rows[(k, j)];
+            self.tab.rows.scale_row(k, 1.0 / pivot);
+            self.tab.rows[(k, j)] = 1.0;
+            for r in 0..m {
+                if r != k {
+                    let f = self.tab.rows[(r, j)];
+                    if f != 0.0 {
+                        self.tab.rows.axpy_rows(r, k, -f);
+                        self.tab.rows[(r, j)] = 0.0;
+                    }
+                }
+            }
+            self.tab.basis[k] = j;
+        }
+        // Recompute the phase-2 reduced costs against the restored basis;
+        // phase 1 is behind us, so ban artificials and zero its cost row.
+        self.tab.cost2[..n].copy_from_slice(&self.sf.c);
+        self.tab.cost2[n] = 0.0;
+        for k in 0..m {
+            let d = self.tab.cost2[self.tab.basis[k]];
+            if d != 0.0 {
+                let src = self.tab.rows.row(k);
+                for (cv, rv) in self.tab.cost2.iter_mut().zip(src) {
+                    *cv -= d * rv;
+                }
+                self.tab.cost2[self.tab.basis[k]] = 0.0;
+            }
+        }
+        for (j, kind) in self.tab.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                self.tab.banned[j] = true;
+            }
+        }
+        self.tab.cost1.iter_mut().for_each(|v| *v = 0.0);
+        self.solved = true;
+        Ok(())
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn apply_call_options(&mut self, opts: &SolveOptions) {
+        let size = self.sf.m() + self.sf.n();
+        self.tab.tol = opts.tol;
+        self.tab.rule = opts.rule;
+        self.tab.bland_after = opts.bland_after.unwrap_or(20 * size + 200);
+        self.tab.max_iters = opts.max_iters.unwrap_or(200 * size + 1000);
+        self.tab.pivots = 0;
+    }
+
+    /// Maps a user rhs into the stored (normalized) standard form. `None`
+    /// when the patch would flip the row's sign — the stored orientation is
+    /// then wrong and a full rebuild is required.
+    fn std_rhs(&self, ci: usize) -> Option<f64> {
+        let user = self.problem.cons[ci].rhs;
+        let std = (user - self.sf.row_shift[ci]) * self.sf.row_scale[ci];
+        if std < 0.0 {
+            None
+        } else {
+            Some(std)
+        }
+    }
+
+    /// Folds every pending patch into `sf.c` / `sf.b`, rebuilding the whole
+    /// standard form only when a patched rhs flipped a row's sign.
+    fn apply_pending_patches_to_sf(&mut self) -> Result<(), LpError> {
+        let mut rebuild = false;
+        for k in 0..self.dirty_rhs.len() {
+            let ci = self.dirty_rhs[k];
+            match self.std_rhs(ci) {
+                Some(v) => self.sf.b[ci] = v,
+                None => {
+                    rebuild = true;
+                    break;
+                }
+            }
+        }
+        if rebuild {
+            self.sf = standard::build(&self.problem)?;
+            let opts = SolveOptions {
+                tol: self.tab.tol,
+                rule: self.tab.rule,
+                bland_after: Some(self.tab.bland_after),
+                max_iters: Some(self.tab.max_iters),
+                ..self.opts.clone()
+            };
+            self.tab = Tableau::new(&self.sf, &opts);
+            // A flipped row changes the slack/surplus/artificial layout.
+            self.ident_cols = identity_columns(&self.sf);
+        } else {
+            for k in 0..self.dirty_objs.len() {
+                let vi = self.dirty_objs[k];
+                let obj = self.problem.vars[vi].objective;
+                let coef = if self.sf.maximize { -obj } else { obj };
+                match self.sf.var_map[vi] {
+                    VarMapping::Shifted { col, .. } => self.sf.c[col] = coef,
+                    VarMapping::Split { pos, neg } => {
+                        self.sf.c[pos] = coef;
+                        self.sf.c[neg] = -coef;
+                    }
+                }
+            }
+        }
+        self.clear_dirty();
+        Ok(())
+    }
+
+    fn clear_dirty(&mut self) {
+        for &vi in &self.dirty_objs {
+            self.obj_dirty[vi] = false;
+        }
+        self.dirty_objs.clear();
+        for &ci in &self.dirty_rhs {
+            self.rhs_dirty[ci] = false;
+        }
+        self.dirty_rhs.clear();
+    }
+
+    /// Full two-phase solve on the patched standard form, reusing the
+    /// workspace's buffers where possible.
+    fn solve_cold(&mut self, opts: &SolveOptions) -> Result<Solution, LpError> {
+        self.solved = false;
+        self.apply_pending_patches_to_sf()?;
+        let call_opts = SolveOptions {
+            tol: self.tab.tol,
+            rule: self.tab.rule,
+            bland_after: Some(self.tab.bland_after),
+            max_iters: Some(self.tab.max_iters),
+            ..opts.clone()
+        };
+        self.tab = Tableau::new(&self.sf, &call_opts);
+        self.tab.run_phase1()?;
+        self.tab.run_phase2()?;
+        let sol = self.extract()?;
+        self.solved = true;
+        Ok(sol)
+    }
+
+    /// The warm path: patch RHS → dual repair → patch costs → primal
+    /// re-entry → drift guard. Any trouble reports `Trouble` and the caller
+    /// re-answers cold.
+    fn try_warm(&mut self) -> Result<Solution, WarmOutcome> {
+        let m = self.sf.m();
+        let n = self.sf.n();
+
+        // Stage 1: fold patched right-hand sides into the evolving tableau
+        // through the identity columns (B⁻¹ is never formed explicitly).
+        for k in 0..self.dirty_rhs.len() {
+            let ci = self.dirty_rhs[k];
+            let Some(new_std) = self.std_rhs(ci) else {
+                // Sign flip: stored row orientation is invalid.
+                self.solved = false;
+                return Err(WarmOutcome::Trouble);
+            };
+            let delta = new_std - self.sf.b[ci];
+            if delta != 0.0 {
+                self.sf.b[ci] = new_std;
+                self.tab.b_norm = self.tab.b_norm.max(1.0 + new_std.abs());
+                let jc = self.ident_cols[ci];
+                for r in 0..m {
+                    let f = self.tab.rows[(r, jc)];
+                    if f != 0.0 {
+                        self.tab.rows[(r, n)] += delta * f;
+                    }
+                }
+                self.tab.cost2[n] += delta * self.tab.cost2[jc];
+            }
+        }
+
+        // The previous basis is dual-feasible for the *old* costs; repair
+        // primal feasibility before touching the objective.
+        let feas_tol = self.tab.tol * self.tab.b_norm * 10.0;
+        let primal_violated = (0..m).any(|r| self.tab.rows[(r, n)] < -feas_tol);
+        if primal_violated {
+            let dual_ok =
+                (0..n).all(|j| self.tab.banned[j] || self.tab.cost2[j] >= -self.tab.tol * 10.0);
+            if !dual_ok {
+                // Neither feasibility survived (possible after a basis
+                // restore followed by patches): no warm route.
+                self.solved = false;
+                return Err(WarmOutcome::Trouble);
+            }
+            match self.tab.dual_simplex() {
+                Ok(()) => {}
+                Err(LpError::Infeasible) => {
+                    self.solved = false;
+                    return Err(WarmOutcome::Infeasible);
+                }
+                Err(_) => {
+                    self.solved = false;
+                    return Err(WarmOutcome::Trouble);
+                }
+            }
+        }
+
+        // Stage 2: absorb objective patches into the reduced-cost row.
+        if !self.dirty_objs.is_empty() {
+            let mut basis_row = vec![usize::MAX; n];
+            for (r, &j) in self.tab.basis.iter().enumerate() {
+                basis_row[j] = r;
+            }
+            for k in 0..self.dirty_objs.len() {
+                let vi = self.dirty_objs[k];
+                let obj = self.problem.vars[vi].objective;
+                let coef = if self.sf.maximize { -obj } else { obj };
+                let pairs = match self.sf.var_map[vi] {
+                    VarMapping::Shifted { col, .. } => [(col, coef), (usize::MAX, 0.0)],
+                    VarMapping::Split { pos, neg } => [(pos, coef), (neg, -coef)],
+                };
+                for (col, new_c) in pairs {
+                    if col == usize::MAX {
+                        continue;
+                    }
+                    let delta = new_c - self.sf.c[col];
+                    if delta == 0.0 {
+                        continue;
+                    }
+                    self.sf.c[col] = new_c;
+                    self.tab.cost2[col] += delta;
+                    let r = basis_row[col];
+                    if r != usize::MAX {
+                        // A basic column's cost change sweeps through every
+                        // reduced cost (c_B moved): c̃ -= Δc · (B⁻¹A)_r.
+                        let src = self.tab.rows.row(r);
+                        for (cv, rv) in self.tab.cost2.iter_mut().zip(src) {
+                            *cv -= delta * rv;
+                        }
+                    }
+                }
+            }
+        }
+        self.clear_dirty();
+
+        // Primal phase-2 re-entry.
+        match self.tab.run_phase2() {
+            Ok(()) => {}
+            Err(LpError::Unbounded) => {
+                // Unboundedness is definitive even warm (a certificate ray
+                // was found), but answer cold for a uniform error path.
+                self.solved = false;
+                return Err(WarmOutcome::Trouble);
+            }
+            Err(_) => {
+                self.solved = false;
+                return Err(WarmOutcome::Trouble);
+            }
+        }
+
+        match self.extract() {
+            Ok(sol) => {
+                // Drift guard: a warm optimum must actually satisfy the
+                // user model. Gross violation means accumulated tableau
+                // error — re-answer cold.
+                let guard = 1e-6 * (1.0 + self.rhs_norm);
+                if self
+                    .problem
+                    .feasibility_violation(sol.values(), guard)
+                    .is_some()
+                {
+                    self.solved = false;
+                    return Err(WarmOutcome::Trouble);
+                }
+                Ok(sol)
+            }
+            Err(_) => {
+                self.solved = false;
+                Err(WarmOutcome::Trouble)
+            }
+        }
+    }
+
+    /// Primal-only extraction (objective recomputed from first principles;
+    /// duals intentionally zero — see module docs).
+    fn extract(&self) -> Result<Solution, LpError> {
+        let x_std = self.tab.x_std();
+        let x_user = self.sf.recover(&x_std);
+        if x_user.iter().any(|v| !v.is_finite()) {
+            return Err(LpError::Numeric("non-finite solution component".into()));
+        }
+        let objective = self.problem.objective_value(&x_user);
+        Ok(Solution::new(
+            objective,
+            x_user,
+            vec![0.0; self.problem.num_cons()],
+            self.tab.pivots,
+        ))
+    }
+}
+
+/// Identity column of each row: slack for `≤` rows, artificial for `≥`/`=`
+/// rows (mirrors the initial-basis derivation in the simplex engine).
+fn identity_columns(sf: &StandardForm) -> Vec<usize> {
+    let mut ident = vec![usize::MAX; sf.m()];
+    for (j, kind) in sf.col_kinds.iter().enumerate() {
+        match *kind {
+            ColKind::Slack(r) => {
+                if ident[r] == usize::MAX {
+                    ident[r] = j;
+                }
+            }
+            ColKind::Artificial(r) => ident[r] = j,
+            _ => {}
+        }
+    }
+    debug_assert!(ident.iter().all(|&j| j != usize::MAX));
+    ident
+}
+
+enum WarmOutcome {
+    /// The dual simplex proved the patched model infeasible; the caller
+    /// re-answers cold so every infeasibility verdict comes from the same
+    /// code path as a from-scratch solve.
+    Infeasible,
+    /// Numerical or structural trouble; fall back to a cold solve.
+    Trouble,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Rel};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7 * (1.0 + b.abs())
+    }
+
+    /// The textbook LP used across the simplex tests.
+    fn textbook() -> (Problem, VarId, VarId, ConId, ConId, ConId) {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_nonneg("y", 5.0);
+        let c1 = p.add_con("c1", &[(x, 1.0)], Rel::Le, 4.0);
+        let c2 = p.add_con("c2", &[(y, 2.0)], Rel::Le, 12.0);
+        let c3 = p.add_con("c3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        (p, x, y, c1, c2, c3)
+    }
+
+    #[test]
+    fn first_solve_matches_direct() {
+        let (p, x, y, ..) = textbook();
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        let s = ws.solve().unwrap();
+        assert!(close(s.objective(), 36.0));
+        assert!(close(s.value(x), 2.0));
+        assert!(close(s.value(y), 6.0));
+        assert_eq!(ws.stats().cold_solves, 1);
+        assert_eq!(ws.stats().warm_solves, 0);
+    }
+
+    #[test]
+    fn warm_objective_patch_matches_cold() {
+        let (p, x, y, ..) = textbook();
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        ws.solve().unwrap();
+        // Make x much more valuable; re-solve warm and compare to a cold
+        // from-scratch solve of the same patched model.
+        ws.set_objective(x, 10.0);
+        let warm = ws.solve().unwrap();
+        let cold = ws.problem().clone().solve().unwrap();
+        assert!(close(warm.objective(), cold.objective()));
+        assert_eq!(warm.values(), cold.values());
+        assert_eq!(ws.stats().warm_solves, 1);
+        let _ = y;
+    }
+
+    #[test]
+    fn warm_rhs_patch_uses_dual_simplex() {
+        let (p, _, _, c1, c2, c3) = textbook();
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        ws.solve().unwrap();
+        // Tighten `x ≤ 4` to `x ≤ 1`: the optimal basis keeps x = 2, so its
+        // slack goes negative and the warm path must run dual pivots — and
+        // still match cold.
+        ws.set_rhs(c1, 1.0);
+        let warm = ws.solve().unwrap();
+        let cold = ws.problem().clone().solve().unwrap();
+        assert!(close(warm.objective(), cold.objective()));
+        assert!(close(warm.objective(), 33.0));
+        assert_eq!(ws.stats().warm_solves, 1);
+        assert!(ws.stats().warm_pivots > 0, "expected dual pivots");
+        let _ = (c2, c3);
+    }
+
+    #[test]
+    fn warm_joint_patch_grid_matches_cold() {
+        // Deterministic grid over (objective, rhs) patches: every warm
+        // answer must equal a cold from-scratch solve of the same model.
+        let (p, x, y, c1, c2, c3) = textbook();
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        ws.solve().unwrap();
+        for i in 0..6 {
+            for k in 0..4 {
+                let cx = 1.0 + 2.0 * i as f64;
+                let b3 = 12.0 + 3.0 * k as f64;
+                ws.set_objective(x, cx);
+                ws.set_objective(y, 5.0 - 0.5 * k as f64);
+                ws.set_rhs(c3, b3);
+                ws.set_rhs(c2, 10.0 + i as f64);
+                let warm = ws.solve().unwrap();
+                let cold = ws.problem().clone().solve().unwrap();
+                assert!(
+                    close(warm.objective(), cold.objective()),
+                    "i={i} k={k}: warm {} cold {}",
+                    warm.objective(),
+                    cold.objective()
+                );
+            }
+        }
+        assert_eq!(ws.stats().cold_solves, 1, "only the first solve is cold");
+        let _ = c1;
+    }
+
+    #[test]
+    fn warm_detects_infeasible_after_rhs_patch() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 1.0);
+        let lo = p.add_con("lo", &[(x, 1.0)], Rel::Ge, 1.0);
+        let hi = p.add_con("hi", &[(x, 1.0)], Rel::Le, 3.0);
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        ws.solve().unwrap();
+        ws.set_rhs(lo, 5.0); // now 5 ≤ x ≤ 3: infeasible
+        assert_eq!(ws.solve().unwrap_err(), LpError::Infeasible);
+        // And recoverable: loosen it back.
+        ws.set_rhs(lo, 2.0);
+        let s = ws.solve().unwrap();
+        assert!(close(s.objective(), 3.0));
+        let _ = hi;
+    }
+
+    #[test]
+    fn rhs_sign_flip_triggers_full_rebuild() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let c = p.add_con("c", &[(x, 1.0)], Rel::Ge, 2.0);
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        let s0 = ws.solve().unwrap();
+        assert!(close(s0.objective(), 2.0));
+        // Negative rhs flips the stored row's orientation — the workspace
+        // must notice and rebuild rather than patch.
+        ws.set_rhs(c, -4.0);
+        let s1 = ws.solve().unwrap();
+        assert!(close(s1.objective(), -4.0));
+        let cold = ws.problem().clone().solve().unwrap();
+        assert!(close(s1.objective(), cold.objective()));
+    }
+
+    #[test]
+    fn basis_snapshot_restores_and_resolves() {
+        let (p, x, _, _, _, c3) = textbook();
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        ws.solve().unwrap();
+        let saved = ws.basis();
+        // Wander off: patch and solve a few times.
+        ws.set_objective(x, 20.0);
+        ws.set_rhs(c3, 30.0);
+        ws.solve().unwrap();
+        // Return to the saved point and re-solve the *original* model.
+        ws.set_objective(x, 3.0);
+        ws.set_rhs(c3, 18.0);
+        ws.restore_basis(&saved).unwrap();
+        let s = ws.solve().unwrap();
+        assert!(close(s.objective(), 36.0), "obj = {}", s.objective());
+    }
+
+    #[test]
+    fn unnamed_problems_solve_identically() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg_unnamed(3.0);
+        let y = p.add_nonneg_unnamed(5.0);
+        p.add_con_unnamed(&[(x, 1.0)], Rel::Le, 4.0);
+        p.add_con_unnamed(&[(y, 2.0)], Rel::Le, 12.0);
+        p.add_con_unnamed(&[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert!(close(s.objective(), 36.0));
+        assert_eq!(p.var_name(x), "x0");
+        assert_eq!(p.con_name(ConId(2)), "c2");
+    }
+
+    #[test]
+    fn workspace_solves_skip_duals() {
+        let (p, ..) = textbook();
+        let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        let s = ws.solve().unwrap();
+        assert!(s.duals().iter().all(|&d| d == 0.0));
+    }
+}

@@ -14,7 +14,13 @@ use crate::problem::{Problem, Rel, Sense};
 fn sanitize(name: &str, fallback: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() {
         out = fallback.to_string();
@@ -57,7 +63,7 @@ impl Problem {
             .vars
             .iter()
             .enumerate()
-            .map(|(j, v)| sanitize(&v.name, &format!("x{j}")))
+            .map(|(j, v)| sanitize(v.name.as_deref().unwrap_or(""), &format!("x{j}")))
             .collect();
 
         let mut out = String::new();
@@ -75,7 +81,7 @@ impl Problem {
         write_expr(&mut out, &obj_terms, &names);
         out.push_str("\nSubject To\n");
         for (i, con) in self.cons.iter().enumerate() {
-            let cname = sanitize(&con.name, &format!("c{i}"));
+            let cname = sanitize(con.name.as_deref().unwrap_or(""), &format!("c{i}"));
             let _ = write!(out, " {cname}: ");
             write_expr(&mut out, &con.terms, &names);
             let rel = match con.rel {

@@ -159,12 +159,16 @@ proptest! {
 /// exercising the presolve reductions specifically.
 #[allow(clippy::type_complexity)]
 fn singleton_heavy_data() -> impl Strategy<
-    Value = (usize, Vec<f64>, Vec<(usize, f64, f64)>, Vec<(Vec<f64>, f64)>),
+    Value = (
+        usize,
+        Vec<f64>,
+        Vec<(usize, f64, f64)>,
+        Vec<(Vec<f64>, f64)>,
+    ),
 > {
     (2usize..6, 1usize..4, 1usize..5).prop_flat_map(|(n, m_single, m_general)| {
         let c = proptest::collection::vec(-4.0..4.0f64, n);
-        let singles =
-            proptest::collection::vec((0usize..n, 0.5..3.0f64, 0.5..8.0f64), m_single);
+        let singles = proptest::collection::vec((0usize..n, 0.5..3.0f64, 0.5..8.0f64), m_single);
         let rows = proptest::collection::vec(
             (proptest::collection::vec(-2.0..2.0f64, n), 1.0..10.0f64),
             m_general,

@@ -68,7 +68,12 @@ pub fn minimize_box(
         let g = numeric_gradient(f, &x);
         let gnorm = g.iter().map(|v| v * v).sum::<f64>().sqrt();
         if gnorm < 1e-14 {
-            return GradientResult { x, f: fx, iterations: it, converged: true };
+            return GradientResult {
+                x,
+                f: fx,
+                iterations: it,
+                converged: true,
+            };
         }
 
         // Backtracking line search along the projected path.
@@ -99,7 +104,12 @@ pub fn minimize_box(
                 if dx < opts.x_tol * (1.0 + x.iter().map(|v| v.abs()).fold(0.0, f64::max))
                     || df < opts.f_tol * (1.0 + fx.abs())
                 {
-                    return GradientResult { x, f: fx, iterations: it + 1, converged: true };
+                    return GradientResult {
+                        x,
+                        f: fx,
+                        iterations: it + 1,
+                        converged: true,
+                    };
                 }
                 break;
             }
@@ -108,7 +118,12 @@ pub fn minimize_box(
         if !accepted {
             // No descent direction within the line-search budget: either at
             // a stationary point of the projection or the gradient is noise.
-            return GradientResult { x, f: fx, iterations: it, converged: true };
+            return GradientResult {
+                x,
+                f: fx,
+                iterations: it,
+                converged: true,
+            };
         }
     }
     GradientResult {
@@ -144,10 +159,12 @@ mod tests {
 
     #[test]
     fn rosenbrock_in_a_box() {
-        let f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let b = BoxBounds::new(vec![-2.0, -2.0], vec![2.0, 2.0]);
-        let opts = GradientOptions { max_iters: 60_000, ..GradientOptions::default() };
+        let opts = GradientOptions {
+            max_iters: 60_000,
+            ..GradientOptions::default()
+        };
         let r = minimize_box(&f, &b, &[-1.2, 1.0], &opts);
         // Plain PGD converges slowly on Rosenbrock; accept a loose ball.
         assert!(r.f < 1e-3, "f = {}, x = {:?}", r.f, r.x);

@@ -99,8 +99,9 @@ pub fn solve_penalty(
             }
             v
         };
-        let GradientResult { x: xi, iterations, .. } =
-            minimize_box(&merit, &nlp.bounds, &x, &opts.inner);
+        let GradientResult {
+            x: xi, iterations, ..
+        } = minimize_box(&merit, &nlp.bounds, &x, &opts.inner);
         x = xi;
         inner_total += iterations;
         if max_violation(nlp, &x) <= opts.feas_tol {
@@ -147,8 +148,9 @@ pub fn solve_augmented_lagrangian(
             }
             v
         };
-        let GradientResult { x: xi, iterations, .. } =
-            minimize_box(&merit, &nlp.bounds, &x, &opts.inner);
+        let GradientResult {
+            x: xi, iterations, ..
+        } = minimize_box(&merit, &nlp.bounds, &x, &opts.inner);
         x = xi;
         inner_total += iterations;
 
@@ -201,8 +203,7 @@ mod tests {
     #[test]
     fn augmented_lagrangian_matches_penalty() {
         let rp = solve_penalty(&simple_nlp(), &[0.0, 0.0], &PenaltyOptions::default());
-        let ra =
-            solve_augmented_lagrangian(&simple_nlp(), &[0.0, 0.0], &PenaltyOptions::default());
+        let ra = solve_augmented_lagrangian(&simple_nlp(), &[0.0, 0.0], &PenaltyOptions::default());
         assert!(ra.feasible);
         assert!((ra.objective - rp.objective).abs() < 2e-2);
         // AL should be at least as accurate on the active constraint.
@@ -220,7 +221,11 @@ mod tests {
         };
         let r = solve_augmented_lagrangian(&nlp, &[-0.5, -0.6], &PenaltyOptions::default());
         assert!(r.feasible, "violation {}", r.max_violation);
-        assert!((r.objective + std::f64::consts::SQRT_2).abs() < 1e-2, "f = {}", r.objective);
+        assert!(
+            (r.objective + std::f64::consts::SQRT_2).abs() < 1e-2,
+            "f = {}",
+            r.objective
+        );
     }
 
     #[test]
@@ -256,8 +261,8 @@ mod tests {
         let nlp = ConstrainedNlp {
             objective: Box::new(|x: &[f64]| x[0] * x[0]),
             inequalities: vec![
-                Box::new(|x: &[f64]| x[0] + 1.0),  // x <= -1
-                Box::new(|x: &[f64]| 1.0 - x[0]),  // x >= 1
+                Box::new(|x: &[f64]| x[0] + 1.0), // x <= -1
+                Box::new(|x: &[f64]| 1.0 - x[0]), // x >= 1
             ],
             equalities: vec![],
             bounds: BoxBounds::free(1),

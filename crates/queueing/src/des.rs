@@ -186,10 +186,7 @@ pub fn simulate_network(
             }
             Ev::Departure(i) => {
                 let q = &mut queues[i];
-                let arrived = q
-                    .fifo
-                    .pop_front()
-                    .expect("departure from an empty queue");
+                let arrived = q.fifo.pop_front().expect("departure from an empty queue");
                 if t >= warmup {
                     q.result.sojourn.push(t - arrived);
                     q.result.completed += 1;
@@ -231,13 +228,7 @@ pub fn simulate_network(
 }
 
 /// Convenience: simulate a single M/M/1 queue.
-pub fn simulate_mm1(
-    lambda: f64,
-    mu: f64,
-    horizon: f64,
-    warmup: f64,
-    seed: u64,
-) -> QueueResult {
+pub fn simulate_mm1(lambda: f64, mu: f64, horizon: f64, warmup: f64, seed: u64) -> QueueResult {
     simulate_network(
         &[QueueSpec {
             arrival_rate: lambda,
@@ -310,8 +301,14 @@ mod tests {
     #[test]
     fn network_queues_are_independent() {
         let specs = [
-            QueueSpec { arrival_rate: 2.0, service_rate: 10.0 },
-            QueueSpec { arrival_rate: 8.0, service_rate: 10.0 },
+            QueueSpec {
+                arrival_rate: 2.0,
+                service_rate: 10.0,
+            },
+            QueueSpec {
+                arrival_rate: 8.0,
+                service_rate: 10.0,
+            },
         ];
         let rs = simulate_network(&specs, 20_000.0, 1_000.0, 99);
         let a0 = Mm1::new(2.0, 10.0).mean_sojourn();
@@ -325,7 +322,10 @@ mod tests {
     #[test]
     fn idle_queue_produces_nothing() {
         let rs = simulate_network(
-            &[QueueSpec { arrival_rate: 0.0, service_rate: 5.0 }],
+            &[QueueSpec {
+                arrival_rate: 0.0,
+                service_rate: 5.0,
+            }],
             100.0,
             0.0,
             5,

@@ -75,8 +75,7 @@ mod tests {
         let mu = 6.0;
         let lr = simulate_mm1_lindley(lambda, mu, 300_000, 10_000, 9);
         let dr = simulate_mm1(lambda, mu, 80_000.0, 2_000.0, 9);
-        let rel =
-            (lr.sojourn.mean() - dr.sojourn.mean()).abs() / dr.sojourn.mean();
+        let rel = (lr.sojourn.mean() - dr.sojourn.mean()).abs() / dr.sojourn.mean();
         assert!(
             rel < 0.05,
             "lindley {} vs des {}",

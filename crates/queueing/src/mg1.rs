@@ -196,12 +196,8 @@ mod tests {
             ServiceDist::Hyperexponential { scv: 3.0 },
         ] {
             let n = 120_000;
-            let mean: f64 =
-                (0..n).map(|_| dist.sample(0.25, &mut rng)).sum::<f64>() / n as f64;
-            assert!(
-                (mean - 0.25).abs() < 0.01,
-                "{dist:?}: sampled mean {mean}"
-            );
+            let mean: f64 = (0..n).map(|_| dist.sample(0.25, &mut rng)).sum::<f64>() / n as f64;
+            assert!((mean - 0.25).abs() < 0.01, "{dist:?}: sampled mean {mean}");
         }
     }
 
@@ -212,8 +208,7 @@ mod tests {
         let n = 400_000;
         let samples: Vec<f64> = (0..n).map(|_| dist.sample(1.0, &mut rng)).collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
         let scv = var / (mean * mean);
         assert!((scv - 4.0).abs() < 0.3, "realized C^2 = {scv}");
     }
@@ -229,11 +224,7 @@ mod tests {
             let analytic = Mg1::new(7.0, 10.0, dist).mean_sojourn();
             let sim = simulate_mg1_lindley(7.0, 10.0, dist, 600_000, 20_000, 5);
             let rel = (sim.mean() - analytic).abs() / analytic;
-            assert!(
-                rel < 0.05,
-                "{dist:?}: sim {} vs P-K {analytic}",
-                sim.mean()
-            );
+            assert!(rel < 0.05, "{dist:?}: sim {} vs P-K {analytic}", sim.mean());
         }
     }
 }

@@ -21,7 +21,11 @@ impl Mmc {
         assert!(lambda.is_finite() && lambda >= 0.0, "bad lambda {lambda}");
         assert!(mu.is_finite() && mu > 0.0, "bad mu {mu}");
         assert!(servers >= 1, "need at least one server");
-        Mmc { lambda, mu, servers }
+        Mmc {
+            lambda,
+            mu,
+            servers,
+        }
     }
 
     /// Offered load `a = λ/µ` (in Erlangs).
@@ -99,7 +103,11 @@ mod tests {
     fn known_erlang_c_value() {
         // Textbook case: c = 2, a = 1 (ρ = 0.5) -> C = 1/3.
         let q = Mmc::new(1.0, 1.0, 2);
-        assert!((q.prob_wait() - 1.0 / 3.0).abs() < 1e-10, "{}", q.prob_wait());
+        assert!(
+            (q.prob_wait() - 1.0 / 3.0).abs() < 1e-10,
+            "{}",
+            q.prob_wait()
+        );
     }
 
     #[test]
@@ -118,10 +126,7 @@ mod tests {
         let mu = 1.0;
         let pooled = Mmc::new(lambda, mu, 2).mean_sojourn();
         let split = Mm1::new(lambda / 2.0, mu).mean_sojourn();
-        assert!(
-            pooled < split,
-            "pooled {pooled} should beat split {split}"
-        );
+        assert!(pooled < split, "pooled {pooled} should beat split {split}");
     }
 
     #[test]

@@ -97,13 +97,7 @@ pub fn constraint_series(tuf: &StepTuf, delta: f64) -> Vec<BigMConstraint> {
 }
 
 /// Checks whether `(r, u)` satisfies the whole series.
-pub fn series_satisfied(
-    series: &[BigMConstraint],
-    r: f64,
-    u: f64,
-    big_m: f64,
-    tol: f64,
-) -> bool {
+pub fn series_satisfied(series: &[BigMConstraint], r: f64, u: f64, big_m: f64, tol: f64) -> bool {
     series.iter().all(|c| c.satisfied(r, u, big_m, tol))
 }
 
@@ -132,9 +126,18 @@ mod tests {
 
     fn three() -> StepTuf {
         StepTuf::new(vec![
-            crate::step::Level { deadline: 0.2, utility: 30.0 },
-            crate::step::Level { deadline: 0.5, utility: 18.0 },
-            crate::step::Level { deadline: 1.0, utility: 6.0 },
+            crate::step::Level {
+                deadline: 0.2,
+                utility: 30.0,
+            },
+            crate::step::Level {
+                deadline: 0.5,
+                utility: 18.0,
+            },
+            crate::step::Level {
+                deadline: 1.0,
+                utility: 6.0,
+            },
         ])
         .unwrap()
     }

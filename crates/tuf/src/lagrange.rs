@@ -89,10 +89,7 @@ mod tests {
                 for q in 1..=n {
                     let v = lagrange_basis(n, i, q as f64);
                     let expect = if i == q { 1.0 } else { 0.0 };
-                    assert!(
-                        (v - expect).abs() < 1e-9,
-                        "L_{i}({q}) over n={n} was {v}"
-                    );
+                    assert!((v - expect).abs() < 1e-9, "L_{i}({q}) over n={n} was {v}");
                 }
             }
         }

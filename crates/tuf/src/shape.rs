@@ -39,7 +39,11 @@ impl Tuf {
                     0.0
                 }
             }
-            Tuf::LinearDecay { u0, u_end, deadline } => {
+            Tuf::LinearDecay {
+                u0,
+                u_end,
+                deadline,
+            } => {
                 if r <= 0.0 {
                     *u0
                 } else if r <= *deadline {
@@ -67,11 +71,13 @@ impl Tuf {
     pub fn to_step(&self, resolution: usize) -> Result<StepTuf, TufError> {
         match self {
             Tuf::Constant { utility, deadline } => StepTuf::constant(*utility, *deadline),
-            Tuf::LinearDecay { u0, u_end, deadline } => StepTuf::from_monotone(
-                |r| u0 + (u_end - u0) * r / deadline,
-                *deadline,
-                resolution,
-            ),
+            Tuf::LinearDecay {
+                u0,
+                u_end,
+                deadline,
+            } => {
+                StepTuf::from_monotone(|r| u0 + (u_end - u0) * r / deadline, *deadline, resolution)
+            }
             Tuf::Step(s) => Ok(s.clone()),
         }
     }
@@ -83,7 +89,10 @@ mod tests {
 
     #[test]
     fn constant_shape_eval() {
-        let t = Tuf::Constant { utility: 5.0, deadline: 1.0 };
+        let t = Tuf::Constant {
+            utility: 5.0,
+            deadline: 1.0,
+        };
         assert_eq!(t.eval(0.5), 5.0);
         assert_eq!(t.eval(1.5), 0.0);
         assert_eq!(t.deadline(), 1.0);
@@ -91,7 +100,11 @@ mod tests {
 
     #[test]
     fn linear_decay_interpolates() {
-        let t = Tuf::LinearDecay { u0: 10.0, u_end: 2.0, deadline: 2.0 };
+        let t = Tuf::LinearDecay {
+            u0: 10.0,
+            u_end: 2.0,
+            deadline: 2.0,
+        };
         assert_eq!(t.eval(0.0), 10.0);
         assert!((t.eval(1.0) - 6.0).abs() < 1e-12);
         assert!((t.eval(2.0) - 2.0).abs() < 1e-12);
@@ -100,7 +113,10 @@ mod tests {
 
     #[test]
     fn constant_to_step_is_one_level() {
-        let t = Tuf::Constant { utility: 5.0, deadline: 1.0 };
+        let t = Tuf::Constant {
+            utility: 5.0,
+            deadline: 1.0,
+        };
         let s = t.to_step(8).unwrap();
         assert_eq!(s.num_levels(), 1);
         assert_eq!(s.eval(0.7), 5.0);
@@ -108,7 +124,11 @@ mod tests {
 
     #[test]
     fn decay_to_step_underestimates_smoothly() {
-        let t = Tuf::LinearDecay { u0: 10.0, u_end: 1.0, deadline: 1.0 };
+        let t = Tuf::LinearDecay {
+            u0: 10.0,
+            u_end: 1.0,
+            deadline: 1.0,
+        };
         let s = t.to_step(20).unwrap();
         // Step approximation is conservative and converges from below.
         for i in 1..100 {

@@ -111,8 +111,14 @@ impl StepTuf {
     /// Two-level TUF (the paper's Eq. 10).
     pub fn two_level(u1: f64, d1: f64, u2: f64, d2: f64) -> Result<Self, TufError> {
         Self::new(vec![
-            Level { deadline: d1, utility: u1 },
-            Level { deadline: d2, utility: u2 },
+            Level {
+                deadline: d1,
+                utility: u1,
+            },
+            Level {
+                deadline: d2,
+                utility: u2,
+            },
         ])
     }
 
@@ -272,14 +278,8 @@ mod tests {
             StepTuf::two_level(4.0, 0.5, 10.0, 1.0),
             Err(TufError::BadUtilities)
         );
-        assert_eq!(
-            StepTuf::constant(-1.0, 1.0),
-            Err(TufError::BadUtilities)
-        );
-        assert_eq!(
-            StepTuf::constant(1.0, f64::NAN),
-            Err(TufError::NonFinite)
-        );
+        assert_eq!(StepTuf::constant(-1.0, 1.0), Err(TufError::BadUtilities));
+        assert_eq!(StepTuf::constant(1.0, f64::NAN), Err(TufError::NonFinite));
     }
 
     #[test]

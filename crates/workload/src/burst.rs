@@ -64,8 +64,7 @@ fn base_levels(cfg: &BurstConfig, rng: &mut StdRng) -> Vec<f64> {
     let mut log_dev = 0.0_f64; // log deviation from the mean rate
     for _ in 0..horizon {
         // AR(1): pull toward 0 with Gaussian-ish innovation (sum of uniforms).
-        let innovation: f64 =
-            (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * 0.35;
+        let innovation: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * 0.35;
         log_dev = (1.0 - cfg.reversion) * log_dev + innovation;
         let mut rate = cfg.mean_rate * log_dev.exp();
         if rng.gen_bool(cfg.burst_prob) {
@@ -119,8 +118,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(generate(&BurstConfig::default()), generate(&BurstConfig::default()));
-        let other = generate(&BurstConfig { seed: 99, ..BurstConfig::default() });
+        assert_eq!(
+            generate(&BurstConfig::default()),
+            generate(&BurstConfig::default())
+        );
+        let other = generate(&BurstConfig {
+            seed: 99,
+            ..BurstConfig::default()
+        });
         assert_ne!(generate(&BurstConfig::default()), other);
     }
 
@@ -144,8 +149,7 @@ mod tests {
             ..BurstConfig::default()
         };
         let tr = generate(&cfg);
-        let avg: f64 =
-            (0..tr.slots()).map(|t| tr.rate(t, 0, 0)).sum::<f64>() / tr.slots() as f64;
+        let avg: f64 = (0..tr.slots()).map(|t| tr.rate(t, 0, 0)).sum::<f64>() / tr.slots() as f64;
         assert!(
             (avg / cfg.mean_rate - 1.0).abs() < 0.25,
             "avg {avg} vs mean {}",
@@ -155,8 +159,18 @@ mod tests {
 
     #[test]
     fn bursts_create_spikes() {
-        let calm = BurstConfig { burst_prob: 0.0, slots: 200, seed: 5, ..BurstConfig::default() };
-        let bursty = BurstConfig { burst_prob: 0.5, slots: 200, seed: 5, ..BurstConfig::default() };
+        let calm = BurstConfig {
+            burst_prob: 0.0,
+            slots: 200,
+            seed: 5,
+            ..BurstConfig::default()
+        };
+        let bursty = BurstConfig {
+            burst_prob: 0.5,
+            slots: 200,
+            seed: 5,
+            ..BurstConfig::default()
+        };
         let max_ratio = |cfg: &BurstConfig| {
             let tr = generate(cfg);
             let rates: Vec<f64> = (0..tr.slots()).map(|t| tr.rate(t, 0, 0)).collect();
@@ -170,7 +184,11 @@ mod tests {
 
     #[test]
     fn all_rates_positive() {
-        let tr = generate(&BurstConfig { slots: 100, seed: 11, ..BurstConfig::default() });
+        let tr = generate(&BurstConfig {
+            slots: 100,
+            seed: 11,
+            ..BurstConfig::default()
+        });
         for t in 0..tr.slots() {
             assert!(tr.rate(t, 0, 0) > 0.0);
         }

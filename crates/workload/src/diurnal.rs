@@ -96,8 +96,8 @@ pub fn generate(cfg: &DiurnalConfig) -> Trace {
                 // Per-class shift: class k sees the curve k·shift hours ago.
                 let h = ((t + 24 - (k * cfg.class_shift_hours) % 24) % 24) as f64;
                 let shape = diurnal_shape(h, s);
-                let base = cfg.peak_rate
-                    * (cfg.floor_fraction + (1.0 - cfg.floor_fraction) * shape);
+                let base =
+                    cfg.peak_rate * (cfg.floor_fraction + (1.0 - cfg.floor_fraction) * shape);
                 let jitter = noise.as_ref().map_or(1.0, |n| n.sample(&mut rng));
                 row.push(base * jitter);
             }
@@ -125,13 +125,19 @@ mod tests {
         let a = generate(&DiurnalConfig::default());
         let b = generate(&DiurnalConfig::default());
         assert_eq!(a, b);
-        let c = generate(&DiurnalConfig { seed: 7, ..DiurnalConfig::default() });
+        let c = generate(&DiurnalConfig {
+            seed: 7,
+            ..DiurnalConfig::default()
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn night_is_quieter_than_evening() {
-        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let cfg = DiurnalConfig {
+            noise_sigma: 0.0,
+            ..DiurnalConfig::default()
+        };
         let tr = generate(&cfg);
         for s in 0..4 {
             let night = tr.rate(3, s, 0);
@@ -145,7 +151,10 @@ mod tests {
 
     #[test]
     fn rates_bounded_by_peak_and_floor() {
-        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let cfg = DiurnalConfig {
+            noise_sigma: 0.0,
+            ..DiurnalConfig::default()
+        };
         let tr = generate(&cfg);
         let floor = cfg.peak_rate * cfg.floor_fraction;
         for t in 0..tr.slots() {
@@ -179,7 +188,10 @@ mod tests {
 
     #[test]
     fn front_ends_have_distinct_profiles() {
-        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let cfg = DiurnalConfig {
+            noise_sigma: 0.0,
+            ..DiurnalConfig::default()
+        };
         let tr = generate(&cfg);
         // Day profiles differ: at least one hour where fe0 and fe1 diverge.
         let diverges = (0..24).any(|t| (tr.rate(t, 0, 0) - tr.rate(t, 1, 0)).abs() > 1.0);
@@ -191,11 +203,12 @@ mod tests {
         // The last hours of the day fall well below the daily peak — the
         // feature that makes Optimized and Balanced converge at the end of
         // Fig. 6.
-        let cfg = DiurnalConfig { noise_sigma: 0.0, ..DiurnalConfig::default() };
+        let cfg = DiurnalConfig {
+            noise_sigma: 0.0,
+            ..DiurnalConfig::default()
+        };
         let tr = generate(&cfg);
-        let peak: f64 = (0..24)
-            .map(|t| tr.offered_in_slot(t))
-            .fold(0.0, f64::max);
+        let peak: f64 = (0..24).map(|t| tr.offered_in_slot(t)).fold(0.0, f64::max);
         assert!(tr.offered_in_slot(23) < 0.5 * peak);
     }
 }

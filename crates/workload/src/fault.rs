@@ -157,9 +157,8 @@ mod tests {
         let bits = |tr: &Trace| -> Vec<u64> {
             (0..tr.slots())
                 .flat_map(|t| {
-                    (0..tr.front_ends()).flat_map(move |s| {
-                        (0..tr.classes()).map(move |k| (t, s, k))
-                    })
+                    (0..tr.front_ends())
+                        .flat_map(move |s| (0..tr.classes()).map(move |k| (t, s, k)))
                 })
                 .map(|(t, s, k)| tr.rate(t, s, k).to_bits())
                 .collect()

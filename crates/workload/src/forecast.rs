@@ -59,7 +59,11 @@ impl SeasonalNaive {
     /// `period` in slots (24 for daily seasonality on hourly slots).
     pub fn new(period: usize, initial: f64) -> Self {
         assert!(period > 0, "period must be positive");
-        SeasonalNaive { period, history: Vec::new(), initial }
+        SeasonalNaive {
+            period,
+            history: Vec::new(),
+            initial,
+        }
     }
 }
 
@@ -94,7 +98,11 @@ impl Ewma {
     /// `alpha ∈ (0, 1]`; larger reacts faster.
     pub fn new(alpha: f64, initial: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of (0,1]: {alpha}");
-        Ewma { alpha, level: initial, seeded: false }
+        Ewma {
+            alpha,
+            level: initial,
+            seeded: false,
+        }
     }
 }
 
@@ -135,7 +143,13 @@ impl ScalarKalman {
     /// Builds the filter; `q` and `r` must be positive.
     pub fn new(q: f64, r: f64, initial: f64) -> Self {
         assert!(q > 0.0 && r > 0.0, "noise variances must be positive");
-        ScalarKalman { q, r, x: initial, p: r, seeded: false }
+        ScalarKalman {
+            q,
+            r,
+            x: initial,
+            p: r,
+            seeded: false,
+        }
     }
 
     /// Current Kalman gain (diagnostic).
@@ -255,7 +269,11 @@ mod tests {
             let noise = if i % 2 == 0 { 2.0 } else { -2.0 };
             f.observe(100.0 + noise);
         }
-        assert!((f.predict() - 100.0).abs() < 0.5, "estimate {}", f.predict());
+        assert!(
+            (f.predict() - 100.0).abs() < 0.5,
+            "estimate {}",
+            f.predict()
+        );
         // Gain settles strictly inside (0, 1).
         let g = f.gain();
         assert!(g > 0.0 && g < 0.5, "gain {g}");
@@ -288,7 +306,11 @@ mod tests {
     #[test]
     fn seasonal_beats_naive_on_two_identical_days() {
         // 48 hours of a noiseless diurnal pattern: day 2 is predictable.
-        let day = generate(&DiurnalConfig { noise_sigma: 0.0, slots: 24, ..DiurnalConfig::default() });
+        let day = generate(&DiurnalConfig {
+            noise_sigma: 0.0,
+            slots: 24,
+            ..DiurnalConfig::default()
+        });
         let mut two_days = Vec::new();
         for rep in 0..2 {
             for t in 0..24 {
@@ -301,8 +323,7 @@ mod tests {
         let seasonal = forecast_trace(&trace, &SeasonalNaive::new(24, 0.0));
         // Compare only on day 2, where the seasonal filter has history.
         let day2 = |tr: &Trace| {
-            let rates: Vec<Vec<Vec<f64>>> =
-                (24..48).map(|t| tr.slot(t).clone()).collect();
+            let rates: Vec<Vec<Vec<f64>>> = (24..48).map(|t| tr.slot(t).clone()).collect();
             Trace::new(rates)
         };
         let e_naive = mape(&day2(&trace), &day2(&naive));

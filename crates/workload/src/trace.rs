@@ -48,7 +48,11 @@ impl TryFrom<Vec<Vec<Vec<f64>>>> for Trace {
                 }
             }
         }
-        Ok(Trace { rates, front_ends, classes })
+        Ok(Trace {
+            rates,
+            front_ends,
+            classes,
+        })
     }
 }
 
@@ -81,7 +85,11 @@ impl Trace {
                 }
             }
         }
-        Trace { rates, front_ends, classes }
+        Trace {
+            rates,
+            front_ends,
+            classes,
+        }
     }
 
     /// A single-slot trace from a `rates[front_end][class]` matrix.
@@ -109,7 +117,11 @@ impl Trace {
                 assert_eq!(row.len(), classes, "slot {t} fe {s}: class count differs");
             }
         }
-        Trace { rates, front_ends, classes }
+        Trace {
+            rates,
+            front_ends,
+            classes,
+        }
     }
 
     /// Number of slots.

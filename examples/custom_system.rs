@@ -35,8 +35,12 @@ fn main() {
             },
         ],
         front_ends: vec![
-            FrontEnd { name: "eu-west-edge".into() },
-            FrontEnd { name: "eu-central-edge".into() },
+            FrontEnd {
+                name: "eu-west-edge".into(),
+            },
+            FrontEnd {
+                name: "eu-central-edge".into(),
+            },
         ],
         data_centers: vec![
             DataCenter {
@@ -81,8 +85,7 @@ fn main() {
         ..DiurnalConfig::default()
     });
 
-    let optimized =
-        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
     let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
     println!("{}", summary_table(&optimized, &balanced));
     println!(

@@ -31,8 +31,8 @@ fn main() {
         SECTION_VII_START_HOUR,
     )
     .expect("optimizer");
-    let balanced = run(&mut BalancedPolicy, &system, &trace, SECTION_VII_START_HOUR)
-        .expect("baseline");
+    let balanced =
+        run(&mut BalancedPolicy, &system, &trace, SECTION_VII_START_HOUR).expect("baseline");
 
     println!("{}", summary_table(&optimized, &balanced));
 
@@ -60,11 +60,7 @@ fn main() {
 
 /// Fraction of a class's offered requests that were dispatched and
 /// completed (per-class view of the run).
-fn class_completion(
-    run: &palb::core::RunResult,
-    trace: &palb::workload::Trace,
-    k: usize,
-) -> f64 {
+fn class_completion(run: &palb::core::RunResult, trace: &palb::workload::Trace, k: usize) -> f64 {
     let mut offered = 0.0;
     let mut served = 0.0;
     for (t, slot) in run.slots.iter().enumerate() {

@@ -17,15 +17,23 @@ fn main() {
     let system = presets::section_v();
     system.validate().expect("preset is valid");
 
-    println!("system: {} classes, {} front-ends, {} data centers, {} servers total\n",
+    println!(
+        "system: {} classes, {} front-ends, {} data centers, {} servers total\n",
         system.num_classes(),
         system.num_front_ends(),
         system.num_dcs(),
-        system.total_servers());
+        system.total_servers()
+    );
 
     for (label, rates) in [
-        ("LOW arrival rates (Table II-a)", presets::section_v_low_arrivals()),
-        ("HIGH arrival rates (Table II-b)", presets::section_v_high_arrivals()),
+        (
+            "LOW arrival rates (Table II-a)",
+            presets::section_v_low_arrivals(),
+        ),
+        (
+            "HIGH arrival rates (Table II-b)",
+            presets::section_v_high_arrivals(),
+        ),
     ] {
         let trace = constant_trace(rates, 1);
 

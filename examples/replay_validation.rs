@@ -31,7 +31,10 @@ fn replay(policy: &mut dyn Policy, label: &str) {
         }
         let l = dims.dc_of_server(sv);
         let service = dispatch.phi_by_server(k, sv) * system.data_centers[l.0].full_rate(k);
-        specs.push(QueueSpec { arrival_rate: lam, service_rate: service });
+        specs.push(QueueSpec {
+            arrival_rate: lam,
+            service_rate: service,
+        });
         meta.push((k, lam, service));
     }
     let horizon = 3_000.0;

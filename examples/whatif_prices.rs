@@ -30,8 +30,7 @@ fn main() {
         let mut system = presets::section_vii();
         system.data_centers[0].prices = system.data_centers[0].prices.scaled(mult);
 
-        let opt =
-            run(&mut OptimizedPolicy::exact(), &system, &trace, start).expect("optimizer");
+        let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, start).expect("optimizer");
         let bal = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
         let share = dispatch_share(&system, &opt, ClassId(1))[0].1;
         println!(

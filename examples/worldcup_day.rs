@@ -18,17 +18,18 @@ fn main() {
         ..DiurnalConfig::default()
     });
 
-    let optimized =
-        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
     let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
 
     println!("hourly net profit ($):");
     print!("{}", net_profit_csv(&optimized, &balanced));
 
-    println!("\ntotals: optimized ${:.0} vs balanced ${:.0} ({:.1}% more)",
+    println!(
+        "\ntotals: optimized ${:.0} vs balanced ${:.0} ({:.1}% more)",
         optimized.total_net_profit(),
         balanced.total_net_profit(),
-        100.0 * (optimized.total_net_profit() / balanced.total_net_profit() - 1.0));
+        100.0 * (optimized.total_net_profit() / balanced.total_net_profit() - 1.0)
+    );
     println!(
         "completion: optimized {:.2}% vs balanced {:.2}%",
         100.0 * optimized.completion_ratio(),

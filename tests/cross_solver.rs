@@ -110,7 +110,10 @@ fn symmetry_breaking_equals_plain_on_random_batch() {
             &sys,
             &rates,
             i,
-            &BbOptions { symmetry_breaking: false, ..BbOptions::default() },
+            &BbOptions {
+                symmetry_breaking: false,
+                ..BbOptions::default()
+            },
         )
         .unwrap();
         let sym = solve_bb(&sys, &rates, i, &BbOptions::default()).unwrap();

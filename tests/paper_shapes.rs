@@ -40,17 +40,23 @@ fn section_v_heavy_load_processes_more_requests() {
 #[test]
 fn section_vi_gap_opens_midday_and_closes_at_night() {
     let system = presets::section_vi();
-    let trace = diurnal(&DiurnalConfig { peak_rate: 80_000.0, ..DiurnalConfig::default() });
+    let trace = diurnal(&DiurnalConfig {
+        peak_rate: 80_000.0,
+        ..DiurnalConfig::default()
+    });
     let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
     let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
 
-    let rel_gap = |i: usize| {
-        (opt.slots[i].net_profit - bal.slots[i].net_profit) / bal.slots[i].net_profit
-    };
+    let rel_gap =
+        |i: usize| (opt.slots[i].net_profit - bal.slots[i].net_profit) / bal.slots[i].net_profit;
     // Largest mid-day gap dwarfs the end-of-trace gap (Fig. 6 convergence).
     let midday: f64 = (10..21).map(rel_gap).fold(0.0, f64::max);
     assert!(midday > 0.10, "midday gap {midday}");
-    assert!(rel_gap(23) < 0.5 * midday, "no convergence: {} vs {midday}", rel_gap(23));
+    assert!(
+        rel_gap(23) < 0.5 * midday,
+        "no convergence: {} vs {midday}",
+        rel_gap(23)
+    );
 }
 
 #[test]
@@ -101,7 +107,10 @@ fn uniform_solver_is_a_lower_bound_for_exact() {
 fn every_decision_is_feasible_across_a_whole_day() {
     use palb::core::check_feasible;
     let system = presets::section_vi();
-    let trace = diurnal(&DiurnalConfig { peak_rate: 80_000.0, ..DiurnalConfig::default() });
+    let trace = diurnal(&DiurnalConfig {
+        peak_rate: 80_000.0,
+        ..DiurnalConfig::default()
+    });
     for policy_is_opt in [true, false] {
         let result = if policy_is_opt {
             run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap()
