@@ -1,0 +1,67 @@
+//! Shim rand: splitmix64/xoshiro-style StdRng covering the APIs the
+//! workspace uses (`seed_from_u64`, `gen_bool`, f64 `gen_range`).
+//! Different stream than real rand — statistical tests still hold,
+//! seed-value-exact tests do not (none rely on that in scratch runs).
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait Rng: RngCore {
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+    fn gen_range(&mut self, r: std::ops::Range<f64>) -> f64 {
+        r.start + (r.end - r.start) * self.next_f64()
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xorshift64* seeded through splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 2],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            StdRng {
+                s: [splitmix64(&mut st), splitmix64(&mut st)],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoroshiro128+
+            let s0 = self.s[0];
+            let mut s1 = self.s[1];
+            let out = s0.wrapping_add(s1);
+            s1 ^= s0;
+            self.s[0] = s0.rotate_left(55) ^ s1 ^ (s1 << 14);
+            self.s[1] = s1.rotate_left(36);
+            out
+        }
+    }
+}

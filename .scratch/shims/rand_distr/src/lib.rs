@@ -1,0 +1,124 @@
+//! Shim rand_distr: exact inverse-transform / Box-Muller samplers for the
+//! distributions the workspace draws from (Exp, LogNormal, Poisson,
+//! Pareto).
+use rand::Rng;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+impl std::error::Error for Error {}
+
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error)
+        }
+    }
+}
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller (one draw per call; the twin variate is discarded).
+    let mut u1 = rng.gen_range(0.0..1.0);
+    if u1 <= f64::MIN_POSITIVE {
+        u1 = f64::MIN_POSITIVE;
+    }
+    let u2 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    mean: f64,
+}
+impl Poisson {
+    pub fn new(mean: f64) -> Result<Self, Error> {
+        if mean > 0.0 && mean.is_finite() {
+            Ok(Poisson { mean })
+        } else {
+            Err(Error)
+        }
+    }
+}
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 30.0 {
+            // Knuth's product method.
+            let l = (-self.mean).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen_range(0.0..1.0);
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation, adequate for workload-scale means.
+            let z = standard_normal(rng);
+            (self.mean + self.mean.sqrt() * z).round().max(0.0)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+impl Pareto {
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale > 0.0 && shape > 0.0 {
+            Ok(Pareto { scale, shape })
+        } else {
+            Err(Error)
+        }
+    }
+}
+impl Distribution<f64> for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = 1.0 - rng.gen_range(0.0..1.0);
+        self.scale * u.powf(-1.0 / self.shape)
+    }
+}

@@ -1,0 +1,24 @@
+//! Shim rayon: sequential stand-in exposing the iterator entry points the
+//! workspace uses. Semantics match rayon for pure per-item maps (which is
+//! how the workspace uses it); there is no actual parallelism here.
+pub mod prelude {
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: 'a;
+        type RefIter: Iterator<Item = Self::Item>;
+        fn par_iter(&'a self) -> Self::RefIter;
+    }
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type RefIter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::RefIter {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,2 @@
+//! Shim serde: re-exports the no-op derives.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,14 @@
+//! No-op Serialize/Deserialize derives: accept `#[serde(...)]` attributes
+//! and expand to nothing. Enough to compile crates that only *derive* the
+//! traits; anything that actually serializes through serde stays CI-only.
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

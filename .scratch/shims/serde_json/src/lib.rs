@@ -1,0 +1,544 @@
+//! Shim serde_json: a hand-rolled `Value`, `json!` macro, serializer and
+//! parser covering the subset the palb workspace uses (hand-built `Value`
+//! trees + round-trip through text). Typed deserialization (`System`,
+//! `Trace`, ...) is NOT supported — the crates that need it are CI-only.
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value (numbers are f64, objects are sorted like default
+/// serde_json).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_u64() == Some(*other as u64)
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Conversion into `Value` used by `json!` / `to_value`. Implemented
+/// by reference so the macro never consumes its operands.
+pub trait AsJson {
+    fn as_json(&self) -> Value;
+}
+
+impl<T: AsJson + ?Sized> AsJson for &T {
+    fn as_json(&self) -> Value {
+        (**self).as_json()
+    }
+}
+impl AsJson for Value {
+    fn as_json(&self) -> Value {
+        self.clone()
+    }
+}
+impl AsJson for bool {
+    fn as_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl AsJson for str {
+    fn as_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl AsJson for String {
+    fn as_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl AsJson for f64 {
+    fn as_json(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+impl AsJson for f32 {
+    fn as_json(&self) -> Value {
+        (*self as f64).as_json()
+    }
+}
+macro_rules! asjson_int {
+    ($($t:ty),*) => {$(
+        impl AsJson for $t {
+            fn as_json(&self) -> Value { Value::Number(*self as f64) }
+        }
+    )*};
+}
+asjson_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: AsJson> AsJson for Option<T> {
+    fn as_json(&self) -> Value {
+        match self {
+            Some(v) => v.as_json(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: AsJson> AsJson for Vec<T> {
+    fn as_json(&self) -> Value {
+        Value::Array(self.iter().map(AsJson::as_json).collect())
+    }
+}
+impl<T: AsJson> AsJson for [T] {
+    fn as_json(&self) -> Value {
+        Value::Array(self.iter().map(AsJson::as_json).collect())
+    }
+}
+
+/// `serde_json::to_value` equivalent for the shimmed types.
+pub fn to_value<T: AsJson + ?Sized>(v: &T) -> Value {
+    v.as_json()
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec: Vec<$crate::Value> = Vec::new();
+        $crate::json_arr!(vec $($tt)*);
+        $crate::Value::Array(vec)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map: std::collections::BTreeMap<String, $crate::Value> =
+            std::collections::BTreeMap::new();
+        $crate::json_obj!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_obj {
+    ($map:ident) => {};
+    ($map:ident $k:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($k.to_string(), $crate::Value::Null);
+        $($crate::json_obj!($map $($rest)*);)?
+    };
+    ($map:ident $k:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($k.to_string(), $crate::json!({ $($inner)* }));
+        $($crate::json_obj!($map $($rest)*);)?
+    };
+    ($map:ident $k:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($k.to_string(), $crate::json!([ $($inner)* ]));
+        $($crate::json_obj!($map $($rest)*);)?
+    };
+    ($map:ident $k:literal : $v:expr $(, $($rest:tt)*)?) => {
+        $map.insert($k.to_string(), $crate::to_value(&$v));
+        $($crate::json_obj!($map $($rest)*);)?
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_arr {
+    ($vec:ident) => {};
+    ($vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $($crate::json_arr!($vec $($rest)*);)?
+    };
+    ($vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $($crate::json_arr!($vec $($rest)*);)?
+    };
+    ($vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $($crate::json_arr!($vec $($rest)*);)?
+    };
+    ($vec:ident $v:expr $(, $($rest:tt)*)?) => {
+        $vec.push($crate::to_value(&$v));
+        $($crate::json_arr!($vec $($rest)*);)?
+    };
+}
+
+/// Serialization / parse error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, n: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::String(s) => escape(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(item, out, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(item, out, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize compactly.
+pub fn to_string<T: AsJson + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&v.as_json(), &mut out, 0, false);
+    Ok(out)
+}
+
+/// Serialize with 2-space indentation.
+pub fn to_string_pretty<T: AsJson + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&v.as_json(), &mut out, 0, true);
+    Ok(out)
+}
+
+/// Targets of the shim's `from_str` (only `Value` is parseable).
+pub trait FromJson: Sized {
+    fn from_json(v: Value) -> Result<Self, Error>;
+}
+impl FromJson for Value {
+    fn from_json(v: Value) -> Result<Self, Error> {
+        Ok(v)
+    }
+}
+
+/// Parse a JSON document.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(Error(format!("trailing garbage at byte {}", p.i)));
+    }
+    T::from_json(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+    fn eat(&mut self, c: u8) -> Result<(), Error> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                c as char, self.i
+            )))
+        }
+    }
+    fn lit(&mut self, s: &str, v: Value) -> Result<Value, Error> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.i)))
+        }
+    }
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut a = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Array(a));
+                }
+                loop {
+                    self.ws();
+                    a.push(self.value()?);
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Array(a));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut o = BTreeMap::new();
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Value::Object(o));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    self.ws();
+                    o.insert(k, self.value()?);
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Object(o));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                let start = self.i;
+                self.i += 1;
+                while self
+                    .peek()
+                    .is_some_and(|c| c.is_ascii_digit() || b".eE+-".contains(&c))
+                {
+                    self.i += 1;
+                }
+                let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+                text.parse::<f64>()
+                    .map(Value::Number)
+                    .map_err(|e| Error(format!("bad number '{text}': {e}")))
+            }
+            _ => Err(Error(format!("unexpected byte at {}", self.i))),
+        }
+    }
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
+                                .map_err(|_| Error("bad \\u".into()))?;
+                            let n = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u".into()))?;
+                            s.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| Error("bad utf8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+}

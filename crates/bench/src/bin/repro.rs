@@ -90,6 +90,30 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             }
+            // Thread-scaling sweep of the parallel search. Drift beyond
+            // the documented gap band always fails (bitwise equality is
+            // additionally reported per point); the wall-clock gate only
+            // applies where real cores exist to win on.
+            let t = solver_perf::thread_scaling(5, &solver_perf::DEFAULT_THREAD_SWEEP, 3);
+            println!();
+            print!("{}", solver_perf::render_thread_scaling(&t));
+            if !t.all_within_gap_band() {
+                eprintln!(
+                    "solver-perf: incumbent drifted beyond the gap band across thread counts"
+                );
+                return ExitCode::FAILURE;
+            }
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            if cores >= 2 && t.best_parallel_speedup() < 1.0 {
+                eprintln!(
+                    "solver-perf: parallel search slower than sequential on {} cores ({:.2}x)",
+                    cores,
+                    t.best_parallel_speedup()
+                );
+                return ExitCode::FAILURE;
+            }
         }
         "all" => {
             print!("{}", foundations::fig1());

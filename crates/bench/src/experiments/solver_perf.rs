@@ -69,6 +69,161 @@ impl SolverPerf {
     }
 }
 
+/// One point of the thread-scaling sweep: the same Fig. 11 instance solved
+/// with `threads` branch-and-bound workers.
+pub struct ThreadScalingPoint {
+    /// Worker threads requested (`BbOptions::threads`).
+    pub threads: usize,
+    /// Wall-clock, best of `reps`, ms.
+    pub ms: f64,
+    /// `sequential_ms / ms` (1.0 for the reference point).
+    pub speedup: f64,
+    /// Frontier subtrees handed to the workers (0 on the sequential path).
+    pub subtrees: usize,
+    /// Workers that actually participated.
+    pub threads_used: usize,
+    /// Incumbent profit, dispatch, assignment and optimality proof agree
+    /// to the bit with the sequential reference.
+    pub bitwise_equal: bool,
+    /// Incumbent satisfies the documented determinism contract: bitwise
+    /// equality, or (on a degenerate near-tie plateau) an objective within
+    /// `gap_tol` of the sequential reference with the same proof status.
+    pub within_gap_band: bool,
+}
+
+/// Thread-scaling sweep of the deterministic parallel branch-and-bound on
+/// the Fig. 11 reference configuration.
+pub struct ThreadScaling {
+    /// Servers per data center of the instance swept.
+    pub servers: usize,
+    /// Timing repetitions per point.
+    pub reps: usize,
+    /// Wall-clock of the sequential (`threads = 1`) reference, ms.
+    pub sequential_ms: f64,
+    /// One point per requested thread count, in sweep order.
+    pub points: Vec<ThreadScalingPoint>,
+}
+
+impl ThreadScaling {
+    /// Whether every point's incumbent matched the sequential reference.
+    pub fn all_bitwise_equal(&self) -> bool {
+        self.points.iter().all(|p| p.bitwise_equal)
+    }
+
+    /// Whether every point satisfied the determinism contract (bitwise, or
+    /// within the `gap_tol` band on a near-tie plateau). This is the hard
+    /// repro gate; [`Self::all_bitwise_equal`] is reported alongside it.
+    pub fn all_within_gap_band(&self) -> bool {
+        self.points.iter().all(|p| p.within_gap_band)
+    }
+
+    /// Best speedup achieved by any point with `threads >= 2` (0.0 when
+    /// the sweep had no parallel point).
+    pub fn best_parallel_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.threads >= 2)
+            .map(|p| p.speedup)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The default sweep the repro target and the CLI run: 1/2/4/8 workers.
+pub const DEFAULT_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Sweeps `threads` over the Fig. 11 instance at `servers` per data
+/// center, timing each count and checking every incumbent against the
+/// sequential reference: bit-for-bit in the generic case, within the
+/// `gap_tol` band on degenerate near-tie plateaus.
+pub fn thread_scaling(servers: usize, threads: &[usize], reps: usize) -> ThreadScaling {
+    let (sys, scaled, slot) = fig11_instance(servers);
+    let (sequential_ms, reference) = best_of(reps, || {
+        solve_bb(&sys, &scaled, slot, &BbOptions::default()).expect("sequential bb")
+    });
+    let points = threads
+        .iter()
+        .map(|&t| {
+            let opts = BbOptions {
+                threads: t,
+                ..BbOptions::default()
+            };
+            let (ms, r) = best_of(reps, || {
+                solve_bb(&sys, &scaled, slot, &opts).expect("parallel bb")
+            });
+            let bitwise_equal =
+                incumbents_match(&reference, &r) && reference.proven_optimal == r.proven_optimal;
+            // The contract's near-tie carve-out (`BbOptions::threads`): on
+            // a degenerate plateau the incumbent may land on a different
+            // leaf, but never beyond the gap band, and never with a
+            // different proof status.
+            let band = opts.gap_tol * (1.0 + reference.solve.objective.abs());
+            let within_gap_band = bitwise_equal
+                || ((reference.solve.objective - r.solve.objective).abs() <= band
+                    && reference.proven_optimal == r.proven_optimal);
+            ThreadScalingPoint {
+                threads: t,
+                ms,
+                speedup: if ms > 0.0 {
+                    sequential_ms / ms
+                } else {
+                    f64::INFINITY
+                },
+                subtrees: r.stats.subtrees,
+                threads_used: r.stats.threads_used,
+                bitwise_equal,
+                within_gap_band,
+            }
+        })
+        .collect();
+    ThreadScaling {
+        servers,
+        reps,
+        sequential_ms,
+        points,
+    }
+}
+
+/// Renders a thread-scaling sweep as a report section.
+pub fn render_thread_scaling(t: &ThreadScaling) -> String {
+    let mut out = format!(
+        "# Thread scaling: deterministic parallel B&B (Fig 11 config, {} servers/dc)\n\
+         threads,ms,speedup,subtrees,threads_used,bitwise_equal,within_gap_band\n",
+        t.servers
+    );
+    for p in &t.points {
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{},{},{},{}\n",
+            p.threads,
+            p.ms,
+            p.speedup,
+            p.subtrees,
+            p.threads_used,
+            p.bitwise_equal,
+            p.within_gap_band,
+        ));
+    }
+    out.push_str(&format!(
+        "\nsequential reference: {:.2} ms (best of {} reps)\n\
+         incumbents bitwise-identical across thread counts: {}\n\
+         incumbents within the determinism contract (gap band): {}\n",
+        t.sequential_ms,
+        t.reps,
+        t.all_bitwise_equal(),
+        t.all_within_gap_band(),
+    ));
+    out.push_str(
+        "\nreading: the tree is expanded to a lexicographic frontier of \
+         subtree roots, each worker owns a warm-start workspace, and the \
+         shared incumbent objective only prunes strictly-worse nodes — so \
+         the returned profit, dispatch and level assignment are identical \
+         at every thread count outside degenerate near-tie plateaus, where \
+         they may differ within the gap tolerance (see DESIGN.md); only \
+         wall-clock changes otherwise. Speedups require real cores; on a \
+         single-CPU host the parallel points only pay thread overhead.\n",
+    );
+    out
+}
+
 /// The Fig. 11 reference instance at `m` servers per data center.
 pub fn fig11_instance(m: usize) -> (System, Vec<Vec<f64>>, usize) {
     let trace = section_vii_trace();
@@ -136,9 +291,17 @@ pub fn study(max_servers: usize, reps: usize) -> SolverPerf {
     SolverPerf { points, reps }
 }
 
-/// Renders the study as a report.
+/// Renders the study as a report, followed by the thread-scaling sweep on
+/// the largest instance.
 pub fn report(max_servers: usize) -> String {
-    render(&study(max_servers, 3))
+    let mut out = render(&study(max_servers, 3));
+    out.push('\n');
+    out.push_str(&render_thread_scaling(&thread_scaling(
+        max_servers,
+        &DEFAULT_THREAD_SWEEP,
+        3,
+    )));
+    out
 }
 
 /// Renders an already-run study.
@@ -227,6 +390,37 @@ mod tests {
                 p.stats.warm_hit_rate()
             );
             assert!(p.nodes > 0);
+        }
+    }
+
+    /// The parallel acceptance criterion: every thread count satisfies the
+    /// determinism contract — the sequential incumbent bit-for-bit, or (on
+    /// a degenerate near-tie plateau) an objective within the gap band with
+    /// the same proof status. (The ≥2x-at-4-threads headline is gated by
+    /// the `solver-perf` repro target, and only on multi-core hosts; this
+    /// debug-profile test checks determinism, not timing.)
+    #[test]
+    fn thread_sweep_is_bitwise_deterministic() {
+        let t = thread_scaling(3, &[1, 2, 4], 1);
+        assert!(
+            t.all_within_gap_band(),
+            "incumbent drifted beyond the gap band across threads"
+        );
+        assert!(
+            t.points[0].bitwise_equal,
+            "threads = 1 is the sequential algorithm itself"
+        );
+        assert_eq!(t.points.len(), 3);
+        assert_eq!(t.points[0].threads_used, 1, "t=1 takes the sequential path");
+        assert_eq!(t.points[0].subtrees, 0, "t=1 hands out no subtrees");
+        for p in &t.points[1..] {
+            assert!(p.threads_used >= 2, "parallel path should engage");
+            assert!(
+                p.subtrees >= 4 * p.threads_used.min(p.threads),
+                "frontier should oversubscribe: {} subtrees for {} workers",
+                p.subtrees,
+                p.threads_used
+            );
         }
     }
 }

@@ -8,7 +8,7 @@ use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
 
 use crate::experiments::fault_tolerance::FaultToleranceResult;
-use crate::experiments::solver_perf::SolverPerf;
+use crate::experiments::solver_perf::{SolverPerf, ThreadScaling};
 
 /// Serializes a slot's health record (`null` for nominal slots without
 /// one).
@@ -38,11 +38,42 @@ fn solver_stats_to_json(s: &palb_core::SolverStats) -> Value {
         "cold_solves": s.cold_solves,
         "cold_pivots": s.cold_pivots,
         "pivots_saved": s.pivots_saved(),
+        "subtrees": s.subtrees,
+        "threads_used": s.threads_used,
     })
 }
 
-/// Serializes a solver-perf study (cold rebuild vs incremental workspace).
-pub fn solver_perf_to_json(s: &SolverPerf) -> Value {
+/// Serializes a thread-scaling sweep of the parallel branch-and-bound.
+pub fn thread_scaling_to_json(t: &ThreadScaling) -> Value {
+    let points: Vec<Value> = t
+        .points
+        .iter()
+        .map(|p| {
+            json!({
+                "threads": p.threads,
+                "ms": p.ms,
+                "speedup": p.speedup,
+                "subtrees": p.subtrees,
+                "threads_used": p.threads_used,
+                "bitwise_equal": p.bitwise_equal,
+                "within_gap_band": p.within_gap_band,
+            })
+        })
+        .collect();
+    json!({
+        "servers": t.servers,
+        "reps": t.reps,
+        "sequential_ms": t.sequential_ms,
+        "best_parallel_speedup": t.best_parallel_speedup(),
+        "all_bitwise_equal": t.all_bitwise_equal(),
+        "all_within_gap_band": t.all_within_gap_band(),
+        "points": points,
+    })
+}
+
+/// Serializes a solver-perf study (cold rebuild vs incremental workspace),
+/// with the thread-scaling sweep attached when one was run.
+pub fn solver_perf_to_json(s: &SolverPerf, sweep: Option<&ThreadScaling>) -> Value {
     let points: Vec<Value> = s
         .points
         .iter()
@@ -63,6 +94,7 @@ pub fn solver_perf_to_json(s: &SolverPerf) -> Value {
         "overall_speedup": s.overall_speedup(),
         "all_bitwise_equal": s.all_bitwise_equal(),
         "points": points,
+        "thread_scaling": sweep.map(thread_scaling_to_json),
     })
 }
 
@@ -193,7 +225,21 @@ mod tests {
         assert!(s.all_bitwise_equal());
         assert_eq!(s.points.len(), 1);
         assert!(s.points[0].stats.warm_attempts > 0);
-        let _ = solver_perf_to_json(&s);
+        let v = solver_perf_to_json(&s, None);
+        assert!(v["thread_scaling"].is_null());
+    }
+
+    #[test]
+    fn thread_scaling_json_carries_determinism_verdict() {
+        let t = crate::experiments::solver_perf::thread_scaling(2, &[1, 2], 1);
+        let v = thread_scaling_to_json(&t);
+        // The hard contract holds on every instance; bitwise equality is
+        // reported but may legitimately be false on a near-tie plateau.
+        assert_eq!(v["all_within_gap_band"], serde_json::json!(true));
+        assert!(v["all_bitwise_equal"].as_bool().is_some());
+        assert_eq!(v["points"].as_array().unwrap().len(), 2);
+        let full = solver_perf_to_json(&crate::experiments::solver_perf::study(2, 1), Some(&t));
+        assert!(full["thread_scaling"]["sequential_ms"].as_f64().unwrap() >= 0.0);
     }
 
     #[test]

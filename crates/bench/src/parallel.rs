@@ -49,9 +49,13 @@ where
         .into_par_iter()
         .map(|t| {
             let mut policy = make_policy();
+            // Slot 0's task reads the display name off the policy it
+            // already built, so the factory is never invoked just to be
+            // asked for a string and dropped.
+            let name = (t == 0).then(|| policy.name().to_owned());
             let slot = start_slot + t;
             let rates = clean.slot(t);
-            match policy.decide(system, rates, slot) {
+            let outcome = match policy.decide(system, rates, slot) {
                 Ok(dispatch) => {
                     let mut outcome = evaluate(system, rates, slot, &dispatch);
                     outcome.health = merge_repairs(policy.take_health(), repairs[t]);
@@ -62,14 +66,20 @@ where
                     slot,
                     error,
                 }),
-            }
+            };
+            (name, outcome)
         })
         .collect();
-    let name = make_policy().name().to_owned();
+    // `Trace` guarantees at least one slot, so slot 0's task always
+    // recorded the display name — no policy is ever built just for it.
+    let name = per_slot
+        .first()
+        .and_then(|(n, _)| n.clone())
+        .expect("a trace has at least one slot and slot 0 records the name");
     let mut slots = Vec::new();
     let mut decisions = Vec::new();
     let mut failures = Vec::new();
-    for r in per_slot {
+    for (_, r) in per_slot {
         match r {
             Ok((outcome, dispatch)) => {
                 slots.push(outcome);
@@ -151,6 +161,28 @@ mod tests {
     fn assert_outcomes_identical(a: &RunResult, b: &RunResult) {
         assert_eq!(format!("{:?}", a.slots), format!("{:?}", b.slots));
         assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn name_comes_from_a_slot_policy_not_a_throwaway() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 3);
+        let built = AtomicUsize::new(0);
+        let par = run_parallel_partial(
+            || {
+                built.fetch_add(1, Ordering::Relaxed);
+                BalancedPolicy
+            },
+            &sys,
+            &trace,
+            0,
+        );
+        assert_eq!(par.result.policy, "Balanced");
+        assert!(par.failures.is_empty());
+        // Exactly one policy per slot; none constructed just to be asked
+        // for its display name and dropped.
+        assert_eq!(built.load(Ordering::Relaxed), trace.slots());
     }
 
     #[test]

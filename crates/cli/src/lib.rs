@@ -83,7 +83,7 @@ pub fn usage() -> String {
      \x20 trace <diurnal|burst> [--peak R] [--mean R] [--slots N]\n\
      \x20       [--front-ends N] [--classes N] [--seed S]       print a trace as JSON\n\
      \x20 run --system FILE --trace FILE [--policy optimized|balanced|quantile=P]\n\
-     \x20     [--start N] [--json]                               run and summarize\n\
+     \x20     [--start N] [--solver-threads N] [--json]          run and summarize\n\
      \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n\
      \x20 fault-tolerance [--fault-rate R] [--seed S] [--json]   degraded-mode study\n\
      \x20 solver-perf [--servers N] [--json]       warm-start vs cold-rebuild study\n"
@@ -173,10 +173,22 @@ pub fn load_trace(path: &str) -> Result<Trace, String> {
     serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Builds the policy named on the command line.
+/// Builds the policy named on the command line (single-threaded solver).
 pub fn make_policy(spec: &str) -> Result<Box<dyn Policy>, String> {
+    make_policy_with(spec, 1)
+}
+
+/// Builds the policy named on the command line, with `threads` worker
+/// threads for the exact branch-and-bound solver (`--solver-threads`).
+/// Thread count changes wall-clock only, never results outside the
+/// solver's documented near-tie tolerance (see `BbOptions::threads`);
+/// policies that do not use the exact solver ignore it.
+pub fn make_policy_with(spec: &str, threads: usize) -> Result<Box<dyn Policy>, String> {
+    if threads == 0 {
+        return Err("--solver-threads must be at least 1".to_string());
+    }
     if spec == "optimized" {
-        return Ok(Box::new(OptimizedPolicy::exact()));
+        return Ok(Box::new(OptimizedPolicy::exact_threads(threads)));
     }
     if spec == "balanced" {
         return Ok(Box::new(BalancedPolicy));
@@ -234,9 +246,10 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
     let trace = load_trace(cli.options.get("trace").ok_or("run needs --trace FILE")?)?;
     compatible(&system, &trace)?;
     let start = opt_usize(cli, "start", 0)?;
+    let threads = opt_usize(cli, "solver-threads", 1)?;
     let default_policy = "optimized".to_string();
     let policy_spec = cli.options.get("policy").unwrap_or(&default_policy);
-    let mut policy = make_policy(policy_spec)?;
+    let mut policy = make_policy_with(policy_spec, threads)?;
     let result = run(policy.as_mut(), &system, &trace, start).map_err(|e| e.to_string())?;
     if cli.options.contains_key("json") {
         Ok(run_result_json(&system, &result))
@@ -305,7 +318,9 @@ fn cmd_solver_perf(cli: &Cli) -> Result<String, String> {
     }
     if cli.options.contains_key("json") {
         let study = solver_perf::study(servers, 3);
-        serde_json::to_string_pretty(&solver_perf_to_json(&study)).map_err(|e| e.to_string())
+        let sweep = solver_perf::thread_scaling(servers, &solver_perf::DEFAULT_THREAD_SWEEP, 3);
+        serde_json::to_string_pretty(&solver_perf_to_json(&study, Some(&sweep)))
+            .map_err(|e| e.to_string())
     } else {
         Ok(solver_perf::report(servers))
     }
@@ -382,6 +397,18 @@ mod tests {
         );
         assert!(make_policy("quantile=1.5").is_err());
         assert!(make_policy("greedy").is_err());
+    }
+
+    #[test]
+    fn solver_threads_flag_parses_and_validates() {
+        assert_eq!(
+            make_policy_with("optimized", 4).unwrap().name(),
+            "Optimized"
+        );
+        let err = make_policy_with("optimized", 0).err().expect("0 threads rejected");
+        assert!(err.contains("solver-threads"), "{err}");
+        let c = cli(&["run", "--solver-threads", "2", "--system", "s.json"]);
+        assert_eq!(c.options.get("solver-threads").unwrap(), "2");
     }
 
     #[test]

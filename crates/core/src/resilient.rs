@@ -41,7 +41,7 @@ use palb_workload::fault::SolverFaultSchedule;
 use crate::balanced::balanced_dispatch;
 use crate::driver::Policy;
 use crate::error::CoreError;
-use crate::formulate::{ensure_spec_workspace, LevelAssignment, SpecWorkspace};
+use crate::formulate::{LevelAssignment, WorkspacePool};
 use crate::model::{Dims, Dispatch};
 use crate::multilevel::{solve_bb_in, solve_uniform_levels, BbOptions, SolverStats};
 
@@ -142,11 +142,12 @@ pub struct ResilientPolicy {
     chaos: Option<SolverFaultSchedule>,
     last_good: Option<Dispatch>,
     health: Option<SlotHealth>,
-    /// Persistent LP workspace reused across slots and ladder tiers (the
+    /// Persistent LP workspaces reused across slots and ladder tiers (the
     /// dispatch LP's structure is slot-invariant, so each slot is a
-    /// coefficient patch). Pure solver cache: rebuilt on demand, never
-    /// cloned, and invisible to results.
-    wsp: Option<SpecWorkspace>,
+    /// coefficient patch); the parallel exact tier checks one out per
+    /// worker. Pure solver cache: rebuilt on demand, never cloned, and
+    /// invisible to results.
+    wsp: WorkspacePool,
 }
 
 impl Clone for ResilientPolicy {
@@ -156,7 +157,7 @@ impl Clone for ResilientPolicy {
             chaos: self.chaos.clone(),
             last_good: self.last_good.clone(),
             health: self.health.clone(),
-            wsp: None, // cache: the clone rebuilds its own on first use
+            wsp: WorkspacePool::default(), // cache: the clone rebuilds its own
         }
     }
 }
@@ -168,7 +169,7 @@ impl std::fmt::Debug for ResilientPolicy {
             .field("chaos", &self.chaos)
             .field("last_good", &self.last_good)
             .field("health", &self.health)
-            .field("workspace_ready", &self.wsp.is_some())
+            .field("workspace_ready", &!self.wsp.is_empty())
             .finish()
     }
 }
@@ -229,8 +230,10 @@ impl ResilientPolicy {
                     (tuf.utility_of_level(1), tuf.deadline_of_level(1))
                 })
                 .collect();
-            let wsp = ensure_spec_workspace(&mut self.wsp, system, rates, slot, &dims, &spec, lp)?;
-            let s = wsp.solve_cold(lp)?;
+            let mut wsp = self.wsp.acquire(system, rates, slot, &dims, &spec, lp)?;
+            let s = wsp.solve_cold(lp);
+            self.wsp.release(wsp);
+            let s = s?;
             let stats = SolverStats {
                 nodes_explored: 1,
                 cold_solves: 1,

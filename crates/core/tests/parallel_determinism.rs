@@ -1,0 +1,178 @@
+//! Determinism contract of the parallel branch-and-bound: for any thread
+//! count the solver must return the *same bits* — objective, dispatch,
+//! level assignment, and optimality proof — as the sequential reference,
+//! on clean runs and under injected solver faults alike.
+//!
+//! The one carve-out (see `BbOptions::threads` and DESIGN.md): when two
+//! distinct assignments score within `gap_tol` of each other in the
+//! decisive window, the gap prune makes the surviving near-tie a
+//! function of search history, which the frontier split perturbs. In
+//! that band the contract weakens to: thread counts agree to within the
+//! gap tolerance, and the callers' observable control flow (ladder
+//! tiers, retries) does not depend on the thread count at all.
+
+use palb_cluster::{presets, DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
+use palb_core::multilevel::MultilevelResult;
+use palb_core::{run, solve_bb, BbOptions, ResilientOptions, ResilientPolicy};
+use palb_tuf::StepTuf;
+use palb_workload::fault::SolverFaultSchedule;
+use palb_workload::synthetic::constant_trace;
+
+/// A 1-class / 1-DC / `servers`-server system whose optimum mixes levels
+/// at mid load (narrow utility gap, wide capacity gap).
+fn tiny(servers: usize) -> System {
+    System {
+        classes: vec![RequestClass {
+            name: "r".into(),
+            tuf: StepTuf::two_level(4.5, 1.0 / 40.0, 4.0, 1.0 / 5.0).unwrap(),
+            transfer_cost_per_mile: 0.0,
+        }],
+        front_ends: vec![FrontEnd { name: "fe".into() }],
+        data_centers: vec![DataCenter {
+            name: "dc".into(),
+            servers,
+            capacity: 1.0,
+            service_rate: vec![100.0],
+            energy_per_request: vec![1.0],
+            pue: 1.0,
+            prices: PriceSchedule::flat(0.1, 24),
+        }],
+        distance: vec![vec![0.0]],
+        slot_length: 1.0,
+    }
+}
+
+fn assert_same_bits(a: &MultilevelResult, b: &MultilevelResult, label: &str) {
+    assert_eq!(
+        a.solve.objective.to_bits(),
+        b.solve.objective.to_bits(),
+        "{label}: objective {} vs {}",
+        a.solve.objective,
+        b.solve.objective
+    );
+    assert_eq!(a.solve.dispatch, b.solve.dispatch, "{label}: dispatch");
+    assert_eq!(a.assignment, b.assignment, "{label}: assignment");
+    assert_eq!(a.proven_optimal, b.proven_optimal, "{label}: proof flag");
+}
+
+#[test]
+fn every_thread_count_returns_the_sequential_bits_on_tiny_systems() {
+    for servers in [2, 3] {
+        let sys = tiny(servers);
+        for offered in [30.0, 90.0, 150.0, 250.0] {
+            let rates = vec![vec![offered]];
+            let seq = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            for threads in [2, 3, 4, 8] {
+                let par = solve_bb(
+                    &sys,
+                    &rates,
+                    0,
+                    &BbOptions {
+                        threads,
+                        ..BbOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_same_bits(&par, &seq, &format!("{servers}sv {offered}r t{threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn every_thread_count_returns_the_sequential_bits_on_section_vii() {
+    let sys = presets::section_vii();
+    for rates in [
+        vec![vec![40_000.0, 35_000.0]],
+        vec![vec![15_000.0, 60_000.0]],
+    ] {
+        let seq = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        assert!(seq.proven_optimal);
+        for threads in [2, 4, 8] {
+            let par = solve_bb(
+                &sys,
+                &rates,
+                13,
+                &BbOptions {
+                    threads,
+                    ..BbOptions::default()
+                },
+            )
+            .unwrap();
+            assert_same_bits(&par, &seq, &format!("section vii t{threads}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_and_cold_modes_compose_deterministically() {
+    // threads x incremental: all four corners must agree bit-for-bit.
+    let sys = tiny(2);
+    let rates = vec![vec![150.0]];
+    let reference = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+    for incremental in [false, true] {
+        for threads in [1, 2, 4] {
+            let r = solve_bb(
+                &sys,
+                &rates,
+                0,
+                &BbOptions {
+                    incremental,
+                    threads,
+                    ..BbOptions::default()
+                },
+            )
+            .unwrap();
+            assert_same_bits(&r, &reference, &format!("inc={incremental} t{threads}"));
+        }
+    }
+}
+
+#[test]
+fn resilient_ladder_under_faults_agrees_across_thread_counts() {
+    // The degraded-mode ladder retries and falls back around injected
+    // solver faults. Which tier answers and how many retries it takes
+    // must not depend on the worker-thread count. The BlandRetry tier
+    // (Bland pivoting on perturbed rates) manufactures a degenerate
+    // near-tie plateau inside the gap band, so for profits the contract
+    // is agreement to within the band, not bitwise (the bitwise half of
+    // the contract is covered by the clean-config tests above).
+    let sys = presets::section_vii();
+    let trace = constant_trace(vec![vec![30_000.0, 25_000.0]], 4);
+    let run_with = |threads: usize| {
+        let opts = ResilientOptions {
+            bb: BbOptions {
+                threads,
+                ..BbOptions::default()
+            },
+            ..ResilientOptions::default()
+        };
+        let mut policy = ResilientPolicy::new(opts).with_chaos(SolverFaultSchedule::new(0.4, 77));
+        run(&mut policy, &sys, &trace, 13).unwrap()
+    };
+    let seq = run_with(1);
+    for threads in [2usize, 4] {
+        let par = run_with(threads);
+        for (a, b) in seq.slots.iter().zip(&par.slots) {
+            let (ha, hb) = (a.health.as_ref().unwrap(), b.health.as_ref().unwrap());
+            assert_eq!(
+                ha.tier_used, hb.tier_used,
+                "t{threads}: tier drifted on slot {}",
+                a.slot
+            );
+            assert_eq!(
+                ha.retries, hb.retries,
+                "t{threads}: retries drifted on slot {}",
+                a.slot
+            );
+            let band = 1e-6 * (1.0 + a.net_profit.abs());
+            assert!(
+                (a.net_profit - b.net_profit).abs() <= band,
+                "t{threads}: slot {} profit {} vs {} exceeds the near-tie band",
+                a.slot,
+                a.net_profit,
+                b.net_profit
+            );
+        }
+    }
+}

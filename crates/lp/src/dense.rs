@@ -101,6 +101,19 @@ impl DenseMatrix {
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
+    /// Extract column `j` into `out` without allocating. `out` must have
+    /// exactly `rows` elements; callers keep one scratch buffer alive across
+    /// many extractions (the simplex does this once per pivot).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.rows()`.
+    pub fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.rows, "col_into scratch length mismatch");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.data[i * self.cols + j];
+        }
+    }
+
     /// Scales row `i` by `s`.
     pub fn scale_row(&mut self, i: usize, s: f64) {
         for v in self.row_mut(i) {
@@ -215,6 +228,24 @@ mod tests {
         assert_eq!(m[(0, 1)], 2.0);
         assert_eq!(m[(1, 0)], 3.0);
         assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn col_into_matches_col() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let mut buf = vec![0.0; 2];
+        for j in 0..3 {
+            m.col_into(j, &mut buf);
+            assert_eq!(buf, m.col(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length mismatch")]
+    fn col_into_rejects_wrong_length() {
+        let m = DenseMatrix::identity(3);
+        let mut buf = vec![0.0; 2];
+        m.col_into(0, &mut buf);
     }
 
     #[test]

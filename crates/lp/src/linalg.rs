@@ -63,26 +63,6 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
     Ok(x)
 }
 
-/// Solves `yᵀ A = cᵀ` (equivalently `Aᵀ y = c`), the form needed for
-/// simplex dual recovery `y = c_B B⁻¹`.
-pub fn solve_transposed(a: &DenseMatrix, c: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
-    let n = a.rows();
-    assert_eq!(a.cols(), n, "solve_transposed requires a square matrix");
-    let mut at = DenseMatrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            at[(i, j)] = a[(j, i)];
-        }
-    }
-    solve(&at, c)
-}
-
-/// Like [`solve_transposed`] but returns `None` on singular bases — the
-/// caller (dual recovery) degrades gracefully instead of failing the solve.
-pub(crate) fn solve_transposed_basis(a: &DenseMatrix, c: &[f64]) -> Option<Vec<f64>> {
-    solve_transposed(a, c).ok()
-}
-
 fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize) {
     if a == b {
         return;
@@ -133,15 +113,6 @@ mod tests {
     fn detects_singular() {
         let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrix));
-    }
-
-    #[test]
-    fn transposed_solve_matches_direct() {
-        let a = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![2.0, 5.0]]);
-        let y = solve_transposed(&a, &[4.0, 6.0]).unwrap();
-        // yT A = cT  =>  3 y0 + 2 y1 = 4, 1 y0 + 5 y1 = 6
-        assert!((3.0 * y[0] + 2.0 * y[1] - 4.0).abs() < 1e-10);
-        assert!((y[0] + 5.0 * y[1] - 6.0).abs() < 1e-10);
     }
 
     #[test]

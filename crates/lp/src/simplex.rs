@@ -157,6 +157,10 @@ pub(crate) struct Tableau {
     pub(crate) bland_after: usize,
     pub(crate) max_iters: usize,
     pub(crate) pivots: usize,
+    /// Length-`m` scratch for the entering/pivot column, reused across
+    /// pivots so the hot loop never allocates. Shared by the ratio test,
+    /// the elimination pass, and the workspace's warm-path column folds.
+    pub(crate) col_buf: Vec<f64>,
 }
 
 impl Tableau {
@@ -231,6 +235,7 @@ impl Tableau {
             bland_after: opts.bland_after.unwrap_or(20 * size + 200),
             max_iters: opts.max_iters.unwrap_or(200 * size + 1000),
             pivots: 0,
+            col_buf: vec![0.0; m],
         }
     }
 
@@ -273,11 +278,16 @@ impl Tableau {
 
     /// Ratio test: picks the leaving row for entering column `j`.
     /// Returns `None` when the column is unbounded below.
-    pub(crate) fn ratio_test(&self, j: usize) -> Option<usize> {
+    ///
+    /// The entering column is snapshotted into the reusable scratch buffer
+    /// — one contiguous pass instead of a strided matrix read per candidate
+    /// row — so the hot loop performs no per-pivot allocation.
+    pub(crate) fn ratio_test(&mut self, j: usize) -> Option<usize> {
         let n = self.n();
+        let mut col = std::mem::take(&mut self.col_buf);
+        self.rows.col_into(j, &mut col);
         let mut best: Option<(usize, f64)> = None;
-        for r in 0..self.m() {
-            let a = self.rows[(r, j)];
+        for (r, &a) in col.iter().enumerate() {
             if a > self.tol {
                 let ratio = self.rows[(r, n)] / a;
                 let better = match best {
@@ -305,6 +315,7 @@ impl Tableau {
                 }
             }
         }
+        self.col_buf = col;
         best.map(|(r, _)| r)
     }
 
@@ -313,22 +324,27 @@ impl Tableau {
         let n = self.n();
         let pivot = self.rows[(row, col)];
         debug_assert!(pivot.abs() > self.tol, "pivot too small: {pivot}");
+        // Snapshot the pivot column into the reused scratch buffer before
+        // touching any row: the elimination factors then come from one
+        // contiguous pass instead of strided reads interleaved with the row
+        // updates. Scaling the pivot row first is safe either way (it never
+        // feeds its own factor), so results are identical bit for bit.
+        let mut factors = std::mem::take(&mut self.col_buf);
+        self.rows.col_into(col, &mut factors);
         self.rows.scale_row(row, 1.0 / pivot);
         self.rows[(row, col)] = 1.0; // clamp round-off
 
-        for r in 0..self.m() {
-            if r != row {
-                let f = self.rows[(r, col)];
-                if f != 0.0 {
-                    self.rows.axpy_rows(r, row, -f);
-                    self.rows[(r, col)] = 0.0;
-                    // Clamp tiny negative RHS caused by cancellation.
-                    if self.rows[(r, n)] < 0.0 && self.rows[(r, n)] > -self.tol {
-                        self.rows[(r, n)] = 0.0;
-                    }
+        for (r, &f) in factors.iter().enumerate() {
+            if r != row && f != 0.0 {
+                self.rows.axpy_rows(r, row, -f);
+                self.rows[(r, col)] = 0.0;
+                // Clamp tiny negative RHS caused by cancellation.
+                if self.rows[(r, n)] < 0.0 && self.rows[(r, n)] > -self.tol {
+                    self.rows[(r, n)] = 0.0;
                 }
             }
         }
+        self.col_buf = factors;
         let prow = row;
         for cost in [&mut self.cost1, &mut self.cost2] {
             let f = cost[col];
@@ -537,17 +553,20 @@ fn recover_duals(sf: &StandardForm, tab: &Tableau) -> Vec<f64> {
     if m == 0 {
         return vec![0.0; n_user_cons];
     }
-    let mut basis_mat = DenseMatrix::zeros(m, m);
+    // Build Bᵀ directly: row `k` of `bt` is the original column of the
+    // k-th basic variable (one contiguous `col_into` pass each), so the
+    // explicit transpose copy `solve_transposed` would make is skipped.
+    let mut bt = DenseMatrix::zeros(m, m);
     let mut c_b = vec![0.0; m];
     for (k, &j) in tab.basis.iter().enumerate() {
-        for r in 0..m {
-            basis_mat[(r, k)] = sf.a[(r, j)];
-        }
+        sf.a.col_into(j, bt.row_mut(k));
         c_b[k] = sf.c[j];
     }
-    let y = match crate::linalg::solve_transposed_basis(&basis_mat, &c_b) {
-        Some(y) => y,
-        None => return vec![0.0; n_user_cons],
+    // A singular basis degrades gracefully to zero duals instead of
+    // failing the solve.
+    let y = match crate::linalg::solve(&bt, &c_b) {
+        Ok(y) => y,
+        Err(_) => return vec![0.0; n_user_cons],
     };
     let sign = if sf.maximize { -1.0 } else { 1.0 };
     let mut duals = vec![0.0; n_user_cons];

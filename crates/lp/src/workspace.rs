@@ -23,7 +23,6 @@
 //! values and the objective only (`duals()` are zeros). Callers that need
 //! shadow prices should use [`Problem::solve`].
 
-use crate::dense::DenseMatrix;
 use crate::error::LpError;
 use crate::problem::{ConId, Problem, VarId};
 use crate::simplex::{SolveOptions, Tableau};
@@ -225,17 +224,18 @@ impl Workspace {
                 }
             }
             let pivot = self.tab.rows[(k, j)];
+            // Same scratch-column elimination as `Tableau::pivot`.
+            let mut factors = std::mem::take(&mut self.tab.col_buf);
+            self.tab.rows.col_into(j, &mut factors);
             self.tab.rows.scale_row(k, 1.0 / pivot);
             self.tab.rows[(k, j)] = 1.0;
-            for r in 0..m {
-                if r != k {
-                    let f = self.tab.rows[(r, j)];
-                    if f != 0.0 {
-                        self.tab.rows.axpy_rows(r, k, -f);
-                        self.tab.rows[(r, j)] = 0.0;
-                    }
+            for (r, &f) in factors.iter().enumerate() {
+                if r != k && f != 0.0 {
+                    self.tab.rows.axpy_rows(r, k, -f);
+                    self.tab.rows[(r, j)] = 0.0;
                 }
             }
+            self.tab.col_buf = factors;
             self.tab.basis[k] = j;
         }
         // Recompute the phase-2 reduced costs against the restored basis;
@@ -382,12 +382,16 @@ impl Workspace {
                 self.sf.b[ci] = new_std;
                 self.tab.b_norm = self.tab.b_norm.max(1.0 + new_std.abs());
                 let jc = self.ident_cols[ci];
-                for r in 0..m {
-                    let f = self.tab.rows[(r, jc)];
+                // Snapshot the B⁻¹ column through the tableau's reused
+                // scratch — no per-patch allocation, one contiguous read.
+                let mut binv_col = std::mem::take(&mut self.tab.col_buf);
+                self.tab.rows.col_into(jc, &mut binv_col);
+                for (r, &f) in binv_col.iter().enumerate() {
                     if f != 0.0 {
                         self.tab.rows[(r, n)] += delta * f;
                     }
                 }
+                self.tab.col_buf = binv_col;
                 self.tab.cost2[n] += delta * self.tab.cost2[jc];
             }
         }
@@ -707,5 +711,17 @@ mod tests {
         let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
         let s = ws.solve().unwrap();
         assert!(s.duals().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn workspace_types_are_send() {
+        // Parallel branch-and-bound moves per-worker workspaces into scoped
+        // threads; this audit fails to compile if any field regresses to a
+        // non-Send type (e.g. Rc or a raw pointer).
+        fn assert_send<T: Send>() {}
+        assert_send::<Workspace>();
+        assert_send::<WorkspaceStats>();
+        assert_send::<Basis>();
+        assert_send::<SolveOptions>();
     }
 }
