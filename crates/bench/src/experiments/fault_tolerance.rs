@@ -19,9 +19,14 @@
 //! with that probability. The headline metric is **profit retention**:
 //! resilient-under-faults profit over clean profit.
 
+use std::sync::Arc;
+
 use palb_cluster::{presets, System};
+use palb_core::obs::{Recorder, Registry, Snapshot};
 use palb_core::report::tier_histogram;
-use palb_core::{run, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunResult, Tier};
+use palb_core::{
+    run, run_with, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunOptions, RunResult, Tier,
+};
 use palb_workload::fault::{
     corrupt_price_feed, inject_rate_faults, RateFaultConfig, SolverFaultSchedule,
 };
@@ -56,6 +61,9 @@ pub struct FaultToleranceResult {
     pub bare_abort: Option<String>,
     /// Slots completed by the resilient run (always the full trace).
     pub completed_slots: usize,
+    /// Metrics snapshot of the resilient run (tier decisions, solver
+    /// faults, warm-start counters, slot economics).
+    pub obs: Snapshot,
 }
 
 fn corrupted_inputs(fault_rate: f64, seed: u64) -> (System, Trace, usize) {
@@ -105,8 +113,12 @@ pub fn study(fault_rate: f64, seed: u64) -> FaultToleranceResult {
     .err()
     .map(|e| e.to_string());
 
+    let registry = Arc::new(Registry::new());
     let mut resilient = ResilientPolicy::default().with_chaos(schedule);
-    let res = run(&mut resilient, &system, &trace, 0).expect("ladder never aborts");
+    let opts = RunOptions::at(0).with_obs(Recorder::attached(Arc::clone(&registry)));
+    let res = run_with(&mut resilient, &system, &trace, &opts)
+        .expect("ladder never aborts")
+        .result;
 
     FaultToleranceResult {
         fault_rate,
@@ -125,6 +137,7 @@ pub fn study(fault_rate: f64, seed: u64) -> FaultToleranceResult {
             .count(),
         bare_abort,
         completed_slots: res.slots.len(),
+        obs: registry.snapshot(),
     }
 }
 
@@ -205,6 +218,16 @@ mod tests {
         assert!(r.sanitization_events > 0, "NaN bursts should be repaired");
         assert!(r.price_incidents > 0, "price dropouts should be repaired");
         assert!(r.degraded_slots > 0);
+        // The metrics snapshot agrees with the health-derived aggregates.
+        use palb_core::obs::names;
+        assert_eq!(
+            r.obs.family_counter_total(names::TIER_DECISIONS_TOTAL),
+            24,
+            "every slot's tier decision lands on the registry"
+        );
+        assert_eq!(r.obs.counter_value(names::SLOTS_TOTAL, &[]), Some(24));
+        assert!(r.obs.family_counter_total(names::SOLVER_FAULTS_TOTAL) > 0);
+        assert!(r.obs.contains_family(names::SLOT_DECIDE_SECONDS));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! `palb_workload::forecast`, over two diurnal days.
 
 use palb_cluster::{presets, ClassId, FrontEndId, System};
-use palb_core::{evaluate, Dispatch, OptimizedPolicy, Policy};
+use palb_core::obs::Recorder;
+use palb_core::{evaluate, Dispatch, OptimizedPolicy, Policy, SlotContext};
 use palb_workload::diurnal::{generate, DiurnalConfig};
 use palb_workload::forecast::{
     forecast_trace, mape, Ewma, Forecaster, Naive, ScalarKalman, SeasonalNaive,
@@ -43,11 +44,11 @@ pub fn clamp_to_offered(dispatch: &mut Dispatch, actual: &[Vec<f64>]) {
 pub fn run_with_forecast(system: &System, actual: &Trace, predicted: &Trace) -> f64 {
     assert_eq!(actual.slots(), predicted.slots());
     let mut policy = OptimizedPolicy::exact();
+    let rec = Recorder::noop();
     let mut total = 0.0;
     for t in 0..actual.slots() {
-        let mut dispatch = policy
-            .decide(system, predicted.slot(t), t)
-            .expect("optimizer");
+        let ctx = SlotContext::new(system, predicted.slot(t), t, &rec);
+        let mut dispatch = policy.decide(&ctx).expect("optimizer");
         clamp_to_offered(&mut dispatch, actual.slot(t));
         total += evaluate(system, actual.slot(t), t, &dispatch).net_profit;
     }
@@ -113,7 +114,9 @@ mod tests {
         // Predict double the real demand, then clamp.
         let predicted = actual.scaled(2.0);
         let mut policy = OptimizedPolicy::exact();
-        let mut d = policy.decide(&system, predicted.slot(12), 12).unwrap();
+        let rec = Recorder::noop();
+        let ctx = SlotContext::new(&system, predicted.slot(12), 12, &rec);
+        let mut d = policy.decide(&ctx).unwrap();
         clamp_to_offered(&mut d, actual.slot(12));
         for k in 0..system.num_classes() {
             for s in 0..system.num_front_ends() {

@@ -18,9 +18,11 @@
 //! wall-clock for both modes (best of `reps` repetitions to shed timer
 //! noise) plus the warm-start telemetry the incremental tree gathered.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use palb_cluster::{presets, System};
+use palb_core::obs::{Recorder, Registry, Snapshot};
 use palb_core::{solve_bb, BbOptions, MultilevelResult, SolverStats};
 
 use crate::configs::section_vii_trace;
@@ -49,6 +51,11 @@ pub struct SolverPerf {
     pub points: Vec<SolverPerfPoint>,
     /// Timing repetitions per mode per point.
     pub reps: usize,
+    /// Metrics snapshot of one *untimed* instrumented solve of the largest
+    /// instance (node counts, warm-start counters, span timings). Taken
+    /// outside the timing loops so telemetry never touches the speedup
+    /// numbers.
+    pub obs: Snapshot,
 }
 
 impl SolverPerf {
@@ -288,7 +295,20 @@ pub fn study(max_servers: usize, reps: usize) -> SolverPerf {
             bitwise_equal: incumbents_match(&cold, &inc),
         });
     }
-    SolverPerf { points, reps }
+    // One extra instrumented solve of the largest instance, deliberately
+    // outside best_of so recording overhead cannot color the timings.
+    let registry = Arc::new(Registry::new());
+    let (sys, scaled, slot) = fig11_instance(max_servers.max(2));
+    let instrumented = BbOptions {
+        obs: Recorder::attached(Arc::clone(&registry)),
+        ..BbOptions::default()
+    };
+    solve_bb(&sys, &scaled, slot, &instrumented).expect("instrumented bb");
+    SolverPerf {
+        points,
+        reps,
+        obs: registry.snapshot(),
+    }
 }
 
 /// Renders the study as a report, followed by the thread-scaling sweep on
@@ -391,6 +411,16 @@ mod tests {
             );
             assert!(p.nodes > 0);
         }
+        // The untimed instrumented solve exposes the solver families.
+        use palb_core::obs::names;
+        let largest = s.points.last().unwrap();
+        assert_eq!(
+            s.obs.counter_value(names::BB_NODES_TOTAL, &[]),
+            Some(largest.nodes as u64),
+            "bb-node counter must equal nodes_explored"
+        );
+        assert!(s.obs.family_counter_total(names::WARM_HITS_TOTAL) > 0);
+        assert!(s.obs.contains_family(palb_core::obs::SPAN_SECONDS));
     }
 
     /// The parallel acceptance criterion: every thread count satisfies the

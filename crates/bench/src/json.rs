@@ -3,6 +3,7 @@
 //! covers spreadsheets, this covers notebooks).
 
 use palb_cluster::System;
+use palb_core::obs::Snapshot;
 use palb_core::report::{power_churn, powered_on_series};
 use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
@@ -41,6 +42,19 @@ fn solver_stats_to_json(s: &palb_core::SolverStats) -> Value {
         "subtrees": s.subtrees,
         "threads_used": s.threads_used,
     })
+}
+
+/// Serializes a metrics snapshot: one object per sample, keyed by family
+/// name and labels. The `palb-obs` JSONL exporter already emits one JSON
+/// object per line; here each line is re-parsed into the surrounding
+/// document so experiment files stay a single JSON value.
+pub fn snapshot_to_json(snap: &Snapshot) -> Value {
+    let samples: Vec<Value> = snap
+        .to_jsonl()
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("palb-obs emits valid JSON lines"))
+        .collect();
+    Value::Array(samples)
 }
 
 /// Serializes a thread-scaling sweep of the parallel branch-and-bound.
@@ -95,6 +109,7 @@ pub fn solver_perf_to_json(s: &SolverPerf, sweep: Option<&ThreadScaling>) -> Val
         "all_bitwise_equal": s.all_bitwise_equal(),
         "points": points,
         "thread_scaling": sweep.map(thread_scaling_to_json),
+        "obs": snapshot_to_json(&s.obs),
     })
 }
 
@@ -172,6 +187,7 @@ pub fn fault_tolerance_to_json(r: &FaultToleranceResult) -> Value {
         "degraded_slots": r.degraded_slots,
         "completed_slots": r.completed_slots,
         "bare_abort": r.bare_abort,
+        "obs": snapshot_to_json(&r.obs),
     })
 }
 
@@ -227,6 +243,16 @@ mod tests {
         assert!(s.points[0].stats.warm_attempts > 0);
         let v = solver_perf_to_json(&s, None);
         assert!(v["thread_scaling"].is_null());
+        // Every obs sample re-parsed from the JSONL exporter, with the
+        // bb-node counter present and positive.
+        let obs = v["obs"].as_array().expect("obs is an array of samples");
+        assert!(!obs.is_empty());
+        let nodes = obs
+            .iter()
+            .find(|s| s["name"] == "palb_bb_nodes_total")
+            .expect("bb-node family exported");
+        assert_eq!(nodes["kind"], "counter");
+        assert!(nodes["value"].as_u64().unwrap() > 0);
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //! inputs and produce identical outcomes.
 
 use palb_cluster::System;
+use palb_core::obs::Recorder;
 use palb_core::{
-    evaluate, sanitize_rates, CoreError, PartialRun, Policy, RunResult, SlotFailure, SlotHealth,
+    evaluate, sanitize_rates, CoreError, PartialRun, Policy, RunResult, SlotContext, SlotFailure,
+    SlotHealth,
 };
 use palb_workload::Trace;
 use rayon::prelude::*;
@@ -43,6 +45,24 @@ where
     P: Policy,
     F: Fn() -> P + Sync,
 {
+    run_parallel_partial_with(make_policy, system, trace, start_slot, &Recorder::noop())
+}
+
+/// [`run_parallel_partial`] with an observability recorder. The recorder's
+/// registry is atomics behind an `Arc`, so slot tasks record concurrently
+/// and the per-slot counter merges are commutative — totals match the
+/// sequential driver at every thread count.
+pub fn run_parallel_partial_with<P, F>(
+    make_policy: F,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+    obs: &Recorder,
+) -> PartialRun
+where
+    P: Policy,
+    F: Fn() -> P + Sync,
+{
     let (clean, events) = sanitize_rates(trace);
     let repairs = palb_core::events_per_slot(&events, clean.slots());
     let per_slot: Vec<_> = (0..clean.slots())
@@ -55,17 +75,22 @@ where
             let name = (t == 0).then(|| policy.name().to_owned());
             let slot = start_slot + t;
             let rates = clean.slot(t);
-            let outcome = match policy.decide(system, rates, slot) {
+            let ctx = SlotContext::new(system, rates, slot, obs);
+            let outcome = match policy.decide(&ctx) {
                 Ok(dispatch) => {
                     let mut outcome = evaluate(system, rates, slot, &dispatch);
-                    outcome.health = merge_repairs(policy.take_health(), repairs[t]);
+                    outcome.health = merge_repairs(ctx.take_health(), repairs[t]);
+                    palb_core::obs::record_slot_outcome(obs, &outcome);
                     Ok((outcome, dispatch))
                 }
-                Err(error) => Err(SlotFailure {
-                    index: t,
-                    slot,
-                    error,
-                }),
+                Err(error) => {
+                    obs.counter_add(palb_core::obs::names::SLOT_FAILURES_TOTAL, &[], 1);
+                    Err(SlotFailure {
+                        index: t,
+                        slot,
+                        error,
+                    })
+                }
             };
             (name, outcome)
         })

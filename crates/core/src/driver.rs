@@ -3,6 +3,17 @@
 //! electricity prices, produces a dispatch/allocation decision, and the
 //! shared evaluator scores the slot. A [`RunResult`] collects the
 //! per-slot outcomes and the aggregates the paper's figures plot.
+//!
+//! Policies receive everything through a [`SlotContext`]: the system, the
+//! sanitized rates, the schedule slot, and the observability recorder.
+//! Health telemetry flows back through the same context
+//! ([`SlotContext::record_health`]) instead of a separate post-hoc pull
+//! method. The single entry point is [`run_with`] with [`RunOptions`];
+//! [`run`] and [`run_partial`] are thin wrappers over it.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::time::Instant;
 
 use palb_cluster::System;
 use palb_workload::Trace;
@@ -12,30 +23,63 @@ use crate::error::CoreError;
 use crate::evaluate::{evaluate, SlotOutcome};
 use crate::formulate::{solve_fixed_levels, LevelAssignment};
 use crate::model::{Dims, Dispatch};
-use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions};
+use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions, SolverStats};
+use crate::obs::{self, names, Recorder};
 use crate::resilient::SlotHealth;
 use crate::sanitize::{events_per_slot, sanitize_rates};
+
+/// Everything a policy sees when deciding one slot: the system, the
+/// (sanitized) arrival rates, the schedule slot index, and the
+/// observability recorder. Health telemetry is pushed back through
+/// [`SlotContext::record_health`] and consumed by the driver.
+#[derive(Debug)]
+pub struct SlotContext<'a> {
+    /// The cluster being controlled.
+    pub system: &'a System,
+    /// `rates[s][k]`: offered arrival rate of class `k` at front-end `s`.
+    pub rates: &'a [Vec<f64>],
+    /// Schedule slot (drives electricity prices).
+    pub slot: usize,
+    /// Observability recorder; [`Recorder::noop`] when telemetry is off.
+    pub obs: &'a Recorder,
+    health: RefCell<Option<SlotHealth>>,
+}
+
+impl<'a> SlotContext<'a> {
+    /// A context for one slot decision.
+    pub fn new(system: &'a System, rates: &'a [Vec<f64>], slot: usize, obs: &'a Recorder) -> Self {
+        SlotContext {
+            system,
+            rates,
+            slot,
+            obs,
+            health: RefCell::new(None),
+        }
+    }
+
+    /// Attaches the slot's health record (last write wins). Ladder
+    /// policies call this once per decision; plain policies never do.
+    pub fn record_health(&self, health: SlotHealth) {
+        *self.health.borrow_mut() = Some(health);
+    }
+
+    /// Consumes the recorded health, if any. Called by the driver after
+    /// the decision; also usable by wrapping policies that want to
+    /// inspect or forward an inner policy's record.
+    pub fn take_health(&self) -> Option<SlotHealth> {
+        self.health.take()
+    }
+}
 
 /// A per-slot decision policy.
 pub trait Policy {
     /// Display name used in reports.
     fn name(&self) -> &str;
 
-    /// Produces the slot decision. `rates[s][k]` are offered arrival rates.
-    fn decide(
-        &mut self,
-        system: &System,
-        rates: &[Vec<f64>],
-        slot: usize,
-    ) -> Result<Dispatch, CoreError>;
-
-    /// Health telemetry of the most recent [`Policy::decide`], if the
-    /// policy tracks any. Called (and consumed) by the driver once per
-    /// slot, right after the decision. The default — for plain policies
-    /// that are not degradation ladders — reports nothing.
-    fn take_health(&mut self) -> Option<SlotHealth> {
-        None
-    }
+    /// Produces the slot decision from the context. Health telemetry, if
+    /// the policy tracks any, is pushed via [`SlotContext::record_health`]
+    /// before returning.
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError>;
 }
 
 /// The paper's **Balanced** baseline (§V-A).
@@ -47,13 +91,8 @@ impl Policy for BalancedPolicy {
         "Balanced"
     }
 
-    fn decide(
-        &mut self,
-        system: &System,
-        rates: &[Vec<f64>],
-        slot: usize,
-    ) -> Result<Dispatch, CoreError> {
-        Ok(balanced_dispatch(system, rates, slot))
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+        Ok(balanced_dispatch(ctx.system, ctx.rates, ctx.slot))
     }
 }
 
@@ -113,21 +152,44 @@ impl Policy for OptimizedPolicy {
         "Optimized"
     }
 
-    fn decide(
-        &mut self,
-        system: &System,
-        rates: &[Vec<f64>],
-        slot: usize,
-    ) -> Result<Dispatch, CoreError> {
-        let one_level = system.classes.iter().all(|c| c.tuf.num_levels() == 1);
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+        let one_level = ctx.system.classes.iter().all(|c| c.tuf.num_levels() == 1);
         if one_level {
-            let dims = Dims::of(system);
-            let sol = solve_fixed_levels(system, rates, slot, &LevelAssignment::uniform(&dims, 1))?;
+            let dims = Dims::of(ctx.system);
+            let sol = solve_fixed_levels(
+                ctx.system,
+                ctx.rates,
+                ctx.slot,
+                &LevelAssignment::uniform(&dims, 1),
+            )?;
+            obs::record_solver_stats(
+                ctx.obs,
+                &SolverStats {
+                    nodes_explored: 1,
+                    cold_solves: 1,
+                    cold_pivots: sol.pivots,
+                    ..SolverStats::default()
+                },
+            );
             return Ok(sol.dispatch);
         }
         match &self.solver {
-            Solver::Exact(opts) => Ok(solve_bb(system, rates, slot, opts)?.solve.dispatch),
-            Solver::UniformLevels => Ok(solve_uniform_levels(system, rates, slot)?.solve.dispatch),
+            Solver::Exact(opts) => {
+                // The branch-and-bound records its own stats through the
+                // recorder carried in its options.
+                let opts = BbOptions {
+                    obs: ctx.obs.clone(),
+                    ..opts.clone()
+                };
+                Ok(solve_bb(ctx.system, ctx.rates, ctx.slot, &opts)?
+                    .solve
+                    .dispatch)
+            }
+            Solver::UniformLevels => {
+                let r = solve_uniform_levels(ctx.system, ctx.rates, ctx.slot)?;
+                obs::record_solver_stats(ctx.obs, &r.stats);
+                Ok(r.solve.dispatch)
+            }
         }
     }
 }
@@ -193,7 +255,7 @@ impl RunResult {
     }
 }
 
-/// One slot that could not be decided during a [`run_partial`].
+/// One slot that could not be decided during a best-effort run.
 #[derive(Debug, Clone)]
 pub struct SlotFailure {
     /// Trace-local slot index.
@@ -218,6 +280,60 @@ impl PartialRun {
     /// Whether every slot succeeded.
     pub fn is_complete(&self) -> bool {
         self.failures.is_empty()
+    }
+}
+
+/// How [`run_with`] drives a policy over a trace.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Schedule slot of the trace's first slot (so §VII can start at
+    /// 14:00).
+    pub start_slot: usize,
+    /// `true`: a failed slot is recorded in [`PartialRun::failures`] and
+    /// the loop moves on. `false`: the first failure aborts the run.
+    pub collect_failures: bool,
+    /// Pass the trace through [`sanitize_rates`] first, so policies always
+    /// see finite, non-negative rates; repairs are reported on the
+    /// affected slots' [`SlotOutcome::health`]. Disable only for inputs
+    /// already known clean (skips a trace copy).
+    pub sanitize: bool,
+    /// Observability sink shared by the driver and every decision.
+    pub obs: Recorder,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            start_slot: 0,
+            collect_failures: false,
+            sanitize: true,
+            obs: Recorder::noop(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options starting the schedule at `start_slot`, otherwise default.
+    pub fn at(start_slot: usize) -> Self {
+        RunOptions {
+            start_slot,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Same, but collecting failures instead of aborting.
+    pub fn best_effort(start_slot: usize) -> Self {
+        RunOptions {
+            start_slot,
+            collect_failures: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Attaches an observability recorder.
+    pub fn with_obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -252,68 +368,59 @@ fn merge_health(policy_health: Option<SlotHealth>, repairs: usize) -> Option<Slo
     health
 }
 
-/// Drives `policy` over `trace`, evaluating slot `t` of the trace at
-/// schedule slot `start_slot + t` (so §VII can start at 14:00).
+/// Drives `policy` over `trace` under the given [`RunOptions`],
+/// evaluating slot `t` of the trace at schedule slot
+/// `opts.start_slot + t`.
 ///
-/// The trace passes through [`sanitize_rates`] first, so policies always
-/// see finite, non-negative rates; repairs are reported on the affected
-/// slots' [`SlotOutcome::health`]. A decision failure aborts the run
-/// (see [`run_partial`] for the best-effort variant).
-pub fn run(
-    policy: &mut dyn Policy,
-    system: &System,
-    trace: &Trace,
-    start_slot: usize,
-) -> Result<RunResult, CoreError> {
-    check_shapes(system, trace)?;
-    let (clean, events) = sanitize_rates(trace);
-    let repairs = events_per_slot(&events, clean.slots());
-    let mut slots = Vec::with_capacity(clean.slots());
-    let mut decisions = Vec::with_capacity(clean.slots());
-    for t in 0..clean.slots() {
-        let slot = start_slot + t;
-        let rates = clean.slot(t);
-        let dispatch = policy.decide(system, rates, slot)?;
-        let mut outcome = evaluate(system, rates, slot, &dispatch);
-        outcome.health = merge_health(policy.take_health(), repairs[t]);
-        slots.push(outcome);
-        decisions.push(dispatch);
-    }
-    Ok(RunResult {
-        policy: policy.name().to_owned(),
-        slots,
-        decisions,
-    })
-}
-
-/// Best-effort variant of [`run`]: a failed slot is recorded (not
+/// Structural mismatches between trace and system always fail fast — they
+/// would fail every slot identically. With
+/// [`RunOptions::collect_failures`] a failed slot is recorded (not
 /// evaluated) and the loop moves on, so one bad slot cannot void a whole
-/// day's results. Structural mismatches still fail fast — they would fail
-/// every slot identically.
-pub fn run_partial(
+/// day's results; otherwise the first failure aborts.
+pub fn run_with(
     policy: &mut dyn Policy,
     system: &System,
     trace: &Trace,
-    start_slot: usize,
+    opts: &RunOptions,
 ) -> Result<PartialRun, CoreError> {
     check_shapes(system, trace)?;
-    let (clean, events) = sanitize_rates(trace);
-    let repairs = events_per_slot(&events, clean.slots());
-    let mut slots = Vec::new();
-    let mut decisions = Vec::new();
+    let (clean, repairs): (Cow<'_, Trace>, Vec<usize>) = if opts.sanitize {
+        let (clean, events) = sanitize_rates(trace);
+        let repairs = events_per_slot(&events, clean.slots());
+        (Cow::Owned(clean), repairs)
+    } else {
+        (Cow::Borrowed(trace), vec![0; trace.slots()])
+    };
+    let mut slots = Vec::with_capacity(clean.slots());
+    let mut decisions = Vec::with_capacity(clean.slots());
     let mut failures = Vec::new();
     for t in 0..clean.slots() {
-        let slot = start_slot + t;
+        let slot = opts.start_slot + t;
         let rates = clean.slot(t);
-        match policy.decide(system, rates, slot) {
+        let ctx = SlotContext::new(system, rates, slot, &opts.obs);
+        // No clock read on the no-op recorder.
+        let started = opts.obs.is_enabled().then(Instant::now);
+        let decided = policy.decide(&ctx);
+        if let Some(start) = started {
+            opts.obs.observe(
+                names::SLOT_DECIDE_SECONDS,
+                &[],
+                start.elapsed().as_secs_f64(),
+            );
+        }
+        match decided {
             Ok(dispatch) => {
                 let mut outcome = evaluate(system, rates, slot, &dispatch);
-                outcome.health = merge_health(policy.take_health(), repairs[t]);
+                outcome.health = merge_health(ctx.take_health(), repairs[t]);
+                obs::record_slot_outcome(&opts.obs, &outcome);
                 slots.push(outcome);
                 decisions.push(dispatch);
             }
             Err(error) => {
-                let _ = policy.take_health();
+                opts.obs.counter_add(names::SLOT_FAILURES_TOTAL, &[], 1);
+                if !opts.collect_failures {
+                    return Err(error);
+                }
                 failures.push(SlotFailure {
                     index: t,
                     slot,
@@ -330,6 +437,28 @@ pub fn run_partial(
         },
         failures,
     })
+}
+
+/// Strict wrapper over [`run_with`]: default options, abort on the first
+/// decision failure.
+pub fn run(
+    policy: &mut dyn Policy,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> Result<RunResult, CoreError> {
+    run_with(policy, system, trace, &RunOptions::at(start_slot)).map(|p| p.result)
+}
+
+/// Best-effort wrapper over [`run_with`]: failed slots are collected
+/// instead of aborting the run.
+pub fn run_partial(
+    policy: &mut dyn Policy,
+    system: &System,
+    trace: &Trace,
+    start_slot: usize,
+) -> Result<PartialRun, CoreError> {
+    run_with(policy, system, trace, &RunOptions::best_effort(start_slot))
 }
 
 #[cfg(test)]
@@ -455,5 +584,39 @@ mod tests {
         let r = run(&mut OptimizedPolicy::exact(), &sys, &trace, 13).unwrap();
         check_feasible(&sys, trace.slot(0), &r.decisions[0], false, 1e-6).unwrap();
         assert!(r.total_net_profit() > 0.0);
+    }
+
+    #[test]
+    fn sanitize_can_be_disabled() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 2);
+        let raw = run_with(
+            &mut BalancedPolicy,
+            &sys,
+            &trace,
+            &RunOptions {
+                sanitize: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let clean = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        assert_eq!(raw.result.decisions, clean.decisions);
+        assert!(raw.result.slots.iter().all(|s| s.health.is_none()));
+    }
+
+    #[test]
+    fn run_with_records_slot_metrics() {
+        use std::sync::Arc;
+        let registry = Arc::new(crate::obs::Registry::new());
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 3);
+        let opts = RunOptions::at(0).with_obs(Recorder::attached(Arc::clone(&registry)));
+        run_with(&mut BalancedPolicy, &sys, &trace, &opts).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value(names::SLOTS_TOTAL, &[]), Some(3));
+        assert!(snap.contains_family(names::SLOT_DECIDE_SECONDS));
+        assert!(snap.contains_family(names::NET_PROFIT_DOLLARS));
+        assert_eq!(snap.counter_value(names::SLOT_FAILURES_TOTAL, &[]), None);
     }
 }

@@ -42,8 +42,9 @@ pub struct SlotOutcome {
     pub class_dc_delay: Vec<Vec<f64>>,
     /// Control-loop health telemetry for the slot. `None` when neither the
     /// policy nor the driver observed anything health-worthy (plain
-    /// policies on clean inputs); populated by [`crate::run`] from
-    /// [`crate::Policy::take_health`] and the input-sanitization pass.
+    /// policies on clean inputs); populated by [`crate::run_with`] from
+    /// [`crate::SlotContext::record_health`] and the input-sanitization
+    /// pass.
     pub health: Option<SlotHealth>,
 }
 

@@ -24,6 +24,9 @@
 //!   trace,
 //! * [`mod@evaluate`] — the shared economics evaluator scoring every
 //!   policy identically,
+//! * [`obs`] — canonical metric names and recording helpers over the
+//!   `palb-obs` substrate (wired through [`RunOptions`] and
+//!   [`SlotContext`]),
 //! * [`sanitize`] — input repair at the control-loop boundary (NaN/∞/
 //!   negative observed rates),
 //! * [`resilient`] — the degraded-mode fallback ladder
@@ -53,6 +56,7 @@ pub mod evaluate;
 pub mod formulate;
 pub mod model;
 pub mod multilevel;
+pub mod obs;
 pub mod quantile;
 pub mod report;
 pub mod resilient;
@@ -61,8 +65,8 @@ pub mod sanitize;
 pub use balanced::balanced_dispatch;
 pub use bigm::{solve_bigm, BigMOptions, BigMResult};
 pub use driver::{
-    run, run_partial, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunResult, SlotFailure,
-    Solver,
+    run, run_partial, run_with, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunOptions,
+    RunResult, SlotContext, SlotFailure, Solver,
 };
 pub use error::CoreError;
 pub use evaluate::{evaluate, SlotOutcome};

@@ -29,6 +29,7 @@ use crate::formulate::{
     WorkspacePool,
 };
 use crate::model::Dims;
+use crate::obs::{record_solver_stats, spans, Recorder};
 
 /// Options for [`solve_bb`].
 #[derive(Debug, Clone)]
@@ -72,6 +73,13 @@ pub struct BbOptions {
     /// the resilient ladder is unaffected. Node counts and warm/cold
     /// telemetry may vary with scheduling either way.
     pub threads: usize,
+    /// Observability recorder the solver reports through: per-node
+    /// `bb_node`/`lp_solve` spans plus a [`SolverStats`] self-record when
+    /// the solve finishes. Defaults to the no-op recorder, which costs one
+    /// branch per would-be record and leaves the hot path untouched.
+    /// Recording never participates in the determinism contract: counters
+    /// are commutative adds and timings are wall-clock.
+    pub obs: Recorder,
 }
 
 impl Default for BbOptions {
@@ -83,6 +91,7 @@ impl Default for BbOptions {
             lp: SolveOptions::default(),
             incremental: true,
             threads: 1,
+            obs: Recorder::noop(),
         }
     }
 }
@@ -233,14 +242,21 @@ pub(crate) fn solve_bb_in(
     slot: usize,
     opts: &BbOptions,
 ) -> Result<MultilevelResult, CoreError> {
-    if opts.threads >= 2 {
-        return solve_bb_parallel(pool, system, rates, slot, opts);
-    }
-    let dims = Dims::of(system);
-    let mut cache = pool.take_matching(&dims);
-    let result = solve_bb_seq(&mut cache, system, rates, slot, opts);
-    if let Some(w) = cache {
-        pool.release(w);
+    let result = if opts.threads >= 2 {
+        solve_bb_parallel(pool, system, rates, slot, opts)
+    } else {
+        let dims = Dims::of(system);
+        let mut cache = pool.take_matching(&dims);
+        let result = solve_bb_seq(&mut cache, system, rates, slot, opts);
+        if let Some(w) = cache {
+            pool.release(w);
+        }
+        result
+    };
+    // The branch-and-bound owns its stats recording (the uniform-level
+    // incumbent seed is already folded in, so it must not record itself).
+    if let Ok(r) = &result {
+        record_solver_stats(&opts.obs, &r.stats);
     }
     result
 }
@@ -304,10 +320,14 @@ fn solve_bb_seq(
             break;
         }
         nodes += 1;
+        // One span per node, adjacent to the count, so
+        // `palb_span_total{span="…/bb_node"}` equals `nodes_explored`.
+        let _node_span = opts.obs.span(spans::BB_NODE);
 
         // Bound: LP over the optimistic spec. Interior nodes may answer
         // warm (the bound only steers pruning); leaves answer through the
         // cold full path so the incumbent is identical to a cold run's.
+        let lp_span = opts.obs.span(spans::LP_SOLVE);
         let bound_res = match &mut wsp {
             Some(w) => {
                 spec_for_into(system, &dims, &node.partial, &mut spec_buf);
@@ -332,6 +352,7 @@ fn solve_bb_seq(
                 solve_spec_with(system, rates, slot, &dims, &spec, &opts.lp)
             }
         };
+        drop(lp_span);
         let bound = match bound_res {
             Ok(s) => {
                 if wsp.is_none() || node.depth == total_steps {
@@ -462,9 +483,15 @@ fn solve_subtree(
             break;
         }
         stats.nodes_explored += 1;
+        // Same span-per-node placement as the sequential loop: counter
+        // merges across workers are commutative adds, so
+        // `palb_span_total{span="…/bb_node"}` equals the summed
+        // `nodes_explored` at every thread count.
+        let _node_span = opts.obs.span(spans::BB_NODE);
 
         // Bound: identical to the sequential solver — interior nodes may
         // answer warm, leaves answer through the cold full path.
+        let lp_span = opts.obs.span(spans::LP_SOLVE);
         let bound_res = match &mut wsp {
             Some(w) => {
                 spec_for_into(system, dims, &node.partial, spec_buf);
@@ -489,6 +516,7 @@ fn solve_subtree(
                 solve_spec_with(system, rates, slot, dims, &spec, &opts.lp)
             }
         };
+        drop(lp_span);
         let bound = match bound_res {
             Ok(s) => {
                 if wsp.is_none() || node.depth == total_steps {

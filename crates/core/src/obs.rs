@@ -1,0 +1,246 @@
+//! Observability glue: canonical metric names for the controller stack
+//! and recording helpers over the [`palb_obs`] substrate.
+//!
+//! Recording points are assigned so nothing is double-counted:
+//!
+//! * the branch-and-bound ([`crate::multilevel::solve_bb`] and friends)
+//!   records its own [`SolverStats`] through [`BbOptions::obs`] — its
+//!   uniform-level incumbent seed is folded into those stats, so the seed
+//!   never records separately;
+//! * standalone heuristic and one-level LP callers (e.g.
+//!   [`crate::OptimizedPolicy`]) record via [`record_solver_stats`];
+//! * the driver records per-slot economics and health-derived counters
+//!   (tier decisions, retries, sanitization, degraded slots) but **not**
+//!   [`SlotHealth::solver`], which the solving layer already recorded.
+//!
+//! [`BbOptions::obs`]: crate::multilevel::BbOptions
+
+pub use palb_obs::{
+    log_linear_bounds, Recorder, Registry, Snapshot, Span, SPAN_SECONDS, SPAN_TOTAL,
+};
+
+use crate::evaluate::SlotOutcome;
+use crate::multilevel::SolverStats;
+use crate::resilient::SlotHealth;
+
+/// Canonical metric family names. Scheme: `palb_` prefix, `_total` suffix
+/// for counters, `_seconds` for duration histograms; tiers and spans are
+/// labels (`tier="exact"`, `span="run/slot/bb_node"`), never name parts.
+pub mod names {
+    /// Histogram of per-slot `Policy::decide` wall-clock latency.
+    pub const SLOT_DECIDE_SECONDS: &str = "palb_slot_decide_seconds";
+    /// Slots decided and evaluated.
+    pub const SLOTS_TOTAL: &str = "palb_slots_total";
+    /// Slots whose decision failed (strict abort or collected failure).
+    pub const SLOT_FAILURES_TOTAL: &str = "palb_slot_failures_total";
+    /// Accumulated net profit, $ (gauge; adds per slot).
+    pub const NET_PROFIT_DOLLARS: &str = "palb_net_profit_dollars";
+    /// Accumulated requests offered (gauge; adds per slot).
+    pub const REQUESTS_OFFERED: &str = "palb_requests_offered";
+    /// Accumulated requests completed in time (gauge; adds per slot).
+    pub const REQUESTS_COMPLETED: &str = "palb_requests_completed";
+    /// Accumulated requests offered but not completed (gauge).
+    pub const REQUESTS_DROPPED: &str = "palb_requests_dropped";
+    /// Decisions produced per ladder tier, labelled `tier="<tier>"`.
+    pub const TIER_DECISIONS_TOTAL: &str = "palb_tier_decisions_total";
+    /// Failed solve attempts across ladder descents.
+    pub const TIER_RETRIES_TOTAL: &str = "palb_tier_retries_total";
+    /// Solver faults observed, labelled `tier="<failing tier>"`.
+    pub const SOLVER_FAULTS_TOTAL: &str = "palb_solver_faults_total";
+    /// Input repairs made by the sanitization pass.
+    pub const SANITIZATION_EVENTS_TOTAL: &str = "palb_sanitization_events_total";
+    /// Slots decided in a degraded state (fallback tier or repaired input).
+    pub const DEGRADED_SLOTS_TOTAL: &str = "palb_degraded_slots_total";
+    /// Branch-and-bound nodes (or enumerated LPs) explored.
+    pub const BB_NODES_TOTAL: &str = "palb_bb_nodes_total";
+    /// Interior bounds that entered the warm-start path.
+    pub const WARM_ATTEMPTS_TOTAL: &str = "palb_warm_attempts_total";
+    /// Warm attempts that succeeded without a cold fallback.
+    pub const WARM_HITS_TOTAL: &str = "palb_warm_hits_total";
+    /// Simplex pivots spent inside successful warm solves.
+    pub const WARM_PIVOTS_TOTAL: &str = "palb_warm_pivots_total";
+    /// Solves answered by the cold path, including warm fallbacks.
+    pub const COLD_SOLVES_TOTAL: &str = "palb_cold_solves_total";
+    /// Simplex pivots spent inside cold solves.
+    pub const COLD_PIVOTS_TOTAL: &str = "palb_cold_pivots_total";
+}
+
+/// Canonical span paths for the timing hierarchy
+/// `run > slot > tier > bb_node > lp_solve`. Each layer records at its
+/// canonical depth — the path is a fixed taxonomy (so per-node recording
+/// stays allocation-light and mergeable across workers), not a dynamic
+/// call chain.
+pub mod spans {
+    /// One whole [`crate::run_with`] drive.
+    pub const RUN: &str = "run";
+    /// One slot's decide + evaluate.
+    pub const SLOT: &str = "run/slot";
+    /// One ladder-tier attempt inside a slot.
+    pub const TIER: &str = "run/slot/tier";
+    /// One branch-and-bound node (bound + branch).
+    pub const BB_NODE: &str = "run/slot/tier/bb_node";
+    /// One LP bound solve inside a node.
+    pub const LP_SOLVE: &str = "run/slot/tier/bb_node/lp_solve";
+}
+
+/// Records one solve's [`SolverStats`] onto the registry counters. Called
+/// by whichever layer owns the stats (see the module docs for the
+/// recording-point map).
+pub fn record_solver_stats(rec: &Recorder, stats: &SolverStats) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.counter_add(names::BB_NODES_TOTAL, &[], stats.nodes_explored as u64);
+    rec.counter_add(names::WARM_ATTEMPTS_TOTAL, &[], stats.warm_attempts as u64);
+    rec.counter_add(names::WARM_HITS_TOTAL, &[], stats.warm_hits as u64);
+    rec.counter_add(names::WARM_PIVOTS_TOTAL, &[], stats.warm_pivots as u64);
+    rec.counter_add(names::COLD_SOLVES_TOTAL, &[], stats.cold_solves as u64);
+    rec.counter_add(names::COLD_PIVOTS_TOTAL, &[], stats.cold_pivots as u64);
+}
+
+/// Records the health-derived counters of one decided slot (tier used,
+/// retries, sanitization, degradation). [`SlotHealth::solver`] is *not*
+/// recorded here — the solving layer already did.
+pub fn record_health(rec: &Recorder, health: &SlotHealth) {
+    if !rec.is_enabled() {
+        return;
+    }
+    if let Some(tier) = health.tier_used {
+        rec.counter_add(names::TIER_DECISIONS_TOTAL, &[("tier", tier.label())], 1);
+    }
+    if health.retries > 0 {
+        rec.counter_add(names::TIER_RETRIES_TOTAL, &[], health.retries as u64);
+    }
+    if health.sanitization_events > 0 {
+        rec.counter_add(
+            names::SANITIZATION_EVENTS_TOTAL,
+            &[],
+            health.sanitization_events as u64,
+        );
+    }
+    if health.degraded {
+        rec.counter_add(names::DEGRADED_SLOTS_TOTAL, &[], 1);
+    }
+}
+
+/// Records one evaluated slot's economics plus its health counters.
+pub fn record_slot_outcome(rec: &Recorder, outcome: &SlotOutcome) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.counter_add(names::SLOTS_TOTAL, &[], 1);
+    rec.gauge_add(names::NET_PROFIT_DOLLARS, &[], outcome.net_profit);
+    rec.gauge_add(names::REQUESTS_OFFERED, &[], outcome.offered);
+    rec.gauge_add(names::REQUESTS_COMPLETED, &[], outcome.completed);
+    rec.gauge_add(
+        names::REQUESTS_DROPPED,
+        &[],
+        (outcome.offered - outcome.completed).max(0.0),
+    );
+    if let Some(h) = &outcome.health {
+        record_health(rec, h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilient::Tier;
+    use std::sync::Arc;
+
+    fn outcome(net_profit: f64, offered: f64, completed: f64) -> SlotOutcome {
+        SlotOutcome {
+            slot: 0,
+            revenue: 0.0,
+            energy_cost: 0.0,
+            transfer_cost: 0.0,
+            net_profit,
+            offered,
+            dispatched: completed,
+            completed,
+            powered_on: vec![],
+            class_dc_rate: vec![],
+            class_dc_delay: vec![],
+            health: None,
+        }
+    }
+
+    #[test]
+    fn solver_stats_land_on_the_counters() {
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        let stats = SolverStats {
+            nodes_explored: 10,
+            warm_attempts: 8,
+            warm_hits: 6,
+            warm_pivots: 40,
+            cold_solves: 4,
+            cold_pivots: 100,
+            subtrees: 0,
+            threads_used: 1,
+        };
+        record_solver_stats(&rec, &stats);
+        record_solver_stats(&rec, &stats);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value(names::BB_NODES_TOTAL, &[]), Some(20));
+        assert_eq!(snap.counter_value(names::WARM_HITS_TOTAL, &[]), Some(12));
+        assert_eq!(snap.counter_value(names::COLD_SOLVES_TOTAL, &[]), Some(8));
+        assert_eq!(snap.counter_value(names::COLD_PIVOTS_TOTAL, &[]), Some(200));
+    }
+
+    #[test]
+    fn health_counters_split_by_tier_label() {
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        let mut h = SlotHealth {
+            tier_used: Some(Tier::Exact),
+            ..SlotHealth::default()
+        };
+        record_health(&rec, &h);
+        h.tier_used = Some(Tier::Replay);
+        h.retries = 3;
+        h.degraded = true;
+        record_health(&rec, &h);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(names::TIER_DECISIONS_TOTAL, &[("tier", "exact")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(names::TIER_DECISIONS_TOTAL, &[("tier", "replay")]),
+            Some(1)
+        );
+        assert_eq!(snap.counter_value(names::TIER_RETRIES_TOTAL, &[]), Some(3));
+        assert_eq!(
+            snap.counter_value(names::DEGRADED_SLOTS_TOTAL, &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn slot_outcome_accumulates_economics() {
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        record_slot_outcome(&rec, &outcome(10.0, 100.0, 90.0));
+        record_slot_outcome(&rec, &outcome(-2.0, 50.0, 50.0));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value(names::SLOTS_TOTAL, &[]), Some(2));
+        let profit = snap
+            .samples
+            .iter()
+            .find(|s| s.name == names::NET_PROFIT_DOLLARS)
+            .unwrap();
+        match profit.value {
+            palb_obs::SampleValue::Gauge(v) => assert_eq!(v, 8.0),
+            ref other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noop_recorder_short_circuits() {
+        let rec = Recorder::noop();
+        record_slot_outcome(&rec, &outcome(1.0, 1.0, 1.0));
+        record_solver_stats(&rec, &SolverStats::default());
+        assert!(rec.registry().is_none());
+    }
+}

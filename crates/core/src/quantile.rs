@@ -21,7 +21,7 @@
 use palb_cluster::System;
 use palb_tuf::{Level, StepTuf};
 
-use crate::driver::{OptimizedPolicy, Policy};
+use crate::driver::{OptimizedPolicy, Policy, SlotContext};
 use crate::error::CoreError;
 use crate::model::Dispatch;
 
@@ -85,14 +85,16 @@ impl Policy for QuantileSlaPolicy {
         "OptimizedQuantile"
     }
 
-    fn decide(
-        &mut self,
-        system: &System,
-        rates: &[Vec<f64>],
-        slot: usize,
-    ) -> Result<Dispatch, CoreError> {
-        let tightened = quantile_system(system, self.p);
-        self.inner.decide(&tightened, rates, slot)
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+        let tightened = quantile_system(ctx.system, self.p);
+        // Decide on a derived context over the tightened system; health and
+        // metrics still land on the caller's context/recorder.
+        let inner_ctx = SlotContext::new(&tightened, ctx.rates, ctx.slot, ctx.obs);
+        let result = self.inner.decide(&inner_ctx);
+        if let Some(h) = inner_ctx.take_health() {
+            ctx.record_health(h);
+        }
+        result
     }
 }
 

@@ -24,9 +24,10 @@
 //!    it dispatches nothing (all servers off) — the tier is infallible,
 //!    which is what makes the ladder abort-free.
 //!
-//! Each decision reports a [`SlotHealth`] record through
-//! [`Policy::take_health`], which the driver surfaces on the
-//! [`crate::SlotOutcome`].
+//! Each decision pushes a [`SlotHealth`] record through
+//! [`crate::SlotContext::record_health`], which the driver surfaces on the
+//! [`crate::SlotOutcome`]; tier transitions and fault counts additionally
+//! land on the slot context's observability recorder.
 //!
 //! The module also hosts [`ChaosPolicy`], the fault-injection wrapper used
 //! by the robustness experiments. It lives here rather than in
@@ -39,11 +40,12 @@ use palb_lp::{LpError, PivotRule, SolveOptions};
 use palb_workload::fault::SolverFaultSchedule;
 
 use crate::balanced::balanced_dispatch;
-use crate::driver::Policy;
+use crate::driver::{Policy, SlotContext};
 use crate::error::CoreError;
 use crate::formulate::{LevelAssignment, WorkspacePool};
 use crate::model::{Dims, Dispatch};
 use crate::multilevel::{solve_bb_in, solve_uniform_levels, BbOptions, SolverStats};
+use crate::obs::{names, record_solver_stats, spans, Recorder};
 
 /// A rung of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,17 +71,23 @@ impl Tier {
         Tier::Balanced,
         Tier::Replay,
     ];
-}
 
-impl std::fmt::Display for Tier {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.pad(match self {
+    /// Stable lowercase label used in reports and metric labels
+    /// (`tier="exact"`).
+    pub fn label(self) -> &'static str {
+        match self {
             Tier::Exact => "exact",
             Tier::BlandRetry => "bland-retry",
             Tier::UniformLevels => "uniform-levels",
             Tier::Balanced => "balanced",
             Tier::Replay => "replay",
-        })
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.label())
     }
 }
 
@@ -141,7 +149,6 @@ pub struct ResilientPolicy {
     pub opts: ResilientOptions,
     chaos: Option<SolverFaultSchedule>,
     last_good: Option<Dispatch>,
-    health: Option<SlotHealth>,
     /// Persistent LP workspaces reused across slots and ladder tiers (the
     /// dispatch LP's structure is slot-invariant, so each slot is a
     /// coefficient patch); the parallel exact tier checks one out per
@@ -156,7 +163,6 @@ impl Clone for ResilientPolicy {
             opts: self.opts.clone(),
             chaos: self.chaos.clone(),
             last_good: self.last_good.clone(),
-            health: self.health.clone(),
             wsp: WorkspacePool::default(), // cache: the clone rebuilds its own
         }
     }
@@ -168,7 +174,6 @@ impl std::fmt::Debug for ResilientPolicy {
             .field("opts", &self.opts)
             .field("chaos", &self.chaos)
             .field("last_good", &self.last_good)
-            .field("health", &self.health)
             .field("workspace_ready", &!self.wsp.is_empty())
             .finish()
     }
@@ -218,6 +223,7 @@ impl ResilientPolicy {
         rates: &[Vec<f64>],
         slot: usize,
         lp: &SolveOptions,
+        rec: &Recorder,
     ) -> Result<(Dispatch, usize, SolverStats), CoreError> {
         let one_level = system.classes.iter().all(|c| c.tuf.num_levels() == 1);
         if one_level {
@@ -240,10 +246,14 @@ impl ResilientPolicy {
                 cold_pivots: s.pivots,
                 ..SolverStats::default()
             };
+            // Standalone LP caller: nothing below records, so we do.
+            record_solver_stats(rec, &stats);
             return Ok((s.dispatch, s.pivots, stats));
         }
+        // The branch-and-bound self-records through its options.
         let bb = BbOptions {
             lp: lp.clone(),
+            obs: rec.clone(),
             ..self.opts.bb.clone()
         };
         let r = solve_bb_in(&mut self.wsp, system, rates, slot, &bb)?;
@@ -309,6 +319,7 @@ impl ResilientPolicy {
 
     fn finish(
         &mut self,
+        ctx: &SlotContext<'_>,
         tier: Tier,
         retries: usize,
         solve_iterations: usize,
@@ -318,7 +329,7 @@ impl ResilientPolicy {
         if tier != Tier::Replay {
             self.last_good = Some(dispatch.clone());
         }
-        self.health = Some(SlotHealth {
+        ctx.record_health(SlotHealth {
             tier_used: Some(tier),
             retries,
             sanitization_events: 0, // merged in by the driver
@@ -345,22 +356,26 @@ impl Policy for ResilientPolicy {
         "Resilient"
     }
 
-    fn decide(
-        &mut self,
-        system: &System,
-        rates: &[Vec<f64>],
-        slot: usize,
-    ) -> Result<Dispatch, CoreError> {
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+        let (system, rates, slot) = (ctx.system, ctx.rates, ctx.slot);
         // Tier 1: exact under budget.
         let lp = self.opts.bb.lp.clone();
         let exact = match self.injected(slot, 0, Tier::Exact) {
             Some(e) => Err(e),
-            None => self.solve_exact(system, rates, slot, &lp),
+            None => {
+                let _tier = ctx.obs.span(spans::TIER);
+                self.solve_exact(system, rates, slot, &lp, ctx.obs)
+            }
         };
         let first_err = match exact {
-            Ok((d, pivots, stats)) => return self.finish(Tier::Exact, 0, pivots, stats, d),
+            Ok((d, pivots, stats)) => return self.finish(ctx, Tier::Exact, 0, pivots, stats, d),
             Err(e) => e,
         };
+        ctx.obs.counter_add(
+            names::SOLVER_FAULTS_TOTAL,
+            &[("tier", Tier::Exact.label())],
+            1,
+        );
         let mut retries = 1;
 
         // Tier 2: Bland + perturbation, only for transient failures.
@@ -368,53 +383,77 @@ impl Policy for ResilientPolicy {
             let retry = match self.injected(slot, 1, Tier::BlandRetry) {
                 Some(e) => Err(e),
                 None => {
+                    let _tier = ctx.obs.span(spans::TIER);
                     let retry_lp = self.opts.retry_lp.clone();
                     let shrunk = self.perturbed(rates, slot);
-                    self.solve_exact(system, &shrunk, slot, &retry_lp)
+                    self.solve_exact(system, &shrunk, slot, &retry_lp, ctx.obs)
                 }
             };
             match retry {
                 Ok((d, pivots, stats)) => {
-                    return self.finish(Tier::BlandRetry, retries, pivots, stats, d)
+                    return self.finish(ctx, Tier::BlandRetry, retries, pivots, stats, d)
                 }
-                Err(_) => retries += 1,
+                Err(_) => {
+                    ctx.obs.counter_add(
+                        names::SOLVER_FAULTS_TOTAL,
+                        &[("tier", Tier::BlandRetry.label())],
+                        1,
+                    );
+                    retries += 1;
+                }
             }
         }
 
         // Tier 3: uniform-level heuristic with default budgets.
         let uniform = match self.injected(slot, 2, Tier::UniformLevels) {
             Some(e) => Err(e),
-            None => solve_uniform_levels(system, rates, slot),
+            None => {
+                let _tier = ctx.obs.span(spans::TIER);
+                solve_uniform_levels(system, rates, slot)
+            }
         };
         match uniform {
             Ok(r) => {
+                // Standalone heuristic caller: records its own stats.
+                record_solver_stats(ctx.obs, &r.stats);
                 return self.finish(
+                    ctx,
                     Tier::UniformLevels,
                     retries,
                     r.solve.pivots,
                     r.stats,
                     r.solve.dispatch,
-                )
+                );
             }
-            Err(_) => retries += 1,
+            Err(_) => {
+                ctx.obs.counter_add(
+                    names::SOLVER_FAULTS_TOTAL,
+                    &[("tier", Tier::UniformLevels.label())],
+                    1,
+                );
+                retries += 1;
+            }
         }
 
         // Tier 4: the solver-free Balanced baseline.
         match self.injected(slot, 3, Tier::Balanced) {
-            Some(_) => retries += 1,
+            Some(_) => {
+                ctx.obs.counter_add(
+                    names::SOLVER_FAULTS_TOTAL,
+                    &[("tier", Tier::Balanced.label())],
+                    1,
+                );
+                retries += 1;
+            }
             None => {
                 let d = balanced_dispatch(system, rates, slot);
-                return self.finish(Tier::Balanced, retries, 0, SolverStats::default(), d);
+                return self.finish(ctx, Tier::Balanced, retries, 0, SolverStats::default(), d);
             }
         }
 
         // Tier 5: replay — infallible by construction.
         let d = self.replay(system, rates);
-        self.finish(Tier::Replay, retries, 0, SolverStats::default(), d)
-    }
-
-    fn take_health(&mut self) -> Option<SlotHealth> {
-        self.health.take()
+        self.finish(ctx, Tier::Replay, retries, 0, SolverStats::default(), d)
     }
 }
 
@@ -446,24 +485,15 @@ impl<P: Policy> Policy for ChaosPolicy<P> {
         &self.name
     }
 
-    fn decide(
-        &mut self,
-        system: &System,
-        rates: &[Vec<f64>],
-        slot: usize,
-    ) -> Result<Dispatch, CoreError> {
-        if self.schedule.fails(slot, 0) {
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+        if self.schedule.fails(ctx.slot, 0) {
             return Err(CoreError::Solver {
-                slot,
+                slot: ctx.slot,
                 tier: Tier::Exact,
                 source: LpError::Numeric("injected solver fault".into()),
             });
         }
-        self.inner.decide(system, rates, slot)
-    }
-
-    fn take_health(&mut self) -> Option<SlotHealth> {
-        self.inner.take_health()
+        self.inner.decide(ctx)
     }
 }
 
@@ -572,8 +602,10 @@ mod tests {
         // balanced is only vetoed on slot 1 by the handcrafted schedule.
         // Easier: drive decide() by hand.
         let mut policy = ResilientPolicy::default();
-        let d0 = policy.decide(&sys, &low, 0).unwrap();
-        assert!(policy.take_health().is_some());
+        let rec = Recorder::noop();
+        let ctx0 = SlotContext::new(&sys, &low, 0, &rec);
+        let d0 = policy.decide(&ctx0).unwrap();
+        assert!(ctx0.take_health().is_some());
         assert!(policy.last_good().is_some());
 
         // Halve the offered rates and force replay via total chaos.
@@ -582,8 +614,9 @@ mod tests {
             .iter()
             .map(|row| row.iter().map(|r| r * 0.5).collect())
             .collect();
-        let d1 = policy.decide(&sys, &halved, 1).unwrap();
-        let h = policy.take_health().unwrap();
+        let ctx1 = SlotContext::new(&sys, &halved, 1, &rec);
+        let d1 = policy.decide(&ctx1).unwrap();
+        let h = ctx1.take_health().unwrap();
         assert_eq!(h.tier_used, Some(Tier::Replay));
         // Eq. 7: replayed dispatch within the halved offered rates.
         check_feasible(&sys, &halved, &d1, false, 1e-6).unwrap();
@@ -624,13 +657,15 @@ mod tests {
             ..ResilientOptions::default()
         };
         let mut inc = ResilientPolicy::default();
+        let rec = Recorder::noop();
         for (i, slot) in [13usize, 14, 15].into_iter().enumerate() {
             let scale = 1.0 - 0.2 * i as f64;
             let rates = vec![vec![30_000.0 * scale, 25_000.0 * scale]];
-            let d_inc = inc.decide(&sys, &rates, slot).unwrap();
-            let h = inc.take_health().unwrap();
+            let ctx = SlotContext::new(&sys, &rates, slot, &rec);
+            let d_inc = inc.decide(&ctx).unwrap();
+            let h = ctx.take_health().unwrap();
             let mut cold = ResilientPolicy::new(cold_opts.clone());
-            let d_cold = cold.decide(&sys, &rates, slot).unwrap();
+            let d_cold = cold.decide(&ctx).unwrap();
             assert_eq!(d_inc, d_cold, "slot {slot}: dispatch diverged");
             assert_eq!(h.tier_used, Some(Tier::Exact));
             assert!(

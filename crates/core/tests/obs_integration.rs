@@ -1,0 +1,166 @@
+//! Observability contract of the instrumented solver stack:
+//!
+//! 1. **bitwise invisibility** — attaching or detaching a recorder never
+//!    changes solver output, at any thread count (the acceptance gate for
+//!    the telemetry layer riding inside the determinism-critical B&B);
+//! 2. **exact span accounting** — the `bb_node` span counter equals
+//!    `nodes_explored` at every thread count, because per-worker span
+//!    records merge through commutative counter adds;
+//! 3. **noop overhead** — with no recorder attached the instrumented
+//!    solver is not measurably slower than a generous bound over the
+//!    attached run on the Fig. 11-style reference instance.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use palb_cluster::{presets, System};
+use palb_core::multilevel::MultilevelResult;
+use palb_core::obs::{names, spans, Recorder, Registry, SPAN_SECONDS, SPAN_TOTAL};
+use palb_core::{run, run_with, solve_bb, BbOptions, ResilientPolicy, RunOptions};
+use palb_workload::synthetic::constant_trace;
+
+/// The Fig. 11 reference shape: the §VII two-class / two-DC system on a
+/// representative busy slot.
+fn fig11_like() -> (System, Vec<Vec<f64>>, usize) {
+    (presets::section_vii(), vec![vec![40_000.0, 35_000.0]], 13)
+}
+
+fn assert_same_bits(a: &MultilevelResult, b: &MultilevelResult, label: &str) {
+    assert_eq!(
+        a.solve.objective.to_bits(),
+        b.solve.objective.to_bits(),
+        "{label}: objective {} vs {}",
+        a.solve.objective,
+        b.solve.objective
+    );
+    assert_eq!(a.solve.dispatch, b.solve.dispatch, "{label}: dispatch");
+    assert_eq!(a.assignment, b.assignment, "{label}: assignment");
+    assert_eq!(a.proven_optimal, b.proven_optimal, "{label}: proof flag");
+}
+
+#[test]
+fn recorder_is_bitwise_invisible_at_every_thread_count() {
+    let (sys, rates, slot) = fig11_like();
+    let baseline = solve_bb(&sys, &rates, slot, &BbOptions::default()).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let noop = solve_bb(
+            &sys,
+            &rates,
+            slot,
+            &BbOptions {
+                threads,
+                ..BbOptions::default()
+            },
+        )
+        .unwrap();
+        let registry = Arc::new(Registry::new());
+        let instrumented = solve_bb(
+            &sys,
+            &rates,
+            slot,
+            &BbOptions {
+                threads,
+                obs: Recorder::attached(Arc::clone(&registry)),
+                ..BbOptions::default()
+            },
+        )
+        .unwrap();
+        assert_same_bits(
+            &noop,
+            &instrumented,
+            &format!("noop vs attached t{threads}"),
+        );
+        assert_same_bits(&baseline, &instrumented, &format!("seq ref vs t{threads}"));
+
+        // Exact span accounting: per-worker merges are commutative adds,
+        // so the bb_node span counter equals nodes_explored regardless of
+        // how the frontier was split.
+        let nodes = instrumented.stats.nodes_explored as u64;
+        assert!(nodes > 0);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(SPAN_TOTAL, &[("span", spans::BB_NODE)]),
+            Some(nodes),
+            "t{threads}: bb_node span count must equal nodes_explored"
+        );
+        assert_eq!(
+            snap.counter_value(names::BB_NODES_TOTAL, &[]),
+            Some(nodes),
+            "t{threads}: bb-node counter must equal nodes_explored"
+        );
+        assert!(
+            snap.family_counter_total(names::WARM_HITS_TOTAL) > 0,
+            "t{threads}: warm starts should land on the registry"
+        );
+        assert!(snap.contains_family(SPAN_SECONDS));
+        assert!(
+            snap.counter_value(SPAN_TOTAL, &[("span", spans::LP_SOLVE)])
+                .unwrap_or(0)
+                > 0,
+            "t{threads}: lp_solve spans should record"
+        );
+    }
+}
+
+#[test]
+fn instrumented_driver_matches_plain_run_and_exports_slot_families() {
+    let (sys, rates, slot) = fig11_like();
+    let trace = constant_trace(rates, 3);
+    let plain = run(&mut ResilientPolicy::default(), &sys, &trace, slot).unwrap();
+
+    let registry = Arc::new(Registry::new());
+    let opts = RunOptions::at(slot).with_obs(Recorder::attached(Arc::clone(&registry)));
+    let instrumented = run_with(&mut ResilientPolicy::default(), &sys, &trace, &opts)
+        .unwrap()
+        .result;
+
+    // Telemetry is bitwise invisible to the economics as well.
+    assert_eq!(plain.decisions, instrumented.decisions);
+    assert_eq!(
+        plain.total_net_profit().to_bits(),
+        instrumented.total_net_profit().to_bits()
+    );
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter_value(names::SLOTS_TOTAL, &[]), Some(3));
+    assert_eq!(
+        snap.counter_value(names::TIER_DECISIONS_TOTAL, &[("tier", "exact")]),
+        Some(3),
+        "clean inputs decide on the exact tier every slot"
+    );
+    assert!(snap.contains_family(names::SLOT_DECIDE_SECONDS));
+    assert!(snap.contains_family(names::NET_PROFIT_DOLLARS));
+    assert!(snap.family_counter_total(names::BB_NODES_TOTAL) > 0);
+    assert!(snap
+        .counter_value(names::SLOT_FAILURES_TOTAL, &[])
+        .is_none());
+}
+
+#[test]
+fn noop_recorder_overhead_is_negligible() {
+    // Min-of-k wall-clock: the noop run must not be slower than a very
+    // generous bound over the attached run. (The real guard is the branch
+    // structure — `Recorder::noop` reads no clock and allocates nothing —
+    // this test just catches gross regressions like an unconditional
+    // clock read per node.)
+    let (sys, rates, slot) = fig11_like();
+    let min_of = |opts: &BbOptions| -> f64 {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                solve_bb(&sys, &rates, slot, opts).unwrap();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let noop_ms = min_of(&BbOptions::default());
+    let registry = Arc::new(Registry::new());
+    let attached_ms = min_of(&BbOptions {
+        obs: Recorder::attached(registry),
+        ..BbOptions::default()
+    });
+    assert!(
+        noop_ms <= attached_ms * 1.5 + 20.0,
+        "noop run took {noop_ms:.2} ms vs attached {attached_ms:.2} ms"
+    );
+}

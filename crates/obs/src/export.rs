@@ -1,0 +1,270 @@
+//! Snapshot exporters: Prometheus text exposition format and a
+//! line-oriented JSON log. Both walk the snapshot's (name, labels) order,
+//! so output is deterministic for a given registry state.
+
+use crate::registry::{Sample, SampleValue, Snapshot};
+
+/// Escapes a Prometheus label value (`\` -> `\\`, `"` -> `\"`,
+/// newline -> `\n`).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k1="v1",k2="v2"}`, with `extra` appended last; empty string
+/// when there are no labels at all.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Escapes a JSON string (quotes, backslashes, control characters).
+fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn sample_kind(sample: &Sample) -> &'static str {
+    match sample.value {
+        SampleValue::Counter(_) => "counter",
+        SampleValue::Gauge(_) => "gauge",
+        SampleValue::Histogram(_) => "histogram",
+    }
+}
+
+impl Snapshot {
+    /// Renders the snapshot in Prometheus text exposition format: one
+    /// `# TYPE` line per family, histogram buckets emitted cumulatively
+    /// with an `le="+Inf"` bucket plus `_sum` and `_count` series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for sample in &self.samples {
+            if last_family != Some(sample.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {}\n", sample.name, sample_kind(sample)));
+                last_family = Some(sample.name.as_str());
+            }
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        sample.name,
+                        label_block(&sample.labels, None)
+                    ));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        sample.name,
+                        label_block(&sample.labels, None)
+                    ));
+                }
+                SampleValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                        cumulative += count;
+                        out.push_str(&format!(
+                            "{}_bucket{} {cumulative}\n",
+                            sample.name,
+                            label_block(&sample.labels, Some(("le", &format!("{bound}"))))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        sample.name,
+                        label_block(&sample.labels, Some(("le", "+Inf"))),
+                        h.count
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        sample.name,
+                        label_block(&sample.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        sample.name,
+                        label_block(&sample.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSONL: one JSON object per sample per
+    /// line, carrying `name`, `kind`, `labels`, and the value. Histograms
+    /// emit non-cumulative `counts` with the overflow bucket as a
+    /// separate `overflow` field (JSON has no `+Inf` literal).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sample in &self.samples {
+            let head = format!(
+                "{{\"name\":\"{}\",\"kind\":\"{}\",\"labels\":{}",
+                escape_json(&sample.name),
+                sample_kind(sample),
+                json_labels(&sample.labels)
+            );
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    out.push_str(&format!("{head},\"value\":{v}}}\n"));
+                }
+                SampleValue::Gauge(v) => {
+                    out.push_str(&format!("{head},\"value\":{}}}\n", json_number(*v)));
+                }
+                SampleValue::Histogram(h) => {
+                    let bounds: Vec<String> = h.bounds.iter().map(|b| json_number(*b)).collect();
+                    let finite: Vec<String> = h.counts[..h.bounds.len()]
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect();
+                    let overflow = h.counts[h.bounds.len()];
+                    out.push_str(&format!(
+                        "{head},\"bounds\":[{}],\"counts\":[{}],\"overflow\":{overflow},\"sum\":{},\"count\":{}}}\n",
+                        bounds.join(","),
+                        finite.join(","),
+                        json_number(h.sum),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders an f64 as a JSON number; non-finite values (which JSON cannot
+/// express) become `null`.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_golden_snapshot() {
+        let reg = Registry::new();
+        reg.counter("palb_slots_total", &[]).add(3);
+        reg.gauge("palb_profit_dollars", &[("dc", "0")]).set(12.5);
+        let h = reg.histogram("palb_slot_decide_seconds", &[], &[0.5, 1.0]);
+        h.observe(0.25);
+        h.observe(0.5);
+        h.observe(4.0);
+
+        let text = reg.snapshot().to_prometheus();
+        let expected = "\
+# TYPE palb_profit_dollars gauge
+palb_profit_dollars{dc=\"0\"} 12.5
+# TYPE palb_slot_decide_seconds histogram
+palb_slot_decide_seconds_bucket{le=\"0.5\"} 2
+palb_slot_decide_seconds_bucket{le=\"1\"} 2
+palb_slot_decide_seconds_bucket{le=\"+Inf\"} 3
+palb_slot_decide_seconds_sum 4.75
+palb_slot_decide_seconds_count 3
+# TYPE palb_slots_total counter
+palb_slots_total 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn prometheus_type_line_emitted_once_per_family() {
+        let reg = Registry::new();
+        reg.counter("palb_m_total", &[("dc", "0")]).inc();
+        reg.counter("palb_m_total", &[("dc", "1")]).inc();
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE palb_m_total").count(), 1);
+        assert!(text.contains("palb_m_total{dc=\"0\"} 1"));
+        assert!(text.contains("palb_m_total{dc=\"1\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("palb_x_total", &[("path", "a\\b\"c\nd")]).inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("path=\"a\\\\b\\\"c\\nd\""));
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json_shapes() {
+        let reg = Registry::new();
+        reg.counter("palb_slots_total", &[]).add(2);
+        reg.gauge("palb_profit", &[("dc", "0")]).set(1.5);
+        let h = reg.histogram("palb_h_seconds", &[], &[0.5, 1.0]);
+        h.observe(0.25);
+        h.observe(9.0);
+
+        let text = reg.snapshot().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        // Snapshot order is by name: palb_h_seconds, palb_profit,
+        // palb_slots_total.
+        assert_eq!(
+            lines[1],
+            "{\"name\":\"palb_profit\",\"kind\":\"gauge\",\"labels\":{\"dc\":\"0\"},\"value\":1.5}"
+        );
+        assert!(lines[2].contains("\"kind\":\"counter\""));
+        assert!(lines[2].contains("\"value\":2"));
+        // Histogram line: finite counts + separate overflow.
+        assert!(lines[0].contains("\"bounds\":[0.5,1]"));
+        assert!(lines[0].contains("\"counts\":[1,0]"));
+        assert!(lines[0].contains("\"overflow\":1"));
+        assert!(lines[0].contains("\"count\":2"));
+    }
+
+    #[test]
+    fn jsonl_escapes_strings() {
+        let reg = Registry::new();
+        reg.counter("palb_x_total", &[("k", "a\"b\\c\nd")]).inc();
+        let text = reg.snapshot().to_jsonl();
+        assert!(text.contains("\"k\":\"a\\\"b\\\\c\\nd\""));
+    }
+}

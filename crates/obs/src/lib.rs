@@ -1,0 +1,65 @@
+//! # palb-obs — unified observability for the palb workspace
+//!
+//! One first-class telemetry substrate for every layer of the controller
+//! stack (driver, resilient ladder, branch-and-bound, LP workspaces,
+//! experiment harness, CLI), replacing the layer-private counters that
+//! used to be hand-threaded through return values.
+//!
+//! Three pieces:
+//!
+//! * [`Registry`] — a metrics registry holding [`Counter`]s, [`Gauge`]s
+//!   and [`Histogram`]s (fixed log-linear buckets). Registration takes a
+//!   short mutex; every *update* afterwards is a single atomic operation
+//!   on a shared handle, so hot loops pay no lock.
+//! * [`Recorder`] — the handle instrumented code holds. It is either
+//!   attached to a registry or a **no-op**: `Recorder::noop()` carries
+//!   `None`, so every recording call reduces to one branch — no clock
+//!   read, no allocation, no atomic — and the solver hot path is
+//!   unaffected when observability is off.
+//! * [`Span`] — hierarchical wall-clock timing
+//!   (`run > slot > tier > bb_node > lp_solve`): a span records its
+//!   elapsed seconds into the `palb_span_seconds{span="<path>"}`
+//!   histogram (and bumps `palb_span_total`) on drop.
+//!
+//! Snapshots export two ways: Prometheus text exposition
+//! ([`Snapshot::to_prometheus`]) and a line-oriented JSON log
+//! ([`Snapshot::to_jsonl`]). Both are deterministic: samples are emitted
+//! in registry (name, labels) order.
+//!
+//! Determinism note for parallel consumers: counters are commutative
+//! integer adds, so per-worker merges (e.g. the parallel branch-and-bound
+//! recording one `bb_node` span per node across worker threads) produce
+//! the same totals at every thread count whenever the underlying node
+//! counts agree. Timing histograms are wall-clock and therefore never
+//! part of any bitwise contract.
+//!
+//! ```
+//! use palb_obs::{Recorder, Registry};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(Registry::new());
+//! let rec = Recorder::attached(registry.clone());
+//! rec.counter_add("palb_slots_total", &[], 1);
+//! {
+//!     let _span = rec.span("run/slot");
+//! } // drop records elapsed seconds
+//! let snap = registry.snapshot();
+//! assert!(snap.to_prometheus().contains("palb_slots_total 1"));
+//!
+//! // The no-op recorder accepts the same calls and does nothing.
+//! let off = Recorder::noop();
+//! off.counter_add("palb_slots_total", &[], 1);
+//! assert!(!off.span("run").is_recording());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod registry;
+
+pub use metrics::{log_linear_bounds, Counter, Gauge, Histogram};
+pub use recorder::{Recorder, Span, SPAN_SECONDS, SPAN_TOTAL};
+pub use registry::{HistogramSnapshot, Registry, Sample, SampleValue, Snapshot};

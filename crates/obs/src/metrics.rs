@@ -1,0 +1,301 @@
+//! The metric primitives: atomic counters, gauges, and fixed-bucket
+//! histograms. All updates are lock-free single atomics; construction and
+//! registration go through [`crate::Registry`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An `f64` gauge (stored as raw bits in an atomic, updated by CAS).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (compare-and-swap loop, so concurrent adds all land).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Exactly representable powers of ten for bucket-bound generation (the
+/// naive `10f64.powi` accumulates rounding that would print as
+/// `0.00000019999…` in exported `le` labels).
+fn pow10(e: i32) -> f64 {
+    const TABLE: [f64; 25] = [
+        1e-12, 1e-11, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0, 1e1, 1e2,
+        1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12,
+    ];
+    if (-12..=12).contains(&e) {
+        TABLE[(e + 12) as usize]
+    } else {
+        10f64.powi(e)
+    }
+}
+
+/// The standard log-linear bucket ladder: `{1, 2, 5} × 10^e` for every
+/// exponent `e` in `min_exp..=max_exp` — three buckets per decade,
+/// strictly increasing.
+pub fn log_linear_bounds(min_exp: i32, max_exp: i32) -> Vec<f64> {
+    assert!(
+        min_exp <= max_exp,
+        "log_linear_bounds: empty exponent range"
+    );
+    let mut bounds = Vec::with_capacity(3 * (max_exp - min_exp + 1) as usize);
+    for e in min_exp..=max_exp {
+        let base = pow10(e);
+        bounds.push(base);
+        bounds.push(2.0 * base);
+        bounds.push(5.0 * base);
+    }
+    bounds
+}
+
+/// Default bucket bounds for duration histograms: 100 ns to 500 s, three
+/// buckets per decade (covers an LP pivot batch up to a full-day run).
+pub fn duration_bounds() -> Vec<f64> {
+    log_linear_bounds(-7, 2)
+}
+
+/// A fixed-bucket histogram. Bucket `i` counts observations `v` with
+/// `bounds[i-1] < v <= bounds[i]` (Prometheus `le` semantics); one
+/// implicit overflow bucket catches everything above the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One slot per bound plus the overflow (`+Inf`) slot.
+    buckets: Vec<AtomicU64>,
+    sum: Gauge,
+}
+
+impl Histogram {
+    /// A histogram over explicit bucket bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// increasing.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for w in bounds.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "histogram bounds must be strictly increasing: {} then {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (the +Inf bucket is implicit)"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: Gauge::new(),
+        }
+    }
+
+    /// A log-linear histogram (see [`log_linear_bounds`]).
+    pub fn log_linear(min_exp: i32, max_exp: i32) -> Self {
+        Histogram::with_bounds(log_linear_bounds(min_exp, max_exp))
+    }
+
+    /// Records one observation. `NaN` observations are dropped (they have
+    /// no place on the bucket axis); everything else lands in the first
+    /// bucket whose bound is `>= value`, or in the overflow bucket.
+    pub fn observe(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| value > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.add(value);
+    }
+
+    /// The bucket bounds (overflow bucket excluded).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow last (`bounds().len() + 1` entries).
+    /// Counts are **not** cumulative; exporters accumulate as needed.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_increments() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_sets_and_accumulates() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn concurrent_counter_and_gauge_updates_all_land() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let g = Arc::new(Gauge::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let g = Arc::clone(&g);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        assert_eq!(g.get(), 4000.0);
+    }
+
+    #[test]
+    fn log_linear_ladder_is_the_125_pattern() {
+        let b = log_linear_bounds(-1, 1);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b[0], 0.1);
+        assert_eq!(b[1], 0.2);
+        assert_eq!(b[2], 0.5);
+        assert_eq!(b[3], 1.0);
+        assert_eq!(b[8], 50.0);
+        for w in b.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Decimal-exact bounds, so exported `le` labels print cleanly.
+        assert_eq!(format!("{}", log_linear_bounds(-7, -7)[1]), "0.0000002");
+    }
+
+    #[test]
+    fn histogram_bucket_edges_use_le_semantics() {
+        let h = Histogram::with_bounds(vec![1.0, 10.0]);
+        h.observe(-5.0); // below everything -> first bucket
+        h.observe(0.0); // first bucket
+        h.observe(1.0); // exactly on a bound -> that bucket (le)
+        h.observe(1.0000001); // just above -> next bucket
+        h.observe(10.0); // second bucket
+        h.observe(11.0); // overflow
+        h.observe(f64::INFINITY); // overflow
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.bucket_counts(), vec![3, 2, 2]);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_sum_tracks_observations() {
+        let h = Histogram::with_bounds(vec![0.5, 1.0]);
+        h.observe(0.25);
+        h.observe(0.5);
+        h.observe(4.0);
+        assert_eq!(h.sum(), 4.75);
+        assert_eq!(h.bucket_counts(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_bounds_are_rejected() {
+        Histogram::with_bounds(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_bounds_are_rejected() {
+        Histogram::with_bounds(vec![]);
+    }
+
+    #[test]
+    fn duration_bounds_cover_nanoseconds_to_minutes() {
+        let b = duration_bounds();
+        assert!(b[0] <= 1e-6);
+        assert!(*b.last().unwrap() >= 100.0);
+        assert_eq!(b.len(), 30);
+    }
+}

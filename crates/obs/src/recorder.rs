@@ -1,0 +1,253 @@
+//! The [`Recorder`] handle instrumented code holds, and the hierarchical
+//! [`Span`] timer. A recorder is either attached to a [`Registry`] or a
+//! no-op; the no-op path is a single `Option` branch — no clock read, no
+//! allocation, no atomic — so hot loops can be instrumented
+//! unconditionally.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::duration_bounds;
+use crate::registry::Registry;
+
+/// Histogram family every [`Span`] records its elapsed seconds into,
+/// labelled `span="<path>"`.
+pub const SPAN_SECONDS: &str = "palb_span_seconds";
+/// Counter family bumped once per completed span, labelled
+/// `span="<path>"`.
+pub const SPAN_TOTAL: &str = "palb_span_total";
+
+/// A cheap, cloneable handle for recording metrics. Either attached to a
+/// shared [`Registry`] or a no-op ([`Recorder::noop`]).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    registry: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("attached", &self.registry.is_some())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder that drops everything. Every method is one branch.
+    pub fn noop() -> Self {
+        Recorder { registry: None }
+    }
+
+    /// A recorder feeding the given registry.
+    pub fn attached(registry: Arc<Registry>) -> Self {
+        Recorder {
+            registry: Some(registry),
+        }
+    }
+
+    /// True when attached to a registry. Use to gate work that is only
+    /// needed for recording (e.g. reading the clock for a latency
+    /// measurement).
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The underlying registry, if attached.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Adds `delta` to the counter `name{labels}`.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if let Some(reg) = &self.registry {
+            reg.counter(name, labels).add(delta);
+        }
+    }
+
+    /// Sets the gauge `name{labels}`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(reg) = &self.registry {
+            reg.gauge(name, labels).set(value);
+        }
+    }
+
+    /// Adds `delta` to the gauge `name{labels}`.
+    pub fn gauge_add(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        if let Some(reg) = &self.registry {
+            reg.gauge(name, labels).add(delta);
+        }
+    }
+
+    /// Observes `value` into the histogram `name{labels}`, registering it
+    /// with the default duration buckets
+    /// ([`crate::metrics::duration_bounds`]) on first use.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(reg) = &self.registry {
+            reg.histogram(name, labels, &duration_bounds())
+                .observe(value);
+        }
+    }
+
+    /// Observes `value` into the histogram `name{labels}` with explicit
+    /// bucket bounds (applied on first registration only).
+    pub fn observe_with_bounds(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        if let Some(reg) = &self.registry {
+            reg.histogram(name, labels, bounds).observe(value);
+        }
+    }
+
+    /// Starts a timing span at `path` (e.g. `"run/slot"`). The span
+    /// records [`SPAN_SECONDS`] and [`SPAN_TOTAL`] when dropped; on a
+    /// no-op recorder it is inert and reads no clock.
+    pub fn span(&self, path: &str) -> Span {
+        Span {
+            inner: self.registry.as_ref().map(|reg| SpanInner {
+                registry: Arc::clone(reg),
+                path: path.to_string(),
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+struct SpanInner {
+    registry: Arc<Registry>,
+    path: String,
+    start: Instant,
+}
+
+/// A hierarchical wall-clock timer (see [`Recorder::span`]). Dropping the
+/// span records its elapsed seconds into
+/// `palb_span_seconds{span="<path>"}` and bumps
+/// `palb_span_total{span="<path>"}`.
+#[derive(Default)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("path", &self.inner.as_ref().map(|i| i.path.as_str()))
+            .finish()
+    }
+}
+
+impl Span {
+    /// A child span with `name` appended to this span's path
+    /// (`"run" -> "run/slot"`). Inert if the parent is inert.
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            inner: self.inner.as_ref().map(|i| SpanInner {
+                registry: Arc::clone(&i.registry),
+                path: format!("{}/{}", i.path, name),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// True when this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let elapsed = inner.start.elapsed().as_secs_f64();
+            let labels = [("span", inner.path.as_str())];
+            inner
+                .registry
+                .histogram(SPAN_SECONDS, &labels, &duration_bounds())
+                .observe(elapsed);
+            inner.registry.counter(SPAN_TOTAL, &labels).inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_records_nothing_and_spans_are_inert() {
+        let rec = Recorder::noop();
+        assert!(!rec.is_enabled());
+        rec.counter_add("palb_x_total", &[], 1);
+        rec.gauge_set("palb_y", &[], 1.0);
+        rec.observe("palb_z_seconds", &[], 0.1);
+        let span = rec.span("run");
+        assert!(!span.is_recording());
+        assert!(!span.child("slot").is_recording());
+        drop(span);
+        assert!(rec.registry().is_none());
+    }
+
+    #[test]
+    fn attached_recorder_feeds_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        assert!(rec.is_enabled());
+        rec.counter_add("palb_slots_total", &[], 2);
+        rec.gauge_set("palb_profit", &[("dc", "0")], 7.5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("palb_slots_total", &[]), Some(2));
+        assert!(snap.contains_family("palb_profit"));
+    }
+
+    #[test]
+    fn span_nesting_builds_slash_paths_and_records_on_drop() {
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        {
+            let run = rec.span("run");
+            assert!(run.is_recording());
+            {
+                let slot = run.child("slot");
+                let _node = slot.child("bb_node");
+            }
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value(SPAN_TOTAL, &[("span", "run")]), Some(1));
+        assert_eq!(
+            snap.counter_value(SPAN_TOTAL, &[("span", "run/slot")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_value(SPAN_TOTAL, &[("span", "run/slot/bb_node")]),
+            Some(1)
+        );
+        assert!(snap.contains_family(SPAN_SECONDS));
+    }
+
+    #[test]
+    fn per_worker_span_counts_merge_deterministically() {
+        // Simulates the parallel B&B: N workers each record a fixed
+        // number of bb_node spans; the merged counter total must equal
+        // the sum regardless of interleaving.
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let _node = rec.span("run/slot/bb_node");
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(SPAN_TOTAL, &[("span", "run/slot/bb_node")]),
+            Some(100)
+        );
+    }
+}

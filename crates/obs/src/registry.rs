@@ -1,0 +1,313 @@
+//! The metrics registry: get-or-create registration behind a short mutex,
+//! lock-free shared handles afterwards, deterministic snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// A metric identity: family name plus sorted label pairs. `BTreeMap`
+/// ordering over this key is what makes snapshots and exports
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics. Registration (`counter` / `gauge` /
+/// `histogram`) takes a mutex briefly and returns a shared handle;
+/// instrumented code caches or re-looks-up handles and updates them with
+/// single atomics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the same (name, labels) was already registered as a
+    /// different metric kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        let metric = map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!(
+                "metric {name} already registered as {}, requested counter",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics on a metric-kind mismatch, as for [`Registry::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        let metric = map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!(
+                "metric {name} already registered as {}, requested gauge",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}` with the given bucket
+    /// bounds. The bounds only apply on first registration; later calls
+    /// return the existing histogram regardless of the bounds passed.
+    ///
+    /// # Panics
+    /// Panics on a metric-kind mismatch, as for [`Registry::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.metrics.lock().unwrap();
+        let metric = map.entry(key).or_insert_with(|| {
+            Metric::Histogram(Arc::new(Histogram::with_bounds(bounds.to_vec())))
+        });
+        match metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!(
+                "metric {name} already registered as {}, requested histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// A point-in-time copy of every metric, in (name, labels) order.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().unwrap();
+        let samples = map
+            .iter()
+            .map(|(key, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(HistogramSnapshot {
+                        bounds: h.bounds().to_vec(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    }),
+                };
+                Sample {
+                    name: key.name.clone(),
+                    labels: key.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+/// Frozen state of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the implicit `+Inf` bucket is excluded).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; the last entry is the
+    /// overflow bucket, so `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric at snapshot time: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric family name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The frozen value.
+    pub value: SampleValue,
+}
+
+/// A deterministic point-in-time copy of a registry, ready for export
+/// (see [`Snapshot::to_prometheus`] / [`Snapshot::to_jsonl`] in
+/// `crate::export`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All samples in (name, labels) order.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Looks up a counter sample by family name and labels (labels in any
+    /// order). Returns `None` if absent or not a counter.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .and_then(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// True if any sample belongs to the family `name`.
+    pub fn contains_family(&self, name: &str) -> bool {
+        self.samples.iter().any(|s| s.name == name)
+    }
+
+    /// Sum of all counter samples in the family `name` (across labels).
+    pub fn family_counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_returns_the_same_handle() {
+        let reg = Registry::new();
+        let a = reg.counter("palb_x_total", &[("k", "v")]);
+        let b = reg.counter("palb_x_total", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn label_order_does_not_split_metrics() {
+        let reg = Registry::new();
+        let a = reg.counter("palb_x_total", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("palb_x_total", &[("b", "2"), ("a", "1")]);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("palb_x_total", &[]);
+        reg.gauge("palb_x_total", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_frozen() {
+        let reg = Registry::new();
+        reg.counter("palb_z_total", &[]).add(3);
+        reg.gauge("palb_a_value", &[]).set(1.5);
+        reg.counter("palb_m_total", &[("dc", "1")]).inc();
+        reg.counter("palb_m_total", &[("dc", "0")]).inc();
+
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "palb_a_value",
+                "palb_m_total",
+                "palb_m_total",
+                "palb_z_total"
+            ]
+        );
+        // Within a family, label order decides.
+        assert_eq!(snap.samples[1].labels, vec![("dc".into(), "0".into())]);
+        assert_eq!(snap.counter_value("palb_z_total", &[]), Some(3));
+        assert_eq!(snap.counter_value("palb_m_total", &[("dc", "1")]), Some(1));
+        assert_eq!(snap.family_counter_total("palb_m_total"), 2);
+        assert!(snap.contains_family("palb_a_value"));
+        assert!(!snap.contains_family("palb_missing"));
+
+        // Mutations after the snapshot don't bleed in.
+        reg.counter("palb_z_total", &[]).add(10);
+        assert_eq!(snap.counter_value("palb_z_total", &[]), Some(3));
+    }
+
+    #[test]
+    fn histogram_snapshot_carries_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("palb_h_seconds", &[], &[0.5, 1.0]);
+        h.observe(0.25);
+        h.observe(0.5);
+        h.observe(4.0);
+        let snap = reg.snapshot();
+        match &snap.samples[0].value {
+            SampleValue::Histogram(hs) => {
+                assert_eq!(hs.bounds, vec![0.5, 1.0]);
+                assert_eq!(hs.counts, vec![2, 0, 1]);
+                assert_eq!(hs.sum, 4.75);
+                assert_eq!(hs.count, 3);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`queueing`] | `palb-queueing` | M/M/1 analytics + discrete-event simulator |
 //! | [`lp`] | `palb-lp` | dense two-phase simplex solver |
 //! | [`nlp`] | `palb-nlp` | projected-gradient / augmented-Lagrangian solvers |
+//! | [`obs`] | `palb-obs` | metrics registry, span timing, Prometheus/JSONL export |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use palb_cluster as cluster;
 pub use palb_core as core;
 pub use palb_lp as lp;
 pub use palb_nlp as nlp;
+pub use palb_obs as obs;
 pub use palb_queueing as queueing;
 pub use palb_tuf as tuf;
 pub use palb_workload as workload;
