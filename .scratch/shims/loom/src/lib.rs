@@ -1,0 +1,27 @@
+//! Offline stand-in for the `loom` model checker: `model` runs the
+//! closure once on real std primitives instead of exploring
+//! interleavings. Exists so the `#![cfg(loom)]` test files compile and
+//! smoke-run in this no-network workspace; the real exhaustive
+//! exploration happens in CI where the genuine crate is available.
+
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Runs `f` once. The real loom runs it once per reachable interleaving.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    f();
+}

@@ -1,3 +1,4 @@
+// palb:lint-tier = bin
 //! # palb-bench — benchmark harness and paper-figure regeneration
 //!
 //! Everything needed to regenerate the evaluation of *Profit Aware Load

@@ -21,16 +21,6 @@ use palb_core::{
 use palb_workload::Trace;
 use rayon::prelude::*;
 
-fn merge_repairs(health: Option<SlotHealth>, repairs: usize) -> Option<SlotHealth> {
-    let mut health = health;
-    if repairs > 0 {
-        let h = health.get_or_insert_with(SlotHealth::default);
-        h.sanitization_events = repairs;
-        h.degraded = true;
-    }
-    health
-}
-
 /// Runs a policy over a trace with one rayon task per slot, keeping every
 /// slot's result. The `make_policy` factory is called per slot so policies
 /// need not be `Sync`. Failed slots are collected as [`SlotFailure`]s
@@ -79,7 +69,7 @@ where
             let outcome = match policy.decide(&ctx) {
                 Ok(dispatch) => {
                     let mut outcome = evaluate(system, rates, slot, &dispatch);
-                    outcome.health = merge_repairs(ctx.take_health(), repairs[t]);
+                    outcome.health = SlotHealth::merge_sanitization(ctx.take_health(), repairs[t]);
                     palb_core::obs::record_slot_outcome(obs, &outcome);
                     Ok((outcome, dispatch))
                 }
@@ -96,11 +86,12 @@ where
         })
         .collect();
     // `Trace` guarantees at least one slot, so slot 0's task always
-    // recorded the display name — no policy is ever built just for it.
+    // records the display name; the fallback only exists to keep this
+    // path panic-free if that invariant ever weakens.
     let name = per_slot
         .first()
         .and_then(|(n, _)| n.clone())
-        .expect("a trace has at least one slot and slot 0 records the name");
+        .unwrap_or_default();
     let mut slots = Vec::new();
     let mut decisions = Vec::new();
     let mut failures = Vec::new();

@@ -1,3 +1,4 @@
+// palb:lint-tier = bin
 //! # palb-cli — command-line interface to the profit-aware load balancer
 //!
 //! Lets an operator run the paper's controller on *their own* system and

@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-cluster — the distributed-cloud system model
 //!
 //! Types describing the paper's system architecture (Fig. 2): `K` request

@@ -26,16 +26,19 @@ pub fn section_v() -> System {
     let classes = vec![
         RequestClass {
             name: "request1".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::constant(2.5, 0.10).unwrap(),
             transfer_cost_per_mile: 0.0,
         },
         RequestClass {
             name: "request2".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::constant(2.0, 0.12).unwrap(),
             transfer_cost_per_mile: 0.0,
         },
         RequestClass {
             name: "request3".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::constant(3.0, 0.15).unwrap(),
             transfer_cost_per_mile: 0.0,
         },
@@ -128,16 +131,19 @@ pub fn section_vi() -> System {
     let classes = vec![
         RequestClass {
             name: "request1".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::constant(10.0, 0.020).unwrap(),
             transfer_cost_per_mile: 0.003,
         },
         RequestClass {
             name: "request2".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::constant(20.0, 0.015).unwrap(),
             transfer_cost_per_mile: 0.005,
         },
         RequestClass {
             name: "request3".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::constant(30.0, 0.010).unwrap(),
             transfer_cost_per_mile: 0.007,
         },
@@ -206,11 +212,13 @@ pub fn section_vii() -> System {
         // 30 000–35 000 req/h, while level 2 reserves just 2 000 req/h.
         RequestClass {
             name: "request1".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::two_level(20.0, 1.0 / 10_000.0, 15.0, 1.0 / 2_000.0).unwrap(),
             transfer_cost_per_mile: 0.0002,
         },
         RequestClass {
             name: "request2".into(),
+            // palb:allow(unwrap): paper-constant TUF parameters are statically valid
             tuf: StepTuf::two_level(30.0, 1.0 / 12_000.0, 22.0, 1.0 / 2_500.0).unwrap(),
             transfer_cost_per_mile: 0.0003,
         },

@@ -23,6 +23,8 @@ use palb_cluster::{ClassId, FrontEndId, System};
 use palb_nlp::{solve_augmented_lagrangian, BoxBounds, ConstrainedNlp, PenaltyOptions};
 use palb_tuf::bigm::{constraint_series, recommended_big_m};
 
+use palb_num::is_zero;
+
 use crate::error::CoreError;
 use crate::formulate::{solve_fixed_levels, LevelAssignment, LevelSolve};
 use crate::model::Dims;
@@ -87,6 +89,7 @@ pub fn solve_bigm(
         hi[n_lam + pidx] = 1.0;
         let tuf = &system.classes[k.0].tuf;
         let levels = tuf.levels();
+        // palb:allow(unwrap): StepTuf guarantees at least one level
         lo[n_lam + n_phi + pidx] = levels.last().unwrap().utility;
         hi[n_lam + n_phi + pidx] = levels[0].utility;
     }
@@ -138,7 +141,7 @@ pub fn solve_bigm(
         let mut profit = 0.0;
         for idx in 0..dims4.lambda_len() {
             let lam = x[idx];
-            if lam == 0.0 {
+            if is_zero(lam) {
                 continue;
             }
             let sv = idx % dims4.total_servers;
@@ -223,6 +226,7 @@ pub fn solve_bigm(
         let pidx = dims.phi_idx(k, sv);
         x0[n_lam + pidx] = warm.dispatch.phi_by_server(k, sv);
         let tuf = &system.classes[k.0].tuf;
+        // palb:allow(unwrap): StepTuf guarantees at least one level
         x0[n_lam + n_phi + pidx] = tuf.levels().last().unwrap().utility;
     }
 
@@ -266,6 +270,7 @@ pub fn solve_bigm(
     loop {
         let mut improved = false;
         for (k, sv) in dims.class_server_pairs() {
+            // palb:allow(unwrap): the rounding loop assigns every (class, server) pair before this read
             let current = assignment.get(k, sv).expect("complete assignment");
             for q in 1..=system.classes[k.0].tuf.num_levels() {
                 if q == current {

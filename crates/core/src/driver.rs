@@ -355,19 +355,6 @@ fn check_shapes(system: &System, trace: &Trace) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// Merges the driver-side sanitization count into a slot's health record.
-/// A repair with no policy-side health still yields a record, so degraded
-/// inputs are never silent.
-fn merge_health(policy_health: Option<SlotHealth>, repairs: usize) -> Option<SlotHealth> {
-    let mut health = policy_health;
-    if repairs > 0 {
-        let h = health.get_or_insert_with(SlotHealth::default);
-        h.sanitization_events = repairs;
-        h.degraded = true;
-    }
-    health
-}
-
 /// Drives `policy` over `trace` under the given [`RunOptions`],
 /// evaluating slot `t` of the trace at schedule slot
 /// `opts.start_slot + t`.
@@ -411,7 +398,7 @@ pub fn run_with(
         match decided {
             Ok(dispatch) => {
                 let mut outcome = evaluate(system, rates, slot, &dispatch);
-                outcome.health = merge_health(ctx.take_health(), repairs[t]);
+                outcome.health = SlotHealth::merge_sanitization(ctx.take_health(), repairs[t]);
                 obs::record_slot_outcome(&opts.obs, &outcome);
                 slots.push(outcome);
                 decisions.push(dispatch);

@@ -14,6 +14,11 @@ pub enum CoreError {
     Lp(LpError),
     /// The inputs are structurally inconsistent.
     Model(String),
+    /// A parallel branch-and-bound worker thread panicked. The panic is
+    /// contained at the join point and surfaced as a structured error so
+    /// the resilient ladder can fall back instead of unwinding the whole
+    /// control loop.
+    WorkerPanic,
     /// A solver failure with its control-loop context attached: which slot
     /// was being decided and which degradation-ladder tier was attempting
     /// the solve when the underlying LP gave up.
@@ -33,6 +38,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Infeasible => write!(f, "dispatch problem is infeasible"),
             CoreError::Lp(e) => write!(f, "LP solver failure: {e}"),
             CoreError::Model(m) => write!(f, "model error: {m}"),
+            CoreError::WorkerPanic => {
+                write!(f, "a parallel branch-and-bound worker thread panicked")
+            }
             CoreError::Solver { slot, tier, source } => {
                 write!(f, "solver failure at slot {slot} (tier {tier}): {source}")
             }

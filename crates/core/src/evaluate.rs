@@ -10,6 +10,8 @@
 
 use palb_cluster::{cost, power, ClassId, DcId, FrontEndId, System};
 
+use palb_num::is_zero;
+
 use crate::model::Dispatch;
 use crate::resilient::SlotHealth;
 
@@ -128,7 +130,7 @@ pub fn evaluate(
     // Eq. 3: transfer cost depends on the origin front-end.
     for k in 0..kk {
         let per_mile = system.classes[k].transfer_cost_per_mile;
-        if per_mile == 0.0 {
+        if is_zero(per_mile) {
             continue;
         }
         for s in 0..dims.front_ends {

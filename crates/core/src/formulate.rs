@@ -420,11 +420,13 @@ impl SpecWorkspace {
         let delay_cons: Vec<ConId> = built
             .delay_cons
             .iter()
+            // palb:allow(unwrap): the all-active spec materializes every delay row
             .map(|c| c.expect("all-active spec has every delay row"))
             .collect();
         let supply_cons: Vec<ConId> = built
             .supply_cons
             .iter()
+            // palb:allow(unwrap): the all-active spec materializes every supply row
             .map(|c| c.expect("all-active spec has every supply row"))
             .collect();
         let ws = Workspace::new(&built.problem, lp_opts).map_err(CoreError::Lp)?;
@@ -477,6 +479,7 @@ impl SpecWorkspace {
                 for s in 0..fe {
                     let margin = (util - self.unit_costs[pidx * fe + s]) * self.t;
                     let lv = self.lam_vars[self.dims.lambda_idx(k, FrontEndId(s), sv)]
+                        // palb:allow(unwrap): the all-active workspace has every lambda variable
                         .expect("all-active workspace");
                     self.ws.set_objective(lv, margin);
                 }
@@ -513,6 +516,7 @@ impl SpecWorkspace {
                 self.unit_costs[pidx * fe + s] = cost;
                 let margin = (util - cost) * self.t;
                 let lv = self.lam_vars[self.dims.lambda_idx(k, FrontEndId(s), sv)]
+                    // palb:allow(unwrap): the all-active workspace has every lambda variable
                     .expect("all-active workspace");
                 self.ws.set_objective(lv, margin);
             }
@@ -622,10 +626,12 @@ pub(crate) fn ensure_spec_workspace<'a>(
             system, rates, slot, dims, spec, lp_opts,
         )?);
     } else {
+        // palb:allow(unwrap): the workspace was installed by the branch above
         let w = cache.as_mut().expect("just checked");
         w.retarget(system, rates, slot);
         w.apply_spec(spec);
     }
+    // palb:allow(unwrap): the workspace was installed by the branch above
     Ok(cache.as_mut().expect("just installed"))
 }
 

@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-core — profit-aware request dispatching and resource allocation
 //!
 //! The primary contribution of *Profit Aware Load Balancing for Distributed
@@ -31,7 +32,11 @@
 //!   negative observed rates),
 //! * [`resilient`] — the degraded-mode fallback ladder
 //!   ([`ResilientPolicy`]) and the fault-injecting [`ChaosPolicy`],
-//! * [`report`] — CSV/table formatting for the figure-regeneration harness.
+//! * [`report`] — CSV/table formatting for the figure-regeneration harness,
+//! * [`sync`] — the verified concurrency primitives behind the parallel
+//!   solver (incumbent CAS, subtree ticket queue, node budget), with an
+//!   in-tree exhaustive interleaving model checker ([`sync::model`]) and
+//!   loom/TSan coverage via `cargo xtask analyze`'s sibling commands.
 //!
 //! ```
 //! use palb_cluster::presets;
@@ -61,6 +66,7 @@ pub mod quantile;
 pub mod report;
 pub mod resilient;
 pub mod sanitize;
+pub mod sync;
 
 pub use balanced::balanced_dispatch;
 pub use bigm::{solve_bigm, BigMOptions, BigMResult};

@@ -18,8 +18,6 @@
 //! while the symmetry-reduced / uniform solvers stay polynomial (our
 //! ablation).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-
 use palb_cluster::{ClassId, DcId, System};
 use palb_lp::SolveOptions;
 
@@ -30,6 +28,7 @@ use crate::formulate::{
 };
 use crate::model::Dims;
 use crate::obs::{record_solver_stats, spans, Recorder};
+use crate::sync::{BudgetCounter, Flag, IncumbentCell, WorkQueue};
 
 /// Options for [`solve_bb`].
 #[derive(Debug, Clone)]
@@ -121,6 +120,30 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
+    /// Folds another solve's LP counters into this one. All six fields
+    /// are commutative adds, so per-worker merges produce the same
+    /// totals in any order (and a merge over an empty worker set is the
+    /// identity). The topology fields (`subtrees`, `threads_used`) are
+    /// set by the coordinating solve, never summed.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.nodes_explored += other.nodes_explored;
+        self.warm_attempts += other.warm_attempts;
+        self.warm_hits += other.warm_hits;
+        self.warm_pivots += other.warm_pivots;
+        self.cold_solves += other.cold_solves;
+        self.cold_pivots += other.cold_pivots;
+    }
+
+    /// Merges an arbitrary collection of per-worker stats into a fresh
+    /// record — total-identity on an empty set (no panic, no sentinel).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a SolverStats>) -> SolverStats {
+        let mut out = SolverStats::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
     /// Fraction of warm attempts that stuck, in `[0, 1]` (0 when none).
     pub fn warm_hit_rate(&self) -> f64 {
         if self.warm_attempts == 0 {
@@ -197,6 +220,7 @@ fn assignment_from(dims: &Dims, partial: &[Option<usize>]) -> LevelAssignment {
     let mut a = LevelAssignment::uniform(dims, 1);
     for (k, sv) in dims.class_server_pairs() {
         let idx = dims.phi_idx(k, sv);
+        // palb:allow(unwrap): branch-and-bound leaves carry a complete assignment
         a.set(k, sv, Some(partial[idx].expect("complete assignment")));
     }
     a
@@ -412,19 +436,6 @@ fn solve_bb_seq(
     })
 }
 
-/// Lifts the maximum stored in `cell` (an `f64` as raw bits) to at least
-/// `val` with a compare-and-swap loop. All published objectives are finite,
-/// so plain `f64` comparison of the decoded bits is a total order here.
-fn atomic_f64_max(cell: &AtomicU64, val: f64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    while f64::from_bits(cur) < val {
-        match cell.compare_exchange_weak(cur, val.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(seen) => cur = seen,
-        }
-    }
-}
-
 /// A subtree's best leaf: the cold-path solve and the complete partial
 /// assignment that produced it.
 struct SubtreeBest {
@@ -453,6 +464,7 @@ struct SubtreeBest {
 /// prune with no gap) was measured 10–500× more node bounds on the
 /// reference configs, so the gap rule is kept and the band is the
 /// documented contract.
+// palb:hot-path
 #[allow(clippy::too_many_arguments)]
 fn solve_subtree(
     mut wsp: Option<&mut SpecWorkspace>,
@@ -463,9 +475,9 @@ fn solve_subtree(
     opts: &BbOptions,
     root: Node,
     seed_objective: f64,
-    g_best: &AtomicU64,
-    nodes_spent: &AtomicUsize,
-    truncated: &AtomicBool,
+    g_best: &IncumbentCell,
+    budget: &BudgetCounter,
+    truncated: &Flag,
     spec_buf: &mut Vec<(f64, f64)>,
     stats: &mut SolverStats,
 ) -> Result<Option<SubtreeBest>, CoreError> {
@@ -477,9 +489,9 @@ fn solve_subtree(
     while let Some(node) = stack.pop() {
         // The node budget is shared across every subtree (the sequential
         // semantics of `max_nodes`); the counter may overshoot by at most
-        // one in-flight node per worker.
-        if nodes_spent.fetch_add(1, Ordering::Relaxed) >= opts.max_nodes {
-            truncated.store(true, Ordering::Relaxed);
+        // one in-flight node per worker (the BudgetCounter invariant).
+        if !budget.charge(opts.max_nodes) {
+            truncated.raise();
             break;
         }
         stats.nodes_explored += 1;
@@ -533,7 +545,7 @@ fn solve_subtree(
         // contain the final optimum. STRICT comparison, no gap — exact-tie
         // leaves and the optimum's ancestors always survive, whatever the
         // publication timing.
-        if bound.objective < f64::from_bits(g_best.load(Ordering::Relaxed)) {
+        if bound.objective < g_best.get() {
             continue;
         }
         // Local prune: the sequential gap rule against the subtree-local
@@ -550,7 +562,7 @@ fn solve_subtree(
                     .validate(system)
                     .is_ok());
                 local_best_obj = bound.objective;
-                atomic_f64_max(g_best, bound.objective);
+                g_best.offer(bound.objective);
                 local_best = Some(SubtreeBest {
                     solve: bound,
                     partial: node.partial,
@@ -665,11 +677,11 @@ fn solve_bb_parallel(
         worker_ws.resize_with(workers, || None);
     }
 
-    let g_best = AtomicU64::new(best_solve.objective.to_bits());
-    let next_subtree = AtomicUsize::new(0);
-    let nodes_spent = AtomicUsize::new(0);
-    let truncated = AtomicBool::new(false);
-    let failed = AtomicBool::new(false);
+    let g_best = IncumbentCell::new(best_solve.objective);
+    let queue = WorkQueue::new(frontier.len());
+    let budget = BudgetCounter::new();
+    let truncated = Flag::new();
+    let failed = Flag::new();
     let seed_objective = best_solve.objective;
 
     type SubtreeOutcome = (usize, Result<Option<SubtreeBest>, CoreError>);
@@ -681,8 +693,8 @@ fn solve_bb_parallel(
                     let dims = &dims;
                     let frontier = &frontier;
                     let g_best = &g_best;
-                    let next_subtree = &next_subtree;
-                    let nodes_spent = &nodes_spent;
+                    let queue = &queue;
+                    let budget = &budget;
                     let truncated = &truncated;
                     let failed = &failed;
                     scope.spawn(move || {
@@ -690,9 +702,8 @@ fn solve_bb_parallel(
                         let mut spec_buf: Vec<(f64, f64)> = Vec::with_capacity(dims.phi_len());
                         let mut wstats = SolverStats::default();
                         let mut outcomes: Vec<SubtreeOutcome> = Vec::new();
-                        loop {
-                            let i = next_subtree.fetch_add(1, Ordering::Relaxed);
-                            if i >= frontier.len() || failed.load(Ordering::Relaxed) {
+                        while let Some(i) = queue.claim() {
+                            if failed.is_raised() {
                                 break;
                             }
                             let res = solve_subtree(
@@ -708,7 +719,7 @@ fn solve_bb_parallel(
                                 },
                                 seed_objective,
                                 g_best,
-                                nodes_spent,
+                                budget,
                                 truncated,
                                 &mut spec_buf,
                                 &mut wstats,
@@ -716,7 +727,7 @@ fn solve_bb_parallel(
                             let hard_error = res.is_err();
                             outcomes.push((i, res));
                             if hard_error {
-                                failed.store(true, Ordering::Relaxed);
+                                failed.raise();
                                 break;
                             }
                         }
@@ -726,9 +737,9 @@ fn solve_bb_parallel(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("branch-and-bound worker panicked"))
-                .collect()
-        });
+                .map(|h| h.join().map_err(|_| CoreError::WorkerPanic))
+                .collect::<Result<Vec<_>, CoreError>>()
+        })?;
 
     // Canonical reduction: merge worker telemetry, then scan subtree
     // results in lexicographic index order accepting strict improvements
@@ -739,12 +750,7 @@ fn solve_bb_parallel(
         if let Some(w) = ws {
             pool.release(w);
         }
-        stats.nodes_explored += wstats.nodes_explored;
-        stats.warm_attempts += wstats.warm_attempts;
-        stats.warm_hits += wstats.warm_hits;
-        stats.warm_pivots += wstats.warm_pivots;
-        stats.cold_solves += wstats.cold_solves;
-        stats.cold_pivots += wstats.cold_pivots;
+        stats.merge(&wstats);
         outcomes.extend(sub);
     }
     outcomes.sort_by_key(|(i, _)| *i);
@@ -766,7 +772,7 @@ fn solve_bb_parallel(
         solve: best_solve,
         assignment: best_assignment,
         nodes,
-        proven_optimal: !truncated.load(Ordering::Relaxed),
+        proven_optimal: !truncated.is_raised(),
         stats,
     })
 }
@@ -877,6 +883,7 @@ pub(crate) fn solve_uniform_levels_in(
         // pay is hoisted out of the hot path).
         fill(&counter, &mut spec_buf);
         debug_assert!(uniform_assignment(&dims, &counter).validate(system).is_ok());
+        // palb:allow(unwrap): the workspace was installed by the preceding branch
         let w = cache.as_mut().expect("workspace installed above");
         w.apply_spec(&spec_buf);
         lps += 1;

@@ -54,6 +54,7 @@ pub fn quantile_system(system: &System, p: f64) -> System {
                 utility: l.utility,
             })
             .collect();
+        // palb:allow(unwrap): positive scaling preserves TUF validity
         class.tuf = StepTuf::new(levels).expect("scaling preserves TUF validity");
     }
     out

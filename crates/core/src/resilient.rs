@@ -112,6 +112,23 @@ pub struct SlotHealth {
     pub solver: SolverStats,
 }
 
+impl SlotHealth {
+    /// Folds a driver-side sanitization repair count into a slot's
+    /// (possibly absent) health record. Zero repairs is the identity;
+    /// any repair materializes a record and marks the slot degraded, so
+    /// repaired inputs are never silent. Shared by the sequential driver
+    /// and the rayon slot runner so both paths report identically.
+    pub fn merge_sanitization(health: Option<SlotHealth>, repairs: usize) -> Option<SlotHealth> {
+        let mut health = health;
+        if repairs > 0 {
+            let h = health.get_or_insert_with(SlotHealth::default);
+            h.sanitization_events = repairs;
+            h.degraded = true;
+        }
+        health
+    }
+}
+
 /// Tuning knobs for [`ResilientPolicy`].
 #[derive(Debug, Clone)]
 pub struct ResilientOptions {
@@ -347,6 +364,9 @@ fn is_transient(e: &CoreError) -> bool {
     match e {
         CoreError::Lp(l) => l.is_transient(),
         CoreError::Solver { source, .. } => source.is_transient(),
+        // A contained worker panic is worth a descent: the sequential and
+        // heuristic tiers don't run the code path that panicked.
+        CoreError::WorkerPanic => true,
         CoreError::Infeasible | CoreError::Model(_) => false,
     }
 }

@@ -1,0 +1,285 @@
+//! Verified concurrency primitives for the parallel solver.
+//!
+//! PR 3 made profit-critical state concurrent: the branch-and-bound
+//! workers share an incumbent objective, a subtree ticket queue and a
+//! node budget. This module confines every one of those protocols to a
+//! named type with a stated invariant, built on the cfg-switched
+//! [`palb_obs::sync`] shim — `std::sync` in normal builds, `loom::sync`
+//! under `--cfg loom` — so each protocol is checked three ways:
+//!
+//! 1. [`model`] — an in-tree exhaustive interleaving explorer that
+//!    enumerates *every* schedule of small state-machine models of these
+//!    protocols. Runs in the regular test suite (`cargo test`), no
+//!    external tooling.
+//! 2. **loom** (`cargo xtask loom`, CI) — the same protocols on the real
+//!    atomics, exhaustively interleaved *including* weak-memory
+//!    reorderings, via `crates/core/tests/loom_models.rs`.
+//! 3. **ThreadSanitizer** (`cargo xtask tsan`, nightly CI) — the full
+//!    parallel solver suite under a data-race detector.
+//!
+//! The f64-bits-in-an-atomic trick lives here and in
+//! [`palb_obs::metrics::Gauge`] only (see [`IncumbentCell`] for the
+//! invariant); the rest of the workspace never touches raw atomic bits.
+
+pub use palb_obs::sync::{Arc, AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
+
+pub mod model;
+
+/// The parallel solver's shared incumbent objective: a monotone `f64`
+/// maximum lifted by compare-and-swap.
+///
+/// The value is stored as `f64::to_bits` in an [`AtomicU64`].
+/// **Invariant:** only *finite* objectives are ever published, so the
+/// decoded values are totally ordered by plain `f64` comparison and the
+/// cell is monotonically non-decreasing over any execution. `Relaxed`
+/// ordering suffices: the cell is a single location (C++ guarantees a
+/// total modification order per location), and the solver's reduction
+/// step never reads other memory through it — the incumbent is a pruning
+/// *hint*; the canonical result is recomputed from per-subtree outcomes.
+#[derive(Debug)]
+pub struct IncumbentCell {
+    bits: AtomicU64,
+}
+
+impl IncumbentCell {
+    /// A cell seeded with the root incumbent objective.
+    pub fn new(seed: f64) -> Self {
+        debug_assert!(seed.is_finite(), "incumbent seed must be finite");
+        IncumbentCell {
+            bits: AtomicU64::new(seed.to_bits()),
+        }
+    }
+
+    /// Lifts the stored maximum to at least `val`. Lock-free; concurrent
+    /// offers all land (the final value is the maximum of the seed and
+    /// every offer, proven by [`model`] and the loom suite).
+    pub fn offer(&self, val: f64) {
+        debug_assert!(val.is_finite(), "incumbent offers must be finite");
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < val {
+            match self.bits.compare_exchange_weak(
+                cur,
+                val.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current maximum. May lag concurrent offers; never exceeds the
+    /// true maximum of everything offered.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// An atomic ticket dispenser over `0..len`: the parallel solver's
+/// subtree checkout queue.
+///
+/// **Invariant:** every index in `0..len` is handed out to exactly one
+/// caller (exactly-once dispatch), in ascending order per the queue's
+/// single modification order; after exhaustion every claim returns
+/// `None`.
+#[derive(Debug)]
+pub struct WorkQueue {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl WorkQueue {
+    /// A queue over the indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Claims the next unclaimed index, or `None` when the queue is
+    /// exhausted.
+    pub fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.len).then_some(i)
+    }
+
+    /// Number of indices the queue dispenses.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the queue dispenses nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A shared monotone spend counter with a cap — the solver's global node
+/// budget.
+///
+/// **Invariant:** at most `cap` charges succeed *plus at most one
+/// in-flight overshoot per concurrent caller* (each caller detects
+/// exhaustion on its own failed charge); the counter itself never
+/// decreases.
+#[derive(Debug)]
+pub struct BudgetCounter {
+    spent: AtomicUsize,
+}
+
+impl BudgetCounter {
+    /// A counter starting at zero spend.
+    pub fn new() -> Self {
+        BudgetCounter {
+            spent: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one unit of spend against `cap`. Returns `true` while the
+    /// pre-charge spend was within budget.
+    pub fn charge(&self, cap: usize) -> bool {
+        self.spent.fetch_add(1, Ordering::Relaxed) < cap
+    }
+
+    /// Units charged so far (including over-budget attempts).
+    pub fn spent(&self) -> usize {
+        self.spent.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for BudgetCounter {
+    fn default() -> Self {
+        BudgetCounter::new()
+    }
+}
+
+/// A one-way boolean: starts lowered, can only be raised. Used for the
+/// solver's `truncated` / `failed` signals.
+///
+/// **Invariant:** once any thread observes the flag raised, every later
+/// observation on any thread is raised (monotone on the flag's single
+/// modification order).
+#[derive(Debug)]
+pub struct Flag {
+    raised: AtomicBool,
+}
+
+impl Flag {
+    /// A lowered flag.
+    pub fn new() -> Self {
+        Flag {
+            raised: AtomicBool::new(false),
+        }
+    }
+
+    /// Raises the flag (idempotent).
+    pub fn raise(&self) {
+        self.raised.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_raised(&self) -> bool {
+        self.raised.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Flag {
+    fn default() -> Self {
+        Flag::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incumbent_cell_is_a_monotone_max() {
+        let c = IncumbentCell::new(1.0);
+        c.offer(0.5); // below: ignored
+        assert_eq!(c.get().to_bits(), 1.0f64.to_bits());
+        c.offer(2.5);
+        assert_eq!(c.get().to_bits(), 2.5f64.to_bits());
+        c.offer(2.5); // equal: ignored, still exact
+        assert_eq!(c.get().to_bits(), 2.5f64.to_bits());
+    }
+
+    #[test]
+    fn incumbent_cell_handles_negative_objectives() {
+        let c = IncumbentCell::new(-10.0);
+        c.offer(-3.0);
+        assert_eq!(c.get().to_bits(), (-3.0f64).to_bits());
+        c.offer(-5.0);
+        assert_eq!(c.get().to_bits(), (-3.0f64).to_bits());
+    }
+
+    #[test]
+    fn concurrent_offers_keep_the_true_maximum() {
+        let c = Arc::new(IncumbentCell::new(0.0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.offer((t * 1000 + i) as f64 / 7.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get().to_bits(), (3999.0f64 / 7.0).to_bits());
+    }
+
+    #[test]
+    fn work_queue_dispenses_each_index_once() {
+        let q = WorkQueue::new(3);
+        assert_eq!(q.claim(), Some(0));
+        assert_eq!(q.claim(), Some(1));
+        assert_eq!(q.claim(), Some(2));
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.claim(), None);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert!(WorkQueue::new(0).is_empty());
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_range() {
+        let q = Arc::new(WorkQueue::new(1000));
+        let claimed: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(i) = q.claim() {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = claimed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn budget_counter_admits_exactly_cap_sequential_charges() {
+        let b = BudgetCounter::new();
+        let admitted = (0..10).filter(|_| b.charge(4)).count();
+        assert_eq!(admitted, 4);
+        assert_eq!(b.spent(), 10);
+    }
+
+    #[test]
+    fn flag_is_one_way() {
+        let f = Flag::new();
+        assert!(!f.is_raised());
+        f.raise();
+        f.raise();
+        assert!(f.is_raised());
+    }
+}

@@ -1,0 +1,424 @@
+//! An exhaustive interleaving explorer for the solver's shared-state
+//! protocols.
+//!
+//! [`explore`] enumerates **every** schedule of a small set of
+//! cooperating state machines: at each scheduling point it tries every
+//! runnable thread, cloning the whole configuration (shared state plus
+//! all thread-local states) and recursing, so every reachable terminal
+//! state is visited exactly once per distinct schedule. A checker runs
+//! at every terminal state and panics on a violated invariant — the
+//! in-tree analogue of a loom model, runnable in the plain test suite
+//! with no external tooling.
+//!
+//! ## Soundness scope
+//!
+//! Steps execute under sequential consistency. For protocols over a
+//! **single** atomic location — the incumbent cell, the ticket queue,
+//! the budget counter, the one-way flag — this is faithful even though
+//! the real code uses `Relaxed`: C++/Rust atomics guarantee a total
+//! modification order *per location*, and read-modify-writes read the
+//! latest value in that order, so every real execution of a
+//! single-location protocol corresponds to one of the interleavings
+//! enumerated here. Protocols whose invariant spans *multiple* locations
+//! additionally need the weak-memory exploration that loom performs
+//! (`cargo xtask loom`); the models here are the fast, always-on layer
+//! of that ladder, not a replacement for it.
+//!
+//! A mutex-protected critical section may be modeled as one step: mutual
+//! exclusion makes the section indivisible to other threads, and the
+//! model's scheduler already interleaves it at every position.
+
+/// One cooperating thread of a protocol model: a cloneable state machine
+/// advanced one indivisible step at a time against the shared state.
+pub trait Program: Clone {
+    /// The shared memory the protocol runs against.
+    type Shared: Clone;
+
+    /// Whether this thread has finished executing.
+    fn done(&self) -> bool;
+
+    /// Executes this thread's next indivisible step (one atomic access,
+    /// or one mutex-protected critical section).
+    ///
+    /// Must only be called while `!self.done()`; a step may leave the
+    /// thread runnable (e.g. a failed CAS retry loops) or finish it.
+    fn step(&mut self, shared: &mut Self::Shared);
+}
+
+/// Exhaustively explores every interleaving of `threads` starting from
+/// `shared`, invoking `check(&final_shared, &final_threads)` at every
+/// terminal state. Returns the number of distinct complete schedules
+/// explored (at least 1 — the empty schedule of zero threads still
+/// checks the initial state).
+///
+/// # Panics
+/// Propagates panics from `check` — an invariant violation reports the
+/// schedule count reached so far in the panic message of the caller's
+/// assert.
+pub fn explore<P: Program>(
+    shared: P::Shared,
+    threads: Vec<P>,
+    check: &mut impl FnMut(&P::Shared, &[P]),
+) -> u64 {
+    let mut schedules = 0;
+    explore_rec(&shared, &threads, check, &mut schedules, 0);
+    schedules
+}
+
+/// Safety valve: protocols modeled here are meant to be tiny. A model
+/// that exceeds this many schedules is a test-design bug, not a deeper
+/// search.
+const MAX_SCHEDULES: u64 = 50_000_000;
+
+fn explore_rec<P: Program>(
+    shared: &P::Shared,
+    threads: &[P],
+    check: &mut impl FnMut(&P::Shared, &[P]),
+    schedules: &mut u64,
+    depth: usize,
+) {
+    assert!(
+        depth < 10_000,
+        "model depth runaway: a Program::step fails to terminate"
+    );
+    let mut any_runnable = false;
+    for (i, t) in threads.iter().enumerate() {
+        if t.done() {
+            continue;
+        }
+        any_runnable = true;
+        let mut shared2 = shared.clone();
+        let mut threads2 = threads.to_vec();
+        threads2[i].step(&mut shared2);
+        explore_rec(&shared2, &threads2, check, schedules, depth + 1);
+    }
+    if !any_runnable {
+        *schedules += 1;
+        assert!(
+            *schedules <= MAX_SCHEDULES,
+            "model schedule count runaway (> {MAX_SCHEDULES}); shrink the protocol model"
+        );
+        check(shared, threads);
+    }
+}
+
+/// State-machine models of the `palb_core::sync` protocols, step-faithful
+/// to the real implementations (one model step per atomic access). The
+/// unit tests below run [`explore`] over them; the loom suite runs the
+/// same scenarios against the real atomics.
+pub mod protocols {
+    use super::Program;
+
+    /// [`crate::sync::IncumbentCell::offer`] as a state machine over the
+    /// cell's raw bits: one load step, then CAS attempts until the cell
+    /// holds at least the offered value.
+    #[derive(Clone, Debug)]
+    pub struct Offer {
+        /// The finite objective this thread offers.
+        pub val: f64,
+        seen: Option<u64>,
+        done: bool,
+    }
+
+    impl Offer {
+        /// A thread that will offer `val` once scheduled.
+        pub fn new(val: f64) -> Self {
+            Offer {
+                val,
+                seen: None,
+                done: false,
+            }
+        }
+    }
+
+    impl Program for Offer {
+        type Shared = u64;
+
+        fn done(&self) -> bool {
+            self.done
+        }
+
+        fn step(&mut self, shared: &mut u64) {
+            match self.seen {
+                // Step 1: the initial relaxed load.
+                None => self.seen = Some(*shared),
+                // Step 2..: one CAS attempt per step. Success publishes
+                // and finishes; failure re-reads (CAS returns the seen
+                // value) and loops; an already-satisfied cell finishes.
+                Some(seen) => {
+                    if f64::from_bits(seen) >= self.val {
+                        self.done = true;
+                    } else if *shared == seen {
+                        *shared = self.val.to_bits();
+                        self.done = true;
+                    } else {
+                        self.seen = Some(*shared);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A worker claiming tickets from [`crate::sync::WorkQueue`] until
+    /// exhaustion: each step is one `fetch_add` claim.
+    #[derive(Clone, Debug)]
+    pub struct Claimer {
+        /// Queue length (shared constant).
+        pub len: usize,
+        /// Tickets this worker claimed.
+        pub claimed: Vec<usize>,
+        done: bool,
+    }
+
+    impl Claimer {
+        /// A worker over a queue of `len` tickets.
+        pub fn new(len: usize) -> Self {
+            Claimer {
+                len,
+                claimed: Vec::new(),
+                done: false,
+            }
+        }
+    }
+
+    impl Program for Claimer {
+        type Shared = usize; // the queue's `next` counter
+
+        fn done(&self) -> bool {
+            self.done
+        }
+
+        fn step(&mut self, shared: &mut usize) {
+            let i = *shared;
+            *shared += 1; // fetch_add is one indivisible step
+            if i < self.len {
+                self.claimed.push(i);
+            } else {
+                self.done = true;
+            }
+        }
+    }
+
+    /// A worker charging [`crate::sync::BudgetCounter`] `attempts` times
+    /// against `cap`, recording how many charges were admitted.
+    #[derive(Clone, Debug)]
+    pub struct Charger {
+        /// Budget cap (shared constant).
+        pub cap: usize,
+        /// Remaining charge attempts.
+        pub attempts: usize,
+        /// Charges that returned "within budget".
+        pub admitted: usize,
+    }
+
+    impl Charger {
+        /// A worker that will charge `attempts` times against `cap`.
+        pub fn new(cap: usize, attempts: usize) -> Self {
+            Charger {
+                cap,
+                attempts,
+                admitted: 0,
+            }
+        }
+    }
+
+    impl Program for Charger {
+        type Shared = usize; // the spend counter
+
+        fn done(&self) -> bool {
+            self.attempts == 0
+        }
+
+        fn step(&mut self, shared: &mut usize) {
+            let pre = *shared;
+            *shared += 1;
+            if pre < self.cap {
+                self.admitted += 1;
+            }
+            self.attempts -= 1;
+        }
+    }
+
+    /// The registry's get-or-create protocol, abstracted: the shared
+    /// state is the mutex-protected slot map (here one slot) plus the
+    /// per-handle counter total. Each thread performs one locked
+    /// get-or-create step (indivisible under the mutex) and then `adds`
+    /// lock-free counter increments, one per step.
+    #[derive(Clone, Debug)]
+    pub struct Registrant {
+        /// Counter increments still to perform after registration.
+        pub adds: usize,
+        /// The handle generation this thread received (None before
+        /// registration). Generation 0 is the thread that created the
+        /// metric; all threads must observe the same generation.
+        pub handle: Option<usize>,
+    }
+
+    /// Shared state of the [`Registrant`] model: the slot's create
+    /// generation (None = not yet registered, Some(n) = created by the
+    /// n-th arriving thread — always 0 if get-or-create is correct) and
+    /// the counter value behind the shared handle.
+    #[derive(Clone, Debug, Default)]
+    pub struct RegistryState {
+        /// `Some(creations)` once registered; counts *creations*, which
+        /// must saturate at 1.
+        pub created: Option<usize>,
+        /// Total of all counter adds through the shared handle.
+        pub total: u64,
+        /// How many threads have registered so far.
+        pub arrivals: usize,
+    }
+
+    impl Registrant {
+        /// A thread that registers, then performs `adds` increments.
+        pub fn new(adds: usize) -> Self {
+            Registrant { adds, handle: None }
+        }
+    }
+
+    impl Program for Registrant {
+        type Shared = RegistryState;
+
+        fn done(&self) -> bool {
+            self.handle.is_some() && self.adds == 0
+        }
+
+        fn step(&mut self, shared: &mut RegistryState) {
+            match self.handle {
+                None => {
+                    // The whole locked section is one step (mutual
+                    // exclusion makes it indivisible to other threads).
+                    // Get-or-create: only the slot's first arrival
+                    // creates; everyone receives the creator's handle
+                    // (generation 0).
+                    if shared.created.is_none() {
+                        shared.created = Some(shared.arrivals);
+                    }
+                    shared.arrivals += 1;
+                    self.handle = Some(0);
+                }
+                Some(_) => {
+                    shared.total += 1; // one atomic add per step
+                    self.adds -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::protocols::*;
+    use super::*;
+
+    #[test]
+    fn explorer_counts_interleavings_of_independent_steps() {
+        // Two threads of 2 steps each: C(4,2) = 6 schedules.
+        let n = explore(
+            0usize,
+            vec![Charger::new(usize::MAX, 2), Charger::new(usize::MAX, 2)],
+            &mut |shared, _| assert_eq!(*shared, 4),
+        );
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn incumbent_offers_converge_to_the_maximum_under_every_schedule() {
+        // Three concurrent offers over a seeded cell, all interleavings:
+        // the cell must end at the bitwise maximum every time, including
+        // when a larger offer lands between a smaller offer's load and
+        // CAS (the retry path).
+        let seed = 1.0f64;
+        let offers = [0.5, 2.0, 3.0];
+        let max = 3.0f64;
+        let n = explore(
+            seed.to_bits(),
+            offers.iter().map(|&v| Offer::new(v)).collect(),
+            &mut |bits, threads| {
+                assert!(threads.iter().all(|t| t.done()));
+                assert_eq!(
+                    *bits,
+                    max.to_bits(),
+                    "incumbent ended at {} not {max}",
+                    f64::from_bits(*bits)
+                );
+            },
+        );
+        // Sanity: the exploration is genuinely branching.
+        assert!(n > 100, "only {n} schedules explored");
+    }
+
+    #[test]
+    fn incumbent_ties_and_negatives_stay_exact() {
+        // Two equal offers and one below the seed: the cell must end at
+        // exactly the tied value's bits (no double-apply artifacts).
+        let n = explore(
+            (-5.0f64).to_bits(),
+            vec![Offer::new(-1.0), Offer::new(-1.0), Offer::new(-7.0)],
+            &mut |bits, _| assert_eq!(*bits, (-1.0f64).to_bits()),
+        );
+        assert!(n > 50);
+    }
+
+    #[test]
+    fn work_queue_dispenses_exactly_once_under_every_schedule() {
+        // Three workers draining a 4-ticket queue: under every schedule
+        // each ticket is claimed exactly once and every worker
+        // terminates via the None path.
+        let len = 4;
+        let n = explore(
+            0usize,
+            vec![Claimer::new(len), Claimer::new(len), Claimer::new(len)],
+            &mut |_, threads| {
+                let mut all: Vec<usize> = threads.iter().flat_map(|t| t.claimed.clone()).collect();
+                all.sort_unstable();
+                assert_eq!(
+                    all,
+                    (0..len).collect::<Vec<_>>(),
+                    "lost or duplicated ticket"
+                );
+                // Per-worker claims arrive in ascending order (the
+                // queue's modification order is total).
+                for t in threads {
+                    assert!(t.claimed.windows(2).all(|w| w[0] < w[1]));
+                }
+            },
+        );
+        assert!(n > 100, "only {n} schedules explored");
+    }
+
+    #[test]
+    fn budget_admits_at_most_cap_plus_inflight_overshoot() {
+        // Two workers, three attempts each, cap 3: exactly cap charges
+        // are admitted under every schedule (fetch_add serializes the
+        // pre-charge reads), and the counter records all 6 attempts.
+        let cap = 3;
+        let n = explore(
+            0usize,
+            vec![Charger::new(cap, 3), Charger::new(cap, 3)],
+            &mut |spent, threads| {
+                let admitted: usize = threads.iter().map(|t| t.admitted).sum();
+                assert_eq!(admitted, cap, "admitted {admitted} != cap {cap}");
+                assert_eq!(*spent, 6);
+            },
+        );
+        assert_eq!(n, 20); // C(6,3)
+    }
+
+    #[test]
+    fn registry_get_or_create_is_single_creation_and_lossless() {
+        // Three threads race registration then counter adds: exactly one
+        // creation, everyone gets the shared handle, and every add lands.
+        let n = explore(
+            RegistryState::default(),
+            vec![Registrant::new(2), Registrant::new(2), Registrant::new(1)],
+            &mut |state, threads| {
+                assert_eq!(state.created, Some(0), "metric created more than once");
+                assert_eq!(state.arrivals, 3);
+                assert_eq!(state.total, 5, "lost counter adds");
+                assert!(threads.iter().all(|t| t.handle == Some(0)));
+            },
+        );
+        assert!(n > 100, "only {n} schedules explored");
+    }
+}

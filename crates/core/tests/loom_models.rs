@@ -1,0 +1,135 @@
+//! Loom models of the parallel solver's shared-state protocols.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (`cargo xtask loom`, the
+//! CI loom job). Each `loom::model` closure is executed once per distinct
+//! thread interleaving — including weak-memory reorderings of the
+//! `Relaxed` atomics these protocols use — so the assertions below are
+//! checked on *every* schedule loom can reach within the preemption
+//! bound, not on one lucky run.
+//!
+//! These are the real [`palb_core::sync`] types on loom's instrumented
+//! atomics, complementing the in-tree exhaustive checker in
+//! `palb_core::sync::model` (which runs in the plain test suite on
+//! abstract state machines).
+#![cfg(loom)]
+
+use palb_core::sync::{Arc, BudgetCounter, Flag, IncumbentCell, WorkQueue};
+
+/// The incumbent cell is a monotone maximum: with offers racing each
+/// other, the final value is exactly the largest finite offer (or the
+/// seed when every offer is below it).
+#[test]
+fn incumbent_offers_keep_the_true_maximum() {
+    loom::model(|| {
+        let cell = Arc::new(IncumbentCell::new(1.0));
+        let t1 = {
+            let c = Arc::clone(&cell);
+            loom::thread::spawn(move || c.offer(3.0))
+        };
+        let t2 = {
+            let c = Arc::clone(&cell);
+            loom::thread::spawn(move || c.offer(2.0))
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(cell.get().to_bits(), 3.0f64.to_bits());
+    });
+}
+
+/// Offers below the current value never regress the cell, on any
+/// interleaving of the CAS retry loops.
+#[test]
+fn incumbent_never_regresses_below_the_seed() {
+    loom::model(|| {
+        let cell = Arc::new(IncumbentCell::new(5.0));
+        let t1 = {
+            let c = Arc::clone(&cell);
+            loom::thread::spawn(move || c.offer(4.0))
+        };
+        let t2 = {
+            let c = Arc::clone(&cell);
+            loom::thread::spawn(move || c.offer(-1.0))
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(cell.get().to_bits(), 5.0f64.to_bits());
+    });
+}
+
+/// Exactly-once dispatch: two workers draining a queue of three tickets
+/// between them partition `0..3` — no ticket is dropped or duplicated.
+#[test]
+fn work_queue_partitions_the_range() {
+    loom::model(|| {
+        let queue = Arc::new(WorkQueue::new(3));
+        let worker = |q: Arc<WorkQueue>| {
+            loom::thread::spawn(move || {
+                let mut mine = Vec::new();
+                while let Some(i) = q.claim() {
+                    mine.push(i);
+                }
+                mine
+            })
+        };
+        let t1 = worker(Arc::clone(&queue));
+        let t2 = worker(Arc::clone(&queue));
+        let mut all = t1.join().unwrap();
+        all.extend(t2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+        assert_eq!(queue.claim(), None);
+    });
+}
+
+/// With a cap of 1 and two racing charges, exactly one succeeds — the
+/// budget admits `cap` units no matter how the `fetch_add`s interleave.
+#[test]
+fn budget_counter_admits_exactly_cap_charges() {
+    loom::model(|| {
+        let budget = Arc::new(BudgetCounter::new());
+        let t1 = {
+            let b = Arc::clone(&budget);
+            loom::thread::spawn(move || b.charge(1))
+        };
+        let t2 = {
+            let b = Arc::clone(&budget);
+            loom::thread::spawn(move || b.charge(1))
+        };
+        let wins = usize::from(t1.join().unwrap()) + usize::from(t2.join().unwrap());
+        assert_eq!(wins, 1);
+        assert_eq!(budget.spent(), 2);
+    });
+}
+
+/// The worker-exit protocol: a worker that claims its last ticket,
+/// publishes an incumbent and raises the truncation flag is fully visible
+/// to a reader that observes the flag raised *and joins the worker*. The
+/// flag alone is only an eventual signal (Relaxed), so the model asserts
+/// the post-join state — which is what the solver's reduction step relies
+/// on.
+#[test]
+fn worker_exit_state_is_visible_after_join() {
+    loom::model(|| {
+        let cell = Arc::new(IncumbentCell::new(0.0));
+        let flag = Arc::new(Flag::new());
+        let queue = Arc::new(WorkQueue::new(1));
+        let worker = {
+            let (c, f, q) = (Arc::clone(&cell), Arc::clone(&flag), Arc::clone(&queue));
+            loom::thread::spawn(move || {
+                if q.claim().is_some() {
+                    c.offer(7.0);
+                    f.raise();
+                }
+            })
+        };
+        // A racing observer may see the flag either way; it must never
+        // see it lowered again after seeing it raised.
+        let saw_first = flag.is_raised();
+        let saw_second = flag.is_raised();
+        assert!(!saw_first || saw_second);
+        worker.join().unwrap();
+        assert!(flag.is_raised());
+        assert_eq!(cell.get().to_bits(), 7.0f64.to_bits());
+        assert_eq!(queue.claim(), None);
+    });
+}

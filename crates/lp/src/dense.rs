@@ -8,6 +8,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use palb_num::is_zero;
+
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
 pub struct DenseMatrix {
@@ -123,7 +125,7 @@ impl DenseMatrix {
 
     /// Performs `row[dst] += s * row[src]` (a GEMV-free axpy across rows).
     pub fn axpy_rows(&mut self, dst: usize, src: usize, s: f64) {
-        if s == 0.0 {
+        if is_zero(s) {
             return;
         }
         let (src_row, dst_row) = self.row_pair_mut(src, dst);
@@ -150,7 +152,7 @@ impl DenseMatrix {
         );
         let mut out = vec![0.0; self.cols];
         for (row, &yi) in self.data.chunks_exact(self.cols).zip(y) {
-            if yi == 0.0 {
+            if is_zero(yi) {
                 continue;
             }
             for (o, &v) in out.iter_mut().zip(row) {

@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-lp — dense two-phase simplex linear-programming solver
 //!
 //! Self-contained LP solver used throughout the `palb` workspace in place of

@@ -1,6 +1,8 @@
 //! Small dense Gaussian-elimination routines used to recover dual values
 //! and to cross-check simplex optimality from the final basis.
 
+use palb_num::nonzero;
+
 use crate::dense::DenseMatrix;
 
 /// Error raised when a linear system cannot be solved.
@@ -34,6 +36,7 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
         let (piv_row, piv_val) = (k..n)
             .map(|i| (i, m[(i, k)].abs()))
             .max_by(|x, y| x.1.total_cmp(&y.1))
+            // palb:allow(unwrap): k..n is non-empty at every elimination step
             .expect("non-empty pivot candidates");
         if piv_val < 1e-12 {
             return Err(SingularMatrix);
@@ -44,7 +47,7 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
         let pivot = m[(k, k)];
         for i in (k + 1)..n {
             let factor = m[(i, k)] / pivot;
-            if factor != 0.0 {
+            if nonzero(factor) {
                 m.axpy_rows(i, k, -factor);
                 m[(i, k)] = 0.0; // clamp round-off
             }

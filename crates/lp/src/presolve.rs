@@ -17,6 +17,8 @@
 //! original variable/constraint spaces (dropped rows get dual 0 — their
 //! effect moved into bounds).
 
+use palb_num::nonzero;
+
 use crate::error::LpError;
 use crate::problem::{Problem, Rel};
 
@@ -148,7 +150,7 @@ pub(crate) fn presolve(p: &Problem) -> Result<Reduction, LpError> {
                 1 => {
                     // Singleton row: fold into bounds.
                     let (j, a) = terms[r][0];
-                    debug_assert!(a != 0.0);
+                    debug_assert!(nonzero(a));
                     let bound = rhs[r] / a;
                     let rel = p.cons[r].rel;
                     // a < 0 flips the inequality direction.

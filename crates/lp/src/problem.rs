@@ -4,6 +4,8 @@
 //! and linear constraints, then hands the model to the two-phase simplex
 //! engine via [`Problem::solve`].
 
+use palb_num::nonzero;
+
 use crate::error::LpError;
 use crate::simplex::{self, SolveOptions};
 use crate::solution::Solution;
@@ -219,7 +221,7 @@ impl Problem {
                 _ => compact.push((j, c)),
             }
         }
-        compact.retain(|&(_, c)| c != 0.0);
+        compact.retain(|&(_, c)| nonzero(c));
         let id = ConId(self.cons.len());
         self.cons.push(Constraint {
             name,

@@ -5,6 +5,8 @@
 //! used by default with an automatic, permanent switch to Bland's rule once
 //! the pivot count suggests stalling, which guarantees termination.
 
+use palb_num::nonzero;
+
 use crate::dense::DenseMatrix;
 use crate::error::{LpError, SimplexPhase};
 use crate::problem::Problem;
@@ -91,7 +93,7 @@ fn postsolve_duals(
     let mut reduced: Vec<f64> = p.vars.iter().map(|v| v.objective).collect();
     for (i, con) in p.cons.iter().enumerate() {
         let y = duals[i];
-        if y != 0.0 {
+        if nonzero(y) {
             for &(j, a) in &con.terms {
                 reduced[j] -= y * a;
             }
@@ -208,7 +210,7 @@ impl Tableau {
         }
         for r in 0..m {
             let jb = basis[r];
-            if cost1[jb] != 0.0 {
+            if nonzero(cost1[jb]) {
                 let coef = cost1[jb];
                 for (cv, rv) in cost1.iter_mut().zip(rows.row(r)) {
                     *cv -= coef * rv;
@@ -282,6 +284,7 @@ impl Tableau {
     /// The entering column is snapshotted into the reusable scratch buffer
     /// — one contiguous pass instead of a strided matrix read per candidate
     /// row — so the hot loop performs no per-pivot allocation.
+    // palb:hot-path(no-alloc)
     pub(crate) fn ratio_test(&mut self, j: usize) -> Option<usize> {
         let n = self.n();
         let mut col = std::mem::take(&mut self.col_buf);
@@ -320,6 +323,7 @@ impl Tableau {
     }
 
     /// Pivots on `(row, col)`, updating both cost rows and the basis.
+    // palb:hot-path(no-alloc)
     pub(crate) fn pivot(&mut self, row: usize, col: usize) {
         let n = self.n();
         let pivot = self.rows[(row, col)];
@@ -335,7 +339,7 @@ impl Tableau {
         self.rows[(row, col)] = 1.0; // clamp round-off
 
         for (r, &f) in factors.iter().enumerate() {
-            if r != row && f != 0.0 {
+            if r != row && nonzero(f) {
                 self.rows.axpy_rows(r, row, -f);
                 self.rows[(r, col)] = 0.0;
                 // Clamp tiny negative RHS caused by cancellation.
@@ -348,7 +352,7 @@ impl Tableau {
         let prow = row;
         for cost in [&mut self.cost1, &mut self.cost2] {
             let f = cost[col];
-            if f != 0.0 {
+            if nonzero(f) {
                 let src = self.rows.row(prow);
                 for (cv, rv) in cost.iter_mut().zip(src) {
                     *cv -= f * rv;

@@ -23,6 +23,8 @@
 //! values and the objective only (`duals()` are zeros). Callers that need
 //! shadow prices should use [`Problem::solve`].
 
+use palb_num::{is_zero, nonzero};
+
 use crate::error::LpError;
 use crate::problem::{ConId, Problem, VarId};
 use crate::simplex::{SolveOptions, Tableau};
@@ -230,7 +232,7 @@ impl Workspace {
             self.tab.rows.scale_row(k, 1.0 / pivot);
             self.tab.rows[(k, j)] = 1.0;
             for (r, &f) in factors.iter().enumerate() {
-                if r != k && f != 0.0 {
+                if r != k && nonzero(f) {
                     self.tab.rows.axpy_rows(r, k, -f);
                     self.tab.rows[(r, j)] = 0.0;
                 }
@@ -244,7 +246,7 @@ impl Workspace {
         self.tab.cost2[n] = 0.0;
         for k in 0..m {
             let d = self.tab.cost2[self.tab.basis[k]];
-            if d != 0.0 {
+            if nonzero(d) {
                 let src = self.tab.rows.row(k);
                 for (cv, rv) in self.tab.cost2.iter_mut().zip(src) {
                     *cv -= d * rv;
@@ -378,7 +380,7 @@ impl Workspace {
                 return Err(WarmOutcome::Trouble);
             };
             let delta = new_std - self.sf.b[ci];
-            if delta != 0.0 {
+            if nonzero(delta) {
                 self.sf.b[ci] = new_std;
                 self.tab.b_norm = self.tab.b_norm.max(1.0 + new_std.abs());
                 let jc = self.ident_cols[ci];
@@ -387,7 +389,7 @@ impl Workspace {
                 let mut binv_col = std::mem::take(&mut self.tab.col_buf);
                 self.tab.rows.col_into(jc, &mut binv_col);
                 for (r, &f) in binv_col.iter().enumerate() {
-                    if f != 0.0 {
+                    if nonzero(f) {
                         self.tab.rows[(r, n)] += delta * f;
                     }
                 }
@@ -441,7 +443,7 @@ impl Workspace {
                         continue;
                     }
                     let delta = new_c - self.sf.c[col];
-                    if delta == 0.0 {
+                    if is_zero(delta) {
                         continue;
                     }
                     self.sf.c[col] = new_c;

@@ -7,6 +7,8 @@
 
 use std::fmt::Write as _;
 
+use palb_num::nonzero;
+
 use crate::problem::{Problem, Rel, Sense};
 
 /// Sanitizes a name for LP format (alphanumerics and `_` only, must not
@@ -25,6 +27,7 @@ fn sanitize(name: &str, fallback: &str) -> String {
     if out.is_empty() {
         out = fallback.to_string();
     }
+    // palb:allow(unwrap): out was just made non-empty via the fallback
     let first = out.chars().next().unwrap();
     if first.is_ascii_digit() || first == 'e' || first == 'E' {
         out.insert(0, '_');
@@ -75,7 +78,7 @@ impl Problem {
             .vars
             .iter()
             .enumerate()
-            .filter(|(_, v)| v.objective != 0.0)
+            .filter(|(_, v)| nonzero(v.objective))
             .map(|(j, v)| (j, v.objective))
             .collect();
         write_expr(&mut out, &obj_terms, &names);
@@ -99,7 +102,7 @@ impl Problem {
                     let _ = writeln!(out, " {} <= {name} <= {}", v.lower, v.upper);
                 }
                 (true, false) => {
-                    if v.lower != 0.0 {
+                    if nonzero(v.lower) {
                         let _ = writeln!(out, " {name} >= {}", v.lower);
                     }
                     // default 0 <= x < +inf needs no line

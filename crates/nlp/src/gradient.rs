@@ -5,6 +5,8 @@
 //! because the big-M dispatch problems it targets have at most a few hundred
 //! variables and smooth-between-kinks merit functions.
 
+use palb_num::is_zero;
+
 use crate::func::{numeric_gradient, BoxBounds};
 
 /// Options for [`minimize_box`].
@@ -90,7 +92,7 @@ pub fn minimize_box(
                 .map(|(&a, &b)| (a - b) * (a - b))
                 .sum::<f64>()
                 .sqrt();
-            if movement == 0.0 {
+            if is_zero(movement) {
                 break; // pinned at a box corner along -g
             }
             if fc <= fx - opts.armijo_c * movement * gnorm {

@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-nlp — nonlinear programming substrate
 //!
 //! The paper solves its multi-level-TUF formulation with commercial

@@ -1,0 +1,112 @@
+//! The allowlisted home of raw `f64` comparison (see the crate docs).
+//!
+//! Everything here is `#[inline(always)]` and monomorphizes to the same
+//! machine code as the operator it wraps, so routing a simplex pivot
+//! loop's sparsity checks through this module costs nothing.
+
+/// Exact equality of two `f64`s, by value (`-0.0 == 0.0`, NaN unequal to
+/// everything including itself). Use when two *computed* values are
+/// expected to coincide exactly — e.g. a warm solve reproducing a cold
+/// solve — not for closeness (that is [`approx_eq`]).
+#[inline(always)]
+pub fn f64_eq(a: f64, b: f64) -> bool {
+    // palb:allow(float-cmp): this module is the allowlisted wrapper.
+    a == b
+}
+
+/// Exact inequality by value; the negation of [`f64_eq`].
+#[inline(always)]
+pub fn f64_ne(a: f64, b: f64) -> bool {
+    // palb:allow(float-cmp): this module is the allowlisted wrapper.
+    a != b
+}
+
+/// Exact test against zero (`-0.0` counts as zero). The sparsity check of
+/// pivot loops and coefficient patches: skipping an *exactly* zero factor
+/// changes nothing bit-for-bit, so no epsilon belongs here.
+#[inline(always)]
+pub fn is_zero(x: f64) -> bool {
+    // palb:allow(float-cmp): this module is the allowlisted wrapper.
+    x == 0.0
+}
+
+/// Exact test against non-zero; the negation of [`is_zero`].
+#[inline(always)]
+pub fn nonzero(x: f64) -> bool {
+    // palb:allow(float-cmp): this module is the allowlisted wrapper.
+    x != 0.0
+}
+
+/// Bitwise identity: distinguishes `-0.0` from `0.0` and compares NaN
+/// payloads. This is the determinism-contract comparison — two runs that
+/// agree under `bits_eq` agree in every observable way.
+#[inline(always)]
+pub fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// Absolute-tolerance closeness: `|a - b| <= tol`. `tol` must be
+/// non-negative; NaN on either side is never close.
+#[inline(always)]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    debug_assert!(tol >= 0.0, "approx_eq tolerance must be non-negative");
+    (a - b).abs() <= tol
+}
+
+/// Mixed relative/absolute closeness: `|a - b| <= tol * (1 + max(|a|,
+/// |b|))` — the scale-aware form the solvers use for objective and
+/// dispatch comparisons (absolute near zero, relative for large values).
+#[inline(always)]
+pub fn approx_eq_rel(a: f64, b: f64, tol: f64) -> bool {
+    debug_assert!(tol >= 0.0, "approx_eq_rel tolerance must be non-negative");
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality_follows_ieee_value_semantics() {
+        assert!(f64_eq(1.5, 1.5));
+        assert!(f64_eq(0.0, -0.0));
+        assert!(!f64_eq(f64::NAN, f64::NAN));
+        assert!(f64_ne(1.0, 1.0 + f64::EPSILON));
+        assert!(f64_ne(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn zero_tests_accept_both_signed_zeros() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(f64::MIN_POSITIVE));
+        assert!(!is_zero(f64::NAN));
+        assert!(nonzero(1e-300));
+        assert!(!nonzero(-0.0));
+    }
+
+    #[test]
+    fn bits_eq_is_strictly_finer_than_value_equality() {
+        assert!(bits_eq(1.5, 1.5));
+        assert!(!bits_eq(0.0, -0.0)); // value-equal, bit-distinct
+        assert!(bits_eq(f64::NAN, f64::NAN)); // same payload
+        assert!(!bits_eq(1.0, 2.0));
+    }
+
+    #[test]
+    fn approx_eq_is_an_absolute_band() {
+        assert!(approx_eq(1.0, 1.0 + 1e-9, 1e-8));
+        assert!(!approx_eq(1.0, 1.0 + 1e-7, 1e-8));
+        assert!(approx_eq(0.0, 0.0, 0.0));
+        assert!(!approx_eq(f64::NAN, 0.0, 1.0));
+    }
+
+    #[test]
+    fn approx_eq_rel_scales_with_magnitude() {
+        // 1e6 apart is far at unit scale but close at 1e15 scale.
+        assert!(!approx_eq_rel(0.0, 1e6, 1e-6));
+        assert!(approx_eq_rel(1e15, 1e15 + 1e6, 1e-6));
+        // Near zero the +1 term gives an absolute floor.
+        assert!(approx_eq_rel(0.0, 1e-9, 1e-8));
+    }
+}

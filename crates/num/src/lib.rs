@@ -1,0 +1,28 @@
+//! # palb-num — the workspace's floating-point comparison discipline
+//!
+//! Raw `f64` `==`/`!=` is banned across the palb workspace by
+//! `cargo xtask analyze` (the `float-cmp` lint): a literal comparison
+//! cannot say whether it means *bit-exact determinism*, *exact sparsity*
+//! or *numerical closeness*, and silent drift between those three is
+//! exactly how a reproduction stops reproducing. Every comparison goes
+//! through [`approx`] instead, which names the intent:
+//!
+//! * [`approx::is_zero`] / [`approx::nonzero`] — exact sparsity tests
+//!   (simplex pivots, coefficient patches). Compiled to the same single
+//!   compare instruction as the raw operator.
+//! * [`approx::f64_eq`] / [`approx::f64_ne`] — deliberate exact equality
+//!   of two computed values (determinism contracts, odometer guards).
+//! * [`approx::bits_eq`] — bitwise identity, distinguishing `-0.0` from
+//!   `0.0` and honoring NaN payloads; the strongest determinism check.
+//! * [`approx::approx_eq`] / [`approx::approx_eq_rel`] — tolerance-based
+//!   closeness for genuinely inexact quantities.
+//!
+//! This module is the *only* place the lint allows the raw operators.
+
+// palb:lint-tier = lib
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod approx;
+
+pub use approx::{approx_eq, approx_eq_rel, bits_eq, f64_eq, f64_ne, is_zero, nonzero};

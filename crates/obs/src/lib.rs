@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-obs — unified observability for the palb workspace
 //!
 //! One first-class telemetry substrate for every layer of the controller
@@ -59,6 +60,7 @@ pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod registry;
+pub mod sync;
 
 pub use metrics::{log_linear_bounds, Counter, Gauge, Histogram};
 pub use recorder::{Recorder, Span, SPAN_SECONDS, SPAN_TOTAL};

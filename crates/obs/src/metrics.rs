@@ -2,7 +2,7 @@
 //! histograms. All updates are lock-free single atomics; construction and
 //! registration go through [`crate::Registry`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Default)]
@@ -16,6 +16,7 @@ impl Counter {
     }
 
     /// Adds `delta` to the counter.
+    // palb:hot-path(no-alloc)
     pub fn add(&self, delta: u64) {
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
@@ -51,11 +52,13 @@ impl Gauge {
     }
 
     /// Sets the gauge to `value`.
+    // palb:hot-path(no-alloc)
     pub fn set(&self, value: f64) {
         self.bits.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Adds `delta` (compare-and-swap loop, so concurrent adds all land).
+    // palb:hot-path(no-alloc)
     pub fn add(&self, delta: f64) {
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
@@ -162,6 +165,7 @@ impl Histogram {
     /// Records one observation. `NaN` observations are dropped (they have
     /// no place on the bucket axis); everything else lands in the first
     /// bucket whose bound is `>= value`, or in the overflow bucket.
+    // palb:hot-path(no-alloc)
     pub fn observe(&self, value: f64) {
         if value.is_nan() {
             return;

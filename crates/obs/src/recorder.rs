@@ -4,11 +4,11 @@
 //! allocation, no atomic — so hot loops can be instrumented
 //! unconditionally.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use crate::metrics::duration_bounds;
 use crate::registry::Registry;
+use crate::sync::Arc;
 
 /// Histogram family every [`Span`] records its elapsed seconds into,
 /// labelled `span="<path>"`.

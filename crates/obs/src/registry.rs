@@ -2,9 +2,9 @@
 //! lock-free shared handles afterwards, deterministic snapshots.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
 
 use crate::metrics::{Counter, Gauge, Histogram};
+use crate::sync::{Arc, Mutex};
 
 /// A metric identity: family name plus sorted label pairs. `BTreeMap`
 /// ordering over this key is what makes snapshots and exports
@@ -68,7 +68,10 @@ impl Registry {
     /// different metric kind.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let metric = map
             .entry(key)
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
@@ -87,7 +90,10 @@ impl Registry {
     /// Panics on a metric-kind mismatch, as for [`Registry::counter`].
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let metric = map
             .entry(key)
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
@@ -108,7 +114,10 @@ impl Registry {
     /// Panics on a metric-kind mismatch, as for [`Registry::counter`].
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> Arc<Histogram> {
         let key = MetricKey::new(name, labels);
-        let mut map = self.metrics.lock().unwrap();
+        let mut map = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let metric = map.entry(key).or_insert_with(|| {
             Metric::Histogram(Arc::new(Histogram::with_bounds(bounds.to_vec())))
         });
@@ -123,7 +132,10 @@ impl Registry {
 
     /// A point-in-time copy of every metric, in (name, labels) order.
     pub fn snapshot(&self) -> Snapshot {
-        let map = self.metrics.lock().unwrap();
+        let map = self
+            .metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let samples = map
             .iter()
             .map(|(key, metric)| {

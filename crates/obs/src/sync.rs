@@ -1,0 +1,37 @@
+//! Concurrency-primitive shim: `std::sync` types by default, [loom]'s
+//! model-checked mirrors when the tree is built with `--cfg loom`.
+//!
+//! Every atomic, mutex and `Arc` in the palb hot paths (the registry's
+//! get-or-create, the metric update atomics, the solver's shared
+//! incumbent) is imported from this module rather than from `std`
+//! directly. Normal builds re-export `std::sync` unchanged — zero cost,
+//! identical semantics. A loom build (`RUSTFLAGS="--cfg loom"`) swaps in
+//! `loom::sync`, whose types record every load/store/rmw so the model
+//! checker can exhaustively enumerate thread interleavings (bounded
+//! preemptions) and weak-memory reorderings of the protocol under test.
+//!
+//! The loom jobs run only the dedicated model tests
+//! (`crates/obs/tests/loom_registry.rs`,
+//! `crates/core/tests/loom_models.rs`); loom types abort when used
+//! outside `loom::model`, so the regular test suite is not run under
+//! this cfg.
+//!
+//! This module is also the confinement boundary for the f64-bits-in-an-
+//! atomic trick (see [`crate::metrics::Gauge`] and
+//! `palb_core::sync::IncumbentCell`): an `f64` is stored as its raw bits
+//! in an [`AtomicU64`] and every transition is a CAS on those bits.
+//! Invariant: only bit patterns produced by `f64::to_bits` of *finite*
+//! values are published, so decoding with `f64::from_bits` and comparing
+//! with plain `f64` ordering is total at every observation point.
+
+#[cfg(loom)]
+pub use loom::sync::{
+    atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering},
+    Arc, Mutex,
+};
+
+#[cfg(not(loom))]
+pub use std::sync::{
+    atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering},
+    Arc, Mutex,
+};

@@ -1,0 +1,135 @@
+//! Exporter regression tests: the snapshot/export pipeline at its edges —
+//! empty registries, overflow-only histograms, and snapshots taken while
+//! other threads are still registering metrics.
+
+use std::sync::Arc;
+
+use palb_obs::{Registry, SampleValue};
+
+#[test]
+fn empty_registry_exports_empty_documents() {
+    let reg = Registry::new();
+    let snap = reg.snapshot();
+    assert!(snap.samples.is_empty());
+    assert_eq!(snap.to_prometheus(), "");
+    assert_eq!(snap.to_jsonl(), "");
+    assert!(!snap.contains_family("palb_anything"));
+    assert_eq!(snap.family_counter_total("palb_anything"), 0);
+}
+
+#[test]
+fn overflow_only_histogram_exports_correctly() {
+    let reg = Registry::new();
+    let h = reg.histogram("palb_over_seconds", &[], &[0.5, 1.0]);
+    // Every observation lands beyond the last finite bound.
+    h.observe(2.0);
+    h.observe(100.0);
+
+    let snap = reg.snapshot();
+    match &snap.samples[0].value {
+        SampleValue::Histogram(hs) => {
+            assert_eq!(hs.counts, vec![0, 0, 2]);
+            assert_eq!(hs.count, 2);
+            assert_eq!(hs.sum, 102.0);
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+
+    // Prometheus buckets are cumulative: the finite buckets stay at 0 and
+    // only le="+Inf" carries the observations.
+    let text = snap.to_prometheus();
+    assert!(text.contains("palb_over_seconds_bucket{le=\"0.5\"} 0"));
+    assert!(text.contains("palb_over_seconds_bucket{le=\"1\"} 0"));
+    assert!(text.contains("palb_over_seconds_bucket{le=\"+Inf\"} 2"));
+    assert!(text.contains("palb_over_seconds_sum 102"));
+    assert!(text.contains("palb_over_seconds_count 2"));
+
+    // JSONL keeps the overflow bucket as its own field.
+    let jsonl = snap.to_jsonl();
+    assert!(jsonl.contains("\"counts\":[0,0]"));
+    assert!(jsonl.contains("\"overflow\":2"));
+}
+
+#[test]
+fn nan_is_dropped_and_infinity_lands_in_overflow() {
+    let reg = Registry::new();
+    let h = reg.histogram("palb_nan_seconds", &[], &[1.0]);
+    h.observe(f64::NAN);
+    h.observe(f64::INFINITY);
+    h.observe(0.5);
+    let snap = reg.snapshot();
+    match &snap.samples[0].value {
+        SampleValue::Histogram(hs) => {
+            assert_eq!(hs.count, 2);
+            assert_eq!(hs.counts, vec![1, 1]);
+            assert!(hs.sum.is_infinite());
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+    // JSON cannot express +Inf: the sum renders as null, and the line
+    // stays structurally valid.
+    let jsonl = snap.to_jsonl();
+    assert!(jsonl.contains("\"sum\":null"));
+}
+
+/// Snapshots racing live registration must always be internally
+/// consistent: samples sorted by (name, labels), histogram bucket counts
+/// summing to the histogram count, and no torn or duplicated entries.
+#[test]
+fn concurrent_registration_snapshots_stay_consistent() {
+    let reg = Arc::new(Registry::new());
+    let check = |snap: &palb_obs::Snapshot| {
+        for pair in snap.samples.windows(2) {
+            assert!(
+                (&pair[0].name, &pair[0].labels) < (&pair[1].name, &pair[1].labels),
+                "snapshot not strictly sorted"
+            );
+        }
+        for s in &snap.samples {
+            if let SampleValue::Histogram(hs) = &s.value {
+                assert_eq!(hs.counts.len(), hs.bounds.len() + 1);
+                assert_eq!(hs.counts.iter().sum::<u64>(), hs.count);
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                let dc = t.to_string();
+                for i in 0..200 {
+                    reg.counter("palb_race_total", &[("dc", &dc)]).inc();
+                    let h = reg.histogram("palb_race_seconds", &[("dc", &dc)], &[0.5, 1.0]);
+                    h.observe(f64::from(i) / 100.0);
+                    reg.gauge("palb_race_value", &[("dc", &dc)])
+                        .set(f64::from(i));
+                }
+            });
+        }
+        // Snapshot repeatedly while the writers run.
+        for _ in 0..50 {
+            check(&reg.snapshot());
+        }
+    });
+
+    // Quiescent state: everything registered, all updates visible.
+    let snap = reg.snapshot();
+    check(&snap);
+    assert_eq!(snap.family_counter_total("palb_race_total"), 800);
+    for t in 0..4 {
+        let dc = t.to_string();
+        assert_eq!(
+            snap.counter_value("palb_race_total", &[("dc", &dc)]),
+            Some(200)
+        );
+    }
+    let histograms = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "palb_race_seconds")
+        .count();
+    assert_eq!(histograms, 4);
+    // The export pipeline renders the racy registry deterministically.
+    assert_eq!(snap.to_prometheus(), reg.snapshot().to_prometheus());
+}

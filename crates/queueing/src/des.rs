@@ -160,6 +160,7 @@ pub fn simulate_network(
     // Prime first arrivals.
     for (i, q) in queues.iter().enumerate() {
         if q.spec.arrival_rate > 0.0 {
+            // palb:allow(unwrap): guarded by the positivity check above
             let exp = Exp::new(q.spec.arrival_rate).unwrap();
             events.push(exp.sample(&mut rng), Ev::Arrival(i));
         }
@@ -173,6 +174,7 @@ pub fn simulate_network(
             Ev::Arrival(i) => {
                 let q = &mut queues[i];
                 // Next arrival of this queue's Poisson stream.
+                // palb:allow(unwrap): this queue already produced an arrival, so its rate is positive
                 let exp_a = Exp::new(q.spec.arrival_rate).unwrap();
                 events.push(t + exp_a.sample(&mut rng), Ev::Arrival(i));
 
@@ -180,18 +182,21 @@ pub fn simulate_network(
                 if !q.busy {
                     q.busy = true;
                     q.busy_since = t;
+                    // palb:allow(unwrap): QueueSpec validation guarantees a positive service rate
                     let exp_s = Exp::new(q.spec.service_rate).unwrap();
                     events.push(t + exp_s.sample(&mut rng), Ev::Departure(i));
                 }
             }
             Ev::Departure(i) => {
                 let q = &mut queues[i];
+                // palb:allow(unwrap): a departure is only scheduled for a non-empty queue
                 let arrived = q.fifo.pop_front().expect("departure from an empty queue");
                 if t >= warmup {
                     q.result.sojourn.push(t - arrived);
                     q.result.completed += 1;
                 }
                 if let Some(_next) = q.fifo.front() {
+                    // palb:allow(unwrap): QueueSpec validation guarantees a positive service rate
                     let exp_s = Exp::new(q.spec.service_rate).unwrap();
                     events.push(t + exp_s.sample(&mut rng), Ev::Departure(i));
                 } else {
@@ -239,6 +244,7 @@ pub fn simulate_mm1(lambda: f64, mu: f64, horizon: f64, warmup: f64, seed: u64) 
         seed,
     )
     .pop()
+    // palb:allow(unwrap): simulate() returns exactly one result for the one queue passed
     .unwrap()
 }
 

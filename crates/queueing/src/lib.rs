@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-queueing — queueing analytics and discrete-event simulation
 //!
 //! The paper's optimizer treats every (request class, server) VM as an

@@ -34,7 +34,9 @@ pub fn simulate_mm1_lindley(
     assert!(lambda > 0.0 && mu > 0.0, "rates must be positive");
     assert!(warmup_customers < customers, "warm-up swallows the run");
     let mut rng = StdRng::seed_from_u64(seed);
+    // palb:allow(unwrap): rates were just asserted positive
     let interarrival = Exp::new(lambda).unwrap();
+    // palb:allow(unwrap): rates were just asserted positive
     let service = Exp::new(mu).unwrap();
 
     let mut sojourn = SampleStats::new();

@@ -3,6 +3,8 @@
 //! "one VM per class per server" partitioning loses versus pooling the
 //! same aggregate capacity in a single multi-server queue.
 
+use palb_num::is_zero;
+
 /// An M/M/c queue: Poisson arrivals at rate `lambda`, `c` parallel servers,
 /// each serving at rate `mu`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +55,7 @@ impl Mmc {
             return 1.0;
         }
         let a = self.offered_load();
-        if a == 0.0 {
+        if is_zero(a) {
             return 0.0;
         }
         let mut b = 1.0;

@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-tuf — time-utility functions for SLA-based profit
 //!
 //! Implements the profit model of *Profit Aware Load Balancing for

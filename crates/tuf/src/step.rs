@@ -135,6 +135,7 @@ impl StepTuf {
     /// The final (hard) deadline `D_k`; beyond this, utility is 0 and
     /// executing the request is "meaningless" per the paper.
     pub fn final_deadline(&self) -> f64 {
+        // palb:allow(unwrap): StepTuf construction rejects empty level lists
         self.levels.last().unwrap().deadline
     }
 

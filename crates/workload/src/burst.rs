@@ -57,6 +57,7 @@ impl Default for BurstConfig {
 /// Generates the base level sequence for one (front-end) stream: an AR(1)
 /// mean-reverting walk in log-space with Pareto burst multipliers.
 fn base_levels(cfg: &BurstConfig, rng: &mut StdRng) -> Vec<f64> {
+    // palb:allow(unwrap): BurstConfig validation guarantees a positive alpha
     let pareto = Pareto::new(1.0, cfg.burst_alpha).expect("valid alpha");
     // Generate enough extra slots so shifted classes stay in-range.
     let horizon = cfg.slots + cfg.class_shift_hours * cfg.classes.saturating_sub(1);

@@ -82,6 +82,7 @@ pub fn generate(cfg: &DiurnalConfig) -> Trace {
     assert!(cfg.peak_rate > 0.0 && (0.0..1.0).contains(&cfg.floor_fraction));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let noise = if cfg.noise_sigma > 0.0 {
+        // palb:allow(unwrap): sigma > 0 was just checked
         Some(LogNormal::new(0.0, cfg.noise_sigma).expect("valid sigma"))
     } else {
         None

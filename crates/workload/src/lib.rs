@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb-workload — workload substrates
 //!
 //! Trace generators standing in for the datasets the paper evaluates on:

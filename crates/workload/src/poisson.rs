@@ -2,6 +2,7 @@
 //! simulation: sampling per-slot request counts and splitting (thinning)
 //! a stream according to dispatch fractions.
 
+use palb_num::is_zero;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Poisson};
@@ -11,10 +12,11 @@ use rand_distr::{Distribution, Poisson};
 pub fn sample_count(rate: f64, slot_length: f64, seed: u64) -> u64 {
     assert!(rate >= 0.0 && slot_length > 0.0);
     let mean = rate * slot_length;
-    if mean == 0.0 {
+    if is_zero(mean) {
         return 0;
     }
     let mut rng = StdRng::seed_from_u64(seed);
+    // palb:allow(unwrap): mean is finite and nonzero here
     Poisson::new(mean).expect("positive mean").sample(&mut rng) as u64
 }
 
@@ -36,7 +38,7 @@ pub fn thin_rates(rate: f64, weights: &[f64]) -> Vec<f64> {
 /// returning absolute arrival times. Deterministic per seed.
 pub fn arrival_times(rate: f64, horizon: f64, seed: u64) -> Vec<f64> {
     assert!(rate >= 0.0 && horizon > 0.0);
-    if rate == 0.0 {
+    if is_zero(rate) {
         return Vec::new();
     }
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,3 +1,4 @@
+// palb:lint-tier = lib
 //! # palb — Profit-Aware Load Balancing for distributed cloud data centers
 //!
 //! A from-scratch Rust reproduction of *Profit Aware Load Balancing for

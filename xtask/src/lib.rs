@@ -1,0 +1,251 @@
+// palb:lint-tier = bin
+//! # xtask — workspace automation for palb
+//!
+//! The engine behind `cargo xtask analyze`: a source-level lint pass that
+//! enforces the project's cross-crate invariants, the ones `rustc` and
+//! `clippy` cannot see because they are *policy*, not language rules:
+//!
+//! * **float-cmp** — no raw `==`/`!=` against floating-point literals
+//!   outside [`palb_num::approx`], the one module allowed to spell exact
+//!   comparison. Everything else must say what it means (`is_zero`,
+//!   `bits_eq`, `approx_eq`, …).
+//! * **unwrap** — no `.unwrap()` / `.expect(` in library-tier crates;
+//!   binaries and the bench harness may panic at the rim, libraries return
+//!   structured errors.
+//! * **hot-path** — functions marked `// palb:hot-path` must not build
+//!   format machinery or `String`s; the stricter
+//!   `// palb:hot-path(no-alloc)` additionally bans `Vec`/`Box`
+//!   construction. Applied to the simplex pivot loop, the obs recorder
+//!   fast path and the branch-and-bound node loop.
+//! * **obs-names** — metric/span name literals (`"palb_…"` / `"palb/…"`)
+//!   may only be defined in `palb_core::obs::names` and the `palb-obs`
+//!   crate; call sites must use the named constants.
+//! * **crate-header** — every crate root declares
+//!   `#![forbid(unsafe_code)]` and a `// palb:lint-tier = lib|bin`
+//!   marker so the unwrap rule knows which contract applies.
+//!
+//! The scanner is deliberately hand-rolled (zero dependencies): it strips
+//! comments and string literals with a small state machine, tracks
+//! `#[cfg(test)]` regions by brace depth, and matches rules on the
+//! remaining code text. Test code, doc comments and doc examples are
+//! exempt from every rule. A lint that cannot be satisfied at a specific
+//! site is waived in place with `// palb:allow(<rule>): <reason>` — the
+//! reason is mandatory and the waiver covers only that line.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which lint produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Raw float `==`/`!=` outside the allowlisted `palb_num::approx`.
+    FloatCmp,
+    /// `.unwrap()` / `.expect(` in a library-tier crate.
+    Unwrap,
+    /// Allocation or formatting inside a `// palb:hot-path` function.
+    HotPath,
+    /// A `"palb_…"` name literal outside the obs name registries.
+    ObsNames,
+    /// Missing `#![forbid(unsafe_code)]` or lint-tier marker in a crate root.
+    CrateHeader,
+}
+
+impl Rule {
+    /// The marker name used by `// palb:allow(<name>): reason` waivers.
+    pub fn marker(self) -> &'static str {
+        match self {
+            Rule::FloatCmp => "float-cmp",
+            Rule::Unwrap => "unwrap",
+            Rule::HotPath => "hot-path",
+            Rule::ObsNames => "obs-names",
+            Rule::CrateHeader => "crate-header",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.marker())
+    }
+}
+
+/// One lint violation: file, 1-based line, rule and a human message.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number the finding anchors to.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// What exactly is wrong and how to fix or waive it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// The contract a crate opted into via its `// palb:lint-tier` marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Library: must be panic-free — `unwrap`/`expect` are violations.
+    Lib,
+    /// Binary / harness rim: may panic on startup and I/O errors.
+    Bin,
+}
+
+/// A crate discovered under the workspace root.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name, from the directory (informational only).
+    pub name: String,
+    /// The crate's `src/` directory.
+    pub src: PathBuf,
+    /// The crate root file (`lib.rs`, falling back to `main.rs`).
+    pub root_file: PathBuf,
+    /// Declared tier; `None` when the marker is missing (a finding in
+    /// itself; the unwrap rule then assumes the stricter `Lib`).
+    pub tier: Option<Tier>,
+}
+
+/// Discovers the workspace's crates: `crates/*`, `xtask`, and the root
+/// `palb` package when the root directory carries a `src/lib.rs`.
+pub fn discover_crates(root: &Path) -> Vec<CrateInfo> {
+    let mut found = Vec::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.join("Cargo.toml").is_file() {
+                dirs.push(p);
+            }
+        }
+    }
+    dirs.sort();
+    if root.join("xtask/Cargo.toml").is_file() {
+        dirs.push(root.join("xtask"));
+    }
+    if root.join("src/lib.rs").is_file() {
+        dirs.push(root.to_path_buf());
+    }
+    for dir in dirs {
+        let src = dir.join("src");
+        let lib = src.join("lib.rs");
+        let main = src.join("main.rs");
+        let root_file = if lib.is_file() {
+            lib
+        } else if main.is_file() {
+            main
+        } else {
+            continue;
+        };
+        let name = if dir == root {
+            // The workspace-root package; its directory name is whatever
+            // the checkout happens to be called.
+            "palb".to_owned()
+        } else {
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "palb".to_owned())
+        };
+        let tier = std::fs::read_to_string(&root_file)
+            .ok()
+            .and_then(|text| parse_tier(&text));
+        found.push(CrateInfo {
+            name,
+            src,
+            root_file,
+            tier,
+        });
+    }
+    found
+}
+
+/// Extracts the `// palb:lint-tier = lib|bin` marker from a crate root.
+pub fn parse_tier(text: &str) -> Option<Tier> {
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("// palb:lint-tier") {
+            let rest = rest.trim_start_matches([' ', '=']).trim();
+            return match rest {
+                "lib" => Some(Tier::Lib),
+                "bin" => Some(Tier::Bin),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// Runs every rule over every crate under `root`, returning findings
+/// sorted by file and line. Integration-test directories (`tests/`),
+/// benches and examples are out of scope by construction: only `src/`
+/// trees are scanned, and `#[cfg(test)]` regions inside them are exempt.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let crates = discover_crates(root);
+    let mut findings = Vec::new();
+    for krate in &crates {
+        findings.extend(rules::check_crate_header(root, krate));
+        let tier = krate.tier.unwrap_or(Tier::Lib);
+        for file in rust_sources(&krate.src) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let sf = scan::SourceFile::parse(&text);
+            findings.extend(rules::check_file(&rel, &sf, tier));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Recursively lists the `.rs` files under `dir` in sorted order.
+pub fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// directory containing both `Cargo.toml` and `crates/` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

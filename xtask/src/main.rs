@@ -1,0 +1,155 @@
+// palb:lint-tier = bin
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! Subcommands:
+//!
+//! * `analyze [--report <path>]` — run the project lint engine over the
+//!   whole workspace; non-zero exit on any finding. `--report` also
+//!   writes the findings to a file (CI uploads it as an artifact).
+//! * `loom` — model-check the parallel-solver protocols: runs the
+//!   `#![cfg(loom)]` test targets with `RUSTFLAGS="--cfg loom"` in
+//!   release mode and bounded preemptions.
+//! * `miri` — run the numeric/observability leaf crates under Miri.
+//! * `tsan` — run the parallel branch-and-bound suites under
+//!   ThreadSanitizer (nightly, `-Z build-std`).
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+use xtask::{find_workspace_root, run};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..]),
+        Some("loom") => loom(),
+        Some("miri") => miri(),
+        Some("tsan") => tsan(),
+        _ => {
+            eprintln!("usage: cargo xtask <analyze [--report <path>] | loom | miri | tsan>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    find_workspace_root(&start).unwrap_or(start)
+}
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut report: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report" => report = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown analyze flag: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+    let findings = run(&root);
+    let mut body = String::new();
+    for f in &findings {
+        body.push_str(&f.to_string());
+        body.push('\n');
+    }
+    print!("{body}");
+    if let Some(path) = report {
+        let header = format!("# cargo xtask analyze — {} finding(s)\n", findings.len());
+        if let Err(e) = std::fs::write(&path, format!("{header}{body}")) {
+            eprintln!("failed to write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {}", path.display());
+    }
+    if findings.is_empty() {
+        eprintln!("xtask analyze: clean (workspace {})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs `cmd`, echoing it first; maps spawn failure and non-zero status
+/// to a failing exit code.
+fn exec(mut cmd: Command) -> ExitCode {
+    eprintln!("+ {cmd:?}");
+    match cmd.status() {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => {
+            eprintln!("command failed: {s}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("failed to spawn: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn loom() -> ExitCode {
+    // Loom models run only in the dedicated `#![cfg(loom)]` targets —
+    // loom's types abort outside `loom::model`, so everything else must
+    // stay un-instrumented. Release mode: exhaustive interleaving search
+    // is exponential in instruction count. LOOM_MAX_PREEMPTIONS bounds
+    // the schedule space (2 is loom's recommended production setting).
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(workspace_root())
+        .env("RUSTFLAGS", "--cfg loom")
+        .env("LOOM_MAX_PREEMPTIONS", "2")
+        .args([
+            "test",
+            "--release",
+            "-p",
+            "palb-core",
+            "--test",
+            "loom_models",
+            "-p",
+            "palb-obs",
+            "--test",
+            "loom_registry",
+        ]);
+    exec(cmd)
+}
+
+fn miri() -> ExitCode {
+    // The leaf crates with the densest pointer/index arithmetic. Miri
+    // needs a nightly toolchain with the `miri` component.
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(workspace_root())
+        .env("MIRIFLAGS", "-Zmiri-strict-provenance")
+        .args([
+            "+nightly", "miri", "test", "-p", "palb-lp", "-p", "palb-obs", "-p", "palb-tuf",
+            "--lib",
+        ]);
+    exec(cmd)
+}
+
+fn tsan() -> ExitCode {
+    // ThreadSanitizer over the real (std-atomics) parallel solver: the
+    // determinism suite and the branch-and-bound property tests exercise
+    // every cross-thread protocol. Needs nightly + build-std so the
+    // standard library is instrumented too.
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(workspace_root())
+        .env("RUSTFLAGS", "-Zsanitizer=thread")
+        .args([
+            "+nightly",
+            "test",
+            "-Zbuild-std",
+            "--target",
+            "x86_64-unknown-linux-gnu",
+            "-p",
+            "palb-core",
+            "--test",
+            "parallel_determinism",
+            "--test",
+            "parallel_bb_proptest",
+        ]);
+    exec(cmd)
+}

@@ -1,0 +1,432 @@
+//! The lint rules. Each rule consumes a lexed [`SourceFile`] and emits
+//! [`Finding`]s; policy decisions (which files are allowlisted, which
+//! tokens are banned where) live here, lexing lives in [`crate::scan`].
+
+use std::path::Path;
+
+use crate::scan::SourceFile;
+use crate::{CrateInfo, Finding, Rule, Tier};
+
+/// Runs every per-file rule on one source file.
+pub fn check_file(rel: &Path, sf: &SourceFile, tier: Tier) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_float_cmp(rel, sf, &mut findings);
+    if tier == Tier::Lib {
+        check_unwrap(rel, sf, &mut findings);
+    }
+    check_hot_path(rel, sf, &mut findings);
+    check_obs_names(rel, sf, &mut findings);
+    findings
+}
+
+fn finding(rel: &Path, line: usize, rule: Rule, message: String) -> Finding {
+    Finding {
+        file: rel.to_path_buf(),
+        line: line + 1,
+        rule,
+        message,
+    }
+}
+
+/// Path suffix match that tolerates both `/` separators and the file
+/// being reported relative to different roots (real tree vs. mirror).
+fn path_ends_with(rel: &Path, suffix: &str) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    p == suffix || p.ends_with(&format!("/{suffix}"))
+}
+
+// ---------------------------------------------------------------------
+// float-cmp
+// ---------------------------------------------------------------------
+
+/// Files allowed to spell raw float comparison: the one wrapper module.
+fn float_cmp_allowlisted(rel: &Path) -> bool {
+    path_ends_with(rel, "crates/num/src/approx.rs")
+}
+
+fn check_float_cmp(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
+    if float_cmp_allowlisted(rel) {
+        return;
+    }
+    for (i, code) in sf.code.iter().enumerate() {
+        if sf.in_test[i] || sf.allows(i, "float-cmp") {
+            continue;
+        }
+        for op in ["==", "!="] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(op) {
+                let at = from + at;
+                from = at + op.len();
+                // Skip `<=`/`>=`-adjacent false positives can't occur
+                // (different substrings), but `===` never parses anyway.
+                let lhs = token_before(code, at);
+                let rhs = token_after(code, at + op.len());
+                if is_float_literal(lhs) || is_float_literal(rhs) {
+                    out.push(finding(
+                        rel,
+                        i,
+                        Rule::FloatCmp,
+                        format!(
+                            "raw float comparison `{} {} {}`; use palb_num \
+                             (is_zero / nonzero / f64_eq / approx_eq) or waive with \
+                             `// palb:allow(float-cmp): <reason>`",
+                            lhs, op, rhs
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn token_before(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut end = at;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..end]
+}
+
+fn token_after(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = at;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    // A leading sign belongs to a numeric literal.
+    if end < bytes.len() && bytes[end] == b'-' {
+        end += 1;
+    }
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..end]
+}
+
+/// `1.0`, `-3.5e2`, `0.`, `2f64`, `f64::NAN` — things that make a
+/// comparison unmistakably floating-point.
+fn is_float_literal(tok: &str) -> bool {
+    let tok = tok.strip_prefix('-').unwrap_or(tok);
+    if tok.starts_with("f64::") || tok.starts_with("f32::") {
+        return true;
+    }
+    let tok = tok
+        .strip_suffix("f64")
+        .or_else(|| tok.strip_suffix("f32"))
+        .unwrap_or(tok);
+    let mut saw_digit = false;
+    let mut saw_dot = false;
+    for c in tok.chars() {
+        match c {
+            '0'..='9' | '_' => saw_digit = true,
+            '.' => saw_dot = true,
+            'e' | 'E' | '-' | '+' => {}
+            _ => return false,
+        }
+    }
+    saw_digit && saw_dot
+}
+
+// ---------------------------------------------------------------------
+// unwrap
+// ---------------------------------------------------------------------
+
+fn check_unwrap(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, code) in sf.code.iter().enumerate() {
+        if sf.in_test[i] || sf.allows(i, "unwrap") {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            if code.contains(pat) {
+                out.push(finding(
+                    rel,
+                    i,
+                    Rule::Unwrap,
+                    format!(
+                        "`{pat}` in a lib-tier crate; return a structured error \
+                         or waive with `// palb:allow(unwrap): <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// hot-path
+// ---------------------------------------------------------------------
+
+/// Banned in every `// palb:hot-path` function: formatting machinery and
+/// `String` construction.
+const HOT_BANNED: &[&str] = &[
+    "format!",
+    "String::new",
+    "String::from",
+    "String::with_capacity",
+    ".to_string(",
+    ".to_owned(",
+    "push_str",
+];
+
+/// Additionally banned under `// palb:hot-path(no-alloc)`: any heap
+/// container construction.
+const NO_ALLOC_BANNED: &[&str] = &[
+    "vec!",
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    ".to_vec(",
+    ".collect(",
+];
+
+fn check_hot_path(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in sf.lines.iter().enumerate() {
+        // A marker is a dedicated plain-comment line ("// palb:hot-path…"),
+        // not a doc comment and not a string literal mentioning the marker
+        // — otherwise the engine's own sources would self-trigger.
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with("// palb:hot-path") {
+            continue;
+        }
+        let no_alloc = trimmed.starts_with("// palb:hot-path(no-alloc)");
+        // The marker governs the next `fn` and its brace-matched body.
+        let Some(fn_line) = (i..sf.code.len()).find(|&j| {
+            let c = &sf.code[j];
+            c.contains("fn ") && !c.trim_start().starts_with('#')
+        }) else {
+            continue;
+        };
+        let (body_start, body_end) = match fn_body_span(&sf.code, fn_line) {
+            Some(span) => span,
+            None => continue,
+        };
+        for j in body_start..=body_end.min(sf.code.len() - 1) {
+            if sf.allows(j, "hot-path") {
+                continue;
+            }
+            let code = &sf.code[j];
+            for pat in HOT_BANNED {
+                if code.contains(pat) {
+                    out.push(finding(
+                        rel,
+                        j,
+                        Rule::HotPath,
+                        format!("`{pat}` inside a `palb:hot-path` function"),
+                    ));
+                }
+            }
+            if no_alloc {
+                for pat in NO_ALLOC_BANNED {
+                    if code.contains(pat) {
+                        out.push(finding(
+                            rel,
+                            j,
+                            Rule::HotPath,
+                            format!("`{pat}` inside a `palb:hot-path(no-alloc)` function"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Returns the inclusive line span of the body of the `fn` whose
+/// signature starts at `fn_line`, by matching braces from its first `{`.
+fn fn_body_span(code: &[String], fn_line: usize) -> Option<(usize, usize)> {
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (j, line) in code.iter().enumerate().skip(fn_line) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some((fn_line, j));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// obs-names
+// ---------------------------------------------------------------------
+
+/// Files allowed to define `palb_…` metric/span name literals.
+fn obs_names_allowlisted(rel: &Path) -> bool {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    p.contains("crates/obs/src/") || path_ends_with(rel, "crates/core/src/obs.rs")
+}
+
+fn check_obs_names(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
+    if obs_names_allowlisted(rel) {
+        return;
+    }
+    for (line, content) in &sf.strings {
+        if sf.in_test[*line] || sf.allows(*line, "obs-names") {
+            continue;
+        }
+        // palb:allow(obs-names): these are the rule's own prefix constants
+        if content.starts_with("palb_") || content.starts_with("palb/") {
+            out.push(finding(
+                rel,
+                *line,
+                Rule::ObsNames,
+                format!(
+                    "metric/span name literal \"{content}\" outside obs::names; \
+                     use the named constant from palb_core::obs::names"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// crate-header
+// ---------------------------------------------------------------------
+
+/// Checks a crate root for `#![forbid(unsafe_code)]` and the lint-tier
+/// marker.
+pub fn check_crate_header(root: &Path, krate: &CrateInfo) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let rel = krate
+        .root_file
+        .strip_prefix(root)
+        .unwrap_or(&krate.root_file)
+        .to_path_buf();
+    let Ok(text) = std::fs::read_to_string(&krate.root_file) else {
+        return findings;
+    };
+    if !text.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            file: rel.clone(),
+            line: 1,
+            rule: Rule::CrateHeader,
+            message: format!(
+                "crate `{}` root is missing `#![forbid(unsafe_code)]`",
+                krate.name
+            ),
+        });
+    }
+    if krate.tier.is_none() {
+        findings.push(Finding {
+            file: rel,
+            line: 1,
+            rule: Rule::CrateHeader,
+            message: format!(
+                "crate `{}` root is missing a `// palb:lint-tier = lib|bin` marker",
+                krate.name
+            ),
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn lint(src: &str, tier: Tier) -> Vec<Finding> {
+        check_file(
+            &PathBuf::from("crates/x/src/a.rs"),
+            &SourceFile::parse(src),
+            tier,
+        )
+    }
+
+    #[test]
+    fn float_cmp_flags_literal_comparisons() {
+        let f = lint("fn a(x: f64) -> bool { x == 0.0 }\n", Tier::Lib);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatCmp);
+        assert!(lint("fn a(x: f64) -> bool { x != 1.5e3 }\n", Tier::Lib)
+            .iter()
+            .any(|f| f.rule == Rule::FloatCmp));
+        // Integers are fine; so are stringified floats and comments.
+        assert!(lint("fn a(x: usize) -> bool { x == 0 }\n", Tier::Lib).is_empty());
+        assert!(lint("// x == 0.0\nlet s = \"x == 0.0\";\n", Tier::Lib).is_empty());
+    }
+
+    #[test]
+    fn float_cmp_respects_waivers_and_tests() {
+        let waived = "fn a(x: f64) -> bool { x == 0.0 } // palb:allow(float-cmp): sentinel\n";
+        assert!(lint(waived, Tier::Lib).is_empty());
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn a(x: f64) -> bool { x == 0.0 }\n}\n";
+        assert!(lint(test_mod, Tier::Lib).is_empty());
+    }
+
+    #[test]
+    fn unwrap_only_fires_in_lib_tier() {
+        let src = "fn a() { let x: Option<u8> = None; x.unwrap(); }\n";
+        assert_eq!(lint(src, Tier::Lib).len(), 1);
+        assert!(lint(src, Tier::Bin).is_empty());
+        let expect = "fn a() { let x: Option<u8> = None; x.expect(\"boom\"); }\n";
+        assert_eq!(lint(expect, Tier::Lib)[0].rule, Rule::Unwrap);
+    }
+
+    #[test]
+    fn hot_path_bans_format_and_no_alloc_bans_vec() {
+        let plain = "// palb:hot-path\nfn f(v: &mut Vec<f64>) {\n    let s = format!(\"x\");\n    v.clone();\n}\n";
+        let f = lint(plain, Tier::Bin);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::HotPath);
+        let strict = "// palb:hot-path(no-alloc)\nfn f() {\n    let v = vec![1.0];\n}\n";
+        assert_eq!(lint(strict, Tier::Bin)[0].rule, Rule::HotPath);
+        // Vec construction is fine under the plain marker.
+        let plain_vec = "// palb:hot-path\nfn f() {\n    let v = vec![1.0];\n}\n";
+        assert!(lint(plain_vec, Tier::Bin).is_empty());
+        // Code after the function body is not covered by the marker.
+        let after = "// palb:hot-path\nfn f() {}\nfn g() { let s = format!(\"x\"); }\n";
+        assert!(lint(after, Tier::Bin).is_empty());
+    }
+
+    #[test]
+    fn obs_names_flags_stray_literals() {
+        let f = lint(
+            "fn a() { rec.counter_add(\"palb_foo_total\", 1); }\n",
+            Tier::Lib,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ObsNames);
+        // Allowed inside the registries.
+        let reg = check_file(
+            &PathBuf::from("crates/core/src/obs.rs"),
+            &SourceFile::parse("const A: &str = \"palb_foo_total\";\n"),
+            Tier::Lib,
+        );
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn approx_module_is_float_cmp_exempt() {
+        let f = check_file(
+            &PathBuf::from("crates/num/src/approx.rs"),
+            &SourceFile::parse("pub fn f64_eq(a: f64, b: f64) -> bool { a == 0.0 }\n"),
+            Tier::Lib,
+        );
+        assert!(f.is_empty());
+    }
+}

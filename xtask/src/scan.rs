@@ -1,0 +1,316 @@
+//! Lexical pre-pass: comment/string stripping and test-region tracking.
+//!
+//! The lint rules never look at raw source. They look at [`SourceFile`],
+//! where every comment has been removed and every string literal replaced
+//! by an empty `""` (so token structure survives but contents cannot
+//! trigger rules), and where each line knows whether it sits inside a
+//! `#[cfg(test)]` module. String literal *contents* are collected
+//! separately for the one rule that needs them (obs-names).
+//!
+//! This is a scanner, not a parser: it understands exactly as much Rust
+//! lexical structure as the rules need — line/block comments (nested),
+//! plain and raw strings, char literals vs. lifetimes — and nothing more.
+
+/// A lexed source file, ready for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Original lines, used only for marker comments (`// palb:…`).
+    pub lines: Vec<String>,
+    /// Comment- and string-stripped lines, same indices as `lines`.
+    pub code: Vec<String>,
+    /// String literal contents per line: `(line_index, content)`.
+    pub strings: Vec<(usize, String)>,
+    /// Per line: is it inside a `#[cfg(test)]` module body?
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `source` into stripped code, collected strings and test
+    /// regions.
+    pub fn parse(source: &str) -> SourceFile {
+        let lines: Vec<String> = source.lines().map(str::to_owned).collect();
+        let (code, strings) = strip(source);
+        debug_assert_eq!(code.len(), lines.len());
+        let in_test = mark_test_regions(&code);
+        SourceFile {
+            lines,
+            code,
+            strings,
+            in_test,
+        }
+    }
+
+    /// True when `line` (0-based) carries a `// palb:allow(<rule>): r`
+    /// waiver for `rule` — appended to the line itself, or on a
+    /// comment-only line directly above it. The reason after the colon
+    /// must be non-empty; an unexplained waiver does not count.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        let marker = format!("palb:allow({rule})");
+        let has_waiver = |l: usize| {
+            self.lines.get(l).is_some_and(|text| {
+                text.find(&marker).is_some_and(|at| {
+                    let rest = &text[at + marker.len()..];
+                    rest.trim_start()
+                        .strip_prefix(':')
+                        .is_some_and(|reason| !reason.trim().is_empty())
+                })
+            })
+        };
+        if has_waiver(line) {
+            return true;
+        }
+        line > 0
+            && self
+                .lines
+                .get(line - 1)
+                .is_some_and(|t| t.trim_start().starts_with("//"))
+            && has_waiver(line - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Strips comments and string/char literals. Comments vanish; strings
+/// become `""`; char literals become `' '`. Returns the stripped lines
+/// and the collected string contents.
+fn strip(source: &str) -> (Vec<String>, Vec<(usize, String)>) {
+    let mut out = Vec::new();
+    let mut strings = Vec::new();
+    let mut cur = String::new();
+    let mut lit = String::new();
+    let mut mode = Mode::Code;
+    let mut chars = source.chars().peekable();
+    let mut line_no = 0usize;
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            if matches!(mode, Mode::Str | Mode::RawStr(_)) {
+                lit.push('\n');
+            }
+            out.push(std::mem::take(&mut cur));
+            line_no += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    mode = Mode::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    mode = Mode::BlockComment(1);
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    cur.push('"');
+                }
+                'r' if chars.peek() == Some(&'"') || chars.peek() == Some(&'#') => {
+                    // Possible raw string: r"…" or r#"…"#. Count hashes.
+                    let mut look = chars.clone();
+                    let mut hashes = 0u32;
+                    while look.peek() == Some(&'#') {
+                        hashes += 1;
+                        look.next();
+                    }
+                    if look.peek() == Some(&'"') {
+                        for _ in 0..=hashes {
+                            chars.next();
+                        }
+                        mode = Mode::RawStr(hashes);
+                        cur.push('"');
+                    } else {
+                        cur.push('r');
+                    }
+                }
+                '\'' => {
+                    // Char literal vs. lifetime: 'x' or '\n' is a literal;
+                    // 'a (no closing quote right after) is a lifetime.
+                    let mut look = chars.clone();
+                    let is_char = match look.next() {
+                        Some('\\') => true,
+                        Some(_) => look.next() == Some('\''),
+                        None => false,
+                    };
+                    if is_char {
+                        if chars.next() == Some('\\') {
+                            chars.next();
+                        }
+                        chars.next(); // closing quote
+                        cur.push_str("' '");
+                    } else {
+                        cur.push('\'');
+                    }
+                }
+                _ => cur.push(c),
+            },
+            Mode::LineComment => {}
+            Mode::BlockComment(depth) => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    mode = Mode::BlockComment(depth + 1);
+                }
+            }
+            Mode::Str => match c {
+                '\\' => match chars.next() {
+                    // Line-continuation escape: the consumed newline must
+                    // still terminate the current output line.
+                    Some('\n') => {
+                        out.push(std::mem::take(&mut cur));
+                        line_no += 1;
+                    }
+                    Some(esc) => {
+                        lit.push('\\');
+                        lit.push(esc);
+                    }
+                    None => {}
+                },
+                '"' => {
+                    strings.push((line_no, std::mem::take(&mut lit)));
+                    cur.push('"');
+                    mode = Mode::Code;
+                }
+                _ => lit.push(c),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut look = chars.clone();
+                    let mut n = 0u32;
+                    while n < hashes && look.peek() == Some(&'#') {
+                        n += 1;
+                        look.next();
+                    }
+                    if n == hashes {
+                        for _ in 0..hashes {
+                            chars.next();
+                        }
+                        strings.push((line_no, std::mem::take(&mut lit)));
+                        cur.push('"');
+                        mode = Mode::Code;
+                    } else {
+                        lit.push('"');
+                    }
+                } else {
+                    lit.push(c);
+                }
+            }
+        }
+    }
+    if !source.is_empty() && !source.ends_with('\n') {
+        out.push(cur);
+    }
+    (out, strings)
+}
+
+/// Marks the lines that sit inside a `#[cfg(test)]` module body, by
+/// brace-depth tracking over stripped code. The attribute line itself and
+/// the `mod … {` line are marked too.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    // When inside a test module: the depth *above* which lines are test.
+    let mut test_floor: Option<i64> = None;
+    // A #[cfg(test)] was seen and we await the mod's opening brace.
+    let mut pending = false;
+    for (i, line) in code.iter().enumerate() {
+        let trimmed = line.trim();
+        if test_floor.is_none() && trimmed.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        if pending || test_floor.is_some() {
+            in_test[i] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        test_floor = Some(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = test_floor {
+                        if depth < floor {
+                            test_floor = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let sf = SourceFile::parse("let a = 1; // c == 0.0\nlet /* x == 1.0 */ b = 2;\n");
+        assert_eq!(sf.code[0].trim_end(), "let a = 1;");
+        assert!(!sf.code[1].contains("=="));
+    }
+
+    #[test]
+    fn strings_are_emptied_and_collected() {
+        let sf = SourceFile::parse("let s = \"a == 0.0\"; let t = r#\"b != 1.0\"#;\n");
+        assert!(!sf.code[0].contains("=="));
+        assert_eq!(sf.strings.len(), 2);
+        assert_eq!(sf.strings[0].1, "a == 0.0");
+        assert_eq!(sf.strings[1].1, "b != 1.0");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let sf = SourceFile::parse("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'z'; }\n");
+        // The quote char literal must not open a string.
+        assert!(sf.strings.is_empty());
+        assert!(sf.code[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let sf = SourceFile::parse(src);
+        assert_eq!(sf.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn allow_marker_requires_reason() {
+        let sf = SourceFile::parse(
+            "let a = 0.0; // palb:allow(float-cmp): exact sentinel\nlet b = 0.0; // palb:allow(float-cmp):\n",
+        );
+        assert!(sf.allows(0, "float-cmp"));
+        assert!(!sf.allows(1, "float-cmp"));
+        // Preceding-line waiver.
+        let sf2 = SourceFile::parse("// palb:allow(unwrap): startup config\nx.unwrap();\n");
+        assert!(sf2.allows(1, "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let sf = SourceFile::parse("/* outer /* inner == 0.0 */ still */ let x = 1;\n");
+        assert!(!sf.code[0].contains("=="));
+        assert!(sf.code[0].contains("let x = 1;"));
+    }
+}

@@ -1,0 +1,57 @@
+// NOT compiled — lint-engine fixture. Each numbered section seeds exactly
+// one violation that `xtask/tests/lints.rs` asserts the engine catches.
+// Files under tests/fixtures/ are invisible to cargo's test harness.
+
+// 1. float-cmp: raw literal comparison.
+fn seeded_float_cmp(x: f64) -> bool {
+    x == 0.0
+}
+
+// 2. float-cmp via `!=` with a scientific literal on the left.
+fn seeded_float_cmp_ne(y: f64) -> bool {
+    1.5e3 != y
+}
+
+// 3. unwrap in lib tier.
+fn seeded_unwrap() {
+    let v: Option<u8> = None;
+    v.unwrap();
+}
+
+// 4. expect in lib tier.
+fn seeded_expect() {
+    let v: Option<u8> = None;
+    v.expect("seeded");
+}
+
+// 5. hot-path: format! in a marked function.
+// palb:hot-path
+fn seeded_hot_format() -> usize {
+    let s = format!("boom");
+    s.len()
+}
+
+// 6. hot-path(no-alloc): Vec construction in a strictly marked function.
+// palb:hot-path(no-alloc)
+fn seeded_hot_alloc() -> usize {
+    let v = Vec::with_capacity(4);
+    let _: &Vec<u8> = &v;
+    v.len()
+}
+
+// 7. obs-names: a metric name literal outside the registries.
+fn seeded_obs_name() -> &'static str {
+    "palb_rogue_metric_total"
+}
+
+// Negative space: everything below must stay clean.
+fn clean_waived(x: f64) -> bool {
+    x == 0.0 // palb:allow(float-cmp): fixture-verified waiver path
+}
+
+#[cfg(test)]
+mod tests {
+    fn clean_in_tests(x: f64) -> bool {
+        x == 0.0 && "palb_test_only".len() > 0
+    }
+}

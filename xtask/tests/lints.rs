@@ -1,0 +1,82 @@
+//! Lint-engine acceptance tests: the engine must (a) catch every seeded
+//! violation in the fixture file, and (b) report the actual workspace as
+//! clean — the latter is what makes `cargo test -p xtask` an enforcement
+//! point even before CI runs `cargo xtask analyze`.
+
+use std::path::{Path, PathBuf};
+
+use xtask::scan::SourceFile;
+use xtask::{rules, Rule, Tier};
+
+fn fixture() -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded_violations.rs");
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    // Lint it as if it lived in a lib-tier crate's src tree.
+    (PathBuf::from("crates/fixture/src/lib.rs"), text)
+}
+
+#[test]
+fn every_seeded_violation_is_caught() {
+    let (rel, text) = fixture();
+    let sf = SourceFile::parse(&text);
+    let findings = rules::check_file(&rel, &sf, Tier::Lib);
+    let count = |r: Rule| findings.iter().filter(|f| f.rule == r).count();
+    assert_eq!(count(Rule::FloatCmp), 2, "{findings:#?}");
+    assert_eq!(count(Rule::Unwrap), 2, "{findings:#?}");
+    assert_eq!(count(Rule::HotPath), 2, "{findings:#?}");
+    assert_eq!(count(Rule::ObsNames), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 7, "{findings:#?}");
+    // Every finding names the fixture file with a plausible line.
+    for f in &findings {
+        assert_eq!(f.file, rel);
+        assert!(f.line >= 1 && f.line <= text.lines().count());
+    }
+}
+
+#[test]
+fn waivers_and_test_modules_stay_clean() {
+    let (rel, text) = fixture();
+    let sf = SourceFile::parse(&text);
+    let findings = rules::check_file(&rel, &sf, Tier::Lib);
+    // The waived comparison and the #[cfg(test)] section must not appear.
+    let waived_line = text
+        .lines()
+        .position(|l| l.contains("palb:allow(float-cmp)"))
+        .expect("fixture has a waiver")
+        + 1;
+    assert!(
+        findings.iter().all(|f| f.line < waived_line),
+        "nothing at or after the waiver may fire: {findings:#?}"
+    );
+}
+
+#[test]
+fn bin_tier_is_unwrap_exempt() {
+    let (rel, text) = fixture();
+    let sf = SourceFile::parse(&text);
+    let findings = rules::check_file(&rel, &sf, Tier::Bin);
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == Rule::Unwrap).count(),
+        0
+    );
+    // The other rules still fire.
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+}
+
+#[test]
+fn the_workspace_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf();
+    let findings = xtask::run(&root);
+    assert!(
+        findings.is_empty(),
+        "cargo xtask analyze must be clean; run it for details:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
