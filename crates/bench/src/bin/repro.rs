@@ -15,6 +15,9 @@
 //!   fault-tolerance  degraded-mode ladder vs bare optimizer under faults
 //!   solver-perf  warm-started incremental B&B vs cold rebuild (fails if
 //!                incremental is slower or the incumbent drifts)
+//!   scenarios    adversarial scenario matrix with profit-retention
+//!                scorecard (fails if the resilient floor drops below 80%
+//!                or damping stops beating plain Resilient on oscillation)
 //!   all          everything above, in order
 //! ```
 
@@ -22,8 +25,8 @@ use std::env;
 use std::process::ExitCode;
 
 use palb_bench::experiments::{
-    ablations, fault_tolerance, forecasting, foundations, quantile, robustness, section_v,
-    section_vi, section_vii, solver_perf, three_level, validate,
+    ablations, fault_tolerance, forecasting, foundations, quantile, robustness, scenario_matrix,
+    section_v, section_vi, section_vii, solver_perf, three_level, validate,
 };
 
 fn usage() -> ExitCode {
@@ -31,9 +34,30 @@ fn usage() -> ExitCode {
         "usage: repro <target>\n\
          targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
          tables validate quantile forecast robustness three-level ablations \
-         fault-tolerance solver-perf all"
+         fault-tolerance solver-perf scenarios all"
     );
     ExitCode::FAILURE
+}
+
+/// Runs the scenario stress matrix and enforces its two scorecard gates.
+fn run_scenarios() -> ExitCode {
+    let m = scenario_matrix::matrix(scenario_matrix::DEFAULT_SEED, 2);
+    print!("{}", scenario_matrix::render(&m));
+    if m.resilient_floor() < 0.8 {
+        eprintln!(
+            "scenarios: resilient retention floor {:.1}% below the 80% gate",
+            100.0 * m.resilient_floor()
+        );
+        return ExitCode::FAILURE;
+    }
+    if !(m.damping_gain_on_oscillation() > 0.0) {
+        eprintln!(
+            "scenarios: damping no longer beats plain Resilient on price_oscillation ({:+.2} pp)",
+            100.0 * m.damping_gain_on_oscillation()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -74,6 +98,7 @@ fn main() -> ExitCode {
         "three-level" => print!("{}", three_level::report()),
         "ablations" => print!("{}", ablations::all()),
         "fault-tolerance" => print!("{}", fault_tolerance::report(0.1, 42)),
+        "scenarios" => return run_scenarios(),
         "solver-perf" => {
             // CI smoke: a slower-than-cold incremental path or any
             // incumbent drift fails the run, not just the printout.
@@ -155,6 +180,8 @@ fn main() -> ExitCode {
             print!("{}", fault_tolerance::report(0.1, 42));
             println!();
             print!("{}", solver_perf::report(5));
+            println!();
+            return run_scenarios();
         }
         _ => return usage(),
     }

@@ -28,7 +28,7 @@ use palb_core::{
     run, run_with, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunOptions, RunResult, Tier,
 };
 use palb_workload::fault::{
-    corrupt_price_feed, inject_rate_faults, RateFaultConfig, SolverFaultSchedule,
+    corrupt_price_feed, inject_rate_faults, PriceFaultConfig, RateFaultConfig, SolverFaultSchedule,
 };
 use palb_workload::Trace;
 
@@ -71,7 +71,8 @@ fn corrupted_inputs(fault_rate: f64, seed: u64) -> (System, Trace, usize) {
     let mut price_incidents = 0;
     for (l, dc) in system.data_centers.iter_mut().enumerate() {
         let mut feed = dc.prices.as_slice().to_vec();
-        corrupt_price_feed(&mut feed, fault_rate, seed ^ ((l as u64) << 8));
+        let cfg = PriceFaultConfig::dropout(fault_rate, seed ^ ((l as u64) << 8));
+        corrupt_price_feed(&mut feed, &cfg).expect("fault rate is a probability");
         let (clean, incidents) = palb_cluster::PriceSchedule::new_unchecked(feed).sanitized();
         dc.prices = clean;
         price_incidents += incidents.len();
@@ -85,7 +86,8 @@ fn corrupted_inputs(fault_rate: f64, seed: u64) -> (System, Trace, usize) {
             spike_prob: 0.0, // spikes change the offered load, muddying retention
             ..RateFaultConfig::default()
         },
-    );
+    )
+    .expect("fault rate is a probability");
     (system, trace, price_incidents)
 }
 

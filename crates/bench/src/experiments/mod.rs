@@ -6,6 +6,7 @@ pub mod forecasting;
 pub mod foundations;
 pub mod quantile;
 pub mod robustness;
+pub mod scenario_matrix;
 pub mod section_v;
 pub mod section_vi;
 pub mod section_vii;

@@ -1,0 +1,644 @@
+//! Scenario stress matrix: the policy ladder × the built-in adversarial
+//! scenario library, scored by **profit retention**.
+//!
+//! Every cell replays the noiseless §VI day (see
+//! [`configs::scenario_base_trace`]) through one scenario's perturbation
+//! stack — rates, prices, per-slot system parameters (DC outages,
+//! transfer-cost spikes) and solver availability — and one policy, in
+//! best-effort mode so a hard-aborting policy forfeits only the slots it
+//! actually failed. The score is
+//!
+//! ```text
+//! retention = (profit − κ·ramp) / (clean_profit − κ·clean_ramp)
+//! ```
+//!
+//! where `ramp` is the grid-coupling surcharge
+//! ([`palb_core::grid_ramp_surcharge`]) at the scenario's `grid_kappa` and
+//! `clean_profit` is the *same policy's* profit on the unperturbed day —
+//! retention isolates robustness from a policy's absolute profitability.
+//!
+//! Everything is counter-hashed off one seed: the same `(seed, scenario)`
+//! pair reproduces the same corrupted world bit-for-bit at any solver
+//! thread count (regression-tested below), which is what lets CI gate on
+//! a committed scorecard baseline.
+
+use std::sync::Arc;
+
+use palb_cluster::PriceSchedule;
+use palb_core::obs::{names, Recorder, Registry, Snapshot};
+use palb_core::report::text_table;
+use palb_core::{
+    grid_ramp_surcharge, run_over, BalancedPolicy, BbOptions, ChaosPolicy, DampingOptions,
+    OptimizedPolicy, PartialRun, ResilientOptions, ResilientPolicy, RunOptions, SlotSystems, Tier,
+};
+use palb_workload::fault::{RateFaultConfig, SolverFaultSchedule};
+use palb_workload::scenario::{self, RateFaults, Scenario};
+use palb_workload::Trace;
+
+use crate::configs;
+
+/// The scorecard's policy ladder, column order. `OptimizedPolicy` reports
+/// "Optimized" for both its solver modes, so the matrix carries its own
+/// labels.
+pub const POLICIES: [&str; 5] = [
+    "Optimized",
+    "UniformLevels",
+    "Balanced",
+    "Resilient",
+    "Resilient+damping",
+];
+
+/// One (scenario × policy) outcome.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scenario name (row).
+    pub scenario: String,
+    /// Policy label (column), from [`POLICIES`].
+    pub policy: String,
+    /// Net profit under the scenario, $ (before the grid surcharge).
+    pub profit: f64,
+    /// Grid-coupling ramp surcharge at the scenario's kappa, $.
+    pub surcharge: f64,
+    /// Same policy's profit on the clean day, $ (before surcharge).
+    pub clean_profit: f64,
+    /// Clean-day surcharge at the scenario's kappa, $.
+    pub clean_surcharge: f64,
+    /// `(profit − surcharge) / (clean_profit − clean_surcharge)`.
+    pub retention: f64,
+    /// Slots the policy decided (failures forfeit their slot).
+    pub completed_slots: usize,
+    /// Slots in the trace.
+    pub total_slots: usize,
+    /// Slots whose decision failed outright.
+    pub failed_slots: usize,
+    /// Slots decided degraded (fallback tier or repaired input).
+    pub degraded_slots: usize,
+    /// Slots decided past the exact tier (health-carrying policies only).
+    pub tier_escalations: usize,
+}
+
+/// The full stress matrix plus its metrics snapshot.
+#[derive(Debug)]
+pub struct ScenarioMatrix {
+    /// Perturbation seed the whole matrix derives from.
+    pub seed: u64,
+    /// Solver threads used by the exact tiers.
+    pub threads: usize,
+    /// Scenario names, row order.
+    pub scenarios: Vec<String>,
+    /// Policy labels, column order.
+    pub policies: Vec<String>,
+    /// Row-major `scenarios.len() × policies.len()` cells.
+    pub cells: Vec<Cell>,
+    /// Scenario-tagged counters plus the runs' economics/health families.
+    pub obs: Snapshot,
+}
+
+impl ScenarioMatrix {
+    /// The cell at (scenario, policy), if both exist.
+    pub fn cell(&self, scenario: &str, policy: &str) -> Option<&Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.policy == policy)
+    }
+
+    /// Worst retention across both resilient variants and every scenario —
+    /// the CI gate (ISSUE floor: 0.8).
+    pub fn resilient_floor(&self) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.policy.starts_with("Resilient"))
+            .map(|c| c.retention)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Retention edge of the damping variant over plain Resilient on the
+    /// price-oscillation scenario (must be strictly positive: damping is
+    /// *for* price-correlated churn).
+    pub fn damping_gain_on_oscillation(&self) -> f64 {
+        let damped = self.cell("price_oscillation", "Resilient+damping");
+        let plain = self.cell("price_oscillation", "Resilient");
+        match (damped, plain) {
+            (Some(d), Some(p)) => d.retention - p.retention,
+            _ => f64::NAN,
+        }
+    }
+
+    /// The retention scorecard as an aligned text table (percent cells).
+    pub fn table(&self) -> String {
+        let mut header = vec!["scenario".to_string()];
+        header.extend(self.policies.iter().cloned());
+        let rows: Vec<Vec<String>> = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.clone()];
+                for p in &self.policies {
+                    row.push(match self.cell(s, p) {
+                        Some(c) => format!("{:.1}%", 100.0 * c.retention),
+                        None => "-".to_string(),
+                    });
+                }
+                row
+            })
+            .collect();
+        text_table(&header, &rows)
+    }
+}
+
+/// One scenario's corrupted world, materialized from the clean §VI day.
+struct World {
+    source: SlotSystems,
+    trace: Trace,
+    schedule: Option<SolverFaultSchedule>,
+    kappa: f64,
+}
+
+fn materialize(scenario: &Scenario, seed: u64) -> World {
+    let mut system = configs::scenario_base_system();
+    let num_dcs = system.num_dcs();
+    for l in 0..num_dcs {
+        let mut feed = system.data_centers[l].prices.as_slice().to_vec();
+        scenario.perturb_price_feed(l, num_dcs, &mut feed, seed);
+        // The control plane's price-feed repair runs before dispatch, the
+        // same boundary the fault-tolerance study exercises.
+        let (clean, _incidents) = PriceSchedule::new_unchecked(feed).sanitized();
+        system.data_centers[l].prices = clean;
+    }
+    let trace = scenario.perturb_trace(&configs::scenario_base_trace(), seed);
+    let slots = trace.slots();
+    let effects = scenario.system_effects(slots, num_dcs);
+    let source = SlotSystems::from_effects(system, &effects, slots)
+        .expect("built-in scenarios emit valid effects");
+    let schedule = scenario
+        .has_solver_faults(slots)
+        .then(|| SolverFaultSchedule::per_slot(scenario.solver_fault_probs(slots), seed));
+    World {
+        source,
+        trace,
+        schedule,
+        kappa: scenario.grid_kappa(),
+    }
+}
+
+/// Runs one labelled policy over a (possibly perturbed) world in
+/// best-effort mode. Solver-fault schedules veto Optimized/UniformLevels
+/// decisions outright (via [`ChaosPolicy`]) and individual ladder attempts
+/// inside the resilient variants; Balanced is price-table arithmetic with
+/// no solver to fail.
+fn run_policy(
+    label: &str,
+    threads: usize,
+    source: &SlotSystems,
+    trace: &Trace,
+    schedule: Option<&SolverFaultSchedule>,
+    obs: Recorder,
+) -> PartialRun {
+    let opts = RunOptions::best_effort(0).with_obs(obs);
+    let run = match label {
+        "Optimized" => {
+            let inner = OptimizedPolicy::exact_threads(threads);
+            match schedule {
+                Some(s) => run_over(
+                    &mut ChaosPolicy::new(inner, s.clone()),
+                    source,
+                    trace,
+                    &opts,
+                ),
+                None => run_over(&mut { inner }, source, trace, &opts),
+            }
+        }
+        "UniformLevels" => {
+            let inner = OptimizedPolicy::uniform();
+            match schedule {
+                Some(s) => run_over(
+                    &mut ChaosPolicy::new(inner, s.clone()),
+                    source,
+                    trace,
+                    &opts,
+                ),
+                None => run_over(&mut { inner }, source, trace, &opts),
+            }
+        }
+        "Balanced" => run_over(&mut BalancedPolicy, source, trace, &opts),
+        "Resilient" | "Resilient+damping" => {
+            let mut policy = ResilientPolicy::new(ResilientOptions {
+                bb: BbOptions {
+                    threads: threads.max(1),
+                    ..BbOptions::default()
+                },
+                damping: (label == "Resilient+damping").then(DampingOptions::default),
+                ..ResilientOptions::default()
+            });
+            if let Some(s) = schedule {
+                policy = policy.with_chaos(s.clone());
+            }
+            run_over(&mut policy, source, trace, &opts)
+        }
+        other => panic!("unknown policy label {other}"),
+    };
+    run.expect("best-effort scenario runs never abort")
+}
+
+fn degraded_slots(run: &PartialRun) -> usize {
+    run.result
+        .slots
+        .iter()
+        .filter(|s| s.health.as_ref().is_some_and(|h| h.degraded))
+        .count()
+}
+
+fn tier_escalations(run: &PartialRun) -> usize {
+    run.result
+        .slots
+        .iter()
+        .filter(|s| {
+            s.health
+                .as_ref()
+                .and_then(|h| h.tier_used)
+                .is_some_and(|t| t != Tier::Exact)
+        })
+        .count()
+}
+
+/// Seed behind the committed `BENCH_scenarios.json` baseline; `repro
+/// scenarios` and `palb stress` default to it so CI diffs stay meaningful.
+pub const DEFAULT_SEED: u64 = 0xA11CE;
+
+/// Runs the full built-in scenario library. See [`matrix_for`].
+pub fn matrix(seed: u64, threads: usize) -> ScenarioMatrix {
+    matrix_for(seed, threads, &scenario::builtin())
+}
+
+/// Builds a stress run's scenario list: the full built-in library, or one
+/// scenario by name, optionally overlaid with an extra rate-telemetry
+/// fault stage. The overlay goes through [`RateFaultConfig::validate`] —
+/// the same boundary check library callers hit — so `palb stress` rejects
+/// exactly what the library rejects, with the structured field name in
+/// the message.
+pub fn select(
+    name: Option<&str>,
+    overlay: Option<RateFaultConfig>,
+) -> Result<Vec<Scenario>, String> {
+    let mut picked = match name {
+        None => scenario::builtin(),
+        Some(n) => {
+            let sc = scenario::by_name(n).ok_or_else(|| {
+                let all = scenario::builtin();
+                let names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+                format!("unknown scenario `{n}` (one of: {})", names.join(", "))
+            })?;
+            vec![sc]
+        }
+    };
+    if let Some(cfg) = overlay {
+        cfg.validate().map_err(|e| e.to_string())?;
+        picked = picked
+            .into_iter()
+            .map(|s| s.push(Box::new(RateFaults(cfg.clone()))))
+            .collect();
+    }
+    Ok(picked)
+}
+
+/// Compares a run against a committed scorecard baseline (the parsed
+/// `BENCH_scenarios.json` of a previous blessed run), cell by cell. The
+/// matrix is deterministic for a given build; the relative tolerance only
+/// absorbs cross-platform floating-point differences. Subset runs check
+/// just the rows they produced; `origin` names the baseline in messages.
+pub fn check_baseline(
+    m: &ScenarioMatrix,
+    base: &serde_json::Value,
+    origin: &str,
+) -> Result<(), String> {
+    let cells = base["cells"]
+        .as_array()
+        .ok_or_else(|| format!("{origin}: no `cells` array"))?;
+    let mut matched = 0usize;
+    for c in cells {
+        let (Some(sc), Some(pol), Some(want)) = (
+            c["scenario"].as_str(),
+            c["policy"].as_str(),
+            c["retention"].as_f64(),
+        ) else {
+            return Err(format!("{origin}: malformed cell entry"));
+        };
+        let Some(cell) = m.cell(sc, pol) else {
+            continue;
+        };
+        let tol = 1e-6 * want.abs().max(1.0);
+        if (cell.retention - want).abs() > tol {
+            return Err(format!(
+                "scorecard drift vs {origin}: {sc} x {pol} retention {:.6} != baseline {:.6}",
+                cell.retention, want
+            ));
+        }
+        matched += 1;
+    }
+    if matched == 0 {
+        return Err(format!("{origin}: no baseline cell matches this run"));
+    }
+    Ok(())
+}
+
+/// Runs `scenarios × POLICIES`, normalizing each cell against the same
+/// policy's clean-day run (computed once per policy and shared across
+/// rows; the surcharge is linear in kappa, so the clean ramp is priced
+/// once at κ = 1).
+pub fn matrix_for(seed: u64, threads: usize, scenarios: &[Scenario]) -> ScenarioMatrix {
+    let registry = Arc::new(Registry::new());
+    let rec = Recorder::attached(Arc::clone(&registry));
+    let clean_system = configs::scenario_base_system();
+    let clean_trace = configs::scenario_base_trace();
+    let horizon = clean_trace.slots();
+    let clean_source = SlotSystems::constant(clean_system);
+
+    // One clean run per policy: (profit, ramp at kappa = 1).
+    let clean: Vec<(f64, f64)> = POLICIES
+        .iter()
+        .map(|label| {
+            let run = run_policy(
+                label,
+                threads,
+                &clean_source,
+                &clean_trace,
+                None,
+                Recorder::noop(),
+            );
+            assert!(
+                run.failures.is_empty(),
+                "{label} must decide every clean slot"
+            );
+            let ramp = grid_ramp_surcharge(&clean_source, 0, horizon, &run.result, 1.0);
+            (run.result.total_net_profit(), ramp)
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for sc in scenarios {
+        sc.validate().expect("built-in scenarios validate");
+        for p in sc.perturbations() {
+            rec.counter_add(
+                names::SCENARIO_PERTURBATIONS_TOTAL,
+                &[("scenario", sc.name()), ("kind", p.name())],
+                1,
+            );
+        }
+        let world = materialize(sc, seed);
+        if world.source.patched_slots() > 0 {
+            rec.counter_add(
+                names::SCENARIO_SLOTS_PATCHED_TOTAL,
+                &[("scenario", sc.name())],
+                world.source.patched_slots() as u64,
+            );
+        }
+        for (label, &(clean_profit, clean_ramp)) in POLICIES.iter().zip(&clean) {
+            let run = run_policy(
+                label,
+                threads,
+                &world.source,
+                &world.trace,
+                world.schedule.as_ref(),
+                rec.clone(),
+            );
+            let escalations = tier_escalations(&run);
+            if escalations > 0 {
+                rec.counter_add(
+                    names::SCENARIO_TIER_ESCALATIONS_TOTAL,
+                    &[("scenario", sc.name()), ("policy", label)],
+                    escalations as u64,
+                );
+            }
+            let surcharge =
+                grid_ramp_surcharge(&world.source, 0, horizon, &run.result, world.kappa);
+            let clean_surcharge = world.kappa * clean_ramp;
+            let denom = clean_profit - clean_surcharge;
+            cells.push(Cell {
+                scenario: sc.name().to_string(),
+                policy: label.to_string(),
+                profit: run.result.total_net_profit(),
+                surcharge,
+                clean_profit,
+                clean_surcharge,
+                retention: (run.result.total_net_profit() - surcharge) / denom,
+                completed_slots: run.result.slots.len(),
+                total_slots: world.trace.slots(),
+                failed_slots: run.failures.len(),
+                degraded_slots: degraded_slots(&run),
+                tier_escalations: escalations,
+            });
+        }
+    }
+    ScenarioMatrix {
+        seed,
+        threads,
+        scenarios: scenarios.iter().map(|s| s.name().to_string()).collect(),
+        policies: POLICIES.iter().map(|s| s.to_string()).collect(),
+        cells,
+        obs: registry.snapshot(),
+    }
+}
+
+/// The printable scorecard: the retention table plus the gate values and
+/// per-scenario descriptions.
+pub fn report(seed: u64, threads: usize) -> String {
+    render(&matrix(seed, threads))
+}
+
+/// Renders an already-computed matrix (so gate checks can reuse the run).
+pub fn render(m: &ScenarioMatrix) -> String {
+    let scenarios = scenario::builtin();
+    let mut out = format!(
+        "# Scenario stress matrix: noiseless SVI day (seed {}, {} solver thread{})\n\
+         profit retention = (profit - grid surcharge) / same-policy clean profit\n\n",
+        m.seed,
+        m.threads,
+        if m.threads == 1 { "" } else { "s" },
+    );
+    out.push_str(&m.table());
+    out.push_str(&format!(
+        "\nresilient floor (min over both variants, all scenarios): {:.1}%\n\
+         damping edge on price_oscillation: {:+.2} pp\n\n",
+        100.0 * m.resilient_floor(),
+        100.0 * m.damping_gain_on_oscillation(),
+    ));
+    out.push_str("scenarios:\n");
+    for sc in scenarios
+        .iter()
+        .filter(|s| m.scenarios.iter().any(|n| n == s.name()))
+    {
+        out.push_str(&format!("  {:<16} {}\n", sc.name(), sc.description()));
+    }
+    out.push_str(
+        "\nreading: the ladder's retention floor holds across every \
+         adversarial world, and on the price-correlated oscillation the \
+         damping variant keeps its plan still while prices gyrate, beating \
+         plain Resilient once grid-stability churn is priced.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = DEFAULT_SEED;
+
+    fn key_bits(m: &ScenarioMatrix) -> Vec<(String, String, u64, u64)> {
+        m.cells
+            .iter()
+            .map(|c| {
+                (
+                    c.scenario.clone(),
+                    c.policy.clone(),
+                    c.profit.to_bits(),
+                    c.retention.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    /// The ISSUE acceptance criteria in one pass: at least 6 scenarios by
+    /// at least 4 policies, both resilient variants hold the 80% retention
+    /// floor everywhere, and damping strictly beats plain Resilient on the
+    /// price-oscillation scenario.
+    #[test]
+    fn full_matrix_meets_the_acceptance_gates() {
+        let m = matrix(SEED, 1);
+        assert!(m.scenarios.len() >= 6, "{} scenarios", m.scenarios.len());
+        assert!(m.policies.len() >= 4);
+        assert_eq!(m.cells.len(), m.scenarios.len() * m.policies.len());
+        for c in &m.cells {
+            assert!(
+                c.retention.is_finite(),
+                "{}/{} retention not finite",
+                c.scenario,
+                c.policy
+            );
+            assert!(c.completed_slots + c.failed_slots == c.total_slots);
+        }
+        assert!(
+            m.resilient_floor() >= 0.8,
+            "resilient floor {:.3} under 80%",
+            m.resilient_floor()
+        );
+        assert!(
+            m.damping_gain_on_oscillation() > 0.0,
+            "damping gain {:.4} not strictly positive",
+            m.damping_gain_on_oscillation()
+        );
+        // Both resilient variants decide every slot of every scenario.
+        for c in m.cells.iter().filter(|c| c.policy.starts_with("Resilient")) {
+            assert_eq!(c.failed_slots, 0, "{}/{}", c.scenario, c.policy);
+        }
+        // Scenario-tagged counters landed on the registry.
+        assert!(
+            m.obs
+                .family_counter_total(names::SCENARIO_PERTURBATIONS_TOTAL)
+                >= m.scenarios.len() as u64
+        );
+        assert!(
+            m.obs
+                .family_counter_total(names::SCENARIO_SLOTS_PATCHED_TOTAL)
+                > 0
+        );
+    }
+
+    /// Same seed, same cells, bit for bit, at 1/2/4 solver threads — the
+    /// scorecard is a pure function of the seed.
+    #[test]
+    fn matrix_is_bitwise_identical_across_thread_counts() {
+        let picks: Vec<Scenario> = scenario::builtin()
+            .into_iter()
+            .filter(|s| matches!(s.name(), "price_oscillation" | "dc_outage" | "black_swan"))
+            .collect();
+        let t1 = key_bits(&matrix_for(SEED, 1, &picks));
+        let t2 = key_bits(&matrix_for(SEED, 2, &picks));
+        let t4 = key_bits(&matrix_for(SEED, 4, &picks));
+        assert_eq!(t1, t2);
+        assert_eq!(t1, t4);
+    }
+
+    /// The un-hardened optimizer forfeits slots wherever a scenario can
+    /// fail its solver; the ladder never does.
+    #[test]
+    fn solver_outages_cost_the_bare_optimizer_slots() {
+        let picks: Vec<Scenario> = scenario::builtin()
+            .into_iter()
+            .filter(|s| s.name() == "telemetry_chaos")
+            .collect();
+        let m = matrix_for(SEED, 1, &picks);
+        let bare = m.cell("telemetry_chaos", "Optimized").unwrap();
+        let res = m.cell("telemetry_chaos", "Resilient").unwrap();
+        assert!(bare.failed_slots > 0, "chaos schedule never fired");
+        assert_eq!(res.failed_slots, 0);
+        assert!(res.retention > bare.retention);
+        assert!(res.tier_escalations > 0);
+    }
+
+    #[test]
+    fn report_renders_table_and_gates() {
+        let r = report(SEED, 1);
+        assert!(r.contains("scenario"));
+        assert!(r.contains("price_oscillation"));
+        assert!(r.contains("resilient floor"));
+    }
+
+    #[test]
+    fn select_picks_scenarios_and_validates_the_overlay() {
+        assert!(select(None, None).unwrap().len() >= 6);
+        let one = select(Some("price_shock"), None).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name(), "price_shock");
+        let err = select(Some("nope"), None).unwrap_err();
+        assert!(err.contains("one of:"), "{err}");
+        // The overlay is rejected by the same boundary check library
+        // callers hit, with the structured field name in the message.
+        let bad = RateFaultConfig {
+            nan_burst_prob: 1.5,
+            ..RateFaultConfig::default()
+        };
+        let err = select(None, Some(bad)).unwrap_err();
+        assert!(err.contains("nan_burst_prob"), "{err}");
+        let with = select(
+            Some("dc_outage"),
+            Some(RateFaultConfig {
+                nan_burst_prob: 0.05,
+                negative_prob: 0.0,
+                spike_prob: 0.0,
+                ..RateFaultConfig::default()
+            }),
+        )
+        .unwrap();
+        let stack = with[0].perturbations();
+        assert_eq!(stack.last().unwrap().name(), "rate_faults");
+    }
+
+    #[test]
+    fn baseline_check_accepts_own_cells_and_flags_drift() {
+        let picks: Vec<Scenario> = scenario::builtin()
+            .into_iter()
+            .filter(|s| s.name() == "price_shock")
+            .collect();
+        let m = matrix_for(SEED, 1, &picks);
+        let own = crate::json::scenario_matrix_to_json(&m);
+        check_baseline(&m, &own, "self").unwrap();
+        // A retention nudge beyond tolerance fails the gate.
+        let got = m.cell("price_shock", "Balanced").unwrap().retention;
+        let drifted = serde_json::json!({
+            "cells": [{
+                "scenario": "price_shock",
+                "policy": "Balanced",
+                "retention": got + 0.01,
+            }]
+        });
+        let err = check_baseline(&m, &drifted, "drifted").unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+        // No overlapping cells at all is itself an error.
+        let disjoint = serde_json::json!({ "cells": [] });
+        let err = check_baseline(&m, &disjoint, "empty").unwrap_err();
+        assert!(err.contains("no baseline cell"), "{err}");
+        let malformed = serde_json::json!({});
+        assert!(check_baseline(&m, &malformed, "bad").is_err());
+    }
+}

@@ -9,6 +9,7 @@ use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
 
 use crate::experiments::fault_tolerance::FaultToleranceResult;
+use crate::experiments::scenario_matrix::ScenarioMatrix;
 use crate::experiments::solver_perf::{SolverPerf, ThreadScaling};
 
 /// Serializes a slot's health record (`null` for nominal slots without
@@ -21,6 +22,7 @@ fn health_to_json(health: &Option<SlotHealth>) -> Value {
             "sanitization_events": h.sanitization_events,
             "solve_iterations": h.solve_iterations,
             "degraded": h.degraded,
+            "replay_age_slots": h.replay_age_slots,
             "solver": solver_stats_to_json(&h.solver),
         }),
         None => Value::Null,
@@ -191,6 +193,42 @@ pub fn fault_tolerance_to_json(r: &FaultToleranceResult) -> Value {
     })
 }
 
+/// Serializes the scenario stress matrix: the per-cell retention
+/// scorecard plus the two CI gate values, so the `stress` smoke job can
+/// both archive the artifact and diff it against the committed baseline.
+pub fn scenario_matrix_to_json(m: &ScenarioMatrix) -> Value {
+    let cells: Vec<Value> = m
+        .cells
+        .iter()
+        .map(|c| {
+            json!({
+                "scenario": c.scenario,
+                "policy": c.policy,
+                "profit": c.profit,
+                "surcharge": c.surcharge,
+                "clean_profit": c.clean_profit,
+                "clean_surcharge": c.clean_surcharge,
+                "retention": c.retention,
+                "completed_slots": c.completed_slots,
+                "total_slots": c.total_slots,
+                "failed_slots": c.failed_slots,
+                "degraded_slots": c.degraded_slots,
+                "tier_escalations": c.tier_escalations,
+            })
+        })
+        .collect();
+    json!({
+        "seed": m.seed,
+        "threads": m.threads,
+        "scenarios": m.scenarios,
+        "policies": m.policies,
+        "resilient_floor": m.resilient_floor(),
+        "damping_gain_on_oscillation": m.damping_gain_on_oscillation(),
+        "cells": cells,
+        "obs": snapshot_to_json(&m.obs),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +304,24 @@ mod tests {
         assert_eq!(v["points"].as_array().unwrap().len(), 2);
         let full = solver_perf_to_json(&crate::experiments::solver_perf::study(2, 1), Some(&t));
         assert!(full["thread_scaling"]["sequential_ms"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn scenario_matrix_json_carries_cells_and_gates() {
+        let picks: Vec<_> = palb_workload::scenario::builtin()
+            .into_iter()
+            .filter(|s| s.name() == "price_shock")
+            .collect();
+        let m = crate::experiments::scenario_matrix::matrix_for(7, 1, &picks);
+        let v = scenario_matrix_to_json(&m);
+        assert_eq!(v["seed"].as_u64(), Some(7));
+        let cells = v["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), m.policies.len());
+        assert!(cells[0]["retention"].as_f64().unwrap().is_finite());
+        assert!(v["resilient_floor"].as_f64().unwrap().is_finite());
+        // Single-scenario subset has no oscillation row: gain is NaN → null.
+        assert!(v["damping_gain_on_oscillation"].is_null());
+        assert!(!v["obs"].as_array().unwrap().is_empty());
     }
 
     #[test]

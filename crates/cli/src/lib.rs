@@ -11,6 +11,8 @@
 //! palb run --system system.json --trace trace.json --policy quantile=0.9 --json
 //! palb lp --system system.json --trace trace.json --slot 12 > slot12.lp
 //! palb fault-tolerance --fault-rate 0.1 --seed 42
+//! palb stress --json --out BENCH_scenarios.json --baseline BENCH_scenarios_baseline.json
+//! palb stress --scenario black_swan --nan-rate 0.1
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so
@@ -24,8 +26,9 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::sync::Arc;
 
+use palb_bench::experiments::scenario_matrix;
 use palb_bench::experiments::{fault_tolerance, solver_perf};
-use palb_bench::json::{fault_tolerance_to_json, solver_perf_to_json};
+use palb_bench::json::{fault_tolerance_to_json, scenario_matrix_to_json, solver_perf_to_json};
 use palb_cluster::{presets, System};
 use palb_core::obs::{Recorder, Registry};
 use palb_core::report::summary_table;
@@ -35,6 +38,8 @@ use palb_core::{
 };
 use palb_workload::burst::{self, BurstConfig};
 use palb_workload::diurnal::{self, DiurnalConfig};
+use palb_workload::fault::RateFaultConfig;
+use palb_workload::scenario::Scenario;
 use palb_workload::Trace;
 
 /// A parsed command line: subcommand, positional args, `--key value` flags.
@@ -91,7 +96,10 @@ pub fn usage() -> String {
      \x20     [--metrics FILE] [--metrics-format prom|jsonl]     run and summarize\n\
      \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n\
      \x20 fault-tolerance [--fault-rate R] [--seed S] [--json]   degraded-mode study\n\
-     \x20 solver-perf [--servers N] [--json]       warm-start vs cold-rebuild study\n"
+     \x20 solver-perf [--servers N] [--json]       warm-start vs cold-rebuild study\n\
+     \x20 stress [--scenario NAME] [--seed S] [--solver-threads N] [--json]\n\
+     \x20        [--out FILE] [--baseline FILE] [--nan-rate R] [--negative-rate R]\n\
+     \x20        [--spike-rate R] [--spike-factor F]   adversarial scenario scorecard\n"
         .to_string()
 }
 
@@ -104,6 +112,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         "lp" => cmd_lp(cli),
         "fault-tolerance" => cmd_fault_tolerance(cli),
         "solver-perf" => cmd_solver_perf(cli),
+        "stress" => cmd_stress(cli),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -375,6 +384,72 @@ fn cmd_solver_perf(cli: &Cli) -> Result<String, String> {
     }
 }
 
+/// Builds the scenario list `palb stress` will run from the `--scenario`
+/// selector plus the `--nan-rate`/`--negative-rate`/`--spike-rate`
+/// telemetry-fault overlay flags. Selection, overlay validation (via
+/// `RateFaultConfig::validate`, the same boundary check library callers
+/// hit) and the error messages all live in
+/// `palb_bench::experiments::scenario_matrix::select`.
+pub fn stress_scenarios(cli: &Cli, seed: u64) -> Result<Vec<Scenario>, String> {
+    let fault_flags = ["nan-rate", "negative-rate", "spike-rate", "spike-factor"];
+    let overlay = if fault_flags.iter().any(|k| cli.options.contains_key(*k)) {
+        Some(RateFaultConfig {
+            seed,
+            nan_burst_prob: opt_f64(cli, "nan-rate", 0.0)?,
+            negative_prob: opt_f64(cli, "negative-rate", 0.0)?,
+            spike_prob: opt_f64(cli, "spike-rate", 0.0)?,
+            spike_factor: opt_f64(cli, "spike-factor", RateFaultConfig::default().spike_factor)?,
+        })
+    } else {
+        None
+    };
+    let name = cli.options.get("scenario").filter(|s| !s.is_empty());
+    scenario_matrix::select(name.map(String::as_str), overlay)
+}
+
+fn cmd_stress(cli: &Cli) -> Result<String, String> {
+    let seed = match cli.options.get("seed") {
+        None => scenario_matrix::DEFAULT_SEED,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--seed: bad integer `{v}`"))?,
+    };
+    let threads = opt_usize(cli, "solver-threads", 2)?;
+    if threads == 0 {
+        return Err("--solver-threads must be at least 1".to_string());
+    }
+    let scenarios = stress_scenarios(cli, seed)?;
+    let m = scenario_matrix::matrix_for(seed, threads, &scenarios);
+
+    let output = if cli.options.contains_key("json") {
+        serde_json::to_string_pretty(&scenario_matrix_to_json(&m)).map_err(|e| e.to_string())?
+    } else {
+        scenario_matrix::render(&m)
+    };
+    // The artifact lands on disk before the gates run, so CI can archive
+    // the scorecard of a failing run.
+    if let Some(path) = cli.options.get("out").filter(|p| !p.is_empty()) {
+        let json = serde_json::to_string_pretty(&scenario_matrix_to_json(&m))
+            .map_err(|e| e.to_string())?;
+        fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    if m.resilient_floor() < 0.8 {
+        return Err(format!(
+            "resilient retention floor {:.1}% below the 80% gate\n{}",
+            100.0 * m.resilient_floor(),
+            m.table()
+        ));
+    }
+    if let Some(path) = cli.options.get("baseline").filter(|p| !p.is_empty()) {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let base: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        scenario_matrix::check_baseline(&m, &base, path)?;
+    }
+    Ok(output)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,6 +707,82 @@ mod tests {
         let err = execute(&cli(&["solver-perf", "--servers", "1"])).unwrap_err();
         assert!(err.contains("[2,8]"), "{err}");
         assert!(execute(&cli(&["solver-perf", "--servers", "nope"])).is_err());
+    }
+
+    #[test]
+    fn stress_scenarios_parse_and_share_fault_validation() {
+        let all = stress_scenarios(&cli(&["stress"]), 1).unwrap();
+        assert!(all.len() >= 6);
+        let one = stress_scenarios(&cli(&["stress", "--scenario", "price_shock"]), 1).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name(), "price_shock");
+        let err = stress_scenarios(&cli(&["stress", "--scenario", "nope"]), 1).unwrap_err();
+        assert!(err.contains("one of:"), "{err}");
+        // The overlay is rejected by the same boundary check library
+        // callers hit, with the structured field name in the message.
+        let err = stress_scenarios(&cli(&["stress", "--nan-rate", "1.5"]), 1).unwrap_err();
+        assert!(err.contains("nan_burst_prob"), "{err}");
+        let with = stress_scenarios(
+            &cli(&["stress", "--scenario", "dc_outage", "--nan-rate", "0.05"]),
+            1,
+        )
+        .unwrap();
+        let last = with[0].perturbations().last().unwrap();
+        assert_eq!(last.name(), "rate_faults");
+    }
+
+    #[test]
+    fn stress_command_writes_artifact_and_gates_against_baseline() {
+        let dir = std::env::temp_dir().join("palb_cli_stress_test");
+        fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("scorecard.json");
+        let out = execute(&cli(&[
+            "stress",
+            "--scenario",
+            "price_shock",
+            "--solver-threads",
+            "1",
+            "--out",
+            out_path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["cells"].as_array().unwrap().len(), 5);
+        assert!(v["resilient_floor"].as_f64().unwrap() >= 0.8);
+
+        // The written artifact doubles as a clean baseline for the same
+        // seed: the deterministic matrix reproduces it exactly.
+        let again = execute(&cli(&[
+            "stress",
+            "--scenario",
+            "price_shock",
+            "--solver-threads",
+            "1",
+            "--baseline",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(again.contains("price_shock"), "{again}");
+
+        // A perturbed baseline trips the drift gate.
+        let mut drifted: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&out_path).unwrap()).unwrap();
+        let cur = drifted["cells"][0]["retention"].as_f64().unwrap();
+        drifted["cells"][0]["retention"] = serde_json::json!(cur + 0.01);
+        let bad = dir.join("drifted.json");
+        fs::write(&bad, serde_json::to_string(&drifted).unwrap()).unwrap();
+        let err = execute(&cli(&[
+            "stress",
+            "--scenario",
+            "price_shock",
+            "--solver-threads",
+            "1",
+            "--baseline",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("drift"), "{err}");
     }
 
     #[test]

@@ -355,6 +355,32 @@ fn check_shapes(system: &System, trace: &Trace) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// Provides the system in effect at each schedule slot. A plain
+/// [`System`] is its own (constant) source; the scenario engine
+/// (`crate::scenario::SlotSystems`) supplies per-slot patched systems so
+/// outage and transfer-cost perturbations reach the system parameters.
+///
+/// Every slot's system must share the base system's front-end and class
+/// counts (server counts and distances may vary — policies rebuild their
+/// workspaces when [`Dims`] change).
+pub trait SystemSource {
+    /// The unperturbed system, used for shape checks.
+    fn base(&self) -> &System;
+
+    /// The system in effect at schedule slot `slot`.
+    fn system_for(&self, slot: usize) -> &System;
+}
+
+impl SystemSource for System {
+    fn base(&self) -> &System {
+        self
+    }
+
+    fn system_for(&self, _slot: usize) -> &System {
+        self
+    }
+}
+
 /// Drives `policy` over `trace` under the given [`RunOptions`],
 /// evaluating slot `t` of the trace at schedule slot
 /// `opts.start_slot + t`.
@@ -370,7 +396,20 @@ pub fn run_with(
     trace: &Trace,
     opts: &RunOptions,
 ) -> Result<PartialRun, CoreError> {
-    check_shapes(system, trace)?;
+    run_over(policy, system, trace, opts)
+}
+
+/// Like [`run_with`], but the system may differ per slot: each decision
+/// and evaluation uses `source.system_for(slot)`. This is how scenario
+/// perturbations of system parameters (DC outages, transfer-cost spikes)
+/// reach the control loop.
+pub fn run_over(
+    policy: &mut dyn Policy,
+    source: &dyn SystemSource,
+    trace: &Trace,
+    opts: &RunOptions,
+) -> Result<PartialRun, CoreError> {
+    check_shapes(source.base(), trace)?;
     let (clean, repairs): (Cow<'_, Trace>, Vec<usize>) = if opts.sanitize {
         let (clean, events) = sanitize_rates(trace);
         let repairs = events_per_slot(&events, clean.slots());
@@ -383,6 +422,7 @@ pub fn run_with(
     let mut failures = Vec::new();
     for t in 0..clean.slots() {
         let slot = opts.start_slot + t;
+        let system = source.system_for(slot);
         let rates = clean.slot(t);
         let ctx = SlotContext::new(system, rates, slot, &opts.obs);
         // No clock read on the no-op recorder.

@@ -66,13 +66,14 @@ pub mod quantile;
 pub mod report;
 pub mod resilient;
 pub mod sanitize;
+pub mod scenario;
 pub mod sync;
 
 pub use balanced::balanced_dispatch;
 pub use bigm::{solve_bigm, BigMOptions, BigMResult};
 pub use driver::{
-    run, run_partial, run_with, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunOptions,
-    RunResult, SlotContext, SlotFailure, Solver,
+    run, run_over, run_partial, run_with, BalancedPolicy, OptimizedPolicy, PartialRun, Policy,
+    RunOptions, RunResult, SlotContext, SlotFailure, Solver, SystemSource,
 };
 pub use error::CoreError;
 pub use evaluate::{evaluate, SlotOutcome};
@@ -85,5 +86,8 @@ pub use multilevel::{
     MultilevelResult, SolverStats,
 };
 pub use quantile::{quantile_margin_factor, quantile_system, QuantileSlaPolicy};
-pub use resilient::{ChaosPolicy, ResilientOptions, ResilientPolicy, SlotHealth, Tier};
+pub use resilient::{
+    ChaosPolicy, DampingOptions, ResilientOptions, ResilientPolicy, SlotHealth, Tier,
+};
 pub use sanitize::{events_per_slot, sanitize_rates, RateFaultKind, SanitizationEvent};
+pub use scenario::{grid_ramp_surcharge, SlotSystems};

@@ -63,6 +63,18 @@ pub mod names {
     pub const COLD_SOLVES_TOTAL: &str = "palb_cold_solves_total";
     /// Simplex pivots spent inside cold solves.
     pub const COLD_PIVOTS_TOTAL: &str = "palb_cold_pivots_total";
+    /// Scenario perturbation events applied to a world, labelled
+    /// `scenario` and `kind` (the perturbation name).
+    pub const SCENARIO_PERTURBATIONS_TOTAL: &str = "palb_scenario_perturbations_total";
+    /// Slots whose system parameters a scenario patched, labelled
+    /// `scenario`.
+    pub const SCENARIO_SLOTS_PATCHED_TOTAL: &str = "palb_scenario_slots_patched_total";
+    /// Ladder decisions that escalated past the exact tier while running a
+    /// scenario, labelled `scenario` and `policy`.
+    pub const SCENARIO_TIER_ESCALATIONS_TOTAL: &str = "palb_scenario_tier_escalations_total";
+    /// Dispatch decisions blended toward the previous plan by the damping
+    /// variant of the resilient policy.
+    pub const DAMPING_EVENTS_TOTAL: &str = "palb_damping_events_total";
 }
 
 /// Canonical span paths for the timing hierarchy

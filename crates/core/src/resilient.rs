@@ -110,6 +110,10 @@ pub struct SlotHealth {
     /// LP-solver telemetry of the successful tier (all-zero for the
     /// solver-free tiers).
     pub solver: SolverStats,
+    /// Age (in slots) of the replayed last-good decision when the replay
+    /// rung decided the slot; `None` everywhere else. Slots where a stale
+    /// replay degraded to Balanced also carry the age they rejected.
+    pub replay_age_slots: Option<usize>,
 }
 
 impl SlotHealth {
@@ -143,6 +147,15 @@ pub struct ResilientOptions {
     /// staying within the true offered rates). Must be small and
     /// non-negative.
     pub perturbation: f64,
+    /// Maximum age (in slots) a last-good decision may be replayed at.
+    /// During a long outage `last_good` can be arbitrarily stale — beyond
+    /// this bound the replay rung degrades to the solver-free Balanced
+    /// baseline instead of replaying a plan shaped by a world that no
+    /// longer exists. `None` (the default) never expires a replay.
+    pub max_replay_age_slots: Option<usize>,
+    /// Plan-delta damping under price volatility; `None` (the default)
+    /// disables it. See [`DampingOptions`].
+    pub damping: Option<DampingOptions>,
 }
 
 impl Default for ResilientOptions {
@@ -155,6 +168,47 @@ impl Default for ResilientOptions {
                 ..SolveOptions::default()
             },
             perturbation: 1e-6,
+            max_replay_age_slots: None,
+            damping: None,
+        }
+    }
+}
+
+/// Damps the price signal the ladder optimizes against when electricity
+/// prices gyrate.
+///
+/// A per-slot myopic optimizer chases every price swing with a wholesale
+/// plan shift; when prices oscillate (the scenario engine's
+/// price-oscillation stack), that churn destabilizes the very grid whose
+/// prices drive it — see "When Market Prices Drive the Load" in PAPERS.md.
+/// The policy keeps an exponential moving average of each DC's observed
+/// price, `s_l(t) = blend × s_l(t−1) + (1 − blend) × p_l(t)`, and whenever
+/// the relative slot-over-slot price move of any DC exceeds
+/// `volatility_threshold` it hands the ladder a system quoting `s_l(t)`
+/// instead of `p_l(t)`.
+///
+/// Prices appear only in the profit objective, never in the feasibility
+/// constraints (Eqs. 6–8 are price-free), so a plan solved against
+/// smoothed prices is exactly feasible for the true system and serves the
+/// full offered load — damping trades a sliver of spot-price optimality
+/// for plan stability, it never sheds traffic.
+#[derive(Debug, Clone)]
+pub struct DampingOptions {
+    /// Relative slot-over-slot price move (max across DCs) above which
+    /// the ladder sees the smoothed feed. The §VI diurnal tariffs move
+    /// ≲ 20% per hour, so the default 0.3 stays inert on clean days.
+    pub volatility_threshold: f64,
+    /// EMA memory: weight on the previous smoothed price, in [0, 1].
+    /// `0` tracks the spot feed exactly (no damping); `1` freezes the
+    /// first observed price.
+    pub blend: f64,
+}
+
+impl Default for DampingOptions {
+    fn default() -> Self {
+        DampingOptions {
+            volatility_threshold: 0.3,
+            blend: 0.5,
         }
     }
 }
@@ -166,6 +220,10 @@ pub struct ResilientPolicy {
     pub opts: ResilientOptions,
     chaos: Option<SolverFaultSchedule>,
     last_good: Option<Dispatch>,
+    /// Schedule slot that produced `last_good` (drives replay staleness).
+    last_good_slot: Option<usize>,
+    /// `(slot, per-DC smoothed price)` of the damping EMA's last update.
+    price_ema: Option<(usize, Vec<f64>)>,
     /// Persistent LP workspaces reused across slots and ladder tiers (the
     /// dispatch LP's structure is slot-invariant, so each slot is a
     /// coefficient patch); the parallel exact tier checks one out per
@@ -180,6 +238,8 @@ impl Clone for ResilientPolicy {
             opts: self.opts.clone(),
             chaos: self.chaos.clone(),
             last_good: self.last_good.clone(),
+            last_good_slot: self.last_good_slot,
+            price_ema: self.price_ema.clone(),
             wsp: WorkspacePool::default(), // cache: the clone rebuilds its own
         }
     }
@@ -191,6 +251,7 @@ impl std::fmt::Debug for ResilientPolicy {
             .field("opts", &self.opts)
             .field("chaos", &self.chaos)
             .field("last_good", &self.last_good)
+            .field("last_good_slot", &self.last_good_slot)
             .field("workspace_ready", &!self.wsp.is_empty())
             .finish()
     }
@@ -211,6 +272,14 @@ impl ResilientPolicy {
     /// experiments).
     pub fn with_chaos(mut self, schedule: SolverFaultSchedule) -> Self {
         self.chaos = Some(schedule);
+        self
+    }
+
+    /// Enables plan-delta damping under price volatility (see
+    /// [`DampingOptions`]). The policy reports itself as
+    /// `"Resilient+damping"`.
+    pub fn with_damping(mut self, damping: DampingOptions) -> Self {
+        self.opts.damping = Some(damping);
         self
     }
 
@@ -304,36 +373,32 @@ impl ResilientPolicy {
     }
 
     /// The replay tier (infallible): the last good dispatch scaled down to
-    /// the current offered rates, or the all-off zero dispatch.
-    fn replay(&self, system: &System, rates: &[Vec<f64>]) -> Dispatch {
+    /// the current offered rates, or the all-off zero dispatch. Returns
+    /// the tier that actually decided — a last-good older than
+    /// [`ResilientOptions::max_replay_age_slots`] (or with mismatched
+    /// dims, after a scenario resized the system) degrades to the
+    /// solver-free Balanced baseline instead — plus the replay age.
+    fn replay(
+        &self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+    ) -> (Dispatch, Tier, Option<usize>) {
         let Some(last) = &self.last_good else {
-            return Dispatch::zero(Dims::of(system));
+            return (Dispatch::zero(Dims::of(system)), Tier::Replay, None);
         };
-        let dims = last.dims().clone();
-        let mut d = last.clone();
-        let mut scales = vec![1.0; dims.classes * dims.front_ends];
-        for k in 0..dims.classes {
-            for s in 0..dims.front_ends {
-                let then = last.front_end_class_rate(ClassId(k), FrontEndId(s));
-                if then > 0.0 {
-                    scales[k * dims.front_ends + s] = (rates[s][k] / then).min(1.0);
-                }
-            }
+        let age = self.last_good_slot.map(|s0| slot.saturating_sub(s0));
+        let stale = matches!(
+            (age, self.opts.max_replay_age_slots),
+            (Some(a), Some(max)) if a > max
+        );
+        if stale || *last.dims() != Dims::of(system) {
+            return (balanced_dispatch(system, rates, slot), Tier::Balanced, age);
         }
-        let (lambda, _phi) = d.raw_mut();
-        for k in 0..dims.classes {
-            for s in 0..dims.front_ends {
-                let scale = scales[k * dims.front_ends + s];
-                if scale < 1.0 {
-                    for sv in 0..dims.total_servers {
-                        lambda[dims.lambda_idx(ClassId(k), FrontEndId(s), sv)] *= scale;
-                    }
-                }
-            }
-        }
-        d
+        (scaled_to_rates(last, rates), Tier::Replay, age)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
         ctx: &SlotContext<'_>,
@@ -342,9 +407,11 @@ impl ResilientPolicy {
         solve_iterations: usize,
         solver: SolverStats,
         dispatch: Dispatch,
+        replay_age_slots: Option<usize>,
     ) -> Result<Dispatch, CoreError> {
         if tier != Tier::Replay {
             self.last_good = Some(dispatch.clone());
+            self.last_good_slot = Some(ctx.slot);
         }
         ctx.record_health(SlotHealth {
             tier_used: Some(tier),
@@ -353,9 +420,93 @@ impl ResilientPolicy {
             solve_iterations,
             degraded: tier != Tier::Exact,
             solver,
+            replay_age_slots,
         });
         Ok(dispatch)
     }
+
+    /// Advances the damping EMA over the observed prices and, when the
+    /// spot feed is gyrating past the volatility threshold, returns a
+    /// clone of the system quoting the smoothed prices for the ladder to
+    /// optimize against. `None` when damping is off or the feed is calm
+    /// (the ladder then sees the true system). Re-deciding the same slot
+    /// reuses the slot's existing EMA state rather than advancing twice.
+    fn damped_system(&mut self, ctx: &SlotContext<'_>) -> Option<System> {
+        let damping = self.opts.damping.as_ref()?;
+        let observed: Vec<f64> = ctx
+            .system
+            .data_centers
+            .iter()
+            .map(|d| d.prices.price_at(ctx.slot))
+            .collect();
+        let w = damping.blend.clamp(0.0, 1.0);
+        let smoothed = match self.price_ema.take() {
+            Some((slot, prev)) if slot == ctx.slot && prev.len() == observed.len() => prev,
+            Some((slot, prev)) if slot < ctx.slot && prev.len() == observed.len() => prev
+                .iter()
+                .zip(&observed)
+                .map(|(s, p)| w * s + (1.0 - w) * p)
+                .collect(),
+            _ => observed.clone(),
+        };
+        self.price_ema = Some((ctx.slot, smoothed.clone()));
+        if price_volatility(ctx.system, ctx.slot) <= damping.volatility_threshold {
+            return None;
+        }
+        let mut sys = ctx.system.clone();
+        for (dc, s) in sys.data_centers.iter_mut().zip(&smoothed) {
+            dc.prices = palb_cluster::PriceSchedule::flat(*s, 1);
+        }
+        Some(sys)
+    }
+}
+
+/// Scales a dispatch down to sit within the offered `rates`: per
+/// `(class, front-end)` the group is scaled by
+/// `min(1, offered_now / dispatched_then)`, so Eq. 7 holds and server
+/// loads can only shrink, preserving the Eq. 6 delay bounds; φ is kept,
+/// so Eq. 8 holds.
+fn scaled_to_rates(last: &Dispatch, rates: &[Vec<f64>]) -> Dispatch {
+    let dims = last.dims().clone();
+    let mut d = last.clone();
+    let mut scales = vec![1.0; dims.classes * dims.front_ends];
+    for k in 0..dims.classes {
+        for s in 0..dims.front_ends {
+            let then = last.front_end_class_rate(ClassId(k), FrontEndId(s));
+            if then > 0.0 {
+                scales[k * dims.front_ends + s] = (rates[s][k] / then).min(1.0);
+            }
+        }
+    }
+    let (lambda, _phi) = d.raw_mut();
+    for k in 0..dims.classes {
+        for s in 0..dims.front_ends {
+            let scale = scales[k * dims.front_ends + s];
+            if scale < 1.0 {
+                for sv in 0..dims.total_servers {
+                    lambda[dims.lambda_idx(ClassId(k), FrontEndId(s), sv)] *= scale;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// The largest relative slot-over-slot price move across DCs at `slot`
+/// (0 at slot 0 — there is no previous price to move from).
+fn price_volatility(system: &System, slot: usize) -> f64 {
+    if slot == 0 {
+        return 0.0;
+    }
+    let mut vol: f64 = 0.0;
+    for dc in &system.data_centers {
+        let now = dc.prices.price_at(slot);
+        let before = dc.prices.price_at(slot - 1);
+        if before.abs() > f64::EPSILON {
+            vol = vol.max(((now - before) / before).abs());
+        }
+    }
+    vol
 }
 
 /// Whether a retry with different pivoting/perturbation could plausibly
@@ -371,12 +522,15 @@ fn is_transient(e: &CoreError) -> bool {
     }
 }
 
-impl Policy for ResilientPolicy {
-    fn name(&self) -> &str {
-        "Resilient"
-    }
+/// What one walk down the ladder produced: the deciding tier, failed
+/// attempts, pivots and stats of the successful solve, the dispatch, and
+/// the replay age when the replay rung was reached.
+type LadderOutcome = (Tier, usize, usize, SolverStats, Dispatch, Option<usize>);
 
-    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+impl ResilientPolicy {
+    /// Walks the degradation ladder for one slot without committing any
+    /// state — `decide` applies damping to the outcome, then records it.
+    fn ladder(&mut self, ctx: &SlotContext<'_>) -> LadderOutcome {
         let (system, rates, slot) = (ctx.system, ctx.rates, ctx.slot);
         // Tier 1: exact under budget.
         let lp = self.opts.bb.lp.clone();
@@ -388,7 +542,7 @@ impl Policy for ResilientPolicy {
             }
         };
         let first_err = match exact {
-            Ok((d, pivots, stats)) => return self.finish(ctx, Tier::Exact, 0, pivots, stats, d),
+            Ok((d, pivots, stats)) => return (Tier::Exact, 0, pivots, stats, d, None),
             Err(e) => e,
         };
         ctx.obs.counter_add(
@@ -411,7 +565,7 @@ impl Policy for ResilientPolicy {
             };
             match retry {
                 Ok((d, pivots, stats)) => {
-                    return self.finish(ctx, Tier::BlandRetry, retries, pivots, stats, d)
+                    return (Tier::BlandRetry, retries, pivots, stats, d, None)
                 }
                 Err(_) => {
                     ctx.obs.counter_add(
@@ -436,13 +590,13 @@ impl Policy for ResilientPolicy {
             Ok(r) => {
                 // Standalone heuristic caller: records its own stats.
                 record_solver_stats(ctx.obs, &r.stats);
-                return self.finish(
-                    ctx,
+                return (
                     Tier::UniformLevels,
                     retries,
                     r.solve.pivots,
                     r.stats,
                     r.solve.dispatch,
+                    None,
                 );
             }
             Err(_) => {
@@ -467,13 +621,36 @@ impl Policy for ResilientPolicy {
             }
             None => {
                 let d = balanced_dispatch(system, rates, slot);
-                return self.finish(ctx, Tier::Balanced, retries, 0, SolverStats::default(), d);
+                return (Tier::Balanced, retries, 0, SolverStats::default(), d, None);
             }
         }
 
-        // Tier 5: replay — infallible by construction.
-        let d = self.replay(system, rates);
-        self.finish(ctx, Tier::Replay, retries, 0, SolverStats::default(), d)
+        // Tier 5: replay — infallible by construction (may degrade to
+        // Balanced when the last-good plan is stale or wrongly shaped).
+        let (d, tier, age) = self.replay(system, rates, slot);
+        (tier, retries, 0, SolverStats::default(), d, age)
+    }
+}
+
+impl Policy for ResilientPolicy {
+    fn name(&self) -> &str {
+        if self.opts.damping.is_some() {
+            "Resilient+damping"
+        } else {
+            "Resilient"
+        }
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
+        let (tier, retries, pivots, stats, d, age) = match self.damped_system(ctx) {
+            Some(smoothed) => {
+                ctx.obs.counter_add(names::DAMPING_EVENTS_TOTAL, &[], 1);
+                let ictx = SlotContext::new(&smoothed, ctx.rates, ctx.slot, ctx.obs);
+                self.ladder(&ictx)
+            }
+            None => self.ladder(ctx),
+        };
+        self.finish(ctx, tier, retries, pivots, stats, d, age)
     }
 }
 
@@ -486,6 +663,10 @@ pub struct ChaosPolicy<P> {
     inner: P,
     schedule: SolverFaultSchedule,
     name: String,
+    /// Slot of the most recent `decide` call, for attempt counting.
+    last_slot: Option<usize>,
+    /// 0-based count of `decide` calls seen for `last_slot`.
+    attempt: usize,
 }
 
 impl<P: Policy> ChaosPolicy<P> {
@@ -496,7 +677,23 @@ impl<P: Policy> ChaosPolicy<P> {
             inner,
             schedule,
             name,
+            last_slot: None,
+            attempt: 0,
         }
+    }
+
+    /// The `(slot, attempt)` coordinate the most recent `decide` drew its
+    /// fault coin from, if any. Repeated decisions on the same slot (a
+    /// caller retrying, or nested chaos wrappers re-entering) advance the
+    /// attempt counter so each retry draws a fresh coin — the same
+    /// contract `ResilientPolicy`'s internal ladder uses.
+    pub fn last_attempt(&self) -> Option<(usize, usize)> {
+        self.last_slot.map(|s| (s, self.attempt))
+    }
+
+    /// The wrapped policy (e.g. to inspect a nested chaos layer).
+    pub fn inner(&self) -> &P {
+        &self.inner
     }
 }
 
@@ -506,7 +703,13 @@ impl<P: Policy> Policy for ChaosPolicy<P> {
     }
 
     fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<Dispatch, CoreError> {
-        if self.schedule.fails(ctx.slot, 0) {
+        let attempt = match self.last_slot {
+            Some(s) if s == ctx.slot => self.attempt + 1,
+            _ => 0,
+        };
+        self.last_slot = Some(ctx.slot);
+        self.attempt = attempt;
+        if self.schedule.fails(ctx.slot, attempt) {
             return Err(CoreError::Solver {
                 slot: ctx.slot,
                 tier: Tier::Exact,
@@ -520,7 +723,7 @@ impl<P: Policy> Policy for ChaosPolicy<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run, OptimizedPolicy};
+    use crate::driver::{run, BalancedPolicy, OptimizedPolicy};
     use crate::evaluate::evaluate;
     use crate::formulate::solve_fixed_levels_with;
     use crate::model::check_feasible;
@@ -734,6 +937,169 @@ mod tests {
             saw_fallback,
             "chaos at p = 0.5 should trip at least one fallback"
         );
+    }
+
+    #[test]
+    fn stale_replay_degrades_to_balanced_and_reports_age() {
+        let sys = presets::section_v();
+        let low = presets::section_v_low_arrivals();
+        let rec = Recorder::noop();
+        let mut policy = ResilientPolicy::new(ResilientOptions {
+            max_replay_age_slots: Some(2),
+            ..ResilientOptions::default()
+        });
+        // Slot 0 decides normally, seeding last_good.
+        let ctx0 = SlotContext::new(&sys, &low, 0, &rec);
+        policy.decide(&ctx0).unwrap();
+        assert!(ctx0.take_health().unwrap().replay_age_slots.is_none());
+        // Total chaos from here on: every solver tier and balanced are
+        // vetoed, so the replay rung decides.
+        policy.chaos = Some(SolverFaultSchedule::new(1.0, 3));
+        // Age 2 is within bound: genuine replay.
+        let ctx2 = SlotContext::new(&sys, &low, 2, &rec);
+        let d2 = policy.decide(&ctx2).unwrap();
+        let h2 = ctx2.take_health().unwrap();
+        assert_eq!(h2.tier_used, Some(Tier::Replay));
+        assert_eq!(h2.replay_age_slots, Some(2));
+        assert!(d2.total_dispatched() > 0.0);
+        // Age 3 exceeds the bound: the rung degrades to Balanced (which the
+        // chaos coin cannot veto — the last rung is infallible).
+        let ctx3 = SlotContext::new(&sys, &low, 3, &rec);
+        let d3 = policy.decide(&ctx3).unwrap();
+        let h3 = ctx3.take_health().unwrap();
+        assert_eq!(h3.tier_used, Some(Tier::Balanced));
+        assert_eq!(h3.replay_age_slots, Some(3));
+        assert_eq!(d3, balanced_dispatch(&sys, &low, 3));
+        // The default policy never expires a replay.
+        let mut forever = ResilientPolicy::default();
+        let c0 = SlotContext::new(&sys, &low, 0, &rec);
+        forever.decide(&c0).unwrap();
+        forever.chaos = Some(SolverFaultSchedule::new(1.0, 3));
+        let c9 = SlotContext::new(&sys, &low, 999, &rec);
+        forever.decide(&c9).unwrap();
+        let h9 = c9.take_health().unwrap();
+        assert_eq!(h9.tier_used, Some(Tier::Replay));
+        assert_eq!(h9.replay_age_slots, Some(999));
+    }
+
+    #[test]
+    fn damping_solves_against_the_smoothed_price_feed_under_volatility() {
+        use palb_cluster::PriceSchedule;
+        use std::sync::Arc;
+        // Slot 1 spikes every DC to 0.90 $/kWh: volatility 3.5 >> 0.3. At
+        // spot prices the heavy classes are unprofitable everywhere (6 kWh
+        // × 0.90 > their 2-3 $ TUF) and get shed; at the EMA midpoint
+        // (~0.55) they stay worth serving — the plans genuinely diverge.
+        let slot1 = [0.90, 0.90, 0.90];
+        let mut sys = presets::section_v();
+        for (l, dc) in sys.data_centers.iter_mut().enumerate() {
+            let base = dc.prices.price_at(0);
+            dc.prices = PriceSchedule::new_unchecked(vec![base, slot1[l]]);
+        }
+        // The same system quoting the EMA midpoint at slot 1 — what the
+        // damped ladder is expected to optimize against.
+        let mut mid_sys = sys.clone();
+        for dc in &mut mid_sys.data_centers {
+            let mid = 0.5 * dc.prices.price_at(0) + 0.5 * dc.prices.price_at(1);
+            dc.prices = PriceSchedule::flat(mid, 2);
+        }
+        let low = presets::section_v_low_arrivals();
+        let registry = Arc::new(crate::obs::Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+
+        let mut damped = ResilientPolicy::default().with_damping(DampingOptions::default());
+        assert_eq!(damped.name(), "Resilient+damping");
+        let mut plain = ResilientPolicy::default();
+        assert_eq!(plain.name(), "Resilient");
+
+        let ctx0 = SlotContext::new(&sys, &low, 0, &rec);
+        let d0 = damped.decide(&ctx0).unwrap();
+        let p0 = plain.decide(&ctx0).unwrap();
+        // Slot 0 is volatility-free: the variants agree.
+        assert_eq!(d0, p0);
+
+        let ctx1 = SlotContext::new(&sys, &low, 1, &rec);
+        let d1 = damped.decide(&ctx1).unwrap();
+        let p1 = plain.decide(&ctx1).unwrap();
+        let mut mid_policy = ResilientPolicy::default();
+        let mctx = SlotContext::new(&mid_sys, &low, 1, &rec);
+        let m1 = mid_policy.decide(&mctx).unwrap();
+        assert_eq!(d1, m1, "damped ladder solves the smoothed-price system");
+        assert_ne!(d1, p1, "smoothing must actually change the plan");
+        // Prices never enter the constraints: the smoothed-price plan is
+        // exactly feasible for the true system. Here it also keeps serving
+        // the classes the spot-chasing plan shed at the price spike.
+        crate::model::check_feasible(&sys, &low, &d1, false, 1e-6).unwrap();
+        assert!(d1.total_dispatched() > p1.total_dispatched());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value(crate::obs::names::DAMPING_EVENTS_TOTAL, &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn damping_stays_inert_on_calm_prices() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 3);
+        let damped = run(
+            &mut ResilientPolicy::default().with_damping(DampingOptions::default()),
+            &sys,
+            &trace,
+            0,
+        )
+        .unwrap();
+        let plain = run(&mut ResilientPolicy::default(), &sys, &trace, 0).unwrap();
+        for (a, b) in damped.decisions.iter().zip(&plain.decisions) {
+            assert_eq!(a, b, "flat prices must not trigger damping");
+        }
+    }
+
+    #[test]
+    fn chaos_attempt_counter_advances_on_repeated_slots_and_nests() {
+        let sys = presets::section_v();
+        let low = presets::section_v_low_arrivals();
+        let rec = Recorder::noop();
+        // p = 0: never fails, but the attempt bookkeeping still advances.
+        let mut nested = ChaosPolicy::new(
+            ChaosPolicy::new(BalancedPolicy, SolverFaultSchedule::new(0.0, 1)),
+            SolverFaultSchedule::new(0.0, 2),
+        );
+        assert_eq!(nested.name(), "Chaos(Chaos(Balanced))");
+        let ctx = SlotContext::new(&sys, &low, 5, &rec);
+        nested.decide(&ctx).unwrap();
+        assert_eq!(nested.last_attempt(), Some((5, 0)));
+        assert_eq!(nested.inner().last_attempt(), Some((5, 0)));
+        // A retry on the same slot draws the next attempt in both layers.
+        nested.decide(&ctx).unwrap();
+        assert_eq!(nested.last_attempt(), Some((5, 1)));
+        assert_eq!(nested.inner().last_attempt(), Some((5, 1)));
+        // Moving to a new slot resets the counter.
+        let ctx6 = SlotContext::new(&sys, &low, 6, &rec);
+        nested.decide(&ctx6).unwrap();
+        assert_eq!(nested.last_attempt(), Some((6, 0)));
+        assert_eq!(nested.inner().last_attempt(), Some((6, 0)));
+
+        // When the outer layer fails, the inner layer never runs, so its
+        // attempt counter lags — each layer counts its *own* invocations.
+        let mut outer_fails = ChaosPolicy::new(
+            ChaosPolicy::new(BalancedPolicy, SolverFaultSchedule::new(0.0, 1)),
+            SolverFaultSchedule::new(1.0, 2),
+        );
+        let ctx7 = SlotContext::new(&sys, &low, 7, &rec);
+        assert!(outer_fails.decide(&ctx7).is_err());
+        assert!(outer_fails.decide(&ctx7).is_err());
+        assert_eq!(outer_fails.last_attempt(), Some((7, 1)));
+        assert_eq!(outer_fails.inner().last_attempt(), None);
+
+        // Retries on the same slot draw fresh coins: with p = 0.5 some
+        // attempt sequence must mix successes and failures on one slot.
+        let sched = SolverFaultSchedule::new(0.5, 42);
+        let mut flaky = ChaosPolicy::new(BalancedPolicy, sched.clone());
+        let ctx8 = SlotContext::new(&sys, &low, 8, &rec);
+        let outcomes: Vec<bool> = (0..6).map(|_| flaky.decide(&ctx8).is_ok()).collect();
+        let expected: Vec<bool> = (0..6).map(|a| !sched.fails(8, a)).collect();
+        assert_eq!(outcomes, expected);
     }
 
     #[test]

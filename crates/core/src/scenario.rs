@@ -1,0 +1,332 @@
+//! Materializes `palb_workload::scenario` system effects against the
+//! cluster model, and scores plan churn under grid coupling.
+//!
+//! The workload crate cannot see [`System`], so its scenario engine emits
+//! abstract [`SlotEffect`]s. [`SlotSystems`] turns a base system plus an
+//! effect list into per-slot patched systems and plugs into the driver as
+//! a [`SystemSource`], which is how DC outages and transfer-cost spikes
+//! reach the control loop (previously only rates and prices were
+//! corruptible).
+//!
+//! [`grid_ramp_surcharge`] prices slot-over-slot swings in each DC's
+//! energy draw — the grid-stability coupling that makes plan-churn costly
+//! and gives the damping variant of `ResilientPolicy` something to win.
+
+use std::collections::BTreeMap;
+
+use palb_cluster::System;
+use palb_workload::scenario::SlotEffect;
+
+use crate::driver::{RunResult, SystemSource};
+use crate::error::CoreError;
+
+/// A [`SystemSource`] with per-slot overrides: slots touched by scenario
+/// effects get a patched clone of the base system, untouched slots share
+/// the base.
+#[derive(Debug, Clone)]
+pub struct SlotSystems {
+    base: System,
+    overrides: Vec<Option<System>>,
+}
+
+impl SlotSystems {
+    /// A source with no overrides (every slot sees `base`).
+    pub fn constant(base: System) -> Self {
+        SlotSystems {
+            base,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Materializes scenario `effects` over `horizon` schedule slots.
+    ///
+    /// * `ServerFactor` scales a DC's server count, flooring but keeping
+    ///   at least one server up (the §III model needs every DC
+    ///   addressable, and [`System::validate`] rejects empty DCs).
+    /// * `TransferFactor` scales the front-end → DC distance column, which
+    ///   scales Eq. 4's transfer costs.
+    ///
+    /// Effects beyond the horizon or naming unknown DCs are rejected, as
+    /// are non-finite or negative factors.
+    pub fn from_effects(
+        base: System,
+        effects: &[SlotEffect],
+        horizon: usize,
+    ) -> Result<Self, CoreError> {
+        let num_dcs = base.num_dcs();
+        let mut overrides: Vec<Option<System>> = vec![None; horizon];
+        for e in effects {
+            let (slot, factor) = match e {
+                SlotEffect::ServerFactor { slot, factor, .. } => (*slot, *factor),
+                SlotEffect::TransferFactor { slot, factor, .. } => (*slot, *factor),
+            };
+            if slot >= horizon {
+                return Err(CoreError::Model(format!(
+                    "scenario effect at slot {slot} beyond horizon {horizon}"
+                )));
+            }
+            if !(factor.is_finite() && factor >= 0.0) {
+                return Err(CoreError::Model(format!(
+                    "scenario effect factor {factor} must be finite and non-negative"
+                )));
+            }
+            let sys = overrides[slot].get_or_insert_with(|| base.clone());
+            match e {
+                SlotEffect::ServerFactor { dc, factor, .. } => {
+                    if *dc >= num_dcs {
+                        return Err(CoreError::Model(format!(
+                            "scenario effect names DC {dc}, system has {num_dcs}"
+                        )));
+                    }
+                    let d = &mut sys.data_centers[*dc];
+                    d.servers = ((d.servers as f64 * factor).floor() as usize).max(1);
+                }
+                SlotEffect::TransferFactor { dc, factor, .. } => {
+                    if let Some(dc) = dc {
+                        if *dc >= num_dcs {
+                            return Err(CoreError::Model(format!(
+                                "scenario effect names DC {dc}, system has {num_dcs}"
+                            )));
+                        }
+                    }
+                    for row in sys.distance.iter_mut() {
+                        for (l, d) in row.iter_mut().enumerate() {
+                            if dc.is_none_or(|target| target == l) {
+                                *d *= factor;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (slot, sys) in overrides.iter().enumerate() {
+            if let Some(sys) = sys {
+                sys.validate()
+                    .map_err(|e| CoreError::Model(format!("patched system at slot {slot}: {e}")))?;
+            }
+        }
+        Ok(SlotSystems { base, overrides })
+    }
+
+    /// Whether any slot differs from the base system.
+    pub fn has_overrides(&self) -> bool {
+        self.overrides.iter().any(Option::is_some)
+    }
+
+    /// Number of slots carrying an override.
+    pub fn patched_slots(&self) -> usize {
+        self.overrides.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+impl SystemSource for SlotSystems {
+    fn base(&self) -> &System {
+        &self.base
+    }
+
+    fn system_for(&self, slot: usize) -> &System {
+        self.overrides
+            .get(slot)
+            .and_then(Option::as_ref)
+            .unwrap_or(&self.base)
+    }
+}
+
+/// Energy drawn by each DC during one outcome's slot:
+/// `E_l = Σ_k class_dc_rate[k][l] × energy_per_request[k][l] × PUE_l`.
+fn energy_draw(system: &System, class_dc_rate: &[Vec<f64>]) -> Vec<f64> {
+    let mut draw = vec![0.0; system.num_dcs()];
+    for (l, dc) in system.data_centers.iter().enumerate() {
+        for (k, row) in class_dc_rate.iter().enumerate() {
+            draw[l] += row[l] * dc.energy_per_request[k] * dc.pue;
+        }
+    }
+    draw
+}
+
+/// The grid-coupling surcharge for a run:
+/// `kappa × Σ_{t>first} Σ_l price_l(t) × |E_l(t) − E_l(t−1)|`
+/// over schedule slots `start_slot .. start_slot + horizon`.
+///
+/// `E_l(t)` is DC `l`'s energy draw in slot `t`; a slot the run failed to
+/// decide draws nothing (an honest ramp down and back up). This is a
+/// demand-charge-style penalty on load swings a DC presents to its grid,
+/// motivated by the price-chasing instability literature: a policy that
+/// shifts its whole plan every time prices gyrate pays for the churn.
+pub fn grid_ramp_surcharge(
+    source: &dyn SystemSource,
+    start_slot: usize,
+    horizon: usize,
+    run: &RunResult,
+    kappa: f64,
+) -> f64 {
+    if kappa <= 0.0 || horizon == 0 {
+        return 0.0;
+    }
+    let by_slot: BTreeMap<usize, &Vec<Vec<f64>>> = run
+        .slots
+        .iter()
+        .map(|o| (o.slot, &o.class_dc_rate))
+        .collect();
+    let num_dcs = source.base().num_dcs();
+    let mut surcharge = 0.0;
+    let mut prev: Option<Vec<f64>> = None;
+    for t in start_slot..start_slot + horizon {
+        let system = source.system_for(t);
+        let draw = match by_slot.get(&t) {
+            Some(rate) => energy_draw(system, rate),
+            None => vec![0.0; num_dcs],
+        };
+        if let Some(prev) = &prev {
+            for (l, dc) in system.data_centers.iter().enumerate() {
+                surcharge += dc.prices.price_at(t) * (draw[l] - prev[l]).abs();
+            }
+        }
+        prev = Some(draw);
+    }
+    kappa * surcharge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_over, BalancedPolicy, RunOptions};
+    use palb_cluster::presets;
+    use palb_workload::synthetic::constant_trace;
+
+    #[test]
+    fn effects_patch_only_their_slots() {
+        let base = presets::section_vi();
+        let effects = vec![
+            SlotEffect::ServerFactor {
+                slot: 3,
+                dc: 0,
+                factor: 0.2,
+            },
+            SlotEffect::TransferFactor {
+                slot: 3,
+                dc: Some(1),
+                factor: 10.0,
+            },
+        ];
+        let src = SlotSystems::from_effects(base.clone(), &effects, 24).unwrap();
+        assert!(src.has_overrides());
+        assert_eq!(src.patched_slots(), 1);
+        let patched = src.system_for(3);
+        let nominal = base.data_centers[0].servers;
+        assert_eq!(
+            patched.data_centers[0].servers,
+            ((nominal as f64 * 0.2).floor() as usize).max(1)
+        );
+        assert!(patched.data_centers[0].servers < nominal);
+        assert!((patched.distance[0][1] - base.distance[0][1] * 10.0).abs() < 1e-9);
+        assert!((patched.distance[0][0] - base.distance[0][0]).abs() < 1e-12);
+        // Untouched slots share the base.
+        assert_eq!(src.system_for(4).data_centers[0].servers, nominal);
+        assert_eq!(src.system_for(100).data_centers[0].servers, nominal);
+    }
+
+    #[test]
+    fn outage_never_empties_a_dc() {
+        let base = presets::section_vi();
+        let effects = vec![SlotEffect::ServerFactor {
+            slot: 0,
+            dc: 2,
+            factor: 1e-9,
+        }];
+        let src = SlotSystems::from_effects(base, &effects, 1).unwrap();
+        assert_eq!(src.system_for(0).data_centers[2].servers, 1);
+        src.system_for(0).validate().unwrap();
+    }
+
+    #[test]
+    fn bad_effects_are_rejected() {
+        let base = presets::section_vi();
+        let beyond = vec![SlotEffect::ServerFactor {
+            slot: 30,
+            dc: 0,
+            factor: 0.5,
+        }];
+        assert!(SlotSystems::from_effects(base.clone(), &beyond, 24).is_err());
+        let unknown_dc = vec![SlotEffect::ServerFactor {
+            slot: 0,
+            dc: 9,
+            factor: 0.5,
+        }];
+        assert!(SlotSystems::from_effects(base.clone(), &unknown_dc, 24).is_err());
+        let bad_factor = vec![SlotEffect::TransferFactor {
+            slot: 0,
+            dc: None,
+            factor: f64::NAN,
+        }];
+        assert!(SlotSystems::from_effects(base, &bad_factor, 24).is_err());
+    }
+
+    #[test]
+    fn run_over_sees_the_patched_system() {
+        // An extreme transfer spike on every DC but one pushes Balanced's
+        // cheapest-total-cost choice around; the run must differ from the
+        // unpatched one on exactly the patched slot.
+        let base = presets::section_vi();
+        let trace = constant_trace(vec![vec![1_000.0, 0.0, 0.0]; 4], 3);
+        let effects = vec![SlotEffect::TransferFactor {
+            slot: 1,
+            dc: Some(0),
+            factor: 1e4,
+        }];
+        let src = SlotSystems::from_effects(base.clone(), &effects, 3).unwrap();
+        let mut p1 = BalancedPolicy;
+        let patched = run_over(&mut p1, &src, &trace, &RunOptions::at(0)).unwrap();
+        let mut p2 = BalancedPolicy;
+        let clean = run_over(&mut p2, &base, &trace, &RunOptions::at(0)).unwrap();
+        assert_eq!(patched.result.decisions[0], clean.result.decisions[0]);
+        assert_eq!(patched.result.decisions[2], clean.result.decisions[2]);
+        assert!(
+            patched.result.slots[1].transfer_cost >= clean.result.slots[1].transfer_cost,
+            "patched transfer cost should not drop"
+        );
+    }
+
+    #[test]
+    fn surcharge_prices_ramps_and_ignores_flat_runs() {
+        let base = presets::section_vi();
+        // Constant load → constant dispatch → zero ramping surcharge.
+        let trace = constant_trace(vec![vec![500.0, 0.0, 0.0]; 4], 4);
+        let run = run_over(
+            &mut BalancedPolicy,
+            &base,
+            &trace,
+            &RunOptions {
+                sanitize: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+        .result;
+        let flat = grid_ramp_surcharge(&base, 0, 4, &run, 1.0);
+        // Balanced re-picks DCs as prices move across slots, so some churn
+        // is possible; but kappa = 0 must always yield exactly zero.
+        assert_eq!(grid_ramp_surcharge(&base, 0, 4, &run, 0.0), 0.0);
+        assert!(flat >= 0.0);
+        // A varying load must out-ramp the constant one.
+        let mut rates = Vec::new();
+        for t in 0..4usize {
+            let r = if t % 2 == 0 { 100.0 } else { 2_000.0 };
+            rates.push(vec![vec![r, 0.0, 0.0]; 4]);
+        }
+        let swing_trace = palb_workload::Trace::new(rates);
+        let swing_run = run_over(
+            &mut BalancedPolicy,
+            &base,
+            &swing_trace,
+            &RunOptions::default(),
+        )
+        .unwrap()
+        .result;
+        let swing = grid_ramp_surcharge(&base, 0, 4, &swing_run, 1.0);
+        assert!(swing > flat, "swing {swing} vs flat {flat}");
+        // Surcharge scales linearly in kappa.
+        let double = grid_ramp_surcharge(&base, 0, 4, &swing_run, 2.0);
+        assert!((double - 2.0 * swing).abs() < 1e-9);
+    }
+}

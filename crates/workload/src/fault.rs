@@ -10,8 +10,46 @@
 
 use crate::Trace;
 
+/// A structured fault-configuration error: which field was rejected, the
+/// offending value, and why. Returned by the `validate()` methods on the
+/// fault configs and by the injectors themselves, so both library callers
+/// and `palb stress` arg parsing share one boundary check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfigError {
+    /// Name of the rejected configuration field.
+    pub field: &'static str,
+    /// The offending value.
+    pub value: f64,
+    /// Human-readable reason the value was rejected.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad fault config: {} = {} ({})",
+            self.field, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// Checks that `value` is a probability in [0, 1].
+fn check_prob(field: &'static str, value: f64) -> Result<(), FaultConfigError> {
+    if !(value.is_finite() && (0.0..=1.0).contains(&value)) {
+        return Err(FaultConfigError {
+            field,
+            value,
+            reason: "must be a probability in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
 /// splitmix64 finalizer: avalanche one 64-bit word.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -19,7 +57,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Hash a seed plus up to three coordinates into a uniform f64 in [0, 1).
-fn u01(seed: u64, a: u64, b: u64, c: u64) -> f64 {
+pub(crate) fn u01(seed: u64, a: u64, b: u64, c: u64) -> f64 {
     let h = mix(seed ^ mix(a ^ mix(b ^ mix(c))));
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
@@ -55,12 +93,32 @@ impl Default for RateFaultConfig {
     }
 }
 
-/// Returns a copy of `trace` with rate-telemetry faults injected per `cfg`.
+impl RateFaultConfig {
+    /// Validates the configuration at the library boundary: every
+    /// probability must lie in [0, 1] and `spike_factor` must be finite.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        check_prob("nan_burst_prob", self.nan_burst_prob)?;
+        check_prob("negative_prob", self.negative_prob)?;
+        check_prob("spike_prob", self.spike_prob)?;
+        if !self.spike_factor.is_finite() {
+            return Err(FaultConfigError {
+                field: "spike_factor",
+                value: self.spike_factor,
+                reason: "must be finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Returns a copy of `trace` with rate-telemetry faults injected per `cfg`,
+/// or a [`FaultConfigError`] when `cfg` fails [`RateFaultConfig::validate`].
 ///
 /// The result is built with [`Trace::new_unchecked`] and will generally
 /// contain NaN and negative entries — it must be sanitized before being fed
 /// to an optimizer that assumes clean rates.
-pub fn inject_rate_faults(trace: &Trace, cfg: &RateFaultConfig) -> Trace {
+pub fn inject_rate_faults(trace: &Trace, cfg: &RateFaultConfig) -> Result<Trace, FaultConfigError> {
+    cfg.validate()?;
     let mut rates: Vec<Vec<Vec<f64>>> = Vec::with_capacity(trace.slots());
     for t in 0..trace.slots() {
         let mut slot = Vec::with_capacity(trace.front_ends());
@@ -85,22 +143,91 @@ pub fn inject_rate_faults(trace: &Trace, cfg: &RateFaultConfig) -> Trace {
         }
         rates.push(slot);
     }
-    Trace::new_unchecked(rates)
+    Ok(Trace::new_unchecked(rates))
 }
 
-/// Corrupts a raw price feed in place: each entry independently becomes NaN
-/// (feed dropout) with probability `dropout_prob`. Returns the number of
-/// corrupted entries. Operates on a plain slice so callers can wrap the
-/// result in whatever validated schedule type they use.
-pub fn corrupt_price_feed(prices: &mut [f64], dropout_prob: f64, seed: u64) -> usize {
+/// Configuration for [`corrupt_price_feed`]: independent per-entry dropout
+/// plus an optional contiguous price-shock window, so price faults compose
+/// with the scenario engine ([`crate::scenario`]).
+#[derive(Debug, Clone)]
+pub struct PriceFaultConfig {
+    /// Seed for the deterministic corruption pattern.
+    pub seed: u64,
+    /// Probability that an entry becomes NaN (feed dropout).
+    pub dropout_prob: f64,
+    /// Multiplier applied to entries inside the shock window (1.0 = none).
+    pub shock_factor: f64,
+    /// First entry index of the shock window.
+    pub shock_start: usize,
+    /// Number of consecutive entries the shock lasts (0 disables it).
+    pub shock_duration: usize,
+}
+
+impl Default for PriceFaultConfig {
+    fn default() -> Self {
+        PriceFaultConfig {
+            seed: 0,
+            dropout_prob: 0.0,
+            shock_factor: 1.0,
+            shock_start: 0,
+            shock_duration: 0,
+        }
+    }
+}
+
+impl PriceFaultConfig {
+    /// A dropout-only config — the shape of the old bare
+    /// `(dropout_prob, seed)` call sites.
+    pub fn dropout(dropout_prob: f64, seed: u64) -> Self {
+        PriceFaultConfig {
+            seed,
+            dropout_prob,
+            ..PriceFaultConfig::default()
+        }
+    }
+
+    /// Validates the configuration: `dropout_prob` must be a probability
+    /// and `shock_factor` finite and non-negative.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        check_prob("dropout_prob", self.dropout_prob)?;
+        if !(self.shock_factor.is_finite() && self.shock_factor >= 0.0) {
+            return Err(FaultConfigError {
+                field: "shock_factor",
+                value: self.shock_factor,
+                reason: "must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Corrupts a raw price feed in place per `cfg`: each entry independently
+/// becomes NaN (feed dropout), and entries inside the shock window are
+/// multiplied by `shock_factor`. Returns the number of touched entries, or
+/// a [`FaultConfigError`] when `cfg` fails validation. Operates on a plain
+/// slice so callers can wrap the result in whatever validated schedule type
+/// they use.
+///
+/// Dropout draws from the same hash stream as before this config existed,
+/// so a dropout-only config reproduces the historical fault pattern for a
+/// given seed bit-for-bit.
+pub fn corrupt_price_feed(
+    prices: &mut [f64],
+    cfg: &PriceFaultConfig,
+) -> Result<usize, FaultConfigError> {
+    cfg.validate()?;
+    let shock_end = cfg.shock_start.saturating_add(cfg.shock_duration);
     let mut corrupted = 0;
     for (i, p) in prices.iter_mut().enumerate() {
-        if u01(seed, 4, i as u64, 0) < dropout_prob {
+        if u01(cfg.seed, 4, i as u64, 0) < cfg.dropout_prob {
             *p = f64::NAN;
+            corrupted += 1;
+        } else if cfg.shock_duration > 0 && i >= cfg.shock_start && i < shock_end {
+            *p *= cfg.shock_factor;
             corrupted += 1;
         }
     }
-    corrupted
+    Ok(corrupted)
 }
 
 /// A deterministic schedule of injected solver failures: `fails(slot,
@@ -113,18 +240,59 @@ pub struct SolverFaultSchedule {
     pub seed: u64,
     /// Per-attempt failure probability in [0, 1].
     pub prob: f64,
+    /// Optional per-slot probability overrides (slot-windowed solver
+    /// outages from the scenario engine); slots beyond the vector fall
+    /// back to `prob`.
+    per_slot: Vec<f64>,
 }
 
 impl SolverFaultSchedule {
     /// Builds a schedule failing each solve attempt with probability `prob`.
+    ///
+    /// # Panics
+    /// Panics when `prob` falls outside [0, 1].
     pub fn new(prob: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&prob), "bad probability {prob}");
-        SolverFaultSchedule { seed, prob }
+        SolverFaultSchedule {
+            seed,
+            prob,
+            per_slot: Vec::new(),
+        }
+    }
+
+    /// Builds a schedule with a per-slot failure probability; slots beyond
+    /// the vector never fail. Used by scenario stacks that window solver
+    /// outages to specific slots.
+    ///
+    /// # Panics
+    /// Panics when any probability falls outside [0, 1].
+    pub fn per_slot(probs: Vec<f64>, seed: u64) -> Self {
+        for &p in &probs {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "bad probability {p}"
+            );
+        }
+        SolverFaultSchedule {
+            seed,
+            prob: 0.0,
+            per_slot: probs,
+        }
+    }
+
+    /// The failure probability in effect for `slot`.
+    pub fn prob_at(&self, slot: usize) -> f64 {
+        self.per_slot.get(slot).copied().unwrap_or(self.prob)
+    }
+
+    /// Whether any slot can fail at all (all-zero schedules are no-ops).
+    pub fn is_active(&self) -> bool {
+        self.prob > 0.0 || self.per_slot.iter().any(|&p| p > 0.0)
     }
 
     /// Whether the solver should be made to fail on `(slot, attempt)`.
     pub fn fails(&self, slot: usize, attempt: usize) -> bool {
-        u01(self.seed, 5, slot as u64, attempt as u64) < self.prob
+        u01(self.seed, 5, slot as u64, attempt as u64) < self.prob_at(slot)
     }
 }
 
@@ -145,14 +313,14 @@ mod tests {
             spike_prob: 0.0,
             ..RateFaultConfig::default()
         };
-        assert_eq!(inject_rate_faults(&base(), &cfg), base());
+        assert_eq!(inject_rate_faults(&base(), &cfg).unwrap(), base());
     }
 
     #[test]
     fn same_seed_is_reproducible_and_seeds_differ() {
         let cfg = RateFaultConfig::default();
-        let a = inject_rate_faults(&base(), &cfg);
-        let b = inject_rate_faults(&base(), &cfg);
+        let a = inject_rate_faults(&base(), &cfg).unwrap();
+        let b = inject_rate_faults(&base(), &cfg).unwrap();
         // NaN != NaN, so compare via bit patterns.
         let bits = |tr: &Trace| -> Vec<u64> {
             (0..tr.slots())
@@ -165,7 +333,10 @@ mod tests {
         };
         assert_eq!(bits(&a), bits(&b));
         let other = RateFaultConfig { seed: 99, ..cfg };
-        assert_ne!(bits(&a), bits(&inject_rate_faults(&base(), &other)));
+        assert_ne!(
+            bits(&a),
+            bits(&inject_rate_faults(&base(), &other).unwrap())
+        );
     }
 
     #[test]
@@ -176,7 +347,7 @@ mod tests {
             spike_prob: 0.0,
             ..RateFaultConfig::default()
         };
-        let faulted = inject_rate_faults(&base(), &cfg);
+        let faulted = inject_rate_faults(&base(), &cfg).unwrap();
         let mut bursts = 0;
         for t in 0..faulted.slots() {
             for s in 0..faulted.front_ends() {
@@ -197,7 +368,7 @@ mod tests {
             spike_prob: 0.0,
             ..RateFaultConfig::default()
         };
-        let faulted = inject_rate_faults(&base(), &cfg);
+        let faulted = inject_rate_faults(&base(), &cfg).unwrap();
         for t in 0..faulted.slots() {
             for s in 0..faulted.front_ends() {
                 let nans: Vec<bool> = (0..faulted.classes())
@@ -215,13 +386,16 @@ mod tests {
     fn price_corruption_counts_and_is_deterministic() {
         let mut a = vec![0.05; 200];
         let mut b = vec![0.05; 200];
-        let na = corrupt_price_feed(&mut a, 0.25, 7);
-        let nb = corrupt_price_feed(&mut b, 0.25, 7);
+        let na = corrupt_price_feed(&mut a, &PriceFaultConfig::dropout(0.25, 7)).unwrap();
+        let nb = corrupt_price_feed(&mut b, &PriceFaultConfig::dropout(0.25, 7)).unwrap();
         assert_eq!(na, nb);
         assert!(na > 20 && na < 90, "corrupted {na} of 200");
         assert_eq!(a.iter().filter(|p| p.is_nan()).count(), na);
         let mut c = vec![0.05; 200];
-        assert_eq!(corrupt_price_feed(&mut c, 0.0, 7), 0);
+        assert_eq!(
+            corrupt_price_feed(&mut c, &PriceFaultConfig::dropout(0.0, 7)).unwrap(),
+            0
+        );
         assert!(c.iter().all(|&p| p == 0.05));
     }
 
@@ -235,5 +409,91 @@ mod tests {
         assert!((0..2000).any(|t| sched.fails(t, 0) != sched.fails(t, 1)));
         // And the schedule is a pure function: same query, same answer.
         assert_eq!(sched.fails(17, 0), sched.fails(17, 0));
+    }
+
+    #[test]
+    fn per_slot_schedule_windows_failures() {
+        let mut probs = vec![0.0; 24];
+        for p in probs.iter_mut().take(12).skip(8) {
+            *p = 1.0;
+        }
+        let sched = SolverFaultSchedule::per_slot(probs, 7);
+        assert!(sched.is_active());
+        for t in 0..24 {
+            assert_eq!(sched.fails(t, 0), (8..12).contains(&t), "slot {t}");
+        }
+        // Slots beyond the vector fall back to the base prob (0 here).
+        assert!(!sched.fails(1000, 0));
+        // A flat schedule built via `new` matches the per-slot stream on
+        // the same seed (both draw from hash stream 5).
+        let flat = SolverFaultSchedule::new(0.5, 7);
+        let windowed = SolverFaultSchedule::per_slot(vec![0.5; 24], 7);
+        for t in 0..24 {
+            assert_eq!(flat.fails(t, 0), windowed.fails(t, 0));
+        }
+    }
+
+    #[test]
+    fn rate_fault_config_validation_rejects_bad_fields() {
+        let bad_prob = RateFaultConfig {
+            nan_burst_prob: 1.5,
+            ..RateFaultConfig::default()
+        };
+        let err = bad_prob.validate().unwrap_err();
+        assert_eq!(err.field, "nan_burst_prob");
+        assert!(err.to_string().contains("1.5"));
+        assert!(inject_rate_faults(&base(), &bad_prob).is_err());
+
+        let nan_prob = RateFaultConfig {
+            negative_prob: f64::NAN,
+            ..RateFaultConfig::default()
+        };
+        assert_eq!(nan_prob.validate().unwrap_err().field, "negative_prob");
+
+        let bad_spike = RateFaultConfig {
+            spike_factor: f64::INFINITY,
+            ..RateFaultConfig::default()
+        };
+        assert_eq!(bad_spike.validate().unwrap_err().field, "spike_factor");
+
+        assert!(RateFaultConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn price_fault_config_validation_and_shock_window() {
+        let bad = PriceFaultConfig::dropout(-0.1, 0);
+        assert_eq!(bad.validate().unwrap_err().field, "dropout_prob");
+        let bad_shock = PriceFaultConfig {
+            shock_factor: -2.0,
+            ..PriceFaultConfig::default()
+        };
+        assert_eq!(bad_shock.validate().unwrap_err().field, "shock_factor");
+
+        // Shock multiplies exactly the windowed entries.
+        let mut feed = vec![0.04; 24];
+        let cfg = PriceFaultConfig {
+            shock_factor: 5.0,
+            shock_start: 10,
+            shock_duration: 4,
+            ..PriceFaultConfig::default()
+        };
+        let touched = corrupt_price_feed(&mut feed, &cfg).unwrap();
+        assert_eq!(touched, 4);
+        for (i, &p) in feed.iter().enumerate() {
+            let expect = if (10..14).contains(&i) { 0.20 } else { 0.04 };
+            assert!((p - expect).abs() < 1e-12, "entry {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn dropout_only_config_matches_historical_stream() {
+        // The dropout hash stream predates PriceFaultConfig; a dropout-only
+        // config must reproduce the same NaN pattern for a given seed.
+        let mut feed = vec![0.05; 200];
+        let n = corrupt_price_feed(&mut feed, &PriceFaultConfig::dropout(0.25, 7)).unwrap();
+        let pattern: Vec<bool> = feed.iter().map(|p| p.is_nan()).collect();
+        let expected: Vec<bool> = (0..200u64).map(|i| u01(7, 4, i, 0) < 0.25).collect();
+        assert_eq!(pattern, expected);
+        assert_eq!(n, expected.iter().filter(|&&x| x).count());
     }
 }

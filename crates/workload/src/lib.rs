@@ -12,6 +12,9 @@
 //!   request-level simulation,
 //! * [`fault`] — deterministic fault injectors (NaN bursts, spikes, price
 //!   dropouts, forced solver failures) for the degraded-mode experiments,
+//! * [`scenario`] — composable adversarial scenario stacks (flash crowds,
+//!   price shocks, DC outages, black swans) built on the same
+//!   counter-based hashing as [`fault`],
 //! * [`Trace`] — the `slots × front-ends × classes` rate container all
 //!   generators produce and the optimizer consumes.
 //!
@@ -35,6 +38,7 @@ pub mod diurnal;
 pub mod fault;
 pub mod forecast;
 pub mod poisson;
+pub mod scenario;
 pub mod synthetic;
 mod trace;
 

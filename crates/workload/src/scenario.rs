@@ -1,0 +1,1013 @@
+//! Composable adversarial scenarios: named, deterministic stacks of
+//! perturbations over arrival rates, electricity prices, system parameters,
+//! and solver availability.
+//!
+//! A [`Scenario`] is an ordered stack of [`Perturbation`]s. Applying a
+//! scenario is a pure function of `(scenario, seed)`: every perturbation
+//! derives its own hash-stream seed from the stack seed and its position,
+//! so the same seed reproduces the same perturbed world bit-for-bit across
+//! runs, platforms, and solver thread counts. No stateful RNG is involved
+//! anywhere — randomness comes from the same counter-based splitmix64
+//! streams as [`crate::fault`].
+//!
+//! Perturbations act on four surfaces:
+//!
+//! * **rates** — the raw `slots × front-ends × classes` grid of a [`Trace`]
+//!   (flash crowds, drifting misforecasts, telemetry faults);
+//! * **prices** — one hourly feed per data center (shocks, oscillations,
+//!   feed dropouts);
+//! * **system parameters** — abstract [`SlotEffect`]s (server-count
+//!   collapse, transfer-cost spikes) that a consumer with access to the
+//!   cluster model materializes per slot (`palb_core::scenario`);
+//! * **solver availability** — per-slot failure probabilities consumed via
+//!   [`crate::fault::SolverFaultSchedule::per_slot`].
+//!
+//! The built-in library ([`builtin`]) covers the stress matrix the bench
+//! harness scores: flash crowd, price shock, price-correlated load
+//! oscillation, DC outage, transfer-cost spike, slow-drift misforecast,
+//! telemetry chaos, and a combined black-swan stack.
+
+use crate::fault::{
+    corrupt_price_feed, mix, u01, FaultConfigError, PriceFaultConfig, RateFaultConfig,
+};
+use crate::Trace;
+
+/// The raw rate grid a scenario perturbs: `rates[slot][front_end][class]`.
+pub type RateGrid = Vec<Vec<Vec<f64>>>;
+
+/// An abstract per-slot system-parameter effect. `palb_workload` cannot see
+/// the cluster model, so effects are plain data; `palb_core::scenario`
+/// materializes them into per-slot patched systems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotEffect {
+    /// Multiply the server count of data center `dc` by `factor` during
+    /// `slot` (floored, but never below one server). Models a partial or
+    /// near-total DC outage.
+    ServerFactor {
+        /// Slot the effect applies to.
+        slot: usize,
+        /// Data-center index.
+        dc: usize,
+        /// Multiplier on the server count (in [0, 1] for an outage).
+        factor: f64,
+    },
+    /// Multiply the front-end → data-center distance (and hence the
+    /// transfer cost) by `factor` during `slot`. `dc = None` hits every
+    /// data center (a global network event).
+    TransferFactor {
+        /// Slot the effect applies to.
+        slot: usize,
+        /// Data-center index, or `None` for all.
+        dc: Option<usize>,
+        /// Multiplier on the distance column.
+        factor: f64,
+    },
+}
+
+/// A deterministic, seed-driven perturbation over one or more scenario
+/// surfaces. All methods default to no-ops so an implementation only
+/// overrides the surfaces it touches. Implementations must be pure
+/// functions of `(self, seed, coordinates)` — the determinism contract the
+/// scorecard baseline depends on.
+pub trait Perturbation: std::fmt::Debug {
+    /// Short identifier used in scenario descriptions and counters.
+    fn name(&self) -> &'static str;
+
+    /// Validates the perturbation's parameters at the library boundary.
+    fn validate(&self) -> Result<(), FaultConfigError>;
+
+    /// Mutates the arrival-rate grid in place.
+    fn apply_rates(&self, _grid: &mut RateGrid, _seed: u64) {}
+
+    /// Mutates data center `dc`'s hourly price feed in place.
+    fn apply_prices(&self, _dc: usize, _num_dcs: usize, _feed: &mut [f64], _seed: u64) {}
+
+    /// Appends per-slot system-parameter effects for a horizon of `slots`.
+    fn system_effects(&self, _slots: usize, _num_dcs: usize, _out: &mut Vec<SlotEffect>) {}
+
+    /// Probability that a solve attempt fails during `slot`.
+    fn solver_fail_prob(&self, _slot: usize) -> f64 {
+        0.0
+    }
+}
+
+/// Periodic triangle wave: maps `phase` (period 1) to [-1, 1] with
+/// `triangle(0) = 0`, `triangle(0.25) = 1`, `triangle(0.75) = -1`.
+///
+/// Used instead of a sine so perturbed feeds stay bit-identical across
+/// libm implementations (the wave is pure `+ * /` IEEE arithmetic).
+fn triangle(phase: f64) -> f64 {
+    let x = phase - phase.floor();
+    if x < 0.25 {
+        4.0 * x
+    } else if x < 0.75 {
+        2.0 - 4.0 * x
+    } else {
+        4.0 * x - 4.0
+    }
+}
+
+fn check_factor(field: &'static str, value: f64, min: f64) -> Result<(), FaultConfigError> {
+    if !(value.is_finite() && value >= min) {
+        return Err(FaultConfigError {
+            field,
+            value,
+            reason: "must be finite and within range",
+        });
+    }
+    Ok(())
+}
+
+/// A regional flash crowd: one front-end's arrival rates ramp up to
+/// `peak_factor` × baseline, hold, and decay back, all piecewise-linearly.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    /// Front-end hit by the crowd, or `None` for a global surge.
+    pub front_end: Option<usize>,
+    /// First slot of the ramp.
+    pub start: usize,
+    /// Ramp-up length in slots.
+    pub ramp: usize,
+    /// Plateau length in slots at `peak_factor`.
+    pub hold: usize,
+    /// Decay length in slots back to baseline.
+    pub decay: usize,
+    /// Peak rate multiplier (≥ 1; the issue's regional spike is 10–100×).
+    pub peak_factor: f64,
+}
+
+impl FlashCrowd {
+    /// The rate multiplier in effect at `slot`.
+    pub fn factor_at(&self, slot: usize) -> f64 {
+        let peak = self.peak_factor;
+        if slot < self.start {
+            return 1.0;
+        }
+        let t = slot - self.start;
+        if t < self.ramp {
+            return 1.0 + (peak - 1.0) * (t + 1) as f64 / self.ramp as f64;
+        }
+        let t = t - self.ramp;
+        if t < self.hold {
+            return peak;
+        }
+        let t = t - self.hold;
+        if t < self.decay {
+            return peak - (peak - 1.0) * (t + 1) as f64 / self.decay as f64;
+        }
+        1.0
+    }
+}
+
+impl Perturbation for FlashCrowd {
+    fn name(&self) -> &'static str {
+        "flash_crowd"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        check_factor("peak_factor", self.peak_factor, 1.0)
+    }
+
+    fn apply_rates(&self, grid: &mut RateGrid, _seed: u64) {
+        for (t, slot) in grid.iter_mut().enumerate() {
+            let f = self.factor_at(t);
+            for (s, row) in slot.iter_mut().enumerate() {
+                if self.front_end.is_none_or(|fe| fe == s) {
+                    for r in row.iter_mut() {
+                        *r *= f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A wholesale electricity price shock: one DC's (or every DC's) hourly
+/// price is multiplied by `factor` for a window of slots.
+#[derive(Debug, Clone)]
+pub struct PriceShock {
+    /// Data center hit by the shock, or `None` for all.
+    pub dc: Option<usize>,
+    /// First slot of the shock window.
+    pub start: usize,
+    /// Window length in slots.
+    pub duration: usize,
+    /// Price multiplier during the window.
+    pub factor: f64,
+}
+
+impl Perturbation for PriceShock {
+    fn name(&self) -> &'static str {
+        "price_shock"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        check_factor("factor", self.factor, 0.0)
+    }
+
+    fn apply_prices(&self, dc: usize, _num_dcs: usize, feed: &mut [f64], _seed: u64) {
+        if self.dc.is_none_or(|d| d == dc) {
+            let len = feed.len();
+            let end = self.start.saturating_add(self.duration).min(len);
+            for p in feed.iter_mut().take(end).skip(self.start.min(len)) {
+                *p *= self.factor;
+            }
+        }
+    }
+}
+
+/// Price-correlated load oscillation: prices gyrate on a triangle wave with
+/// even- and odd-indexed DCs in anti-phase (a market where regions see
+/// opposite price swings), while total load swings against the average
+/// price (demand chasing cheap power). This is the scenario the damping
+/// variant of `ResilientPolicy` exists for.
+#[derive(Debug, Clone)]
+pub struct PriceLoadOscillation {
+    /// First oscillating slot.
+    pub start: usize,
+    /// Number of oscillating slots.
+    pub duration: usize,
+    /// Oscillation period in slots.
+    pub period: usize,
+    /// Relative price swing amplitude in [0, 1).
+    pub price_amplitude: f64,
+    /// Relative load swing amplitude in [0, 1).
+    pub load_amplitude: f64,
+}
+
+impl PriceLoadOscillation {
+    fn phase(&self, slot: usize) -> Option<f64> {
+        let end = self.start.saturating_add(self.duration);
+        if slot < self.start || slot >= end || self.period == 0 {
+            return None;
+        }
+        Some((slot - self.start) as f64 / self.period as f64)
+    }
+}
+
+impl Perturbation for PriceLoadOscillation {
+    fn name(&self) -> &'static str {
+        "price_load_oscillation"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.period == 0 {
+            return Err(FaultConfigError {
+                field: "period",
+                value: 0.0,
+                reason: "must be at least one slot",
+            });
+        }
+        for (field, value) in [
+            ("price_amplitude", self.price_amplitude),
+            ("load_amplitude", self.load_amplitude),
+        ] {
+            if !(value.is_finite() && (0.0..1.0).contains(&value)) {
+                return Err(FaultConfigError {
+                    field,
+                    value,
+                    reason: "must lie in [0, 1)",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_rates(&self, grid: &mut RateGrid, _seed: u64) {
+        for (t, slot) in grid.iter_mut().enumerate() {
+            if let Some(phase) = self.phase(t) {
+                // Load swings against the even-DC price phase: when cheap
+                // regions get cheaper, demand surges toward them.
+                let f = 1.0 - self.load_amplitude * triangle(phase);
+                for row in slot.iter_mut() {
+                    for r in row.iter_mut() {
+                        *r *= f;
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_prices(&self, dc: usize, _num_dcs: usize, feed: &mut [f64], _seed: u64) {
+        // Odd-indexed DCs oscillate in anti-phase with even-indexed ones.
+        let offset = if dc % 2 == 0 { 0.0 } else { 0.5 };
+        for (t, p) in feed.iter_mut().enumerate() {
+            if let Some(phase) = self.phase(t) {
+                *p *= 1.0 + self.price_amplitude * triangle(phase + offset);
+            }
+        }
+    }
+}
+
+/// A data-center outage: the DC's server count collapses to
+/// `surviving_fraction` of nominal for a window of slots (never below one
+/// server — the §III model needs every DC addressable).
+#[derive(Debug, Clone)]
+pub struct DcOutage {
+    /// Data-center index.
+    pub dc: usize,
+    /// First slot of the outage.
+    pub start: usize,
+    /// Outage length in slots.
+    pub duration: usize,
+    /// Fraction of servers that stay up, in (0, 1].
+    pub surviving_fraction: f64,
+}
+
+impl Perturbation for DcOutage {
+    fn name(&self) -> &'static str {
+        "dc_outage"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(self.surviving_fraction.is_finite()
+            && self.surviving_fraction > 0.0
+            && self.surviving_fraction <= 1.0)
+        {
+            return Err(FaultConfigError {
+                field: "surviving_fraction",
+                value: self.surviving_fraction,
+                reason: "must lie in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+
+    fn system_effects(&self, slots: usize, _num_dcs: usize, out: &mut Vec<SlotEffect>) {
+        let end = self.start.saturating_add(self.duration).min(slots);
+        for slot in self.start.min(slots)..end {
+            out.push(SlotEffect::ServerFactor {
+                slot,
+                dc: self.dc,
+                factor: self.surviving_fraction,
+            });
+        }
+    }
+}
+
+/// A transfer-cost spike (network partition / congested backbone): the
+/// front-end → DC distances, and hence Eq. 4's transfer costs, are
+/// multiplied by `factor` for a window of slots.
+#[derive(Debug, Clone)]
+pub struct TransferCostSpike {
+    /// Data center whose links degrade, or `None` for all.
+    pub dc: Option<usize>,
+    /// First slot of the spike.
+    pub start: usize,
+    /// Spike length in slots.
+    pub duration: usize,
+    /// Distance multiplier during the window.
+    pub factor: f64,
+}
+
+impl Perturbation for TransferCostSpike {
+    fn name(&self) -> &'static str {
+        "transfer_cost_spike"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        check_factor("factor", self.factor, 0.0)
+    }
+
+    fn system_effects(&self, slots: usize, _num_dcs: usize, out: &mut Vec<SlotEffect>) {
+        let end = self.start.saturating_add(self.duration).min(slots);
+        for slot in self.start.min(slots)..end {
+            out.push(SlotEffect::TransferFactor {
+                slot,
+                dc: self.dc,
+                factor: self.factor,
+            });
+        }
+    }
+}
+
+/// A slow-drift misforecast: real arrivals grow (or shrink) linearly
+/// relative to the planning trace, by `per_slot` per slot — the forecast
+/// that was right at slot 0 is off by `per_slot × t` at slot `t`.
+#[derive(Debug, Clone)]
+pub struct SlowDrift {
+    /// Relative drift per slot (0.04 → 4% further off each slot).
+    pub per_slot: f64,
+}
+
+impl Perturbation for SlowDrift {
+    fn name(&self) -> &'static str {
+        "slow_drift"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        if !self.per_slot.is_finite() {
+            return Err(FaultConfigError {
+                field: "per_slot",
+                value: self.per_slot,
+                reason: "must be finite",
+            });
+        }
+        Ok(())
+    }
+
+    fn apply_rates(&self, grid: &mut RateGrid, _seed: u64) {
+        for (t, slot) in grid.iter_mut().enumerate() {
+            let f = (1.0 + self.per_slot * t as f64).max(0.0);
+            for row in slot.iter_mut() {
+                for r in row.iter_mut() {
+                    *r *= f;
+                }
+            }
+        }
+    }
+}
+
+/// Rate-telemetry faults as a stackable perturbation (NaN bursts, negative
+/// glitches, spikes). The effective hash seed combines the config's seed
+/// with the stack seed, so the same fault pattern composes deterministically
+/// inside any scenario.
+#[derive(Debug, Clone)]
+pub struct RateFaults(pub RateFaultConfig);
+
+impl Perturbation for RateFaults {
+    fn name(&self) -> &'static str {
+        "rate_faults"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        self.0.validate()
+    }
+
+    fn apply_rates(&self, grid: &mut RateGrid, seed: u64) {
+        let cfg = &self.0;
+        let eff = mix(cfg.seed ^ seed);
+        for (t, slot) in grid.iter_mut().enumerate() {
+            for (s, row) in slot.iter_mut().enumerate() {
+                let burst = u01(eff, 1, t as u64, s as u64) < cfg.nan_burst_prob;
+                for (k, r) in row.iter_mut().enumerate() {
+                    let coord = ((t as u64) << 32) | ((s as u64) << 16) | k as u64;
+                    if burst {
+                        *r = f64::NAN;
+                    } else if u01(eff, 2, coord, 0) < cfg.negative_prob {
+                        *r = -*r - 1.0;
+                    } else if u01(eff, 3, coord, 0) < cfg.spike_prob {
+                        *r *= cfg.spike_factor;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Price-feed faults (dropout + shock window) as a stackable perturbation.
+/// Each DC's feed draws from its own salted stream.
+#[derive(Debug, Clone)]
+pub struct PriceFaults(pub PriceFaultConfig);
+
+impl Perturbation for PriceFaults {
+    fn name(&self) -> &'static str {
+        "price_faults"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        self.0.validate()
+    }
+
+    fn apply_prices(&self, dc: usize, _num_dcs: usize, feed: &mut [f64], seed: u64) {
+        let mut cfg = self.0.clone();
+        cfg.seed = mix(cfg.seed ^ seed ^ ((dc as u64) << 8));
+        // Validation happened at the scenario boundary; a no-op on error.
+        let _ = corrupt_price_feed(feed, &cfg);
+    }
+}
+
+/// A windowed solver outage: every solve attempt fails with probability
+/// `prob` during the window (the chaos layer injects the failures).
+#[derive(Debug, Clone)]
+pub struct SolverOutage {
+    /// Per-attempt failure probability during the window.
+    pub prob: f64,
+    /// First affected slot.
+    pub start: usize,
+    /// Window length in slots.
+    pub duration: usize,
+}
+
+impl Perturbation for SolverOutage {
+    fn name(&self) -> &'static str {
+        "solver_outage"
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(self.prob.is_finite() && (0.0..=1.0).contains(&self.prob)) {
+            return Err(FaultConfigError {
+                field: "prob",
+                value: self.prob,
+                reason: "must be a probability in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+
+    fn solver_fail_prob(&self, slot: usize) -> f64 {
+        let end = self.start.saturating_add(self.duration);
+        if slot >= self.start && slot < end {
+            self.prob
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named, ordered stack of perturbations plus a grid-coupling strength.
+///
+/// `grid_kappa` prices plan churn: the scorecard subtracts
+/// `kappa × Σ_t Σ_l price_l(t) × |E_l(t) − E_l(t−1)|` from profit, where
+/// `E_l(t)` is DC `l`'s energy draw in slot `t` — the demand-charge /
+/// grid-stability surcharge motivated by "When Market Prices Drive the
+/// Load" (PAPERS.md). `kappa = 0` scores raw profit.
+#[derive(Debug)]
+pub struct Scenario {
+    name: String,
+    description: String,
+    perturbations: Vec<Box<dyn Perturbation>>,
+    grid_kappa: f64,
+}
+
+impl Scenario {
+    /// Starts an empty scenario with `grid_kappa = 0`.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            description: description.into(),
+            perturbations: Vec::new(),
+            grid_kappa: 0.0,
+        }
+    }
+
+    /// Appends a perturbation to the stack (applied in push order).
+    pub fn push(mut self, p: Box<dyn Perturbation>) -> Self {
+        self.perturbations.push(p);
+        self
+    }
+
+    /// Sets the grid-coupling strength used by the scorecard.
+    pub fn with_kappa(mut self, kappa: f64) -> Self {
+        self.grid_kappa = kappa;
+        self
+    }
+
+    /// Scenario name (the `--scenario` selector).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line human description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Grid-coupling strength for the ramping surcharge.
+    pub fn grid_kappa(&self) -> f64 {
+        self.grid_kappa
+    }
+
+    /// The perturbation stack, in application order.
+    pub fn perturbations(&self) -> &[Box<dyn Perturbation>] {
+        &self.perturbations
+    }
+
+    /// Validates every perturbation plus the coupling strength.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(self.grid_kappa.is_finite() && self.grid_kappa >= 0.0) {
+            return Err(FaultConfigError {
+                field: "grid_kappa",
+                value: self.grid_kappa,
+                reason: "must be finite and non-negative",
+            });
+        }
+        for p in &self.perturbations {
+            p.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The hash-stream seed perturbation `idx` derives from stack seed
+    /// `seed`: position-salted so reordering a stack changes every stream.
+    fn sub_seed(seed: u64, idx: usize) -> u64 {
+        mix(seed ^ mix(idx as u64 + 1))
+    }
+
+    /// Applies the stack's rate perturbations, returning the perturbed
+    /// trace (shape-checked only — telemetry faults may inject NaN).
+    pub fn perturb_trace(&self, trace: &Trace, seed: u64) -> Trace {
+        let mut grid: RateGrid = trace.clone().into();
+        for (i, p) in self.perturbations.iter().enumerate() {
+            p.apply_rates(&mut grid, Self::sub_seed(seed, i));
+        }
+        Trace::new_unchecked(grid)
+    }
+
+    /// Applies the stack's price perturbations to one DC's hourly feed in
+    /// place.
+    pub fn perturb_price_feed(&self, dc: usize, num_dcs: usize, feed: &mut [f64], seed: u64) {
+        for (i, p) in self.perturbations.iter().enumerate() {
+            p.apply_prices(dc, num_dcs, feed, Self::sub_seed(seed, i));
+        }
+    }
+
+    /// Collects the stack's per-slot system effects over a horizon.
+    pub fn system_effects(&self, slots: usize, num_dcs: usize) -> Vec<SlotEffect> {
+        let mut out = Vec::new();
+        for p in &self.perturbations {
+            p.system_effects(slots, num_dcs, &mut out);
+        }
+        out
+    }
+
+    /// Per-slot solver-failure probabilities over a horizon, combining
+    /// stacked outages as independent events: `1 − Π (1 − pᵢ)`.
+    pub fn solver_fault_probs(&self, slots: usize) -> Vec<f64> {
+        (0..slots)
+            .map(|t| {
+                let survive: f64 = self
+                    .perturbations
+                    .iter()
+                    .map(|p| 1.0 - p.solver_fail_prob(t).clamp(0.0, 1.0))
+                    .product();
+                1.0 - survive
+            })
+            .collect()
+    }
+
+    /// Whether any slot in the horizon can see an injected solver failure.
+    pub fn has_solver_faults(&self, slots: usize) -> bool {
+        self.solver_fault_probs(slots).iter().any(|&p| p > 0.0)
+    }
+}
+
+/// The built-in scenario library, in scorecard order. All scenarios are
+/// sized for the §VI day (24 slots, 4 front-ends, 3 DCs) but degrade
+/// gracefully on other shapes (windows clamp to the horizon).
+pub fn builtin() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "flash_crowd",
+            "30x regional spike on front-end 2 over the evening peak (2-slot ramp, 3-slot hold, 2-slot decay)",
+        )
+        .push(Box::new(FlashCrowd {
+            front_end: Some(2),
+            start: 17,
+            ramp: 2,
+            hold: 3,
+            decay: 2,
+            peak_factor: 30.0,
+        })),
+        Scenario::new(
+            "price_shock",
+            "8x wholesale price shock at DC 0 for slots 14-17",
+        )
+        .push(Box::new(PriceShock {
+            dc: Some(0),
+            start: 14,
+            duration: 4,
+            factor: 8.0,
+        })),
+        Scenario::new(
+            "price_oscillation",
+            "anti-phase price gyration (60% amplitude, period 6) with mild demand chasing; grid-coupled scoring",
+        )
+        .push(Box::new(PriceLoadOscillation {
+            start: 4,
+            duration: 18,
+            period: 6,
+            price_amplitude: 0.6,
+            load_amplitude: 0.05,
+        }))
+        .with_kappa(1.0),
+        Scenario::new(
+            "dc_outage",
+            "DC 0 collapses to 20% of its servers for slots 10-15",
+        )
+        .push(Box::new(DcOutage {
+            dc: 0,
+            start: 10,
+            duration: 6,
+            surviving_fraction: 0.2,
+        })),
+        Scenario::new(
+            "transfer_spike",
+            "25x transfer-cost spike on every link into DC 1 for slots 8-15 (backbone congestion)",
+        )
+        .push(Box::new(TransferCostSpike {
+            dc: Some(1),
+            start: 8,
+            duration: 8,
+            factor: 25.0,
+        })),
+        Scenario::new(
+            "slow_drift",
+            "misforecast drifting 4% further per slot (arrivals reach ~1.9x plan by end of day)",
+        )
+        .push(Box::new(SlowDrift { per_slot: 0.04 })),
+        Scenario::new(
+            "telemetry_chaos",
+            "10% NaN bursts + 2% negative glitches on rates, 10% price-feed dropout, 15% solver failures all day",
+        )
+        .push(Box::new(RateFaults(RateFaultConfig {
+            seed: 0,
+            nan_burst_prob: 0.1,
+            negative_prob: 0.02,
+            spike_prob: 0.01,
+            spike_factor: 1e6,
+        })))
+        .push(Box::new(PriceFaults(PriceFaultConfig::dropout(0.1, 0))))
+        .push(Box::new(SolverOutage {
+            prob: 0.15,
+            start: 0,
+            duration: 24,
+        })),
+        Scenario::new(
+            "black_swan",
+            "evening flash crowd + DC 0 outage + DC 1 price shock + rate faults + 25% solver failures, stacked",
+        )
+        .push(Box::new(FlashCrowd {
+            front_end: Some(2),
+            start: 17,
+            ramp: 2,
+            hold: 3,
+            decay: 2,
+            peak_factor: 20.0,
+        }))
+        .push(Box::new(DcOutage {
+            dc: 0,
+            start: 16,
+            duration: 6,
+            surviving_fraction: 0.2,
+        }))
+        .push(Box::new(PriceShock {
+            dc: Some(1),
+            start: 15,
+            duration: 5,
+            factor: 6.0,
+        }))
+        .push(Box::new(RateFaults(RateFaultConfig {
+            seed: 0,
+            nan_burst_prob: 0.05,
+            negative_prob: 0.01,
+            spike_prob: 0.01,
+            spike_factor: 1e6,
+        })))
+        .push(Box::new(SolverOutage {
+            prob: 0.25,
+            start: 15,
+            duration: 6,
+        })),
+    ]
+}
+
+/// Looks up a built-in scenario by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    builtin().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::constant_trace;
+
+    fn base() -> Trace {
+        constant_trace(vec![vec![100.0; 3]; 4], 24)
+    }
+
+    fn bits(tr: &Trace) -> Vec<u64> {
+        (0..tr.slots())
+            .flat_map(|t| {
+                (0..tr.front_ends()).flat_map(move |s| (0..tr.classes()).map(move |k| (t, s, k)))
+            })
+            .map(|(t, s, k)| tr.rate(t, s, k).to_bits())
+            .collect()
+    }
+
+    #[test]
+    fn all_builtin_scenarios_validate_and_have_unique_names() {
+        let lib = builtin();
+        assert!(lib.len() >= 6, "need at least six scenarios");
+        let mut names: Vec<&str> = lib.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), lib.len(), "duplicate scenario names");
+        for sc in &lib {
+            sc.validate().unwrap();
+            assert!(!sc.description().is_empty());
+        }
+        assert!(by_name("flash_crowd").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn flash_crowd_shape_hits_peak_and_returns_to_baseline() {
+        let sc = by_name("flash_crowd").unwrap();
+        let tr = sc.perturb_trace(&base(), 42);
+        // Untouched front-ends and pre-window slots stay identical.
+        assert_eq!(tr.rate(5, 2, 0), 100.0);
+        assert_eq!(tr.rate(18, 0, 0), 100.0);
+        // Hold slots sit exactly at peak_factor x base.
+        for t in 19..22 {
+            assert_eq!(tr.rate(t, 2, 1), 3000.0, "hold slot {t}");
+        }
+        // Ramp is monotone increasing, decay monotone decreasing.
+        assert!(tr.rate(17, 2, 0) > 100.0 && tr.rate(17, 2, 0) < tr.rate(18, 2, 0));
+        assert!(tr.rate(22, 2, 0) > tr.rate(23, 2, 0));
+        // Last decay slot lands back on baseline.
+        assert!((tr.rate(23, 2, 0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_shock_multiplies_only_the_window_of_the_target_dc() {
+        let sc = by_name("price_shock").unwrap();
+        let mut feed0 = vec![0.04; 24];
+        let mut feed1 = vec![0.04; 24];
+        sc.perturb_price_feed(0, 3, &mut feed0, 42);
+        sc.perturb_price_feed(1, 3, &mut feed1, 42);
+        for (t, &p) in feed0.iter().enumerate() {
+            let expect = if (14..18).contains(&t) { 0.32 } else { 0.04 };
+            assert!((p - expect).abs() < 1e-12, "dc0 slot {t}: {p}");
+        }
+        assert!(feed1.iter().all(|&p| (p - 0.04).abs() < 1e-12));
+    }
+
+    #[test]
+    fn oscillation_is_antiphase_and_bounded() {
+        let sc = by_name("price_oscillation").unwrap();
+        let mut even = vec![1.0; 24];
+        let mut odd = vec![1.0; 24];
+        sc.perturb_price_feed(0, 3, &mut even, 42);
+        sc.perturb_price_feed(1, 3, &mut odd, 42);
+        let mut moved = false;
+        for t in 4..22 {
+            assert!((0.4..=1.6).contains(&even[t]), "even amplitude at {t}");
+            assert!((0.4..=1.6).contains(&odd[t]), "odd amplitude at {t}");
+            // Anti-phase: deviations from 1 have opposite signs (or both 0).
+            let de = even[t] - 1.0;
+            let dq = odd[t] - 1.0;
+            assert!(de * dq <= 1e-12, "same-phase swing at {t}: {de} vs {dq}");
+            if de.abs() > 0.2 {
+                moved = true;
+            }
+        }
+        assert!(moved, "oscillation never moved prices");
+        // Outside the window: untouched.
+        assert!((even[0] - 1.0).abs() < 1e-12 && (even[23] - 1.0).abs() < 1e-12);
+        // Load swings against the even-DC price phase.
+        let tr = sc.perturb_trace(&base(), 42);
+        let mut seen_opposite = false;
+        for t in 4..22 {
+            let load_dev = tr.rate(t, 0, 0) - 100.0;
+            let price_dev = even[t] - 1.0;
+            if load_dev.abs() > 1.0 && price_dev.abs() > 0.05 {
+                assert!(load_dev * price_dev < 0.0, "load follows price at {t}");
+                seen_opposite = true;
+            }
+        }
+        assert!(seen_opposite);
+    }
+
+    #[test]
+    fn outage_and_transfer_windows_produce_exactly_their_effects() {
+        let sc = by_name("dc_outage").unwrap();
+        let fx = sc.system_effects(24, 3);
+        assert_eq!(fx.len(), 6);
+        for (i, e) in fx.iter().enumerate() {
+            match e {
+                SlotEffect::ServerFactor { slot, dc, factor } => {
+                    assert_eq!(*slot, 10 + i);
+                    assert_eq!(*dc, 0);
+                    assert!((factor - 0.2).abs() < 1e-12);
+                }
+                other => panic!("unexpected effect {other:?}"),
+            }
+        }
+        let sc = by_name("transfer_spike").unwrap();
+        let fx = sc.system_effects(24, 3);
+        assert_eq!(fx.len(), 8);
+        assert!(fx.iter().all(|e| matches!(
+            e,
+            SlotEffect::TransferFactor { dc: Some(1), slot, .. } if (8..16).contains(slot)
+        )));
+        // Windows clamp to a short horizon.
+        assert_eq!(sc.system_effects(10, 3).len(), 2);
+    }
+
+    #[test]
+    fn slow_drift_slope_is_linear_in_slot() {
+        let sc = by_name("slow_drift").unwrap();
+        let tr = sc.perturb_trace(&base(), 42);
+        for t in 0..24 {
+            let expect = 100.0 * (1.0 + 0.04 * t as f64);
+            assert!(
+                (tr.rate(t, 1, 2) - expect).abs() < 1e-9,
+                "slot {t}: {} vs {expect}",
+                tr.rate(t, 1, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn solver_fault_probs_window_and_compose() {
+        let sc = by_name("telemetry_chaos").unwrap();
+        let probs = sc.solver_fault_probs(24);
+        assert!(probs.iter().all(|&p| (p - 0.15).abs() < 1e-12));
+        let sc = by_name("black_swan").unwrap();
+        let probs = sc.solver_fault_probs(24);
+        for (t, &p) in probs.iter().enumerate() {
+            let expect = if (15..21).contains(&t) { 0.25 } else { 0.0 };
+            assert!((p - expect).abs() < 1e-12, "slot {t}: {p}");
+        }
+        assert!(sc.has_solver_faults(24));
+        assert!(!by_name("flash_crowd").unwrap().has_solver_faults(24));
+        // Two stacked outages over the same window compose as independent
+        // events.
+        let sc = Scenario::new("x", "")
+            .push(Box::new(SolverOutage {
+                prob: 0.5,
+                start: 0,
+                duration: 4,
+            }))
+            .push(Box::new(SolverOutage {
+                prob: 0.5,
+                start: 2,
+                duration: 4,
+            }));
+        let probs = sc.solver_fault_probs(6);
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[2] - 0.75).abs() < 1e-12);
+        assert!((probs[5] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_reproducible_and_seeds_differ() {
+        for sc in builtin() {
+            let a = sc.perturb_trace(&base(), 42);
+            let b = sc.perturb_trace(&base(), 42);
+            assert_eq!(bits(&a), bits(&b), "{} trace not reproducible", sc.name());
+            let mut f1 = vec![0.05; 24];
+            let mut f2 = vec![0.05; 24];
+            sc.perturb_price_feed(0, 3, &mut f1, 42);
+            sc.perturb_price_feed(0, 3, &mut f2, 42);
+            let fb = |f: &[f64]| f.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(fb(&f1), fb(&f2), "{} feed not reproducible", sc.name());
+            assert_eq!(
+                sc.system_effects(24, 3),
+                sc.system_effects(24, 3),
+                "{} effects not reproducible",
+                sc.name()
+            );
+        }
+        // Seed changes move the stochastic scenarios.
+        let sc = by_name("telemetry_chaos").unwrap();
+        let a = sc.perturb_trace(&base(), 42);
+        let c = sc.perturb_trace(&base(), 43);
+        assert_ne!(bits(&a), bits(&c));
+    }
+
+    #[test]
+    fn stack_order_matters_for_seed_derivation() {
+        // The same two perturbations in different order produce different
+        // fault patterns (position-salted sub-seeds).
+        let faults = || {
+            Box::new(RateFaults(RateFaultConfig {
+                seed: 0,
+                nan_burst_prob: 0.3,
+                negative_prob: 0.0,
+                spike_prob: 0.0,
+                spike_factor: 1.0,
+            }))
+        };
+        let noop = || Box::new(SlowDrift { per_slot: 0.0 });
+        let a = Scenario::new("a", "").push(noop()).push(faults());
+        let b = Scenario::new("b", "").push(faults()).push(noop());
+        let ta = a.perturb_trace(&base(), 7);
+        let tb = b.perturb_trace(&base(), 7);
+        assert_ne!(bits(&ta), bits(&tb));
+    }
+
+    #[test]
+    fn invalid_stacks_are_rejected_at_the_boundary() {
+        let sc = Scenario::new("bad", "").push(Box::new(FlashCrowd {
+            front_end: None,
+            start: 0,
+            ramp: 1,
+            hold: 1,
+            decay: 1,
+            peak_factor: 0.5,
+        }));
+        assert_eq!(sc.validate().unwrap_err().field, "peak_factor");
+        let sc = Scenario::new("bad", "").with_kappa(f64::NAN);
+        assert_eq!(sc.validate().unwrap_err().field, "grid_kappa");
+        let sc = Scenario::new("bad", "").push(Box::new(PriceLoadOscillation {
+            start: 0,
+            duration: 4,
+            period: 0,
+            price_amplitude: 0.5,
+            load_amplitude: 0.1,
+        }));
+        assert_eq!(sc.validate().unwrap_err().field, "period");
+    }
+}

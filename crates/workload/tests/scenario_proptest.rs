@@ -1,0 +1,112 @@
+//! Property tests of the scenario engine's determinism contract on
+//! randomized traces, feeds, and seeds: applying a scenario is a pure
+//! function of `(scenario, seed)`, so every surface — rates, prices,
+//! system effects, solver-failure probabilities — reproduces bit for bit
+//! under the same seed, keeps its shape, and re-salts its hash streams
+//! when a perturbation moves to a different stack position. This is the
+//! contract the bench scorecard's committed baseline (and its thread-count
+//! invariance) rests on.
+
+use palb_workload::fault::RateFaultConfig;
+use palb_workload::scenario::{self, RateFaults, Scenario, SlowDrift};
+use palb_workload::Trace;
+use proptest::prelude::*;
+
+/// A small random rate grid: 1-26 slots, 1-4 front-ends, 1-3 classes.
+fn trace() -> impl Strategy<Value = Trace> {
+    (1usize..=26, 1usize..=4, 1usize..=3)
+        .prop_flat_map(|(t, s, k)| {
+            proptest::collection::vec(
+                proptest::collection::vec(proptest::collection::vec(0.0f64..1e5, k..=k), s..=s),
+                t..=t,
+            )
+        })
+        .prop_map(Trace::new)
+}
+
+/// Bit-exact fingerprint of a trace (NaN-safe, unlike `==` on rates).
+fn bits(t: &Trace) -> Vec<u64> {
+    let mut out = Vec::new();
+    for slot in 0..t.slots() {
+        for fe in 0..t.front_ends() {
+            for class in 0..t.classes() {
+                out.push(t.rate(slot, fe, class).to_bits());
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Same seed, same world: every surface of every built-in scenario is
+    /// bitwise reproducible on arbitrary inputs.
+    #[test]
+    fn every_builtin_surface_is_a_pure_function_of_the_seed(
+        tr in trace(),
+        feed in proptest::collection::vec(0.01f64..0.2, 1..=26),
+        seed in any::<u64>(),
+    ) {
+        for sc in scenario::builtin() {
+            let a = sc.perturb_trace(&tr, seed);
+            let b = sc.perturb_trace(&tr, seed);
+            prop_assert_eq!(bits(&a), bits(&b), "{} rates", sc.name());
+
+            for dc in 0..3 {
+                let mut fa = feed.clone();
+                let mut fb = feed.clone();
+                sc.perturb_price_feed(dc, 3, &mut fa, seed);
+                sc.perturb_price_feed(dc, 3, &mut fb, seed);
+                let fa: Vec<u64> = fa.iter().map(|p| p.to_bits()).collect();
+                let fb: Vec<u64> = fb.iter().map(|p| p.to_bits()).collect();
+                prop_assert_eq!(fa, fb, "{} prices dc {}", sc.name(), dc);
+            }
+
+            prop_assert_eq!(
+                sc.system_effects(tr.slots(), 3),
+                sc.system_effects(tr.slots(), 3),
+                "{} effects", sc.name()
+            );
+            let pa = sc.solver_fault_probs(tr.slots());
+            let pb = sc.solver_fault_probs(tr.slots());
+            prop_assert_eq!(pa, pb, "{} solver probs", sc.name());
+        }
+    }
+
+    /// Perturbed traces keep the planning grid's shape — scenarios corrupt
+    /// values, never dimensions.
+    #[test]
+    fn perturbed_traces_keep_their_shape(tr in trace(), seed in any::<u64>()) {
+        for sc in scenario::builtin() {
+            let p = sc.perturb_trace(&tr, seed);
+            prop_assert_eq!(
+                (p.slots(), p.front_ends(), p.classes()),
+                (tr.slots(), tr.front_ends(), tr.classes()),
+                "{}", sc.name()
+            );
+        }
+    }
+
+    /// Stack position salts the hash streams: the same fault perturbation
+    /// draws a different pattern when a no-op stage is pushed ahead of it,
+    /// so nesting scenarios can never silently reuse a stream.
+    #[test]
+    fn stack_position_resalts_fault_streams(seed in any::<u64>()) {
+        let cfg = RateFaultConfig {
+            seed: 0,
+            nan_burst_prob: 0.5,
+            negative_prob: 0.2,
+            spike_prob: 0.2,
+            spike_factor: 1e6,
+        };
+        let at_head = Scenario::new("head", "fault stage first")
+            .push(Box::new(RateFaults(cfg.clone())));
+        let behind_noop = Scenario::new("shifted", "no-op stage first")
+            .push(Box::new(SlowDrift { per_slot: 0.0 }))
+            .push(Box::new(RateFaults(cfg)));
+        let tr = Trace::new(vec![vec![vec![1000.0; 3]; 4]; 24]);
+        prop_assert_ne!(
+            bits(&at_head.perturb_trace(&tr, seed)),
+            bits(&behind_noop.perturb_trace(&tr, seed))
+        );
+    }
+}
