@@ -15,6 +15,9 @@
 //!   fault-tolerance  degraded-mode ladder vs bare optimizer under faults
 //!   solver-perf  warm-started incremental B&B vs cold rebuild (fails if
 //!                incremental is slower or the incumbent drifts)
+//!   sparse-lp    sparse revised-simplex engine vs dense tableau (fails if
+//!                any answer drifts bitwise or the large-sparse config
+//!                isn't at least 10x faster sparse)
 //!   scenarios    adversarial scenario matrix with profit-retention
 //!                scorecard (fails if the resilient floor drops below 80%
 //!                or damping stops beating plain Resilient on oscillation)
@@ -26,7 +29,7 @@ use std::process::ExitCode;
 
 use palb_bench::experiments::{
     ablations, fault_tolerance, forecasting, foundations, quantile, robustness, scenario_matrix,
-    section_v, section_vi, section_vii, solver_perf, three_level, validate,
+    section_v, section_vi, section_vii, solver_perf, sparse_lp, three_level, validate,
 };
 
 fn usage() -> ExitCode {
@@ -34,9 +37,38 @@ fn usage() -> ExitCode {
         "usage: repro <target>\n\
          targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
          tables validate quantile forecast robustness three-level ablations \
-         fault-tolerance solver-perf scenarios all"
+         fault-tolerance solver-perf sparse-lp scenarios all"
     );
     ExitCode::FAILURE
+}
+
+/// Runs the sparse-engine study and enforces its two gates: bitwise
+/// parity on every configuration (Fig. 11 branch-and-bound, fault-injected
+/// scenario runs at 1/2/4/8 threads, the large-sparse LP) and a >= 10x
+/// sparse-over-dense win on the large-sparse config, which must itself
+/// carry >= 20x the Fig. 11 nonzeros.
+fn run_sparse_lp() -> ExitCode {
+    let s = sparse_lp::study(3);
+    print!("{}", sparse_lp::render(&s));
+    if !s.all_bitwise_equal() {
+        eprintln!("sparse-lp: the engines drifted bitwise");
+        return ExitCode::FAILURE;
+    }
+    if !s.large.meets_size_floor() {
+        eprintln!(
+            "sparse-lp: large-sparse config has {} nonzeros, below 20x the Fig 11 reference's {}",
+            s.large.nonzeros, s.large.fig11_nonzeros
+        );
+        return ExitCode::FAILURE;
+    }
+    if s.large.speedup < 10.0 {
+        eprintln!(
+            "sparse-lp: sparse engine only {:.1}x faster than dense on the large-sparse config (gate: 10x)",
+            s.large.speedup
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs the scenario stress matrix and enforces its two scorecard gates.
@@ -99,6 +131,7 @@ fn main() -> ExitCode {
         "ablations" => print!("{}", ablations::all()),
         "fault-tolerance" => print!("{}", fault_tolerance::report(0.1, 42)),
         "scenarios" => return run_scenarios(),
+        "sparse-lp" => return run_sparse_lp(),
         "solver-perf" => {
             // CI smoke: a slower-than-cold incremental path or any
             // incumbent drift fails the run, not just the printout.
@@ -180,6 +213,10 @@ fn main() -> ExitCode {
             print!("{}", fault_tolerance::report(0.1, 42));
             println!();
             print!("{}", solver_perf::report(5));
+            println!();
+            if run_sparse_lp() != ExitCode::SUCCESS {
+                return ExitCode::FAILURE;
+            }
             println!();
             return run_scenarios();
         }

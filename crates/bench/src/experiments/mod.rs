@@ -11,5 +11,6 @@ pub mod section_v;
 pub mod section_vi;
 pub mod section_vii;
 pub mod solver_perf;
+pub mod sparse_lp;
 pub mod three_level;
 pub mod validate;

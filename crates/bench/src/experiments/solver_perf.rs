@@ -248,7 +248,7 @@ pub fn fig11_instance(m: usize) -> (System, Vec<Vec<f64>>, usize) {
     (sys, scaled, presets::SECTION_VII_START_HOUR + 2)
 }
 
-fn incumbents_match(a: &MultilevelResult, b: &MultilevelResult) -> bool {
+pub(crate) fn incumbents_match(a: &MultilevelResult, b: &MultilevelResult) -> bool {
     a.solve.objective.to_bits() == b.solve.objective.to_bits()
         && a.solve.dispatch == b.solve.dispatch
         && a.assignment == b.assignment

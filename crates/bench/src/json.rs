@@ -11,6 +11,7 @@ use serde_json::{json, Value};
 use crate::experiments::fault_tolerance::FaultToleranceResult;
 use crate::experiments::scenario_matrix::ScenarioMatrix;
 use crate::experiments::solver_perf::{SolverPerf, ThreadScaling};
+use crate::experiments::sparse_lp::SparseStudy;
 
 /// Serializes a slot's health record (`null` for nominal slots without
 /// one).
@@ -43,6 +44,44 @@ fn solver_stats_to_json(s: &palb_core::SolverStats) -> Value {
         "pivots_saved": s.pivots_saved(),
         "subtrees": s.subtrees,
         "threads_used": s.threads_used,
+        "ftran_total": s.ftran_total,
+        "ftran_nnz_total": s.ftran_nnz_total,
+        "refactor_total": s.refactor_total,
+    })
+}
+
+/// Serializes the sparse-engine study (`BENCH_solver_sparse.json`): Fig. 11
+/// branch-and-bound parity, fault-injected scenario parity per thread
+/// count, and the large-sparse dense-vs-sparse head-to-head.
+pub fn sparse_study_to_json(s: &SparseStudy) -> Value {
+    let bb: Vec<Value> = s
+        .bb_parity
+        .iter()
+        .map(|p| json!({"servers": p.servers, "bitwise_equal": p.bitwise_equal}))
+        .collect();
+    let chaos: Vec<Value> = s
+        .chaos_parity
+        .iter()
+        .map(|p| json!({"threads": p.threads, "bitwise_equal": p.bitwise_equal}))
+        .collect();
+    let l = &s.large;
+    json!({
+        "reps": s.reps,
+        "all_bitwise_equal": s.all_bitwise_equal(),
+        "bb_parity": bb,
+        "chaos_parity": chaos,
+        "large_sparse": {
+            "servers": l.servers,
+            "rows": l.rows,
+            "cols": l.cols,
+            "nonzeros": l.nonzeros,
+            "fig11_nonzeros": l.fig11_nonzeros,
+            "meets_size_floor": l.meets_size_floor(),
+            "dense_ms": l.dense_ms,
+            "sparse_ms": l.sparse_ms,
+            "speedup": l.speedup,
+            "bitwise_equal": l.bitwise_equal,
+        },
     })
 }
 

@@ -27,8 +27,10 @@ use std::fs;
 use std::sync::Arc;
 
 use palb_bench::experiments::scenario_matrix;
-use palb_bench::experiments::{fault_tolerance, solver_perf};
-use palb_bench::json::{fault_tolerance_to_json, scenario_matrix_to_json, solver_perf_to_json};
+use palb_bench::experiments::{fault_tolerance, solver_perf, sparse_lp};
+use palb_bench::json::{
+    fault_tolerance_to_json, scenario_matrix_to_json, solver_perf_to_json, sparse_study_to_json,
+};
 use palb_cluster::{presets, System};
 use palb_core::obs::{Recorder, Registry};
 use palb_core::report::summary_table;
@@ -36,6 +38,7 @@ use palb_core::{
     lp_text, run, run_with, BalancedPolicy, BbOptions, Dims, LevelAssignment, OptimizedPolicy,
     Policy, QuantileSlaPolicy, ResilientOptions, ResilientPolicy, RunOptions, RunResult,
 };
+use palb_lp::EngineKind;
 use palb_workload::burst::{self, BurstConfig};
 use palb_workload::diurnal::{self, DiurnalConfig};
 use palb_workload::fault::RateFaultConfig;
@@ -93,10 +96,12 @@ pub fn usage() -> String {
      \x20 run --system FILE --trace FILE\n\
      \x20     [--policy optimized|balanced|resilient|quantile=P]\n\
      \x20     [--start N] [--solver-threads N] [--json]\n\
+     \x20     [--lp-engine auto|dense|sparse]\n\
      \x20     [--metrics FILE] [--metrics-format prom|jsonl]     run and summarize\n\
      \x20 lp --system FILE --trace FILE --slot N                 export one slot's LP\n\
      \x20 fault-tolerance [--fault-rate R] [--seed S] [--json]   degraded-mode study\n\
      \x20 solver-perf [--servers N] [--json]       warm-start vs cold-rebuild study\n\
+     \x20 solver-perf --sparse [--json]        sparse vs dense LP engine study\n\
      \x20 stress [--scenario NAME] [--seed S] [--solver-threads N] [--json]\n\
      \x20        [--out FILE] [--baseline FILE] [--nan-rate R] [--negative-rate R]\n\
      \x20        [--spike-rate R] [--spike-factor F]   adversarial scenario scorecard\n"
@@ -198,30 +203,62 @@ pub fn make_policy(spec: &str) -> Result<Box<dyn Policy>, String> {
 /// solver's documented near-tie tolerance (see `BbOptions::threads`);
 /// policies that do not use the exact solver ignore it.
 pub fn make_policy_with(spec: &str, threads: usize) -> Result<Box<dyn Policy>, String> {
+    make_policy_opts(spec, threads, EngineKind::Auto)
+}
+
+/// Parses a `--lp-engine` value. `auto` (the default) sizes each LP and
+/// picks; `dense` and `sparse` force the respective engine. The two
+/// engines are bitwise-identical on every input, so this is a performance
+/// knob, never a results knob.
+pub fn parse_engine(spec: &str) -> Result<EngineKind, String> {
+    match spec {
+        "auto" => Ok(EngineKind::Auto),
+        "dense" => Ok(EngineKind::Dense),
+        "sparse" => Ok(EngineKind::Sparse),
+        other => Err(format!(
+            "--lp-engine must be `auto`, `dense`, or `sparse`, got `{other}`"
+        )),
+    }
+}
+
+/// [`make_policy_with`] plus an LP engine override (`--lp-engine`).
+/// Policies that never solve LPs (balanced) ignore the engine.
+pub fn make_policy_opts(
+    spec: &str,
+    threads: usize,
+    engine: EngineKind,
+) -> Result<Box<dyn Policy>, String> {
     if threads == 0 {
         return Err("--solver-threads must be at least 1".to_string());
     }
     if spec == "optimized" {
-        return Ok(Box::new(OptimizedPolicy::exact_threads(threads)));
+        return Ok(Box::new(
+            OptimizedPolicy::exact_threads(threads).with_lp_engine(engine),
+        ));
     }
     if spec == "balanced" {
         return Ok(Box::new(BalancedPolicy));
     }
     if spec == "resilient" {
-        return Ok(Box::new(ResilientPolicy::new(ResilientOptions {
+        let mut opts = ResilientOptions {
             bb: BbOptions {
                 threads,
                 ..BbOptions::default()
             },
             ..ResilientOptions::default()
-        })));
+        };
+        // Both solver tiers honour the override; the Bland-retry tier
+        // keeps its pivot-rule settings.
+        opts.bb.lp.engine = engine;
+        opts.retry_lp.engine = engine;
+        return Ok(Box::new(ResilientPolicy::new(opts)));
     }
     if let Some(p) = spec.strip_prefix("quantile=") {
         let p: f64 = p.parse().map_err(|_| format!("bad quantile `{p}`"))?;
         if !(0.0 < p && p < 1.0) {
             return Err(format!("quantile must be in (0,1), got {p}"));
         }
-        return Ok(Box::new(QuantileSlaPolicy::exact(p)));
+        return Ok(Box::new(QuantileSlaPolicy::exact(p).with_lp_engine(engine)));
     }
     Err(format!(
         "unknown policy `{spec}` (optimized | balanced | resilient | quantile=P)"
@@ -272,7 +309,11 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
     let threads = opt_usize(cli, "solver-threads", 1)?;
     let default_policy = "optimized".to_string();
     let policy_spec = cli.options.get("policy").unwrap_or(&default_policy);
-    let mut policy = make_policy_with(policy_spec, threads)?;
+    let engine = match cli.options.get("lp-engine") {
+        Some(spec) => parse_engine(spec)?,
+        None => EngineKind::Auto,
+    };
+    let mut policy = make_policy_opts(policy_spec, threads, engine)?;
 
     let metrics_path = cli.options.get("metrics").filter(|p| !p.is_empty());
     let metrics_format = cli
@@ -368,6 +409,16 @@ fn cmd_fault_tolerance(cli: &Cli) -> Result<String, String> {
 }
 
 fn cmd_solver_perf(cli: &Cli) -> Result<String, String> {
+    if cli.options.contains_key("sparse") {
+        // The sparse-engine study (parity everywhere + the large-sparse
+        // head-to-head); `repro -- sparse-lp` gates CI on the same run.
+        let study = sparse_lp::study(3);
+        return if cli.options.contains_key("json") {
+            serde_json::to_string_pretty(&sparse_study_to_json(&study)).map_err(|e| e.to_string())
+        } else {
+            Ok(sparse_lp::render(&study))
+        };
+    }
     let servers = opt_usize(cli, "servers", 5)?;
     if !(2..=8).contains(&servers) {
         return Err(format!(
@@ -525,6 +576,20 @@ mod tests {
     }
 
     #[test]
+    fn lp_engine_flag_parses() {
+        assert!(matches!(parse_engine("auto"), Ok(EngineKind::Auto)));
+        assert!(matches!(parse_engine("dense"), Ok(EngineKind::Dense)));
+        assert!(matches!(parse_engine("sparse"), Ok(EngineKind::Sparse)));
+        let err = parse_engine("simplex").unwrap_err();
+        assert!(err.contains("--lp-engine"), "{err}");
+        for spec in ["optimized", "resilient", "quantile=0.9", "balanced"] {
+            for engine in [EngineKind::Dense, EngineKind::Sparse] {
+                assert!(make_policy_opts(spec, 1, engine).is_ok(), "{spec}");
+            }
+        }
+    }
+
+    #[test]
     fn metrics_flag_writes_prometheus_and_jsonl_exports() {
         let dir = std::env::temp_dir().join("palb_cli_metrics_test");
         fs::create_dir_all(&dir).unwrap();
@@ -652,6 +717,27 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["policy"], "Optimized");
         assert!(v["total_net_profit"].as_f64().unwrap() > 0.0);
+
+        // `--lp-engine` is accepted end to end, and the forced engines are
+        // bitwise-identical, so the JSON summaries match character for
+        // character.
+        let run_with_engine = |engine: &str| {
+            execute(&cli(&[
+                "run",
+                "--system",
+                sys_path.to_str().unwrap(),
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--policy",
+                "optimized",
+                "--json",
+                "--lp-engine",
+                engine,
+            ]))
+            .unwrap()
+        };
+        assert_eq!(run_with_engine("dense"), run_with_engine("sparse"));
+        assert_eq!(run_with_engine("dense"), out);
 
         // And the LP export is parseable LP format.
         let lp = execute(&cli(&[

@@ -16,12 +16,13 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use palb_cluster::System;
+use palb_lp::{EngineKind, SolveOptions};
 use palb_workload::Trace;
 
 use crate::balanced::balanced_dispatch;
 use crate::error::CoreError;
 use crate::evaluate::{evaluate, SlotOutcome};
-use crate::formulate::{solve_fixed_levels, LevelAssignment};
+use crate::formulate::{solve_fixed_levels_with, LevelAssignment};
 use crate::model::{Dims, Dispatch};
 use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions, SolverStats};
 use crate::obs::{self, names, Recorder};
@@ -145,6 +146,27 @@ impl OptimizedPolicy {
             solver: Solver::UniformLevels,
         }
     }
+
+    /// Forces every LP this policy solves onto the given engine (the
+    /// default, [`EngineKind::Auto`], picks by problem size). Applies to
+    /// the exact solver's branch-and-bound LPs and to the one-level
+    /// direct-LP path; the uniform-level heuristic keeps `Auto`.
+    pub fn with_lp_engine(mut self, engine: EngineKind) -> Self {
+        if let Solver::Exact(opts) = &mut self.solver {
+            opts.lp.engine = engine;
+        }
+        self
+    }
+
+    /// LP options for the one-level direct path: the exact solver's `lp`
+    /// budget (so engine/tolerance choices apply uniformly), defaults for
+    /// the heuristic.
+    fn one_level_lp(&self) -> SolveOptions {
+        match &self.solver {
+            Solver::Exact(opts) => opts.lp.clone(),
+            Solver::UniformLevels => SolveOptions::default(),
+        }
+    }
 }
 
 impl Policy for OptimizedPolicy {
@@ -156,11 +178,12 @@ impl Policy for OptimizedPolicy {
         let one_level = ctx.system.classes.iter().all(|c| c.tuf.num_levels() == 1);
         if one_level {
             let dims = Dims::of(ctx.system);
-            let sol = solve_fixed_levels(
+            let sol = solve_fixed_levels_with(
                 ctx.system,
                 ctx.rates,
                 ctx.slot,
                 &LevelAssignment::uniform(&dims, 1),
+                &self.one_level_lp(),
             )?;
             obs::record_solver_stats(
                 ctx.obs,

@@ -18,8 +18,12 @@
 //! one-level path calls it once, the branch-and-bound calls it per node,
 //! and the big-M path calls it to polish snapped levels.
 
+use std::sync::Arc;
+
 use palb_cluster::{ClassId, FrontEndId, System};
-use palb_lp::{ConId, LpError, Problem, Rel, SolveOptions, VarId, Workspace, WorkspaceStats};
+use palb_lp::{
+    BlockStructure, ConId, LpError, Problem, Rel, SolveOptions, VarId, Workspace, WorkspaceStats,
+};
 
 use crate::error::CoreError;
 use crate::model::{Dims, Dispatch};
@@ -148,6 +152,11 @@ pub(crate) struct SpecProblem {
     pub phi_vars: Vec<Option<VarId>>,
     pub delay_cons: Vec<Option<ConId>>,
     pub supply_cons: Vec<Option<ConId>>,
+    /// Per-server block metadata for the sparse engine's Dantzig-Wolfe
+    /// style pricing: every φ/λ variable and every delay/share row belongs
+    /// to its server's block; the supply rows couple servers and carry the
+    /// coupling id. Harmless on the dense engine (ignored).
+    pub blocks: BlockStructure,
 }
 
 /// Builds the fixed-terms LP without solving it (shared by the solver and
@@ -168,6 +177,12 @@ pub(crate) fn build_spec_problem(
     let t = system.slot_length;
     let mut p = Problem::maximize();
 
+    // Block metadata, tracked in variable/constraint creation order: each
+    // server is one block, supply rows couple servers.
+    let coupling = dims.total_servers as u32;
+    let mut var_blocks: Vec<u32> = Vec::new();
+    let mut con_blocks: Vec<u32> = Vec::new();
+
     // φ variables and the utility/deadline of each active (class, server).
     let mut phi_vars: Vec<Option<VarId>> = vec![None; dims.phi_len()];
     let mut level_util = vec![0.0; dims.phi_len()];
@@ -182,6 +197,7 @@ pub(crate) fn build_spec_problem(
             } else {
                 p.add_var_unnamed(0.0, 1.0, 0.0)
             });
+            var_blocks.push(sv as u32);
         }
     }
 
@@ -206,6 +222,7 @@ pub(crate) fn build_spec_problem(
             } else {
                 p.add_var_unnamed(0.0, f64::INFINITY, margin)
             });
+            var_blocks.push(sv as u32);
         }
     }
 
@@ -237,6 +254,7 @@ pub(crate) fn build_spec_problem(
         } else {
             p.add_con_unnamed(&terms, Rel::Ge, rhs)
         });
+        con_blocks.push(sv as u32);
     }
 
     // Eq. 7: dispatched ≤ offered per (class, front-end).
@@ -255,6 +273,7 @@ pub(crate) fn build_spec_problem(
                 } else {
                     p.add_con_unnamed(&terms, Rel::Le, rates[s][k])
                 });
+                con_blocks.push(coupling);
             }
         }
     }
@@ -273,6 +292,7 @@ pub(crate) fn build_spec_problem(
             } else {
                 p.add_con_unnamed(&terms, Rel::Le, 1.0);
             }
+            con_blocks.push(sv as u32);
         }
     }
 
@@ -282,6 +302,11 @@ pub(crate) fn build_spec_problem(
         phi_vars,
         delay_cons,
         supply_cons,
+        blocks: BlockStructure {
+            var_blocks,
+            con_blocks,
+            n_blocks: coupling,
+        },
     }
 }
 
@@ -299,7 +324,11 @@ pub(crate) fn solve_spec_with(
     lp_opts: &SolveOptions,
 ) -> Result<LevelSolve, CoreError> {
     let built = build_spec_problem(system, rates, slot, dims, spec, false);
-    let sol = match built.problem.solve_with(lp_opts) {
+    let opts = SolveOptions {
+        blocks: Some(Arc::new(built.blocks)),
+        ..lp_opts.clone()
+    };
+    let sol = match built.problem.solve_with(&opts) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
         Err(e) => return Err(CoreError::Lp(e)),
@@ -360,6 +389,33 @@ pub fn lp_text(
     Ok(built.problem.to_lp_format())
 }
 
+/// Builds the fixed-level dispatch LP for one slot *without solving it*,
+/// returning the assembled [`Problem`] together with its per-server block
+/// metadata. The bench's sparse-engine study uses this to measure model
+/// size (nonzero counts) and to time the two LP engines on the identical
+/// model.
+pub fn dispatch_problem(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    assignment: &LevelAssignment,
+) -> Result<(Problem, BlockStructure), CoreError> {
+    assignment.validate(system)?;
+    let dims = assignment.dims().clone();
+    let spec: Vec<Option<(f64, f64)>> = (0..dims.phi_len())
+        .map(|idx| {
+            let k = idx / dims.total_servers;
+            let sv = idx % dims.total_servers;
+            assignment.get(ClassId(k), sv).map(|q| {
+                let tuf = &system.classes[k].tuf;
+                (tuf.utility_of_level(q), tuf.deadline_of_level(q))
+            })
+        })
+        .collect();
+    let built = build_spec_problem(system, rates, slot, &dims, &spec, false);
+    Ok((built.problem, built.blocks))
+}
+
 /// A slot-scoped incremental solve engine over the dispatch LP.
 ///
 /// The LP's *structure* — which variables and rows exist, and every matrix
@@ -397,6 +453,8 @@ pub(crate) struct SpecWorkspace {
     cur_spec: Vec<(f64, f64)>,
     /// `unit_cost(k, s, dc_of(sv), slot)` flattened as `pidx·S + s`.
     unit_costs: Vec<f64>,
+    /// Per-server block metadata (shared with every solve of this model).
+    blocks: Arc<BlockStructure>,
     /// Cold solves routed through the legacy full path (and their pivots);
     /// the warm-side counters live in [`Workspace::stats`].
     legacy_cold_solves: usize,
@@ -429,7 +487,12 @@ impl SpecWorkspace {
             // palb:allow(unwrap): the all-active spec materializes every supply row
             .map(|c| c.expect("all-active spec has every supply row"))
             .collect();
-        let ws = Workspace::new(&built.problem, lp_opts).map_err(CoreError::Lp)?;
+        let blocks = Arc::new(built.blocks);
+        let ws_opts = SolveOptions {
+            blocks: Some(Arc::clone(&blocks)),
+            ..lp_opts.clone()
+        };
+        let ws = Workspace::new(&built.problem, &ws_opts).map_err(CoreError::Lp)?;
         let mut unit_costs = vec![0.0; dims.phi_len() * dims.front_ends];
         for (k, sv) in dims.class_server_pairs() {
             let pidx = dims.phi_idx(k, sv);
@@ -449,6 +512,7 @@ impl SpecWorkspace {
             supply_cons,
             cur_spec: spec.to_vec(),
             unit_costs,
+            blocks,
             legacy_cold_solves: 0,
             legacy_cold_pivots: 0,
         })
@@ -527,7 +591,11 @@ impl SpecWorkspace {
     /// Solves the patched model through the legacy full path — bit-for-bit
     /// identical to a fresh [`solve_spec_with`] of the same model.
     pub(crate) fn solve_cold(&mut self, lp_opts: &SolveOptions) -> Result<LevelSolve, CoreError> {
-        let sol = match self.ws.problem().solve_with(lp_opts) {
+        let opts = SolveOptions {
+            blocks: Some(Arc::clone(&self.blocks)),
+            ..lp_opts.clone()
+        };
+        let sol = match self.ws.problem().solve_with(&opts) {
             Ok(s) => s,
             Err(LpError::Infeasible) => return Err(CoreError::Infeasible),
             Err(e) => return Err(CoreError::Lp(e)),

@@ -78,7 +78,8 @@ pub use driver::{
 pub use error::CoreError;
 pub use evaluate::{evaluate, SlotOutcome};
 pub use formulate::{
-    lp_text, solve_fixed_levels, solve_fixed_levels_with, LevelAssignment, LevelSolve,
+    dispatch_problem, lp_text, solve_fixed_levels, solve_fixed_levels_with, LevelAssignment,
+    LevelSolve,
 };
 pub use model::{check_feasible, Dims, Dispatch};
 pub use multilevel::{

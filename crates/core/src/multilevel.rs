@@ -117,11 +117,17 @@ pub struct SolverStats {
     /// Worker threads that participated in the branch-and-bound (1 for the
     /// sequential path; 0 when no tree search ran at all).
     pub threads_used: usize,
+    /// Sparse-engine FTRAN-equivalent column extractions (0 on dense).
+    pub ftran_total: u64,
+    /// Nonzeros touched by those extractions.
+    pub ftran_nnz_total: u64,
+    /// Sparse-basis refactorizations (eta-file compressions).
+    pub refactor_total: u64,
 }
 
 impl SolverStats {
-    /// Folds another solve's LP counters into this one. All six fields
-    /// are commutative adds, so per-worker merges produce the same
+    /// Folds another solve's LP counters into this one. All the counter
+    /// fields are commutative adds, so per-worker merges produce the same
     /// totals in any order (and a merge over an empty worker set is the
     /// identity). The topology fields (`subtrees`, `threads_used`) are
     /// set by the coordinating solve, never summed.
@@ -132,6 +138,9 @@ impl SolverStats {
         self.warm_pivots += other.warm_pivots;
         self.cold_solves += other.cold_solves;
         self.cold_pivots += other.cold_pivots;
+        self.ftran_total += other.ftran_total;
+        self.ftran_nnz_total += other.ftran_nnz_total;
+        self.refactor_total += other.refactor_total;
     }
 
     /// Merges an arbitrary collection of per-worker stats into a fresh
@@ -368,6 +377,9 @@ fn solve_bb_seq(
                     stats.warm_pivots += after.warm_pivots - before.warm_pivots;
                     stats.cold_solves += after.cold_solves - before.cold_solves;
                     stats.cold_pivots += after.cold_pivots - before.cold_pivots;
+                    stats.ftran_total += after.ftran_total - before.ftran_total;
+                    stats.ftran_nnz_total += after.ftran_nnz_total - before.ftran_nnz_total;
+                    stats.refactor_total += after.refactor_total - before.refactor_total;
                     r
                 }
             }
@@ -520,6 +532,9 @@ fn solve_subtree(
                     stats.warm_pivots += after.warm_pivots - before.warm_pivots;
                     stats.cold_solves += after.cold_solves - before.cold_solves;
                     stats.cold_pivots += after.cold_pivots - before.cold_pivots;
+                    stats.ftran_total += after.ftran_total - before.ftran_total;
+                    stats.ftran_nnz_total += after.ftran_nnz_total - before.ftran_nnz_total;
+                    stats.refactor_total += after.refactor_total - before.refactor_total;
                     r
                 }
             }

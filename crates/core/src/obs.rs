@@ -63,6 +63,12 @@ pub mod names {
     pub const COLD_SOLVES_TOTAL: &str = "palb_cold_solves_total";
     /// Simplex pivots spent inside cold solves.
     pub const COLD_PIVOTS_TOTAL: &str = "palb_cold_pivots_total";
+    /// Sparse LP engine: FTRAN-equivalent column extractions (0 on dense).
+    pub const LP_FTRAN_TOTAL: &str = "palb_lp_ftran_total";
+    /// Sparse LP engine: nonzeros touched by those extractions.
+    pub const LP_FTRAN_NNZ_TOTAL: &str = "palb_lp_ftran_nnz_total";
+    /// Sparse LP engine: basis refactorizations (eta-file compressions).
+    pub const LP_REFACTOR_TOTAL: &str = "palb_lp_refactor_total";
     /// Scenario perturbation events applied to a world, labelled
     /// `scenario` and `kind` (the perturbation name).
     pub const SCENARIO_PERTURBATIONS_TOTAL: &str = "palb_scenario_perturbations_total";
@@ -108,6 +114,13 @@ pub fn record_solver_stats(rec: &Recorder, stats: &SolverStats) {
     rec.counter_add(names::WARM_PIVOTS_TOTAL, &[], stats.warm_pivots as u64);
     rec.counter_add(names::COLD_SOLVES_TOTAL, &[], stats.cold_solves as u64);
     rec.counter_add(names::COLD_PIVOTS_TOTAL, &[], stats.cold_pivots as u64);
+    if stats.ftran_total > 0 {
+        rec.counter_add(names::LP_FTRAN_TOTAL, &[], stats.ftran_total);
+        rec.counter_add(names::LP_FTRAN_NNZ_TOTAL, &[], stats.ftran_nnz_total);
+    }
+    if stats.refactor_total > 0 {
+        rec.counter_add(names::LP_REFACTOR_TOTAL, &[], stats.refactor_total);
+    }
 }
 
 /// Records the health-derived counters of one decided slot (tier used,
@@ -190,6 +203,9 @@ mod tests {
             cold_pivots: 100,
             subtrees: 0,
             threads_used: 1,
+            ftran_total: 30,
+            ftran_nnz_total: 90,
+            refactor_total: 2,
         };
         record_solver_stats(&rec, &stats);
         record_solver_stats(&rec, &stats);
@@ -198,6 +214,24 @@ mod tests {
         assert_eq!(snap.counter_value(names::WARM_HITS_TOTAL, &[]), Some(12));
         assert_eq!(snap.counter_value(names::COLD_SOLVES_TOTAL, &[]), Some(8));
         assert_eq!(snap.counter_value(names::COLD_PIVOTS_TOTAL, &[]), Some(200));
+        assert_eq!(snap.counter_value(names::LP_FTRAN_TOTAL, &[]), Some(60));
+        assert_eq!(
+            snap.counter_value(names::LP_FTRAN_NNZ_TOTAL, &[]),
+            Some(180)
+        );
+        assert_eq!(snap.counter_value(names::LP_REFACTOR_TOTAL, &[]), Some(4));
+    }
+
+    #[test]
+    fn dense_solves_leave_sparse_counters_unregistered() {
+        // Guard against noisy all-zero families: a dense-engine run (all
+        // sparse counters zero) must not register the sparse metric names.
+        let registry = Arc::new(Registry::new());
+        let rec = Recorder::attached(Arc::clone(&registry));
+        record_solver_stats(&rec, &SolverStats::default());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value(names::LP_FTRAN_TOTAL, &[]), None);
+        assert_eq!(snap.counter_value(names::LP_REFACTOR_TOTAL, &[]), None);
     }
 
     #[test]

@@ -79,6 +79,13 @@ impl QuantileSlaPolicy {
             p,
         }
     }
+
+    /// Forces every LP onto the given engine (see
+    /// [`OptimizedPolicy::with_lp_engine`]).
+    pub fn with_lp_engine(mut self, engine: palb_lp::EngineKind) -> Self {
+        self.inner = self.inner.with_lp_engine(engine);
+        self
+    }
 }
 
 impl Policy for QuantileSlaPolicy {

@@ -1,0 +1,174 @@
+//! Basis refactorization for the sparse engine.
+//!
+//! The per-pivot eta file (see [`crate::eta`]) grows by one op per pivot
+//! and, over a long warm-started session, would accumulate both length and
+//! round-off. On a cadence the [`crate::sparse::SparseTableau`] calls
+//! [`factorize`] to rebuild a *compact* product-form inverse directly from
+//! the pristine CSC columns of the current basis: one eta per basic
+//! column plus a single closing row permutation.
+//!
+//! Column order is Markowitz-flavoured: ascending original-column nonzero
+//! count (ties by basis position), which keeps fill-in in the recorded
+//! etas low for the block-structured LPs this crate targets. Each step
+//! scatters the column, FTRANs it through the ops recorded so far, picks
+//! the largest-magnitude entry in a not-yet-pivoted row (partial
+//! pivoting), and records a full Gauss–Jordan eta — full elimination
+//! (not just below the diagonal) keeps every previously processed column
+//! a unit vector, so no second triangular sweep is needed. The closing
+//! permutation maps pivot rows back to basis positions so the product is
+//! exactly `B⁻¹` in tableau row order.
+//!
+//! The rebuild happens in a fresh file that replaces the old one only on
+//! success; a failure (numerically singular basis) leaves the caller's
+//! file untouched so an exact per-pivot op list keeps serving BTRAN.
+
+use palb_num::nonzero;
+
+use crate::eta::EtaFile;
+use crate::sparse::CscMatrix;
+
+/// Pivot magnitudes at or below this are treated as singular.
+const PIVOT_TOL: f64 = 1e-11;
+
+/// Rebuilds `eta` as a compact factorization of the basis given by
+/// `basis[k]` = column of `a` at basis position `k`. On `Err` the existing
+/// file is left untouched.
+pub(crate) fn factorize(eta: &mut EtaFile, csc: &CscMatrix, basis: &[usize]) -> Result<(), ()> {
+    let m = basis.len();
+    debug_assert_eq!(csc.rows(), m);
+    let mut fresh = EtaFile::new();
+    fresh.ensure_scratch(m);
+
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&k| (csc.col_nnz(basis[k]), k));
+
+    let mut pivot_of = vec![u32::MAX; m];
+    let mut pivoted = vec![false; m];
+    let mut w = vec![0.0; m];
+    for &k in &order {
+        for v in &mut w {
+            *v = 0.0;
+        }
+        csc.scatter_col(basis[k], &mut w);
+        fresh.ftran(&mut w);
+
+        let mut best = usize::MAX;
+        let mut best_abs = PIVOT_TOL;
+        for (r, &wr) in w.iter().enumerate() {
+            if !pivoted[r] {
+                let a = wr.abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+        }
+        if best == usize::MAX {
+            return Err(());
+        }
+        fresh.begin_eta(best, 1.0 / w[best]);
+        for (r, &wr) in w.iter().enumerate() {
+            if r != best && nonzero(wr) {
+                fresh.push_factor(r as u32, wr);
+            }
+        }
+        pivoted[best] = true;
+        pivot_of[k] = best as u32;
+    }
+    // After the etas, basic column k maps to e_{pivot_of[k]}; the closing
+    // permutation (out[k] = v[pivot_of[k]] under FTRAN) re-aligns it with
+    // basis position k.
+    fresh.push_perm(&pivot_of);
+    *eta = fresh;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::standard::CsrMatrix;
+
+    fn csc(rows: &[Vec<f64>]) -> CscMatrix {
+        let n = rows.first().map_or(0, Vec::len);
+        let mut a = CsrMatrix::with_capacity(n, rows.len(), 0);
+        for row in rows {
+            for (j, &v) in row.iter().enumerate() {
+                if nonzero(v) {
+                    a.push(j, v);
+                }
+            }
+            a.finish_row();
+        }
+        CscMatrix::from_csr(&a)
+    }
+
+    /// FTRAN of each basic column through the factorization must yield the
+    /// corresponding unit vector.
+    #[test]
+    fn factorization_inverts_basis_columns() {
+        let a = csc(&[
+            vec![2.0, 1.0, 0.0, 1.0],
+            vec![0.0, 3.0, 1.0, 0.0],
+            vec![4.0, 0.0, 0.0, 1.0],
+        ]);
+        let basis = [0usize, 1, 3];
+        let mut eta = EtaFile::new();
+        factorize(&mut eta, &a, &basis).unwrap();
+        assert!(eta.is_valid());
+        for (k, &j) in basis.iter().enumerate() {
+            let mut w = vec![0.0; 3];
+            a.scatter_col(j, &mut w);
+            eta.ftran(&mut w);
+            for (r, &v) in w.iter().enumerate() {
+                let want = if r == k { 1.0 } else { 0.0 };
+                assert!(
+                    (v - want).abs() < 1e-12,
+                    "col {j} row {r}: got {v}, want {want}"
+                );
+            }
+        }
+    }
+
+    /// BTRAN duals from the factorization must agree with a dense solve of
+    /// `Bᵀ y = c_B`.
+    #[test]
+    fn btran_matches_dense_dual_solve() {
+        let rows = [
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ];
+        let a = csc(&rows);
+        let basis = [0usize, 1, 2];
+        let mut eta = EtaFile::new();
+        factorize(&mut eta, &a, &basis).unwrap();
+
+        let c_b = [1.0, -2.0, 0.5];
+        let mut y = c_b;
+        eta.btran(&mut y);
+
+        // Dense reference: solve Bᵀ y = c_B.
+        let mut bt = DenseMatrix::zeros(3, 3);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                bt[(j, i)] = v;
+            }
+        }
+        let want = crate::linalg::solve(&bt, &c_b).unwrap();
+        for (got, want) in y.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-10, "dual {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn singular_basis_is_rejected_and_file_untouched() {
+        let a = csc(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let basis = [0usize, 1];
+        let mut eta = EtaFile::new();
+        eta.begin_eta(0, 1.0);
+        let before = eta.op_count();
+        assert!(factorize(&mut eta, &a, &basis).is_err());
+        assert_eq!(eta.op_count(), before, "failed rebuild must not clobber");
+    }
+}

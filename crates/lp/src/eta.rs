@@ -1,0 +1,254 @@
+//! Product-form eta file: an implicit factorization of the basis inverse.
+//!
+//! Every simplex pivot multiplies the basis inverse on the left by an
+//! elementary (eta) matrix built from the entering column `w = B⁻¹ A_j`:
+//!
+//! ```text
+//!   E = I + (η − e_r) e_rᵀ      η_r = 1/w_r,  η_i = −w_i / w_r  (i ≠ r)
+//! ```
+//!
+//! Because the sparse engine starts every cold build from the identity
+//! basis (slack/artificial columns), the product of the recorded etas *is*
+//! `B⁻¹`. The file supports:
+//!
+//! * **FTRAN** — apply `B⁻¹` to a column (used when refactorizing),
+//! * **BTRAN** — apply `B⁻ᵀ` to a vector, which is exactly the simplex
+//!   multiplier solve `y = B⁻ᵀ c_B` that surfaces duals from warm solves,
+//! * **refactorization** (see [`crate::basis`]) — the op list is rebuilt
+//!   from the original columns on a cadence so it cannot grow without
+//!   bound or accumulate drift.
+//!
+//! Ops are stored in flat parallel arrays (no per-pivot `Vec`), so the
+//! pivot hot path records an eta with two amortized pushes per nonzero.
+
+use palb_num::nonzero;
+
+/// Kind of a recorded operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    /// Elementary pivot matrix; `rows/vals[start..end]` hold the pre-scale
+    /// column values `w_i` at every row `i ≠ pivot_row`.
+    Eta,
+    /// Row permutation emitted by refactorization; `rows[start..end]` holds
+    /// `perm` with the semantics `out[k] = v[perm[k]]` under FTRAN.
+    Perm,
+}
+
+#[derive(Debug, Clone)]
+struct OpMeta {
+    kind: OpKind,
+    /// Pivot row (Eta only).
+    row: u32,
+    /// `1 / w_row` (Eta only).
+    inv: f64,
+    start: usize,
+    end: usize,
+}
+
+/// The eta file; see the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct EtaFile {
+    meta: Vec<OpMeta>,
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+    scratch: Vec<f64>,
+    /// `false` after a failed refactorization: the op list no longer
+    /// represents `B⁻¹` and BTRAN-derived duals must degrade to zeros
+    /// (mirroring the dense engine's singular-basis fallback).
+    valid: bool,
+}
+
+impl EtaFile {
+    pub(crate) fn new() -> Self {
+        EtaFile {
+            meta: Vec::new(),
+            rows: Vec::new(),
+            vals: Vec::new(),
+            scratch: Vec::new(),
+            valid: true,
+        }
+    }
+
+    /// Number of recorded ops (cadence metric for refactorization).
+    pub(crate) fn op_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the file currently represents `B⁻¹`.
+    pub(crate) fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Drops every op and resets to the valid empty product (`B⁻¹ = I`).
+    #[cfg(test)]
+    pub(crate) fn clear(&mut self) {
+        self.meta.clear();
+        self.rows.clear();
+        self.vals.clear();
+        self.valid = true;
+    }
+
+    /// Marks the file as not representing `B⁻¹` (and drops the ops — they
+    /// are garbage relative to an unknown base).
+    pub(crate) fn invalidate(&mut self) {
+        self.meta.clear();
+        self.rows.clear();
+        self.vals.clear();
+        self.valid = false;
+    }
+
+    /// Ensures the permutation scratch can hold `m` entries. Call from cold
+    /// paths so the hot FTRAN/BTRAN never allocates.
+    pub(crate) fn ensure_scratch(&mut self, m: usize) {
+        if self.scratch.len() < m {
+            self.scratch.resize(m, 0.0);
+        }
+    }
+
+    /// Starts recording an eta op for a pivot at `row` with `inv = 1/w_row`.
+    pub(crate) fn begin_eta(&mut self, row: usize, inv: f64) {
+        let at = self.rows.len();
+        self.meta.push(OpMeta {
+            kind: OpKind::Eta,
+            row: row as u32,
+            inv,
+            start: at,
+            end: at,
+        });
+    }
+
+    /// Appends one off-pivot factor `w_r` to the op opened by
+    /// [`EtaFile::begin_eta`].
+    pub(crate) fn push_factor(&mut self, r: u32, w: f64) {
+        self.rows.push(r);
+        self.vals.push(w);
+        if let Some(op) = self.meta.last_mut() {
+            op.end += 1;
+        }
+    }
+
+    /// Records a permutation op (`out[k] = v[perm[k]]` under FTRAN).
+    pub(crate) fn push_perm(&mut self, perm: &[u32]) {
+        let start = self.rows.len();
+        self.rows.extend_from_slice(perm);
+        // `rows` and `vals` stay parallel so an op's `start..end` range
+        // indexes both; permutations carry no factors, so pad with zeros.
+        self.vals.resize(self.rows.len(), 0.0);
+        self.meta.push(OpMeta {
+            kind: OpKind::Perm,
+            row: 0,
+            inv: 0.0,
+            start,
+            end: self.rows.len(),
+        });
+    }
+
+    /// FTRAN: `v ← B⁻¹ v`, applying the recorded ops oldest-first.
+    // palb:hot-path(no-alloc)
+    pub(crate) fn ftran(&mut self, v: &mut [f64]) {
+        debug_assert!(self.scratch.len() >= v.len(), "call ensure_scratch first");
+        for op in &self.meta {
+            match op.kind {
+                OpKind::Eta => {
+                    let row = op.row as usize;
+                    v[row] *= op.inv;
+                    let pv = v[row];
+                    if nonzero(pv) {
+                        for t in op.start..op.end {
+                            v[self.rows[t] as usize] -= self.vals[t] * pv;
+                        }
+                    }
+                }
+                OpKind::Perm => {
+                    let m = op.end - op.start;
+                    for k in 0..m {
+                        self.scratch[k] = v[self.rows[op.start + k] as usize];
+                    }
+                    v[..m].copy_from_slice(&self.scratch[..m]);
+                }
+            }
+        }
+    }
+
+    /// BTRAN: `y ← B⁻ᵀ y`, applying transposed ops newest-first. This is
+    /// the simplex-multiplier solve: seeded with `c_B` it returns the duals
+    /// `y = B⁻ᵀ c_B` in standard-form row space.
+    // palb:hot-path(no-alloc)
+    pub(crate) fn btran(&mut self, y: &mut [f64]) {
+        debug_assert!(self.scratch.len() >= y.len(), "call ensure_scratch first");
+        for op in self.meta.iter().rev() {
+            match op.kind {
+                OpKind::Eta => {
+                    let row = op.row as usize;
+                    let mut acc = 0.0;
+                    for t in op.start..op.end {
+                        acc += self.vals[t] * y[self.rows[t] as usize];
+                    }
+                    y[row] = op.inv * (y[row] - acc);
+                }
+                OpKind::Perm => {
+                    let m = op.end - op.start;
+                    for k in 0..m {
+                        self.scratch[self.rows[op.start + k] as usize] = y[k];
+                    }
+                    y[..m].copy_from_slice(&self.scratch[..m]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Record the pivot sequence for a 2x2 basis change and check that
+    /// FTRAN/BTRAN agree with the explicit inverse.
+    ///
+    /// Pivot at row 0 on column w = [2, 4]: E = [[1/2, 0], [-2, 1]].
+    #[test]
+    fn single_eta_ftran_btran() {
+        let mut eta = EtaFile::new();
+        eta.ensure_scratch(2);
+        eta.begin_eta(0, 0.5);
+        eta.push_factor(1, 4.0);
+
+        let mut v = [2.0, 4.0];
+        eta.ftran(&mut v);
+        // B⁻¹ w must be the unit vector of the pivot row.
+        assert_eq!(v, [1.0, 0.0]);
+
+        // Eᵀ = [[1/2, -2], [0, 1]].
+        let mut y = [1.0, 1.0];
+        eta.btran(&mut y);
+        assert!((y[0] - 0.5 * (1.0 - 4.0)).abs() < 1e-15);
+        assert!((y[1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perm_op_round_trips() {
+        let mut eta = EtaFile::new();
+        eta.ensure_scratch(3);
+        eta.push_perm(&[2, 0, 1]);
+        let mut v = [10.0, 20.0, 30.0];
+        eta.ftran(&mut v);
+        assert_eq!(v, [30.0, 10.0, 20.0]);
+        // BTRAN applies the transpose: Pᵀ P = I.
+        let mut y = [30.0, 10.0, 20.0];
+        eta.btran(&mut y);
+        assert_eq!(y, [10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn invalidate_clears_ops() {
+        let mut eta = EtaFile::new();
+        eta.begin_eta(0, 1.0);
+        eta.push_factor(1, 2.0);
+        assert_eq!(eta.op_count(), 1);
+        eta.invalidate();
+        assert!(!eta.is_valid());
+        assert_eq!(eta.op_count(), 0);
+        eta.clear();
+        assert!(eta.is_valid());
+    }
+}

@@ -1,19 +1,24 @@
 // palb:lint-tier = lib
-//! # palb-lp — dense two-phase simplex linear-programming solver
+//! # palb-lp — two-phase simplex linear-programming solver
 //!
 //! Self-contained LP solver used throughout the `palb` workspace in place of
 //! the commercial/external solvers (CPLEX, AIMMS, GLPK) that the paper
 //! *Profit Aware Load Balancing for Distributed Cloud Data Centers* (Liu et
 //! al., IPPS 2013) relied on.
 //!
-//! The solver targets the moderate, dense dispatch LPs that the profit-aware
-//! formulation produces (hundreds of variables and rows):
+//! The solver targets the block-sparse dispatch LPs that the profit-aware
+//! formulation produces (per-server blocks coupled by dispatch rows):
 //!
 //! * builder-style model API with variable bounds and `≤ / = / ≥` rows,
 //! * standard-form conversion with bound shifting, free-variable splitting
 //!   and row equilibration,
 //! * two-phase primal simplex with Dantzig pricing and an automatic,
 //!   permanent fallback to Bland's rule (termination guarantee),
+//! * two interchangeable engines behind one API: a dense tableau and a
+//!   sparse product-form engine ([`EngineKind`]) with eta-file BTRAN duals
+//!   and optional block pricing ([`BlockStructure`]) — bitwise-equal
+//!   results on every input, chosen by a size heuristic under
+//!   [`EngineKind::Auto`],
 //! * duals recovered from the final basis by an independent dense solve.
 //!
 //! ## Example
@@ -38,21 +43,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod basis;
 pub mod dense;
 mod error;
+mod eta;
 mod linalg;
 mod presolve;
 mod problem;
 mod simplex;
 mod solution;
+pub mod sparse;
 mod standard;
 mod workspace;
 mod writer;
 
 pub use error::{LpError, SimplexPhase};
 pub use problem::{ConId, Problem, Rel, Sense, VarId};
-pub use simplex::{PivotRule, SolveOptions};
+pub use simplex::{EngineKind, PivotRule, SolveOptions};
 pub use solution::Solution;
+pub use sparse::BlockStructure;
 pub use workspace::{Basis, Workspace, WorkspaceStats};
 
 pub use linalg::{solve as solve_linear_system, SingularMatrix};

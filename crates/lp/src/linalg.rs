@@ -17,15 +17,60 @@ impl std::fmt::Display for SingularMatrix {
 
 impl std::error::Error for SingularMatrix {}
 
+/// Reusable buffers for [`solve_into`]: the `n × (n+1)` augmented system
+/// is the dominant per-call allocation of the O(n³) helper and is reused
+/// across calls of the same order (the common case — every basis restore
+/// solves at the same `m`).
+#[derive(Debug, Clone)]
+pub struct SolveScratch {
+    aug: DenseMatrix,
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        SolveScratch {
+            aug: DenseMatrix::zeros(0, 1),
+        }
+    }
+}
+
+impl Default for SolveScratch {
+    fn default() -> Self {
+        SolveScratch::new()
+    }
+}
+
 /// Solves `A x = b` for square `A` using Gaussian elimination with partial
 /// pivoting. `A` and `b` are consumed as copies; the inputs are untouched.
+///
+/// Allocating convenience wrapper over [`solve_into`].
 pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    let mut scratch = SolveScratch::new();
+    let mut x = Vec::new();
+    solve_into(a, b, &mut scratch, &mut x)?;
+    Ok(x)
+}
+
+/// [`solve`] with caller-provided buffers: the augmented system lives in
+/// `scratch` and the result is written into `x` (resized as needed). The
+/// arithmetic is identical to [`solve`] — every cell of the augmented
+/// system is overwritten before use, so buffer reuse cannot leak state.
+pub fn solve_into(
+    a: &DenseMatrix,
+    b: &[f64],
+    scratch: &mut SolveScratch,
+    x: &mut Vec<f64>,
+) -> Result<(), SingularMatrix> {
     let n = a.rows();
     assert_eq!(a.cols(), n, "solve requires a square matrix");
     assert_eq!(b.len(), n, "rhs length must match matrix order");
 
     // Augmented system [A | b] worked in place.
-    let mut m = DenseMatrix::zeros(n, n + 1);
+    if scratch.aug.rows() != n {
+        scratch.aug = DenseMatrix::zeros(n, n + 1);
+    }
+    let m = &mut scratch.aug;
     for i in 0..n {
         m.row_mut(i)[..n].copy_from_slice(a.row(i));
         m[(i, n)] = b[i];
@@ -42,7 +87,7 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
             return Err(SingularMatrix);
         }
         if piv_row != k {
-            swap_rows(&mut m, piv_row, k);
+            swap_rows(m, piv_row, k);
         }
         let pivot = m[(k, k)];
         for i in (k + 1)..n {
@@ -55,7 +100,8 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
     }
 
     // Back substitution.
-    let mut x = vec![0.0; n];
+    x.clear();
+    x.resize(n, 0.0);
     for k in (0..n).rev() {
         let mut acc = m[(k, n)];
         for j in (k + 1)..n {
@@ -63,7 +109,7 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
         }
         x[k] = acc / m[(k, k)];
     }
-    Ok(x)
+    Ok(())
 }
 
 fn swap_rows(m: &mut DenseMatrix, a: usize, b: usize) {
@@ -116,6 +162,21 @@ mod tests {
     fn detects_singular() {
         let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
         assert_eq!(solve(&a, &[1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn solve_into_reuses_scratch_across_orders() {
+        let mut scratch = SolveScratch::new();
+        let mut x = Vec::new();
+        let a2 = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        solve_into(&a2, &[5.0, 10.0], &mut scratch, &mut x).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-10);
+        let a3 = DenseMatrix::identity(3);
+        solve_into(&a3, &[1.0, 2.0, 3.0], &mut scratch, &mut x).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0], 1e-12);
+        // Back to order 2: stale buffer contents must not leak.
+        solve_into(&a2, &[5.0, 10.0], &mut scratch, &mut x).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-10);
     }
 
     #[test]

@@ -81,120 +81,168 @@ impl Reduction {
 
 const FIX_TOL: f64 = 1e-12;
 
+/// Mutable presolve working state, shared by the named passes below. The
+/// passes are engine-agnostic: both the dense and sparse engines enter
+/// through [`presolve`] (called once from `solve`, ahead of the engine
+/// dispatch), so reductions never diverge between them.
+struct PresolveState {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    fixed_value: Vec<Option<f64>>,
+    bound_sources: Vec<BoundSource>,
+    row_alive: Vec<bool>,
+    /// Working copy of row terms; `rhs` tracks substitutions.
+    terms: Vec<Vec<(usize, f64)>>,
+    rhs: Vec<f64>,
+}
+
+impl PresolveState {
+    fn new(p: &Problem) -> Self {
+        let n = p.num_vars();
+        let mut st = PresolveState {
+            lo: p.vars.iter().map(|v| v.lower).collect(),
+            hi: p.vars.iter().map(|v| v.upper).collect(),
+            fixed_value: vec![None; n],
+            bound_sources: vec![BoundSource::default(); n],
+            row_alive: vec![true; p.num_cons()],
+            terms: p.cons.iter().map(|c| c.terms.clone()).collect(),
+            rhs: p.cons.iter().map(|c| c.rhs).collect(),
+        };
+        // Anything already degenerate?
+        for j in 0..n {
+            st.maybe_fix(j);
+        }
+        st
+    }
+
+    /// Marks `j` fixed when its bounds have collapsed.
+    fn maybe_fix(&mut self, j: usize) {
+        if self.fixed_value[j].is_none()
+            && (self.hi[j] - self.lo[j]).abs() <= FIX_TOL * (1.0 + self.lo[j].abs())
+            && self.lo[j].is_finite()
+        {
+            self.fixed_value[j] = Some(self.lo[j]);
+        }
+    }
+}
+
+/// Pass: substitutes fixed variables out of every live row, folding their
+/// contribution into the RHS. Returns whether anything changed — a row
+/// can *become* empty or singleton here, which the row pass then handles.
+fn substitute_fixed_pass(st: &mut PresolveState) -> bool {
+    let mut changed = false;
+    for r in 0..st.terms.len() {
+        if !st.row_alive[r] {
+            continue;
+        }
+        let mut k = 0;
+        while k < st.terms[r].len() {
+            let (j, c) = st.terms[r][k];
+            if let Some(v) = st.fixed_value[j] {
+                st.rhs[r] -= c * v;
+                st.terms[r].swap_remove(k);
+                changed = true;
+            } else {
+                k += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Pass: drops empty rows (after a consistency check) and folds singleton
+/// rows into variable bounds, fixing variables whose bounds collapse.
+fn reduce_rows_pass(p: &Problem, st: &mut PresolveState) -> Result<bool, LpError> {
+    let mut changed = false;
+    for r in 0..st.terms.len() {
+        if !st.row_alive[r] {
+            continue;
+        }
+        match st.terms[r].len() {
+            0 => {
+                // Empty row: consistency check, then drop.
+                let ok = match p.cons[r].rel {
+                    Rel::Le => st.rhs[r] >= -1e-9,
+                    Rel::Ge => st.rhs[r] <= 1e-9,
+                    Rel::Eq => st.rhs[r].abs() <= 1e-9,
+                };
+                if !ok {
+                    return Err(LpError::Infeasible);
+                }
+                st.row_alive[r] = false;
+                changed = true;
+            }
+            1 => {
+                // Singleton row: fold into bounds.
+                let (j, a) = st.terms[r][0];
+                debug_assert!(nonzero(a));
+                let bound = st.rhs[r] / a;
+                let rel = p.cons[r].rel;
+                // a < 0 flips the inequality direction.
+                let effective = match (rel, a > 0.0) {
+                    (Rel::Eq, _) => Rel::Eq,
+                    (Rel::Le, true) | (Rel::Ge, false) => Rel::Le,
+                    (Rel::Ge, true) | (Rel::Le, false) => Rel::Ge,
+                };
+                match effective {
+                    Rel::Le => {
+                        if bound < st.hi[j] {
+                            st.hi[j] = bound;
+                            st.bound_sources[j].upper = Some((r, a));
+                        }
+                    }
+                    Rel::Ge => {
+                        if bound > st.lo[j] {
+                            st.lo[j] = bound;
+                            st.bound_sources[j].lower = Some((r, a));
+                        }
+                    }
+                    Rel::Eq => {
+                        st.lo[j] = bound;
+                        st.hi[j] = bound;
+                        st.bound_sources[j].lower = Some((r, a));
+                        st.bound_sources[j].upper = Some((r, a));
+                    }
+                }
+                if st.lo[j] > st.hi[j] + 1e-9 * (1.0 + st.lo[j].abs()) {
+                    return Err(LpError::Infeasible);
+                }
+                st.maybe_fix(j);
+                st.row_alive[r] = false;
+                changed = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(changed)
+}
+
 /// Runs the reduction loop. Returns `Err(LpError::Infeasible)` when a
 /// trivial inconsistency is proven.
 pub(crate) fn presolve(p: &Problem) -> Result<Reduction, LpError> {
     let n = p.num_vars();
     let m = p.num_cons();
-    let mut lo: Vec<f64> = p.vars.iter().map(|v| v.lower).collect();
-    let mut hi: Vec<f64> = p.vars.iter().map(|v| v.upper).collect();
-    let mut fixed_value: Vec<Option<f64>> = vec![None; n];
-    let mut bound_sources: Vec<BoundSource> = vec![BoundSource::default(); n];
-    let mut row_alive = vec![true; m];
-    // Working copy of rows: (terms, rel, rhs).
-    let mut terms: Vec<Vec<(usize, f64)>> = p.cons.iter().map(|c| c.terms.clone()).collect();
-    let mut rhs: Vec<f64> = p.cons.iter().map(|c| c.rhs).collect();
-
-    // Anything already degenerate?
-    for j in 0..n {
-        if (hi[j] - lo[j]).abs() <= FIX_TOL * (1.0 + lo[j].abs()) && lo[j].is_finite() {
-            fixed_value[j] = Some(lo[j]);
-        }
-    }
+    let mut st = PresolveState::new(p);
 
     let mut changed = true;
     let mut guard = 0;
     while changed {
-        changed = false;
         guard += 1;
         if guard > n + m + 8 {
             break; // fixpoint guard; reductions are monotone so this is ample
         }
-
-        // Substitute fixed variables out of rows.
-        for r in 0..m {
-            if !row_alive[r] {
-                continue;
-            }
-            let mut k = 0;
-            while k < terms[r].len() {
-                let (j, c) = terms[r][k];
-                if let Some(v) = fixed_value[j] {
-                    rhs[r] -= c * v;
-                    terms[r].swap_remove(k);
-                    changed = true;
-                } else {
-                    k += 1;
-                }
-            }
-        }
-
-        for r in 0..m {
-            if !row_alive[r] {
-                continue;
-            }
-            match terms[r].len() {
-                0 => {
-                    // Empty row: consistency check, then drop.
-                    let ok = match p.cons[r].rel {
-                        Rel::Le => rhs[r] >= -1e-9,
-                        Rel::Ge => rhs[r] <= 1e-9,
-                        Rel::Eq => rhs[r].abs() <= 1e-9,
-                    };
-                    if !ok {
-                        return Err(LpError::Infeasible);
-                    }
-                    row_alive[r] = false;
-                    changed = true;
-                }
-                1 => {
-                    // Singleton row: fold into bounds.
-                    let (j, a) = terms[r][0];
-                    debug_assert!(nonzero(a));
-                    let bound = rhs[r] / a;
-                    let rel = p.cons[r].rel;
-                    // a < 0 flips the inequality direction.
-                    let effective = match (rel, a > 0.0) {
-                        (Rel::Eq, _) => Rel::Eq,
-                        (Rel::Le, true) | (Rel::Ge, false) => Rel::Le,
-                        (Rel::Ge, true) | (Rel::Le, false) => Rel::Ge,
-                    };
-                    match effective {
-                        Rel::Le => {
-                            if bound < hi[j] {
-                                hi[j] = bound;
-                                bound_sources[j].upper = Some((r, a));
-                            }
-                        }
-                        Rel::Ge => {
-                            if bound > lo[j] {
-                                lo[j] = bound;
-                                bound_sources[j].lower = Some((r, a));
-                            }
-                        }
-                        Rel::Eq => {
-                            lo[j] = bound;
-                            hi[j] = bound;
-                            bound_sources[j].lower = Some((r, a));
-                            bound_sources[j].upper = Some((r, a));
-                        }
-                    }
-                    if lo[j] > hi[j] + 1e-9 * (1.0 + lo[j].abs()) {
-                        return Err(LpError::Infeasible);
-                    }
-                    if fixed_value[j].is_none()
-                        && (hi[j] - lo[j]).abs() <= FIX_TOL * (1.0 + lo[j].abs())
-                        && lo[j].is_finite()
-                    {
-                        fixed_value[j] = Some(lo[j]);
-                    }
-                    row_alive[r] = false;
-                    changed = true;
-                }
-                _ => {}
-            }
-        }
+        changed = substitute_fixed_pass(&mut st);
+        changed |= reduce_rows_pass(p, &mut st)?;
     }
+    let PresolveState {
+        lo,
+        hi,
+        fixed_value,
+        bound_sources,
+        row_alive,
+        terms,
+        rhs,
+    } = st;
 
     // Build the reduced problem.
     let mut reduced = Problem::new(p.sense);
@@ -307,6 +355,24 @@ mod tests {
         p.add_con("a", &[(x, 1.0)], Rel::Ge, 5.0);
         p.add_con("b", &[(x, 1.0)], Rel::Le, 3.0);
         assert_eq!(presolve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn consistent_row_that_empties_after_fixing_is_dropped() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 2.0, 2.0, 1.0); // fixed at 2
+        let y = p.add_nonneg("y", 1.0);
+        let z = p.add_nonneg("z", 1.0);
+        // Becomes `0 <= 4` once x is substituted: consistent, dropped.
+        p.add_con("empties", &[(x, 3.0)], Rel::Le, 10.0);
+        // Stays a two-term row so it must survive the reduction.
+        p.add_con("joint", &[(y, 1.0), (z, 1.0)], Rel::Le, 5.0);
+        let r = presolve(&p).unwrap();
+        assert_eq!(r.fixed, vec![(0, 2.0)]);
+        assert_eq!(r.kept_cons, vec![1], "emptied row must be dropped");
+        assert_eq!(r.problem.num_cons(), 1);
+        // Dropped row's dual expands to zero.
+        assert_eq!(r.expand_duals(&[0.25]), vec![0.0, 0.25]);
     }
 
     #[test]

@@ -118,6 +118,13 @@ impl Problem {
         self.cons.len()
     }
 
+    /// Total stored constraint-matrix nonzeros (zero coefficients are
+    /// compacted away at `add_con` time). Used by benches to certify that
+    /// a config reaches a target sparsity scale.
+    pub fn num_nonzeros(&self) -> usize {
+        self.cons.iter().map(|c| c.terms.len()).sum()
+    }
+
     /// Adds a variable with bounds `[lower, upper]` and the given objective
     /// coefficient. Use `f64::INFINITY` for an unbounded-above variable and
     /// `f64::NEG_INFINITY` for a free (unbounded-below) variable.

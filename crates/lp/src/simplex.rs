@@ -5,13 +5,34 @@
 //! used by default with an automatic, permanent switch to Bland's rule once
 //! the pivot count suggests stalling, which guarantees termination.
 
+use std::sync::Arc;
+
 use palb_num::nonzero;
 
 use crate::dense::DenseMatrix;
 use crate::error::{LpError, SimplexPhase};
 use crate::problem::Problem;
 use crate::solution::Solution;
+use crate::sparse::{BlockStructure, SparseTableau};
 use crate::standard::{self, ColKind, RowOrigin, StandardForm};
+
+/// Which simplex engine executes a solve.
+///
+/// Both engines are bitwise-equal on every input (see [`crate::sparse`]),
+/// so the choice is purely a performance knob: the sparse engine wins by
+/// an order of magnitude on large block-structured LPs and loses a
+/// constant factor on tiny dense ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Pick by problem size: standard forms whose tableau would hold at
+    /// least `SPARSE_AUTO_CELLS` cells route to the sparse engine.
+    #[default]
+    Auto,
+    /// Always the dense tableau.
+    Dense,
+    /// Always the sparse tableau.
+    Sparse,
+}
 
 /// Entering-variable selection rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +59,13 @@ pub struct SolveOptions {
     /// Run the presolve reductions (fixed variables, empty/singleton rows)
     /// before the simplex. On by default.
     pub presolve: bool,
+    /// Which engine executes the solve; [`EngineKind::Auto`] picks by
+    /// problem size.
+    pub engine: EngineKind,
+    /// Optional block-structure metadata (per-server blocks plus coupling
+    /// rows) enabling the sparse engine's block pricing. The dense engine
+    /// ignores it; inconsistent metadata is detected and ignored.
+    pub blocks: Option<Arc<BlockStructure>>,
 }
 
 impl Default for SolveOptions {
@@ -48,6 +76,8 @@ impl Default for SolveOptions {
             max_iters: None,
             bland_after: None,
             presolve: true,
+            engine: EngineKind::Auto,
+            blocks: None,
         }
     }
 }
@@ -64,7 +94,25 @@ pub(crate) fn solve(p: &Problem, opts: &SolveOptions) -> Result<Solution, LpErro
         let objective = p.objective_value(&x);
         return Ok(Solution::new(objective, x, vec![0.0; p.num_cons()], 0));
     }
-    let inner = solve_direct(&red.problem, opts)?;
+    // Block metadata is indexed in the original variable/constraint
+    // spaces; remap it onto the reduced problem (or drop it if the mapping
+    // cannot be established — the shortcut is optional).
+    let inner_opts = if opts.blocks.is_some()
+        && (red.kept_vars.len() != p.num_vars() || red.kept_cons.len() != p.num_cons())
+    {
+        let remapped = opts
+            .blocks
+            .as_deref()
+            .and_then(|bs| bs.remap(&red.kept_vars, &red.kept_cons))
+            .map(Arc::new);
+        SolveOptions {
+            blocks: remapped,
+            ..opts.clone()
+        }
+    } else {
+        opts.clone()
+    };
+    let inner = solve_direct(&red.problem, &inner_opts)?;
     let x = red.expand_x(inner.values());
     let mut duals = red.expand_duals(inner.duals());
     postsolve_duals(p, &red, &x, &mut duals, opts.tol);
@@ -131,10 +179,26 @@ fn postsolve_duals(
 /// The raw two-phase solve without presolve.
 fn solve_direct(p: &Problem, opts: &SolveOptions) -> Result<Solution, LpError> {
     let sf = standard::build(p)?;
-    let mut tab = Tableau::new(&sf, opts);
-    tab.run_phase1()?;
-    tab.run_phase2()?;
-    extract(p, &sf, &tab)
+    if use_sparse(opts.engine, sf.m(), sf.n()) {
+        let mut tab = SparseTableau::new(&sf, opts);
+        tab.run_phase1()?;
+        tab.run_phase2()?;
+        extract_sparse(p, &sf, &mut tab)
+    } else {
+        let mut tab = Tableau::new(&sf, opts);
+        tab.run_phase1()?;
+        tab.run_phase2()?;
+        extract(p, &sf, &tab)
+    }
+}
+
+/// Resolves an [`EngineKind`] against standard-form dimensions.
+pub(crate) fn use_sparse(engine: EngineKind, m: usize, n: usize) -> bool {
+    match engine {
+        EngineKind::Dense => false,
+        EngineKind::Sparse => true,
+        EngineKind::Auto => crate::sparse::auto_prefers_sparse(m, n),
+    }
 }
 
 /// The evolving simplex tableau. Owns copies of the small metadata it
@@ -171,7 +235,7 @@ impl Tableau {
         let n = sf.n();
         let mut rows = DenseMatrix::zeros(m, n + 1);
         for r in 0..m {
-            rows.row_mut(r)[..n].copy_from_slice(sf.a.row(r));
+            sf.a.scatter_row_into(r, &mut rows.row_mut(r)[..n]);
             rows[(r, n)] = sf.b[r];
         }
 
@@ -527,27 +591,245 @@ impl Tableau {
         }
         x
     }
+
+    // --- workspace warm-path hooks --------------------------------------
+
+    /// Folds an RHS delta through identity column `jc` of the evolving
+    /// tableau (that column *is* the corresponding column of `B⁻¹`),
+    /// updating the transformed right-hand side and the running objective
+    /// cell in `O(m)`. The column is snapshotted through the reused
+    /// scratch — no per-patch allocation, one contiguous read.
+    pub(crate) fn fold_rhs(&mut self, jc: usize, delta: f64) {
+        let n = self.n();
+        let mut binv_col = std::mem::take(&mut self.col_buf);
+        self.rows.col_into(jc, &mut binv_col);
+        for (r, &f) in binv_col.iter().enumerate() {
+            if nonzero(f) {
+                self.rows[(r, n)] += delta * f;
+            }
+        }
+        self.col_buf = binv_col;
+        self.cost2[n] += delta * self.cost2[jc];
+    }
+
+    /// Raises `b_norm` for a patched RHS magnitude.
+    pub(crate) fn bump_b_norm(&mut self, abs_rhs: f64) {
+        self.b_norm = self.b_norm.max(1.0 + abs_rhs);
+    }
+
+    /// Whether any transformed RHS entry is below `-feas_tol`.
+    pub(crate) fn any_rhs_below(&self, feas_tol: f64) -> bool {
+        let n = self.n();
+        (0..self.m()).any(|r| self.rows[(r, n)] < -feas_tol)
+    }
+
+    /// Whether the phase-2 cost row is dual-feasible within `slack_tol`.
+    pub(crate) fn dual_feasible(&self, slack_tol: f64) -> bool {
+        (0..self.n()).all(|j| self.banned[j] || self.cost2[j] >= -slack_tol)
+    }
+
+    /// Applies an objective-coefficient delta to column `col`; when the
+    /// column is basic in row `r`, its cost change sweeps through every
+    /// reduced cost (`c_B` moved): `c̃ -= Δc · (B⁻¹A)_r`.
+    pub(crate) fn apply_obj_delta(&mut self, col: usize, delta: f64, basic_row: Option<usize>) {
+        self.cost2[col] += delta;
+        if let Some(r) = basic_row {
+            let src = self.rows.row(r);
+            for (cv, rv) in self.cost2.iter_mut().zip(src) {
+                *cv -= delta * rv;
+            }
+        }
+    }
+
+    /// Re-installs a snapshotted basis: resets the rows to the original
+    /// `[A | b]`, then runs a Jordan elimination into the requested basis
+    /// with row swaps for pivot quality (same scratch-column elimination
+    /// as [`Tableau::pivot`]), and finally recomputes the phase-2 reduced
+    /// costs. Phase 1 is behind us, so artificials are banned and its cost
+    /// row zeroed.
+    pub(crate) fn restore_to_basis(
+        &mut self,
+        sf: &StandardForm,
+        cols: &[usize],
+    ) -> Result<(), LpError> {
+        let m = self.m();
+        let n = self.n();
+        for r in 0..m {
+            sf.a.scatter_row_into(r, &mut self.rows.row_mut(r)[..n]);
+            self.rows[(r, n)] = sf.b[r];
+        }
+        for (k, &j) in cols.iter().enumerate() {
+            let mut best = k;
+            for r in k..m {
+                if self.rows[(r, j)].abs() > self.rows[(best, j)].abs() {
+                    best = r;
+                }
+            }
+            if self.rows[(best, j)].abs() <= self.tol * 100.0 {
+                return Err(LpError::Numeric("singular basis snapshot".into()));
+            }
+            if best != k {
+                for col in 0..=n {
+                    let tmp = self.rows[(k, col)];
+                    self.rows[(k, col)] = self.rows[(best, col)];
+                    self.rows[(best, col)] = tmp;
+                }
+            }
+            let pivot = self.rows[(k, j)];
+            let mut factors = std::mem::take(&mut self.col_buf);
+            self.rows.col_into(j, &mut factors);
+            self.rows.scale_row(k, 1.0 / pivot);
+            self.rows[(k, j)] = 1.0;
+            for (r, &f) in factors.iter().enumerate() {
+                if r != k && nonzero(f) {
+                    self.rows.axpy_rows(r, k, -f);
+                    self.rows[(r, j)] = 0.0;
+                }
+            }
+            self.col_buf = factors;
+            self.basis[k] = j;
+        }
+        self.cost2[..n].copy_from_slice(&sf.c);
+        self.cost2[n] = 0.0;
+        for k in 0..m {
+            let d = self.cost2[self.basis[k]];
+            if nonzero(d) {
+                let src = self.rows.row(k);
+                for (cv, rv) in self.cost2.iter_mut().zip(src) {
+                    *cv -= d * rv;
+                }
+                self.cost2[self.basis[k]] = 0.0;
+            }
+        }
+        for (j, kind) in self.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                self.banned[j] = true;
+            }
+        }
+        self.cost1.iter_mut().for_each(|v| *v = 0.0);
+        Ok(())
+    }
 }
 
 pub(crate) fn extract(p: &Problem, sf: &StandardForm, tab: &Tableau) -> Result<Solution, LpError> {
-    let x_std = tab.x_std();
+    let mut scratch = DualScratch::new();
+    let duals = recover_duals(sf, &tab.basis, &mut scratch);
+    extract_parts(p, sf, tab.x_std(), tab.pivots, duals)
+}
+
+/// Sparse-engine extraction: duals come from a BTRAN through the eta file
+/// (`y = B⁻ᵀ c_B`, cost proportional to the recorded pivot work) instead
+/// of the dense engine's `O(m³)` factorization of `Bᵀ` — on the large
+/// sparse models this engine exists for, that factorization would dwarf
+/// the entire pivot sequence. Objective and primal values stay bitwise
+/// dense-identical; duals agree mathematically (same system, different
+/// arithmetic). An invalid eta file falls back to the shared dense solve.
+pub(crate) fn extract_sparse(
+    p: &Problem,
+    sf: &StandardForm,
+    tab: &mut SparseTableau,
+) -> Result<Solution, LpError> {
+    let duals = match tab.duals_std(sf) {
+        Some(y) => user_duals_from_std(sf, &y),
+        None => {
+            let mut scratch = DualScratch::new();
+            recover_duals(sf, &tab.basis, &mut scratch)
+        }
+    };
+    let (x_std, pivots) = (tab.x_std(), tab.pivots);
+    extract_parts(p, sf, x_std, pivots, duals)
+}
+
+/// Engine-independent solution extraction from standard-form primal
+/// values plus already-recovered duals. Both engines route through here,
+/// so cold-path objectives and values are bitwise-identical by
+/// construction (they depend only on `sf` and `x_std`).
+pub(crate) fn extract_parts(
+    p: &Problem,
+    sf: &StandardForm,
+    x_std: Vec<f64>,
+    pivots: usize,
+    duals: Vec<f64>,
+) -> Result<Solution, LpError> {
     let x_user = sf.recover(&x_std);
     // Recompute the objective from first principles rather than trusting the
     // accumulated cost row — cheap and immune to drift.
     let objective = p.objective_value(&x_user);
 
-    let duals = recover_duals(sf, tab);
-
     if x_user.iter().any(|v| !v.is_finite()) {
         return Err(LpError::Numeric("non-finite solution component".into()));
     }
-    Ok(Solution::new(objective, x_user, duals, tab.pivots))
+    Ok(Solution::new(objective, x_user, duals, pivots))
 }
 
-/// Recovers user-constraint shadow prices `∂(user objective)/∂rhs` from the
-/// final basis by solving `Bᵀ y = c_B` against the *original* standard-form
-/// columns (no tableau drift).
-fn recover_duals(sf: &StandardForm, tab: &Tableau) -> Vec<f64> {
+/// Maps standard-form row duals (`y = B⁻ᵀ c_B`) to user-constraint shadow
+/// prices with the same sign and row-scale handling as [`recover_duals`].
+/// Exact zeros are normalized so `−0.0` never leaks which arithmetic
+/// produced them.
+pub(crate) fn user_duals_from_std(sf: &StandardForm, y: &[f64]) -> Vec<f64> {
+    let n_user_cons = sf
+        .row_origins
+        .iter()
+        .filter(|o| matches!(o, RowOrigin::Constraint(_)))
+        .count();
+    let sign = if sf.maximize { -1.0 } else { 1.0 };
+    let mut duals = vec![0.0; n_user_cons];
+    for (r, origin) in sf.row_origins.iter().enumerate() {
+        if let RowOrigin::Constraint(ci) = *origin {
+            let v = sign * y[r] * sf.row_scale[r];
+            duals[ci] = if palb_num::is_zero(v) { 0.0 } else { v };
+        }
+    }
+    duals
+}
+
+/// Reusable buffers for [`recover_duals`]: the `Bᵀ` build and the dense
+/// elimination each allocated `O(m²)` per call, which showed up on every
+/// basis restore in the solver-perf profile. A [`crate::Workspace`] owns
+/// one of these across its lifetime.
+#[derive(Debug, Clone)]
+pub(crate) struct DualScratch {
+    bt: DenseMatrix,
+    c_b: Vec<f64>,
+    y: Vec<f64>,
+    /// Basis position of each standard-form column (`u32::MAX` when
+    /// nonbasic); lets the `Bᵀ` build scatter the sparse rows in one pass.
+    pos: Vec<u32>,
+    solve: crate::linalg::SolveScratch,
+}
+
+impl DualScratch {
+    pub(crate) fn new() -> Self {
+        DualScratch {
+            bt: DenseMatrix::zeros(0, 0),
+            c_b: Vec::new(),
+            y: Vec::new(),
+            pos: Vec::new(),
+            solve: crate::linalg::SolveScratch::new(),
+        }
+    }
+
+    fn ensure(&mut self, m: usize, n: usize) {
+        if self.bt.rows() != m {
+            self.bt = DenseMatrix::zeros(m, m);
+        }
+        if self.c_b.len() != m {
+            self.c_b.resize(m, 0.0);
+        }
+        self.pos.clear();
+        self.pos.resize(n, u32::MAX);
+    }
+}
+
+/// Recovers user-constraint shadow prices `∂(user objective)/∂rhs` from a
+/// basis by solving `Bᵀ y = c_B` against the *original* standard-form
+/// columns (no tableau drift). Engine-independent: depends only on `sf`
+/// and the basis column set.
+pub(crate) fn recover_duals(
+    sf: &StandardForm,
+    basis: &[usize],
+    scratch: &mut DualScratch,
+) -> Vec<f64> {
     let m = sf.m();
     let n_user_cons = sf
         .row_origins
@@ -557,26 +839,42 @@ fn recover_duals(sf: &StandardForm, tab: &Tableau) -> Vec<f64> {
     if m == 0 {
         return vec![0.0; n_user_cons];
     }
+    scratch.ensure(m, sf.n());
     // Build Bᵀ directly: row `k` of `bt` is the original column of the
-    // k-th basic variable (one contiguous `col_into` pass each), so the
-    // explicit transpose copy `solve_transposed` would make is skipped.
-    let mut bt = DenseMatrix::zeros(m, m);
-    let mut c_b = vec![0.0; m];
-    for (k, &j) in tab.basis.iter().enumerate() {
-        sf.a.col_into(j, bt.row_mut(k));
-        c_b[k] = sf.c[j];
+    // k-th basic variable, assembled in one pass over the sparse rows
+    // (so the explicit transpose copy `solve_transposed` would make is
+    // skipped, and the nonbasic columns are never touched).
+    for (k, &j) in basis.iter().enumerate() {
+        scratch.bt.row_mut(k).fill(0.0);
+        scratch.c_b[k] = sf.c[j];
+        scratch.pos[j] = k as u32;
+    }
+    for r in 0..m {
+        let (cols, vals) = sf.a.row(r);
+        for (&j, &v) in cols.iter().zip(vals) {
+            let k = scratch.pos[j as usize];
+            if k != u32::MAX {
+                scratch.bt[(k as usize, r)] = v;
+            }
+        }
     }
     // A singular basis degrades gracefully to zero duals instead of
     // failing the solve.
-    let y = match crate::linalg::solve(&bt, &c_b) {
-        Ok(y) => y,
-        Err(_) => return vec![0.0; n_user_cons],
-    };
+    if crate::linalg::solve_into(
+        &scratch.bt,
+        &scratch.c_b,
+        &mut scratch.solve,
+        &mut scratch.y,
+    )
+    .is_err()
+    {
+        return vec![0.0; n_user_cons];
+    }
     let sign = if sf.maximize { -1.0 } else { 1.0 };
     let mut duals = vec![0.0; n_user_cons];
     for (r, origin) in sf.row_origins.iter().enumerate() {
         if let RowOrigin::Constraint(ci) = *origin {
-            duals[ci] = sign * y[r] * sf.row_scale[r];
+            duals[ci] = sign * scratch.y[r] * sf.row_scale[r];
         }
     }
     duals

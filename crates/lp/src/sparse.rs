@@ -1,0 +1,1400 @@
+//! Sparse revised-simplex engine.
+//!
+//! The dispatch LPs this workspace produces are overwhelmingly sparse:
+//! per-server `Σφ ≤ 1` blocks coupled only by per-`(class, front-end)`
+//! dispatch-conservation rows, so a dense tableau burns `rows × cols`
+//! work per pivot on entries that are structurally zero. This engine keeps
+//! the *same* two-phase primal simplex (and dual-simplex repair) as the
+//! dense [`crate::simplex::Tableau`], but stores the evolving tableau as
+//! sorted sparse rows and updates only stored nonzeros.
+//!
+//! ## Bitwise contract with the dense engine
+//!
+//! The defining gate of this engine is **bitwise-equal results with the
+//! dense tableau on every input**. A classical revised simplex (solving
+//! `B⁻¹` systems per pricing step) cannot meet that bar: ulp-level
+//! differences in reduced costs flip degenerate Dantzig ties and send the
+//! two engines down different pivot paths. Instead, this engine maintains
+//! the *same product-form tableau* the dense engine does, with identical
+//! operations in identical order — it merely skips arithmetic whose
+//! operands are exactly zero, which cannot change any value:
+//!
+//! * a sparse row stores an entry exactly where the dense row holds a
+//!   nonzero, with the identical bit pattern (entries that cancel to
+//!   exact `0.0` are dropped; the dense engine stores the same zero);
+//! * the right-hand side and both reduced-cost rows are kept as dense
+//!   vectors and receive the exact same update sequence;
+//! * every decision (pricing, ratio test, tie-breaks, feasibility and
+//!   ban checks) reads values through comparisons against `±tol` that
+//!   cannot distinguish `+0.0` from `−0.0`, the only bit-level freedom
+//!   the two representations have.
+//!
+//! The per-pivot [`EtaFile`] (see [`crate::eta`]) additionally records an
+//! implicit `B⁻¹` so both cold and warm solves surface duals via BTRAN
+//! (`y = B⁻ᵀ c_B`) without a dense `O(m³)` solve, with a Markowitz-ordered
+//! refactorization cadence (see [`crate::basis`]) bounding its growth.
+//! Duals are the one surface outside the bitwise contract: each engine
+//! recovers them by its own arithmetic (dense: an independent `Bᵀ`
+//! factorization; sparse: the eta BTRAN), so they agree to tolerance
+//! while objectives, values, pivot counts and statuses agree to the bit.
+//!
+//! ## Block pricing
+//!
+//! When the caller supplies a [`BlockStructure`] (per-server variable /
+//! constraint blocks plus coupling rows — `palb-core`'s `formulate`
+//! emits one), Dantzig pricing keeps a per-block lower bound on the
+//! block's minimum reduced cost and skips blocks that provably contain no
+//! candidate. This is a Dantzig–Wolfe-flavoured shortcut: it prices
+//! within per-DC blocks first and touches the coupling block like any
+//! other, while provably selecting the *same* column as the dense
+//! engine's full scan (the bound is exact after every full block scan and
+//! only lowered in between, and cross-block ties resolve to the smallest
+//! column index, which is the dense scan's tie-break).
+
+use std::sync::Arc;
+
+use palb_num::{f64_eq, nonzero};
+
+use crate::error::{LpError, SimplexPhase};
+use crate::eta::EtaFile;
+use crate::simplex::{PivotRule, SolveOptions};
+use crate::standard::{ColKind, CsrMatrix, RowOrigin, StandardForm, VarMapping};
+
+/// Block-structure metadata for an LP, in *user* index space.
+///
+/// Block ids `0..n_blocks` are per-server (per-DC) blocks; the reserved id
+/// `n_blocks` marks coupling variables/rows that tie blocks together.
+/// The sparse engine maps this onto standard-form columns (slack, surplus
+/// and artificial columns inherit the block of the row they belong to) to
+/// drive block pricing; the metadata is advisory — any inconsistency with
+/// the problem simply disables the shortcut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockStructure {
+    /// Block id per user variable (`n_blocks` = coupling).
+    pub var_blocks: Vec<u32>,
+    /// Block id per user constraint (`n_blocks` = coupling).
+    pub con_blocks: Vec<u32>,
+    /// Number of regular (non-coupling) blocks.
+    pub n_blocks: u32,
+}
+
+impl BlockStructure {
+    /// The id marking coupling variables/constraints.
+    pub fn coupling_id(&self) -> u32 {
+        self.n_blocks
+    }
+
+    /// Remaps the structure onto a sub-problem keeping only the listed
+    /// variables/constraints (used after presolve reductions).
+    pub(crate) fn remap(&self, kept_vars: &[usize], kept_cons: &[usize]) -> Option<BlockStructure> {
+        let mut var_blocks = Vec::with_capacity(kept_vars.len());
+        for &v in kept_vars {
+            var_blocks.push(*self.var_blocks.get(v)?);
+        }
+        let mut con_blocks = Vec::with_capacity(kept_cons.len());
+        for &c in kept_cons {
+            con_blocks.push(*self.con_blocks.get(c)?);
+        }
+        Some(BlockStructure {
+            var_blocks,
+            con_blocks,
+            n_blocks: self.n_blocks,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse row / CSC storage
+// ---------------------------------------------------------------------------
+
+/// One tableau row: sorted `(column, value)` pairs over columns `0..n`.
+/// The right-hand side lives in a separate dense vector.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SparseRow {
+    idx: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl SparseRow {
+    #[inline]
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Value at column `j` (`0.0` when no entry is stored).
+    #[inline]
+    fn get(&self, j: u32) -> f64 {
+        match self.idx.binary_search(&j) {
+            Ok(t) => self.val[t],
+            Err(_) => 0.0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, j: u32, v: f64) {
+        self.idx.push(j);
+        self.val.push(v);
+    }
+
+    fn clear(&mut self) {
+        self.idx.clear();
+        self.val.clear();
+    }
+}
+
+/// `dst ← dst + s · pivot`, skipping column `skip` (the dense engine
+/// writes a literal `0.0` there) and dropping entries that cancel to
+/// exact zero (the dense engine stores the same zero). The merged row is
+/// built in `out`, then swapped into `dst` so buffers are reused.
+fn merge_axpy(dst: &mut SparseRow, s: f64, pivot: &SparseRow, skip: u32, out: &mut SparseRow) {
+    out.clear();
+    let (di, dv) = (&dst.idx, &dst.val);
+    let (pi, pv) = (&pivot.idx, &pivot.val);
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < di.len() || b < pi.len() {
+        let ai = if a < di.len() { di[a] } else { u32::MAX };
+        let bi = if b < pi.len() { pi[b] } else { u32::MAX };
+        if ai < bi {
+            // No pivot-row entry here: the dense update adds `s · 0.0`,
+            // which leaves a nonzero unchanged.
+            if ai != skip {
+                out.push(ai, dv[a]);
+            }
+            a += 1;
+        } else if bi < ai {
+            if bi != skip {
+                let v = s * pv[b];
+                if nonzero(v) {
+                    out.push(bi, v);
+                }
+            }
+            b += 1;
+        } else {
+            if ai != skip {
+                let v = dv[a] + s * pv[b];
+                if nonzero(v) {
+                    out.push(ai, v);
+                }
+            }
+            a += 1;
+            b += 1;
+        }
+    }
+    std::mem::swap(dst, out);
+}
+
+/// Compressed-sparse-column copy of the original constraint matrix `A`,
+/// used by the refactorization to rebuild `B⁻¹` from pristine columns.
+#[derive(Debug, Clone)]
+pub(crate) struct CscMatrix {
+    m: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Transposes the standard form's CSR rows into column-major order in
+    /// two counting passes — `O(nnz)`, never touching a dense layout. Row
+    /// indices within each column come out ascending (rows are scanned in
+    /// order), exactly as a dense column scan would produce.
+    pub(crate) fn from_csr(a: &CsrMatrix) -> Self {
+        let (m, n) = (a.rows(), a.cols());
+        let mut col_ptr = vec![0usize; n + 1];
+        for r in 0..m {
+            let (cols, vals) = a.row(r);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if nonzero(v) {
+                    col_ptr[j as usize + 1] += 1;
+                }
+            }
+        }
+        for j in 0..n {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let nnz = col_ptr[n];
+        let mut next = col_ptr.clone();
+        let mut row_idx = vec![0u32; nnz];
+        let mut vals_out = vec![0.0; nnz];
+        for r in 0..m {
+            let (cols, vals) = a.row(r);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if nonzero(v) {
+                    let t = next[j as usize];
+                    row_idx[t] = r as u32;
+                    vals_out[t] = v;
+                    next[j as usize] += 1;
+                }
+            }
+        }
+        CscMatrix {
+            m,
+            col_ptr,
+            row_idx,
+            vals: vals_out,
+        }
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.m
+    }
+
+    pub(crate) fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Total stored nonzeros.
+    #[cfg(test)]
+    pub(crate) fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Scatters column `j` into the (pre-zeroed) dense vector `w`.
+    pub(crate) fn scatter_col(&self, j: usize, w: &mut [f64]) {
+        for t in self.col_ptr[j]..self.col_ptr[j + 1] {
+            w[self.row_idx[t] as usize] = self.vals[t];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block pricing
+// ---------------------------------------------------------------------------
+
+/// Per-block pricing state: column groups plus a certified lower bound on
+/// each block's minimum phase-2 reduced cost.
+#[derive(Debug)]
+struct BlockPricing {
+    /// Columns of each group, ascending; the last group is the coupling
+    /// block.
+    groups: Vec<Vec<u32>>,
+    /// Lower bound on `min cost2[j]` over the group's non-banned columns.
+    /// Lowered on every cost write below it, reset exactly by a full scan;
+    /// a group with `floor ≥ −tol` provably holds no pricing candidate.
+    floors: Vec<f64>,
+    /// Group of every standard-form column.
+    block_of: Vec<u32>,
+}
+
+impl BlockPricing {
+    fn build(bs: &BlockStructure, sf: &StandardForm) -> Option<BlockPricing> {
+        let n = sf.n();
+        if bs.var_blocks.len() != sf.var_map.len() {
+            return None;
+        }
+        let n_groups = bs.n_blocks as usize + 1;
+        let mut block_of = vec![u32::MAX; n];
+        let mut assign = |col: usize, b: u32| -> bool {
+            if b as usize >= n_groups {
+                return false;
+            }
+            block_of[col] = b;
+            true
+        };
+        for (vi, vm) in sf.var_map.iter().enumerate() {
+            let b = bs.var_blocks[vi];
+            let ok = match *vm {
+                VarMapping::Shifted { col, .. } => assign(col, b),
+                VarMapping::Split { pos, neg } => assign(pos, b) && assign(neg, b),
+            };
+            if !ok {
+                return None;
+            }
+        }
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            let r = match *kind {
+                ColKind::Structural => continue,
+                ColKind::Slack(r) | ColKind::Surplus(r) | ColKind::Artificial(r) => r,
+            };
+            let b = match *sf.row_origins.get(r)? {
+                RowOrigin::Constraint(ci) => *bs.con_blocks.get(ci)?,
+                RowOrigin::UpperBound(vi) => *bs.var_blocks.get(vi)?,
+            };
+            if !assign(j, b) {
+                return None;
+            }
+        }
+        if block_of.iter().any(|&b| b == u32::MAX) {
+            return None;
+        }
+        let mut groups = vec![Vec::new(); n_groups];
+        for (j, &b) in block_of.iter().enumerate() {
+            groups[b as usize].push(j as u32);
+        }
+        Some(BlockPricing {
+            groups,
+            floors: vec![f64::NEG_INFINITY; n_groups],
+            block_of,
+        })
+    }
+
+    /// Records a write of `v` into `cost2[j]`, keeping the floor a valid
+    /// lower bound.
+    #[inline]
+    fn note(&mut self, j: usize, v: f64) {
+        let b = self.block_of[j] as usize;
+        if v < self.floors[b] {
+            self.floors[b] = v;
+        }
+    }
+
+    /// Invalidates every floor (after a cost-row rebuild).
+    fn reset(&mut self) {
+        for f in &mut self.floors {
+            *f = f64::NEG_INFINITY;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sparse tableau
+// ---------------------------------------------------------------------------
+
+/// Sparse mirror of [`crate::simplex::Tableau`]; see the module docs for
+/// the bitwise contract. Field names and semantics match the dense
+/// engine's so the [`crate::Workspace`] warm paths read identically.
+pub(crate) struct SparseTableau {
+    pub(crate) col_kinds: Vec<ColKind>,
+    pub(crate) b_norm: f64,
+    /// `m` sparse rows over columns `0..n` (no RHS column).
+    rows: Vec<SparseRow>,
+    /// Dense right-hand side (the dense engine's column `n`).
+    rhs: Vec<f64>,
+    /// Phase-2 reduced costs; entry `n` is `−z`.
+    pub(crate) cost2: Vec<f64>,
+    /// Phase-1 reduced costs; entry `n` is `−z₁`.
+    pub(crate) cost1: Vec<f64>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) banned: Vec<bool>,
+    pub(crate) tol: f64,
+    pub(crate) rule: PivotRule,
+    pub(crate) bland_after: usize,
+    pub(crate) max_iters: usize,
+    pub(crate) pivots: usize,
+    /// Pristine CSC copy of `A` for refactorization.
+    csc: CscMatrix,
+    /// Scratch: extracted column (row indices / values).
+    col_rows: Vec<u32>,
+    col_vals: Vec<f64>,
+    /// Column currently held in the extraction scratch (`usize::MAX`
+    /// when stale); invalidated whenever any tableau row changes.
+    col_cached: usize,
+    /// Scratch row for merge output.
+    merge_row: SparseRow,
+    /// Implicit `B⁻¹` for BTRAN dual recovery.
+    eta: EtaFile,
+    /// Op count that triggers a refactorization attempt.
+    refactor_threshold: usize,
+    blocks: Option<BlockPricing>,
+    /// FTRAN-equivalent column extractions performed.
+    pub(crate) ftran_ops: u64,
+    /// Nonzeros touched by those extractions.
+    pub(crate) ftran_nnz: u64,
+    /// Successful basis refactorizations.
+    pub(crate) refactors: u64,
+}
+
+impl SparseTableau {
+    pub(crate) fn new(sf: &StandardForm, opts: &SolveOptions) -> Self {
+        let m = sf.m();
+        let n = sf.n();
+        let mut rows = Vec::with_capacity(m);
+        for r in 0..m {
+            let (cols, vals) = sf.a.row(r);
+            let mut row = SparseRow::default();
+            for (&j, &v) in cols.iter().zip(vals) {
+                if nonzero(v) {
+                    row.push(j, v);
+                }
+            }
+            rows.push(row);
+        }
+        let rhs = sf.b.clone();
+
+        // Initial basis: identical derivation to the dense engine.
+        let mut basis = vec![usize::MAX; m];
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            match *kind {
+                ColKind::Slack(r) | ColKind::Artificial(r) => {
+                    if basis[r] == usize::MAX {
+                        basis[r] = j;
+                    } else if matches!(kind, ColKind::Artificial(_)) {
+                        basis[r] = j;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            if let ColKind::Artificial(r) = *kind {
+                basis[r] = j;
+            }
+        }
+        debug_assert!(basis.iter().all(|&j| j != usize::MAX || m == 0));
+
+        // Phase-1 costs, reduced row by row exactly like the dense engine
+        // (whose sweep over stored zeros never changes a value).
+        let mut cost1 = vec![0.0; n + 1];
+        for (j, kind) in sf.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                cost1[j] = 1.0;
+            }
+        }
+        for (r, row) in rows.iter().enumerate() {
+            let coef = cost1[basis[r]];
+            if nonzero(coef) {
+                for t in 0..row.len() {
+                    cost1[row.idx[t] as usize] -= coef * row.val[t];
+                }
+                cost1[n] -= coef * rhs[r];
+            }
+        }
+
+        let mut cost2 = vec![0.0; n + 1];
+        cost2[..n].copy_from_slice(&sf.c);
+
+        let size = m + n;
+        let mut eta = EtaFile::new();
+        eta.ensure_scratch(m);
+        let blocks = opts
+            .blocks
+            .as_deref()
+            .and_then(|bs| BlockPricing::build(bs, sf));
+        SparseTableau {
+            col_kinds: sf.col_kinds.clone(),
+            b_norm: 1.0 + sf.b.iter().fold(0.0_f64, |acc, v| acc.max(v.abs())),
+            rows,
+            rhs,
+            cost2,
+            cost1,
+            basis,
+            banned: vec![false; n],
+            tol: opts.tol,
+            rule: opts.rule,
+            bland_after: opts.bland_after.unwrap_or(20 * size + 200),
+            max_iters: opts.max_iters.unwrap_or(200 * size + 1000),
+            pivots: 0,
+            csc: CscMatrix::from_csr(&sf.a),
+            col_rows: Vec::new(),
+            col_vals: Vec::new(),
+            col_cached: usize::MAX,
+            merge_row: SparseRow::default(),
+            eta,
+            refactor_threshold: refactor_cadence(m),
+            blocks,
+            ftran_ops: 0,
+            ftran_nnz: 0,
+            refactors: 0,
+        }
+    }
+
+    pub(crate) fn n(&self) -> usize {
+        self.banned.len()
+    }
+
+    pub(crate) fn m(&self) -> usize {
+        self.basis.len()
+    }
+
+    fn effective_rule(&self) -> PivotRule {
+        if self.pivots >= self.bland_after {
+            PivotRule::Bland
+        } else {
+            self.rule
+        }
+    }
+
+    /// Extracts the stored nonzeros of tableau column `j` into the
+    /// `col_rows`/`col_vals` scratch (ascending rows). This is the
+    /// engine's FTRAN equivalent — the materialized rows *are* `B⁻¹A` —
+    /// and is metered as such.
+    fn extract_col(&mut self, j: usize) {
+        // The ratio test and the pivot that follows extract the same
+        // column with no row mutation in between; reusing the buffers is
+        // a pure read-path shortcut (no arithmetic, so no drift).
+        if self.col_cached == j {
+            return;
+        }
+        self.col_rows.clear();
+        self.col_vals.clear();
+        let jj = j as u32;
+        for (r, row) in self.rows.iter().enumerate() {
+            let v = row.get(jj);
+            if nonzero(v) {
+                self.col_rows.push(r as u32);
+                self.col_vals.push(v);
+            }
+        }
+        self.col_cached = j;
+        self.ftran_ops += 1;
+        self.ftran_nnz += self.col_rows.len() as u64;
+    }
+
+    /// Full-scan pricing, identical to the dense engine's.
+    fn price_scan(&self, phase1: bool, rule: PivotRule) -> Option<usize> {
+        let n = self.n();
+        let cost = if phase1 { &self.cost1 } else { &self.cost2 };
+        match rule {
+            PivotRule::Bland => (0..n).find(|&j| !self.banned[j] && cost[j] < -self.tol),
+            PivotRule::Dantzig => {
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..n {
+                    if self.banned[j] {
+                        continue;
+                    }
+                    let r = cost[j];
+                    if r < -self.tol && best.map_or(true, |(_, b)| r < b) {
+                        best = Some((j, r));
+                    }
+                }
+                best.map(|(j, _)| j)
+            }
+        }
+    }
+
+    /// Block-aware Dantzig pricing over `cost2`. Selects the same column
+    /// as [`SparseTableau::price_scan`] would (smallest index attaining
+    /// the global minimum reduced cost), but skips blocks whose floor
+    /// proves they hold no candidate.
+    fn price_blocks(&mut self) -> Option<usize> {
+        let Some(mut bp) = self.blocks.take() else {
+            return self.price_scan(false, PivotRule::Dantzig);
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for b in 0..bp.groups.len() {
+            if bp.floors[b] >= -self.tol {
+                continue;
+            }
+            let mut exact_min = f64::INFINITY;
+            for &j32 in &bp.groups[b] {
+                let j = j32 as usize;
+                if self.banned[j] {
+                    continue;
+                }
+                let v = self.cost2[j];
+                if v < exact_min {
+                    exact_min = v;
+                }
+                if v < -self.tol {
+                    let better = match best {
+                        None => true,
+                        // Candidates are ordinary negatives, so value
+                        // equality is well-defined; the index tie-break
+                        // reproduces the dense ascending scan.
+                        Some((bj, bv)) => v < bv || (f64_eq(v, bv) && j < bj),
+                    };
+                    if better {
+                        best = Some((j, v));
+                    }
+                }
+            }
+            bp.floors[b] = exact_min;
+        }
+        self.blocks = Some(bp);
+        best.map(|(j, _)| j)
+    }
+
+    fn price(&mut self, phase1: bool) -> Option<usize> {
+        let rule = self.effective_rule();
+        if !phase1 && rule == PivotRule::Dantzig && self.blocks.is_some() {
+            self.price_blocks()
+        } else {
+            self.price_scan(phase1, rule)
+        }
+    }
+
+    /// Ratio test over the stored nonzeros of the entering column; the
+    /// candidate set and tie-breaks are identical to the dense engine's
+    /// (absent entries are zeros and can never pass `a > tol`).
+    // palb:hot-path(no-alloc)
+    pub(crate) fn ratio_test(&mut self, j: usize) -> Option<usize> {
+        self.extract_col(j);
+        let mut best: Option<(usize, f64)> = None;
+        for t in 0..self.col_rows.len() {
+            let r = self.col_rows[t] as usize;
+            let a = self.col_vals[t];
+            if a > self.tol {
+                let ratio = self.rhs[r] / a;
+                let better = match best {
+                    None => true,
+                    Some((br, bratio)) => {
+                        if (ratio - bratio).abs() <= self.tol * (1.0 + bratio.abs()) {
+                            let cand_art =
+                                matches!(self.col_kinds[self.basis[r]], ColKind::Artificial(_));
+                            let best_art =
+                                matches!(self.col_kinds[self.basis[br]], ColKind::Artificial(_));
+                            match (cand_art, best_art) {
+                                (true, false) => true,
+                                (false, true) => false,
+                                _ => self.basis[r] < self.basis[br],
+                            }
+                        } else {
+                            ratio < bratio
+                        }
+                    }
+                };
+                if better {
+                    best = Some((r, ratio));
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Pivots on `(row, col)`: the sparse mirror of the dense pivot, in
+    /// the same operation order — snapshot the pre-scale column, scale the
+    /// pivot row (and RHS), eliminate every other row with a nonzero
+    /// factor, clamp cancellation dust on the RHS, then sweep both cost
+    /// rows with the scaled pivot row. Also records the eta op for BTRAN.
+    // palb:hot-path(no-alloc)
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
+        let n = self.n();
+        let jj = col as u32;
+        self.extract_col(col);
+        let crows = std::mem::take(&mut self.col_rows);
+        let cvals = std::mem::take(&mut self.col_vals);
+        let pivot = self.rows[row].get(jj);
+        debug_assert!(pivot.abs() > self.tol, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+
+        // Record the eta op from the pre-scale column values.
+        self.eta.begin_eta(row, inv);
+        for t in 0..crows.len() {
+            if crows[t] as usize != row {
+                self.eta.push_factor(crows[t], cvals[t]);
+            }
+        }
+
+        // Scale the pivot row; entries that underflow to exact zero are
+        // dropped (the dense engine stores the same zero).
+        {
+            let prow = &mut self.rows[row];
+            let mut w = 0usize;
+            for t in 0..prow.len() {
+                let v = prow.val[t] * inv;
+                if nonzero(v) {
+                    prow.idx[w] = prow.idx[t];
+                    prow.val[w] = v;
+                    w += 1;
+                }
+            }
+            prow.idx.truncate(w);
+            prow.val.truncate(w);
+            // Clamp the pivot position to exactly 1.0, as the dense
+            // engine does. The entry exists: pivot · inv cannot be zero.
+            if let Ok(t) = prow.idx.binary_search(&jj) {
+                prow.val[t] = 1.0;
+            }
+        }
+        self.rhs[row] *= inv;
+        let rhs_row = self.rhs[row];
+
+        // Eliminate the other rows (ascending, like the dense factor
+        // scan). The pivot row is temporarily taken to satisfy borrows.
+        let prow = std::mem::take(&mut self.rows[row]);
+        let mut out = std::mem::take(&mut self.merge_row);
+        for t in 0..crows.len() {
+            let r = crows[t] as usize;
+            if r == row {
+                continue;
+            }
+            let s = -cvals[t];
+            merge_axpy(&mut self.rows[r], s, &prow, jj, &mut out);
+            self.rhs[r] += s * rhs_row;
+            if self.rhs[r] < 0.0 && self.rhs[r] > -self.tol {
+                self.rhs[r] = 0.0;
+            }
+        }
+
+        // Cost sweeps over the scaled pivot row's stored entries (the
+        // dense sweep over its zeros never changes a value). `cost[n]`
+        // pairs with the dense RHS column.
+        let f1 = self.cost1[col];
+        if nonzero(f1) {
+            for t in 0..prow.len() {
+                self.cost1[prow.idx[t] as usize] -= f1 * prow.val[t];
+            }
+            self.cost1[n] -= f1 * rhs_row;
+            self.cost1[col] = 0.0;
+        }
+        let f2 = self.cost2[col];
+        if nonzero(f2) {
+            for t in 0..prow.len() {
+                let c = prow.idx[t] as usize;
+                self.cost2[c] -= f2 * prow.val[t];
+                if let Some(bp) = self.blocks.as_mut() {
+                    bp.note(c, self.cost2[c]);
+                }
+            }
+            self.cost2[n] -= f2 * rhs_row;
+            self.cost2[col] = 0.0;
+            if let Some(bp) = self.blocks.as_mut() {
+                bp.note(col, 0.0);
+            }
+        }
+        self.rows[row] = prow;
+        self.merge_row = out;
+        self.col_rows = crows;
+        self.col_vals = cvals;
+        self.col_cached = usize::MAX;
+
+        let leaving = self.basis[row];
+        if matches!(self.col_kinds[leaving], ColKind::Artificial(_)) {
+            self.banned[leaving] = true;
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+
+        if self.eta.op_count() > self.refactor_threshold {
+            self.try_refactorize();
+        }
+    }
+
+    /// Attempts to compress the eta file by refactorizing from the
+    /// pristine columns. On failure the current (exact, per-pivot) op
+    /// list is kept and the threshold backs off.
+    fn try_refactorize(&mut self) {
+        match crate::basis::factorize(&mut self.eta, &self.csc, &self.basis) {
+            Ok(()) => {
+                self.refactors += 1;
+                self.refactor_threshold = refactor_cadence(self.m());
+            }
+            Err(()) => {
+                // Keep whatever the file held (an invalid file stays
+                // invalid, a valid one stays exact) and back off.
+                self.refactor_threshold = self.refactor_threshold.saturating_mul(2);
+            }
+        }
+    }
+
+    pub(crate) fn optimize(&mut self, phase1: bool) -> Result<(), LpError> {
+        loop {
+            if self.pivots >= self.max_iters {
+                return Err(LpError::IterationLimit {
+                    iterations: self.pivots,
+                    phase: if phase1 {
+                        SimplexPhase::Phase1
+                    } else {
+                        SimplexPhase::Phase2
+                    },
+                });
+            }
+            let Some(j) = self.price(phase1) else {
+                return Ok(());
+            };
+            let Some(r) = self.ratio_test(j) else {
+                return if phase1 {
+                    Err(LpError::Numeric(
+                        "unbounded phase-1 column (inconsistent tableau)".into(),
+                    ))
+                } else {
+                    Err(LpError::Unbounded)
+                };
+            };
+            self.pivot(r, j);
+        }
+    }
+
+    pub(crate) fn run_phase1(&mut self) -> Result<(), LpError> {
+        let has_artificials = self
+            .col_kinds
+            .iter()
+            .any(|k| matches!(k, ColKind::Artificial(_)));
+        if !has_artificials {
+            return Ok(());
+        }
+        self.optimize(true)?;
+        let z1 = -self.cost1[self.n()];
+        let scale = self.b_norm;
+        if z1 > self.tol * scale * 10.0 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive remaining basic artificials out; the stored entries of a
+        // row ascending are exactly the dense scan's nonzero candidates.
+        for r in 0..self.m() {
+            let jb = self.basis[r];
+            if matches!(self.col_kinds[jb], ColKind::Artificial(_)) {
+                let mut replacement = None;
+                for t in 0..self.rows[r].len() {
+                    let j = self.rows[r].idx[t] as usize;
+                    if !matches!(self.col_kinds[j], ColKind::Artificial(_))
+                        && self.rows[r].val[t].abs() > self.tol * 100.0
+                    {
+                        replacement = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = replacement {
+                    self.pivot(r, j);
+                }
+            }
+        }
+        for (j, kind) in self.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                self.banned[j] = true;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn run_phase2(&mut self) -> Result<(), LpError> {
+        self.optimize(false)
+    }
+
+    /// Dual simplex, mirroring the dense engine (leave = most negative
+    /// RHS; enter = min ratio over the leaving row's stored negatives,
+    /// ties to the smaller column).
+    pub(crate) fn dual_simplex(&mut self) -> Result<(), LpError> {
+        let feas_tol = self.tol * self.b_norm * 10.0;
+        loop {
+            if self.pivots >= self.max_iters {
+                return Err(LpError::IterationLimit {
+                    iterations: self.pivots,
+                    phase: SimplexPhase::Phase2,
+                });
+            }
+            let mut leave: Option<(usize, f64)> = None;
+            for (r, &v) in self.rhs.iter().enumerate() {
+                if v < -feas_tol && leave.map_or(true, |(_, b)| v < b) {
+                    leave = Some((r, v));
+                }
+            }
+            let Some((r, _)) = leave else {
+                for v in &mut self.rhs {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                return Ok(());
+            };
+            let mut enter: Option<(usize, f64)> = None;
+            for t in 0..self.rows[r].len() {
+                let j = self.rows[r].idx[t] as usize;
+                if self.banned[j] {
+                    continue;
+                }
+                let a = self.rows[r].val[t];
+                if a < -self.tol {
+                    let ratio = self.cost2[j] / -a;
+                    let better = match enter {
+                        None => true,
+                        Some((bj, bratio)) => {
+                            if (ratio - bratio).abs() <= self.tol * (1.0 + bratio.abs()) {
+                                j < bj
+                            } else {
+                                ratio < bratio
+                            }
+                        }
+                    };
+                    if better {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((j, _)) = enter else {
+                return Err(LpError::Infeasible);
+            };
+            self.pivot(r, j);
+        }
+    }
+
+    /// Standard-form primal values at the current basis.
+    pub(crate) fn x_std(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n()];
+        for (r, &v) in self.rhs.iter().enumerate() {
+            x[self.basis[r]] = if v.abs() < self.tol { 0.0 } else { v };
+        }
+        x
+    }
+
+    // --- workspace warm-path hooks --------------------------------------
+
+    /// Folds an RHS delta through identity column `jc` (the dense
+    /// engine's `B⁻¹` column read), updating the stored RHS and the
+    /// running objective cell.
+    pub(crate) fn fold_rhs(&mut self, jc: usize, delta: f64) {
+        let n = self.n();
+        self.extract_col(jc);
+        for t in 0..self.col_rows.len() {
+            let r = self.col_rows[t] as usize;
+            self.rhs[r] += delta * self.col_vals[t];
+        }
+        self.cost2[n] += delta * self.cost2[jc];
+    }
+
+    /// Raises `b_norm` for a patched RHS magnitude.
+    pub(crate) fn bump_b_norm(&mut self, abs_rhs: f64) {
+        self.b_norm = self.b_norm.max(1.0 + abs_rhs);
+    }
+
+    /// Whether any stored RHS entry is below `-feas_tol`.
+    pub(crate) fn any_rhs_below(&self, feas_tol: f64) -> bool {
+        self.rhs.iter().any(|&v| v < -feas_tol)
+    }
+
+    /// Whether the phase-2 cost row is dual-feasible within `slack_tol`.
+    pub(crate) fn dual_feasible(&self, slack_tol: f64) -> bool {
+        (0..self.n()).all(|j| self.banned[j] || self.cost2[j] >= -slack_tol)
+    }
+
+    /// Applies an objective-coefficient delta to column `col`; when the
+    /// column is basic in row `r`, sweeps the reduced costs with that row
+    /// exactly like the dense engine.
+    pub(crate) fn apply_obj_delta(&mut self, col: usize, delta: f64, basic_row: Option<usize>) {
+        let n = self.n();
+        self.cost2[col] += delta;
+        if let Some(bp) = self.blocks.as_mut() {
+            bp.note(col, self.cost2[col]);
+        }
+        if let Some(r) = basic_row {
+            let prow = std::mem::take(&mut self.rows[r]);
+            for t in 0..prow.len() {
+                let c = prow.idx[t] as usize;
+                self.cost2[c] -= delta * prow.val[t];
+                if let Some(bp) = self.blocks.as_mut() {
+                    bp.note(c, self.cost2[c]);
+                }
+            }
+            self.cost2[n] -= delta * self.rhs[r];
+            self.rows[r] = prow;
+        }
+    }
+
+    /// Re-installs a snapshotted basis: Jordan elimination with row swaps
+    /// for pivot quality, mirroring the dense restore bit for bit, then a
+    /// cost-row rebuild and an eta refactorization for dual recovery.
+    pub(crate) fn restore_to_basis(
+        &mut self,
+        sf: &StandardForm,
+        cols: &[usize],
+    ) -> Result<(), LpError> {
+        let m = self.m();
+        let n = self.n();
+        // Reset rows to the original [A | b].
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            row.clear();
+            let (cols, vals) = sf.a.row(r);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if nonzero(v) {
+                    row.push(j, v);
+                }
+            }
+            self.rhs[r] = sf.b[r];
+        }
+        for (k, &j) in cols.iter().enumerate() {
+            let jj = j as u32;
+            let mut best = k;
+            let mut best_abs = self.rows[k].get(jj).abs();
+            for r in (k + 1)..m {
+                let a = self.rows[r].get(jj).abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs <= self.tol * 100.0 {
+                return Err(LpError::Numeric("singular basis snapshot".into()));
+            }
+            if best != k {
+                self.rows.swap(k, best);
+                self.rhs.swap(k, best);
+            }
+            let pivot = self.rows[k].get(jj);
+            // Rows were reset/swapped since any previous extraction.
+            self.col_cached = usize::MAX;
+            self.extract_col(j);
+            let crows = std::mem::take(&mut self.col_rows);
+            let cvals = std::mem::take(&mut self.col_vals);
+            let inv = 1.0 / pivot;
+            {
+                let prow = &mut self.rows[k];
+                let mut w = 0usize;
+                for t in 0..prow.len() {
+                    let v = prow.val[t] * inv;
+                    if nonzero(v) {
+                        prow.idx[w] = prow.idx[t];
+                        prow.val[w] = v;
+                        w += 1;
+                    }
+                }
+                prow.idx.truncate(w);
+                prow.val.truncate(w);
+                if let Ok(t) = prow.idx.binary_search(&jj) {
+                    prow.val[t] = 1.0;
+                }
+            }
+            self.rhs[k] *= inv;
+            let rhs_k = self.rhs[k];
+            let prow = std::mem::take(&mut self.rows[k]);
+            let mut out = std::mem::take(&mut self.merge_row);
+            for t in 0..crows.len() {
+                let r = crows[t] as usize;
+                if r == k {
+                    continue;
+                }
+                let s = -cvals[t];
+                merge_axpy(&mut self.rows[r], s, &prow, jj, &mut out);
+                // The dense restore has no RHS clamp here.
+                self.rhs[r] += s * rhs_k;
+            }
+            self.rows[k] = prow;
+            self.merge_row = out;
+            self.col_rows = crows;
+            self.col_vals = cvals;
+            self.basis[k] = j;
+        }
+        // Rebuild phase-2 reduced costs against the restored basis.
+        self.cost2[..n].copy_from_slice(&sf.c);
+        self.cost2[n] = 0.0;
+        for k in 0..m {
+            let d = self.cost2[self.basis[k]];
+            if nonzero(d) {
+                let prow = std::mem::take(&mut self.rows[k]);
+                for t in 0..prow.len() {
+                    self.cost2[prow.idx[t] as usize] -= d * prow.val[t];
+                }
+                self.cost2[n] -= d * self.rhs[k];
+                self.rows[k] = prow;
+                self.cost2[self.basis[k]] = 0.0;
+            }
+        }
+        if let Some(bp) = self.blocks.as_mut() {
+            bp.reset();
+        }
+        for (j, kind) in self.col_kinds.iter().enumerate() {
+            if matches!(kind, ColKind::Artificial(_)) {
+                self.banned[j] = true;
+            }
+        }
+        self.cost1.iter_mut().for_each(|v| *v = 0.0);
+        // The eta product no longer matches the restored basis; rebuild
+        // it from pristine columns (failure degrades duals to zeros).
+        match crate::basis::factorize(&mut self.eta, &self.csc, &self.basis) {
+            Ok(()) => self.refactors += 1,
+            Err(()) => self.eta.invalidate(),
+        }
+        Ok(())
+    }
+
+    /// Duals in standard-form row space via BTRAN (`y = B⁻ᵀ c_B`), or
+    /// `None` when the eta file is invalid (degrades like the dense
+    /// engine's singular-basis fallback).
+    pub(crate) fn duals_std(&mut self, sf: &StandardForm) -> Option<Vec<f64>> {
+        if !self.eta.is_valid() {
+            return None;
+        }
+        let mut y = vec![0.0; self.m()];
+        for (k, &j) in self.basis.iter().enumerate() {
+            y[k] = sf.c[j];
+        }
+        self.eta.btran(&mut y);
+        if y.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(y)
+    }
+
+    /// Stored tableau nonzeros (diagnostics / tests).
+    #[cfg(test)]
+    pub(crate) fn row_nnz(&self) -> usize {
+        self.rows.iter().map(SparseRow::len).sum()
+    }
+}
+
+/// Refactorization cadence: ops beyond `max(64, 4m)` trigger a compress.
+fn refactor_cadence(m: usize) -> usize {
+    64usize.max(4 * m)
+}
+
+/// Size heuristic for [`crate::simplex::EngineKind::Auto`]: standard forms
+/// with at least this many tableau cells route to the sparse engine.
+pub(crate) const SPARSE_AUTO_CELLS: usize = 100_000;
+
+/// Resolves an engine choice against the standard-form dimensions.
+pub(crate) fn auto_prefers_sparse(m: usize, n: usize) -> bool {
+    m.saturating_mul(n) >= SPARSE_AUTO_CELLS
+}
+
+/// Builds a [`BlockStructure`] helper for tests and generators: one block
+/// per server with `vars_per_block`/`cons_per_block` entries, followed by
+/// `coupling_vars`/`coupling_cons` coupling entries, matching a problem
+/// built block-major.
+pub fn block_layout(
+    n_blocks: u32,
+    vars_per_block: usize,
+    cons_per_block: usize,
+    coupling_vars: usize,
+    coupling_cons: usize,
+) -> BlockStructure {
+    let mut var_blocks = Vec::with_capacity(n_blocks as usize * vars_per_block + coupling_vars);
+    let mut con_blocks = Vec::with_capacity(n_blocks as usize * cons_per_block + coupling_cons);
+    for b in 0..n_blocks {
+        var_blocks.extend(std::iter::repeat(b).take(vars_per_block));
+        con_blocks.extend(std::iter::repeat(b).take(cons_per_block));
+    }
+    var_blocks.extend(std::iter::repeat(n_blocks).take(coupling_vars));
+    con_blocks.extend(std::iter::repeat(n_blocks).take(coupling_cons));
+    BlockStructure {
+        var_blocks,
+        con_blocks,
+        n_blocks,
+    }
+}
+
+/// Convenience: wraps a [`BlockStructure`] for [`SolveOptions::blocks`].
+pub fn blocks_option(bs: BlockStructure) -> Option<Arc<BlockStructure>> {
+    Some(Arc::new(bs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Problem, Rel};
+    use crate::simplex::EngineKind;
+    use palb_num::bits_eq;
+
+    fn opts(engine: EngineKind) -> SolveOptions {
+        SolveOptions {
+            engine,
+            ..SolveOptions::default()
+        }
+    }
+
+    fn assert_engines_bitwise_equal(p: &Problem) {
+        let dense = p.solve_with(&opts(EngineKind::Dense));
+        let sparse = p.solve_with(&opts(EngineKind::Sparse));
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => {
+                assert!(
+                    bits_eq(d.objective(), s.objective()),
+                    "objective drift: dense {} sparse {}",
+                    d.objective(),
+                    s.objective()
+                );
+                assert_eq!(d.values().len(), s.values().len());
+                for (a, b) in d.values().iter().zip(s.values()) {
+                    assert!(bits_eq(*a, *b), "value drift: {a} vs {b}");
+                }
+                // Duals are recovered by engine-specific arithmetic (dense:
+                // Bᵀ factorization; sparse: eta BTRAN) — mathematically the
+                // same system, so they agree to tolerance, not bitwise.
+                for (a, b) in d.duals().iter().zip(s.duals()) {
+                    assert!(
+                        (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                        "dual drift: {a} vs {b}"
+                    );
+                }
+                assert_eq!(d.iterations(), s.iterations(), "pivot count drift");
+            }
+            (Err(de), Err(se)) => assert_eq!(de, se, "status drift"),
+            (d, s) => panic!("status drift: dense {d:?} vs sparse {s:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_max_le_matches_dense_bitwise() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 3.0);
+        let y = p.add_nonneg("y", 5.0);
+        p.add_con("c1", &[(x, 1.0)], Rel::Le, 4.0);
+        p.add_con("c2", &[(y, 2.0)], Rel::Le, 12.0);
+        p.add_con("c3", &[(x, 3.0), (y, 2.0)], Rel::Le, 18.0);
+        assert_engines_bitwise_equal(&p);
+        let s = p.solve_with(&opts(EngineKind::Sparse)).unwrap();
+        assert!((s.objective() - 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase1_ge_and_eq_rows_match_dense_bitwise() {
+        let mut p = Problem::minimize();
+        let x = p.add_nonneg("x", 2.0);
+        let y = p.add_nonneg("y", 3.0);
+        p.add_con("c1", &[(x, 1.0), (y, 1.0)], Rel::Ge, 4.0);
+        p.add_con("c2", &[(x, 1.0)], Rel::Ge, 1.0);
+        p.add_con("c3", &[(x, 1.0), (y, 2.0)], Rel::Eq, 6.0);
+        assert_engines_bitwise_equal(&p);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_classification_matches() {
+        let mut inf = Problem::maximize();
+        let x = inf.add_nonneg("x", 1.0);
+        inf.add_con("lo", &[(x, 1.0)], Rel::Ge, 5.0);
+        inf.add_con("hi", &[(x, 1.0)], Rel::Le, 3.0);
+        assert_engines_bitwise_equal(&inf);
+
+        let mut unb = Problem::maximize();
+        let y = unb.add_nonneg("y", 1.0);
+        unb.add_con("c", &[(y, -1.0)], Rel::Le, 1.0);
+        assert_engines_bitwise_equal(&unb);
+    }
+
+    #[test]
+    fn degenerate_beale_matches_dense_bitwise() {
+        let mut p = Problem::maximize();
+        let x = p.add_nonneg("x", 0.75);
+        let y = p.add_nonneg("y", -150.0);
+        let z = p.add_nonneg("z", 0.02);
+        let w = p.add_nonneg("w", -6.0);
+        p.add_con(
+            "r1",
+            &[(x, 0.25), (y, -60.0), (z, -0.04), (w, 9.0)],
+            Rel::Le,
+            0.0,
+        );
+        p.add_con(
+            "r2",
+            &[(x, 0.5), (y, -90.0), (z, -0.02), (w, 3.0)],
+            Rel::Le,
+            0.0,
+        );
+        p.add_con("r3", &[(z, 1.0)], Rel::Le, 1.0);
+        assert_engines_bitwise_equal(&p);
+    }
+
+    #[test]
+    fn free_vars_and_upper_bounds_match_dense_bitwise() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", -10.0, 10.0, 0.0);
+        let y = p.add_var("y", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        p.add_con("a", &[(y, 1.0), (x, -1.0)], Rel::Ge, -2.0);
+        p.add_con("b", &[(y, 1.0), (x, 1.0)], Rel::Ge, 0.0);
+        assert_engines_bitwise_equal(&p);
+    }
+
+    /// A block-structured LP in the slot-dispatch shape: per-server blocks
+    /// with local rows plus coupling supply rows. Block pricing must pick
+    /// identical pivots (asserted transitively through bitwise equality).
+    fn block_problem(servers: usize) -> (Problem, BlockStructure) {
+        let mut p = Problem::maximize();
+        let mut vars = Vec::new();
+        for s in 0..servers {
+            let phi = p.add_var_unnamed(0.0, 1.0, 0.0);
+            let lam = p.add_var_unnamed(0.0, f64::INFINITY, 1.0 + 0.1 * s as f64);
+            vars.push((phi, lam));
+        }
+        let mut var_blocks = Vec::new();
+        let mut con_blocks = Vec::new();
+        for (s, &(phi, lam)) in vars.iter().enumerate() {
+            var_blocks.extend([s as u32, s as u32]);
+            // Local capacity: lam ≤ 5·phi  (lam − 5·phi ≤ 0).
+            p.add_con_unnamed(&[(lam, 1.0), (phi, -5.0)], Rel::Le, 0.0);
+            // Local share: phi ≤ 1 handled by the bound; add a ≥ row to
+            // exercise phase 1 inside blocks.
+            p.add_con_unnamed(&[(phi, 1.0), (lam, 0.5)], Rel::Ge, 0.1);
+            con_blocks.extend([s as u32, s as u32]);
+        }
+        // Coupling: total dispatched work is limited.
+        let terms: Vec<_> = vars.iter().map(|&(_, lam)| (lam, 1.0)).collect();
+        p.add_con_unnamed(&terms, Rel::Le, 2.5 * servers as f64);
+        con_blocks.push(servers as u32);
+        (
+            p,
+            BlockStructure {
+                var_blocks,
+                con_blocks,
+                n_blocks: servers as u32,
+            },
+        )
+    }
+
+    #[test]
+    fn block_pricing_matches_plain_scan_bitwise() {
+        let (p, bs) = block_problem(7);
+        let plain = p.solve_with(&opts(EngineKind::Sparse)).unwrap();
+        let blocked = p
+            .solve_with(&SolveOptions {
+                engine: EngineKind::Sparse,
+                blocks: blocks_option(bs),
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        assert!(bits_eq(plain.objective(), blocked.objective()));
+        for (a, b) in plain.values().iter().zip(blocked.values()) {
+            assert!(bits_eq(*a, *b));
+        }
+        assert_eq!(plain.iterations(), blocked.iterations());
+        // And both match dense.
+        assert_engines_bitwise_equal(&p);
+    }
+
+    #[test]
+    fn malformed_block_metadata_is_ignored() {
+        let (p, _) = block_problem(3);
+        let bogus = BlockStructure {
+            var_blocks: vec![0; 1], // wrong length
+            con_blocks: vec![0; 1],
+            n_blocks: 1,
+        };
+        let s = p
+            .solve_with(&SolveOptions {
+                engine: EngineKind::Sparse,
+                blocks: blocks_option(bogus),
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        let plain = p.solve_with(&opts(EngineKind::Sparse)).unwrap();
+        assert!(bits_eq(s.objective(), plain.objective()));
+    }
+
+    #[test]
+    fn bland_rule_matches_dense_bitwise() {
+        let (p, _) = block_problem(5);
+        let dense = p
+            .solve_with(&SolveOptions {
+                rule: PivotRule::Bland,
+                engine: EngineKind::Dense,
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        let sparse = p
+            .solve_with(&SolveOptions {
+                rule: PivotRule::Bland,
+                engine: EngineKind::Sparse,
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        assert!(bits_eq(dense.objective(), sparse.objective()));
+        assert_eq!(dense.iterations(), sparse.iterations());
+    }
+
+    #[test]
+    fn sparse_tableau_stays_sparse_on_block_problem() {
+        let (p, _) = block_problem(40);
+        let sf = crate::standard::build(&p).unwrap();
+        let mut tab = SparseTableau::new(&sf, &SolveOptions::default());
+        tab.run_phase1().unwrap();
+        tab.run_phase2().unwrap();
+        let cells = sf.m() * sf.n();
+        let nnz = tab.row_nnz();
+        assert!(
+            nnz * 4 < cells,
+            "tableau lost sparsity: {nnz} nnz of {cells} cells"
+        );
+        assert!(tab.ftran_ops > 0, "ftran counter never moved");
+    }
+
+    #[test]
+    fn csc_round_trips_columns() {
+        // [1 0 2; 0 3 0] assembled row-major, transposed to columns.
+        let mut a = CsrMatrix::with_capacity(3, 2, 3);
+        a.push(0, 1.0);
+        a.push(2, 2.0);
+        a.finish_row();
+        a.push(1, 3.0);
+        a.finish_row();
+        let csc = CscMatrix::from_csr(&a);
+        assert_eq!(csc.nnz(), 3);
+        assert_eq!(csc.col_nnz(0), 1);
+        assert_eq!(csc.col_nnz(1), 1);
+        let mut w = vec![0.0; 2];
+        csc.scatter_col(2, &mut w);
+        assert_eq!(w, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn auto_heuristic_routes_large_problems_to_sparse() {
+        assert!(!auto_prefers_sparse(10, 100));
+        assert!(auto_prefers_sparse(400, 300));
+    }
+}

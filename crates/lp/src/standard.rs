@@ -9,9 +9,94 @@
 //! free variables, explicit rows for finite upper bounds, right-hand-side
 //! sign normalization, and per-row equilibration scaling.
 
-use crate::dense::DenseMatrix;
 use crate::error::LpError;
 use crate::problem::{Problem, Rel, Sense};
+
+/// Sparse row-major (CSR) standard-form constraint matrix.
+///
+/// The standard form of a dispatch LP is overwhelmingly zero — a handful
+/// of structural terms per row plus one identity column — so
+/// materializing it densely costs `O(m·n)` allocation and memory traffic
+/// before the first pivot, which on large instances dwarfs the sparse
+/// engine's entire solve. Rows are stored in strictly ascending column
+/// order and carry exactly the values the dense build stored, so
+/// scattering a row into a zeroed dense buffer reproduces the dense
+/// matrix bit for bit.
+#[derive(Debug, Clone)]
+pub(crate) struct CsrMatrix {
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    pub(crate) fn with_capacity(n_cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        CsrMatrix {
+            n_cols,
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends an entry to the row currently being assembled. Entries
+    /// must arrive in strictly ascending column order within each row.
+    pub(crate) fn push(&mut self, j: usize, v: f64) {
+        debug_assert!(j < self.n_cols, "column {j} out of range");
+        debug_assert!(
+            {
+                let start = self.row_ptr.last().copied().unwrap_or(0);
+                self.col_idx[start..]
+                    .last()
+                    .is_none_or(|&last| (last as usize) < j)
+            },
+            "CSR entries must arrive in ascending column order"
+        );
+        self.col_idx.push(j as u32);
+        self.vals.push(v);
+    }
+
+    /// Seals the row currently being assembled.
+    pub(crate) fn finish_row(&mut self) {
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Number of rows.
+    pub(crate) fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub(crate) fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Borrows row `r` as parallel (column, value) slices.
+    pub(crate) fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Scatters row `r` into `dst` after zero-filling it; `dst` must be
+    /// at least `cols()` long.
+    pub(crate) fn scatter_row_into(&self, r: usize, dst: &mut [f64]) {
+        dst.fill(0.0);
+        let (cols, vals) = self.row(r);
+        for (&j, &v) in cols.iter().zip(vals) {
+            dst[j as usize] = v;
+        }
+    }
+
+    /// Entry `(r, j)`, zero when absent.
+    #[cfg(test)]
+    pub(crate) fn get(&self, r: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        cols.binary_search(&(j as u32)).map_or(0.0, |t| vals[t])
+    }
+}
 
 /// How a user variable maps onto standard-form columns.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,8 +132,9 @@ pub(crate) enum RowOrigin {
 /// The standard-form model handed to the simplex engine.
 #[derive(Debug, Clone)]
 pub(crate) struct StandardForm {
-    /// Constraint matrix, `m x n_cols` (structural + slack/surplus/artificial).
-    pub a: DenseMatrix,
+    /// Constraint matrix, `m x n_cols` (structural + slack/surplus/artificial),
+    /// stored sparse row-major; engines scatter rows on demand.
+    pub a: CsrMatrix,
     /// Right-hand side, all entries `≥ 0`.
     pub b: Vec<f64>,
     /// Phase-2 cost vector (internal minimize sense), length `n_cols`.
@@ -236,44 +322,56 @@ pub(crate) fn build(p: &Problem) -> Result<StandardForm, LpError> {
     let n_artificial = raw.iter().filter(|r| r.rel != Rel::Le).count();
     let n_cols = n_structural + n_slack + n_surplus + n_artificial;
 
-    let mut a = DenseMatrix::zeros(m, n_cols);
+    let nnz = raw.iter().map(|r| r.terms.len()).sum::<usize>() + n_slack + n_surplus + n_artificial;
+    let mut a = CsrMatrix::with_capacity(n_cols, m, nnz);
     let mut b = vec![0.0; m];
     let mut col_kinds = vec![ColKind::Structural; n_structural];
     col_kinds.reserve(n_cols - n_structural);
     let mut row_rels = Vec::with_capacity(m);
     let mut row_origins = Vec::with_capacity(m);
 
+    // Structural terms are already sorted ascending (constraint terms are
+    // column-merged at the `Problem` layer, and column indices follow
+    // variable order), slack/surplus columns come next, and artificial
+    // columns occupy the final block — so each row can be emitted
+    // left-to-right in one pass.
     let mut next_col = n_structural;
+    let mut next_art = n_structural + n_slack + n_surplus;
     for (r, row) in raw.iter().enumerate() {
         for &(j, coef) in &row.terms {
-            a[(r, j)] += coef;
+            a.push(j, coef);
         }
         b[r] = row.rhs;
         row_rels.push(row.rel);
         row_origins.push(row.origin);
         match row.rel {
             Rel::Le => {
-                a[(r, next_col)] = 1.0;
+                a.push(next_col, 1.0);
                 col_kinds.push(ColKind::Slack(r));
                 next_col += 1;
             }
             Rel::Ge => {
-                a[(r, next_col)] = -1.0;
+                a.push(next_col, -1.0);
                 col_kinds.push(ColKind::Surplus(r));
                 next_col += 1;
+                a.push(next_art, 1.0);
+                next_art += 1;
             }
-            Rel::Eq => {}
+            Rel::Eq => {
+                a.push(next_art, 1.0);
+                next_art += 1;
+            }
         }
+        a.finish_row();
     }
     // Artificial columns go last so the engine can ban them cheaply.
     for (r, row) in raw.iter().enumerate() {
         if row.rel != Rel::Le {
-            a[(r, next_col)] = 1.0;
             col_kinds.push(ColKind::Artificial(r));
-            next_col += 1;
         }
     }
-    debug_assert_eq!(next_col, n_cols);
+    debug_assert_eq!(next_col, n_structural + n_slack + n_surplus);
+    debug_assert_eq!(next_art, n_cols);
     debug_assert_eq!(col_kinds.len(), n_cols);
 
     // --- 5. Cost vector (internal minimize) ------------------------------
@@ -378,7 +476,7 @@ mod tests {
         let x = p.add_nonneg("x", 1.0);
         p.add_con("big", &[(x, 5.0e6)], Rel::Le, 1.0e7);
         let sf = build(&p).unwrap();
-        assert!((sf.a[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((sf.a.get(0, 0) - 1.0).abs() < 1e-12);
         assert!((sf.b[0] - 2.0).abs() < 1e-12);
         assert!((sf.row_scale[0] - 1.0 / 5.0e6).abs() < 1e-18);
     }

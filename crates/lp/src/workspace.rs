@@ -19,16 +19,27 @@
 //!   re-install a basis (with refactorization), for callers that want to
 //!   return to an earlier point of a search tree.
 //!
-//! Workspace solves skip presolve and dual recovery: they return primal
-//! values and the objective only (`duals()` are zeros). Callers that need
-//! shadow prices should use [`Problem::solve`].
+//! Workspace solves skip presolve, and surface real duals: warm solves
+//! read `y = B⁻ᵀ c_B` straight from the engine (the dense tableau's
+//! identity-column reduced costs in `O(m)`, or a BTRAN through the sparse
+//! engine's eta file), while cold solves recover duals exactly as
+//! [`Problem::solve`] does on the same engine (dense: the independent
+//! `Bᵀ` factorization; sparse: the same eta BTRAN).
+//!
+//! The workspace runs on either simplex engine ([`EngineKind`] in the
+//! construction options — [`EngineKind::Auto`] picks by size). The two
+//! engines are bitwise-equal on every input — objective, values, pivot
+//! sequence, status — so the choice never changes a decision; duals agree
+//! mathematically but are produced by engine-specific arithmetic (see
+//! [`crate::sparse`]).
 
 use palb_num::{is_zero, nonzero};
 
 use crate::error::LpError;
 use crate::problem::{ConId, Problem, VarId};
-use crate::simplex::{SolveOptions, Tableau};
+use crate::simplex::{self, DualScratch, SolveOptions, Tableau};
 use crate::solution::Solution;
+use crate::sparse::SparseTableau;
 use crate::standard::{self, ColKind, StandardForm, VarMapping};
 
 /// Counters describing how a [`Workspace`] has been solving.
@@ -45,6 +56,13 @@ pub struct WorkspaceStats {
     pub cold_pivots: usize,
     /// Warm attempts that had to fall back to a cold solve.
     pub fallbacks: usize,
+    /// FTRAN-equivalent column extractions performed by the sparse engine
+    /// (zero when running dense).
+    pub ftran_total: u64,
+    /// Nonzeros touched by those extractions.
+    pub ftran_nnz_total: u64,
+    /// Sparse-basis refactorizations (eta-file compressions).
+    pub refactor_total: u64,
 }
 
 /// An opaque snapshot of a simplex basis, produced by
@@ -54,13 +72,183 @@ pub struct Basis {
     cols: Vec<usize>,
 }
 
+/// The tableau engine a workspace runs on. Both variants expose the same
+/// warm-start surface and produce bitwise-identical results; the sparse
+/// engine additionally meters FTRAN work and supports BTRAN duals.
+enum Engine {
+    Dense(Tableau),
+    Sparse(SparseTableau),
+}
+
+impl Engine {
+    fn build(sf: &StandardForm, opts: &SolveOptions) -> Self {
+        if simplex::use_sparse(opts.engine, sf.m(), sf.n()) {
+            Engine::Sparse(SparseTableau::new(sf, opts))
+        } else {
+            Engine::Dense(Tableau::new(sf, opts))
+        }
+    }
+
+    fn set_call_options(&mut self, size: usize, opts: &SolveOptions) {
+        let bland_after = opts.bland_after.unwrap_or(20 * size + 200);
+        let max_iters = opts.max_iters.unwrap_or(200 * size + 1000);
+        match self {
+            Engine::Dense(t) => {
+                t.tol = opts.tol;
+                t.rule = opts.rule;
+                t.bland_after = bland_after;
+                t.max_iters = max_iters;
+                t.pivots = 0;
+            }
+            Engine::Sparse(t) => {
+                t.tol = opts.tol;
+                t.rule = opts.rule;
+                t.bland_after = bland_after;
+                t.max_iters = max_iters;
+                t.pivots = 0;
+            }
+        }
+    }
+
+    fn pivots(&self) -> usize {
+        match self {
+            Engine::Dense(t) => t.pivots,
+            Engine::Sparse(t) => t.pivots,
+        }
+    }
+
+    fn tol(&self) -> f64 {
+        match self {
+            Engine::Dense(t) => t.tol,
+            Engine::Sparse(t) => t.tol,
+        }
+    }
+
+    fn b_norm(&self) -> f64 {
+        match self {
+            Engine::Dense(t) => t.b_norm,
+            Engine::Sparse(t) => t.b_norm,
+        }
+    }
+
+    fn call_options_snapshot(&self) -> (f64, crate::simplex::PivotRule, usize, usize) {
+        match self {
+            Engine::Dense(t) => (t.tol, t.rule, t.bland_after, t.max_iters),
+            Engine::Sparse(t) => (t.tol, t.rule, t.bland_after, t.max_iters),
+        }
+    }
+
+    fn basis(&self) -> &[usize] {
+        match self {
+            Engine::Dense(t) => &t.basis,
+            Engine::Sparse(t) => &t.basis,
+        }
+    }
+
+    fn run_phase1(&mut self) -> Result<(), LpError> {
+        match self {
+            Engine::Dense(t) => t.run_phase1(),
+            Engine::Sparse(t) => t.run_phase1(),
+        }
+    }
+
+    fn run_phase2(&mut self) -> Result<(), LpError> {
+        match self {
+            Engine::Dense(t) => t.run_phase2(),
+            Engine::Sparse(t) => t.run_phase2(),
+        }
+    }
+
+    fn dual_simplex(&mut self) -> Result<(), LpError> {
+        match self {
+            Engine::Dense(t) => t.dual_simplex(),
+            Engine::Sparse(t) => t.dual_simplex(),
+        }
+    }
+
+    fn x_std(&self) -> Vec<f64> {
+        match self {
+            Engine::Dense(t) => t.x_std(),
+            Engine::Sparse(t) => t.x_std(),
+        }
+    }
+
+    fn bump_b_norm(&mut self, abs_rhs: f64) {
+        match self {
+            Engine::Dense(t) => t.bump_b_norm(abs_rhs),
+            Engine::Sparse(t) => t.bump_b_norm(abs_rhs),
+        }
+    }
+
+    fn fold_rhs(&mut self, jc: usize, delta: f64) {
+        match self {
+            Engine::Dense(t) => t.fold_rhs(jc, delta),
+            Engine::Sparse(t) => t.fold_rhs(jc, delta),
+        }
+    }
+
+    fn any_rhs_below(&self, feas_tol: f64) -> bool {
+        match self {
+            Engine::Dense(t) => t.any_rhs_below(feas_tol),
+            Engine::Sparse(t) => t.any_rhs_below(feas_tol),
+        }
+    }
+
+    fn dual_feasible(&self, slack_tol: f64) -> bool {
+        match self {
+            Engine::Dense(t) => t.dual_feasible(slack_tol),
+            Engine::Sparse(t) => t.dual_feasible(slack_tol),
+        }
+    }
+
+    fn apply_obj_delta(&mut self, col: usize, delta: f64, basic_row: Option<usize>) {
+        match self {
+            Engine::Dense(t) => t.apply_obj_delta(col, delta, basic_row),
+            Engine::Sparse(t) => t.apply_obj_delta(col, delta, basic_row),
+        }
+    }
+
+    fn restore_to_basis(&mut self, sf: &StandardForm, cols: &[usize]) -> Result<(), LpError> {
+        match self {
+            Engine::Dense(t) => t.restore_to_basis(sf, cols),
+            Engine::Sparse(t) => t.restore_to_basis(sf, cols),
+        }
+    }
+
+    /// Duals in standard-form row space, read in `O(m)` (dense) or via
+    /// BTRAN (sparse); `None` when the sparse eta file cannot serve them.
+    fn warm_duals_std(&mut self, sf: &StandardForm, ident_cols: &[usize]) -> Option<Vec<f64>> {
+        match self {
+            // Each identity column's reduced cost is `0 − y_r`: its
+            // original cost is zero and its column is `±e_r` (the `+1`
+            // arm is the one `ident_cols` tracks).
+            Engine::Dense(t) => Some(ident_cols.iter().map(|&jc| -t.cost2[jc]).collect()),
+            Engine::Sparse(t) => t.duals_std(sf),
+        }
+    }
+
+    /// Drains the sparse engine's work counters (dense reports zeros).
+    fn take_counters(&mut self) -> (u64, u64, u64) {
+        match self {
+            Engine::Dense(_) => (0, 0, 0),
+            Engine::Sparse(t) => {
+                let out = (t.ftran_ops, t.ftran_nnz, t.refactors);
+                t.ftran_ops = 0;
+                t.ftran_nnz = 0;
+                t.refactors = 0;
+                out
+            }
+        }
+    }
+}
+
 /// A persistent solver workspace; see the module docs.
 pub struct Workspace {
     problem: Problem,
     opts: SolveOptions,
     sf: StandardForm,
-    tab: Tableau,
-    /// The tableau holds an optimal basis for the *patched-in* `sf`.
+    engine: Engine,
+    /// The engine holds an optimal basis for the *patched-in* `sf`.
     solved: bool,
     /// Identity column of each row (slack for `≤` rows, artificial
     /// otherwise): reading that tableau column yields the corresponding
@@ -73,16 +261,20 @@ pub struct Workspace {
     dirty_rhs: Vec<usize>,
     /// Largest |user rhs| seen; scales the post-warm feasibility guard.
     rhs_norm: f64,
+    /// Reused buffers for cold-path dual recovery (`Bᵀ y = c_B`).
+    dual_scratch: DualScratch,
     stats: WorkspaceStats,
 }
 
 impl Workspace {
     /// Builds a workspace around a snapshot of `p`. The standard form is
-    /// converted once here; later solves only patch it.
+    /// converted once here; later solves only patch it. The engine choice
+    /// (and any block-structure metadata in `opts`) is resolved now and
+    /// kept for the workspace's lifetime.
     pub fn new(p: &Problem, opts: &SolveOptions) -> Result<Self, LpError> {
         let problem = p.clone();
         let sf = standard::build(&problem)?;
-        let tab = Tableau::new(&sf, opts);
+        let engine = Engine::build(&sf, opts);
         let ident_cols = identity_columns(&sf);
         let rhs_norm = problem
             .cons
@@ -97,9 +289,10 @@ impl Workspace {
             problem,
             opts: opts.clone(),
             sf,
-            tab,
+            engine,
             solved: false,
             ident_cols,
+            dual_scratch: DualScratch::new(),
             stats: WorkspaceStats::default(),
         })
     }
@@ -161,7 +354,8 @@ impl Workspace {
             match self.try_warm() {
                 Ok(sol) => {
                     self.stats.warm_solves += 1;
-                    self.stats.warm_pivots += self.tab.pivots;
+                    self.stats.warm_pivots += self.engine.pivots();
+                    self.absorb_counters();
                     return Ok(sol);
                 }
                 Err(WarmOutcome::Infeasible) | Err(WarmOutcome::Trouble) => {
@@ -171,9 +365,10 @@ impl Workspace {
                 }
             }
         }
-        let result = self.solve_cold(opts);
+        let result = self.solve_cold();
         self.stats.cold_solves += 1;
-        self.stats.cold_pivots += self.tab.pivots;
+        self.stats.cold_pivots += self.engine.pivots();
+        self.absorb_counters();
         result
     }
 
@@ -181,7 +376,7 @@ impl Workspace {
     /// solve.
     pub fn basis(&self) -> Basis {
         Basis {
-            cols: self.tab.basis.clone(),
+            cols: self.engine.basis().to_vec(),
         }
     }
 
@@ -200,66 +395,10 @@ impl Workspace {
                 "basis snapshot does not match this workspace".into(),
             ));
         }
-        // Reset rows to the original [A | b].
-        for r in 0..m {
-            self.tab.rows.row_mut(r)[..n].copy_from_slice(self.sf.a.row(r));
-            self.tab.rows[(r, n)] = self.sf.b[r];
+        if let Err(e) = self.engine.restore_to_basis(&self.sf, &basis.cols) {
+            self.solved = false;
+            return Err(e);
         }
-        // Jordan elimination into the requested basis, with row swaps for
-        // pivot quality.
-        for (k, &j) in basis.cols.iter().enumerate() {
-            let mut best = k;
-            for r in k..m {
-                if self.tab.rows[(r, j)].abs() > self.tab.rows[(best, j)].abs() {
-                    best = r;
-                }
-            }
-            if self.tab.rows[(best, j)].abs() <= self.tab.tol * 100.0 {
-                self.solved = false;
-                return Err(LpError::Numeric("singular basis snapshot".into()));
-            }
-            if best != k {
-                for col in 0..=n {
-                    let tmp = self.tab.rows[(k, col)];
-                    self.tab.rows[(k, col)] = self.tab.rows[(best, col)];
-                    self.tab.rows[(best, col)] = tmp;
-                }
-            }
-            let pivot = self.tab.rows[(k, j)];
-            // Same scratch-column elimination as `Tableau::pivot`.
-            let mut factors = std::mem::take(&mut self.tab.col_buf);
-            self.tab.rows.col_into(j, &mut factors);
-            self.tab.rows.scale_row(k, 1.0 / pivot);
-            self.tab.rows[(k, j)] = 1.0;
-            for (r, &f) in factors.iter().enumerate() {
-                if r != k && nonzero(f) {
-                    self.tab.rows.axpy_rows(r, k, -f);
-                    self.tab.rows[(r, j)] = 0.0;
-                }
-            }
-            self.tab.col_buf = factors;
-            self.tab.basis[k] = j;
-        }
-        // Recompute the phase-2 reduced costs against the restored basis;
-        // phase 1 is behind us, so ban artificials and zero its cost row.
-        self.tab.cost2[..n].copy_from_slice(&self.sf.c);
-        self.tab.cost2[n] = 0.0;
-        for k in 0..m {
-            let d = self.tab.cost2[self.tab.basis[k]];
-            if nonzero(d) {
-                let src = self.tab.rows.row(k);
-                for (cv, rv) in self.tab.cost2.iter_mut().zip(src) {
-                    *cv -= d * rv;
-                }
-                self.tab.cost2[self.tab.basis[k]] = 0.0;
-            }
-        }
-        for (j, kind) in self.tab.col_kinds.iter().enumerate() {
-            if matches!(kind, ColKind::Artificial(_)) {
-                self.tab.banned[j] = true;
-            }
-        }
-        self.tab.cost1.iter_mut().for_each(|v| *v = 0.0);
         self.solved = true;
         Ok(())
     }
@@ -268,11 +407,36 @@ impl Workspace {
 
     fn apply_call_options(&mut self, opts: &SolveOptions) {
         let size = self.sf.m() + self.sf.n();
-        self.tab.tol = opts.tol;
-        self.tab.rule = opts.rule;
-        self.tab.bland_after = opts.bland_after.unwrap_or(20 * size + 200);
-        self.tab.max_iters = opts.max_iters.unwrap_or(200 * size + 1000);
-        self.tab.pivots = 0;
+        self.engine.set_call_options(size, opts);
+    }
+
+    /// Folds the sparse engine's work counters into the stats. Must run
+    /// before any engine rebuild (which would drop them) and at the end of
+    /// every solve.
+    fn absorb_counters(&mut self) {
+        let (ftran, nnz, refactors) = self.engine.take_counters();
+        self.stats.ftran_total += ftran;
+        self.stats.ftran_nnz_total += nnz;
+        self.stats.refactor_total += refactors;
+    }
+
+    /// Rebuilds the engine against the current `sf`, preserving the
+    /// per-call options in effect plus the engine kind and block metadata
+    /// chosen at construction.
+    fn rebuild_engine(&mut self) {
+        self.absorb_counters();
+        let (tol, rule, bland_after, max_iters) = self.engine.call_options_snapshot();
+        let call_opts = SolveOptions {
+            tol,
+            rule,
+            bland_after: Some(bland_after),
+            max_iters: Some(max_iters),
+            ..self.opts.clone()
+        };
+        self.engine = match self.engine {
+            Engine::Dense(_) => Engine::Dense(Tableau::new(&self.sf, &call_opts)),
+            Engine::Sparse(_) => Engine::Sparse(SparseTableau::new(&self.sf, &call_opts)),
+        };
     }
 
     /// Maps a user rhs into the stored (normalized) standard form. `None`
@@ -304,14 +468,7 @@ impl Workspace {
         }
         if rebuild {
             self.sf = standard::build(&self.problem)?;
-            let opts = SolveOptions {
-                tol: self.tab.tol,
-                rule: self.tab.rule,
-                bland_after: Some(self.tab.bland_after),
-                max_iters: Some(self.tab.max_iters),
-                ..self.opts.clone()
-            };
-            self.tab = Tableau::new(&self.sf, &opts);
+            self.rebuild_engine();
             // A flipped row changes the slack/surplus/artificial layout.
             self.ident_cols = identity_columns(&self.sf);
         } else {
@@ -345,20 +502,13 @@ impl Workspace {
 
     /// Full two-phase solve on the patched standard form, reusing the
     /// workspace's buffers where possible.
-    fn solve_cold(&mut self, opts: &SolveOptions) -> Result<Solution, LpError> {
+    fn solve_cold(&mut self) -> Result<Solution, LpError> {
         self.solved = false;
         self.apply_pending_patches_to_sf()?;
-        let call_opts = SolveOptions {
-            tol: self.tab.tol,
-            rule: self.tab.rule,
-            bland_after: Some(self.tab.bland_after),
-            max_iters: Some(self.tab.max_iters),
-            ..opts.clone()
-        };
-        self.tab = Tableau::new(&self.sf, &call_opts);
-        self.tab.run_phase1()?;
-        self.tab.run_phase2()?;
-        let sol = self.extract()?;
+        self.rebuild_engine();
+        self.engine.run_phase1()?;
+        self.engine.run_phase2()?;
+        let sol = self.extract(false)?;
         self.solved = true;
         Ok(sol)
     }
@@ -367,7 +517,6 @@ impl Workspace {
     /// re-entry → drift guard. Any trouble reports `Trouble` and the caller
     /// re-answers cold.
     fn try_warm(&mut self) -> Result<Solution, WarmOutcome> {
-        let m = self.sf.m();
         let n = self.sf.n();
 
         // Stage 1: fold patched right-hand sides into the evolving tableau
@@ -382,36 +531,22 @@ impl Workspace {
             let delta = new_std - self.sf.b[ci];
             if nonzero(delta) {
                 self.sf.b[ci] = new_std;
-                self.tab.b_norm = self.tab.b_norm.max(1.0 + new_std.abs());
-                let jc = self.ident_cols[ci];
-                // Snapshot the B⁻¹ column through the tableau's reused
-                // scratch — no per-patch allocation, one contiguous read.
-                let mut binv_col = std::mem::take(&mut self.tab.col_buf);
-                self.tab.rows.col_into(jc, &mut binv_col);
-                for (r, &f) in binv_col.iter().enumerate() {
-                    if nonzero(f) {
-                        self.tab.rows[(r, n)] += delta * f;
-                    }
-                }
-                self.tab.col_buf = binv_col;
-                self.tab.cost2[n] += delta * self.tab.cost2[jc];
+                self.engine.bump_b_norm(new_std.abs());
+                self.engine.fold_rhs(self.ident_cols[ci], delta);
             }
         }
 
         // The previous basis is dual-feasible for the *old* costs; repair
         // primal feasibility before touching the objective.
-        let feas_tol = self.tab.tol * self.tab.b_norm * 10.0;
-        let primal_violated = (0..m).any(|r| self.tab.rows[(r, n)] < -feas_tol);
-        if primal_violated {
-            let dual_ok =
-                (0..n).all(|j| self.tab.banned[j] || self.tab.cost2[j] >= -self.tab.tol * 10.0);
-            if !dual_ok {
+        let feas_tol = self.engine.tol() * self.engine.b_norm() * 10.0;
+        if self.engine.any_rhs_below(feas_tol) {
+            if !self.engine.dual_feasible(self.engine.tol() * 10.0) {
                 // Neither feasibility survived (possible after a basis
                 // restore followed by patches): no warm route.
                 self.solved = false;
                 return Err(WarmOutcome::Trouble);
             }
-            match self.tab.dual_simplex() {
+            match self.engine.dual_simplex() {
                 Ok(()) => {}
                 Err(LpError::Infeasible) => {
                     self.solved = false;
@@ -427,7 +562,7 @@ impl Workspace {
         // Stage 2: absorb objective patches into the reduced-cost row.
         if !self.dirty_objs.is_empty() {
             let mut basis_row = vec![usize::MAX; n];
-            for (r, &j) in self.tab.basis.iter().enumerate() {
+            for (r, &j) in self.engine.basis().iter().enumerate() {
                 basis_row[j] = r;
             }
             for k in 0..self.dirty_objs.len() {
@@ -447,23 +582,16 @@ impl Workspace {
                         continue;
                     }
                     self.sf.c[col] = new_c;
-                    self.tab.cost2[col] += delta;
                     let r = basis_row[col];
-                    if r != usize::MAX {
-                        // A basic column's cost change sweeps through every
-                        // reduced cost (c_B moved): c̃ -= Δc · (B⁻¹A)_r.
-                        let src = self.tab.rows.row(r);
-                        for (cv, rv) in self.tab.cost2.iter_mut().zip(src) {
-                            *cv -= delta * rv;
-                        }
-                    }
+                    let basic_row = if r != usize::MAX { Some(r) } else { None };
+                    self.engine.apply_obj_delta(col, delta, basic_row);
                 }
             }
         }
         self.clear_dirty();
 
         // Primal phase-2 re-entry.
-        match self.tab.run_phase2() {
+        match self.engine.run_phase2() {
             Ok(()) => {}
             Err(LpError::Unbounded) => {
                 // Unboundedness is definitive even warm (a certificate ray
@@ -477,7 +605,7 @@ impl Workspace {
             }
         }
 
-        match self.extract() {
+        match self.extract(true) {
             Ok(sol) => {
                 // Drift guard: a warm optimum must actually satisfy the
                 // user model. Gross violation means accumulated tableau
@@ -500,20 +628,53 @@ impl Workspace {
         }
     }
 
-    /// Primal-only extraction (objective recomputed from first principles;
-    /// duals intentionally zero — see module docs).
-    fn extract(&self) -> Result<Solution, LpError> {
-        let x_std = self.tab.x_std();
+    /// Duals of a warm solve, read from the engine in standard-form row
+    /// space and mapped to user constraints. Engine-specific bit patterns
+    /// of zero (`+0.0` vs `−0.0`) are normalized so emitted duals never
+    /// leak which engine produced them; an engine that cannot serve duals
+    /// (invalid sparse eta file) degrades to zeros, mirroring the dense
+    /// singular-basis fallback.
+    fn warm_duals(&mut self) -> Vec<f64> {
+        let n_user = self.problem.num_cons();
+        let Some(y) = self.engine.warm_duals_std(&self.sf, &self.ident_cols) else {
+            return vec![0.0; n_user];
+        };
+        simplex::user_duals_from_std(&self.sf, &y)
+    }
+
+    /// Solution extraction (objective recomputed from first principles).
+    /// Warm solves read duals from the engine (`O(m)` cost-row read on
+    /// dense, eta BTRAN on sparse). Cold solves mirror `Problem::solve`'s
+    /// engine-specific recovery: the dense engine factorizes `Bᵀ` through
+    /// the shared `recover_duals` (reusing the workspace's scratch), the
+    /// sparse engine BTRANs `c_B` through its eta file and only falls back
+    /// to the dense solve when the file is invalid.
+    fn extract(&mut self, warm: bool) -> Result<Solution, LpError> {
+        let x_std = self.engine.x_std();
         let x_user = self.sf.recover(&x_std);
         if x_user.iter().any(|v| !v.is_finite()) {
             return Err(LpError::Numeric("non-finite solution component".into()));
         }
         let objective = self.problem.objective_value(&x_user);
+        let duals = if warm {
+            self.warm_duals()
+        } else {
+            let sparse_duals = match &mut self.engine {
+                Engine::Sparse(t) => t.duals_std(&self.sf),
+                Engine::Dense(_) => None,
+            };
+            match sparse_duals {
+                Some(y) => simplex::user_duals_from_std(&self.sf, &y),
+                None => {
+                    simplex::recover_duals(&self.sf, self.engine.basis(), &mut self.dual_scratch)
+                }
+            }
+        };
         Ok(Solution::new(
             objective,
             x_user,
-            vec![0.0; self.problem.num_cons()],
-            self.tab.pivots,
+            duals,
+            self.engine.pivots(),
         ))
     }
 }
@@ -550,6 +711,8 @@ enum WarmOutcome {
 mod tests {
     use super::*;
     use crate::problem::{Problem, Rel};
+    use crate::simplex::EngineKind;
+    use palb_num::bits_eq;
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-7 * (1.0 + b.abs())
@@ -708,11 +871,83 @@ mod tests {
     }
 
     #[test]
-    fn workspace_solves_skip_duals() {
-        let (p, ..) = textbook();
+    fn workspace_solves_surface_real_duals() {
+        let (p, x, _, c1, c2, c3) = textbook();
         let mut ws = Workspace::new(&p, &SolveOptions::default()).unwrap();
+        // Cold solve: duals from the shared `Bᵀ y = c_B` recovery.
         let s = ws.solve().unwrap();
-        assert!(s.duals().iter().all(|&d| d == 0.0));
+        assert!(close(s.dual(c1), 0.0), "y1 = {}", s.dual(c1));
+        assert!(close(s.dual(c2), 1.5), "y2 = {}", s.dual(c2));
+        assert!(close(s.dual(c3), 1.0), "y3 = {}", s.dual(c3));
+        // Warm solve: duals read from the engine in O(m); must agree with
+        // a cold from-scratch solve of the patched model.
+        ws.set_objective(x, 4.0);
+        let warm = ws.solve().unwrap();
+        assert_eq!(ws.stats().warm_solves, 1);
+        let cold = ws.problem().clone().solve().unwrap();
+        for (i, (a, b)) in warm.duals().iter().zip(cold.duals()).enumerate() {
+            assert!(close(*a, *b), "dual {i}: warm {a} vs cold {b}");
+        }
+        // Strong duality on the warm answer.
+        let dual_obj = 4.0 * warm.dual(c1) + 12.0 * warm.dual(c2) + 18.0 * warm.dual(c3);
+        assert!(close(dual_obj, warm.objective()));
+    }
+
+    #[test]
+    fn sparse_workspace_matches_dense_bitwise_across_patches() {
+        let (p, x, y, c1, _, c3) = textbook();
+        let mk = |engine| {
+            Workspace::new(
+                &p,
+                &SolveOptions {
+                    engine,
+                    ..SolveOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut dense = mk(EngineKind::Dense);
+        let mut sparse = mk(EngineKind::Sparse);
+        let mut saved = None;
+        for step in 0..8 {
+            let cx = 3.0 + step as f64;
+            let b3 = 18.0 - (step % 3) as f64;
+            for ws in [&mut dense, &mut sparse] {
+                ws.set_objective(x, cx);
+                ws.set_objective(y, 5.0 - 0.25 * step as f64);
+                ws.set_rhs(c3, b3);
+                ws.set_rhs(c1, 4.0 + (step % 2) as f64);
+            }
+            if step == 4 {
+                // Exercise the basis snapshot/restore path on both.
+                let (bd, bs) = saved.take().expect("saved at step 2");
+                dense.restore_basis(&bd).unwrap();
+                sparse.restore_basis(&bs).unwrap();
+            }
+            let sd = dense.solve().unwrap();
+            let ss = sparse.solve().unwrap();
+            assert!(
+                bits_eq(sd.objective(), ss.objective()),
+                "step {step}: dense {} sparse {}",
+                sd.objective(),
+                ss.objective()
+            );
+            for (a, b) in sd.values().iter().zip(ss.values()) {
+                assert!(bits_eq(*a, *b), "step {step}: value {a} vs {b}");
+            }
+            assert_eq!(sd.iterations(), ss.iterations(), "step {step}");
+            assert_eq!(dense.basis(), sparse.basis(), "step {step}");
+            if step == 2 {
+                saved = Some((dense.basis(), sparse.basis()));
+            }
+        }
+        // Warm/cold accounting must agree too — both engines took the
+        // same warm/cold routes.
+        assert_eq!(dense.stats().warm_solves, sparse.stats().warm_solves);
+        assert_eq!(dense.stats().cold_solves, sparse.stats().cold_solves);
+        // And the sparse engine actually metered work.
+        assert!(sparse.stats().ftran_total > 0);
+        assert_eq!(dense.stats().ftran_total, 0);
     }
 
     #[test]

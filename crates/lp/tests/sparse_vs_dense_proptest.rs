@@ -1,0 +1,286 @@
+//! Property-based equivalence tests between the dense tableau engine and
+//! the sparse product-form engine.
+//!
+//! The sparse engine's contract is not "close to" dense — it is *bitwise
+//! identical* on every input (see `crates/lp/src/sparse.rs`): the same
+//! pivot sequence, the same floating-point operations in the same order,
+//! with only exact no-ops on stored zeros elided. These tests hammer that
+//! contract with random block-structured LPs of the shape the profit-aware
+//! formulation produces (per-server blocks coupled by dispatch rows),
+//! including infeasible and unbounded instances, block-pricing metadata,
+//! and workspace warm-start / basis-restore round-trips.
+
+use std::sync::Arc;
+
+use palb_lp::sparse::block_layout;
+use palb_lp::{EngineKind, LpError, Problem, Rel, SolveOptions, Workspace};
+use proptest::prelude::*;
+
+fn opts(engine: EngineKind) -> SolveOptions {
+    SolveOptions {
+        engine,
+        ..SolveOptions::default()
+    }
+}
+
+fn bits(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Asserts the two engines produce bitwise-identical answers (including
+/// identical error classification) on `p`, optionally with block metadata
+/// attached to the sparse side only — metadata must never change results.
+fn assert_engines_agree(
+    p: &Problem,
+    blocks: Option<Arc<palb_lp::BlockStructure>>,
+) -> Result<(), TestCaseError> {
+    let dense = p.solve_with(&opts(EngineKind::Dense));
+    let sparse = p.solve_with(&SolveOptions {
+        blocks,
+        ..opts(EngineKind::Sparse)
+    });
+    match (&dense, &sparse) {
+        (Ok(d), Ok(s)) => {
+            prop_assert_eq!(
+                bits(d.objective()),
+                bits(s.objective()),
+                "objective bits: dense {} vs sparse {}",
+                d.objective(),
+                s.objective()
+            );
+            for (j, (a, b)) in d.values().iter().zip(s.values()).enumerate() {
+                prop_assert_eq!(bits(*a), bits(*b), "value {} differs: {} vs {}", j, a, b);
+            }
+            // Duals are recovered by engine-specific arithmetic (dense:
+            // independent Bᵀ factorization; sparse: eta-file BTRAN) — the
+            // same linear system, so they agree to tolerance, not bitwise.
+            for (i, (a, b)) in d.duals().iter().zip(s.duals()).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-6 * (1.0 + b.abs()),
+                    "dual {} drift: {} vs {}",
+                    i,
+                    a,
+                    b
+                );
+            }
+            prop_assert_eq!(d.iterations(), s.iterations(), "pivot counts differ");
+        }
+        (Err(de), Err(se)) => {
+            // Identical status classification (Infeasible vs Unbounded vs
+            // iteration trouble) — not just "both failed".
+            prop_assert_eq!(
+                std::mem::discriminant(de),
+                std::mem::discriminant(se),
+                "dense {:?} vs sparse {:?}",
+                de,
+                se
+            );
+        }
+        _ => {
+            return Err(TestCaseError::fail(format!(
+                "engines disagree on status: dense {dense:?} vs sparse {sparse:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A random block-structured LP: `servers` blocks of `bvars` variables
+/// with `bcons` local `≤` rows each, plus one coupling row per block pair
+/// tying neighbouring blocks together, and a global coupling row over all
+/// variables. `b ≥ 0` keeps the origin feasible; finite bounds keep it
+/// bounded. Coefficients are quantized to quarters to provoke exact
+/// cancellations and degenerate ties — the cases where a pivot-order
+/// mismatch between the engines would show up instantly.
+#[derive(Debug, Clone)]
+struct BlockLp {
+    servers: usize,
+    bvars: usize,
+    bcons: usize,
+    obj: Vec<f64>,
+    coefs: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+fn quarter() -> impl Strategy<Value = f64> {
+    (-12i32..=12).prop_map(|q| f64::from(q) / 4.0)
+}
+
+fn block_lp() -> impl Strategy<Value = BlockLp> {
+    (2usize..=4, 1usize..=3, 1usize..=2).prop_flat_map(|(servers, bvars, bcons)| {
+        let nv = servers * bvars;
+        let ncoef = servers * bcons * bvars + nv;
+        let nrhs = servers * bcons + 1;
+        (
+            Just(servers),
+            Just(bvars),
+            Just(bcons),
+            proptest::collection::vec(quarter(), nv),
+            proptest::collection::vec(quarter(), ncoef),
+            proptest::collection::vec((0i32..=40).prop_map(|q| f64::from(q) / 4.0), nrhs),
+        )
+            .prop_map(|(servers, bvars, bcons, obj, coefs, rhs)| BlockLp {
+                servers,
+                bvars,
+                bcons,
+                obj,
+                coefs,
+                rhs,
+            })
+    })
+}
+
+/// Materializes the LP block-major (block vars then block rows, coupling
+/// row last) so `block_layout` describes it exactly. Also returns the id
+/// handles so patch scripts can address variables and rows.
+fn build_block_lp(
+    lp: &BlockLp,
+) -> (
+    Problem,
+    palb_lp::BlockStructure,
+    Vec<palb_lp::VarId>,
+    Vec<palb_lp::ConId>,
+) {
+    let mut p = Problem::maximize();
+    let mut vars = Vec::new();
+    let mut cons = Vec::new();
+    for s in 0..lp.servers {
+        for v in 0..lp.bvars {
+            let j = s * lp.bvars + v;
+            vars.push(p.add_var(&format!("x{s}_{v}"), 0.0, 25.0, lp.obj[j]));
+        }
+    }
+    let mut ci = 0;
+    for s in 0..lp.servers {
+        for c in 0..lp.bcons {
+            let base = (s * lp.bcons + c) * lp.bvars;
+            let terms: Vec<_> = (0..lp.bvars)
+                .map(|v| (vars[s * lp.bvars + v], lp.coefs[base + v]))
+                .collect();
+            cons.push(p.add_con(&format!("r{s}_{c}"), &terms, Rel::Le, lp.rhs[ci]));
+            ci += 1;
+        }
+    }
+    let tail = lp.servers * lp.bcons * lp.bvars;
+    let coupling: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (v, lp.coefs[tail + j]))
+        .collect();
+    cons.push(p.add_con("coupling", &coupling, Rel::Le, lp.rhs[ci]));
+    let bs = block_layout(lp.servers as u32, lp.bvars, lp.bcons, 0, 1);
+    (p, bs, vars, cons)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Feasible-and-bounded block LPs: identical objective bits, values,
+    /// and pivot counts (duals to tolerance) — with and without
+    /// block-pricing metadata.
+    #[test]
+    fn engines_bitwise_equal_on_block_lps(lp in block_lp()) {
+        let (p, bs, _, _) = build_block_lp(&lp);
+        assert_engines_agree(&p, None)?;
+        assert_engines_agree(&p, Some(Arc::new(bs)))?;
+    }
+
+    /// Mixed-relation LPs (≥ / = rows force a real phase 1, and the rhs
+    /// offsets can make them infeasible): the engines must agree on the
+    /// *classification*, not just on optima.
+    #[test]
+    fn engines_agree_on_status_classification(
+        n in 2usize..5,
+        coefs in proptest::collection::vec((-8i32..=8).prop_map(|q| f64::from(q) / 2.0), 20),
+        rhs in proptest::collection::vec((-10i32..=20).prop_map(|q| f64::from(q) / 2.0), 4),
+        rels in proptest::collection::vec(0u8..3, 4),
+        unbounded in proptest::prelude::any::<bool>(),
+    ) {
+        let mut p = Problem::maximize();
+        let hi = if unbounded { f64::INFINITY } else { 30.0 };
+        let vars: Vec<_> = (0..n).map(|j| p.add_var(&format!("x{j}"), 0.0, hi, coefs[j])).collect();
+        for (i, (&b, &rel)) in rhs.iter().zip(&rels).enumerate() {
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| (v, coefs[(i * n + j) % coefs.len()]))
+                .collect();
+            let rel = match rel % 3 {
+                0 => Rel::Le,
+                1 => Rel::Ge,
+                _ => Rel::Eq,
+            };
+            p.add_con(&format!("r{i}"), &terms, rel, b);
+        }
+        assert_engines_agree(&p, None)?;
+    }
+
+    /// Workspace warm-start round-trips: the same patch script replayed on
+    /// a dense and a sparse workspace must stay bitwise-locked at every
+    /// step, through a basis snapshot/restore in the middle.
+    #[test]
+    fn workspace_patch_scripts_stay_bitwise_locked(
+        lp in block_lp(),
+        obj_patches in proptest::collection::vec((0usize..8, (-10i32..=10).prop_map(|q| f64::from(q) / 2.0)), 1..5),
+        rhs_patches in proptest::collection::vec((0usize..8, (0i32..=36).prop_map(|q| f64::from(q) / 4.0)), 1..5),
+    ) {
+        let (p, bs, vars, cons) = build_block_lp(&lp);
+        let mk = |engine| {
+            let o = SolveOptions {
+                blocks: Some(Arc::new(bs.clone())),
+                ..opts(engine)
+            };
+            Workspace::new(&p, &o).expect("workspace build")
+        };
+        let mut dense = mk(EngineKind::Dense);
+        let mut sparse = mk(EngineKind::Sparse);
+
+        let solve_both = |d: &mut Workspace, s: &mut Workspace| -> Result<(), TestCaseError> {
+            let rd = d.solve();
+            let rs = s.solve();
+            match (&rd, &rs) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(bits(a.objective()), bits(b.objective()),
+                        "warm objective bits: {} vs {}", a.objective(), b.objective());
+                    for (x, y) in a.values().iter().zip(b.values()) {
+                        prop_assert_eq!(bits(*x), bits(*y), "warm value {} vs {}", x, y);
+                    }
+                    // Warm duals are read by engine-specific arithmetic
+                    // (dense: O(m) cost-row read; sparse: eta BTRAN), so
+                    // they agree mathematically, not bitwise.
+                    for (x, y) in a.duals().iter().zip(b.duals()) {
+                        prop_assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()),
+                            "warm dual {} vs {}", x, y);
+                    }
+                }
+                (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                _ => return Err(TestCaseError::fail(format!(
+                    "warm status mismatch: dense {rd:?} vs sparse {rs:?}"
+                ))),
+            }
+            prop_assert_eq!(d.stats().warm_solves, s.stats().warm_solves);
+            prop_assert_eq!(d.stats().cold_solves, s.stats().cold_solves);
+            Ok(())
+        };
+
+        solve_both(&mut dense, &mut sparse)?;
+        let saved = (dense.basis(), sparse.basis());
+        for (k, &(vi, c)) in obj_patches.iter().enumerate() {
+            let v = vars[vi % vars.len()];
+            dense.set_objective(v, c);
+            sparse.set_objective(v, c);
+            if let Some(&(ci, b)) = rhs_patches.get(k) {
+                let cid = cons[ci % cons.len()];
+                dense.set_rhs(cid, b);
+                sparse.set_rhs(cid, b);
+            }
+            solve_both(&mut dense, &mut sparse)?;
+        }
+        // Rewind both to the snapshot and confirm they stay locked.
+        if dense.restore_basis(&saved.0).is_ok() {
+            prop_assert!(sparse.restore_basis(&saved.1).is_ok(),
+                "sparse restore failed where dense succeeded");
+            solve_both(&mut dense, &mut sparse)?;
+        }
+    }
+}
