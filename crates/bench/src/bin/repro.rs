@@ -21,6 +21,10 @@
 //!   scenarios    adversarial scenario matrix with profit-retention
 //!                scorecard (fails if the resilient floor drops below 80%
 //!                or damping stops beating plain Resilient on oscillation)
+//!   serve        live-dispatcher replay bench (fails below the
+//!                throughput floor, on thread-variant routing, on swap
+//!                mis-reconciliation, on mix divergence, or if a scripted
+//!                mid-slot shift goes undetected)
 //!   all          everything above, in order
 //! ```
 
@@ -29,7 +33,7 @@ use std::process::ExitCode;
 
 use palb_bench::experiments::{
     ablations, fault_tolerance, forecasting, foundations, quantile, robustness, scenario_matrix,
-    section_v, section_vi, section_vii, solver_perf, sparse_lp, three_level, validate,
+    section_v, section_vi, section_vii, serve_bench, solver_perf, sparse_lp, three_level, validate,
 };
 
 fn usage() -> ExitCode {
@@ -37,7 +41,7 @@ fn usage() -> ExitCode {
         "usage: repro <target>\n\
          targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
          tables validate quantile forecast robustness three-level ablations \
-         fault-tolerance solver-perf sparse-lp scenarios all"
+         fault-tolerance solver-perf sparse-lp scenarios serve all"
     );
     ExitCode::FAILURE
 }
@@ -66,6 +70,60 @@ fn run_sparse_lp() -> ExitCode {
             "sparse-lp: sparse engine only {:.1}x faster than dense on the large-sparse config (gate: 10x)",
             s.large.speedup
         );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Conservative CI throughput floor for the serving bench, routed req/s.
+/// Release builds on real hardware clear 2M+ req/s aggregate; the floor
+/// only has to catch order-of-magnitude regressions on shared runners.
+const SERVE_THROUGHPUT_FLOOR: f64 = 500_000.0;
+
+/// Routing-mix divergence ceiling for the serving bench: the worst
+/// per-category gap between the empirical mix and the plan's φ.
+const SERVE_MIX_CEILING: f64 = 0.05;
+
+/// Runs the serving-layer replay study and enforces its gates:
+/// throughput above the conservative floor, thread-invariant routing,
+/// exact swap reconciliation, bounded routing-mix divergence, and a
+/// detected (drop-free) scripted mid-slot shift.
+fn run_serve() -> ExitCode {
+    let s = serve_bench::study(&[1, 2, 4, 8], 3, 2_000_000);
+    print!("{}", serve_bench::render(&s));
+    if s.peak_routed_per_second() < SERVE_THROUGHPUT_FLOOR {
+        eprintln!(
+            "serve: peak throughput {:.0} req/s below the {:.0} req/s floor",
+            s.peak_routed_per_second(),
+            SERVE_THROUGHPUT_FLOOR
+        );
+        return ExitCode::FAILURE;
+    }
+    if !s.thread_invariant {
+        eprintln!("serve: routed/shed totals drifted across thread counts");
+        return ExitCode::FAILURE;
+    }
+    if !s.all_swaps_reconcile() {
+        eprintln!("serve: swap counters failed to reconcile with the slot count");
+        return ExitCode::FAILURE;
+    }
+    if s.worst_mix_divergence() > SERVE_MIX_CEILING {
+        eprintln!(
+            "serve: routing mix diverged {:.4} from the plan's fractions (ceiling {:.2})",
+            s.worst_mix_divergence(),
+            SERVE_MIX_CEILING
+        );
+        return ExitCode::FAILURE;
+    }
+    if s.drift.drift_replans < 1 {
+        eprintln!(
+            "serve: scripted mid-slot shift went undetected ({} checks)",
+            s.drift.drift_checks
+        );
+        return ExitCode::FAILURE;
+    }
+    if !s.drift.drop_free {
+        eprintln!("serve: hot swaps dropped requests during the drift run");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
@@ -131,6 +189,7 @@ fn main() -> ExitCode {
         "ablations" => print!("{}", ablations::all()),
         "fault-tolerance" => print!("{}", fault_tolerance::report(0.1, 42)),
         "scenarios" => return run_scenarios(),
+        "serve" => return run_serve(),
         "sparse-lp" => return run_sparse_lp(),
         "solver-perf" => {
             // CI smoke: a slower-than-cold incremental path or any
@@ -215,6 +274,10 @@ fn main() -> ExitCode {
             print!("{}", solver_perf::report(5));
             println!();
             if run_sparse_lp() != ExitCode::SUCCESS {
+                return ExitCode::FAILURE;
+            }
+            println!();
+            if run_serve() != ExitCode::SUCCESS {
                 return ExitCode::FAILURE;
             }
             println!();

@@ -10,6 +10,7 @@ pub mod scenario_matrix;
 pub mod section_v;
 pub mod section_vi;
 pub mod section_vii;
+pub mod serve_bench;
 pub mod solver_perf;
 pub mod sparse_lp;
 pub mod three_level;

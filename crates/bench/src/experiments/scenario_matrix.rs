@@ -31,6 +31,7 @@ use palb_core::{
     grid_ramp_surcharge, run_over, BalancedPolicy, BbOptions, ChaosPolicy, DampingOptions,
     OptimizedPolicy, PartialRun, ResilientOptions, ResilientPolicy, RunOptions, SlotSystems, Tier,
 };
+use palb_lp::EngineKind;
 use palb_workload::fault::{RateFaultConfig, SolverFaultSchedule};
 use palb_workload::scenario::{self, RateFaults, Scenario};
 use palb_workload::Trace;
@@ -84,6 +85,10 @@ pub struct ScenarioMatrix {
     pub seed: u64,
     /// Solver threads used by the exact tiers.
     pub threads: usize,
+    /// LP engine the solver tiers ran on. A performance knob only: the
+    /// engines are bitwise-identical on every input, so forcing one never
+    /// moves a cell (regression-tested below).
+    pub engine: EngineKind,
     /// Scenario names, row order.
     pub scenarios: Vec<String>,
     /// Policy labels, column order.
@@ -185,10 +190,12 @@ fn materialize(scenario: &Scenario, seed: u64) -> World {
 /// best-effort mode. Solver-fault schedules veto Optimized/UniformLevels
 /// decisions outright (via [`ChaosPolicy`]) and individual ladder attempts
 /// inside the resilient variants; Balanced is price-table arithmetic with
-/// no solver to fail.
+/// no solver to fail. `engine` forces every LP onto one simplex engine
+/// (`--lp-engine`); policies without an LP ignore it.
 fn run_policy(
     label: &str,
     threads: usize,
+    engine: EngineKind,
     source: &SlotSystems,
     trace: &Trace,
     schedule: Option<&SolverFaultSchedule>,
@@ -197,7 +204,7 @@ fn run_policy(
     let opts = RunOptions::best_effort(0).with_obs(obs);
     let run = match label {
         "Optimized" => {
-            let inner = OptimizedPolicy::exact_threads(threads);
+            let inner = OptimizedPolicy::exact_threads(threads).with_lp_engine(engine);
             match schedule {
                 Some(s) => run_over(
                     &mut ChaosPolicy::new(inner, s.clone()),
@@ -222,14 +229,19 @@ fn run_policy(
         }
         "Balanced" => run_over(&mut BalancedPolicy, source, trace, &opts),
         "Resilient" | "Resilient+damping" => {
-            let mut policy = ResilientPolicy::new(ResilientOptions {
+            let mut ladder = ResilientOptions {
                 bb: BbOptions {
                     threads: threads.max(1),
                     ..BbOptions::default()
                 },
                 damping: (label == "Resilient+damping").then(DampingOptions::default),
                 ..ResilientOptions::default()
-            });
+            };
+            // Both solver tiers honour the override; the Bland-retry
+            // tier keeps its pivot-rule settings.
+            ladder.bb.lp.engine = engine;
+            ladder.retry_lp.engine = engine;
+            let mut policy = ResilientPolicy::new(ladder);
             if let Some(s) = schedule {
                 policy = policy.with_chaos(s.clone());
             }
@@ -268,6 +280,16 @@ pub const DEFAULT_SEED: u64 = 0xA11CE;
 /// Runs the full built-in scenario library. See [`matrix_for`].
 pub fn matrix(seed: u64, threads: usize) -> ScenarioMatrix {
     matrix_for(seed, threads, &scenario::builtin())
+}
+
+/// Lowercase display name of an LP engine choice, the same spelling the
+/// `--lp-engine` flag accepts.
+pub fn engine_name(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Auto => "auto",
+        EngineKind::Dense => "dense",
+        EngineKind::Sparse => "sparse",
+    }
 }
 
 /// Builds a stress run's scenario list: the full built-in library, or one
@@ -344,8 +366,22 @@ pub fn check_baseline(
 /// Runs `scenarios × POLICIES`, normalizing each cell against the same
 /// policy's clean-day run (computed once per policy and shared across
 /// rows; the surcharge is linear in kappa, so the clean ramp is priced
-/// once at κ = 1).
+/// once at κ = 1). LPs solve on the [`EngineKind::Auto`] engine; `palb
+/// stress --lp-engine` goes through [`matrix_for_engine`] to force one.
 pub fn matrix_for(seed: u64, threads: usize, scenarios: &[Scenario]) -> ScenarioMatrix {
+    matrix_for_engine(seed, threads, scenarios, EngineKind::Auto)
+}
+
+/// [`matrix_for`] with every solver tier's LPs forced onto `engine`. The
+/// engines are bitwise-identical on every input, so this is a
+/// performance/diagnostic knob — the scorecard it produces is the same
+/// bit for bit (regression-tested below).
+pub fn matrix_for_engine(
+    seed: u64,
+    threads: usize,
+    scenarios: &[Scenario],
+    engine: EngineKind,
+) -> ScenarioMatrix {
     let registry = Arc::new(Registry::new());
     let rec = Recorder::attached(Arc::clone(&registry));
     let clean_system = configs::scenario_base_system();
@@ -360,6 +396,7 @@ pub fn matrix_for(seed: u64, threads: usize, scenarios: &[Scenario]) -> Scenario
             let run = run_policy(
                 label,
                 threads,
+                engine,
                 &clean_source,
                 &clean_trace,
                 None,
@@ -396,6 +433,7 @@ pub fn matrix_for(seed: u64, threads: usize, scenarios: &[Scenario]) -> Scenario
             let run = run_policy(
                 label,
                 threads,
+                engine,
                 &world.source,
                 &world.trace,
                 world.schedule.as_ref(),
@@ -432,6 +470,7 @@ pub fn matrix_for(seed: u64, threads: usize, scenarios: &[Scenario]) -> Scenario
     ScenarioMatrix {
         seed,
         threads,
+        engine,
         scenarios: scenarios.iter().map(|s| s.name().to_string()).collect(),
         policies: POLICIES.iter().map(|s| s.to_string()).collect(),
         cells,
@@ -449,11 +488,12 @@ pub fn report(seed: u64, threads: usize) -> String {
 pub fn render(m: &ScenarioMatrix) -> String {
     let scenarios = scenario::builtin();
     let mut out = format!(
-        "# Scenario stress matrix: noiseless SVI day (seed {}, {} solver thread{})\n\
+        "# Scenario stress matrix: noiseless SVI day (seed {}, {} solver thread{}, {} LP engine)\n\
          profit retention = (profit - grid surcharge) / same-policy clean profit\n\n",
         m.seed,
         m.threads,
         if m.threads == 1 { "" } else { "s" },
+        engine_name(m.engine),
     );
     out.push_str(&m.table());
     out.push_str(&format!(
@@ -557,6 +597,23 @@ mod tests {
         let t4 = key_bits(&matrix_for(SEED, 4, &picks));
         assert_eq!(t1, t2);
         assert_eq!(t1, t4);
+    }
+
+    /// Forcing either LP engine reproduces the `Auto` scorecard bit for
+    /// bit — `--lp-engine` is a performance knob, never a results knob.
+    #[test]
+    fn forced_engines_never_move_a_cell() {
+        let picks: Vec<Scenario> = scenario::builtin()
+            .into_iter()
+            .filter(|s| s.name() == "price_shock")
+            .collect();
+        let auto = key_bits(&matrix_for_engine(SEED, 1, &picks, EngineKind::Auto));
+        let dense = key_bits(&matrix_for_engine(SEED, 1, &picks, EngineKind::Dense));
+        let sparse = key_bits(&matrix_for_engine(SEED, 1, &picks, EngineKind::Sparse));
+        assert_eq!(auto, dense);
+        assert_eq!(auto, sparse);
+        // And the plain entry point is the Auto run.
+        assert_eq!(auto, key_bits(&matrix_for(SEED, 1, &picks)));
     }
 
     /// The un-hardened optimizer forfeits slots wherever a scenario can

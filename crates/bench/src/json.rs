@@ -9,7 +9,8 @@ use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
 
 use crate::experiments::fault_tolerance::FaultToleranceResult;
-use crate::experiments::scenario_matrix::ScenarioMatrix;
+use crate::experiments::scenario_matrix::{self, ScenarioMatrix};
+use crate::experiments::serve_bench::ServeStudy;
 use crate::experiments::solver_perf::{SolverPerf, ThreadScaling};
 use crate::experiments::sparse_lp::SparseStudy;
 
@@ -82,6 +83,51 @@ pub fn sparse_study_to_json(s: &SparseStudy) -> Value {
             "speedup": l.speedup,
             "bitwise_equal": l.bitwise_equal,
         },
+    })
+}
+
+/// Serializes the serving-layer replay study (`BENCH_serve.json`): the
+/// 1/2/4/8-thread throughput sweep with route-latency quantiles, the
+/// fidelity gates (thread invariance, swap reconciliation, mix
+/// divergence), and the scripted-drift run.
+pub fn serve_study_to_json(s: &ServeStudy) -> Value {
+    let sweep: Vec<Value> = s
+        .sweep
+        .iter()
+        .map(|p| {
+            json!({
+                "threads": p.threads,
+                "requests": p.requests,
+                "routed": p.routed,
+                "shed": p.shed,
+                "elapsed_seconds": p.elapsed_seconds,
+                "routed_per_second": p.routed_per_second,
+                "route_p50_seconds": p.route_p50_seconds,
+                "route_p99_seconds": p.route_p99_seconds,
+                "boundary_swaps": p.boundary_swaps,
+                "total_swaps": p.total_swaps,
+                "max_mix_divergence": p.max_mix_divergence,
+            })
+        })
+        .collect();
+    let d = &s.drift;
+    json!({
+        "slots": s.slots,
+        "requests_per_slot": s.requests_per_slot,
+        "peak_routed_per_second": s.peak_routed_per_second(),
+        "thread_invariant": s.thread_invariant,
+        "all_swaps_reconcile": s.all_swaps_reconcile(),
+        "worst_mix_divergence": s.worst_mix_divergence(),
+        "sweep": sweep,
+        "drift": {
+            "drift_replans": d.drift_replans,
+            "drift_checks": d.drift_checks,
+            "boundary_swaps": d.boundary_swaps,
+            "total_swaps": d.total_swaps,
+            "requests": d.requests,
+            "drop_free": d.drop_free,
+        },
+        "obs": snapshot_to_json(&s.obs),
     })
 }
 
@@ -259,6 +305,7 @@ pub fn scenario_matrix_to_json(m: &ScenarioMatrix) -> Value {
     json!({
         "seed": m.seed,
         "threads": m.threads,
+        "lp_engine": scenario_matrix::engine_name(m.engine),
         "scenarios": m.scenarios,
         "policies": m.policies,
         "resilient_floor": m.resilient_floor(),
@@ -360,6 +407,20 @@ mod tests {
         assert!(v["resilient_floor"].as_f64().unwrap().is_finite());
         // Single-scenario subset has no oscillation row: gain is NaN → null.
         assert!(v["damping_gain_on_oscillation"].is_null());
+        assert!(!v["obs"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn serve_study_json_carries_sweep_and_gates() {
+        let s = crate::experiments::serve_bench::study(&[1], 2, 30_000);
+        let v = serve_study_to_json(&s);
+        assert_eq!(v["slots"].as_u64(), Some(2));
+        assert!(v["peak_routed_per_second"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["sweep"].as_array().unwrap().len(), 1);
+        assert_eq!(v["all_swaps_reconcile"], serde_json::json!(true));
+        assert!(v["drift"]["drop_free"].as_bool().unwrap());
+        assert!(v["drift"]["drift_replans"].as_u64().unwrap() >= 1);
+        // The drift run's metrics snapshot rides along for the artifact.
         assert!(!v["obs"].as_array().unwrap().is_empty());
     }
 

@@ -117,7 +117,11 @@ where
 /// Strict parallel run, mirroring `palb_core::run`'s all-or-nothing
 /// contract: if any slot fails, the error of the *lowest-index* failed
 /// slot is returned (the same one the sequential driver would have hit
-/// first), so the two paths agree on errors as well as on results.
+/// first), so the two paths agree on errors as well as on results. An
+/// error that does not already name its slot (anything but
+/// `CoreError::Solver`) is wrapped with the failing slot attached, so a
+/// 24-slot study never aborts with a bare "infeasible" and no idea which
+/// slot was infeasible.
 pub fn run_parallel<P, F>(
     make_policy: F,
     system: &System,
@@ -130,7 +134,7 @@ where
 {
     let partial = run_parallel_partial(make_policy, system, trace, start_slot);
     match partial.failures.into_iter().next() {
-        Some(first) => Err(first.error),
+        Some(first) => Err(first.error.with_slot(first.slot)),
         None => Ok(partial.result),
     }
 }
@@ -231,12 +235,51 @@ mod tests {
         let seq_failed: Vec<usize> = seq.failures.iter().map(|f| f.index).collect();
         assert_eq!(par_failed, seq_failed, "same slots fail in either path");
         assert_outcomes_identical(&par.result, &seq.result);
-        // The strict wrapper surfaces the lowest-index failure.
+        // The strict wrapper surfaces the lowest-index failure. Solver
+        // errors already name their slot and pass through unwrapped.
         let err = run_parallel(make, &sys, &trace, 0).unwrap_err();
         let first = par_failed[0];
         assert!(
             matches!(err, CoreError::Solver { slot, .. } if slot == first),
             "{err:?} should be slot {first}"
         );
+    }
+
+    /// A policy that fails one specific slot with a context-free error.
+    struct FailsAt(usize);
+
+    impl Policy for FailsAt {
+        fn name(&self) -> &str {
+            "FailsAt"
+        }
+
+        fn decide(&mut self, ctx: &SlotContext<'_>) -> Result<palb_core::Dispatch, CoreError> {
+            if ctx.slot == self.0 {
+                Err(CoreError::Infeasible)
+            } else {
+                BalancedPolicy.decide(ctx)
+            }
+        }
+    }
+
+    #[test]
+    fn strict_wrapper_names_the_failing_slot() {
+        let sys = presets::section_v();
+        let trace = constant_trace(presets::section_v_low_arrivals(), 6);
+        // start_slot 10: schedule slot 13 fails -> trace index 3.
+        let err = run_parallel(|| FailsAt(13), &sys, &trace, 10).unwrap_err();
+        match err {
+            CoreError::Slot { slot, source } => {
+                assert_eq!(slot, 13, "wrapped error names the schedule slot");
+                assert_eq!(*source, CoreError::Infeasible);
+            }
+            other => panic!("expected slot-wrapped error, got {other:?}"),
+        }
+        // And the rendered message points straight at the slot.
+        let text = run_parallel(|| FailsAt(13), &sys, &trace, 10)
+            .unwrap_err()
+            .to_string();
+        assert!(text.contains("slot 13"), "{text}");
+        assert!(text.contains("infeasible"), "{text}");
     }
 }

@@ -13,6 +13,9 @@
 //! palb fault-tolerance --fault-rate 0.1 --seed 42
 //! palb stress --json --out BENCH_scenarios.json --baseline BENCH_scenarios_baseline.json
 //! palb stress --scenario black_swan --nan-rate 0.1
+//! palb stress --scenario price_shock --lp-engine sparse
+//! palb replay --rps 2000000 --threads 4
+//! palb replay --sweep --rps 2000000 --json --out BENCH_serve.json
 //! ```
 //!
 //! All command logic lives in this library (returning strings/errors) so
@@ -27,9 +30,10 @@ use std::fs;
 use std::sync::Arc;
 
 use palb_bench::experiments::scenario_matrix;
-use palb_bench::experiments::{fault_tolerance, solver_perf, sparse_lp};
+use palb_bench::experiments::{fault_tolerance, serve_bench, solver_perf, sparse_lp};
 use palb_bench::json::{
-    fault_tolerance_to_json, scenario_matrix_to_json, solver_perf_to_json, sparse_study_to_json,
+    fault_tolerance_to_json, scenario_matrix_to_json, serve_study_to_json, solver_perf_to_json,
+    sparse_study_to_json,
 };
 use palb_cluster::{presets, System};
 use palb_core::obs::{Recorder, Registry};
@@ -103,8 +107,12 @@ pub fn usage() -> String {
      \x20 solver-perf [--servers N] [--json]       warm-start vs cold-rebuild study\n\
      \x20 solver-perf --sparse [--json]        sparse vs dense LP engine study\n\
      \x20 stress [--scenario NAME] [--seed S] [--solver-threads N] [--json]\n\
-     \x20        [--out FILE] [--baseline FILE] [--nan-rate R] [--negative-rate R]\n\
-     \x20        [--spike-rate R] [--spike-factor F]   adversarial scenario scorecard\n"
+     \x20        [--lp-engine auto|dense|sparse] [--out FILE] [--baseline FILE]\n\
+     \x20        [--nan-rate R] [--negative-rate R] [--spike-rate R]\n\
+     \x20        [--spike-factor F]                    adversarial scenario scorecard\n\
+     \x20 replay [--rps N] [--threads T[,T...] | --sweep] [--slots N] [--json]\n\
+     \x20        [--out FILE] [--floor R]     live-dispatcher replay bench (routed\n\
+     \x20                                     req/s, p99 route latency, drift drill)\n"
         .to_string()
 }
 
@@ -118,6 +126,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
         "fault-tolerance" => cmd_fault_tolerance(cli),
         "solver-perf" => cmd_solver_perf(cli),
         "stress" => cmd_stress(cli),
+        "replay" => cmd_replay(cli),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
@@ -469,8 +478,12 @@ fn cmd_stress(cli: &Cli) -> Result<String, String> {
     if threads == 0 {
         return Err("--solver-threads must be at least 1".to_string());
     }
+    let engine = match cli.options.get("lp-engine") {
+        Some(spec) => parse_engine(spec)?,
+        None => EngineKind::Auto,
+    };
     let scenarios = stress_scenarios(cli, seed)?;
-    let m = scenario_matrix::matrix_for(seed, threads, &scenarios);
+    let m = scenario_matrix::matrix_for_engine(seed, threads, &scenarios, engine);
 
     let output = if cli.options.contains_key("json") {
         serde_json::to_string_pretty(&scenario_matrix_to_json(&m)).map_err(|e| e.to_string())?
@@ -497,6 +510,96 @@ fn cmd_stress(cli: &Cli) -> Result<String, String> {
         let base: serde_json::Value =
             serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
         scenario_matrix::check_baseline(&m, &base, path)?;
+    }
+    Ok(output)
+}
+
+/// Routing-mix divergence ceiling for `palb replay`: the worst
+/// per-(class, front-end, target) gap between the empirical routing mix
+/// and the plan's φ fractions. Matches `repro serve`.
+const REPLAY_MIX_CEILING: f64 = 0.05;
+
+/// Parses a `--threads` value: one count or a comma-separated sweep
+/// (`4` or `1,2,4,8`), every entry at least 1.
+pub fn parse_thread_list(spec: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let t: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("--threads: bad thread count `{part}`"))?;
+        if t == 0 {
+            return Err("--threads entries must be at least 1".to_string());
+        }
+        out.push(t);
+    }
+    Ok(out)
+}
+
+fn cmd_replay(cli: &Cli) -> Result<String, String> {
+    let rps = opt_usize(cli, "rps", 200_000)? as u64;
+    if rps == 0 {
+        return Err("--rps must be at least 1".to_string());
+    }
+    let slots = opt_usize(cli, "slots", 3)?;
+    if slots == 0 {
+        return Err("--slots must be at least 1".to_string());
+    }
+    let threads = if cli.options.contains_key("sweep") {
+        vec![1, 2, 4, 8]
+    } else {
+        parse_thread_list(
+            cli.options
+                .get("threads")
+                .map(String::as_str)
+                .unwrap_or("2"),
+        )?
+    };
+    // An explicit floor (req/s) turns the bench into a pass/fail gate;
+    // the default 0 only reports. CI passes a conservative floor so
+    // shared-runner noise cannot flake the job.
+    let floor = opt_f64(cli, "floor", 0.0)?;
+
+    let s = serve_bench::study(&threads, slots, rps);
+    let output = if cli.options.contains_key("json") {
+        serde_json::to_string_pretty(&serve_study_to_json(&s)).map_err(|e| e.to_string())?
+    } else {
+        serve_bench::render(&s)
+    };
+    // The artifact lands on disk before the gates run, so CI can archive
+    // the numbers of a failing run.
+    if let Some(path) = cli.options.get("out").filter(|p| !p.is_empty()) {
+        let json =
+            serde_json::to_string_pretty(&serve_study_to_json(&s)).map_err(|e| e.to_string())?;
+        fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    if !s.thread_invariant {
+        return Err("replay: routed/shed totals drifted across thread counts".to_string());
+    }
+    if !s.all_swaps_reconcile() {
+        return Err("replay: swap counters failed to reconcile with the slot count".to_string());
+    }
+    if s.worst_mix_divergence() > REPLAY_MIX_CEILING {
+        return Err(format!(
+            "replay: routing mix diverged {:.4} from the plan's fractions (ceiling {REPLAY_MIX_CEILING})",
+            s.worst_mix_divergence()
+        ));
+    }
+    if s.drift.drift_replans < 1 {
+        return Err(format!(
+            "replay: scripted mid-slot shift went undetected ({} checks)",
+            s.drift.drift_checks
+        ));
+    }
+    if !s.drift.drop_free {
+        return Err("replay: hot swaps dropped requests during the drift run".to_string());
+    }
+    if floor > 0.0 && s.peak_routed_per_second() < floor {
+        return Err(format!(
+            "replay: peak throughput {:.0} req/s below the {floor:.0} req/s floor",
+            s.peak_routed_per_second()
+        ));
     }
     Ok(output)
 }
@@ -836,6 +939,27 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["cells"].as_array().unwrap().len(), 5);
         assert!(v["resilient_floor"].as_f64().unwrap() >= 0.8);
+        assert_eq!(v["lp_engine"], "auto");
+
+        // Forcing an engine is invisible to the scorecard — same cells
+        // bit for bit — with the choice recorded in the artifact.
+        let sparse = execute(&cli(&[
+            "stress",
+            "--scenario",
+            "price_shock",
+            "--solver-threads",
+            "1",
+            "--lp-engine",
+            "sparse",
+            "--json",
+        ]))
+        .unwrap();
+        let sv: serde_json::Value = serde_json::from_str(&sparse).unwrap();
+        assert_eq!(sv["lp_engine"], "sparse");
+        assert_eq!(sv["cells"], v["cells"]);
+        // A bad engine value is rejected before any matrix runs.
+        let err = execute(&cli(&["stress", "--lp-engine", "simplex"])).unwrap_err();
+        assert!(err.contains("--lp-engine"), "{err}");
 
         // The written artifact doubles as a clean baseline for the same
         // seed: the deterministic matrix reproduces it exactly.
@@ -869,6 +993,72 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("drift"), "{err}");
+    }
+
+    #[test]
+    fn replay_thread_list_parses() {
+        assert_eq!(parse_thread_list("2").unwrap(), vec![2]);
+        assert_eq!(parse_thread_list("1,2,4,8").unwrap(), vec![1, 2, 4, 8]);
+        assert_eq!(parse_thread_list(" 1, 2 ").unwrap(), vec![1, 2]);
+        assert!(parse_thread_list("0").is_err());
+        assert!(parse_thread_list("x").is_err());
+        assert!(parse_thread_list("").is_err());
+        assert!(parse_thread_list("1,,2").is_err());
+    }
+
+    #[test]
+    fn replay_command_runs_gates_and_exports_artifact() {
+        let dir = std::env::temp_dir().join("palb_cli_replay_test");
+        fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_serve.json");
+        let out = execute(&cli(&[
+            "replay",
+            "--rps",
+            "30000",
+            "--slots",
+            "2",
+            "--threads",
+            "1,2",
+            "--json",
+            "--out",
+            out_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["slots"], 2);
+        assert_eq!(v["sweep"].as_array().unwrap().len(), 2);
+        assert!(v["peak_routed_per_second"].as_f64().unwrap() > 0.0);
+        assert!(v["thread_invariant"].as_bool().unwrap());
+        assert!(v["all_swaps_reconcile"].as_bool().unwrap());
+        assert!(v["drift"]["drop_free"].as_bool().unwrap());
+        assert!(v["drift"]["drift_replans"].as_u64().unwrap() >= 1);
+        // The exported artifact is the same document.
+        let disk: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(disk, v);
+        // An absurd floor turns the same healthy run into a gate failure.
+        let err = execute(&cli(&[
+            "replay",
+            "--rps",
+            "30000",
+            "--slots",
+            "2",
+            "--threads",
+            "1",
+            "--floor",
+            "1e15",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+    }
+
+    #[test]
+    fn replay_rejects_nonsense_before_running() {
+        assert!(execute(&cli(&["replay", "--rps", "0"])).is_err());
+        assert!(execute(&cli(&["replay", "--slots", "0"])).is_err());
+        assert!(execute(&cli(&["replay", "--threads", "0"])).is_err());
+        assert!(execute(&cli(&["replay", "--threads", "nope"])).is_err());
+        assert!(execute(&cli(&["replay", "--rps", "many"])).is_err());
     }
 
     #[test]

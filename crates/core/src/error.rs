@@ -30,6 +30,31 @@ pub enum CoreError {
         /// The underlying LP failure.
         source: LpError,
     },
+    /// Any other failure with the slot it occurred in attached. Drivers
+    /// add this wrapper (via [`CoreError::with_slot`]) when surfacing a
+    /// per-slot error that does not already carry slot context, so a
+    /// whole-trace run never reports a bare `Infeasible` with no hint of
+    /// *which* slot was infeasible.
+    Slot {
+        /// Schedule slot being decided when the failure occurred.
+        slot: usize,
+        /// The underlying failure.
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Attaches `slot` context to the error unless it already carries
+    /// one ([`CoreError::Solver`] and [`CoreError::Slot`] do).
+    pub fn with_slot(self, slot: usize) -> CoreError {
+        match self {
+            CoreError::Solver { .. } | CoreError::Slot { .. } => self,
+            other => CoreError::Slot {
+                slot,
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -44,6 +69,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Solver { slot, tier, source } => {
                 write!(f, "solver failure at slot {slot} (tier {tier}): {source}")
             }
+            CoreError::Slot { slot, source } => {
+                write!(f, "slot {slot}: {source}")
+            }
         }
     }
 }
@@ -53,6 +81,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Lp(e) => Some(e),
             CoreError::Solver { source, .. } => Some(source),
+            CoreError::Slot { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -84,6 +113,38 @@ mod tests {
     fn display_is_informative() {
         assert!(CoreError::Infeasible.to_string().contains("infeasible"));
         assert!(CoreError::Model("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn with_slot_wraps_context_free_errors_only() {
+        let wrapped = CoreError::Infeasible.with_slot(4);
+        assert_eq!(
+            wrapped,
+            CoreError::Slot {
+                slot: 4,
+                source: Box::new(CoreError::Infeasible)
+            }
+        );
+        let text = wrapped.to_string();
+        assert!(text.contains("slot 4"), "{text}");
+        assert!(text.contains("infeasible"), "{text}");
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+        // Errors that already carry a slot pass through untouched.
+        let solver = CoreError::Solver {
+            slot: 9,
+            tier: Tier::Exact,
+            source: LpError::Numeric("x".into()),
+        };
+        assert!(matches!(
+            solver.with_slot(4),
+            CoreError::Solver { slot: 9, .. }
+        ));
+        // Idempotent: re-wrapping keeps the original slot.
+        assert!(matches!(
+            CoreError::Infeasible.with_slot(4).with_slot(7),
+            CoreError::Slot { slot: 4, .. }
+        ));
     }
 
     #[test]

@@ -81,6 +81,19 @@ pub mod names {
     /// Dispatch decisions blended toward the previous plan by the damping
     /// variant of the resilient policy.
     pub const DAMPING_EVENTS_TOTAL: &str = "palb_damping_events_total";
+    /// Serving layer: requests routed to a server by the live dispatcher.
+    pub const ROUTES_TOTAL: &str = "palb_routes_total";
+    /// Serving layer: requests shed (offered mass the plan does not
+    /// dispatch anywhere — the admission-control remainder).
+    pub const ROUTES_SHED_TOTAL: &str = "palb_routes_shed_total";
+    /// Serving layer: per-route lookup latency (sampled), in seconds.
+    pub const ROUTE_SECONDS: &str = "palb_route_seconds";
+    /// Serving layer: route-table publications at slot boundaries.
+    pub const PLAN_SWAPS_TOTAL: &str = "palb_plan_swaps_total";
+    /// Serving layer: mid-slot re-plans triggered by drift detection.
+    pub const DRIFT_REPLANS_TOTAL: &str = "palb_drift_replans_total";
+    /// Serving layer: drift checks evaluated against the active plan.
+    pub const DRIFT_CHECKS_TOTAL: &str = "palb_drift_checks_total";
 }
 
 /// Canonical span paths for the timing hierarchy

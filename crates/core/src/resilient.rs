@@ -515,6 +515,7 @@ fn is_transient(e: &CoreError) -> bool {
     match e {
         CoreError::Lp(l) => l.is_transient(),
         CoreError::Solver { source, .. } => source.is_transient(),
+        CoreError::Slot { source, .. } => is_transient(source),
         // A contained worker panic is worth a descent: the sequential and
         // heuristic tiers don't run the code path that panicked.
         CoreError::WorkerPanic => true,

@@ -198,6 +198,54 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         self.sum.get()
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts.
+    ///
+    /// The rank is located on the cumulative bucket counts and then
+    /// interpolated inside the owning bucket: geometrically when both
+    /// bucket edges are positive (the right model for the log-linear
+    /// 1-2-5 ladder, where observations spread multiplicatively), and
+    /// linearly otherwise (first bucket's lower edge is taken as `0`).
+    /// Observations in the overflow bucket clamp to the last finite
+    /// bound — there is no upper edge to interpolate toward.
+    ///
+    /// Returns `None` when the histogram is empty or `q` is `NaN` or
+    /// outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = q * total as f64;
+        let last_bound = self.bounds[self.bounds.len() - 1];
+        let mut cum: u64 = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let below = cum as f64;
+            cum += c;
+            if (cum as f64) < target {
+                continue;
+            }
+            if i == self.bounds.len() {
+                // Overflow bucket: clamp to the last finite bound.
+                return Some(last_bound);
+            }
+            let hi = self.bounds[i];
+            let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let frac = ((target - below) / c as f64).clamp(0.0, 1.0);
+            if lo > 0.0 && hi > 0.0 {
+                return Some(lo * (hi / lo).powf(frac));
+            }
+            return Some(lo + (hi - lo) * frac);
+        }
+        Some(last_bound)
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +341,66 @@ mod tests {
     #[should_panic(expected = "at least one bound")]
     fn empty_bounds_are_rejected() {
         Histogram::with_bounds(vec![]);
+    }
+
+    #[test]
+    fn quantile_rejects_empty_and_out_of_range() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        h.observe(1.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn quantile_interpolates_geometrically_on_log_linear_buckets() {
+        // All mass in the (1.0, 2.0] bucket: the median interpolates to
+        // the geometric midpoint sqrt(2), not the arithmetic 1.5.
+        let h = Histogram::with_bounds(vec![1.0, 2.0, 5.0]);
+        h.observe(1.5);
+        h.observe(1.5);
+        let q = h.quantile(0.5).unwrap();
+        assert!((q - 2f64.sqrt()).abs() < 1e-12, "got {q}");
+        // q = 0 pins to the bucket's lower edge, q = 1 to its upper edge.
+        assert!((h.quantile(0.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_first_bucket_interpolates_linearly_from_zero() {
+        let h = Histogram::with_bounds(vec![4.0, 8.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        // Both observations in the first bucket (lower edge 0): the
+        // median is halfway up the bucket by count, i.e. at 2.0.
+        let q = h.quantile(0.5).unwrap();
+        assert!((q - 2.0).abs() < 1e-12, "got {q}");
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_counts_across_buckets() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+        for _ in 0..90 {
+            h.observe(0.5); // first bucket
+        }
+        for _ in 0..10 {
+            h.observe(3.0); // third bucket
+        }
+        // p50 lands inside the first bucket, p99 inside (2, 4].
+        assert!(h.quantile(0.5).unwrap() <= 1.0);
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > 2.0 && p99 <= 4.0, "got {p99}");
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_bound() {
+        let h = Histogram::with_bounds(vec![1.0, 2.0]);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
     }
 
     #[test]

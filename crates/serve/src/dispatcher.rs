@@ -1,0 +1,684 @@
+//! The live dispatcher: replaying slot traffic through hot-swapped plans.
+//!
+//! [`serve_replay`] is the serving loop the rest of the crate exists
+//! for. Per trace slot it:
+//!
+//! 1. asks the **planner thread** (which owns the
+//!    [`ResilientPolicy`] ladder and its warm-started `WorkspacePool`)
+//!    for the slot's plan, compiles it to a [`RouteTable`], and publishes
+//!    it through the [`PlanCell`] — the *boundary swap*, atomic and
+//!    drop-free;
+//! 2. fans the slot's [`ReplayStream`] across `threads` router workers.
+//!    Each worker runs the allocation-free hot path: one epoch check
+//!    ([`PlanReader::sync`](crate::swap::PlanReader::sync)), one seed-pure
+//!    stream lookup, one alias-table route, one sharded estimator bump;
+//! 3. worker 0 doubles as the drift sentinel: every
+//!    [`DriftOptions::check_every`] requests it folds the merged
+//!    estimator window ([`DriftMonitor`]) and, when the smoothed mix
+//!    deviates from the active plan's reference rates, hands the
+//!    estimated matrix to the planner thread — which re-solves in the
+//!    background and publishes the replacement table mid-slot while the
+//!    workers keep routing against the old plan until the instant the
+//!    new one lands.
+//!
+//! Determinism contract: with drift disabled, `routed`/`shed`/mix counts
+//! are bitwise identical across thread counts (the request partition is
+//! by index range and every route is a pure function of `(seed, slot,
+//! i)`). Drift re-plan *timing* is inherently schedule-dependent — the
+//! sentinel reads live counters — so runs with drift enabled reconcile
+//! exactly on totals but may split mix segments at different requests.
+//!
+//! [`ResilientPolicy`]: palb_core::ResilientPolicy
+//! [`RouteTable`]: crate::table::RouteTable
+//! [`PlanCell`]: crate::swap::PlanCell
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Instant;
+
+use palb_cluster::System;
+use palb_core::obs::{names, Recorder};
+use palb_core::{CoreError, Policy, ResilientOptions, ResilientPolicy, SlotContext};
+use palb_obs::metrics::duration_bounds;
+use palb_obs::sync::{Arc, AtomicU64, Mutex, Ordering};
+use palb_obs::Histogram;
+use palb_workload::replay::{mix64, ReplayStream};
+use palb_workload::Trace;
+
+use crate::estimator::{DriftMonitor, EstimatorConfig, ShardedEstimator};
+use crate::swap::PlanCell;
+use crate::table::{Route, RouteTable};
+
+/// Salt folded into the per-request route word so routing randomness is
+/// independent of the stream's cell-selection randomness.
+const ROUTE_SALT: u64 = 0x8F0C_6B1D_2E3A_4455;
+
+/// Minimum per-group sample count before its empirical mix participates
+/// in divergence scoring (binomial noise below this drowns the signal).
+const MIN_MIX_SAMPLES: u64 = 2_000;
+
+/// Mid-slot drift detection tuning.
+#[derive(Debug, Clone)]
+pub struct DriftOptions {
+    /// Aggregate routed requests between sentinel checks.
+    pub check_every: u64,
+    /// Window/EWMA/threshold tuning for the [`DriftMonitor`].
+    pub estimator: EstimatorConfig,
+    /// Re-plan budget per slot (the sentinel stops requesting after
+    /// this many; 1 keeps mix accounting simple and re-plans cheap).
+    pub max_replans_per_slot: u32,
+}
+
+impl Default for DriftOptions {
+    fn default() -> Self {
+        DriftOptions {
+            check_every: 65_536,
+            estimator: EstimatorConfig::default(),
+            max_replans_per_slot: 1,
+        }
+    }
+}
+
+/// A scripted mid-slot rate shift (drift injection for experiments):
+/// from request `at_fraction × requests_per_slot` of slot `slot`, the
+/// stream draws from `rates` instead of the trace matrix.
+#[derive(Debug, Clone)]
+pub struct ShiftSpec {
+    /// Slot the shift applies to.
+    pub slot: usize,
+    /// Fraction of the slot's requests served before the shift.
+    pub at_fraction: f64,
+    /// The shifted `rates[front_end][class]` matrix.
+    pub rates: Vec<Vec<f64>>,
+}
+
+/// Configuration for [`serve_replay`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Router worker threads.
+    pub threads: usize,
+    /// Seed for the seed-pure request stream and route words.
+    pub seed: u64,
+    /// Requests replayed per trace slot.
+    pub requests_per_slot: u64,
+    /// Mid-slot drift detection; `None` disables the sentinel entirely.
+    pub drift: Option<DriftOptions>,
+    /// Scripted rate shift (usually paired with `drift`).
+    pub shift: Option<ShiftSpec>,
+    /// Route-latency sampling cadence (every Nth request; 0 disables
+    /// sampling and the latency histogram stays empty).
+    pub latency_sample_every: u64,
+    /// Metrics sink (counters + route-latency histogram mirror).
+    pub obs: Recorder,
+    /// Options for the planner thread's [`ResilientPolicy`].
+    pub planner: ResilientOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 1,
+            seed: 0x5EED_CAFE,
+            requests_per_slot: 1_000_000,
+            drift: None,
+            shift: None,
+            latency_sample_every: 128,
+            obs: Recorder::noop(),
+            planner: ResilientOptions::default(),
+        }
+    }
+}
+
+/// Per-slot serving outcome.
+#[derive(Debug, Clone)]
+pub struct SlotServeStats {
+    /// Trace slot index.
+    pub slot: usize,
+    /// Requests offered to the dispatcher.
+    pub requests: u64,
+    /// Requests routed to a server.
+    pub routed: u64,
+    /// Requests shed by the plan's admission control.
+    pub shed: u64,
+    /// Mid-slot re-plans published during the slot.
+    pub drift_replans: u64,
+    /// Worst per-category gap between the empirical routing mix and the
+    /// active table's planned fractions, over groups with enough
+    /// samples; `None` when no group qualified.
+    pub mix_divergence: Option<f64>,
+    /// Samples behind the divergence figure.
+    pub mix_samples: u64,
+}
+
+/// Aggregate outcome of one [`serve_replay`] run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Router worker threads.
+    pub threads: usize,
+    /// Trace slots replayed.
+    pub slots: usize,
+    /// Total requests offered.
+    pub requests: u64,
+    /// Total requests routed to a server.
+    pub routed: u64,
+    /// Total requests shed.
+    pub shed: u64,
+    /// Wall-clock serving time (excludes planning; boundary plans are
+    /// computed before each slot's clock starts).
+    pub elapsed_seconds: f64,
+    /// `routed / elapsed_seconds`.
+    pub routed_per_second: f64,
+    /// Route-latency samples taken.
+    pub latency_samples: u64,
+    /// Median sampled route latency.
+    pub route_p50_seconds: Option<f64>,
+    /// p99 sampled route latency.
+    pub route_p99_seconds: Option<f64>,
+    /// Slot-boundary table publications (must equal `slots`).
+    pub boundary_swaps: u64,
+    /// Mid-slot drift re-plans published.
+    pub drift_replans: u64,
+    /// Drift sentinel checks evaluated.
+    pub drift_checks: u64,
+    /// All publications seen by the plan cell (boundary + drift; the
+    /// reconciliation invariant `total_swaps == boundary_swaps +
+    /// drift_replans` is asserted by [`serve_replay`] itself).
+    pub total_swaps: u64,
+    /// Worst `mix_divergence` across slots (same qualification rule).
+    pub max_mix_divergence: Option<f64>,
+    /// Per-slot breakdown.
+    pub per_slot: Vec<SlotServeStats>,
+}
+
+/// Work orders for the planner thread.
+enum PlanRequest {
+    /// Solve slot `slot` against the trace matrix and hand the table
+    /// back for a boundary publish.
+    Boundary { slot: usize },
+    /// Mid-slot re-plan against estimated rates (flat `k × S + s`
+    /// order); the planner publishes the result itself.
+    Drift { slot: usize, estimates: Vec<f64> },
+}
+
+/// Estimated flat rates → `rates[front_end][class]` matrix for the
+/// planner (clamping non-finite/negative estimates to idle).
+fn estimates_to_matrix(estimates: &[f64], classes: usize, front_ends: usize) -> Vec<Vec<f64>> {
+    let mut rates = vec![vec![0.0; classes]; front_ends];
+    for k in 0..classes {
+        for s in 0..front_ends {
+            let est = estimates.get(k * front_ends + s).copied().unwrap_or(0.0);
+            if est.is_finite() && est > 0.0 {
+                rates[s][k] = est;
+            }
+        }
+    }
+    rates
+}
+
+/// Solves one matrix through the resilient ladder and compiles the
+/// resulting plan.
+fn plan_table(
+    policy: &mut ResilientPolicy,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    obs: &Recorder,
+) -> Result<RouteTable, CoreError> {
+    let ctx = SlotContext::new(system, rates, slot, obs);
+    let dispatch = policy.decide(&ctx)?;
+    Ok(RouteTable::compile(&dispatch, rates, slot))
+}
+
+/// The background planner loop: owns the `ResilientPolicy` (and through
+/// it the warm-started `WorkspacePool`) for the whole run, so every
+/// boundary and drift solve warm-starts off the previous one.
+#[allow(clippy::too_many_arguments)]
+fn planner_loop(
+    req_rx: mpsc::Receiver<PlanRequest>,
+    boundary_tx: mpsc::Sender<Result<RouteTable, CoreError>>,
+    cell: &PlanCell<RouteTable>,
+    published: &Mutex<Vec<(u64, Arc<RouteTable>)>>,
+    drift_replans: &AtomicU64,
+    system: &System,
+    trace: &Trace,
+    opts: &ServeOptions,
+) {
+    let mut policy = ResilientPolicy::new(opts.planner.clone());
+    let classes = system.num_classes();
+    let front_ends = system.num_front_ends();
+    while let Ok(req) = req_rx.recv() {
+        match req {
+            PlanRequest::Boundary { slot } => {
+                let table = plan_table(&mut policy, system, trace.slot(slot), slot, &opts.obs);
+                if boundary_tx.send(table).is_err() {
+                    break;
+                }
+            }
+            PlanRequest::Drift { slot, estimates } => {
+                let rates = estimates_to_matrix(&estimates, classes, front_ends);
+                // A failed re-plan is not fatal: the workers keep routing
+                // against the still-valid boundary plan.
+                if let Ok(table) = plan_table(&mut policy, system, &rates, slot, &opts.obs) {
+                    let arc = Arc::new(table);
+                    let epoch = cell.publish_arc(Arc::clone(&arc));
+                    published
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((epoch, arc));
+                    drift_replans.fetch_add(1, Ordering::Relaxed);
+                    opts.obs.counter_add(names::DRIFT_REPLANS_TOTAL, &[], 1);
+                }
+            }
+        }
+    }
+}
+
+/// Drift-sentinel state carried by worker 0.
+struct DriftSentinel {
+    monitor: DriftMonitor,
+    check_every: u64,
+    sender: mpsc::Sender<PlanRequest>,
+    slot: usize,
+    budget: u32,
+    checks: u64,
+    requested: u64,
+}
+
+/// What one router worker hands back at slot end.
+struct WorkerOut {
+    routed: u64,
+    shed: u64,
+    /// `(epoch, per-mix-slot counts)` segments, one per table the worker
+    /// routed against.
+    segments: Vec<(u64, Vec<u64>)>,
+    drift_checks: u64,
+    latency_samples: u64,
+}
+
+/// One router worker's slot loop. The per-request path is the crate's
+/// raison d'être: `sync` (one atomic load) → seed-pure stream lookup →
+/// alias route → sharded estimator bump. Everything allocating (segment
+/// flushes, drift checks) happens on epoch changes or the sentinel
+/// cadence, never per request.
+#[allow(clippy::too_many_arguments)]
+fn route_worker(
+    cell: &PlanCell<RouteTable>,
+    stream: &ReplayStream,
+    est: &ShardedEstimator,
+    shard: usize,
+    range: std::ops::Range<u64>,
+    route_salt: u64,
+    latency_sample_every: u64,
+    hist: &Histogram,
+    obs: &Recorder,
+    mut sentinel: Option<DriftSentinel>,
+) -> WorkerOut {
+    let mut reader = cell.reader();
+    let mut mix_epoch = 0u64;
+    let mut mix: Vec<u64> = Vec::new();
+    let mut segments: Vec<(u64, Vec<u64>)> = Vec::new();
+    let mut routed = 0u64;
+    let mut shed = 0u64;
+    let mut latency_samples = 0u64;
+    let mut since_check = 0u64;
+    for i in range {
+        let epoch = reader.sync();
+        if epoch != mix_epoch {
+            if !mix.is_empty() {
+                segments.push((mix_epoch, std::mem::take(&mut mix)));
+            }
+            mix = vec![0u64; reader.current().mix_len()];
+            mix_epoch = epoch;
+        }
+        let (s, k) = stream.request(i);
+        let word = mix64(route_salt ^ i);
+        let sampled = latency_sample_every > 0 && i % latency_sample_every == 0;
+        let (route, idx) = if sampled {
+            let t0 = Instant::now();
+            let out = reader.current().route_indexed(k, s, word);
+            let dt = t0.elapsed().as_secs_f64();
+            hist.observe(dt);
+            obs.observe(names::ROUTE_SECONDS, &[], dt);
+            latency_samples += 1;
+            out
+        } else {
+            reader.current().route_indexed(k, s, word)
+        };
+        mix[idx] += 1;
+        est.record(shard, k, s);
+        match route {
+            Route::Target { .. } => routed += 1,
+            Route::Shed => shed += 1,
+        }
+        if let Some(ctl) = sentinel.as_mut() {
+            since_check += 1;
+            if since_check >= ctl.check_every {
+                since_check = 0;
+                ctl.checks += 1;
+                ctl.monitor.observe(est, stream.total_rate_at(i));
+                if ctl.requested < ctl.budget as u64 {
+                    let plan = reader.current().plan_rates();
+                    if ctl.monitor.drifted(plan).is_some() {
+                        let estimates = ctl.monitor.estimates().to_vec();
+                        ctl.requested += 1;
+                        if ctl
+                            .sender
+                            .send(PlanRequest::Drift {
+                                slot: ctl.slot,
+                                estimates,
+                            })
+                            .is_err()
+                        {
+                            // Planner gone; keep serving the current plan.
+                            ctl.budget = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !mix.is_empty() {
+        segments.push((mix_epoch, mix));
+    }
+    let drift_checks = sentinel.map(|c| c.checks).unwrap_or(0);
+    WorkerOut {
+        routed,
+        shed,
+        segments,
+        drift_checks,
+        latency_samples,
+    }
+}
+
+/// Scores merged mix segments against the tables they were routed by.
+fn mix_divergence(
+    segments: &BTreeMap<u64, Vec<u64>>,
+    published: &[(u64, Arc<RouteTable>)],
+) -> (Option<f64>, u64) {
+    let mut worst: Option<f64> = None;
+    let mut samples = 0u64;
+    for (epoch, counts) in segments {
+        let Some((_, table)) = published.iter().find(|(e, _)| e == epoch) else {
+            continue;
+        };
+        for kk in 0..table.classes() {
+            for ss in 0..table.front_ends() {
+                let range = table.mix_range(kk, ss);
+                let total: u64 = counts[range.clone()].iter().sum();
+                if total < MIN_MIX_SAMPLES {
+                    continue;
+                }
+                samples += total;
+                for idx in range {
+                    let emp = counts[idx] as f64 / total as f64;
+                    let dev = (emp - table.mix_fraction(idx)).abs();
+                    if worst.map(|w| dev > w).unwrap_or(true) {
+                        worst = Some(dev);
+                    }
+                }
+            }
+        }
+    }
+    (worst, samples)
+}
+
+/// Replays `trace` through the live dispatcher against `system`.
+///
+/// See the [module docs](self) for the slot lifecycle. Errors surface
+/// from option validation, a planner failure on a *boundary* plan (the
+/// resilient ladder makes this effectively unreachable), or a worker
+/// panic. The swap-reconciliation invariant (`total_swaps ==
+/// boundary_swaps + drift_replans`) is checked before returning.
+pub fn serve_replay(
+    system: &System,
+    trace: &Trace,
+    opts: &ServeOptions,
+) -> Result<ReplayReport, CoreError> {
+    if opts.threads == 0 {
+        return Err(CoreError::Model("serve: threads must be >= 1".into()));
+    }
+    if opts.requests_per_slot == 0 {
+        return Err(CoreError::Model(
+            "serve: requests_per_slot must be >= 1".into(),
+        ));
+    }
+    let classes = system.num_classes();
+    let front_ends = system.num_front_ends();
+    if trace.classes() != classes || trace.front_ends() != front_ends {
+        return Err(CoreError::Model(format!(
+            "serve: trace shape {}x{} does not match system {}x{}",
+            trace.front_ends(),
+            trace.classes(),
+            front_ends,
+            classes
+        )));
+    }
+    if let Some(shift) = &opts.shift {
+        if shift.slot >= trace.slots() || !(0.0..=1.0).contains(&shift.at_fraction) {
+            return Err(CoreError::Model(
+                "serve: shift slot/fraction out of range".into(),
+            ));
+        }
+    }
+
+    let cell = PlanCell::new(RouteTable::empty(classes, front_ends, 0));
+    let published: Mutex<Vec<(u64, Arc<RouteTable>)>> = Mutex::new(Vec::new());
+    let drift_replans = AtomicU64::new(0);
+    let hist = Histogram::with_bounds(duration_bounds());
+    let (req_tx, req_rx) = mpsc::channel::<PlanRequest>();
+    let (bnd_tx, bnd_rx) = mpsc::channel::<Result<RouteTable, CoreError>>();
+
+    let cell_ref = &cell;
+    let published_ref = &published;
+    let drift_replans_ref = &drift_replans;
+    let hist_ref = &hist;
+
+    let mut boundary_swaps = 0u64;
+    let mut drift_checks = 0u64;
+    let mut latency_samples = 0u64;
+    let mut requests_total = 0u64;
+    let mut routed_total = 0u64;
+    let mut shed_total = 0u64;
+    let mut serving_seconds = 0f64;
+
+    let per_slot = std::thread::scope(|scope| {
+        let planner = scope.spawn(move || {
+            planner_loop(
+                req_rx,
+                bnd_tx,
+                cell_ref,
+                published_ref,
+                drift_replans_ref,
+                system,
+                trace,
+                opts,
+            )
+        });
+        let outcome = (|| -> Result<Vec<SlotServeStats>, CoreError> {
+            let mut per_slot = Vec::with_capacity(trace.slots());
+            for t in 0..trace.slots() {
+                req_tx
+                    .send(PlanRequest::Boundary { slot: t })
+                    .map_err(|_| CoreError::WorkerPanic)?;
+                let table = bnd_rx.recv().map_err(|_| CoreError::WorkerPanic)??;
+                let arc = Arc::new(table);
+                let epoch = cell.publish_arc(Arc::clone(&arc));
+                published
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((epoch, arc));
+                boundary_swaps += 1;
+                opts.obs.counter_add(names::PLAN_SWAPS_TOTAL, &[], 1);
+
+                let mut stream = match ReplayStream::for_slot(trace, t, opts.seed) {
+                    Some(st) => st,
+                    None => {
+                        // An all-idle slot offers nothing; the boundary
+                        // swap above still happened (swap-per-slot
+                        // reconciliation holds).
+                        per_slot.push(SlotServeStats {
+                            slot: t,
+                            requests: 0,
+                            routed: 0,
+                            shed: 0,
+                            drift_replans: 0,
+                            mix_divergence: None,
+                            mix_samples: 0,
+                        });
+                        continue;
+                    }
+                };
+                if let Some(shift) = opts.shift.as_ref().filter(|sh| sh.slot == t) {
+                    let at = (shift.at_fraction * opts.requests_per_slot as f64) as u64;
+                    stream = stream.with_shift(at, &shift.rates).ok_or_else(|| {
+                        CoreError::Model("serve: shift matrix has no positive rate".into())
+                    })?;
+                }
+                let stream_ref = &stream;
+
+                let est = ShardedEstimator::new(classes, front_ends, opts.threads);
+                let est_ref = &est;
+                let drift_before = drift_replans.load(Ordering::Relaxed);
+                let n = opts.requests_per_slot;
+                let chunk = n.div_ceil(opts.threads as u64);
+                let route_salt = mix64(opts.seed ^ ROUTE_SALT ^ t as u64);
+
+                let slot_clock = Instant::now();
+                let outs: Vec<WorkerOut> = std::thread::scope(|ws| {
+                    let handles: Vec<_> = (0..opts.threads)
+                        .map(|w| {
+                            let lo = (w as u64 * chunk).min(n);
+                            let hi = ((w as u64 + 1) * chunk).min(n);
+                            let sentinel = match (&opts.drift, w) {
+                                (Some(d), 0) => Some(DriftSentinel {
+                                    monitor: DriftMonitor::new(
+                                        classes * front_ends,
+                                        d.estimator.clone(),
+                                    ),
+                                    // The sentinel only sees its own
+                                    // chunk; scale the global cadence.
+                                    check_every: (d.check_every / opts.threads as u64).max(1),
+                                    sender: req_tx.clone(),
+                                    slot: t,
+                                    budget: d.max_replans_per_slot,
+                                    checks: 0,
+                                    requested: 0,
+                                }),
+                                _ => None,
+                            };
+                            ws.spawn(move || {
+                                route_worker(
+                                    cell_ref,
+                                    stream_ref,
+                                    est_ref,
+                                    w,
+                                    lo..hi,
+                                    route_salt,
+                                    opts.latency_sample_every,
+                                    hist_ref,
+                                    &opts.obs,
+                                    sentinel,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().map_err(|_| CoreError::WorkerPanic))
+                        .collect::<Result<Vec<_>, _>>()
+                })?;
+                serving_seconds += slot_clock.elapsed().as_secs_f64();
+
+                let mut slot_routed = 0u64;
+                let mut slot_shed = 0u64;
+                let mut merged: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+                for out in outs {
+                    slot_routed += out.routed;
+                    slot_shed += out.shed;
+                    drift_checks += out.drift_checks;
+                    latency_samples += out.latency_samples;
+                    for (epoch, counts) in out.segments {
+                        let entry = merged.entry(epoch).or_insert_with(|| vec![0; counts.len()]);
+                        if entry.len() == counts.len() {
+                            for (a, b) in entry.iter_mut().zip(counts.iter()) {
+                                *a += b;
+                            }
+                        }
+                    }
+                }
+                let slot_drift = drift_replans
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(drift_before);
+                let (divergence, mix_samples) = {
+                    let log = published
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    mix_divergence(&merged, &log)
+                };
+                opts.obs.counter_add(names::ROUTES_TOTAL, &[], slot_routed);
+                opts.obs
+                    .counter_add(names::ROUTES_SHED_TOTAL, &[], slot_shed);
+                requests_total += n;
+                routed_total += slot_routed;
+                shed_total += slot_shed;
+                per_slot.push(SlotServeStats {
+                    slot: t,
+                    requests: n,
+                    routed: slot_routed,
+                    shed: slot_shed,
+                    drift_replans: slot_drift,
+                    mix_divergence: divergence,
+                    mix_samples,
+                });
+            }
+            Ok(per_slot)
+        })();
+        // Dropping the request sender (and the per-slot clones, all gone
+        // with the joined workers) shuts the planner down.
+        drop(req_tx);
+        let joined = planner.join();
+        match (outcome, joined) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(_)) => Err(CoreError::WorkerPanic),
+        }
+    })?;
+
+    let drift_total = drift_replans.load(Ordering::Relaxed);
+    opts.obs
+        .counter_add(names::DRIFT_CHECKS_TOTAL, &[], drift_checks);
+    let total_swaps = cell.swaps();
+    if total_swaps != boundary_swaps + drift_total {
+        return Err(CoreError::Model(format!(
+            "serve: swap reconciliation failed: {total_swaps} swaps vs {boundary_swaps} boundary + {drift_total} drift"
+        )));
+    }
+    let max_mix_divergence = per_slot
+        .iter()
+        .filter_map(|s| s.mix_divergence)
+        .fold(None, |acc: Option<f64>, d| {
+            Some(acc.map_or(d, |a| a.max(d)))
+        });
+    Ok(ReplayReport {
+        threads: opts.threads,
+        slots: trace.slots(),
+        requests: requests_total,
+        routed: routed_total,
+        shed: shed_total,
+        elapsed_seconds: serving_seconds,
+        routed_per_second: if serving_seconds > 0.0 {
+            routed_total as f64 / serving_seconds
+        } else {
+            0.0
+        },
+        latency_samples,
+        route_p50_seconds: hist.quantile(0.5),
+        route_p99_seconds: hist.quantile(0.99),
+        boundary_swaps,
+        drift_replans: drift_total,
+        drift_checks,
+        total_swaps,
+        max_mix_divergence,
+        per_slot,
+    })
+}

@@ -1,0 +1,353 @@
+//! Sharded streaming rate estimation and drift detection.
+//!
+//! The dispatcher must notice, *mid-slot*, that the traffic mix no
+//! longer looks like the matrix the active plan was solved against — and
+//! it must notice without the workers ever contending on shared counters.
+//! The split:
+//!
+//! * [`ShardedEstimator`] — one shard of relaxed per-`(class, front-end)`
+//!   atomic counters **per worker**. The hot-path record is a single
+//!   `fetch_add` on a cacheline no other worker writes; merging happens
+//!   only on snapshot.
+//! * [`DriftMonitor`] — coordinator-owned sliding-window + EWMA state.
+//!   Each drift check snapshots the merged counters, converts the
+//!   window's deltas into per-cell rate estimates on the plan's own
+//!   scale, folds them into the EWMA, and compares against the plan's
+//!   reference rates ([`crate::table::RouteTable::plan_rates`]).
+//!
+//! Rate scale: the replay clock is derived from the stream itself — a
+//! window of `Δ` requests out of a slot offering `total_rate` spans
+//! `Δ / total_rate` time units, so estimates land directly on the same
+//! requests-per-time-unit axis as the plan matrix. A consequence worth
+//! documenting: detection keys on the **shape** of the mix (and on
+//! per-cell magnitude relative to that clock), which is exactly the
+//! signal a re-plan can act on.
+
+use palb_obs::sync::{AtomicU64, Ordering};
+
+/// One worker's private counter shard.
+#[derive(Debug)]
+struct Shard {
+    counts: Vec<AtomicU64>,
+}
+
+/// Per-`(class, front-end)` arrival counters, sharded one-per-worker.
+///
+/// Cell order matches [`crate::table::RouteTable::plan_rates`]:
+/// `k * front_ends + s`.
+#[derive(Debug)]
+pub struct ShardedEstimator {
+    classes: usize,
+    front_ends: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardedEstimator {
+    /// An estimator for `classes × front_ends` cells across `shards`
+    /// worker shards.
+    pub fn new(classes: usize, front_ends: usize, shards: usize) -> Self {
+        let cells = classes * front_ends;
+        ShardedEstimator {
+            classes,
+            front_ends,
+            shards: (0..shards.max(1))
+                .map(|_| Shard {
+                    counts: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of `(class, front-end)` cells.
+    pub fn cells(&self) -> usize {
+        self.classes * self.front_ends
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one arrival of class `k` at front-end `s` on `shard`.
+    // palb:hot-path(no-alloc)
+    pub fn record(&self, shard: usize, k: usize, s: usize) {
+        self.shards[shard].counts[k * self.front_ends + s].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merges all shards into per-cell totals (snapshot; the counters
+    /// keep running).
+    pub fn merged(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.cells()];
+        self.merge_into(&mut out);
+        out
+    }
+
+    /// Allocation-free merge into a caller-owned buffer.
+    pub fn merge_into(&self, out: &mut [u64]) {
+        for slot in out.iter_mut() {
+            *slot = 0;
+        }
+        for shard in &self.shards {
+            for (slot, c) in out.iter_mut().zip(shard.counts.iter()) {
+                *slot += c.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total arrivals across all cells and shards.
+    pub fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// Tuning for [`DriftMonitor`].
+#[derive(Debug, Clone)]
+pub struct EstimatorConfig {
+    /// EWMA carry weight in `[0, 1)`: `ewma ← blend·ewma + (1−blend)·window`.
+    /// `0` trusts each window fully; higher values smooth harder (and
+    /// detect slower).
+    pub blend: f64,
+    /// Relative deviation (vs the plan rate) above which a cell counts
+    /// as drifted.
+    pub threshold: f64,
+    /// Cells whose plan *and* estimated rate both sit below this floor
+    /// are ignored — relative deviation on near-idle cells is noise.
+    pub min_rate: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            blend: 0.25,
+            threshold: 0.5,
+            min_rate: 1e-6,
+        }
+    }
+}
+
+/// The drift verdict: which cell deviated and by how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftVerdict {
+    /// Flat cell index (`k * front_ends + s`).
+    pub cell: usize,
+    /// The plan's reference rate for the cell.
+    pub plan_rate: f64,
+    /// The EWMA-smoothed estimated rate.
+    pub estimated: f64,
+    /// `|estimated − plan| / max(plan, min_rate)`.
+    pub deviation: f64,
+}
+
+/// Coordinator-side sliding-window + EWMA state over a
+/// [`ShardedEstimator`].
+#[derive(Debug)]
+pub struct DriftMonitor {
+    cfg: EstimatorConfig,
+    last_counts: Vec<u64>,
+    last_total: u64,
+    ewma: Vec<f64>,
+    windows: u64,
+}
+
+impl DriftMonitor {
+    /// A monitor over `cells` flat cells.
+    pub fn new(cells: usize, cfg: EstimatorConfig) -> Self {
+        DriftMonitor {
+            cfg,
+            last_counts: vec![0; cells],
+            last_total: 0,
+            ewma: vec![0.0; cells],
+            windows: 0,
+        }
+    }
+
+    /// Windows folded so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// The EWMA-smoothed per-cell rate estimates (empty until the first
+    /// window).
+    pub fn estimates(&self) -> &[f64] {
+        &self.ewma
+    }
+
+    /// Folds the window since the previous `observe` into the EWMA.
+    ///
+    /// `total_rate` is the aggregate offered rate of the replayed matrix
+    /// (the replay clock: `Δ` requests span `Δ / total_rate` time units).
+    /// Windows with no new arrivals are skipped.
+    pub fn observe(&mut self, est: &ShardedEstimator, total_rate: f64) {
+        let mut now = vec![0u64; self.last_counts.len()];
+        est.merge_into(&mut now);
+        let total: u64 = now.iter().sum();
+        let delta_total = total.saturating_sub(self.last_total);
+        if delta_total == 0 || !(total_rate.is_finite() && total_rate > 0.0) {
+            return;
+        }
+        let window_time = delta_total as f64 / total_rate;
+        for (i, (&n, &prev)) in now.iter().zip(self.last_counts.iter()).enumerate() {
+            let rate = n.saturating_sub(prev) as f64 / window_time;
+            self.ewma[i] = if self.windows == 0 {
+                rate
+            } else {
+                self.cfg.blend * self.ewma[i] + (1.0 - self.cfg.blend) * rate
+            };
+        }
+        self.last_counts = now;
+        self.last_total = total;
+        self.windows += 1;
+    }
+
+    /// Compares the smoothed estimates against the plan's reference
+    /// rates; returns the worst offending cell above the threshold, if
+    /// any. Requires at least one folded window.
+    pub fn drifted(&self, plan_rates: &[f64]) -> Option<DriftVerdict> {
+        if self.windows == 0 {
+            return None;
+        }
+        let mut worst: Option<DriftVerdict> = None;
+        for (cell, (&est, &plan)) in self.ewma.iter().zip(plan_rates.iter()).enumerate() {
+            if est < self.cfg.min_rate && plan < self.cfg.min_rate {
+                continue;
+            }
+            let deviation = (est - plan).abs() / plan.max(self.cfg.min_rate);
+            if deviation <= self.cfg.threshold {
+                continue;
+            }
+            let beats = worst
+                .as_ref()
+                .map(|w| deviation > w.deviation)
+                .unwrap_or(true);
+            if beats {
+                worst = Some(DriftVerdict {
+                    cell,
+                    plan_rate: plan,
+                    estimated: est,
+                    deviation,
+                });
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_across_shards() {
+        let est = ShardedEstimator::new(2, 2, 3);
+        est.record(0, 0, 0);
+        est.record(1, 0, 0);
+        est.record(2, 1, 1);
+        est.record(2, 1, 1);
+        assert_eq!(est.merged(), vec![2, 0, 0, 2]);
+        assert_eq!(est.total(), 4);
+    }
+
+    #[test]
+    fn first_window_seeds_ewma_with_raw_rates() {
+        let est = ShardedEstimator::new(1, 2, 1);
+        // 30 arrivals at cell 0, 10 at cell 1; total_rate 4.0 means the
+        // window spans 10 time units -> rates 3.0 and 1.0.
+        for _ in 0..30 {
+            est.record(0, 0, 0);
+        }
+        for _ in 0..10 {
+            est.record(0, 0, 1);
+        }
+        let mut mon = DriftMonitor::new(2, EstimatorConfig::default());
+        mon.observe(&est, 4.0);
+        assert_eq!(mon.windows(), 1);
+        assert!((mon.estimates()[0] - 3.0).abs() < 1e-12);
+        assert!((mon.estimates()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_blends_subsequent_windows() {
+        let cfg = EstimatorConfig {
+            blend: 0.5,
+            ..EstimatorConfig::default()
+        };
+        let est = ShardedEstimator::new(1, 1, 1);
+        let mut mon = DriftMonitor::new(1, cfg);
+        for _ in 0..10 {
+            est.record(0, 0, 0);
+        }
+        mon.observe(&est, 1.0); // window rate 1.0 -> ewma 1.0
+        for _ in 0..30 {
+            est.record(0, 0, 0);
+        }
+        mon.observe(&est, 1.0); // window rate 1.0 (30 req over 30 units)
+        assert!((mon.estimates()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_skipped() {
+        let est = ShardedEstimator::new(1, 1, 1);
+        let mut mon = DriftMonitor::new(1, EstimatorConfig::default());
+        mon.observe(&est, 10.0);
+        assert_eq!(mon.windows(), 0);
+        assert!(mon.drifted(&[5.0]).is_none(), "no window, no verdict");
+    }
+
+    #[test]
+    fn drift_triggers_on_shape_change_only_above_threshold() {
+        let cfg = EstimatorConfig {
+            blend: 0.0,
+            threshold: 0.5,
+            min_rate: 1e-6,
+        };
+        let est = ShardedEstimator::new(1, 2, 1);
+        let mut mon = DriftMonitor::new(2, cfg);
+        // Plan expects an even 5.0/5.0 split; observe 75%/25% at the
+        // same total -> deviations 0.5 (not > threshold) stay quiet.
+        for _ in 0..75 {
+            est.record(0, 0, 0);
+        }
+        for _ in 0..25 {
+            est.record(0, 0, 1);
+        }
+        mon.observe(&est, 10.0);
+        assert!(mon.drifted(&[5.0, 5.0]).is_none());
+        // Push the skew further: 95/5 deviates 0.9 on both cells.
+        for _ in 0..115 {
+            est.record(0, 0, 0);
+        }
+        for _ in 0..5 {
+            est.record(0, 0, 1);
+        }
+        mon.observe(&est, 10.0);
+        let v = mon.drifted(&[5.0, 5.0]).expect("should drift");
+        assert_eq!(v.cell, 0, "worst cell is the overloaded one");
+        assert!(v.deviation > 0.5);
+    }
+
+    #[test]
+    fn near_idle_cells_are_ignored() {
+        let cfg = EstimatorConfig {
+            blend: 0.0,
+            threshold: 0.5,
+            min_rate: 0.5,
+        };
+        let est = ShardedEstimator::new(1, 2, 1);
+        let mut mon = DriftMonitor::new(2, cfg);
+        for _ in 0..100 {
+            est.record(0, 0, 0);
+        }
+        est.record(0, 0, 1); // tiny trickle on a cell the plan idles
+        mon.observe(&est, 10.0);
+        // Cell 1: plan 0, estimate ~0.1 — below min_rate on both sides.
+        assert!(mon.drifted(&[10.0, 0.0]).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+// palb:lint-tier = lib
+//! # palb-serve — the online serving layer
+//!
+//! Everything below `palb-core` reasons in *per-slot averages*: the
+//! optimizer ingests a rate matrix and emits a [`Dispatch`] plan once per
+//! slot. This crate is the layer that makes that plan answer **individual
+//! requests** at wire speed:
+//!
+//! * [`table`] — compiles a plan into an immutable [`RouteTable`]: one
+//!   alias-method sampler per `(class, front-end)` cell over its
+//!   `(data center, server)` targets, O(1) and allocation-free per route,
+//! * [`swap`] — [`PlanCell`], the epoch-published pointer that hot-swaps
+//!   route tables atomically: readers run lock-free against a cached
+//!   `Arc` and touch a mutex only in the instant a new plan lands,
+//! * [`estimator`] — sharded streaming rate estimators (one shard per
+//!   worker, per-`(class, front-end)` sliding window + EWMA, merged on
+//!   snapshot) feeding mid-slot drift detection,
+//! * [`dispatcher`] — the replay harness: worker threads route a
+//!   seed-pure [`ReplayStream`](palb_workload::ReplayStream) through the
+//!   live table while a background planner thread re-plans through
+//!   [`ResilientPolicy`](palb_core::ResilientPolicy) on drift triggers
+//!   and publishes boundary plans drop-free at slot edges.
+//!
+//! The concurrency protocol is model-checked under loom
+//! (`tests/loom_swap.rs`) and the statistical routing contract — the
+//! empirical per-cell mix converges to the plan's dispatch fractions — is
+//! property-tested (`tests/routing_proptest.rs`).
+//!
+//! [`Dispatch`]: palb_core::Dispatch
+//! [`RouteTable`]: table::RouteTable
+//! [`PlanCell`]: swap::PlanCell
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dispatcher;
+pub mod estimator;
+pub mod swap;
+pub mod table;
+
+pub use dispatcher::{serve_replay, DriftOptions, ReplayReport, ServeOptions, ShiftSpec};
+pub use estimator::{DriftMonitor, DriftVerdict, EstimatorConfig, ShardedEstimator};
+pub use swap::{PlanCell, PlanReader};
+pub use table::{Route, RouteTable};

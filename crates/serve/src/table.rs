@@ -1,0 +1,392 @@
+//! Plan → route-table compilation.
+//!
+//! A [`Dispatch`] plan speaks in rates: `λ_{k,s,sv}` requests per time
+//! unit from front-end `s`, class `k`, to global server `sv`. A live
+//! dispatcher speaks in *individual requests*: "class `k` just arrived at
+//! front-end `s` — which server?". [`RouteTable::compile`] bridges the
+//! two once per plan, off the hot path:
+//!
+//! * each `(class, front-end)` cell becomes a [`AliasTable`] over its
+//!   positive-rate `(data center, server)` targets, weighted by `λ` — a
+//!   route is two array reads and one comparison, O(1) in the target
+//!   count, no allocation, no lock;
+//! * offered mass the plan does not dispatch anywhere (`rates[s][k] −
+//!   Σ_sv λ_{k,s,sv}` — the paper's profit-driven admission control)
+//!   becomes an explicit *shed* category with exactly that probability,
+//!   so the table routes and sheds in the same plan proportions the
+//!   batch evaluator scores;
+//! * the per-cell offered rates the plan was solved against ride along
+//!   ([`RouteTable::plan_rates`]) as the reference for drift detection.
+//!
+//! The table is immutable after compilation — hot-swapping happens one
+//! level up ([`crate::swap::PlanCell`]) by replacing the whole table.
+
+use palb_cluster::{ClassId, FrontEndId};
+use palb_core::Dispatch;
+use palb_workload::replay::AliasTable;
+
+/// Where one request goes: a concrete server, or shed (not admitted by
+/// the plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Serve on `server` (global index) in data center `dc`.
+    Target {
+        /// Data center index (`l`).
+        dc: usize,
+        /// Global server index (`sv`).
+        server: usize,
+    },
+    /// Not admitted: the plan leaves this request unserved.
+    Shed,
+}
+
+/// One `(data center, server)` routing target.
+#[derive(Debug, Clone, Copy)]
+struct Target {
+    dc: u32,
+    server: u32,
+}
+
+/// The per-`(class, front-end)` sampler: targets plus an optional final
+/// shed category.
+#[derive(Debug, Clone)]
+struct Group {
+    /// `None` when the cell has no positive dispatch **and** no offered
+    /// mass — every draw sheds.
+    table: Option<AliasTable>,
+    targets: Vec<Target>,
+    /// Planned probability of each category (targets, then shed last when
+    /// present) — the φ fractions the empirical mix must converge to.
+    fractions: Vec<f64>,
+}
+
+/// An immutable, cache-friendly compilation of one plan.
+///
+/// See the [module docs](self) for the construction contract. All lookup
+/// state is flat and read-only; the table is `Send + Sync` and shared
+/// across workers behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    slot: usize,
+    classes: usize,
+    front_ends: usize,
+    groups: Vec<Group>,
+    /// Offered rate per `(class, front-end)` cell (group order), as the
+    /// plan assumed it.
+    plan_rates: Vec<f64>,
+    /// Prefix offset of each group's categories in the flat mix-count
+    /// layout (each group owns `targets.len() + 1` slots, shed last).
+    mix_offsets: Vec<usize>,
+    mix_len: usize,
+}
+
+impl RouteTable {
+    /// Compiles `dispatch` (solved against offered `rates[front_end][class]`
+    /// for `slot`) into a route table.
+    ///
+    /// Rates are clamped to finite non-negatives; dispatch mass above the
+    /// offered rate (numerical dust from the LP) tightens the shed
+    /// category to zero rather than going negative.
+    pub fn compile(dispatch: &Dispatch, rates: &[Vec<f64>], slot: usize) -> RouteTable {
+        let dims = dispatch.dims();
+        let classes = dims.classes;
+        let front_ends = dims.front_ends;
+        let mut groups = Vec::with_capacity(classes * front_ends);
+        let mut plan_rates = Vec::with_capacity(classes * front_ends);
+        let mut mix_offsets = Vec::with_capacity(classes * front_ends);
+        let mut mix_len = 0usize;
+        for k in 0..classes {
+            for s in 0..front_ends {
+                let offered = rates
+                    .get(s)
+                    .and_then(|row| row.get(k))
+                    .copied()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .unwrap_or(0.0);
+                let mut targets = Vec::new();
+                let mut weights = Vec::new();
+                let mut dispatched = 0.0;
+                for sv in 0..dims.total_servers {
+                    let lam = dispatch.lambda_by_server(ClassId(k), FrontEndId(s), sv);
+                    if lam.is_finite() && lam > 0.0 {
+                        targets.push(Target {
+                            dc: dims.dc_of_server(sv).0 as u32,
+                            server: sv as u32,
+                        });
+                        weights.push(lam);
+                        dispatched += lam;
+                    }
+                }
+                let shed = (offered - dispatched).max(0.0);
+                if shed > 0.0 {
+                    weights.push(shed);
+                }
+                let total: f64 = weights.iter().sum();
+                let fractions: Vec<f64> = if total > 0.0 {
+                    weights.iter().map(|w| w / total).collect()
+                } else {
+                    Vec::new()
+                };
+                let table = AliasTable::from_weights(&weights);
+                mix_offsets.push(mix_len);
+                // Every group owns a shed slot in the mix layout, even
+                // when its planned shed probability is zero.
+                mix_len += targets.len() + 1;
+                groups.push(Group {
+                    table,
+                    targets,
+                    fractions,
+                });
+                plan_rates.push(offered);
+            }
+        }
+        RouteTable {
+            slot,
+            classes,
+            front_ends,
+            groups,
+            plan_rates,
+            mix_offsets,
+            mix_len,
+        }
+    }
+
+    /// An all-shed table (no plan yet): every route sheds. Used as the
+    /// pre-boot value of a [`crate::swap::PlanCell`].
+    pub fn empty(classes: usize, front_ends: usize, slot: usize) -> RouteTable {
+        let cells = classes * front_ends;
+        RouteTable {
+            slot,
+            classes,
+            front_ends,
+            groups: (0..cells)
+                .map(|_| Group {
+                    table: None,
+                    targets: Vec::new(),
+                    fractions: Vec::new(),
+                })
+                .collect(),
+            plan_rates: vec![0.0; cells],
+            mix_offsets: (0..cells).collect(),
+            mix_len: cells,
+        }
+    }
+
+    /// The slot this table's plan was solved for.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Class count `K`.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Front-end count `S`.
+    pub fn front_ends(&self) -> usize {
+        self.front_ends
+    }
+
+    /// Offered rate per `(class, front-end)` cell in group order
+    /// (`k * front_ends + s`) — the drift-detection reference.
+    pub fn plan_rates(&self) -> &[f64] {
+        &self.plan_rates
+    }
+
+    /// Flat length of the mix-count layout ([`Self::route_indexed`]'s
+    /// index domain).
+    pub fn mix_len(&self) -> usize {
+        self.mix_len
+    }
+
+    /// Planned probability of mix category `idx` *within its group*
+    /// (targets then shed), and the group it belongs to. Returns `0.0`
+    /// for the shed slot of a group with no mass.
+    pub fn mix_fraction(&self, idx: usize) -> f64 {
+        let g = self
+            .mix_offsets
+            .partition_point(|&off| off <= idx)
+            .saturating_sub(1);
+        let group = &self.groups[g];
+        let cat = idx - self.mix_offsets[g];
+        if cat < group.fractions.len() {
+            group.fractions[cat]
+        } else {
+            // The shed slot of a group whose plan sheds nothing (or an
+            // all-idle group): planned probability zero.
+            0.0
+        }
+    }
+
+    /// The mix-layout range owned by `(class k, front-end s)`.
+    pub fn mix_range(&self, k: usize, s: usize) -> std::ops::Range<usize> {
+        let g = k * self.front_ends + s;
+        let start = self.mix_offsets[g];
+        start..start + self.groups[g].targets.len() + 1
+    }
+
+    /// Routes one request of class `k` arriving at front-end `s`, using
+    /// the pre-mixed random word, and returns the route plus its global
+    /// mix-count index (for empirical-mix accounting).
+    // palb:hot-path(no-alloc)
+    pub fn route_indexed(&self, k: usize, s: usize, word: u64) -> (Route, usize) {
+        let g = k * self.front_ends + s;
+        let group = &self.groups[g];
+        let base = self.mix_offsets[g];
+        match &group.table {
+            Some(table) => {
+                let cat = table.sample(word);
+                if cat < group.targets.len() {
+                    let t = group.targets[cat];
+                    (
+                        Route::Target {
+                            dc: t.dc as usize,
+                            server: t.server as usize,
+                        },
+                        base + cat,
+                    )
+                } else {
+                    (Route::Shed, base + group.targets.len())
+                }
+            }
+            None => (Route::Shed, base + group.targets.len()),
+        }
+    }
+
+    /// Routes one request of class `k` arriving at front-end `s`.
+    // palb:hot-path(no-alloc)
+    pub fn route(&self, k: usize, s: usize, word: u64) -> Route {
+        let g = k * self.front_ends + s;
+        let group = &self.groups[g];
+        match &group.table {
+            Some(table) => {
+                let cat = table.sample(word);
+                if cat < group.targets.len() {
+                    let t = group.targets[cat];
+                    Route::Target {
+                        dc: t.dc as usize,
+                        server: t.server as usize,
+                    }
+                } else {
+                    Route::Shed
+                }
+            }
+            None => Route::Shed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palb_cluster::DcId;
+    use palb_core::Dims;
+    use palb_workload::replay::mix64;
+
+    /// A toy 2-class × 2-front-end × (2 DCs of 2 servers) dispatch.
+    fn toy_dispatch() -> (Dispatch, Vec<Vec<f64>>) {
+        let dims = Dims {
+            classes: 2,
+            front_ends: 2,
+            dcs: 2,
+            servers_per_dc: vec![2, 2],
+            server_offset: vec![0, 2],
+            total_servers: 4,
+        };
+        let mut d = Dispatch::zero(dims);
+        // Class 0 from fe 0: 60% to DC0/server0, 40% to DC1/server2.
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(0), 0, 6.0);
+        d.set_lambda(ClassId(0), FrontEndId(0), DcId(1), 0, 4.0);
+        // Class 1 from fe 1: all to DC1/server3, half the offered rate
+        // (the other half sheds).
+        d.set_lambda(ClassId(1), FrontEndId(1), DcId(1), 1, 2.0);
+        // rates[front_end][class]
+        let rates = vec![vec![10.0, 0.0], vec![0.0, 4.0]];
+        (d, rates)
+    }
+
+    #[test]
+    fn compile_routes_in_plan_proportions() {
+        let (d, rates) = toy_dispatch();
+        let t = RouteTable::compile(&d, &rates, 0);
+        assert_eq!(t.classes(), 2);
+        assert_eq!(t.front_ends(), 2);
+        let n = 100_000u64;
+        let mut to_sv0 = 0u64;
+        let mut to_sv2 = 0u64;
+        for i in 0..n {
+            match t.route(0, 0, mix64(i)) {
+                Route::Target { dc: 0, server: 0 } => to_sv0 += 1,
+                Route::Target { dc: 1, server: 2 } => to_sv2 += 1,
+                other => panic!("unexpected route {other:?}"),
+            }
+        }
+        let f0 = to_sv0 as f64 / n as f64;
+        assert!((f0 - 0.6).abs() < 0.01, "server0 fraction {f0}");
+        assert!((to_sv2 as f64 / n as f64 - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn compile_sheds_unadmitted_mass() {
+        let (d, rates) = toy_dispatch();
+        let t = RouteTable::compile(&d, &rates, 0);
+        let n = 100_000u64;
+        let mut shed = 0u64;
+        for i in 0..n {
+            match t.route(1, 1, mix64(i)) {
+                Route::Shed => shed += 1,
+                Route::Target { dc: 1, server: 3 } => {}
+                other => panic!("unexpected route {other:?}"),
+            }
+        }
+        let f = shed as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.01, "shed fraction {f}");
+    }
+
+    #[test]
+    fn idle_cell_sheds_everything() {
+        let (d, rates) = toy_dispatch();
+        let t = RouteTable::compile(&d, &rates, 0);
+        // (class 0, fe 1) has no offered rate and no dispatch.
+        for i in 0..64 {
+            assert_eq!(t.route(0, 1, mix64(i)), Route::Shed);
+        }
+    }
+
+    #[test]
+    fn mix_layout_fractions_sum_per_group() {
+        let (d, rates) = toy_dispatch();
+        let t = RouteTable::compile(&d, &rates, 3);
+        assert_eq!(t.slot(), 3);
+        for k in 0..2 {
+            for s in 0..2 {
+                let range = t.mix_range(k, s);
+                let sum: f64 = range.clone().map(|i| t.mix_fraction(i)).sum();
+                let offered = t.plan_rates()[k * 2 + s];
+                if offered > 0.0 {
+                    assert!((sum - 1.0).abs() < 1e-12, "group ({k},{s}) sums to {sum}");
+                } else {
+                    assert_eq!(sum, 0.0);
+                }
+            }
+        }
+        // route_indexed lands inside the owning group's range.
+        for i in 0..1000 {
+            let (_, idx) = t.route_indexed(0, 0, mix64(i));
+            assert!(t.mix_range(0, 0).contains(&idx));
+        }
+    }
+
+    #[test]
+    fn empty_table_sheds_and_counts_into_shed_slots() {
+        let t = RouteTable::empty(2, 3, 7);
+        assert_eq!(t.mix_len(), 6);
+        for k in 0..2 {
+            for s in 0..3 {
+                let (r, idx) = t.route_indexed(k, s, mix64((k * 3 + s) as u64));
+                assert_eq!(r, Route::Shed);
+                assert_eq!(idx, k * 3 + s);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end dispatcher tests on the §V system: a real `ResilientPolicy`
+//! plans each slot on the background planner thread, workers replay a
+//! seed-pure stream through the hot-swapped route tables, and the
+//! reports must reconcile exactly.
+
+use palb_cluster::presets;
+use palb_core::obs::{names, Recorder, Registry};
+use palb_obs::sync::Arc;
+use palb_serve::{serve_replay, DriftOptions, EstimatorConfig, ServeOptions, ShiftSpec};
+use palb_workload::Trace;
+
+/// A 3-slot trace over the §V system: low arrivals, scaled per slot so
+/// every slot re-plans against a different matrix.
+fn three_slot_trace() -> Trace {
+    let base = presets::section_v_low_arrivals();
+    let scale = |f: f64| -> Vec<Vec<f64>> {
+        base.iter()
+            .map(|row| row.iter().map(|r| r * f).collect())
+            .collect()
+    };
+    Trace::new(vec![scale(1.0), scale(1.3), scale(0.7)])
+}
+
+fn base_options() -> ServeOptions {
+    ServeOptions {
+        threads: 2,
+        seed: 1234,
+        requests_per_slot: 120_000,
+        ..ServeOptions::default()
+    }
+}
+
+#[test]
+fn replay_reconciles_and_converges_to_plan_mix() {
+    let system = presets::section_v();
+    let trace = three_slot_trace();
+    let report = serve_replay(&system, &trace, &base_options()).expect("replay");
+    assert_eq!(report.slots, 3);
+    assert_eq!(report.requests, 3 * 120_000);
+    assert_eq!(
+        report.routed + report.shed,
+        report.requests,
+        "drop-free: every request either routes or sheds"
+    );
+    // One boundary swap per slot, no drift -> exact reconciliation.
+    assert_eq!(report.boundary_swaps, 3);
+    assert_eq!(report.drift_replans, 0);
+    assert_eq!(report.total_swaps, 3);
+    // The empirical mix converges to the plan's dispatch fractions.
+    let div = report.max_mix_divergence.expect("mix was scored");
+    assert!(div < 0.02, "mix divergence {div} too large");
+    // Latency sampling produced a usable p99.
+    assert!(report.latency_samples > 0);
+    let p99 = report.route_p99_seconds.expect("p99");
+    assert!(p99 > 0.0 && p99 < 1.0, "implausible p99 {p99}");
+    assert!(report.elapsed_seconds > 0.0);
+    assert!(report.routed_per_second > 0.0);
+}
+
+#[test]
+fn routed_and_mix_are_thread_invariant_without_drift() {
+    let system = presets::section_v();
+    let trace = three_slot_trace();
+    let mut opts1 = base_options();
+    opts1.threads = 1;
+    let mut opts4 = base_options();
+    opts4.threads = 4;
+    let r1 = serve_replay(&system, &trace, &opts1).expect("t1");
+    let r4 = serve_replay(&system, &trace, &opts4).expect("t4");
+    assert_eq!(r1.routed, r4.routed);
+    assert_eq!(r1.shed, r4.shed);
+    for (a, b) in r1.per_slot.iter().zip(r4.per_slot.iter()) {
+        assert_eq!(a.routed, b.routed, "slot {} routed differs", a.slot);
+        assert_eq!(a.shed, b.shed, "slot {} shed differs", a.slot);
+    }
+}
+
+#[test]
+fn obs_attachment_is_invisible_to_serving_results() {
+    let system = presets::section_v();
+    let trace = three_slot_trace();
+    let quiet = serve_replay(&system, &trace, &base_options()).expect("noop");
+    let registry = Arc::new(Registry::new());
+    let mut opts = base_options();
+    opts.obs = Recorder::attached(Arc::clone(&registry));
+    let loud = serve_replay(&system, &trace, &opts).expect("attached");
+    // Bitwise-identical serving outcome with metrics on.
+    assert_eq!(quiet.routed, loud.routed);
+    assert_eq!(quiet.shed, loud.shed);
+    assert_eq!(quiet.boundary_swaps, loud.boundary_swaps);
+    // And the exported counters reconcile with the report.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter_value(names::ROUTES_TOTAL, &[]),
+        Some(loud.routed)
+    );
+    assert_eq!(
+        snap.counter_value(names::ROUTES_SHED_TOTAL, &[]),
+        Some(loud.shed)
+    );
+    assert_eq!(
+        snap.counter_value(names::PLAN_SWAPS_TOTAL, &[]),
+        Some(loud.boundary_swaps)
+    );
+    assert!(snap.contains_family(names::ROUTE_SECONDS));
+}
+
+#[test]
+fn scripted_shift_triggers_drift_replan_and_stays_drop_free() {
+    let system = presets::section_v();
+    let trace = three_slot_trace();
+    // Mid-slot-1 shift: concentrate all traffic on front-end 0, class 0
+    // (a violent mix change the boundary plan did not expect).
+    let mut shifted = presets::section_v_low_arrivals();
+    for (s, row) in shifted.iter_mut().enumerate() {
+        for (k, r) in row.iter_mut().enumerate() {
+            *r = if s == 0 && k == 0 { 400.0 } else { 0.0 };
+        }
+    }
+    let mut opts = base_options();
+    opts.requests_per_slot = 200_000;
+    opts.drift = Some(DriftOptions {
+        check_every: 20_000,
+        estimator: EstimatorConfig {
+            blend: 0.0,
+            threshold: 0.5,
+            min_rate: 1.0,
+        },
+        max_replans_per_slot: 1,
+    });
+    opts.shift = Some(ShiftSpec {
+        slot: 1,
+        at_fraction: 0.25,
+        rates: shifted,
+    });
+    let report = serve_replay(&system, &trace, &opts).expect("drift replay");
+    assert!(
+        report.drift_replans >= 1,
+        "shift should trigger a re-plan (checks: {})",
+        report.drift_checks
+    );
+    assert_eq!(
+        report.total_swaps,
+        report.boundary_swaps + report.drift_replans,
+        "swap counters reconcile"
+    );
+    assert_eq!(
+        report.routed + report.shed,
+        report.requests,
+        "hot swap dropped requests"
+    );
+    assert!(report.per_slot[1].drift_replans >= 1);
+    // Slots without drift still converge to their plans.
+    assert!(report.per_slot[0].mix_divergence.unwrap() < 0.02);
+}
+
+#[test]
+fn option_validation_rejects_nonsense() {
+    let system = presets::section_v();
+    let trace = three_slot_trace();
+    let mut zero_threads = base_options();
+    zero_threads.threads = 0;
+    assert!(serve_replay(&system, &trace, &zero_threads).is_err());
+    let mut zero_requests = base_options();
+    zero_requests.requests_per_slot = 0;
+    assert!(serve_replay(&system, &trace, &zero_requests).is_err());
+    let mut bad_shift = base_options();
+    bad_shift.shift = Some(ShiftSpec {
+        slot: 99,
+        at_fraction: 0.5,
+        rates: vec![],
+    });
+    assert!(serve_replay(&system, &trace, &bad_shift).is_err());
+}

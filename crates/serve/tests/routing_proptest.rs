@@ -1,0 +1,215 @@
+//! Property tests of the serving-layer routing contract: for randomized
+//! systems and hand-built dispatch plans, replaying a seed-pure
+//! [`ReplayStream`] through a compiled [`RouteTable`] produces an
+//! empirical routing mix that converges to the plan's φ fractions per
+//! `(class, front-end)` cell — targets *and* the shed category — within
+//! statistical tolerance. This is the live-serving counterpart of the
+//! batch evaluator's exactness: the dispatcher routes individual
+//! requests, but in aggregate it must reproduce the plan.
+
+use palb_cluster::{ClassId, DcId, FrontEndId};
+use palb_core::{Dims, Dispatch};
+use palb_serve::{Route, RouteTable};
+use palb_workload::replay::{mix64, ReplayStream};
+use proptest::prelude::*;
+
+/// Decorrelates routing words from the arrival stream, mirroring the
+/// dispatcher's salt.
+const ROUTE_SALT: u64 = 0xA5A5_5A5A_0F0F_F0F0;
+
+/// A randomized serving instance: offered rates, admission fractions,
+/// and per-server dispatch weights.
+#[derive(Debug, Clone)]
+struct Instance {
+    classes: usize,
+    front_ends: usize,
+    servers_per_dc: Vec<usize>,
+    /// Offered rate per `[front_end][class]` (zeros allowed).
+    rates: Vec<Vec<f64>>,
+    /// Fraction of the offered rate the plan admits, per `[front_end][class]`.
+    admitted: Vec<Vec<f64>>,
+    /// Raw per-server split weights per `[front_end][class][server]`.
+    weights: Vec<Vec<Vec<f64>>>,
+    seed: u64,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=3,
+        1usize..=3,
+        proptest::collection::vec(1usize..=3, 1..=2),
+    )
+        .prop_flat_map(|(classes, front_ends, servers_per_dc)| {
+            let total: usize = servers_per_dc.iter().sum();
+            let rate = prop_oneof![3 => 1.0f64..100.0, 1 => Just(0.0)];
+            (
+                Just(classes),
+                Just(front_ends),
+                Just(servers_per_dc),
+                proptest::collection::vec(
+                    proptest::collection::vec(rate, classes..=classes),
+                    front_ends..=front_ends,
+                ),
+                proptest::collection::vec(
+                    proptest::collection::vec(0.0f64..=1.0, classes..=classes),
+                    front_ends..=front_ends,
+                ),
+                proptest::collection::vec(
+                    proptest::collection::vec(
+                        proptest::collection::vec(0.0f64..1.0, total..=total),
+                        classes..=classes,
+                    ),
+                    front_ends..=front_ends,
+                ),
+                any::<u64>(),
+            )
+        })
+        .prop_map(
+            |(classes, front_ends, servers_per_dc, rates, admitted, weights, seed)| Instance {
+                classes,
+                front_ends,
+                servers_per_dc,
+                rates,
+                admitted,
+                weights,
+                seed,
+            },
+        )
+}
+
+/// Hand-builds the dispatch the instance describes: each cell's admitted
+/// mass split across servers proportionally to its weights (a cell with
+/// all-zero weights dispatches nothing — everything sheds).
+fn build_dispatch(inst: &Instance) -> (Dispatch, Vec<usize>) {
+    let dcs = inst.servers_per_dc.len();
+    let mut server_offset = Vec::with_capacity(dcs);
+    let mut total_servers = 0usize;
+    for &n in &inst.servers_per_dc {
+        server_offset.push(total_servers);
+        total_servers += n;
+    }
+    let dims = Dims {
+        classes: inst.classes,
+        front_ends: inst.front_ends,
+        dcs,
+        servers_per_dc: inst.servers_per_dc.clone(),
+        server_offset: server_offset.clone(),
+        total_servers,
+    };
+    let mut d = Dispatch::zero(dims);
+    for s in 0..inst.front_ends {
+        for k in 0..inst.classes {
+            let offered = inst.rates[s][k];
+            if offered <= 0.0 {
+                continue;
+            }
+            let wsum: f64 = inst.weights[s][k].iter().sum();
+            if wsum <= 0.0 {
+                continue;
+            }
+            let mass = offered * inst.admitted[s][k];
+            for (dc, (&off, &n)) in server_offset
+                .iter()
+                .zip(inst.servers_per_dc.iter())
+                .enumerate()
+            {
+                for local in 0..n {
+                    let lam = mass * inst.weights[s][k][off + local] / wsum;
+                    if lam > 0.0 {
+                        d.set_lambda(ClassId(k), FrontEndId(s), DcId(dc), local, lam);
+                    }
+                }
+            }
+        }
+    }
+    (d, server_offset)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// Replaying the stream through the compiled table converges, per
+    /// `(class, front-end)` cell, to the plan's φ fractions — including
+    /// the shed category — within a 6σ binomial band.
+    #[test]
+    fn empirical_mix_converges_to_plan_fractions(inst in instance()) {
+        let (dispatch, server_offset) = build_dispatch(&inst);
+        let table = RouteTable::compile(&dispatch, &inst.rates, 0);
+        let stream = ReplayStream::from_rates(&inst.rates, 0, inst.seed);
+        prop_assume!(stream.is_some(), "all-idle matrix offers no requests");
+        let stream = stream.unwrap();
+
+        let n = 300_000u64;
+        let mut counts = vec![0u64; table.mix_len()];
+        let mut cell_totals = vec![0u64; inst.classes * inst.front_ends];
+        for i in 0..n {
+            let (s, k) = stream.request(i);
+            let word = mix64(ROUTE_SALT ^ i);
+            let (route, idx) = table.route_indexed(k, s, word);
+            prop_assert!(table.mix_range(k, s).contains(&idx));
+            counts[idx] += 1;
+            cell_totals[k * inst.front_ends + s] += 1;
+            // Subsample structural validity: a routed target must carry
+            // positive planned mass and live inside its claimed DC.
+            if i % 101 == 0 {
+                if let Route::Target { dc, server } = route {
+                    let lam = dispatch.lambda_by_server(ClassId(k), FrontEndId(s), server);
+                    prop_assert!(lam > 0.0, "routed to a zero-λ server {server}");
+                    let lo = server_offset[dc];
+                    let hi = lo + inst.servers_per_dc[dc];
+                    prop_assert!(
+                        (lo..hi).contains(&server),
+                        "server {server} outside DC {dc} range {lo}..{hi}"
+                    );
+                }
+            }
+        }
+
+        for k in 0..inst.classes {
+            for s in 0..inst.front_ends {
+                let cell_n = cell_totals[k * inst.front_ends + s];
+                if cell_n < 1_000 {
+                    continue; // too few arrivals for a meaningful band
+                }
+                let range = table.mix_range(k, s);
+                let mut phi_sum = 0.0;
+                for idx in range {
+                    let phi = table.mix_fraction(idx);
+                    phi_sum += phi;
+                    let emp = counts[idx] as f64 / cell_n as f64;
+                    let sigma = (phi * (1.0 - phi) / cell_n as f64).sqrt();
+                    let tol = 6.0 * sigma + 0.005;
+                    prop_assert!(
+                        (emp - phi).abs() <= tol,
+                        "cell ({k},{s}) category {idx}: empirical {emp} vs plan φ {phi} \
+                         (n={cell_n}, tol={tol})"
+                    );
+                }
+                // A cell that receives traffic must carry a full
+                // probability budget.
+                prop_assert!((phi_sum - 1.0).abs() < 1e-9, "cell ({k},{s}) φ sums to {phi_sum}");
+            }
+        }
+    }
+
+    /// `route` and `route_indexed` agree on every draw, and the same
+    /// word always routes the same way (purity).
+    #[test]
+    fn route_and_route_indexed_agree(inst in instance(), salt in any::<u64>()) {
+        let (dispatch, _) = build_dispatch(&inst);
+        let table = RouteTable::compile(&dispatch, &inst.rates, 1);
+        for k in 0..inst.classes {
+            for s in 0..inst.front_ends {
+                for i in 0..256u64 {
+                    let word = mix64(salt ^ i);
+                    let (via_indexed, _) = table.route_indexed(k, s, word);
+                    prop_assert_eq!(table.route(k, s, word), via_indexed);
+                    prop_assert_eq!(table.route(k, s, word), via_indexed, "impure route");
+                }
+            }
+        }
+    }
+}

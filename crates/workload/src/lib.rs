@@ -15,6 +15,9 @@
 //! * [`scenario`] — composable adversarial scenario stacks (flash crowds,
 //!   price shocks, DC outages, black swans) built on the same
 //!   counter-based hashing as [`fault`],
+//! * [`replay`] — seed-pure request-level replay of a slot's rate matrix
+//!   ([`ReplayStream`], alias-method cell sampling) feeding the live
+//!   serving layer,
 //! * [`Trace`] — the `slots × front-ends × classes` rate container all
 //!   generators produce and the optimizer consumes.
 //!
@@ -38,8 +41,10 @@ pub mod diurnal;
 pub mod fault;
 pub mod forecast;
 pub mod poisson;
+pub mod replay;
 pub mod scenario;
 pub mod synthetic;
 mod trace;
 
+pub use replay::ReplayStream;
 pub use trace::Trace;

@@ -1,0 +1,375 @@
+//! Seed-pure request-level replay of a rate-level [`Trace`] slot.
+//!
+//! The optimizer consumes *average per-slot arrival rates*; the serving
+//! layer (`palb-serve`) needs individual requests. [`ReplayStream`]
+//! bridges the two: it turns one slot's `front-ends × classes` rate
+//! matrix into a per-request arrival generator where request `i` is a
+//! **pure function of `(seed, slot, i)`** — the same counter-based
+//! splitmix64 hashing as [`crate::fault`], so replays are reproducible
+//! across runs, platforms, thread counts, and iteration orders, and any
+//! worker can generate any request index without coordination.
+//!
+//! Cell selection uses [`AliasTable`] (Vose's alias method): O(1) per
+//! request, two table reads and one comparison, no allocation.
+//!
+//! A stream can carry an optional mid-slot [`shift`](ReplayStream::with_shift)
+//! to a second rate matrix — the substrate for drift-detection tests: the
+//! offered mix changes at a known request index while the published plan
+//! still reflects the boundary matrix.
+
+use crate::fault::mix;
+use crate::Trace;
+
+/// The splitmix64 finalizer used by all counter-based hashing in this
+/// crate, exported for downstream consumers (the serving layer derives
+/// independent per-request route words from it). Avalanches one 64-bit
+/// word; `mix64` of a counter sequence is a high-quality stateless RNG.
+// palb:hot-path(no-alloc)
+pub fn mix64(z: u64) -> u64 {
+    mix(z)
+}
+
+/// Vose alias-method sampler over a fixed weight vector: O(1) draws from
+/// a categorical distribution using a single pre-mixed 64-bit word.
+///
+/// The upper 32 bits of the word pick a column, the lower 32 bits decide
+/// between the column's own index and its alias. Build cost is O(n);
+/// sampling is branch-light and allocation-free.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Per-column acceptance threshold in fixed-point 2^32 scale.
+    prob: Vec<u32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the alias table for `weights`.
+    ///
+    /// Returns `None` when `weights` is empty, contains a negative or
+    /// non-finite entry, or has no positive mass — there is no
+    /// distribution to sample in any of those cases.
+    pub fn from_weights(weights: &[f64]) -> Option<AliasTable> {
+        let n = weights.len();
+        if n == 0 || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return None;
+        }
+        // Vose: split columns into small (< 1) and large (>= 1) piles and
+        // pair each small column with a large donor.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / sum).collect();
+        let mut prob = vec![u32::MAX; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            // Threshold in 2^32 fixed point; scaled[s] < 1 so no overflow.
+            prob[s] = (scaled[s] * 4_294_967_296.0) as u32;
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (numerical dust) saturate to "always self".
+        for i in small {
+            prob[i] = u32::MAX;
+        }
+        for i in large {
+            prob[i] = u32::MAX;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never constructed so —
+    /// [`AliasTable::from_weights`] rejects empty weights).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a category index from one pre-mixed 64-bit word.
+    // palb:hot-path(no-alloc)
+    pub fn sample(&self, word: u64) -> usize {
+        let i = ((word >> 32) as usize) % self.prob.len();
+        let frac = word as u32;
+        if frac < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// The optional mid-slot rate shift carried by a [`ReplayStream`].
+#[derive(Debug, Clone)]
+struct Shift {
+    /// First request index drawn from the shifted matrix.
+    at: u64,
+    cells: Vec<(u32, u32)>,
+    table: AliasTable,
+    total_rate: f64,
+}
+
+/// A seed-pure per-request arrival generator over one slot's rate matrix.
+///
+/// Request `i` maps deterministically to a `(front_end, class)` pair with
+/// probability proportional to the slot's rate matrix — see the
+/// [module docs](self) for the purity contract.
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    seed: u64,
+    slot: u64,
+    front_ends: usize,
+    classes: usize,
+    total_rate: f64,
+    /// Positive-rate cells as `(front_end, class)`, indexed by the alias
+    /// table's categories.
+    cells: Vec<(u32, u32)>,
+    table: AliasTable,
+    shift: Option<Shift>,
+}
+
+/// Flattens a rate matrix into its positive cells + alias table.
+fn build_cells(rates: &[Vec<f64>]) -> Option<(Vec<(u32, u32)>, AliasTable, f64)> {
+    let mut cells = Vec::new();
+    let mut weights = Vec::new();
+    let mut total = 0.0;
+    for (s, row) in rates.iter().enumerate() {
+        for (k, &r) in row.iter().enumerate() {
+            if !r.is_finite() || r < 0.0 {
+                return None;
+            }
+            if r > 0.0 {
+                cells.push((s as u32, k as u32));
+                weights.push(r);
+                total += r;
+            }
+        }
+    }
+    let table = AliasTable::from_weights(&weights)?;
+    Some((cells, table, total))
+}
+
+impl ReplayStream {
+    /// A stream over `rates[front_end][class]`, tagged with the slot index
+    /// it replays (part of the hash domain, so different slots of the same
+    /// trace produce decorrelated request sequences).
+    ///
+    /// Returns `None` when the matrix has no positive finite rate — an
+    /// all-idle slot offers no requests to replay.
+    pub fn from_rates(rates: &[Vec<f64>], slot: usize, seed: u64) -> Option<ReplayStream> {
+        let front_ends = rates.len();
+        let classes = rates.first().map(|r| r.len()).unwrap_or(0);
+        let (cells, table, total_rate) = build_cells(rates)?;
+        Some(ReplayStream {
+            seed,
+            slot: slot as u64,
+            front_ends,
+            classes,
+            total_rate,
+            cells,
+            table,
+            shift: None,
+        })
+    }
+
+    /// A stream over slot `slot` of `trace`.
+    pub fn for_slot(trace: &Trace, slot: usize, seed: u64) -> Option<ReplayStream> {
+        ReplayStream::from_rates(trace.slot(slot), slot, seed)
+    }
+
+    /// Overlays a mid-slot drift: requests with index `>= at_request` are
+    /// drawn from `rates` instead of the boundary matrix. Returns `None`
+    /// when the shifted matrix has no positive finite rate.
+    pub fn with_shift(mut self, at_request: u64, rates: &[Vec<f64>]) -> Option<ReplayStream> {
+        let (cells, table, total_rate) = build_cells(rates)?;
+        self.shift = Some(Shift {
+            at: at_request,
+            cells,
+            table,
+            total_rate,
+        });
+        Some(self)
+    }
+
+    /// Front-end count of the replayed matrix.
+    pub fn front_ends(&self) -> usize {
+        self.front_ends
+    }
+
+    /// Class count of the replayed matrix.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The slot index this stream replays.
+    pub fn slot(&self) -> usize {
+        self.slot as usize
+    }
+
+    /// Aggregate offered rate of the matrix active at request `i`
+    /// (requests per time unit — the boundary matrix before the shift
+    /// point, the shifted matrix after).
+    pub fn total_rate_at(&self, i: u64) -> f64 {
+        match &self.shift {
+            Some(sh) if i >= sh.at => sh.total_rate,
+            _ => self.total_rate,
+        }
+    }
+
+    /// Aggregate offered rate of the boundary matrix.
+    pub fn total_rate(&self) -> f64 {
+        self.total_rate
+    }
+
+    /// The `(front_end, class)` tag of request `i` — a pure function of
+    /// `(seed, slot, i)`.
+    // palb:hot-path(no-alloc)
+    pub fn request(&self, i: u64) -> (usize, usize) {
+        let w = mix(self.seed ^ mix(self.slot ^ mix(i)));
+        let (cells, table) = match &self.shift {
+            Some(sh) if i >= sh.at => (&sh.cells, &sh.table),
+            _ => (&self.cells, &self.table),
+        };
+        let cell = cells[table.sample(w)];
+        (cell.0 as usize, cell.1 as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_table_rejects_degenerate_weights() {
+        assert!(AliasTable::from_weights(&[]).is_none());
+        assert!(AliasTable::from_weights(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::from_weights(&[1.0, -0.5]).is_none());
+        assert!(AliasTable::from_weights(&[1.0, f64::NAN]).is_none());
+        assert!(AliasTable::from_weights(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn alias_table_single_category_always_wins() {
+        let t = AliasTable::from_weights(&[3.5]).unwrap();
+        for i in 0..64 {
+            assert_eq!(t.sample(mix(i)), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights_empirically() {
+        let weights = [1.0, 2.0, 7.0];
+        let t = AliasTable::from_weights(&weights).unwrap();
+        let n = 200_000u64;
+        let mut counts = [0u64; 3];
+        for i in 0..n {
+            counts[t.sample(mix(i))] += 1;
+        }
+        for (c, w) in counts.iter().zip(weights.iter()) {
+            let got = *c as f64 / n as f64;
+            let want = w / 10.0;
+            assert!(
+                (got - want).abs() < 0.01,
+                "category fraction {got} vs expected {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_category_never_sampled() {
+        let t = AliasTable::from_weights(&[0.0, 1.0, 0.0, 3.0]).unwrap();
+        for i in 0..10_000 {
+            let c = t.sample(mix(i));
+            assert!(c == 1 || c == 3, "sampled zero-weight category {c}");
+        }
+    }
+
+    #[test]
+    fn stream_is_a_pure_function_of_seed_slot_index() {
+        let rates = vec![vec![5.0, 1.0], vec![0.0, 4.0]];
+        let a = ReplayStream::from_rates(&rates, 3, 42).unwrap();
+        let b = ReplayStream::from_rates(&rates, 3, 42).unwrap();
+        for i in (0..5000).chain([u64::MAX - 1]) {
+            assert_eq!(a.request(i), b.request(i));
+        }
+        // A different seed or slot decorrelates the sequence.
+        let c = ReplayStream::from_rates(&rates, 3, 43).unwrap();
+        let d = ReplayStream::from_rates(&rates, 4, 42).unwrap();
+        assert!((0..64).any(|i| a.request(i) != c.request(i)));
+        assert!((0..64).any(|i| a.request(i) != d.request(i)));
+    }
+
+    #[test]
+    fn stream_mix_tracks_rate_matrix() {
+        let rates = vec![vec![6.0, 2.0], vec![0.0, 2.0]];
+        let st = ReplayStream::from_rates(&rates, 0, 7).unwrap();
+        assert_eq!(st.total_rate(), 10.0);
+        let n = 100_000u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            *counts.entry(st.request(i)).or_insert(0u64) += 1;
+        }
+        assert!(!counts.contains_key(&(1, 0)), "zero-rate cell was sampled");
+        for ((s, k), want) in [((0, 0), 0.6), ((0, 1), 0.2), ((1, 1), 0.2)] {
+            let got = *counts.get(&(s, k)).unwrap() as f64 / n as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "cell ({s},{k}) fraction {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_matrix_offers_no_stream() {
+        assert!(ReplayStream::from_rates(&[vec![0.0, 0.0]], 0, 1).is_none());
+    }
+
+    #[test]
+    fn shift_switches_matrix_exactly_at_the_boundary() {
+        // Boundary matrix: all mass on (0, 0); shifted: all on (1, 1).
+        let base = vec![vec![4.0, 0.0], vec![0.0, 0.0]];
+        let after = vec![vec![0.0, 0.0], vec![0.0, 9.0]];
+        let st = ReplayStream::from_rates(&base, 0, 11)
+            .unwrap()
+            .with_shift(1000, &after)
+            .unwrap();
+        for i in 0..1000 {
+            assert_eq!(st.request(i), (0, 0));
+        }
+        for i in 1000..2000 {
+            assert_eq!(st.request(i), (1, 1));
+        }
+        assert_eq!(st.total_rate_at(999), 4.0);
+        assert_eq!(st.total_rate_at(1000), 9.0);
+    }
+
+    #[test]
+    fn for_slot_reads_the_right_slot() {
+        let trace = Trace::new(vec![
+            vec![vec![1.0, 0.0]],
+            vec![vec![0.0, 3.0]], // slot 1: all mass on class 1
+        ]);
+        let st = ReplayStream::for_slot(&trace, 1, 5).unwrap();
+        assert_eq!(st.slot(), 1);
+        for i in 0..100 {
+            assert_eq!(st.request(i), (0, 1));
+        }
+    }
+}

@@ -113,6 +113,10 @@ fn loom() -> ExitCode {
             "palb-obs",
             "--test",
             "loom_registry",
+            "-p",
+            "palb-serve",
+            "--test",
+            "loom_swap",
         ]);
     exec(cmd)
 }
