@@ -7,7 +7,7 @@ use std::hint::black_box;
 use palb_bench::configs::section_vii_trace;
 use palb_cluster::presets;
 use palb_core::{
-    balanced_dispatch, solve_bb, solve_bigm, solve_uniform_levels, BbOptions, BigMOptions,
+    balanced_dispatch, solve_bb, solve_bigm, solve_uniform_levels, BigMOptions, SolverConfig,
 };
 
 fn section_vii_slot() -> (palb_cluster::System, Vec<Vec<f64>>, usize) {
@@ -25,7 +25,7 @@ fn bench_multilevel_solvers(c: &mut Criterion) {
     group.bench_function("bb_symmetry", |b| {
         b.iter(|| {
             black_box(
-                solve_bb(&sys, &rates, slot, &BbOptions::default())
+                solve_bb(&sys, &rates, slot, &SolverConfig::exact())
                     .unwrap()
                     .solve
                     .objective,
@@ -80,10 +80,7 @@ fn bench_fig11_scaling(c: &mut Criterion) {
             .collect();
         let slot = presets::SECTION_VII_START_HOUR + 2;
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            let opts = BbOptions {
-                symmetry_breaking: false,
-                ..BbOptions::default()
-            };
+            let opts = SolverConfig::exact().symmetry_breaking(false);
             b.iter(|| black_box(solve_bb(&sys, &rates, slot, &opts).unwrap().nodes));
         });
     }

@@ -25,6 +25,12 @@
 //!                throughput floor, on thread-variant routing, on swap
 //!                mis-reconciliation, on mix divergence, or if a scripted
 //!                mid-slot shift goes undetected)
+//!   portfolio    anytime-portfolio scale gate (fails if the portfolio
+//!                retains < 99% of exact profit inside the budget at the
+//!                >= 8x scale config, if the exact tree finishes inside
+//!                the budget there, or if paper-size exact results drift
+//!                bitwise across threads or from the committed baseline);
+//!                exports BENCH_portfolio.json
 //!   all          everything above, in order
 //! ```
 
@@ -32,16 +38,18 @@ use std::env;
 use std::process::ExitCode;
 
 use palb_bench::experiments::{
-    ablations, fault_tolerance, forecasting, foundations, quantile, robustness, scenario_matrix,
-    section_v, section_vi, section_vii, serve_bench, solver_perf, sparse_lp, three_level, validate,
+    ablations, fault_tolerance, forecasting, foundations, portfolio_bench, quantile, robustness,
+    scenario_matrix, section_v, section_vi, section_vii, serve_bench, solver_perf, sparse_lp,
+    three_level, validate,
 };
+use palb_bench::json::portfolio_study_to_json;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <target>\n\
          targets: fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 \
          tables validate quantile forecast robustness three-level ablations \
-         fault-tolerance solver-perf sparse-lp scenarios serve all"
+         fault-tolerance solver-perf sparse-lp scenarios serve portfolio all"
     );
     ExitCode::FAILURE
 }
@@ -129,6 +137,82 @@ fn run_serve() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Committed baseline pinning the paper-size exact objective bits.
+const PORTFOLIO_BASELINE: &str = "BENCH_portfolio_baseline.json";
+
+/// Runs the anytime-portfolio scale gate and enforces it: paper-size
+/// exact results bitwise-invariant across threads (and vs the committed
+/// baseline when present), a scale config whose search space is at
+/// least 8x the paper's where the exact tree cannot finish inside the
+/// budget, and >= 99% profit retention by the portfolio inside that
+/// same budget. Exports `BENCH_portfolio.json`.
+fn run_portfolio() -> ExitCode {
+    let s = portfolio_bench::study(
+        portfolio_bench::SCALE_SERVERS,
+        portfolio_bench::DEFAULT_BUDGET_MS,
+    );
+    print!("{}", portfolio_bench::render(&s));
+
+    let json = portfolio_study_to_json(&s);
+    let text = serde_json::to_string_pretty(&json).expect("portfolio study serializes");
+    if let Err(e) = std::fs::write("BENCH_portfolio.json", text) {
+        eprintln!("portfolio: BENCH_portfolio.json: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if !s.paper_bitwise_invariant() {
+        eprintln!("portfolio: paper-size exact results drifted bitwise across thread counts");
+        return ExitCode::FAILURE;
+    }
+    if s.space_ratio() < portfolio_bench::SPACE_RATIO_FLOOR {
+        eprintln!(
+            "portfolio: scale config is only {:.1}x the paper size (floor {:.0}x)",
+            s.space_ratio(),
+            portfolio_bench::SPACE_RATIO_FLOOR
+        );
+        return ExitCode::FAILURE;
+    }
+    if s.scale.exact_budgeted_proven {
+        eprintln!(
+            "portfolio: exact finished inside the {} ms budget — the scale config no longer stresses it",
+            s.scale.budget_ms
+        );
+        return ExitCode::FAILURE;
+    }
+    if s.retention() < portfolio_bench::RETENTION_FLOOR {
+        eprintln!(
+            "portfolio: retention {:.4} below the {:.2} floor",
+            s.retention(),
+            portfolio_bench::RETENTION_FLOOR
+        );
+        return ExitCode::FAILURE;
+    }
+    match std::fs::read_to_string(PORTFOLIO_BASELINE) {
+        Ok(text) => {
+            let bits = serde_json::from_str::<serde_json::Value>(&text)
+                .ok()
+                .and_then(|v| {
+                    v["exact_objective_bits"]
+                        .as_str()
+                        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+                });
+            let Some(bits) = bits else {
+                eprintln!("portfolio: {PORTFOLIO_BASELINE}: no parsable `exact_objective_bits`");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = portfolio_bench::check_baseline(&s, bits, PORTFOLIO_BASELINE) {
+                eprintln!("portfolio: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("bitwise pin vs {PORTFOLIO_BASELINE}: ok ({bits:#018x})");
+        }
+        Err(_) => {
+            eprintln!("portfolio: no {PORTFOLIO_BASELINE} in the working directory — skipping the bitwise pin");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Runs the scenario stress matrix and enforces its two scorecard gates.
 fn run_scenarios() -> ExitCode {
     let m = scenario_matrix::matrix(scenario_matrix::DEFAULT_SEED, 2);
@@ -189,6 +273,7 @@ fn main() -> ExitCode {
         "ablations" => print!("{}", ablations::all()),
         "fault-tolerance" => print!("{}", fault_tolerance::report(0.1, 42)),
         "scenarios" => return run_scenarios(),
+        "portfolio" => return run_portfolio(),
         "serve" => return run_serve(),
         "sparse-lp" => return run_sparse_lp(),
         "solver-perf" => {
@@ -281,7 +366,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!();
-            return run_scenarios();
+            if run_scenarios() != ExitCode::SUCCESS {
+                return ExitCode::FAILURE;
+            }
+            println!();
+            return run_portfolio();
         }
         _ => return usage(),
     }

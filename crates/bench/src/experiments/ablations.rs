@@ -13,8 +13,8 @@ use std::time::Instant;
 
 use palb_cluster::presets;
 use palb_core::{
-    solve_bb, solve_bigm, solve_fixed_levels, solve_uniform_levels, BbOptions, BigMOptions,
-    CoreError, Dims, LevelAssignment,
+    solve_bb, solve_bigm, solve_fixed_levels, solve_uniform_levels, BigMOptions, CoreError, Dims,
+    LevelAssignment, SolverConfig,
 };
 use palb_lp::{PivotRule, Problem, Rel, SolveOptions};
 use palb_queueing::{Mm1, Mmc};
@@ -34,7 +34,7 @@ pub fn solver_comparison() -> String {
     );
 
     let t0 = Instant::now();
-    let exact = solve_bb(&sys, rates, slot, &BbOptions::default()).expect("bb");
+    let exact = solve_bb(&sys, rates, slot, &SolverConfig::exact()).expect("bb");
     let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
     out.push_str(&format!(
         "bb_symmetry,{:.2},{:.2},{} nodes proven={}\n",
@@ -46,10 +46,7 @@ pub fn solver_comparison() -> String {
         &sys,
         rates,
         slot,
-        &BbOptions {
-            symmetry_breaking: false,
-            ..BbOptions::default()
-        },
+        &SolverConfig::exact().symmetry_breaking(false),
     )
     .expect("bb plain");
     let plain_ms = t1.elapsed().as_secs_f64() * 1e3;
@@ -99,7 +96,7 @@ pub fn conditional_eq6() -> Result<String, CoreError> {
     for t in 0..trace.slots() {
         let slot = presets::SECTION_VII_START_HOUR + t;
         let rates = trace.slot(t);
-        let exact = solve_bb(&sys, rates, slot, &BbOptions::default())?;
+        let exact = solve_bb(&sys, rates, slot, &SolverConfig::exact())?;
 
         // Disable the VMs the paper's solution leaves idle, then re-solve
         // with the same levels elsewhere.

@@ -25,7 +25,7 @@ use palb_cluster::{presets, System};
 use palb_core::obs::{Recorder, Registry, Snapshot};
 use palb_core::report::tier_histogram;
 use palb_core::{
-    run, run_with, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunOptions, RunResult, Tier,
+    run_with, ChaosPolicy, OptimizedPolicy, ResilientPolicy, RunOptions, RunResult, Tier,
 };
 use palb_workload::fault::{
     corrupt_price_feed, inject_rate_faults, PriceFaultConfig, RateFaultConfig, SolverFaultSchedule,
@@ -95,22 +95,23 @@ fn corrupted_inputs(fault_rate: f64, seed: u64) -> (System, Trace, usize) {
 pub fn study(fault_rate: f64, seed: u64) -> FaultToleranceResult {
     let clean_system = presets::section_vi();
     let clean_trace = configs::section_vi_trace();
-    let clean = run(
+    let clean = run_with(
         &mut OptimizedPolicy::exact(),
         &clean_system,
         &clean_trace,
-        0,
+        &RunOptions::at(0),
     )
-    .expect("fault-free baseline");
+    .expect("fault-free baseline")
+    .result;
 
     let (system, trace, price_incidents) = corrupted_inputs(fault_rate, seed);
     let schedule = SolverFaultSchedule::new(fault_rate, seed);
 
-    let bare_abort = run(
+    let bare_abort = run_with(
         &mut ChaosPolicy::new(OptimizedPolicy::exact(), schedule.clone()),
         &system,
         &trace,
-        0,
+        &RunOptions::at(0),
     )
     .err()
     .map(|e| e.to_string());

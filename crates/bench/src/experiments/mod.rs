@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod fault_tolerance;
 pub mod forecasting;
 pub mod foundations;
+pub mod portfolio_bench;
 pub mod quantile;
 pub mod robustness;
 pub mod scenario_matrix;

@@ -1,0 +1,342 @@
+//! The anytime-portfolio scale gate (`repro portfolio`).
+//!
+//! Two halves, mirroring the promise `palb_core::portfolio` makes:
+//!
+//! 1. **Paper size** — on the §VII system (Fig. 11's reference point)
+//!    `SolverKind::Exact` must return bit-for-bit identical results at
+//!    1/2/4/8 worker threads, and CI additionally pins those bits
+//!    against the committed `BENCH_portfolio_baseline.json` so the
+//!    redesigned `Solver` front end can never silently change the
+//!    exact answer.
+//! 2. **Scale** — the same system grown to `SCALE_SERVERS` servers per
+//!    data center (a symmetry-reduced search space dozens of times
+//!    the Fig. 11 reference; the gate requires >= 8x). There the exact
+//!    solver cannot finish inside the fixed wall-clock budget, while
+//!    the portfolio must still deliver >= 99% of the (unbudgeted)
+//!    exact profit inside that budget.
+
+use std::time::Instant;
+
+use palb_cluster::presets;
+use palb_core::{solve_bb, solve_with, SolverBudget, SolverConfig};
+
+use crate::configs::section_vii_trace;
+
+/// Servers per data center for the scale half. At 18 the
+/// symmetry-reduced space is ~54x the §VII reference (comfortably past
+/// [`SPACE_RATIO_FLOOR`]) and the exact tree needs ~2.2M nodes /
+/// tens of seconds, far beyond [`DEFAULT_BUDGET_MS`] — yet the
+/// unbudgeted reference still proves optimality in CI-tolerable time.
+pub const SCALE_SERVERS: usize = 18;
+
+/// Wall-clock budget (milliseconds) for the budgeted-exact and
+/// portfolio runs of the scale half. Calibrated so the portfolio
+/// converges comfortably inside it on a single CI core while the exact
+/// tree is nowhere near done.
+pub const DEFAULT_BUDGET_MS: u64 = 1_500;
+
+/// Thread counts of the paper-size bitwise sweep.
+pub const PAPER_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Profit-retention floor of the scale gate.
+pub const RETENTION_FLOOR: f64 = 0.99;
+
+/// Search-space ratio floor of the scale gate.
+pub const SPACE_RATIO_FLOOR: f64 = 8.0;
+
+/// One paper-size exact solve.
+pub struct PaperPoint {
+    /// Worker threads.
+    pub threads: usize,
+    /// Exact objective, as raw bits for drift-proof comparison.
+    pub objective_bits: u64,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Wall clock, milliseconds.
+    pub ms: f64,
+}
+
+/// The scale half: budgeted exact vs portfolio vs unbudgeted reference.
+pub struct ScaleGate {
+    /// Servers per data center.
+    pub servers: usize,
+    /// log2 of the symmetry-reduced assignment space at `servers`.
+    pub log2_space: f64,
+    /// log2 of the same space at the §VII reference size.
+    pub log2_paper_space: f64,
+    /// The wall-clock budget both contenders run under.
+    pub budget_ms: u64,
+    /// Did the budgeted exact run finish (it must not, for the gate to
+    /// be meaningful)?
+    pub exact_budgeted_proven: bool,
+    /// Budgeted exact incumbent at the deadline.
+    pub exact_budgeted_objective: f64,
+    /// Unbudgeted exact reference objective.
+    pub reference_objective: f64,
+    /// Unbudgeted exact wall clock, milliseconds.
+    pub reference_ms: f64,
+    /// Portfolio objective inside the budget.
+    pub portfolio_objective: f64,
+    /// Portfolio wall clock, milliseconds.
+    pub portfolio_ms: f64,
+    /// Whether the portfolio's exact side finished (expected false).
+    pub portfolio_proven: bool,
+    /// Evaluation-cache telemetry of the portfolio run.
+    pub cache_hits: u64,
+    /// Cache misses (cold LP evaluations) of the portfolio run.
+    pub cache_misses: u64,
+}
+
+/// The full study.
+pub struct PortfolioStudy {
+    /// Paper-size exact sweep, one point per thread count.
+    pub paper: Vec<PaperPoint>,
+    /// The scale gate.
+    pub scale: ScaleGate,
+}
+
+impl PortfolioStudy {
+    /// All paper-size points agree bitwise.
+    pub fn paper_bitwise_invariant(&self) -> bool {
+        self.paper
+            .windows(2)
+            .all(|w| w[0].objective_bits == w[1].objective_bits)
+    }
+
+    /// Paper-size exact objective bits (the baseline-pinned value).
+    pub fn paper_objective_bits(&self) -> u64 {
+        self.paper.first().map_or(0, |p| p.objective_bits)
+    }
+
+    /// Portfolio profit as a fraction of the unbudgeted exact profit.
+    pub fn retention(&self) -> f64 {
+        self.scale.portfolio_objective / self.scale.reference_objective
+    }
+
+    /// Symmetry-reduced search-space ratio, scale over paper size.
+    pub fn space_ratio(&self) -> f64 {
+        (self.scale.log2_space - self.scale.log2_paper_space).exp2()
+    }
+}
+
+/// log2 of the symmetry-reduced assignment space of the §VII system
+/// with `m` servers per data center: per (class, data center) the
+/// non-decreasing level tuples over `m` servers form a multiset, so
+/// with L levels there are C(m + L - 1, m) choices.
+fn log2_space(system: &palb_cluster::System, m: usize) -> f64 {
+    let mut log2 = 0.0f64;
+    for class in &system.classes {
+        let levels = class.tuf.num_levels();
+        for _ in &system.data_centers {
+            log2 += log2_binomial(m + levels - 1, m);
+        }
+    }
+    log2
+}
+
+fn log2_binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut log2 = 0.0f64;
+    for i in 0..k {
+        log2 += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    log2
+}
+
+/// Builds the §VII system at `m` servers per data center with demand
+/// scaled to keep the load comparable (the Fig. 11 convention).
+fn scaled_instance(m: usize) -> (palb_cluster::System, Vec<Vec<f64>>, usize) {
+    let mut sys = presets::section_vii();
+    let paper_servers = sys.data_centers[0].servers;
+    let trace = section_vii_trace();
+    let rates = trace.slot(2); // the representative busy slot
+    let scale = m as f64 / paper_servers as f64;
+    let scaled: Vec<Vec<f64>> = rates
+        .iter()
+        .map(|row| row.iter().map(|r| r * scale).collect())
+        .collect();
+    for dc in &mut sys.data_centers {
+        dc.servers = m;
+    }
+    (sys, scaled, presets::SECTION_VII_START_HOUR + 2)
+}
+
+/// Runs the study: the paper-size thread sweep plus the scale gate at
+/// `scale_servers` servers per data center under `budget_ms`.
+pub fn study(scale_servers: usize, budget_ms: u64) -> PortfolioStudy {
+    // Paper size: the §VII system itself, exact at each thread count.
+    let paper_sys = presets::section_vii();
+    let paper_servers = paper_sys.data_centers[0].servers;
+    let (sys, rates, slot) = scaled_instance(paper_servers);
+    let paper = PAPER_THREAD_SWEEP
+        .iter()
+        .map(|&threads| {
+            let t0 = Instant::now();
+            let r = solve_bb(&sys, &rates, slot, &SolverConfig::exact().threads(threads))
+                .expect("paper-size exact solve");
+            PaperPoint {
+                threads,
+                objective_bits: r.solve.objective.to_bits(),
+                nodes: r.nodes,
+                ms: t0.elapsed().as_secs_f64() * 1e3,
+            }
+        })
+        .collect();
+
+    // Scale: budgeted exact (must truncate), portfolio (must retain),
+    // unbudgeted exact (the reference).
+    let (sys, rates, slot) = scaled_instance(scale_servers);
+    let budget = SolverBudget::default().wall_clock_ms(budget_ms);
+
+    let exact_budgeted = solve_bb(&sys, &rates, slot, &SolverConfig::exact().budget(budget))
+        .expect("budgeted exact solve");
+
+    let t0 = Instant::now();
+    let portfolio = solve_with(
+        &sys,
+        &rates,
+        slot,
+        &SolverConfig::portfolio().budget(budget),
+    )
+    .expect("portfolio solve");
+    let portfolio_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The reference must lift the default node cap: a truncated
+    // "reference" silently understates the optimum and inflates
+    // retention. `proven_optimal` is asserted so a bad calibration
+    // fails loudly instead of gating against a guess.
+    let t1 = Instant::now();
+    let reference = solve_bb(
+        &sys,
+        &rates,
+        slot,
+        &SolverConfig::exact().max_nodes(usize::MAX),
+    )
+    .expect("reference exact solve");
+    let reference_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        reference.proven_optimal,
+        "unbudgeted reference failed to prove optimality at m={scale_servers}"
+    );
+
+    PortfolioStudy {
+        paper,
+        scale: ScaleGate {
+            servers: scale_servers,
+            log2_space: log2_space(&sys, scale_servers),
+            log2_paper_space: log2_space(&sys, paper_servers),
+            budget_ms,
+            exact_budgeted_proven: exact_budgeted.proven_optimal,
+            exact_budgeted_objective: exact_budgeted.solve.objective,
+            reference_objective: reference.solve.objective,
+            reference_ms,
+            portfolio_objective: portfolio.solve.objective,
+            portfolio_ms,
+            portfolio_proven: portfolio.proven_optimal,
+            cache_hits: portfolio.stats.cache_hits,
+            cache_misses: portfolio.stats.cache_misses,
+        },
+    }
+}
+
+/// Renders the study as the `repro portfolio` report.
+pub fn render(s: &PortfolioStudy) -> String {
+    let mut out = String::from(
+        "# Portfolio scale gate: anytime metaheuristic racing exact B&B\n\n\
+         ## paper size (SolverKind::Exact must be thread-invariant, bitwise)\n\
+         threads,objective_bits,nodes,ms\n",
+    );
+    for p in &s.paper {
+        out.push_str(&format!(
+            "{},{:#018x},{},{:.2}\n",
+            p.threads, p.objective_bits, p.nodes, p.ms
+        ));
+    }
+    out.push_str(&format!(
+        "bitwise invariant: {}\n",
+        s.paper_bitwise_invariant()
+    ));
+    let g = &s.scale;
+    out.push_str(&format!(
+        "\n## scale gate ({} servers/DC, budget {} ms)\n\
+         search space: 2^{:.1} vs paper 2^{:.1} ({:.0}x, floor {:.0}x)\n\
+         exact within budget: proven={} objective={:.2}\n\
+         exact unbudgeted:    {:.0} ms, objective={:.2}\n\
+         portfolio:           {:.0} ms, objective={:.2} (proven={}, cache {} hits / {} misses)\n\
+         retention: {:.4} (floor {:.2})\n",
+        g.servers,
+        g.budget_ms,
+        g.log2_space,
+        g.log2_paper_space,
+        s.space_ratio(),
+        SPACE_RATIO_FLOOR,
+        g.exact_budgeted_proven,
+        g.exact_budgeted_objective,
+        g.reference_ms,
+        g.reference_objective,
+        g.portfolio_ms,
+        g.portfolio_objective,
+        g.portfolio_proven,
+        g.cache_hits,
+        g.cache_misses,
+        s.retention(),
+        RETENTION_FLOOR,
+    ));
+    out
+}
+
+/// Compares the paper-size exact bits against a committed baseline
+/// (the parsed `BENCH_portfolio_baseline.json`). `origin` names the
+/// baseline in error messages.
+pub fn check_baseline(s: &PortfolioStudy, baseline_bits: u64, origin: &str) -> Result<(), String> {
+    if s.paper_objective_bits() != baseline_bits {
+        return Err(format!(
+            "paper-size exact drifted bitwise vs {origin}: {:#018x} != baseline {:#018x}",
+            s.paper_objective_bits(),
+            baseline_bits
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature run of the full study machinery: tiny scale size and
+    /// a generous budget, so the exact side finishes everywhere; checks
+    /// the invariants that do not depend on timing out.
+    #[test]
+    fn miniature_study_is_consistent() {
+        let s = study(8, 60_000);
+        assert!(s.paper_bitwise_invariant());
+        assert_eq!(s.paper.len(), PAPER_THREAD_SWEEP.len());
+        assert!(s.space_ratio() > 1.0, "8 > 6 servers grows the space");
+        assert!(
+            s.retention() >= RETENTION_FLOOR,
+            "retention {:.4}",
+            s.retention()
+        );
+        check_baseline(&s, s.paper_objective_bits(), "self").unwrap();
+        assert!(check_baseline(&s, !s.paper_objective_bits(), "flipped").is_err());
+    }
+
+    #[test]
+    fn space_ratio_crosses_the_floor_at_the_gate_config() {
+        let sys = presets::section_vii();
+        let paper_servers = sys.data_centers[0].servers;
+        let ratio = (log2_space(&sys, SCALE_SERVERS) - log2_space(&sys, paper_servers)).exp2();
+        assert!(
+            ratio >= SPACE_RATIO_FLOOR,
+            "gate config is only {ratio:.1}x the paper size"
+        );
+    }
+
+    #[test]
+    fn log2_binomial_matches_small_cases() {
+        // C(7,6) = 7, C(31,30) = 31, C(4,2) = 6.
+        assert!((log2_binomial(7, 6) - 7f64.log2()).abs() < 1e-12);
+        assert!((log2_binomial(31, 30) - 31f64.log2()).abs() < 1e-12);
+        assert!((log2_binomial(4, 2) - 6f64.log2()).abs() < 1e-12);
+    }
+}

@@ -7,7 +7,7 @@
 //! slice of it to late requests; the quantile policy buys real headroom.
 
 use palb_cluster::presets;
-use palb_core::{run, OptimizedPolicy, Policy, QuantileSlaPolicy};
+use palb_core::{run_with, OptimizedPolicy, Policy, QuantileSlaPolicy, RunOptions};
 use palb_queueing::des::{simulate_network, QueueSpec};
 use palb_workload::synthetic::constant_trace;
 
@@ -27,7 +27,9 @@ pub struct QuantileOutcome {
 pub fn replay(policy: &mut dyn Policy, horizon: f64, seed: u64) -> QuantileOutcome {
     let system = presets::section_v();
     let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-    let result = run(policy, &system, &trace, 0).expect("policy");
+    let result = run_with(policy, &system, &trace, &RunOptions::at(0))
+        .expect("policy")
+        .result;
     let dispatch = &result.decisions[0];
     let dims = dispatch.dims().clone();
 

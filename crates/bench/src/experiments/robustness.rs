@@ -8,7 +8,7 @@
 //! compared with the exponential case the optimizer assumed.
 
 use palb_cluster::presets;
-use palb_core::{run, OptimizedPolicy};
+use palb_core::{run_with, OptimizedPolicy, RunOptions};
 use palb_queueing::{simulate_mg1_lindley, Mg1, ServiceDist};
 use palb_workload::synthetic::constant_trace;
 
@@ -30,7 +30,14 @@ pub struct RobustnessRow {
 pub fn study(customers: usize, seed: u64) -> Vec<RobustnessRow> {
     let system = presets::section_v();
     let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-    let result = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let result = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .expect("optimizer")
+    .result;
     let dispatch = &result.decisions[0];
     let dims = dispatch.dims().clone();
 

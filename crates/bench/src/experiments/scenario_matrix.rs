@@ -28,8 +28,8 @@ use palb_cluster::PriceSchedule;
 use palb_core::obs::{names, Recorder, Registry, Snapshot};
 use palb_core::report::text_table;
 use palb_core::{
-    grid_ramp_surcharge, run_over, BalancedPolicy, BbOptions, ChaosPolicy, DampingOptions,
-    OptimizedPolicy, PartialRun, ResilientOptions, ResilientPolicy, RunOptions, SlotSystems, Tier,
+    grid_ramp_surcharge, run_with, BalancedPolicy, ChaosPolicy, DampingOptions, OptimizedPolicy,
+    PartialRun, ResilientOptions, ResilientPolicy, RunOptions, SlotSystems, SolverConfig, Tier,
 };
 use palb_lp::EngineKind;
 use palb_workload::fault::{RateFaultConfig, SolverFaultSchedule};
@@ -206,46 +206,43 @@ fn run_policy(
         "Optimized" => {
             let inner = OptimizedPolicy::exact_threads(threads).with_lp_engine(engine);
             match schedule {
-                Some(s) => run_over(
+                Some(s) => run_with(
                     &mut ChaosPolicy::new(inner, s.clone()),
                     source,
                     trace,
                     &opts,
                 ),
-                None => run_over(&mut { inner }, source, trace, &opts),
+                None => run_with(&mut { inner }, source, trace, &opts),
             }
         }
         "UniformLevels" => {
             let inner = OptimizedPolicy::uniform();
             match schedule {
-                Some(s) => run_over(
+                Some(s) => run_with(
                     &mut ChaosPolicy::new(inner, s.clone()),
                     source,
                     trace,
                     &opts,
                 ),
-                None => run_over(&mut { inner }, source, trace, &opts),
+                None => run_with(&mut { inner }, source, trace, &opts),
             }
         }
-        "Balanced" => run_over(&mut BalancedPolicy, source, trace, &opts),
+        "Balanced" => run_with(&mut BalancedPolicy, source, trace, &opts),
         "Resilient" | "Resilient+damping" => {
             let mut ladder = ResilientOptions {
-                bb: BbOptions {
-                    threads: threads.max(1),
-                    ..BbOptions::default()
-                },
+                solver: SolverConfig::exact().threads(threads),
                 damping: (label == "Resilient+damping").then(DampingOptions::default),
                 ..ResilientOptions::default()
             };
             // Both solver tiers honour the override; the Bland-retry
             // tier keeps its pivot-rule settings.
-            ladder.bb.lp.engine = engine;
+            ladder.solver.lp.engine = engine;
             ladder.retry_lp.engine = engine;
             let mut policy = ResilientPolicy::new(ladder);
             if let Some(s) = schedule {
                 policy = policy.with_chaos(s.clone());
             }
-            run_over(&mut policy, source, trace, &opts)
+            run_with(&mut policy, source, trace, &opts)
         }
         other => panic!("unknown policy label {other}"),
     };

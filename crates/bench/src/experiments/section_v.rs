@@ -2,7 +2,7 @@
 
 use palb_cluster::presets;
 use palb_core::report::summary_table;
-use palb_core::{run, BalancedPolicy, OptimizedPolicy, RunResult};
+use palb_core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions, RunResult};
 use palb_workload::synthetic::constant_trace;
 
 /// Outcome of one §V regime (low or high arrivals).
@@ -32,9 +32,17 @@ impl Fig4Regime {
 pub fn fig4_regime(label: &'static str, rates: Vec<Vec<f64>>) -> Fig4Regime {
     let system = presets::section_v();
     let trace = constant_trace(rates, 1);
-    let optimized =
-        run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer solves SV");
-    let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
+    let optimized = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .expect("optimizer solves SV")
+    .result;
+    let balanced = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+        .expect("baseline")
+        .result;
     Fig4Regime {
         label,
         optimized,

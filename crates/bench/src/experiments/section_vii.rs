@@ -5,7 +5,8 @@ use std::time::Instant;
 use palb_cluster::{presets, ClassId, System};
 use palb_core::report::{dispatch_csv, net_profit_csv, summary_table};
 use palb_core::{
-    run, solve_bb, solve_uniform_levels, BalancedPolicy, BbOptions, OptimizedPolicy, RunResult,
+    run_with, solve_bb, solve_uniform_levels, BalancedPolicy, OptimizedPolicy, RunOptions,
+    RunResult, SolverConfig,
 };
 use palb_workload::Trace;
 
@@ -43,9 +44,17 @@ pub fn class_completion(run: &RunResult, trace: &Trace, k: usize) -> f64 {
 /// Runs the §VII comparison on an arbitrary (system, trace) pair.
 pub fn run_section_vii_with(system: System, trace: Trace) -> SectionVii {
     let start = presets::SECTION_VII_START_HOUR;
-    let optimized =
-        run(&mut OptimizedPolicy::exact(), &system, &trace, start).expect("optimizer solves SVII");
-    let balanced = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
+    let optimized = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(start),
+    )
+    .expect("optimizer solves SVII")
+    .result;
+    let balanced = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(start))
+        .expect("baseline")
+        .result;
     SectionVii {
         system,
         trace,
@@ -169,16 +178,13 @@ pub fn fig11(max_servers: usize) -> Vec<Fig11Point> {
             &sys,
             &scaled,
             slot,
-            &BbOptions {
-                symmetry_breaking: false,
-                ..BbOptions::default()
-            },
+            &SolverConfig::exact().symmetry_breaking(false),
         )
         .expect("plain bb");
         let bb_plain_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let t1 = Instant::now();
-        let _sym = solve_bb(&sys, &scaled, slot, &BbOptions::default()).expect("sym bb");
+        let _sym = solve_bb(&sys, &scaled, slot, &SolverConfig::exact()).expect("sym bb");
         let bb_sym_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let t2 = Instant::now();

@@ -5,7 +5,8 @@
 //! scaled with capacity, exactly as Fig. 11 does) and one representative
 //! slot is solved twice by `solve_bb`:
 //!
-//! 1. **cold** — `BbOptions { incremental: false }`: every node rebuilds
+//! 1. **cold** — `SolverConfig::exact().incremental(false)`: every node
+//!    rebuilds
 //!    its LP from scratch and solves it with the full cold pipeline.
 //! 2. **incremental** — the default: one persistent [`palb_core`]
 //!    `SpecWorkspace` is patched per node and interior bounds warm-start
@@ -23,7 +24,7 @@ use std::time::Instant;
 
 use palb_cluster::{presets, System};
 use palb_core::obs::{Recorder, Registry, Snapshot};
-use palb_core::{solve_bb, BbOptions, MultilevelResult, SolverStats};
+use palb_core::{solve_bb, MultilevelResult, SolverConfig, SolverStats};
 
 use crate::configs::section_vii_trace;
 
@@ -79,7 +80,7 @@ impl SolverPerf {
 /// One point of the thread-scaling sweep: the same Fig. 11 instance solved
 /// with `threads` branch-and-bound workers.
 pub struct ThreadScalingPoint {
-    /// Worker threads requested (`BbOptions::threads`).
+    /// Worker threads requested (`SolverConfig::threads`).
     pub threads: usize,
     /// Wall-clock, best of `reps`, ms.
     pub ms: f64,
@@ -145,21 +146,19 @@ pub const DEFAULT_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 pub fn thread_scaling(servers: usize, threads: &[usize], reps: usize) -> ThreadScaling {
     let (sys, scaled, slot) = fig11_instance(servers);
     let (sequential_ms, reference) = best_of(reps, || {
-        solve_bb(&sys, &scaled, slot, &BbOptions::default()).expect("sequential bb")
+        solve_bb(&sys, &scaled, slot, &SolverConfig::exact()).expect("sequential bb")
     });
     let points = threads
         .iter()
         .map(|&t| {
-            let opts = BbOptions {
-                threads: t,
-                ..BbOptions::default()
-            };
+            let opts = SolverConfig::exact().threads(t);
             let (ms, r) = best_of(reps, || {
                 solve_bb(&sys, &scaled, slot, &opts).expect("parallel bb")
             });
             let bitwise_equal =
                 incumbents_match(&reference, &r) && reference.proven_optimal == r.proven_optimal;
-            // The contract's near-tie carve-out (`BbOptions::threads`): on
+            // The contract's near-tie carve-out (`SolverConfig::threads`):
+            // on
             // a degenerate plateau the incumbent may land on a different
             // leaf, but never beyond the gap band, and never with a
             // different proof status.
@@ -268,10 +267,7 @@ fn best_of(reps: usize, mut f: impl FnMut() -> MultilevelResult) -> (f64, Multil
 
 /// Runs the comparison for `2..=max_servers` servers per data center.
 pub fn study(max_servers: usize, reps: usize) -> SolverPerf {
-    let cold_opts = BbOptions {
-        incremental: false,
-        ..BbOptions::default()
-    };
+    let cold_opts = SolverConfig::exact().incremental(false);
     let mut points = Vec::new();
     for m in 2..=max_servers.max(2) {
         let (sys, scaled, slot) = fig11_instance(m);
@@ -279,7 +275,7 @@ pub fn study(max_servers: usize, reps: usize) -> SolverPerf {
             solve_bb(&sys, &scaled, slot, &cold_opts).expect("cold bb")
         });
         let (incremental_ms, inc) = best_of(reps, || {
-            solve_bb(&sys, &scaled, slot, &BbOptions::default()).expect("incremental bb")
+            solve_bb(&sys, &scaled, slot, &SolverConfig::exact()).expect("incremental bb")
         });
         points.push(SolverPerfPoint {
             servers: m,
@@ -299,10 +295,7 @@ pub fn study(max_servers: usize, reps: usize) -> SolverPerf {
     // outside best_of so recording overhead cannot color the timings.
     let registry = Arc::new(Registry::new());
     let (sys, scaled, slot) = fig11_instance(max_servers.max(2));
-    let instrumented = BbOptions {
-        obs: Recorder::attached(Arc::clone(&registry)),
-        ..BbOptions::default()
-    };
+    let instrumented = SolverConfig::exact().obs(Recorder::attached(Arc::clone(&registry)));
     solve_bb(&sys, &scaled, slot, &instrumented).expect("instrumented bb");
     SolverPerf {
         points,
@@ -371,12 +364,9 @@ mod tests {
     #[test]
     fn incremental_matches_cold_bitwise_on_reference_config() {
         let (sys, scaled, slot) = fig11_instance(4);
-        let cold_opts = BbOptions {
-            incremental: false,
-            ..BbOptions::default()
-        };
+        let cold_opts = SolverConfig::exact().incremental(false);
         let cold = solve_bb(&sys, &scaled, slot, &cold_opts).expect("cold bb");
-        let inc = solve_bb(&sys, &scaled, slot, &BbOptions::default()).expect("inc bb");
+        let inc = solve_bb(&sys, &scaled, slot, &SolverConfig::exact()).expect("inc bb");
         assert!(
             incumbents_match(&cold, &inc),
             "incumbents must agree to the bit"

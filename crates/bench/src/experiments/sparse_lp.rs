@@ -22,8 +22,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use palb_core::{
-    dispatch_problem, run, solve_bb, BbOptions, Dims, LevelAssignment, ResilientOptions,
-    ResilientPolicy, RunResult,
+    dispatch_problem, run_with, solve_bb, Dims, LevelAssignment, ResilientOptions, ResilientPolicy,
+    RunOptions, RunResult, SolverConfig,
 };
 use palb_lp::{EngineKind, Problem, SolveOptions};
 use palb_workload::fault::SolverFaultSchedule;
@@ -119,10 +119,7 @@ pub fn bb_parity(max_servers: usize) -> Vec<BbParityPoint> {
         .map(|m| {
             let (sys, scaled, slot) = fig11_instance(m);
             let solve = |engine| {
-                let opts = BbOptions {
-                    lp: engine_lp(engine),
-                    ..BbOptions::default()
-                };
+                let opts = SolverConfig::exact().lp(engine_lp(engine));
                 solve_bb(&sys, &scaled, slot, &opts).expect("fig11 bb")
             };
             let dense = solve(EngineKind::Dense);
@@ -164,12 +161,14 @@ pub fn chaos_parity(threads: &[usize], slots: usize) -> Vec<ChaosParityPoint> {
         .map(|&t| {
             let run_engine = |engine| {
                 let mut opts = ResilientOptions::default();
-                opts.bb.threads = t;
-                opts.bb.lp = engine_lp(engine);
+                opts.solver.threads = t;
+                opts.solver.lp = engine_lp(engine);
                 opts.retry_lp.engine = engine;
                 let mut policy =
                     ResilientPolicy::new(opts).with_chaos(SolverFaultSchedule::new(0.4, 1105));
-                run(&mut policy, &sys, &trace, 0).expect("chaos run")
+                run_with(&mut policy, &sys, &trace, &RunOptions::at(0))
+                    .expect("chaos run")
+                    .result
             };
             let dense = run_engine(EngineKind::Dense);
             let sparse = run_engine(EngineKind::Sparse);

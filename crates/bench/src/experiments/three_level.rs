@@ -9,8 +9,8 @@
 
 use palb_cluster::{presets, DataCenter, FrontEnd, RequestClass, System};
 use palb_core::{
-    run, solve_bb, solve_bigm, solve_uniform_levels, BalancedPolicy, BbOptions, BigMOptions,
-    OptimizedPolicy,
+    run_with, solve_bb, solve_bigm, solve_uniform_levels, BalancedPolicy, BigMOptions,
+    OptimizedPolicy, RunOptions, SolverConfig,
 };
 use palb_tuf::{Level, StepTuf};
 use palb_workload::burst::{generate, BurstConfig};
@@ -83,9 +83,17 @@ pub fn report() -> String {
     let trace = three_level_trace();
     let start = presets::SECTION_VII_START_HOUR;
 
-    let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, start)
-        .expect("exact solver handles 3 levels");
-    let balanced = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
+    let optimized = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(start),
+    )
+    .expect("exact solver handles 3 levels")
+    .result;
+    let balanced = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(start))
+        .expect("baseline")
+        .result;
 
     let mut out =
         String::from("# Three-level TUFs (the paper's Eq. 18-22 case, beyond its evaluation)\n");
@@ -94,7 +102,7 @@ pub fn report() -> String {
     // Per-slot solver agreement on one busy slot.
     let rates = trace.slot(2);
     let slot = start + 2;
-    let bb = solve_bb(&system, rates, slot, &BbOptions::default()).expect("bb");
+    let bb = solve_bb(&system, rates, slot, &SolverConfig::exact()).expect("bb");
     let uni = solve_uniform_levels(&system, rates, slot).expect("uniform");
     let bigm = solve_bigm(&system, rates, slot, &BigMOptions::default()).expect("bigm");
     out.push_str(&format!(
@@ -139,7 +147,7 @@ mod tests {
         let system = three_level_system();
         let trace = three_level_trace();
         let slot = presets::SECTION_VII_START_HOUR;
-        let bb = solve_bb(&system, trace.slot(0), slot, &BbOptions::default()).unwrap();
+        let bb = solve_bb(&system, trace.slot(0), slot, &SolverConfig::exact()).unwrap();
         assert!(bb.proven_optimal, "nodes: {}", bb.nodes);
         let uni = solve_uniform_levels(&system, trace.slot(0), slot).unwrap();
         assert!(uni.solve.objective <= bb.solve.objective * (1.0 + 1e-9));
@@ -155,8 +163,17 @@ mod tests {
         let full = three_level_trace();
         let trace = palb_workload::Trace::new(vec![full.slot(0).clone(), full.slot(3).clone()]);
         let start = presets::SECTION_VII_START_HOUR;
-        let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, start).unwrap();
-        let bal = run(&mut BalancedPolicy, &system, &trace, start).unwrap();
+        let opt = run_with(
+            &mut OptimizedPolicy::exact(),
+            &system,
+            &trace,
+            &RunOptions::at(start),
+        )
+        .unwrap()
+        .result;
+        let bal = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(start))
+            .unwrap()
+            .result;
         assert!(opt.total_net_profit() > bal.total_net_profit());
     }
 }

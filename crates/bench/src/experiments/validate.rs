@@ -7,7 +7,7 @@
 //! replay with Poisson arrivals and exponential service.
 
 use palb_cluster::presets;
-use palb_core::{run, OptimizedPolicy};
+use palb_core::{run_with, OptimizedPolicy, RunOptions};
 use palb_queueing::des::{simulate_network, QueueSpec};
 use palb_queueing::expected_delay;
 use palb_workload::synthetic::constant_trace;
@@ -27,7 +27,14 @@ pub struct ReplayResult {
 pub fn replay_section_v(horizon: f64, seed: u64) -> ReplayResult {
     let system = presets::section_v();
     let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-    let result = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
+    let result = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .expect("optimizer")
+    .result;
     let dispatch = &result.decisions[0];
     let dims = dispatch.dims().clone();
 

@@ -9,6 +9,7 @@ use palb_core::{RunResult, SlotHealth};
 use serde_json::{json, Value};
 
 use crate::experiments::fault_tolerance::FaultToleranceResult;
+use crate::experiments::portfolio_bench::PortfolioStudy;
 use crate::experiments::scenario_matrix::{self, ScenarioMatrix};
 use crate::experiments::serve_bench::ServeStudy;
 use crate::experiments::solver_perf::{SolverPerf, ThreadScaling};
@@ -48,6 +49,51 @@ fn solver_stats_to_json(s: &palb_core::SolverStats) -> Value {
         "ftran_total": s.ftran_total,
         "ftran_nnz_total": s.ftran_nnz_total,
         "refactor_total": s.refactor_total,
+        "cache_hits": s.cache_hits,
+        "cache_misses": s.cache_misses,
+        "cache_evictions": s.cache_evictions,
+    })
+}
+
+/// Serializes the portfolio scale-gate study (`BENCH_portfolio.json`):
+/// the paper-size bitwise thread sweep (with the exact objective bits
+/// CI pins against `BENCH_portfolio_baseline.json`) and the scale gate's
+/// budgeted-exact vs portfolio head-to-head.
+pub fn portfolio_study_to_json(s: &PortfolioStudy) -> Value {
+    let paper: Vec<Value> = s
+        .paper
+        .iter()
+        .map(|p| {
+            json!({
+                "threads": p.threads,
+                "objective_bits": format!("{:#018x}", p.objective_bits),
+                "nodes": p.nodes,
+                "ms": p.ms,
+            })
+        })
+        .collect();
+    let g = &s.scale;
+    json!({
+        "paper": paper,
+        "paper_bitwise_invariant": s.paper_bitwise_invariant(),
+        "exact_objective_bits": format!("{:#018x}", s.paper_objective_bits()),
+        "scale": {
+            "servers": g.servers,
+            "log2_space": g.log2_space,
+            "log2_paper_space": g.log2_paper_space,
+            "space_ratio": s.space_ratio(),
+            "budget_ms": g.budget_ms,
+            "exact_budgeted_proven": g.exact_budgeted_proven,
+            "exact_budgeted_objective": g.exact_budgeted_objective,
+            "reference_objective": g.reference_objective,
+            "reference_ms": g.reference_ms,
+            "portfolio_objective": g.portfolio_objective,
+            "portfolio_ms": g.portfolio_ms,
+            "portfolio_proven": g.portfolio_proven,
+            "cache_hits": g.cache_hits,
+            "cache_misses": g.cache_misses,
+            "retention": s.retention(),
+        },
     })
 }
 
@@ -319,14 +365,16 @@ pub fn scenario_matrix_to_json(m: &ScenarioMatrix) -> Value {
 mod tests {
     use super::*;
     use palb_cluster::presets;
-    use palb_core::{run, BalancedPolicy};
+    use palb_core::{run_with, BalancedPolicy, RunOptions};
     use palb_workload::synthetic::constant_trace;
 
     #[test]
     fn json_round_trips_through_serde() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 2);
-        let r = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         let v = run_to_json(&sys, &r);
         // Parseable and structurally sound.
         let text = serde_json::to_string_pretty(&v).unwrap();
@@ -347,7 +395,14 @@ mod tests {
     fn resilient_slots_carry_solver_telemetry() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-        let r = run(&mut palb_core::ResilientPolicy::default(), &sys, &trace, 0).unwrap();
+        let r = run_with(
+            &mut palb_core::ResilientPolicy::default(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         let h = r.slots[0]
             .health
             .as_ref()
@@ -428,7 +483,9 @@ mod tests {
     fn comparison_holds_two_runs() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-        let r = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         let v = comparison_to_json(&sys, &r, &r);
         assert_eq!(v["runs"].as_array().unwrap().len(), 2);
     }

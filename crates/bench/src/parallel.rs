@@ -143,7 +143,7 @@ where
 mod tests {
     use super::*;
     use palb_cluster::presets;
-    use palb_core::{run, run_partial, BalancedPolicy, ChaosPolicy, OptimizedPolicy};
+    use palb_core::{run_with, BalancedPolicy, ChaosPolicy, OptimizedPolicy, RunOptions};
     use palb_workload::fault::SolverFaultSchedule;
     use palb_workload::synthetic::constant_trace;
 
@@ -151,7 +151,14 @@ mod tests {
     fn parallel_matches_sequential() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 4);
-        let seq = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
+        let seq = run_with(
+            &mut OptimizedPolicy::exact(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         let par = run_parallel(OptimizedPolicy::exact, &sys, &trace, 0).unwrap();
         assert_eq!(seq.slots.len(), par.slots.len());
         for (a, b) in seq.slots.iter().zip(&par.slots) {
@@ -168,7 +175,9 @@ mod tests {
     fn parallel_balanced_matches_too() {
         let sys = presets::section_vi();
         let trace = crate::configs::section_vi_trace();
-        let seq = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let seq = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         let par = run_parallel(|| BalancedPolicy, &sys, &trace, 0).unwrap();
         for (a, b) in seq.slots.iter().zip(&par.slots) {
             assert_eq!(a.net_profit, b.net_profit);
@@ -213,7 +222,9 @@ mod tests {
         raw[1][0][0] = f64::NAN;
         raw[2][2][1] = -5.0;
         let corrupted = Trace::new_unchecked(raw);
-        let seq = run(&mut BalancedPolicy, &sys, &corrupted, 0).unwrap();
+        let seq = run_with(&mut BalancedPolicy, &sys, &corrupted, &RunOptions::at(0))
+            .unwrap()
+            .result;
         let par = run_parallel(|| BalancedPolicy, &sys, &corrupted, 0).unwrap();
         assert_outcomes_identical(&seq, &par);
         let h = par.slots[1].health.as_ref().unwrap();
@@ -228,7 +239,7 @@ mod tests {
         let make = || ChaosPolicy::new(BalancedPolicy, schedule.clone());
         let par = run_parallel_partial(make, &sys, &trace, 0);
         let mut seq_chaos = ChaosPolicy::new(BalancedPolicy, schedule.clone());
-        let seq = run_partial(&mut seq_chaos, &sys, &trace, 0).unwrap();
+        let seq = run_with(&mut seq_chaos, &sys, &trace, &RunOptions::best_effort(0)).unwrap();
         assert_eq!(par.failures.len(), seq.failures.len());
         assert!(!par.is_complete());
         let par_failed: Vec<usize> = par.failures.iter().map(|f| f.index).collect();

@@ -39,8 +39,9 @@ use palb_cluster::{presets, System};
 use palb_core::obs::{Recorder, Registry};
 use palb_core::report::summary_table;
 use palb_core::{
-    lp_text, run, run_with, BalancedPolicy, BbOptions, Dims, LevelAssignment, OptimizedPolicy,
+    lp_text, parse_solver_kind, run_with, BalancedPolicy, Dims, LevelAssignment, OptimizedPolicy,
     Policy, QuantileSlaPolicy, ResilientOptions, ResilientPolicy, RunOptions, RunResult,
+    SolverConfig, SolverKind,
 };
 use palb_lp::EngineKind;
 use palb_workload::burst::{self, BurstConfig};
@@ -99,6 +100,7 @@ pub fn usage() -> String {
      \x20       [--front-ends N] [--classes N] [--seed S]       print a trace as JSON\n\
      \x20 run --system FILE --trace FILE\n\
      \x20     [--policy optimized|balanced|resilient|quantile=P]\n\
+     \x20     [--solver exact|anytime|portfolio|uniform] [--budget-ms N]\n\
      \x20     [--start N] [--solver-threads N] [--json]\n\
      \x20     [--lp-engine auto|dense|sparse]\n\
      \x20     [--metrics FILE] [--metrics-format prom|jsonl]     run and summarize\n\
@@ -209,7 +211,7 @@ pub fn make_policy(spec: &str) -> Result<Box<dyn Policy>, String> {
 /// Builds the policy named on the command line, with `threads` worker
 /// threads for the exact branch-and-bound solver (`--solver-threads`).
 /// Thread count changes wall-clock only, never results outside the
-/// solver's documented near-tie tolerance (see `BbOptions::threads`);
+/// solver's documented near-tie tolerance (see `SolverConfig::threads`);
 /// policies that do not use the exact solver ignore it.
 pub fn make_policy_with(spec: &str, threads: usize) -> Result<Box<dyn Policy>, String> {
     make_policy_opts(spec, threads, EngineKind::Auto)
@@ -237,28 +239,87 @@ pub fn make_policy_opts(
     threads: usize,
     engine: EngineKind,
 ) -> Result<Box<dyn Policy>, String> {
+    make_policy_solver(spec, "exact", threads, None, engine)
+}
+
+/// Resolves the `--solver` flag into a [`SolverConfig`], or `None` for
+/// the `uniform` level heuristic (which has no solver configuration).
+/// `budget_ms` (from `--budget-ms`) caps the wall clock of any kind;
+/// for `exact` it turns the search into an anytime one — the incumbent
+/// at the deadline comes back flagged not proven optimal.
+pub fn parse_solver_config(
+    solver: &str,
+    threads: usize,
+    budget_ms: Option<u64>,
+    engine: EngineKind,
+) -> Result<Option<SolverConfig>, String> {
+    if solver == "uniform" {
+        return Ok(None);
+    }
+    let kind = parse_solver_kind(solver).ok_or_else(|| {
+        format!("--solver must be `exact`, `anytime`, `portfolio`, or `uniform`, got `{solver}`")
+    })?;
+    let mut cfg = match kind {
+        SolverKind::Exact => SolverConfig::exact(),
+        SolverKind::Anytime => SolverConfig::anytime(),
+        SolverKind::Portfolio => SolverConfig::portfolio(),
+    }
+    .threads(threads);
+    if let Some(ms) = budget_ms {
+        cfg.budget.wall_clock_ms = Some(ms);
+    }
+    cfg.lp.engine = engine;
+    Ok(Some(cfg))
+}
+
+/// The full policy builder behind `palb run`: policy spec plus the
+/// solver-selection flags (`--solver`, `--solver-threads`,
+/// `--budget-ms`, `--lp-engine`). The solver choice applies to the
+/// policies that run the multilevel solver (`optimized`, `resilient`);
+/// `balanced` never solves, and `quantile=P` pins the exact solver its
+/// admission contract is stated for — selecting another solver for
+/// those is an error rather than a silent ignore.
+pub fn make_policy_solver(
+    spec: &str,
+    solver: &str,
+    threads: usize,
+    budget_ms: Option<u64>,
+    engine: EngineKind,
+) -> Result<Box<dyn Policy>, String> {
     if threads == 0 {
         return Err("--solver-threads must be at least 1".to_string());
     }
+    let cfg = parse_solver_config(solver, threads, budget_ms, engine)?;
     if spec == "optimized" {
-        return Ok(Box::new(
-            OptimizedPolicy::exact_threads(threads).with_lp_engine(engine),
-        ));
+        return Ok(Box::new(match cfg {
+            Some(cfg) => OptimizedPolicy::with_config(cfg),
+            None => OptimizedPolicy::uniform(),
+        }));
+    }
+    if !(solver == "exact" && budget_ms.is_none()) {
+        if spec == "balanced" {
+            return Err("--solver/--budget-ms do not apply to the balanced policy".to_string());
+        }
+        if spec.starts_with("quantile=") {
+            return Err(
+                "--solver/--budget-ms do not apply to quantile=P (it pins the exact solver)"
+                    .to_string(),
+            );
+        }
     }
     if spec == "balanced" {
         return Ok(Box::new(BalancedPolicy));
     }
     if spec == "resilient" {
+        let Some(cfg) = cfg else {
+            return Err("--solver uniform does not apply to the resilient ladder".to_string());
+        };
         let mut opts = ResilientOptions {
-            bb: BbOptions {
-                threads,
-                ..BbOptions::default()
-            },
+            solver: cfg,
             ..ResilientOptions::default()
         };
-        // Both solver tiers honour the override; the Bland-retry tier
-        // keeps its pivot-rule settings.
-        opts.bb.lp.engine = engine;
+        // The Bland-retry tier keeps its pivot-rule settings but honours
+        // the engine override.
         opts.retry_lp.engine = engine;
         return Ok(Box::new(ResilientPolicy::new(opts)));
     }
@@ -322,7 +383,19 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
         Some(spec) => parse_engine(spec)?,
         None => EngineKind::Auto,
     };
-    let mut policy = make_policy_opts(policy_spec, threads, engine)?;
+    let solver = cli
+        .options
+        .get("solver")
+        .map(String::as_str)
+        .unwrap_or("exact");
+    let budget_ms = match cli.options.get("budget-ms") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--budget-ms: bad integer `{v}`"))?,
+        ),
+        None => None,
+    };
+    let mut policy = make_policy_solver(policy_spec, solver, threads, budget_ms, engine)?;
 
     let metrics_path = cli.options.get("metrics").filter(|p| !p.is_empty());
     let metrics_format = cli
@@ -371,8 +444,9 @@ fn cmd_run(cli: &Cli) -> Result<String, String> {
             ));
             Ok(out)
         } else {
-            let baseline =
-                run(&mut BalancedPolicy, &system, &trace, start).map_err(|e| e.to_string())?;
+            let baseline = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(start))
+                .map(|p| p.result)
+                .map_err(|e| e.to_string())?;
             Ok(summary_table(&result, &baseline))
         }
     }
@@ -676,6 +750,52 @@ mod tests {
         );
         assert!(make_policy("quantile=1.5").is_err());
         assert!(make_policy("greedy").is_err());
+    }
+
+    #[test]
+    fn solver_flag_parses() {
+        for (name, kind) in [
+            ("exact", SolverKind::Exact),
+            ("anytime", SolverKind::Anytime),
+            ("portfolio", SolverKind::Portfolio),
+        ] {
+            let cfg = parse_solver_config(name, 2, Some(250), EngineKind::Sparse)
+                .unwrap()
+                .unwrap();
+            assert_eq!(cfg.kind, kind, "{name}");
+            assert_eq!(cfg.threads, 2, "{name}");
+            assert_eq!(cfg.budget.wall_clock_ms, Some(250), "{name}");
+            assert!(matches!(cfg.lp.engine, EngineKind::Sparse), "{name}");
+        }
+        assert!(parse_solver_config("uniform", 1, None, EngineKind::Auto)
+            .unwrap()
+            .is_none());
+        let err = parse_solver_config("cplex", 1, None, EngineKind::Auto).unwrap_err();
+        assert!(err.contains("--solver"), "{err}");
+    }
+
+    #[test]
+    fn solver_flag_builds_policies_or_rejects_them() {
+        for solver in ["exact", "anytime", "portfolio", "uniform"] {
+            let p = make_policy_solver("optimized", solver, 1, Some(100), EngineKind::Auto);
+            assert_eq!(p.unwrap().name(), "Optimized", "{solver}");
+        }
+        for solver in ["exact", "anytime", "portfolio"] {
+            let p = make_policy_solver("resilient", solver, 1, None, EngineKind::Auto);
+            assert_eq!(p.unwrap().name(), "Resilient", "{solver}");
+        }
+        // The uniform heuristic has no solver ladder; balanced and
+        // quantile pin their own solver, so a non-default selection is
+        // an error, not a silent ignore.
+        assert!(make_policy_solver("resilient", "uniform", 1, None, EngineKind::Auto).is_err());
+        assert!(make_policy_solver("balanced", "anytime", 1, None, EngineKind::Auto).is_err());
+        assert!(make_policy_solver("balanced", "exact", 1, Some(9), EngineKind::Auto).is_err());
+        assert!(
+            make_policy_solver("quantile=0.9", "portfolio", 1, None, EngineKind::Auto).is_err()
+        );
+        // ... while the defaults keep working for every policy.
+        assert!(make_policy_solver("balanced", "exact", 1, None, EngineKind::Auto).is_ok());
+        assert!(make_policy_solver("quantile=0.9", "exact", 1, None, EngineKind::Auto).is_ok());
     }
 
     #[test]

@@ -303,7 +303,7 @@ pub fn solve_bigm(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::multilevel::{solve_exhaustive, BbOptions};
+    use crate::multilevel::solve_exhaustive;
     use palb_cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
     use palb_tuf::StepTuf;
 
@@ -392,6 +392,6 @@ mod tests {
         let bigm = solve_bigm(&sys, &rates, 13, &opts).unwrap();
         assert!(bigm.polished.objective.is_finite());
         // Sanity: not worse than the loosest-level LP by construction.
-        let _ = BbOptions::default();
+        let _ = crate::solver::SolverConfig::exact();
     }
 }

@@ -8,8 +8,10 @@
 //! sanitized rates, the schedule slot, and the observability recorder.
 //! Health telemetry flows back through the same context
 //! ([`SlotContext::record_health`]) instead of a separate post-hoc pull
-//! method. The single entry point is [`run_with`] with [`RunOptions`];
-//! [`run`] and [`run_partial`] are thin wrappers over it.
+//! method. The single entry point is [`run_with`] with [`RunOptions`]; it
+//! is generic over [`SystemSource`], so constant-system runs (pass the
+//! [`System`] itself) and per-slot patched runs (pass a
+//! `crate::scenario::SlotSystems`) share one signature.
 
 use std::borrow::Cow;
 use std::cell::RefCell;
@@ -24,10 +26,11 @@ use crate::error::CoreError;
 use crate::evaluate::{evaluate, SlotOutcome};
 use crate::formulate::{solve_fixed_levels_with, LevelAssignment};
 use crate::model::{Dims, Dispatch};
-use crate::multilevel::{solve_bb, solve_uniform_levels, BbOptions, SolverStats};
+use crate::multilevel::{solve_uniform_levels, SolverStats};
 use crate::obs::{self, names, Recorder};
 use crate::resilient::SlotHealth;
 use crate::sanitize::{events_per_slot, sanitize_rates};
+use crate::solver::{solve_with, SolverBudget, SolverConfig};
 
 /// Everything a policy sees when deciding one slot: the system, the
 /// (sanitized) arrival rates, the schedule slot index, and the
@@ -99,72 +102,93 @@ impl Policy for BalancedPolicy {
 
 /// Which optimizer backs [`OptimizedPolicy`] for multi-level TUFs.
 #[derive(Debug, Clone)]
-pub enum Solver {
-    /// Exact branch-and-bound over per-(class, server) levels.
-    Exact(BbOptions),
+pub enum SolverSelection {
+    /// A configured [`crate::solver`] run — exact branch-and-bound,
+    /// anytime population search, or the portfolio race, per
+    /// [`SolverConfig::kind`].
+    Configured(SolverConfig),
     /// The uniform-level heuristic (`nᴷᴸ` LPs, polynomial in servers).
     UniformLevels,
 }
 
-impl Default for Solver {
+impl Default for SolverSelection {
     fn default() -> Self {
-        Solver::Exact(BbOptions::default())
+        SolverSelection::Configured(SolverConfig::exact())
     }
 }
 
 /// The paper's **Optimized** approach: the constrained-optimization
 /// dispatcher of §IV. One-level TUF systems collapse to a single LP
-/// (§IV-1); multi-level systems use the configured [`Solver`].
+/// (§IV-1); multi-level systems use the configured [`SolverSelection`].
 #[derive(Debug, Default, Clone)]
 pub struct OptimizedPolicy {
     /// Multi-level solver choice.
-    pub solver: Solver,
+    pub solver: SolverSelection,
 }
 
 impl OptimizedPolicy {
     /// Exact solver with default options.
     pub fn exact() -> Self {
-        OptimizedPolicy {
-            solver: Solver::Exact(BbOptions::default()),
-        }
+        Self::with_config(SolverConfig::exact())
     }
 
     /// Exact solver searching with `threads` worker threads (see
-    /// [`BbOptions::threads`]; the result is independent of the count).
+    /// [`SolverConfig::threads`]; the result is independent of the count).
     pub fn exact_threads(threads: usize) -> Self {
-        OptimizedPolicy {
-            solver: Solver::Exact(BbOptions {
-                threads: threads.max(1),
-                ..BbOptions::default()
-            }),
-        }
+        Self::with_config(SolverConfig::exact().threads(threads))
+    }
+
+    /// Anytime population search with default budget/quota.
+    pub fn anytime() -> Self {
+        Self::with_config(SolverConfig::anytime())
+    }
+
+    /// Portfolio race (exact vs. anytime) with default budget.
+    pub fn portfolio() -> Self {
+        Self::with_config(SolverConfig::portfolio())
     }
 
     /// Uniform-level heuristic.
     pub fn uniform() -> Self {
         OptimizedPolicy {
-            solver: Solver::UniformLevels,
+            solver: SolverSelection::UniformLevels,
         }
     }
 
-    /// Forces every LP this policy solves onto the given engine (the
-    /// default, [`EngineKind::Auto`], picks by problem size). Applies to
-    /// the exact solver's branch-and-bound LPs and to the one-level
-    /// direct-LP path; the uniform-level heuristic keeps `Auto`.
-    pub fn with_lp_engine(mut self, engine: EngineKind) -> Self {
-        if let Solver::Exact(opts) = &mut self.solver {
-            opts.lp.engine = engine;
+    /// A policy running the given solver configuration verbatim.
+    pub fn with_config(cfg: SolverConfig) -> Self {
+        OptimizedPolicy {
+            solver: SolverSelection::Configured(cfg),
+        }
+    }
+
+    /// Replaces the configured solver's budget (no-op for the
+    /// uniform-level heuristic, which has no budget knobs).
+    pub fn with_budget(mut self, budget: SolverBudget) -> Self {
+        if let SolverSelection::Configured(cfg) = &mut self.solver {
+            cfg.budget = budget;
         }
         self
     }
 
-    /// LP options for the one-level direct path: the exact solver's `lp`
-    /// budget (so engine/tolerance choices apply uniformly), defaults for
-    /// the heuristic.
+    /// Forces every LP this policy solves onto the given engine (the
+    /// default, [`EngineKind::Auto`], picks by problem size). Applies to
+    /// the configured solver's LPs and to the one-level direct-LP path;
+    /// the uniform-level heuristic keeps `Auto`.
+    pub fn with_lp_engine(mut self, engine: EngineKind) -> Self {
+        if let SolverSelection::Configured(cfg) = &mut self.solver {
+            cfg.lp.engine = engine;
+        }
+        self
+    }
+
+    /// LP options for the one-level direct path: the configured solver's
+    /// `lp` budget (so engine/tolerance choices apply uniformly),
+    /// defaults for the heuristic.
     fn one_level_lp(&self) -> SolveOptions {
         match &self.solver {
-            Solver::Exact(opts) => opts.lp.clone(),
-            Solver::UniformLevels => SolveOptions::default(),
+            SolverSelection::Configured(cfg) => cfg.lp.clone(),
+            SolverSelection::UniformLevels => SolveOptions::default(),
         }
     }
 }
@@ -197,18 +221,15 @@ impl Policy for OptimizedPolicy {
             return Ok(sol.dispatch);
         }
         match &self.solver {
-            Solver::Exact(opts) => {
-                // The branch-and-bound records its own stats through the
-                // recorder carried in its options.
-                let opts = BbOptions {
-                    obs: ctx.obs.clone(),
-                    ..opts.clone()
-                };
-                Ok(solve_bb(ctx.system, ctx.rates, ctx.slot, &opts)?
+            SolverSelection::Configured(cfg) => {
+                // The solver records its own stats through the recorder
+                // carried in its config.
+                let cfg = cfg.clone().obs(ctx.obs.clone());
+                Ok(solve_with(ctx.system, ctx.rates, ctx.slot, &cfg)?
                     .solve
                     .dispatch)
             }
-            Solver::UniformLevels => {
+            SolverSelection::UniformLevels => {
                 let r = solve_uniform_levels(ctx.system, ctx.rates, ctx.slot)?;
                 obs::record_solver_stats(ctx.obs, &r.stats);
                 Ok(r.solve.dispatch)
@@ -408,27 +429,20 @@ impl SystemSource for System {
 /// evaluating slot `t` of the trace at schedule slot
 /// `opts.start_slot + t`.
 ///
+/// Generic over [`SystemSource`]: pass the [`System`] itself for a
+/// constant-system run, or a per-slot source such as
+/// [`crate::scenario::SlotSystems`] so scenario perturbations of system
+/// parameters (DC outages, transfer-cost spikes) reach each decision and
+/// evaluation through `source.system_for(slot)`.
+///
 /// Structural mismatches between trace and system always fail fast — they
 /// would fail every slot identically. With
 /// [`RunOptions::collect_failures`] a failed slot is recorded (not
 /// evaluated) and the loop moves on, so one bad slot cannot void a whole
 /// day's results; otherwise the first failure aborts.
-pub fn run_with(
+pub fn run_with<S: SystemSource + ?Sized>(
     policy: &mut dyn Policy,
-    system: &System,
-    trace: &Trace,
-    opts: &RunOptions,
-) -> Result<PartialRun, CoreError> {
-    run_over(policy, system, trace, opts)
-}
-
-/// Like [`run_with`], but the system may differ per slot: each decision
-/// and evaluation uses `source.system_for(slot)`. This is how scenario
-/// perturbations of system parameters (DC outages, transfer-cost spikes)
-/// reach the control loop.
-pub fn run_over(
-    policy: &mut dyn Policy,
-    source: &dyn SystemSource,
+    source: &S,
     trace: &Trace,
     opts: &RunOptions,
 ) -> Result<PartialRun, CoreError> {
@@ -489,28 +503,6 @@ pub fn run_over(
     })
 }
 
-/// Strict wrapper over [`run_with`]: default options, abort on the first
-/// decision failure.
-pub fn run(
-    policy: &mut dyn Policy,
-    system: &System,
-    trace: &Trace,
-    start_slot: usize,
-) -> Result<RunResult, CoreError> {
-    run_with(policy, system, trace, &RunOptions::at(start_slot)).map(|p| p.result)
-}
-
-/// Best-effort wrapper over [`run_with`]: failed slots are collected
-/// instead of aborting the run.
-pub fn run_partial(
-    policy: &mut dyn Policy,
-    system: &System,
-    trace: &Trace,
-    start_slot: usize,
-) -> Result<PartialRun, CoreError> {
-    run_with(policy, system, trace, &RunOptions::best_effort(start_slot))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,8 +513,17 @@ mod tests {
     fn optimized_beats_balanced_on_section_v_light() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
-        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let opt = run_with(
+            &mut OptimizedPolicy::exact(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
+        let bal = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert!(
             opt.total_net_profit() > bal.total_net_profit(),
             "optimized {} vs balanced {}",
@@ -535,8 +536,17 @@ mod tests {
     fn optimized_beats_balanced_on_section_v_heavy() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_high_arrivals(), 1);
-        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
-        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let opt = run_with(
+            &mut OptimizedPolicy::exact(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
+        let bal = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert!(opt.total_net_profit() > bal.total_net_profit());
         // The paper reports ~16% more requests processed under heavy load.
         assert!(
@@ -551,7 +561,9 @@ mod tests {
     fn run_length_and_cumulative_profit() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 3);
-        let r = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert_eq!(r.slots.len(), 3);
         assert_eq!(r.decisions.len(), 3);
         let cum = r.cumulative_net_profit();
@@ -564,7 +576,7 @@ mod tests {
     fn mismatched_trace_is_rejected() {
         let sys = presets::section_v();
         let trace = constant_trace(vec![vec![1.0, 1.0]], 1); // 1 fe, 2 classes
-        let err = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap_err();
+        let err = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0)).unwrap_err();
         assert!(matches!(err, CoreError::Model(_)));
     }
 
@@ -576,8 +588,12 @@ mod tests {
         let mut rates = vec![vec![0.0; 3]; 4];
         rates[0][0] = 1_000.0;
         let trace = constant_trace(rates, 1);
-        let night = run(&mut BalancedPolicy, &sys, &trace, 3).unwrap();
-        let peak = run(&mut BalancedPolicy, &sys, &trace, 15).unwrap();
+        let night = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(3))
+            .unwrap()
+            .result;
+        let peak = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(15))
+            .unwrap()
+            .result;
         assert_ne!(night.decisions[0], peak.decisions[0]);
     }
 
@@ -591,8 +607,12 @@ mod tests {
             raw[0][0] = f64::NAN; // slot 1, fe 0, class 0 corrupted
             raw
         }]);
-        let ok = run(&mut BalancedPolicy, &sys, &clean, 0).unwrap();
-        let repaired = run(&mut BalancedPolicy, &sys, &corrupted, 0).unwrap();
+        let ok = run_with(&mut BalancedPolicy, &sys, &clean, &RunOptions::at(0))
+            .unwrap()
+            .result;
+        let repaired = run_with(&mut BalancedPolicy, &sys, &corrupted, &RunOptions::at(0))
+            .unwrap()
+            .result;
         // Slot 1's NaN imputes the slot-0 value, so the runs coincide.
         assert_eq!(ok.decisions, repaired.decisions);
         assert!(ok.slots[1].health.is_none());
@@ -611,7 +631,7 @@ mod tests {
         let trace = constant_trace(presets::section_v_low_arrivals(), 8);
         let schedule = SolverFaultSchedule::new(0.5, 21);
         let mut chaos = ChaosPolicy::new(BalancedPolicy, schedule.clone());
-        let p = run_partial(&mut chaos, &sys, &trace, 0).unwrap();
+        let p = run_with(&mut chaos, &sys, &trace, &RunOptions::best_effort(0)).unwrap();
         let failed: usize = (0..8).filter(|&t| schedule.fails(t, 0)).count();
         assert!(failed > 0, "seed should fail at least one of 8 slots");
         assert_eq!(p.failures.len(), failed);
@@ -623,7 +643,7 @@ mod tests {
         }
         // The strict driver aborts on the first such failure.
         let mut chaos2 = ChaosPolicy::new(BalancedPolicy, schedule);
-        assert!(run(&mut chaos2, &sys, &trace, 0).is_err());
+        assert!(run_with(&mut chaos2, &sys, &trace, &RunOptions::at(0)).is_err());
     }
 
     #[test]
@@ -631,7 +651,14 @@ mod tests {
         use crate::model::check_feasible;
         let sys = presets::section_vii();
         let trace = constant_trace(vec![vec![30_000.0, 25_000.0]], 1);
-        let r = run(&mut OptimizedPolicy::exact(), &sys, &trace, 13).unwrap();
+        let r = run_with(
+            &mut OptimizedPolicy::exact(),
+            &sys,
+            &trace,
+            &RunOptions::at(13),
+        )
+        .unwrap()
+        .result;
         check_feasible(&sys, trace.slot(0), &r.decisions[0], false, 1e-6).unwrap();
         assert!(r.total_net_profit() > 0.0);
     }
@@ -650,7 +677,9 @@ mod tests {
             },
         )
         .unwrap();
-        let clean = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let clean = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert_eq!(raw.result.decisions, clean.decisions);
         assert!(raw.result.slots.iter().all(|s| s.health.is_none()));
     }

@@ -18,6 +18,12 @@
 //! * [`multilevel`] — exact branch-and-bound over TUF level choices (the
 //!   discrete problem the paper ships to CPLEX), plus uniform-level and
 //!   exhaustive variants,
+//! * [`solver`] — the unified solver entry point: [`SolverConfig`]
+//!   builder, [`SolverKind`] selection (exact / anytime / portfolio) and
+//!   [`SolverBudget`] (nodes / wall-clock / no-improvement quota),
+//! * [`portfolio`] — the anytime population search and the
+//!   exact-vs-anytime portfolio race behind [`SolverKind::Anytime`] and
+//!   [`SolverKind::Portfolio`],
 //! * [`bigm`] — the paper-literal continuous big-M path solved with our
 //!   augmented-Lagrangian substrate and polished back to exact levels,
 //! * [`balanced`] — the paper's static price-greedy baseline (§V-A),
@@ -40,13 +46,18 @@
 //!
 //! ```
 //! use palb_cluster::presets;
-//! use palb_core::{run, BalancedPolicy, OptimizedPolicy};
+//! use palb_core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 //! use palb_workload::synthetic::constant_trace;
 //!
 //! let system = presets::section_v();
 //! let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-//! let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
-//! let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+//! let opts = RunOptions::default();
+//! let opt = run_with(&mut OptimizedPolicy::exact(), &system, &trace, &opts)
+//!     .unwrap()
+//!     .result;
+//! let bal = run_with(&mut BalancedPolicy, &system, &trace, &opts)
+//!     .unwrap()
+//!     .result;
 //! assert!(opt.total_net_profit() > bal.total_net_profit());
 //! ```
 
@@ -62,18 +73,20 @@ pub mod formulate;
 pub mod model;
 pub mod multilevel;
 pub mod obs;
+pub mod portfolio;
 pub mod quantile;
 pub mod report;
 pub mod resilient;
 pub mod sanitize;
 pub mod scenario;
+pub mod solver;
 pub mod sync;
 
 pub use balanced::balanced_dispatch;
 pub use bigm::{solve_bigm, BigMOptions, BigMResult};
 pub use driver::{
-    run, run_over, run_partial, run_with, BalancedPolicy, OptimizedPolicy, PartialRun, Policy,
-    RunOptions, RunResult, SlotContext, SlotFailure, Solver, SystemSource,
+    run_with, BalancedPolicy, OptimizedPolicy, PartialRun, Policy, RunOptions, RunResult,
+    SlotContext, SlotFailure, SolverSelection, SystemSource,
 };
 pub use error::CoreError;
 pub use evaluate::{evaluate, SlotOutcome};
@@ -82,9 +95,11 @@ pub use formulate::{
     LevelSolve,
 };
 pub use model::{check_feasible, Dims, Dispatch};
+#[allow(deprecated)]
+pub use multilevel::BbOptions;
 pub use multilevel::{
-    solve_bb, solve_exhaustive, solve_uniform_levels, solve_uniform_levels_with, BbOptions,
-    MultilevelResult, SolverStats,
+    solve_bb, solve_exhaustive, solve_uniform_levels, solve_uniform_levels_with, MultilevelResult,
+    SolverStats,
 };
 pub use quantile::{quantile_margin_factor, quantile_system, QuantileSlaPolicy};
 pub use resilient::{
@@ -92,3 +107,6 @@ pub use resilient::{
 };
 pub use sanitize::{events_per_slot, sanitize_rates, RateFaultKind, SanitizationEvent};
 pub use scenario::{grid_ramp_surcharge, SlotSystems};
+pub use solver::{
+    parse_solver_kind, solve_with, ConfiguredSolver, Solver, SolverBudget, SolverConfig, SolverKind,
+};

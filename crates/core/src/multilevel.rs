@@ -18,6 +18,8 @@
 //! while the symmetry-reduced / uniform solvers stay polynomial (our
 //! ablation).
 
+use std::time::Instant;
+
 use palb_cluster::{ClassId, DcId, System};
 use palb_lp::SolveOptions;
 
@@ -27,71 +29,39 @@ use crate::formulate::{
     WorkspacePool,
 };
 use crate::model::Dims;
-use crate::obs::{record_solver_stats, spans, Recorder};
+use crate::obs::{record_solver_stats, spans};
+use crate::solver::SolverConfig;
 use crate::sync::{BudgetCounter, Flag, IncumbentCell, WorkQueue};
 
-/// Options for [`solve_bb`].
-#[derive(Debug, Clone)]
-pub struct BbOptions {
-    /// Hard cap on explored nodes (safety valve; the result is still the
-    /// best incumbent, flagged not proven optimal).
-    pub max_nodes: usize,
-    /// Exploit server homogeneity: only explore level assignments whose
-    /// per-server level tuples are lexicographically non-decreasing within
-    /// each data center. Lossless and usually exponentially cheaper.
-    pub symmetry_breaking: bool,
-    /// Relative optimality gap below which a node is pruned.
-    pub gap_tol: f64,
-    /// LP solver options used for every node bound (and for the incumbent
-    /// seeds), so callers can impose per-solve iteration budgets.
-    pub lp: SolveOptions,
-    /// Solve interior node bounds by patching a persistent LP workspace and
-    /// warm-starting the simplex from the parent's basis (depth-first order
-    /// makes consecutive solves differ by one VM's level). Leaves and
-    /// incumbent seeds always go through the cold full-solver path, so the
-    /// returned incumbent is bit-for-bit independent of this flag; only
-    /// wall-clock changes.
-    pub incremental: bool,
-    /// Worker threads for the in-slot parallel search. `1` (the default)
-    /// runs the exact sequential algorithm. `n ≥ 2` expands the tree to a
-    /// lexicographic frontier of at least `4·n` subtree roots and solves
-    /// the subtrees on `n` scoped worker threads, each owning its own
-    /// warm-start workspace; the incumbent objective is shared through an
-    /// atomic.
-    ///
-    /// Determinism contract (see DESIGN.md, "Solver architecture"): the
-    /// returned `(objective, assignment, proven_optimal)` is bit-for-bit
-    /// identical at every thread count — including `1`, the unchanged
-    /// sequential algorithm — whenever the node budget does not bind and
-    /// no two candidate assignments score within `gap_tol` of each other
-    /// in the decisive window (the generic case; every shipped reference
-    /// config verifies it bitwise). On degenerate near-tie plateaus the
-    /// gap prune makes the surviving leaf a function of search history,
-    /// so results may differ across thread counts — but only within the
-    /// `gap_tol` band, and the fallback/retry behavior of callers like
-    /// the resilient ladder is unaffected. Node counts and warm/cold
-    /// telemetry may vary with scheduling either way.
-    pub threads: usize,
-    /// Observability recorder the solver reports through: per-node
-    /// `bb_node`/`lp_solve` spans plus a [`SolverStats`] self-record when
-    /// the solve finishes. Defaults to the no-op recorder, which costs one
-    /// branch per would-be record and leaves the hot path untouched.
-    /// Recording never participates in the determinism contract: counters
-    /// are commutative adds and timings are wall-clock.
-    pub obs: Recorder,
+/// Historical name of [`SolverConfig`], kept for one release so external
+/// callers keep compiling. The determinism contract, budget semantics and
+/// exact-search behavior all live on [`SolverConfig`] now; prefer the
+/// `SolverConfig::exact().threads(..).budget(..)` builders.
+#[deprecated(since = "0.1.0", note = "use palb_core::SolverConfig")]
+pub type BbOptions = SolverConfig;
+
+/// External controls a racing coordinator threads into the exact search:
+/// a shared incumbent (published to and strictly pruned against), a stop
+/// flag, and a wall-clock deadline. `SearchCtl::default()` (all `None`)
+/// reproduces the standalone search bit-for-bit.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SearchCtl<'a> {
+    /// Shared race incumbent: leaves are offered into it, and nodes whose
+    /// bound falls strictly below it are pruned (sound: the cell only
+    /// ever holds feasible objectives, so the optimum's ancestors always
+    /// survive).
+    pub shared: Option<&'a IncumbentCell>,
+    /// Raised by the other racer (or the coordinator) to stop this search;
+    /// the solve returns its best incumbent flagged not proven optimal.
+    pub stop: Option<&'a Flag>,
+    /// Wall-clock cutoff, checked once per node.
+    pub deadline: Option<Instant>,
 }
 
-impl Default for BbOptions {
-    fn default() -> Self {
-        BbOptions {
-            max_nodes: 200_000,
-            symmetry_breaking: true,
-            gap_tol: 1e-7,
-            lp: SolveOptions::default(),
-            incremental: true,
-            threads: 1,
-            obs: Recorder::noop(),
-        }
+impl SearchCtl<'_> {
+    /// Whether the search must wind down now (external stop or deadline).
+    pub(crate) fn interrupted(&self) -> bool {
+        self.stop.is_some_and(Flag::is_raised) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -123,6 +93,13 @@ pub struct SolverStats {
     pub ftran_nnz_total: u64,
     /// Sparse-basis refactorizations (eta-file compressions).
     pub refactor_total: u64,
+    /// Anytime evaluation-cache lookups answered from the cache (0 for
+    /// the exact search, which has no cache).
+    pub cache_hits: u64,
+    /// Evaluation-cache lookups that missed and paid an LP solve.
+    pub cache_misses: u64,
+    /// Evaluation-cache entries evicted by the capacity bound.
+    pub cache_evictions: u64,
 }
 
 impl SolverStats {
@@ -141,6 +118,9 @@ impl SolverStats {
         self.ftran_total += other.ftran_total;
         self.ftran_nnz_total += other.ftran_nnz_total;
         self.refactor_total += other.refactor_total;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
     }
 
     /// Merges an arbitrary collection of per-worker stats into a fresh
@@ -253,12 +233,14 @@ struct Node {
 /// `opts.threads ≥ 2` parallelizes the search inside this single slot
 /// without changing the returned incumbent outside the `gap_tol`
 /// near-tie band (see the determinism contract on
-/// [`BbOptions::threads`]).
+/// [`SolverConfig::threads`]). The `kind` field is ignored: this entry
+/// point always runs the exact search (the kind-dispatching entry is
+/// [`crate::solver::solve_with`]).
 pub fn solve_bb(
     system: &System,
     rates: &[Vec<f64>],
     slot: usize,
-    opts: &BbOptions,
+    opts: &SolverConfig,
 ) -> Result<MultilevelResult, CoreError> {
     let mut pool = WorkspacePool::default();
     solve_bb_in(&mut pool, system, rates, slot, opts)
@@ -273,14 +255,36 @@ pub(crate) fn solve_bb_in(
     system: &System,
     rates: &[Vec<f64>],
     slot: usize,
-    opts: &BbOptions,
+    opts: &SolverConfig,
+) -> Result<MultilevelResult, CoreError> {
+    let ctl = SearchCtl {
+        deadline: opts
+            .budget
+            .wall_clock_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
+        ..SearchCtl::default()
+    };
+    solve_bb_ctl(pool, system, rates, slot, opts, ctl)
+}
+
+/// [`solve_bb_in`] under external race controls — the portfolio threads
+/// its shared incumbent, stop flag and deadline through here. With the
+/// default (all-`None`) controls the search is bit-for-bit the
+/// standalone solver.
+pub(crate) fn solve_bb_ctl(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    opts: &SolverConfig,
+    ctl: SearchCtl<'_>,
 ) -> Result<MultilevelResult, CoreError> {
     let result = if opts.threads >= 2 {
-        solve_bb_parallel(pool, system, rates, slot, opts)
+        solve_bb_parallel(pool, system, rates, slot, opts, ctl)
     } else {
         let dims = Dims::of(system);
         let mut cache = pool.take_matching(&dims);
-        let result = solve_bb_seq(&mut cache, system, rates, slot, opts);
+        let result = solve_bb_seq(&mut cache, system, rates, slot, opts, ctl);
         if let Some(w) = cache {
             pool.release(w);
         }
@@ -301,7 +305,8 @@ fn solve_bb_seq(
     system: &System,
     rates: &[Vec<f64>],
     slot: usize,
-    opts: &BbOptions,
+    opts: &SolverConfig,
+    ctl: SearchCtl<'_>,
 ) -> Result<MultilevelResult, CoreError> {
     let dims = Dims::of(system);
     let total_steps = dims.classes * dims.total_servers;
@@ -346,9 +351,13 @@ fn solve_bb_seq(
         None
     };
 
+    if let Some(cell) = ctl.shared {
+        cell.offer(best_solve.objective);
+    }
+
     let mut stack = vec![root];
     while let Some(node) = stack.pop() {
-        if nodes >= opts.max_nodes {
+        if nodes >= opts.budget.max_nodes || ctl.interrupted() {
             truncated = true;
             break;
         }
@@ -400,6 +409,15 @@ fn solve_bb_seq(
             Err(CoreError::Infeasible) => continue, // prune
             Err(e) => return Err(e),
         };
+        // Race prune: strictly below the shared incumbent can never
+        // contain the final optimum (the cell only ever holds feasible
+        // objectives, so the optimum's ancestors always survive). Absent
+        // outside a portfolio race.
+        if let Some(cell) = ctl.shared {
+            if bound.objective < cell.get() {
+                continue;
+            }
+        }
         let cutoff = best_solve.objective + opts.gap_tol * (1.0 + best_solve.objective.abs());
         if bound.objective <= cutoff {
             continue; // prune: cannot beat the incumbent
@@ -413,6 +431,9 @@ fn solve_bb_seq(
                     .is_ok());
                 best_solve = bound;
                 best_assignment = assignment_from(&dims, &node.partial);
+                if let Some(cell) = ctl.shared {
+                    cell.offer(best_solve.objective);
+                }
             }
             continue;
         }
@@ -461,7 +482,7 @@ struct SubtreeBest {
 /// **strict** prune (no gap) against the shared best objective `g_best`,
 /// which only removes work that provably cannot contain the optimum.
 ///
-/// Determinism argument (see also [`BbOptions::threads`]): on instances
+/// Determinism argument (see also [`SolverConfig::threads`]): on instances
 /// where no two candidate objective values fall within `gap_tol` of each
 /// other in the decisive window — i.e. the optimum is either isolated by
 /// more than the gap band or already matched by the seed — every
@@ -484,7 +505,8 @@ fn solve_subtree(
     rates: &[Vec<f64>],
     slot: usize,
     dims: &Dims,
-    opts: &BbOptions,
+    opts: &SolverConfig,
+    ctl: SearchCtl<'_>,
     root: Node,
     seed_objective: f64,
     g_best: &IncumbentCell,
@@ -502,7 +524,9 @@ fn solve_subtree(
         // The node budget is shared across every subtree (the sequential
         // semantics of `max_nodes`); the counter may overshoot by at most
         // one in-flight node per worker (the BudgetCounter invariant).
-        if !budget.charge(opts.max_nodes) {
+        // External stop/deadline interruptions surface the same way the
+        // budget does: best incumbent so far, not proven optimal.
+        if !budget.charge(opts.budget.max_nodes) || ctl.interrupted() {
             truncated.raise();
             break;
         }
@@ -616,7 +640,8 @@ fn solve_bb_parallel(
     system: &System,
     rates: &[Vec<f64>],
     slot: usize,
-    opts: &BbOptions,
+    opts: &SolverConfig,
+    ctl: SearchCtl<'_>,
 ) -> Result<MultilevelResult, CoreError> {
     let dims = Dims::of(system);
     let total_steps = dims.classes * dims.total_servers;
@@ -692,7 +717,17 @@ fn solve_bb_parallel(
         worker_ws.resize_with(workers, || None);
     }
 
-    let g_best = IncumbentCell::new(best_solve.objective);
+    // Racing coordinators supply the incumbent cell; standalone solves
+    // own a local one. Either way the cell is seeded with the root
+    // incumbent so the strict global prune is live from the first node.
+    let g_best_local = IncumbentCell::new(best_solve.objective);
+    let g_best: &IncumbentCell = match ctl.shared {
+        Some(cell) => {
+            cell.offer(best_solve.objective);
+            cell
+        }
+        None => &g_best_local,
+    };
     let queue = WorkQueue::new(frontier.len());
     let budget = BudgetCounter::new();
     let truncated = Flag::new();
@@ -707,7 +742,6 @@ fn solve_bb_parallel(
                 .map(|ws| {
                     let dims = &dims;
                     let frontier = &frontier;
-                    let g_best = &g_best;
                     let queue = &queue;
                     let budget = &budget;
                     let truncated = &truncated;
@@ -728,6 +762,7 @@ fn solve_bb_parallel(
                                 slot,
                                 dims,
                                 opts,
+                                ctl,
                                 Node {
                                     partial: frontier[i].clone(),
                                     depth: frontier_depth,
@@ -1050,7 +1085,7 @@ mod tests {
         for offered in [30.0, 90.0, 150.0, 250.0] {
             let rates = vec![vec![offered]];
             let ex = solve_exhaustive(&sys, &rates, 0).unwrap();
-            let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            let bb = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
             assert!(bb.proven_optimal);
             assert!(
                 (bb.solve.objective - ex.solve.objective).abs()
@@ -1087,7 +1122,7 @@ mod tests {
     fn light_load_prefers_top_level_everywhere() {
         let sys = tiny(true);
         let rates = vec![vec![30.0]];
-        let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+        let bb = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
         assert_eq!(bb.assignment.get(ClassId(0), 0), Some(1));
         assert_eq!(bb.assignment.get(ClassId(0), 1), Some(1));
         // All 30 requests at $4.5 minus energy 30 × $0.1 = $132.
@@ -1103,20 +1138,14 @@ mod tests {
                 &sys,
                 &rates,
                 0,
-                &BbOptions {
-                    symmetry_breaking: true,
-                    ..BbOptions::default()
-                },
+                &SolverConfig::exact().symmetry_breaking(true),
             )
             .unwrap();
             let without = solve_bb(
                 &sys,
                 &rates,
                 0,
-                &BbOptions {
-                    symmetry_breaking: false,
-                    ..BbOptions::default()
-                },
+                &SolverConfig::exact().symmetry_breaking(false),
             )
             .unwrap();
             assert!(
@@ -1136,7 +1165,7 @@ mod tests {
     fn bb_solves_section_vii_slot() {
         let sys = presets::section_vii();
         let rates = vec![vec![40_000.0, 35_000.0]];
-        let bb = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        let bb = solve_bb(&sys, &rates, 13, &SolverConfig::exact()).unwrap();
         assert!(bb.proven_optimal, "explored {} nodes", bb.nodes);
         assert!(bb.solve.objective > 0.0);
         // Uniform heuristic can't beat the exact optimum.
@@ -1148,16 +1177,7 @@ mod tests {
     fn node_budget_truncates_gracefully() {
         let sys = presets::section_vii();
         let rates = vec![vec![40_000.0, 35_000.0]];
-        let bb = solve_bb(
-            &sys,
-            &rates,
-            13,
-            &BbOptions {
-                max_nodes: 3,
-                ..BbOptions::default()
-            },
-        )
-        .unwrap();
+        let bb = solve_bb(&sys, &rates, 13, &SolverConfig::exact().max_nodes(3)).unwrap();
         assert!(!bb.proven_optimal);
         // Still returns a valid incumbent.
         assert!(bb.solve.objective.is_finite());
@@ -1186,13 +1206,10 @@ mod tests {
         // incumbent seeds take the cold full path, so the incumbent must be
         // bit-for-bit identical, not merely close.
         let sys = tiny(true);
-        let cold_opts = BbOptions {
-            incremental: false,
-            ..BbOptions::default()
-        };
+        let cold_opts = SolverConfig::exact().incremental(false);
         for offered in [30.0, 90.0, 150.0, 250.0] {
             let rates = vec![vec![offered]];
-            let inc = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            let inc = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
             let cold = solve_bb(&sys, &rates, 0, &cold_opts).unwrap();
             assert_bitwise_equal(&inc, &cold, &format!("offered {offered}"));
             assert_eq!(inc.nodes, cold.nodes, "pruning sequence diverged");
@@ -1203,17 +1220,8 @@ mod tests {
     fn incremental_bb_matches_cold_bitwise_on_section_vii() {
         let sys = presets::section_vii();
         let rates = vec![vec![40_000.0, 35_000.0]];
-        let inc = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
-        let cold = solve_bb(
-            &sys,
-            &rates,
-            13,
-            &BbOptions {
-                incremental: false,
-                ..BbOptions::default()
-            },
-        )
-        .unwrap();
+        let inc = solve_bb(&sys, &rates, 13, &SolverConfig::exact()).unwrap();
+        let cold = solve_bb(&sys, &rates, 13, &SolverConfig::exact().incremental(false)).unwrap();
         assert_bitwise_equal(&inc, &cold, "section vii slot 13");
         // The incremental run actually warm-starts (and mostly sticks).
         assert!(inc.stats.warm_attempts > 0, "no warm attempts recorded");
@@ -1227,7 +1235,7 @@ mod tests {
     fn warm_bounds_mostly_stick_and_save_pivots() {
         let sys = presets::section_vii();
         let rates = vec![vec![40_000.0, 35_000.0]];
-        let inc = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        let inc = solve_bb(&sys, &rates, 13, &SolverConfig::exact()).unwrap();
         assert!(
             inc.stats.warm_hit_rate() > 0.5,
             "warm hit rate {:.2} too low",
@@ -1257,18 +1265,10 @@ mod tests {
         let sys = tiny(true);
         for offered in [30.0, 90.0, 150.0, 250.0] {
             let rates = vec![vec![offered]];
-            let seq = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            let seq = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
             for threads in [2, 4] {
-                let par = solve_bb(
-                    &sys,
-                    &rates,
-                    0,
-                    &BbOptions {
-                        threads,
-                        ..BbOptions::default()
-                    },
-                )
-                .unwrap();
+                let par =
+                    solve_bb(&sys, &rates, 0, &SolverConfig::exact().threads(threads)).unwrap();
                 assert_bitwise_equal(&par, &seq, &format!("offered {offered} t{threads}"));
                 assert_eq!(par.proven_optimal, seq.proven_optimal);
                 assert_eq!(par.stats.threads_used.min(threads), par.stats.threads_used);
@@ -1281,18 +1281,9 @@ mod tests {
     fn parallel_bb_matches_sequential_on_section_vii() {
         let sys = presets::section_vii();
         let rates = vec![vec![40_000.0, 35_000.0]];
-        let seq = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        let seq = solve_bb(&sys, &rates, 13, &SolverConfig::exact()).unwrap();
         for threads in [2, 4] {
-            let par = solve_bb(
-                &sys,
-                &rates,
-                13,
-                &BbOptions {
-                    threads,
-                    ..BbOptions::default()
-                },
-            )
-            .unwrap();
+            let par = solve_bb(&sys, &rates, 13, &SolverConfig::exact().threads(threads)).unwrap();
             assert_bitwise_equal(&par, &seq, &format!("section vii t{threads}"));
             assert!(par.proven_optimal);
         }
@@ -1302,12 +1293,9 @@ mod tests {
     fn parallel_bb_without_incremental_matches_too() {
         let sys = tiny(true);
         let rates = vec![vec![150.0]];
-        let opts = BbOptions {
-            incremental: false,
-            ..BbOptions::default()
-        };
+        let opts = SolverConfig::exact().incremental(false);
         let seq = solve_bb(&sys, &rates, 0, &opts).unwrap();
-        let par = solve_bb(&sys, &rates, 0, &BbOptions { threads: 3, ..opts }).unwrap();
+        let par = solve_bb(&sys, &rates, 0, &opts.clone().threads(3)).unwrap();
         assert_bitwise_equal(&par, &seq, "non-incremental t3");
     }
 
@@ -1322,14 +1310,14 @@ mod tests {
         assert_send::<LevelSolve>();
         assert_sync::<System>();
         assert_sync::<Dims>();
-        assert_sync::<BbOptions>();
+        assert_sync::<SolverConfig>();
     }
 
     #[test]
     fn one_level_tufs_reduce_to_single_leaf() {
         let sys = presets::section_v();
         let rates = presets::section_v_low_arrivals();
-        let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+        let bb = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
         assert!(bb.proven_optimal);
         // With n = 1 the tree has exactly one complete assignment; the
         // node count stays tiny (root chain, no real branching).

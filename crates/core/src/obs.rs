@@ -3,17 +3,19 @@
 //!
 //! Recording points are assigned so nothing is double-counted:
 //!
-//! * the branch-and-bound ([`crate::multilevel::solve_bb`] and friends)
-//!   records its own [`SolverStats`] through [`BbOptions::obs`] — its
-//!   uniform-level incumbent seed is folded into those stats, so the seed
-//!   never records separately;
+//! * the configured solvers ([`crate::multilevel::solve_bb`],
+//!   [`crate::solver::solve_with`] and friends) record their own
+//!   [`SolverStats`] through [`SolverConfig::obs`] — the uniform-level
+//!   incumbent seed is folded into those stats, so the seed never records
+//!   separately, and the portfolio's two sides each record once (the sums
+//!   equal the merged stats);
 //! * standalone heuristic and one-level LP callers (e.g.
 //!   [`crate::OptimizedPolicy`]) record via [`record_solver_stats`];
 //! * the driver records per-slot economics and health-derived counters
 //!   (tier decisions, retries, sanitization, degraded slots) but **not**
 //!   [`SlotHealth::solver`], which the solving layer already recorded.
 //!
-//! [`BbOptions::obs`]: crate::multilevel::BbOptions
+//! [`SolverConfig::obs`]: crate::solver::SolverConfig
 
 pub use palb_obs::{
     log_linear_bounds, Recorder, Registry, Snapshot, Span, SPAN_SECONDS, SPAN_TOTAL,
@@ -69,6 +71,12 @@ pub mod names {
     pub const LP_FTRAN_NNZ_TOTAL: &str = "palb_lp_ftran_nnz_total";
     /// Sparse LP engine: basis refactorizations (eta-file compressions).
     pub const LP_REFACTOR_TOTAL: &str = "palb_lp_refactor_total";
+    /// Anytime/portfolio evaluation-cache lookups answered from the memo.
+    pub const EVAL_CACHE_HITS_TOTAL: &str = "palb_eval_cache_hits_total";
+    /// Anytime/portfolio evaluation-cache lookups that required an LP.
+    pub const EVAL_CACHE_MISSES_TOTAL: &str = "palb_eval_cache_misses_total";
+    /// Anytime/portfolio evaluation-cache entries evicted at capacity.
+    pub const EVAL_CACHE_EVICTIONS_TOTAL: &str = "palb_eval_cache_evictions_total";
     /// Scenario perturbation events applied to a world, labelled
     /// `scenario` and `kind` (the perturbation name).
     pub const SCENARIO_PERTURBATIONS_TOTAL: &str = "palb_scenario_perturbations_total";
@@ -133,6 +141,15 @@ pub fn record_solver_stats(rec: &Recorder, stats: &SolverStats) {
     }
     if stats.refactor_total > 0 {
         rec.counter_add(names::LP_REFACTOR_TOTAL, &[], stats.refactor_total);
+    }
+    if stats.cache_hits + stats.cache_misses > 0 {
+        rec.counter_add(names::EVAL_CACHE_HITS_TOTAL, &[], stats.cache_hits);
+        rec.counter_add(names::EVAL_CACHE_MISSES_TOTAL, &[], stats.cache_misses);
+        rec.counter_add(
+            names::EVAL_CACHE_EVICTIONS_TOTAL,
+            &[],
+            stats.cache_evictions,
+        );
     }
 }
 
@@ -219,6 +236,9 @@ mod tests {
             ftran_total: 30,
             ftran_nnz_total: 90,
             refactor_total: 2,
+            cache_hits: 5,
+            cache_misses: 3,
+            cache_evictions: 1,
         };
         record_solver_stats(&rec, &stats);
         record_solver_stats(&rec, &stats);
@@ -233,6 +253,18 @@ mod tests {
             Some(180)
         );
         assert_eq!(snap.counter_value(names::LP_REFACTOR_TOTAL, &[]), Some(4));
+        assert_eq!(
+            snap.counter_value(names::EVAL_CACHE_HITS_TOTAL, &[]),
+            Some(10)
+        );
+        assert_eq!(
+            snap.counter_value(names::EVAL_CACHE_MISSES_TOTAL, &[]),
+            Some(6)
+        );
+        assert_eq!(
+            snap.counter_value(names::EVAL_CACHE_EVICTIONS_TOTAL, &[]),
+            Some(2)
+        );
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! Anytime metaheuristic portfolio over level assignments.
+//!
+//! The exact branch-and-bound of [`crate::multilevel`] reproduces the
+//! paper's Fig. 11 — and, like the paper's CPLEX runs, explodes
+//! combinatorially past a few servers per class. This module adds the
+//! production-scale escape hatch (ROADMAP item 1):
+//!
+//! * **Anytime search** ([`SolverKind::Anytime`]): a seed-pure,
+//!   generation-synchronous evolution over level-assignment genomes.
+//!   `branches` logical evolution branches each carry their own
+//!   deterministic RNG stream and propose mutations/recombinations of
+//!   members drawn from one shared **dominance population** (the elite
+//!   truncation of everything evaluated so far). A generation's
+//!   proposals are evaluated in parallel (pure LP solves, so results are
+//!   independent of scheduling), merged in proposal order, and the
+//!   population re-sorted by `(objective desc, genome lex)` — every step
+//!   is a deterministic function of `(seed, budget, quota)`, which makes
+//!   the incumbent **bit-for-bit identical at every thread count**.
+//!   Termination: a no-improvement quota (consecutive generations
+//!   without a strictly better best objective), the evaluation budget,
+//!   or the wall clock (the only scheduling-dependent stop; see
+//!   DESIGN.md §14 for the carve-outs).
+//! * **Portfolio race** ([`SolverKind::Portfolio`]): the anytime search
+//!   and the exact tree run on scoped threads against one shared
+//!   [`IncumbentCell`]. Anytime improvements prune exact subtrees
+//!   (strict comparison — sound, because the cell only ever holds
+//!   feasible objectives); the exact side stops the anytime search the
+//!   moment it proves optimality; a wall-clock budget stops whichever
+//!   side is still running. The better incumbent wins (exact wins
+//!   bitwise ties); when the exact tree finishes it has proven nothing
+//!   beats the shared cell, so the winner — whichever side found it —
+//!   comes back `proven_optimal`. At paper sizes the portfolio thus
+//!   degrades to the deterministic exact answer, and past them to the
+//!   anytime incumbent.
+//!
+//! Genomes honor the exact solver's symmetry canon: within each data
+//! center the per-server level tuples are kept lexicographically
+//! non-decreasing ([`canonicalize`]), so the anytime search explores the
+//! same quotient space the symmetry-broken tree does and never wastes
+//! evaluations on permuted duplicates.
+//!
+//! Every evaluation goes through an [`EvalCache`] (capacity-bounded,
+//! FIFO eviction) memoizing genome → LP outcome across moves, branches
+//! and generations, backed by [`WorkspacePool`] workspaces whose cold
+//! solves are bit-for-bit equal to from-scratch solves. The cache is
+//! **bitwise-invisible**: the evaluation budget counts logical
+//! evaluations (hits and misses alike), so switching it off changes
+//! wall-clock and the `cache_*` telemetry, never the incumbent.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use palb_cluster::System;
+
+use crate::error::CoreError;
+use crate::formulate::{LevelAssignment, LevelSolve, SpecWorkspace, WorkspacePool};
+use crate::model::Dims;
+use crate::multilevel::{
+    solve_bb_ctl, solve_uniform_levels_in, MultilevelResult, SearchCtl, SolverStats,
+};
+use crate::obs::record_solver_stats;
+use crate::solver::{SolverConfig, SolverKind};
+use crate::sync::{Flag, IncumbentCell, WorkQueue};
+
+/// Fallback no-improvement quota when the budget leaves it unset.
+const DEFAULT_QUOTA: usize = 16;
+
+/// A level-assignment genome: one 1-based level index per phi position
+/// (`k * total_servers + sv`), the same layout the exact solver's partial
+/// assignments use.
+type Genome = Vec<u8>;
+
+/// splitmix64 — the workspace's standard seed-pure counter hash (cf. the
+/// resilient ladder's perturbation stream). Advances `state` and returns
+/// the next draw.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream for evolution branch `b` under `seed`: decorrelated by
+/// one splitmix step so adjacent branches do not share prefixes.
+fn branch_stream(seed: u64, b: usize) -> u64 {
+    let mut s = seed ^ (b as u64).wrapping_mul(0xd129_0d3b_93b8_b4a7);
+    splitmix(&mut s);
+    s
+}
+
+/// Rewrites `genome` into symmetry-canonical form: within each data
+/// center, per-server level tuples (class-major) sorted lexicographically
+/// non-decreasing — the exact tree's quotient space.
+fn canonicalize(dims: &Dims, genome: &mut Genome) {
+    let mut tuples: Vec<Vec<u8>> = Vec::new();
+    for l in 0..dims.dcs {
+        let start = dims.server_offset[l];
+        let m = dims.servers_per_dc[l];
+        tuples.clear();
+        tuples.extend((0..m).map(|i| {
+            let sv = start + i;
+            (0..dims.classes)
+                .map(|k| genome[k * dims.total_servers + sv])
+                .collect::<Vec<u8>>()
+        }));
+        tuples.sort_unstable();
+        for (i, tuple) in tuples.iter().enumerate() {
+            let sv = start + i;
+            for (k, &q) in tuple.iter().enumerate() {
+                genome[k * dims.total_servers + sv] = q;
+            }
+        }
+    }
+}
+
+/// The genome of a complete [`LevelAssignment`].
+fn genome_of(dims: &Dims, a: &LevelAssignment) -> Genome {
+    let mut g = vec![1u8; dims.phi_len()];
+    for (k, sv) in dims.class_server_pairs() {
+        g[k.0 * dims.total_servers + sv] = a.get(k, sv).unwrap_or(1) as u8;
+    }
+    g
+}
+
+/// The [`LevelAssignment`] a genome describes.
+fn assignment_of(dims: &Dims, genome: &[u8]) -> LevelAssignment {
+    let mut a = LevelAssignment::uniform(dims, 1);
+    for (k, sv) in dims.class_server_pairs() {
+        a.set(k, sv, Some(genome[k.0 * dims.total_servers + sv] as usize));
+    }
+    a
+}
+
+/// Builds the fixed-level spec a genome pins every VM to.
+fn spec_of(system: &System, dims: &Dims, genome: &[u8], out: &mut Vec<(f64, f64)>) {
+    out.clear();
+    out.extend((0..dims.phi_len()).map(|idx| {
+        let k = idx / dims.total_servers;
+        let q = genome[idx] as usize;
+        let tuf = &system.classes[k].tuf;
+        (tuf.utility_of_level(q), tuf.deadline_of_level(q))
+    }));
+}
+
+/// Outcome of evaluating one genome: the cold LP solve, or `None` when
+/// the fixed levels are infeasible.
+type EvalOutcome = Option<LevelSolve>;
+
+/// Capacity-bounded genome → LP-outcome memo with FIFO eviction. Shared
+/// across evaluation workers behind a mutex; hit/miss/eviction telemetry
+/// is charged to the *worker's* stats (and lex-merged like every other
+/// per-worker counter), so the cache itself stays scheduling-agnostic.
+pub(crate) struct EvalCache {
+    map: HashMap<Genome, EvalOutcome>,
+    order: VecDeque<Genome>,
+    capacity: usize,
+}
+
+impl EvalCache {
+    /// An empty cache bounded to `capacity` entries (≥ 1).
+    pub(crate) fn new(capacity: usize) -> Self {
+        EvalCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, genome: &[u8]) -> Option<&EvalOutcome> {
+        self.map.get(genome)
+    }
+
+    /// Inserts an outcome, evicting the oldest entry at capacity.
+    /// Returns how many entries were evicted (0 or 1).
+    fn insert(&mut self, genome: Genome, outcome: EvalOutcome) -> u64 {
+        let mut evicted = 0;
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                evicted = 1;
+            }
+        }
+        if self.map.insert(genome.clone(), outcome).is_none() {
+            self.order.push_back(genome);
+        }
+        evicted
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+fn lock_cache(cache: &Mutex<EvalCache>) -> std::sync::MutexGuard<'_, EvalCache> {
+    // A poisoned cache only means another worker panicked mid-insert;
+    // the memo content is still valid (inserts are single assignments).
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Evaluates one genome through the shared cache: a logical evaluation
+/// either way (the budget counts hits and misses identically, so the
+/// cache cannot change the search trajectory), an LP solve only on miss.
+fn eval_cached(
+    cache: Option<&Mutex<EvalCache>>,
+    ws: &mut SpecWorkspace,
+    system: &System,
+    dims: &Dims,
+    cfg: &SolverConfig,
+    genome: &[u8],
+    spec_buf: &mut Vec<(f64, f64)>,
+    stats: &mut SolverStats,
+) -> Result<EvalOutcome, CoreError> {
+    stats.nodes_explored += 1;
+    if let Some(c) = cache {
+        if let Some(hit) = lock_cache(c).get(genome).cloned() {
+            stats.cache_hits += 1;
+            return Ok(hit);
+        }
+    }
+    spec_of(system, dims, genome, spec_buf);
+    ws.apply_spec(spec_buf);
+    let outcome = match ws.solve_cold(&cfg.lp) {
+        Ok(s) => {
+            stats.cold_solves += 1;
+            stats.cold_pivots += s.pivots;
+            Some(s)
+        }
+        Err(CoreError::Infeasible) => None,
+        Err(e) => return Err(e),
+    };
+    if let Some(c) = cache {
+        stats.cache_misses += 1;
+        stats.cache_evictions += lock_cache(c).insert(genome.to_vec(), outcome.clone());
+    }
+    Ok(outcome)
+}
+
+/// Evaluates a batch of genomes, on `cfg.threads` scoped workers when the
+/// batch warrants it. Results come back in input order and per-worker
+/// stats are merged in worker-index (lexicographic) order, so the batch
+/// is a pure function of its inputs at every thread count.
+fn evaluate_batch(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    dims: &Dims,
+    cfg: &SolverConfig,
+    cache: Option<&Mutex<EvalCache>>,
+    genomes: &[Genome],
+    stats: &mut SolverStats,
+) -> Result<Vec<EvalOutcome>, CoreError> {
+    if genomes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut root_spec = Vec::with_capacity(dims.phi_len());
+    spec_of(system, dims, &genomes[0], &mut root_spec);
+    let workers = cfg.threads.min(genomes.len()).max(1);
+
+    if workers == 1 {
+        let mut ws = pool.acquire(system, rates, slot, dims, &root_spec, &cfg.lp)?;
+        let mut spec_buf = Vec::with_capacity(dims.phi_len());
+        let mut out = Vec::with_capacity(genomes.len());
+        for g in genomes {
+            out.push(eval_cached(
+                cache,
+                &mut ws,
+                system,
+                dims,
+                cfg,
+                g,
+                &mut spec_buf,
+                stats,
+            )?);
+        }
+        pool.release(ws);
+        return Ok(out);
+    }
+
+    let mut worker_ws = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        worker_ws.push(pool.acquire(system, rates, slot, dims, &root_spec, &cfg.lp)?);
+    }
+    let queue = WorkQueue::new(genomes.len());
+    type Outcome = (usize, Result<EvalOutcome, CoreError>);
+    let worker_returns: Vec<(Vec<Outcome>, SpecWorkspace, SolverStats)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = worker_ws
+                .into_iter()
+                .map(|ws| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut ws = ws;
+                        let mut spec_buf: Vec<(f64, f64)> = Vec::with_capacity(dims.phi_len());
+                        let mut wstats = SolverStats::default();
+                        let mut outcomes: Vec<Outcome> = Vec::new();
+                        while let Some(i) = queue.claim() {
+                            let res = eval_cached(
+                                cache,
+                                &mut ws,
+                                system,
+                                dims,
+                                cfg,
+                                &genomes[i],
+                                &mut spec_buf,
+                                &mut wstats,
+                            );
+                            let failed = res.is_err();
+                            outcomes.push((i, res));
+                            if failed {
+                                break;
+                            }
+                        }
+                        (outcomes, ws, wstats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| CoreError::WorkerPanic))
+                .collect::<Result<Vec<_>, CoreError>>()
+        })?;
+
+    let mut indexed: Vec<Outcome> = Vec::with_capacity(genomes.len());
+    for (outcomes, ws, wstats) in worker_returns {
+        pool.release(ws);
+        stats.merge(&wstats);
+        indexed.extend(outcomes);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    let mut out = Vec::with_capacity(genomes.len());
+    for (_, res) in indexed {
+        out.push(res?);
+    }
+    Ok(out)
+}
+
+/// One dominance-population member.
+struct Indiv {
+    genome: Genome,
+    solve: LevelSolve,
+}
+
+/// Sorts the population canonically: objective descending, genome
+/// ascending on exact ties — a total order, so the elite truncation is
+/// deterministic.
+fn sort_population(population: &mut [Indiv]) {
+    population.sort_by(|a, b| {
+        b.solve
+            .objective
+            .total_cmp(&a.solve.objective)
+            .then_with(|| a.genome.cmp(&b.genome))
+    });
+}
+
+fn population_contains(population: &[Indiv], genome: &[u8]) -> bool {
+    population.iter().any(|i| i.genome == genome)
+}
+
+/// Draws one offspring genome from branch stream `state`: a one-position
+/// level mutation (3/4 of draws) or a per-DC block recombination of two
+/// population members (1/4, once the population has two members). Returns
+/// `None` when the system has no mutable position (single-level TUFs).
+fn propose(state: &mut u64, population: &[Indiv], system: &System, dims: &Dims) -> Option<Genome> {
+    let len = population.len();
+    let kind = splitmix(state);
+    let pa = (splitmix(state) % len as u64) as usize;
+    if len >= 2 && kind % 4 == 0 {
+        let mut pb = (splitmix(state) % len as u64) as usize;
+        if pb == pa {
+            pb = (pb + 1) % len;
+        }
+        let mut child = population[pa].genome.clone();
+        for l in 0..dims.dcs {
+            if splitmix(state) & 1 == 1 {
+                let start = dims.server_offset[l];
+                let m = dims.servers_per_dc[l];
+                for k in 0..dims.classes {
+                    for i in 0..m {
+                        let idx = k * dims.total_servers + start + i;
+                        child[idx] = population[pb].genome[idx];
+                    }
+                }
+            }
+        }
+        canonicalize(dims, &mut child);
+        Some(child)
+    } else {
+        let mut child = population[pa].genome.clone();
+        let phi = dims.phi_len();
+        let start = (splitmix(state) % phi as u64) as usize;
+        for off in 0..phi {
+            let idx = (start + off) % phi;
+            let k = idx / dims.total_servers;
+            let n = system.classes[k].tuf.num_levels();
+            if n <= 1 {
+                continue;
+            }
+            let old = child[idx];
+            let mut q = 1 + (splitmix(state) % n as u64) as u8;
+            if q == old {
+                q = q % n as u8 + 1;
+            }
+            child[idx] = q;
+            canonicalize(dims, &mut child);
+            return Some(child);
+        }
+        None
+    }
+}
+
+/// [`solve_anytime_ctl`] with the deadline derived from the config's
+/// budget, recording its stats like the exact entry points do.
+pub(crate) fn solve_anytime_in(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    cfg: &SolverConfig,
+) -> Result<MultilevelResult, CoreError> {
+    let ctl = SearchCtl {
+        deadline: cfg
+            .budget
+            .wall_clock_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        ..SearchCtl::default()
+    };
+    let result = solve_anytime_ctl(pool, system, rates, slot, cfg, ctl);
+    if let Ok(r) = &result {
+        record_solver_stats(&cfg.obs, &r.stats);
+    }
+    result
+}
+
+/// The anytime population search. Deterministic at every thread count for
+/// a fixed `(seed, budget, quota)` — unless a wall-clock deadline or an
+/// external stop interrupts a run mid-generation (the documented
+/// carve-outs). Never proves optimality.
+pub(crate) fn solve_anytime_ctl(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    cfg: &SolverConfig,
+    ctl: SearchCtl<'_>,
+) -> Result<MultilevelResult, CoreError> {
+    let dims = Dims::of(system);
+    let mut stats = SolverStats {
+        threads_used: cfg.threads.max(1),
+        ..SolverStats::default()
+    };
+    let cache_store =
+        (cfg.cache_capacity > 0).then(|| Mutex::new(EvalCache::new(cfg.cache_capacity)));
+    let cache = cache_store.as_ref();
+
+    // Seed the population: the uniform-level heuristic's winner (a strong
+    // start — it already enumerates every per-(class, DC) combination),
+    // the all-top and the loosest uniform genomes. All three are
+    // symmetry-canonical by construction.
+    let mut seeds: Vec<Genome> = Vec::new();
+    let mut seed_cache = pool.take_matching(&dims);
+    if let Ok(u) = solve_uniform_levels_in(&mut seed_cache, system, rates, slot, &cfg.lp) {
+        stats.nodes_explored += u.stats.nodes_explored;
+        stats.cold_solves += u.stats.cold_solves;
+        stats.cold_pivots += u.stats.cold_pivots;
+        seeds.push(genome_of(&dims, &u.assignment));
+    }
+    if let Some(w) = seed_cache {
+        pool.release(w);
+    }
+    for extra in [
+        vec![1u8; dims.phi_len()],
+        genome_of(&dims, &LevelAssignment::loosest(system, &dims)),
+    ] {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    let outcomes = evaluate_batch(
+        pool, system, rates, slot, &dims, cfg, cache, &seeds, &mut stats,
+    )?;
+    let mut population: Vec<Indiv> = seeds
+        .into_iter()
+        .zip(outcomes)
+        .filter_map(|(genome, o)| o.map(|solve| Indiv { genome, solve }))
+        .collect();
+    sort_population(&mut population);
+    population.truncate(cfg.population.max(1));
+    if population.is_empty() {
+        return Err(CoreError::Infeasible);
+    }
+    let mut best_obj = population[0].solve.objective;
+    if let Some(cell) = ctl.shared {
+        cell.offer(best_obj);
+    }
+
+    let quota = cfg.budget.no_improve_quota.unwrap_or(DEFAULT_QUOTA).max(1);
+    let branches = cfg.branches.max(1);
+    let offspring = cfg.offspring.max(1);
+    let mut streams: Vec<u64> = (0..branches).map(|b| branch_stream(cfg.seed, b)).collect();
+    let mut no_improve = 0usize;
+
+    while no_improve < quota && stats.nodes_explored < cfg.budget.max_nodes && !ctl.interrupted() {
+        // Proposal phase: single-threaded and cheap, so branch streams
+        // advance identically at every thread count.
+        let mut props: Vec<Genome> = Vec::new();
+        for stream in streams.iter_mut() {
+            for _ in 0..offspring {
+                if let Some(g) = propose(stream, &population, system, &dims) {
+                    if !population_contains(&population, &g) && !props.contains(&g) {
+                        props.push(g);
+                    }
+                }
+            }
+        }
+        let outs = evaluate_batch(
+            pool, system, rates, slot, &dims, cfg, cache, &props, &mut stats,
+        )?;
+        for (genome, o) in props.into_iter().zip(outs) {
+            if let Some(solve) = o {
+                population.push(Indiv { genome, solve });
+            }
+        }
+        sort_population(&mut population);
+        population.truncate(cfg.population.max(1));
+        if population[0].solve.objective > best_obj {
+            best_obj = population[0].solve.objective;
+            if let Some(cell) = ctl.shared {
+                cell.offer(best_obj);
+            }
+            no_improve = 0;
+        } else {
+            no_improve += 1;
+        }
+    }
+
+    let best = &population[0];
+    debug_assert!(assignment_of(&dims, &best.genome).validate(system).is_ok());
+    Ok(MultilevelResult {
+        solve: best.solve.clone(),
+        assignment: assignment_of(&dims, &best.genome),
+        nodes: stats.nodes_explored,
+        proven_optimal: false,
+        stats,
+    })
+}
+
+/// The portfolio race: exact branch-and-bound and the anytime search on
+/// scoped threads sharing one incumbent cell. Race protocol (DESIGN.md
+/// §14):
+///
+/// * anytime improvements land in the shared cell, where the exact side
+///   strictly prunes against them;
+/// * the exact side's leaves land in the same cell, raising the bar the
+///   anytime side must beat to publish;
+/// * the exact side **stops** the anytime side when it proves
+///   optimality, and its result is then returned verbatim (determinism:
+///   the portfolio equals the exact answer whenever exact finishes);
+/// * a wall-clock budget stops both sides; the better incumbent wins,
+///   exact on exact ties;
+/// * one side erroring leaves the other side's result standing — the
+///   race doubles as a redundancy ladder.
+pub(crate) fn solve_portfolio(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    cfg: &SolverConfig,
+) -> Result<MultilevelResult, CoreError> {
+    let shared = IncumbentCell::new(-f64::MAX);
+    let stop_exact = Flag::new();
+    let stop_anytime = Flag::new();
+    let deadline = cfg
+        .budget
+        .wall_clock_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    // Split the thread budget across the sides; both run even at 1 (the
+    // whole point is hedging, and the single-core loss is bounded by the
+    // budget).
+    let anytime_threads = (cfg.threads / 2).max(1);
+    let exact_threads = (cfg.threads - cfg.threads / 2).max(1);
+    let exact_cfg = SolverConfig {
+        kind: SolverKind::Exact,
+        threads: exact_threads,
+        ..cfg.clone()
+    };
+    let anytime_cfg = SolverConfig {
+        kind: SolverKind::Anytime,
+        threads: anytime_threads,
+        ..cfg.clone()
+    };
+
+    let (exact_res, anytime_res) = std::thread::scope(|scope| {
+        let exact_handle = scope.spawn(|| {
+            let mut pool = WorkspacePool::default();
+            let ctl = SearchCtl {
+                shared: Some(&shared),
+                stop: Some(&stop_exact),
+                deadline,
+            };
+            let r = solve_bb_ctl(&mut pool, system, rates, slot, &exact_cfg, ctl);
+            if matches!(&r, Ok(res) if res.proven_optimal) {
+                stop_anytime.raise();
+            }
+            r
+        });
+        let anytime_handle = scope.spawn(|| {
+            let mut pool = WorkspacePool::default();
+            let ctl = SearchCtl {
+                shared: Some(&shared),
+                stop: Some(&stop_anytime),
+                deadline,
+            };
+            let r = solve_anytime_ctl(&mut pool, system, rates, slot, &anytime_cfg, ctl);
+            if let Ok(res) = &r {
+                record_solver_stats(&anytime_cfg.obs, &res.stats);
+            }
+            r
+        });
+        (
+            exact_handle.join().map_err(|_| CoreError::WorkerPanic),
+            anytime_handle.join().map_err(|_| CoreError::WorkerPanic),
+        )
+    });
+    let exact_res = exact_res.and_then(|r| r);
+    let anytime_res = anytime_res.and_then(|r| r);
+
+    match (exact_res, anytime_res) {
+        (Ok(e), Ok(a)) => {
+            let mut stats = e.stats;
+            stats.merge(&a.stats);
+            stats.subtrees = e.stats.subtrees;
+            stats.threads_used = cfg.threads.max(2);
+            let nodes = stats.nodes_explored;
+            // The better side wins; exact wins (bitwise) ties. When the
+            // exact tree finished, it has proven that nothing beats the
+            // *shared* incumbent — so the winner is optimal even when it
+            // is the anytime side: anytime improvements can prune the
+            // subtree holding the exact side's would-be optimum, leaving
+            // the exact tree's local incumbent behind the cell.
+            let proven = e.proven_optimal;
+            if e.solve.objective >= a.solve.objective {
+                Ok(MultilevelResult {
+                    solve: e.solve,
+                    assignment: e.assignment,
+                    nodes,
+                    proven_optimal: proven,
+                    stats,
+                })
+            } else {
+                Ok(MultilevelResult {
+                    solve: a.solve,
+                    assignment: a.assignment,
+                    nodes,
+                    proven_optimal: proven,
+                    stats,
+                })
+            }
+        }
+        (Ok(e), Err(_)) => Ok(e),
+        (Err(_), Ok(a)) => Ok(a),
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilevel::{solve_bb, solve_exhaustive, solve_uniform_levels};
+    use crate::solver::{solve_with, SolverBudget};
+    use palb_cluster::{presets, DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
+    use palb_tuf::StepTuf;
+
+    fn tiny(two_servers: bool) -> System {
+        System {
+            classes: vec![RequestClass {
+                name: "r".into(),
+                tuf: StepTuf::two_level(4.5, 1.0 / 40.0, 4.0, 1.0 / 5.0).unwrap(),
+                transfer_cost_per_mile: 0.0,
+            }],
+            front_ends: vec![FrontEnd { name: "fe".into() }],
+            data_centers: vec![DataCenter {
+                name: "dc".into(),
+                servers: if two_servers { 2 } else { 1 },
+                capacity: 1.0,
+                service_rate: vec![100.0],
+                energy_per_request: vec![1.0],
+                pue: 1.0,
+                prices: PriceSchedule::flat(0.1, 24),
+            }],
+            distance: vec![vec![0.0]],
+            slot_length: 1.0,
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_server_tuples_within_each_dc() {
+        let sys = presets::section_vii();
+        let dims = Dims::of(&sys);
+        let mut g: Genome = (0..dims.phi_len()).map(|i| 1 + (i % 2) as u8).collect();
+        canonicalize(&dims, &mut g);
+        for l in 0..dims.dcs {
+            let start = dims.server_offset[l];
+            let m = dims.servers_per_dc[l];
+            for i in 1..m {
+                let prev: Vec<u8> = (0..dims.classes)
+                    .map(|k| g[k * dims.total_servers + start + i - 1])
+                    .collect();
+                let cur: Vec<u8> = (0..dims.classes)
+                    .map(|k| g[k * dims.total_servers + start + i])
+                    .collect();
+                assert!(prev <= cur, "dc {l} servers {} and {i} out of order", i - 1);
+            }
+        }
+        // Canonicalization is idempotent.
+        let mut again = g.clone();
+        canonicalize(&dims, &mut again);
+        assert_eq!(g, again);
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_decorrelated() {
+        let mut a1 = branch_stream(7, 0);
+        let mut a2 = branch_stream(7, 0);
+        let mut b = branch_stream(7, 1);
+        let draws_a1: Vec<u64> = (0..8).map(|_| splitmix(&mut a1)).collect();
+        let draws_a2: Vec<u64> = (0..8).map(|_| splitmix(&mut a2)).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| splitmix(&mut b)).collect();
+        assert_eq!(draws_a1, draws_a2);
+        assert_ne!(draws_a1, draws_b);
+    }
+
+    #[test]
+    fn eval_cache_bounds_capacity_fifo() {
+        let mut c = EvalCache::new(2);
+        assert_eq!(c.insert(vec![1], None), 0);
+        assert_eq!(c.insert(vec![2], None), 0);
+        assert_eq!(c.insert(vec![3], None), 1); // evicts [1]
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&[1]).is_none());
+        assert!(c.get(&[2]).is_some());
+        assert!(c.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn anytime_matches_exhaustive_on_tiny_system() {
+        let sys = tiny(true);
+        for offered in [30.0, 90.0, 150.0, 250.0] {
+            let rates = vec![vec![offered]];
+            let ex = solve_exhaustive(&sys, &rates, 0).unwrap();
+            let any = solve_with(&sys, &rates, 0, &SolverConfig::anytime()).unwrap();
+            assert!(!any.proven_optimal);
+            assert!(
+                (any.solve.objective - ex.solve.objective).abs()
+                    < 1e-6 * (1.0 + ex.solve.objective.abs()),
+                "offered {offered}: anytime {} vs exhaustive {}",
+                any.solve.objective,
+                ex.solve.objective
+            );
+        }
+    }
+
+    #[test]
+    fn anytime_beats_or_matches_uniform_on_section_vii() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let uni = solve_uniform_levels(&sys, &rates, 13).unwrap();
+        let any = solve_with(&sys, &rates, 13, &SolverConfig::anytime()).unwrap();
+        assert!(any.solve.objective >= uni.solve.objective);
+        assert!(any.stats.cache_misses > 0, "cache never exercised");
+    }
+
+    #[test]
+    fn anytime_is_thread_invariant_bitwise() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let base = solve_with(&sys, &rates, 13, &SolverConfig::anytime()).unwrap();
+        for threads in [2, 4, 8] {
+            let par =
+                solve_with(&sys, &rates, 13, &SolverConfig::anytime().threads(threads)).unwrap();
+            assert_eq!(
+                par.solve.objective.to_bits(),
+                base.solve.objective.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(par.assignment, base.assignment, "threads {threads}");
+            assert_eq!(par.nodes, base.nodes, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn eval_cache_is_bitwise_invisible() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let on = solve_with(&sys, &rates, 13, &SolverConfig::anytime()).unwrap();
+        let off = solve_with(&sys, &rates, 13, &SolverConfig::anytime().cache_capacity(0)).unwrap();
+        assert_eq!(on.solve.objective.to_bits(), off.solve.objective.to_bits());
+        assert_eq!(on.assignment, off.assignment);
+        assert_eq!(on.nodes, off.nodes);
+        assert_eq!(off.stats.cache_hits + off.stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn portfolio_returns_the_exact_answer_when_exact_finishes() {
+        let sys = tiny(true);
+        for offered in [90.0, 150.0] {
+            let rates = vec![vec![offered]];
+            let exact = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
+            let port = solve_with(&sys, &rates, 0, &SolverConfig::portfolio()).unwrap();
+            assert!(port.proven_optimal, "exact side should finish on tiny");
+            assert_eq!(
+                port.solve.objective.to_bits(),
+                exact.solve.objective.to_bits(),
+                "offered {offered}"
+            );
+            assert_eq!(port.assignment, exact.assignment);
+        }
+    }
+
+    #[test]
+    fn portfolio_respects_a_tight_wall_clock() {
+        let sys = presets::section_vii();
+        let rates = vec![vec![40_000.0, 35_000.0]];
+        let cfg = SolverConfig::portfolio().budget(
+            SolverBudget::nodes(200_000)
+                .wall_clock_ms(60_000)
+                .no_improve_quota(4),
+        );
+        let r = solve_with(&sys, &rates, 13, &cfg).unwrap();
+        assert!(r.solve.objective.is_finite());
+        // Paper-size exact finishes well inside a minute, so the race
+        // resolves to the proven optimum.
+        assert!(r.proven_optimal);
+    }
+}

@@ -109,7 +109,7 @@ impl Policy for QuantileSlaPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run, BalancedPolicy};
+    use crate::driver::{run_with, BalancedPolicy, RunOptions};
     use crate::model::check_feasible;
     use palb_cluster::presets;
     use palb_workload::synthetic::constant_trace;
@@ -149,14 +149,30 @@ mod tests {
     fn quantile_decisions_feasible_and_conservative() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-        let mean = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
-        let q90 = run(&mut QuantileSlaPolicy::exact(0.9), &sys, &trace, 0).unwrap();
+        let mean = run_with(
+            &mut OptimizedPolicy::exact(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
+        let q90 = run_with(
+            &mut QuantileSlaPolicy::exact(0.9),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         // Decisions remain feasible for the ORIGINAL (looser) deadlines.
         check_feasible(&sys, trace.slot(0), &q90.decisions[0], true, 1e-6).unwrap();
         // Tighter guarantees can only cost analytic profit.
         assert!(q90.total_net_profit() <= mean.total_net_profit() + 1e-6);
         // But stay above the profit-oblivious baseline at this load.
-        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let bal = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert!(q90.total_net_profit() > bal.total_net_profit());
     }
 
@@ -166,7 +182,14 @@ mod tests {
         // D/ln(10) — i.e. 90% of exponential sojourns inside D.
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_high_arrivals(), 1);
-        let q90 = run(&mut QuantileSlaPolicy::exact(0.9), &sys, &trace, 0).unwrap();
+        let q90 = run_with(
+            &mut QuantileSlaPolicy::exact(0.9),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         let d = &q90.decisions[0];
         let dims = d.dims();
         let f = quantile_margin_factor(0.9);

@@ -251,14 +251,16 @@ pub fn tier_summary(run: &RunResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run, BalancedPolicy};
+    use crate::driver::{run_with, BalancedPolicy, RunOptions};
     use palb_cluster::presets;
     use palb_workload::synthetic::constant_trace;
 
     fn small_run() -> (palb_cluster::System, RunResult) {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 2);
-        let r = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         (sys, r)
     }
 
@@ -324,7 +326,14 @@ mod tests {
         use crate::resilient::ResilientPolicy;
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 3);
-        let r = run(&mut ResilientPolicy::default(), &sys, &trace, 0).unwrap();
+        let r = run_with(
+            &mut ResilientPolicy::default(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         let hist = tier_histogram(&r);
         assert_eq!(hist.len(), Tier::ALL.len());
         assert_eq!(hist[0], (Tier::Exact, 3));

@@ -44,8 +44,9 @@ use crate::driver::{Policy, SlotContext};
 use crate::error::CoreError;
 use crate::formulate::{LevelAssignment, WorkspacePool};
 use crate::model::{Dims, Dispatch};
-use crate::multilevel::{solve_bb_in, solve_uniform_levels, BbOptions, SolverStats};
+use crate::multilevel::{solve_uniform_levels, SolverStats};
 use crate::obs::{names, record_solver_stats, spans, Recorder};
+use crate::solver::{solve_with_in, SolverConfig};
 
 /// A rung of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,9 +137,11 @@ impl SlotHealth {
 /// Tuning knobs for [`ResilientPolicy`].
 #[derive(Debug, Clone)]
 pub struct ResilientOptions {
-    /// Budgeted options for the exact tier (its `lp` field budgets every
-    /// LP the exact tier solves; `max_nodes` budgets the tree).
-    pub bb: BbOptions,
+    /// Configured solver for the primary tier (its `lp` field budgets
+    /// every LP that tier solves; `budget` bounds the search). The kind
+    /// may be exact, anytime, or portfolio — the ladder semantics are the
+    /// same.
+    pub solver: SolverConfig,
     /// LP options for the Bland-retry tier. Defaults to Bland's rule from
     /// the very first pivot with otherwise default budgets.
     pub retry_lp: SolveOptions,
@@ -161,7 +164,7 @@ pub struct ResilientOptions {
 impl Default for ResilientOptions {
     fn default() -> Self {
         ResilientOptions {
-            bb: BbOptions::default(),
+            solver: SolverConfig::exact(),
             retry_lp: SolveOptions {
                 rule: PivotRule::Bland,
                 bland_after: Some(0),
@@ -299,10 +302,10 @@ impl ResilientPolicy {
         }
     }
 
-    /// The exact tier: same structure as [`crate::OptimizedPolicy`], but
-    /// under `opts.bb` budgets and against the policy's persistent LP
-    /// workspace. Decisions always come off the cold full-solver path, so
-    /// reuse changes wall-clock, never results.
+    /// The primary tier: same structure as [`crate::OptimizedPolicy`],
+    /// but under `opts.solver` budgets and against the policy's
+    /// persistent LP workspace. Decisions always come off the cold
+    /// full-solver path, so reuse changes wall-clock, never results.
     fn solve_exact(
         &mut self,
         system: &System,
@@ -336,13 +339,13 @@ impl ResilientPolicy {
             record_solver_stats(rec, &stats);
             return Ok((s.dispatch, s.pivots, stats));
         }
-        // The branch-and-bound self-records through its options.
-        let bb = BbOptions {
+        // The configured solver self-records through its config.
+        let cfg = SolverConfig {
             lp: lp.clone(),
             obs: rec.clone(),
-            ..self.opts.bb.clone()
+            ..self.opts.solver.clone()
         };
-        let r = solve_bb_in(&mut self.wsp, system, rates, slot, &bb)?;
+        let r = solve_with_in(&mut self.wsp, system, rates, slot, &cfg)?;
         Ok((r.solve.dispatch, r.solve.pivots, r.stats))
     }
 
@@ -534,7 +537,7 @@ impl ResilientPolicy {
     fn ladder(&mut self, ctx: &SlotContext<'_>) -> LadderOutcome {
         let (system, rates, slot) = (ctx.system, ctx.rates, ctx.slot);
         // Tier 1: exact under budget.
-        let lp = self.opts.bb.lp.clone();
+        let lp = self.opts.solver.lp.clone();
         let exact = match self.injected(slot, 0, Tier::Exact) {
             Some(e) => Err(e),
             None => {
@@ -724,7 +727,7 @@ impl<P: Policy> Policy for ChaosPolicy<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run, BalancedPolicy, OptimizedPolicy};
+    use crate::driver::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
     use crate::evaluate::evaluate;
     use crate::formulate::solve_fixed_levels_with;
     use crate::model::check_feasible;
@@ -735,8 +738,22 @@ mod tests {
     fn healthy_inputs_use_the_exact_tier_and_match_optimized() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 2);
-        let res = run(&mut ResilientPolicy::default(), &sys, &trace, 0).unwrap();
-        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0).unwrap();
+        let res = run_with(
+            &mut ResilientPolicy::default(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
+        let opt = run_with(
+            &mut OptimizedPolicy::exact(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         assert!(
             (res.total_net_profit() - opt.total_net_profit()).abs()
                 < 1e-9 * (1.0 + opt.total_net_profit().abs())
@@ -759,10 +776,7 @@ mod tests {
             ..SolveOptions::default()
         };
         let opts = ResilientOptions {
-            bb: BbOptions {
-                lp: tiny_budget.clone(),
-                ..BbOptions::default()
-            },
+            solver: SolverConfig::exact().lp(tiny_budget.clone()),
             retry_lp: SolveOptions {
                 rule: PivotRule::Bland,
                 bland_after: Some(0),
@@ -774,7 +788,9 @@ mod tests {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 1);
         let mut policy = ResilientPolicy::new(opts);
-        let r = run(&mut policy, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut policy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         let h = r.slots[0].health.as_ref().unwrap();
         assert_eq!(h.tier_used, Some(Tier::UniformLevels));
         assert_eq!(h.retries, 2, "exact and retry should both have failed");
@@ -810,7 +826,9 @@ mod tests {
         // Probability 1: every solver attempt fails; balanced also draws a
         // coin... with p = 1.0 even balanced is vetoed, so replay decides.
         let mut policy = ResilientPolicy::default().with_chaos(SolverFaultSchedule::new(1.0, 7));
-        let r = run(&mut policy, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut policy, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         let h = r.slots[0].health.as_ref().unwrap();
         assert_eq!(h.tier_used, Some(Tier::Replay));
         // No last-good decision: the replay dispatches nothing.
@@ -857,11 +875,13 @@ mod tests {
         let trace = constant_trace(presets::section_v_low_arrivals(), 10);
         let schedule = SolverFaultSchedule::new(0.5, 11);
         let mut bare = ChaosPolicy::new(OptimizedPolicy::exact(), schedule.clone());
-        let err = run(&mut bare, &sys, &trace, 0).unwrap_err();
+        let err = run_with(&mut bare, &sys, &trace, &RunOptions::at(0)).unwrap_err();
         assert!(matches!(err, CoreError::Solver { .. }));
         // The same chaos stream cannot abort the resilient ladder.
         let mut guarded = ResilientPolicy::default().with_chaos(schedule);
-        let r = run(&mut guarded, &sys, &trace, 0).unwrap();
+        let r = run_with(&mut guarded, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert_eq!(r.slots.len(), 10);
     }
 
@@ -874,10 +894,7 @@ mod tests {
         // it computes.
         let sys = presets::section_vii();
         let cold_opts = ResilientOptions {
-            bb: BbOptions {
-                incremental: false,
-                ..BbOptions::default()
-            },
+            solver: SolverConfig::exact().incremental(false),
             ..ResilientOptions::default()
         };
         let mut inc = ResilientPolicy::default();
@@ -909,15 +926,16 @@ mod tests {
         let schedule = SolverFaultSchedule::new(0.5, 11);
         let mut inc = ResilientPolicy::default().with_chaos(schedule.clone());
         let mut cold = ResilientPolicy::new(ResilientOptions {
-            bb: BbOptions {
-                incremental: false,
-                ..BbOptions::default()
-            },
+            solver: SolverConfig::exact().incremental(false),
             ..ResilientOptions::default()
         })
         .with_chaos(schedule);
-        let a = run(&mut inc, &sys, &trace, 0).unwrap();
-        let b = run(&mut cold, &sys, &trace, 0).unwrap();
+        let a = run_with(&mut inc, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
+        let b = run_with(&mut cold, &sys, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert_eq!(a.slots.len(), b.slots.len());
         let mut saw_fallback = false;
         for (x, y) in a.slots.iter().zip(&b.slots) {
@@ -1043,14 +1061,22 @@ mod tests {
     fn damping_stays_inert_on_calm_prices() {
         let sys = presets::section_v();
         let trace = constant_trace(presets::section_v_low_arrivals(), 3);
-        let damped = run(
+        let damped = run_with(
             &mut ResilientPolicy::default().with_damping(DampingOptions::default()),
             &sys,
             &trace,
-            0,
+            &RunOptions::at(0),
         )
-        .unwrap();
-        let plain = run(&mut ResilientPolicy::default(), &sys, &trace, 0).unwrap();
+        .unwrap()
+        .result;
+        let plain = run_with(
+            &mut ResilientPolicy::default(),
+            &sys,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
         for (a, b) in damped.decisions.iter().zip(&plain.decisions) {
             assert_eq!(a, b, "flat prices must not trigger damping");
         }
@@ -1108,7 +1134,9 @@ mod tests {
         let sys = presets::section_vii();
         let trace = constant_trace(vec![vec![30_000.0, 25_000.0]], 1);
         let mut policy = ResilientPolicy::default();
-        let r = run(&mut policy, &sys, &trace, 13).unwrap();
+        let r = run_with(&mut policy, &sys, &trace, &RunOptions::at(13))
+            .unwrap()
+            .result;
         let h = r.slots[0].health.as_ref().unwrap();
         assert_eq!(h.tier_used, Some(Tier::Exact));
         assert!(r.total_net_profit() > 0.0);

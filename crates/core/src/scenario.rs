@@ -190,7 +190,7 @@ pub fn grid_ramp_surcharge(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{run_over, BalancedPolicy, RunOptions};
+    use crate::driver::{run_with, BalancedPolicy, RunOptions};
     use palb_cluster::presets;
     use palb_workload::synthetic::constant_trace;
 
@@ -276,9 +276,9 @@ mod tests {
         }];
         let src = SlotSystems::from_effects(base.clone(), &effects, 3).unwrap();
         let mut p1 = BalancedPolicy;
-        let patched = run_over(&mut p1, &src, &trace, &RunOptions::at(0)).unwrap();
+        let patched = run_with(&mut p1, &src, &trace, &RunOptions::at(0)).unwrap();
         let mut p2 = BalancedPolicy;
-        let clean = run_over(&mut p2, &base, &trace, &RunOptions::at(0)).unwrap();
+        let clean = run_with(&mut p2, &base, &trace, &RunOptions::at(0)).unwrap();
         assert_eq!(patched.result.decisions[0], clean.result.decisions[0]);
         assert_eq!(patched.result.decisions[2], clean.result.decisions[2]);
         assert!(
@@ -292,7 +292,7 @@ mod tests {
         let base = presets::section_vi();
         // Constant load → constant dispatch → zero ramping surcharge.
         let trace = constant_trace(vec![vec![500.0, 0.0, 0.0]; 4], 4);
-        let run = run_over(
+        let run = run_with(
             &mut BalancedPolicy,
             &base,
             &trace,
@@ -315,7 +315,7 @@ mod tests {
             rates.push(vec![vec![r, 0.0, 0.0]; 4]);
         }
         let swing_trace = palb_workload::Trace::new(rates);
-        let swing_run = run_over(
+        let swing_run = run_with(
             &mut BalancedPolicy,
             &base,
             &swing_trace,

@@ -1,0 +1,482 @@
+//! The unified solver entry point: one [`SolverConfig`] describes *which*
+//! multilevel solver runs ([`SolverKind`]) and *how much* it may spend
+//! ([`SolverBudget`]), replacing the ad-hoc `BbOptions` field plumbing
+//! that every call site used to assemble by hand.
+//!
+//! Three kinds share the config:
+//!
+//! * [`SolverKind::Exact`] — the branch-and-bound of
+//!   [`crate::multilevel::solve_bb`], bit-for-bit unchanged. This is the
+//!   default; `SolverConfig::exact()` with a default budget behaves
+//!   exactly like the old `BbOptions::default()`.
+//! * [`SolverKind::Anytime`] — the seed-pure population search of
+//!   [`crate::portfolio`]: parallel evolution branches over level
+//!   assignments with a shared dominance population and a no-improvement
+//!   termination quota. Never proves optimality; scales to systems where
+//!   the exact tree explodes.
+//! * [`SolverKind::Portfolio`] — both at once, racing through a shared
+//!   atomic incumbent: the anytime side's improvements prune the exact
+//!   tree, the exact side stops the anytime search when it proves
+//!   optimality, and a wall-clock budget stops whoever is still running.
+//!
+//! Construction is builder-style and total — every method is infallible
+//! and the config is ready to use at any point:
+//!
+//! ```
+//! use palb_core::solver::{SolverBudget, SolverConfig};
+//! let cfg = SolverConfig::exact()
+//!     .threads(8)
+//!     .budget(SolverBudget::nodes(50_000).wall_clock_ms(250));
+//! assert_eq!(cfg.threads, 8);
+//! ```
+
+use std::fmt;
+
+use palb_cluster::System;
+use palb_lp::SolveOptions;
+
+use crate::error::CoreError;
+use crate::formulate::WorkspacePool;
+use crate::multilevel::MultilevelResult;
+use crate::obs::Recorder;
+
+/// Which multilevel search a [`SolverConfig`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Exact branch-and-bound over per-(class, server) level choices.
+    Exact,
+    /// Population-based anytime search (never proves optimality).
+    Anytime,
+    /// Anytime search racing the exact solver through a shared incumbent.
+    Portfolio,
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SolverKind::Exact => "exact",
+            SolverKind::Anytime => "anytime",
+            SolverKind::Portfolio => "portfolio",
+        })
+    }
+}
+
+/// How much a solve may spend, across all [`SolverKind`]s: exact search
+/// counts tree nodes, the anytime search counts LP evaluations, and both
+/// honor the optional wall clock. Unset limits never bind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverBudget {
+    /// Hard cap on explored nodes (exact) or LP evaluations (anytime).
+    /// The result is still the best incumbent, flagged not proven optimal
+    /// when the cap binds.
+    pub max_nodes: usize,
+    /// Wall-clock cutoff in milliseconds. Checked at node/generation
+    /// granularity, so a solve may overshoot by one LP bound. Wall-clock
+    /// stops are inherently scheduling-dependent and sit outside the
+    /// determinism contract (see DESIGN.md §14).
+    pub wall_clock_ms: Option<u64>,
+    /// Anytime termination quota: stop after this many consecutive
+    /// generations without a strict improvement of the best objective.
+    /// Ignored by the exact search.
+    pub no_improve_quota: Option<usize>,
+}
+
+impl Default for SolverBudget {
+    fn default() -> Self {
+        SolverBudget {
+            max_nodes: 200_000,
+            wall_clock_ms: None,
+            no_improve_quota: None,
+        }
+    }
+}
+
+impl SolverBudget {
+    /// A budget capped at `max_nodes` nodes/evaluations, no wall clock.
+    pub fn nodes(max_nodes: usize) -> Self {
+        SolverBudget {
+            max_nodes,
+            ..SolverBudget::default()
+        }
+    }
+
+    /// Sets the wall-clock cutoff in milliseconds.
+    pub fn wall_clock_ms(mut self, ms: u64) -> Self {
+        self.wall_clock_ms = Some(ms);
+        self
+    }
+
+    /// Sets the anytime no-improvement termination quota.
+    pub fn no_improve_quota(mut self, generations: usize) -> Self {
+        self.no_improve_quota = Some(generations);
+        self
+    }
+}
+
+/// Options for every multilevel solver, built fluently from one of the
+/// kind constructors ([`SolverConfig::exact`], [`SolverConfig::anytime`],
+/// [`SolverConfig::portfolio`]). Fields stay public so struct-update
+/// syntax keeps working, but call sites should prefer the builder
+/// methods (the `bb-options` xtask lint flags leftover `BbOptions`
+/// literals).
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Which search runs. Defaults to [`SolverKind::Exact`].
+    pub kind: SolverKind,
+    /// Node/evaluation, wall-clock and quota limits.
+    pub budget: SolverBudget,
+    /// Exploit server homogeneity: only explore level assignments whose
+    /// per-server level tuples are lexicographically non-decreasing within
+    /// each data center. Lossless and usually exponentially cheaper. The
+    /// anytime search always canonicalizes to this form.
+    pub symmetry_breaking: bool,
+    /// Relative optimality gap below which an exact node is pruned.
+    pub gap_tol: f64,
+    /// LP solver options used for every node bound / evaluation (and for
+    /// the incumbent seeds), so callers can impose per-solve budgets.
+    pub lp: SolveOptions,
+    /// Solve interior exact-node bounds by patching a persistent LP
+    /// workspace and warm-starting the simplex from the parent's basis.
+    /// Leaves, incumbent seeds and anytime evaluations always go through
+    /// the cold full path, so the returned incumbent is bit-for-bit
+    /// independent of this flag; only wall-clock changes.
+    pub incremental: bool,
+    /// Worker threads. For [`SolverKind::Exact`] this is the in-slot
+    /// parallel tree search (see the determinism contract in
+    /// [`crate::multilevel`]); for the anytime search it parallelizes
+    /// per-generation offspring evaluation (results are thread-invariant
+    /// by construction); for the portfolio it is split across the two
+    /// racing sides.
+    pub threads: usize,
+    /// Seed for the anytime search's deterministic RNG streams. Two runs
+    /// with the same seed, budget and quota produce identical incumbents
+    /// at every thread count.
+    pub seed: u64,
+    /// Parallel evolution branches feeding the shared dominance
+    /// population (anytime/portfolio only).
+    pub branches: usize,
+    /// Dominance-population capacity: how many elite assignments survive
+    /// each generation (anytime/portfolio only).
+    pub population: usize,
+    /// Offspring each branch proposes per generation (anytime/portfolio
+    /// only).
+    pub offspring: usize,
+    /// Evaluation-cache capacity in entries; `0` disables the cache. The
+    /// cache memoizes level-assignment → LP outcome across moves and is
+    /// bitwise-invisible: on or off, the incumbent is identical (only
+    /// wall-clock and the `cache_*` telemetry change).
+    pub cache_capacity: usize,
+    /// Observability recorder the solver reports through. Defaults to the
+    /// no-op recorder. Recording never participates in the determinism
+    /// contract.
+    pub obs: Recorder,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            kind: SolverKind::Exact,
+            budget: SolverBudget::default(),
+            symmetry_breaking: true,
+            gap_tol: 1e-7,
+            lp: SolveOptions::default(),
+            incremental: true,
+            threads: 1,
+            seed: 0x5eed_1ab5,
+            branches: 4,
+            population: 16,
+            offspring: 4,
+            cache_capacity: 8_192,
+            obs: Recorder::noop(),
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Exact branch-and-bound with default options — behaviorally
+    /// identical to the historical `BbOptions::default()`.
+    pub fn exact() -> Self {
+        SolverConfig::default()
+    }
+
+    /// Anytime population search with a default termination quota of 8
+    /// generations and a 4 096-evaluation cap.
+    pub fn anytime() -> Self {
+        SolverConfig {
+            kind: SolverKind::Anytime,
+            budget: SolverBudget {
+                max_nodes: 4_096,
+                wall_clock_ms: None,
+                no_improve_quota: Some(8),
+            },
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Portfolio: anytime search racing the exact solver. Defaults to the
+    /// anytime budget on the heuristic side and the exact node cap on the
+    /// tree side; add a wall-clock budget to bound the race. The
+    /// population parameters are wider than [`SolverConfig::anytime`]'s
+    /// (calibrated on the `repro portfolio` scale gate, where the lean
+    /// defaults stall in a local optimum well before the budget runs
+    /// out): eight branches keep proposal diversity high enough that the
+    /// no-improvement quota keeps resetting instead of tripping early.
+    pub fn portfolio() -> Self {
+        SolverConfig {
+            kind: SolverKind::Portfolio,
+            budget: SolverBudget {
+                no_improve_quota: Some(8),
+                ..SolverBudget::default()
+            },
+            branches: 8,
+            population: 24,
+            offspring: 6,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Sets the worker thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the whole budget.
+    pub fn budget(mut self, budget: SolverBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets only the node/evaluation cap, keeping the other limits.
+    pub fn max_nodes(mut self, max_nodes: usize) -> Self {
+        self.budget.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the relative optimality gap for exact pruning.
+    pub fn gap_tol(mut self, gap_tol: f64) -> Self {
+        self.gap_tol = gap_tol;
+        self
+    }
+
+    /// Replaces the LP solver options.
+    pub fn lp(mut self, lp: SolveOptions) -> Self {
+        self.lp = lp;
+        self
+    }
+
+    /// Enables or disables symmetry breaking.
+    pub fn symmetry_breaking(mut self, on: bool) -> Self {
+        self.symmetry_breaking = on;
+        self
+    }
+
+    /// Enables or disables warm-started incremental node bounds.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Sets the anytime RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of evolution branches (clamped to at least 1).
+    pub fn branches(mut self, branches: usize) -> Self {
+        self.branches = branches.max(1);
+        self
+    }
+
+    /// Sets the evaluation-cache capacity (`0` disables the cache).
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Attaches an observability recorder.
+    pub fn obs(mut self, obs: Recorder) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Finishes the builder into a reusable [`ConfiguredSolver`] that
+    /// keeps its warm-start workspace pool across solves.
+    pub fn build(self) -> ConfiguredSolver {
+        ConfiguredSolver::new(self)
+    }
+}
+
+/// A per-slot multilevel solver. The unified object interface over the
+/// exact, anytime and portfolio searches: policies and drivers hold a
+/// `dyn Solver` (or a [`ConfiguredSolver`]) and never match on the kind
+/// themselves.
+pub trait Solver {
+    /// Display name used in reports (`"exact"`, `"anytime"`, …).
+    fn name(&self) -> &str;
+
+    /// Solves one slot's multilevel problem.
+    fn solve(
+        &mut self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+    ) -> Result<MultilevelResult, CoreError>;
+}
+
+/// The [`Solver`] a [`SolverConfig`] describes, with a persistent
+/// warm-start [`WorkspacePool`] so repeated solves (slot after slot)
+/// reuse assembled LPs and their bases.
+pub struct ConfiguredSolver {
+    cfg: SolverConfig,
+    pool: WorkspacePool,
+}
+
+impl std::fmt::Debug for ConfiguredSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConfiguredSolver")
+            .field("cfg", &self.cfg)
+            .field("workspace_ready", &!self.pool.is_empty())
+            .finish()
+    }
+}
+
+impl ConfiguredSolver {
+    /// A solver for the given config with an empty workspace pool.
+    pub fn new(cfg: SolverConfig) -> Self {
+        ConfiguredSolver {
+            cfg,
+            pool: WorkspacePool::default(),
+        }
+    }
+
+    /// The configuration this solver runs.
+    pub fn config(&self) -> &SolverConfig {
+        &self.cfg
+    }
+}
+
+impl Solver for ConfiguredSolver {
+    fn name(&self) -> &str {
+        match self.cfg.kind {
+            SolverKind::Exact => "exact",
+            SolverKind::Anytime => "anytime",
+            SolverKind::Portfolio => "portfolio",
+        }
+    }
+
+    fn solve(
+        &mut self,
+        system: &System,
+        rates: &[Vec<f64>],
+        slot: usize,
+    ) -> Result<MultilevelResult, CoreError> {
+        solve_with_in(&mut self.pool, system, rates, slot, &self.cfg)
+    }
+}
+
+/// Solves one slot under `cfg`, dispatching on [`SolverConfig::kind`].
+/// For [`SolverKind::Exact`] this is exactly [`crate::multilevel::solve_bb`].
+pub fn solve_with(
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    cfg: &SolverConfig,
+) -> Result<MultilevelResult, CoreError> {
+    let mut pool = WorkspacePool::default();
+    solve_with_in(&mut pool, system, rates, slot, cfg)
+}
+
+/// [`solve_with`] against a caller-owned workspace pool (the portfolio
+/// race spawns its own per-side pools; the pool serves the exact and
+/// anytime paths).
+pub(crate) fn solve_with_in(
+    pool: &mut WorkspacePool,
+    system: &System,
+    rates: &[Vec<f64>],
+    slot: usize,
+    cfg: &SolverConfig,
+) -> Result<MultilevelResult, CoreError> {
+    match cfg.kind {
+        SolverKind::Exact => crate::multilevel::solve_bb_in(pool, system, rates, slot, cfg),
+        SolverKind::Anytime => crate::portfolio::solve_anytime_in(pool, system, rates, slot, cfg),
+        SolverKind::Portfolio => crate::portfolio::solve_portfolio(system, rates, slot, cfg),
+    }
+}
+
+/// Parses a solver kind name as accepted by the CLI `--solver` flag.
+/// `"uniform"` is not a [`SolverKind`] — the CLI maps it to the
+/// uniform-level heuristic policy before reaching this parser.
+pub fn parse_solver_kind(name: &str) -> Option<SolverKind> {
+    match name {
+        "exact" => Some(SolverKind::Exact),
+        "anytime" => Some(SolverKind::Anytime),
+        "portfolio" => Some(SolverKind::Portfolio),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_left_to_right() {
+        let cfg = SolverConfig::exact()
+            .threads(8)
+            .budget(
+                SolverBudget::nodes(77)
+                    .wall_clock_ms(250)
+                    .no_improve_quota(3),
+            )
+            .gap_tol(1e-6)
+            .seed(42)
+            .branches(2)
+            .cache_capacity(0);
+        assert_eq!(cfg.kind, SolverKind::Exact);
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.budget.max_nodes, 77);
+        assert_eq!(cfg.budget.wall_clock_ms, Some(250));
+        assert_eq!(cfg.budget.no_improve_quota, Some(3));
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.branches, 2);
+        assert_eq!(cfg.cache_capacity, 0);
+    }
+
+    #[test]
+    fn kind_constructors_set_kind_and_defaults() {
+        assert_eq!(SolverConfig::exact().kind, SolverKind::Exact);
+        assert_eq!(SolverConfig::anytime().kind, SolverKind::Anytime);
+        assert_eq!(SolverConfig::portfolio().kind, SolverKind::Portfolio);
+        // The exact default budget is the historical BbOptions default.
+        assert_eq!(SolverConfig::exact().budget.max_nodes, 200_000);
+        assert!(SolverConfig::anytime().budget.no_improve_quota.is_some());
+    }
+
+    #[test]
+    fn thread_and_branch_clamps() {
+        assert_eq!(SolverConfig::exact().threads(0).threads, 1);
+        assert_eq!(SolverConfig::anytime().branches(0).branches, 1);
+    }
+
+    #[test]
+    fn parse_solver_kind_accepts_cli_names() {
+        assert_eq!(parse_solver_kind("exact"), Some(SolverKind::Exact));
+        assert_eq!(parse_solver_kind("anytime"), Some(SolverKind::Anytime));
+        assert_eq!(parse_solver_kind("portfolio"), Some(SolverKind::Portfolio));
+        assert_eq!(parse_solver_kind("uniform"), None);
+        assert_eq!(parse_solver_kind(""), None);
+    }
+
+    #[test]
+    fn display_names_round_trip_through_the_parser() {
+        for kind in [
+            SolverKind::Exact,
+            SolverKind::Anytime,
+            SolverKind::Portfolio,
+        ] {
+            assert_eq!(parse_solver_kind(&kind.to_string()), Some(kind));
+        }
+    }
+}

@@ -16,7 +16,7 @@ use std::time::Instant;
 use palb_cluster::{presets, System};
 use palb_core::multilevel::MultilevelResult;
 use palb_core::obs::{names, spans, Recorder, Registry, SPAN_SECONDS, SPAN_TOTAL};
-use palb_core::{run, run_with, solve_bb, BbOptions, ResilientPolicy, RunOptions};
+use palb_core::{run_with, solve_bb, ResilientPolicy, RunOptions, SolverConfig};
 use palb_workload::synthetic::constant_trace;
 
 /// The Fig. 11 reference shape: the §VII two-class / two-DC system on a
@@ -41,28 +41,17 @@ fn assert_same_bits(a: &MultilevelResult, b: &MultilevelResult, label: &str) {
 #[test]
 fn recorder_is_bitwise_invisible_at_every_thread_count() {
     let (sys, rates, slot) = fig11_like();
-    let baseline = solve_bb(&sys, &rates, slot, &BbOptions::default()).unwrap();
+    let baseline = solve_bb(&sys, &rates, slot, &SolverConfig::exact()).unwrap();
     for threads in [1usize, 2, 4, 8] {
-        let noop = solve_bb(
-            &sys,
-            &rates,
-            slot,
-            &BbOptions {
-                threads,
-                ..BbOptions::default()
-            },
-        )
-        .unwrap();
+        let noop = solve_bb(&sys, &rates, slot, &SolverConfig::exact().threads(threads)).unwrap();
         let registry = Arc::new(Registry::new());
         let instrumented = solve_bb(
             &sys,
             &rates,
             slot,
-            &BbOptions {
-                threads,
-                obs: Recorder::attached(Arc::clone(&registry)),
-                ..BbOptions::default()
-            },
+            &SolverConfig::exact()
+                .threads(threads)
+                .obs(Recorder::attached(Arc::clone(&registry))),
         )
         .unwrap();
         assert_same_bits(
@@ -106,7 +95,14 @@ fn recorder_is_bitwise_invisible_at_every_thread_count() {
 fn instrumented_driver_matches_plain_run_and_exports_slot_families() {
     let (sys, rates, slot) = fig11_like();
     let trace = constant_trace(rates, 3);
-    let plain = run(&mut ResilientPolicy::default(), &sys, &trace, slot).unwrap();
+    let plain = run_with(
+        &mut ResilientPolicy::default(),
+        &sys,
+        &trace,
+        &RunOptions::at(slot),
+    )
+    .unwrap()
+    .result;
 
     let registry = Arc::new(Registry::new());
     let opts = RunOptions::at(slot).with_obs(Recorder::attached(Arc::clone(&registry)));
@@ -144,7 +140,7 @@ fn noop_recorder_overhead_is_negligible() {
     // this test just catches gross regressions like an unconditional
     // clock read per node.)
     let (sys, rates, slot) = fig11_like();
-    let min_of = |opts: &BbOptions| -> f64 {
+    let min_of = |opts: &SolverConfig| -> f64 {
         (0..3)
             .map(|_| {
                 let t = Instant::now();
@@ -153,12 +149,9 @@ fn noop_recorder_overhead_is_negligible() {
             })
             .fold(f64::INFINITY, f64::min)
     };
-    let noop_ms = min_of(&BbOptions::default());
+    let noop_ms = min_of(&SolverConfig::exact());
     let registry = Arc::new(Registry::new());
-    let attached_ms = min_of(&BbOptions {
-        obs: Recorder::attached(registry),
-        ..BbOptions::default()
-    });
+    let attached_ms = min_of(&SolverConfig::exact().obs(Recorder::attached(registry)));
     assert!(
         noop_ms <= attached_ms * 1.5 + 20.0,
         "noop run took {noop_ms:.2} ms vs attached {attached_ms:.2} ms"

@@ -9,7 +9,9 @@
 
 use palb_cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
 use palb_core::multilevel::MultilevelResult;
-use palb_core::{run, solve_bb, BbOptions, CoreError, ResilientOptions, ResilientPolicy};
+use palb_core::{
+    run_with, solve_bb, CoreError, ResilientOptions, ResilientPolicy, RunOptions, SolverConfig,
+};
 use palb_tuf::StepTuf;
 use palb_workload::fault::SolverFaultSchedule;
 use palb_workload::synthetic::constant_trace;
@@ -91,7 +93,7 @@ fn build(inst: &Instance) -> System {
 
 /// Bit-identical when the objectives tie exactly (the generic case);
 /// otherwise both must sit within the gap band of each other — the
-/// documented near-tie carve-out of `BbOptions::threads`.
+/// documented near-tie carve-out of `SolverConfig::threads`.
 fn check_pair(
     a: &MultilevelResult,
     b: &MultilevelResult,
@@ -100,7 +102,7 @@ fn check_pair(
     if a.solve.objective.to_bits() == b.solve.objective.to_bits() {
         assert_same_bits(b, a, label);
     } else {
-        let band = BbOptions::default().gap_tol * (1.0 + a.solve.objective.abs());
+        let band = SolverConfig::exact().gap_tol * (1.0 + a.solve.objective.abs());
         prop_assert!(
             (a.solve.objective - b.solve.objective).abs() <= band,
             "{label}: objective drift beyond the gap band: {} vs {}",
@@ -134,12 +136,12 @@ proptest! {
     fn parallel_bb_is_bitwise_deterministic(inst in instance()) {
         let sys = build(&inst);
         let rates = vec![inst.offered.clone()];
-        let seq = solve_bb(&sys, &rates, 0, &BbOptions::default());
+        let seq = solve_bb(&sys, &rates, 0, &SolverConfig::exact());
         let solve = |threads: usize| solve_bb(
             &sys,
             &rates,
             0,
-            &BbOptions { threads, ..BbOptions::default() },
+            &SolverConfig::exact().threads(threads),
         );
         let p2 = solve(2);
         let p4 = solve(4);
@@ -167,17 +169,17 @@ proptest! {
     ) {
         let sys = build(&inst);
         let trace = constant_trace(vec![inst.offered.clone()], 2);
-        let run_with = |threads: usize| {
+        let run_at = |threads: usize| {
             let opts = ResilientOptions {
-                bb: BbOptions { threads, ..BbOptions::default() },
+                solver: SolverConfig::exact().threads(threads),
                 ..ResilientOptions::default()
             };
             let mut policy = ResilientPolicy::new(opts)
                 .with_chaos(SolverFaultSchedule::new(fault_rate, seed));
-            run(&mut policy, &sys, &trace, 0).expect("the ladder is infallible")
+            run_with(&mut policy, &sys, &trace, &RunOptions::at(0)).expect("the ladder is infallible").result
         };
-        let seq = run_with(1);
-        let par = run_with(2);
+        let seq = run_at(1);
+        let par = run_at(2);
         // The fault-handling history is thread-independent, and profits
         // agree with the sequential reference to within the gap band.
         for (a, b) in seq.slots.iter().zip(&par.slots) {

@@ -3,7 +3,7 @@
 //! level assignment, and optimality proof — as the sequential reference,
 //! on clean runs and under injected solver faults alike.
 //!
-//! The one carve-out (see `BbOptions::threads` and DESIGN.md): when two
+//! The one carve-out (see `SolverConfig::threads` and DESIGN.md): when two
 //! distinct assignments score within `gap_tol` of each other in the
 //! decisive window, the gap prune makes the surviving near-tie a
 //! function of search history, which the frontier split perturbs. In
@@ -13,7 +13,7 @@
 
 use palb_cluster::{presets, DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
 use palb_core::multilevel::MultilevelResult;
-use palb_core::{run, solve_bb, BbOptions, ResilientOptions, ResilientPolicy};
+use palb_core::{run_with, solve_bb, ResilientOptions, ResilientPolicy, RunOptions, SolverConfig};
 use palb_tuf::StepTuf;
 use palb_workload::fault::SolverFaultSchedule;
 use palb_workload::synthetic::constant_trace;
@@ -61,18 +61,10 @@ fn every_thread_count_returns_the_sequential_bits_on_tiny_systems() {
         let sys = tiny(servers);
         for offered in [30.0, 90.0, 150.0, 250.0] {
             let rates = vec![vec![offered]];
-            let seq = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+            let seq = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
             for threads in [2, 3, 4, 8] {
-                let par = solve_bb(
-                    &sys,
-                    &rates,
-                    0,
-                    &BbOptions {
-                        threads,
-                        ..BbOptions::default()
-                    },
-                )
-                .unwrap();
+                let par =
+                    solve_bb(&sys, &rates, 0, &SolverConfig::exact().threads(threads)).unwrap();
                 assert_same_bits(&par, &seq, &format!("{servers}sv {offered}r t{threads}"));
             }
         }
@@ -86,19 +78,10 @@ fn every_thread_count_returns_the_sequential_bits_on_section_vii() {
         vec![vec![40_000.0, 35_000.0]],
         vec![vec![15_000.0, 60_000.0]],
     ] {
-        let seq = solve_bb(&sys, &rates, 13, &BbOptions::default()).unwrap();
+        let seq = solve_bb(&sys, &rates, 13, &SolverConfig::exact()).unwrap();
         assert!(seq.proven_optimal);
         for threads in [2, 4, 8] {
-            let par = solve_bb(
-                &sys,
-                &rates,
-                13,
-                &BbOptions {
-                    threads,
-                    ..BbOptions::default()
-                },
-            )
-            .unwrap();
+            let par = solve_bb(&sys, &rates, 13, &SolverConfig::exact().threads(threads)).unwrap();
             assert_same_bits(&par, &seq, &format!("section vii t{threads}"));
         }
     }
@@ -109,18 +92,16 @@ fn parallel_and_cold_modes_compose_deterministically() {
     // threads x incremental: all four corners must agree bit-for-bit.
     let sys = tiny(2);
     let rates = vec![vec![150.0]];
-    let reference = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+    let reference = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
     for incremental in [false, true] {
         for threads in [1, 2, 4] {
             let r = solve_bb(
                 &sys,
                 &rates,
                 0,
-                &BbOptions {
-                    incremental,
-                    threads,
-                    ..BbOptions::default()
-                },
+                &SolverConfig::exact()
+                    .incremental(incremental)
+                    .threads(threads),
             )
             .unwrap();
             assert_same_bits(&r, &reference, &format!("inc={incremental} t{threads}"));
@@ -139,20 +120,19 @@ fn resilient_ladder_under_faults_agrees_across_thread_counts() {
     // the contract is covered by the clean-config tests above).
     let sys = presets::section_vii();
     let trace = constant_trace(vec![vec![30_000.0, 25_000.0]], 4);
-    let run_with = |threads: usize| {
+    let run_at = |threads: usize| {
         let opts = ResilientOptions {
-            bb: BbOptions {
-                threads,
-                ..BbOptions::default()
-            },
+            solver: SolverConfig::exact().threads(threads),
             ..ResilientOptions::default()
         };
         let mut policy = ResilientPolicy::new(opts).with_chaos(SolverFaultSchedule::new(0.4, 77));
-        run(&mut policy, &sys, &trace, 13).unwrap()
+        run_with(&mut policy, &sys, &trace, &RunOptions::at(13))
+            .unwrap()
+            .result
     };
-    let seq = run_with(1);
+    let seq = run_at(1);
     for threads in [2usize, 4] {
-        let par = run_with(threads);
+        let par = run_at(threads);
         for (a, b) in seq.slots.iter().zip(&par.slots) {
             let (ha, hb) = (a.health.as_ref().unwrap(), b.health.as_ref().unwrap());
             assert_eq!(

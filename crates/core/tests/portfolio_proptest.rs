@@ -1,0 +1,186 @@
+//! Property tests of the anytime portfolio's determinism contract on
+//! randomized small systems: for a fixed seed the anytime search is
+//! **seed-pure** (two runs agree bit-for-bit), **thread-invariant**
+//! (threads 1/2/4/8 return the same final incumbent, bitwise), and the
+//! evaluation cache is **bitwise-invisible** (cache on/off changes only
+//! the `cache_*` telemetry, never the incumbent). On the same tiny
+//! instances the portfolio race must come back `proven_optimal` with
+//! the exact solver's objective verbatim.
+//!
+//! These mirror the deterministic fixed-instance tests inside
+//! `palb_core::portfolio`; here the instances are drawn from the same
+//! randomized family as `parallel_bb_proptest.rs`.
+
+use palb_cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
+use palb_core::multilevel::MultilevelResult;
+use palb_core::{solve_bb, solve_with, SolverConfig};
+use palb_tuf::StepTuf;
+use proptest::prelude::*;
+
+/// Parameters of one randomized instance (same family as the parallel
+/// B&B property tests: wide continuous utility/margin ranges, so exact
+/// objective ties between different assignments have probability zero).
+#[derive(Debug, Clone)]
+struct Instance {
+    classes: Vec<(f64, f64, f64, f64)>, // (u1, margin1, u2, margin2)
+    dcs: Vec<(usize, f64, f64)>,        // (servers, price, service_rate)
+    offered: Vec<f64>,                  // per class
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    let class = (3.0f64..6.0, 20.0f64..60.0, 0.3f64..1.5, 2.0f64..8.0)
+        .prop_map(|(u1, m1, du, m2)| (u1, m1, u1 - du, m2));
+    let dc = (1usize..=3, 0.05f64..0.3, 80.0f64..120.0);
+    (
+        proptest::collection::vec(class, 1..=2),
+        proptest::collection::vec(dc, 1..=2),
+        0.2f64..2.0,
+    )
+        .prop_map(|(classes, dcs, load)| {
+            let total_rate: f64 = dcs.iter().map(|&(m, _, r)| m as f64 * r).sum();
+            let offered = classes
+                .iter()
+                .enumerate()
+                .map(|(k, _)| load * total_rate / (classes.len() + k) as f64)
+                .collect();
+            Instance {
+                classes,
+                dcs,
+                offered,
+            }
+        })
+}
+
+fn build(inst: &Instance) -> System {
+    let classes: Vec<RequestClass> = inst
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(k, &(u1, m1, u2, m2))| RequestClass {
+            name: format!("r{k}"),
+            tuf: StepTuf::two_level(u1, 1.0 / m1, u2, 1.0 / m2).expect("valid two-level tuf"),
+            transfer_cost_per_mile: 0.0,
+        })
+        .collect();
+    let n_classes = classes.len();
+    let data_centers: Vec<DataCenter> = inst
+        .dcs
+        .iter()
+        .enumerate()
+        .map(|(l, &(servers, price, rate))| DataCenter {
+            name: format!("dc{l}"),
+            servers,
+            capacity: 1.0,
+            service_rate: vec![rate; n_classes],
+            energy_per_request: vec![1.0; n_classes],
+            pue: 1.0,
+            prices: PriceSchedule::flat(price, 24),
+        })
+        .collect();
+    let system = System {
+        classes,
+        front_ends: vec![FrontEnd { name: "fe".into() }],
+        distance: vec![vec![0.0; data_centers.len()]],
+        data_centers,
+        slot_length: 1.0,
+    };
+    system.validate().expect("generated system is valid");
+    system
+}
+
+fn assert_same_bits(
+    a: &MultilevelResult,
+    b: &MultilevelResult,
+    label: &str,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(
+        a.solve.objective.to_bits(),
+        b.solve.objective.to_bits(),
+        "{}: objective {} vs {}",
+        label,
+        a.solve.objective,
+        b.solve.objective
+    );
+    prop_assert_eq!(
+        &a.assignment,
+        &b.assignment,
+        "{}: assignment drifted",
+        label
+    );
+    prop_assert_eq!(a.nodes, b.nodes, "{}: evaluation count drifted", label);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same budget → bit-for-bit identical incumbents, at
+    /// any thread count. Threads only change who evaluates a proposal,
+    /// never which proposals exist or how the population sorts.
+    #[test]
+    fn anytime_is_seed_pure_and_thread_invariant(
+        inst in instance(),
+        seed in 0u64..1_000,
+    ) {
+        let sys = build(&inst);
+        let rates = vec![inst.offered.clone()];
+        let base = solve_with(&sys, &rates, 0, &SolverConfig::anytime().seed(seed)).unwrap();
+        let again = solve_with(&sys, &rates, 0, &SolverConfig::anytime().seed(seed)).unwrap();
+        assert_same_bits(&base, &again, "rerun with the same seed")?;
+        for threads in [2usize, 4, 8] {
+            let par = solve_with(
+                &sys,
+                &rates,
+                0,
+                &SolverConfig::anytime().seed(seed).threads(threads),
+            )
+            .unwrap();
+            assert_same_bits(&base, &par, &format!("threads {threads}"))?;
+        }
+    }
+
+    /// Disabling the evaluation cache changes telemetry, never the
+    /// incumbent: the budget counts logical evaluations (hits and
+    /// misses alike), so the search trajectory is cache-independent.
+    #[test]
+    fn eval_cache_is_bitwise_invisible(
+        inst in instance(),
+        seed in 0u64..1_000,
+    ) {
+        let sys = build(&inst);
+        let rates = vec![inst.offered.clone()];
+        let on = solve_with(&sys, &rates, 0, &SolverConfig::anytime().seed(seed)).unwrap();
+        let off = solve_with(
+            &sys,
+            &rates,
+            0,
+            &SolverConfig::anytime().seed(seed).cache_capacity(0),
+        )
+        .unwrap();
+        assert_same_bits(&on, &off, "cache on vs off")?;
+        prop_assert_eq!(off.stats.cache_hits + off.stats.cache_misses, 0);
+    }
+
+    /// On instances small enough for the exact side to finish, the
+    /// portfolio race returns the exact branch-and-bound's answer
+    /// verbatim and marks it proven.
+    #[test]
+    fn portfolio_agrees_with_exact_on_small_instances(
+        inst in instance(),
+        seed in 0u64..1_000,
+    ) {
+        let sys = build(&inst);
+        let rates = vec![inst.offered.clone()];
+        let exact = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
+        let port = solve_with(&sys, &rates, 0, &SolverConfig::portfolio().seed(seed)).unwrap();
+        prop_assert!(port.proven_optimal, "exact side should finish on tiny instances");
+        prop_assert_eq!(
+            port.solve.objective.to_bits(),
+            exact.solve.objective.to_bits(),
+            "portfolio objective {} vs exact {}",
+            port.solve.objective,
+            exact.solve.objective
+        );
+        prop_assert_eq!(&port.assignment, &exact.assignment);
+    }
+}

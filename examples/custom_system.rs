@@ -12,7 +12,7 @@
 
 use palb::cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
 use palb::core::report::summary_table;
-use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::tuf::StepTuf;
 use palb::workload::diurnal::{generate, DiurnalConfig};
 
@@ -85,8 +85,17 @@ fn main() {
         ..DiurnalConfig::default()
     });
 
-    let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
-    let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
+    let optimized = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .expect("optimizer")
+    .result;
+    let balanced = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+        .expect("baseline")
+        .result;
     println!("{}", summary_table(&optimized, &balanced));
     println!(
         "profit-aware dispatch is worth {:+.1}% on this fleet",

@@ -11,7 +11,7 @@
 use palb::cluster::presets::{self, SECTION_VII_SLOTS, SECTION_VII_START_HOUR};
 use palb::cluster::ClassId;
 use palb::core::report::{dispatch_csv, summary_table};
-use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::workload::burst::{generate, BurstConfig};
 
 fn main() {
@@ -24,15 +24,22 @@ fn main() {
         ..BurstConfig::default()
     });
 
-    let optimized = run(
+    let optimized = run_with(
         &mut OptimizedPolicy::exact(),
         &system,
         &trace,
-        SECTION_VII_START_HOUR,
+        &RunOptions::at(SECTION_VII_START_HOUR),
     )
-    .expect("optimizer");
-    let balanced =
-        run(&mut BalancedPolicy, &system, &trace, SECTION_VII_START_HOUR).expect("baseline");
+    .expect("optimizer")
+    .result;
+    let balanced = run_with(
+        &mut BalancedPolicy,
+        &system,
+        &trace,
+        &RunOptions::at(SECTION_VII_START_HOUR),
+    )
+    .expect("baseline")
+    .result;
 
     println!("{}", summary_table(&optimized, &balanced));
 

@@ -7,7 +7,7 @@
 
 use palb::cluster::presets;
 use palb::core::report::summary_table;
-use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::workload::synthetic::constant_trace;
 
 fn main() {
@@ -39,11 +39,18 @@ fn main() {
 
         // The paper's profit-aware optimizer: one LP per slot here, since
         // §V uses one-level (constant) TUFs.
-        let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0)
-            .expect("optimizer solves the preset");
+        let optimized = run_with(
+            &mut OptimizedPolicy::exact(),
+            &system,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .expect("optimizer solves the preset")
+        .result;
         // The static baseline: even shares, cheapest-electricity-first.
-        let balanced =
-            run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline always succeeds");
+        let balanced = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+            .expect("baseline always succeeds")
+            .result;
 
         println!("=== {label} ===");
         println!("{}", summary_table(&optimized, &balanced));

@@ -10,14 +10,16 @@
 //! ```
 
 use palb::cluster::presets;
-use palb::core::{run, OptimizedPolicy, Policy, QuantileSlaPolicy};
+use palb::core::{run_with, OptimizedPolicy, Policy, QuantileSlaPolicy, RunOptions};
 use palb::queueing::des::{simulate_network, QueueSpec};
 use palb::workload::synthetic::constant_trace;
 
 fn replay(policy: &mut dyn Policy, label: &str) {
     let system = presets::section_v();
     let trace = constant_trace(presets::section_v_low_arrivals(), 1);
-    let result = run(policy, &system, &trace, 0).expect("policy solves");
+    let result = run_with(policy, &system, &trace, &RunOptions::at(0))
+        .expect("policy solves")
+        .result;
     let dispatch = &result.decisions[0];
     let dims = dispatch.dims().clone();
 

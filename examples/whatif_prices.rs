@@ -10,7 +10,7 @@
 
 use palb::cluster::{presets, ClassId};
 use palb::core::report::dispatch_share;
-use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::workload::burst::{generate, BurstConfig};
 
 fn main() {
@@ -30,8 +30,17 @@ fn main() {
         let mut system = presets::section_vii();
         system.data_centers[0].prices = system.data_centers[0].prices.scaled(mult);
 
-        let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, start).expect("optimizer");
-        let bal = run(&mut BalancedPolicy, &system, &trace, start).expect("baseline");
+        let opt = run_with(
+            &mut OptimizedPolicy::exact(),
+            &system,
+            &trace,
+            &RunOptions::at(start),
+        )
+        .expect("optimizer")
+        .result;
+        let bal = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(start))
+            .expect("baseline")
+            .result;
         let share = dispatch_share(&system, &opt, ClassId(1))[0].1;
         println!(
             "{mult:>15.1} | {:>13.2} | {:>13.2} | {:>27.1}%",

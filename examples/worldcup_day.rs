@@ -8,7 +8,7 @@
 
 use palb::cluster::{presets, ClassId};
 use palb::core::report::{dispatch_share, net_profit_csv};
-use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::workload::diurnal::{generate, DiurnalConfig};
 
 fn main() {
@@ -18,8 +18,17 @@ fn main() {
         ..DiurnalConfig::default()
     });
 
-    let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).expect("optimizer");
-    let balanced = run(&mut BalancedPolicy, &system, &trace, 0).expect("baseline");
+    let optimized = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .expect("optimizer")
+    .result;
+    let balanced = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+        .expect("baseline")
+        .result;
 
     println!("hourly net profit ($):");
     print!("{}", net_profit_csv(&optimized, &balanced));

@@ -24,15 +24,18 @@
 //!
 //! ```
 //! use palb::cluster::presets;
-//! use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+//! use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 //! use palb::workload::synthetic::constant_trace;
 //!
 //! // The paper's §V setup: 3 request classes, 4 front-ends, 3 data centers.
 //! let system = presets::section_v();
 //! let trace = constant_trace(presets::section_v_low_arrivals(), 1);
 //!
-//! let optimized = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
-//! let balanced = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+//! let opts = RunOptions::default();
+//! let optimized = run_with(&mut OptimizedPolicy::exact(), &system, &trace, &opts)
+//!     .unwrap()
+//!     .result;
+//! let balanced = run_with(&mut BalancedPolicy, &system, &trace, &opts).unwrap().result;
 //! assert!(optimized.total_net_profit() > balanced.total_net_profit());
 //! ```
 

@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 use palb::cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
 use palb::core::{
-    check_feasible, solve_bb, solve_bigm, solve_exhaustive, solve_uniform_levels, BbOptions,
-    BigMOptions,
+    check_feasible, solve_bb, solve_bigm, solve_exhaustive, solve_uniform_levels, BigMOptions,
+    SolverConfig,
 };
 use palb::tuf::StepTuf;
 
@@ -57,7 +57,7 @@ proptest! {
         let rates = vec![vec![offered]];
 
         let oracle = solve_exhaustive(&sys, &rates, 0).unwrap();
-        let bb = solve_bb(&sys, &rates, 0, &BbOptions::default()).unwrap();
+        let bb = solve_bb(&sys, &rates, 0, &SolverConfig::exact()).unwrap();
         let uni = solve_uniform_levels(&sys, &rates, 0).unwrap();
 
         prop_assert!(bb.proven_optimal);
@@ -110,13 +110,10 @@ fn symmetry_breaking_equals_plain_on_random_batch() {
             &sys,
             &rates,
             i,
-            &BbOptions {
-                symmetry_breaking: false,
-                ..BbOptions::default()
-            },
+            &SolverConfig::exact().symmetry_breaking(false),
         )
         .unwrap();
-        let sym = solve_bb(&sys, &rates, i, &BbOptions::default()).unwrap();
+        let sym = solve_bb(&sys, &rates, i, &SolverConfig::exact()).unwrap();
         assert!(
             (plain.solve.objective - sym.solve.objective).abs()
                 < 1e-6 * (1.0 + plain.solve.objective.abs())

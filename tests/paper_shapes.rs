@@ -3,7 +3,7 @@
 //! downstream user would.
 
 use palb::cluster::presets;
-use palb::core::{run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::workload::burst::{generate as burst, BurstConfig};
 use palb::workload::diurnal::{generate as diurnal, DiurnalConfig};
 use palb::workload::synthetic::constant_trace;
@@ -16,8 +16,17 @@ fn section_v_optimized_dominates_both_regimes() {
         presets::section_v_high_arrivals(),
     ] {
         let trace = constant_trace(rates, 1);
-        let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
-        let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+        let opt = run_with(
+            &mut OptimizedPolicy::exact(),
+            &system,
+            &trace,
+            &RunOptions::at(0),
+        )
+        .unwrap()
+        .result;
+        let bal = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+            .unwrap()
+            .result;
         assert!(opt.total_net_profit() > bal.total_net_profit());
     }
 }
@@ -28,8 +37,17 @@ fn section_v_heavy_load_processes_more_requests() {
     // substantially more requests under overload.
     let system = presets::section_v();
     let trace = constant_trace(presets::section_v_high_arrivals(), 1);
-    let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
-    let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+    let opt = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .unwrap()
+    .result;
+    let bal = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+        .unwrap()
+        .result;
     let gain = opt.total_completed() / bal.total_completed();
     assert!(
         (1.05..1.45).contains(&gain),
@@ -44,8 +62,17 @@ fn section_vi_gap_opens_midday_and_closes_at_night() {
         peak_rate: 80_000.0,
         ..DiurnalConfig::default()
     });
-    let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap();
-    let bal = run(&mut BalancedPolicy, &system, &trace, 0).unwrap();
+    let opt = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(0),
+    )
+    .unwrap()
+    .result;
+    let bal = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+        .unwrap()
+        .result;
 
     let rel_gap =
         |i: usize| (opt.slots[i].net_profit - bal.slots[i].net_profit) / bal.slots[i].net_profit;
@@ -70,8 +97,17 @@ fn section_vii_optimizer_wins_with_two_level_tufs() {
         ..BurstConfig::default()
     });
     let start = presets::SECTION_VII_START_HOUR;
-    let opt = run(&mut OptimizedPolicy::exact(), &system, &trace, start).unwrap();
-    let bal = run(&mut BalancedPolicy, &system, &trace, start).unwrap();
+    let opt = run_with(
+        &mut OptimizedPolicy::exact(),
+        &system,
+        &trace,
+        &RunOptions::at(start),
+    )
+    .unwrap()
+    .result;
+    let bal = run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(start))
+        .unwrap()
+        .result;
     assert!(opt.total_net_profit() > bal.total_net_profit());
     // Optimized completes more *and* spends more doing so (§VII-B2).
     assert!(opt.total_completed() > bal.total_completed());
@@ -80,7 +116,7 @@ fn section_vii_optimizer_wins_with_two_level_tufs() {
 
 #[test]
 fn uniform_solver_is_a_lower_bound_for_exact() {
-    use palb::core::{solve_bb, solve_uniform_levels, BbOptions};
+    use palb::core::{solve_bb, solve_uniform_levels, SolverConfig};
     let system = presets::section_vii();
     let trace = burst(&BurstConfig {
         mean_rate: 62_000.0,
@@ -91,7 +127,7 @@ fn uniform_solver_is_a_lower_bound_for_exact() {
     });
     for t in 0..trace.slots() {
         let slot = presets::SECTION_VII_START_HOUR + t;
-        let exact = solve_bb(&system, trace.slot(t), slot, &BbOptions::default()).unwrap();
+        let exact = solve_bb(&system, trace.slot(t), slot, &SolverConfig::exact()).unwrap();
         let uni = solve_uniform_levels(&system, trace.slot(t), slot).unwrap();
         assert!(
             uni.solve.objective <= exact.solve.objective * (1.0 + 1e-9) + 1e-9,
@@ -113,9 +149,18 @@ fn every_decision_is_feasible_across_a_whole_day() {
     });
     for policy_is_opt in [true, false] {
         let result = if policy_is_opt {
-            run(&mut OptimizedPolicy::exact(), &system, &trace, 0).unwrap()
+            run_with(
+                &mut OptimizedPolicy::exact(),
+                &system,
+                &trace,
+                &RunOptions::at(0),
+            )
+            .unwrap()
+            .result
         } else {
-            run(&mut BalancedPolicy, &system, &trace, 0).unwrap()
+            run_with(&mut BalancedPolicy, &system, &trace, &RunOptions::at(0))
+                .unwrap()
+                .result
         };
         for (t, d) in result.decisions.iter().enumerate() {
             check_feasible(&system, trace.slot(t), d, true, 1e-5)

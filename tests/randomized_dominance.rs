@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use palb::cluster::{DataCenter, FrontEnd, PriceSchedule, RequestClass, System};
-use palb::core::{evaluate, run, BalancedPolicy, OptimizedPolicy};
+use palb::core::{evaluate, run_with, BalancedPolicy, OptimizedPolicy, RunOptions};
 use palb::tuf::StepTuf;
 use palb::workload::synthetic::constant_trace;
 
@@ -87,12 +87,12 @@ proptest! {
         let per_class = mu_base * servers as f64 * dcs as f64 * load / 3.0;
         let trace = constant_trace(vec![vec![per_class, per_class * 0.8]], 1);
 
-        let opt = run(&mut OptimizedPolicy::exact(), &sys, &trace, 0);
+        let opt = run_with(&mut OptimizedPolicy::exact(), &sys, &trace, &RunOptions::at(0)).map(|p| p.result);
         let Ok(opt) = opt else {
             // Infeasible level reservations can legally occur; skip.
             return Ok(());
         };
-        let bal = run(&mut BalancedPolicy, &sys, &trace, 0).unwrap();
+        let bal = run_with(&mut BalancedPolicy, &sys, &trace, &RunOptions::at(0)).unwrap().result;
         prop_assert!(
             opt.total_net_profit() >= bal.total_net_profit() - 1e-6 * bal.total_net_profit().abs() - 1e-6,
             "optimizer {} lost to balanced {}",
@@ -131,8 +131,8 @@ proptest! {
             dc.prices = dc.prices.scaled(scale);
         }
         let trace = constant_trace(vec![vec![120.0, 90.0]], 1);
-        let a = run(&mut OptimizedPolicy::exact(), &base, &trace, 0).unwrap();
-        let b = run(&mut OptimizedPolicy::exact(), &scaled, &trace, 0).unwrap();
+        let a = run_with(&mut OptimizedPolicy::exact(), &base, &trace, &RunOptions::at(0)).unwrap().result;
+        let b = run_with(&mut OptimizedPolicy::exact(), &scaled, &trace, &RunOptions::at(0)).unwrap().result;
         prop_assert!(
             (b.total_net_profit() - scale * a.total_net_profit()).abs()
                 < 1e-5 * (1.0 + b.total_net_profit().abs()),

@@ -51,6 +51,9 @@ pub enum Rule {
     HotPath,
     /// A `"palb_…"` name literal outside the obs name registries.
     ObsNames,
+    /// A direct `BbOptions` use outside its deprecated-alias home; new
+    /// code builds a `SolverConfig` instead.
+    BbOptions, // palb:allow(bb-options): the rule's own discriminant
     /// Missing `#![forbid(unsafe_code)]` or lint-tier marker in a crate root.
     CrateHeader,
 }
@@ -63,6 +66,7 @@ impl Rule {
             Rule::Unwrap => "unwrap",
             Rule::HotPath => "hot-path",
             Rule::ObsNames => "obs-names",
+            Rule::BbOptions => "bb-options", // palb:allow(bb-options): the rule's own marker
             Rule::CrateHeader => "crate-header",
         }
     }

@@ -16,6 +16,7 @@ pub fn check_file(rel: &Path, sf: &SourceFile, tier: Tier) -> Vec<Finding> {
     }
     check_hot_path(rel, sf, &mut findings);
     check_obs_names(rel, sf, &mut findings);
+    check_bb_options(rel, sf, &mut findings);
     findings
 }
 
@@ -304,6 +305,60 @@ fn check_obs_names(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// bb-options
+// ---------------------------------------------------------------------
+
+/// Files allowed to spell `BbOptions`: the deprecated alias definition
+/// and the facade re-export that keeps it importable for one release.
+fn bb_options_allowlisted(rel: &Path) -> bool {
+    path_ends_with(rel, "crates/core/src/multilevel.rs")
+        || path_ends_with(rel, "crates/core/src/lib.rs")
+}
+
+/// `BbOptions` is a deprecated alias for `SolverConfig`; new code must
+/// use the builder (`SolverConfig::exact().threads(..)`). Tests are
+/// exempt (they may pin the alias's deprecation behavior), and a site
+/// that genuinely needs the old name can waive with
+/// `// palb:allow(bb-options): <reason>`.
+fn check_bb_options(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
+    if bb_options_allowlisted(rel) {
+        return;
+    }
+    for (i, code) in sf.code.iter().enumerate() {
+        if sf.in_test[i] || sf.allows(i, "bb-options") {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(at) = code[from..].find("BbOptions") {
+            let at = from + at;
+            from = at + "BbOptions".len();
+            // Require word boundaries so identifiers merely containing
+            // the name don't fire.
+            let before_ok = at == 0 || {
+                let c = code.as_bytes()[at - 1] as char;
+                !(c.is_ascii_alphanumeric() || c == '_')
+            };
+            let after = at + "BbOptions".len();
+            let after_ok = after >= code.len() || {
+                let c = code.as_bytes()[after] as char;
+                !(c.is_ascii_alphanumeric() || c == '_')
+            };
+            if before_ok && after_ok {
+                out.push(finding(
+                    rel,
+                    i,
+                    Rule::BbOptions, // palb:allow(bb-options): the rule names itself
+                    "direct `BbOptions` use; it is a deprecated alias — build a \
+                     `SolverConfig` (e.g. `SolverConfig::exact().threads(n)`) or waive \
+                     with `// palb:allow(bb-options): <reason>`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // crate-header
 // ---------------------------------------------------------------------
 
@@ -418,6 +473,36 @@ mod tests {
             Tier::Lib,
         );
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn bb_options_flags_new_uses_outside_the_alias_home() {
+        let f = lint("fn a() { let o = BbOptions::default(); }\n", Tier::Lib);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::BbOptions);
+        // Word-boundary: containing identifiers don't fire.
+        assert!(lint("struct MyBbOptionsLike;\n", Tier::Lib).is_empty());
+        // Comments, strings, tests and waivers are exempt.
+        assert!(lint("// BbOptions was the old name\n", Tier::Lib).is_empty());
+        assert!(lint(
+            "#[cfg(test)]\nmod tests {\n fn a() { let _ = BbOptions::default(); }\n}\n",
+            Tier::Lib
+        )
+        .is_empty());
+        assert!(lint(
+            "fn a() { let _ = BbOptions::default(); } // palb:allow(bb-options): alias smoke\n",
+            Tier::Lib
+        )
+        .is_empty());
+        // The alias definition and the facade re-export stay legal.
+        for home in ["crates/core/src/multilevel.rs", "crates/core/src/lib.rs"] {
+            let f = check_file(
+                &PathBuf::from(home),
+                &SourceFile::parse("pub type BbOptions = SolverConfig;\n"),
+                Tier::Lib,
+            );
+            assert!(f.is_empty(), "{home}: {f:?}");
+        }
     }
 
     #[test]
