@@ -81,6 +81,7 @@ impl LevelAssignment {
             if let Some(q) = self.get(k, sv) {
                 let n = system.classes[k.0].tuf.num_levels();
                 if q == 0 || q > n {
+                    // palb:allow(trans-alloc): cold rejection path — the message only allocates when the assignment is invalid and the solve aborts
                     return Err(CoreError::Model(format!(
                         "level {q} out of 1..={n} for class {k:?} server {sv}"
                     )));
@@ -193,6 +194,7 @@ pub(crate) fn build_spec_problem(
             level_util[idx] = util;
             level_deadline[idx] = deadline;
             phi_vars[idx] = Some(if names {
+                // palb:allow(trans-alloc): debug naming only — benchmarked solves take the unnamed branch
                 p.add_var(&format!("phi_k{}_sv{sv}", k.0), 0.0, 1.0, 0.0)
             } else {
                 p.add_var_unnamed(0.0, 1.0, 0.0)
@@ -214,6 +216,7 @@ pub(crate) fn build_spec_problem(
             let idx = dims.lambda_idx(k, FrontEndId(s), sv);
             lam_vars[idx] = Some(if names {
                 p.add_var(
+                    // palb:allow(trans-alloc): debug naming only — benchmarked solves take the unnamed branch
                     &format!("lam_k{}_s{s}_sv{sv}", k.0),
                     0.0,
                     f64::INFINITY,
@@ -250,6 +253,7 @@ pub(crate) fn build_spec_problem(
         // past D (which would zero the VM's revenue at evaluation time).
         let rhs = (1.0 / level_deadline[pidx]) * (1.0 + 1e-6);
         delay_cons[pidx] = Some(if names {
+            // palb:allow(trans-alloc): debug naming only — benchmarked solves take the unnamed branch
             p.add_con(&format!("delay_k{}_sv{sv}", k.0), &terms, Rel::Ge, rhs)
         } else {
             p.add_con_unnamed(&terms, Rel::Ge, rhs)
@@ -269,6 +273,7 @@ pub(crate) fn build_spec_problem(
             }
             if !terms.is_empty() {
                 supply_cons[k * dims.front_ends + s] = Some(if names {
+                    // palb:allow(trans-alloc): debug naming only — benchmarked solves take the unnamed branch
                     p.add_con(&format!("supply_k{k}_s{s}"), &terms, Rel::Le, rates[s][k])
                 } else {
                     p.add_con_unnamed(&terms, Rel::Le, rates[s][k])
@@ -288,6 +293,7 @@ pub(crate) fn build_spec_problem(
         }
         if !terms.is_empty() {
             if names {
+                // palb:allow(trans-alloc): debug naming only — benchmarked solves take the unnamed branch
                 p.add_con(&format!("share_sv{sv}"), &terms, Rel::Le, 1.0);
             } else {
                 p.add_con_unnamed(&terms, Rel::Le, 1.0);

@@ -61,6 +61,7 @@ pub(crate) struct SearchCtl<'a> {
 impl SearchCtl<'_> {
     /// Whether the search must wind down now (external stop or deadline).
     pub(crate) fn interrupted(&self) -> bool {
+        // palb:allow(determinism): the SolverBudget wall-clock stop is the audited anytime carve-out — a deadline hit only truncates the search; any result it does publish is still a pure function of the inputs
         self.stop.is_some_and(Flag::is_raised) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
@@ -236,6 +237,7 @@ struct Node {
 /// [`SolverConfig::threads`]). The `kind` field is ignored: this entry
 /// point always runs the exact search (the kind-dispatching entry is
 /// [`crate::solver::solve_with`]).
+// palb:decision-path
 pub fn solve_bb(
     system: &System,
     rates: &[Vec<f64>],
@@ -261,6 +263,7 @@ pub(crate) fn solve_bb_in(
         deadline: opts
             .budget
             .wall_clock_ms
+            // palb:allow(determinism): anchoring the SolverBudget wall-clock deadline — the audited anytime carve-out
             .map(|ms| Instant::now() + std::time::Duration::from_millis(ms)),
         ..SearchCtl::default()
     };

@@ -319,7 +319,7 @@ mod tests {
         let profit = snap
             .samples
             .iter()
-            .find(|s| s.name == names::NET_PROFIT_DOLLARS)
+            .find(|s| &*s.name == names::NET_PROFIT_DOLLARS)
             .unwrap();
         match profit.value {
             palb_obs::SampleValue::Gauge(v) => assert_eq!(v, 8.0),

@@ -47,7 +47,7 @@
 //! evaluations (hits and misses alike), so switching it off changes
 //! wall-clock and the `cache_*` telemetry, never the incumbent.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -152,8 +152,13 @@ type EvalOutcome = Option<LevelSolve>;
 /// across evaluation workers behind a mutex; hit/miss/eviction telemetry
 /// is charged to the *worker's* stats (and lex-merged like every other
 /// per-worker counter), so the cache itself stays scheduling-agnostic.
+///
+/// `BTreeMap`, not `HashMap`: the memo sits on the anytime decision path
+/// and the determinism auditor bans hash-order containers there — lookup
+/// and FIFO eviction never iterate the map today, but a `BTreeMap` keeps
+/// any future iteration ordered by construction instead of by hasher.
 pub(crate) struct EvalCache {
-    map: HashMap<Genome, EvalOutcome>,
+    map: BTreeMap<Genome, EvalOutcome>,
     order: VecDeque<Genome>,
     capacity: usize,
 }
@@ -162,7 +167,7 @@ impl EvalCache {
     /// An empty cache bounded to `capacity` entries (≥ 1).
     pub(crate) fn new(capacity: usize) -> Self {
         EvalCache {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
         }
@@ -416,6 +421,7 @@ fn propose(state: &mut u64, population: &[Indiv], system: &System, dims: &Dims) 
 
 /// [`solve_anytime_ctl`] with the deadline derived from the config's
 /// budget, recording its stats like the exact entry points do.
+// palb:decision-path
 pub(crate) fn solve_anytime_in(
     pool: &mut WorkspacePool,
     system: &System,
@@ -427,6 +433,7 @@ pub(crate) fn solve_anytime_in(
         deadline: cfg
             .budget
             .wall_clock_ms
+            // palb:allow(determinism): anchoring the SolverBudget wall-clock deadline — the audited anytime carve-out
             .map(|ms| Instant::now() + Duration::from_millis(ms)),
         ..SearchCtl::default()
     };
@@ -441,6 +448,7 @@ pub(crate) fn solve_anytime_in(
 /// a fixed `(seed, budget, quota)` — unless a wall-clock deadline or an
 /// external stop interrupts a run mid-generation (the documented
 /// carve-outs). Never proves optimality.
+// palb:decision-path
 pub(crate) fn solve_anytime_ctl(
     pool: &mut WorkspacePool,
     system: &System,
@@ -565,6 +573,7 @@ pub(crate) fn solve_anytime_ctl(
 ///   exact on exact ties;
 /// * one side erroring leaves the other side's result standing — the
 ///   race doubles as a redundancy ladder.
+// palb:decision-path
 pub(crate) fn solve_portfolio(
     system: &System,
     rates: &[Vec<f64>],
@@ -577,6 +586,7 @@ pub(crate) fn solve_portfolio(
     let deadline = cfg
         .budget
         .wall_clock_ms
+        // palb:allow(determinism): anchoring the SolverBudget wall-clock deadline — the audited anytime carve-out
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     // Split the thread budget across the sides; both run even at 1 (the
     // whole point is hedging, and the single-core loss is bounded by the

@@ -60,11 +60,13 @@ pub(crate) struct EtaFile {
 
 impl EtaFile {
     pub(crate) fn new() -> Self {
+        // Empty-Vec construction allocates nothing; the buffers grow only
+        // during refactorization, which is amortized over the pivot loop.
         EtaFile {
-            meta: Vec::new(),
-            rows: Vec::new(),
-            vals: Vec::new(),
-            scratch: Vec::new(),
+            meta: Vec::new(), // palb:allow(trans-alloc): `Vec::new` is alloc-free; growth is amortized refactorization
+            rows: Vec::new(), // palb:allow(trans-alloc): `Vec::new` is alloc-free; growth is amortized refactorization
+            vals: Vec::new(), // palb:allow(trans-alloc): `Vec::new` is alloc-free; growth is amortized refactorization
+            scratch: Vec::new(), // palb:allow(trans-alloc): `Vec::new` is alloc-free; growth is amortized refactorization
             valid: true,
         }
     }

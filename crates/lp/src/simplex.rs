@@ -349,6 +349,7 @@ impl Tableau {
     /// — one contiguous pass instead of a strided matrix read per candidate
     /// row — so the hot loop performs no per-pivot allocation.
     // palb:hot-path(no-alloc)
+    // palb:decision-path
     pub(crate) fn ratio_test(&mut self, j: usize) -> Option<usize> {
         let n = self.n();
         let mut col = std::mem::take(&mut self.col_buf);
@@ -388,6 +389,7 @@ impl Tableau {
 
     /// Pivots on `(row, col)`, updating both cost rows and the basis.
     // palb:hot-path(no-alloc)
+    // palb:decision-path
     pub(crate) fn pivot(&mut self, row: usize, col: usize) {
         let n = self.n();
         let pivot = self.rows[(row, col)];

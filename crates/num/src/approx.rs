@@ -10,14 +10,12 @@
 /// solve — not for closeness (that is [`approx_eq`]).
 #[inline(always)]
 pub fn f64_eq(a: f64, b: f64) -> bool {
-    // palb:allow(float-cmp): this module is the allowlisted wrapper.
     a == b
 }
 
 /// Exact inequality by value; the negation of [`f64_eq`].
 #[inline(always)]
 pub fn f64_ne(a: f64, b: f64) -> bool {
-    // palb:allow(float-cmp): this module is the allowlisted wrapper.
     a != b
 }
 
@@ -26,14 +24,12 @@ pub fn f64_ne(a: f64, b: f64) -> bool {
 /// changes nothing bit-for-bit, so no epsilon belongs here.
 #[inline(always)]
 pub fn is_zero(x: f64) -> bool {
-    // palb:allow(float-cmp): this module is the allowlisted wrapper.
     x == 0.0
 }
 
 /// Exact test against non-zero; the negation of [`is_zero`].
 #[inline(always)]
 pub fn nonzero(x: f64) -> bool {
-    // palb:allow(float-cmp): this module is the allowlisted wrapper.
     x != 0.0
 }
 

@@ -77,9 +77,9 @@ impl Snapshot {
         let mut out = String::new();
         let mut last_family: Option<&str> = None;
         for sample in &self.samples {
-            if last_family != Some(sample.name.as_str()) {
+            if last_family != Some(&*sample.name) {
                 out.push_str(&format!("# TYPE {} {}\n", sample.name, sample_kind(sample)));
-                last_family = Some(sample.name.as_str());
+                last_family = Some(&*sample.name);
             }
             match &sample.value {
                 SampleValue::Counter(v) => {

@@ -6,13 +6,23 @@ use std::collections::BTreeMap;
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::sync::{Arc, Mutex};
 
+/// Interned immutable identity data. Deliberately `std`'s `Arc` even
+/// under a loom build: there is no concurrency protocol to model-check
+/// in shared ownership of frozen strings, and loom's `Arc` does not
+/// support unsized `str` payloads.
+use std::sync::Arc as Interned;
+
 /// A metric identity: family name plus sorted label pairs. `BTreeMap`
 /// ordering over this key is what makes snapshots and exports
 /// deterministic.
+///
+/// Name and labels are interned (`Arc`) so every [`Registry::snapshot`]
+/// shares the registration-time allocation instead of cloning each
+/// family name per export.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct MetricKey {
-    name: String,
-    labels: Vec<(String, String)>,
+    name: Interned<str>,
+    labels: Interned<Vec<(String, String)>>,
 }
 
 impl MetricKey {
@@ -23,8 +33,8 @@ impl MetricKey {
             .collect();
         labels.sort();
         MetricKey {
-            name: name.to_string(),
-            labels,
+            name: Interned::from(name),
+            labels: Interned::new(labels),
         }
     }
 }
@@ -150,8 +160,8 @@ impl Registry {
                     }),
                 };
                 Sample {
-                    name: key.name.clone(),
-                    labels: key.labels.clone(),
+                    name: Interned::clone(&key.name),
+                    labels: Interned::clone(&key.labels),
                     value,
                 }
             })
@@ -186,12 +196,17 @@ pub enum SampleValue {
 }
 
 /// One metric at snapshot time: name, sorted labels, value.
+///
+/// `name` and `labels` are shared with the registry's own key
+/// (registration-time interning), so cloning a `Sample` — or taking
+/// repeated snapshots — bumps two refcounts instead of re-allocating
+/// the strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
-    /// Metric family name.
-    pub name: String,
-    /// Sorted label pairs.
-    pub labels: Vec<(String, String)>,
+    /// Metric family name (interned; derefs to `&str`).
+    pub name: std::sync::Arc<str>,
+    /// Sorted label pairs (interned; derefs to the vec).
+    pub labels: std::sync::Arc<Vec<(String, String)>>,
     /// The frozen value.
     pub value: SampleValue,
 }
@@ -216,7 +231,7 @@ impl Snapshot {
         want.sort();
         self.samples
             .iter()
-            .find(|s| s.name == name && s.labels == want)
+            .find(|s| &*s.name == name && *s.labels == want)
             .and_then(|s| match &s.value {
                 SampleValue::Counter(v) => Some(*v),
                 _ => None,
@@ -225,14 +240,14 @@ impl Snapshot {
 
     /// True if any sample belongs to the family `name`.
     pub fn contains_family(&self, name: &str) -> bool {
-        self.samples.iter().any(|s| s.name == name)
+        self.samples.iter().any(|s| &*s.name == name)
     }
 
     /// Sum of all counter samples in the family `name` (across labels).
     pub fn family_counter_total(&self, name: &str) -> u64 {
         self.samples
             .iter()
-            .filter(|s| s.name == name)
+            .filter(|s| &*s.name == name)
             .filter_map(|s| match &s.value {
                 SampleValue::Counter(v) => Some(*v),
                 _ => None,
@@ -281,7 +296,7 @@ mod tests {
         reg.counter("palb_m_total", &[("dc", "0")]).inc();
 
         let snap = reg.snapshot();
-        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = snap.samples.iter().map(|s| &*s.name).collect();
         assert_eq!(
             names,
             vec![
@@ -292,7 +307,7 @@ mod tests {
             ]
         );
         // Within a family, label order decides.
-        assert_eq!(snap.samples[1].labels, vec![("dc".into(), "0".into())]);
+        assert_eq!(*snap.samples[1].labels, vec![("dc".into(), "0".into())]);
         assert_eq!(snap.counter_value("palb_z_total", &[]), Some(3));
         assert_eq!(snap.counter_value("palb_m_total", &[("dc", "1")]), Some(1));
         assert_eq!(snap.family_counter_total("palb_m_total"), 2);
@@ -302,6 +317,21 @@ mod tests {
         // Mutations after the snapshot don't bleed in.
         reg.counter("palb_z_total", &[]).add(10);
         assert_eq!(snap.counter_value("palb_z_total", &[]), Some(3));
+    }
+
+    #[test]
+    fn snapshots_share_interned_identity() {
+        let reg = Registry::new();
+        reg.counter("palb_x_total", &[("dc", "0")]).inc();
+        let a = reg.snapshot();
+        let b = reg.snapshot();
+        // Two snapshots point at the registration-time allocations — no
+        // per-export name/label clones.
+        assert!(Interned::ptr_eq(&a.samples[0].name, &b.samples[0].name));
+        assert!(Interned::ptr_eq(&a.samples[0].labels, &b.samples[0].labels));
+        // And a cloned snapshot shares them too.
+        let c = b.clone();
+        assert!(Interned::ptr_eq(&b.samples[0].name, &c.samples[0].name));
     }
 
     #[test]

@@ -127,7 +127,7 @@ fn concurrent_registration_snapshots_stay_consistent() {
     let histograms = snap
         .samples
         .iter()
-        .filter(|s| s.name == "palb_race_seconds")
+        .filter(|s| &*s.name == "palb_race_seconds")
         .count();
     assert_eq!(histograms, 4);
     // The export pipeline renders the racy registry deterministically.

@@ -300,6 +300,7 @@ struct WorkerOut {
 /// alias route → sharded estimator bump. Everything allocating (segment
 /// flushes, drift checks) happens on epoch changes or the sentinel
 /// cadence, never per request.
+// palb:decision-path
 #[allow(clippy::too_many_arguments)]
 fn route_worker(
     cell: &PlanCell<RouteTable>,
@@ -334,6 +335,7 @@ fn route_worker(
         let word = mix64(route_salt ^ i);
         let sampled = latency_sample_every > 0 && i % latency_sample_every == 0;
         let (route, idx) = if sampled {
+            // palb:allow(determinism): serve-layer latency histogram — the audited observability carve-out; the timing never feeds back into routing
             let t0 = Instant::now();
             let out = reader.current().route_indexed(k, s, word);
             let dt = t0.elapsed().as_secs_f64();

@@ -87,6 +87,7 @@ impl RouteTable {
     /// Rates are clamped to finite non-negatives; dispatch mass above the
     /// offered rate (numerical dust from the LP) tightens the shed
     /// category to zero rather than going negative.
+    // palb:decision-path
     pub fn compile(dispatch: &Dispatch, rates: &[Vec<f64>], slot: usize) -> RouteTable {
         let dims = dispatch.dims();
         let classes = dims.classes;

@@ -596,6 +596,7 @@ impl Scenario {
 
     /// Applies the stack's rate perturbations, returning the perturbed
     /// trace (shape-checked only — telemetry faults may inject NaN).
+    // palb:decision-path
     pub fn perturb_trace(&self, trace: &Trace, seed: u64) -> Trace {
         let mut grid: RateGrid = trace.clone().into();
         for (i, p) in self.perturbations.iter().enumerate() {
@@ -606,6 +607,7 @@ impl Scenario {
 
     /// Applies the stack's price perturbations to one DC's hourly feed in
     /// place.
+    // palb:decision-path
     pub fn perturb_price_feed(&self, dc: usize, num_dcs: usize, feed: &mut [f64], seed: u64) {
         for (i, p) in self.perturbations.iter().enumerate() {
             p.apply_prices(dc, num_dcs, feed, Self::sub_seed(seed, i));
@@ -613,6 +615,7 @@ impl Scenario {
     }
 
     /// Collects the stack's per-slot system effects over a horizon.
+    // palb:decision-path
     pub fn system_effects(&self, slots: usize, num_dcs: usize) -> Vec<SlotEffect> {
         let mut out = Vec::new();
         for p in &self.perturbations {
@@ -623,6 +626,7 @@ impl Scenario {
 
     /// Per-slot solver-failure probabilities over a horizon, combining
     /// stacked outages as independent events: `1 − Π (1 − pᵢ)`.
+    // palb:decision-path
     pub fn solver_fault_probs(&self, slots: usize) -> Vec<f64> {
         (0..slots)
             .map(|t| {

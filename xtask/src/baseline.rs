@@ -1,0 +1,211 @@
+//! The `analyze-baseline.json` ratchet.
+//!
+//! The call-graph rules report audited-legacy debt (panic-reachability
+//! alone anchors hundreds of indexing sites in the LP kernels) that
+//! cannot all be fixed in one PR. The baseline freezes that debt as
+//! per-`(file, rule)` finding *counts* — deliberately not line numbers,
+//! so unrelated edits that shift code around don't invalidate it — and
+//! `cargo xtask analyze` then enforces a one-way ratchet:
+//!
+//! * a bucket whose current count exceeds its baseline count is a
+//!   **regression** — the build fails and every finding in the bucket is
+//!   listed (the engine cannot know which occurrence is the new one);
+//! * a bucket whose count dropped is **retired** debt — reported so the
+//!   author can shrink the baseline with `--update-baseline`;
+//! * a bucket absent from the baseline allows zero findings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::Finding;
+
+/// Frozen per-`(file, rule)` finding counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `"<file>|<rule>"` → allowed finding count. Paths use `/`
+    /// separators regardless of host OS.
+    pub counts: BTreeMap<String, usize>,
+}
+
+/// The ratchet bucket key of one finding.
+pub fn key(f: &Finding) -> String {
+    format!(
+        "{}|{}",
+        f.file.to_string_lossy().replace('\\', "/"),
+        f.rule.marker()
+    )
+}
+
+impl Baseline {
+    /// Snapshot of the current tree: every finding counted into its
+    /// bucket.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(key(f)).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Parses the committed baseline document.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text)?;
+        let version = doc.get("version").and_then(Value::as_num);
+        if version != Some(1.0) {
+            return Err("baseline version must be 1".to_owned());
+        }
+        let obj = doc
+            .get("counts")
+            .and_then(Value::as_obj)
+            .ok_or("baseline is missing the `counts` object")?;
+        let mut counts = BTreeMap::new();
+        for (k, v) in obj {
+            let n = v
+                .as_num()
+                .filter(|n| *n >= 0.0 && n.fract() == 0.0) // palb:allow(float-cmp): JSON integers round-trip exactly
+                .ok_or_else(|| format!("count for `{k}` is not a non-negative integer"))?;
+            counts.insert(k.clone(), n as usize);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline (every
+    /// finding is then a regression), a malformed one is an error.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Renders the baseline as its canonical committed form: sorted
+    /// keys, one per line, trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"counts\": {\n");
+        let last = self.counts.len().saturating_sub(1);
+        for (i, (k, n)) in self.counts.iter().enumerate() {
+            let _ = write!(out, "    \"{}\": {}", json::escape(k), n);
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// The verdict of one analyze run against the committed baseline.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// Every current finding, sorted by file/line.
+    pub findings: Vec<Finding>,
+    /// Findings in buckets whose count exceeds the baseline. Empty ⇔
+    /// the ratchet holds.
+    pub regressions: Vec<Finding>,
+    /// Over-budget buckets: key → `(current, allowed)`.
+    pub over: BTreeMap<String, (usize, usize)>,
+    /// Under-budget buckets (debt paid down): key → `(current, allowed)`.
+    pub retired: BTreeMap<String, (usize, usize)>,
+}
+
+impl Evaluation {
+    /// Compares `findings` against `baseline`.
+    pub fn new(findings: Vec<Finding>, baseline: &Baseline) -> Evaluation {
+        let current = Baseline::from_findings(&findings);
+        let mut over = BTreeMap::new();
+        let mut retired = BTreeMap::new();
+        for (k, &n) in &current.counts {
+            let allowed = baseline.counts.get(k).copied().unwrap_or(0);
+            if n > allowed {
+                over.insert(k.clone(), (n, allowed));
+            } else if n < allowed {
+                retired.insert(k.clone(), (n, allowed));
+            }
+        }
+        for (k, &allowed) in &baseline.counts {
+            if !current.counts.contains_key(k) && allowed > 0 {
+                retired.insert(k.clone(), (0, allowed));
+            }
+        }
+        let regressions = findings
+            .iter()
+            .filter(|f| over.contains_key(&key(f)))
+            .cloned()
+            .collect();
+        Evaluation {
+            findings,
+            regressions,
+            over,
+            retired,
+        }
+    }
+
+    /// True when no bucket exceeds its baseline budget.
+    pub fn clean(&self) -> bool {
+        self.over.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+    use std::path::PathBuf;
+
+    fn f(file: &str, line: usize, rule: Rule) -> Finding {
+        Finding {
+            file: PathBuf::from(file),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn ratchet_tolerates_baseline_and_flags_growth() {
+        let old = vec![f("a.rs", 3, Rule::PanicPath), f("a.rs", 9, Rule::PanicPath)];
+        let base = Baseline::from_findings(&old);
+        // Same count, different lines: still clean (line drift is fine).
+        let drifted = vec![
+            f("a.rs", 5, Rule::PanicPath),
+            f("a.rs", 11, Rule::PanicPath),
+        ];
+        assert!(Evaluation::new(drifted, &base).clean());
+        // One more finding in the bucket: regression, all three listed.
+        let grown = vec![
+            f("a.rs", 3, Rule::PanicPath),
+            f("a.rs", 9, Rule::PanicPath),
+            f("a.rs", 20, Rule::PanicPath),
+        ];
+        let eval = Evaluation::new(grown, &base);
+        assert!(!eval.clean());
+        assert_eq!(eval.regressions.len(), 3);
+        // One fewer: clean, and the bucket shows up as retired debt.
+        let shrunk = vec![f("a.rs", 3, Rule::PanicPath)];
+        let eval = Evaluation::new(shrunk, &base);
+        assert!(eval.clean());
+        assert_eq!(eval.retired.get("a.rs|panic-path"), Some(&(1, 2)));
+    }
+
+    #[test]
+    fn unknown_buckets_allow_nothing() {
+        let base = Baseline::default();
+        let eval = Evaluation::new(vec![f("b.rs", 1, Rule::Determinism)], &base);
+        assert!(!eval.clean());
+        assert_eq!(eval.over.get("b.rs|determinism"), Some(&(1, 0)));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let base = Baseline::from_findings(&[
+            f("crates/lp/src/simplex.rs", 1, Rule::PanicPath),
+            f("crates/lp/src/simplex.rs", 2, Rule::PanicPath),
+            f("crates/core/src/portfolio.rs", 7, Rule::Determinism),
+        ]);
+        let parsed = Baseline::parse(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+        assert!(Baseline::parse("{\"version\": 2, \"counts\": {}}").is_err());
+        assert!(Baseline::parse("{\"version\": 1}").is_err());
+    }
+}

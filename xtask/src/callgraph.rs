@@ -1,0 +1,789 @@
+//! Approximate intra-crate call graph, built on the stripped-source
+//! scanner.
+//!
+//! The graph rules (determinism taint, lock-order, transitive no-alloc,
+//! panic reachability) need to see *across* function boundaries, which
+//! the per-function rules of [`crate::rules`] cannot. This module
+//! extracts every `fn` in a crate — its module path (file-derived plus
+//! inline `mod` blocks), owning `impl`/`trait` type, body span and
+//! markers — then resolves call sites against that index:
+//!
+//! * **plain calls** `name(…)` resolve to a function of that name in the
+//!   caller's own module, else to the unique crate-wide match; two or
+//!   more matches in *other* modules are recorded as unresolved (we do
+//!   not parse `use` statements, so cross-module imports of shadowed
+//!   names are a documented blind spot);
+//! * **qualified calls** `Type::name(…)` resolve against the `(owner,
+//!   name)` index (the last path segment before the method is treated as
+//!   the owner, so `crate::table::RouteTable::compile` works too);
+//! * **method calls** `recv.name(…)` resolve to *every* impl or trait
+//!   function of that name in the crate — a deliberate over-
+//!   approximation that keeps dynamic dispatch (`Box<dyn Trait>`) and
+//!   generic receivers sound for the safety rules, at the cost of
+//!   spurious edges that the waiver/baseline machinery absorbs.
+//!
+//! Calls into other crates (std, external deps, sibling `palb_*` crates)
+//! stay unresolved by construction: the graph is **intra-crate**. Each
+//! decision-path or hot-path contract therefore re-anchors at the crate
+//! boundary with its own marker (the simplex pivot loop is marked inside
+//! `palb-lp` even though `palb-core` drives it).
+//!
+//! This is scanner-grade analysis, not name resolution: closures belong
+//! to their enclosing `fn` (their body lines sit inside its span),
+//! nested `fn`s own their lines (innermost span wins), trait signatures
+//! without bodies become bodiless nodes, and macro-generated code is
+//! invisible. Known-unresolvable shapes are asserted as such by the
+//! fixture suite.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::scan::SourceFile;
+
+/// How strict a `// palb:hot-path` marker is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotPathKind {
+    /// `// palb:hot-path` — no formatting or `String` construction.
+    Plain,
+    /// `// palb:hot-path(no-alloc)` — additionally no heap containers.
+    NoAlloc,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// 0-based line of the call.
+    pub line: usize,
+    /// Byte column of the call's `(` on the stripped line.
+    pub col: usize,
+    /// Callee name token (the identifier before `(`).
+    pub name: String,
+    /// For `Type::name(...)` calls: the last qualifier segment.
+    pub owner: Option<String>,
+    /// True for `.name(...)` method calls.
+    pub method: bool,
+}
+
+/// One function extracted from a crate's sources.
+#[derive(Debug)]
+pub struct FnInfo {
+    /// File the function lives in, relative to the workspace root.
+    pub file: PathBuf,
+    /// Module path: file-derived segments plus inline `mod` blocks.
+    pub module: Vec<String>,
+    /// `impl`/`trait` owner type, when inside such a block.
+    pub owner: Option<String>,
+    /// The function's name.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// Inclusive 0-based body span; `None` for bodiless signatures.
+    pub body: Option<(usize, usize)>,
+    /// Declared with bare `pub` (crate-external surface).
+    pub is_pub: bool,
+    /// Carries a `// palb:decision-path` marker.
+    pub decision_path: bool,
+    /// Carries a `// palb:hot-path` marker.
+    pub hot_path: Option<HotPathKind>,
+    /// The function's signature line sits inside `#[cfg(test)]` code.
+    pub in_test: bool,
+    /// Call sites found in the body (innermost-function attribution).
+    pub calls: Vec<CallSite>,
+}
+
+impl FnInfo {
+    /// `module::Owner::name`-style display path (for finding messages).
+    pub fn path(&self) -> String {
+        let mut s = String::new();
+        for m in &self.module {
+            s.push_str(m);
+            s.push_str("::");
+        }
+        if let Some(o) = &self.owner {
+            s.push_str(o);
+            s.push_str("::");
+        }
+        s.push_str(&self.name);
+        s
+    }
+}
+
+/// The call graph of one crate: functions plus resolved edges.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    /// All extracted functions, in file/line order.
+    pub fns: Vec<FnInfo>,
+    /// Resolved edges: `edges[i]` lists callee indices of `fns[i]`,
+    /// paired with the 0-based call-site line in the caller.
+    pub edges: Vec<Vec<(usize, usize)>>,
+    /// Parsed sources by relative path (shared with the rule pass so
+    /// each file is lexed once).
+    pub files: BTreeMap<PathBuf, SourceFile>,
+    /// Names of struct fields / locals / params typed `HashMap`/`HashSet`
+    /// anywhere in the crate (receiver set for the iteration-taint rule).
+    pub hash_names: Vec<String>,
+}
+
+impl CrateGraph {
+    /// Builds the graph for one crate from `(rel_path, source)` pairs.
+    pub fn build(sources: Vec<(PathBuf, SourceFile)>) -> CrateGraph {
+        let mut fns: Vec<FnInfo> = Vec::new();
+        let mut hash_names: Vec<String> = Vec::new();
+        let mut files = BTreeMap::new();
+        for (rel, sf) in sources {
+            extract_fns(&rel, &sf, &mut fns);
+            collect_hash_names(&sf, &mut hash_names);
+            files.insert(rel, sf);
+        }
+        hash_names.sort();
+        hash_names.dedup();
+        // Attribute call sites to the innermost function span, then
+        // resolve them against the name indexes.
+        let mut graph = CrateGraph {
+            edges: vec![Vec::new(); fns.len()],
+            fns,
+            files,
+            hash_names,
+        };
+        graph.extract_calls();
+        graph.resolve();
+        graph
+    }
+
+    /// Index of the innermost function whose body contains `line` of
+    /// `file` (`None` between functions).
+    pub fn enclosing_fn(&self, file: &Path, line: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span_len, idx)
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.file != file {
+                continue;
+            }
+            if let Some((a, b)) = f.body {
+                let lo = a.min(f.sig_line);
+                if lo <= line && line <= b {
+                    let len = b - lo;
+                    if best.is_none_or(|(blen, _)| len < blen) {
+                        best = Some((len, i));
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn extract_calls(&mut self) {
+        let mut sites: Vec<(usize, CallSite)> = Vec::new();
+        for (rel, sf) in &self.files {
+            // Functions of this file, for innermost-span attribution.
+            let file_fns: Vec<usize> = (0..self.fns.len())
+                .filter(|&i| self.fns[i].file == *rel)
+                .collect();
+            for (line_no, code) in sf.code.iter().enumerate() {
+                let trimmed = code.trim_start();
+                if trimmed.starts_with('#') {
+                    continue; // attributes: #[derive(...)], #[cfg(...)]
+                }
+                let owner_fn = file_fns
+                    .iter()
+                    .copied()
+                    .filter_map(|i| {
+                        let f = &self.fns[i];
+                        let (a, b) = f.body?;
+                        let lo = a.min(f.sig_line);
+                        (lo <= line_no && line_no <= b).then_some((b - lo, i))
+                    })
+                    .min();
+                let Some((_, owner_fn)) = owner_fn else {
+                    continue;
+                };
+                // On the fn's own signature line, tokens before the body's
+                // opening `{` are type positions (params, `impl Fn(usize)`
+                // bounds), not calls; single-line fns keep the calls after
+                // the brace.
+                let min_col = if self.fns[owner_fn].sig_line == line_no {
+                    match code.find('{') {
+                        Some(brace) => brace,
+                        None => continue,
+                    }
+                } else {
+                    0
+                };
+                for site in call_sites_on_line(code, line_no) {
+                    // `col` is the `(` position, so it is always > 0.
+                    if site.col > min_col {
+                        sites.push((owner_fn, site));
+                    }
+                }
+            }
+        }
+        for (owner, site) in sites {
+            self.fns[owner].calls.push(site);
+        }
+    }
+
+    fn resolve(&mut self) {
+        // name -> fn indices; (owner, name) -> fn indices.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_owner: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+            if let Some(o) = &f.owner {
+                by_owner.entry((o, &f.name)).or_default().push(i);
+            }
+        }
+        let mut edges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.fns.len()];
+        for (i, f) in self.fns.iter().enumerate() {
+            for call in &f.calls {
+                let mut targets: Vec<usize> = Vec::new();
+                if let Some(owner) = &call.owner {
+                    if let Some(c) = by_owner.get(&(owner.as_str(), call.name.as_str())) {
+                        targets.extend(c.iter().copied());
+                    }
+                } else if call.method {
+                    // Method call: every impl/trait fn of that name —
+                    // over-approximate, keeps dyn dispatch sound.
+                    if let Some(c) = by_name.get(call.name.as_str()) {
+                        targets.extend(c.iter().copied().filter(|&t| self.fns[t].owner.is_some()));
+                    }
+                } else if let Some(c) = by_name.get(call.name.as_str()) {
+                    // Plain call: same-module free fns win; else a unique
+                    // crate-wide free fn; else unresolved (shadowed).
+                    let free: Vec<usize> = c
+                        .iter()
+                        .copied()
+                        .filter(|&t| self.fns[t].owner.is_none())
+                        .collect();
+                    let local: Vec<usize> = free
+                        .iter()
+                        .copied()
+                        .filter(|&t| self.fns[t].module == f.module)
+                        .collect();
+                    if !local.is_empty() {
+                        targets.extend(local);
+                    } else if free.len() == 1 {
+                        targets.extend(free);
+                    }
+                }
+                for t in targets {
+                    if t != i {
+                        edges[i].push((t, call.line));
+                    }
+                }
+            }
+        }
+        for list in &mut edges {
+            list.sort();
+            list.dedup();
+        }
+        self.edges = edges;
+    }
+
+    /// Transitive callee closure of `roots` (including the roots), with
+    /// BFS parents so rules can print one witness call chain. Returns
+    /// `(reached, parent)` where `parent[f] = Some((caller, line))`.
+    #[allow(clippy::type_complexity)]
+    pub fn closure(&self, roots: &[usize]) -> (Vec<bool>, Vec<Option<(usize, usize)>>) {
+        let mut reached = vec![false; self.fns.len()];
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if !reached[r] {
+                reached[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &(callee, line) in &self.edges[f] {
+                if !reached[callee] {
+                    reached[callee] = true;
+                    parent[callee] = Some((f, line));
+                    queue.push_back(callee);
+                }
+            }
+        }
+        (reached, parent)
+    }
+
+    /// The witness chain `root -> … -> f`, as display paths.
+    pub fn chain(&self, parent: &[Option<(usize, usize)>], f: usize) -> String {
+        let mut names = vec![self.fns[f].path()];
+        let mut cur = f;
+        let mut hops = 0;
+        while let Some((p, _)) = parent[cur] {
+            names.push(self.fns[p].path());
+            cur = p;
+            hops += 1;
+            if hops > 64 {
+                break; // cycles cannot occur (parents form a tree); belt and braces
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// True if `c` can continue an identifier.
+fn ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Keywords and callable-looking non-calls to skip.
+fn is_call_keyword(tok: &str) -> bool {
+    matches!(
+        tok,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "fn"
+            | "move"
+            | "else"
+            | "in"
+            | "as"
+            | "await"
+            | "Fn"
+            | "FnMut"
+            | "FnOnce"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "None"
+    )
+}
+
+/// Extracts call-shaped tokens (`ident(`/`a::b(`/`.m(`) from one stripped
+/// code line.
+fn call_sites_on_line(code: &str, line_no: usize) -> Vec<CallSite> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'(' {
+            i += 1;
+            continue;
+        }
+        // Token run directly before the paren: identifiers, `::`, `.`.
+        let mut start = i;
+        while start > 0 {
+            let c = bytes[start - 1] as char;
+            if ident_char(c) || c == ':' {
+                start -= 1;
+            } else {
+                break;
+            }
+        }
+        let tok = &code[start..i];
+        i += 1;
+        if tok.is_empty() {
+            continue;
+        }
+        // Macro invocation (`name!(`) — the `!` sits before the token.
+        if start > 0 && bytes[start - 1] == b'!' {
+            continue;
+        }
+        let method = start > 0 && bytes[start - 1] == b'.';
+        let segments: Vec<&str> = tok.split("::").filter(|s| !s.is_empty()).collect();
+        let Some(&name) = segments.last() else {
+            continue;
+        };
+        if name.is_empty() || !name.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+            continue; // tuple structs / enum variants / types
+        }
+        if is_call_keyword(name) || (segments.len() == 1 && is_call_keyword(tok)) {
+            continue;
+        }
+        let owner = if segments.len() >= 2 {
+            let o = segments[segments.len() - 2];
+            // `Type::method(` — only an uppercase qualifier names an
+            // impl/trait owner; `module::helper(` resolves by name.
+            o.starts_with(|c: char| c.is_ascii_uppercase())
+                .then(|| strip_generics(o))
+        } else {
+            None
+        };
+        if owner.is_none() && segments.len() >= 2 {
+            // Fully-qualified module path (std::mem::take, crate::x::f):
+            // resolve by bare name only when the path is crate-local.
+            let head = segments[0];
+            if !matches!(head, "crate" | "self" | "super") {
+                continue;
+            }
+        }
+        out.push(CallSite {
+            line: line_no,
+            col: i - 1,
+            name: name.to_owned(),
+            owner,
+            method,
+        });
+    }
+    out
+}
+
+/// `Foo<T>` → `Foo`.
+fn strip_generics(s: &str) -> String {
+    match s.find('<') {
+        Some(at) => s[..at].to_owned(),
+        None => s.to_owned(),
+    }
+}
+
+/// Module path a file contributes: `crates/x/src/a/b.rs` → `["a", "b"]`,
+/// with `lib.rs`/`main.rs`/`mod.rs` owning their directory.
+fn file_module_path(rel: &Path) -> Vec<String> {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    let Some(at) = p.find("/src/") else {
+        return Vec::new();
+    };
+    let tail = &p[at + 5..];
+    let mut segs: Vec<String> = tail.split('/').map(str::to_owned).collect();
+    let Some(last) = segs.pop() else {
+        return Vec::new();
+    };
+    match last.as_str() {
+        "lib.rs" | "main.rs" | "mod.rs" => {}
+        other => segs.push(other.trim_end_matches(".rs").to_owned()),
+    }
+    segs
+}
+
+#[derive(Debug)]
+enum Ctx {
+    Mod(String),
+    Impl(String),
+    /// Any other braced block (fn bodies are tracked separately).
+    Other,
+}
+
+/// Extracts every `fn` of one file into `out`.
+fn extract_fns(rel: &Path, sf: &SourceFile, out: &mut Vec<FnInfo>) {
+    let file_mods = file_module_path(rel);
+    // Context stack entries: (depth_after_open, ctx).
+    let mut stack: Vec<(i64, Ctx)> = Vec::new();
+    let mut depth: i64 = 0;
+    for (i, code) in sf.code.iter().enumerate() {
+        let trimmed = code.trim_start();
+        // fn detection: "fn name" with a word boundary before `fn`.
+        if let Some(name) = fn_name_on_line(code) {
+            if !trimmed.starts_with("#") {
+                let mut module = file_mods.clone();
+                let mut owner = None;
+                for (_, ctx) in &stack {
+                    match ctx {
+                        Ctx::Mod(m) => module.push(m.clone()),
+                        Ctx::Impl(t) => owner = Some(t.clone()),
+                        Ctx::Other => {}
+                    }
+                }
+                let body = fn_body_span_from(&sf.code, i);
+                let (decision_path, hot_path) = markers_above(sf, i);
+                out.push(FnInfo {
+                    file: rel.to_path_buf(),
+                    module,
+                    owner,
+                    name,
+                    sig_line: i,
+                    body,
+                    is_pub: trimmed.starts_with("pub ")
+                        || trimmed.starts_with("pub const ")
+                        || trimmed.starts_with("pub async "),
+                    decision_path,
+                    hot_path,
+                    in_test: sf.in_test[i],
+                    calls: Vec::new(),
+                });
+            }
+        }
+        // Track module / impl / other block openings on this line.
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if opens > 0 {
+            let ctx = if let Some(m) = trimmed.strip_prefix("pub mod ") {
+                Ctx::Mod(block_name(m))
+            } else if let Some(m) = trimmed.strip_prefix("mod ") {
+                Ctx::Mod(block_name(m))
+            } else if trimmed.starts_with("impl ") || trimmed.starts_with("impl<") {
+                Ctx::Impl(impl_type_name(trimmed))
+            } else if let Some(t) = trimmed
+                .strip_prefix("pub trait ")
+                .or_else(|| trimmed.strip_prefix("trait "))
+            {
+                Ctx::Impl(block_name(t))
+            } else {
+                Ctx::Other
+            };
+            // Only the first `{` on the line owns the context; further
+            // braces nest anonymously.
+            stack.push((depth + 1, ctx));
+            for _ in 1..opens {
+                stack.push((depth + 2, Ctx::Other));
+            }
+        }
+        depth += opens - closes;
+        while let Some((d, _)) = stack.last() {
+            if *d > depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The `fn` name declared on `code`, if any.
+fn fn_name_on_line(code: &str) -> Option<String> {
+    let mut from = 0;
+    while let Some(at) = code[from..].find("fn ") {
+        let at = from + at;
+        from = at + 3;
+        // Word boundary before `fn` (not `crate_fn `).
+        if at > 0 && ident_char(code.as_bytes()[at - 1] as char) {
+            continue;
+        }
+        let rest = code[at + 3..].trim_start();
+        let end = rest.find(|c: char| !ident_char(c)).unwrap_or(rest.len());
+        if end == 0 {
+            continue;
+        }
+        return Some(rest[..end].to_owned());
+    }
+    None
+}
+
+/// Body span of the fn declared at `fn_line`, or `None` for a bodiless
+/// signature (`fn f(&self) -> X;` in a trait). The search stops at a `;`
+/// that appears before any `{` at signature nesting level.
+pub(crate) fn fn_body_span_from(code: &[String], fn_line: usize) -> Option<(usize, usize)> {
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    let mut paren: i64 = 0;
+    for (j, line) in code.iter().enumerate().skip(fn_line) {
+        for c in line.chars() {
+            match c {
+                '(' | '[' => {
+                    if !opened {
+                        paren += 1;
+                    }
+                }
+                ')' | ']' => {
+                    if !opened {
+                        paren -= 1;
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                ';' if !opened && paren <= 0 => return None,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return Some((fn_line, j));
+        }
+    }
+    None
+}
+
+/// Scans the contiguous comment/attribute block above `fn_line` for
+/// `// palb:decision-path` and `// palb:hot-path[(no-alloc)]` markers.
+fn markers_above(sf: &SourceFile, fn_line: usize) -> (bool, Option<HotPathKind>) {
+    let mut decision = false;
+    let mut hot = None;
+    let mut j = fn_line;
+    while j > 0 {
+        j -= 1;
+        let raw = sf.lines[j].trim_start();
+        if !(raw.starts_with("//") || raw.starts_with("#[") || raw.starts_with("#!")) {
+            break;
+        }
+        if raw.starts_with("// palb:decision-path") {
+            decision = true;
+        } else if raw.starts_with("// palb:hot-path(no-alloc)") {
+            hot = Some(HotPathKind::NoAlloc);
+        } else if raw.starts_with("// palb:hot-path") {
+            hot.get_or_insert(HotPathKind::Plain);
+        }
+    }
+    (decision, hot)
+}
+
+/// First identifier of a `mod X {` / `trait X {` header.
+fn block_name(rest: &str) -> String {
+    let end = rest.find(|c: char| !ident_char(c)).unwrap_or(rest.len());
+    rest[..end].to_owned()
+}
+
+/// The type an `impl` block owns: `impl Foo {`, `impl<T> Foo<T> {`,
+/// `impl Trait for Foo {` → `Foo`.
+fn impl_type_name(line: &str) -> String {
+    let rest = line.trim_start_matches("impl");
+    // Skip the generic parameter list, honoring nesting.
+    let rest = if let Some(r) = rest.strip_prefix('<') {
+        let mut depth = 1i32;
+        let mut at = 0usize;
+        for (k, c) in r.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        at = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &r[at..]
+    } else {
+        rest
+    };
+    let rest = rest.trim();
+    let rest = match rest.find(" for ") {
+        Some(at) => rest[at + 5..].trim(),
+        None => rest,
+    };
+    // Last path segment before generics / where / brace.
+    let end = rest
+        .find(|c: char| c == '<' || c == ' ' || c == '{')
+        .unwrap_or(rest.len());
+    let seg = &rest[..end];
+    seg.rsplit("::").next().unwrap_or(seg).to_owned()
+}
+
+/// Collects identifiers typed or initialized as `HashMap`/`HashSet`
+/// (struct fields, locals, params) from one file.
+fn collect_hash_names(sf: &SourceFile, out: &mut Vec<String>) {
+    for (i, code) in sf.code.iter().enumerate() {
+        if sf.in_test[i] {
+            continue;
+        }
+        for marker in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(marker) {
+                let at = from + at;
+                from = at + marker.len();
+                if at > 0 && ident_char(code.as_bytes()[at - 1] as char) {
+                    continue;
+                }
+                // Walk left past `: `, `= `, `: &mut `, `= std::collections::` …
+                let mut before = code[..at].trim_end();
+                loop {
+                    let next = before
+                        .trim_end_matches("std::collections::")
+                        .trim_end_matches(['&', ' '])
+                        .trim_end();
+                    let next = next.strip_suffix("mut").unwrap_or(next).trim_end();
+                    if next == before {
+                        break;
+                    }
+                    before = next;
+                }
+                let Some(before) = before
+                    .strip_suffix(':')
+                    .or_else(|| before.strip_suffix('='))
+                else {
+                    continue;
+                };
+                let before = before.trim_end();
+                let end = before.len();
+                let mut start = end;
+                let bytes = before.as_bytes();
+                while start > 0 && ident_char(bytes[start - 1] as char) {
+                    start -= 1;
+                }
+                if start < end {
+                    let name = &before[start..end];
+                    if name != "mut" && !name.is_empty() {
+                        out.push(name.to_owned());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_names_and_spans() {
+        let sf = SourceFile::parse(
+            "pub fn alpha() {\n    beta();\n}\nfn beta() {}\ntrait T {\n    fn decl(&self) -> usize;\n}\n",
+        );
+        let mut fns = Vec::new();
+        extract_fns(Path::new("crates/x/src/a.rs"), &sf, &mut fns);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "decl"]);
+        assert_eq!(fns[0].body, Some((0, 2)));
+        assert!(fns[0].is_pub);
+        assert_eq!(fns[1].body, Some((3, 3)));
+        assert_eq!(fns[2].body, None, "trait decl has no body");
+        assert_eq!(fns[2].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn impl_owner_extraction() {
+        assert_eq!(impl_type_name("impl Foo {"), "Foo");
+        assert_eq!(impl_type_name("impl<T: Clone> Foo<T> {"), "Foo");
+        assert_eq!(impl_type_name("impl Display for Bar {"), "Bar");
+        assert_eq!(
+            impl_type_name("impl<'a, T> Trait<T> for baz::Qux<'a> {"),
+            "Qux"
+        );
+    }
+
+    #[test]
+    fn call_site_shapes() {
+        let sites = call_sites_on_line("let x = helper(1) + Type::method(2); recv.call_me(3);", 0);
+        let names: Vec<(&str, Option<&str>, bool)> = sites
+            .iter()
+            .map(|s| (s.name.as_str(), s.owner.as_deref(), s.method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("helper", None, false),
+                ("method", Some("Type"), false),
+                ("call_me", None, true),
+            ]
+        );
+        // Macros, keywords, constructors and foreign paths are skipped.
+        assert!(call_sites_on_line("if (x) { format!(\"y\") }", 0).is_empty());
+        assert!(call_sites_on_line("let v = Some(1);", 0).is_empty());
+        assert!(call_sites_on_line("std::mem::take(&mut x)", 0).is_empty());
+        assert_eq!(call_sites_on_line("crate::util::helper()", 0).len(), 1);
+    }
+
+    #[test]
+    fn hash_name_collection() {
+        let sf = SourceFile::parse(
+            "struct S {\n    map: HashMap<K, V>,\n}\nfn f(seen: &mut HashSet<u8>) {\n    let local = std::collections::HashMap::new();\n}\n",
+        );
+        let mut names = Vec::new();
+        collect_hash_names(&sf, &mut names);
+        names.sort();
+        assert_eq!(names, vec!["local", "map", "seen"]);
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert!(file_module_path(Path::new("crates/x/src/lib.rs")).is_empty());
+        assert_eq!(
+            file_module_path(Path::new("crates/x/src/a.rs")),
+            vec!["a".to_owned()]
+        );
+        assert_eq!(
+            file_module_path(Path::new("crates/x/src/a/b.rs")),
+            vec!["a".to_owned(), "b".to_owned()]
+        );
+        assert_eq!(
+            file_module_path(Path::new("crates/x/src/a/mod.rs")),
+            vec!["a".to_owned()]
+        );
+    }
+}

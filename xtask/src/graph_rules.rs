@@ -1,0 +1,578 @@
+//! The call-graph-aware rule families.
+//!
+//! Four analyses run over one crate's [`CrateGraph`]:
+//!
+//! * **determinism** — taint sources (`Instant::now`, `SystemTime`,
+//!   `thread::current().id()`, OS randomness, `HashMap`/`HashSet`
+//!   *iteration*) reachable from a `// palb:decision-path` function are
+//!   errors unless waived with `// palb:allow(determinism): reason`.
+//!   The waived sites form the project's *enumerated carve-out
+//!   registry* (the `SolverBudget` wall-clock stop, the serve-layer
+//!   latency histograms); everything else on a decision path must be a
+//!   pure function of its inputs.
+//! * **lock-order** — every `Mutex`/`RwLock` acquisition is recorded
+//!   per function; held-lock sets propagate over the call graph
+//!   (guards are assumed held to the end of the acquiring function — a
+//!   sound over-approximation) and pairwise orderings that appear in
+//!   both directions are deadlock candidates.
+//! * **trans-alloc** — `// palb:hot-path` closes over callees: the
+//!   banned construction patterns of the body rule are also hunted in
+//!   everything the marked function can reach, catching allocation
+//!   smuggled through helpers.
+//! * **panic-path** — `.unwrap()` / `.expect(` / `panic!` family and
+//!   bare `[index]` expressions transitively reachable from a lib-tier
+//!   `pub fn` are reported with a witness call chain. Unwrap-family
+//!   sites already waived for the per-function `unwrap` rule stay
+//!   waived here (one audit, one marker). The indexing findings are the
+//!   large audited-legacy class the baseline ratchet tolerates and
+//!   counts down.
+
+use std::path::Path;
+
+use crate::callgraph::{CrateGraph, HotPathKind};
+use crate::rules::{HOT_BANNED, NO_ALLOC_BANNED};
+use crate::scan::SourceFile;
+use crate::{Finding, Rule, Tier};
+
+/// Runs all four graph rule families over one crate.
+pub fn check_crate_graph(graph: &CrateGraph, tier: Tier) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_determinism(graph, &mut out);
+    check_lock_order(graph, &mut out);
+    check_trans_alloc(graph, &mut out);
+    if tier == Tier::Lib {
+        check_panic_path(graph, &mut out);
+    }
+    out
+}
+
+fn finding(file: &Path, line: usize, rule: Rule, message: String) -> Finding {
+    Finding {
+        file: file.to_path_buf(),
+        line: line + 1,
+        rule,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+/// Wall-clock / thread-identity / OS-randomness patterns. `HashMap`
+/// iteration is detected separately (it needs the receiver name set).
+const TAINT_PATTERNS: &[(&str, &str)] = &[
+    ("Instant::now(", "wall clock"),
+    ("SystemTime::now(", "wall clock"),
+    ("UNIX_EPOCH", "wall clock"),
+    ("thread::current(", "thread identity"),
+    ("ThreadId", "thread identity"),
+    ("thread_rng(", "OS randomness"),
+    ("from_entropy(", "OS randomness"),
+    ("getrandom(", "OS randomness"),
+    ("rand::random(", "OS randomness"),
+    ("RandomState", "randomized hasher"),
+    ("DefaultHasher", "randomized hasher"),
+];
+
+/// Iteration adaptors whose order is the hasher's, not the program's.
+const HASH_ITER: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".drain(",
+    ".retain(",
+];
+
+/// Taint sites on one line: fixed patterns plus hash-iteration on a
+/// receiver from the crate's `HashMap`/`HashSet` name set.
+fn taint_on_line(code: &str, hash_names: &[String]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (pat, what) in TAINT_PATTERNS {
+        if let Some(at) = code.find(pat) {
+            out.push((at, format!("`{}` ({what})", pat.trim_end_matches('('))));
+        }
+    }
+    for pat in HASH_ITER {
+        let mut from = 0;
+        while let Some(at) = code[from..].find(pat) {
+            let at = from + at;
+            from = at + pat.len();
+            let recv = receiver_before(code, at);
+            if hash_names.iter().any(|n| n == recv) {
+                out.push((
+                    at,
+                    format!("hash-order iteration `{recv}{}`", pat.trim_end_matches('(')),
+                ));
+            }
+        }
+    }
+    // `for x in map` / `for x in &map` over a hash-typed name.
+    if let Some(at) = code.find(" in ") {
+        let tail = code[at + 4..].trim_start().trim_start_matches('&');
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(tail.len());
+        let name = &tail[..end];
+        if code.trim_start().starts_with("for ") && hash_names.iter().any(|n| n == name) {
+            out.push((at, format!("hash-order iteration `for … in {name}`")));
+        }
+    }
+    out
+}
+
+/// The identifier immediately before position `at` (receiver of a
+/// method-call chain), skipping one `self.` qualifier.
+fn receiver_before(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = at;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_ascii_alphanumeric() || c == '_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..at]
+}
+
+fn check_determinism(graph: &CrateGraph, out: &mut Vec<Finding>) {
+    let roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| graph.fns[i].decision_path && !graph.fns[i].in_test)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let (reached, parent) = graph.closure(&roots);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !reached[i] || f.in_test {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        let Some(sf) = graph.files.get(&f.file) else {
+            continue;
+        };
+        for j in a..=b.min(sf.code.len() - 1) {
+            if sf.in_test[j] || sf.allows(j, "determinism") {
+                continue;
+            }
+            for (_, what) in taint_on_line(&sf.code[j], &graph.hash_names) {
+                out.push(finding(
+                    &f.file,
+                    j,
+                    Rule::Determinism,
+                    format!(
+                        "{what} on the decision path {}; make the site a pure function \
+                         of its inputs (BTreeMap / sorted vec / seed-pure counter hash) \
+                         or enumerate the carve-out with \
+                         `// palb:allow(determinism): <reason>`",
+                        graph.chain(&parent, i)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------
+
+/// A lock acquisition: `(line, column, lock name)`. Lock identity is the
+/// last identifier of the receiver chain (`self.metrics.lock()` →
+/// `metrics`); the column orders multiple acquisitions on one line.
+fn lock_sites(sf: &SourceFile, a: usize, b: usize) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for j in a..=b.min(sf.code.len() - 1) {
+        if sf.in_test[j] {
+            continue;
+        }
+        let code = &sf.code[j];
+        for pat in [".lock()", ".read()", ".write()"] {
+            let mut from = 0;
+            while let Some(at) = code[from..].find(pat) {
+                let at = from + at;
+                from = at + pat.len();
+                let recv = receiver_before(code, at);
+                if !recv.is_empty() {
+                    out.push((j, at, recv.to_owned()));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn check_lock_order(graph: &CrateGraph, out: &mut Vec<Finding>) {
+    // Per function: its own acquisitions, in (line, column) order.
+    let mut own: Vec<Vec<(usize, usize, String)>> = Vec::with_capacity(graph.fns.len());
+    for f in &graph.fns {
+        let sites = match f.body {
+            Some((a, b)) => match graph.files.get(&f.file) {
+                Some(sf) => lock_sites(sf, a, b),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        };
+        own.push(sites);
+    }
+    // Transitive lock sets (may-acquire) per function, via fixpoint.
+    let mut acq: Vec<Vec<String>> = own
+        .iter()
+        .map(|s| {
+            let mut v: Vec<String> = s.iter().map(|(_, _, n)| n.clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..graph.fns.len() {
+            for &(callee, _) in &graph.edges[i] {
+                let extra: Vec<String> = acq[callee]
+                    .iter()
+                    .filter(|n| !acq[i].contains(n))
+                    .cloned()
+                    .collect();
+                if !extra.is_empty() {
+                    acq[i].extend(extra);
+                    acq[i].sort();
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Ordered pairs observed anywhere: acquire L, then (still holding,
+    // by over-approximation) acquire M directly or through a callee.
+    // pair -> first witness (file, line, description).
+    let mut pairs: std::collections::BTreeMap<
+        (String, String),
+        (std::path::PathBuf, usize, String),
+    > = std::collections::BTreeMap::new();
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let Some(sf) = graph.files.get(&f.file) else {
+            continue;
+        };
+        for (li, lc, l) in &own[i] {
+            if sf.allows(*li, "lock-order") {
+                continue;
+            }
+            // Later direct acquisitions in the same body.
+            for (mj, mc, m) in &own[i] {
+                if (mj, mc) > (li, lc) && m != l {
+                    pairs.entry((l.clone(), m.clone())).or_insert_with(|| {
+                        (
+                            f.file.clone(),
+                            *li,
+                            format!("`{}` acquires `{l}` then `{m}`", f.path()),
+                        )
+                    });
+                }
+            }
+            // Locks acquired by calls made at or after this acquisition
+            // (a call on the acquisition's own line counts as after — the
+            // guard is live for the rest of the statement).
+            for &(callee, cline) in &graph.edges[i] {
+                if cline < *li {
+                    continue;
+                }
+                for m in &acq[callee] {
+                    if m != l {
+                        pairs.entry((l.clone(), m.clone())).or_insert_with(|| {
+                            (
+                                f.file.clone(),
+                                *li,
+                                format!(
+                                    "`{}` acquires `{l}` then calls `{}` which may acquire `{m}`",
+                                    f.path(),
+                                    graph.fns[callee].path()
+                                ),
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for ((l, m), (file, line, how)) in &pairs {
+        if l < m {
+            if let Some((_, _, rev)) = pairs.get(&(m.clone(), l.clone())) {
+                out.push(finding(
+                    file,
+                    *line,
+                    Rule::LockOrder,
+                    format!(
+                        "inconsistent lock order between `{l}` and `{m}`: {how}, but \
+                         elsewhere {rev}; pick one order or waive with \
+                         `// palb:allow(lock-order): <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// trans-alloc (transitive hot-path enforcement)
+// ---------------------------------------------------------------------
+
+fn check_trans_alloc(graph: &CrateGraph, out: &mut Vec<Finding>) {
+    for strict in [false, true] {
+        let roots: Vec<usize> = (0..graph.fns.len())
+            .filter(|&i| {
+                !graph.fns[i].in_test
+                    && match graph.fns[i].hot_path {
+                        Some(HotPathKind::NoAlloc) => true,
+                        Some(HotPathKind::Plain) => !strict,
+                        None => false,
+                    }
+            })
+            .collect();
+        if roots.is_empty() {
+            continue;
+        }
+        let (reached, parent) = graph.closure(&roots);
+        for (i, f) in graph.fns.iter().enumerate() {
+            // The marked body itself is the per-function rule's job;
+            // this rule owns everything *called from* it.
+            if !reached[i] || f.in_test || parent[i].is_none() {
+                continue;
+            }
+            let Some((a, b)) = f.body else { continue };
+            let Some(sf) = graph.files.get(&f.file) else {
+                continue;
+            };
+            let banned: &[&str] = if strict { NO_ALLOC_BANNED } else { HOT_BANNED };
+            for j in a..=b.min(sf.code.len() - 1) {
+                if sf.in_test[j] || sf.allows(j, "trans-alloc") || sf.allows(j, "hot-path") {
+                    continue;
+                }
+                for pat in banned {
+                    if sf.code[j].contains(pat) {
+                        out.push(finding(
+                            &f.file,
+                            j,
+                            Rule::TransAlloc,
+                            format!(
+                                "`{pat}` reachable from a `palb:hot-path{}` function via {}; \
+                                 hoist the allocation to the caller, use a scratch buffer, or \
+                                 waive with `// palb:allow(trans-alloc): <reason>`",
+                                if strict { "(no-alloc)" } else { "" },
+                                graph.chain(&parent, i)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-path
+// ---------------------------------------------------------------------
+
+/// Panic-family call patterns (indexing is detected structurally).
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Bare `[expr]` index positions on a stripped line: a `[` whose
+/// preceding non-space char ends an expression (identifier, `)`, `]`).
+/// Attribute lines and slice-type positions (`&[`, `: [`) never match.
+fn index_sites(code: &str) -> usize {
+    let trimmed = code.trim_start();
+    if trimmed.starts_with('#') {
+        return 0;
+    }
+    let bytes = code.as_bytes();
+    let mut count = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if prev.is_ascii_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn check_panic_path(graph: &CrateGraph, out: &mut Vec<Finding>) {
+    let roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&i| graph.fns[i].is_pub && !graph.fns[i].in_test)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let (reached, parent) = graph.closure(&roots);
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !reached[i] || f.in_test {
+            continue;
+        }
+        let Some((a, b)) = f.body else { continue };
+        let Some(sf) = graph.files.get(&f.file) else {
+            continue;
+        };
+        for j in a..=b.min(sf.code.len() - 1) {
+            // A site audited for the per-function unwrap rule is audited
+            // for reachability too — one marker covers both.
+            if sf.in_test[j] || sf.allows(j, "panic-path") || sf.allows(j, "unwrap") {
+                continue;
+            }
+            let code = &sf.code[j];
+            for pat in PANIC_PATTERNS {
+                if code.contains(pat) {
+                    out.push(finding(
+                        &f.file,
+                        j,
+                        Rule::PanicPath,
+                        format!(
+                            "`{pat}` reachable from public API via {}",
+                            graph.chain(&parent, i)
+                        ),
+                    ));
+                }
+            }
+            let idx = index_sites(code);
+            for _ in 0..idx {
+                out.push(finding(
+                    &f.file,
+                    j,
+                    Rule::PanicPath,
+                    format!(
+                        "`[index]` (potential panic) reachable from public API via {}",
+                        graph.chain(&parent, i)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn graph_of(src: &str) -> CrateGraph {
+        CrateGraph::build(vec![(
+            PathBuf::from("crates/x/src/a.rs"),
+            SourceFile::parse(src),
+        )])
+    }
+
+    #[test]
+    fn taint_patterns_and_hash_iteration() {
+        let names = vec!["map".to_owned()];
+        assert_eq!(taint_on_line("let t = Instant::now();", &names).len(), 1);
+        assert_eq!(taint_on_line("for (k, v) in &map {", &names).len(), 1);
+        assert_eq!(taint_on_line("map.iter().count()", &names).len(), 1);
+        // Lookup is deterministic — only iteration taints.
+        assert!(taint_on_line("map.get(&k)", &names).is_empty());
+        // Iteration over a non-hash name is fine.
+        assert!(taint_on_line("vec.iter().sum()", &names).is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_taint_reached_through_a_helper() {
+        let g = graph_of(
+            "// palb:decision-path\npub fn decide() { helper(); }\nfn helper() { let t = std::time::Instant::now(); }\n",
+        );
+        let mut out = Vec::new();
+        check_determinism(&g, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::Determinism);
+        assert!(
+            out[0].message.contains("decide -> a::helper"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn lock_order_flags_inconsistent_pairs() {
+        let g = graph_of(
+            "fn ab(a: &M, b: &M) { let _x = a.lock(); let _y = b.lock(); }\nfn ba(a: &M, b: &M) { let _y = b.lock(); let _x = a.lock(); }\n",
+        );
+        let mut out = Vec::new();
+        check_lock_order(&g, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::LockOrder);
+        // Consistent ordering stays clean.
+        let g2 = graph_of(
+            "fn ab(a: &M, b: &M) { let _x = a.lock(); let _y = b.lock(); }\nfn ab2(a: &M, b: &M) { let _x = a.lock(); let _y = b.lock(); }\n",
+        );
+        let mut out2 = Vec::new();
+        check_lock_order(&g2, &mut out2);
+        assert!(out2.is_empty(), "{out2:?}");
+    }
+
+    #[test]
+    fn lock_order_sees_through_calls() {
+        let g = graph_of(
+            "fn outer(a: &M, b: &M) { let _x = a.lock(); inner(b); }\nfn inner(b: &M) { let _y = b.lock(); }\nfn rev(a: &M, b: &M) { let _y = b.lock(); let _x = a.lock(); }\n",
+        );
+        let mut out = Vec::new();
+        check_lock_order(&g, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("inner"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn trans_alloc_catches_helpers_but_not_the_marked_body() {
+        let g = graph_of(
+            "// palb:hot-path(no-alloc)\nfn fast() { helper(); }\nfn helper() { let v = Vec::new(); }\n",
+        );
+        let mut out = Vec::new();
+        check_trans_alloc(&g, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::TransAlloc);
+        // The marked body itself belongs to the per-function rule.
+        let g2 = graph_of("// palb:hot-path(no-alloc)\nfn fast() { let v = Vec::new(); }\n");
+        let mut out2 = Vec::new();
+        check_trans_alloc(&g2, &mut out2);
+        assert!(out2.is_empty(), "{out2:?}");
+    }
+
+    #[test]
+    fn panic_path_reports_reachable_unwraps_and_indexing() {
+        let g = graph_of(
+            "pub fn api() { helper(); }\nfn helper(v: &[u8]) { let x = v[0]; let y: Option<u8> = None; y.unwrap(); }\n",
+        );
+        let mut out = Vec::new();
+        check_panic_path(&g, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.rule == Rule::PanicPath));
+        // An unwaived fn not reachable from pub stays unreported.
+        let g2 = graph_of("fn private_only(v: &[u8]) -> u8 { v[0] }\n");
+        let mut out2 = Vec::new();
+        check_panic_path(&g2, &mut out2);
+        assert!(out2.is_empty(), "{out2:?}");
+    }
+
+    #[test]
+    fn index_site_shapes() {
+        assert_eq!(index_sites("let x = v[0];"), 1);
+        assert_eq!(index_sites("m[(r, c)] = m[(r, n)];"), 2);
+        assert_eq!(index_sites("fn f(v: &[u8]) -> [u8; 2] {"), 0);
+        assert_eq!(index_sites("#[derive(Debug)]"), 0);
+        assert_eq!(index_sites("let a = [0u8; 4];"), 0);
+    }
+}

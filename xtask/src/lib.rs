@@ -34,7 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
+pub mod graph_rules;
+pub mod json;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 
 use std::fmt;
@@ -56,9 +61,39 @@ pub enum Rule {
     BbOptions, // palb:allow(bb-options): the rule's own discriminant
     /// Missing `#![forbid(unsafe_code)]` or lint-tier marker in a crate root.
     CrateHeader,
+    /// A nondeterminism source (wall clock, thread identity, OS RNG,
+    /// hash-order iteration) reachable from a `// palb:decision-path`
+    /// function. The determinism contract — bitwise-identical objectives
+    /// and dispatches at every thread count — admits only the waived,
+    /// audited carve-outs.
+    Determinism,
+    /// Two locks acquired in both orders somewhere in a crate's call
+    /// graph: deadlock potential.
+    LockOrder,
+    /// Allocation or formatting reachable from a `// palb:hot-path`
+    /// function *through its callees* (the per-function rule only sees
+    /// the marked body).
+    TransAlloc,
+    /// A panic site (`unwrap`, `panic!`, bare indexing) transitively
+    /// reachable from a lib-tier `pub fn`.
+    PanicPath,
 }
 
 impl Rule {
+    /// Every rule the engine knows, for SARIF descriptors and reports.
+    pub const ALL: [Rule; 10] = [
+        Rule::FloatCmp,
+        Rule::Unwrap,
+        Rule::HotPath,
+        Rule::ObsNames,
+        Rule::BbOptions, // palb:allow(bb-options): the rule's own registry
+        Rule::CrateHeader,
+        Rule::Determinism,
+        Rule::LockOrder,
+        Rule::TransAlloc,
+        Rule::PanicPath,
+    ];
+
     /// The marker name used by `// palb:allow(<name>): reason` waivers.
     pub fn marker(self) -> &'static str {
         match self {
@@ -68,7 +103,34 @@ impl Rule {
             Rule::ObsNames => "obs-names",
             Rule::BbOptions => "bb-options", // palb:allow(bb-options): the rule's own marker
             Rule::CrateHeader => "crate-header",
+            Rule::Determinism => "determinism",
+            Rule::LockOrder => "lock-order",
+            Rule::TransAlloc => "trans-alloc",
+            Rule::PanicPath => "panic-path",
         }
+    }
+
+    /// One-line rule description for the SARIF `rules` descriptor table.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::FloatCmp => "raw float ==/!= outside palb_num::approx",
+            Rule::Unwrap => "unwrap/expect in a lib-tier crate",
+            Rule::HotPath => "allocation or formatting in a palb:hot-path body",
+            Rule::ObsNames => "metric name literal outside the obs name registries",
+            Rule::BbOptions => "use of the deprecated solver-options alias", // palb:allow(bb-options): describing itself
+            Rule::CrateHeader => "crate root missing forbid(unsafe_code) or lint-tier marker",
+            Rule::Determinism => {
+                "nondeterminism source reachable from a palb:decision-path function"
+            }
+            Rule::LockOrder => "two locks acquired in inconsistent orders (deadlock potential)",
+            Rule::TransAlloc => "allocation reachable from a palb:hot-path function via callees",
+            Rule::PanicPath => "panic site reachable from a lib-tier public API",
+        }
+    }
+
+    /// Parses a waiver-marker name back to the rule.
+    pub fn from_marker(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.marker() == name)
     }
 }
 
@@ -197,27 +259,110 @@ pub fn parse_tier(text: &str) -> Option<Tier> {
     None
 }
 
-/// Runs every rule over every crate under `root`, returning findings
-/// sorted by file and line. Integration-test directories (`tests/`),
-/// benches and examples are out of scope by construction: only `src/`
-/// trees are scanned, and `#[cfg(test)]` regions inside them are exempt.
+/// Runs every rule — per-file and call-graph — over every crate under
+/// `root`, returning findings sorted by file and line. Integration-test
+/// directories (`tests/`), benches and examples are out of scope by
+/// construction: only `src/` trees are scanned, and `#[cfg(test)]`
+/// regions inside them are exempt.
 pub fn run(root: &Path) -> Vec<Finding> {
+    run_inner(root, false)
+}
+
+/// [`run`] with every waiver disabled — the raw findings the rules would
+/// report if no `// palb:allow` existed. The unused-waiver audit diffs
+/// this against the waiver inventory.
+pub fn run_ignoring_waivers(root: &Path) -> Vec<Finding> {
+    run_inner(root, true)
+}
+
+fn run_inner(root: &Path, ignore_waivers: bool) -> Vec<Finding> {
     let crates = discover_crates(root);
     let mut findings = Vec::new();
     for krate in &crates {
         findings.extend(rules::check_crate_header(root, krate));
         let tier = krate.tier.unwrap_or(Tier::Lib);
+        // Each crate's files are lexed once and shared between the
+        // per-file rules and the call-graph pass.
+        let mut parsed: Vec<(PathBuf, scan::SourceFile)> = Vec::new();
+        for file in rust_sources(&krate.src) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let mut sf = scan::SourceFile::parse(&text);
+            sf.ignore_waivers = ignore_waivers;
+            findings.extend(rules::check_file(&rel, &sf, tier));
+            parsed.push((rel, sf));
+        }
+        let graph = callgraph::CrateGraph::build(parsed);
+        findings.extend(graph_rules::check_crate_graph(&graph, tier));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// One waiver comment found in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// File the waiver lives in, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+    /// The rule name inside `palb:allow(...)`.
+    pub rule: String,
+}
+
+impl fmt::Display for Waiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: unused `palb:allow({})` waiver — the rule no longer \
+             fires here; delete the marker",
+            self.file.display(),
+            self.line,
+            self.rule
+        )
+    }
+}
+
+/// Finds dead waivers: `// palb:allow(rule)` markers whose line no rule
+/// would flag even with all waivers disabled. A same-line waiver covers
+/// its own line; a comment-only waiver line covers the line below it.
+pub fn unused_waivers(root: &Path) -> Vec<Waiver> {
+    let raw = run_ignoring_waivers(root);
+    // (file, 0-based line, marker) of every raw finding.
+    let fired: std::collections::BTreeSet<(&Path, usize, &str)> = raw
+        .iter()
+        .map(|f| (f.file.as_path(), f.line - 1, f.rule.marker()))
+        .collect();
+    let mut dead = Vec::new();
+    for krate in discover_crates(root) {
         for file in rust_sources(&krate.src) {
             let Ok(text) = std::fs::read_to_string(&file) else {
                 continue;
             };
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             let sf = scan::SourceFile::parse(&text);
-            findings.extend(rules::check_file(&rel, &sf, tier));
+            for (line, rule) in sf.waivers() {
+                let own = fired.contains(&(rel.as_path(), line, rule.as_str()));
+                let comment_only = sf
+                    .lines
+                    .get(line)
+                    .is_some_and(|t| t.trim_start().starts_with("//"));
+                let below =
+                    comment_only && fired.contains(&(rel.as_path(), line + 1, rule.as_str()));
+                if !own && !below {
+                    dead.push(Waiver {
+                        file: rel.clone(),
+                        line: line + 1,
+                        rule,
+                    });
+                }
+            }
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    findings
+    dead.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    dead
 }
 
 /// Recursively lists the `.rs` files under `dir` in sorted order.

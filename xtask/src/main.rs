@@ -3,9 +3,20 @@
 //!
 //! Subcommands:
 //!
-//! * `analyze [--report <path>]` — run the project lint engine over the
-//!   whole workspace; non-zero exit on any finding. `--report` also
-//!   writes the findings to a file (CI uploads it as an artifact).
+//! * `analyze` — run the project lint engine (per-function rules plus
+//!   the call-graph pass) over the whole workspace and gate on the
+//!   committed `analyze-baseline.json` ratchet: findings beyond a
+//!   bucket's frozen count fail the build, legacy debt inside it does
+//!   not. Flags:
+//!   * `--report <path>` — write the full text report (CI artifact);
+//!   * `--format text|sarif` — stdout format;
+//!   * `--sarif <path>` — also write a SARIF 2.1.0 document (CI uploads
+//!     it to code scanning);
+//!   * `--baseline <path>` — ratchet file (default
+//!     `analyze-baseline.json` at the workspace root);
+//!   * `--update-baseline` — rewrite the ratchet to the current tree;
+//!   * `--unused-waivers` — additionally fail on `palb:allow` markers
+//!     whose rule no longer fires on their line.
 //! * `loom` — model-check the parallel-solver protocols: runs the
 //!   `#![cfg(loom)]` test targets with `RUSTFLAGS="--cfg loom"` in
 //!   release mode and bounded preemptions.
@@ -17,7 +28,8 @@
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-use xtask::{find_workspace_root, run};
+use xtask::baseline::{Baseline, Evaluation};
+use xtask::{find_workspace_root, run, sarif, unused_waivers};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +39,11 @@ fn main() -> ExitCode {
         Some("miri") => miri(),
         Some("tsan") => tsan(),
         _ => {
-            eprintln!("usage: cargo xtask <analyze [--report <path>] | loom | miri | tsan>");
+            eprintln!(
+                "usage: cargo xtask <analyze [--report <path>] [--format text|sarif] \
+                 [--sarif <path>] [--baseline <path>] [--update-baseline] \
+                 [--unused-waivers] | loom | miri | tsan>"
+            );
             ExitCode::from(2)
         }
     }
@@ -40,10 +56,26 @@ fn workspace_root() -> PathBuf {
 
 fn analyze(args: &[String]) -> ExitCode {
     let mut report: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut format = "text".to_owned();
+    let mut update_baseline = false;
+    let mut check_waivers = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--report" => report = it.next().map(PathBuf::from),
+            "--sarif" => sarif_path = it.next().map(PathBuf::from),
+            "--baseline" => baseline_path = it.next().map(PathBuf::from),
+            "--format" => {
+                format = it.next().cloned().unwrap_or_default();
+                if format != "text" && format != "sarif" {
+                    eprintln!("--format must be `text` or `sarif`, got `{format}`");
+                    return ExitCode::from(2);
+                }
+            }
+            "--update-baseline" => update_baseline = true,
+            "--unused-waivers" => check_waivers = true,
             other => {
                 eprintln!("unknown analyze flag: {other}");
                 return ExitCode::from(2);
@@ -51,27 +83,108 @@ fn analyze(args: &[String]) -> ExitCode {
         }
     }
     let root = workspace_root();
-    let findings = run(&root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("analyze-baseline.json"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bad baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let eval = Evaluation::new(run(&root), &baseline);
+
+    // Full text report: every finding plus the ratchet verdict.
     let mut body = String::new();
-    for f in &findings {
+    for f in &eval.findings {
         body.push_str(&f.to_string());
         body.push('\n');
     }
-    print!("{body}");
-    if let Some(path) = report {
-        let header = format!("# cargo xtask analyze — {} finding(s)\n", findings.len());
-        if let Err(e) = std::fs::write(&path, format!("{header}{body}")) {
+    for (k, (cur, allowed)) in &eval.over {
+        body.push_str(&format!(
+            "REGRESSION {k}: {cur} finding(s), baseline allows {allowed}\n"
+        ));
+    }
+    for (k, (cur, allowed)) in &eval.retired {
+        body.push_str(&format!(
+            "retired {k}: {cur} finding(s), baseline allowed {allowed} — \
+             run `cargo xtask analyze --update-baseline` to lock in the win\n"
+        ));
+    }
+
+    if format == "sarif" {
+        print!("{}", sarif::render(&eval));
+    } else {
+        print!("{body}");
+    }
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, sarif::render(&eval)) {
+            eprintln!("failed to write sarif {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("sarif written to {}", path.display());
+    }
+    if let Some(path) = &report {
+        let header = format!(
+            "# cargo xtask analyze — {} finding(s), {} new vs baseline\n",
+            eval.findings.len(),
+            eval.regressions.len()
+        );
+        if let Err(e) = std::fs::write(path, format!("{header}{body}")) {
             eprintln!("failed to write report {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         eprintln!("report written to {}", path.display());
     }
-    if findings.is_empty() {
-        eprintln!("xtask analyze: clean (workspace {})", root.display());
-        ExitCode::SUCCESS
+    if update_baseline {
+        let frozen = Baseline::from_findings(&eval.findings);
+        if let Err(e) = std::fs::write(&baseline_path, frozen.to_json()) {
+            eprintln!("failed to write baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "baseline updated: {} bucket(s) written to {}",
+            frozen.counts.len(),
+            baseline_path.display()
+        );
+    }
+
+    let mut failed = false;
+    if check_waivers {
+        let dead = unused_waivers(&root);
+        for w in &dead {
+            eprintln!("{w}");
+        }
+        if !dead.is_empty() {
+            eprintln!("xtask analyze: {} unused waiver(s)", dead.len());
+            failed = true;
+        }
+    }
+    if !eval.clean() && !update_baseline {
+        for f in &eval.regressions {
+            eprintln!("NEW {f}");
+        }
+        eprintln!(
+            "xtask analyze: {} finding(s) beyond baseline in {} bucket(s) \
+             (total {}, baseline-covered {})",
+            eval.regressions.len(),
+            eval.over.len(),
+            eval.findings.len(),
+            eval.findings.len() - eval.regressions.len()
+        );
+        failed = true;
     } else {
-        eprintln!("xtask analyze: {} finding(s)", findings.len());
+        eprintln!(
+            "xtask analyze: ratchet holds — {} finding(s), all baseline-covered \
+             ({} bucket(s) retired) (workspace {})",
+            eval.findings.len(),
+            eval.retired.len(),
+            root.display()
+        );
+    }
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -174,8 +174,9 @@ fn check_unwrap(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------
 
 /// Banned in every `// palb:hot-path` function: formatting machinery and
-/// `String` construction.
-const HOT_BANNED: &[&str] = &[
+/// `String` construction. Shared with the transitive rule in
+/// [`crate::graph_rules`], which hunts the same patterns in callees.
+pub const HOT_BANNED: &[&str] = &[
     "format!",
     "String::new",
     "String::from",
@@ -187,7 +188,7 @@ const HOT_BANNED: &[&str] = &[
 
 /// Additionally banned under `// palb:hot-path(no-alloc)`: any heap
 /// container construction.
-const NO_ALLOC_BANNED: &[&str] = &[
+pub const NO_ALLOC_BANNED: &[&str] = &[
     "vec!",
     "Vec::new",
     "Vec::with_capacity",
@@ -213,12 +214,16 @@ fn check_hot_path(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
         }) else {
             continue;
         };
-        let (body_start, body_end) = match fn_body_span(&sf.code, fn_line) {
+        // A bodiless signature (trait method decl) has no span: without
+        // this check the brace matcher used to swallow whatever follows —
+        // including sibling `#[cfg(test)]` modules, whose `format!` calls
+        // were then reported as violations.
+        let (body_start, body_end) = match crate::callgraph::fn_body_span_from(&sf.code, fn_line) {
             Some(span) => span,
             None => continue,
         };
         for j in body_start..=body_end.min(sf.code.len() - 1) {
-            if sf.allows(j, "hot-path") {
+            if sf.in_test[j] || sf.allows(j, "hot-path") {
                 continue;
             }
             let code = &sf.code[j];
@@ -246,29 +251,6 @@ fn check_hot_path(rel: &Path, sf: &SourceFile, out: &mut Vec<Finding>) {
             }
         }
     }
-}
-
-/// Returns the inclusive line span of the body of the `fn` whose
-/// signature starts at `fn_line`, by matching braces from its first `{`.
-fn fn_body_span(code: &[String], fn_line: usize) -> Option<(usize, usize)> {
-    let mut depth: i64 = 0;
-    let mut opened = false;
-    for (j, line) in code.iter().enumerate().skip(fn_line) {
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    opened = true;
-                }
-                '}' => depth -= 1,
-                _ => {}
-            }
-        }
-        if opened && depth <= 0 {
-            return Some((fn_line, j));
-        }
-    }
-    None
 }
 
 // ---------------------------------------------------------------------
@@ -456,6 +438,35 @@ mod tests {
         // Code after the function body is not covered by the marker.
         let after = "// palb:hot-path\nfn f() {}\nfn g() { let s = format!(\"x\"); }\n";
         assert!(lint(after, Tier::Bin).is_empty());
+    }
+
+    #[test]
+    fn hot_path_ignores_cfg_test_sibling_modules() {
+        // Regression: a marker above a bodiless signature used to make
+        // the brace matcher swallow everything up to the next balanced
+        // `}` — including a sibling `#[cfg(test)]` module, whose
+        // `format!` was then flagged. Bodiless fns now contribute no
+        // span, and `#[cfg(test)]` lines inside a span stay exempt.
+        let bodiless = concat!(
+            "// palb:hot-path(no-alloc)\n",
+            "fn fast(out: &mut [f64]);\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn helper() { let s = format!(\"x\"); let v = vec![1]; }\n",
+            "}\n",
+        );
+        assert!(lint(bodiless, Tier::Lib).is_empty());
+        let trait_decl = concat!(
+            "trait T {\n",
+            "    // palb:hot-path\n",
+            "    fn fast(&self);\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn helper() { let s = format!(\"x\"); }\n",
+            "}\n",
+        );
+        assert!(lint(trait_decl, Tier::Lib).is_empty());
     }
 
     #[test]

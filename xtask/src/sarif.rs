@@ -1,0 +1,185 @@
+//! SARIF 2.1.0 output for `cargo xtask analyze --format sarif`.
+//!
+//! One run, one driver (`palb-xtask-analyze`), one rule descriptor per
+//! [`Rule`], one result per finding. Severity encodes the ratchet
+//! verdict: findings in over-budget buckets are `error` (CI fails and
+//! GitHub annotates the PR), baseline-covered legacy findings are `note`
+//! (visible in the code-scanning UI without blocking). The document is
+//! built by hand — key order is deterministic, the schema subset is
+//! exactly what `github/codeql-action/upload-sarif` consumes, and the
+//! structural invariants are pinned by tests against [`crate::json`].
+
+use std::fmt::Write as _;
+
+use crate::baseline::{self, Evaluation};
+use crate::json::escape;
+use crate::Rule;
+
+/// The schema the document declares; tests assert the version matches.
+pub const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders one analyze evaluation as a SARIF 2.1.0 document.
+pub fn render(eval: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"$schema\": \"{SCHEMA}\",");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"palb-xtask-analyze\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/palb/xtask\",\n");
+    out.push_str("          \"version\": \"1.0.0\",\n");
+    out.push_str("          \"rules\": [\n");
+    let last = Rule::ALL.len() - 1;
+    for (i, rule) in Rule::ALL.into_iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            rule.marker(),
+            escape(rule.description())
+        );
+        out.push_str(if i == last { "\n" } else { ",\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let n = eval.findings.len();
+    for (i, f) in eval.findings.iter().enumerate() {
+        let level = if eval.over.contains_key(&baseline::key(f)) {
+            "error"
+        } else {
+            "note"
+        };
+        let uri = f.file.to_string_lossy().replace('\\', "/");
+        let _ = write!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\", \
+             \"uriBaseId\": \"SRCROOT\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            f.rule.marker(),
+            escape(&f.message),
+            escape(&uri),
+            f.line
+        );
+        out.push_str(if i + 1 == n { "\n" } else { ",\n" });
+    }
+    out.push_str("      ],\n");
+    out.push_str(
+        "      \"originalUriBaseIds\": {\"SRCROOT\": {\"description\": \
+         {\"text\": \"workspace root\"}}}\n",
+    );
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use crate::json::{self, Value};
+    use crate::{Finding, Rule};
+    use std::path::PathBuf;
+
+    fn sample_eval() -> Evaluation {
+        let findings = vec![
+            Finding {
+                file: PathBuf::from("crates/core/src/portfolio.rs"),
+                line: 42,
+                rule: Rule::Determinism,
+                message: "wall clock on the decision path \"x\"".to_owned(),
+            },
+            Finding {
+                file: PathBuf::from("crates/lp/src/simplex.rs"),
+                line: 7,
+                rule: Rule::PanicPath,
+                message: "`[index]` reachable from public API".to_owned(),
+            },
+        ];
+        // Baseline covers the panic-path finding; determinism is new.
+        let base = Baseline::from_findings(&findings[1..]);
+        Evaluation::new(findings, &base)
+    }
+
+    #[test]
+    fn document_is_valid_sarif_2_1_0() {
+        let doc = json::parse(&render(&sample_eval())).expect("sarif must parse as JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert!(doc
+            .get("$schema")
+            .and_then(Value::as_str)
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let runs = doc.get("runs").and_then(Value::as_arr).expect("runs array");
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("palb-xtask-analyze")
+        );
+        let rules = driver.get("rules").and_then(Value::as_arr).expect("rules");
+        assert_eq!(rules.len(), Rule::ALL.len());
+        for r in rules {
+            assert!(r.get("id").and_then(Value::as_str).is_some());
+            assert!(r
+                .get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(Value::as_str)
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn results_carry_location_and_ratchet_level() {
+        let doc = json::parse(&render(&sample_eval())).unwrap();
+        let results = doc.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .expect("results");
+        assert_eq!(results.len(), 2);
+        let by_rule = |id: &str| {
+            results
+                .iter()
+                .find(|r| r.get("ruleId").and_then(Value::as_str) == Some(id))
+                .expect("result present")
+        };
+        // New finding → error; baseline-covered → note.
+        assert_eq!(
+            by_rule("determinism").get("level").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            by_rule("panic-path").get("level").and_then(Value::as_str),
+            Some("note")
+        );
+        let loc = &by_rule("determinism")
+            .get("locations")
+            .and_then(Value::as_arr)
+            .unwrap()[0];
+        let phys = loc.get("physicalLocation").expect("physicalLocation");
+        assert_eq!(
+            phys.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str),
+            Some("crates/core/src/portfolio.rs")
+        );
+        assert_eq!(
+            phys.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_num),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn empty_result_set_is_still_valid() {
+        let eval = Evaluation::new(Vec::new(), &Baseline::default());
+        let doc = json::parse(&render(&eval)).unwrap();
+        let results = doc.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert!(results.is_empty());
+    }
+}

@@ -22,6 +22,11 @@ pub struct SourceFile {
     pub strings: Vec<(usize, String)>,
     /// Per line: is it inside a `#[cfg(test)]` module body?
     pub in_test: Vec<bool>,
+    /// When set, [`SourceFile::allows`] always answers `false`. The
+    /// unused-waiver audit sets this to recompute what the rules *would*
+    /// report if no waiver existed; a waiver whose line then stays clean
+    /// is dead and must be deleted.
+    pub ignore_waivers: bool,
 }
 
 impl SourceFile {
@@ -37,6 +42,7 @@ impl SourceFile {
             code,
             strings,
             in_test,
+            ignore_waivers: false,
         }
     }
 
@@ -45,15 +51,21 @@ impl SourceFile {
     /// comment-only line directly above it. The reason after the colon
     /// must be non-empty; an unexplained waiver does not count.
     pub fn allows(&self, line: usize, rule: &str) -> bool {
+        if self.ignore_waivers {
+            return false;
+        }
         let marker = format!("palb:allow({rule})");
+        // Doc comments quoting the waiver syntax (rule explanations) are
+        // prose, not waivers.
         let has_waiver = |l: usize| {
             self.lines.get(l).is_some_and(|text| {
-                text.find(&marker).is_some_and(|at| {
-                    let rest = &text[at + marker.len()..];
-                    rest.trim_start()
-                        .strip_prefix(':')
-                        .is_some_and(|reason| !reason.trim().is_empty())
-                })
+                !is_doc_comment(text)
+                    && text.find(&marker).is_some_and(|at| {
+                        let rest = &text[at + marker.len()..];
+                        rest.trim_start()
+                            .strip_prefix(':')
+                            .is_some_and(|reason| !reason.trim().is_empty())
+                    })
             })
         };
         if has_waiver(line) {
@@ -65,6 +77,76 @@ impl SourceFile {
                 .get(line - 1)
                 .is_some_and(|t| t.trim_start().starts_with("//"))
             && has_waiver(line - 1)
+    }
+
+    /// Enumerates every well-formed waiver comment in the file as
+    /// `(line, rule)` with a 0-based line. Occurrences that live inside
+    /// string literals (rule messages quoting the waiver syntax) are
+    /// excluded by matching them against the collected string contents
+    /// of the same line.
+    pub fn waivers(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (i, text) in self.lines.iter().enumerate() {
+            // Test regions are rule-exempt, so a waiver there can never
+            // be exercised; doc comments only *describe* waivers.
+            if self.in_test[i] || is_doc_comment(text) {
+                continue;
+            }
+            // Rules named inside string literals on this line: each
+            // such mention cancels one raw-text occurrence below.
+            let mut in_strings: Vec<String> = Vec::new();
+            for (l, content) in &self.strings {
+                if *l == i {
+                    collect_waiver_rules(content, &mut in_strings);
+                }
+            }
+            let mut here: Vec<String> = Vec::new();
+            collect_waiver_rules(text, &mut here);
+            for rule in here {
+                if let Some(at) = in_strings.iter().position(|r| *r == rule) {
+                    in_strings.swap_remove(at);
+                } else {
+                    out.push((i, rule));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `///` or `//!` line — rustdoc prose, never a lint marker.
+fn is_doc_comment(text: &str) -> bool {
+    let t = text.trim_start();
+    t.starts_with("///") || t.starts_with("//!")
+}
+
+/// Appends the rule names of well-formed `palb:allow(<rule>): <reason>`
+/// markers found in `text` (reason required, rule must be a plain
+/// kebab-case name).
+fn collect_waiver_rules(text: &str, out: &mut Vec<String>) {
+    const MARK: &str = "palb:allow(";
+    let mut from = 0;
+    while let Some(at) = text[from..].find(MARK) {
+        let rest = &text[from + at + MARK.len()..];
+        from += at + MARK.len();
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = &rest[..close];
+        if rule.is_empty()
+            || !rule
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            continue;
+        }
+        let ok = rest[close + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if ok {
+            out.push(rule.to_owned());
+        }
     }
 }
 
@@ -305,6 +387,30 @@ mod tests {
         // Preceding-line waiver.
         let sf2 = SourceFile::parse("// palb:allow(unwrap): startup config\nx.unwrap();\n");
         assert!(sf2.allows(1, "unwrap"));
+    }
+
+    #[test]
+    fn waiver_enumeration_skips_string_mentions() {
+        let sf = SourceFile::parse(
+            "x.unwrap(); // palb:allow(unwrap): startup config\n\
+             let msg = \"waive with `// palb:allow(float-cmp): <reason>`\";\n\
+             // palb:allow(hot-path): scratch reuse is measured\n\
+             y.unwrap(); // palb:allow(unwrap):\n",
+        );
+        let w = sf.waivers();
+        assert_eq!(
+            w,
+            vec![(0, "unwrap".to_owned()), (2, "hot-path".to_owned())],
+            "string-quoted syntax and reasonless markers don't count"
+        );
+    }
+
+    #[test]
+    fn ignore_waivers_disables_allows() {
+        let mut sf = SourceFile::parse("x.unwrap(); // palb:allow(unwrap): rim\n");
+        assert!(sf.allows(0, "unwrap"));
+        sf.ignore_waivers = true;
+        assert!(!sf.allows(0, "unwrap"));
     }
 
     #[test]
